@@ -1,0 +1,178 @@
+//! Object-code size accounting (the §7.2 "object code size"
+//! experiment): a byte-size table modelled on x86-64 encodings, down to
+//! the quirk that an address with an `R13`/`RBP` base needs an explicit
+//! displacement byte.
+
+use crate::mir::{MInst, Operand, PhysReg, Reg, Width};
+
+fn needs_rex(width: Width) -> bool {
+    width == Width::W64
+}
+
+fn base_penalty(base: &Reg) -> usize {
+    // [r13] and [rbp] cannot be encoded without a disp8.
+    match base {
+        Reg::P(PhysReg::R13) => 1,
+        _ => 0,
+    }
+}
+
+fn imm_size(v: i64) -> usize {
+    if (-128..=127).contains(&v) {
+        1
+    } else {
+        4
+    }
+}
+
+/// The encoded size of one instruction in bytes.
+pub fn inst_size(inst: &MInst) -> usize {
+    match inst {
+        MInst::Mov { src, width, .. } => match src {
+            Operand::R(_) => 2 + usize::from(needs_rex(*width)),
+            Operand::Imm(v) => {
+                if *v == 0 {
+                    2 // xor reg, reg idiom
+                } else {
+                    1 + imm_size(*v).max(4) + usize::from(needs_rex(*width))
+                }
+            }
+        },
+        MInst::Alu { dst, lhs, rhs, width, .. } => {
+            let mut size = 2 + usize::from(needs_rex(*width));
+            if let Operand::Imm(v) = rhs {
+                size += imm_size(*v);
+            }
+            if dst != lhs {
+                // x86 is two-address: materialize the extra mov.
+                size += 2 + usize::from(needs_rex(*width));
+            }
+            size
+        }
+        MInst::Div { width, .. } => 5 + usize::from(needs_rex(*width)), // xor rdx + div
+        MInst::Lea { base, disp, index, .. } => {
+            let mut size = 3 + usize::from(index.is_some()) + base_penalty(base);
+            if *disp != 0 {
+                size += imm_size(i64::from(*disp));
+            }
+            size
+        }
+        MInst::MovX { to, .. } => 3 + usize::from(needs_rex(*to)),
+        MInst::Load { base, disp, width, .. } | MInst::Store { base, disp, width, .. } => {
+            let src_imm = match inst {
+                MInst::Store { src: Operand::Imm(v), .. } => imm_size(*v).max(1),
+                _ => 0,
+            };
+            let mut size = 2 + usize::from(needs_rex(*width)) + base_penalty(base) + src_imm;
+            if *disp != 0 {
+                size += imm_size(i64::from(*disp));
+            }
+            size
+        }
+        MInst::Cmp { rhs, width, .. } => {
+            2 + usize::from(needs_rex(*width))
+                + match rhs {
+                    Operand::Imm(v) => imm_size(*v),
+                    Operand::R(_) => 0,
+                }
+        }
+        MInst::Test { width, .. } => 2 + usize::from(needs_rex(*width)),
+        MInst::SetCc { .. } => 3,
+        MInst::CmovCc { width, .. } => 3 + usize::from(needs_rex(*width)),
+        MInst::Jcc { .. } => 2,
+        MInst::Jmp { .. } => 2,
+        MInst::Call { .. } => 5,
+        MInst::Ret { .. } => 1,
+        MInst::Spill { .. } | MInst::Reload { .. } => 5, // mov [rbp+disp]
+        MInst::GetArg { .. } => 3,
+        MInst::Ud2 => 2,
+    }
+}
+
+/// Total object size of a function in bytes.
+pub fn function_size(func: &crate::mir::MFunc) -> usize {
+    func.blocks.iter().flat_map(|b| &b.insts).map(inst_size).sum()
+}
+
+/// Total object size of a module in bytes.
+pub fn module_size(module: &crate::mir::MModule) -> usize {
+    module.functions.iter().map(function_size).sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::mir::{AluOp, Cc};
+
+    #[test]
+    fn two_address_form_costs_an_extra_mov() {
+        let three_addr = MInst::Alu {
+            op: AluOp::Add,
+            dst: Reg::P(PhysReg::Rax),
+            lhs: Reg::P(PhysReg::Rcx),
+            rhs: Operand::R(Reg::P(PhysReg::Rdx)),
+            width: Width::W32,
+            signed: false,
+        };
+        let two_addr = MInst::Alu {
+            op: AluOp::Add,
+            dst: Reg::P(PhysReg::Rax),
+            lhs: Reg::P(PhysReg::Rax),
+            rhs: Operand::R(Reg::P(PhysReg::Rdx)),
+            width: Width::W32,
+            signed: false,
+        };
+        assert!(inst_size(&three_addr) > inst_size(&two_addr));
+    }
+
+    #[test]
+    fn r13_base_lea_is_bigger() {
+        let normal = MInst::Lea {
+            dst: Reg::P(PhysReg::Rax),
+            base: Reg::P(PhysReg::Rcx),
+            index: Some((Reg::P(PhysReg::Rdx), 4)),
+            disp: 0,
+        };
+        let r13 = MInst::Lea {
+            dst: Reg::P(PhysReg::Rax),
+            base: Reg::P(PhysReg::R13),
+            index: Some((Reg::P(PhysReg::Rdx), 4)),
+            disp: 0,
+        };
+        assert_eq!(inst_size(&r13), inst_size(&normal) + 1);
+    }
+
+    #[test]
+    fn wide_ops_need_rex() {
+        let w32 = MInst::Mov {
+            dst: Reg::P(PhysReg::Rax),
+            src: Operand::R(Reg::P(PhysReg::Rcx)),
+            width: Width::W32,
+        };
+        let w64 = MInst::Mov {
+            dst: Reg::P(PhysReg::Rax),
+            src: Operand::R(Reg::P(PhysReg::Rcx)),
+            width: Width::W64,
+        };
+        assert!(inst_size(&w64) > inst_size(&w32));
+    }
+
+    #[test]
+    fn every_variant_has_nonzero_size() {
+        let r = Reg::P(PhysReg::Rax);
+        let samples = vec![
+            MInst::SetCc { cc: Cc::E, dst: r },
+            MInst::Jcc { cc: Cc::E, target: 0 },
+            MInst::Jmp { target: 0 },
+            MInst::Call { callee: "f".into(), args: vec![], dst: None },
+            MInst::Ret { src: None },
+            MInst::Spill { slot: 0, src: r },
+            MInst::Reload { dst: r, slot: 0 },
+            MInst::GetArg { dst: r, index: 0 },
+            MInst::Ud2,
+        ];
+        for s in samples {
+            assert!(inst_size(&s) > 0, "{s:?}");
+        }
+    }
+}

@@ -1,0 +1,748 @@
+//! Instruction selection: frost IR → MIR.
+//!
+//! The undefined-behavior story follows §6 of the paper exactly:
+//!
+//! * `freeze %x` lowers to a **register copy** — at machine level a copy
+//!   gives every use of the destination the same bits, which is
+//!   precisely freeze's semantics;
+//! * the `poison`/`undef` constants lower to a **pinned undef register**
+//!   — a virtual register that is never defined, whose live range the
+//!   allocator must still honor ("our prototype reserves a register for
+//!   each poison value within a function, during its live range only"),
+//!   reproducing the register-pressure effect measured in §7.2;
+//! * small vectors (≤ 64 bits) are packed into scalar registers;
+//!   element access becomes shift/mask arithmetic.
+
+use std::collections::HashMap;
+
+use frost_ir::{
+    BinOp, BlockId, CastKind, Cond, Constant, Function, Inst, InstId, Module, Terminator, Ty,
+    Value,
+};
+
+use crate::mir::{AluOp, Cc, MBlock, MFunc, MInst, MModule, Operand, Reg, Width};
+
+/// Instruction-selection failures (unsupported types or shapes).
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct IselError(pub String);
+
+impl std::fmt::Display for IselError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "isel: {}", self.0)
+    }
+}
+
+impl std::error::Error for IselError {}
+
+/// Compiles a whole module to MIR.
+///
+/// # Errors
+///
+/// Returns [`IselError`] for types wider than 64 bits or other shapes
+/// the target cannot express.
+pub fn select_module(module: &Module) -> Result<MModule, IselError> {
+    let mut out = MModule::default();
+    for f in &module.functions {
+        out.functions.push(select_function(f)?);
+    }
+    Ok(out)
+}
+
+/// The machine width of an IR type (vectors are packed).
+fn width_of(ty: &Ty) -> Result<Width, IselError> {
+    Width::for_bits(ty.bitwidth())
+        .ok_or_else(|| IselError(format!("type {ty} does not fit a 64-bit register")))
+}
+
+struct Isel<'a> {
+    func: &'a Function,
+    blocks: Vec<MBlock>,
+    /// IR instruction -> vreg holding its result.
+    values: HashMap<InstId, Reg>,
+    /// Param index -> vreg.
+    params: Vec<Reg>,
+    next_vreg: u32,
+    /// The per-function pinned undef register (§6), allocated lazily.
+    undef_vreg: Option<Reg>,
+    undef_list: Vec<u32>,
+}
+
+impl<'a> Isel<'a> {
+    fn fresh(&mut self) -> Reg {
+        let r = Reg::V(self.next_vreg);
+        self.next_vreg += 1;
+        r
+    }
+
+    fn emit(&mut self, bb: usize, inst: MInst) {
+        self.blocks[bb].insts.push(inst);
+    }
+
+    /// The pinned undef register (created on first demand).
+    fn undef_reg(&mut self) -> Reg {
+        if let Some(r) = self.undef_vreg {
+            return r;
+        }
+        let r = self.fresh();
+        if let Reg::V(n) = r {
+            self.undef_list.push(n);
+        }
+        self.undef_vreg = Some(r);
+        r
+    }
+
+    /// Materializes an operand into a register.
+    fn reg_of(&mut self, bb: usize, v: &Value) -> Result<Reg, IselError> {
+        match self.operand_of(bb, v)? {
+            Operand::R(r) => Ok(r),
+            Operand::Imm(imm) => {
+                let ty = self.func.value_ty(v);
+                let dst = self.fresh();
+                self.emit(bb, MInst::Mov { dst, src: Operand::Imm(imm), width: width_of(&ty)? });
+                Ok(dst)
+            }
+        }
+    }
+
+    /// Lowers an operand to a register or immediate.
+    fn operand_of(&mut self, bb: usize, v: &Value) -> Result<Operand, IselError> {
+        match v {
+            Value::Inst(id) => Ok(Operand::R(self.values[id])),
+            Value::Arg(i) => Ok(Operand::R(self.params[*i as usize])),
+            Value::Const(c) => self.const_operand(bb, c),
+        }
+    }
+
+    fn const_operand(&mut self, bb: usize, c: &Constant) -> Result<Operand, IselError> {
+        match c {
+            Constant::Int { value, .. } => Ok(Operand::Imm(*value as i64)),
+            Constant::Null(_) => Ok(Operand::Imm(0)),
+            // §6: poison (and legacy undef) become a pinned undef
+            // register.
+            Constant::Poison(_) | Constant::Undef(_) => Ok(Operand::R(self.undef_reg())),
+            Constant::Vector(elems) => {
+                // Pack defined elements; poison elements contribute the
+                // undef register's bits — conservatively pack them as 0
+                // unless the whole constant is undef-like.
+                if elems.iter().any(|e| e.contains_poison() || e.contains_undef()) {
+                    if elems.iter().all(|e| e.contains_poison() || e.contains_undef()) {
+                        return Ok(Operand::R(self.undef_reg()));
+                    }
+                }
+                let elem_bits = elems[0].ty().bitwidth();
+                let mut packed: i64 = 0;
+                for (i, e) in elems.iter().enumerate() {
+                    let bits = e.as_int().unwrap_or(0);
+                    packed |= (bits as i64) << (i as u32 * elem_bits);
+                }
+                let _ = bb;
+                Ok(Operand::Imm(packed))
+            }
+        }
+    }
+}
+
+fn alu_for(op: BinOp) -> Option<(AluOp, bool)> {
+    Some(match op {
+        BinOp::Add => (AluOp::Add, false),
+        BinOp::Sub => (AluOp::Sub, false),
+        BinOp::Mul => (AluOp::Imul, false),
+        BinOp::And => (AluOp::And, false),
+        BinOp::Or => (AluOp::Or, false),
+        BinOp::Xor => (AluOp::Xor, false),
+        BinOp::Shl => (AluOp::Shl, false),
+        BinOp::LShr => (AluOp::Shr, false),
+        BinOp::AShr => (AluOp::Sar, true),
+        _ => return None,
+    })
+}
+
+fn cc_for(cond: Cond) -> Cc {
+    match cond {
+        Cond::Eq => Cc::E,
+        Cond::Ne => Cc::Ne,
+        Cond::Ugt => Cc::A,
+        Cond::Uge => Cc::Ae,
+        Cond::Ult => Cc::B,
+        Cond::Ule => Cc::Be,
+        Cond::Sgt => Cc::G,
+        Cond::Sge => Cc::Ge,
+        Cond::Slt => Cc::L,
+        Cond::Sle => Cc::Le,
+    }
+}
+
+/// Compiles one function to MIR (virtual registers; run the register
+/// allocator next).
+///
+/// # Errors
+///
+/// Returns [`IselError`] on unsupported shapes.
+pub fn select_function(func: &Function) -> Result<MFunc, IselError> {
+    let mut isel = Isel {
+        func,
+        blocks: func
+            .blocks
+            .iter()
+            .map(|b| MBlock { name: b.name.clone(), insts: Vec::new() })
+            .collect(),
+        values: HashMap::new(),
+        params: Vec::new(),
+        next_vreg: 0,
+        undef_vreg: None,
+        undef_list: Vec::new(),
+    };
+
+    // Prologue: fetch arguments into vregs (validating their widths).
+    for (i, p) in func.params.iter().enumerate() {
+        width_of(&p.ty)?;
+        let r = isel.fresh();
+        isel.params.push(r);
+        isel.emit(0, MInst::GetArg { dst: r, index: i });
+    }
+    if !func.ret_ty.is_void() {
+        width_of(&func.ret_ty)?;
+    }
+
+    // Pre-create a vreg for every phi (their copies are emitted in the
+    // predecessors).
+    for bb in func.block_ids() {
+        for &id in &func.block(bb).insts {
+            if matches!(func.inst(id), Inst::Phi { .. }) {
+                let r = isel.fresh();
+                isel.values.insert(id, r);
+            }
+        }
+    }
+
+    // Select in reverse postorder: SSA dominance then guarantees every
+    // non-phi operand's definition is already selected (block indices
+    // are not topological after CFG surgery like unswitching).
+    let rpo = frost_ir::cfg::reverse_postorder(func);
+    let mut selected = vec![false; func.blocks.len()];
+    for bb in rpo {
+        selected[bb.index()] = true;
+        let bi = bb.index();
+        for &id in &func.block(bb).insts {
+            select_inst(&mut isel, bi, id)?;
+        }
+        // Phi copies for the successors, then the terminator.
+        emit_phi_copies(&mut isel, bb)?;
+        select_terminator(&mut isel, bb)?;
+    }
+    // Unreachable blocks are never executed; lower them to traps so the
+    // MIR stays structurally complete.
+    for (bi, done) in selected.iter().enumerate() {
+        if !done {
+            isel.blocks[bi].insts.clear();
+            isel.blocks[bi].insts.push(MInst::Ud2);
+        }
+    }
+
+    Ok(MFunc {
+        name: func.name.clone(),
+        num_params: func.params.len(),
+        blocks: isel.blocks,
+        num_vregs: isel.next_vreg,
+        num_slots: 0,
+        undef_vregs: isel.undef_list,
+    })
+}
+
+fn select_inst(isel: &mut Isel<'_>, bi: usize, id: InstId) -> Result<(), IselError> {
+    let func = isel.func;
+    let inst = func.inst(id).clone();
+    match &inst {
+        Inst::Phi { .. } => Ok(()), // handled via predecessor copies
+        Inst::Bin { op, ty, lhs, rhs, .. } => {
+            let width = width_of(ty)?;
+            if ty.is_vector() {
+                return Err(IselError(format!("vector arithmetic {op} is not supported")));
+            }
+            let dst = isel.fresh();
+            match op {
+                BinOp::UDiv | BinOp::SDiv | BinOp::URem | BinOp::SRem => {
+                    let l = isel.reg_of(bi, lhs)?;
+                    let r = isel.reg_of(bi, rhs)?;
+                    isel.emit(
+                        bi,
+                        MInst::Div {
+                            dst,
+                            lhs: l,
+                            rhs: r,
+                            signed: matches!(op, BinOp::SDiv | BinOp::SRem),
+                            rem: matches!(op, BinOp::URem | BinOp::SRem),
+                            width,
+                        },
+                    );
+                }
+                _ => {
+                    let (alu, signed) = alu_for(*op).expect("non-division op");
+                    let l = isel.reg_of(bi, lhs)?;
+                    let r = isel.operand_of(bi, rhs)?;
+                    isel.emit(bi, MInst::Alu { op: alu, dst, lhs: l, rhs: r, width, signed });
+                }
+            }
+            isel.values.insert(id, dst);
+            Ok(())
+        }
+        Inst::Icmp { cond, ty, lhs, rhs } => {
+            if ty.is_vector() {
+                return Err(IselError("vector icmp is not supported".into()));
+            }
+            let width = width_of(ty)?;
+            let l = isel.reg_of(bi, lhs)?;
+            let r = isel.operand_of(bi, rhs)?;
+            let signed = matches!(cond, Cond::Sgt | Cond::Sge | Cond::Slt | Cond::Sle);
+            isel.emit(bi, MInst::Cmp { lhs: l, rhs: r, width, signed });
+            let dst = isel.fresh();
+            isel.emit(bi, MInst::SetCc { cc: cc_for(*cond), dst });
+            isel.values.insert(id, dst);
+            Ok(())
+        }
+        Inst::Select { cond, ty, tval, fval } => {
+            let width = width_of(ty)?;
+            let dst = isel.fresh();
+            let f = isel.operand_of(bi, fval)?;
+            isel.emit(bi, MInst::Mov { dst, src: f, width });
+            let c = isel.reg_of(bi, cond)?;
+            isel.emit(bi, MInst::Test { src: c, width: Width::W8 });
+            let t = isel.reg_of(bi, tval)?;
+            isel.emit(bi, MInst::CmovCc { cc: Cc::Ne, dst, src: t, width });
+            isel.values.insert(id, dst);
+            Ok(())
+        }
+        Inst::Freeze { ty, val } => {
+            // §6: freeze is a register copy.
+            let width = width_of(ty)?;
+            let src = isel.operand_of(bi, val)?;
+            let dst = isel.fresh();
+            isel.emit(bi, MInst::Mov { dst, src, width });
+            isel.values.insert(id, dst);
+            Ok(())
+        }
+        Inst::Cast { kind, from_ty, to_ty, val } => {
+            let from = width_of(from_ty)?;
+            let to = width_of(to_ty)?;
+            let src = isel.reg_of(bi, val)?;
+            let dst = isel.fresh();
+            match kind {
+                CastKind::Trunc => {
+                    isel.emit(bi, MInst::Mov { dst, src: Operand::R(src), width: to });
+                }
+                CastKind::Zext | CastKind::Sext => {
+                    // Sub-byte source widths need an explicit mask /
+                    // shift pair; our frontends only produce legal
+                    // widths, but i1 (carried as a byte holding 0/1) is
+                    // fine for zext and needs care for sext.
+                    let signed = *kind == CastKind::Sext;
+                    if from_ty.int_bits() == Some(1) && signed {
+                        // sext i1: 0 -> 0, 1 -> -1: neg via 0 - x.
+                        let zero = isel.fresh();
+                        isel.emit(bi, MInst::Mov { dst: zero, src: Operand::Imm(0), width: to });
+                        isel.emit(
+                            bi,
+                            MInst::Alu {
+                                op: AluOp::Sub,
+                                dst,
+                                lhs: zero,
+                                rhs: Operand::R(src),
+                                width: to,
+                                signed: true,
+                            },
+                        );
+                    } else {
+                        isel.emit(bi, MInst::MovX { dst, src, from, to, signed });
+                    }
+                }
+            }
+            isel.values.insert(id, dst);
+            Ok(())
+        }
+        Inst::Bitcast { to_ty, val, .. } => {
+            // Same bit width: a copy.
+            let width = width_of(to_ty)?;
+            let src = isel.operand_of(bi, val)?;
+            let dst = isel.fresh();
+            isel.emit(bi, MInst::Mov { dst, src, width });
+            isel.values.insert(id, dst);
+            Ok(())
+        }
+        Inst::Gep { elem_ty, base, idx_ty, idx, .. } => {
+            let base_r = isel.reg_of(bi, base)?;
+            let idx_r = isel.reg_of(bi, idx)?;
+            // Widen the index to pointer width (sext, the C `long` cast
+            // of §2.4).
+            let idx_w = width_of(idx_ty)?;
+            let widened = if idx_w == Width::W64 {
+                idx_r
+            } else {
+                let w = isel.fresh();
+                isel.emit(bi, MInst::MovX { dst: w, src: idx_r, from: idx_w, to: Width::W64, signed: true });
+                w
+            };
+            let scale = elem_ty.byte_size();
+            let dst = isel.fresh();
+            if matches!(scale, 1 | 2 | 4 | 8) {
+                isel.emit(
+                    bi,
+                    MInst::Lea { dst, base: base_r, index: Some((widened, scale as u8)), disp: 0 },
+                );
+            } else {
+                let scaled = isel.fresh();
+                isel.emit(
+                    bi,
+                    MInst::Alu {
+                        op: AluOp::Imul,
+                        dst: scaled,
+                        lhs: widened,
+                        rhs: Operand::Imm(i64::from(scale)),
+                        width: Width::W64,
+                        signed: true,
+                    },
+                );
+                isel.emit(
+                    bi,
+                    MInst::Lea { dst, base: base_r, index: Some((scaled, 1)), disp: 0 },
+                );
+            }
+            isel.values.insert(id, dst);
+            Ok(())
+        }
+        Inst::Load { ty, ptr } => {
+            let width = width_of(ty)?;
+            let base = isel.reg_of(bi, ptr)?;
+            let dst = isel.fresh();
+            isel.emit(bi, MInst::Load { dst, base, disp: 0, width });
+            isel.values.insert(id, dst);
+            Ok(())
+        }
+        Inst::Store { ty, val, ptr } => {
+            let width = width_of(ty)?;
+            let src = isel.operand_of(bi, val)?;
+            let base = isel.reg_of(bi, ptr)?;
+            isel.emit(bi, MInst::Store { base, disp: 0, src, width });
+            Ok(())
+        }
+        Inst::ExtractElement { elem_ty, vec, idx, .. } => {
+            let lane = idx.as_int_const().expect("verified constant lane") as u32;
+            let elem_bits = elem_ty.bitwidth();
+            let vec_ty = isel.func.value_ty(vec);
+            let vw = width_of(&vec_ty)?;
+            let src = isel.reg_of(bi, vec)?;
+            let shifted = if lane == 0 {
+                src
+            } else {
+                let s = isel.fresh();
+                isel.emit(
+                    bi,
+                    MInst::Alu {
+                        op: AluOp::Shr,
+                        dst: s,
+                        lhs: src,
+                        rhs: Operand::Imm(i64::from(lane * elem_bits)),
+                        width: vw,
+                        signed: false,
+                    },
+                );
+                s
+            };
+            let dst = isel.fresh();
+            let ew = width_of(elem_ty)?;
+            if elem_bits == ew.bits() {
+                isel.emit(bi, MInst::Mov { dst, src: Operand::R(shifted), width: ew });
+            } else {
+                isel.emit(
+                    bi,
+                    MInst::Alu {
+                        op: AluOp::And,
+                        dst,
+                        lhs: shifted,
+                        rhs: Operand::Imm(((1i64 << elem_bits) - 1).max(1)),
+                        width: ew,
+                        signed: false,
+                    },
+                );
+            }
+            isel.values.insert(id, dst);
+            Ok(())
+        }
+        Inst::InsertElement { elem_ty, len, vec, elt, idx } => {
+            let lane = idx.as_int_const().expect("verified constant lane") as u32;
+            let elem_bits = elem_ty.bitwidth();
+            let vw = width_of(&Ty::vector(*len, elem_ty.clone()))?;
+            let src = isel.reg_of(bi, vec)?;
+            // cleared = vec & ~(mask << lane*bits)
+            let lane_mask: i64 = if elem_bits >= 64 {
+                -1
+            } else {
+                (((1u128 << elem_bits) - 1) as i64) << (lane * elem_bits)
+            };
+            let cleared = isel.fresh();
+            isel.emit(
+                bi,
+                MInst::Alu {
+                    op: AluOp::And,
+                    dst: cleared,
+                    lhs: src,
+                    rhs: Operand::Imm(!lane_mask),
+                    width: vw,
+                    signed: false,
+                },
+            );
+            // shifted_elt = (elt & mask) << lane*bits
+            let e = isel.reg_of(bi, elt)?;
+            let masked = isel.fresh();
+            isel.emit(
+                bi,
+                MInst::Alu {
+                    op: AluOp::And,
+                    dst: masked,
+                    lhs: e,
+                    rhs: Operand::Imm(if elem_bits >= 64 { -1 } else { (1i64 << elem_bits) - 1 }),
+                    width: vw,
+                    signed: false,
+                },
+            );
+            let shifted = if lane == 0 {
+                masked
+            } else {
+                let s = isel.fresh();
+                isel.emit(
+                    bi,
+                    MInst::Alu {
+                        op: AluOp::Shl,
+                        dst: s,
+                        lhs: masked,
+                        rhs: Operand::Imm(i64::from(lane * elem_bits)),
+                        width: vw,
+                        signed: false,
+                    },
+                );
+                s
+            };
+            let dst = isel.fresh();
+            isel.emit(
+                bi,
+                MInst::Alu {
+                    op: AluOp::Or,
+                    dst,
+                    lhs: cleared,
+                    rhs: Operand::R(shifted),
+                    width: vw,
+                    signed: false,
+                },
+            );
+            isel.values.insert(id, dst);
+            Ok(())
+        }
+        Inst::Call { ret_ty, callee, args, .. } => {
+            let mut regs = Vec::with_capacity(args.len());
+            for a in args {
+                regs.push(isel.reg_of(bi, a)?);
+            }
+            let dst = if ret_ty.is_void() {
+                None
+            } else {
+                let d = isel.fresh();
+                isel.values.insert(id, d);
+                Some(d)
+            };
+            isel.emit(bi, MInst::Call { callee: callee.clone(), args: regs, dst });
+            Ok(())
+        }
+    }
+}
+
+/// Emits the parallel copies realizing the successors' phis, at the end
+/// of block `bb` (before its terminator). Uses per-phi temporaries so
+/// simultaneous assignments (swaps) stay correct.
+fn emit_phi_copies(isel: &mut Isel<'_>, bb: BlockId) -> Result<(), IselError> {
+    let func = isel.func;
+    let bi = bb.index();
+    for succ in func.block(bb).term.successors() {
+        let mut temps: Vec<(Reg, Reg, Width)> = Vec::new();
+        for &pid in &func.block(succ).insts {
+            let Inst::Phi { ty, incoming } = func.inst(pid) else { break };
+            let width = width_of(ty)?;
+            let (v, _) = incoming
+                .iter()
+                .find(|(_, from)| *from == bb)
+                .ok_or_else(|| IselError(format!("phi {pid} missing incoming for {bb}")))?;
+            let src = isel.operand_of(bi, v)?;
+            let tmp = isel.fresh();
+            isel.emit(bi, MInst::Mov { dst: tmp, src, width });
+            temps.push((isel.values[&pid], tmp, width));
+        }
+        for (dst, tmp, width) in temps {
+            isel.emit(bi, MInst::Mov { dst, src: Operand::R(tmp), width });
+        }
+    }
+    Ok(())
+}
+
+fn select_terminator(isel: &mut Isel<'_>, bb: BlockId) -> Result<(), IselError> {
+    let bi = bb.index();
+    match isel.func.block(bb).term.clone() {
+        Terminator::Ret(None) => {
+            isel.emit(bi, MInst::Ret { src: None });
+        }
+        Terminator::Ret(Some(v)) => {
+            let r = isel.reg_of(bi, &v)?;
+            isel.emit(bi, MInst::Ret { src: Some(r) });
+        }
+        Terminator::Jmp(dest) => {
+            isel.emit(bi, MInst::Jmp { target: dest.index() });
+        }
+        Terminator::Br { cond, then_bb, else_bb } => {
+            let c = isel.reg_of(bi, &cond)?;
+            isel.emit(bi, MInst::Test { src: c, width: Width::W8 });
+            isel.emit(bi, MInst::Jcc { cc: Cc::Ne, target: then_bb.index() });
+            isel.emit(bi, MInst::Jmp { target: else_bb.index() });
+        }
+        Terminator::Unreachable => {
+            isel.emit(bi, MInst::Ud2);
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use frost_ir::parse_function;
+
+    fn mir_of(src: &str) -> MFunc {
+        select_function(&parse_function(src).unwrap()).unwrap()
+    }
+
+    #[test]
+    fn freeze_lowers_to_a_copy() {
+        let m = mir_of("define i32 @f(i32 %x) {\nentry:\n  %a = freeze i32 %x\n  ret i32 %a\n}");
+        let has_copy = m.blocks[0]
+            .insts
+            .iter()
+            .any(|i| matches!(i, MInst::Mov { src: Operand::R(_), .. }));
+        assert!(has_copy, "{m}");
+        assert!(m.undef_vregs.is_empty());
+    }
+
+    #[test]
+    fn poison_lowers_to_pinned_undef_register() {
+        let m = mir_of("define i32 @f() {\nentry:\n  %a = add i32 poison, 1\n  ret i32 %a\n}");
+        assert_eq!(m.undef_vregs.len(), 1, "{m}");
+        // The undef vreg is used but never defined.
+        let undef = Reg::V(m.undef_vregs[0]);
+        let defined = m.blocks.iter().flat_map(|b| &b.insts).any(|i| i.defs().contains(&undef));
+        let used = m.blocks.iter().flat_map(|b| &b.insts).any(|i| i.uses().contains(&undef));
+        assert!(!defined && used);
+    }
+
+    #[test]
+    fn gep_uses_lea_with_scale() {
+        let m = mir_of(
+            "define i32* @f(i32* %p, i32 %i) {\nentry:\n  %q = getelementptr i32, i32* %p, i32 %i\n  ret i32* %q\n}",
+        );
+        let lea = m
+            .blocks
+            .iter()
+            .flat_map(|b| &b.insts)
+            .find(|i| matches!(i, MInst::Lea { .. }))
+            .expect("lea emitted");
+        let MInst::Lea { index: Some((_, scale)), .. } = lea else { panic!() };
+        assert_eq!(*scale, 4);
+        // The sext of the index is explicit (§2.4's cltq).
+        assert!(m
+            .blocks
+            .iter()
+            .flat_map(|b| &b.insts)
+            .any(|i| matches!(i, MInst::MovX { signed: true, .. })));
+    }
+
+    #[test]
+    fn branches_become_test_and_jcc() {
+        let m = mir_of(
+            r#"
+define i32 @f(i32 %x) {
+entry:
+  %c = icmp slt i32 %x, 10
+  br i1 %c, label %a, label %b
+a:
+  ret i32 1
+b:
+  ret i32 2
+}
+"#,
+        );
+        let entry = &m.blocks[0].insts;
+        assert!(entry.iter().any(|i| matches!(i, MInst::Cmp { .. })));
+        assert!(entry.iter().any(|i| matches!(i, MInst::SetCc { cc: Cc::L, .. })));
+        assert!(entry.iter().any(|i| matches!(i, MInst::Jcc { cc: Cc::Ne, .. })));
+    }
+
+    #[test]
+    fn phis_become_parallel_copies_in_predecessors() {
+        let m = mir_of(
+            r#"
+define i32 @f(i1 %c, i32 %x, i32 %y) {
+entry:
+  br i1 %c, label %a, label %b
+a:
+  br label %m
+b:
+  br label %m
+m:
+  %p = phi i32 [ %x, %a ], [ %y, %b ]
+  ret i32 %p
+}
+"#,
+        );
+        // Each of a and b carries two movs (tmp + phi write).
+        for bi in [1usize, 2] {
+            let movs = m.blocks[bi]
+                .insts
+                .iter()
+                .filter(|i| matches!(i, MInst::Mov { .. }))
+                .count();
+            assert_eq!(movs, 2, "{m}");
+        }
+    }
+
+    #[test]
+    fn select_uses_cmov() {
+        let m = mir_of(
+            "define i32 @f(i1 %c, i32 %a, i32 %b) {\nentry:\n  %r = select i1 %c, i32 %a, i32 %b\n  ret i32 %r\n}",
+        );
+        assert!(m.blocks[0].insts.iter().any(|i| matches!(i, MInst::CmovCc { .. })), "{m}");
+    }
+
+    #[test]
+    fn vector_insert_extract_become_shift_mask() {
+        let m = mir_of(
+            r#"
+define i16 @f(<2 x i16> %v, i16 %e) {
+entry:
+  %v2 = insertelement <2 x i16> %v, i16 %e, i32 1
+  %r = extractelement <2 x i16> %v2, i32 1
+  ret i16 %r
+}
+"#,
+        );
+        let shifts = m
+            .blocks
+            .iter()
+            .flat_map(|b| &b.insts)
+            .filter(|i| matches!(i, MInst::Alu { op: AluOp::Shl | AluOp::Shr, .. }))
+            .count();
+        assert!(shifts >= 2, "{m}");
+    }
+
+    #[test]
+    fn wide_types_are_rejected() {
+        let err = select_function(
+            &parse_function("define i128 @f(i128 %x) {\nentry:\n  ret i128 %x\n}").unwrap(),
+        )
+        .unwrap_err();
+        assert!(err.0.contains("does not fit"));
+    }
+}

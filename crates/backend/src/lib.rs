@@ -1,0 +1,77 @@
+//! # frost-backend
+//!
+//! The lowering pipeline of the frost compiler: instruction selection to
+//! an x86-flavoured machine IR, linear-scan register allocation,
+//! object-size accounting, and a cycle-model simulator — everything the
+//! performance evaluation of *"Taming Undefined Behavior in LLVM"*
+//! (PLDI 2017, §6–§7) needs below the mid-end:
+//!
+//! * `freeze` lowers to a **register copy** and `poison`/`undef`
+//!   constants to a **pinned undef register** (§6 "Lowering freeze");
+//! * the allocator reserves a register for each pinned undef value
+//!   during its live range, reproducing the §7.2 register-pressure
+//!   effects;
+//! * the [simulator](sim) has two cost models standing in for the
+//!   paper's two machines, including the register-dependent LEA latency
+//!   behind the "Stanford Queens" outlier;
+//! * [encode](encode) gives x86-shaped byte sizes for the object-size
+//!   experiment.
+//!
+//! ```
+//! use frost_backend::{compile_module, CostModel, Simulator};
+//! use frost_ir::parse_module;
+//!
+//! let m = parse_module(
+//!     "define i32 @inc(i32 %x) {\nentry:\n  %r = add i32 %x, 1\n  ret i32 %r\n}",
+//! )?;
+//! let mm = compile_module(&m)?;
+//! let mut sim = Simulator::new(&mm, CostModel::machine1(), 0);
+//! let run = sim.run("inc", &[41])?;
+//! assert_eq!(run.ret, Some(42));
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod encode;
+pub mod isel;
+pub mod mir;
+pub mod regalloc;
+pub mod sim;
+
+use frost_ir::Module;
+use frost_opt::PipelineMode;
+
+pub use encode::{function_size, inst_size, module_size};
+pub use isel::{select_function, select_module, IselError};
+pub use mir::{AluOp, Cc, MBlock, MFunc, MInst, MModule, Operand, PhysReg, Reg, Width};
+pub use regalloc::{allocate, lea_base_registers, AllocStats};
+pub use sim::{CostModel, SimError, SimRun, Simulator, MEM_BASE};
+
+/// Compiles an IR module to fully register-allocated MIR.
+///
+/// # Errors
+///
+/// Returns [`IselError`] on shapes the target cannot express.
+pub fn compile_module(module: &Module) -> Result<MModule, IselError> {
+    let mut mm = select_module(module)?;
+    for f in &mut mm.functions {
+        allocate(f);
+    }
+    Ok(mm)
+}
+
+/// Compiles with an explicit pipeline-mode tag (reserved for future
+/// mode-dependent lowering decisions; selection and allocation are
+/// currently mode-independent, exactly like the paper's backend, where
+/// freeze is already gone by this point).
+///
+/// # Errors
+///
+/// Returns [`IselError`] on shapes the target cannot express.
+pub fn compile_module_with_mode(
+    module: &Module,
+    _mode: PipelineMode,
+) -> Result<MModule, IselError> {
+    compile_module(module)
+}

@@ -1,0 +1,680 @@
+//! The machine IR (MIR): an x86-flavoured, register-based
+//! representation produced by instruction selection.
+//!
+//! MIR has no poison and no freeze: §6's lowering converts poison
+//! values into *pinned undef registers* (a vreg that is never defined —
+//! reads yield whatever the register holds) and `freeze` into plain
+//! register copies (all uses of the copy observe one value).
+
+use std::fmt;
+
+/// Operand widths supported by the machine (i1 is carried in a byte).
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, PartialOrd, Ord)]
+pub enum Width {
+    /// 8-bit.
+    W8,
+    /// 16-bit.
+    W16,
+    /// 32-bit.
+    W32,
+    /// 64-bit.
+    W64,
+}
+
+impl Width {
+    /// Width in bits.
+    pub fn bits(self) -> u32 {
+        match self {
+            Width::W8 => 8,
+            Width::W16 => 16,
+            Width::W32 => 32,
+            Width::W64 => 64,
+        }
+    }
+
+    /// The narrowest machine width holding `bits` (i1..i64).
+    pub fn for_bits(bits: u32) -> Option<Width> {
+        match bits {
+            0 => None,
+            1..=8 => Some(Width::W8),
+            9..=16 => Some(Width::W16),
+            17..=32 => Some(Width::W32),
+            33..=64 => Some(Width::W64),
+            _ => None,
+        }
+    }
+
+    /// Masks a 64-bit payload to this width.
+    pub fn mask(self, v: u64) -> u64 {
+        match self {
+            Width::W64 => v,
+            w => v & ((1u64 << w.bits()) - 1),
+        }
+    }
+}
+
+/// The machine's physical registers. `Rsp`/`Rbp` are reserved for the
+/// stack; `R10`/`R11` are reserved as spill scratch.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, PartialOrd, Ord)]
+#[allow(missing_docs)]
+pub enum PhysReg {
+    Rax,
+    Rcx,
+    Rdx,
+    Rbx,
+    Rsi,
+    Rdi,
+    R8,
+    R9,
+    R12,
+    R13,
+    R14,
+    R15,
+    // Reserved:
+    R10,
+    R11,
+}
+
+impl PhysReg {
+    /// Registers available to the allocator, in allocation-preference
+    /// order. `R13`..`R15` come last: they are the "expensive" LEA
+    /// registers of the §7.2 Queens anecdote, used only under pressure.
+    pub const ALLOCATABLE: [PhysReg; 12] = [
+        PhysReg::Rax,
+        PhysReg::Rcx,
+        PhysReg::Rdx,
+        PhysReg::Rbx,
+        PhysReg::Rsi,
+        PhysReg::Rdi,
+        PhysReg::R8,
+        PhysReg::R9,
+        PhysReg::R12,
+        PhysReg::R13,
+        PhysReg::R14,
+        PhysReg::R15,
+    ];
+
+    /// Index into a dense register file array.
+    pub fn index(self) -> usize {
+        self as usize
+    }
+
+    /// Registers with a slower LEA on some microarchitectures (the
+    /// Intel Optimization Reference Manual point cited in §7.2).
+    pub fn lea_is_slow(self) -> bool {
+        matches!(self, PhysReg::R13 | PhysReg::Rbx)
+    }
+}
+
+impl fmt::Display for PhysReg {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let name = match self {
+            PhysReg::Rax => "rax",
+            PhysReg::Rcx => "rcx",
+            PhysReg::Rdx => "rdx",
+            PhysReg::Rbx => "rbx",
+            PhysReg::Rsi => "rsi",
+            PhysReg::Rdi => "rdi",
+            PhysReg::R8 => "r8",
+            PhysReg::R9 => "r9",
+            PhysReg::R10 => "r10",
+            PhysReg::R11 => "r11",
+            PhysReg::R12 => "r12",
+            PhysReg::R13 => "r13",
+            PhysReg::R14 => "r14",
+            PhysReg::R15 => "r15",
+        };
+        f.write_str(name)
+    }
+}
+
+/// A register reference: virtual before allocation, physical after.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum Reg {
+    /// A virtual register.
+    V(u32),
+    /// A physical register.
+    P(PhysReg),
+}
+
+impl fmt::Display for Reg {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Reg::V(n) => write!(f, "v{n}"),
+            Reg::P(p) => write!(f, "%{p}"),
+        }
+    }
+}
+
+/// A register-or-immediate operand.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Operand {
+    /// A register.
+    R(Reg),
+    /// A sign-extended immediate.
+    Imm(i64),
+}
+
+impl fmt::Display for Operand {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Operand::R(r) => write!(f, "{r}"),
+            Operand::Imm(v) => write!(f, "${v}"),
+        }
+    }
+}
+
+/// Two-operand ALU opcodes (`dst = lhs op rhs`; encoded as x86
+/// two-address, costed accordingly).
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+#[allow(missing_docs)]
+pub enum AluOp {
+    Add,
+    Sub,
+    Imul,
+    And,
+    Or,
+    Xor,
+    Shl,
+    Shr,
+    Sar,
+}
+
+impl fmt::Display for AluOp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            AluOp::Add => "add",
+            AluOp::Sub => "sub",
+            AluOp::Imul => "imul",
+            AluOp::And => "and",
+            AluOp::Or => "or",
+            AluOp::Xor => "xor",
+            AluOp::Shl => "shl",
+            AluOp::Shr => "shr",
+            AluOp::Sar => "sar",
+        };
+        f.write_str(s)
+    }
+}
+
+/// Condition codes for `setcc`/`cmovcc`/`jcc`.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+#[allow(missing_docs)]
+pub enum Cc {
+    E,
+    Ne,
+    A,
+    Ae,
+    B,
+    Be,
+    G,
+    Ge,
+    L,
+    Le,
+}
+
+impl fmt::Display for Cc {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            Cc::E => "e",
+            Cc::Ne => "ne",
+            Cc::A => "a",
+            Cc::Ae => "ae",
+            Cc::B => "b",
+            Cc::Be => "be",
+            Cc::G => "g",
+            Cc::Ge => "ge",
+            Cc::L => "l",
+            Cc::Le => "le",
+        };
+        f.write_str(s)
+    }
+}
+
+/// A machine instruction.
+#[derive(Clone, PartialEq, Debug)]
+pub enum MInst {
+    /// `mov dst, src` (register copy or immediate materialization).
+    /// Also the lowering of `freeze` (§6).
+    Mov {
+        /// Destination.
+        dst: Reg,
+        /// Source.
+        src: Operand,
+        /// Operation width.
+        width: Width,
+    },
+    /// `dst = lhs op rhs` (three-address form; encoding accounts for
+    /// the x86 two-address mov when `dst != lhs`).
+    Alu {
+        /// Opcode.
+        op: AluOp,
+        /// Destination.
+        dst: Reg,
+        /// Left operand.
+        lhs: Reg,
+        /// Right operand.
+        rhs: Operand,
+        /// Operation width.
+        width: Width,
+        /// Signed interpretation (shifts).
+        signed: bool,
+    },
+    /// Division/remainder (`idiv`/`div`; traps on zero divisor).
+    Div {
+        /// Quotient (or remainder) destination.
+        dst: Reg,
+        /// Dividend.
+        lhs: Reg,
+        /// Divisor.
+        rhs: Reg,
+        /// Signed division.
+        signed: bool,
+        /// Produce the remainder instead of the quotient.
+        rem: bool,
+        /// Operation width.
+        width: Width,
+    },
+    /// `lea dst, [base + index*scale + disp]`.
+    Lea {
+        /// Destination.
+        dst: Reg,
+        /// Base register.
+        base: Reg,
+        /// Optional scaled index.
+        index: Option<(Reg, u8)>,
+        /// Displacement.
+        disp: i32,
+    },
+    /// Zero- or sign-extending move.
+    MovX {
+        /// Destination.
+        dst: Reg,
+        /// Source.
+        src: Reg,
+        /// Source width.
+        from: Width,
+        /// Destination width.
+        to: Width,
+        /// Sign-extend when `true`.
+        signed: bool,
+    },
+    /// Load `width` bits from `[base + disp]`.
+    Load {
+        /// Destination.
+        dst: Reg,
+        /// Address base register.
+        base: Reg,
+        /// Displacement.
+        disp: i32,
+        /// Access width.
+        width: Width,
+    },
+    /// Store `width` bits to `[base + disp]`.
+    Store {
+        /// Address base register.
+        base: Reg,
+        /// Displacement.
+        disp: i32,
+        /// Value to store.
+        src: Operand,
+        /// Access width.
+        width: Width,
+    },
+    /// `cmp lhs, rhs` (sets flags).
+    Cmp {
+        /// Left operand.
+        lhs: Reg,
+        /// Right operand.
+        rhs: Operand,
+        /// Comparison width.
+        width: Width,
+        /// Signed flags interpretation recorded for the simulator.
+        signed: bool,
+    },
+    /// `test src, src` (flags := src == 0).
+    Test {
+        /// Tested register.
+        src: Reg,
+        /// Width.
+        width: Width,
+    },
+    /// `setcc dst` (dst := cc ? 1 : 0).
+    SetCc {
+        /// Condition.
+        cc: Cc,
+        /// Destination.
+        dst: Reg,
+    },
+    /// `cmovcc dst, src`.
+    CmovCc {
+        /// Condition.
+        cc: Cc,
+        /// Destination (keeps its value when the condition is false).
+        dst: Reg,
+        /// Source.
+        src: Reg,
+        /// Width.
+        width: Width,
+    },
+    /// Conditional jump to a block index.
+    Jcc {
+        /// Condition.
+        cc: Cc,
+        /// Target block.
+        target: usize,
+    },
+    /// Unconditional jump to a block index.
+    Jmp {
+        /// Target block.
+        target: usize,
+    },
+    /// Call a function; arguments and result use abstract slots managed
+    /// by the simulator (all-callee-saved model).
+    Call {
+        /// Callee symbol.
+        callee: String,
+        /// Argument registers, in order.
+        args: Vec<Reg>,
+        /// Result register, if any.
+        dst: Option<Reg>,
+    },
+    /// Return (value, if any, in `src`).
+    Ret {
+        /// Returned register.
+        src: Option<Reg>,
+    },
+    /// Spill a register to a stack slot (inserted by the allocator).
+    Spill {
+        /// Stack slot index.
+        slot: u32,
+        /// Source register.
+        src: Reg,
+    },
+    /// Reload a register from a stack slot.
+    Reload {
+        /// Destination register.
+        dst: Reg,
+        /// Stack slot index.
+        slot: u32,
+    },
+    /// Fetches the `index`-th function argument into a register
+    /// (abstract calling convention; the simulator carries argument
+    /// slots across calls).
+    GetArg {
+        /// Destination.
+        dst: Reg,
+        /// Argument index.
+        index: usize,
+    },
+    /// The lowering of `unreachable`: trap.
+    Ud2,
+}
+
+impl MInst {
+    /// Registers read by this instruction.
+    pub fn uses(&self) -> Vec<Reg> {
+        let mut out = Vec::new();
+        let op = |o: &Operand, out: &mut Vec<Reg>| {
+            if let Operand::R(r) = o {
+                out.push(*r);
+            }
+        };
+        match self {
+            MInst::Mov { src, .. } => op(src, &mut out),
+            MInst::Alu { lhs, rhs, .. } => {
+                out.push(*lhs);
+                op(rhs, &mut out);
+            }
+            MInst::Div { lhs, rhs, .. } => {
+                out.push(*lhs);
+                out.push(*rhs);
+            }
+            MInst::Lea { base, index, .. } => {
+                out.push(*base);
+                if let Some((r, _)) = index {
+                    out.push(*r);
+                }
+            }
+            MInst::MovX { src, .. } => out.push(*src),
+            MInst::Load { base, .. } => out.push(*base),
+            MInst::Store { base, src, .. } => {
+                out.push(*base);
+                op(src, &mut out);
+            }
+            MInst::Cmp { lhs, rhs, .. } => {
+                out.push(*lhs);
+                op(rhs, &mut out);
+            }
+            MInst::Test { src, .. } => out.push(*src),
+            MInst::CmovCc { dst, src, .. } => {
+                // cmov reads its destination (it may keep it).
+                out.push(*dst);
+                out.push(*src);
+            }
+            MInst::Call { args, .. } => out.extend(args.iter().copied()),
+            MInst::Ret { src } => {
+                if let Some(r) = src {
+                    out.push(*r);
+                }
+            }
+            MInst::Spill { src, .. } => out.push(*src),
+            _ => {}
+        }
+        out
+    }
+
+    /// Registers written by this instruction.
+    pub fn defs(&self) -> Vec<Reg> {
+        match self {
+            MInst::Mov { dst, .. }
+            | MInst::Alu { dst, .. }
+            | MInst::Div { dst, .. }
+            | MInst::Lea { dst, .. }
+            | MInst::MovX { dst, .. }
+            | MInst::Load { dst, .. }
+            | MInst::SetCc { dst, .. }
+            | MInst::CmovCc { dst, .. }
+            | MInst::Reload { dst, .. }
+            | MInst::GetArg { dst, .. } => vec![*dst],
+            MInst::Call { dst, .. } => dst.iter().copied().collect(),
+            _ => Vec::new(),
+        }
+    }
+
+    /// Rewrites every register reference through `f`.
+    pub fn map_regs(&mut self, mut f: impl FnMut(Reg) -> Reg) {
+        let map_op = |o: &mut Operand, f: &mut dyn FnMut(Reg) -> Reg| {
+            if let Operand::R(r) = o {
+                *r = f(*r);
+            }
+        };
+        match self {
+            MInst::Mov { dst, src, .. } => {
+                *dst = f(*dst);
+                map_op(src, &mut f);
+            }
+            MInst::Alu { dst, lhs, rhs, .. } => {
+                *dst = f(*dst);
+                *lhs = f(*lhs);
+                map_op(rhs, &mut f);
+            }
+            MInst::Div { dst, lhs, rhs, .. } => {
+                *dst = f(*dst);
+                *lhs = f(*lhs);
+                *rhs = f(*rhs);
+            }
+            MInst::Lea { dst, base, index, .. } => {
+                *dst = f(*dst);
+                *base = f(*base);
+                if let Some((r, _)) = index {
+                    *r = f(*r);
+                }
+            }
+            MInst::MovX { dst, src, .. } => {
+                *dst = f(*dst);
+                *src = f(*src);
+            }
+            MInst::Load { dst, base, .. } => {
+                *dst = f(*dst);
+                *base = f(*base);
+            }
+            MInst::Store { base, src, .. } => {
+                *base = f(*base);
+                map_op(src, &mut f);
+            }
+            MInst::Cmp { lhs, rhs, .. } => {
+                *lhs = f(*lhs);
+                map_op(rhs, &mut f);
+            }
+            MInst::Test { src, .. } => *src = f(*src),
+            MInst::SetCc { dst, .. } => *dst = f(*dst),
+            MInst::CmovCc { dst, src, .. } => {
+                *dst = f(*dst);
+                *src = f(*src);
+            }
+            MInst::Call { args, dst, .. } => {
+                for a in args {
+                    *a = f(*a);
+                }
+                if let Some(d) = dst {
+                    *d = f(*d);
+                }
+            }
+            MInst::Ret { src } => {
+                if let Some(r) = src {
+                    *r = f(*r);
+                }
+            }
+            MInst::Spill { src, .. } => *src = f(*src),
+            MInst::Reload { dst, .. } | MInst::GetArg { dst, .. } => *dst = f(*dst),
+            MInst::Jcc { .. } | MInst::Jmp { .. } | MInst::Ud2 => {}
+        }
+    }
+}
+
+/// A machine basic block.
+#[derive(Clone, PartialEq, Debug, Default)]
+pub struct MBlock {
+    /// Label (for printing).
+    pub name: String,
+    /// Instructions; the last is a terminator (`Jmp`/`Jcc`+fallthrough
+    /// is not used: blocks end with explicit jumps or `Ret`/`Ud2`).
+    pub insts: Vec<MInst>,
+}
+
+/// A machine function.
+#[derive(Clone, PartialEq, Debug)]
+pub struct MFunc {
+    /// Symbol name.
+    pub name: String,
+    /// Number of parameters (passed in abstract argument slots).
+    pub num_params: usize,
+    /// Blocks; index 0 is the entry.
+    pub blocks: Vec<MBlock>,
+    /// Number of virtual registers (0 after full allocation).
+    pub num_vregs: u32,
+    /// Number of spill slots.
+    pub num_slots: u32,
+    /// Virtual registers that are *pinned undef* (the §6 lowering of
+    /// poison): never written, read as whatever the register holds.
+    pub undef_vregs: Vec<u32>,
+}
+
+impl MFunc {
+    /// Total instruction count.
+    pub fn inst_count(&self) -> usize {
+        self.blocks.iter().map(|b| b.insts.len()).sum()
+    }
+}
+
+impl fmt::Display for MFunc {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "{}: # params={} slots={}", self.name, self.num_params, self.num_slots)?;
+        for (i, b) in self.blocks.iter().enumerate() {
+            writeln!(f, ".{}_{}:", i, b.name)?;
+            for inst in &b.insts {
+                writeln!(f, "    {inst:?}")?;
+            }
+        }
+        Ok(())
+    }
+}
+
+/// A compiled module of machine functions.
+#[derive(Clone, PartialEq, Debug, Default)]
+pub struct MModule {
+    /// Functions by definition order.
+    pub functions: Vec<MFunc>,
+}
+
+impl MModule {
+    /// Looks up a function by name.
+    pub fn function(&self, name: &str) -> Option<&MFunc> {
+        self.functions.iter().find(|f| f.name == name)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn widths() {
+        assert_eq!(Width::for_bits(1), Some(Width::W8));
+        assert_eq!(Width::for_bits(12), Some(Width::W16));
+        assert_eq!(Width::for_bits(33), Some(Width::W64));
+        assert_eq!(Width::for_bits(65), None);
+        assert_eq!(Width::W8.mask(0x1ff), 0xff);
+        assert_eq!(Width::W64.mask(u64::MAX), u64::MAX);
+    }
+
+    #[test]
+    fn uses_and_defs() {
+        let i = MInst::Alu {
+            op: AluOp::Add,
+            dst: Reg::V(2),
+            lhs: Reg::V(0),
+            rhs: Operand::R(Reg::V(1)),
+            width: Width::W32,
+            signed: false,
+        };
+        assert_eq!(i.uses(), vec![Reg::V(0), Reg::V(1)]);
+        assert_eq!(i.defs(), vec![Reg::V(2)]);
+
+        let cmov = MInst::CmovCc { cc: Cc::Ne, dst: Reg::V(3), src: Reg::V(4), width: Width::W32 };
+        assert!(cmov.uses().contains(&Reg::V(3)), "cmov reads its destination");
+    }
+
+    #[test]
+    fn map_regs_rewrites_everything() {
+        let mut i = MInst::Lea {
+            dst: Reg::V(0),
+            base: Reg::V(1),
+            index: Some((Reg::V(2), 4)),
+            disp: 8,
+        };
+        i.map_regs(|r| match r {
+            Reg::V(n) => Reg::V(n + 10),
+            p => p,
+        });
+        assert_eq!(
+            i,
+            MInst::Lea {
+                dst: Reg::V(10),
+                base: Reg::V(11),
+                index: Some((Reg::V(12), 4)),
+                disp: 8
+            }
+        );
+    }
+
+    #[test]
+    fn allocatable_set_excludes_reserved() {
+        assert!(!PhysReg::ALLOCATABLE.contains(&PhysReg::R10));
+        assert!(!PhysReg::ALLOCATABLE.contains(&PhysReg::R11));
+        assert_eq!(PhysReg::ALLOCATABLE.len(), 12);
+        assert!(PhysReg::R13.lea_is_slow());
+        assert!(!PhysReg::Rax.lea_is_slow());
+    }
+}

@@ -1,0 +1,338 @@
+//! Linear-scan register allocation (Poletto–Sarkar) with spilling.
+//!
+//! Pinned undef vregs (the §6 lowering of poison) have an interval from
+//! function entry to their last use: the allocator genuinely *reserves a
+//! register for each poison value during its live range*, the
+//! register-pressure effect §7.2 measures. The allocation preference
+//! order puts `R13`–`R15` last, so added pressure (e.g. from a freeze
+//! copy) can shift hot values onto the slow-LEA registers — the Queens
+//! anecdote's mechanism.
+
+use std::collections::{HashMap, HashSet};
+
+use crate::mir::{MFunc, MInst, PhysReg, Reg};
+
+/// Statistics from one allocation run.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct AllocStats {
+    /// Virtual registers processed.
+    pub vregs: u32,
+    /// Intervals spilled to the stack.
+    pub spilled: u32,
+    /// Peak number of simultaneously live intervals.
+    pub peak_pressure: u32,
+}
+
+/// Allocates registers in place; returns statistics.
+///
+/// After this runs, no `Reg::V` remains in the function and
+/// `num_slots` reflects the spill area.
+pub fn allocate(func: &mut MFunc) -> AllocStats {
+    // --- Linearize: global instruction numbers per (block, index). ---
+    let mut block_start = Vec::with_capacity(func.blocks.len());
+    let mut counter: u32 = 0;
+    for b in &func.blocks {
+        block_start.push(counter);
+        counter += b.insts.len() as u32 + 1; // +1 keeps block ends distinct
+    }
+    let total_points = counter;
+
+    // --- Block-level liveness (use/def, then backward dataflow). ---
+    let nblocks = func.blocks.len();
+    let mut gen: Vec<HashSet<u32>> = vec![HashSet::new(); nblocks];
+    let mut kill: Vec<HashSet<u32>> = vec![HashSet::new(); nblocks];
+    let mut succs: Vec<Vec<usize>> = vec![Vec::new(); nblocks];
+    for (bi, b) in func.blocks.iter().enumerate() {
+        for inst in &b.insts {
+            for u in inst.uses() {
+                if let Reg::V(v) = u {
+                    if !kill[bi].contains(&v) {
+                        gen[bi].insert(v);
+                    }
+                }
+            }
+            for d in inst.defs() {
+                if let Reg::V(v) = d {
+                    kill[bi].insert(v);
+                }
+            }
+            match inst {
+                MInst::Jmp { target } => succs[bi].push(*target),
+                MInst::Jcc { target, .. } => succs[bi].push(*target),
+                _ => {}
+            }
+        }
+    }
+    let mut live_out: Vec<HashSet<u32>> = vec![HashSet::new(); nblocks];
+    let mut live_in: Vec<HashSet<u32>> = vec![HashSet::new(); nblocks];
+    loop {
+        let mut changed = false;
+        for bi in (0..nblocks).rev() {
+            let mut out: HashSet<u32> = HashSet::new();
+            for &s in &succs[bi] {
+                out.extend(live_in[s].iter().copied());
+            }
+            let mut inn: HashSet<u32> = gen[bi].clone();
+            for &v in &out {
+                if !kill[bi].contains(&v) {
+                    inn.insert(v);
+                }
+            }
+            if out != live_out[bi] || inn != live_in[bi] {
+                live_out[bi] = out;
+                live_in[bi] = inn;
+                changed = true;
+            }
+        }
+        if !changed {
+            break;
+        }
+    }
+
+    // --- Intervals: [start, end] per vreg over the linear order. ---
+    let mut start: HashMap<u32, u32> = HashMap::new();
+    let mut end: HashMap<u32, u32> = HashMap::new();
+    let touch = |v: u32, point: u32, start: &mut HashMap<u32, u32>, end: &mut HashMap<u32, u32>| {
+        start.entry(v).and_modify(|s| *s = (*s).min(point)).or_insert(point);
+        end.entry(v).and_modify(|e| *e = (*e).max(point)).or_insert(point);
+    };
+    for (bi, b) in func.blocks.iter().enumerate() {
+        let bstart = block_start[bi];
+        let bend = bstart + b.insts.len() as u32;
+        for &v in &live_in[bi] {
+            touch(v, bstart, &mut start, &mut end);
+        }
+        for &v in &live_out[bi] {
+            touch(v, bend, &mut start, &mut end);
+        }
+        for (ii, inst) in b.insts.iter().enumerate() {
+            let point = bstart + ii as u32;
+            for r in inst.uses().into_iter().chain(inst.defs()) {
+                if let Reg::V(v) = r {
+                    touch(v, point, &mut start, &mut end);
+                }
+            }
+        }
+    }
+    // Pinned undef registers are live from entry (they are "defined" by
+    // the environment).
+    for &v in &func.undef_vregs {
+        if let Some(e) = end.get(&v).copied() {
+            touch(v, 0, &mut start, &mut end);
+            let _ = e;
+        }
+    }
+
+    // --- Linear scan. ---
+    let mut intervals: Vec<(u32, u32, u32)> = start
+        .iter()
+        .map(|(&v, &s)| (s, end[&v], v))
+        .collect();
+    intervals.sort_unstable();
+
+    let mut free: Vec<PhysReg> = PhysReg::ALLOCATABLE.iter().rev().copied().collect();
+    let mut active: Vec<(u32, u32, PhysReg)> = Vec::new(); // (end, vreg, reg)
+    let mut assignment: HashMap<u32, PhysReg> = HashMap::new();
+    let mut spilled: HashMap<u32, u32> = HashMap::new();
+    let mut next_slot = func.num_slots;
+    let mut stats = AllocStats { vregs: intervals.len() as u32, ..AllocStats::default() };
+
+    for &(s, e, v) in &intervals {
+        // Expire old intervals.
+        active.retain(|&(aend, _, reg)| {
+            if aend < s {
+                free.push(reg);
+                false
+            } else {
+                true
+            }
+        });
+        stats.peak_pressure = stats.peak_pressure.max(active.len() as u32 + 1);
+        if let Some(reg) = free.pop() {
+            assignment.insert(v, reg);
+            active.push((e, v, reg));
+            active.sort_unstable();
+        } else {
+            // Spill the active interval that ends last (or this one).
+            let (last_end, last_v, last_reg) = *active.last().expect("active is full");
+            if last_end > e {
+                // Steal its register.
+                spilled.insert(last_v, next_slot);
+                assignment.remove(&last_v);
+                next_slot += 1;
+                active.pop();
+                assignment.insert(v, last_reg);
+                active.push((e, v, last_reg));
+                active.sort_unstable();
+            } else {
+                spilled.insert(v, next_slot);
+                next_slot += 1;
+            }
+        }
+        let _ = total_points;
+    }
+    stats.spilled = spilled.len() as u32;
+    func.num_slots = next_slot;
+
+    // --- Rewrite: assigned vregs -> phys; spilled vregs -> scratch with
+    // reload/spill around each use/def. ---
+    let scratch = [PhysReg::R10, PhysReg::R11];
+    for b in &mut func.blocks {
+        let mut new_insts: Vec<MInst> = Vec::with_capacity(b.insts.len());
+        for mut inst in std::mem::take(&mut b.insts) {
+            // Map spilled uses to scratch registers.
+            let mut scratch_used = 0usize;
+            let mut local: HashMap<u32, PhysReg> = HashMap::new();
+            for u in inst.uses() {
+                if let Reg::V(v) = u {
+                    if let Some(&slot) = spilled.get(&v) {
+                        let sreg = *local.entry(v).or_insert_with(|| {
+                            let r = scratch[scratch_used % 2];
+                            scratch_used += 1;
+                            r
+                        });
+                        new_insts.push(MInst::Reload { dst: Reg::P(sreg), slot });
+                    }
+                }
+            }
+            // Defs of spilled vregs also go through scratch.
+            let mut def_spill: Option<(PhysReg, u32)> = None;
+            for d in inst.defs() {
+                if let Reg::V(v) = d {
+                    if let Some(&slot) = spilled.get(&v) {
+                        let r = *local.entry(v).or_insert(scratch[scratch_used % 2]);
+                        def_spill = Some((r, slot));
+                    }
+                }
+            }
+            inst.map_regs(|r| match r {
+                Reg::V(v) => {
+                    if let Some(&p) = local.get(&v) {
+                        Reg::P(p)
+                    } else if let Some(&p) = assignment.get(&v) {
+                        Reg::P(p)
+                    } else {
+                        // A vreg with no interval is never read: it is a
+                        // dead def; park it in scratch.
+                        Reg::P(PhysReg::R11)
+                    }
+                }
+                p => p,
+            });
+            new_insts.push(inst);
+            if let Some((r, slot)) = def_spill {
+                new_insts.push(MInst::Spill { slot, src: Reg::P(r) });
+            }
+        }
+        b.insts = new_insts;
+    }
+    func.num_vregs = 0;
+    stats
+}
+
+/// Which physical register each LEA base ends up in — exposed for the
+/// Queens-anecdote experiment (E9).
+pub fn lea_base_registers(func: &MFunc) -> Vec<PhysReg> {
+    let mut out = Vec::new();
+    for b in &func.blocks {
+        for inst in &b.insts {
+            if let MInst::Lea { base: Reg::P(p), .. } = inst {
+                out.push(*p);
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::isel::select_function;
+    use frost_ir::parse_function;
+
+    fn alloc(src: &str) -> (MFunc, AllocStats) {
+        let mut m = select_function(&parse_function(src).unwrap()).unwrap();
+        let stats = allocate(&mut m);
+        (m, stats)
+    }
+
+    fn no_vregs(f: &MFunc) -> bool {
+        f.blocks.iter().flat_map(|b| &b.insts).all(|i| {
+            i.uses().iter().chain(i.defs().iter()).all(|r| matches!(r, Reg::P(_)))
+        })
+    }
+
+    #[test]
+    fn straight_line_allocates_without_spills() {
+        let (m, stats) = alloc(
+            r#"
+define i32 @f(i32 %a, i32 %b) {
+entry:
+  %x = add i32 %a, %b
+  %y = mul i32 %x, %a
+  %z = xor i32 %y, %b
+  ret i32 %z
+}
+"#,
+        );
+        assert!(no_vregs(&m), "{m}");
+        assert_eq!(stats.spilled, 0);
+        assert_eq!(m.num_slots, 0);
+    }
+
+    #[test]
+    fn high_pressure_spills() {
+        // 16 simultaneously live values exceed the 12 allocatable regs.
+        let mut body = String::from("define i64 @f(i64 %a, i64 %b) {\nentry:\n");
+        for i in 0..16 {
+            body.push_str(&format!("  %v{i} = add i64 %a, {i}\n"));
+        }
+        // Keep them all live: a chain of xors.
+        body.push_str("  %acc0 = xor i64 %v0, %v1\n");
+        for i in 1..15 {
+            body.push_str(&format!("  %acc{i} = xor i64 %acc{} , %v{}\n", i - 1, i + 1));
+        }
+        body.push_str("  ret i64 %acc14\n}\n");
+        let (m, stats) = alloc(&body);
+        assert!(no_vregs(&m), "{m}");
+        assert!(stats.spilled > 0, "{stats:?}");
+        assert!(m.num_slots > 0);
+        assert!(m.blocks[0].insts.iter().any(|i| matches!(i, MInst::Spill { .. })));
+        assert!(m.blocks[0].insts.iter().any(|i| matches!(i, MInst::Reload { .. })));
+    }
+
+    #[test]
+    fn loops_keep_values_alive_across_back_edges() {
+        let (m, _) = alloc(
+            r#"
+define i32 @sum(i32 %n) {
+entry:
+  br label %head
+head:
+  %i = phi i32 [ 0, %entry ], [ %i2, %head ]
+  %s = phi i32 [ 0, %entry ], [ %s2, %head ]
+  %s2 = add i32 %s, %i
+  %i2 = add i32 %i, 1
+  %c = icmp ult i32 %i2, %n
+  br i1 %c, label %head, label %exit
+exit:
+  ret i32 %s2
+}
+"#,
+        );
+        assert!(no_vregs(&m), "{m}");
+        // The loop-carried values and %n must not share a register at
+        // the same program point; the simulator test (sim.rs) verifies
+        // behavior end-to-end.
+    }
+
+    #[test]
+    fn undef_vreg_occupies_a_register() {
+        let (m, stats) = alloc(
+            "define i32 @f(i32 %x) {\nentry:\n  %a = add i32 poison, %x\n  ret i32 %a\n}",
+        );
+        assert!(no_vregs(&m), "{m}");
+        // The pinned undef register consumed an interval.
+        assert!(stats.vregs >= 2);
+    }
+}

@@ -1,0 +1,664 @@
+//! A cycle-model simulator for allocated MIR.
+//!
+//! Two cost-model presets stand in for the paper's two evaluation
+//! machines (§7.1: a Core i7-870 "machine 1" and a Core i5-6600
+//! "machine 2"), including the register-dependent LEA latency the
+//! paper's §7.2 traces the "Stanford Queens" outlier to.
+
+use std::collections::HashMap;
+
+use crate::mir::{AluOp, Cc, MFunc, MInst, MModule, Operand, Reg, Width};
+
+/// Per-instruction-class latencies, in cycles.
+#[derive(Clone, Copy, Debug)]
+pub struct CostModel {
+    /// Preset name.
+    pub name: &'static str,
+    /// Simple ALU (add/sub/logic).
+    pub alu: u64,
+    /// Integer multiply.
+    pub mul: u64,
+    /// Integer divide.
+    pub div: u64,
+    /// LEA.
+    pub lea: u64,
+    /// Extra LEA latency when the base is one of the slow registers
+    /// (§7.2 / Intel ORM §3.5.1.3).
+    pub lea_slow_extra: u64,
+    /// Register move / materialization.
+    pub mov: u64,
+    /// Extending move.
+    pub movx: u64,
+    /// Memory load.
+    pub load: u64,
+    /// Memory store.
+    pub store: u64,
+    /// Compare/test.
+    pub cmp: u64,
+    /// setcc.
+    pub setcc: u64,
+    /// cmov.
+    pub cmov: u64,
+    /// Taken or not-taken branch (flat model).
+    pub branch: u64,
+    /// Call overhead.
+    pub call: u64,
+    /// Return overhead.
+    pub ret: u64,
+    /// Spill/reload memory traffic.
+    pub spill: u64,
+}
+
+impl CostModel {
+    /// "Machine 1" (Nehalem-class: slower divides, slow LEA quirk).
+    pub fn machine1() -> CostModel {
+        CostModel {
+            name: "machine1",
+            alu: 1,
+            mul: 4,
+            div: 26,
+            lea: 1,
+            lea_slow_extra: 2,
+            mov: 1,
+            movx: 1,
+            load: 4,
+            store: 3,
+            cmp: 1,
+            setcc: 2,
+            cmov: 2,
+            branch: 2,
+            call: 4,
+            ret: 2,
+            spill: 4,
+        }
+    }
+
+    /// "Machine 2" (Skylake-class: faster divide and memory, milder LEA
+    /// penalty).
+    pub fn machine2() -> CostModel {
+        CostModel {
+            name: "machine2",
+            alu: 1,
+            mul: 3,
+            div: 21,
+            lea: 1,
+            lea_slow_extra: 1,
+            mov: 1,
+            movx: 1,
+            load: 3,
+            store: 2,
+            cmp: 1,
+            setcc: 1,
+            cmov: 1,
+            branch: 1,
+            call: 3,
+            ret: 1,
+            spill: 3,
+        }
+    }
+}
+
+/// Simulation failures.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum SimError {
+    /// Division by zero or `ud2`.
+    Trap(String),
+    /// Out-of-bounds memory access.
+    Fault(u64),
+    /// The cycle budget was exhausted.
+    CycleLimit,
+    /// Missing function or malformed code.
+    Bad(String),
+}
+
+impl std::fmt::Display for SimError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SimError::Trap(s) => write!(f, "trap: {s}"),
+            SimError::Fault(a) => write!(f, "memory fault at {a:#x}"),
+            SimError::CycleLimit => write!(f, "cycle limit exceeded"),
+            SimError::Bad(s) => write!(f, "bad program: {s}"),
+        }
+    }
+}
+
+impl std::error::Error for SimError {}
+
+/// Result of a simulation run.
+#[derive(Clone, Debug)]
+pub struct SimRun {
+    /// The entry function's return value (if any).
+    pub ret: Option<u64>,
+    /// Total simulated cycles.
+    pub cycles: u64,
+    /// Dynamic instruction count.
+    pub insts: u64,
+    /// Calls to external (unresolved) functions, by name.
+    pub extern_calls: HashMap<String, u64>,
+}
+
+/// Base address of simulated memory (null stays invalid).
+pub const MEM_BASE: u64 = 0x1000;
+
+/// The machine simulator.
+pub struct Simulator<'m> {
+    module: &'m MModule,
+    cost: CostModel,
+    /// Flat memory; address `MEM_BASE + i` maps to `mem[i]`.
+    pub mem: Vec<u8>,
+    max_cycles: u64,
+    cycles: u64,
+    insts: u64,
+    extern_calls: HashMap<String, u64>,
+}
+
+#[derive(Clone, Copy, PartialEq, Debug)]
+enum Flags {
+    Cmp { l: u64, r: u64, width: Width, signed_hint: bool },
+    None,
+}
+
+struct Frame {
+    regs: [u64; 16],
+    slots: Vec<u64>,
+    flags: Flags,
+}
+
+impl<'m> Simulator<'m> {
+    /// Creates a simulator with `mem_bytes` of zeroed memory.
+    pub fn new(module: &'m MModule, cost: CostModel, mem_bytes: usize) -> Simulator<'m> {
+        Simulator {
+            module,
+            cost,
+            mem: vec![0; mem_bytes],
+            max_cycles: 2_000_000_000,
+            cycles: 0,
+            insts: 0,
+            extern_calls: HashMap::new(),
+        }
+    }
+
+    /// Overrides the cycle budget.
+    pub fn with_max_cycles(mut self, max: u64) -> Simulator<'m> {
+        self.max_cycles = max;
+        self
+    }
+
+    /// Runs `name` with the given arguments.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError`] on traps, faults, or cycle exhaustion.
+    pub fn run(&mut self, name: &str, args: &[u64]) -> Result<SimRun, SimError> {
+        let ret = self.call(name, args, 0)?;
+        Ok(SimRun {
+            ret,
+            cycles: self.cycles,
+            insts: self.insts,
+            extern_calls: std::mem::take(&mut self.extern_calls),
+        })
+    }
+
+    fn charge(&mut self, c: u64) -> Result<(), SimError> {
+        self.cycles += c;
+        self.insts += 1;
+        if self.cycles > self.max_cycles {
+            Err(SimError::CycleLimit)
+        } else {
+            Ok(())
+        }
+    }
+
+    fn load_mem(&self, addr: u64, width: Width) -> Result<u64, SimError> {
+        let bytes = (width.bits() / 8) as u64;
+        if addr < MEM_BASE || addr + bytes > MEM_BASE + self.mem.len() as u64 {
+            return Err(SimError::Fault(addr));
+        }
+        let off = (addr - MEM_BASE) as usize;
+        let mut v: u64 = 0;
+        for i in 0..bytes as usize {
+            v |= u64::from(self.mem[off + i]) << (8 * i);
+        }
+        Ok(v)
+    }
+
+    fn store_mem(&mut self, addr: u64, v: u64, width: Width) -> Result<(), SimError> {
+        let bytes = (width.bits() / 8) as u64;
+        if addr < MEM_BASE || addr + bytes > MEM_BASE + self.mem.len() as u64 {
+            return Err(SimError::Fault(addr));
+        }
+        let off = (addr - MEM_BASE) as usize;
+        for i in 0..bytes as usize {
+            self.mem[off + i] = (v >> (8 * i)) as u8;
+        }
+        Ok(())
+    }
+
+    fn call(&mut self, name: &str, args: &[u64], depth: u32) -> Result<Option<u64>, SimError> {
+        if depth > 128 {
+            return Err(SimError::Bad("call depth exceeded".into()));
+        }
+        let Some(func) = self.module.function(name) else {
+            // External: count it, return 0.
+            *self.extern_calls.entry(name.to_string()).or_insert(0) += 1;
+            return Ok(Some(0));
+        };
+        let mut frame = Frame {
+            regs: [0; 16],
+            slots: vec![0; func.num_slots as usize],
+            flags: Flags::None,
+        };
+        self.exec(func, &mut frame, args, depth)
+    }
+
+    fn exec(
+        &mut self,
+        func: &MFunc,
+        fr: &mut Frame,
+        args: &[u64],
+        depth: u32,
+    ) -> Result<Option<u64>, SimError> {
+        let mut bi = 0usize;
+        let mut ii = 0usize;
+        loop {
+            let Some(inst) = func.blocks[bi].insts.get(ii) else {
+                return Err(SimError::Bad(format!("fell off block {bi} of {}", func.name)));
+            };
+            ii += 1;
+            match inst {
+                MInst::GetArg { dst, index } => {
+                    self.charge(self.cost.mov)?;
+                    let v = args.get(*index).copied().ok_or_else(|| {
+                        SimError::Bad(format!("missing argument {index} to {}", func.name))
+                    })?;
+                    write_reg(fr, *dst, v);
+                }
+                MInst::Mov { dst, src, width } => {
+                    self.charge(self.cost.mov)?;
+                    let v = width.mask(self.operand(fr, src));
+                    write_reg(fr, *dst, v);
+                }
+                MInst::Alu { op, dst, lhs, rhs, width, signed } => {
+                    self.charge(if *op == AluOp::Imul { self.cost.mul } else { self.cost.alu })?;
+                    let a = width.mask(read_reg(fr, *lhs));
+                    let b = width.mask(self.operand(fr, rhs));
+                    let bits = width.bits();
+                    let r = match op {
+                        AluOp::Add => a.wrapping_add(b),
+                        AluOp::Sub => a.wrapping_sub(b),
+                        AluOp::Imul => a.wrapping_mul(b),
+                        AluOp::And => a & b,
+                        AluOp::Or => a | b,
+                        AluOp::Xor => a ^ b,
+                        AluOp::Shl => {
+                            if b >= u64::from(bits) {
+                                0
+                            } else {
+                                a << b
+                            }
+                        }
+                        AluOp::Shr => {
+                            if b >= u64::from(bits) {
+                                0
+                            } else {
+                                a >> b
+                            }
+                        }
+                        AluOp::Sar => {
+                            let sa = sign_extend(a, bits);
+                            let sh = b.min(u64::from(bits - 1));
+                            (sa >> sh) as u64
+                        }
+                    };
+                    let _ = signed;
+                    write_reg(fr, *dst, width.mask(r));
+                }
+                MInst::Div { dst, lhs, rhs, signed, rem, width } => {
+                    self.charge(self.cost.div)?;
+                    let a = width.mask(read_reg(fr, *lhs));
+                    let b = width.mask(read_reg(fr, *rhs));
+                    if b == 0 {
+                        return Err(SimError::Trap("divide by zero".into()));
+                    }
+                    let bits = width.bits();
+                    let r = if *signed {
+                        let sa = sign_extend(a, bits);
+                        let sb = sign_extend(b, bits);
+                        if sb == -1 && sa == i64::MIN >> (64 - bits) {
+                            return Err(SimError::Trap("divide overflow".into()));
+                        }
+                        if *rem {
+                            (sa % sb) as u64
+                        } else {
+                            (sa / sb) as u64
+                        }
+                    } else if *rem {
+                        a % b
+                    } else {
+                        a / b
+                    };
+                    write_reg(fr, *dst, width.mask(r));
+                }
+                MInst::Lea { dst, base, index, disp } => {
+                    let mut cost = self.cost.lea;
+                    if let Reg::P(p) = base {
+                        if p.lea_is_slow() {
+                            cost += self.cost.lea_slow_extra;
+                        }
+                    }
+                    self.charge(cost)?;
+                    let mut addr = read_reg(fr, *base).wrapping_add(*disp as i64 as u64);
+                    if let Some((r, scale)) = index {
+                        addr = addr.wrapping_add(read_reg(fr, *r).wrapping_mul(u64::from(*scale)));
+                    }
+                    write_reg(fr, *dst, addr);
+                }
+                MInst::MovX { dst, src, from, to, signed } => {
+                    self.charge(self.cost.movx)?;
+                    let v = from.mask(read_reg(fr, *src));
+                    let r = if *signed {
+                        to.mask(sign_extend(v, from.bits()) as u64)
+                    } else {
+                        v
+                    };
+                    write_reg(fr, *dst, r);
+                }
+                MInst::Load { dst, base, disp, width } => {
+                    self.charge(self.cost.load)?;
+                    let addr = read_reg(fr, *base).wrapping_add(*disp as i64 as u64);
+                    let v = self.load_mem(addr, *width)?;
+                    write_reg(fr, *dst, v);
+                }
+                MInst::Store { base, disp, src, width } => {
+                    self.charge(self.cost.store)?;
+                    let addr = read_reg(fr, *base).wrapping_add(*disp as i64 as u64);
+                    let v = width.mask(self.operand(fr, src));
+                    self.store_mem(addr, v, *width)?;
+                }
+                MInst::Cmp { lhs, rhs, width, signed } => {
+                    self.charge(self.cost.cmp)?;
+                    fr.flags = Flags::Cmp {
+                        l: width.mask(read_reg(fr, *lhs)),
+                        r: width.mask(self.operand(fr, rhs)),
+                        width: *width,
+                        signed_hint: *signed,
+                    };
+                }
+                MInst::Test { src, width } => {
+                    self.charge(self.cost.cmp)?;
+                    let v = width.mask(read_reg(fr, *src));
+                    fr.flags = Flags::Cmp { l: v, r: 0, width: *width, signed_hint: false };
+                }
+                MInst::SetCc { cc, dst } => {
+                    self.charge(self.cost.setcc)?;
+                    let v = eval_cc(fr.flags, *cc)?;
+                    write_reg(fr, *dst, u64::from(v));
+                }
+                MInst::CmovCc { cc, dst, src, width } => {
+                    self.charge(self.cost.cmov)?;
+                    if eval_cc(fr.flags, *cc)? {
+                        let v = width.mask(read_reg(fr, *src));
+                        write_reg(fr, *dst, v);
+                    }
+                }
+                MInst::Jcc { cc, target } => {
+                    self.charge(self.cost.branch)?;
+                    if eval_cc(fr.flags, *cc)? {
+                        bi = *target;
+                        ii = 0;
+                    }
+                }
+                MInst::Jmp { target } => {
+                    self.charge(self.cost.branch)?;
+                    bi = *target;
+                    ii = 0;
+                }
+                MInst::Call { callee, args: arg_regs, dst } => {
+                    self.charge(self.cost.call)?;
+                    let vals: Vec<u64> = arg_regs.iter().map(|r| read_reg(fr, *r)).collect();
+                    let callee = callee.clone();
+                    let dst = *dst;
+                    let ret = self.call(&callee, &vals, depth + 1)?;
+                    if let Some(d) = dst {
+                        write_reg(fr, d, ret.unwrap_or(0));
+                    }
+                }
+                MInst::Ret { src } => {
+                    self.charge(self.cost.ret)?;
+                    return Ok(src.map(|r| read_reg(fr, r)));
+                }
+                MInst::Spill { slot, src } => {
+                    self.charge(self.cost.spill)?;
+                    let v = read_reg(fr, *src);
+                    fr.slots[*slot as usize] = v;
+                }
+                MInst::Reload { dst, slot } => {
+                    self.charge(self.cost.spill)?;
+                    let v = fr.slots[*slot as usize];
+                    write_reg(fr, *dst, v);
+                }
+                MInst::Ud2 => return Err(SimError::Trap("ud2".into())),
+            }
+        }
+    }
+
+    fn operand(&self, fr: &Frame, o: &Operand) -> u64 {
+        match o {
+            Operand::R(r) => read_reg(fr, *r),
+            Operand::Imm(v) => *v as u64,
+        }
+    }
+}
+
+fn read_reg(fr: &Frame, r: Reg) -> u64 {
+    match r {
+        Reg::P(p) => fr.regs[p.index()],
+        Reg::V(_) => panic!("virtual register after allocation"),
+    }
+}
+
+fn write_reg(fr: &mut Frame, r: Reg, v: u64) {
+    match r {
+        Reg::P(p) => fr.regs[p.index()] = v,
+        Reg::V(_) => panic!("virtual register after allocation"),
+    }
+}
+
+fn sign_extend(v: u64, bits: u32) -> i64 {
+    let shift = 64 - bits;
+    ((v << shift) as i64) >> shift
+}
+
+fn eval_cc(flags: Flags, cc: Cc) -> Result<bool, SimError> {
+    let Flags::Cmp { l, r, width, .. } = flags else {
+        return Err(SimError::Bad("conditional without flags".into()));
+    };
+    let bits = width.bits();
+    let (sl, sr) = (sign_extend(l, bits), sign_extend(r, bits));
+    Ok(match cc {
+        Cc::E => l == r,
+        Cc::Ne => l != r,
+        Cc::A => l > r,
+        Cc::Ae => l >= r,
+        Cc::B => l < r,
+        Cc::Be => l <= r,
+        Cc::G => sl > sr,
+        Cc::Ge => sl >= sr,
+        Cc::L => sl < sr,
+        Cc::Le => sl <= sr,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::compile_module_with_mode;
+    use frost_ir::parse_module;
+    use frost_opt::PipelineMode;
+
+    fn run(src: &str, fname: &str, args: &[u64], mem: usize) -> SimRun {
+        let m = parse_module(src).unwrap();
+        let mm = compile_module_with_mode(&m, PipelineMode::Fixed).unwrap();
+        let mut sim = Simulator::new(&mm, CostModel::machine1(), mem);
+        sim.run(fname, args).unwrap()
+    }
+
+    #[test]
+    fn arithmetic_matches_ir_semantics() {
+        let r = run(
+            "define i32 @f(i32 %a, i32 %b) {\nentry:\n  %x = add i32 %a, %b\n  %y = mul i32 %x, 3\n  ret i32 %y\n}",
+            "f",
+            &[4, 5],
+            0,
+        );
+        assert_eq!(r.ret, Some(27));
+    }
+
+    #[test]
+    fn loops_execute_and_cost_scales() {
+        let src = r#"
+define i32 @sum(i32 %n) {
+entry:
+  br label %head
+head:
+  %i = phi i32 [ 0, %entry ], [ %i2, %head ]
+  %s = phi i32 [ 0, %entry ], [ %s2, %head ]
+  %s2 = add i32 %s, %i
+  %i2 = add i32 %i, 1
+  %c = icmp ult i32 %i2, %n
+  br i1 %c, label %head, label %exit
+exit:
+  ret i32 %s2
+}
+"#;
+        let small = run(src, "sum", &[10], 0);
+        let big = run(src, "sum", &[100], 0);
+        assert_eq!(small.ret, Some(45));
+        assert_eq!(big.ret, Some(4950));
+        assert!(big.cycles > small.cycles * 5, "{} vs {}", big.cycles, small.cycles);
+    }
+
+    #[test]
+    fn memory_round_trips() {
+        let src = r#"
+define i32 @f(i32* %p) {
+entry:
+  store i32 3735928559, i32* %p
+  %v = load i32, i32* %p
+  ret i32 %v
+}
+"#;
+        let r = run(src, "f", &[MEM_BASE], 8);
+        assert_eq!(r.ret, Some(0xdead_beef));
+    }
+
+    #[test]
+    fn out_of_bounds_faults() {
+        let m = parse_module(
+            "define void @f(i32* %p) {\nentry:\n  store i32 1, i32* %p\n  ret void\n}",
+        )
+        .unwrap();
+        let mm = compile_module_with_mode(&m, PipelineMode::Fixed).unwrap();
+        let mut sim = Simulator::new(&mm, CostModel::machine1(), 2);
+        let err = sim.run("f", &[MEM_BASE]).unwrap_err();
+        assert!(matches!(err, SimError::Fault(_)));
+        let mut sim = Simulator::new(&mm, CostModel::machine1(), 2);
+        let err = sim.run("f", &[0]).unwrap_err();
+        assert!(matches!(err, SimError::Fault(0)));
+    }
+
+    #[test]
+    fn division_traps() {
+        let m = parse_module(
+            "define i32 @f(i32 %a, i32 %b) {\nentry:\n  %q = udiv i32 %a, %b\n  ret i32 %q\n}",
+        )
+        .unwrap();
+        let mm = compile_module_with_mode(&m, PipelineMode::Fixed).unwrap();
+        let mut sim = Simulator::new(&mm, CostModel::machine1(), 0);
+        assert_eq!(sim.run("f", &[10, 3]).unwrap().ret, Some(3));
+        let mut sim = Simulator::new(&mm, CostModel::machine1(), 0);
+        assert!(matches!(sim.run("f", &[1, 0]), Err(SimError::Trap(_))));
+    }
+
+    #[test]
+    fn calls_within_the_module_and_external() {
+        let src = r#"
+declare void @tick(i32)
+define i32 @double(i32 %x) {
+entry:
+  %r = add i32 %x, %x
+  ret i32 %r
+}
+define i32 @f(i32 %x) {
+entry:
+  call void @tick(i32 %x)
+  %a = call i32 @double(i32 %x)
+  %b = call i32 @double(i32 %a)
+  ret i32 %b
+}
+"#;
+        let r = run(src, "f", &[5], 0);
+        assert_eq!(r.ret, Some(20));
+        assert_eq!(r.extern_calls.get("tick"), Some(&1));
+    }
+
+    #[test]
+    fn signed_comparisons_and_selects() {
+        let src = r#"
+define i32 @max(i32 %a, i32 %b) {
+entry:
+  %c = icmp sgt i32 %a, %b
+  %r = select i1 %c, i32 %a, i32 %b
+  ret i32 %r
+}
+"#;
+        assert_eq!(run(src, "max", &[5, 9], 0).ret, Some(9));
+        // -3 (as u32) vs 2: signed max is 2.
+        assert_eq!(run(src, "max", &[0xffff_fffd, 2], 0).ret, Some(2));
+    }
+
+    #[test]
+    fn freeze_compiles_and_runs_as_copy() {
+        let src = r#"
+define i32 @f(i32 %x) {
+entry:
+  %a = freeze i32 %x
+  %b = add i32 %a, %a
+  ret i32 %b
+}
+"#;
+        assert_eq!(run(src, "f", &[21], 0).ret, Some(42));
+    }
+
+    #[test]
+    fn machine_models_differ() {
+        let src = r#"
+define i32 @divs(i32 %a, i32 %b) {
+entry:
+  %q1 = udiv i32 %a, %b
+  %q2 = udiv i32 %q1, %b
+  ret i32 %q2
+}
+"#;
+        let m = parse_module(src).unwrap();
+        let mm = compile_module_with_mode(&m, PipelineMode::Fixed).unwrap();
+        let c1 = Simulator::new(&mm, CostModel::machine1(), 0).run("divs", &[100, 3]).unwrap();
+        let c2 = Simulator::new(&mm, CostModel::machine2(), 0).run("divs", &[100, 3]).unwrap();
+        assert_eq!(c1.ret, c2.ret);
+        assert!(c1.cycles > c2.cycles, "machine1 divides slower");
+    }
+
+    #[test]
+    fn sext_i1_produces_minus_one() {
+        let src = r#"
+define i32 @f(i32 %x) {
+entry:
+  %c = icmp eq i32 %x, 7
+  %s = sext i1 %c to i32
+  ret i32 %s
+}
+"#;
+        assert_eq!(run(src, "f", &[7], 0).ret, Some(0xffff_ffff));
+        assert_eq!(run(src, "f", &[8], 0).ret, Some(0));
+    }
+}

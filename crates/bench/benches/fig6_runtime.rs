@@ -1,0 +1,52 @@
+//! E1 / Figure 6 as a Criterion bench: simulated run time of the
+//! SPEC-shaped workloads under the legacy baseline and the freeze
+//! prototype. The `repro --experiment fig6` binary prints the full
+//! table; this bench tracks the same quantity statistically.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use frost_backend::{compile_module, CostModel, Simulator, MEM_BASE};
+use frost_bench::compile_workload;
+use frost_opt::PipelineMode;
+use frost_workloads::ArgSpec;
+
+fn bench_fig6(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig6_runtime");
+    group.sample_size(10);
+    // A representative slice: the bit-field-heavy one, a CINT loop
+    // kernel, and a CFP fixed-point kernel.
+    let picks = ["gcc", "libquantum", "milc"];
+    for name in picks {
+        let w = frost_workloads::all_workloads()
+            .into_iter()
+            .find(|w| w.name == name)
+            .expect("workload exists");
+        for mode in [PipelineMode::Legacy, PipelineMode::Fixed] {
+            let (module, _, _) = compile_workload(&w, mode).expect("compiles");
+            let mm = compile_module(&module).expect("backend");
+            let args: Vec<u64> = w
+                .args
+                .iter()
+                .map(|a| match a {
+                    ArgSpec::Int(v) => *v,
+                    ArgSpec::Ptr(off) => MEM_BASE + u64::from(*off),
+                })
+                .collect();
+            let mem = w.init_memory();
+            group.bench_with_input(
+                BenchmarkId::new(name, format!("{mode:?}")),
+                &(&mm, &args, &mem),
+                |b, (mm, args, mem)| {
+                    b.iter(|| {
+                        let mut sim = Simulator::new(mm, CostModel::machine1(), mem.len());
+                        sim.mem.copy_from_slice(mem);
+                        sim.run(w.entry, args).expect("runs").cycles
+                    })
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_fig6);
+criterion_main!(benches);

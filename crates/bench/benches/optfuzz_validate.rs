@@ -1,0 +1,41 @@
+//! E5 / §6 as a Criterion bench: throughput of the opt-fuzz +
+//! refinement-checking loop (generation, optimization, exhaustive
+//! outcome comparison).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use frost_core::Semantics;
+use frost_fuzz::{enumerate_functions, validate_transform, GenConfig};
+use frost_opt::{Dce, InstCombine, Pass, PipelineMode};
+
+fn bench_validate(c: &mut Criterion) {
+    let mut group = c.benchmark_group("optfuzz_validate");
+    group.sample_size(10);
+
+    group.bench_function("instcombine_fixed_50fns_i2", |b| {
+        b.iter(|| {
+            let cfg = GenConfig::arithmetic(2);
+            let report = validate_transform(
+                enumerate_functions(cfg).step_by(997).take(50),
+                Semantics::proposed(),
+                |m| {
+                    for f in &mut m.functions {
+                        InstCombine::new(PipelineMode::Fixed).run_on_function(f);
+                        Dce::new().run_on_function(f);
+                        f.compact();
+                    }
+                },
+            );
+            assert!(report.is_clean());
+            report.total
+        })
+    });
+
+    group.bench_function("generation_only_5000fns", |b| {
+        b.iter(|| enumerate_functions(GenConfig::arithmetic(2)).take(5000).count())
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_validate);
+criterion_main!(benches);

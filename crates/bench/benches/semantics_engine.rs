@@ -1,0 +1,96 @@
+//! Micro-benchmarks of the semantic engine itself: interpreter
+//! throughput, nondeterministic outcome enumeration, and a full
+//! refinement check — the moving parts behind E5/E6.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use frost_core::{enumerate_outcomes, run_concrete, Limits, Memory, Semantics, Val};
+use frost_ir::parse_module;
+use frost_refine::{check_refinement, CheckOptions};
+
+fn bench_engine(c: &mut Criterion) {
+    let mut group = c.benchmark_group("semantics_engine");
+    group.sample_size(20);
+
+    // Interpreter throughput: an i8 summation loop (hundreds of steps).
+    let loop_mod = parse_module(
+        r#"
+define i8 @sum(i8 %n) {
+entry:
+  br label %head
+head:
+  %i = phi i8 [ 0, %entry ], [ %i1, %body ]
+  %s = phi i8 [ 0, %entry ], [ %s1, %body ]
+  %c = icmp ult i8 %i, %n
+  br i1 %c, label %body, label %exit
+body:
+  %s1 = add i8 %s, %i
+  %i1 = add i8 %i, 1
+  br label %head
+exit:
+  ret i8 %s
+}
+"#,
+    )
+    .expect("parses");
+    group.bench_function("interpret_sum_loop_200", |b| {
+        b.iter(|| {
+            let (o, steps) = run_concrete(
+                &loop_mod,
+                "sum",
+                &[Val::int(8, 200)],
+                &Memory::zeroed(0),
+                Semantics::proposed(),
+                Limits::default(),
+            )
+            .expect("runs");
+            (o, steps)
+        })
+    });
+
+    // Enumeration: two independent freezes of poison (fan-out 16).
+    let freeze_mod = parse_module(
+        "define i2 @f() {\nentry:\n  %a = freeze i2 poison\n  %b = freeze i2 poison\n  %c = add i2 %a, %b\n  ret i2 %c\n}",
+    )
+    .expect("parses");
+    group.bench_function("enumerate_two_freezes", |b| {
+        b.iter(|| {
+            enumerate_outcomes(
+                &freeze_mod,
+                "f",
+                &[],
+                &Memory::zeroed(0),
+                Semantics::proposed(),
+                Limits::default(),
+            )
+            .expect("enumerates")
+            .len()
+        })
+    });
+
+    // A complete refinement check (the §2.3 fold at i4).
+    let src = parse_module(
+        "define i1 @f(i4 %a, i4 %b) {\nentry:\n  %s = add nsw i4 %a, %b\n  %c = icmp sgt i4 %s, %a\n  ret i1 %c\n}",
+    )
+    .expect("parses");
+    let tgt = parse_module(
+        "define i1 @f(i4 %a, i4 %b) {\nentry:\n  %c = icmp sgt i4 %b, 0\n  ret i1 %c\n}",
+    )
+    .expect("parses");
+    group.bench_function("refinement_check_i4_pair", |b| {
+        b.iter(|| {
+            let verdict = check_refinement(
+                &src,
+                "f",
+                &tgt,
+                "f",
+                &CheckOptions::new(Semantics::proposed()),
+            );
+            assert!(verdict.is_refinement());
+        })
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_engine);
+criterion_main!(benches);

@@ -1,0 +1,58 @@
+//! E7 / Figure 3 as a Criterion bench: the narrow-IV loop (per-iteration
+//! sext) against its widened form, on both machine models.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use frost_backend::{compile_module, CostModel, Simulator, MEM_BASE};
+use frost_ir::parse_module;
+use frost_opt::{Dce, IndVarWiden, Pass, PipelineMode};
+
+const NARROW: &str = r#"
+define void @f(i32* %a, i32 %n) {
+entry:
+  br label %head
+head:
+  %i = phi i32 [ 0, %entry ], [ %i1, %body ]
+  %c = icmp slt i32 %i, %n
+  br i1 %c, label %body, label %exit
+body:
+  %iext = sext i32 %i to i64
+  %p = getelementptr inbounds i32, i32* %a, i64 %iext
+  store i32 42, i32* %p
+  %i1 = add nsw i32 %i, 1
+  br label %head
+exit:
+  ret void
+}
+"#;
+
+fn bench_widening(c: &mut Criterion) {
+    let mut group = c.benchmark_group("indvar_widening");
+    group.sample_size(20);
+    let narrow = parse_module(NARROW).expect("parses");
+    let mut widened = narrow.clone();
+    IndVarWiden::new(PipelineMode::Fixed).run_on_module(&mut widened);
+    Dce::new().run_on_module(&mut widened);
+    for f in &mut widened.functions {
+        f.compact();
+    }
+
+    for (label, module) in [("narrow", &narrow), ("widened", &widened)] {
+        let mm = compile_module(module).expect("backend");
+        for cost in [CostModel::machine1(), CostModel::machine2()] {
+            group.bench_with_input(
+                BenchmarkId::new(label, cost.name),
+                &(&mm, cost),
+                |b, (mm, cost)| {
+                    b.iter(|| {
+                        let mut sim = Simulator::new(mm, *cost, 2048);
+                        sim.run("f", &[MEM_BASE, 512]).expect("runs").cycles
+                    })
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_widening);
+criterion_main!(benches);

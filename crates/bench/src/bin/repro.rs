@@ -1,0 +1,93 @@
+//! Regenerates the paper's tables and figures. Usage:
+//!
+//! ```text
+//! repro [--experiment NAME] [--quick] [--budget N]
+//! ```
+//!
+//! Experiments: fig6, compile-time, memory, objsize, optfuzz,
+//! inconsistencies, widening, loadwiden, queens, all (default).
+
+use frost_bench::experiments;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut experiment = "all".to_string();
+    let mut quick = false;
+    let mut budget = 400usize;
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--experiment" | "-e" => {
+                i += 1;
+                experiment = args.get(i).cloned().unwrap_or_else(|| {
+                    eprintln!("--experiment needs a value");
+                    std::process::exit(2);
+                });
+            }
+            "--quick" | "-q" => quick = true,
+            "--budget" | "-b" => {
+                i += 1;
+                budget = args
+                    .get(i)
+                    .and_then(|s| s.parse().ok())
+                    .unwrap_or_else(|| {
+                        eprintln!("--budget needs a number");
+                        std::process::exit(2);
+                    });
+            }
+            "--help" | "-h" => {
+                println!(
+                    "usage: repro [--experiment fig6|compile-time|memory|objsize|optfuzz|\
+                     inconsistencies|widening|loadwiden|queens|all] [--quick] [--budget N]"
+                );
+                return;
+            }
+            other => {
+                eprintln!("unknown argument '{other}' (try --help)");
+                std::process::exit(2);
+            }
+        }
+        i += 1;
+    }
+
+    let run = |name: &str| -> bool { experiment == "all" || experiment == name };
+    let mut failures = 0;
+    let mut print = |r: Result<frost_bench::Table, String>| match r {
+        Ok(t) => println!("{t}"),
+        Err(e) => {
+            eprintln!("experiment failed: {e}");
+            failures += 1;
+        }
+    };
+
+    if run("inconsistencies") {
+        println!("{}", experiments::inconsistencies());
+    }
+    if run("optfuzz") {
+        println!("{}", experiments::optfuzz(budget));
+    }
+    if run("widening") {
+        print(experiments::widening());
+    }
+    if run("loadwiden") {
+        print(experiments::loadwiden());
+    }
+    if run("queens") {
+        print(experiments::queens_anecdote());
+    }
+    if run("fig6") {
+        print(experiments::fig6(quick));
+    }
+    if run("compile-time") {
+        print(experiments::compile_time(quick));
+    }
+    if run("memory") {
+        print(experiments::memory(quick));
+    }
+    if run("objsize") {
+        print(experiments::objsize(quick));
+    }
+    if failures > 0 {
+        std::process::exit(1);
+    }
+}

@@ -1,0 +1,726 @@
+//! One function per table/figure of the paper's evaluation (see
+//! DESIGN.md's per-experiment index E1–E9). Each returns a rendered
+//! [`Table`]; `repro` prints them.
+
+use frost_backend::{compile_module, lea_base_registers, CostModel, Simulator, MEM_BASE};
+use frost_core::Semantics;
+use frost_fuzz::{enumerate_functions, validate_transform, GenConfig};
+use frost_ir::{parse_module, Module};
+use frost_opt::{o2_pipeline, Dce, Gvn, Licm, LoopUnswitch, Pass, PipelineMode, Reassociate, Sccp, SimplifyCfg};
+use frost_refine::{check_refinement, CheckOptions, CheckResult};
+use frost_workloads::{all_workloads, spec_cfp, spec_cint, Workload};
+
+use crate::harness::{pct_improvement, run_workload, RunMetrics};
+use crate::table::Table;
+
+fn fmt_pct(v: f64) -> String {
+    format!("{v:+.2}%")
+}
+
+/// E1 / Figure 6: run-time change (%) for the SPEC-shaped suites on
+/// both machine models, freeze prototype vs legacy baseline.
+pub fn fig6(quick: bool) -> Result<Table, String> {
+    let mut t = Table::new(
+        "Figure 6: SPEC CPU 2006 run-time change (%) — freeze prototype vs baseline",
+        &["benchmark", "suite", "machine1", "machine2", "blind m1", "result match"],
+    );
+    let mut workloads: Vec<Workload> = spec_cint();
+    workloads.extend(spec_cfp());
+    if quick {
+        workloads.truncate(4);
+    }
+    for w in &workloads {
+        let base1 = run_workload(w, PipelineMode::Legacy, CostModel::machine1())?;
+        let new1 = run_workload(w, PipelineMode::Fixed, CostModel::machine1())?;
+        let blind1 = run_workload(w, PipelineMode::FixedFreezeBlind, CostModel::machine1())?;
+        let base2 = run_workload(w, PipelineMode::Legacy, CostModel::machine2())?;
+        let new2 = run_workload(w, PipelineMode::Fixed, CostModel::machine2())?;
+        let ok = base1.result == new1.result && base1.result == blind1.result;
+        t.row(vec![
+            w.name.to_string(),
+            w.suite.name().to_string(),
+            fmt_pct(pct_improvement(base1.cycles, new1.cycles)),
+            fmt_pct(pct_improvement(base2.cycles, new2.cycles)),
+            fmt_pct(pct_improvement(base1.cycles, blind1.cycles)),
+            if ok { "yes".into() } else { "MISMATCH".into() },
+        ]);
+    }
+    t.note("positive = prototype faster (the paper reports ±1.6%)");
+    t.note("'blind' = freeze emitted but passes not yet freeze-aware (§7.2's measured state)");
+    Ok(t)
+}
+
+/// E2 / §7.2 compile time: wall-clock compilation change, with the
+/// "Shootout nestedloop" jump-threading outlier.
+pub fn compile_time(quick: bool) -> Result<Table, String> {
+    let mut t = Table::new(
+        "§7.2 compile time: freeze prototype vs baseline (best of 9, warmed)",
+        &["benchmark", "suite", "fixed Δ%", "blind Δ%"],
+    );
+    let mut workloads = all_workloads();
+    if quick {
+        workloads.retain(|w| w.suite == frost_workloads::Suite::Lnt);
+        workloads.truncate(6);
+    }
+    let best_of = |w: &Workload, mode: PipelineMode| -> Result<u128, String> {
+        // Warm up once, then take the best of 9: single compilations
+        // run in ~1 ms, so wall-clock jitter dominates raw samples.
+        let _ = crate::harness::compile_workload(w, mode)?;
+        let mut best = u128::MAX;
+        for _ in 0..9 {
+            let (_, ns, _) = crate::harness::compile_workload(w, mode)?;
+            best = best.min(ns);
+        }
+        Ok(best)
+    };
+    for w in &workloads {
+        let base = best_of(w, PipelineMode::Legacy)?;
+        let fixed = best_of(w, PipelineMode::Fixed)?;
+        let blind = best_of(w, PipelineMode::FixedFreezeBlind)?;
+        t.row(vec![
+            w.name.to_string(),
+            w.suite.name().to_string(),
+            fmt_pct(pct_improvement(base as u64, fixed as u64)),
+            fmt_pct(pct_improvement(base as u64, blind as u64)),
+        ]);
+    }
+    t.note("negative = prototype compiles slower (paper: mostly ±1%, nestedloop +19% slower)");
+    Ok(t)
+}
+
+/// E3 / §7.2 memory: peak IR working set during compilation.
+pub fn memory(quick: bool) -> Result<Table, String> {
+    let mut t = Table::new(
+        "§7.2 peak compiler memory (IR arena estimate)",
+        &["benchmark", "baseline B", "fixed B", "Δ%"],
+    );
+    let mut workloads = all_workloads();
+    if quick {
+        workloads.truncate(8);
+    }
+    for w in &workloads {
+        let (_, _, base) = crate::harness::compile_workload(w, PipelineMode::Legacy)?;
+        let (_, _, fixed) = crate::harness::compile_workload(w, PipelineMode::Fixed)?;
+        t.row(vec![
+            w.name.to_string(),
+            base.to_string(),
+            fixed.to_string(),
+            fmt_pct(pct_improvement(base as u64, fixed as u64)),
+        ]);
+    }
+    t.note("paper: unchanged for most benchmarks, max +2% increase");
+    Ok(t)
+}
+
+/// E4 / §7.2 object size and freeze counts.
+pub fn objsize(quick: bool) -> Result<Table, String> {
+    let mut t = Table::new(
+        "§7.2 object size and freeze counts",
+        &["benchmark", "base bytes", "fixed bytes", "Δ%", "freezes", "freeze % of IR"],
+    );
+    let mut workloads = all_workloads();
+    if quick {
+        workloads.truncate(8);
+    }
+    for w in &workloads {
+        let base = run_workload(w, PipelineMode::Legacy, CostModel::machine1())?;
+        let fixed = run_workload(w, PipelineMode::Fixed, CostModel::machine1())?;
+        let frac = if fixed.ir_insts > 0 {
+            100.0 * fixed.freezes as f64 / fixed.ir_insts as f64
+        } else {
+            0.0
+        };
+        t.row(vec![
+            w.name.to_string(),
+            base.obj_bytes.to_string(),
+            fixed.obj_bytes.to_string(),
+            fmt_pct(pct_improvement(base.obj_bytes as u64, fixed.obj_bytes as u64)),
+            fixed.freezes.to_string(),
+            format!("{frac:.2}%"),
+        ]);
+    }
+    t.note("paper: size ±0.5%; freeze 0.04–0.06% of IR, gcc 0.29% (bit-fields)");
+    Ok(t)
+}
+
+/// E5 / §6 "Testing the prototype": opt-fuzz × refinement checking.
+pub fn optfuzz(budget: usize) -> Table {
+    let mut t = Table::new(
+        "§6 validation: exhaustive i2 functions × passes × refinement checking",
+        &["pass", "mode", "semantics", "functions", "changed", "violations", "inconclusive"],
+    );
+    struct Campaign {
+        pass: &'static str,
+        mode: PipelineMode,
+        sem: Semantics,
+        undef: bool,
+    }
+    let campaigns = [
+        Campaign { pass: "instcombine", mode: PipelineMode::Fixed, sem: Semantics::proposed(), undef: false },
+        Campaign { pass: "instcombine", mode: PipelineMode::Legacy, sem: Semantics::legacy_gvn(), undef: true },
+        Campaign { pass: "gvn", mode: PipelineMode::Fixed, sem: Semantics::proposed(), undef: false },
+        Campaign { pass: "reassociate", mode: PipelineMode::Fixed, sem: Semantics::proposed(), undef: false },
+        Campaign { pass: "reassociate", mode: PipelineMode::Legacy, sem: Semantics::proposed(), undef: false },
+        Campaign { pass: "sccp", mode: PipelineMode::Fixed, sem: Semantics::proposed(), undef: false },
+        Campaign { pass: "o2", mode: PipelineMode::Fixed, sem: Semantics::proposed(), undef: false },
+    ];
+    for c in campaigns {
+        let mut cfg = GenConfig::arithmetic(2);
+        if c.undef {
+            cfg = cfg.with_undef();
+        }
+        let space = enumerate_functions(cfg.clone());
+        let total_space = space.approx_size();
+        let stride = (total_space / budget as u128).max(1) as usize;
+        let fns = enumerate_functions(cfg).step_by(stride).take(budget);
+        let mode = c.mode;
+        let report = validate_transform(fns, c.sem, |m| {
+            let run_pass = |p: &dyn Pass, m: &mut Module| {
+                p.run_on_module(m);
+            };
+            match c.pass {
+                "instcombine" => run_pass(&frost_opt::InstCombine::new(mode), m),
+                "gvn" => run_pass(&Gvn::new(mode), m),
+                "reassociate" => run_pass(&Reassociate::new(mode), m),
+                "sccp" => run_pass(&Sccp::new(mode), m),
+                "o2" => {
+                    o2_pipeline(mode).run(m);
+                }
+                _ => unreachable!(),
+            }
+            for f in &mut m.functions {
+                Dce::new().run_on_function(f);
+                f.compact();
+            }
+        });
+        t.row(vec![
+            c.pass.to_string(),
+            format!("{:?}", c.mode),
+            c.sem.name.to_string(),
+            report.total.to_string(),
+            report.changed.to_string(),
+            report.violations.len().to_string(),
+            report.inconclusive.to_string(),
+        ]);
+    }
+    t.note("fixed-mode campaigns must report 0 violations; legacy campaigns reproduce the §3 bugs");
+    t
+}
+
+/// E6 / §3: the inconsistency matrix — each transformation checked
+/// under each semantics preset.
+pub fn inconsistencies() -> Table {
+    let mut t = Table::new(
+        "§3 inconsistency matrix: transformation soundness per semantics",
+        &["transformation", "proposed", "legacy-gvn", "legacy-unswitch"],
+    );
+
+    // Each case: (name, before-module, transform).
+    type Xform = (&'static str, &'static str, Box<dyn Fn(&mut Module)>);
+    let run_fn = |pass: Box<dyn Pass>| -> Box<dyn Fn(&mut Module)> {
+        Box::new(move |m: &mut Module| {
+            pass.run_on_module(m);
+            for f in &mut m.functions {
+                Dce::new().run_on_function(f);
+                f.compact();
+            }
+        })
+    };
+
+    let cases: Vec<Xform> = vec![
+        (
+            "§3.1 mul undef,2 -> add x,x (InstCombine legacy)",
+            "define i4 @f() {\nentry:\n  %y = mul i4 undef, 2\n  ret i4 %y\n}",
+            run_fn(Box::new(frost_opt::InstCombine::new(PipelineMode::Legacy))),
+        ),
+        (
+            "§3.2 hoist guarded udiv (LICM legacy)",
+            r#"
+declare void @use(i4)
+define void @f(i1 %c, i4 %k) {
+entry:
+  %nz = icmp ne i4 %k, 0
+  br i1 %nz, label %ph, label %done
+ph:
+  br label %head
+head:
+  %cont = phi i1 [ %c, %ph ], [ false, %body ]
+  br i1 %cont, label %body, label %exit
+body:
+  %d = udiv i4 1, %k
+  call void @use(i4 %d)
+  br label %head
+exit:
+  br label %done
+done:
+  ret void
+}
+"#,
+            run_fn(Box::new(Licm::new(PipelineMode::Legacy))),
+        ),
+        (
+            "§3.3 GVN equality propagation",
+            r#"
+declare void @foo(i4)
+define void @f(i4 %x, i4 %y) {
+entry:
+  %t = add i4 %x, 1
+  %c = icmp eq i4 %t, %y
+  br i1 %c, label %then, label %exit
+then:
+  %w = add i4 %x, 1
+  call void @foo(i4 %w)
+  br label %exit
+exit:
+  ret void
+}
+"#,
+            run_fn(Box::new(Gvn::new(PipelineMode::Fixed))),
+        ),
+        (
+            "§3.3 loop unswitch without freeze",
+            UNSWITCH_SRC,
+            run_fn(Box::new(LoopUnswitch::new(PipelineMode::Legacy))),
+        ),
+        (
+            "§5.1 loop unswitch with freeze",
+            UNSWITCH_SRC,
+            run_fn(Box::new(LoopUnswitch::new(PipelineMode::Fixed))),
+        ),
+        (
+            "§3.4 phi -> select (SimplifyCFG)",
+            r#"
+define i4 @f(i1 %c, i4 %a, i4 %b) {
+entry:
+  br i1 %c, label %t, label %e
+t:
+  br label %m
+e:
+  br label %m
+m:
+  %x = phi i4 [ %a, %t ], [ %b, %e ]
+  ret i4 %x
+}
+"#,
+            run_fn(Box::new(SimplifyCfg::new(PipelineMode::Fixed))),
+        ),
+        (
+            "§3.4 select c,true,x -> or c,x (no freeze)",
+            "define i1 @f(i1 %c, i1 %x) {\nentry:\n  %r = select i1 %c, i1 true, i1 %x\n  ret i1 %r\n}",
+            run_fn(Box::new(frost_opt::InstCombine::new(PipelineMode::Legacy))),
+        ),
+        (
+            "§3.4 select c,true,x -> or c,freeze(x)",
+            "define i1 @f(i1 %c, i1 %x) {\nentry:\n  %r = select i1 %c, i1 true, i1 %x\n  ret i1 %r\n}",
+            run_fn(Box::new(frost_opt::InstCombine::new(PipelineMode::Fixed))),
+        ),
+        (
+            "§10.2 reassociate keeping nsw",
+            "define i4 @f(i4 %x) {\nentry:\n  %a = add nsw i4 %x, 7\n  %b = add nsw i4 %a, 7\n  ret i4 %b\n}",
+            run_fn(Box::new(Reassociate::new(PipelineMode::Legacy))),
+        ),
+        (
+            "§10.2 reassociate dropping nsw",
+            "define i4 @f(i4 %x) {\nentry:\n  %a = add nsw i4 %x, 7\n  %b = add nsw i4 %a, 7\n  ret i4 %b\n}",
+            run_fn(Box::new(Reassociate::new(PipelineMode::Fixed))),
+        ),
+    ];
+
+    for (name, src, xform) in cases {
+        let before = parse_module(src).expect("case parses");
+        let mut after = before.clone();
+        xform(&mut after);
+        let mut cells = vec![name.to_string()];
+        for sem in Semantics::all_presets() {
+            if after == before {
+                cells.push("no-op".to_string());
+                continue;
+            }
+            let verdict =
+                check_refinement(&before, "f", &after, "f", &CheckOptions::new(sem));
+            cells.push(match verdict {
+                CheckResult::Refines => "sound".to_string(),
+                CheckResult::CounterExample(_) => "UNSOUND".to_string(),
+                CheckResult::Inconclusive(_) => "inconclusive".to_string(),
+            });
+        }
+        t.row(cells);
+    }
+    t.note("the §3.3 pair shows the conflict: GVN needs branch-on-poison=UB, unswitch-without-freeze needs nondet");
+    t
+}
+
+const UNSWITCH_SRC: &str = r#"
+declare void @foo()
+declare void @bar()
+define void @f(i1 %c, i1 %c2) {
+entry:
+  br label %head
+head:
+  %cont = phi i1 [ %c, %entry ], [ false, %latch ]
+  br i1 %cont, label %body, label %exit
+body:
+  br i1 %c2, label %t, label %e
+t:
+  call void @foo()
+  br label %latch
+e:
+  call void @bar()
+  br label %latch
+latch:
+  br label %head
+exit:
+  ret void
+}
+"#;
+
+/// E7 / §2.4, Figure 3: induction-variable widening — measured speedup
+/// and the semantic justification matrix.
+pub fn widening() -> Result<Table, String> {
+    let mut t = Table::new(
+        "Figure 3: induction-variable widening (sext removal)",
+        &["configuration", "cycles m1", "cycles m2", "speedup m1", "verdict"],
+    );
+    // A store loop with a narrow IV, Figure 3's shape, over 512 i32s.
+    let narrow = r#"
+define void @f(i32* %a, i32 %n) {
+entry:
+  br label %head
+head:
+  %i = phi i32 [ 0, %entry ], [ %i1, %body ]
+  %c = icmp slt i32 %i, %n
+  br i1 %c, label %body, label %exit
+body:
+  %iext = sext i32 %i to i64
+  %p = getelementptr inbounds i32, i32* %a, i64 %iext
+  store i32 42, i32* %p
+  %i1 = add nsw i32 %i, 1
+  br label %head
+exit:
+  ret void
+}
+"#;
+    let before = parse_module(narrow).map_err(|e| e.to_string())?;
+    let mut widened = before.clone();
+    frost_opt::IndVarWiden::new(PipelineMode::Fixed).run_on_module(&mut widened);
+    for f in &mut widened.functions {
+        Dce::new().run_on_function(f);
+        f.compact();
+    }
+
+    let cycles = |m: &Module, cost: CostModel| -> Result<u64, String> {
+        let mm = compile_module(m).map_err(|e| e.to_string())?;
+        let mut sim = Simulator::new(&mm, cost, 2048);
+        Ok(sim.run("f", &[MEM_BASE, 512]).map_err(|e| e.to_string())?.cycles)
+    };
+    let n1 = cycles(&before, CostModel::machine1())?;
+    let n2 = cycles(&before, CostModel::machine2())?;
+    let w1 = cycles(&widened, CostModel::machine1())?;
+    let w2 = cycles(&widened, CostModel::machine2())?;
+    t.row(vec![
+        "narrow IV (sext per iteration)".into(),
+        n1.to_string(),
+        n2.to_string(),
+        "-".into(),
+        "-".into(),
+    ]);
+    // The i32 loop cannot be checked exhaustively; verify the identical
+    // transformation at i3/i5 widths (same shape, checkable domain).
+    let small = parse_module(
+        "declare void @use(i5)\ndefine void @f(i3 %n) {\nentry:\n  br label %head\nhead:\n  %i = phi i3 [ 0, %entry ], [ %i1, %body ]\n  %c = icmp slt i3 %i, %n\n  br i1 %c, label %body, label %exit\nbody:\n  %iext = sext i3 %i to i5\n  call void @use(i5 %iext)\n  %i1 = add nsw i3 %i, 1\n  br label %head\nexit:\n  ret void\n}",
+    )
+    .map_err(|e| e.to_string())?;
+    let mut small_widened = small.clone();
+    frost_opt::IndVarWiden::new(PipelineMode::Fixed).run_on_module(&mut small_widened);
+    for f in &mut small_widened.functions {
+        Dce::new().run_on_function(f);
+        f.compact();
+    }
+    let verdict = check_refinement(
+        &small,
+        "f",
+        &small_widened,
+        "f",
+        &CheckOptions::new(Semantics::proposed()),
+    );
+    t.row(vec![
+        "widened IV".into(),
+        w1.to_string(),
+        w2.to_string(),
+        fmt_pct(pct_improvement(n1, w1)),
+        match verdict {
+            CheckResult::Refines => "sound under poison (verified at i3)".into(),
+            other => format!("{other:?}"),
+        },
+    ]);
+    // The semantic crux, on checkable widths (matches the indvar tests).
+    let src = parse_module(
+        "define i1 @f(i3 %i, i3 %n) {\nentry:\n  %i1 = add nsw i3 %i, 1\n  %iext = sext i3 %i1 to i5\n  %next = sext i3 %n to i5\n  %c = icmp sle i5 %iext, %next\n  ret i1 %c\n}",
+    )
+    .map_err(|e| e.to_string())?;
+    let tgt = parse_module(
+        "define i1 @f(i3 %i, i3 %n) {\nentry:\n  %iw = sext i3 %i to i5\n  %i1w = add nsw i5 %iw, 1\n  %next = sext i3 %n to i5\n  %c = icmp sle i5 %i1w, %next\n  ret i1 %c\n}",
+    )
+    .map_err(|e| e.to_string())?;
+    let under_poison = check_refinement(&src, "f", &tgt, "f", &CheckOptions::new(Semantics::proposed()));
+    let under_undef = check_refinement(
+        &src,
+        "f",
+        &tgt,
+        "f",
+        &CheckOptions::new(Semantics::legacy_undef_overflow()),
+    );
+    t.row(vec![
+        "widening step, overflow = poison".into(),
+        "-".into(),
+        "-".into(),
+        "-".into(),
+        if under_poison.is_refinement() { "sound".into() } else { "UNSOUND".into() },
+    ]);
+    t.row(vec![
+        "widening step, overflow = undef (§2.4 strawman)".into(),
+        "-".into(),
+        "-".into(),
+        "-".into(),
+        if under_undef.counterexample().is_some() {
+            "UNSOUND (n = INT_MAX witness)".into()
+        } else {
+            "unexpectedly sound".into()
+        },
+    ]);
+    t.note("paper: up to 39% faster depending on microarchitecture; justified only by nsw = poison");
+    Ok(t)
+}
+
+/// E8 / §5.4: load widening must use vector loads.
+pub fn loadwiden() -> Result<Table, String> {
+    let mut t = Table::new(
+        "§5.4 load widening: scalar vs vector",
+        &["transformation", "verdict under proposed"],
+    );
+    // Memory is uninitialized except the i16 the program itself stores.
+    let src = r#"
+define i16 @f(i16* %p) {
+entry:
+  store i16 7, i16* %p
+  %v = load i16, i16* %p
+  ret i16 %v
+}
+"#;
+    // Scalar widening: load 32 bits, truncate.
+    let tgt_scalar = r#"
+define i16 @f(i16* %p) {
+entry:
+  store i16 7, i16* %p
+  %p32 = bitcast i16* %p to i32*
+  %w = load i32, i32* %p32
+  %v = trunc i32 %w to i16
+  ret i16 %v
+}
+"#;
+    // Vector widening (§5.4's fix): load <2 x i16>, extract lane 0.
+    let tgt_vector = r#"
+define i16 @f(i16* %p) {
+entry:
+  store i16 7, i16* %p
+  %pv = bitcast i16* %p to <2 x i16>*
+  %w = load <2 x i16>, <2 x i16>* %pv
+  %v = extractelement <2 x i16> %w, i32 0
+  ret i16 %v
+}
+"#;
+    let s = parse_module(src).map_err(|e| e.to_string())?;
+    for (name, tgt) in [("widen 16->32 scalar", tgt_scalar), ("widen via <2 x i16>", tgt_vector)] {
+        let tm = parse_module(tgt).map_err(|e| e.to_string())?;
+        let mut opts = CheckOptions::new(Semantics::proposed());
+        opts.inputs.bytes_per_pointer = 4; // room for the wide load
+        let verdict = check_refinement(&s, "f", &tm, "f", &opts);
+        t.row(vec![
+            name.to_string(),
+            match verdict {
+                CheckResult::Refines => "sound".into(),
+                CheckResult::CounterExample(_) => "UNSOUND (poison bytes contaminate)".into(),
+                CheckResult::Inconclusive(why) => format!("inconclusive: {why}"),
+            },
+        ]);
+    }
+    t.note("paper: the adjacent bits 'should not poison the value the program was originally loading'");
+    Ok(t)
+}
+
+/// E9 / §7.2: the Stanford Queens anecdote — the freeze changes
+/// register allocation, shifting an LEA on/off a slow register.
+pub fn queens_anecdote() -> Result<Table, String> {
+    let mut t = Table::new(
+        "§7.2 Stanford Queens: register allocation and LEA latency",
+        &["mode", "cycles m1", "cycles m2", "slow-LEA bases", "result"],
+    );
+    let w = frost_workloads::queens();
+    for mode in [PipelineMode::Legacy, PipelineMode::Fixed] {
+        let metrics: RunMetrics = run_workload(&w, mode, CostModel::machine1())?;
+        let m2 = run_workload(&w, mode, CostModel::machine2())?;
+        // Count LEAs whose base landed on a slow register.
+        let (module, _, _) = crate::harness::compile_workload(&w, mode)?;
+        let mm = compile_module(&module).map_err(|e| e.to_string())?;
+        let slow: usize = mm
+            .functions
+            .iter()
+            .flat_map(lea_base_registers)
+            .filter(|r| r.lea_is_slow())
+            .count();
+        t.row(vec![
+            format!("{mode:?}"),
+            metrics.cycles.to_string(),
+            m2.cycles.to_string(),
+            slow.to_string(),
+            metrics.result.map(|r| r.to_string()).unwrap_or_default(),
+        ]);
+    }
+    // Mechanism check: the same loop with its LEA base pinned to a
+    // fast vs a slow register, demonstrating the latency quirk the
+    // paper's anecdote traces the speedup to.
+    for (label, base) in [
+        ("mechanism: lea base = r12 (fast)", frost_backend::PhysReg::R12),
+        ("mechanism: lea base = r13 (slow)", frost_backend::PhysReg::R13),
+    ] {
+        let mm = lea_microkernel(base);
+        let c1 = Simulator::new(&mm, CostModel::machine1(), 0)
+            .run("k", &[20_000])
+            .map_err(|e| e.to_string())?;
+        let c2 = Simulator::new(&mm, CostModel::machine2(), 0)
+            .run("k", &[20_000])
+            .map_err(|e| e.to_string())?;
+        t.row(vec![
+            label.to_string(),
+            c1.cycles.to_string(),
+            c2.cycles.to_string(),
+            if base.lea_is_slow() { "1".into() } else { "0".into() },
+            c1.ret.map(|r| r.to_string()).unwrap_or_default(),
+        ]);
+    }
+    t.note("paper: a single freeze changed allocation (r13 vs r14), 6–8% speedup via LEA latency");
+    t.note("at queens' register pressure our allocator never reaches the slow registers; the mechanism rows isolate the quirk");
+    Ok(t)
+}
+
+/// A hand-built MIR loop whose hot LEA uses the given base register:
+/// `for i in 0..n { acc += i via lea }`.
+fn lea_microkernel(base: frost_backend::PhysReg) -> frost_backend::MModule {
+    use frost_backend::{AluOp, Cc, MBlock, MFunc, MInst, Operand, PhysReg, Reg, Width};
+    let b = Reg::P(base);
+    let i = Reg::P(PhysReg::Rcx);
+    let n = Reg::P(PhysReg::Rdx);
+    let acc = Reg::P(PhysReg::Rax);
+    let entry = MBlock {
+        name: "entry".into(),
+        insts: vec![
+            MInst::GetArg { dst: n, index: 0 },
+            MInst::Mov { dst: i, src: Operand::Imm(0), width: Width::W64 },
+            MInst::Mov { dst: acc, src: Operand::Imm(0), width: Width::W64 },
+            MInst::Mov { dst: b, src: Operand::Imm(0), width: Width::W64 },
+            MInst::Jmp { target: 1 },
+        ],
+    };
+    let body = MBlock {
+        name: "body".into(),
+        insts: vec![
+            // The hot LEA: acc-relevant address arithmetic on `base`.
+            MInst::Lea { dst: acc, base: b, index: Some((acc, 1)), disp: 1 },
+            MInst::Alu {
+                op: AluOp::Add,
+                dst: i,
+                lhs: i,
+                rhs: Operand::Imm(1),
+                width: Width::W64,
+                signed: false,
+            },
+            MInst::Cmp { lhs: i, rhs: Operand::R(n), width: Width::W64, signed: false },
+            MInst::Jcc { cc: Cc::B, target: 1 },
+            MInst::Jmp { target: 2 },
+        ],
+    };
+    let exit = MBlock { name: "exit".into(), insts: vec![MInst::Ret { src: Some(acc) }] };
+    frost_backend::MModule {
+        functions: vec![MFunc {
+            name: "k".into(),
+            num_params: 1,
+            blocks: vec![entry, body, exit],
+            num_vregs: 0,
+            num_slots: 0,
+            undef_vregs: vec![],
+        }],
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn inconsistency_matrix_matches_the_paper() {
+        let t = inconsistencies();
+        let cell = |row_contains: &str, col: usize| -> String {
+            t.rows
+                .iter()
+                .find(|r| r[0].contains(row_contains))
+                .unwrap_or_else(|| panic!("row {row_contains}"))[col]
+                .clone()
+        };
+        // Columns: 1 = proposed, 2 = legacy-gvn, 3 = legacy-unswitch.
+        assert_eq!(cell("GVN equality", 1), "sound");
+        assert_eq!(cell("GVN equality", 3), "UNSOUND");
+        assert_eq!(cell("unswitch without freeze", 1), "UNSOUND");
+        assert_eq!(cell("unswitch without freeze", 3), "sound");
+        assert_eq!(cell("unswitch with freeze", 1), "sound");
+        assert_eq!(cell("select c,true,x -> or c,freeze(x)", 1), "sound");
+        assert_eq!(cell("select c,true,x -> or c,x (no freeze)", 1), "UNSOUND");
+        assert_eq!(cell("reassociate keeping nsw", 1), "UNSOUND");
+        assert_eq!(cell("reassociate dropping nsw", 1), "sound");
+        assert_eq!(cell("phi -> select", 1), "sound");
+        assert_eq!(cell("phi -> select", 2), "UNSOUND");
+    }
+
+    #[test]
+    fn loadwiden_shows_the_section_5_4_split() {
+        let t = loadwiden().unwrap();
+        assert!(t.rows[0][1].contains("UNSOUND"), "{t}");
+        assert_eq!(t.rows[1][1], "sound", "{t}");
+    }
+
+    #[test]
+    fn widening_is_profitable_and_sound() {
+        let t = widening().unwrap();
+        // Row 1 is the widened configuration.
+        let speedup: f64 = t.rows[1][3]
+            .trim_end_matches('%')
+            .parse()
+            .unwrap();
+        assert!(speedup > 0.0, "widening must save cycles: {t}");
+        assert!(t.rows[1][4].contains("sound"), "{t}");
+        assert!(t.rows[2][4].contains("sound"), "{t}");
+        assert!(t.rows[3][4].contains("UNSOUND"), "{t}");
+    }
+
+    #[test]
+    fn fig6_quick_runs_and_results_match() {
+        let t = fig6(true).unwrap();
+        assert!(t.rows.len() >= 4);
+        for r in &t.rows {
+            assert_eq!(r[5], "yes", "cross-mode result mismatch in {}: {t}", r[0]);
+        }
+    }
+
+    #[test]
+    fn optfuzz_campaigns_have_expected_shape() {
+        let t = optfuzz(40);
+        for r in &t.rows {
+            let violations: usize = r[5].parse().unwrap();
+            if r[1] == "Fixed" {
+                assert_eq!(violations, 0, "fixed-mode campaign must be clean: {t}");
+            }
+        }
+        // The legacy instcombine campaign (row 1) hunts undef bugs; with
+        // a small stride it may or may not hit one, so only the fixed
+        // rows are asserted here. The full run is asserted in repro.
+    }
+}

@@ -1,0 +1,133 @@
+//! The compile-and-simulate harness shared by all experiments: mini-C →
+//! frost IR → mid-end pipeline (legacy / fixed / freeze-blind) →
+//! backend → machine simulation, with every §7.2 metric collected along
+//! the way.
+
+use std::time::Instant;
+
+use frost_backend::{compile_module, module_size, CostModel, Simulator, MEM_BASE};
+use frost_cc::CodegenOptions;
+use frost_ir::Module;
+use frost_opt::{o2_pipeline, PipelineMode};
+use frost_workloads::{ArgSpec, Workload};
+
+/// Everything measured for one (workload, mode, machine) cell.
+#[derive(Clone, Debug)]
+pub struct RunMetrics {
+    /// Simulated cycles (the "run time").
+    pub cycles: u64,
+    /// Dynamic instructions.
+    pub dyn_insts: u64,
+    /// The program's result (used to check cross-mode agreement).
+    pub result: Option<u64>,
+    /// Object size in bytes.
+    pub obj_bytes: usize,
+    /// IR instructions after optimization.
+    pub ir_insts: usize,
+    /// `freeze` instructions after optimization.
+    pub freezes: usize,
+    /// Wall-clock compile time (frontend + mid-end + backend).
+    pub compile_ns: u128,
+    /// Peak IR heap estimate during compilation.
+    pub peak_ir_bytes: usize,
+}
+
+/// Frontend options matching a pipeline mode: the legacy world has no
+/// freeze anywhere; both fixed modes use the §5.3 lowering.
+pub fn frontend_options(mode: PipelineMode) -> CodegenOptions {
+    CodegenOptions { freeze_bitfields: mode.uses_freeze(), emit_wrap_flags: true }
+}
+
+/// Compiles a workload through the full pipeline in the given mode.
+///
+/// # Errors
+///
+/// Returns a description on any stage failure (a workload regression).
+pub fn compile_workload(w: &Workload, mode: PipelineMode) -> Result<(Module, u128, usize), String> {
+    let t0 = Instant::now();
+    let mut module = w
+        .compile(&frontend_options(mode))
+        .map_err(|e| format!("{}: frontend: {e}", w.name))?;
+    let mut peak = module.approx_bytes();
+    o2_pipeline(mode).run(&mut module);
+    peak = peak.max(module.approx_bytes());
+    let compile_ns = t0.elapsed().as_nanos();
+    Ok((module, compile_ns, peak))
+}
+
+/// Runs a workload end to end and collects all metrics.
+///
+/// # Errors
+///
+/// Returns a description on compile or simulation failure.
+pub fn run_workload(
+    w: &Workload,
+    mode: PipelineMode,
+    cost: CostModel,
+) -> Result<RunMetrics, String> {
+    let (module, compile_front_ns, peak) = compile_workload(w, mode)?;
+    let t0 = Instant::now();
+    let mm = compile_module(&module).map_err(|e| format!("{}: backend: {e}", w.name))?;
+    let backend_ns = t0.elapsed().as_nanos();
+
+    let mut sim = Simulator::new(&mm, cost, w.mem_bytes as usize);
+    sim.mem.copy_from_slice(&w.init_memory());
+    let args: Vec<u64> = w
+        .args
+        .iter()
+        .map(|a| match a {
+            ArgSpec::Int(v) => *v,
+            ArgSpec::Ptr(off) => MEM_BASE + u64::from(*off),
+        })
+        .collect();
+    let run = sim
+        .run(w.entry, &args)
+        .map_err(|e| format!("{}: simulation ({}): {e}", w.name, cost.name))?;
+
+    Ok(RunMetrics {
+        cycles: run.cycles,
+        dyn_insts: run.insts,
+        result: run.ret,
+        obj_bytes: module_size(&mm),
+        ir_insts: module.inst_count(),
+        freezes: module.freeze_count(),
+        compile_ns: compile_front_ns + backend_ns,
+        peak_ir_bytes: peak,
+    })
+}
+
+/// Percentage change `(baseline - new) / baseline * 100` — positive
+/// means the new configuration is faster/smaller, matching Figure 6's
+/// sign convention ("positive values indicate that performance
+/// improved").
+pub fn pct_improvement(baseline: u64, new: u64) -> f64 {
+    if baseline == 0 {
+        return 0.0;
+    }
+    (baseline as f64 - new as f64) / baseline as f64 * 100.0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn queens_runs_in_every_mode_with_matching_results() {
+        let w = frost_workloads::queens();
+        let mut results = Vec::new();
+        for mode in [PipelineMode::Legacy, PipelineMode::Fixed, PipelineMode::FixedFreezeBlind] {
+            let m = run_workload(&w, mode, CostModel::machine1()).unwrap();
+            // 8-queens has 92 solutions; the kernel sums 3 repetitions.
+            assert_eq!(m.result, Some(92 * 3), "mode {mode:?}");
+            results.push(m.cycles);
+        }
+        assert!(results.iter().all(|&c| c > 0));
+    }
+
+    #[test]
+    fn pct_signs() {
+        assert!(pct_improvement(100, 90) > 0.0);
+        assert!(pct_improvement(100, 110) < 0.0);
+        assert_eq!(pct_improvement(0, 10), 0.0);
+    }
+}

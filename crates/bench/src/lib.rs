@@ -1,0 +1,23 @@
+//! # frost-bench
+//!
+//! The evaluation harness: regenerates every table and figure of
+//! *"Taming Undefined Behavior in LLVM"* (PLDI 2017, §6–§7) against the
+//! frost implementation. See DESIGN.md's per-experiment index (E1–E9)
+//! for the mapping from paper artifact to module, and EXPERIMENTS.md
+//! for paper-vs-measured results.
+//!
+//! The `repro` binary prints the tables:
+//!
+//! ```text
+//! repro --experiment fig6          # Figure 6 (run time)
+//! repro --experiment all --quick   # everything, reduced sizes
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod experiments;
+pub mod harness;
+pub mod table;
+
+pub use harness::{compile_workload, pct_improvement, run_workload, RunMetrics};
+pub use table::Table;

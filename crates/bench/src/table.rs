@@ -1,0 +1,93 @@
+//! Plain-text table rendering for experiment reports.
+
+use std::fmt;
+
+/// A rendered experiment result.
+#[derive(Clone, Debug)]
+pub struct Table {
+    /// Title (e.g. "Figure 6: run-time change (%)").
+    pub title: String,
+    /// Column headers.
+    pub header: Vec<String>,
+    /// Rows of cells.
+    pub rows: Vec<Vec<String>>,
+    /// Free-form footnotes.
+    pub notes: Vec<String>,
+}
+
+impl Table {
+    /// Creates an empty table.
+    pub fn new(title: impl Into<String>, header: &[&str]) -> Table {
+        Table {
+            title: title.into(),
+            header: header.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+            notes: Vec::new(),
+        }
+    }
+
+    /// Appends a row.
+    pub fn row(&mut self, cells: Vec<String>) {
+        debug_assert_eq!(cells.len(), self.header.len());
+        self.rows.push(cells);
+    }
+
+    /// Appends a footnote.
+    pub fn note(&mut self, s: impl Into<String>) {
+        self.notes.push(s.into());
+    }
+}
+
+impl fmt::Display for Table {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "== {} ==", self.title)?;
+        let ncols = self.header.len();
+        let mut widths: Vec<usize> = self.header.iter().map(String::len).collect();
+        for r in &self.rows {
+            for (i, c) in r.iter().enumerate().take(ncols) {
+                widths[i] = widths[i].max(c.len());
+            }
+        }
+        let write_row = |f: &mut fmt::Formatter<'_>, cells: &[String]| -> fmt::Result {
+            for (i, c) in cells.iter().enumerate().take(ncols) {
+                if i > 0 {
+                    write!(f, "  ")?;
+                }
+                write!(f, "{c:<width$}", width = widths[i])?;
+            }
+            writeln!(f)
+        };
+        write_row(f, &self.header)?;
+        let total: usize = widths.iter().sum::<usize>() + 2 * (ncols - 1);
+        writeln!(f, "{}", "-".repeat(total))?;
+        for r in &self.rows {
+            write_row(f, r)?;
+        }
+        for n in &self.notes {
+            writeln!(f, "note: {n}")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_aligned_columns() {
+        let mut t = Table::new("demo", &["name", "value"]);
+        t.row(vec!["short".into(), "1".into()]);
+        t.row(vec!["a-much-longer-name".into(), "-12.5".into()]);
+        t.note("a footnote");
+        let s = t.to_string();
+        assert!(s.contains("== demo =="));
+        assert!(s.contains("a-much-longer-name"));
+        assert!(s.contains("note: a footnote"));
+        // Header and rows aligned: 'value' column starts at same offset.
+        let lines: Vec<&str> = s.lines().collect();
+        let hpos = lines[1].find("value").unwrap();
+        let rpos = lines[3].find('1').unwrap();
+        assert_eq!(hpos, rpos);
+    }
+}

@@ -1,0 +1,414 @@
+//! The abstract syntax of mini-C: the C subset the paper's examples and
+//! evaluation workloads are written in.
+//!
+//! Supported: signed/unsigned integer types of four widths, pointers,
+//! structs with bit-fields (accessed through pointers), functions with
+//! scalar/pointer parameters, local scalar variables, full expression
+//! and structured-statement grammar (`if`/`while`/`for`, short-circuit
+//! `&&`/`||`). Not supported (not needed by the evaluation): globals,
+//! `goto`, address-of, struct values, floating point (the paper's CFP
+//! workloads are integer-ized; see DESIGN.md).
+
+use std::fmt;
+
+/// A mini-C scalar or pointer type.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum CType {
+    /// An integer type.
+    Int {
+        /// Width in bits (8, 16, 32, or 64).
+        bits: u32,
+        /// Signedness (drives `nsw` emission and division choice).
+        signed: bool,
+    },
+    /// A pointer to a scalar or struct type.
+    Ptr(Box<CType>),
+    /// A named struct (usable only behind a pointer).
+    Struct(String),
+    /// The type of `void` functions.
+    Void,
+}
+
+impl CType {
+    /// `int`.
+    pub fn int() -> CType {
+        CType::Int { bits: 32, signed: true }
+    }
+
+    /// `unsigned`.
+    pub fn uint() -> CType {
+        CType::Int { bits: 32, signed: false }
+    }
+
+    /// `long`.
+    pub fn long() -> CType {
+        CType::Int { bits: 64, signed: true }
+    }
+
+    /// Returns `true` for integer types.
+    pub fn is_int(&self) -> bool {
+        matches!(self, CType::Int { .. })
+    }
+
+    /// Returns `true` for pointer types.
+    pub fn is_ptr(&self) -> bool {
+        matches!(self, CType::Ptr(_))
+    }
+
+    /// Integer width, if an integer.
+    pub fn bits(&self) -> Option<u32> {
+        match self {
+            CType::Int { bits, .. } => Some(*bits),
+            _ => None,
+        }
+    }
+
+    /// Integer signedness, if an integer.
+    pub fn signed(&self) -> Option<bool> {
+        match self {
+            CType::Int { signed, .. } => Some(*signed),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for CType {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CType::Int { bits: 32, signed: true } => write!(f, "int"),
+            CType::Int { bits: 32, signed: false } => write!(f, "unsigned"),
+            CType::Int { bits: 64, signed: true } => write!(f, "long"),
+            CType::Int { bits: 64, signed: false } => write!(f, "unsigned long"),
+            CType::Int { bits: 16, signed: true } => write!(f, "short"),
+            CType::Int { bits: 16, signed: false } => write!(f, "unsigned short"),
+            CType::Int { bits: 8, signed: true } => write!(f, "char"),
+            CType::Int { bits: 8, signed: false } => write!(f, "unsigned char"),
+            CType::Int { bits, signed } => {
+                write!(f, "{}int{bits}", if *signed { "" } else { "u" })
+            }
+            CType::Ptr(p) => write!(f, "{p}*"),
+            CType::Struct(n) => write!(f, "struct {n}"),
+            CType::Void => write!(f, "void"),
+        }
+    }
+}
+
+/// One member of a struct.
+#[derive(Clone, PartialEq, Debug)]
+pub struct FieldDecl {
+    /// Field name.
+    pub name: String,
+    /// Declared type (integer for bit-fields).
+    pub ty: CType,
+    /// Bit-field width, when declared `ty name : width`.
+    pub bit_width: Option<u32>,
+}
+
+/// A struct definition.
+#[derive(Clone, PartialEq, Debug)]
+pub struct StructDecl {
+    /// Struct tag.
+    pub name: String,
+    /// Members in declaration order.
+    pub fields: Vec<FieldDecl>,
+}
+
+/// Binary operators.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+#[allow(missing_docs)]
+pub enum BinaryOp {
+    Add,
+    Sub,
+    Mul,
+    Div,
+    Rem,
+    Shl,
+    Shr,
+    And,
+    Or,
+    Xor,
+    Lt,
+    Le,
+    Gt,
+    Ge,
+    Eq,
+    Ne,
+    LogicalAnd,
+    LogicalOr,
+}
+
+/// Unary operators.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+#[allow(missing_docs)]
+pub enum UnaryOp {
+    Neg,
+    Not,
+    BitNot,
+}
+
+/// An expression.
+#[derive(Clone, PartialEq, Debug)]
+pub enum Expr {
+    /// An integer literal (type `int`, or `long` if suffixed `L`).
+    IntLit(i64, CType),
+    /// A variable reference.
+    Var(String),
+    /// A binary operation.
+    Binary(BinaryOp, Box<Expr>, Box<Expr>),
+    /// A unary operation.
+    Unary(UnaryOp, Box<Expr>),
+    /// A function call.
+    Call(String, Vec<Expr>),
+    /// Array indexing `base[idx]` (base is a pointer).
+    Index(Box<Expr>, Box<Expr>),
+    /// `base->field` (base is a struct pointer).
+    Arrow(Box<Expr>, String),
+    /// An explicit cast `(type)expr`.
+    Cast(CType, Box<Expr>),
+    /// Ternary `cond ? t : f`.
+    Ternary(Box<Expr>, Box<Expr>, Box<Expr>),
+}
+
+/// An assignable location.
+#[derive(Clone, PartialEq, Debug)]
+pub enum LValue {
+    /// A local variable.
+    Var(String),
+    /// `base[idx]`.
+    Index(Expr, Expr),
+    /// `base->field` (including bit-fields: the §5.3 path).
+    Arrow(Expr, String),
+}
+
+/// A statement.
+#[derive(Clone, PartialEq, Debug)]
+pub enum Stmt {
+    /// Local declaration with optional initializer.
+    Decl(String, CType, Option<Expr>),
+    /// Assignment.
+    Assign(LValue, Expr),
+    /// Expression evaluated for effect (calls).
+    Expr(Expr),
+    /// `if`/`else`.
+    If(Expr, Vec<Stmt>, Vec<Stmt>),
+    /// `while`.
+    While(Expr, Vec<Stmt>),
+    /// `for (init; cond; step) body`.
+    For(Box<Stmt>, Expr, Box<Stmt>, Vec<Stmt>),
+    /// `return` with optional value.
+    Return(Option<Expr>),
+}
+
+/// A function parameter.
+#[derive(Clone, PartialEq, Debug)]
+pub struct ParamDecl {
+    /// Name.
+    pub name: String,
+    /// Type.
+    pub ty: CType,
+}
+
+/// A function definition.
+#[derive(Clone, PartialEq, Debug)]
+pub struct FuncDef {
+    /// Name.
+    pub name: String,
+    /// Return type.
+    pub ret: CType,
+    /// Parameters.
+    pub params: Vec<ParamDecl>,
+    /// Body.
+    pub body: Vec<Stmt>,
+}
+
+/// An external function declaration (`extern int f(int);`).
+#[derive(Clone, PartialEq, Debug)]
+pub struct ExternDecl {
+    /// Name.
+    pub name: String,
+    /// Return type.
+    pub ret: CType,
+    /// Parameter types.
+    pub params: Vec<CType>,
+}
+
+/// A parsed translation unit.
+#[derive(Clone, PartialEq, Debug, Default)]
+pub struct Program {
+    /// Struct definitions.
+    pub structs: Vec<StructDecl>,
+    /// External declarations.
+    pub externs: Vec<ExternDecl>,
+    /// Function definitions.
+    pub functions: Vec<FuncDef>,
+}
+
+/// The computed layout of one struct member.
+#[derive(Clone, PartialEq, Debug)]
+pub enum FieldLayout {
+    /// An ordinary member at a byte offset.
+    Plain {
+        /// Byte offset from the struct start.
+        offset: u32,
+        /// Member type.
+        ty: CType,
+    },
+    /// A bit-field packed into a 32-bit storage unit (the ABI shape the
+    /// paper's §5.3 lowering works on).
+    Bits {
+        /// Byte offset of the storage unit.
+        unit_offset: u32,
+        /// Bit offset inside the unit.
+        bit_offset: u32,
+        /// Field width in bits.
+        width: u32,
+        /// Signedness of the field.
+        signed: bool,
+    },
+}
+
+/// The layout of a struct: member layouts plus total size.
+#[derive(Clone, PartialEq, Debug)]
+pub struct StructLayout {
+    /// Field name -> layout.
+    pub fields: Vec<(String, FieldLayout)>,
+    /// Total size in bytes.
+    pub size: u32,
+}
+
+/// Computes a struct's layout: plain members are naturally aligned;
+/// consecutive bit-fields pack LSB-first into 32-bit storage units.
+pub fn layout_struct(decl: &StructDecl) -> Result<StructLayout, String> {
+    let mut fields = Vec::new();
+    let mut offset: u32 = 0; // bytes
+    let mut bit_cursor: Option<(u32, u32)> = None; // (unit_offset, bits used)
+    for f in &decl.fields {
+        match f.bit_width {
+            Some(w) => {
+                let bits = f.ty.bits().ok_or_else(|| {
+                    format!("bit-field {} must have integer type", f.name)
+                })?;
+                if w == 0 || w > 32 || w > bits {
+                    return Err(format!("bit-field {} has invalid width {w}", f.name));
+                }
+                let (unit, used) = match bit_cursor {
+                    Some((unit, used)) if used + w <= 32 => (unit, used),
+                    _ => {
+                        let unit = align_to(offset, 4);
+                        offset = unit + 4;
+                        (unit, 0)
+                    }
+                };
+                fields.push((
+                    f.name.clone(),
+                    FieldLayout::Bits {
+                        unit_offset: unit,
+                        bit_offset: used,
+                        width: w,
+                        signed: f.ty.signed().unwrap_or(false),
+                    },
+                ));
+                bit_cursor = Some((unit, used + w));
+            }
+            None => {
+                bit_cursor = None;
+                let size = match &f.ty {
+                    CType::Int { bits, .. } => bits / 8,
+                    CType::Ptr(_) => 4,
+                    other => return Err(format!("field {} has unsupported type {other}", f.name)),
+                };
+                let at = align_to(offset, size);
+                fields.push((f.name.clone(), FieldLayout::Plain { offset: at, ty: f.ty.clone() }));
+                offset = at + size;
+            }
+        }
+    }
+    Ok(StructLayout { fields, size: align_to(offset.max(1), 4) })
+}
+
+fn align_to(v: u32, a: u32) -> u32 {
+    v.div_ceil(a) * a
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn field(name: &str, ty: CType, w: Option<u32>) -> FieldDecl {
+        FieldDecl { name: name.into(), ty, bit_width: w }
+    }
+
+    #[test]
+    fn bitfields_pack_into_units() {
+        let s = StructDecl {
+            name: "s".into(),
+            fields: vec![
+                field("a", CType::int(), Some(3)),
+                field("b", CType::uint(), Some(5)),
+                field("c", CType::uint(), Some(30)), // does not fit: new unit
+            ],
+        };
+        let l = layout_struct(&s).unwrap();
+        assert_eq!(
+            l.fields[0].1,
+            FieldLayout::Bits { unit_offset: 0, bit_offset: 0, width: 3, signed: true }
+        );
+        assert_eq!(
+            l.fields[1].1,
+            FieldLayout::Bits { unit_offset: 0, bit_offset: 3, width: 5, signed: false }
+        );
+        assert_eq!(
+            l.fields[2].1,
+            FieldLayout::Bits { unit_offset: 4, bit_offset: 0, width: 30, signed: false }
+        );
+        assert_eq!(l.size, 8);
+    }
+
+    #[test]
+    fn plain_fields_are_aligned() {
+        let s = StructDecl {
+            name: "s".into(),
+            fields: vec![
+                field("c", CType::Int { bits: 8, signed: true }, None),
+                field("i", CType::int(), None),
+                field("s", CType::Int { bits: 16, signed: true }, None),
+            ],
+        };
+        let l = layout_struct(&s).unwrap();
+        assert_eq!(l.fields[0].1, FieldLayout::Plain { offset: 0, ty: CType::Int { bits: 8, signed: true } });
+        assert_eq!(l.fields[1].1, FieldLayout::Plain { offset: 4, ty: CType::int() });
+        assert_eq!(l.fields[2].1, FieldLayout::Plain { offset: 8, ty: CType::Int { bits: 16, signed: true } });
+        assert_eq!(l.size, 12);
+    }
+
+    #[test]
+    fn mixed_bits_and_plain() {
+        let s = StructDecl {
+            name: "s".into(),
+            fields: vec![
+                field("a", CType::uint(), Some(12)),
+                field("x", CType::int(), None),
+                field("b", CType::uint(), Some(12)),
+            ],
+        };
+        let l = layout_struct(&s).unwrap();
+        // a in unit at 0; x at 4; b starts a fresh unit at 8.
+        assert!(matches!(l.fields[0].1, FieldLayout::Bits { unit_offset: 0, bit_offset: 0, .. }));
+        assert!(matches!(l.fields[1].1, FieldLayout::Plain { offset: 4, .. }));
+        assert!(matches!(l.fields[2].1, FieldLayout::Bits { unit_offset: 8, bit_offset: 0, .. }));
+    }
+
+    #[test]
+    fn invalid_widths_are_rejected() {
+        let s = StructDecl {
+            name: "s".into(),
+            fields: vec![field("a", CType::int(), Some(33))],
+        };
+        assert!(layout_struct(&s).is_err());
+        let s0 = StructDecl {
+            name: "s".into(),
+            fields: vec![field("a", CType::int(), Some(0))],
+        };
+        assert!(layout_struct(&s0).is_err());
+    }
+}

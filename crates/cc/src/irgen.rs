@@ -1,0 +1,842 @@
+//! IR generation from the mini-C AST.
+//!
+//! The undefined-behavior mapping follows Clang as the paper describes
+//! it:
+//!
+//! * signed `+`/`-`/`*` emit `nsw` (signed overflow is deferred UB,
+//!   §2.1's "about one in eight addition instructions");
+//! * pointer arithmetic emits `getelementptr inbounds` (§2.4);
+//! * **bit-field stores** load the storage unit, **freeze** it, merge,
+//!   and store back — the paper's one-line Clang change (§5.3). The
+//!   freeze is controlled by [`CodegenOptions::freeze_bitfields`] so
+//!   the legacy lowering can be produced for comparison.
+//!
+//! Local scalars are translated directly to SSA (structured control
+//! flow only, so phi placement needs no dominance frontiers).
+
+use std::collections::{HashMap, HashSet};
+
+use frost_ir::{
+    BinOp, Cond, DeclAttrs, Flags, FuncDecl, FunctionBuilder, Module, Ty, Value,
+};
+
+use crate::ast::*;
+
+/// Code-generation options.
+#[derive(Clone, Copy, Debug)]
+pub struct CodegenOptions {
+    /// Insert `freeze` in bit-field store sequences (§5.3). Turning
+    /// this off reproduces the pre-paper lowering whose store of an
+    /// uninitialized unit is always poison.
+    pub freeze_bitfields: bool,
+    /// Emit `nsw` on signed arithmetic (and `inbounds` on geps).
+    pub emit_wrap_flags: bool,
+}
+
+impl Default for CodegenOptions {
+    fn default() -> CodegenOptions {
+        CodegenOptions { freeze_bitfields: true, emit_wrap_flags: true }
+    }
+}
+
+/// A code-generation failure.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct CompileError(pub String);
+
+impl std::fmt::Display for CompileError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "codegen: {}", self.0)
+    }
+}
+
+impl std::error::Error for CompileError {}
+
+type Result<T> = std::result::Result<T, CompileError>;
+
+fn err<T>(m: impl Into<String>) -> Result<T> {
+    Err(CompileError(m.into()))
+}
+
+/// Compiles a program to a frost IR module.
+///
+/// # Errors
+///
+/// Returns [`CompileError`] on type errors or unsupported constructs.
+pub fn compile(prog: &Program, opts: &CodegenOptions) -> Result<Module> {
+    let mut layouts = HashMap::new();
+    for s in &prog.structs {
+        layouts.insert(s.name.clone(), layout_struct(s).map_err(CompileError)?);
+    }
+    let mut signatures: HashMap<String, (Vec<CType>, CType)> = HashMap::new();
+    for e in &prog.externs {
+        signatures.insert(e.name.clone(), (e.params.clone(), e.ret.clone()));
+    }
+    for f in &prog.functions {
+        signatures.insert(
+            f.name.clone(),
+            (f.params.iter().map(|p| p.ty.clone()).collect(), f.ret.clone()),
+        );
+    }
+
+    let mut module = Module::new();
+    for e in &prog.externs {
+        module.declarations.push(FuncDecl {
+            name: e.name.clone(),
+            params: e.params.iter().map(|t| ir_ty(t)).collect::<Result<_>>()?,
+            ret_ty: ir_ty_ret(&e.ret)?,
+            attrs: DeclAttrs { readnone: false, willreturn: true },
+        });
+    }
+    for f in &prog.functions {
+        let cx = FnCx {
+            prog_layouts: &layouts,
+            signatures: &signatures,
+            opts: *opts,
+        };
+        module.functions.push(cx.gen_function(f)?);
+    }
+    Ok(module)
+}
+
+/// The IR type of a mini-C type. Struct pointers become `i8*` (field
+/// access goes through byte geps + bitcasts).
+fn ir_ty(t: &CType) -> Result<Ty> {
+    match t {
+        CType::Int { bits, .. } => Ok(Ty::Int(*bits)),
+        CType::Ptr(inner) => match &**inner {
+            CType::Struct(_) => Ok(Ty::ptr_to(Ty::i8())),
+            other => Ok(Ty::ptr_to(ir_ty(other)?)),
+        },
+        CType::Struct(n) => err(format!("struct {n} used by value")),
+        CType::Void => err("void used as a value type"),
+    }
+}
+
+fn ir_ty_ret(t: &CType) -> Result<Ty> {
+    if *t == CType::Void {
+        Ok(Ty::Void)
+    } else {
+        ir_ty(t)
+    }
+}
+
+/// A typed SSA value.
+#[derive(Clone, Debug)]
+struct TV {
+    v: Value,
+    ty: CType,
+}
+
+struct FnCx<'p> {
+    prog_layouts: &'p HashMap<String, StructLayout>,
+    signatures: &'p HashMap<String, (Vec<CType>, CType)>,
+    opts: CodegenOptions,
+}
+
+/// Mutable per-function generation state.
+struct GenState {
+    b: FunctionBuilder,
+    /// Flat variable environment (scoping handled by save/restore).
+    env: HashMap<String, TV>,
+    /// Has the current block been terminated (return emitted)?
+    terminated: bool,
+    ret: CType,
+    /// Counter for unique block labels.
+    block_counter: u32,
+}
+
+impl GenState {
+    fn new_block(&mut self, hint: &str) -> frost_ir::BlockId {
+        self.block_counter += 1;
+        let name = format!("{hint}{}", self.block_counter);
+        self.b.block(&name)
+    }
+}
+
+impl<'p> FnCx<'p> {
+    fn gen_function(&self, f: &FuncDef) -> Result<frost_ir::Function> {
+        let params: Vec<(String, Ty)> = f
+            .params
+            .iter()
+            .map(|p| Ok((p.name.clone(), ir_ty(&p.ty)?)))
+            .collect::<Result<_>>()?;
+        let param_refs: Vec<(&str, Ty)> =
+            params.iter().map(|(n, t)| (n.as_str(), t.clone())).collect();
+        let b = FunctionBuilder::new(&f.name, &param_refs, ir_ty_ret(&f.ret)?);
+        let mut st = GenState { b, env: HashMap::new(), terminated: false, ret: f.ret.clone(), block_counter: 0 };
+        for (i, p) in f.params.iter().enumerate() {
+            st.env.insert(p.name.clone(), TV { v: st.b.arg(i as u32), ty: p.ty.clone() });
+        }
+        self.gen_stmts(&mut st, &f.body)?;
+        if !st.terminated {
+            if f.ret == CType::Void {
+                st.b.ret_void();
+            } else {
+                // Falling off a non-void function: C says the value is
+                // unspecified; executing the implicit return without
+                // using the value is fine — model as returning poison.
+                let ty = ir_ty(&f.ret)?;
+                st.b.ret(Value::poison(ty));
+            }
+        }
+        let func = st.b.finish();
+        frost_ir::verify::verify_function_legacy(&func).map_err(|e| {
+            CompileError(format!("internal: generated IR fails verification: {}\n{}", e.join("; "), func))
+        })?;
+        Ok(func)
+    }
+
+    fn gen_stmts(&self, st: &mut GenState, stmts: &[Stmt]) -> Result<()> {
+        for s in stmts {
+            if st.terminated {
+                break; // unreachable statements are dropped
+            }
+            self.gen_stmt(st, s)?;
+        }
+        Ok(())
+    }
+
+    fn gen_stmt(&self, st: &mut GenState, s: &Stmt) -> Result<()> {
+        match s {
+            Stmt::Decl(name, ty, init) => {
+                let v = match init {
+                    Some(e) => {
+                        let tv = self.gen_expr(st, e)?;
+                        self.convert(st, tv, ty)?
+                    }
+                    None => {
+                        // Uninitialized local: poison until assigned.
+                        TV { v: Value::poison(ir_ty(ty)?), ty: ty.clone() }
+                    }
+                };
+                st.env.insert(name.clone(), TV { v: v.v, ty: ty.clone() });
+                Ok(())
+            }
+            Stmt::Assign(lv, e) => self.gen_assign(st, lv, e),
+            Stmt::Expr(e) => {
+                self.gen_expr(st, e)?;
+                Ok(())
+            }
+            Stmt::Return(e) => {
+                match (e, st.ret.clone()) {
+                    (None, CType::Void) => st.b.ret_void(),
+                    (Some(e), ret_ty) => {
+                        let tv = self.gen_expr(st, e)?;
+                        let tv = self.convert(st, tv, &ret_ty)?;
+                        st.b.ret(tv.v);
+                    }
+                    (None, _) => return err("return without a value in a non-void function"),
+                }
+                st.terminated = true;
+                Ok(())
+            }
+            Stmt::If(cond, then_s, else_s) => self.gen_if(st, cond, then_s, else_s),
+            Stmt::While(cond, body) => self.gen_while(st, cond, body),
+            Stmt::For(init, cond, step, body) => {
+                // Scoped desugaring to while.
+                let saved: Option<TV> = match &**init {
+                    Stmt::Decl(n, _, _) => st.env.get(n).cloned(),
+                    _ => None,
+                };
+                self.gen_stmt(st, init)?;
+                let mut body2 = body.to_vec();
+                body2.push((**step).clone());
+                self.gen_while(st, cond, &body2)?;
+                if let (Stmt::Decl(n, _, _), Some(old)) = (&**init, saved) {
+                    st.env.insert(n.clone(), old);
+                }
+                Ok(())
+            }
+        }
+    }
+
+    fn gen_if(
+        &self,
+        st: &mut GenState,
+        cond: &Expr,
+        then_s: &[Stmt],
+        else_s: &[Stmt],
+    ) -> Result<()> {
+        let c = self.gen_cond(st, cond)?;
+        let then_bb = st.new_block("if.then.");
+        let else_bb = st.new_block("if.else.");
+        let merge_bb = st.new_block("if.end.");
+        st.b.br(c, then_bb, else_bb);
+
+        let outer_env = st.env.clone();
+
+        st.b.switch_to(then_bb);
+        st.terminated = false;
+        self.gen_stmts(st, then_s)?;
+        let then_end = st.b.current_block();
+        let then_term = st.terminated;
+        let then_env = st.env.clone();
+        if !then_term {
+            st.b.jmp(merge_bb);
+        }
+
+        st.env = outer_env.clone();
+        st.b.switch_to(else_bb);
+        st.terminated = false;
+        self.gen_stmts(st, else_s)?;
+        let else_end = st.b.current_block();
+        let else_term = st.terminated;
+        let else_env = st.env.clone();
+        if !else_term {
+            st.b.jmp(merge_bb);
+        }
+
+        st.b.switch_to(merge_bb);
+        st.terminated = then_term && else_term;
+        if st.terminated {
+            st.b.unreachable();
+            return Ok(());
+        }
+        // Merge environments with phis for outer variables (sorted for
+        // deterministic output — codegen must not depend on hash order).
+        let mut merged = HashMap::new();
+        let mut names: Vec<&String> = outer_env.keys().collect();
+        names.sort();
+        for name in names {
+            let outer = &outer_env[name];
+            let tv_then = then_env.get(name).unwrap_or(outer);
+            let tv_else = else_env.get(name).unwrap_or(outer);
+            let v = match (then_term, else_term) {
+                (true, false) => tv_else.v.clone(),
+                (false, true) => tv_then.v.clone(),
+                _ if tv_then.v == tv_else.v => tv_then.v.clone(),
+                _ => {
+                    let ty = ir_ty(&outer.ty)?;
+                    st.b.phi(
+                        ty,
+                        vec![(tv_then.v.clone(), then_end), (tv_else.v.clone(), else_end)],
+                    )
+                }
+            };
+            merged.insert(name.clone(), TV { v, ty: outer.ty.clone() });
+        }
+        st.env = merged;
+        Ok(())
+    }
+
+    fn gen_while(&self, st: &mut GenState, cond: &Expr, body: &[Stmt]) -> Result<()> {
+        let head = st.new_block("while.head.");
+        let body_bb = st.new_block("while.body.");
+        let exit = st.new_block("while.end.");
+        let preheader = st.b.current_block();
+        st.b.jmp(head);
+
+        // Variables (of the outer env) assigned in the body get header
+        // phis.
+        let mut bound = HashSet::new();
+        let mut assigned_set = HashSet::new();
+        assigned_free_vars(body, &mut bound, &mut assigned_set);
+        let mut assigned: Vec<String> = assigned_set.into_iter().collect();
+        assigned.sort();
+        let mut phis: Vec<(String, Value)> = Vec::new();
+
+        st.b.switch_to(head);
+        for name in assigned.iter() {
+            let Some(outer) = st.env.get(name).cloned() else { continue };
+            let ty = ir_ty(&outer.ty)?;
+            let phi = st.b.phi(ty, vec![(outer.v.clone(), preheader)]);
+            st.env.insert(name.clone(), TV { v: phi.clone(), ty: outer.ty });
+            phis.push((name.clone(), phi));
+        }
+        let head_env = st.env.clone();
+        // The condition may create blocks of its own (short-circuit
+        // `&&`/`||`); the loop branch goes at its end. The header phis
+        // stay in `head`, the back-edge target.
+        let c = self.gen_cond(st, cond)?;
+        st.b.br(c, body_bb, exit);
+
+        st.b.switch_to(body_bb);
+        st.terminated = false;
+        self.gen_stmts(st, body)?;
+        let latch = st.b.current_block();
+        if !st.terminated {
+            // Back-fill the phis from the latch.
+            for (name, phi) in &phis {
+                let cur = st.env.get(name).expect("variable still bound").v.clone();
+                st.b.phi_add_incoming(phi, cur, latch);
+            }
+            st.b.jmp(head);
+        }
+
+        st.b.switch_to(exit);
+        st.terminated = false;
+        st.env = head_env;
+        Ok(())
+    }
+
+    /// Generates an `i1` for a C condition (short-circuiting as
+    /// control flow).
+    fn gen_cond(&self, st: &mut GenState, e: &Expr) -> Result<Value> {
+        match e {
+            Expr::Binary(op, l, r)
+                if matches!(
+                    op,
+                    BinaryOp::Lt
+                        | BinaryOp::Le
+                        | BinaryOp::Gt
+                        | BinaryOp::Ge
+                        | BinaryOp::Eq
+                        | BinaryOp::Ne
+                ) =>
+            {
+                let (lv, rv, signed) = self.usual_conversions(st, l, r)?;
+                let cond = cond_for(*op, signed);
+                Ok(st.b.icmp(cond, lv.v, rv.v))
+            }
+            Expr::Unary(UnaryOp::Not, inner) => {
+                let c = self.gen_cond(st, inner)?;
+                Ok(st.b.xor(c, Value::bool(true)))
+            }
+            Expr::Binary(BinaryOp::LogicalAnd, l, r) => {
+                // l ? (bool)r : false
+                let lc = self.gen_cond(st, l)?;
+                let rhs_bb = st.new_block("and.rhs.");
+                let merge = st.new_block("and.end.");
+                let from = st.b.current_block();
+                st.b.br(lc, rhs_bb, merge);
+                st.b.switch_to(rhs_bb);
+                let rc = self.gen_cond(st, r)?;
+                let rhs_end = st.b.current_block();
+                st.b.jmp(merge);
+                st.b.switch_to(merge);
+                Ok(st.b.phi(Ty::i1(), vec![(Value::bool(false), from), (rc, rhs_end)]))
+            }
+            Expr::Binary(BinaryOp::LogicalOr, l, r) => {
+                let lc = self.gen_cond(st, l)?;
+                let rhs_bb = st.new_block("or.rhs.");
+                let merge = st.new_block("or.end.");
+                let from = st.b.current_block();
+                st.b.br(lc, merge, rhs_bb);
+                st.b.switch_to(rhs_bb);
+                let rc = self.gen_cond(st, r)?;
+                let rhs_end = st.b.current_block();
+                st.b.jmp(merge);
+                st.b.switch_to(merge);
+                Ok(st.b.phi(Ty::i1(), vec![(Value::bool(true), from), (rc, rhs_end)]))
+            }
+            other => {
+                let tv = self.gen_expr(st, other)?;
+                if !tv.ty.is_int() && !tv.ty.is_ptr() {
+                    return err(format!("condition of type {} is not scalar", tv.ty));
+                }
+                if tv.ty.is_ptr() {
+                    let ty = ir_ty(&tv.ty)?;
+                    return Ok(st.b.icmp(
+                        Cond::Ne,
+                        tv.v,
+                        Value::Const(frost_ir::Constant::Null(ty)),
+                    ));
+                }
+                let bits = tv.ty.bits().expect("int");
+                Ok(st.b.icmp(Cond::Ne, tv.v, Value::int(bits, 0)))
+            }
+        }
+    }
+
+    fn gen_expr(&self, st: &mut GenState, e: &Expr) -> Result<TV> {
+        match e {
+            Expr::IntLit(v, ty) => {
+                let bits = ty.bits().expect("literal is int");
+                Ok(TV { v: Value::int(bits, *v as u128), ty: ty.clone() })
+            }
+            Expr::Var(n) => st
+                .env
+                .get(n)
+                .cloned()
+                .ok_or_else(|| CompileError(format!("unknown variable '{n}'"))),
+            Expr::Cast(ty, inner) => {
+                let tv = self.gen_expr(st, inner)?;
+                self.convert(st, tv, ty)
+            }
+            Expr::Unary(UnaryOp::Neg, inner) => {
+                let tv = self.gen_expr(st, inner)?;
+                let bits = tv.ty.bits().ok_or(CompileError("negating a pointer".into()))?;
+                let flags = self.signed_flags(&tv.ty);
+                let v = st.b.bin(BinOp::Sub, flags, Value::int(bits, 0), tv.v);
+                Ok(TV { v, ty: tv.ty })
+            }
+            Expr::Unary(UnaryOp::BitNot, inner) => {
+                let tv = self.gen_expr(st, inner)?;
+                let bits = tv.ty.bits().ok_or(CompileError("~ on a pointer".into()))?;
+                let v = st.b.xor(tv.v, Value::int(bits, u128::MAX));
+                Ok(TV { v, ty: tv.ty })
+            }
+            Expr::Unary(UnaryOp::Not, _)
+            | Expr::Binary(
+                BinaryOp::Lt
+                | BinaryOp::Le
+                | BinaryOp::Gt
+                | BinaryOp::Ge
+                | BinaryOp::Eq
+                | BinaryOp::Ne
+                | BinaryOp::LogicalAnd
+                | BinaryOp::LogicalOr,
+                _,
+                _,
+            ) => {
+                // A boolean used as a value: zext to int.
+                let c = self.gen_cond(st, e)?;
+                let v = st.b.zext(c, Ty::i32());
+                Ok(TV { v, ty: CType::int() })
+            }
+            Expr::Binary(op, l, r) => {
+                let (lv, rv, signed) = self.usual_conversions(st, l, r)?;
+                let bits = lv.ty.bits().ok_or(CompileError("arithmetic on pointers".into()))?;
+                let _ = bits;
+                let (irop, flags) = match op {
+                    BinaryOp::Add => (BinOp::Add, self.signed_flags(&lv.ty)),
+                    BinaryOp::Sub => (BinOp::Sub, self.signed_flags(&lv.ty)),
+                    BinaryOp::Mul => (BinOp::Mul, self.signed_flags(&lv.ty)),
+                    BinaryOp::Div => {
+                        (if signed { BinOp::SDiv } else { BinOp::UDiv }, Flags::NONE)
+                    }
+                    BinaryOp::Rem => {
+                        (if signed { BinOp::SRem } else { BinOp::URem }, Flags::NONE)
+                    }
+                    BinaryOp::Shl => (BinOp::Shl, Flags::NONE),
+                    BinaryOp::Shr => {
+                        (if signed { BinOp::AShr } else { BinOp::LShr }, Flags::NONE)
+                    }
+                    BinaryOp::And => (BinOp::And, Flags::NONE),
+                    BinaryOp::Or => (BinOp::Or, Flags::NONE),
+                    BinaryOp::Xor => (BinOp::Xor, Flags::NONE),
+                    _ => unreachable!("comparisons handled above"),
+                };
+                let v = st.b.bin(irop, flags, lv.v, rv.v);
+                Ok(TV { v, ty: lv.ty })
+            }
+            Expr::Index(base, idx) => {
+                let (ptr, elem_ty) = self.gen_index_ptr(st, base, idx)?;
+                let ir = ir_ty(&elem_ty)?;
+                let v = st.b.load(ir, ptr);
+                Ok(TV { v, ty: elem_ty })
+            }
+            Expr::Arrow(base, field) => self.gen_field_load(st, base, field),
+            Expr::Ternary(c, t, f) => {
+                // Lower as control flow (either arm may have effects).
+                let cv = self.gen_cond(st, c)?;
+                let t_bb = st.new_block("sel.t.");
+                let f_bb = st.new_block("sel.f.");
+                let m_bb = st.new_block("sel.end.");
+                st.b.br(cv, t_bb, f_bb);
+                st.b.switch_to(t_bb);
+                let tv = self.gen_expr(st, t)?;
+                let t_end = st.b.current_block();
+                st.b.switch_to(f_bb);
+                let fv = self.gen_expr(st, f)?;
+                let fv = self.convert(st, fv, &tv.ty)?;
+                let f_end = st.b.current_block();
+                st.b.switch_to(t_end);
+                st.b.jmp(m_bb);
+                st.b.switch_to(f_end);
+                st.b.jmp(m_bb);
+                st.b.switch_to(m_bb);
+                let ty = ir_ty(&tv.ty)?;
+                let v = st.b.phi(ty, vec![(tv.v, t_end), (fv.v, f_end)]);
+                Ok(TV { v, ty: tv.ty })
+            }
+            Expr::Call(name, args) => {
+                let (param_tys, ret) = self
+                    .signatures
+                    .get(name)
+                    .cloned()
+                    .ok_or_else(|| CompileError(format!("unknown function '{name}'")))?;
+                if param_tys.len() != args.len() {
+                    return err(format!("wrong argument count for '{name}'"));
+                }
+                let mut vals = Vec::with_capacity(args.len());
+                for (a, pty) in args.iter().zip(&param_tys) {
+                    let tv = self.gen_expr(st, a)?;
+                    vals.push(self.convert(st, tv, pty)?.v);
+                }
+                let ret_ir = ir_ty_ret(&ret)?;
+                let v = st.b.call(ret_ir, name, vals);
+                Ok(TV { v, ty: if ret == CType::Void { CType::int() } else { ret } })
+            }
+        }
+    }
+
+    fn gen_assign(&self, st: &mut GenState, lv: &LValue, e: &Expr) -> Result<()> {
+        match lv {
+            LValue::Var(n) => {
+                let target_ty = st
+                    .env
+                    .get(n)
+                    .map(|tv| tv.ty.clone())
+                    .ok_or_else(|| CompileError(format!("unknown variable '{n}'")))?;
+                let tv = self.gen_expr(st, e)?;
+                let tv = self.convert(st, tv, &target_ty)?;
+                st.env.insert(n.clone(), TV { v: tv.v, ty: target_ty });
+                Ok(())
+            }
+            LValue::Index(base, idx) => {
+                let (ptr, elem_ty) = self.gen_index_ptr(st, base, idx)?;
+                let tv = self.gen_expr(st, e)?;
+                let tv = self.convert(st, tv, &elem_ty)?;
+                st.b.store(tv.v, ptr);
+                Ok(())
+            }
+            LValue::Arrow(base, field) => self.gen_field_store(st, base, field, e),
+        }
+    }
+
+    /// Pointer + element type for `base[idx]`.
+    fn gen_index_ptr(&self, st: &mut GenState, base: &Expr, idx: &Expr) -> Result<(Value, CType)> {
+        let b = self.gen_expr(st, base)?;
+        let CType::Ptr(elem) = b.ty.clone() else {
+            return err(format!("indexing a non-pointer of type {}", b.ty));
+        };
+        if matches!(*elem, CType::Struct(_)) {
+            return err("indexing arrays of structs is not supported");
+        }
+        let i = self.gen_expr(st, idx)?;
+        if !i.ty.is_int() {
+            return err("array index must be an integer");
+        }
+        // Pointer-width (64-bit ptrdiff) index arithmetic: narrow
+        // indices are sign-extended — the per-iteration `cltq` that
+        // §2.4/Figure 3's induction-variable widening exists to remove.
+        let i = self.convert(st, i, &CType::long())?;
+        let ptr = st.b.gep(b.v, i.v, self.opts.emit_wrap_flags);
+        Ok((ptr, (*elem).clone()))
+    }
+
+    fn field_layout(&self, base_ty: &CType, field: &str) -> Result<(FieldLayout, String)> {
+        let CType::Ptr(inner) = base_ty else {
+            return err(format!("-> on non-pointer type {base_ty}"));
+        };
+        let CType::Struct(sname) = &**inner else {
+            return err(format!("-> on non-struct pointer {base_ty}"));
+        };
+        let layout = self
+            .prog_layouts
+            .get(sname)
+            .ok_or_else(|| CompileError(format!("unknown struct '{sname}'")))?;
+        let fl = layout
+            .fields
+            .iter()
+            .find(|(n, _)| n == field)
+            .map(|(_, l)| l.clone())
+            .ok_or_else(|| CompileError(format!("struct {sname} has no field '{field}'")))?;
+        Ok((fl, sname.clone()))
+    }
+
+    /// Byte-offset pointer into a struct, bitcast to `as_ty*`.
+    fn gen_member_ptr(
+        &self,
+        st: &mut GenState,
+        base: Value,
+        offset: u32,
+        as_ty: Ty,
+    ) -> Result<Value> {
+        let p = if offset == 0 {
+            base
+        } else {
+            st.b.gep(base, Value::int(32, u128::from(offset)), self.opts.emit_wrap_flags)
+        };
+        if as_ty == Ty::i8() {
+            Ok(p)
+        } else {
+            Ok(st.b.bitcast(p, Ty::ptr_to(as_ty)))
+        }
+    }
+
+    fn gen_field_load(&self, st: &mut GenState, base: &Expr, field: &str) -> Result<TV> {
+        let b = self.gen_expr(st, base)?;
+        let (fl, _) = self.field_layout(&b.ty, field)?;
+        match fl {
+            FieldLayout::Plain { offset, ty } => {
+                let ir = ir_ty(&ty)?;
+                let ptr = self.gen_member_ptr(st, b.v, offset, ir.clone())?;
+                let v = st.b.load(ir, ptr);
+                Ok(TV { v, ty })
+            }
+            FieldLayout::Bits { unit_offset, bit_offset, width, signed } => {
+                let ptr = self.gen_member_ptr(st, b.v, unit_offset, Ty::i32())?;
+                let unit = st.b.load(Ty::i32(), ptr);
+                // Extract [bit_offset, bit_offset+width).
+                let v = if signed {
+                    let up = st.b.shl(unit, Value::int(32, u128::from(32 - bit_offset - width)));
+                    st.b.ashr(up, Value::int(32, u128::from(32 - width)))
+                } else {
+                    let down = st.b.lshr(unit, Value::int(32, u128::from(bit_offset)));
+                    st.b.and(down, Value::int(32, (1u128 << width) - 1))
+                };
+                Ok(TV { v, ty: CType::Int { bits: 32, signed } })
+            }
+        }
+    }
+
+    /// §5.3: the bit-field store sequence. `f->field = e` with a
+    /// bit-field lowers to
+    ///
+    /// ```text
+    ///   %val  = load i32, %unit
+    ///   %val2 = freeze i32 %val        ; the paper's one-line change
+    ///   ...mask/merge %val2 and %e...
+    ///   store i32 %val3, %unit
+    /// ```
+    fn gen_field_store(
+        &self,
+        st: &mut GenState,
+        base: &Expr,
+        field: &str,
+        e: &Expr,
+    ) -> Result<()> {
+        let b = self.gen_expr(st, base)?;
+        let (fl, _) = self.field_layout(&b.ty, field)?;
+        match fl {
+            FieldLayout::Plain { offset, ty } => {
+                let ir = ir_ty(&ty)?;
+                let ptr = self.gen_member_ptr(st, b.v, offset, ir)?;
+                let tv = self.gen_expr(st, e)?;
+                let tv = self.convert(st, tv, &ty)?;
+                st.b.store(tv.v, ptr);
+                Ok(())
+            }
+            FieldLayout::Bits { unit_offset, bit_offset, width, signed } => {
+                let ptr = self.gen_member_ptr(st, b.v, unit_offset, Ty::i32())?;
+                let loaded = st.b.load(Ty::i32(), ptr.clone());
+                // The unit may be uninitialized (poison): without the
+                // freeze, the very first bit-field store would poison
+                // every neighbouring field forever (§5.3).
+                let unit = if self.opts.freeze_bitfields {
+                    st.b.freeze(loaded)
+                } else {
+                    loaded
+                };
+                let tv = self.gen_expr(st, e)?;
+                let tv = self.convert(st, tv, &CType::Int { bits: 32, signed })?;
+                let mask: u128 = (1u128 << width) - 1;
+                let cleared =
+                    st.b.and(unit, Value::int(32, !(mask << bit_offset)));
+                let masked = st.b.and(tv.v, Value::int(32, mask));
+                let placed = if bit_offset == 0 {
+                    masked
+                } else {
+                    st.b.shl(masked, Value::int(32, u128::from(bit_offset)))
+                };
+                let merged = st.b.or(cleared, placed);
+                st.b.store(merged, ptr);
+                Ok(())
+            }
+        }
+    }
+
+    fn signed_flags(&self, ty: &CType) -> Flags {
+        if self.opts.emit_wrap_flags && ty.signed() == Some(true) {
+            Flags::NSW
+        } else {
+            Flags::NONE
+        }
+    }
+
+    /// The usual arithmetic conversions: both operands to the common
+    /// type; returns the converted operands and the signedness.
+    fn usual_conversions(
+        &self,
+        st: &mut GenState,
+        l: &Expr,
+        r: &Expr,
+    ) -> Result<(TV, TV, bool)> {
+        let lv = self.gen_expr(st, l)?;
+        let rv = self.gen_expr(st, r)?;
+        // Pointer comparisons compare addresses.
+        if lv.ty.is_ptr() && rv.ty.is_ptr() {
+            return Ok((lv.clone(), rv, true));
+        }
+        let (lb, ls) = (lv.ty.bits().unwrap_or(32), lv.ty.signed().unwrap_or(true));
+        let (rb, rs) = (rv.ty.bits().unwrap_or(32), rv.ty.signed().unwrap_or(true));
+        // Promote to at least int, then to the larger; unsigned wins at
+        // equal rank.
+        let bits = lb.max(rb).max(32);
+        let signed = if lb.max(32) == rb.max(32) { ls && rs } else if lb > rb { ls } else { rs };
+        let target = CType::Int { bits, signed };
+        let lc = self.convert(st, lv, &target)?;
+        let rc = self.convert(st, rv, &target)?;
+        Ok((lc, rc, signed))
+    }
+
+    /// Converts a value to `target` (integer widen/narrow; pointers
+    /// only to themselves).
+    fn convert(&self, st: &mut GenState, tv: TV, target: &CType) -> Result<TV> {
+        if tv.ty == *target {
+            return Ok(tv);
+        }
+        match (&tv.ty, target) {
+            (CType::Int { bits: fb, signed: fs }, CType::Int { bits: tb, .. }) => {
+                let v = if tb > fb {
+                    if *fs {
+                        st.b.sext(tv.v, Ty::Int(*tb))
+                    } else {
+                        st.b.zext(tv.v, Ty::Int(*tb))
+                    }
+                } else if tb < fb {
+                    st.b.trunc(tv.v, Ty::Int(*tb))
+                } else {
+                    tv.v // same width, signedness reinterpreted
+                };
+                Ok(TV { v, ty: target.clone() })
+            }
+            (CType::Ptr(_), CType::Ptr(_)) => {
+                // Pointer casts reinterpret; both are 32-bit.
+                let ir = ir_ty(target)?;
+                let v = st.b.bitcast(tv.v, ir);
+                Ok(TV { v, ty: target.clone() })
+            }
+            (from, to) => err(format!("cannot convert {from} to {to}")),
+        }
+    }
+}
+
+fn cond_for(op: BinaryOp, signed: bool) -> Cond {
+    match (op, signed) {
+        (BinaryOp::Eq, _) => Cond::Eq,
+        (BinaryOp::Ne, _) => Cond::Ne,
+        (BinaryOp::Lt, true) => Cond::Slt,
+        (BinaryOp::Lt, false) => Cond::Ult,
+        (BinaryOp::Le, true) => Cond::Sle,
+        (BinaryOp::Le, false) => Cond::Ule,
+        (BinaryOp::Gt, true) => Cond::Sgt,
+        (BinaryOp::Gt, false) => Cond::Ugt,
+        (BinaryOp::Ge, true) => Cond::Sge,
+        (BinaryOp::Ge, false) => Cond::Uge,
+        _ => unreachable!("not a comparison"),
+    }
+}
+
+/// Collects variables assigned in `stmts` that are *free* (not locally
+/// declared), for loop phi placement.
+fn assigned_free_vars(stmts: &[Stmt], bound: &mut HashSet<String>, out: &mut HashSet<String>) {
+    let snapshot = bound.clone();
+    for s in stmts {
+        match s {
+            Stmt::Decl(n, _, _) => {
+                bound.insert(n.clone());
+            }
+            Stmt::Assign(LValue::Var(n), _) => {
+                if !bound.contains(n) {
+                    out.insert(n.clone());
+                }
+            }
+            Stmt::Assign(_, _) | Stmt::Expr(_) | Stmt::Return(_) => {}
+            Stmt::If(_, t, e) => {
+                assigned_free_vars(t, bound, out);
+                assigned_free_vars(e, bound, out);
+            }
+            Stmt::While(_, b) => assigned_free_vars(b, bound, out),
+            Stmt::For(init, _, step, b) => {
+                let mut inner = bound.clone();
+                assigned_free_vars(std::slice::from_ref(init), &mut inner, out);
+                assigned_free_vars(b, &mut inner, out);
+                assigned_free_vars(std::slice::from_ref(step), &mut inner, out);
+            }
+        }
+    }
+    *bound = snapshot;
+}

@@ -1,0 +1,73 @@
+//! # frost-cc
+//!
+//! A mini-C frontend for the frost compiler — the Clang stand-in for
+//! reproducing *"Taming Undefined Behavior in LLVM"* (PLDI 2017).
+//!
+//! The C-to-IR undefined-behavior mapping is the one the paper
+//! describes: signed arithmetic emits `nsw` (§2.1), pointer arithmetic
+//! emits `getelementptr inbounds` (§2.4), and bit-field stores insert a
+//! `freeze` of the loaded storage unit — the paper's one-line Clang
+//! change (§5.3), toggleable via
+//! [`CodegenOptions::freeze_bitfields`](irgen::CodegenOptions) to
+//! reproduce the legacy lowering.
+//!
+//! ```
+//! use frost_cc::{compile_source, CodegenOptions};
+//!
+//! let module = compile_source(
+//!     r#"
+//! int clamp_add(int a, int b) {
+//!     int s = a + b;          // emits add nsw
+//!     if (s > 100) s = 100;
+//!     return s;
+//! }
+//! "#,
+//!     &CodegenOptions::default(),
+//! )?;
+//! assert!(frost_ir::function_to_string(module.function("clamp_add").unwrap())
+//!     .contains("add nsw i32"));
+//! # Ok::<(), frost_cc::CcError>(())
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod ast;
+pub mod irgen;
+pub mod parse;
+
+pub use ast::{CType, Program};
+pub use irgen::{compile, CodegenOptions, CompileError};
+pub use parse::{parse_program, CParseError};
+
+/// A frontend failure: parse or codegen.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum CcError {
+    /// Syntax error.
+    Parse(CParseError),
+    /// Semantic/codegen error.
+    Compile(CompileError),
+}
+
+impl std::fmt::Display for CcError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CcError::Parse(e) => write!(f, "{e}"),
+            CcError::Compile(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl std::error::Error for CcError {}
+
+/// Parses and compiles mini-C source to a frost IR module.
+///
+/// # Errors
+///
+/// Returns [`CcError`] on syntax or semantic errors.
+pub fn compile_source(
+    src: &str,
+    opts: &CodegenOptions,
+) -> Result<frost_ir::Module, CcError> {
+    let prog = parse_program(src).map_err(CcError::Parse)?;
+    compile(&prog, opts).map_err(CcError::Compile)
+}

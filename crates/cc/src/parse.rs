@@ -1,0 +1,729 @@
+//! Lexer and recursive-descent parser for mini-C.
+
+use std::fmt;
+
+use crate::ast::*;
+
+/// A parse error with a 1-based line number.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct CParseError {
+    /// Offending line.
+    pub line: usize,
+    /// Description.
+    pub message: String,
+}
+
+impl fmt::Display for CParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for CParseError {}
+
+type Result<T> = std::result::Result<T, CParseError>;
+
+#[derive(Clone, PartialEq, Eq, Debug)]
+enum Tok {
+    Ident(String),
+    Int(i64, bool), // value, is_long
+    Punct(&'static str),
+}
+
+const PUNCTS: &[&str] = &[
+    "<<=", ">>=", "->", "++", "--", "<<", ">>", "<=", ">=", "==", "!=", "&&", "||", "+=", "-=",
+    "*=", "/=", "%=", "&=", "|=", "^=", "(", ")", "{", "}", "[", "]", ";", ",", ":", "?", "=",
+    "<", ">", "+", "-", "*", "/", "%", "&", "|", "^", "!", "~",
+];
+
+fn lex(src: &str) -> Result<Vec<(Tok, usize)>> {
+    let b = src.as_bytes();
+    let mut i = 0;
+    let mut line = 1;
+    let mut out = Vec::new();
+    'outer: while i < b.len() {
+        let c = b[i];
+        if c == b'\n' {
+            line += 1;
+            i += 1;
+            continue;
+        }
+        if c.is_ascii_whitespace() {
+            i += 1;
+            continue;
+        }
+        if c == b'/' && i + 1 < b.len() && b[i + 1] == b'/' {
+            while i < b.len() && b[i] != b'\n' {
+                i += 1;
+            }
+            continue;
+        }
+        if c == b'/' && i + 1 < b.len() && b[i + 1] == b'*' {
+            i += 2;
+            while i + 1 < b.len() && !(b[i] == b'*' && b[i + 1] == b'/') {
+                if b[i] == b'\n' {
+                    line += 1;
+                }
+                i += 1;
+            }
+            i += 2;
+            continue;
+        }
+        if c.is_ascii_alphabetic() || c == b'_' {
+            let start = i;
+            while i < b.len() && (b[i].is_ascii_alphanumeric() || b[i] == b'_') {
+                i += 1;
+            }
+            out.push((Tok::Ident(src[start..i].to_string()), line));
+            continue;
+        }
+        if c.is_ascii_digit() {
+            let start = i;
+            let mut radix = 10;
+            if c == b'0' && i + 1 < b.len() && (b[i + 1] | 32) == b'x' {
+                i += 2;
+                radix = 16;
+                while i < b.len() && b[i].is_ascii_hexdigit() {
+                    i += 1;
+                }
+            } else {
+                while i < b.len() && b[i].is_ascii_digit() {
+                    i += 1;
+                }
+            }
+            let text = if radix == 16 { &src[start + 2..i] } else { &src[start..i] };
+            let v = i64::from_str_radix(text, radix)
+                .map_err(|_| CParseError { line, message: format!("bad integer '{text}'") })?;
+            let mut is_long = false;
+            while i < b.len() && matches!(b[i] | 32, b'l' | b'u') {
+                if b[i] | 32 == b'l' {
+                    is_long = true;
+                }
+                i += 1;
+            }
+            out.push((Tok::Int(v, is_long), line));
+            continue;
+        }
+        for p in PUNCTS {
+            if src[i..].starts_with(p) {
+                out.push((Tok::Punct(p), line));
+                i += p.len();
+                continue 'outer;
+            }
+        }
+        return Err(CParseError { line, message: format!("unexpected character '{}'", c as char) });
+    }
+    Ok(out)
+}
+
+struct P {
+    toks: Vec<(Tok, usize)>,
+    pos: usize,
+}
+
+impl P {
+    fn line(&self) -> usize {
+        self.toks.get(self.pos).or_else(|| self.toks.last()).map(|t| t.1).unwrap_or(1)
+    }
+
+    fn err<T>(&self, m: impl Into<String>) -> Result<T> {
+        Err(CParseError { line: self.line(), message: m.into() })
+    }
+
+    fn peek(&self) -> Option<&Tok> {
+        self.toks.get(self.pos).map(|t| &t.0)
+    }
+
+    fn peek2(&self) -> Option<&Tok> {
+        self.toks.get(self.pos + 1).map(|t| &t.0)
+    }
+
+    fn next(&mut self) -> Result<Tok> {
+        match self.toks.get(self.pos) {
+            Some((t, _)) => {
+                self.pos += 1;
+                Ok(t.clone())
+            }
+            None => self.err("unexpected end of input"),
+        }
+    }
+
+    fn eat(&mut self, p: &str) -> bool {
+        if self.peek() == Some(&Tok::Punct(punct_ref(p))) {
+            self.pos += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect(&mut self, p: &str) -> Result<()> {
+        if self.eat(p) {
+            Ok(())
+        } else {
+            self.err(format!("expected '{p}'"))
+        }
+    }
+
+    fn eat_kw(&mut self, kw: &str) -> bool {
+        if matches!(self.peek(), Some(Tok::Ident(w)) if w == kw) {
+            self.pos += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect_ident(&mut self) -> Result<String> {
+        match self.next()? {
+            Tok::Ident(w) => Ok(w),
+            other => {
+                self.pos -= 1;
+                self.err(format!("expected an identifier, found {other:?}"))
+            }
+        }
+    }
+}
+
+fn punct_ref(p: &str) -> &'static str {
+    PUNCTS.iter().find(|q| **q == p).expect("known punct")
+}
+
+fn is_type_start(p: &P) -> bool {
+    matches!(
+        p.peek(),
+        Some(Tok::Ident(w)) if matches!(
+            w.as_str(),
+            "int" | "long" | "short" | "char" | "unsigned" | "signed" | "void" | "struct"
+        )
+    )
+}
+
+fn parse_type(p: &mut P) -> Result<CType> {
+    let mut signed = true;
+    let mut saw_sign = false;
+    loop {
+        if p.eat_kw("unsigned") {
+            signed = false;
+            saw_sign = true;
+        } else if p.eat_kw("signed") {
+            signed = true;
+            saw_sign = true;
+        } else {
+            break;
+        }
+    }
+    let base = if p.eat_kw("int") {
+        CType::Int { bits: 32, signed }
+    } else if p.eat_kw("long") {
+        p.eat_kw("int");
+        CType::Int { bits: 64, signed }
+    } else if p.eat_kw("short") {
+        p.eat_kw("int");
+        CType::Int { bits: 16, signed }
+    } else if p.eat_kw("char") {
+        CType::Int { bits: 8, signed }
+    } else if p.eat_kw("void") {
+        CType::Void
+    } else if p.eat_kw("struct") {
+        CType::Struct(p.expect_ident()?)
+    } else if saw_sign {
+        CType::Int { bits: 32, signed }
+    } else {
+        return p.err("expected a type");
+    };
+    let mut ty = base;
+    while p.eat("*") {
+        ty = CType::Ptr(Box::new(ty));
+    }
+    Ok(ty)
+}
+
+fn parse_struct(p: &mut P) -> Result<StructDecl> {
+    // 'struct' already consumed by the caller's lookahead decision.
+    let name = p.expect_ident()?;
+    p.expect("{")?;
+    let mut fields = Vec::new();
+    while !p.eat("}") {
+        let ty = parse_type(p)?;
+        let fname = p.expect_ident()?;
+        let bit_width = if p.eat(":") {
+            match p.next()? {
+                Tok::Int(v, _) if v > 0 => Some(v as u32),
+                _ => return p.err("expected a positive bit-field width"),
+            }
+        } else {
+            None
+        };
+        p.expect(";")?;
+        fields.push(FieldDecl { name: fname, ty, bit_width });
+    }
+    p.expect(";")?;
+    Ok(StructDecl { name, fields })
+}
+
+fn parse_params(p: &mut P) -> Result<Vec<ParamDecl>> {
+    let mut params = Vec::new();
+    if p.eat(")") {
+        return Ok(params);
+    }
+    if p.eat_kw("void") && p.eat(")") {
+        return Ok(params);
+    }
+    loop {
+        let ty = parse_type(p)?;
+        let name = p.expect_ident()?;
+        params.push(ParamDecl { name, ty });
+        if !p.eat(",") {
+            break;
+        }
+    }
+    p.expect(")")?;
+    Ok(params)
+}
+
+fn parse_block(p: &mut P) -> Result<Vec<Stmt>> {
+    p.expect("{")?;
+    let mut out = Vec::new();
+    while !p.eat("}") {
+        out.push(parse_stmt(p)?);
+    }
+    Ok(out)
+}
+
+fn parse_block_or_stmt(p: &mut P) -> Result<Vec<Stmt>> {
+    if p.peek() == Some(&Tok::Punct("{")) {
+        parse_block(p)
+    } else {
+        Ok(vec![parse_stmt(p)?])
+    }
+}
+
+fn parse_stmt(p: &mut P) -> Result<Stmt> {
+    if is_type_start(p) {
+        let ty = parse_type(p)?;
+        let name = p.expect_ident()?;
+        let init = if p.eat("=") { Some(parse_expr(p)?) } else { None };
+        p.expect(";")?;
+        return Ok(Stmt::Decl(name, ty, init));
+    }
+    if p.eat_kw("if") {
+        p.expect("(")?;
+        let cond = parse_expr(p)?;
+        p.expect(")")?;
+        let then = parse_block_or_stmt(p)?;
+        let els = if p.eat_kw("else") { parse_block_or_stmt(p)? } else { Vec::new() };
+        return Ok(Stmt::If(cond, then, els));
+    }
+    if p.eat_kw("while") {
+        p.expect("(")?;
+        let cond = parse_expr(p)?;
+        p.expect(")")?;
+        let body = parse_block_or_stmt(p)?;
+        return Ok(Stmt::While(cond, body));
+    }
+    if p.eat_kw("for") {
+        p.expect("(")?;
+        let init = if p.peek() == Some(&Tok::Punct(";")) {
+            p.expect(";")?;
+            Stmt::Expr(Expr::IntLit(0, CType::int()))
+        } else if is_type_start(p) {
+            let ty = parse_type(p)?;
+            let name = p.expect_ident()?;
+            p.expect("=")?;
+            let e = parse_expr(p)?;
+            p.expect(";")?;
+            Stmt::Decl(name, ty, Some(e))
+        } else {
+            let s = parse_simple_stmt(p)?;
+            p.expect(";")?;
+            s
+        };
+        let cond = if p.peek() == Some(&Tok::Punct(";")) {
+            Expr::IntLit(1, CType::int())
+        } else {
+            parse_expr(p)?
+        };
+        p.expect(";")?;
+        let step = if p.peek() == Some(&Tok::Punct(")")) {
+            Stmt::Expr(Expr::IntLit(0, CType::int()))
+        } else {
+            parse_simple_stmt(p)?
+        };
+        p.expect(")")?;
+        let body = parse_block_or_stmt(p)?;
+        return Ok(Stmt::For(Box::new(init), cond, Box::new(step), body));
+    }
+    if p.eat_kw("return") {
+        if p.eat(";") {
+            return Ok(Stmt::Return(None));
+        }
+        let e = parse_expr(p)?;
+        p.expect(";")?;
+        return Ok(Stmt::Return(Some(e)));
+    }
+    let s = parse_simple_stmt(p)?;
+    p.expect(";")?;
+    Ok(s)
+}
+
+/// Assignment (including compound assignment and `x++`/`x--`) or a bare
+/// expression.
+fn parse_simple_stmt(p: &mut P) -> Result<Stmt> {
+    let e = parse_expr(p)?;
+    // Postfix ++/-- as a statement.
+    if p.eat("++") || {
+        if p.peek() == Some(&Tok::Punct("--")) {
+            p.pos += 1;
+            return to_compound(p, e, BinaryOp::Sub, Expr::IntLit(1, CType::int()));
+        }
+        false
+    } {
+        return to_compound(p, e, BinaryOp::Add, Expr::IntLit(1, CType::int()));
+    }
+    for (tok, op) in [
+        ("+=", BinaryOp::Add),
+        ("-=", BinaryOp::Sub),
+        ("*=", BinaryOp::Mul),
+        ("/=", BinaryOp::Div),
+        ("%=", BinaryOp::Rem),
+        ("&=", BinaryOp::And),
+        ("|=", BinaryOp::Or),
+        ("^=", BinaryOp::Xor),
+        ("<<=", BinaryOp::Shl),
+        (">>=", BinaryOp::Shr),
+    ] {
+        if p.eat(tok) {
+            let rhs = parse_expr(p)?;
+            return to_compound(p, e, op, rhs);
+        }
+    }
+    if p.eat("=") {
+        let rhs = parse_expr(p)?;
+        let lv = to_lvalue(p, e)?;
+        return Ok(Stmt::Assign(lv, rhs));
+    }
+    Ok(Stmt::Expr(e))
+}
+
+fn to_compound(p: &P, e: Expr, op: BinaryOp, rhs: Expr) -> Result<Stmt> {
+    let lv = to_lvalue(p, e.clone())?;
+    Ok(Stmt::Assign(lv, Expr::Binary(op, Box::new(e), Box::new(rhs))))
+}
+
+fn to_lvalue(p: &P, e: Expr) -> Result<LValue> {
+    match e {
+        Expr::Var(n) => Ok(LValue::Var(n)),
+        Expr::Index(b, i) => Ok(LValue::Index(*b, *i)),
+        Expr::Arrow(b, f) => Ok(LValue::Arrow(*b, f)),
+        other => p.err(format!("not assignable: {other:?}")),
+    }
+}
+
+fn parse_expr(p: &mut P) -> Result<Expr> {
+    parse_ternary(p)
+}
+
+fn parse_ternary(p: &mut P) -> Result<Expr> {
+    let c = parse_bin(p, 0)?;
+    if p.eat("?") {
+        let t = parse_expr(p)?;
+        p.expect(":")?;
+        let f = parse_ternary(p)?;
+        return Ok(Expr::Ternary(Box::new(c), Box::new(t), Box::new(f)));
+    }
+    Ok(c)
+}
+
+/// Precedence-climbing over binary operators, `level` being the lowest
+/// precedence to accept.
+fn parse_bin(p: &mut P, level: usize) -> Result<Expr> {
+    const LEVELS: &[&[(&str, BinaryOp)]] = &[
+        &[("||", BinaryOp::LogicalOr)],
+        &[("&&", BinaryOp::LogicalAnd)],
+        &[("|", BinaryOp::Or)],
+        &[("^", BinaryOp::Xor)],
+        &[("&", BinaryOp::And)],
+        &[("==", BinaryOp::Eq), ("!=", BinaryOp::Ne)],
+        &[
+            ("<=", BinaryOp::Le),
+            (">=", BinaryOp::Ge),
+            ("<", BinaryOp::Lt),
+            (">", BinaryOp::Gt),
+        ],
+        &[("<<", BinaryOp::Shl), (">>", BinaryOp::Shr)],
+        &[("+", BinaryOp::Add), ("-", BinaryOp::Sub)],
+        &[("*", BinaryOp::Mul), ("/", BinaryOp::Div), ("%", BinaryOp::Rem)],
+    ];
+    if level >= LEVELS.len() {
+        return parse_unary(p);
+    }
+    let mut lhs = parse_bin(p, level + 1)?;
+    'outer: loop {
+        for (tok, op) in LEVELS[level] {
+            if p.eat(tok) {
+                let rhs = parse_bin(p, level + 1)?;
+                lhs = Expr::Binary(*op, Box::new(lhs), Box::new(rhs));
+                continue 'outer;
+            }
+        }
+        return Ok(lhs);
+    }
+}
+
+fn parse_unary(p: &mut P) -> Result<Expr> {
+    if p.eat("-") {
+        return Ok(Expr::Unary(UnaryOp::Neg, Box::new(parse_unary(p)?)));
+    }
+    if p.eat("!") {
+        return Ok(Expr::Unary(UnaryOp::Not, Box::new(parse_unary(p)?)));
+    }
+    if p.eat("~") {
+        return Ok(Expr::Unary(UnaryOp::BitNot, Box::new(parse_unary(p)?)));
+    }
+    // Cast: '(' type ')' unary.
+    if p.peek() == Some(&Tok::Punct("(")) {
+        let save = p.pos;
+        p.pos += 1;
+        if is_type_start(p) {
+            let ty = parse_type(p)?;
+            if p.eat(")") {
+                let inner = parse_unary(p)?;
+                return Ok(Expr::Cast(ty, Box::new(inner)));
+            }
+        }
+        p.pos = save;
+    }
+    parse_postfix(p)
+}
+
+fn parse_postfix(p: &mut P) -> Result<Expr> {
+    let mut e = parse_primary(p)?;
+    loop {
+        if p.eat("[") {
+            let idx = parse_expr(p)?;
+            p.expect("]")?;
+            e = Expr::Index(Box::new(e), Box::new(idx));
+        } else if p.eat("->") {
+            let f = p.expect_ident()?;
+            e = Expr::Arrow(Box::new(e), f);
+        } else {
+            return Ok(e);
+        }
+    }
+}
+
+fn parse_primary(p: &mut P) -> Result<Expr> {
+    match p.next()? {
+        Tok::Int(v, is_long) => Ok(Expr::IntLit(
+            v,
+            if is_long { CType::long() } else { CType::int() },
+        )),
+        Tok::Ident(name) => {
+            if p.peek() == Some(&Tok::Punct("(")) {
+                p.pos += 1;
+                let mut args = Vec::new();
+                if !p.eat(")") {
+                    loop {
+                        args.push(parse_expr(p)?);
+                        if !p.eat(",") {
+                            break;
+                        }
+                    }
+                    p.expect(")")?;
+                }
+                Ok(Expr::Call(name, args))
+            } else {
+                Ok(Expr::Var(name))
+            }
+        }
+        Tok::Punct("(") => {
+            let e = parse_expr(p)?;
+            p.expect(")")?;
+            Ok(e)
+        }
+        other => {
+            p.pos -= 1;
+            p.err(format!("unexpected token {other:?}"))
+        }
+    }
+}
+
+/// Parses a mini-C translation unit.
+///
+/// # Errors
+///
+/// Returns a [`CParseError`] with the offending line.
+pub fn parse_program(src: &str) -> Result<Program> {
+    let toks = lex(src)?;
+    let mut p = P { toks, pos: 0 };
+    let mut prog = Program::default();
+    while p.peek().is_some() {
+        if matches!(p.peek(), Some(Tok::Ident(w)) if w == "struct")
+            && matches!(p.peek2(), Some(Tok::Ident(_)))
+            && matches!(p.toks.get(p.pos + 2).map(|t| &t.0), Some(Tok::Punct("{")))
+        {
+            p.pos += 1; // 'struct'
+            prog.structs.push(parse_struct(&mut p)?);
+            continue;
+        }
+        if p.eat_kw("extern") {
+            let ret = parse_type(&mut p)?;
+            let name = p.expect_ident()?;
+            p.expect("(")?;
+            let mut params = Vec::new();
+            if !p.eat(")") {
+                if p.eat_kw("void") && p.eat(")") {
+                    // no params
+                } else {
+                    loop {
+                        let ty = parse_type(&mut p)?;
+                        // optional parameter name
+                        if matches!(p.peek(), Some(Tok::Ident(_))) {
+                            let _ = p.expect_ident();
+                        }
+                        params.push(ty);
+                        if !p.eat(",") {
+                            break;
+                        }
+                    }
+                    p.expect(")")?;
+                }
+            }
+            p.expect(";")?;
+            prog.externs.push(ExternDecl { name, ret, params });
+            continue;
+        }
+        let ret = parse_type(&mut p)?;
+        let name = p.expect_ident()?;
+        p.expect("(")?;
+        let params = parse_params(&mut p)?;
+        let body = parse_block(&mut p)?;
+        prog.functions.push(FuncDef { name, ret, params, body });
+    }
+    Ok(prog)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_a_small_function() {
+        let prog = parse_program(
+            r#"
+int add(int a, int b) {
+    int s = a + b;
+    return s;
+}
+"#,
+        )
+        .unwrap();
+        assert_eq!(prog.functions.len(), 1);
+        let f = &prog.functions[0];
+        assert_eq!(f.name, "add");
+        assert_eq!(f.params.len(), 2);
+        assert_eq!(f.body.len(), 2);
+    }
+
+    #[test]
+    fn parses_control_flow_and_compound_assign() {
+        let prog = parse_program(
+            r#"
+int sum(int n) {
+    int s = 0;
+    for (int i = 0; i < n; i++) {
+        s += i;
+    }
+    while (s > 100) s -= 100;
+    if (s == 0) { return 1; } else return s;
+}
+"#,
+        )
+        .unwrap();
+        let f = &prog.functions[0];
+        assert!(matches!(f.body[1], Stmt::For(..)));
+        assert!(matches!(f.body[2], Stmt::While(..)));
+        assert!(matches!(f.body[3], Stmt::If(..)));
+    }
+
+    #[test]
+    fn parses_structs_with_bitfields() {
+        let prog = parse_program(
+            r#"
+struct flags {
+    unsigned a : 3;
+    unsigned b : 5;
+    int count;
+};
+void set(struct flags *f) {
+    f->a = 5;
+    f->count = f->count + 1;
+}
+"#,
+        )
+        .unwrap();
+        assert_eq!(prog.structs.len(), 1);
+        assert_eq!(prog.structs[0].fields[0].bit_width, Some(3));
+        let f = &prog.functions[0];
+        assert!(matches!(&f.body[0], Stmt::Assign(LValue::Arrow(_, name), _) if name == "a"));
+    }
+
+    #[test]
+    fn parses_arrays_pointers_casts_and_calls() {
+        let prog = parse_program(
+            r#"
+extern int ext(int, long);
+long kernel(int *a, int n) {
+    long acc = 0;
+    for (int i = 0; i < n; i++) {
+        acc += (long)a[i] * 2L;
+    }
+    ext(n, acc);
+    return acc;
+}
+"#,
+        )
+        .unwrap();
+        assert_eq!(prog.externs.len(), 1);
+        assert_eq!(prog.externs[0].params.len(), 2);
+        let f = &prog.functions[0];
+        assert_eq!(f.params[0].ty, CType::Ptr(Box::new(CType::int())));
+    }
+
+    #[test]
+    fn precedence_is_c_like() {
+        let prog = parse_program("int f(int a, int b) { return a + b * 2 == a << 1; }").unwrap();
+        let Stmt::Return(Some(e)) = &prog.functions[0].body[0] else { panic!() };
+        // == at top; + on the left of it; << on the right.
+        let Expr::Binary(BinaryOp::Eq, l, r) = e else { panic!("{e:?}") };
+        assert!(matches!(**l, Expr::Binary(BinaryOp::Add, ..)));
+        assert!(matches!(**r, Expr::Binary(BinaryOp::Shl, ..)));
+    }
+
+    #[test]
+    fn comments_are_skipped() {
+        let prog = parse_program(
+            "// leading\nint f(void) { /* inline */ return 1; } // trailing",
+        )
+        .unwrap();
+        assert_eq!(prog.functions.len(), 1);
+    }
+
+    #[test]
+    fn ternary_and_logical_ops() {
+        let prog =
+            parse_program("int f(int a, int b) { return a && b ? a : b || 1; }").unwrap();
+        let Stmt::Return(Some(Expr::Ternary(c, _, f))) = &prog.functions[0].body[0] else {
+            panic!()
+        };
+        assert!(matches!(**c, Expr::Binary(BinaryOp::LogicalAnd, ..)));
+        assert!(matches!(**f, Expr::Binary(BinaryOp::LogicalOr, ..)));
+    }
+
+    #[test]
+    fn reports_errors_with_lines() {
+        let err = parse_program("int f() {\n  return $;\n}").unwrap_err();
+        assert_eq!(err.line, 2);
+    }
+}

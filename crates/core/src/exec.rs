@@ -1,0 +1,1297 @@
+//! The executable operational semantics (Figure 5 of the paper).
+//!
+//! The interpreter is deterministic given a *choice script*: whenever a
+//! rule is non-deterministic — `freeze` of poison, a use of `undef`,
+//! branch-on-poison under the legacy-unswitch semantics, the return
+//! value of an external call — the interpreter consumes the next entry
+//! of the script. [`enumerate_outcomes`] drives the interpreter over all
+//! scripts (re-executing from the start, model-checker style) and
+//! collects the [`OutcomeSet`]; [`run_concrete`] resolves every choice
+//! to 0 for a single deterministic run.
+
+use frost_ir::{
+    BinOp, BlockId, Cond, Flags, Function, Inst, InstId, Module, Terminator, Ty, Value,
+};
+
+use crate::mem::Memory;
+use crate::ops::{eval_binop, eval_cast, eval_icmp, ScalarResult};
+use crate::outcome::{Event, Outcome, OutcomeSet};
+use crate::sem::{PoisonAction, Semantics};
+use crate::val::{lower, poison_of, raise, Bit, Val};
+
+/// Resource limits for execution and enumeration.
+#[derive(Clone, Copy, Debug)]
+pub struct Limits {
+    /// Maximum instructions executed in a single run.
+    pub max_steps: u64,
+    /// Maximum number of scripts explored by [`enumerate_outcomes`].
+    pub max_states: u64,
+    /// Maximum number of options at a single choice point during
+    /// enumeration (a `freeze` of an `i8` needs 256).
+    pub max_fanout: u64,
+    /// Maximum call depth for calls to defined functions.
+    pub max_call_depth: u32,
+}
+
+impl Default for Limits {
+    fn default() -> Limits {
+        Limits { max_steps: 20_000, max_states: 200_000, max_fanout: 256, max_call_depth: 16 }
+    }
+}
+
+impl Limits {
+    /// Generous limits for long-running concrete executions (workload
+    /// simulation).
+    pub fn generous() -> Limits {
+        Limits { max_steps: 200_000_000, max_states: 1, max_fanout: 1, max_call_depth: 64 }
+    }
+}
+
+/// A non-UB failure of execution or enumeration.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum ExecError {
+    /// The per-run step limit was exceeded (possible divergence).
+    Fuel,
+    /// Enumeration exceeded the state limit.
+    StateExplosion,
+    /// A choice point had more options than `max_fanout`.
+    FanoutTooLarge(u64),
+    /// The input program used a feature the executor cannot handle
+    /// (e.g. enumerating every pointer value).
+    Unsupported(String),
+    /// The named function does not exist or arguments mismatch.
+    BadFunction(String),
+}
+
+impl std::fmt::Display for ExecError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ExecError::Fuel => write!(f, "step limit exceeded"),
+            ExecError::StateExplosion => write!(f, "enumeration state limit exceeded"),
+            ExecError::FanoutTooLarge(n) => write!(f, "choice with {n} options exceeds fanout limit"),
+            ExecError::Unsupported(s) => write!(f, "unsupported: {s}"),
+            ExecError::BadFunction(s) => write!(f, "bad function: {s}"),
+        }
+    }
+}
+
+impl std::error::Error for ExecError {}
+
+/// Result of a single scripted run.
+#[derive(Clone, Debug)]
+pub enum RunResult {
+    /// The run completed with the given behavior.
+    Done(Outcome),
+    /// The script was exhausted at a choice point with this many
+    /// options; the driver should fork.
+    NeedChoice(u64),
+}
+
+/// Reasons to abort the current run.
+enum Stop {
+    NeedChoice(u64),
+    Err(ExecError),
+}
+
+/// Non-local exits of instruction evaluation.
+enum Exc {
+    Ub,
+    Stop(Stop),
+}
+
+impl From<Stop> for Exc {
+    fn from(s: Stop) -> Exc {
+        Exc::Stop(s)
+    }
+}
+
+enum FlowResult {
+    Ret(Option<Val>),
+    Ub,
+}
+
+/// How choices are resolved.
+#[derive(Clone, Copy, Debug)]
+enum Policy<'s> {
+    Script(&'s [u64]),
+    Concrete,
+}
+
+struct Interp<'a, 's> {
+    module: &'a Module,
+    sem: Semantics,
+    limits: Limits,
+    policy: Policy<'s>,
+    next_choice: usize,
+    steps: u64,
+    mem: Memory,
+    trace: Vec<Event>,
+}
+
+impl<'a, 's> Interp<'a, 's> {
+    fn choose(&mut self, n: u64) -> Result<u64, Stop> {
+        if n == 0 {
+            return Err(Stop::Err(ExecError::Unsupported("empty choice domain".into())));
+        }
+        if n == 1 {
+            return Ok(0);
+        }
+        match self.policy {
+            Policy::Concrete => Ok(0),
+            Policy::Script(script) => {
+                if n > self.limits.max_fanout {
+                    return Err(Stop::Err(ExecError::FanoutTooLarge(n)));
+                }
+                match script.get(self.next_choice) {
+                    Some(&v) => {
+                        self.next_choice += 1;
+                        debug_assert!(v < n, "script entry within domain");
+                        Ok(v)
+                    }
+                    None => Err(Stop::NeedChoice(n)),
+                }
+            }
+        }
+    }
+
+    /// Chooses an arbitrary defined value of a scalar type (freeze of
+    /// poison, use of undef).
+    fn choose_scalar(&mut self, ty: &Ty) -> Result<Val, Stop> {
+        match ty {
+            Ty::Int(bits) => {
+                let n = if *bits >= 63 { u64::MAX } else { 1u64 << *bits };
+                let idx = self.choose(n)?;
+                Ok(Val::int(*bits, u128::from(idx)))
+            }
+            Ty::Ptr(_) => {
+                // The pointer domain is 2^32 addresses; enumerating it is
+                // never feasible, but a concrete run can pick null.
+                let idx = self.choose(1u64 << 32)?;
+                Ok(Val::Ptr(idx as u32))
+            }
+            other => Err(Stop::Err(ExecError::Unsupported(format!(
+                "cannot choose a value of type {other}"
+            )))),
+        }
+    }
+
+    /// Resolves `undef` at a *use*: each use of an undef register may
+    /// yield a different value (§3.1). Element-wise for vectors. Poison
+    /// and defined values pass through.
+    fn resolve_use(&mut self, v: Val) -> Result<Val, Stop> {
+        match v {
+            Val::Undef(ty) => self.choose_scalar(&ty),
+            Val::Vec(elems) => {
+                let mut out = Vec::with_capacity(elems.len());
+                for e in elems {
+                    out.push(self.resolve_use(e)?);
+                }
+                Ok(Val::Vec(out))
+            }
+            other => Ok(other),
+        }
+    }
+
+    fn exec_function(
+        &mut self,
+        func: &'a Function,
+        args: &[Val],
+        depth: u32,
+    ) -> Result<FlowResult, Stop> {
+        if args.len() != func.params.len() {
+            return Err(Stop::Err(ExecError::BadFunction(format!(
+                "@{} expects {} arguments, got {}",
+                func.name,
+                func.params.len(),
+                args.len()
+            ))));
+        }
+        let mut regs: Vec<Option<Val>> = vec![None; func.insts.len()];
+        let mut cur = BlockId::ENTRY;
+        let mut prev: Option<BlockId> = None;
+
+        'blocks: loop {
+            // Charge a step per block visit so empty infinite loops
+            // (e.g. `bb: br label %bb`) still exhaust fuel.
+            self.steps += 1;
+            if self.steps > self.limits.max_steps {
+                return Err(Stop::Err(ExecError::Fuel));
+            }
+            let block = func.block(cur);
+
+            // Evaluate all phis simultaneously against the incoming edge.
+            let mut phi_updates: Vec<(InstId, Val)> = Vec::new();
+            for &id in &block.insts {
+                let Inst::Phi { incoming, .. } = func.inst(id) else { break };
+                let from = prev.expect("phi in entry block rejected by verifier");
+                let (v, _) = incoming
+                    .iter()
+                    .find(|(_, bb)| *bb == from)
+                    .expect("verifier guarantees an incoming value per predecessor");
+                phi_updates.push((id, self.operand(func, &regs, args, v)));
+            }
+            for (id, v) in phi_updates {
+                self.steps += 1;
+                regs[id.index()] = Some(v);
+            }
+
+            for &id in &block.insts {
+                if matches!(func.inst(id), Inst::Phi { .. }) {
+                    continue;
+                }
+                self.steps += 1;
+                if self.steps > self.limits.max_steps {
+                    return Err(Stop::Err(ExecError::Fuel));
+                }
+                match self.eval_inst(func, &regs, args, id, depth) {
+                    Ok(v) => regs[id.index()] = Some(v),
+                    Err(Exc::Ub) => return Ok(FlowResult::Ub),
+                    Err(Exc::Stop(s)) => return Err(s),
+                }
+            }
+
+            match &block.term {
+                Terminator::Ret(v) => {
+                    let val = v.as_ref().map(|v| self.operand(func, &regs, args, v));
+                    return Ok(FlowResult::Ret(val));
+                }
+                Terminator::Jmp(dest) => {
+                    prev = Some(cur);
+                    cur = *dest;
+                }
+                Terminator::Br { cond, then_bb, else_bb } => {
+                    let c = self.operand(func, &regs, args, cond);
+                    let c = self.resolve_use(c)?;
+                    let taken = match c {
+                        Val::Int { v, .. } => v == 1,
+                        Val::Poison => match self.sem.branch_on_poison {
+                            PoisonAction::Ub => return Ok(FlowResult::Ub),
+                            PoisonAction::Nondet | PoisonAction::Propagate => {
+                                self.choose(2)? == 1
+                            }
+                        },
+                        other => {
+                            return Err(Stop::Err(ExecError::Unsupported(format!(
+                                "branch on {other}"
+                            ))))
+                        }
+                    };
+                    prev = Some(cur);
+                    cur = if taken { *then_bb } else { *else_bb };
+                }
+                Terminator::Unreachable => return Ok(FlowResult::Ub),
+            }
+            continue 'blocks;
+        }
+    }
+
+    fn operand(&self, _func: &Function, regs: &[Option<Val>], args: &[Val], v: &Value) -> Val {
+        match v {
+            Value::Inst(id) => regs[id.index()]
+                .clone()
+                .expect("SSA dominance guarantees the register is written"),
+            Value::Arg(i) => args[*i as usize].clone(),
+            Value::Const(c) => Val::from_const(c),
+        }
+    }
+
+    fn eval_inst(
+        &mut self,
+        func: &'a Function,
+        regs: &[Option<Val>],
+        args: &[Val],
+        id: InstId,
+        depth: u32,
+    ) -> Result<Val, Exc> {
+        let inst = func.inst(id);
+        match inst {
+            Inst::Bin { op, flags, ty, lhs, rhs } => {
+                let a = self.resolve_use(self.operand(func, regs, args, lhs))?;
+                let b = self.resolve_use(self.operand(func, regs, args, rhs))?;
+                self.eval_bin_val(*op, *flags, ty, a, b)
+            }
+            Inst::Icmp { cond, ty, lhs, rhs } => {
+                let a = self.resolve_use(self.operand(func, regs, args, lhs))?;
+                let b = self.resolve_use(self.operand(func, regs, args, rhs))?;
+                self.eval_icmp_val(*cond, ty, a, b)
+            }
+            Inst::Select { cond, ty, tval, fval } => {
+                let c = self.resolve_use(self.operand(func, regs, args, cond))?;
+                let tv = self.operand(func, regs, args, tval);
+                let fv = self.operand(func, regs, args, fval);
+                let taken = match c {
+                    Val::Int { v, .. } => v == 1,
+                    Val::Poison => match self.sem.select.poison_cond {
+                        PoisonAction::Propagate => return Ok(poison_of(ty)),
+                        PoisonAction::Ub => return Err(Exc::Ub),
+                        PoisonAction::Nondet => self.choose(2)? == 1,
+                    },
+                    other => {
+                        return Err(Exc::Stop(Stop::Err(ExecError::Unsupported(format!(
+                            "select on {other}"
+                        )))))
+                    }
+                };
+                if self.sem.select.propagate_unselected
+                    && (tv.contains_poison() || fv.contains_poison())
+                {
+                    return Ok(poison_of(ty));
+                }
+                Ok(if taken { tv } else { fv })
+            }
+            Inst::Phi { .. } => unreachable!("phis are evaluated at block entry"),
+            Inst::Freeze { ty, val } => {
+                let v = self.operand(func, regs, args, val);
+                self.freeze_val(ty, v)
+            }
+            Inst::Cast { kind, from_ty, to_ty, val } => {
+                let v = self.resolve_use(self.operand(func, regs, args, val))?;
+                let from_bits = from_ty.scalar_ty().int_bits().expect("verified int cast");
+                let to_bits = to_ty.scalar_ty().int_bits().expect("verified int cast");
+                Ok(map_elements(&v, to_ty, |e| match e.as_int() {
+                    Some(x) => Val::int(to_bits, eval_cast(*kind, from_bits, to_bits, x)),
+                    None => Val::Poison,
+                }))
+            }
+            Inst::Bitcast { from_ty, to_ty, val } => {
+                let v = self.operand(func, regs, args, val);
+                Ok(raise(to_ty, &lower(from_ty, &v)))
+            }
+            Inst::Gep { elem_ty, base, idx, inbounds, idx_ty, .. } => {
+                let b = self.resolve_use(self.operand(func, regs, args, base))?;
+                let i = self.resolve_use(self.operand(func, regs, args, idx))?;
+                let (Val::Ptr(addr), Val::Int { .. }) = (&b, &i) else {
+                    // Poison base or index -> poison pointer.
+                    return Ok(Val::Poison);
+                };
+                let idx_bits = idx_ty.int_bits().expect("verified gep index");
+                let offset = i.as_signed().expect("int") ;
+                let _ = idx_bits;
+                let stride = i128::from(elem_ty.byte_size());
+                let full = i128::from(*addr) + offset * stride;
+                if *inbounds && (full < 0 || full > i128::from(u32::MAX)) {
+                    // Pointer arithmetic overflow is deferred UB (§2.4).
+                    return Ok(Val::Poison);
+                }
+                Ok(Val::Ptr(full.rem_euclid(1i128 << 32) as u32))
+            }
+            Inst::Load { ty, ptr } => {
+                let p = self.resolve_use(self.operand(func, regs, args, ptr))?;
+                let Val::Ptr(addr) = p else { return Err(Exc::Ub) };
+                match self.mem.load(addr, ty.bitwidth()) {
+                    Some(bits) => Ok(raise(ty, &bits)),
+                    None => Err(Exc::Ub),
+                }
+            }
+            Inst::Store { ty, val, ptr } => {
+                let v = self.operand(func, regs, args, val);
+                let p = self.resolve_use(self.operand(func, regs, args, ptr))?;
+                let Val::Ptr(addr) = p else { return Err(Exc::Ub) };
+                let bits = lower(ty, &v);
+                if !self.mem.store(addr, &bits) {
+                    return Err(Exc::Ub);
+                }
+                Ok(Val::int(1, 0)) // dummy; stores define no register
+            }
+            Inst::ExtractElement { vec, idx, len, .. } => {
+                let v = self.operand(func, regs, args, vec);
+                let i = idx.as_int_const().expect("verified constant lane") as usize;
+                Ok(vector_elems(&v, *len as usize)[i].clone())
+            }
+            Inst::InsertElement { vec, elt, idx, len, .. } => {
+                let v = self.operand(func, regs, args, vec);
+                let e = self.operand(func, regs, args, elt);
+                let i = idx.as_int_const().expect("verified constant lane") as usize;
+                let mut elems = vector_elems(&v, *len as usize);
+                elems[i] = e;
+                Ok(Val::Vec(elems))
+            }
+            Inst::Call { ret_ty, callee, args: call_args, .. } => {
+                let mut vals = Vec::with_capacity(call_args.len());
+                for a in call_args {
+                    vals.push(self.operand(func, regs, args, a));
+                }
+                self.eval_call(ret_ty, callee, vals, depth)
+            }
+        }
+    }
+
+    fn eval_call(
+        &mut self,
+        ret_ty: &Ty,
+        callee: &str,
+        vals: Vec<Val>,
+        depth: u32,
+    ) -> Result<Val, Exc> {
+        if let Some(f) = self.module.function(callee) {
+            if depth >= self.limits.max_call_depth {
+                return Err(Exc::Stop(Stop::Err(ExecError::Fuel)));
+            }
+            return match self.exec_function(f, &vals, depth + 1)? {
+                FlowResult::Ub => Err(Exc::Ub),
+                FlowResult::Ret(Some(v)) => Ok(v),
+                FlowResult::Ret(None) => Ok(Val::int(1, 0)),
+            };
+        }
+        let Some(decl) = self.module.declaration(callee) else {
+            return Err(Exc::Stop(Stop::Err(ExecError::BadFunction(format!(
+                "unknown callee @{callee}"
+            )))));
+        };
+        if decl.attrs.readnone {
+            // A pure external function: poison in, poison out; otherwise
+            // an arbitrary (environment-chosen) result. Not observable.
+            if vals.iter().any(Val::contains_poison) {
+                return Ok(poison_of(ret_ty));
+            }
+            if ret_ty.is_void() {
+                return Ok(Val::int(1, 0));
+            }
+            return Ok(self.choose_scalar(ret_ty.scalar_ty())?);
+        }
+        // Side-effecting external call: poison reaching it is UB (§1:
+        // poison "triggers immediate UB if it reaches a side-effecting
+        // operation").
+        if self.sem.poison_call_arg_is_ub && vals.iter().any(Val::contains_poison) {
+            return Err(Exc::Ub);
+        }
+        let ret = if ret_ty.is_void() {
+            None
+        } else {
+            Some(self.choose_scalar(ret_ty.scalar_ty())?)
+        };
+        self.trace.push(Event { callee: callee.to_string(), args: vals, ret: ret.clone() });
+        Ok(ret.unwrap_or(Val::int(1, 0)))
+    }
+
+    fn eval_bin_val(
+        &mut self,
+        op: BinOp,
+        flags: Flags,
+        ty: &Ty,
+        a: Val,
+        b: Val,
+    ) -> Result<Val, Exc> {
+        let bits = ty.scalar_ty().int_bits().expect("verified integer binop");
+        let len = ty.vector_len();
+        match len {
+            None => self.bin_scalar(op, flags, bits, &a, &b),
+            Some(n) => {
+                let av = vector_elems(&a, n as usize);
+                let bv = vector_elems(&b, n as usize);
+                let mut out = Vec::with_capacity(n as usize);
+                for (x, y) in av.iter().zip(&bv) {
+                    out.push(self.bin_scalar(op, flags, bits, x, y)?);
+                }
+                Ok(Val::Vec(out))
+            }
+        }
+    }
+
+    fn bin_scalar(
+        &mut self,
+        op: BinOp,
+        flags: Flags,
+        bits: u32,
+        a: &Val,
+        b: &Val,
+    ) -> Result<Val, Exc> {
+        if op.may_have_immediate_ub() {
+            // Division: a poison divisor, or zero, is immediate UB; a
+            // poison dividend yields poison unless the divisor makes
+            // the signed-overflow case reachable.
+            let bv = match b {
+                Val::Poison => return Err(Exc::Ub),
+                Val::Int { v, .. } => *v,
+                other => {
+                    return Err(Exc::Stop(Stop::Err(ExecError::Unsupported(format!(
+                        "divide by {other}"
+                    )))))
+                }
+            };
+            if bv == 0 {
+                return Err(Exc::Ub);
+            }
+            if a.contains_poison() {
+                let divisor_is_minus1 = Val::int(bits, bv).as_signed() == Some(-1);
+                if matches!(op, BinOp::SDiv | BinOp::SRem) && divisor_is_minus1 {
+                    // poison could be INT_MIN: the UB case is reachable.
+                    return Err(Exc::Ub);
+                }
+                return Ok(Val::Poison);
+            }
+        } else if a.contains_poison() || b.contains_poison() {
+            return Ok(Val::Poison);
+        }
+        let (Some(x), Some(y)) = (a.as_int(), b.as_int()) else {
+            return Err(Exc::Stop(Stop::Err(ExecError::Unsupported(format!(
+                "binop on {a} and {b}"
+            )))));
+        };
+        match eval_binop(op, flags, bits, x, y) {
+            ScalarResult::Val(v) => Ok(Val::int(bits, v)),
+            ScalarResult::Poison => {
+                // §2.4 strawman semantics: deferred binop UB yields
+                // undef instead of poison.
+                if self.sem.wrap_flags_produce_undef {
+                    Ok(Val::Undef(Ty::Int(bits)))
+                } else {
+                    Ok(Val::Poison)
+                }
+            }
+            ScalarResult::Ub => Err(Exc::Ub),
+        }
+    }
+
+    fn eval_icmp_val(&mut self, cond: Cond, ty: &Ty, a: Val, b: Val) -> Result<Val, Exc> {
+        let scalar = |x: &Val, y: &Val| -> Val {
+            match (x, y) {
+                (Val::Poison, _) | (_, Val::Poison) => Val::Poison,
+                (Val::Int { bits, v: xa }, Val::Int { v: xb, .. }) => {
+                    Val::bool(eval_icmp(cond, *bits, *xa, *xb))
+                }
+                (Val::Ptr(pa), Val::Ptr(pb)) => Val::bool(eval_icmp(
+                    cond,
+                    frost_ir::PTR_BITS,
+                    u128::from(*pa),
+                    u128::from(*pb),
+                )),
+                _ => Val::Poison,
+            }
+        };
+        match ty.vector_len() {
+            None => Ok(scalar(&a, &b)),
+            Some(n) => {
+                let av = vector_elems(&a, n as usize);
+                let bv = vector_elems(&b, n as usize);
+                Ok(Val::Vec(av.iter().zip(&bv).map(|(x, y)| scalar(x, y)).collect()))
+            }
+        }
+    }
+
+    /// Figure 5's freeze rules: identity on defined values; an arbitrary
+    /// defined value for poison (and undef); element-wise for vectors.
+    fn freeze_val(&mut self, ty: &Ty, v: Val) -> Result<Val, Exc> {
+        match (ty, v) {
+            (Ty::Vector { elems, elem }, v) => {
+                let vals = vector_elems(&v, *elems as usize);
+                let mut out = Vec::with_capacity(vals.len());
+                for e in vals {
+                    out.push(self.freeze_scalar(elem, e)?);
+                }
+                Ok(Val::Vec(out))
+            }
+            (_, v) => self.freeze_scalar(ty, v),
+        }
+    }
+
+    fn freeze_scalar(&mut self, ty: &Ty, v: Val) -> Result<Val, Exc> {
+        match v {
+            Val::Poison | Val::Undef(_) => Ok(self.choose_scalar(ty)?),
+            defined => Ok(defined),
+        }
+    }
+}
+
+/// Splits a vector value into elements; scalar poison expands to
+/// all-poison (defensive — constants are already element-wise).
+fn vector_elems(v: &Val, len: usize) -> Vec<Val> {
+    match v {
+        Val::Vec(elems) => {
+            debug_assert_eq!(elems.len(), len);
+            elems.clone()
+        }
+        Val::Poison => vec![Val::Poison; len],
+        other => vec![other.clone(); len],
+    }
+}
+
+/// Maps a scalar function over a value that may be a vector.
+fn map_elements(v: &Val, result_ty: &Ty, f: impl Fn(&Val) -> Val) -> Val {
+    match result_ty.vector_len() {
+        None => f(v),
+        Some(n) => Val::Vec(vector_elems(v, n as usize).iter().map(f).collect()),
+    }
+}
+
+/// Runs `name` on `args` with the given choice script.
+///
+/// # Errors
+///
+/// Returns an [`ExecError`] on resource exhaustion or unsupported
+/// programs; UB is a *successful* run with [`Outcome::Ub`].
+pub fn run_with_script(
+    module: &Module,
+    name: &str,
+    args: &[Val],
+    mem: &Memory,
+    sem: Semantics,
+    limits: Limits,
+    script: &[u64],
+) -> Result<RunResult, ExecError> {
+    let Some(func) = module.function(name) else {
+        return Err(ExecError::BadFunction(format!("no function @{name}")));
+    };
+    let mut interp = Interp {
+        module,
+        sem,
+        limits,
+        policy: Policy::Script(script),
+        next_choice: 0,
+        steps: 0,
+        mem: mem.clone(),
+        trace: Vec::new(),
+    };
+    match interp.exec_function(func, args, 0) {
+        Ok(FlowResult::Ub) => Ok(RunResult::Done(Outcome::Ub)),
+        Ok(FlowResult::Ret(val)) => Ok(RunResult::Done(Outcome::Ret {
+            val,
+            mem: interp.mem.snapshot(),
+            trace: interp.trace,
+        })),
+        Err(Stop::NeedChoice(n)) => Ok(RunResult::NeedChoice(n)),
+        Err(Stop::Err(e)) => Err(e),
+    }
+}
+
+/// Enumerates *every* behavior of `name` on `args` by exploring all
+/// choice scripts.
+///
+/// # Errors
+///
+/// Returns an [`ExecError`] if the search exceeds [`Limits`] or the
+/// program draws from an unenumerable domain (e.g. freezing a pointer).
+pub fn enumerate_outcomes(
+    module: &Module,
+    name: &str,
+    args: &[Val],
+    mem: &Memory,
+    sem: Semantics,
+    limits: Limits,
+) -> Result<OutcomeSet, ExecError> {
+    let mut outcomes = OutcomeSet::new();
+    let mut stack: Vec<Vec<u64>> = vec![Vec::new()];
+    let mut states: u64 = 0;
+    while let Some(script) = stack.pop() {
+        states += 1;
+        if states > limits.max_states {
+            return Err(ExecError::StateExplosion);
+        }
+        match run_with_script(module, name, args, mem, sem, limits, &script)? {
+            RunResult::Done(outcome) => {
+                outcomes.insert(outcome);
+            }
+            RunResult::NeedChoice(n) => {
+                for i in 0..n {
+                    let mut s = script.clone();
+                    s.push(i);
+                    stack.push(s);
+                }
+            }
+        }
+    }
+    Ok(outcomes)
+}
+
+/// Runs `name` once, resolving every non-deterministic choice to 0
+/// (freeze-of-poison picks 0, a branch-on-poison under legacy-unswitch
+/// takes the else edge, external calls return 0).
+///
+/// Returns the behavior and the number of steps executed.
+///
+/// # Errors
+///
+/// Returns an [`ExecError`] on resource exhaustion or unsupported
+/// programs.
+pub fn run_concrete(
+    module: &Module,
+    name: &str,
+    args: &[Val],
+    mem: &Memory,
+    sem: Semantics,
+    limits: Limits,
+) -> Result<(Outcome, u64), ExecError> {
+    let Some(func) = module.function(name) else {
+        return Err(ExecError::BadFunction(format!("no function @{name}")));
+    };
+    let mut interp = Interp {
+        module,
+        sem,
+        limits,
+        policy: Policy::Concrete,
+        next_choice: 0,
+        steps: 0,
+        mem: mem.clone(),
+        trace: Vec::new(),
+    };
+    match interp.exec_function(func, args, 0) {
+        Ok(FlowResult::Ub) => Ok((Outcome::Ub, interp.steps)),
+        Ok(FlowResult::Ret(val)) => Ok((
+            Outcome::Ret { val, mem: interp.mem.snapshot(), trace: interp.trace },
+            interp.steps,
+        )),
+        Err(Stop::NeedChoice(_)) => unreachable!("concrete policy never forks"),
+        Err(Stop::Err(e)) => Err(e),
+    }
+}
+
+/// The memory-fill bit matching a semantics' treatment of uninitialized
+/// memory (§5.3): poison under the proposal, undef under legacy.
+pub fn uninit_fill(sem: &Semantics) -> Bit {
+    if sem.uninit_is_poison {
+        Bit::Poison
+    } else {
+        Bit::Undef
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use frost_ir::parse_module;
+
+    fn empty_mem() -> Memory {
+        Memory::zeroed(0)
+    }
+
+    fn outcomes_of(src: &str, fname: &str, args: Vec<Val>, sem: Semantics) -> OutcomeSet {
+        let m = parse_module(src).expect("parses");
+        enumerate_outcomes(&m, fname, &args, &empty_mem(), sem, Limits::default())
+            .expect("enumerates")
+    }
+
+    fn ret_vals(set: &OutcomeSet) -> Vec<Option<Val>> {
+        set.iter()
+            .filter_map(|o| match o {
+                Outcome::Ret { val, .. } => Some(val.clone()),
+                Outcome::Ub => None,
+            })
+            .collect()
+    }
+
+    #[test]
+    fn straight_line_arithmetic() {
+        let set = outcomes_of(
+            "define i8 @f(i8 %x) {\nentry:\n  %a = add i8 %x, 1\n  ret i8 %a\n}",
+            "f",
+            vec![Val::int(8, 41)],
+            Semantics::proposed(),
+        );
+        assert_eq!(set.len(), 1);
+        assert_eq!(ret_vals(&set), vec![Some(Val::int(8, 42))]);
+    }
+
+    #[test]
+    fn nsw_overflow_returns_poison() {
+        let set = outcomes_of(
+            "define i8 @f(i8 %x) {\nentry:\n  %a = add nsw i8 %x, 1\n  ret i8 %a\n}",
+            "f",
+            vec![Val::int(8, 127)],
+            Semantics::proposed(),
+        );
+        assert_eq!(ret_vals(&set), vec![Some(Val::Poison)]);
+    }
+
+    #[test]
+    fn division_by_zero_is_ub() {
+        let set = outcomes_of(
+            "define i8 @f(i8 %x) {\nentry:\n  %a = udiv i8 1, %x\n  ret i8 %a\n}",
+            "f",
+            vec![Val::int(8, 0)],
+            Semantics::proposed(),
+        );
+        assert!(set.may_ub());
+        assert_eq!(set.len(), 1);
+    }
+
+    #[test]
+    fn freeze_of_poison_enumerates_all_values() {
+        let set = outcomes_of(
+            "define i2 @f() {\nentry:\n  %a = freeze i2 poison\n  ret i2 %a\n}",
+            "f",
+            vec![],
+            Semantics::proposed(),
+        );
+        assert_eq!(set.len(), 4, "freeze i2 poison has 4 possible results");
+        assert!(!set.may_ub());
+    }
+
+    #[test]
+    fn freeze_of_defined_is_identity() {
+        let set = outcomes_of(
+            "define i8 @f(i8 %x) {\nentry:\n  %a = freeze i8 %x\n  ret i8 %a\n}",
+            "f",
+            vec![Val::int(8, 7)],
+            Semantics::proposed(),
+        );
+        assert_eq!(ret_vals(&set), vec![Some(Val::int(8, 7))]);
+    }
+
+    #[test]
+    fn all_uses_of_one_freeze_agree() {
+        // xor(freeze(p), freeze-same-register) is always 0.
+        let set = outcomes_of(
+            "define i2 @f() {\nentry:\n  %a = freeze i2 poison\n  %b = xor i2 %a, %a\n  ret i2 %b\n}",
+            "f",
+            vec![],
+            Semantics::proposed(),
+        );
+        assert_eq!(ret_vals(&set), vec![Some(Val::int(2, 0))]);
+    }
+
+    #[test]
+    fn undef_uses_are_independent_in_legacy() {
+        // %b = xor undef, undef can be anything: each use picks its own
+        // value (§3.1).
+        let set = outcomes_of(
+            "define i2 @f() {\nentry:\n  %b = xor i2 undef, undef\n  ret i2 %b\n}",
+            "f",
+            vec![],
+            Semantics::legacy_gvn(),
+        );
+        assert_eq!(set.len(), 4);
+    }
+
+    #[test]
+    fn mul_by_two_of_undef_is_even_only() {
+        // §3.1: mul %x, 2 with x undef yields only even values...
+        let mul = outcomes_of(
+            "define i8 @f() {\nentry:\n  %y = mul i8 undef, 2\n  ret i8 %y\n}",
+            "f",
+            vec![],
+            Semantics::legacy_gvn(),
+        );
+        let vals: Vec<u128> =
+            ret_vals(&mul).into_iter().map(|v| v.unwrap().as_int().unwrap()).collect();
+        assert!(vals.iter().all(|v| v % 2 == 0));
+        assert_eq!(vals.len(), 128);
+        // ...but add %x, %x yields every value (each use independent).
+        let add = outcomes_of(
+            "define i8 @f() {\nentry:\n  %x = add i8 undef, 0\n  ret i8 %x\n}",
+            "f",
+            vec![],
+            Semantics::legacy_gvn(),
+        );
+        assert_eq!(add.len(), 256);
+    }
+
+    #[test]
+    fn branch_on_poison_is_ub_under_proposed() {
+        let src = "define i8 @f() {\nentry:\n  br i1 poison, label %a, label %b\na:\n  ret i8 1\nb:\n  ret i8 2\n}";
+        let set = outcomes_of(src, "f", vec![], Semantics::proposed());
+        assert!(set.may_ub());
+        assert_eq!(set.len(), 1);
+
+        // Under legacy-unswitch it's a nondeterministic choice.
+        let set = outcomes_of(src, "f", vec![], Semantics::legacy_unswitch());
+        assert!(!set.may_ub());
+        assert_eq!(set.len(), 2);
+    }
+
+    #[test]
+    fn select_on_poison_condition_is_poison_under_proposed() {
+        let src = "define i8 @f(i8 %x, i8 %y) {\nentry:\n  %r = select i1 poison, i8 %x, i8 %y\n  ret i8 %r\n}";
+        let set = outcomes_of(
+            src,
+            "f",
+            vec![Val::int(8, 1), Val::int(8, 2)],
+            Semantics::proposed(),
+        );
+        assert_eq!(ret_vals(&set), vec![Some(Val::Poison)]);
+    }
+
+    #[test]
+    fn select_ignores_unselected_poison_under_proposed() {
+        // Figure 5: only the chosen arm matters.
+        let src = "define i8 @f() {\nentry:\n  %r = select i1 true, i8 3, i8 poison\n  ret i8 %r\n}";
+        let set = outcomes_of(src, "f", vec![], Semantics::proposed());
+        assert_eq!(ret_vals(&set), vec![Some(Val::int(8, 3))]);
+        // The LangRef/legacy-gvn reading poisons the result.
+        let set = outcomes_of(src, "f", vec![], Semantics::legacy_gvn());
+        assert_eq!(ret_vals(&set), vec![Some(Val::Poison)]);
+    }
+
+    #[test]
+    fn phi_and_loop_execution() {
+        // Sum 0..n on i8.
+        let src = r#"
+define i8 @sum(i8 %n) {
+entry:
+  br label %head
+head:
+  %i = phi i8 [ 0, %entry ], [ %i1, %body ]
+  %s = phi i8 [ 0, %entry ], [ %s1, %body ]
+  %c = icmp ult i8 %i, %n
+  br i1 %c, label %body, label %exit
+body:
+  %s1 = add i8 %s, %i
+  %i1 = add i8 %i, 1
+  br label %head
+exit:
+  ret i8 %s
+}
+"#;
+        let set = outcomes_of(src, "sum", vec![Val::int(8, 5)], Semantics::proposed());
+        assert_eq!(ret_vals(&set), vec![Some(Val::int(8, 10))]);
+    }
+
+    #[test]
+    fn memory_store_then_load() {
+        let m = parse_module(
+            r#"
+define i8 @f(i8* %p) {
+entry:
+  store i8 7, i8* %p
+  %v = load i8, i8* %p
+  ret i8 %v
+}
+"#,
+        )
+        .unwrap();
+        let mem = Memory::uninit(4, Bit::Poison);
+        let set = enumerate_outcomes(
+            &m,
+            "f",
+            &[Val::Ptr(Memory::BASE)],
+            &mem,
+            Semantics::proposed(),
+            Limits::default(),
+        )
+        .unwrap();
+        assert_eq!(ret_vals(&set), vec![Some(Val::int(8, 7))]);
+    }
+
+    #[test]
+    fn uninitialized_load_is_poison_under_proposed() {
+        let m = parse_module(
+            "define i8 @f(i8* %p) {\nentry:\n  %v = load i8, i8* %p\n  ret i8 %v\n}",
+        )
+        .unwrap();
+        let sem = Semantics::proposed();
+        let mem = Memory::uninit(1, uninit_fill(&sem));
+        let set = enumerate_outcomes(
+            &m,
+            "f",
+            &[Val::Ptr(Memory::BASE)],
+            &mem,
+            sem,
+            Limits::default(),
+        )
+        .unwrap();
+        assert_eq!(ret_vals(&set), vec![Some(Val::Poison)]);
+
+        // Legacy: undef.
+        let sem = Semantics::legacy_gvn();
+        let mem = Memory::uninit(1, uninit_fill(&sem));
+        let set = enumerate_outcomes(
+            &m,
+            "f",
+            &[Val::Ptr(Memory::BASE)],
+            &mem,
+            sem,
+            Limits::default(),
+        )
+        .unwrap();
+        assert_eq!(ret_vals(&set), vec![Some(Val::Undef(Ty::i8()))]);
+    }
+
+    #[test]
+    fn out_of_bounds_access_is_ub() {
+        let m = parse_module(
+            "define void @f(i8* %p) {\nentry:\n  store i8 1, i8* %p\n  ret void\n}",
+        )
+        .unwrap();
+        let mem = Memory::zeroed(4);
+        let set = enumerate_outcomes(
+            &m,
+            "f",
+            &[Val::Ptr(Memory::BASE + 4)],
+            &mem,
+            Semantics::proposed(),
+            Limits::default(),
+        )
+        .unwrap();
+        assert!(set.may_ub());
+        // Null too.
+        let set = enumerate_outcomes(
+            &m,
+            "f",
+            &[Val::Ptr(0)],
+            &mem,
+            Semantics::proposed(),
+            Limits::default(),
+        )
+        .unwrap();
+        assert!(set.may_ub());
+    }
+
+    #[test]
+    fn store_of_poison_pointer_is_ub() {
+        let m = parse_module(
+            "define void @f() {\nentry:\n  store i8 1, i8* poison\n  ret void\n}",
+        )
+        .unwrap();
+        let set = enumerate_outcomes(
+            &m,
+            "f",
+            &[],
+            &Memory::zeroed(4),
+            Semantics::proposed(),
+            Limits::default(),
+        )
+        .unwrap();
+        assert!(set.may_ub());
+    }
+
+    #[test]
+    fn external_calls_are_traced_and_poison_args_are_ub() {
+        let src = r#"
+declare void @use(i8)
+define void @f(i8 %x) {
+entry:
+  call void @use(i8 %x)
+  ret void
+}
+"#;
+        let m = parse_module(src).unwrap();
+        let set = enumerate_outcomes(
+            &m,
+            "f",
+            &[Val::int(8, 3)],
+            &empty_mem(),
+            Semantics::proposed(),
+            Limits::default(),
+        )
+        .unwrap();
+        let Outcome::Ret { trace, .. } = set.iter().next().unwrap() else { panic!() };
+        assert_eq!(trace.len(), 1);
+        assert_eq!(trace[0].callee, "use");
+        assert_eq!(trace[0].args, vec![Val::int(8, 3)]);
+
+        let set = enumerate_outcomes(
+            &m,
+            "f",
+            &[Val::Poison],
+            &empty_mem(),
+            Semantics::proposed(),
+            Limits::default(),
+        )
+        .unwrap();
+        assert!(set.may_ub(), "poison reaching a side-effecting call is UB");
+    }
+
+    #[test]
+    fn defined_function_calls_execute() {
+        let src = r#"
+define i8 @double(i8 %x) {
+entry:
+  %r = add i8 %x, %x
+  ret i8 %r
+}
+define i8 @f(i8 %x) {
+entry:
+  %r = call i8 @double(i8 %x)
+  %r2 = call i8 @double(i8 %r)
+  ret i8 %r2
+}
+"#;
+        let set = outcomes_of(src, "f", vec![Val::int(8, 3)], Semantics::proposed());
+        assert_eq!(ret_vals(&set), vec![Some(Val::int(8, 12))]);
+    }
+
+    #[test]
+    fn infinite_recursion_hits_depth_limit() {
+        let src = "define void @f() {\nentry:\n  call void @f()\n  ret void\n}";
+        let m = parse_module(src).unwrap();
+        let err = enumerate_outcomes(
+            &m,
+            "f",
+            &[],
+            &empty_mem(),
+            Semantics::proposed(),
+            Limits::default(),
+        )
+        .unwrap_err();
+        assert_eq!(err, ExecError::Fuel);
+    }
+
+    #[test]
+    fn infinite_loop_hits_fuel() {
+        let src = "define void @f() {\nentry:\n  br label %entry2\nentry2:\n  br label %entry2\n}";
+        let m = parse_module(src).unwrap();
+        let err = enumerate_outcomes(
+            &m,
+            "f",
+            &[],
+            &empty_mem(),
+            Semantics::proposed(),
+            Limits::default(),
+        )
+        .unwrap_err();
+        assert_eq!(err, ExecError::Fuel);
+    }
+
+    #[test]
+    fn gep_inbounds_overflow_is_poison() {
+        let src = r#"
+define i8* @f(i8* %p, i32 %i) {
+entry:
+  %q = getelementptr inbounds i8, i8* %p, i32 %i
+  ret i8* %q
+}
+"#;
+        let m = parse_module(src).unwrap();
+        // Address near the top of the space; a positive index overflows.
+        let set = enumerate_outcomes(
+            &m,
+            "f",
+            &[Val::Ptr(u32::MAX - 1), Val::int(32, 100)],
+            &empty_mem(),
+            Semantics::proposed(),
+            Limits::default(),
+        )
+        .unwrap();
+        assert_eq!(ret_vals(&set), vec![Some(Val::Poison)]);
+        // In-range index is fine.
+        let set = enumerate_outcomes(
+            &m,
+            "f",
+            &[Val::Ptr(0x1000), Val::int(32, 4)],
+            &empty_mem(),
+            Semantics::proposed(),
+            Limits::default(),
+        )
+        .unwrap();
+        assert_eq!(ret_vals(&set), vec![Some(Val::Ptr(0x1004))]);
+    }
+
+    #[test]
+    fn gep_scales_by_element_size() {
+        let src = r#"
+define i32* @f(i32* %p, i32 %i) {
+entry:
+  %q = getelementptr i32, i32* %p, i32 %i
+  ret i32* %q
+}
+"#;
+        let m = parse_module(src).unwrap();
+        let set = enumerate_outcomes(
+            &m,
+            "f",
+            &[Val::Ptr(0x1000), Val::int(32, 3)],
+            &empty_mem(),
+            Semantics::proposed(),
+            Limits::default(),
+        )
+        .unwrap();
+        assert_eq!(ret_vals(&set), vec![Some(Val::Ptr(0x100c))]);
+        // Negative index.
+        let set = enumerate_outcomes(
+            &m,
+            "f",
+            &[Val::Ptr(0x1000), Val::int(32, 0xffff_ffff)],
+            &empty_mem(),
+            Semantics::proposed(),
+            Limits::default(),
+        )
+        .unwrap();
+        assert_eq!(ret_vals(&set), vec![Some(Val::Ptr(0x0ffc))]);
+    }
+
+    #[test]
+    fn concrete_run_resolves_choices_to_zero() {
+        let m = parse_module(
+            "define i8 @f() {\nentry:\n  %a = freeze i8 poison\n  ret i8 %a\n}",
+        )
+        .unwrap();
+        let (o, steps) = run_concrete(
+            &m,
+            "f",
+            &[],
+            &empty_mem(),
+            Semantics::proposed(),
+            Limits::default(),
+        )
+        .unwrap();
+        assert_eq!(o.ret_val(), Some(&Val::int(8, 0)));
+        assert!(steps >= 1);
+    }
+
+    #[test]
+    fn vector_ops_are_element_wise() {
+        let src = r#"
+define <2 x i8> @f(<2 x i8> %v) {
+entry:
+  %r = add <2 x i8> %v, <i8 1, i8 poison>
+  ret <2 x i8> %r
+}
+"#;
+        let set = outcomes_of(
+            src,
+            "f",
+            vec![Val::Vec(vec![Val::int(8, 1), Val::int(8, 2)])],
+            Semantics::proposed(),
+        );
+        assert_eq!(
+            ret_vals(&set),
+            vec![Some(Val::Vec(vec![Val::int(8, 2), Val::Poison]))]
+        );
+    }
+
+    #[test]
+    fn bitcast_respects_bit_level_semantics() {
+        // <2 x i8> with one poison element, bitcast to i16 -> whole
+        // thing poison; bitcast to <2 x i8> of a defined i16 round
+        // trips.
+        let src = r#"
+define i16 @f(<2 x i8> %v) {
+entry:
+  %r = bitcast <2 x i8> %v to i16
+  ret i16 %r
+}
+"#;
+        let set = outcomes_of(
+            src,
+            "f",
+            vec![Val::Vec(vec![Val::Poison, Val::int(8, 2)])],
+            Semantics::proposed(),
+        );
+        assert_eq!(ret_vals(&set), vec![Some(Val::Poison)]);
+
+        let set = outcomes_of(
+            src,
+            "f",
+            vec![Val::Vec(vec![Val::int(8, 0x34), Val::int(8, 0x12)])],
+            Semantics::proposed(),
+        );
+        assert_eq!(ret_vals(&set), vec![Some(Val::int(16, 0x1234))]);
+    }
+
+    #[test]
+    fn sext_of_poison_is_poison() {
+        let set = outcomes_of(
+            "define i64 @f() {\nentry:\n  %r = sext i32 poison to i64\n  ret i64 %r\n}",
+            "f",
+            vec![],
+            Semantics::proposed(),
+        );
+        assert_eq!(ret_vals(&set), vec![Some(Val::Poison)]);
+    }
+
+    #[test]
+    fn sext_of_undef_has_correlated_bits() {
+        // §2.4: sext(undef) has all high bits equal -> max value is
+        // bounded. On i2 -> i4: results are sext of {0,1,2,3} =
+        // {0,1,0b1110,0b1111}.
+        let set = outcomes_of(
+            "define i4 @f() {\nentry:\n  %r = sext i2 undef to i4\n  ret i4 %r\n}",
+            "f",
+            vec![],
+            Semantics::legacy_gvn(),
+        );
+        let mut vals: Vec<u128> =
+            ret_vals(&set).into_iter().map(|v| v.unwrap().as_int().unwrap()).collect();
+        vals.sort_unstable();
+        assert_eq!(vals, vec![0, 1, 0b1110, 0b1111]);
+    }
+}

@@ -1,0 +1,135 @@
+//! The bit-wise memory of §4.2.
+//!
+//! `Mem` partially maps 32-bit addresses to bit-wise defined bytes.
+//! Here memory is a single allocated region starting at [`Memory::BASE`]
+//! (so address 0 — null — is always invalid). `Load(M, p, sz)` succeeds
+//! only if `p` is a non-poison address whose `sz` bits lie within the
+//! region; failure is immediate UB (Figure 5).
+
+use crate::val::{Bit, Bits};
+
+/// A flat, bit-granular memory region.
+#[derive(Clone, PartialEq, Eq, Hash, Debug)]
+pub struct Memory {
+    /// One entry per bit of the region, LSB-first within each byte.
+    bits: Vec<Bit>,
+}
+
+impl Memory {
+    /// Base address of the allocated region (null and low addresses are
+    /// invalid).
+    pub const BASE: u32 = 0x1000;
+
+    /// Allocates `size_bytes` of memory filled with `fill` (use
+    /// [`Bit::Poison`] under the proposed semantics, [`Bit::Undef`]
+    /// under the legacy ones).
+    pub fn uninit(size_bytes: u32, fill: Bit) -> Memory {
+        Memory { bits: vec![fill; size_bytes as usize * 8] }
+    }
+
+    /// Allocates zero-initialized memory.
+    pub fn zeroed(size_bytes: u32) -> Memory {
+        Memory::uninit(size_bytes, Bit::Zero)
+    }
+
+    /// Size of the region in bytes.
+    pub fn size_bytes(&self) -> u32 {
+        (self.bits.len() / 8) as u32
+    }
+
+    /// The address one past the end of the region.
+    pub fn end(&self) -> u32 {
+        Memory::BASE + self.size_bytes()
+    }
+
+    /// Returns `true` if a `width_bits`-wide access at `addr` lies
+    /// within the region.
+    pub fn in_bounds(&self, addr: u32, width_bits: u32) -> bool {
+        if addr < Memory::BASE {
+            return false;
+        }
+        let offset = (addr - Memory::BASE) as u64 * 8;
+        offset + u64::from(width_bits) <= self.bits.len() as u64
+    }
+
+    /// `Load(M, p, sz)`: reads `width_bits` starting at byte address
+    /// `addr`. Returns `None` (= immediate UB at the caller) if out of
+    /// bounds.
+    pub fn load(&self, addr: u32, width_bits: u32) -> Option<Bits> {
+        if !self.in_bounds(addr, width_bits) {
+            return None;
+        }
+        let offset = (addr - Memory::BASE) as usize * 8;
+        Some(self.bits[offset..offset + width_bits as usize].to_vec())
+    }
+
+    /// `Store(M, p, b)`: writes `bits` starting at byte address `addr`.
+    /// Returns `false` (= immediate UB at the caller) if out of bounds.
+    #[must_use]
+    pub fn store(&mut self, addr: u32, bits: &[Bit]) -> bool {
+        if !self.in_bounds(addr, bits.len() as u32) {
+            return false;
+        }
+        let offset = (addr - Memory::BASE) as usize * 8;
+        self.bits[offset..offset + bits.len()].copy_from_slice(bits);
+        true
+    }
+
+    /// A snapshot of the full bit contents (used to compare final
+    /// memories during refinement checking).
+    pub fn snapshot(&self) -> Bits {
+        self.bits.clone()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn null_and_low_addresses_are_invalid() {
+        let m = Memory::zeroed(16);
+        assert!(!m.in_bounds(0, 8));
+        assert!(!m.in_bounds(Memory::BASE - 1, 8));
+        assert!(m.in_bounds(Memory::BASE, 8));
+    }
+
+    #[test]
+    fn load_store_round_trip() {
+        let mut m = Memory::uninit(4, Bit::Poison);
+        let bits = vec![Bit::One, Bit::Zero, Bit::One, Bit::One, Bit::Zero, Bit::Zero, Bit::Zero, Bit::Zero];
+        assert!(m.store(Memory::BASE + 1, &bits));
+        assert_eq!(m.load(Memory::BASE + 1, 8), Some(bits));
+        // Neighbouring byte still poison.
+        assert_eq!(m.load(Memory::BASE, 8), Some(vec![Bit::Poison; 8]));
+    }
+
+    #[test]
+    fn out_of_bounds_fails() {
+        let mut m = Memory::zeroed(2);
+        assert_eq!(m.load(Memory::BASE + 2, 8), None);
+        assert_eq!(m.load(Memory::BASE + 1, 16), None);
+        assert!(!m.store(Memory::BASE + 2, &[Bit::Zero; 8]));
+        // A 16-bit load at the last byte fails, an 8-bit one succeeds.
+        assert!(m.load(Memory::BASE + 1, 8).is_some());
+    }
+
+    #[test]
+    fn sub_byte_widths_are_supported() {
+        let mut m = Memory::zeroed(1);
+        assert!(m.store(Memory::BASE, &[Bit::One]));
+        assert_eq!(m.load(Memory::BASE, 1), Some(vec![Bit::One]));
+        assert_eq!(
+            m.load(Memory::BASE, 8).unwrap()[1..],
+            vec![Bit::Zero; 7][..],
+            "remaining bits untouched"
+        );
+    }
+
+    #[test]
+    fn snapshot_reflects_stores() {
+        let mut m = Memory::zeroed(1);
+        assert!(m.store(Memory::BASE, &[Bit::One; 8]));
+        assert_eq!(m.snapshot(), vec![Bit::One; 8]);
+    }
+}

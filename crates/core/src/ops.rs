@@ -1,0 +1,266 @@
+//! Scalar evaluation of arithmetic, comparisons, and conversions on
+//! *defined* operands, including the poison-producing attribute checks
+//! (`nsw`/`nuw`/`exact`) and the immediate-UB cases of division.
+
+use frost_ir::value::{from_signed, to_signed, truncate};
+use frost_ir::{BinOp, CastKind, Cond, Flags};
+
+/// Result of a scalar operation on defined inputs.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum ScalarResult {
+    /// A defined result.
+    Val(u128),
+    /// The operation's deferred-UB condition fired (e.g. `nsw`
+    /// overflow): the result is poison.
+    Poison,
+    /// The operation's immediate-UB condition fired (e.g. division by
+    /// zero).
+    Ub,
+}
+
+/// Evaluates `a op b` on `bits`-wide defined payloads.
+pub fn eval_binop(op: BinOp, flags: Flags, bits: u32, a: u128, b: u128) -> ScalarResult {
+    use ScalarResult::*;
+    let sa = to_signed(a, bits);
+    let sb = to_signed(b, bits);
+    let smin = -(1i128 << (bits - 1));
+    let smax = (1i128 << (bits - 1)) - 1;
+    match op {
+        BinOp::Add => {
+            let wide = a + b;
+            let swide = sa + sb;
+            if flags.nuw && wide != truncate(wide, bits) {
+                return Poison;
+            }
+            if flags.nsw && (swide < smin || swide > smax) {
+                return Poison;
+            }
+            Val(truncate(wide, bits))
+        }
+        BinOp::Sub => {
+            let swide = sa - sb;
+            if flags.nuw && b > a {
+                return Poison;
+            }
+            if flags.nsw && (swide < smin || swide > smax) {
+                return Poison;
+            }
+            Val(truncate(a.wrapping_sub(b), bits))
+        }
+        BinOp::Mul => {
+            let wide = a.checked_mul(b);
+            let swide = sa.checked_mul(sb);
+            if flags.nuw && wide.map_or(true, |w| w != truncate(w, bits)) {
+                return Poison;
+            }
+            if flags.nsw && swide.map_or(true, |w| w < smin || w > smax) {
+                return Poison;
+            }
+            Val(truncate(a.wrapping_mul(b), bits))
+        }
+        BinOp::UDiv => {
+            if b == 0 {
+                return Ub;
+            }
+            let q = a / b;
+            if flags.exact && q * b != a {
+                return Poison;
+            }
+            Val(truncate(q, bits))
+        }
+        BinOp::SDiv => {
+            if b == 0 || (sa == smin && sb == -1) {
+                return Ub;
+            }
+            let q = sa / sb;
+            if flags.exact && q * sb != sa {
+                return Poison;
+            }
+            Val(from_signed(q, bits))
+        }
+        BinOp::URem => {
+            if b == 0 {
+                return Ub;
+            }
+            Val(truncate(a % b, bits))
+        }
+        BinOp::SRem => {
+            if b == 0 || (sa == smin && sb == -1) {
+                return Ub;
+            }
+            Val(from_signed(sa % sb, bits))
+        }
+        BinOp::Shl => {
+            if b >= u128::from(bits) {
+                return Poison; // shift past bitwidth is deferred UB (§2.2)
+            }
+            let sh = b as u32;
+            let r = truncate(a << sh, bits);
+            if flags.nuw && (a >> (bits - sh)) != 0 && sh > 0 {
+                return Poison;
+            }
+            if flags.nsw && to_signed(r, bits) >> sh != sa {
+                return Poison;
+            }
+            Val(r)
+        }
+        BinOp::LShr => {
+            if b >= u128::from(bits) {
+                return Poison;
+            }
+            let sh = b as u32;
+            if flags.exact && truncate(a, sh.min(128)) != 0 && sh > 0 {
+                return Poison;
+            }
+            Val(a >> sh)
+        }
+        BinOp::AShr => {
+            if b >= u128::from(bits) {
+                return Poison;
+            }
+            let sh = b as u32;
+            if flags.exact && truncate(a, sh.min(128)) != 0 && sh > 0 {
+                return Poison;
+            }
+            Val(from_signed(sa >> sh, bits))
+        }
+        BinOp::And => Val(a & b),
+        BinOp::Or => Val(a | b),
+        BinOp::Xor => Val(a ^ b),
+    }
+}
+
+/// Evaluates `a cond b` on `bits`-wide defined payloads.
+pub fn eval_icmp(cond: Cond, bits: u32, a: u128, b: u128) -> bool {
+    cond.eval(bits, a, b)
+}
+
+/// Evaluates a width conversion on a defined payload.
+pub fn eval_cast(kind: CastKind, from_bits: u32, to_bits: u32, v: u128) -> u128 {
+    match kind {
+        CastKind::Zext => v,
+        CastKind::Sext => from_signed(to_signed(v, from_bits), to_bits),
+        CastKind::Trunc => truncate(v, to_bits),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ScalarResult::{Poison, Ub, Val};
+
+    #[test]
+    fn add_wraps_without_flags() {
+        assert_eq!(eval_binop(BinOp::Add, Flags::NONE, 8, 255, 1), Val(0));
+        assert_eq!(eval_binop(BinOp::Add, Flags::NONE, 2, 3, 3), Val(2));
+    }
+
+    #[test]
+    fn add_nsw_poisons_on_signed_overflow() {
+        // 127 + 1 overflows i8 signed.
+        assert_eq!(eval_binop(BinOp::Add, Flags::NSW, 8, 127, 1), Poison);
+        // 255 + 1 == -1 + 1 == 0: no signed overflow.
+        assert_eq!(eval_binop(BinOp::Add, Flags::NSW, 8, 255, 1), Val(0));
+        // ...but it is an unsigned overflow.
+        assert_eq!(eval_binop(BinOp::Add, Flags::NUW, 8, 255, 1), Poison);
+    }
+
+    #[test]
+    fn sub_flags() {
+        assert_eq!(eval_binop(BinOp::Sub, Flags::NUW, 8, 1, 2), Poison);
+        assert_eq!(eval_binop(BinOp::Sub, Flags::NONE, 8, 1, 2), Val(255));
+        // -128 - 1 overflows signed i8.
+        assert_eq!(eval_binop(BinOp::Sub, Flags::NSW, 8, 0x80, 1), Poison);
+    }
+
+    #[test]
+    fn mul_flags() {
+        assert_eq!(eval_binop(BinOp::Mul, Flags::NONE, 8, 16, 16), Val(0));
+        assert_eq!(eval_binop(BinOp::Mul, Flags::NUW, 8, 16, 16), Poison);
+        assert_eq!(eval_binop(BinOp::Mul, Flags::NSW, 8, 16, 8), Poison);
+        assert_eq!(eval_binop(BinOp::Mul, Flags::NSW, 8, 11, 11), Val(121));
+    }
+
+    #[test]
+    fn division_ub_cases() {
+        assert_eq!(eval_binop(BinOp::UDiv, Flags::NONE, 8, 10, 0), Ub);
+        assert_eq!(eval_binop(BinOp::SDiv, Flags::NONE, 8, 10, 0), Ub);
+        // INT_MIN / -1 is immediate UB.
+        assert_eq!(eval_binop(BinOp::SDiv, Flags::NONE, 8, 0x80, 0xff), Ub);
+        assert_eq!(eval_binop(BinOp::SRem, Flags::NONE, 8, 0x80, 0xff), Ub);
+        assert_eq!(eval_binop(BinOp::URem, Flags::NONE, 8, 7, 0), Ub);
+        assert_eq!(eval_binop(BinOp::SDiv, Flags::NONE, 8, 0xf8, 2), Val(0xfc)); // -8/2 = -4
+    }
+
+    #[test]
+    fn exact_division() {
+        assert_eq!(eval_binop(BinOp::UDiv, Flags::EXACT, 8, 10, 2), Val(5));
+        assert_eq!(eval_binop(BinOp::UDiv, Flags::EXACT, 8, 11, 2), Poison);
+        assert_eq!(eval_binop(BinOp::SDiv, Flags::EXACT, 8, 0xf8, 2), Val(0xfc));
+        assert_eq!(eval_binop(BinOp::SDiv, Flags::EXACT, 8, 0xf9, 2), Poison);
+    }
+
+    #[test]
+    fn shift_past_bitwidth_is_poison() {
+        assert_eq!(eval_binop(BinOp::Shl, Flags::NONE, 8, 1, 8), Poison);
+        assert_eq!(eval_binop(BinOp::Shl, Flags::NONE, 8, 1, 200), Poison);
+        assert_eq!(eval_binop(BinOp::LShr, Flags::NONE, 8, 1, 8), Poison);
+        assert_eq!(eval_binop(BinOp::AShr, Flags::NONE, 8, 1, 9), Poison);
+        assert_eq!(eval_binop(BinOp::Shl, Flags::NONE, 8, 1, 7), Val(128));
+    }
+
+    #[test]
+    fn shl_wrap_flags() {
+        assert_eq!(eval_binop(BinOp::Shl, Flags::NUW, 8, 0x80, 1), Poison);
+        assert_eq!(eval_binop(BinOp::Shl, Flags::NUW, 8, 0x40, 1), Val(0x80));
+        // 0x40 << 1 = 0x80 = -128: sign changed, nsw poison.
+        assert_eq!(eval_binop(BinOp::Shl, Flags::NSW, 8, 0x40, 1), Poison);
+        assert_eq!(eval_binop(BinOp::Shl, Flags::NSW, 8, 0x20, 1), Val(0x40));
+    }
+
+    #[test]
+    fn exact_shifts() {
+        assert_eq!(eval_binop(BinOp::LShr, Flags::EXACT, 8, 4, 2), Val(1));
+        assert_eq!(eval_binop(BinOp::LShr, Flags::EXACT, 8, 5, 2), Poison);
+        assert_eq!(eval_binop(BinOp::AShr, Flags::EXACT, 8, 0xfc, 2), Val(0xff));
+        assert_eq!(eval_binop(BinOp::AShr, Flags::EXACT, 8, 0xfd, 2), Poison);
+    }
+
+    #[test]
+    fn ashr_is_arithmetic() {
+        assert_eq!(eval_binop(BinOp::AShr, Flags::NONE, 8, 0x80, 1), Val(0xc0));
+        assert_eq!(eval_binop(BinOp::LShr, Flags::NONE, 8, 0x80, 1), Val(0x40));
+    }
+
+    #[test]
+    fn bitwise_ops() {
+        assert_eq!(eval_binop(BinOp::And, Flags::NONE, 8, 0b1100, 0b1010), Val(0b1000));
+        assert_eq!(eval_binop(BinOp::Or, Flags::NONE, 8, 0b1100, 0b1010), Val(0b1110));
+        assert_eq!(eval_binop(BinOp::Xor, Flags::NONE, 8, 0b1100, 0b1010), Val(0b0110));
+    }
+
+    #[test]
+    fn casts() {
+        assert_eq!(eval_cast(CastKind::Zext, 8, 16, 0xff), 0xff);
+        assert_eq!(eval_cast(CastKind::Sext, 8, 16, 0xff), 0xffff);
+        assert_eq!(eval_cast(CastKind::Sext, 8, 16, 0x7f), 0x7f);
+        assert_eq!(eval_cast(CastKind::Trunc, 16, 8, 0x1234), 0x34);
+    }
+
+    #[test]
+    fn exhaustive_i2_add_nsw_against_reference() {
+        // Cross-check nsw on i2 against a direct signed computation.
+        for a in 0..4u128 {
+            for b in 0..4u128 {
+                let got = eval_binop(BinOp::Add, Flags::NSW, 2, a, b);
+                let s = to_signed(a, 2) + to_signed(b, 2);
+                let expect = if (-2..=1).contains(&s) {
+                    Val(truncate(s as u128, 2))
+                } else {
+                    Poison
+                };
+                assert_eq!(got, expect, "a={a} b={b}");
+            }
+        }
+    }
+}

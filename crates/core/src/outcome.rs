@@ -1,0 +1,190 @@
+//! Observable behaviors of a function execution.
+
+use std::collections::BTreeSet;
+use std::fmt;
+
+use crate::val::{Bits, Val};
+
+/// An observable event: a call to an external, side-effecting function.
+#[derive(Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct Event {
+    /// Callee symbol name.
+    pub callee: String,
+    /// Argument values at the call.
+    pub args: Vec<Val>,
+    /// The (non-deterministically chosen) return value the environment
+    /// produced, if the callee returns one. Pairing behaviors on this
+    /// value makes refinement sensitive to how the program *reacts* to
+    /// each possible environment.
+    pub ret: Option<Val>,
+}
+
+impl fmt::Display for Event {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "call @{}(", self.callee)?;
+        for (i, a) in self.args.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{a}")?;
+        }
+        write!(f, ")")?;
+        if let Some(r) = &self.ret {
+            write!(f, " -> {r}")?;
+        }
+        Ok(())
+    }
+}
+
+/// One complete behavior of a function on a given input.
+#[derive(Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub enum Outcome {
+    /// The execution triggered immediate undefined behavior.
+    Ub,
+    /// The execution returned.
+    Ret {
+        /// Returned value (`None` for `void`).
+        val: Option<Val>,
+        /// Final memory contents.
+        mem: Bits,
+        /// External calls made, in order.
+        trace: Vec<Event>,
+    },
+}
+
+impl Outcome {
+    /// Returns `true` for the UB outcome.
+    pub fn is_ub(&self) -> bool {
+        matches!(self, Outcome::Ub)
+    }
+
+    /// The returned value for `Ret` outcomes.
+    pub fn ret_val(&self) -> Option<&Val> {
+        match self {
+            Outcome::Ret { val, .. } => val.as_ref(),
+            Outcome::Ub => None,
+        }
+    }
+}
+
+impl fmt::Display for Outcome {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Outcome::Ub => write!(f, "UB"),
+            Outcome::Ret { val, trace, .. } => {
+                match val {
+                    Some(v) => write!(f, "ret {v}")?,
+                    None => write!(f, "ret void")?,
+                }
+                for e in trace {
+                    write!(f, "; {e}")?;
+                }
+                Ok(())
+            }
+        }
+    }
+}
+
+/// The set of all behaviors a function can exhibit on one input.
+#[derive(Clone, PartialEq, Eq, Debug, Default)]
+pub struct OutcomeSet {
+    /// Deduplicated outcomes in a deterministic order.
+    pub outcomes: BTreeSet<Outcome>,
+}
+
+impl OutcomeSet {
+    /// The empty set.
+    pub fn new() -> OutcomeSet {
+        OutcomeSet::default()
+    }
+
+    /// Inserts an outcome.
+    pub fn insert(&mut self, o: Outcome) {
+        self.outcomes.insert(o);
+    }
+
+    /// Returns `true` if UB is a possible behavior — in which case
+    /// *every* target behavior refines this input (UB grants the
+    /// implementation full freedom).
+    pub fn may_ub(&self) -> bool {
+        self.outcomes.iter().any(Outcome::is_ub)
+    }
+
+    /// Number of distinct behaviors.
+    pub fn len(&self) -> usize {
+        self.outcomes.len()
+    }
+
+    /// Returns `true` if no behavior was recorded (an execution error,
+    /// never a legal result of enumeration).
+    pub fn is_empty(&self) -> bool {
+        self.outcomes.is_empty()
+    }
+
+    /// Iterates the outcomes in deterministic order.
+    pub fn iter(&self) -> impl Iterator<Item = &Outcome> {
+        self.outcomes.iter()
+    }
+}
+
+impl fmt::Display for OutcomeSet {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{{")?;
+        for (i, o) in self.outcomes.iter().enumerate() {
+            if i > 0 {
+                write!(f, " | ")?;
+            }
+            write!(f, "{o}")?;
+        }
+        write!(f, "}}")
+    }
+}
+
+impl FromIterator<Outcome> for OutcomeSet {
+    fn from_iter<I: IntoIterator<Item = Outcome>>(iter: I) -> OutcomeSet {
+        OutcomeSet { outcomes: iter.into_iter().collect() }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ret(v: Val) -> Outcome {
+        Outcome::Ret { val: Some(v), mem: Vec::new(), trace: Vec::new() }
+    }
+
+    #[test]
+    fn dedup_and_order() {
+        let mut s = OutcomeSet::new();
+        s.insert(ret(Val::int(8, 2)));
+        s.insert(ret(Val::int(8, 1)));
+        s.insert(ret(Val::int(8, 2)));
+        assert_eq!(s.len(), 2);
+        let v: Vec<_> = s.iter().cloned().collect();
+        assert_eq!(v[0], ret(Val::int(8, 1)));
+    }
+
+    #[test]
+    fn may_ub() {
+        let mut s = OutcomeSet::new();
+        assert!(!s.may_ub());
+        s.insert(Outcome::Ub);
+        assert!(s.may_ub());
+    }
+
+    #[test]
+    fn display_is_informative() {
+        let o = Outcome::Ret {
+            val: Some(Val::int(8, 3)),
+            mem: Vec::new(),
+            trace: vec![Event {
+                callee: "use".into(),
+                args: vec![Val::int(8, 1)],
+                ret: None,
+            }],
+        };
+        assert_eq!(o.to_string(), "ret i8 3; call @use(i8 1)");
+        assert_eq!(Outcome::Ub.to_string(), "UB");
+    }
+}

@@ -1,0 +1,179 @@
+//! Pluggable undefined-behavior semantics.
+//!
+//! The paper's central observation (§3) is that LLVM's passes assumed
+//! *different* deferred-UB semantics — GVN needs branch-on-poison to be
+//! immediate UB, loop unswitching needs it to be a non-deterministic
+//! choice — and that both coexisting enables end-to-end miscompilation.
+//! [`Semantics`] makes every such choice an explicit knob, with three
+//! presets:
+//!
+//! * [`Semantics::proposed`] — the paper's §4 proposal;
+//! * [`Semantics::legacy_gvn`] — undef + poison, branch-on-poison is UB;
+//! * [`Semantics::legacy_unswitch`] — undef + poison, branch-on-poison
+//!   is a non-deterministic choice.
+
+/// What executing an operation on a poison input does.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum PoisonAction {
+    /// Immediate undefined behavior.
+    Ub,
+    /// A non-deterministic choice among the defined possibilities.
+    Nondet,
+    /// The result is poison.
+    Propagate,
+}
+
+/// How `select` treats poison (§3.4 catalogues the inconsistent options
+/// LLVM implemented simultaneously).
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct SelectSemantics {
+    /// Behavior when the *condition* is poison.
+    pub poison_cond: PoisonAction,
+    /// If `true`, a poison value in the *not-selected* arm also poisons
+    /// the result ("select as arithmetic", what the LangRef implied);
+    /// if `false`, only the chosen arm matters (matching `phi`, the
+    /// paper's choice).
+    pub propagate_unselected: bool,
+}
+
+/// A complete undefined-behavior model.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct Semantics {
+    /// Whether the `undef` value exists (legacy) or not (proposed).
+    pub has_undef: bool,
+    /// Behavior of `br` on a poison condition.
+    pub branch_on_poison: PoisonAction,
+    /// Behavior of `select`.
+    pub select: SelectSemantics,
+    /// What a load of uninitialized memory yields: `true` → poison
+    /// (proposed, §5.3), `false` → undef (legacy).
+    pub uninit_is_poison: bool,
+    /// Whether passing poison to an external (side-effecting) call is
+    /// immediate UB. The paper treats poison reaching a side-effecting
+    /// operation as triggering UB.
+    pub poison_call_arg_is_ub: bool,
+    /// Historical variant discussed in §2.4: deferred-UB results of
+    /// binary operations (nsw/nuw/exact violations, shift past width)
+    /// yield `undef` instead of poison. Under this semantics
+    /// induction-variable widening is *not* justified — `sext(undef)`
+    /// has correlated high bits.
+    pub wrap_flags_produce_undef: bool,
+    /// A short human-readable name for reports.
+    pub name: &'static str,
+}
+
+impl Semantics {
+    /// The paper's proposed semantics (§4):
+    ///
+    /// * no `undef`;
+    /// * all operations propagate poison except `phi`, `select`,
+    ///   `freeze`;
+    /// * `select` with poison condition yields poison, and only the
+    ///   *chosen* arm's poison matters (Figure 5);
+    /// * branching on poison is immediate UB;
+    /// * loads of uninitialized memory yield poison.
+    pub fn proposed() -> Semantics {
+        Semantics {
+            has_undef: false,
+            branch_on_poison: PoisonAction::Ub,
+            select: SelectSemantics {
+                poison_cond: PoisonAction::Propagate,
+                propagate_unselected: false,
+            },
+            uninit_is_poison: true,
+            poison_call_arg_is_ub: true,
+            wrap_flags_produce_undef: false,
+            name: "proposed",
+        }
+    }
+
+    /// The legacy semantics as *GVN* assumes it (§3.3): branch on poison
+    /// is UB (so replacing a value by an equal-comparing one is sound).
+    /// `select` follows the LangRef reading: poison in either arm
+    /// poisons the result.
+    pub fn legacy_gvn() -> Semantics {
+        Semantics {
+            has_undef: true,
+            branch_on_poison: PoisonAction::Ub,
+            select: SelectSemantics {
+                poison_cond: PoisonAction::Propagate,
+                propagate_unselected: true,
+            },
+            uninit_is_poison: false,
+            poison_call_arg_is_ub: true,
+            wrap_flags_produce_undef: false,
+            name: "legacy-gvn",
+        }
+    }
+
+    /// The legacy semantics as *loop unswitching* assumes it (§3.3):
+    /// branch on poison is a non-deterministic choice (hoisting a branch
+    /// out of a possibly-never-running loop is then sound).
+    pub fn legacy_unswitch() -> Semantics {
+        Semantics {
+            has_undef: true,
+            branch_on_poison: PoisonAction::Nondet,
+            select: SelectSemantics {
+                poison_cond: PoisonAction::Nondet,
+                propagate_unselected: false,
+            },
+            uninit_is_poison: false,
+            poison_call_arg_is_ub: true,
+            wrap_flags_produce_undef: false,
+            name: "legacy-unswitch",
+        }
+    }
+
+    /// The §2.4 strawman: like the legacy-GVN semantics, but deferred
+    /// UB of arithmetic yields `undef` rather than poison. Used to show
+    /// mechanically that induction-variable widening needs poison.
+    pub fn legacy_undef_overflow() -> Semantics {
+        Semantics {
+            wrap_flags_produce_undef: true,
+            name: "legacy-undef-overflow",
+            ..Semantics::legacy_gvn()
+        }
+    }
+
+    /// All three presets, for matrix-style experiments (§3 / E6).
+    pub fn all_presets() -> [Semantics; 3] {
+        [Semantics::proposed(), Semantics::legacy_gvn(), Semantics::legacy_unswitch()]
+    }
+}
+
+impl Default for Semantics {
+    fn default() -> Semantics {
+        Semantics::proposed()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn presets_differ_where_the_paper_says() {
+        let p = Semantics::proposed();
+        let g = Semantics::legacy_gvn();
+        let u = Semantics::legacy_unswitch();
+        // The §3.3 conflict in one line:
+        assert_eq!(p.branch_on_poison, PoisonAction::Ub);
+        assert_eq!(g.branch_on_poison, PoisonAction::Ub);
+        assert_eq!(u.branch_on_poison, PoisonAction::Nondet);
+        // undef removal:
+        assert!(!p.has_undef);
+        assert!(g.has_undef && u.has_undef);
+        // §5.3: uninitialized loads.
+        assert!(p.uninit_is_poison);
+        assert!(!g.uninit_is_poison);
+        // Figure 5: select only propagates the chosen arm under the
+        // proposal; the LangRef reading propagates both.
+        assert!(!p.select.propagate_unselected);
+        assert!(g.select.propagate_unselected);
+    }
+
+    #[test]
+    fn default_is_proposed() {
+        assert_eq!(Semantics::default().name, "proposed");
+    }
+}

@@ -1,0 +1,380 @@
+//! The semantic value domain of §4.2.
+//!
+//! ```text
+//! ⟦isz⟧   = Num(sz) ⊎ { poison }           (plus undef in legacy mode)
+//! ⟦ty*⟧   = Num(32) ⊎ { poison }
+//! ⟦<sz×ty>⟧ = {0..sz-1} → ⟦ty⟧             (element-wise)
+//! ```
+//!
+//! plus the *low-level bit representation* `⟦<8·sz × i1>⟧` used by memory
+//! and `bitcast`, with the two meta operations `ty↓` ([`lower`]) and
+//! `ty↑` ([`raise`]).
+
+use std::fmt;
+
+use frost_ir::value::{to_signed, truncate};
+use frost_ir::{Constant, Ty};
+
+/// A run-time value.
+#[derive(Clone, PartialEq, Eq, Hash, Debug, PartialOrd, Ord)]
+pub enum Val {
+    /// A defined integer of the given width.
+    Int {
+        /// Width in bits.
+        bits: u32,
+        /// Payload, truncated to `bits` bits.
+        v: u128,
+    },
+    /// A defined pointer (a 32-bit address).
+    Ptr(u32),
+    /// The poison value.
+    Poison,
+    /// The legacy `undef` value of the given type: *every use* may
+    /// resolve to a different arbitrary value. Only produced under the
+    /// legacy semantics.
+    Undef(Ty),
+    /// A vector value, one [`Val`] per element (each element is
+    /// independently poison/undef/defined, per §4.2).
+    Vec(Vec<Val>),
+}
+
+impl Val {
+    /// A defined integer, truncating to width.
+    pub fn int(bits: u32, v: u128) -> Val {
+        Val::Int { bits, v: truncate(v, bits) }
+    }
+
+    /// An `i1` boolean.
+    pub fn bool(b: bool) -> Val {
+        Val::int(1, b as u128)
+    }
+
+    /// Returns the payload if this is a defined integer.
+    pub fn as_int(&self) -> Option<u128> {
+        match self {
+            Val::Int { v, .. } => Some(*v),
+            _ => None,
+        }
+    }
+
+    /// Returns the signed payload if this is a defined integer.
+    pub fn as_signed(&self) -> Option<i128> {
+        match self {
+            Val::Int { bits, v } => Some(to_signed(*v, *bits)),
+            _ => None,
+        }
+    }
+
+    /// Returns the address if this is a defined pointer.
+    pub fn as_ptr(&self) -> Option<u32> {
+        match self {
+            Val::Ptr(a) => Some(*a),
+            _ => None,
+        }
+    }
+
+    /// Returns `true` if the value is (or contains) poison.
+    pub fn contains_poison(&self) -> bool {
+        match self {
+            Val::Poison => true,
+            Val::Vec(elems) => elems.iter().any(Val::contains_poison),
+            _ => false,
+        }
+    }
+
+    /// Returns `true` if the value is (or contains) undef.
+    pub fn contains_undef(&self) -> bool {
+        match self {
+            Val::Undef(_) => true,
+            Val::Vec(elems) => elems.iter().any(Val::contains_undef),
+            _ => false,
+        }
+    }
+
+    /// Returns `true` if the value is fully defined (no poison, no
+    /// undef, element-wise for vectors).
+    pub fn is_defined(&self) -> bool {
+        match self {
+            Val::Int { .. } | Val::Ptr(_) => true,
+            Val::Poison | Val::Undef(_) => false,
+            Val::Vec(elems) => elems.iter().all(Val::is_defined),
+        }
+    }
+
+    /// The type of this value (`Undef` carries one; others are
+    /// reconstructed).
+    pub fn ty(&self) -> Ty {
+        match self {
+            Val::Int { bits, .. } => Ty::Int(*bits),
+            // The pointee is not recoverable from a raw address; use i8*.
+            Val::Ptr(_) => Ty::ptr_to(Ty::i8()),
+            Val::Poison => Ty::Void, // poison is typed by context
+            Val::Undef(ty) => ty.clone(),
+            Val::Vec(elems) => {
+                let elem = elems.first().map(Val::ty).unwrap_or(Ty::Void);
+                Ty::vector(elems.len() as u32, elem)
+            }
+        }
+    }
+
+    /// Converts an IR constant to a semantic value.
+    pub fn from_const(c: &Constant) -> Val {
+        match c {
+            Constant::Int { bits, value } => Val::int(*bits, *value),
+            Constant::Null(_) => Val::Ptr(0),
+            Constant::Poison(ty) => poison_of(ty),
+            Constant::Undef(ty) => undef_of(ty),
+            Constant::Vector(elems) => Val::Vec(elems.iter().map(Val::from_const).collect()),
+        }
+    }
+}
+
+impl fmt::Display for Val {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Val::Int { bits, v } => write!(f, "i{bits} {v}"),
+            Val::Ptr(a) => write!(f, "ptr {a:#x}"),
+            Val::Poison => write!(f, "poison"),
+            Val::Undef(_) => write!(f, "undef"),
+            Val::Vec(elems) => {
+                write!(f, "<")?;
+                for (i, e) in elems.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ", ")?;
+                    }
+                    write!(f, "{e}")?;
+                }
+                write!(f, ">")
+            }
+        }
+    }
+}
+
+/// The poison value of a given type: scalar poison, or a vector of
+/// poison elements (per-element poison, §4.2).
+pub fn poison_of(ty: &Ty) -> Val {
+    match ty {
+        Ty::Vector { elems, elem } => {
+            Val::Vec((0..*elems).map(|_| poison_of(elem)).collect())
+        }
+        _ => Val::Poison,
+    }
+}
+
+/// The undef value of a given type (element-wise for vectors).
+pub fn undef_of(ty: &Ty) -> Val {
+    match ty {
+        Ty::Vector { elems, elem } => Val::Vec((0..*elems).map(|_| undef_of(elem)).collect()),
+        _ => Val::Undef(ty.clone()),
+    }
+}
+
+/// One bit of the low-level representation.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, PartialOrd, Ord)]
+pub enum Bit {
+    /// A defined 0 bit.
+    Zero,
+    /// A defined 1 bit.
+    One,
+    /// A poison bit.
+    Poison,
+    /// An undef bit (legacy semantics only).
+    Undef,
+}
+
+impl Bit {
+    /// The defined bit for a boolean.
+    pub fn of(b: bool) -> Bit {
+        if b {
+            Bit::One
+        } else {
+            Bit::Zero
+        }
+    }
+}
+
+/// A low-level bit representation (LSB first).
+pub type Bits = Vec<Bit>;
+
+/// `ty↓`: lowers a value to its bit representation.
+///
+/// Base types: poison lowers to all-poison bits, undef to all-undef
+/// bits, defined values to their binary representation. Vectors lower
+/// element-wise with concatenation.
+///
+/// # Panics
+///
+/// Panics if the value does not inhabit `ty`.
+pub fn lower(ty: &Ty, v: &Val) -> Bits {
+    let width = ty.bitwidth() as usize;
+    match (ty, v) {
+        (_, Val::Poison) => vec![Bit::Poison; width],
+        (_, Val::Undef(_)) => vec![Bit::Undef; width],
+        (Ty::Int(bits), Val::Int { bits: vb, v }) => {
+            assert_eq!(bits, vb, "integer width mismatch in lower");
+            (0..*bits).map(|i| Bit::of((v >> i) & 1 == 1)).collect()
+        }
+        (Ty::Ptr(_), Val::Ptr(a)) => {
+            (0..frost_ir::PTR_BITS).map(|i| Bit::of((a >> i) & 1 == 1)).collect()
+        }
+        (Ty::Vector { elems, elem }, Val::Vec(vs)) => {
+            assert_eq!(*elems as usize, vs.len(), "vector length mismatch in lower");
+            vs.iter().flat_map(|e| lower(elem, e)).collect()
+        }
+        _ => panic!("value {v} does not inhabit type {ty}"),
+    }
+}
+
+/// `ty↑`: raises a bit representation back to a value.
+///
+/// Base types: any poison bit makes the value poison; otherwise any
+/// undef bit makes it undef; otherwise the defined value. Vectors raise
+/// element-wise (so a poison element does not contaminate its
+/// neighbours — the property §5.3/§5.4 rely on).
+///
+/// # Panics
+///
+/// Panics if `bits.len() != ty.bitwidth()`.
+pub fn raise(ty: &Ty, bits: &[Bit]) -> Val {
+    assert_eq!(bits.len(), ty.bitwidth() as usize, "bit width mismatch in raise");
+    match ty {
+        Ty::Vector { elems, elem } => {
+            let w = elem.bitwidth() as usize;
+            Val::Vec((0..*elems as usize).map(|i| raise(elem, &bits[i * w..(i + 1) * w])).collect())
+        }
+        _ => {
+            if bits.iter().any(|b| *b == Bit::Poison) {
+                return Val::Poison;
+            }
+            if bits.iter().any(|b| *b == Bit::Undef) {
+                return undef_of(ty);
+            }
+            let mut v: u128 = 0;
+            for (i, b) in bits.iter().enumerate() {
+                if *b == Bit::One {
+                    v |= 1 << i;
+                }
+            }
+            match ty {
+                Ty::Int(w) => Val::int(*w, v),
+                Ty::Ptr(_) => Val::Ptr(v as u32),
+                _ => unreachable!("vector handled above; void has no bits"),
+            }
+        }
+    }
+}
+
+/// Enumerates every defined value of a *scalar* type, for resolving
+/// nondeterministic choices exhaustively.
+///
+/// Returns `None` if the domain is too large to enumerate (more than
+/// `cap` values) — callers must then fall back to sampling or report
+/// the check as inconclusive.
+pub fn enumerate_scalar(ty: &Ty, cap: usize) -> Option<Vec<Val>> {
+    match ty {
+        Ty::Int(bits) => {
+            if *bits >= 64 || (1u128 << *bits) > cap as u128 {
+                return None;
+            }
+            Some((0..(1u128 << *bits)).map(|v| Val::int(*bits, v)).collect())
+        }
+        // Pointer domains are never exhaustively enumerable.
+        _ => None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lower_raise_round_trips_defined_values() {
+        let ty = Ty::Int(5);
+        for v in 0..32u128 {
+            let val = Val::int(5, v);
+            assert_eq!(raise(&ty, &lower(&ty, &val)), val);
+        }
+    }
+
+    #[test]
+    fn lower_raise_round_trips_poison() {
+        let ty = Ty::Int(8);
+        assert_eq!(raise(&ty, &lower(&ty, &Val::Poison)), Val::Poison);
+        let vty = Ty::vector(2, Ty::Int(4));
+        let v = Val::Vec(vec![Val::Poison, Val::int(4, 9)]);
+        assert_eq!(raise(&vty, &lower(&vty, &v)), v);
+    }
+
+    #[test]
+    fn one_poison_bit_poisons_base_type() {
+        let ty = Ty::Int(4);
+        let mut bits = lower(&ty, &Val::int(4, 0b1010));
+        bits[2] = Bit::Poison;
+        assert_eq!(raise(&ty, &bits), Val::Poison);
+    }
+
+    #[test]
+    fn poison_element_does_not_contaminate_vector_neighbours() {
+        // §5.4: a vector raise keeps poison per-element.
+        let vty = Ty::vector(2, Ty::Int(8));
+        let mut bits = lower(&vty, &Val::Vec(vec![Val::int(8, 7), Val::int(8, 9)]));
+        bits[3] = Bit::Poison; // poison one bit of element 0
+        let raised = raise(&vty, &bits);
+        assert_eq!(raised, Val::Vec(vec![Val::Poison, Val::int(8, 9)]));
+    }
+
+    #[test]
+    fn bitcast_vector_to_scalar_spreads_poison() {
+        // Raising the same bits at scalar type poisons everything —
+        // exactly why §5.4 uses vector loads for widening.
+        let vty = Ty::vector(2, Ty::Int(8));
+        let sty = Ty::Int(16);
+        let mut bits = lower(&vty, &Val::Vec(vec![Val::int(8, 7), Val::int(8, 9)]));
+        bits[3] = Bit::Poison;
+        assert_eq!(raise(&sty, &bits), Val::Poison);
+    }
+
+    #[test]
+    fn undef_bits_raise_to_undef_unless_poisoned() {
+        let ty = Ty::Int(4);
+        let mut bits = vec![Bit::Zero, Bit::Undef, Bit::Zero, Bit::Zero];
+        assert_eq!(raise(&ty, &bits), Val::Undef(Ty::Int(4)));
+        bits[0] = Bit::Poison;
+        assert_eq!(raise(&ty, &bits), Val::Poison, "poison dominates undef");
+    }
+
+    #[test]
+    fn pointer_lowering_uses_32_bits() {
+        let ty = Ty::ptr_to(Ty::i8());
+        let bits = lower(&ty, &Val::Ptr(0x1234));
+        assert_eq!(bits.len(), 32);
+        assert_eq!(raise(&ty, &bits), Val::Ptr(0x1234));
+    }
+
+    #[test]
+    fn enumerate_scalar_respects_cap() {
+        assert_eq!(enumerate_scalar(&Ty::Int(2), 16).unwrap().len(), 4);
+        assert!(enumerate_scalar(&Ty::Int(8), 16).is_none());
+        assert!(enumerate_scalar(&Ty::ptr_to(Ty::i8()), 1 << 20).is_none());
+        assert_eq!(enumerate_scalar(&Ty::Int(1), 16).unwrap(), vec![Val::bool(false), Val::bool(true)]);
+    }
+
+    #[test]
+    fn from_const_handles_all_constants() {
+        assert_eq!(Val::from_const(&Constant::int(8, 300)), Val::int(8, 44));
+        assert_eq!(Val::from_const(&Constant::Poison(Ty::i8())), Val::Poison);
+        assert_eq!(
+            Val::from_const(&Constant::Poison(Ty::vector(2, Ty::i8()))),
+            Val::Vec(vec![Val::Poison, Val::Poison])
+        );
+        assert_eq!(Val::from_const(&Constant::Null(Ty::ptr_to(Ty::i8()))), Val::Ptr(0));
+        assert_eq!(Val::from_const(&Constant::Undef(Ty::i1())), Val::Undef(Ty::i1()));
+    }
+
+    #[test]
+    fn signed_view() {
+        assert_eq!(Val::int(2, 0b11).as_signed(), Some(-1));
+        assert_eq!(Val::int(8, 127).as_signed(), Some(127));
+        assert_eq!(Val::Poison.as_signed(), None);
+    }
+}

@@ -1,0 +1,74 @@
+//! # frost
+//!
+//! A from-scratch reproduction of *"Taming Undefined Behavior in LLVM"*
+//! (Lee, Kim, Song, Hur, Das, Majnemer, Regehr, Lopes — PLDI 2017):
+//! an LLVM-flavoured compiler whose IR carries the paper's *proposed*
+//! undefined-behavior semantics — a single deferred-UB value
+//! (`poison`), the new `freeze` instruction, and branch-on-poison as
+//! immediate UB — together with the machinery to *evaluate* that
+//! proposal the way the paper does.
+//!
+//! This crate is the facade: it re-exports the workspace's crates under
+//! one roof.
+//!
+//! | Module | Crate | Contents |
+//! |---|---|---|
+//! | [`ir`] | `frost-ir` | types, instructions, parser/printer, verifier, analyses |
+//! | [`core`](mod@core) | `frost-core` | Figure 5 operational semantics, pluggable UB models, outcome enumeration |
+//! | [`refine`] | `frost-refine` | Alive-style exhaustive refinement checking |
+//! | [`opt`] | `frost-opt` | the optimizer: every §3/§5 pass in legacy and fixed variants |
+//! | [`fuzz`] | `frost-fuzz` | opt-fuzz: exhaustive/random function generation + validation |
+//! | [`backend`] | `frost-backend` | isel (freeze→copy, poison→pinned undef reg), regalloc, simulator |
+//! | [`cc`] | `frost-cc` | mini-C frontend with the §5.3 bit-field freeze lowering |
+//! | [`workloads`] | `frost-workloads` | SPEC-/LNT-shaped synthetic benchmark programs |
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use frost::core::{enumerate_outcomes, Limits, Memory, Semantics};
+//! use frost::ir::parse_module;
+//! use frost::refine::{check_refinement, CheckOptions};
+//!
+//! // The §2.3 example: with nsw, `a + b > a` folds to `b > 0`.
+//! let src = parse_module(
+//!     "define i1 @f(i4 %a, i4 %b) {\nentry:\n  %s = add nsw i4 %a, %b\n  %c = icmp sgt i4 %s, %a\n  ret i1 %c\n}",
+//! )?;
+//! let tgt = parse_module(
+//!     "define i1 @f(i4 %a, i4 %b) {\nentry:\n  %c = icmp sgt i4 %b, 0\n  ret i1 %c\n}",
+//! )?;
+//! assert!(check_refinement(&src, "f", &tgt, "f", &CheckOptions::new(Semantics::proposed()))
+//!     .is_refinement());
+//!
+//! // freeze stops poison: all four i2 values are possible, never UB.
+//! let m = parse_module("define i2 @g() {\nentry:\n  %x = freeze i2 poison\n  ret i2 %x\n}")?;
+//! let outcomes =
+//!     enumerate_outcomes(&m, "g", &[], &Memory::zeroed(0), Semantics::proposed(), Limits::default())?;
+//! assert_eq!(outcomes.len(), 4);
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+#![warn(missing_docs)]
+
+/// The IR: types, instructions, parser, printer, verifier, analyses.
+pub use frost_ir as ir;
+
+/// The executable semantics: Figure 5, UB models, outcome enumeration.
+pub use frost_core as core;
+
+/// Exhaustive refinement checking (translation validation).
+pub use frost_refine as refine;
+
+/// The optimizer: legacy and fixed pass variants.
+pub use frost_opt as opt;
+
+/// opt-fuzz: function generation and validation campaigns.
+pub use frost_fuzz as fuzz;
+
+/// The backend: instruction selection, register allocation, simulator.
+pub use frost_backend as backend;
+
+/// The mini-C frontend.
+pub use frost_cc as cc;
+
+/// Synthetic benchmark programs.
+pub use frost_workloads as workloads;

@@ -1,0 +1,422 @@
+//! Exhaustive and random generation of small IR functions, after
+//! opt-fuzz (§6 of the paper: "exhaustively generate all LLVM functions
+//! with three instructions over 2-bit integer arithmetic").
+//!
+//! Functions are straight-line over a narrow integer type (i2 by
+//! default) with two integer arguments; the generator optionally mixes
+//! in `icmp` (producing i1 values), `select`, and `freeze`, with
+//! `poison`/`undef` constants. Enumeration is an odometer over
+//! per-slot option lists, exposed as a lazy iterator so huge spaces can
+//! be sampled with `step_by`.
+
+use frost_ir::{
+    BinOp, BlockId, Cond, Flags, Function, Inst, InstId, Param, Terminator, Ty, Value,
+};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// Configuration of the generated function space.
+#[derive(Clone, Debug)]
+pub struct GenConfig {
+    /// The narrow integer type (the paper uses i2).
+    pub int_bits: u32,
+    /// Number of instructions per function.
+    pub num_insts: usize,
+    /// Binary opcodes to include.
+    pub ops: Vec<BinOp>,
+    /// Include `nsw`/`nuw`/`exact` variants where supported.
+    pub flags: bool,
+    /// Include `icmp` (with these conditions) and `select` over the
+    /// resulting booleans.
+    pub conds: Vec<Cond>,
+    /// Include `freeze`.
+    pub freeze: bool,
+    /// Integer constants to use as operands.
+    pub consts: Vec<u128>,
+    /// Include the `poison` constant as an operand.
+    pub poison_const: bool,
+    /// Include the `undef` constant as an operand (legacy semantics).
+    pub undef_const: bool,
+}
+
+impl GenConfig {
+    /// The paper's setting, scaled for in-process checking: i2
+    /// arithmetic, all binary opcodes with attributes, no comparisons.
+    pub fn arithmetic(num_insts: usize) -> GenConfig {
+        GenConfig {
+            int_bits: 2,
+            num_insts,
+            ops: BinOp::ALL.to_vec(),
+            flags: true,
+            conds: Vec::new(),
+            freeze: true,
+            consts: vec![0, 1, 2, 3],
+            poison_const: true,
+            undef_const: false,
+        }
+    }
+
+    /// A compact space that still exercises every §3.4 select shape.
+    pub fn with_selects(num_insts: usize) -> GenConfig {
+        GenConfig {
+            int_bits: 2,
+            num_insts,
+            ops: vec![BinOp::Add, BinOp::And, BinOp::Or, BinOp::UDiv],
+            flags: true,
+            conds: vec![Cond::Eq, Cond::Ult, Cond::Slt],
+            freeze: true,
+            consts: vec![0, 1, 3],
+            poison_const: true,
+            undef_const: false,
+        }
+    }
+
+    /// Enables `undef` operands (for legacy-semantics hunting).
+    pub fn with_undef(mut self) -> GenConfig {
+        self.undef_const = true;
+        self
+    }
+}
+
+/// One instruction choice at a slot, given the values available so far.
+#[derive(Clone, Debug)]
+enum Template {
+    Bin { op: BinOp, flags: Flags, lhs: Value, rhs: Value },
+    Icmp { cond: Cond, lhs: Value, rhs: Value },
+    Select { cond: Value, tval: Value, fval: Value },
+    Freeze { val: Value, bool_ty: bool },
+}
+
+/// The values available as operands before slot `k`, split by type.
+struct Avail {
+    ints: Vec<Value>,
+    bools: Vec<Value>,
+}
+
+fn available(cfg: &GenConfig, prefix: &[Template]) -> Avail {
+    let mut ints: Vec<Value> = vec![Value::Arg(0), Value::Arg(1)];
+    for &c in &cfg.consts {
+        ints.push(Value::int(cfg.int_bits, c));
+    }
+    if cfg.poison_const {
+        ints.push(Value::poison(Ty::Int(cfg.int_bits)));
+    }
+    if cfg.undef_const {
+        ints.push(Value::undef(Ty::Int(cfg.int_bits)));
+    }
+    let mut bools: Vec<Value> = vec![Value::bool(false), Value::bool(true)];
+    for (i, t) in prefix.iter().enumerate() {
+        let v = Value::Inst(InstId(i as u32));
+        match t {
+            Template::Bin { .. } | Template::Select { .. } => ints.push(v),
+            Template::Icmp { .. } => bools.push(v),
+            Template::Freeze { bool_ty, .. } => {
+                if *bool_ty {
+                    bools.push(v);
+                } else {
+                    ints.push(v);
+                }
+            }
+        }
+    }
+    Avail { ints, bools }
+}
+
+fn flag_variants(cfg: &GenConfig, op: BinOp) -> Vec<Flags> {
+    if !cfg.flags {
+        return vec![Flags::NONE];
+    }
+    if op.supports_wrap_flags() {
+        vec![Flags::NONE, Flags::NSW, Flags::NUW, Flags::NSW_NUW]
+    } else if op.supports_exact() {
+        vec![Flags::NONE, Flags::EXACT]
+    } else {
+        vec![Flags::NONE]
+    }
+}
+
+/// All templates legal at a slot with the given available values.
+fn slot_options(cfg: &GenConfig, avail: &Avail) -> Vec<Template> {
+    let mut out = Vec::new();
+    for &op in &cfg.ops {
+        for flags in flag_variants(cfg, op) {
+            for lhs in &avail.ints {
+                for rhs in &avail.ints {
+                    out.push(Template::Bin {
+                        op,
+                        flags,
+                        lhs: lhs.clone(),
+                        rhs: rhs.clone(),
+                    });
+                }
+            }
+        }
+    }
+    for &cond in &cfg.conds {
+        for lhs in &avail.ints {
+            for rhs in &avail.ints {
+                out.push(Template::Icmp { cond, lhs: lhs.clone(), rhs: rhs.clone() });
+            }
+        }
+    }
+    if !cfg.conds.is_empty() {
+        for cond in &avail.bools {
+            for tval in &avail.ints {
+                for fval in &avail.ints {
+                    out.push(Template::Select {
+                        cond: cond.clone(),
+                        tval: tval.clone(),
+                        fval: fval.clone(),
+                    });
+                }
+            }
+        }
+    }
+    if cfg.freeze {
+        for val in &avail.ints {
+            out.push(Template::Freeze { val: val.clone(), bool_ty: false });
+        }
+    }
+    out
+}
+
+fn build_function(cfg: &GenConfig, templates: &[Template], name: &str) -> Function {
+    let int_ty = Ty::Int(cfg.int_bits);
+    let mut func = Function {
+        name: name.to_string(),
+        params: vec![
+            Param { name: "a".into(), ty: int_ty.clone() },
+            Param { name: "b".into(), ty: int_ty.clone() },
+        ],
+        ret_ty: Ty::Void, // patched below
+        blocks: vec![frost_ir::Block::new("entry")],
+        insts: Vec::with_capacity(templates.len()),
+    };
+    for t in templates {
+        let inst = match t {
+            Template::Bin { op, flags, lhs, rhs } => Inst::Bin {
+                op: *op,
+                flags: *flags,
+                ty: int_ty.clone(),
+                lhs: lhs.clone(),
+                rhs: rhs.clone(),
+            },
+            Template::Icmp { cond, lhs, rhs } => Inst::Icmp {
+                cond: *cond,
+                ty: int_ty.clone(),
+                lhs: lhs.clone(),
+                rhs: rhs.clone(),
+            },
+            Template::Select { cond, tval, fval } => Inst::Select {
+                cond: cond.clone(),
+                ty: int_ty.clone(),
+                tval: tval.clone(),
+                fval: fval.clone(),
+            },
+            Template::Freeze { val, bool_ty } => Inst::Freeze {
+                ty: if *bool_ty { Ty::i1() } else { int_ty.clone() },
+                val: val.clone(),
+            },
+        };
+        let id = func.add_inst(inst);
+        func.blocks[0].insts.push(id);
+    }
+    let last = InstId((templates.len() - 1) as u32);
+    func.ret_ty = func.inst(last).result_ty();
+    func.blocks[0].term = Terminator::Ret(Some(Value::Inst(last)));
+    let _ = BlockId::ENTRY;
+    func
+}
+
+/// Lazy exhaustive enumeration of the function space.
+pub struct ExhaustiveFunctions {
+    cfg: GenConfig,
+    /// Odometer indices, one per instruction slot.
+    indices: Vec<usize>,
+    /// Chosen templates for the current prefix.
+    templates: Vec<Template>,
+    /// Option lists per slot (computed from the current prefix).
+    options: Vec<Vec<Template>>,
+    counter: u64,
+    done: bool,
+}
+
+impl ExhaustiveFunctions {
+    /// Starts enumeration.
+    pub fn new(cfg: GenConfig) -> ExhaustiveFunctions {
+        assert!(cfg.num_insts >= 1, "need at least one instruction");
+        let mut e = ExhaustiveFunctions {
+            cfg,
+            indices: Vec::new(),
+            templates: Vec::new(),
+            options: Vec::new(),
+            counter: 0,
+            done: false,
+        };
+        e.fill_from(0);
+        e
+    }
+
+    /// (Re)computes options and picks index 0 for slots `from..`.
+    fn fill_from(&mut self, from: usize) {
+        self.indices.truncate(from);
+        self.templates.truncate(from);
+        self.options.truncate(from);
+        for k in from..self.cfg.num_insts {
+            let avail = available(&self.cfg, &self.templates);
+            let opts = slot_options(&self.cfg, &avail);
+            assert!(!opts.is_empty(), "slot {k} has no options");
+            self.templates.push(opts[0].clone());
+            self.options.push(opts);
+            self.indices.push(0);
+        }
+    }
+
+    /// Advances the odometer; returns `false` at the end of the space.
+    fn advance(&mut self) -> bool {
+        let mut k = self.cfg.num_insts;
+        loop {
+            if k == 0 {
+                return false;
+            }
+            k -= 1;
+            if self.indices[k] + 1 < self.options[k].len() {
+                self.indices[k] += 1;
+                self.templates[k] = self.options[k][self.indices[k]].clone();
+                self.fill_from(k + 1);
+                return true;
+            }
+        }
+    }
+
+    /// Total size of the space (product of option counts along the
+    /// current prefix; exact when option counts do not depend on earlier
+    /// choices' *types*, an upper-ballpark otherwise).
+    pub fn approx_size(&self) -> u128 {
+        self.options.iter().map(|o| o.len() as u128).product()
+    }
+}
+
+impl Iterator for ExhaustiveFunctions {
+    type Item = Function;
+
+    fn next(&mut self) -> Option<Function> {
+        if self.done {
+            return None;
+        }
+        let name = format!("fz{}", self.counter);
+        let f = build_function(&self.cfg, &self.templates, &name);
+        self.counter += 1;
+        if !self.advance() {
+            self.done = true;
+        }
+        Some(f)
+    }
+}
+
+/// Enumerates every function of the space.
+pub fn enumerate_functions(cfg: GenConfig) -> ExhaustiveFunctions {
+    ExhaustiveFunctions::new(cfg)
+}
+
+/// Generates `count` random functions from the space (uniform over
+/// slot options, seeded for reproducibility).
+pub fn random_functions(cfg: GenConfig, seed: u64, count: usize) -> Vec<Function> {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let mut out = Vec::with_capacity(count);
+    for i in 0..count {
+        let mut templates: Vec<Template> = Vec::with_capacity(cfg.num_insts);
+        for _ in 0..cfg.num_insts {
+            let avail = available(&cfg, &templates);
+            let opts = slot_options(&cfg, &avail);
+            templates.push(opts[rng.gen_range(0..opts.len())].clone());
+        }
+        out.push(build_function(&cfg, &templates, &format!("rf{i}")));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn enumerates_single_instruction_space_exactly() {
+        let cfg = GenConfig {
+            int_bits: 2,
+            num_insts: 1,
+            ops: vec![BinOp::Add],
+            flags: false,
+            conds: Vec::new(),
+            freeze: false,
+            consts: vec![0, 1],
+            poison_const: false,
+            undef_const: false,
+        };
+        // Operands: a, b, 0, 1 -> 16 pairs, one op.
+        let fns: Vec<Function> = enumerate_functions(cfg).collect();
+        assert_eq!(fns.len(), 16);
+        // All distinct.
+        let mut texts: Vec<String> =
+            fns.iter().map(frost_ir::function_to_string).collect();
+        texts.sort();
+        texts.dedup();
+        assert_eq!(texts.len(), 16);
+    }
+
+    #[test]
+    fn generated_functions_verify() {
+        let cfg = GenConfig::with_selects(2);
+        for f in enumerate_functions(cfg).step_by(97).take(200) {
+            frost_ir::verify::verify_function_legacy(&f)
+                .unwrap_or_else(|e| panic!("{}\n{e:?}", frost_ir::function_to_string(&f)));
+        }
+    }
+
+    #[test]
+    fn space_size_matches_iteration_for_small_spaces() {
+        let cfg = GenConfig {
+            int_bits: 2,
+            num_insts: 2,
+            ops: vec![BinOp::Xor],
+            flags: false,
+            conds: Vec::new(),
+            freeze: false,
+            consts: vec![0],
+            poison_const: false,
+            undef_const: false,
+        };
+        let e = enumerate_functions(cfg);
+        // slot0: operands {a, b, 0} -> 9; slot1: {a, b, 0, t0} -> 16.
+        assert_eq!(e.approx_size(), 9 * 16);
+        assert_eq!(e.count(), 9 * 16);
+    }
+
+    #[test]
+    fn random_functions_are_reproducible() {
+        let cfg = GenConfig::arithmetic(3);
+        let a = random_functions(cfg.clone(), 42, 10);
+        let b = random_functions(cfg, 42, 10);
+        let ta: Vec<String> = a.iter().map(frost_ir::function_to_string).collect();
+        let tb: Vec<String> = b.iter().map(frost_ir::function_to_string).collect();
+        assert_eq!(ta, tb);
+        for f in &a {
+            assert!(frost_ir::verify::verify_function_legacy(f).is_ok());
+        }
+    }
+
+    #[test]
+    fn undef_constants_appear_when_enabled() {
+        let cfg = GenConfig::arithmetic(1).with_undef();
+        let any_undef = enumerate_functions(cfg).take(50_000).any(|f| {
+            f.insts.iter().any(|i| {
+                let mut has = false;
+                i.for_each_operand(|v| {
+                    has |= v.as_const().is_some_and(frost_ir::Constant::contains_undef)
+                });
+                has
+            })
+        });
+        assert!(any_undef);
+    }
+}

@@ -1,0 +1,175 @@
+//! The translation-validation driver (§6, "Testing the prototype"):
+//! run a pass (or a whole pipeline) over generated functions and check
+//! each result against the original with the exhaustive refinement
+//! checker.
+
+use std::fmt;
+
+use frost_core::Semantics;
+use frost_ir::{Function, Module};
+use frost_refine::{check_refinement, CheckOptions, CheckResult};
+
+/// The verdict counters of a validation campaign.
+#[derive(Clone, Debug, Default)]
+pub struct ValidationReport {
+    /// Functions processed.
+    pub total: usize,
+    /// The transformation changed the function.
+    pub changed: usize,
+    /// Refinement verified.
+    pub refined: usize,
+    /// Refinement violations, with the offending function (before) and
+    /// the counterexample description.
+    pub violations: Vec<Violation>,
+    /// Checks that could not complete (resource limits).
+    pub inconclusive: usize,
+}
+
+/// A single refinement violation found by the campaign.
+#[derive(Clone, Debug)]
+pub struct Violation {
+    /// Textual IR before the transformation.
+    pub before: String,
+    /// Textual IR after.
+    pub after: String,
+    /// Rendered counterexample.
+    pub counterexample: String,
+}
+
+impl ValidationReport {
+    /// Returns `true` if no violation was found.
+    pub fn is_clean(&self) -> bool {
+        self.violations.is_empty()
+    }
+}
+
+impl fmt::Display for ValidationReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} functions, {} changed, {} refined, {} violations, {} inconclusive",
+            self.total,
+            self.changed,
+            self.refined,
+            self.violations.len(),
+            self.inconclusive
+        )
+    }
+}
+
+/// Validates `transform` over every function yielded by `functions`,
+/// under `sem` for both source and target.
+///
+/// The transform receives a module containing a single function and
+/// mutates it in place.
+pub fn validate_transform(
+    functions: impl IntoIterator<Item = Function>,
+    sem: Semantics,
+    mut transform: impl FnMut(&mut Module),
+) -> ValidationReport {
+    let mut report = ValidationReport::default();
+    for f in functions {
+        report.total += 1;
+        let name = f.name.clone();
+        let mut before = Module::new();
+        before.functions.push(f);
+        let mut after = before.clone();
+        transform(&mut after);
+        if after != before {
+            report.changed += 1;
+        }
+        match check_refinement(&before, &name, &after, &name, &CheckOptions::new(sem)) {
+            CheckResult::Refines => report.refined += 1,
+            CheckResult::CounterExample(ce) => report.violations.push(Violation {
+                before: frost_ir::function_to_string(before.function(&name).expect("exists")),
+                after: frost_ir::function_to_string(after.function(&name).expect("exists")),
+                counterexample: ce.to_string(),
+            }),
+            CheckResult::Inconclusive(_) => report.inconclusive += 1,
+        }
+    }
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gen::{enumerate_functions, random_functions, GenConfig};
+    use frost_opt::{o2_pipeline, Dce, InstCombine, Pass, PipelineMode};
+
+    #[test]
+    fn fixed_instcombine_is_clean_on_arithmetic_sample() {
+        let cfg = GenConfig::arithmetic(2);
+        let fns = enumerate_functions(cfg).step_by(991).take(150);
+        let report = validate_transform(fns, Semantics::proposed(), |m| {
+            for f in &mut m.functions {
+                InstCombine::new(PipelineMode::Fixed).run_on_function(f);
+                Dce::new().run_on_function(f);
+                f.compact();
+            }
+        });
+        assert!(
+            report.is_clean(),
+            "violations found:\n{}",
+            report
+                .violations
+                .iter()
+                .map(|v| format!("{}\n=>\n{}\n{}", v.before, v.after, v.counterexample))
+                .collect::<Vec<_>>()
+                .join("\n---\n")
+        );
+        assert!(report.changed > 0, "the sample must exercise rewrites: {report}");
+    }
+
+    #[test]
+    fn legacy_instcombine_violations_are_found_with_undef() {
+        // §3.1's mul->add rule fires on `mul undef, 2`-shaped inputs and
+        // the checker flags it under legacy semantics.
+        let cfg = GenConfig {
+            ops: vec![frost_ir::BinOp::Mul],
+            consts: vec![2],
+            poison_const: false,
+            flags: false,
+            freeze: false,
+            ..GenConfig::arithmetic(1)
+        }
+        .with_undef();
+        let report = validate_transform(
+            enumerate_functions(cfg),
+            Semantics::legacy_gvn(),
+            |m| {
+                for f in &mut m.functions {
+                    InstCombine::new(PipelineMode::Legacy).run_on_function(f);
+                    f.compact();
+                }
+            },
+        );
+        assert!(
+            !report.is_clean(),
+            "expected at least one §3.1 violation: {report}"
+        );
+        let v = &report.violations[0];
+        assert!(v.before.contains("mul"), "{}", v.before);
+    }
+
+    #[test]
+    fn fixed_o2_pipeline_is_clean_on_random_selects() {
+        let cfg = GenConfig::with_selects(3);
+        let fns = random_functions(cfg, 7, 60);
+        let pm = o2_pipeline(PipelineMode::Fixed);
+        let report = validate_transform(fns, Semantics::proposed(), |m| {
+            pm.run(m);
+        });
+        assert!(
+            report.is_clean(),
+            "violations found:\n{}",
+            report
+                .violations
+                .iter()
+                .map(|v| format!("{}\n=>\n{}\n{}", v.before, v.after, v.counterexample))
+                .collect::<Vec<_>>()
+                .join("\n---\n")
+        );
+        assert_eq!(report.total, 60);
+    }
+}

@@ -1,0 +1,422 @@
+//! Known-bits analysis, including the paper's `isKnownToBeAPowerOfTwo`
+//! example (§5.6).
+//!
+//! Facts are *conditional on the analyzed values not being poison*: for
+//! `%x = shl i8 1, %y`, the analysis reports "`%x` is a power of two
+//! assuming `%y` is not poison" — if `%y` is poison, `%x` is poison and
+//! can "take" any value. The one instruction whose facts are
+//! unconditional is `freeze`, whose result is never poison.
+
+use std::collections::HashMap;
+
+use crate::function::Function;
+use crate::inst::{BinOp, CastKind, Inst};
+use crate::value::{truncate, Constant, InstId, Value};
+
+use super::Conditional;
+
+/// Bit-level knowledge about an integer value.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct KnownBits {
+    /// Width of the value in bits.
+    pub bits: u32,
+    /// Mask of bits known to be zero.
+    pub zeros: u128,
+    /// Mask of bits known to be one.
+    pub ones: u128,
+}
+
+impl KnownBits {
+    /// No knowledge about a `bits`-wide value.
+    pub fn unknown(bits: u32) -> KnownBits {
+        KnownBits { bits, zeros: 0, ones: 0 }
+    }
+
+    /// Full knowledge of a constant.
+    pub fn constant(bits: u32, value: u128) -> KnownBits {
+        let value = truncate(value, bits);
+        KnownBits { bits, zeros: truncate(!value, bits), ones: value }
+    }
+
+    /// Returns `true` if every bit is known.
+    pub fn is_constant(&self) -> bool {
+        truncate(self.zeros | self.ones, self.bits) == truncate(u128::MAX, self.bits)
+    }
+
+    /// The constant value, if fully known.
+    pub fn as_constant(&self) -> Option<u128> {
+        if self.is_constant() {
+            Some(self.ones)
+        } else {
+            None
+        }
+    }
+
+    /// Returns `true` if the value is known to be non-zero.
+    pub fn is_known_nonzero(&self) -> bool {
+        self.ones != 0
+    }
+
+    /// Number of bits known (either way).
+    pub fn num_known(&self) -> u32 {
+        truncate(self.zeros | self.ones, self.bits).count_ones()
+    }
+
+    /// Intersection of knowledge (used at phi/select joins).
+    pub fn join(self, other: KnownBits) -> KnownBits {
+        debug_assert_eq!(self.bits, other.bits);
+        KnownBits { bits: self.bits, zeros: self.zeros & other.zeros, ones: self.ones & other.ones }
+    }
+}
+
+/// Known-bits engine over one function. Results are memoized.
+#[derive(Debug)]
+pub struct KnownBitsAnalysis<'a> {
+    func: &'a Function,
+    cache: HashMap<InstId, Conditional<KnownBits>>,
+}
+
+impl<'a> KnownBitsAnalysis<'a> {
+    /// Creates the analysis for `func`.
+    pub fn new(func: &'a Function) -> KnownBitsAnalysis<'a> {
+        KnownBitsAnalysis { func, cache: HashMap::new() }
+    }
+
+    /// Known bits of `v`, with the non-poison side conditions the result
+    /// depends on.
+    pub fn query(&mut self, v: &Value) -> Conditional<KnownBits> {
+        self.query_depth(v, 8)
+    }
+
+    fn query_depth(&mut self, v: &Value, depth: u32) -> Conditional<KnownBits> {
+        match v {
+            Value::Const(Constant::Int { bits, value }) => {
+                Conditional::unconditional(KnownBits::constant(*bits, *value))
+            }
+            Value::Const(Constant::Poison(ty)) | Value::Const(Constant::Undef(ty)) => {
+                // Poison/undef can be any value; no bits are known and a
+                // non-poison assumption on the value itself is recorded.
+                let bits = ty.int_bits().unwrap_or(0);
+                Conditional::assuming(KnownBits::unknown(bits), vec![v.clone()])
+            }
+            Value::Arg(_) => {
+                let bits = self.func.value_ty(v).int_bits().unwrap_or(0);
+                Conditional::assuming(KnownBits::unknown(bits), vec![v.clone()])
+            }
+            Value::Inst(id) => {
+                if let Some(hit) = self.cache.get(id) {
+                    return hit.clone();
+                }
+                let bits = self.func.inst(*id).result_ty().int_bits().unwrap_or(0);
+                if depth == 0 || bits == 0 {
+                    return Conditional::assuming(KnownBits::unknown(bits), vec![v.clone()]);
+                }
+                let result = self.compute_inst(*id, bits, depth);
+                self.cache.insert(*id, result.clone());
+                result
+            }
+            _ => {
+                let bits = self.func.value_ty(v).int_bits().unwrap_or(0);
+                Conditional::assuming(KnownBits::unknown(bits), vec![v.clone()])
+            }
+        }
+    }
+
+    fn compute_inst(&mut self, id: InstId, bits: u32, depth: u32) -> Conditional<KnownBits> {
+        let inst = self.func.inst(id).clone();
+        match &inst {
+            Inst::Freeze { val, .. } => {
+                // A frozen value is never poison: whatever bits we know
+                // about the operand hold for the result *unconditionally
+                // with respect to the result itself*; conditions about
+                // the operand being non-poison are dropped only for the
+                // operand itself (if the operand is poison, freeze picks
+                // an arbitrary value, so only trivial facts survive).
+                let inner = self.query_depth(val, depth - 1);
+                if inner.is_unconditional() {
+                    Conditional::unconditional(inner.value)
+                } else {
+                    // Bits derived under a non-poison assumption do not
+                    // survive freezing a possibly-poison value.
+                    Conditional::unconditional(KnownBits::unknown(bits))
+                }
+            }
+            Inst::Bin { op, lhs, rhs, .. } => {
+                let l = self.query_depth(lhs, depth - 1);
+                let r = self.query_depth(rhs, depth - 1);
+                let mut assumes = l.assumes_nonpoison;
+                assumes.extend(r.assumes_nonpoison);
+                let (lk, rk) = (l.value, r.value);
+                let kb = match op {
+                    BinOp::And => KnownBits {
+                        bits,
+                        zeros: truncate(lk.zeros | rk.zeros, bits),
+                        ones: lk.ones & rk.ones,
+                    },
+                    BinOp::Or => KnownBits {
+                        bits,
+                        zeros: lk.zeros & rk.zeros,
+                        ones: truncate(lk.ones | rk.ones, bits),
+                    },
+                    BinOp::Xor => {
+                        let known = (lk.zeros | lk.ones) & (rk.zeros | rk.ones);
+                        let val = lk.ones ^ rk.ones;
+                        KnownBits {
+                            bits,
+                            zeros: truncate(known & !val, bits),
+                            ones: known & val,
+                        }
+                    }
+                    BinOp::Shl => match rk.as_constant() {
+                        Some(sh) if sh < u128::from(bits) => {
+                            let sh = sh as u32;
+                            KnownBits {
+                                bits,
+                                zeros: truncate((lk.zeros << sh) | ((1u128 << sh) - 1), bits),
+                                ones: truncate(lk.ones << sh, bits),
+                            }
+                        }
+                        _ => KnownBits::unknown(bits),
+                    },
+                    BinOp::LShr => match rk.as_constant() {
+                        Some(sh) if sh < u128::from(bits) => {
+                            let sh = sh as u32;
+                            let high = truncate(u128::MAX, bits) & !truncate(u128::MAX, bits - sh);
+                            KnownBits {
+                                bits,
+                                zeros: truncate(lk.zeros >> sh, bits) | high,
+                                ones: truncate(lk.ones, bits) >> sh,
+                            }
+                        }
+                        _ => KnownBits::unknown(bits),
+                    },
+                    BinOp::Add => {
+                        // Track known-zero low bits: if the low k bits of
+                        // both operands are zero, so are the result's.
+                        let low_zeros =
+                            (lk.zeros.trailing_ones()).min(rk.zeros.trailing_ones()).min(bits);
+                        KnownBits {
+                            bits,
+                            zeros: if low_zeros == 0 {
+                                0
+                            } else {
+                                truncate((1u128 << low_zeros) - 1, bits)
+                            },
+                            ones: 0,
+                        }
+                    }
+                    _ => KnownBits::unknown(bits),
+                };
+                Conditional::assuming(kb, assumes)
+            }
+            Inst::Cast { kind, from_ty, val, .. } => {
+                let inner = self.query_depth(val, depth - 1);
+                let from_bits = from_ty.int_bits().unwrap_or(0);
+                let kb = match kind {
+                    CastKind::Zext => KnownBits {
+                        bits,
+                        zeros: truncate(inner.value.zeros, from_bits)
+                            | (truncate(u128::MAX, bits) & !truncate(u128::MAX, from_bits)),
+                        ones: inner.value.ones,
+                    },
+                    CastKind::Trunc => KnownBits {
+                        bits,
+                        zeros: truncate(inner.value.zeros, bits),
+                        ones: truncate(inner.value.ones, bits),
+                    },
+                    CastKind::Sext => {
+                        // Only known if the sign bit of the source is known.
+                        let sign = 1u128 << (from_bits - 1);
+                        if inner.value.zeros & sign != 0 {
+                            KnownBits {
+                                bits,
+                                zeros: inner.value.zeros
+                                    | (truncate(u128::MAX, bits) & !truncate(u128::MAX, from_bits)),
+                                ones: inner.value.ones,
+                            }
+                        } else if inner.value.ones & sign != 0 {
+                            KnownBits {
+                                bits,
+                                zeros: truncate(inner.value.zeros, from_bits - 1),
+                                ones: inner.value.ones
+                                    | (truncate(u128::MAX, bits) & !truncate(u128::MAX, from_bits - 1)),
+                            }
+                        } else {
+                            KnownBits::unknown(bits)
+                        }
+                    }
+                };
+                Conditional::assuming(kb, inner.assumes_nonpoison)
+            }
+            Inst::Select { tval, fval, cond, .. } => {
+                let t = self.query_depth(tval, depth - 1);
+                let f = self.query_depth(fval, depth - 1);
+                let mut assumes = t.assumes_nonpoison;
+                assumes.extend(f.assumes_nonpoison);
+                assumes.push(cond.clone());
+                Conditional::assuming(t.value.join(f.value), assumes)
+            }
+            Inst::Phi { incoming, .. } => {
+                let mut kb: Option<KnownBits> = None;
+                let mut assumes = Vec::new();
+                for (v, _) in incoming {
+                    // Break cycles: a phi that feeds itself contributes
+                    // nothing new.
+                    if *v == Value::Inst(id) {
+                        continue;
+                    }
+                    let inner = self.query_depth(v, depth.saturating_sub(2));
+                    assumes.extend(inner.assumes_nonpoison);
+                    kb = Some(match kb {
+                        None => inner.value,
+                        Some(acc) => acc.join(inner.value),
+                    });
+                }
+                Conditional::assuming(kb.unwrap_or_else(|| KnownBits::unknown(bits)), assumes)
+            }
+            _ => Conditional::assuming(KnownBits::unknown(bits), vec![Value::Inst(id)]),
+        }
+    }
+
+    /// The paper's §5.6 example: is `v` known to be a power of two?
+    ///
+    /// The result is conditional: `shl i8 1, %y` *is* a power of two —
+    /// but only if `%y` is not poison (and the shift does not overflow
+    /// the width, which would yield poison as well).
+    pub fn is_known_power_of_two(&mut self, v: &Value) -> Conditional<bool> {
+        // Structural special case first, mirroring LLVM.
+        if let Value::Inst(id) = v {
+            if let Inst::Bin { op: BinOp::Shl, lhs, rhs, .. } = self.func.inst(*id) {
+                if lhs.is_int_const(1) {
+                    return Conditional::assuming(true, vec![rhs.clone()]);
+                }
+            }
+        }
+        let kb = self.query(v);
+        // Exactly one bit set and all others known zero.
+        let known_one_bits = kb.value.ones.count_ones();
+        let pow2 = known_one_bits == 1
+            && kb.value.num_known() == kb.value.bits;
+        kb.map(|_| pow2)
+    }
+
+    /// Is `v` known to be non-zero (conditional on non-poison inputs)?
+    pub fn is_known_nonzero(&mut self, v: &Value) -> Conditional<bool> {
+        let kb = self.query(v);
+        let nz = kb.value.is_known_nonzero();
+        kb.map(|_| nz)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::FunctionBuilder;
+    use crate::types::Ty;
+
+    #[test]
+    fn constants_are_fully_known() {
+        let mut b = FunctionBuilder::new("f", &[], Ty::i8());
+        b.ret(b.const_int(8, 5));
+        let f = b.finish();
+        let mut a = KnownBitsAnalysis::new(&f);
+        let kb = a.query(&Value::int(8, 5));
+        assert!(kb.is_unconditional());
+        assert_eq!(kb.value.as_constant(), Some(5));
+    }
+
+    #[test]
+    fn and_with_mask_knows_zeros() {
+        let mut b = FunctionBuilder::new("f", &[("x", Ty::i32())], Ty::i32());
+        let masked = b.and(b.arg(0), b.const_int(32, 0xffff));
+        b.ret(masked.clone());
+        let f = b.finish();
+        let mut a = KnownBitsAnalysis::new(&f);
+        let kb = a.query(&masked);
+        assert_eq!(kb.value.zeros & 0xffff_0000, 0xffff_0000);
+        // The fact depends on %x being non-poison.
+        assert!(!kb.is_unconditional());
+        assert!(kb.assumes_nonpoison.contains(&Value::Arg(0)));
+    }
+
+    #[test]
+    fn shl_one_is_power_of_two_conditionally() {
+        // The §5.6 example: %x = shl 1, %y.
+        let mut b = FunctionBuilder::new("f", &[("y", Ty::i8())], Ty::i8());
+        let x = b.shl(b.const_int(8, 1), b.arg(0));
+        b.ret(x.clone());
+        let f = b.finish();
+        let mut a = KnownBitsAnalysis::new(&f);
+        let fact = a.is_known_power_of_two(&x);
+        assert!(fact.value, "shl 1, %y is a power of two");
+        assert!(
+            fact.assumes_nonpoison.contains(&Value::Arg(0)),
+            "...but only if %y is not poison: {:?}",
+            fact.assumes_nonpoison
+        );
+    }
+
+    #[test]
+    fn freeze_results_are_unconditional() {
+        let mut b = FunctionBuilder::new("f", &[("x", Ty::i8())], Ty::i8());
+        let fr = b.freeze(b.arg(0));
+        b.ret(fr.clone());
+        let f = b.finish();
+        let mut a = KnownBitsAnalysis::new(&f);
+        let kb = a.query(&fr);
+        assert!(kb.is_unconditional(), "freeze output is never poison");
+    }
+
+    #[test]
+    fn zext_knows_high_zeros() {
+        let mut b = FunctionBuilder::new("f", &[("x", Ty::i8())], Ty::i32());
+        let z = b.zext(b.arg(0), Ty::i32());
+        b.ret(z.clone());
+        let f = b.finish();
+        let mut a = KnownBitsAnalysis::new(&f);
+        let kb = a.query(&z);
+        assert_eq!(kb.value.zeros & 0xffff_ff00, 0xffff_ff00);
+    }
+
+    #[test]
+    fn or_with_one_is_nonzero() {
+        let mut b = FunctionBuilder::new("f", &[("x", Ty::i8())], Ty::i8());
+        let o = b.or(b.arg(0), b.const_int(8, 1));
+        b.ret(o.clone());
+        let f = b.finish();
+        let mut a = KnownBitsAnalysis::new(&f);
+        let nz = a.is_known_nonzero(&o);
+        assert!(nz.value);
+        assert!(!nz.is_unconditional());
+    }
+
+    #[test]
+    fn add_preserves_low_zeros() {
+        let mut b = FunctionBuilder::new("f", &[("x", Ty::i8()), ("y", Ty::i8())], Ty::i8());
+        let x4 = b.shl(b.arg(0), b.const_int(8, 2));
+        let y4 = b.shl(b.arg(1), b.const_int(8, 2));
+        let s = b.add(x4, y4);
+        b.ret(s.clone());
+        let f = b.finish();
+        let mut a = KnownBitsAnalysis::new(&f);
+        let kb = a.query(&s);
+        assert_eq!(kb.value.zeros & 0b11, 0b11, "low two bits are zero");
+    }
+
+    #[test]
+    fn select_joins_and_conditions_on_cond() {
+        let mut b = FunctionBuilder::new(
+            "f",
+            &[("c", Ty::i1()), ("x", Ty::i8())],
+            Ty::i8(),
+        );
+        let a1 = b.and(b.arg(1), b.const_int(8, 0x0f));
+        let s = b.select(b.arg(0), a1, b.const_int(8, 3));
+        b.ret(s.clone());
+        let f = b.finish();
+        let mut a = KnownBitsAnalysis::new(&f);
+        let kb = a.query(&s);
+        assert_eq!(kb.value.zeros & 0xf0, 0xf0, "both arms have high nibble zero");
+        assert!(kb.assumes_nonpoison.contains(&Value::Arg(0)), "conditional on %c");
+    }
+}

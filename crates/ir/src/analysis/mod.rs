@@ -1,0 +1,50 @@
+//! Static analyses over the IR.
+//!
+//! Per §5.6 of the paper, most dataflow facts computed here hold only
+//! *if the analyzed values are not poison*: analyses would be useless if
+//! they had to return ⊤ whenever an input might be poison. Each analysis
+//! therefore returns an [`Conditional`] result that records which values
+//! the fact is conditional on. Clients rewriting expressions may ignore
+//! the condition (the rewritten expression is poison exactly when the
+//! original is); clients *moving code past control flow* (e.g. hoisting
+//! a division out of a loop) must discharge it, typically by freezing.
+
+pub mod known_bits;
+pub mod scev;
+
+use crate::value::Value;
+
+/// An analysis fact that holds only if certain values are not poison
+/// (an "upto" result in the terminology of §5.6).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Conditional<T> {
+    /// The fact.
+    pub value: T,
+    /// Values that must be non-poison for the fact to hold. Empty means
+    /// the fact holds unconditionally (e.g. facts about `freeze`
+    /// results).
+    pub assumes_nonpoison: Vec<Value>,
+}
+
+impl<T> Conditional<T> {
+    /// A fact that holds unconditionally.
+    pub fn unconditional(value: T) -> Conditional<T> {
+        Conditional { value, assumes_nonpoison: Vec::new() }
+    }
+
+    /// A fact conditional on the given values being non-poison.
+    pub fn assuming(value: T, assumes: Vec<Value>) -> Conditional<T> {
+        Conditional { value, assumes_nonpoison: assumes }
+    }
+
+    /// Returns `true` if the fact holds without poison side conditions,
+    /// and so may be used to justify speculation (§5.6).
+    pub fn is_unconditional(&self) -> bool {
+        self.assumes_nonpoison.is_empty()
+    }
+
+    /// Maps the fact, keeping the side conditions.
+    pub fn map<U>(self, f: impl FnOnce(T) -> U) -> Conditional<U> {
+        Conditional { value: f(self.value), assumes_nonpoison: self.assumes_nonpoison }
+    }
+}

@@ -1,0 +1,245 @@
+//! A small scalar-evolution analysis: recognition of affine induction
+//! variables `{start, +, step}` in natural loops.
+//!
+//! This is the analysis the paper's §2.4/Figure 3 induction-variable
+//! widening rests on: the `nsw` flag on the increment means overflow
+//! produces poison, which (under the proposed semantics) justifies
+//! widening the induction variable to a wider type. §10.1 notes that
+//! scalar evolution "currently fails to analyze expressions involving
+//! freeze" — mirrored here: a frozen increment is *not* recognized.
+
+use crate::function::Function;
+use crate::inst::{BinOp, Flags, Inst};
+use crate::loops::Loop;
+use crate::value::{BlockId, InstId, Value};
+
+/// An affine recurrence `{start, +, step}` for a loop phi.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct AffineRec {
+    /// The phi instruction defining the induction variable.
+    pub phi: InstId,
+    /// Value on loop entry.
+    pub start: Value,
+    /// Per-iteration increment (a loop-invariant value; usually a
+    /// constant).
+    pub step: Value,
+    /// The increment instruction in the latch.
+    pub step_inst: InstId,
+    /// Attributes of the increment: `nsw` here is what makes widening
+    /// sound under poison semantics.
+    pub flags: Flags,
+}
+
+impl AffineRec {
+    /// Returns `true` if signed overflow of the recurrence is deferred
+    /// UB (the increment carries `nsw`), which justifies widening
+    /// (§2.4).
+    pub fn overflow_is_poison(&self) -> bool {
+        self.flags.nsw
+    }
+}
+
+/// Recognizes the affine induction variables of `lp`.
+///
+/// A phi `%i = phi [start, preheader], [%i.next, latch]` qualifies when
+/// `%i.next = add %i, step` with loop-invariant `step`, the phi sits in
+/// the loop header, and the add sits inside the loop.
+pub fn find_affine_ivs(func: &Function, lp: &Loop) -> Vec<AffineRec> {
+    let mut out = Vec::new();
+    let header = func.block(lp.header);
+    for &phi_id in &header.insts {
+        let Inst::Phi { incoming, .. } = func.inst(phi_id) else { continue };
+        if incoming.len() != 2 {
+            continue;
+        }
+        // Identify the loop edge and the entry edge.
+        let (entry, back) = {
+            let (a, b) = (&incoming[0], &incoming[1]);
+            if lp.contains(a.1) && !lp.contains(b.1) {
+                (b.clone(), a.clone())
+            } else if lp.contains(b.1) && !lp.contains(a.1) {
+                (a.clone(), b.clone())
+            } else {
+                continue;
+            }
+        };
+        let Value::Inst(step_inst) = back.0 else { continue };
+        let Inst::Bin { op: BinOp::Add, flags, lhs, rhs, .. } = func.inst(step_inst) else {
+            continue;
+        };
+        // The add must be `phi + step` (either operand order) with a
+        // loop-invariant step.
+        let phi_val = Value::Inst(phi_id);
+        let step = if *lhs == phi_val {
+            rhs.clone()
+        } else if *rhs == phi_val {
+            lhs.clone()
+        } else {
+            continue;
+        };
+        if !is_loop_invariant(func, lp, &step) {
+            continue;
+        }
+        // The increment must live in the loop.
+        let Some(add_bb) = func.block_of(step_inst) else { continue };
+        if !lp.contains(add_bb) {
+            continue;
+        }
+        out.push(AffineRec {
+            phi: phi_id,
+            start: entry.0,
+            step,
+            step_inst,
+            flags: *flags,
+        });
+    }
+    out
+}
+
+/// Returns `true` if `v` does not depend on any instruction inside the
+/// loop (constants, arguments, and instructions defined outside).
+pub fn is_loop_invariant(func: &Function, lp: &Loop, v: &Value) -> bool {
+    match v {
+        Value::Const(_) | Value::Arg(_) => true,
+        Value::Inst(id) => match func.block_of(*id) {
+            Some(bb) => !lp.contains(bb),
+            None => false,
+        },
+    }
+}
+
+/// The trip-count bound of a loop whose header compares an affine IV
+/// against a loop-invariant bound: `icmp <cond> %iv, %n` controlling the
+/// header branch. Returns the comparison instruction and bound.
+pub fn header_exit_test(func: &Function, lp: &Loop) -> Option<(InstId, Value)> {
+    let header = func.block(lp.header);
+    let crate::inst::Terminator::Br { cond, .. } = &header.term else { return None };
+    let Value::Inst(cmp_id) = cond else { return None };
+    let Inst::Icmp { lhs, rhs, .. } = func.inst(*cmp_id) else { return None };
+    // One side must be an IV phi in this header, the other loop-invariant.
+    let ivs = find_affine_ivs(func, lp);
+    let is_iv = |v: &Value| matches!(v, Value::Inst(id) if ivs.iter().any(|r| r.phi == *id));
+    if is_iv(lhs) && is_loop_invariant(func, lp, rhs) {
+        Some((*cmp_id, rhs.clone()))
+    } else if is_iv(rhs) && is_loop_invariant(func, lp, lhs) {
+        Some((*cmp_id, lhs.clone()))
+    } else {
+        None
+    }
+}
+
+/// Marker struct exposing [`BlockId`] in this module's public API for
+/// documentation purposes.
+#[doc(hidden)]
+pub struct _Uses(pub BlockId);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::FunctionBuilder;
+    use crate::dom::DomTree;
+    use crate::inst::Cond;
+    use crate::loops::LoopInfo;
+    use crate::types::Ty;
+
+    /// Figure 3's loop: for (i = 0; i <= n; ++i) a[i] = 42.
+    fn figure3() -> (Function, Loop) {
+        let mut b = FunctionBuilder::new(
+            "fig3",
+            &[("n", Ty::i32()), ("a", Ty::ptr_to(Ty::i32()))],
+            Ty::Void,
+        );
+        let head = b.block("head");
+        let body = b.block("body");
+        let exit = b.block("exit");
+        b.jmp(head);
+        b.switch_to(head);
+        let i = b.phi(Ty::i32(), vec![(b.const_int(32, 0), BlockId::ENTRY)]);
+        let c = b.icmp(Cond::Sle, i.clone(), b.arg(0));
+        b.br(c, body, exit);
+        b.switch_to(body);
+        let iext = b.sext(i.clone(), Ty::i64());
+        let ptr = b.gep(b.arg(1), iext, true);
+        b.store(b.const_int(32, 42), ptr);
+        let i1 = b.add_flags(Flags::NSW, i.clone(), b.const_int(32, 1));
+        b.phi_add_incoming(&i, i1, body);
+        b.jmp(head);
+        b.switch_to(exit);
+        b.ret_void();
+        let f = b.finish_verified();
+        let dt = DomTree::compute(&f);
+        let li = LoopInfo::compute(&f, &dt);
+        let lp = li.loops[0].clone();
+        (f, lp)
+    }
+
+    #[test]
+    fn recognizes_figure3_iv() {
+        let (f, lp) = figure3();
+        let ivs = find_affine_ivs(&f, &lp);
+        assert_eq!(ivs.len(), 1);
+        let iv = &ivs[0];
+        assert!(iv.start.is_int_const(0));
+        assert!(iv.step.is_int_const(1));
+        assert!(iv.overflow_is_poison(), "increment is nsw");
+    }
+
+    #[test]
+    fn finds_header_exit_test() {
+        let (f, lp) = figure3();
+        let (cmp, bound) = header_exit_test(&f, &lp).expect("exit test found");
+        assert!(matches!(f.inst(cmp), Inst::Icmp { cond: Cond::Sle, .. }));
+        assert_eq!(bound, Value::Arg(0));
+    }
+
+    #[test]
+    fn frozen_increment_defeats_scev() {
+        // §10.1: scalar evolution fails on freeze.
+        let mut b = FunctionBuilder::new("fr", &[("n", Ty::i32())], Ty::Void);
+        let head = b.block("head");
+        let body = b.block("body");
+        let exit = b.block("exit");
+        b.jmp(head);
+        b.switch_to(head);
+        let i = b.phi(Ty::i32(), vec![(b.const_int(32, 0), BlockId::ENTRY)]);
+        let c = b.icmp(Cond::Slt, i.clone(), b.arg(0));
+        b.br(c, body, exit);
+        b.switch_to(body);
+        let i1 = b.add_flags(Flags::NSW, i.clone(), b.const_int(32, 1));
+        let frozen = b.freeze(i1);
+        b.phi_add_incoming(&i, frozen, body);
+        b.jmp(head);
+        b.switch_to(exit);
+        b.ret_void();
+        let f = b.finish_verified();
+        let dt = DomTree::compute(&f);
+        let li = LoopInfo::compute(&f, &dt);
+        let ivs = find_affine_ivs(&f, &li.loops[0]);
+        assert!(ivs.is_empty(), "freeze blocks IV recognition");
+    }
+
+    #[test]
+    fn non_invariant_step_is_rejected() {
+        let mut b = FunctionBuilder::new("ni", &[("n", Ty::i32())], Ty::Void);
+        let head = b.block("head");
+        let body = b.block("body");
+        let exit = b.block("exit");
+        b.jmp(head);
+        b.switch_to(head);
+        let i = b.phi(Ty::i32(), vec![(b.const_int(32, 0), BlockId::ENTRY)]);
+        let c = b.icmp(Cond::Slt, i.clone(), b.arg(0));
+        b.br(c, body, exit);
+        b.switch_to(body);
+        // step = i itself (i doubles): not loop-invariant.
+        let i1 = b.add(i.clone(), i.clone());
+        b.phi_add_incoming(&i, i1, body);
+        b.jmp(head);
+        b.switch_to(exit);
+        b.ret_void();
+        let f = b.finish_verified();
+        let dt = DomTree::compute(&f);
+        let li = LoopInfo::compute(&f, &dt);
+        let ivs = find_affine_ivs(&f, &li.loops[0]);
+        assert!(ivs.is_empty());
+    }
+}

@@ -1,0 +1,434 @@
+//! An ergonomic builder for constructing functions in SSA form.
+//!
+//! ```
+//! use frost_ir::{FunctionBuilder, Ty, Cond, Flags};
+//!
+//! // Build: define i32 @inc(i32 %x) { %a = add nsw i32 %x, 1; ret i32 %a }
+//! let mut b = FunctionBuilder::new("inc", &[("x", Ty::i32())], Ty::i32());
+//! let x = b.arg(0);
+//! let a = b.add_flags(Flags::NSW, x, b.const_int(32, 1));
+//! b.ret(a);
+//! let f = b.finish();
+//! assert_eq!(f.placed_inst_count(), 1);
+//! ```
+
+use crate::function::{Function, Param};
+use crate::inst::{BinOp, CastKind, Cond, Flags, Inst, Terminator};
+use crate::types::Ty;
+use crate::value::{BlockId, Constant, InstId, Value};
+
+/// Incrementally builds a [`Function`].
+///
+/// Instructions are appended to the *current block*, which starts as the
+/// entry block and is changed with [`FunctionBuilder::switch_to`].
+#[derive(Debug)]
+pub struct FunctionBuilder {
+    func: Function,
+    cur: BlockId,
+}
+
+impl FunctionBuilder {
+    /// Starts a function with the given name, parameters, and return
+    /// type. The current block is the entry block.
+    pub fn new(name: &str, params: &[(&str, Ty)], ret_ty: Ty) -> FunctionBuilder {
+        let params = params
+            .iter()
+            .map(|(n, ty)| Param { name: (*n).to_string(), ty: ty.clone() })
+            .collect();
+        FunctionBuilder { func: Function::new(name, params, ret_ty), cur: BlockId::ENTRY }
+    }
+
+    /// The `i`-th function argument as a value.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of range.
+    pub fn arg(&self, i: u32) -> Value {
+        assert!(
+            (i as usize) < self.func.params.len(),
+            "argument index {i} out of range for @{}",
+            self.func.name
+        );
+        Value::Arg(i)
+    }
+
+    /// An integer constant operand.
+    pub fn const_int(&self, bits: u32, value: u128) -> Value {
+        Value::int(bits, value)
+    }
+
+    /// The poison constant of type `ty`.
+    pub fn poison(&self, ty: Ty) -> Value {
+        Value::poison(ty)
+    }
+
+    /// The legacy undef constant of type `ty`.
+    pub fn undef(&self, ty: Ty) -> Value {
+        Value::undef(ty)
+    }
+
+    /// Creates a new block (does not switch to it).
+    pub fn block(&mut self, name: &str) -> BlockId {
+        self.func.add_block(name)
+    }
+
+    /// Makes `bb` the current block for subsequent instructions.
+    pub fn switch_to(&mut self, bb: BlockId) {
+        self.cur = bb;
+    }
+
+    /// The current insertion block.
+    pub fn current_block(&self) -> BlockId {
+        self.cur
+    }
+
+    /// Read access to the function under construction.
+    pub fn func(&self) -> &Function {
+        &self.func
+    }
+
+    fn emit(&mut self, inst: Inst) -> Value {
+        Value::Inst(self.func.append_inst(self.cur, inst))
+    }
+
+    /// Emits a binary instruction, inferring the type from `lhs`.
+    pub fn bin(&mut self, op: BinOp, flags: Flags, lhs: Value, rhs: Value) -> Value {
+        let ty = self.func.value_ty(&lhs);
+        self.emit(Inst::Bin { op, flags, ty, lhs, rhs })
+    }
+
+    /// `add` without attributes.
+    pub fn add(&mut self, lhs: Value, rhs: Value) -> Value {
+        self.bin(BinOp::Add, Flags::NONE, lhs, rhs)
+    }
+
+    /// `add` with the given attributes.
+    pub fn add_flags(&mut self, flags: Flags, lhs: Value, rhs: Value) -> Value {
+        self.bin(BinOp::Add, flags, lhs, rhs)
+    }
+
+    /// `sub` without attributes.
+    pub fn sub(&mut self, lhs: Value, rhs: Value) -> Value {
+        self.bin(BinOp::Sub, Flags::NONE, lhs, rhs)
+    }
+
+    /// `mul` without attributes.
+    pub fn mul(&mut self, lhs: Value, rhs: Value) -> Value {
+        self.bin(BinOp::Mul, Flags::NONE, lhs, rhs)
+    }
+
+    /// `udiv` without attributes.
+    pub fn udiv(&mut self, lhs: Value, rhs: Value) -> Value {
+        self.bin(BinOp::UDiv, Flags::NONE, lhs, rhs)
+    }
+
+    /// `sdiv` without attributes.
+    pub fn sdiv(&mut self, lhs: Value, rhs: Value) -> Value {
+        self.bin(BinOp::SDiv, Flags::NONE, lhs, rhs)
+    }
+
+    /// `and`.
+    pub fn and(&mut self, lhs: Value, rhs: Value) -> Value {
+        self.bin(BinOp::And, Flags::NONE, lhs, rhs)
+    }
+
+    /// `or`.
+    pub fn or(&mut self, lhs: Value, rhs: Value) -> Value {
+        self.bin(BinOp::Or, Flags::NONE, lhs, rhs)
+    }
+
+    /// `xor`.
+    pub fn xor(&mut self, lhs: Value, rhs: Value) -> Value {
+        self.bin(BinOp::Xor, Flags::NONE, lhs, rhs)
+    }
+
+    /// `shl` without attributes.
+    pub fn shl(&mut self, lhs: Value, rhs: Value) -> Value {
+        self.bin(BinOp::Shl, Flags::NONE, lhs, rhs)
+    }
+
+    /// `lshr` without attributes.
+    pub fn lshr(&mut self, lhs: Value, rhs: Value) -> Value {
+        self.bin(BinOp::LShr, Flags::NONE, lhs, rhs)
+    }
+
+    /// `ashr` without attributes.
+    pub fn ashr(&mut self, lhs: Value, rhs: Value) -> Value {
+        self.bin(BinOp::AShr, Flags::NONE, lhs, rhs)
+    }
+
+    /// `icmp`, inferring the operand type from `lhs`.
+    pub fn icmp(&mut self, cond: Cond, lhs: Value, rhs: Value) -> Value {
+        let ty = self.func.value_ty(&lhs);
+        self.emit(Inst::Icmp { cond, ty, lhs, rhs })
+    }
+
+    /// `select`, inferring the arm type from `tval`.
+    pub fn select(&mut self, cond: Value, tval: Value, fval: Value) -> Value {
+        let ty = self.func.value_ty(&tval);
+        self.emit(Inst::Select { cond, ty, tval, fval })
+    }
+
+    /// `freeze`, inferring the type from the operand.
+    pub fn freeze(&mut self, val: Value) -> Value {
+        let ty = self.func.value_ty(&val);
+        self.emit(Inst::Freeze { ty, val })
+    }
+
+    /// `phi` with explicit type and incoming edges.
+    pub fn phi(&mut self, ty: Ty, incoming: Vec<(Value, BlockId)>) -> Value {
+        self.emit(Inst::Phi { ty, incoming })
+    }
+
+    fn cast(&mut self, kind: CastKind, val: Value, to_ty: Ty) -> Value {
+        let from_ty = self.func.value_ty(&val);
+        self.emit(Inst::Cast { kind, from_ty, to_ty, val })
+    }
+
+    /// `zext ... to to_ty`.
+    pub fn zext(&mut self, val: Value, to_ty: Ty) -> Value {
+        self.cast(CastKind::Zext, val, to_ty)
+    }
+
+    /// `sext ... to to_ty`.
+    pub fn sext(&mut self, val: Value, to_ty: Ty) -> Value {
+        self.cast(CastKind::Sext, val, to_ty)
+    }
+
+    /// `trunc ... to to_ty`.
+    pub fn trunc(&mut self, val: Value, to_ty: Ty) -> Value {
+        self.cast(CastKind::Trunc, val, to_ty)
+    }
+
+    /// `bitcast ... to to_ty`.
+    pub fn bitcast(&mut self, val: Value, to_ty: Ty) -> Value {
+        let from_ty = self.func.value_ty(&val);
+        self.emit(Inst::Bitcast { from_ty, to_ty, val })
+    }
+
+    /// `getelementptr` with an `inbounds` choice. The stride is the size
+    /// of `base`'s pointee type.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `base` is not a pointer.
+    pub fn gep(&mut self, base: Value, idx: Value, inbounds: bool) -> Value {
+        let base_ty = self.func.value_ty(&base);
+        let elem_ty = base_ty
+            .pointee()
+            .unwrap_or_else(|| panic!("gep base must be a pointer, got {base_ty}"))
+            .clone();
+        let idx_ty = self.func.value_ty(&idx);
+        self.emit(Inst::Gep { elem_ty, base, idx_ty, idx, inbounds })
+    }
+
+    /// `load` of type `ty` from `ptr`.
+    pub fn load(&mut self, ty: Ty, ptr: Value) -> Value {
+        self.emit(Inst::Load { ty, ptr })
+    }
+
+    /// `store val, ptr`.
+    pub fn store(&mut self, val: Value, ptr: Value) {
+        let ty = self.func.value_ty(&val);
+        self.emit(Inst::Store { ty, val, ptr });
+    }
+
+    /// `extractelement vec, idx` (constant index).
+    pub fn extractelement(&mut self, vec: Value, idx: Value) -> Value {
+        let vec_ty = self.func.value_ty(&vec);
+        let elem_ty = vec_ty
+            .vector_elem()
+            .unwrap_or_else(|| panic!("extractelement needs a vector, got {vec_ty}"))
+            .clone();
+        let len = vec_ty.vector_len().expect("vector has length");
+        self.emit(Inst::ExtractElement { elem_ty, len, vec, idx })
+    }
+
+    /// `insertelement vec, elt, idx` (constant index).
+    pub fn insertelement(&mut self, vec: Value, elt: Value, idx: Value) -> Value {
+        let vec_ty = self.func.value_ty(&vec);
+        let elem_ty = vec_ty
+            .vector_elem()
+            .unwrap_or_else(|| panic!("insertelement needs a vector, got {vec_ty}"))
+            .clone();
+        let len = vec_ty.vector_len().expect("vector has length");
+        self.emit(Inst::InsertElement { elem_ty, len, vec, elt, idx })
+    }
+
+    /// Direct call. Argument types are inferred from the operands.
+    pub fn call(&mut self, ret_ty: Ty, callee: &str, args: Vec<Value>) -> Value {
+        let arg_tys = args.iter().map(|a| self.func.value_ty(a)).collect();
+        self.emit(Inst::Call { ret_ty, callee: callee.to_string(), arg_tys, args })
+    }
+
+    /// Terminates the current block with `ret <v>`.
+    pub fn ret(&mut self, v: Value) {
+        self.func.block_mut(self.cur).term = Terminator::Ret(Some(v));
+    }
+
+    /// Terminates the current block with `ret void`.
+    pub fn ret_void(&mut self) {
+        self.func.block_mut(self.cur).term = Terminator::Ret(None);
+    }
+
+    /// Terminates the current block with a conditional branch.
+    pub fn br(&mut self, cond: Value, then_bb: BlockId, else_bb: BlockId) {
+        self.func.block_mut(self.cur).term = Terminator::Br { cond, then_bb, else_bb };
+    }
+
+    /// Terminates the current block with an unconditional branch.
+    pub fn jmp(&mut self, dest: BlockId) {
+        self.func.block_mut(self.cur).term = Terminator::Jmp(dest);
+    }
+
+    /// Terminates the current block with `unreachable`.
+    pub fn unreachable(&mut self) {
+        self.func.block_mut(self.cur).term = Terminator::Unreachable;
+    }
+
+    /// Adds an incoming edge to an already-built phi (needed for loops,
+    /// where a phi refers to values defined later).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `phi` does not refer to a phi instruction.
+    pub fn phi_add_incoming(&mut self, phi: &Value, val: Value, from: BlockId) {
+        let id = phi.as_inst().expect("phi operand must be an instruction");
+        match self.func.inst_mut(id) {
+            Inst::Phi { incoming, .. } => incoming.push((val, from)),
+            other => panic!("expected phi, found {}", other.mnemonic()),
+        }
+    }
+
+    /// Finalizes and returns the function.
+    pub fn finish(self) -> Function {
+        self.func
+    }
+
+    /// Finalizes the function and asserts it verifies.
+    ///
+    /// # Panics
+    ///
+    /// Panics with the verifier diagnostics if the function is ill-formed
+    /// under the legacy semantics (which accept both `undef` and
+    /// `poison`).
+    pub fn finish_verified(self) -> Function {
+        let f = self.func;
+        if let Err(errs) = crate::verify::verify_function_legacy(&f) {
+            panic!("built function @{} fails verification:\n{}\n{}", f.name, errs.join("\n"), f);
+        }
+        f
+    }
+}
+
+/// Convenience: builds the i1 constant `true`/`false`.
+pub fn bool_const(v: bool) -> Value {
+    Value::Const(Constant::bool(v))
+}
+
+/// Returns the id a freshly built instruction got, for tests that need
+/// [`InstId`]s.
+pub fn inst_id(v: &Value) -> InstId {
+    v.as_inst().expect("value is an instruction result")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builds_straight_line_code() {
+        let mut b = FunctionBuilder::new("f", &[("x", Ty::i32()), ("y", Ty::i32())], Ty::i1());
+        let x = b.arg(0);
+        let y = b.arg(1);
+        let sum = b.add_flags(Flags::NSW, x.clone(), y);
+        let cmp = b.icmp(Cond::Sgt, sum, x);
+        b.ret(cmp);
+        let f = b.finish();
+        assert_eq!(f.placed_inst_count(), 2);
+        assert_eq!(f.value_ty(&Value::Inst(InstId(1))), Ty::i1());
+    }
+
+    #[test]
+    fn builds_loop_with_phi_backfill() {
+        // Figure 1 of the paper: count up to n, storing x+1.
+        let mut b = FunctionBuilder::new(
+            "store_loop",
+            &[("n", Ty::i32()), ("x", Ty::i32()), ("a", Ty::ptr_to(Ty::i32()))],
+            Ty::Void,
+        );
+        let head = b.block("head");
+        let body = b.block("body");
+        let exit = b.block("exit");
+        b.jmp(head);
+
+        b.switch_to(head);
+        let i = b.phi(Ty::i32(), vec![(b.const_int(32, 0), BlockId::ENTRY)]);
+        let c = b.icmp(Cond::Slt, i.clone(), b.arg(0));
+        b.br(c, body, exit);
+
+        b.switch_to(body);
+        let x1 = b.add_flags(Flags::NSW, b.arg(1), b.const_int(32, 1));
+        let ptr = b.gep(b.arg(2), i.clone(), true);
+        b.store(x1, ptr);
+        let i1 = b.add_flags(Flags::NSW, i.clone(), b.const_int(32, 1));
+        b.phi_add_incoming(&i, i1, body);
+        b.jmp(head);
+
+        b.switch_to(exit);
+        b.ret_void();
+
+        let f = b.finish_verified();
+        assert_eq!(f.blocks.len(), 4);
+        assert_eq!(f.placed_inst_count(), 6);
+    }
+
+    #[test]
+    fn gep_infers_stride_type() {
+        let mut b =
+            FunctionBuilder::new("g", &[("p", Ty::ptr_to(Ty::i64())), ("i", Ty::i32())], Ty::Void);
+        let p = b.gep(b.arg(0), b.arg(1), false);
+        let f_ref = b.func();
+        assert_eq!(f_ref.value_ty(&p), Ty::ptr_to(Ty::i64()));
+        match f_ref.inst(inst_id(&p)) {
+            Inst::Gep { elem_ty, inbounds, .. } => {
+                assert_eq!(*elem_ty, Ty::i64());
+                assert!(!inbounds);
+            }
+            other => panic!("expected gep, got {other:?}"),
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn arg_out_of_range_panics() {
+        let b = FunctionBuilder::new("f", &[], Ty::Void);
+        let _ = b.arg(0);
+    }
+
+    #[test]
+    fn vector_ops_infer_types() {
+        let vty = Ty::vector(2, Ty::Int(16));
+        let mut b = FunctionBuilder::new("v", &[("v", vty.clone())], Ty::Int(16));
+        let e = b.extractelement(b.arg(0), b.const_int(32, 0));
+        let v2 = b.insertelement(b.arg(0), e.clone(), b.const_int(32, 1));
+        let f_ref = b.func();
+        assert_eq!(f_ref.value_ty(&e), Ty::Int(16));
+        assert_eq!(f_ref.value_ty(&v2), vty);
+    }
+
+    #[test]
+    fn call_infers_arg_types() {
+        let mut b = FunctionBuilder::new("caller", &[("x", Ty::i32())], Ty::Void);
+        let r = b.call(Ty::i32(), "g", vec![b.arg(0)]);
+        b.ret_void();
+        let f = b.finish();
+        match f.inst(inst_id(&r)) {
+            Inst::Call { arg_tys, callee, .. } => {
+                assert_eq!(arg_tys, &[Ty::i32()]);
+                assert_eq!(callee, "g");
+            }
+            other => panic!("expected call, got {other:?}"),
+        }
+    }
+}

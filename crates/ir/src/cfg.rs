@@ -1,0 +1,139 @@
+//! Control-flow-graph utilities: reachability, postorder, and reverse
+//! postorder over a [`Function`]'s blocks.
+
+use crate::function::Function;
+use crate::value::BlockId;
+
+/// Computes the set of blocks reachable from the entry block.
+pub fn reachable(func: &Function) -> Vec<bool> {
+    let mut seen = vec![false; func.blocks.len()];
+    let mut stack = vec![BlockId::ENTRY];
+    while let Some(bb) = stack.pop() {
+        if seen[bb.index()] {
+            continue;
+        }
+        seen[bb.index()] = true;
+        for succ in func.block(bb).term.successors() {
+            if !seen[succ.index()] {
+                stack.push(succ);
+            }
+        }
+    }
+    seen
+}
+
+/// Blocks in postorder of a depth-first search from the entry block.
+/// Unreachable blocks are not included.
+pub fn postorder(func: &Function) -> Vec<BlockId> {
+    let mut order = Vec::with_capacity(func.blocks.len());
+    let mut state = vec![0u8; func.blocks.len()]; // 0 unvisited, 1 on stack, 2 done
+    // Iterative DFS with an explicit (block, next-successor) stack to
+    // avoid recursion depth limits on long CFGs.
+    let mut stack: Vec<(BlockId, usize)> = vec![(BlockId::ENTRY, 0)];
+    state[BlockId::ENTRY.index()] = 1;
+    while let Some(&mut (bb, ref mut next)) = stack.last_mut() {
+        let succs = func.block(bb).term.successors();
+        if *next < succs.len() {
+            let succ = succs[*next];
+            *next += 1;
+            if state[succ.index()] == 0 {
+                state[succ.index()] = 1;
+                stack.push((succ, 0));
+            }
+        } else {
+            state[bb.index()] = 2;
+            order.push(bb);
+            stack.pop();
+        }
+    }
+    order
+}
+
+/// Blocks in reverse postorder (the canonical forward-analysis order;
+/// every block appears before its successors, back edges aside).
+pub fn reverse_postorder(func: &Function) -> Vec<BlockId> {
+    let mut order = postorder(func);
+    order.reverse();
+    order
+}
+
+/// Maps each block to its position in reverse postorder; unreachable
+/// blocks map to `None`.
+pub fn rpo_numbers(func: &Function) -> Vec<Option<usize>> {
+    let mut numbers = vec![None; func.blocks.len()];
+    for (i, bb) in reverse_postorder(func).into_iter().enumerate() {
+        numbers[bb.index()] = Some(i);
+    }
+    numbers
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::FunctionBuilder;
+    use crate::types::Ty;
+    use crate::value::Value;
+
+    /// entry -> {a, b} -> join; plus one unreachable block.
+    fn diamond() -> Function {
+        let mut b = FunctionBuilder::new("d", &[("c", Ty::i1())], Ty::Void);
+        let then_bb = b.block("a");
+        let else_bb = b.block("b");
+        let join = b.block("join");
+        let dead = b.block("dead");
+        b.br(b.arg(0), then_bb, else_bb);
+        b.switch_to(then_bb);
+        b.jmp(join);
+        b.switch_to(else_bb);
+        b.jmp(join);
+        b.switch_to(join);
+        b.ret_void();
+        b.switch_to(dead);
+        b.ret_void();
+        b.finish()
+    }
+
+    #[test]
+    fn reachability_skips_dead_blocks() {
+        let f = diamond();
+        let r = reachable(&f);
+        assert_eq!(r, vec![true, true, true, true, false]);
+    }
+
+    #[test]
+    fn rpo_starts_at_entry_and_respects_edges() {
+        let f = diamond();
+        let rpo = reverse_postorder(&f);
+        assert_eq!(rpo[0], BlockId::ENTRY);
+        assert_eq!(rpo.len(), 4); // dead block excluded
+        let numbers = rpo_numbers(&f);
+        // Every reachable edge (u, v) that is not a back edge has
+        // rpo(u) < rpo(v). The diamond has no back edges.
+        for bb in f.block_ids() {
+            let Some(u) = numbers[bb.index()] else { continue };
+            for s in f.block(bb).term.successors() {
+                assert!(u < numbers[s.index()].unwrap());
+            }
+        }
+    }
+
+    #[test]
+    fn loop_back_edge_has_decreasing_rpo() {
+        let mut b = FunctionBuilder::new("l", &[("n", Ty::i32())], Ty::Void);
+        let head = b.block("head");
+        let body = b.block("body");
+        let exit = b.block("exit");
+        b.jmp(head);
+        b.switch_to(head);
+        let c = b.icmp(crate::inst::Cond::Ne, b.arg(0), Value::int(32, 0));
+        b.br(c, body, exit);
+        b.switch_to(body);
+        b.jmp(head);
+        b.switch_to(exit);
+        b.ret_void();
+        let f = b.finish();
+        let numbers = rpo_numbers(&f);
+        // The back edge body -> head goes against RPO.
+        assert!(numbers[body.index()].unwrap() > numbers[head.index()].unwrap());
+    }
+}

@@ -1,0 +1,179 @@
+//! Dominator tree, computed with the Cooper–Harvey–Kennedy iterative
+//! algorithm over reverse postorder.
+
+use crate::cfg::{reverse_postorder, rpo_numbers};
+use crate::function::Function;
+use crate::value::BlockId;
+
+/// The dominator tree of a function's CFG.
+///
+/// Unreachable blocks have no immediate dominator and dominate nothing.
+#[derive(Clone, Debug)]
+pub struct DomTree {
+    /// Immediate dominator of each block (`None` for the entry block and
+    /// unreachable blocks).
+    idom: Vec<Option<BlockId>>,
+    /// Position of each block in reverse postorder.
+    rpo_number: Vec<Option<usize>>,
+}
+
+impl DomTree {
+    /// Computes the dominator tree of `func`.
+    pub fn compute(func: &Function) -> DomTree {
+        let rpo = reverse_postorder(func);
+        let rpo_number = rpo_numbers(func);
+        let preds = func.predecessors();
+        let n = func.blocks.len();
+        let mut idom: Vec<Option<BlockId>> = vec![None; n];
+        idom[BlockId::ENTRY.index()] = Some(BlockId::ENTRY);
+
+        let intersect = |idom: &[Option<BlockId>], mut a: BlockId, mut b: BlockId| -> BlockId {
+            loop {
+                let na = rpo_number[a.index()].expect("reachable");
+                let nb = rpo_number[b.index()].expect("reachable");
+                if na == nb {
+                    return a;
+                }
+                if na > nb {
+                    a = idom[a.index()].expect("processed");
+                } else {
+                    b = idom[b.index()].expect("processed");
+                }
+            }
+        };
+
+        let mut changed = true;
+        while changed {
+            changed = false;
+            for &bb in rpo.iter().skip(1) {
+                let mut new_idom: Option<BlockId> = None;
+                for &p in &preds[bb.index()] {
+                    if rpo_number[p.index()].is_none() {
+                        continue; // unreachable predecessor
+                    }
+                    if idom[p.index()].is_none() {
+                        continue; // not yet processed this iteration
+                    }
+                    new_idom = Some(match new_idom {
+                        None => p,
+                        Some(cur) => intersect(&idom, cur, p),
+                    });
+                }
+                if new_idom.is_some() && idom[bb.index()] != new_idom {
+                    idom[bb.index()] = new_idom;
+                    changed = true;
+                }
+            }
+        }
+        // By convention the entry's idom is None externally.
+        idom[BlockId::ENTRY.index()] = None;
+        DomTree { idom, rpo_number }
+    }
+
+    /// The immediate dominator of `bb` (`None` for the entry block and
+    /// unreachable blocks).
+    pub fn idom(&self, bb: BlockId) -> Option<BlockId> {
+        self.idom[bb.index()]
+    }
+
+    /// Returns `true` if `a` dominates `b` (reflexively).
+    ///
+    /// Unreachable blocks dominate nothing and are dominated by nothing.
+    pub fn dominates(&self, a: BlockId, b: BlockId) -> bool {
+        if self.rpo_number[a.index()].is_none() || self.rpo_number[b.index()].is_none() {
+            return false;
+        }
+        let mut cur = b;
+        loop {
+            if cur == a {
+                return true;
+            }
+            match self.idom[cur.index()] {
+                Some(next) => cur = next,
+                None => return false,
+            }
+        }
+    }
+
+    /// Returns `true` if `a` strictly dominates `b`.
+    pub fn strictly_dominates(&self, a: BlockId, b: BlockId) -> bool {
+        a != b && self.dominates(a, b)
+    }
+
+    /// Returns `true` if `bb` is reachable from the entry block.
+    pub fn is_reachable(&self, bb: BlockId) -> bool {
+        self.rpo_number[bb.index()].is_some()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::FunctionBuilder;
+    use crate::inst::Cond;
+    use crate::types::Ty;
+    use crate::value::Value;
+
+    #[test]
+    fn diamond_dominators() {
+        let mut b = FunctionBuilder::new("d", &[("c", Ty::i1())], Ty::Void);
+        let t = b.block("t");
+        let e = b.block("e");
+        let j = b.block("j");
+        b.br(b.arg(0), t, e);
+        b.switch_to(t);
+        b.jmp(j);
+        b.switch_to(e);
+        b.jmp(j);
+        b.switch_to(j);
+        b.ret_void();
+        let f = b.finish();
+        let dt = DomTree::compute(&f);
+
+        assert_eq!(dt.idom(BlockId::ENTRY), None);
+        assert_eq!(dt.idom(t), Some(BlockId::ENTRY));
+        assert_eq!(dt.idom(e), Some(BlockId::ENTRY));
+        assert_eq!(dt.idom(j), Some(BlockId::ENTRY));
+        assert!(dt.dominates(BlockId::ENTRY, j));
+        assert!(!dt.dominates(t, j));
+        assert!(dt.dominates(j, j));
+        assert!(!dt.strictly_dominates(j, j));
+    }
+
+    #[test]
+    fn loop_header_dominates_body() {
+        let mut b = FunctionBuilder::new("l", &[("n", Ty::i32())], Ty::Void);
+        let head = b.block("head");
+        let body = b.block("body");
+        let exit = b.block("exit");
+        b.jmp(head);
+        b.switch_to(head);
+        let c = b.icmp(Cond::Ne, b.arg(0), Value::int(32, 0));
+        b.br(c, body, exit);
+        b.switch_to(body);
+        b.jmp(head);
+        b.switch_to(exit);
+        b.ret_void();
+        let f = b.finish();
+        let dt = DomTree::compute(&f);
+        assert!(dt.dominates(head, body));
+        assert!(dt.dominates(head, exit));
+        assert!(!dt.dominates(body, head));
+        assert_eq!(dt.idom(body), Some(head));
+        assert_eq!(dt.idom(exit), Some(head));
+    }
+
+    #[test]
+    fn unreachable_blocks_are_outside_the_tree() {
+        let mut b = FunctionBuilder::new("u", &[], Ty::Void);
+        let dead = b.block("dead");
+        b.ret_void();
+        b.switch_to(dead);
+        b.ret_void();
+        let f = b.finish();
+        let dt = DomTree::compute(&f);
+        assert!(!dt.is_reachable(dead));
+        assert!(!dt.dominates(BlockId::ENTRY, dead));
+        assert!(!dt.dominates(dead, BlockId::ENTRY));
+    }
+}

@@ -1,0 +1,470 @@
+//! Functions, basic blocks, and modules.
+//!
+//! A [`Function`] owns an arena of instructions ([`Inst`]) addressed by
+//! [`InstId`]; each [`Block`] holds an ordered list of instruction ids
+//! plus a [`Terminator`]. Block 0 is always the entry block. The IR is in
+//! SSA form: every instruction result is defined exactly once, and uses
+//! refer to definitions by [`InstId`].
+
+use std::collections::HashMap;
+use std::fmt;
+
+use crate::inst::{Inst, Terminator};
+use crate::types::Ty;
+use crate::value::{BlockId, InstId, Value};
+
+/// A formal parameter of a function.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct Param {
+    /// Parameter name (without the leading `%`).
+    pub name: String,
+    /// Parameter type.
+    pub ty: Ty,
+}
+
+/// A basic block: a label, straight-line instructions, and a terminator.
+#[derive(Clone, PartialEq, Debug)]
+pub struct Block {
+    /// Block label (without the trailing `:`).
+    pub name: String,
+    /// Instruction ids in execution order. Phis, if any, come first.
+    pub insts: Vec<InstId>,
+    /// The block terminator.
+    pub term: Terminator,
+}
+
+impl Block {
+    /// Creates an empty block with the given label terminated by
+    /// `unreachable` (callers are expected to set a real terminator).
+    pub fn new(name: impl Into<String>) -> Block {
+        Block { name: name.into(), insts: Vec::new(), term: Terminator::Unreachable }
+    }
+}
+
+/// A function definition.
+#[derive(Clone, PartialEq, Debug)]
+pub struct Function {
+    /// Symbol name (without the leading `@`).
+    pub name: String,
+    /// Formal parameters.
+    pub params: Vec<Param>,
+    /// Return type.
+    pub ret_ty: Ty,
+    /// Basic blocks. `blocks[0]` is the entry block.
+    pub blocks: Vec<Block>,
+    /// Instruction arena. Blocks refer into this by [`InstId`]. Slots of
+    /// deleted instructions may linger unreferenced; [`Function::compact`]
+    /// garbage-collects them.
+    pub insts: Vec<Inst>,
+}
+
+impl Function {
+    /// Creates a function with an empty entry block.
+    pub fn new(name: impl Into<String>, params: Vec<Param>, ret_ty: Ty) -> Function {
+        Function {
+            name: name.into(),
+            params,
+            ret_ty,
+            blocks: vec![Block::new("entry")],
+            insts: Vec::new(),
+        }
+    }
+
+    /// The instruction behind an id.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the id is out of bounds.
+    pub fn inst(&self, id: InstId) -> &Inst {
+        &self.insts[id.index()]
+    }
+
+    /// Mutable access to an instruction.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the id is out of bounds.
+    pub fn inst_mut(&mut self, id: InstId) -> &mut Inst {
+        &mut self.insts[id.index()]
+    }
+
+    /// The block behind an id.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the id is out of bounds.
+    pub fn block(&self, id: BlockId) -> &Block {
+        &self.blocks[id.index()]
+    }
+
+    /// Mutable access to a block.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the id is out of bounds.
+    pub fn block_mut(&mut self, id: BlockId) -> &mut Block {
+        &mut self.blocks[id.index()]
+    }
+
+    /// Ids of all blocks, in order.
+    pub fn block_ids(&self) -> impl Iterator<Item = BlockId> + '_ {
+        (0..self.blocks.len() as u32).map(BlockId)
+    }
+
+    /// Appends a new empty block and returns its id.
+    pub fn add_block(&mut self, name: impl Into<String>) -> BlockId {
+        let id = BlockId(self.blocks.len() as u32);
+        self.blocks.push(Block::new(name));
+        id
+    }
+
+    /// Adds an instruction to the arena (without inserting it into a
+    /// block) and returns its id.
+    pub fn add_inst(&mut self, inst: Inst) -> InstId {
+        let id = InstId(self.insts.len() as u32);
+        self.insts.push(inst);
+        id
+    }
+
+    /// Appends an instruction to the end of `bb` and returns its id.
+    pub fn append_inst(&mut self, bb: BlockId, inst: Inst) -> InstId {
+        let id = self.add_inst(inst);
+        self.block_mut(bb).insts.push(id);
+        id
+    }
+
+    /// The type of a value in the context of this function.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the value refers to an out-of-range argument or
+    /// instruction.
+    pub fn value_ty(&self, v: &Value) -> Ty {
+        match v {
+            Value::Inst(id) => self.inst(*id).result_ty(),
+            Value::Arg(i) => self.params[*i as usize].ty.clone(),
+            Value::Const(c) => c.ty(),
+        }
+    }
+
+    /// Finds the block that contains instruction `id`, if it is placed.
+    pub fn block_of(&self, id: InstId) -> Option<BlockId> {
+        self.block_ids().find(|bb| self.block(*bb).insts.contains(&id))
+    }
+
+    /// Replaces every use of `from` (an instruction result) with `to`,
+    /// across all instructions and terminators.
+    pub fn replace_all_uses(&mut self, from: InstId, to: &Value) {
+        let from_val = Value::Inst(from);
+        for inst in &mut self.insts {
+            inst.for_each_operand_mut(|op| {
+                if *op == from_val {
+                    *op = to.clone();
+                }
+            });
+        }
+        for block in &mut self.blocks {
+            block.term.for_each_operand_mut(|op| {
+                if *op == from_val {
+                    *op = to.clone();
+                }
+            });
+        }
+    }
+
+    /// Counts the uses of every instruction result (in other
+    /// instructions and in terminators).
+    pub fn use_counts(&self) -> HashMap<InstId, usize> {
+        let mut counts: HashMap<InstId, usize> = HashMap::new();
+        let mut bump = |v: &Value| {
+            if let Value::Inst(id) = v {
+                *counts.entry(*id).or_insert(0) += 1;
+            }
+        };
+        for bb in &self.blocks {
+            for &id in &bb.insts {
+                self.inst(id).for_each_operand(&mut bump);
+            }
+            bb.term.for_each_operand(&mut bump);
+        }
+        counts
+    }
+
+    /// Total number of instructions currently placed in blocks.
+    pub fn placed_inst_count(&self) -> usize {
+        self.blocks.iter().map(|b| b.insts.len()).sum()
+    }
+
+    /// Number of placed `freeze` instructions.
+    pub fn freeze_count(&self) -> usize {
+        self.blocks
+            .iter()
+            .flat_map(|b| &b.insts)
+            .filter(|&&id| self.inst(id).is_freeze())
+            .count()
+    }
+
+    /// Predecessor blocks of each block.
+    pub fn predecessors(&self) -> Vec<Vec<BlockId>> {
+        let mut preds = vec![Vec::new(); self.blocks.len()];
+        for bb in self.block_ids() {
+            for succ in self.block(bb).term.successors() {
+                preds[succ.index()].push(bb);
+            }
+        }
+        preds
+    }
+
+    /// Garbage-collects unplaced arena slots and renumbers instructions
+    /// densely. Phi incoming edges and all operands are rewritten.
+    ///
+    /// Returns the number of collected slots.
+    pub fn compact(&mut self) -> usize {
+        let mut placed = vec![false; self.insts.len()];
+        for bb in &self.blocks {
+            for &id in &bb.insts {
+                placed[id.index()] = true;
+            }
+        }
+        let mut remap: Vec<Option<InstId>> = vec![None; self.insts.len()];
+        let mut new_insts = Vec::with_capacity(self.insts.len());
+        for (i, inst) in self.insts.iter().enumerate() {
+            if placed[i] {
+                remap[i] = Some(InstId(new_insts.len() as u32));
+                new_insts.push(inst.clone());
+            }
+        }
+        let collected = self.insts.len() - new_insts.len();
+        self.insts = new_insts;
+        let remap_val = |v: &mut Value| {
+            if let Value::Inst(id) = v {
+                // Uses of unplaced instructions would be a verifier
+                // error; map them best-effort to keep compaction total.
+                if let Some(new_id) = remap[id.index()] {
+                    *id = new_id;
+                }
+            }
+        };
+        for inst in &mut self.insts {
+            inst.for_each_operand_mut(remap_val);
+        }
+        for block in &mut self.blocks {
+            for id in &mut block.insts {
+                *id = remap[id.index()].expect("placed instruction survives compaction");
+            }
+            block.term.for_each_operand_mut(remap_val);
+        }
+        collected
+    }
+
+    /// An estimate of the heap footprint of this function in bytes, used
+    /// by the compile-time/memory evaluation (§7.2 "memory consumption").
+    pub fn approx_bytes(&self) -> usize {
+        use std::mem::size_of;
+        let mut total = size_of::<Function>();
+        total += self.insts.capacity() * size_of::<Inst>();
+        for b in &self.blocks {
+            total += size_of::<Block>() + b.insts.capacity() * size_of::<InstId>() + b.name.len();
+        }
+        for p in &self.params {
+            total += size_of::<Param>() + p.name.len();
+        }
+        total
+    }
+}
+
+/// Attributes of an external function declaration.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub struct DeclAttrs {
+    /// The function reads no memory and has no side effects; calls to it
+    /// may be removed or duplicated if the result is unused/recomputed.
+    pub readnone: bool,
+    /// The function is guaranteed to return (no divergence, no exit).
+    pub willreturn: bool,
+}
+
+/// An external function declaration (callee without a body).
+#[derive(Clone, PartialEq, Debug)]
+pub struct FuncDecl {
+    /// Symbol name (without the leading `@`).
+    pub name: String,
+    /// Parameter types.
+    pub params: Vec<Ty>,
+    /// Return type.
+    pub ret_ty: Ty,
+    /// Attributes.
+    pub attrs: DeclAttrs,
+}
+
+/// A translation unit: function definitions plus external declarations.
+#[derive(Clone, PartialEq, Debug, Default)]
+pub struct Module {
+    /// Function definitions, in declaration order.
+    pub functions: Vec<Function>,
+    /// External declarations.
+    pub declarations: Vec<FuncDecl>,
+}
+
+impl Module {
+    /// An empty module.
+    pub fn new() -> Module {
+        Module::default()
+    }
+
+    /// Looks up a function definition by name.
+    pub fn function(&self, name: &str) -> Option<&Function> {
+        self.functions.iter().find(|f| f.name == name)
+    }
+
+    /// Mutable lookup of a function definition by name.
+    pub fn function_mut(&mut self, name: &str) -> Option<&mut Function> {
+        self.functions.iter_mut().find(|f| f.name == name)
+    }
+
+    /// Looks up an external declaration by name.
+    pub fn declaration(&self, name: &str) -> Option<&FuncDecl> {
+        self.declarations.iter().find(|d| d.name == name)
+    }
+
+    /// The signature (param types, return type) of a callee, whether
+    /// defined or declared.
+    pub fn callee_signature(&self, name: &str) -> Option<(Vec<Ty>, Ty)> {
+        if let Some(f) = self.function(name) {
+            return Some((f.params.iter().map(|p| p.ty.clone()).collect(), f.ret_ty.clone()));
+        }
+        self.declaration(name).map(|d| (d.params.clone(), d.ret_ty.clone()))
+    }
+
+    /// Total placed instructions across all functions.
+    pub fn inst_count(&self) -> usize {
+        self.functions.iter().map(Function::placed_inst_count).sum()
+    }
+
+    /// Total placed `freeze` instructions across all functions.
+    pub fn freeze_count(&self) -> usize {
+        self.functions.iter().map(Function::freeze_count).sum()
+    }
+
+    /// An estimate of the heap footprint of the module in bytes.
+    pub fn approx_bytes(&self) -> usize {
+        self.functions.iter().map(Function::approx_bytes).sum()
+    }
+}
+
+impl fmt::Display for Module {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        crate::print::print_module(self, f)
+    }
+}
+
+impl fmt::Display for Function {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        crate::print::print_function(self, f)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::inst::{BinOp, Flags};
+
+    fn simple_fn() -> Function {
+        let mut f = Function::new(
+            "f",
+            vec![Param { name: "x".into(), ty: Ty::i32() }],
+            Ty::i32(),
+        );
+        let a = f.append_inst(
+            BlockId::ENTRY,
+            Inst::Bin {
+                op: BinOp::Add,
+                flags: Flags::NSW,
+                ty: Ty::i32(),
+                lhs: Value::Arg(0),
+                rhs: Value::int(32, 1),
+            },
+        );
+        f.block_mut(BlockId::ENTRY).term = Terminator::Ret(Some(Value::Inst(a)));
+        f
+    }
+
+    #[test]
+    fn build_and_query() {
+        let f = simple_fn();
+        assert_eq!(f.placed_inst_count(), 1);
+        assert_eq!(f.value_ty(&Value::Arg(0)), Ty::i32());
+        assert_eq!(f.value_ty(&Value::Inst(InstId(0))), Ty::i32());
+        assert_eq!(f.block_of(InstId(0)), Some(BlockId::ENTRY));
+    }
+
+    #[test]
+    fn replace_all_uses_rewrites_terminator() {
+        let mut f = simple_fn();
+        f.replace_all_uses(InstId(0), &Value::int(32, 7));
+        match &f.block(BlockId::ENTRY).term {
+            Terminator::Ret(Some(v)) => assert!(v.is_int_const(7)),
+            other => panic!("unexpected terminator {other:?}"),
+        }
+    }
+
+    #[test]
+    fn use_counts_cover_terminators() {
+        let f = simple_fn();
+        let counts = f.use_counts();
+        assert_eq!(counts.get(&InstId(0)), Some(&1));
+    }
+
+    #[test]
+    fn compact_collects_unplaced() {
+        let mut f = simple_fn();
+        // Add an instruction to the arena but never place it.
+        let dead = f.add_inst(Inst::Freeze { ty: Ty::i32(), val: Value::Arg(0) });
+        assert_eq!(dead, InstId(1));
+        assert_eq!(f.compact(), 1);
+        assert_eq!(f.insts.len(), 1);
+        assert_eq!(f.placed_inst_count(), 1);
+        // The surviving instruction is still referenced by the ret.
+        match &f.block(BlockId::ENTRY).term {
+            Terminator::Ret(Some(Value::Inst(id))) => assert_eq!(*id, InstId(0)),
+            other => panic!("unexpected terminator {other:?}"),
+        }
+    }
+
+    #[test]
+    fn predecessors_follow_edges() {
+        let mut f = Function::new("g", vec![], Ty::Void);
+        let b1 = f.add_block("left");
+        let b2 = f.add_block("right");
+        let b3 = f.add_block("join");
+        f.block_mut(BlockId::ENTRY).term =
+            Terminator::Br { cond: Value::bool(true), then_bb: b1, else_bb: b2 };
+        f.block_mut(b1).term = Terminator::Jmp(b3);
+        f.block_mut(b2).term = Terminator::Jmp(b3);
+        f.block_mut(b3).term = Terminator::Ret(None);
+        let preds = f.predecessors();
+        assert!(preds[BlockId::ENTRY.index()].is_empty());
+        assert_eq!(preds[b3.index()], vec![b1, b2]);
+    }
+
+    #[test]
+    fn module_lookup_and_counts() {
+        let mut m = Module::new();
+        m.functions.push(simple_fn());
+        m.declarations.push(FuncDecl {
+            name: "ext".into(),
+            params: vec![Ty::i32()],
+            ret_ty: Ty::Void,
+            attrs: DeclAttrs::default(),
+        });
+        assert!(m.function("f").is_some());
+        assert!(m.function("missing").is_none());
+        assert_eq!(m.inst_count(), 1);
+        assert_eq!(m.freeze_count(), 0);
+        let (params, ret) = m.callee_signature("ext").unwrap();
+        assert_eq!(params, vec![Ty::i32()]);
+        assert_eq!(ret, Ty::Void);
+        let (params, ret) = m.callee_signature("f").unwrap();
+        assert_eq!(params, vec![Ty::i32()]);
+        assert_eq!(ret, Ty::i32());
+    }
+}

@@ -1,0 +1,221 @@
+//! Natural-loop detection via back edges of the dominator tree.
+//!
+//! A back edge is an edge `latch -> header` where `header` dominates
+//! `latch`; the natural loop of the edge is `header` plus every block
+//! that reaches `latch` without passing through `header`. Loops sharing
+//! a header are merged, as in LLVM's `LoopInfo`.
+
+use std::collections::BTreeSet;
+
+use crate::dom::DomTree;
+use crate::function::Function;
+use crate::value::BlockId;
+
+/// A natural loop.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Loop {
+    /// The loop header (target of the back edges; dominates all blocks
+    /// in the loop).
+    pub header: BlockId,
+    /// All blocks in the loop, including the header, in ascending id
+    /// order.
+    pub blocks: Vec<BlockId>,
+    /// Latch blocks (sources of back edges into the header).
+    pub latches: Vec<BlockId>,
+}
+
+impl Loop {
+    /// Returns `true` if `bb` belongs to the loop.
+    pub fn contains(&self, bb: BlockId) -> bool {
+        self.blocks.binary_search(&bb).is_ok()
+    }
+
+    /// Blocks outside the loop that are targets of edges leaving the
+    /// loop (the loop's exit blocks).
+    pub fn exit_blocks(&self, func: &Function) -> Vec<BlockId> {
+        let mut exits = BTreeSet::new();
+        for &bb in &self.blocks {
+            for succ in func.block(bb).term.successors() {
+                if !self.contains(succ) {
+                    exits.insert(succ);
+                }
+            }
+        }
+        exits.into_iter().collect()
+    }
+
+    /// The unique block outside the loop that branches to the header, if
+    /// there is exactly one (the preheader). Loop transformations
+    /// typically require one.
+    pub fn preheader(&self, func: &Function) -> Option<BlockId> {
+        let preds = func.predecessors();
+        let outside: Vec<BlockId> = preds[self.header.index()]
+            .iter()
+            .copied()
+            .filter(|p| !self.contains(*p))
+            .collect();
+        match outside.as_slice() {
+            // A preheader must branch *only* to the header.
+            [p] if func.block(*p).term.successors() == vec![self.header] => Some(*p),
+            _ => None,
+        }
+    }
+}
+
+/// Loop nest information for a function.
+#[derive(Clone, Debug, Default)]
+pub struct LoopInfo {
+    /// All loops, outermost first (by containment).
+    pub loops: Vec<Loop>,
+}
+
+impl LoopInfo {
+    /// Detects the natural loops of `func`.
+    pub fn compute(func: &Function, dt: &DomTree) -> LoopInfo {
+        // Group back edges by header.
+        let mut by_header: Vec<(BlockId, Vec<BlockId>)> = Vec::new();
+        for bb in func.block_ids() {
+            if !dt.is_reachable(bb) {
+                continue;
+            }
+            for succ in func.block(bb).term.successors() {
+                if dt.dominates(succ, bb) {
+                    match by_header.iter_mut().find(|(h, _)| *h == succ) {
+                        Some((_, latches)) => latches.push(bb),
+                        None => by_header.push((succ, vec![bb])),
+                    }
+                }
+            }
+        }
+
+        let preds = func.predecessors();
+        let mut loops = Vec::new();
+        for (header, latches) in by_header {
+            // Walk backwards from each latch until the header.
+            let mut blocks: BTreeSet<BlockId> = BTreeSet::new();
+            blocks.insert(header);
+            let mut stack: Vec<BlockId> = latches.clone();
+            while let Some(bb) = stack.pop() {
+                if blocks.insert(bb) {
+                    for &p in &preds[bb.index()] {
+                        if dt.is_reachable(p) {
+                            stack.push(p);
+                        }
+                    }
+                }
+            }
+            loops.push(Loop { header, blocks: blocks.into_iter().collect(), latches });
+        }
+        // Outermost first: a loop containing more blocks comes first.
+        loops.sort_by(|a, b| b.blocks.len().cmp(&a.blocks.len()));
+        LoopInfo { loops }
+    }
+
+    /// The innermost loop containing `bb`, if any.
+    pub fn innermost_containing(&self, bb: BlockId) -> Option<&Loop> {
+        self.loops.iter().filter(|l| l.contains(bb)).min_by_key(|l| l.blocks.len())
+    }
+
+    /// The loop headed at `header`, if any.
+    pub fn loop_with_header(&self, header: BlockId) -> Option<&Loop> {
+        self.loops.iter().find(|l| l.header == header)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::FunctionBuilder;
+    use crate::inst::Cond;
+    use crate::types::Ty;
+    use crate::value::Value;
+
+    /// entry -> head; head -> {body, exit}; body -> head.
+    fn single_loop() -> (Function, BlockId, BlockId, BlockId) {
+        let mut b = FunctionBuilder::new("l", &[("n", Ty::i32())], Ty::Void);
+        let head = b.block("head");
+        let body = b.block("body");
+        let exit = b.block("exit");
+        b.jmp(head);
+        b.switch_to(head);
+        let c = b.icmp(Cond::Ne, b.arg(0), Value::int(32, 0));
+        b.br(c, body, exit);
+        b.switch_to(body);
+        b.jmp(head);
+        b.switch_to(exit);
+        b.ret_void();
+        (b.finish(), head, body, exit)
+    }
+
+    #[test]
+    fn detects_single_loop() {
+        let (f, head, body, exit) = single_loop();
+        let dt = DomTree::compute(&f);
+        let li = LoopInfo::compute(&f, &dt);
+        assert_eq!(li.loops.len(), 1);
+        let l = &li.loops[0];
+        assert_eq!(l.header, head);
+        assert_eq!(l.blocks, vec![head, body]);
+        assert_eq!(l.latches, vec![body]);
+        assert_eq!(l.exit_blocks(&f), vec![exit]);
+        assert_eq!(l.preheader(&f), Some(BlockId::ENTRY));
+        assert!(li.innermost_containing(body).is_some());
+        assert!(li.innermost_containing(exit).is_none());
+    }
+
+    #[test]
+    fn detects_nested_loops() {
+        // entry -> h1; h1 -> {h2, exit}; h2 -> {b2, l1}; b2 -> h2; l1 -> h1.
+        let mut b = FunctionBuilder::new("n", &[("c", Ty::i1()), ("d", Ty::i1())], Ty::Void);
+        let h1 = b.block("h1");
+        let h2 = b.block("h2");
+        let b2 = b.block("b2");
+        let l1 = b.block("l1");
+        let exit = b.block("exit");
+        b.jmp(h1);
+        b.switch_to(h1);
+        b.br(b.arg(0), h2, exit);
+        b.switch_to(h2);
+        b.br(b.arg(1), b2, l1);
+        b.switch_to(b2);
+        b.jmp(h2);
+        b.switch_to(l1);
+        b.jmp(h1);
+        b.switch_to(exit);
+        b.ret_void();
+        let f = b.finish();
+        let dt = DomTree::compute(&f);
+        let li = LoopInfo::compute(&f, &dt);
+
+        assert_eq!(li.loops.len(), 2);
+        let outer = li.loop_with_header(h1).unwrap();
+        let inner = li.loop_with_header(h2).unwrap();
+        assert_eq!(outer.blocks, vec![h1, h2, b2, l1]);
+        assert_eq!(inner.blocks, vec![h2, b2]);
+        // Innermost containment picks the smaller loop.
+        assert_eq!(li.innermost_containing(b2).unwrap().header, h2);
+        assert_eq!(li.innermost_containing(l1).unwrap().header, h1);
+        // Outermost first ordering.
+        assert_eq!(li.loops[0].header, h1);
+    }
+
+    #[test]
+    fn no_preheader_when_header_has_two_outside_preds() {
+        let mut b = FunctionBuilder::new("p", &[("c", Ty::i1()), ("d", Ty::i1())], Ty::Void);
+        let mid = b.block("mid");
+        let head = b.block("head");
+        let exit = b.block("exit");
+        b.br(b.arg(0), mid, head);
+        b.switch_to(mid);
+        b.jmp(head);
+        b.switch_to(head);
+        b.br(b.arg(1), head, exit); // self loop
+        b.switch_to(exit);
+        b.ret_void();
+        let f = b.finish();
+        let dt = DomTree::compute(&f);
+        let li = LoopInfo::compute(&f, &dt);
+        let l = li.loop_with_header(head).unwrap();
+        assert_eq!(l.preheader(&f), None);
+    }
+}

@@ -1,0 +1,1078 @@
+//! Parser for the textual IR form produced by [`crate::print`].
+//!
+//! The syntax is LLVM-flavoured; see the crate-level documentation for an
+//! example. Parsing is two-pass within each function: a pre-scan assigns
+//! [`InstId`]s and [`BlockId`]s in textual order so that forward
+//! references (phis, loop back edges) resolve without placeholders.
+
+use std::collections::HashMap;
+use std::fmt;
+
+use crate::function::{Block, DeclAttrs, FuncDecl, Function, Module, Param};
+use crate::inst::{BinOp, CastKind, Cond, Flags, Inst, Terminator};
+use crate::types::Ty;
+use crate::value::{BlockId, Constant, InstId, Value};
+
+/// A parse failure, with a 1-based line number.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct ParseError {
+    /// 1-based line of the offending token.
+    pub line: usize,
+    /// Human-readable description.
+    pub message: String,
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+type Result<T> = std::result::Result<T, ParseError>;
+
+#[derive(Clone, PartialEq, Eq, Debug)]
+enum Tok {
+    /// Bare word: keywords, mnemonics, type names, labels.
+    Word(String),
+    /// `%name` local reference.
+    Local(String),
+    /// `@name` global reference.
+    Global(String),
+    /// Integer literal (possibly negative).
+    Int(i128),
+    LParen,
+    RParen,
+    LBrace,
+    RBrace,
+    LBracket,
+    RBracket,
+    Lt,
+    Gt,
+    Comma,
+    Eq,
+    Colon,
+    Star,
+}
+
+impl fmt::Display for Tok {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Tok::Word(w) => write!(f, "'{w}'"),
+            Tok::Local(n) => write!(f, "'%{n}'"),
+            Tok::Global(n) => write!(f, "'@{n}'"),
+            Tok::Int(v) => write!(f, "'{v}'"),
+            Tok::LParen => write!(f, "'('"),
+            Tok::RParen => write!(f, "')'"),
+            Tok::LBrace => write!(f, "'{{'"),
+            Tok::RBrace => write!(f, "'}}'"),
+            Tok::LBracket => write!(f, "'['"),
+            Tok::RBracket => write!(f, "']'"),
+            Tok::Lt => write!(f, "'<'"),
+            Tok::Gt => write!(f, "'>'"),
+            Tok::Comma => write!(f, "','"),
+            Tok::Eq => write!(f, "'='"),
+            Tok::Colon => write!(f, "':'"),
+            Tok::Star => write!(f, "'*'"),
+        }
+    }
+}
+
+fn lex(input: &str) -> Result<Vec<(Tok, usize)>> {
+    let mut toks = Vec::new();
+    let mut line = 1usize;
+    let bytes = input.as_bytes();
+    let mut i = 0usize;
+    let is_word = |c: u8| c.is_ascii_alphanumeric() || c == b'_' || c == b'.';
+    while i < bytes.len() {
+        let c = bytes[i];
+        match c {
+            b'\n' => {
+                line += 1;
+                i += 1;
+            }
+            b' ' | b'\t' | b'\r' => i += 1,
+            b';' => {
+                // Comment to end of line.
+                while i < bytes.len() && bytes[i] != b'\n' {
+                    i += 1;
+                }
+            }
+            b'(' => {
+                toks.push((Tok::LParen, line));
+                i += 1;
+            }
+            b')' => {
+                toks.push((Tok::RParen, line));
+                i += 1;
+            }
+            b'{' => {
+                toks.push((Tok::LBrace, line));
+                i += 1;
+            }
+            b'}' => {
+                toks.push((Tok::RBrace, line));
+                i += 1;
+            }
+            b'[' => {
+                toks.push((Tok::LBracket, line));
+                i += 1;
+            }
+            b']' => {
+                toks.push((Tok::RBracket, line));
+                i += 1;
+            }
+            b'<' => {
+                toks.push((Tok::Lt, line));
+                i += 1;
+            }
+            b'>' => {
+                toks.push((Tok::Gt, line));
+                i += 1;
+            }
+            b',' => {
+                toks.push((Tok::Comma, line));
+                i += 1;
+            }
+            b'=' => {
+                toks.push((Tok::Eq, line));
+                i += 1;
+            }
+            b':' => {
+                toks.push((Tok::Colon, line));
+                i += 1;
+            }
+            b'*' => {
+                toks.push((Tok::Star, line));
+                i += 1;
+            }
+            b'%' | b'@' => {
+                let sigil = c;
+                i += 1;
+                let start = i;
+                while i < bytes.len() && is_word(bytes[i]) {
+                    i += 1;
+                }
+                if start == i {
+                    return Err(ParseError {
+                        line,
+                        message: format!("expected a name after '{}'", sigil as char),
+                    });
+                }
+                let name = input[start..i].to_string();
+                toks.push((
+                    if sigil == b'%' { Tok::Local(name) } else { Tok::Global(name) },
+                    line,
+                ));
+            }
+            b'-' | b'0'..=b'9' => {
+                let start = i;
+                if c == b'-' {
+                    i += 1;
+                }
+                while i < bytes.len() && bytes[i].is_ascii_digit() {
+                    i += 1;
+                }
+                let text = &input[start..i];
+                let v: i128 = text.parse().map_err(|_| ParseError {
+                    line,
+                    message: format!("invalid integer literal '{text}'"),
+                })?;
+                toks.push((Tok::Int(v), line));
+            }
+            _ if is_word(c) => {
+                let start = i;
+                while i < bytes.len() && is_word(bytes[i]) {
+                    i += 1;
+                }
+                toks.push((Tok::Word(input[start..i].to_string()), line));
+            }
+            _ => {
+                return Err(ParseError {
+                    line,
+                    message: format!("unexpected character '{}'", c as char),
+                });
+            }
+        }
+    }
+    Ok(toks)
+}
+
+struct Parser {
+    toks: Vec<(Tok, usize)>,
+    pos: usize,
+}
+
+impl Parser {
+    fn peek(&self) -> Option<&Tok> {
+        self.toks.get(self.pos).map(|(t, _)| t)
+    }
+
+    fn line(&self) -> usize {
+        self.toks
+            .get(self.pos)
+            .or_else(|| self.toks.last())
+            .map(|(_, l)| *l)
+            .unwrap_or(1)
+    }
+
+    /// Line of the most recently consumed token (for diagnostics about
+    /// a token that has already been read).
+    fn prev_line(&self) -> usize {
+        if self.pos == 0 {
+            return 1;
+        }
+        self.toks.get(self.pos - 1).map(|(_, l)| *l).unwrap_or(1)
+    }
+
+    fn err<T>(&self, message: impl Into<String>) -> Result<T> {
+        Err(ParseError { line: self.line(), message: message.into() })
+    }
+
+    fn next(&mut self) -> Result<Tok> {
+        match self.toks.get(self.pos) {
+            Some((t, _)) => {
+                self.pos += 1;
+                Ok(t.clone())
+            }
+            None => self.err("unexpected end of input"),
+        }
+    }
+
+    fn expect(&mut self, tok: Tok) -> Result<()> {
+        let got = self.next()?;
+        if got == tok {
+            Ok(())
+        } else {
+            self.pos -= 1;
+            self.err(format!("expected {tok}, found {got}"))
+        }
+    }
+
+    fn eat(&mut self, tok: &Tok) -> bool {
+        if self.peek() == Some(tok) {
+            self.pos += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    fn eat_word(&mut self, word: &str) -> bool {
+        if matches!(self.peek(), Some(Tok::Word(w)) if w == word) {
+            self.pos += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect_word(&mut self, word: &str) -> Result<()> {
+        if self.eat_word(word) {
+            Ok(())
+        } else {
+            self.err(format!("expected '{word}'"))
+        }
+    }
+
+    fn expect_local(&mut self) -> Result<String> {
+        match self.next()? {
+            Tok::Local(n) => Ok(n),
+            got => {
+                self.pos -= 1;
+                self.err(format!("expected a %name, found {got}"))
+            }
+        }
+    }
+
+    fn expect_global(&mut self) -> Result<String> {
+        match self.next()? {
+            Tok::Global(n) => Ok(n),
+            got => {
+                self.pos -= 1;
+                self.err(format!("expected an @name, found {got}"))
+            }
+        }
+    }
+
+    /// Parses a type. `void` is accepted only when `allow_void` is set.
+    fn parse_ty(&mut self, allow_void: bool) -> Result<Ty> {
+        let base = match self.next()? {
+            Tok::Word(w) if w == "void" => {
+                if !allow_void {
+                    return self.err("void is not valid here");
+                }
+                Ty::Void
+            }
+            Tok::Word(w) if w.starts_with('i') && w[1..].chars().all(|c| c.is_ascii_digit()) => {
+                let bits: u32 = w[1..]
+                    .parse()
+                    .map_err(|_| ParseError { line: self.line(), message: "bad width".into() })?;
+                if bits == 0 || bits > crate::types::MAX_INT_BITS {
+                    return self.err(format!("integer width {bits} out of range"));
+                }
+                Ty::Int(bits)
+            }
+            Tok::Lt => {
+                let elems = match self.next()? {
+                    Tok::Int(v) if v > 0 => v as u32,
+                    _ => return self.err("expected a positive vector length"),
+                };
+                self.expect_word("x")?;
+                let elem = self.parse_ty(false)?;
+                self.expect(Tok::Gt)?;
+                if !matches!(elem, Ty::Int(_) | Ty::Ptr(_)) {
+                    return self.err("vector elements must be integers or pointers");
+                }
+                Ty::Vector { elems, elem: Box::new(elem) }
+            }
+            got => {
+                self.pos -= 1;
+                return self.err(format!("expected a type, found {got}"));
+            }
+        };
+        let mut ty = base;
+        while self.eat(&Tok::Star) {
+            if ty.is_void() {
+                return self.err("cannot form a pointer to void");
+            }
+            ty = Ty::ptr_to(ty);
+        }
+        Ok(ty)
+    }
+}
+
+/// Symbol tables of the function being parsed.
+struct FnContext {
+    /// Parameter name -> index.
+    params: HashMap<String, u32>,
+    /// Local definition name -> pre-assigned instruction id.
+    defs: HashMap<String, InstId>,
+    /// Block label -> pre-assigned block id.
+    labels: HashMap<String, BlockId>,
+}
+
+impl FnContext {
+    fn resolve_local(&self, p: &Parser, name: &str) -> Result<Value> {
+        if let Some(&i) = self.params.get(name) {
+            return Ok(Value::Arg(i));
+        }
+        if let Some(&id) = self.defs.get(name) {
+            return Ok(Value::Inst(id));
+        }
+        Err(ParseError { line: p.prev_line(), message: format!("unknown local %{name}") })
+    }
+
+    fn resolve_label(&self, p: &Parser, name: &str) -> Result<BlockId> {
+        self.labels.get(name).copied().ok_or_else(|| ParseError {
+            line: p.prev_line(),
+            message: format!("unknown label %{name}"),
+        })
+    }
+}
+
+/// Parses a constant or local of the given expected type.
+fn parse_value(p: &mut Parser, ctx: &FnContext, ty: &Ty) -> Result<Value> {
+    match p.next()? {
+        Tok::Local(name) => ctx.resolve_local(p, &name),
+        Tok::Int(v) => match ty.int_bits() {
+            Some(bits) => Ok(Value::int(bits, v as u128)),
+            None => p.err(format!("integer literal cannot have type {ty}")),
+        },
+        Tok::Word(w) if w == "true" => Ok(Value::bool(true)),
+        Tok::Word(w) if w == "false" => Ok(Value::bool(false)),
+        Tok::Word(w) if w == "poison" => Ok(Value::poison(ty.clone())),
+        Tok::Word(w) if w == "undef" => Ok(Value::undef(ty.clone())),
+        Tok::Word(w) if w == "null" => Ok(Value::Const(Constant::Null(ty.clone()))),
+        Tok::Lt => {
+            // Vector constant: `<i16 1, i16 poison>`.
+            let mut elems = Vec::new();
+            loop {
+                let ety = p.parse_ty(false)?;
+                let v = parse_value(p, ctx, &ety)?;
+                match v {
+                    Value::Const(c) => elems.push(c),
+                    _ => return p.err("vector constant elements must be constants"),
+                }
+                if !p.eat(&Tok::Comma) {
+                    break;
+                }
+            }
+            p.expect(Tok::Gt)?;
+            Ok(Value::Const(Constant::Vector(elems)))
+        }
+        got => {
+            p.pos -= 1;
+            p.err(format!("expected a value, found {got}"))
+        }
+    }
+}
+
+fn parse_flags(p: &mut Parser) -> Flags {
+    let mut flags = Flags::NONE;
+    loop {
+        if p.eat_word("nsw") {
+            flags.nsw = true;
+        } else if p.eat_word("nuw") {
+            flags.nuw = true;
+        } else if p.eat_word("exact") {
+            flags.exact = true;
+        } else {
+            return flags;
+        }
+    }
+}
+
+fn binop_from_word(w: &str) -> Option<BinOp> {
+    BinOp::ALL.into_iter().find(|op| op.mnemonic() == w)
+}
+
+fn cond_from_word(w: &str) -> Option<Cond> {
+    Cond::ALL.into_iter().find(|c| c.mnemonic() == w)
+}
+
+fn cast_from_word(w: &str) -> Option<CastKind> {
+    match w {
+        "zext" => Some(CastKind::Zext),
+        "sext" => Some(CastKind::Sext),
+        "trunc" => Some(CastKind::Trunc),
+        _ => None,
+    }
+}
+
+/// Parses one instruction after the optional `%name =` prefix.
+fn parse_inst(p: &mut Parser, ctx: &FnContext) -> Result<Inst> {
+    let word = match p.next()? {
+        Tok::Word(w) => w,
+        got => {
+            p.pos -= 1;
+            return p.err(format!("expected an instruction mnemonic, found {got}"));
+        }
+    };
+    if let Some(op) = binop_from_word(&word) {
+        let flags = parse_flags(p);
+        let ty = p.parse_ty(false)?;
+        let lhs = parse_value(p, ctx, &ty)?;
+        p.expect(Tok::Comma)?;
+        let rhs = parse_value(p, ctx, &ty)?;
+        return Ok(Inst::Bin { op, flags, ty, lhs, rhs });
+    }
+    if let Some(kind) = cast_from_word(&word) {
+        let from_ty = p.parse_ty(false)?;
+        let val = parse_value(p, ctx, &from_ty)?;
+        p.expect_word("to")?;
+        let to_ty = p.parse_ty(false)?;
+        return Ok(Inst::Cast { kind, from_ty, to_ty, val });
+    }
+    match word.as_str() {
+        "icmp" => {
+            let cond = match p.next()? {
+                Tok::Word(w) => cond_from_word(&w)
+                    .ok_or_else(|| ParseError { line: p.line(), message: format!("unknown icmp condition '{w}'") })?,
+                got => {
+                    p.pos -= 1;
+                    return p.err(format!("expected an icmp condition, found {got}"));
+                }
+            };
+            let ty = p.parse_ty(false)?;
+            let lhs = parse_value(p, ctx, &ty)?;
+            p.expect(Tok::Comma)?;
+            let rhs = parse_value(p, ctx, &ty)?;
+            Ok(Inst::Icmp { cond, ty, lhs, rhs })
+        }
+        "select" => {
+            let cond_ty = p.parse_ty(false)?;
+            let cond = parse_value(p, ctx, &cond_ty)?;
+            p.expect(Tok::Comma)?;
+            let ty = p.parse_ty(false)?;
+            let tval = parse_value(p, ctx, &ty)?;
+            p.expect(Tok::Comma)?;
+            let fty = p.parse_ty(false)?;
+            if fty != ty {
+                return p.err("select arms must have the same type");
+            }
+            let fval = parse_value(p, ctx, &ty)?;
+            Ok(Inst::Select { cond, ty, tval, fval })
+        }
+        "phi" => {
+            let ty = p.parse_ty(false)?;
+            let mut incoming = Vec::new();
+            loop {
+                p.expect(Tok::LBracket)?;
+                let v = parse_value(p, ctx, &ty)?;
+                p.expect(Tok::Comma)?;
+                let label = p.expect_local()?;
+                let bb = ctx.resolve_label(p, &label)?;
+                p.expect(Tok::RBracket)?;
+                incoming.push((v, bb));
+                if !p.eat(&Tok::Comma) {
+                    break;
+                }
+            }
+            Ok(Inst::Phi { ty, incoming })
+        }
+        "freeze" => {
+            let ty = p.parse_ty(false)?;
+            let val = parse_value(p, ctx, &ty)?;
+            Ok(Inst::Freeze { ty, val })
+        }
+        "bitcast" => {
+            let from_ty = p.parse_ty(false)?;
+            let val = parse_value(p, ctx, &from_ty)?;
+            p.expect_word("to")?;
+            let to_ty = p.parse_ty(false)?;
+            Ok(Inst::Bitcast { from_ty, to_ty, val })
+        }
+        "getelementptr" => {
+            let inbounds = p.eat_word("inbounds");
+            let elem_ty = p.parse_ty(false)?;
+            p.expect(Tok::Comma)?;
+            let ptr_ty = p.parse_ty(false)?;
+            if ptr_ty != Ty::ptr_to(elem_ty.clone()) {
+                return p.err(format!("gep pointer type must be {elem_ty}*"));
+            }
+            let base = parse_value(p, ctx, &ptr_ty)?;
+            p.expect(Tok::Comma)?;
+            let idx_ty = p.parse_ty(false)?;
+            let idx = parse_value(p, ctx, &idx_ty)?;
+            Ok(Inst::Gep { elem_ty, base, idx_ty, idx, inbounds })
+        }
+        "load" => {
+            let ty = p.parse_ty(false)?;
+            p.expect(Tok::Comma)?;
+            let ptr_ty = p.parse_ty(false)?;
+            if ptr_ty != Ty::ptr_to(ty.clone()) {
+                return p.err(format!("load pointer type must be {ty}*"));
+            }
+            let ptr = parse_value(p, ctx, &ptr_ty)?;
+            Ok(Inst::Load { ty, ptr })
+        }
+        "store" => {
+            let ty = p.parse_ty(false)?;
+            let val = parse_value(p, ctx, &ty)?;
+            p.expect(Tok::Comma)?;
+            let ptr_ty = p.parse_ty(false)?;
+            if ptr_ty != Ty::ptr_to(ty.clone()) {
+                return p.err(format!("store pointer type must be {ty}*"));
+            }
+            let ptr = parse_value(p, ctx, &ptr_ty)?;
+            Ok(Inst::Store { ty, val, ptr })
+        }
+        "extractelement" => {
+            let vec_ty = p.parse_ty(false)?;
+            let (len, elem_ty) = match &vec_ty {
+                Ty::Vector { elems, elem } => (*elems, (**elem).clone()),
+                _ => return p.err("extractelement needs a vector type"),
+            };
+            let vec = parse_value(p, ctx, &vec_ty)?;
+            p.expect(Tok::Comma)?;
+            let idx_ty = p.parse_ty(false)?;
+            let idx = parse_value(p, ctx, &idx_ty)?;
+            Ok(Inst::ExtractElement { elem_ty, len, vec, idx })
+        }
+        "insertelement" => {
+            let vec_ty = p.parse_ty(false)?;
+            let (len, elem_ty) = match &vec_ty {
+                Ty::Vector { elems, elem } => (*elems, (**elem).clone()),
+                _ => return p.err("insertelement needs a vector type"),
+            };
+            let vec = parse_value(p, ctx, &vec_ty)?;
+            p.expect(Tok::Comma)?;
+            let ety = p.parse_ty(false)?;
+            if ety != elem_ty {
+                return p.err("insertelement element type mismatch");
+            }
+            let elt = parse_value(p, ctx, &elem_ty)?;
+            p.expect(Tok::Comma)?;
+            let idx_ty = p.parse_ty(false)?;
+            let idx = parse_value(p, ctx, &idx_ty)?;
+            Ok(Inst::InsertElement { elem_ty, len, vec, elt, idx })
+        }
+        "call" => {
+            let ret_ty = p.parse_ty(true)?;
+            let callee = p.expect_global()?;
+            p.expect(Tok::LParen)?;
+            let mut arg_tys = Vec::new();
+            let mut args = Vec::new();
+            if !p.eat(&Tok::RParen) {
+                loop {
+                    let ty = p.parse_ty(false)?;
+                    let v = parse_value(p, ctx, &ty)?;
+                    arg_tys.push(ty);
+                    args.push(v);
+                    if !p.eat(&Tok::Comma) {
+                        break;
+                    }
+                }
+                p.expect(Tok::RParen)?;
+            }
+            Ok(Inst::Call { ret_ty, callee, arg_tys, args })
+        }
+        other => p.err(format!("unknown instruction '{other}'")),
+    }
+}
+
+fn parse_terminator(p: &mut Parser, ctx: &FnContext, ret_ty: &Ty) -> Result<Terminator> {
+    if p.eat_word("ret") {
+        if p.eat_word("void") {
+            return Ok(Terminator::Ret(None));
+        }
+        let ty = p.parse_ty(false)?;
+        if ty != *ret_ty {
+            return p.err(format!("ret type {ty} does not match function return type {ret_ty}"));
+        }
+        let v = parse_value(p, ctx, &ty)?;
+        return Ok(Terminator::Ret(Some(v)));
+    }
+    if p.eat_word("br") {
+        if p.eat_word("label") {
+            let label = p.expect_local()?;
+            return Ok(Terminator::Jmp(ctx.resolve_label(p, &label)?));
+        }
+        let ty = p.parse_ty(false)?;
+        if !ty.is_bool() {
+            return p.err("br condition must have type i1");
+        }
+        let cond = parse_value(p, ctx, &ty)?;
+        p.expect(Tok::Comma)?;
+        p.expect_word("label")?;
+        let t = p.expect_local()?;
+        let then_bb = ctx.resolve_label(p, &t)?;
+        p.expect(Tok::Comma)?;
+        p.expect_word("label")?;
+        let e = p.expect_local()?;
+        let else_bb = ctx.resolve_label(p, &e)?;
+        return Ok(Terminator::Br { cond, then_bb, else_bb });
+    }
+    if p.eat_word("unreachable") {
+        return Ok(Terminator::Unreachable);
+    }
+    p.err("expected a terminator (ret, br, unreachable)")
+}
+
+/// Pre-scans a function body (tokens between `{` and its matching `}`)
+/// to assign block and instruction ids in textual order.
+///
+/// Statements are line-delimited (as produced by the printer): a line
+/// starting with `word:` introduces a block, `%name = ...` a named
+/// instruction, `store`/`call` an unnamed (void) instruction, and
+/// `ret`/`br`/`unreachable` a terminator. Unnamed instructions consume
+/// an instruction id so that ids assigned here match parse order.
+fn prescan(p: &Parser, ctx: &mut FnContext) -> Result<()> {
+    let mut i = p.pos;
+    let mut next_block = 0u32;
+    let mut next_inst = 0u32;
+    let mut cur_line = 0usize;
+    while let Some((tok, line)) = p.toks.get(i) {
+        if *tok == Tok::RBrace {
+            break;
+        }
+        if *line == cur_line {
+            // Not at a statement start; skip.
+            i += 1;
+            continue;
+        }
+        cur_line = *line;
+        match tok {
+            Tok::Word(w) => {
+                // `label:` introduces a block.
+                if matches!(p.toks.get(i + 1).map(|(t, _)| t), Some(Tok::Colon)) {
+                    if ctx.labels.insert(w.clone(), BlockId(next_block)).is_some() {
+                        return Err(ParseError {
+                            line: *line,
+                            message: format!("duplicate block label '{w}'"),
+                        });
+                    }
+                    next_block += 1;
+                    i += 1; // skip the colon too
+                } else if w == "store" || w == "call" {
+                    // Unnamed (void-result) instruction.
+                    next_inst += 1;
+                } else if w != "ret" && w != "br" && w != "unreachable" {
+                    return Err(ParseError {
+                        line: *line,
+                        message: format!("unexpected statement start '{w}'"),
+                    });
+                }
+            }
+            Tok::Local(name) => {
+                // `%name =` introduces a definition.
+                if matches!(p.toks.get(i + 1).map(|(t, _)| t), Some(Tok::Eq)) {
+                    if ctx.params.contains_key(name) {
+                        return Err(ParseError {
+                            line: *line,
+                            message: format!("%{name} shadows a parameter"),
+                        });
+                    }
+                    if ctx.defs.insert(name.clone(), InstId(next_inst)).is_some() {
+                        return Err(ParseError {
+                            line: *line,
+                            message: format!("duplicate definition of %{name}"),
+                        });
+                    }
+                    next_inst += 1;
+                    i += 1;
+                } else {
+                    return Err(ParseError {
+                        line: *line,
+                        message: format!("expected '=' after %{name} at statement start"),
+                    });
+                }
+            }
+            other => {
+                return Err(ParseError {
+                    line: *line,
+                    message: format!("unexpected statement start {other}"),
+                });
+            }
+        }
+        i += 1;
+    }
+    Ok(())
+}
+
+fn parse_function_body(p: &mut Parser, name: String, params: Vec<Param>, ret_ty: Ty) -> Result<Function> {
+    let mut ctx = FnContext {
+        params: params.iter().enumerate().map(|(i, pa)| (pa.name.clone(), i as u32)).collect(),
+        defs: HashMap::new(),
+        labels: HashMap::new(),
+    };
+    prescan(p, &mut ctx)?;
+    if ctx.labels.is_empty() {
+        return p.err("function body must contain at least one labelled block");
+    }
+
+    let mut func = Function {
+        name,
+        params,
+        ret_ty: ret_ty.clone(),
+        blocks: Vec::new(),
+        insts: Vec::with_capacity(ctx.defs.len()),
+    };
+    // Pre-create the blocks so ids match the pre-scan.
+    let mut labels_in_order: Vec<(String, BlockId)> =
+        ctx.labels.iter().map(|(n, b)| (n.clone(), *b)).collect();
+    labels_in_order.sort_by_key(|(_, b)| *b);
+    for (label, _) in &labels_in_order {
+        func.blocks.push(Block::new(label.clone()));
+    }
+
+    // Now parse for real.
+    let mut cur_block: Option<BlockId> = None;
+    let mut next_inst = 0u32;
+    loop {
+        if p.eat(&Tok::RBrace) {
+            break;
+        }
+        // Block label?
+        if let Some(Tok::Word(w)) = p.peek() {
+            let w = w.clone();
+            if p.toks.get(p.pos + 1).map(|(t, _)| t) == Some(&Tok::Colon) {
+                p.pos += 2;
+                cur_block = Some(ctx.labels[&w]);
+                continue;
+            }
+            // Terminator?
+            if w == "ret" || w == "br" || w == "unreachable" {
+                let Some(bb) = cur_block else {
+                    return p.err("terminator outside of a block");
+                };
+                let term = parse_terminator(p, &ctx, &ret_ty)?;
+                func.block_mut(bb).term = term;
+                continue;
+            }
+        }
+        let Some(bb) = cur_block else {
+            return p.err("instruction outside of a block");
+        };
+        // `%name = inst` or bare `store`/void `call`.
+        let named = if let Some(Tok::Local(n)) = p.peek() {
+            let n = n.clone();
+            p.pos += 1;
+            p.expect(Tok::Eq)?;
+            Some(n)
+        } else {
+            None
+        };
+        let inst = parse_inst(p, &ctx)?;
+        if named.is_some() && inst.result_ty().is_void() {
+            return p.err(format!("{} produces no value to name", inst.mnemonic()));
+        }
+        if named.is_none() && !inst.result_ty().is_void() {
+            return p.err(format!("result of {} must be named", inst.mnemonic()));
+        }
+        let id = func.add_inst(inst);
+        debug_assert_eq!(id, InstId(next_inst));
+        next_inst += 1;
+        if let Some(n) = &named {
+            debug_assert_eq!(ctx.defs[n], id, "pre-scan id matches parse order");
+        }
+        func.block_mut(bb).insts.push(id);
+    }
+    Ok(func)
+}
+
+fn parse_define(p: &mut Parser) -> Result<Function> {
+    let ret_ty = p.parse_ty(true)?;
+    let name = p.expect_global()?;
+    p.expect(Tok::LParen)?;
+    let mut params = Vec::new();
+    if !p.eat(&Tok::RParen) {
+        loop {
+            let ty = p.parse_ty(false)?;
+            let pname = p.expect_local()?;
+            params.push(Param { name: pname, ty });
+            if !p.eat(&Tok::Comma) {
+                break;
+            }
+        }
+        p.expect(Tok::RParen)?;
+    }
+    p.expect(Tok::LBrace)?;
+    parse_function_body(p, name, params, ret_ty)
+}
+
+fn parse_declare(p: &mut Parser) -> Result<FuncDecl> {
+    let ret_ty = p.parse_ty(true)?;
+    let name = p.expect_global()?;
+    p.expect(Tok::LParen)?;
+    let mut params = Vec::new();
+    if !p.eat(&Tok::RParen) {
+        loop {
+            params.push(p.parse_ty(false)?);
+            if !p.eat(&Tok::Comma) {
+                break;
+            }
+        }
+        p.expect(Tok::RParen)?;
+    }
+    let mut attrs = DeclAttrs::default();
+    loop {
+        if p.eat_word("readnone") {
+            attrs.readnone = true;
+        } else if p.eat_word("willreturn") {
+            attrs.willreturn = true;
+        } else {
+            break;
+        }
+    }
+    Ok(FuncDecl { name, params, ret_ty, attrs })
+}
+
+/// Parses a whole module (any number of `define` and `declare` items).
+///
+/// # Errors
+///
+/// Returns a [`ParseError`] with the offending line on malformed input.
+pub fn parse_module(input: &str) -> Result<Module> {
+    let toks = lex(input)?;
+    let mut p = Parser { toks, pos: 0 };
+    let mut module = Module::new();
+    while p.peek().is_some() {
+        if p.eat_word("define") {
+            module.functions.push(parse_define(&mut p)?);
+        } else if p.eat_word("declare") {
+            module.declarations.push(parse_declare(&mut p)?);
+        } else {
+            return p.err("expected 'define' or 'declare'");
+        }
+    }
+    Ok(module)
+}
+
+/// Parses input containing exactly one function definition.
+///
+/// # Errors
+///
+/// Returns a [`ParseError`] on malformed input or if the input does not
+/// contain exactly one `define`.
+pub fn parse_function(input: &str) -> Result<Function> {
+    let module = parse_module(input)?;
+    if module.functions.len() != 1 {
+        return Err(ParseError {
+            line: 1,
+            message: format!("expected exactly one function, found {}", module.functions.len()),
+        });
+    }
+    Ok(module.functions.into_iter().next().expect("checked length"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::print::function_to_string;
+
+    #[test]
+    fn parses_simple_function() {
+        let f = parse_function(
+            r#"
+define i32 @f(i32 %x, i32 %y) {
+entry:
+  %a = add nsw i32 %x, %y
+  %c = icmp sgt i32 %a, %x
+  %r = select i1 %c, i32 %a, i32 0
+  ret i32 %r
+}
+"#,
+        )
+        .unwrap();
+        assert_eq!(f.name, "f");
+        assert_eq!(f.placed_inst_count(), 3);
+        assert!(crate::verify::verify_function(&f).is_ok());
+    }
+
+    #[test]
+    fn parses_loop_with_forward_references() {
+        let f = parse_function(
+            r#"
+define void @loop(i32 %n, i32 %x, i32* %a) {
+entry:
+  br label %head
+head:
+  %i = phi i32 [ 0, %entry ], [ %i1, %body ]
+  %c = icmp slt i32 %i, %n
+  br i1 %c, label %body, label %exit
+body:
+  %x1 = add nsw i32 %x, 1
+  %ptr = getelementptr inbounds i32, i32* %a, i32 %i
+  store i32 %x1, i32* %ptr
+  %i1 = add nsw i32 %i, 1
+  br label %head
+exit:
+  ret void
+}
+"#,
+        )
+        .unwrap();
+        assert_eq!(f.blocks.len(), 4);
+        assert!(crate::verify::verify_function(&f).is_ok());
+    }
+
+    #[test]
+    fn round_trips_through_printer() {
+        let src = r#"
+define i8 @rt(i1 %c, i8 %x) {
+entry:
+  %t0 = freeze i8 %x
+  %t1 = select i1 %c, i8 %t0, i8 poison
+  %t2 = xor i8 %t1, 255
+  ret i8 %t2
+}
+"#;
+        let f = parse_function(src).unwrap();
+        let printed = function_to_string(&f);
+        let f2 = parse_function(&printed).unwrap();
+        assert_eq!(function_to_string(&f2), printed);
+    }
+
+    #[test]
+    fn parses_declarations_and_calls() {
+        let m = parse_module(
+            r#"
+declare i32 @g(i32) readnone willreturn
+define void @caller(i32 %x) {
+entry:
+  %r = call i32 @g(i32 %x)
+  call void @h()
+  ret void
+}
+declare void @h()
+"#,
+        )
+        .unwrap();
+        assert_eq!(m.declarations.len(), 2);
+        assert!(m.declarations[0].attrs.readnone);
+        assert!(m.declarations[0].attrs.willreturn);
+        assert!(!m.declarations[1].attrs.readnone);
+        assert_eq!(m.functions[0].placed_inst_count(), 2);
+    }
+
+    #[test]
+    fn parses_vectors_and_casts() {
+        let f = parse_function(
+            r#"
+define i16 @v(<2 x i16> %v, i32 %w) {
+entry:
+  %t = trunc i32 %w to i16
+  %v2 = insertelement <2 x i16> %v, i16 %t, i32 1
+  %e = extractelement <2 x i16> %v2, i32 0
+  %z = zext i16 %e to i64
+  %s = sext i16 %e to i32
+  %b = bitcast <2 x i16> %v2 to i32
+  %q = trunc i32 %b to i16
+  ret i16 %q
+}
+"#,
+        )
+        .unwrap();
+        assert!(crate::verify::verify_function(&f).is_ok());
+        assert_eq!(f.placed_inst_count(), 7);
+    }
+
+    #[test]
+    fn parses_negative_and_boolean_constants() {
+        let f = parse_function(
+            r#"
+define i1 @c(i8 %x) {
+entry:
+  %a = add i8 %x, -1
+  %c = icmp eq i8 %a, 255
+  %r = select i1 %c, i1 true, i1 false
+  ret i1 %r
+}
+"#,
+        )
+        .unwrap();
+        // -1 as i8 is 255.
+        let Inst::Bin { rhs, .. } = f.inst(InstId(0)) else { panic!() };
+        assert!(rhs.is_int_const(255));
+    }
+
+    #[test]
+    fn rejects_unknown_local() {
+        let err = parse_function(
+            "define i32 @f(i32 %x) {\nentry:\n  %a = add i32 %x, %missing\n  ret i32 %a\n}",
+        )
+        .unwrap_err();
+        assert!(err.message.contains("unknown local"));
+        assert_eq!(err.line, 3);
+    }
+
+    #[test]
+    fn rejects_duplicate_definition() {
+        let err = parse_function(
+            "define i32 @f(i32 %x) {\nentry:\n  %a = add i32 %x, 1\n  %a = add i32 %x, 2\n  ret i32 %a\n}",
+        )
+        .unwrap_err();
+        assert!(err.message.contains("duplicate definition"));
+    }
+
+    #[test]
+    fn rejects_unnamed_result() {
+        let err = parse_function(
+            "define i32 @f(i32 %x) {\nentry:\n  add i32 %x, 1\n  ret i32 %x\n}",
+        )
+        .unwrap_err();
+        assert!(err.message.contains("unexpected statement start 'add'"));
+    }
+
+    #[test]
+    fn comments_are_ignored() {
+        let f = parse_function(
+            "; header comment\ndefine i32 @f(i32 %x) { ; trailing\nentry:\n  ret i32 %x ; done\n}",
+        )
+        .unwrap();
+        assert_eq!(f.name, "f");
+    }
+
+    #[test]
+    fn parses_poison_and_undef_operands() {
+        let f = parse_function(
+            "define i8 @p() {\nentry:\n  %a = add i8 poison, undef\n  ret i8 %a\n}",
+        )
+        .unwrap();
+        assert!(crate::verify::verify_function_legacy(&f).is_ok());
+        assert!(crate::verify::verify_function(&f).is_err());
+    }
+}

@@ -1,0 +1,308 @@
+//! Textual printing of the IR, in an LLVM-flavoured syntax that
+//! round-trips through [`crate::parse`].
+
+use std::fmt::{self, Write as _};
+
+use crate::function::{Function, Module};
+use crate::inst::{Inst, Terminator};
+use crate::types::Ty;
+use crate::value::{BlockId, Constant, Value};
+
+/// Renders a constant with no leading type.
+pub fn const_to_string(c: &Constant) -> String {
+    match c {
+        Constant::Int { value, .. } => format!("{value}"),
+        Constant::Null(_) => "null".to_string(),
+        Constant::Poison(_) => "poison".to_string(),
+        Constant::Undef(_) => "undef".to_string(),
+        Constant::Vector(elems) => {
+            let mut s = String::from("<");
+            for (i, e) in elems.iter().enumerate() {
+                if i > 0 {
+                    s.push_str(", ");
+                }
+                let _ = write!(s, "{} {}", e.ty(), const_to_string(e));
+            }
+            s.push('>');
+            s
+        }
+    }
+}
+
+/// Renders an operand (without its type) in the context of `f`.
+pub fn value_to_string(f: &Function, v: &Value) -> String {
+    match v {
+        Value::Inst(id) => format!("%t{}", id.0),
+        Value::Arg(i) => format!("%{}", f.params[*i as usize].name),
+        Value::Const(c) => const_to_string(c),
+    }
+}
+
+fn typed(f: &Function, v: &Value) -> String {
+    format!("{} {}", f.value_ty(v), value_to_string(f, v))
+}
+
+fn block_label(f: &Function, bb: BlockId) -> &str {
+    &f.blocks[bb.index()].name
+}
+
+/// Renders a single instruction line (without leading indentation).
+pub fn inst_to_string(f: &Function, inst: &Inst, def: Option<&str>) -> String {
+    let mut s = String::new();
+    if let Some(name) = def {
+        let _ = write!(s, "{name} = ");
+    }
+    match inst {
+        Inst::Bin { op, flags, ty, lhs, rhs } => {
+            let _ = write!(s, "{op}");
+            if !flags.is_none() {
+                let _ = write!(s, " {flags}");
+            }
+            let _ = write!(
+                s,
+                " {ty} {}, {}",
+                value_to_string(f, lhs),
+                value_to_string(f, rhs)
+            );
+        }
+        Inst::Icmp { cond, ty, lhs, rhs } => {
+            let _ = write!(
+                s,
+                "icmp {cond} {ty} {}, {}",
+                value_to_string(f, lhs),
+                value_to_string(f, rhs)
+            );
+        }
+        Inst::Select { cond, ty, tval, fval } => {
+            let _ = write!(
+                s,
+                "select {} {}, {ty} {}, {ty} {}",
+                f.value_ty(cond),
+                value_to_string(f, cond),
+                value_to_string(f, tval),
+                value_to_string(f, fval)
+            );
+        }
+        Inst::Phi { ty, incoming } => {
+            let _ = write!(s, "phi {ty} ");
+            for (i, (v, bb)) in incoming.iter().enumerate() {
+                if i > 0 {
+                    s.push_str(", ");
+                }
+                let _ = write!(s, "[ {}, %{} ]", value_to_string(f, v), block_label(f, *bb));
+            }
+        }
+        Inst::Freeze { ty, val } => {
+            let _ = write!(s, "freeze {ty} {}", value_to_string(f, val));
+        }
+        Inst::Cast { kind, from_ty, to_ty, val } => {
+            let _ = write!(s, "{kind} {from_ty} {} to {to_ty}", value_to_string(f, val));
+        }
+        Inst::Bitcast { from_ty, to_ty, val } => {
+            let _ = write!(s, "bitcast {from_ty} {} to {to_ty}", value_to_string(f, val));
+        }
+        Inst::Gep { elem_ty, base, idx_ty, idx, inbounds } => {
+            let _ = write!(
+                s,
+                "getelementptr{} {elem_ty}, {elem_ty}* {}, {idx_ty} {}",
+                if *inbounds { " inbounds" } else { "" },
+                value_to_string(f, base),
+                value_to_string(f, idx)
+            );
+        }
+        Inst::Load { ty, ptr } => {
+            let _ = write!(s, "load {ty}, {ty}* {}", value_to_string(f, ptr));
+        }
+        Inst::Store { ty, val, ptr } => {
+            let _ = write!(
+                s,
+                "store {ty} {}, {ty}* {}",
+                value_to_string(f, val),
+                value_to_string(f, ptr)
+            );
+        }
+        Inst::ExtractElement { elem_ty, len, vec, idx } => {
+            let _ = write!(
+                s,
+                "extractelement <{len} x {elem_ty}> {}, {}",
+                value_to_string(f, vec),
+                typed(f, idx)
+            );
+        }
+        Inst::InsertElement { elem_ty, len, vec, elt, idx } => {
+            let _ = write!(
+                s,
+                "insertelement <{len} x {elem_ty}> {}, {elem_ty} {}, {}",
+                value_to_string(f, vec),
+                value_to_string(f, elt),
+                typed(f, idx)
+            );
+        }
+        Inst::Call { ret_ty, callee, arg_tys, args } => {
+            let _ = write!(s, "call {ret_ty} @{callee}(");
+            for (i, (ty, a)) in arg_tys.iter().zip(args).enumerate() {
+                if i > 0 {
+                    s.push_str(", ");
+                }
+                let _ = write!(s, "{ty} {}", value_to_string(f, a));
+            }
+            s.push(')');
+        }
+    }
+    s
+}
+
+/// Renders a terminator line (without leading indentation).
+pub fn term_to_string(f: &Function, term: &Terminator) -> String {
+    match term {
+        Terminator::Ret(Some(v)) => format!("ret {}", typed(f, v)),
+        Terminator::Ret(None) => "ret void".to_string(),
+        Terminator::Br { cond, then_bb, else_bb } => format!(
+            "br i1 {}, label %{}, label %{}",
+            value_to_string(f, cond),
+            block_label(f, *then_bb),
+            block_label(f, *else_bb)
+        ),
+        Terminator::Jmp(dest) => format!("br label %{}", block_label(f, *dest)),
+        Terminator::Unreachable => "unreachable".to_string(),
+    }
+}
+
+/// Writes the full textual form of a function.
+pub fn print_function(func: &Function, out: &mut impl fmt::Write) -> fmt::Result {
+    write!(out, "define {} @{}(", func.ret_ty, func.name)?;
+    for (i, p) in func.params.iter().enumerate() {
+        if i > 0 {
+            out.write_str(", ")?;
+        }
+        write!(out, "{} %{}", p.ty, p.name)?;
+    }
+    out.write_str(") {\n")?;
+    for bb in func.block_ids() {
+        let block = func.block(bb);
+        writeln!(out, "{}:", block.name)?;
+        for &id in &block.insts {
+            let inst = func.inst(id);
+            let def = format!("%t{}", id.0);
+            let def = if inst.result_ty().is_void() { None } else { Some(def.as_str()) };
+            writeln!(out, "  {}", inst_to_string(func, inst, def))?;
+        }
+        writeln!(out, "  {}", term_to_string(func, &block.term))?;
+    }
+    out.write_str("}\n")
+}
+
+/// Writes the full textual form of a module.
+pub fn print_module(module: &Module, out: &mut impl fmt::Write) -> fmt::Result {
+    let mut first = true;
+    for d in &module.declarations {
+        first = false;
+        write!(out, "declare {} @{}(", d.ret_ty, d.name)?;
+        for (i, ty) in d.params.iter().enumerate() {
+            if i > 0 {
+                out.write_str(", ")?;
+            }
+            write!(out, "{ty}")?;
+        }
+        out.write_str(")")?;
+        if d.attrs.readnone {
+            out.write_str(" readnone")?;
+        }
+        if d.attrs.willreturn {
+            out.write_str(" willreturn")?;
+        }
+        out.write_str("\n")?;
+    }
+    for f in &module.functions {
+        if !first {
+            out.write_str("\n")?;
+        }
+        first = false;
+        print_function(f, out)?;
+    }
+    Ok(())
+}
+
+/// Renders a function to a `String`.
+pub fn function_to_string(func: &Function) -> String {
+    let mut s = String::new();
+    print_function(func, &mut s).expect("string formatting cannot fail");
+    s
+}
+
+/// Renders a module to a `String`.
+pub fn module_to_string(module: &Module) -> String {
+    let mut s = String::new();
+    print_module(module, &mut s).expect("string formatting cannot fail");
+    s
+}
+
+#[allow(unused_imports)]
+mod ty_use {
+    // `Ty` appears only in doc positions above; keep the import local.
+    use super::Ty;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::FunctionBuilder;
+    use crate::inst::{Cond, Flags};
+
+    #[test]
+    fn prints_figure_one_loop() {
+        let mut b = FunctionBuilder::new(
+            "store_loop",
+            &[("n", Ty::i32()), ("x", Ty::i32()), ("a", Ty::ptr_to(Ty::i32()))],
+            Ty::Void,
+        );
+        let head = b.block("head");
+        let body = b.block("body");
+        let exit = b.block("exit");
+        b.jmp(head);
+        b.switch_to(head);
+        let i = b.phi(Ty::i32(), vec![(b.const_int(32, 0), BlockId::ENTRY)]);
+        let c = b.icmp(Cond::Slt, i.clone(), b.arg(0));
+        b.br(c, body, exit);
+        b.switch_to(body);
+        let x1 = b.add_flags(Flags::NSW, b.arg(1), b.const_int(32, 1));
+        let ptr = b.gep(b.arg(2), i.clone(), true);
+        b.store(x1, ptr);
+        let i1 = b.add_flags(Flags::NSW, i.clone(), b.const_int(32, 1));
+        b.phi_add_incoming(&i, i1, body);
+        b.jmp(head);
+        b.switch_to(exit);
+        b.ret_void();
+        let f = b.finish();
+
+        let text = function_to_string(&f);
+        assert!(text.contains("define void @store_loop(i32 %n, i32 %x, i32* %a)"));
+        assert!(text.contains("%t0 = phi i32 [ 0, %entry ], [ %t5, %body ]"));
+        assert!(text.contains("%t1 = icmp slt i32 %t0, %n"));
+        assert!(text.contains("br i1 %t1, label %body, label %exit"));
+        assert!(text.contains("%t2 = add nsw i32 %x, 1"));
+        assert!(text.contains("%t3 = getelementptr inbounds i32, i32* %a, i32 %t0"));
+        assert!(text.contains("store i32 %t2, i32* %t3"));
+        assert!(text.contains("ret void"));
+    }
+
+    #[test]
+    fn prints_constants() {
+        assert_eq!(const_to_string(&Constant::Poison(Ty::i8())), "poison");
+        assert_eq!(const_to_string(&Constant::Undef(Ty::i8())), "undef");
+        assert_eq!(const_to_string(&Constant::Null(Ty::ptr_to(Ty::i8()))), "null");
+        let v = Constant::Vector(vec![Constant::int(16, 1), Constant::Poison(Ty::Int(16))]);
+        assert_eq!(const_to_string(&v), "<i16 1, i16 poison>");
+    }
+
+    #[test]
+    fn prints_select_and_freeze() {
+        let mut b = FunctionBuilder::new("s", &[("c", Ty::i1()), ("x", Ty::i8())], Ty::i8());
+        let fr = b.freeze(b.arg(1));
+        let sel = b.select(b.arg(0), fr, b.const_int(8, 0));
+        b.ret(sel);
+        let text = function_to_string(&b.finish());
+        assert!(text.contains("%t0 = freeze i8 %x"));
+        assert!(text.contains("%t1 = select i1 %c, i8 %t0, i8 0"));
+    }
+}

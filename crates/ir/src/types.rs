@@ -1,0 +1,292 @@
+//! The type system of the frost IR.
+//!
+//! Following Figure 4 of the paper, types are arbitrary-bitwidth integers
+//! `iN`, typed pointers `ty*`, fixed-length vectors `<N x ty>` of integers
+//! or pointers, and `void` (the type of instructions that produce no
+//! value, such as `store`).
+//!
+//! Pointers are 32 bits wide (the paper assumes 32-bit pointers without
+//! loss of generality, §4.2).
+
+use std::fmt;
+
+/// Width of a pointer in bits (§4.2 of the paper fixes this to 32).
+pub const PTR_BITS: u32 = 32;
+
+/// Maximum supported integer width in bits.
+///
+/// Values are carried in `u128`, so widths up to 128 are representable.
+pub const MAX_INT_BITS: u32 = 128;
+
+/// A first-class type of the frost IR.
+#[derive(Clone, PartialEq, Eq, Hash, Debug, PartialOrd, Ord)]
+pub enum Ty {
+    /// An integer type `iN` with `1 <= N <= 128`.
+    Int(u32),
+    /// A pointer to a value of the given type. Pointers are [`PTR_BITS`]
+    /// bits wide.
+    Ptr(Box<Ty>),
+    /// A vector `<elems x elem>` with a statically-known number of
+    /// elements. Element types are integers or pointers (vectors do not
+    /// nest).
+    Vector {
+        /// Number of elements; always at least 1.
+        elems: u32,
+        /// Element type: [`Ty::Int`] or [`Ty::Ptr`].
+        elem: Box<Ty>,
+    },
+    /// The absence of a value. Only valid as a function return type or
+    /// the "result" of a `store`.
+    Void,
+}
+
+impl Ty {
+    /// Shorthand for the 1-bit integer (boolean) type.
+    pub fn i1() -> Ty {
+        Ty::Int(1)
+    }
+
+    /// Shorthand for `i8`.
+    pub fn i8() -> Ty {
+        Ty::Int(8)
+    }
+
+    /// Shorthand for `i16`.
+    pub fn i16() -> Ty {
+        Ty::Int(16)
+    }
+
+    /// Shorthand for `i32`.
+    pub fn i32() -> Ty {
+        Ty::Int(32)
+    }
+
+    /// Shorthand for `i64`.
+    pub fn i64() -> Ty {
+        Ty::Int(64)
+    }
+
+    /// A pointer to `pointee`.
+    pub fn ptr_to(pointee: Ty) -> Ty {
+        Ty::Ptr(Box::new(pointee))
+    }
+
+    /// A vector of `elems` elements of type `elem`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `elems == 0` or `elem` is not an integer or pointer type.
+    pub fn vector(elems: u32, elem: Ty) -> Ty {
+        assert!(elems > 0, "vector must have at least one element");
+        assert!(
+            matches!(elem, Ty::Int(_) | Ty::Ptr(_)),
+            "vector elements must be integers or pointers, got {elem}"
+        );
+        Ty::Vector { elems, elem: Box::new(elem) }
+    }
+
+    /// Returns `true` for integer types.
+    pub fn is_int(&self) -> bool {
+        matches!(self, Ty::Int(_))
+    }
+
+    /// Returns `true` for pointer types.
+    pub fn is_ptr(&self) -> bool {
+        matches!(self, Ty::Ptr(_))
+    }
+
+    /// Returns `true` for vector types.
+    pub fn is_vector(&self) -> bool {
+        matches!(self, Ty::Vector { .. })
+    }
+
+    /// Returns `true` for `void`.
+    pub fn is_void(&self) -> bool {
+        matches!(self, Ty::Void)
+    }
+
+    /// Returns `true` for the boolean type `i1`.
+    pub fn is_bool(&self) -> bool {
+        matches!(self, Ty::Int(1))
+    }
+
+    /// Returns `true` if the type is first-class, i.e. may be the type of
+    /// an SSA register: integers, pointers, and vectors.
+    pub fn is_first_class(&self) -> bool {
+        !self.is_void()
+    }
+
+    /// The integer width if this is an integer type.
+    pub fn int_bits(&self) -> Option<u32> {
+        match self {
+            Ty::Int(bits) => Some(*bits),
+            _ => None,
+        }
+    }
+
+    /// The pointee type if this is a pointer type.
+    pub fn pointee(&self) -> Option<&Ty> {
+        match self {
+            Ty::Ptr(p) => Some(p),
+            _ => None,
+        }
+    }
+
+    /// The element type if this is a vector type.
+    pub fn vector_elem(&self) -> Option<&Ty> {
+        match self {
+            Ty::Vector { elem, .. } => Some(elem),
+            _ => None,
+        }
+    }
+
+    /// The element count if this is a vector type.
+    pub fn vector_len(&self) -> Option<u32> {
+        match self {
+            Ty::Vector { elems, .. } => Some(*elems),
+            _ => None,
+        }
+    }
+
+    /// For a vector type, its element type; for a scalar, the type itself.
+    ///
+    /// This is the type an element-wise operation works on.
+    pub fn scalar_ty(&self) -> &Ty {
+        match self {
+            Ty::Vector { elem, .. } => elem,
+            other => other,
+        }
+    }
+
+    /// The total width of the low-level bit representation of a value of
+    /// this type, i.e. `bitwidth(ty)` in the paper.
+    ///
+    /// # Panics
+    ///
+    /// Panics for `void`, which has no bit representation.
+    pub fn bitwidth(&self) -> u32 {
+        match self {
+            Ty::Int(bits) => *bits,
+            Ty::Ptr(_) => PTR_BITS,
+            Ty::Vector { elems, elem } => elems * elem.bitwidth(),
+            Ty::Void => panic!("void has no bit representation"),
+        }
+    }
+
+    /// Size of the in-memory representation of this type in bytes,
+    /// rounding the bitwidth up to a whole number of bytes.
+    ///
+    /// Used as the `getelementptr` stride.
+    pub fn byte_size(&self) -> u32 {
+        self.bitwidth().div_ceil(8)
+    }
+
+    /// Checks basic well-formedness: integer widths are within range and
+    /// vectors are non-empty with scalar elements.
+    pub fn is_well_formed(&self) -> bool {
+        match self {
+            Ty::Int(bits) => *bits >= 1 && *bits <= MAX_INT_BITS,
+            Ty::Ptr(pointee) => !pointee.is_void() && pointee.is_well_formed(),
+            Ty::Vector { elems, elem } => {
+                *elems > 0
+                    && matches!(**elem, Ty::Int(_) | Ty::Ptr(_))
+                    && elem.is_well_formed()
+            }
+            Ty::Void => true,
+        }
+    }
+}
+
+impl fmt::Display for Ty {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Ty::Int(bits) => write!(f, "i{bits}"),
+            Ty::Ptr(pointee) => write!(f, "{pointee}*"),
+            Ty::Vector { elems, elem } => write!(f, "<{elems} x {elem}>"),
+            Ty::Void => write!(f, "void"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_formats_like_llvm() {
+        assert_eq!(Ty::i32().to_string(), "i32");
+        assert_eq!(Ty::ptr_to(Ty::i8()).to_string(), "i8*");
+        assert_eq!(Ty::vector(4, Ty::Int(16)).to_string(), "<4 x i16>");
+        assert_eq!(Ty::Void.to_string(), "void");
+        assert_eq!(Ty::ptr_to(Ty::ptr_to(Ty::i64())).to_string(), "i64**");
+    }
+
+    #[test]
+    fn bitwidth_of_scalars_and_vectors() {
+        assert_eq!(Ty::Int(1).bitwidth(), 1);
+        assert_eq!(Ty::Int(37).bitwidth(), 37);
+        assert_eq!(Ty::ptr_to(Ty::i8()).bitwidth(), PTR_BITS);
+        assert_eq!(Ty::vector(4, Ty::Int(16)).bitwidth(), 64);
+        assert_eq!(Ty::vector(32, Ty::Int(1)).bitwidth(), 32);
+    }
+
+    #[test]
+    fn byte_size_rounds_up() {
+        assert_eq!(Ty::Int(1).byte_size(), 1);
+        assert_eq!(Ty::Int(8).byte_size(), 1);
+        assert_eq!(Ty::Int(9).byte_size(), 2);
+        assert_eq!(Ty::Int(32).byte_size(), 4);
+        assert_eq!(Ty::vector(3, Ty::Int(8)).byte_size(), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "void has no bit representation")]
+    fn void_has_no_bitwidth() {
+        let _ = Ty::Void.bitwidth();
+    }
+
+    #[test]
+    fn scalar_ty_unwraps_vectors() {
+        let v = Ty::vector(4, Ty::i32());
+        assert_eq!(*v.scalar_ty(), Ty::i32());
+        assert_eq!(*Ty::i8().scalar_ty(), Ty::i8());
+    }
+
+    #[test]
+    fn well_formedness() {
+        assert!(Ty::Int(1).is_well_formed());
+        assert!(Ty::Int(128).is_well_formed());
+        assert!(!Ty::Int(0).is_well_formed());
+        assert!(!Ty::Int(129).is_well_formed());
+        assert!(Ty::vector(2, Ty::i8()).is_well_formed());
+        assert!(!Ty::Ptr(Box::new(Ty::Void)).is_well_formed());
+        assert!(!Ty::Vector { elems: 0, elem: Box::new(Ty::i8()) }.is_well_formed());
+        assert!(
+            !Ty::Vector { elems: 2, elem: Box::new(Ty::vector(2, Ty::i8())) }.is_well_formed()
+        );
+    }
+
+    #[test]
+    fn accessors() {
+        assert_eq!(Ty::Int(7).int_bits(), Some(7));
+        assert_eq!(Ty::Void.int_bits(), None);
+        assert_eq!(Ty::ptr_to(Ty::i32()).pointee(), Some(&Ty::i32()));
+        let v = Ty::vector(8, Ty::Int(4));
+        assert_eq!(v.vector_len(), Some(8));
+        assert_eq!(v.vector_elem(), Some(&Ty::Int(4)));
+        assert!(Ty::Int(1).is_bool());
+        assert!(!Ty::Int(2).is_bool());
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one element")]
+    fn zero_len_vector_panics() {
+        let _ = Ty::vector(0, Ty::i8());
+    }
+
+    #[test]
+    #[should_panic(expected = "integers or pointers")]
+    fn nested_vector_panics() {
+        let _ = Ty::vector(2, Ty::vector(2, Ty::i8()));
+    }
+}

@@ -1,0 +1,298 @@
+//! Operands and constants.
+//!
+//! A [`Value`] is anything an instruction can take as operand: the result
+//! of another instruction, a function argument, or a constant. The
+//! deferred-undefined-behavior values `poison` and (in legacy semantics)
+//! `undef` are constants, mirroring LLVM.
+
+use std::fmt;
+
+use crate::types::Ty;
+
+/// Identifier of an instruction inside a [`crate::Function`]'s arena.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Debug)]
+pub struct InstId(pub u32);
+
+/// Identifier of a basic block inside a [`crate::Function`].
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Debug)]
+pub struct BlockId(pub u32);
+
+impl InstId {
+    /// The arena index of this instruction.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl BlockId {
+    /// The index of this block in the function's block list.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+
+    /// The entry block of every function.
+    pub const ENTRY: BlockId = BlockId(0);
+}
+
+impl fmt::Display for InstId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "%t{}", self.0)
+    }
+}
+
+impl fmt::Display for BlockId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "bb{}", self.0)
+    }
+}
+
+/// A compile-time constant.
+#[derive(Clone, PartialEq, Eq, Hash, Debug)]
+pub enum Constant {
+    /// An integer constant of type `iN`. The payload is stored
+    /// zero-extended in a `u128`; only the low `bits` bits are
+    /// significant.
+    Int {
+        /// Width in bits.
+        bits: u32,
+        /// Value, truncated to `bits` bits.
+        value: u128,
+    },
+    /// The null pointer of the given pointer type.
+    Null(Ty),
+    /// The poison value of the given type (§4 of the paper): the single
+    /// deferred-undefined-behavior value of the proposed semantics.
+    Poison(Ty),
+    /// The legacy `undef` value of the given type: an indeterminate value
+    /// that may evaluate to a different arbitrary value at each use.
+    ///
+    /// Only meaningful under the legacy semantics; the proposed semantics
+    /// removes it (the verifier rejects it in `proposed` mode).
+    Undef(Ty),
+    /// A vector constant; one constant per element.
+    Vector(Vec<Constant>),
+}
+
+impl Constant {
+    /// An `i1` true.
+    pub fn bool(v: bool) -> Constant {
+        Constant::Int { bits: 1, value: v as u128 }
+    }
+
+    /// An integer constant, truncating `value` to `bits` bits.
+    pub fn int(bits: u32, value: u128) -> Constant {
+        Constant::Int { bits, value: truncate(value, bits) }
+    }
+
+    /// An `i32` constant.
+    pub fn i32(value: u32) -> Constant {
+        Constant::int(32, value as u128)
+    }
+
+    /// An `i64` constant.
+    pub fn i64(value: u64) -> Constant {
+        Constant::int(64, value as u128)
+    }
+
+    /// The type of this constant.
+    pub fn ty(&self) -> Ty {
+        match self {
+            Constant::Int { bits, .. } => Ty::Int(*bits),
+            Constant::Null(ty) | Constant::Poison(ty) | Constant::Undef(ty) => ty.clone(),
+            Constant::Vector(elems) => {
+                let elem_ty = elems.first().expect("vector constant is non-empty").ty();
+                Ty::vector(elems.len() as u32, elem_ty)
+            }
+        }
+    }
+
+    /// Returns `true` if this constant is `poison`, or a vector with at
+    /// least one poison element.
+    pub fn contains_poison(&self) -> bool {
+        match self {
+            Constant::Poison(_) => true,
+            Constant::Vector(elems) => elems.iter().any(Constant::contains_poison),
+            _ => false,
+        }
+    }
+
+    /// Returns `true` if this constant is `undef`, or a vector with at
+    /// least one undef element.
+    pub fn contains_undef(&self) -> bool {
+        match self {
+            Constant::Undef(_) => true,
+            Constant::Vector(elems) => elems.iter().any(Constant::contains_undef),
+            _ => false,
+        }
+    }
+
+    /// The integer payload if this is a fully-defined integer constant.
+    pub fn as_int(&self) -> Option<u128> {
+        match self {
+            Constant::Int { value, .. } => Some(*value),
+            _ => None,
+        }
+    }
+}
+
+/// Truncates `value` to the low `bits` bits.
+pub fn truncate(value: u128, bits: u32) -> u128 {
+    if bits >= 128 {
+        value
+    } else {
+        value & ((1u128 << bits) - 1)
+    }
+}
+
+/// Sign-extends the `bits`-bit value `value` to a signed `i128`.
+pub fn to_signed(value: u128, bits: u32) -> i128 {
+    debug_assert!(bits >= 1 && bits <= 128);
+    let shift = 128 - bits;
+    ((value << shift) as i128) >> shift
+}
+
+/// Truncates a signed `i128` to a `bits`-bit unsigned payload.
+pub fn from_signed(value: i128, bits: u32) -> u128 {
+    truncate(value as u128, bits)
+}
+
+/// An operand of an instruction.
+#[derive(Clone, PartialEq, Eq, Hash, Debug)]
+pub enum Value {
+    /// The result of the given instruction.
+    Inst(InstId),
+    /// The `i`-th function argument.
+    Arg(u32),
+    /// A constant.
+    Const(Constant),
+}
+
+impl Value {
+    /// `i1 true`.
+    pub fn bool(v: bool) -> Value {
+        Value::Const(Constant::bool(v))
+    }
+
+    /// An integer constant operand.
+    pub fn int(bits: u32, value: u128) -> Value {
+        Value::Const(Constant::int(bits, value))
+    }
+
+    /// The poison constant of type `ty`.
+    pub fn poison(ty: Ty) -> Value {
+        Value::Const(Constant::Poison(ty))
+    }
+
+    /// The legacy undef constant of type `ty`.
+    pub fn undef(ty: Ty) -> Value {
+        Value::Const(Constant::Undef(ty))
+    }
+
+    /// Returns the instruction id if this operand is an instruction
+    /// result.
+    pub fn as_inst(&self) -> Option<InstId> {
+        match self {
+            Value::Inst(id) => Some(*id),
+            _ => None,
+        }
+    }
+
+    /// Returns the constant if this operand is a constant.
+    pub fn as_const(&self) -> Option<&Constant> {
+        match self {
+            Value::Const(c) => Some(c),
+            _ => None,
+        }
+    }
+
+    /// Returns the integer payload if this operand is a fully-defined
+    /// integer constant.
+    pub fn as_int_const(&self) -> Option<u128> {
+        self.as_const().and_then(Constant::as_int)
+    }
+
+    /// Returns `true` if this operand is the given integer constant.
+    pub fn is_int_const(&self, v: u128) -> bool {
+        self.as_int_const() == Some(v)
+    }
+}
+
+impl From<Constant> for Value {
+    fn from(c: Constant) -> Value {
+        Value::Const(c)
+    }
+}
+
+impl From<InstId> for Value {
+    fn from(id: InstId) -> Value {
+        Value::Inst(id)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn truncate_masks_high_bits() {
+        assert_eq!(truncate(0xff, 4), 0xf);
+        assert_eq!(truncate(0b101, 1), 1);
+        assert_eq!(truncate(u128::MAX, 128), u128::MAX);
+        assert_eq!(truncate(256, 8), 0);
+    }
+
+    #[test]
+    fn signed_round_trip() {
+        assert_eq!(to_signed(0b11, 2), -1);
+        assert_eq!(to_signed(0b10, 2), -2);
+        assert_eq!(to_signed(0b01, 2), 1);
+        assert_eq!(from_signed(-1, 2), 0b11);
+        assert_eq!(from_signed(-2, 8), 0xfe);
+        for v in 0..16u128 {
+            assert_eq!(from_signed(to_signed(v, 4), 4), v);
+        }
+    }
+
+    #[test]
+    fn constant_types() {
+        assert_eq!(Constant::bool(true).ty(), Ty::Int(1));
+        assert_eq!(Constant::i32(7).ty(), Ty::i32());
+        assert_eq!(Constant::Poison(Ty::i8()).ty(), Ty::i8());
+        let v = Constant::Vector(vec![Constant::int(16, 1), Constant::int(16, 2)]);
+        assert_eq!(v.ty(), Ty::vector(2, Ty::Int(16)));
+    }
+
+    #[test]
+    fn int_constant_truncates() {
+        assert_eq!(Constant::int(4, 0x1f).as_int(), Some(0xf));
+    }
+
+    #[test]
+    fn poison_detection_in_vectors() {
+        let v = Constant::Vector(vec![
+            Constant::int(8, 1),
+            Constant::Poison(Ty::i8()),
+        ]);
+        assert!(v.contains_poison());
+        assert!(!v.contains_undef());
+        let u = Constant::Vector(vec![Constant::Undef(Ty::i8()), Constant::int(8, 0)]);
+        assert!(u.contains_undef());
+        assert!(!u.contains_poison());
+    }
+
+    #[test]
+    fn value_accessors() {
+        let v = Value::int(8, 42);
+        assert_eq!(v.as_int_const(), Some(42));
+        assert!(v.is_int_const(42));
+        assert!(!v.is_int_const(41));
+        assert_eq!(Value::Inst(InstId(3)).as_inst(), Some(InstId(3)));
+        assert_eq!(Value::Arg(0).as_inst(), None);
+    }
+
+    #[test]
+    fn display_ids() {
+        assert_eq!(InstId(5).to_string(), "%t5");
+        assert_eq!(BlockId(2).to_string(), "bb2");
+    }
+}

@@ -1,0 +1,260 @@
+//! CodeGenPrepare: late, target-oriented rewrites (§5.2, §6).
+//!
+//! Two freeze-related rewrites from the paper's prototype:
+//!
+//! * `freeze(icmp %x, C)` → `icmp (freeze %x), C` — lets the backend
+//!   sink the comparison next to its branch. It is a *refinement* (the
+//!   frozen comparison's outcomes are a subset), so it may only run
+//!   late: early it would break analyses like scalar evolution (§6).
+//! * select → branch + phi ("reverse predication", §5.2): requires
+//!   freezing the condition, since branch-on-poison is UB where
+//!   select-on-poison was only poison.
+
+use frost_ir::{BlockId, Function, Inst, InstId, Terminator, Ty, Value};
+
+use crate::pass::{Pass, PipelineMode};
+
+/// The late lowering-preparation pass.
+#[derive(Debug)]
+pub struct CodeGenPrepare {
+    mode: PipelineMode,
+    /// Convert selects into control flow (profitable on targets that
+    /// prefer branches to conditional moves, §5.2).
+    pub reverse_predication: bool,
+}
+
+impl CodeGenPrepare {
+    /// Creates the pass; reverse predication defaults to off.
+    pub fn new(mode: PipelineMode) -> CodeGenPrepare {
+        CodeGenPrepare { mode, reverse_predication: false }
+    }
+
+    /// Enables the §5.2 select→branch conversion.
+    pub fn with_reverse_predication(mut self) -> CodeGenPrepare {
+        self.reverse_predication = true;
+        self
+    }
+}
+
+impl Pass for CodeGenPrepare {
+    fn name(&self) -> &'static str {
+        "codegenprepare"
+    }
+
+    fn run_on_function(&self, func: &mut Function) -> bool {
+        let mut changed = false;
+        if self.mode.freeze_aware() {
+            changed |= sink_freeze_through_icmp(func);
+        }
+        if self.reverse_predication {
+            changed |= reverse_predication(func, self.mode);
+        }
+        changed
+    }
+}
+
+/// `freeze(icmp cond %x, C)` → `icmp cond (freeze %x), C` when the
+/// icmp's only user is the freeze.
+fn sink_freeze_through_icmp(func: &mut Function) -> bool {
+    let mut changed = false;
+    let uses = func.use_counts();
+    for bb in func.block_ids().collect::<Vec<_>>() {
+        let ids: Vec<InstId> = func.block(bb).insts.clone();
+        for id in ids {
+            let Inst::Freeze { val: Value::Inst(cmp_id), .. } = func.inst(id) else { continue };
+            let cmp_id = *cmp_id;
+            let Inst::Icmp { cond, ty, lhs, rhs } = func.inst(cmp_id).clone() else { continue };
+            if rhs.as_int_const().is_none() || uses.get(&cmp_id).copied().unwrap_or(0) != 1 {
+                continue;
+            }
+            // Rewrite: the freeze instruction becomes `freeze %x`, and
+            // the icmp compares the frozen value. The icmp keeps its id
+            // so its (single) user — the old freeze — must be updated:
+            // swap roles instead. freeze(id) := icmp(freeze', C) and
+            // cmp_id := freeze %x.
+            *func.inst_mut(cmp_id) = Inst::Freeze { ty: ty.clone(), val: lhs };
+            *func.inst_mut(id) = Inst::Icmp { cond, ty, lhs: Value::Inst(cmp_id), rhs };
+            changed = true;
+        }
+    }
+    changed
+}
+
+/// §5.2: `%x = select %c, %a, %b` →
+///
+/// ```text
+///   %c2 = freeze %c
+///   br %c2, %t, %f
+/// t: br %m
+/// f: br %m
+/// m: %x = phi [%a, %t], [%b, %f]
+/// ```
+///
+/// The legacy variant omits the freeze (unsound: a poison condition now
+/// reaches a branch).
+fn reverse_predication(func: &mut Function, mode: PipelineMode) -> bool {
+    // Convert one select per invocation (the CFG surgery invalidates the
+    // scan); loop until none remain.
+    let mut changed = false;
+    loop {
+        let mut target = None;
+        'scan: for bb in func.block_ids() {
+            for (pos, &id) in func.block(bb).insts.iter().enumerate() {
+                if let Inst::Select { .. } = func.inst(id) {
+                    target = Some((bb, pos, id));
+                    break 'scan;
+                }
+            }
+        }
+        let Some((bb, pos, id)) = target else { return changed };
+        let Inst::Select { cond, ty, tval, fval } = func.inst(id).clone() else { unreachable!() };
+
+        // Split the block after the select.
+        let tail_insts: Vec<InstId> = func.block_mut(bb).insts.split_off(pos + 1);
+        func.block_mut(bb).insts.pop(); // remove the select itself
+        let tail_term = func.block(bb).term.clone();
+
+        let t_bb = func.add_block(format!("{}.rp.t", func.block(bb).name));
+        let f_bb = func.add_block(format!("{}.rp.f", func.block(bb).name));
+        let m_bb = func.add_block(format!("{}.rp.m", func.block(bb).name));
+
+        // The select becomes a phi in the merge block (keeping its id so
+        // uses stay valid).
+        *func.inst_mut(id) = Inst::Phi {
+            ty,
+            incoming: vec![(tval, t_bb), (fval, f_bb)],
+        };
+        func.block_mut(m_bb).insts.push(id);
+        func.block_mut(m_bb).insts.extend(tail_insts);
+        func.block_mut(m_bb).term = tail_term;
+        // Successors' phis must now name m_bb as predecessor.
+        for succ in func.block(m_bb).term.successors() {
+            crate::util::retarget_phi_edge(func, succ, bb, m_bb);
+        }
+
+        let branch_cond = if mode.uses_freeze() {
+            let fr = func.add_inst(Inst::Freeze { ty: Ty::i1(), val: cond });
+            func.block_mut(bb).insts.push(fr);
+            Value::Inst(fr)
+        } else {
+            cond
+        };
+        func.block_mut(bb).term =
+            Terminator::Br { cond: branch_cond, then_bb: t_bb, else_bb: f_bb };
+        func.block_mut(t_bb).term = Terminator::Jmp(m_bb);
+        func.block_mut(f_bb).term = Terminator::Jmp(m_bb);
+        changed = true;
+        let _ = BlockId::ENTRY;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use frost_core::Semantics;
+    use frost_ir::{function_to_string, parse_module, Module};
+    use frost_refine::{check_refinement, CheckOptions};
+
+    fn run(src: &str, pass: &CodeGenPrepare) -> (Module, Module, bool) {
+        let before = parse_module(src).unwrap();
+        let mut after = before.clone();
+        let mut changed = false;
+        for f in &mut after.functions {
+            changed |= pass.run_on_function(f);
+            f.compact();
+        }
+        (before, after, changed)
+    }
+
+    #[test]
+    fn freeze_of_icmp_sinks_through() {
+        // `ult %x, 0` is constant-false on defined inputs, which makes
+        // the refinement strict: freeze(icmp poison, 0) is {t, f} while
+        // icmp(freeze poison, 0) is {f}.
+        let src = "define i1 @f(i4 %x) {\nentry:\n  %c = icmp ult i4 %x, 0\n  %fc = freeze i1 %c\n  ret i1 %fc\n}";
+        let (before, after, changed) = run(src, &CodeGenPrepare::new(PipelineMode::Fixed));
+        assert!(changed);
+        let text = function_to_string(after.function("f").unwrap());
+        assert!(text.contains("freeze i4 %x"), "{text}");
+        assert!(text.contains("icmp ult i4"), "{text}");
+        // The rewrite is a refinement (not an equivalence): check it.
+        check_refinement(&before, "f", &after, "f", &CheckOptions::new(Semantics::proposed()))
+            .assert_refines();
+        // And the reverse direction is NOT a refinement (it would be
+        // wrong to undo): freeze(icmp poison, C) can be both true and
+        // false, icmp(freeze poison, C) is constrained by C.
+        let r = check_refinement(
+            &after,
+            "f",
+            &before,
+            "f",
+            &CheckOptions::new(Semantics::proposed()),
+        );
+        assert!(r.counterexample().is_some(), "the transformation is a strict refinement");
+    }
+
+    #[test]
+    fn freeze_blind_mode_does_not_touch_it() {
+        let src = "define i1 @f(i4 %x) {\nentry:\n  %c = icmp ult i4 %x, 5\n  %fc = freeze i1 %c\n  ret i1 %fc\n}";
+        let (_, _, changed) = run(src, &CodeGenPrepare::new(PipelineMode::FixedFreezeBlind));
+        assert!(!changed);
+    }
+
+    #[test]
+    fn reverse_predication_freezes_the_condition() {
+        let src = "define i4 @f(i1 %c, i4 %a, i4 %b) {\nentry:\n  %x = select i1 %c, i4 %a, i4 %b\n  ret i4 %x\n}";
+        let (before, after, changed) = run(
+            src,
+            &CodeGenPrepare::new(PipelineMode::Fixed).with_reverse_predication(),
+        );
+        assert!(changed);
+        let f = after.function("f").unwrap();
+        let text = function_to_string(f);
+        assert!(text.contains("freeze i1 %c"), "{text}");
+        assert!(text.contains("phi i4"), "{text}");
+        assert!(frost_ir::verify::verify_function(f).is_ok(), "{text}");
+        check_refinement(&before, "f", &after, "f", &CheckOptions::new(Semantics::proposed()))
+            .assert_refines();
+    }
+
+    #[test]
+    fn legacy_reverse_predication_is_unsound() {
+        // §5.2 without the freeze: select on poison was poison, branch
+        // on poison is UB.
+        let src = "define i4 @f(i1 %c, i4 %a, i4 %b) {\nentry:\n  %x = select i1 %c, i4 %a, i4 %b\n  ret i4 %x\n}";
+        let (before, after, changed) = run(
+            src,
+            &CodeGenPrepare::new(PipelineMode::Legacy).with_reverse_predication(),
+        );
+        assert!(changed);
+        let r = check_refinement(
+            &before,
+            "f",
+            &after,
+            "f",
+            &CheckOptions::new(Semantics::proposed()),
+        );
+        let ce = r.counterexample().expect("unfrozen select->br is unsound");
+        assert!(ce.tgt_outcomes.may_ub());
+    }
+
+    #[test]
+    fn reverse_predication_preserves_instructions_after_the_select() {
+        let src = r#"
+define i4 @f(i1 %c, i4 %a, i4 %b) {
+entry:
+  %x = select i1 %c, i4 %a, i4 %b
+  %y = add i4 %x, 1
+  ret i4 %y
+}
+"#;
+        let (before, after, _) = run(
+            src,
+            &CodeGenPrepare::new(PipelineMode::Fixed).with_reverse_predication(),
+        );
+        let f = after.function("f").unwrap();
+        assert!(frost_ir::verify::verify_function(f).is_ok(), "{}", function_to_string(f));
+        check_refinement(&before, "f", &after, "f", &CheckOptions::new(Semantics::proposed()))
+            .assert_refines();
+    }
+}

@@ -1,0 +1,154 @@
+//! Dead code elimination: removes placed instructions whose results are
+//! unused and that have no side effects, plus unreachable blocks.
+//!
+//! Removing an instruction is always a refinement (fewer executed
+//! operations means no new behaviors), *including* dead `freeze` and
+//! dead UB-capable instructions — a dead `udiv` could have been UB, and
+//! removing potential UB only shrinks the behavior set.
+
+use frost_ir::{Function, Terminator};
+
+use crate::pass::Pass;
+use crate::util::remove_phi_edge;
+
+/// The DCE pass.
+#[derive(Debug, Default)]
+pub struct Dce;
+
+impl Dce {
+    /// Creates the pass.
+    pub fn new() -> Dce {
+        Dce
+    }
+}
+
+impl Pass for Dce {
+    fn name(&self) -> &'static str {
+        "dce"
+    }
+
+    fn run_on_function(&self, func: &mut Function) -> bool {
+        let mut changed = remove_unreachable_blocks(func);
+        loop {
+            let uses = func.use_counts();
+            let mut removed_any = false;
+            for bb in 0..func.blocks.len() {
+                let block = &func.blocks[bb];
+                let dead: Vec<_> = block
+                    .insts
+                    .iter()
+                    .copied()
+                    .filter(|&id| {
+                        let inst = func.inst(id);
+                        !inst.has_side_effects() && uses.get(&id).copied().unwrap_or(0) == 0
+                    })
+                    .collect();
+                if dead.is_empty() {
+                    continue;
+                }
+                removed_any = true;
+                func.blocks[bb].insts.retain(|id| !dead.contains(id));
+            }
+            changed |= removed_any;
+            if !removed_any {
+                break;
+            }
+        }
+        changed
+    }
+}
+
+/// Deletes blocks unreachable from the entry, fixing up phis of their
+/// reachable successors. Block ids are *not* renumbered; dead blocks
+/// become empty with `unreachable` terminators and no predecessors,
+/// then are pruned by retargeting. Returns `true` on change.
+pub fn remove_unreachable_blocks(func: &mut Function) -> bool {
+    let reachable = frost_ir::cfg::reachable(func);
+    if reachable.iter().all(|&r| r) {
+        return false;
+    }
+    // Remove phi edges coming from unreachable predecessors.
+    for bb in func.block_ids().collect::<Vec<_>>() {
+        if !reachable[bb.index()] {
+            continue;
+        }
+        let preds: Vec<_> = (0..func.blocks.len())
+            .filter(|&p| !reachable[p])
+            .map(|p| frost_ir::BlockId(p as u32))
+            .collect();
+        for p in preds {
+            remove_phi_edge(func, bb, p);
+        }
+    }
+    // Gut the unreachable blocks.
+    for (i, r) in reachable.iter().enumerate() {
+        if !r {
+            func.blocks[i].insts.clear();
+            func.blocks[i].term = Terminator::Unreachable;
+        }
+    }
+    true
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use frost_ir::{BlockId, FunctionBuilder, Ty, Value};
+
+    #[test]
+    fn removes_dead_arithmetic_chains() {
+        let mut b = FunctionBuilder::new("f", &[("x", Ty::i8())], Ty::i8());
+        let dead1 = b.add(b.arg(0), b.const_int(8, 1));
+        let _dead2 = b.mul(dead1, b.const_int(8, 3));
+        let live = b.add(b.arg(0), b.const_int(8, 2));
+        b.ret(live);
+        let mut f = b.finish();
+        assert!(Dce::new().run_on_function(&mut f));
+        assert_eq!(f.placed_inst_count(), 1, "the whole dead chain is gone");
+    }
+
+    #[test]
+    fn keeps_side_effects() {
+        let mut b = FunctionBuilder::new("f", &[("p", Ty::ptr_to(Ty::i8()))], Ty::Void);
+        b.store(b.const_int(8, 1), b.arg(0));
+        let _unused = b.call(Ty::i8(), "ext", vec![]);
+        b.ret_void();
+        let mut f = b.finish();
+        assert!(!Dce::new().run_on_function(&mut f));
+        assert_eq!(f.placed_inst_count(), 2);
+    }
+
+    #[test]
+    fn removes_dead_udiv_and_freeze() {
+        let mut b = FunctionBuilder::new("f", &[("x", Ty::i8())], Ty::i8());
+        let _dead_div = b.udiv(b.const_int(8, 1), b.arg(0));
+        let _dead_freeze = b.freeze(b.arg(0));
+        b.ret(b.arg(0));
+        let mut f = b.finish();
+        assert!(Dce::new().run_on_function(&mut f));
+        assert_eq!(f.placed_inst_count(), 0);
+    }
+
+    #[test]
+    fn prunes_unreachable_blocks_and_their_phi_edges() {
+        let mut b = FunctionBuilder::new("f", &[("x", Ty::i8())], Ty::i8());
+        let dead = b.block("dead");
+        let join = b.block("join");
+        b.jmp(join);
+        b.switch_to(dead);
+        b.jmp(join);
+        b.switch_to(join);
+        let p = b.phi(
+            Ty::i8(),
+            vec![(b.arg(0), BlockId::ENTRY), (Value::int(8, 9), dead)],
+        );
+        b.ret(p.clone());
+        let mut f = b.finish();
+        assert!(Dce::new().run_on_function(&mut f));
+        let frost_ir::Inst::Phi { incoming, .. } = f.inst(p.as_inst().unwrap()) else {
+            panic!()
+        };
+        assert_eq!(incoming.len(), 1);
+        assert!(frost_ir::verify::verify_function(&f).is_ok());
+    }
+}

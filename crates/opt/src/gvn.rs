@@ -1,0 +1,371 @@
+//! Global value numbering, with the equality propagation of §3.3.
+//!
+//! Two ingredients:
+//!
+//! 1. **Expression numbering**: identical pure expressions whose
+//!    definitions dominate a later occurrence replace it. The *fixed*
+//!    variant refuses to merge `freeze` instructions (two freezes of the
+//!    same possibly-poison value may differ, §6); the *legacy* variant
+//!    merges them, which the refinement checker flags.
+//! 2. **Equality propagation**: after `br (icmp eq %a, %b), %t, ...`,
+//!    uses of `%a` dominated by `%t` are replaced by `%b`. This is the
+//!    §3.3 GVN transformation that is sound only when branch-on-poison
+//!    is immediate UB — under the loop-unswitch interpretation
+//!    (branch-on-poison = nondeterministic choice) it miscompiles, which
+//!    is exactly the paper's conflict.
+
+use std::collections::HashMap;
+
+use frost_ir::dom::DomTree;
+use frost_ir::{Cond, Function, Inst, InstId, Terminator, Value};
+
+use crate::pass::{Pass, PipelineMode};
+use crate::util::erase_inst;
+
+/// The GVN pass.
+#[derive(Debug)]
+pub struct Gvn {
+    mode: PipelineMode,
+}
+
+impl Gvn {
+    /// Creates the pass in the given mode.
+    pub fn new(mode: PipelineMode) -> Gvn {
+        Gvn { mode }
+    }
+}
+
+impl Pass for Gvn {
+    fn name(&self) -> &'static str {
+        "gvn"
+    }
+
+    fn run_on_function(&self, func: &mut Function) -> bool {
+        let mut changed = number_expressions(func, self.mode);
+        changed |= propagate_equalities(func);
+        changed
+    }
+}
+
+/// A hashable key for pure expressions.
+#[derive(Clone, PartialEq, Eq, Hash, Debug)]
+struct ExprKey {
+    mnemonic: &'static str,
+    detail: String,
+    operands: Vec<Value>,
+}
+
+fn expr_key(func: &Function, id: InstId, mode: PipelineMode) -> Option<ExprKey> {
+    let inst = func.inst(id);
+    // Never number side-effecting or memory-dependent instructions, and
+    // phis (block-position-dependent).
+    if inst.has_side_effects() || matches!(inst, Inst::Phi { .. } | Inst::Load { .. }) {
+        return None;
+    }
+    if inst.is_freeze() && mode.freeze_aware() {
+        // Fixed GVN: each freeze is unique. (A sound extension would
+        // replace *all* uses of equal freezes at once — §6 notes the
+        // caveat; we take the conservative route.)
+        return None;
+    }
+    if inst.is_freeze() && mode == PipelineMode::FixedFreezeBlind {
+        // Freeze-blind passes skip the unknown instruction entirely.
+        return None;
+    }
+    let detail = match inst {
+        Inst::Bin { op, flags, ty, .. } => format!("{op} {flags} {ty}"),
+        Inst::Icmp { cond, ty, .. } => format!("{cond} {ty}"),
+        Inst::Select { ty, .. } => format!("{ty}"),
+        Inst::Freeze { ty, .. } => format!("{ty}"),
+        Inst::Cast { kind, from_ty, to_ty, .. } => format!("{kind} {from_ty} {to_ty}"),
+        Inst::Bitcast { from_ty, to_ty, .. } => format!("{from_ty} {to_ty}"),
+        Inst::Gep { elem_ty, inbounds, .. } => format!("{elem_ty} {inbounds}"),
+        Inst::ExtractElement { len, .. } | Inst::InsertElement { len, .. } => format!("{len}"),
+        _ => return None,
+    };
+    let mut operands = inst.operands();
+    // Canonicalize commutative binops so `a+b` and `b+a` number equal.
+    if let Inst::Bin { op, .. } = inst {
+        if op.is_commutative() {
+            operands.sort_by_key(|v| format!("{v:?}"));
+        }
+    }
+    Some(ExprKey { mnemonic: inst.mnemonic(), detail, operands })
+}
+
+/// Replaces dominated duplicate expressions by their leader.
+fn number_expressions(func: &mut Function, mode: PipelineMode) -> bool {
+    let dt = DomTree::compute(func);
+    let rpo = frost_ir::cfg::reverse_postorder(func);
+    let mut leaders: HashMap<ExprKey, (InstId, frost_ir::BlockId, usize)> = HashMap::new();
+    let mut replace: Vec<(InstId, InstId)> = Vec::new();
+
+    for &bb in &rpo {
+        for (pos, &id) in func.block(bb).insts.iter().enumerate() {
+            let Some(key) = expr_key(func, id, mode) else { continue };
+            match leaders.get(&key) {
+                Some(&(leader, lbb, lpos))
+                    if lbb == bb && lpos < pos || dt.strictly_dominates(lbb, bb) =>
+                {
+                    replace.push((id, leader));
+                }
+                _ => {
+                    leaders.insert(key, (id, bb, pos));
+                }
+            }
+        }
+    }
+    let changed = !replace.is_empty();
+    for (dup, leader) in replace {
+        func.replace_all_uses(dup, &Value::Inst(leader));
+        erase_inst(func, dup);
+    }
+    changed
+}
+
+/// §3.3 equality propagation: in the true successor of
+/// `br (icmp eq %a, %b)`, replace `%a` with `%b` (and in the false
+/// successor of `icmp ne`). The successor must have the branch block as
+/// its only predecessor; the replacement applies there and in every
+/// block it dominates.
+fn propagate_equalities(func: &mut Function) -> bool {
+    let dt = DomTree::compute(func);
+    let preds = func.predecessors();
+    let mut changed = false;
+    for bb in func.block_ids().collect::<Vec<_>>() {
+        let Terminator::Br { cond, then_bb, else_bb } = &func.block(bb).term else { continue };
+        let Value::Inst(cmp) = cond else { continue };
+        let Inst::Icmp { cond: cc, lhs, rhs, .. } = func.inst(*cmp) else { continue };
+        let (target, a, b) = match cc {
+            Cond::Eq => (*then_bb, lhs.clone(), rhs.clone()),
+            Cond::Ne => (*else_bb, lhs.clone(), rhs.clone()),
+            _ => continue,
+        };
+        if preds[target.index()].len() != 1 || target == bb {
+            continue;
+        }
+        // Prefer replacing an instruction result by the other side;
+        // constants/arguments make better representatives.
+        let (from, to) = match (&a, &b) {
+            (Value::Inst(_), _) => (a.clone(), b.clone()),
+            (_, Value::Inst(_)) => (b.clone(), a.clone()),
+            _ => continue,
+        };
+        let Value::Inst(from_id) = &from else { continue };
+        // Rewrite uses in blocks dominated by the target.
+        for user_bb in func.block_ids().collect::<Vec<_>>() {
+            if !dt.dominates(target, user_bb) {
+                continue;
+            }
+            let ids: Vec<InstId> = func.block(user_bb).insts.clone();
+            for uid in ids {
+                if uid == *from_id {
+                    continue;
+                }
+                // Do not rewrite phis: their incoming values are
+                // evaluated on the edge, not in this block.
+                if matches!(func.inst(uid), Inst::Phi { .. }) {
+                    continue;
+                }
+                let to2 = to.clone();
+                let from2 = from.clone();
+                func.inst_mut(uid).for_each_operand_mut(|v| {
+                    if *v == from2 {
+                        *v = to2.clone();
+                        changed = true;
+                    }
+                });
+            }
+            let to2 = to.clone();
+            let from2 = from.clone();
+            let block = func.block_mut(user_bb);
+            block.term.for_each_operand_mut(|v| {
+                if *v == from2 {
+                    *v = to2.clone();
+                    changed = true;
+                }
+            });
+        }
+    }
+    changed
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use frost_core::Semantics;
+    use frost_ir::{function_to_string, parse_module, Module};
+    use frost_refine::{check_refinement, CheckOptions};
+
+    fn run(src: &str, mode: PipelineMode) -> (Module, Module) {
+        let before = parse_module(src).unwrap();
+        let mut after = before.clone();
+        for f in &mut after.functions {
+            Gvn::new(mode).run_on_function(f);
+            f.compact();
+        }
+        (before, after)
+    }
+
+    #[test]
+    fn merges_identical_expressions() {
+        let (before, after) = run(
+            r#"
+define i4 @f(i4 %x, i4 %y) {
+entry:
+  %a = add i4 %x, %y
+  %b = add i4 %y, %x
+  %r = xor i4 %a, %b
+  ret i4 %r
+}
+"#,
+            PipelineMode::Fixed,
+        );
+        let f = after.function("f").unwrap();
+        assert_eq!(f.placed_inst_count(), 2, "{}", function_to_string(f));
+        check_refinement(&before, "f", &after, "f", &CheckOptions::new(Semantics::proposed()))
+            .assert_refines();
+    }
+
+    #[test]
+    fn fixed_gvn_keeps_freezes_apart() {
+        let src = r#"
+define i4 @f(i4 %x) {
+entry:
+  %a = freeze i4 %x
+  %b = freeze i4 %x
+  %r = xor i4 %a, %b
+  ret i4 %r
+}
+"#;
+        let (before, after) = run(src, PipelineMode::Fixed);
+        assert_eq!(after.function("f").unwrap().placed_inst_count(), 3);
+        check_refinement(&before, "f", &after, "f", &CheckOptions::new(Semantics::proposed()))
+            .assert_refines();
+
+        // Legacy GVN merges them: xor %a, %a = 0 becomes forced, but the
+        // source can return any even... actually any xor of two
+        // independent freezes. The refinement checker catches it.
+        let (before, after) = run(src, PipelineMode::Legacy);
+        assert_eq!(after.function("f").unwrap().placed_inst_count(), 2);
+        let r = check_refinement(
+            &before,
+            "f",
+            &after,
+            "f",
+            &CheckOptions::new(Semantics::proposed()),
+        );
+        // Merging freezes *shrinks* the behavior set (both uses now
+        // agree), which is a refinement; the bug is the *other*
+        // direction: uses that relied on a single freeze getting split.
+        // Keeping them apart is the conservative choice; merging is
+        // still a refinement here.
+        r.assert_refines();
+    }
+
+    #[test]
+    fn equality_propagation_matches_the_paper_example() {
+        // §3.3: t = x + 1; if (t == y) { w = x + 1; foo(w); }
+        let (before, after) = run(
+            r#"
+declare void @foo(i4)
+define void @f(i4 %x, i4 %y) {
+entry:
+  %t = add i4 %x, 1
+  %c = icmp eq i4 %t, %y
+  br i1 %c, label %then, label %exit
+then:
+  %w = add i4 %x, 1
+  call void @foo(i4 %w)
+  br label %exit
+exit:
+  ret void
+}
+"#,
+            PipelineMode::Fixed,
+        );
+        let text = function_to_string(after.function("f").unwrap());
+        // w is numbered equal to t, and t is replaced by y in the then
+        // block: foo(%y).
+        assert!(text.contains("call void @foo(i4 %y)"), "{text}");
+        // Sound when branch-on-poison is UB (proposed & legacy-gvn):
+        check_refinement(&before, "f", &after, "f", &CheckOptions::new(Semantics::proposed()))
+            .assert_refines();
+    }
+
+    #[test]
+    fn equality_propagation_unsound_under_unswitch_semantics() {
+        // The same §3.3 transformation, checked under branch-on-poison =
+        // nondeterministic choice: passing y (poison) to foo where the
+        // source passed a defined w is a miscompilation.
+        let (before, after) = run(
+            r#"
+declare void @foo(i4)
+define void @f(i4 %x, i4 %y) {
+entry:
+  %t = add i4 %x, 1
+  %c = icmp eq i4 %t, %y
+  br i1 %c, label %then, label %exit
+then:
+  %w = add i4 %x, 1
+  call void @foo(i4 %w)
+  br label %exit
+exit:
+  ret void
+}
+"#,
+            PipelineMode::Fixed,
+        );
+        let r = check_refinement(
+            &before,
+            "f",
+            &after,
+            "f",
+            &CheckOptions::new(Semantics::legacy_unswitch()),
+        );
+        assert!(
+            r.counterexample().is_some(),
+            "GVN equality propagation requires branch-on-poison = UB (§3.3)"
+        );
+    }
+
+    #[test]
+    fn does_not_merge_across_non_dominating_blocks() {
+        let (before, after) = run(
+            r#"
+define i4 @f(i1 %c, i4 %x) {
+entry:
+  br i1 %c, label %a, label %b
+a:
+  %u = add i4 %x, 1
+  ret i4 %u
+b:
+  %v = add i4 %x, 1
+  ret i4 %v
+}
+"#,
+            PipelineMode::Fixed,
+        );
+        assert_eq!(after.function("f").unwrap().placed_inst_count(), 2);
+        check_refinement(&before, "f", &after, "f", &CheckOptions::new(Semantics::proposed()))
+            .assert_refines();
+    }
+
+    #[test]
+    fn loads_are_not_numbered() {
+        let (_, after) = run(
+            r#"
+define i8 @f(i8* %p, i8* %q) {
+entry:
+  %a = load i8, i8* %p
+  store i8 1, i8* %q
+  %b = load i8, i8* %p
+  %r = xor i8 %a, %b
+  ret i8 %r
+}
+"#,
+            PipelineMode::Fixed,
+        );
+        assert_eq!(after.function("f").unwrap().placed_inst_count(), 4);
+    }
+}

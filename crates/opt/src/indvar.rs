@@ -1,0 +1,356 @@
+//! Induction-variable widening (§2.4, Figure 3).
+//!
+//! Removes the per-iteration `sext` of a narrow induction variable by
+//! rewriting the loop to iterate in the wide type:
+//!
+//! ```text
+//! %i    = phi i32 [0, %ph], [%i1, %body]      %iw  = phi i64 [0, %ph], [%iw1, %body]
+//! %c    = icmp sle i32 %i, %n            ─▶   %nw  = sext i32 %n to i64   ; preheader
+//! %iext = sext i32 %i to i64                  %c   = icmp sle i64 %iw, %nw
+//! %i1   = add nsw i32 %i, 1                   %iw1 = add nsw i64 %iw, 1
+//! ```
+//!
+//! The transformation is justified **only because `nsw` overflow is
+//! poison**: on overflow the narrow comparison becomes poison, the
+//! branch on it UB, so the compiler may assume it never happens. If
+//! overflow instead produced `undef` (§2.4's strawman), `sext(undef)`
+//! is bounded by `INT_MAX` and the narrow loop's exit test can differ
+//! from the wide one — the refinement checker exhibits exactly the
+//! paper's `%n = INT_MAX` counterexample.
+
+use frost_ir::analysis::scev::{find_affine_ivs, header_exit_test, is_loop_invariant};
+use frost_ir::dom::DomTree;
+use frost_ir::loops::LoopInfo;
+use frost_ir::{CastKind, Function, Inst, InstId, Ty, Value};
+
+use crate::pass::{Pass, PipelineMode};
+
+/// The widening pass.
+#[derive(Debug)]
+pub struct IndVarWiden {
+    #[allow(dead_code)]
+    mode: PipelineMode,
+}
+
+impl IndVarWiden {
+    /// Creates the pass. The rewrite is identical in all modes — its
+    /// *justification* is semantic (nsw = poison), which the evaluation
+    /// probes by checking refinement under different semantics.
+    pub fn new(mode: PipelineMode) -> IndVarWiden {
+        IndVarWiden { mode }
+    }
+}
+
+impl Pass for IndVarWiden {
+    fn name(&self) -> &'static str {
+        "indvar-widen"
+    }
+
+    fn run_on_function(&self, func: &mut Function) -> bool {
+        let dt = DomTree::compute(func);
+        let li = LoopInfo::compute(func, &dt);
+        let mut changed = false;
+        for lp in &li.loops {
+            changed |= widen_loop(func, lp);
+        }
+        changed
+    }
+}
+
+fn widen_loop(func: &mut Function, lp: &frost_ir::loops::Loop) -> bool {
+    let Some(preheader) = lp.preheader(func) else { return false };
+    let ivs = find_affine_ivs(func, lp);
+    let mut changed = false;
+    for iv in ivs {
+        // Only nsw increments justify widening.
+        if !iv.overflow_is_poison() {
+            continue;
+        }
+        let narrow_ty = func.inst(iv.phi).result_ty();
+        let Some(narrow_bits) = narrow_ty.int_bits() else { continue };
+        // Find sexts of this IV inside the loop; their common target
+        // type becomes the wide type.
+        let mut sexts: Vec<(InstId, Ty)> = Vec::new();
+        for &bb in &lp.blocks {
+            for &id in &func.block(bb).insts {
+                if let Inst::Cast { kind: CastKind::Sext, to_ty, val, .. } = func.inst(id) {
+                    if *val == Value::Inst(iv.phi) {
+                        sexts.push((id, to_ty.clone()));
+                    }
+                }
+            }
+        }
+        let Some((_, wide_ty)) = sexts.first().cloned() else { continue };
+        if sexts.iter().any(|(_, t)| *t != wide_ty) {
+            continue;
+        }
+        let Some(wide_bits) = wide_ty.int_bits() else { continue };
+        if wide_bits <= narrow_bits {
+            continue;
+        }
+        // The step must be a constant to widen by constant sext.
+        let Some(step_c) = iv.step.as_int_const() else { continue };
+        let step_signed = frost_ir::value::to_signed(step_c, narrow_bits);
+        let wide_step = Value::int(wide_bits, frost_ir::value::from_signed(step_signed, wide_bits));
+        // The exit test must compare the IV against an invariant bound
+        // with a *signed* predicate (unsigned tests are not preserved by
+        // sext).
+        let Some((cmp_id, bound)) = header_exit_test(func, lp) else { continue };
+        let Inst::Icmp { cond, lhs, rhs, .. } = func.inst(cmp_id).clone() else { continue };
+        if !matches!(
+            cond,
+            frost_ir::Cond::Slt | frost_ir::Cond::Sle | frost_ir::Cond::Sgt | frost_ir::Cond::Sge
+        ) {
+            continue;
+        }
+        // The comparison must be on this IV.
+        let iv_on_lhs = lhs == Value::Inst(iv.phi);
+        let iv_on_rhs = rhs == Value::Inst(iv.phi);
+        if !iv_on_lhs && !iv_on_rhs {
+            continue;
+        }
+        if !is_loop_invariant(func, lp, &bound) {
+            continue;
+        }
+
+        // Preheader: widen the start and the bound.
+        let wide_start = widen_value(func, preheader, &iv.start, &narrow_ty, &wide_ty);
+        let wide_bound = widen_value(func, preheader, &bound, &narrow_ty, &wide_ty);
+
+        // Find the back-edge block of the narrow increment.
+        let Some(inc_bb) = func.block_of(iv.step_inst) else { continue };
+        // Build the wide IV.
+        let wide_inc = func.add_inst(Inst::Bin {
+            op: frost_ir::BinOp::Add,
+            flags: frost_ir::Flags::NSW,
+            ty: wide_ty.clone(),
+            lhs: Value::Inst(InstId(u32::MAX)), // patched below
+            rhs: wide_step,
+        });
+        let narrow_phi = func.inst(iv.phi).clone();
+        let Inst::Phi { incoming, .. } = narrow_phi else { continue };
+        let wide_incoming: Vec<(Value, frost_ir::BlockId)> = incoming
+            .iter()
+            .map(|(v, from)| {
+                if *v == Value::Inst(iv.step_inst) {
+                    (Value::Inst(wide_inc), *from)
+                } else {
+                    (wide_start.clone(), *from)
+                }
+            })
+            .collect();
+        let wide_phi = func.add_inst(Inst::Phi { ty: wide_ty.clone(), incoming: wide_incoming });
+        // Patch the increment's operand.
+        if let Inst::Bin { lhs, .. } = func.inst_mut(wide_inc) {
+            *lhs = Value::Inst(wide_phi);
+        }
+        // Place: phi at the head of the header, increment right after
+        // the narrow increment.
+        func.block_mut(lp.header).insts.insert(0, wide_phi);
+        let pos = func
+            .block(inc_bb)
+            .insts
+            .iter()
+            .position(|&i| i == iv.step_inst)
+            .expect("step placed");
+        func.block_mut(inc_bb).insts.insert(pos + 1, wide_inc);
+
+        // Rewrite the exit test to the wide type.
+        let (new_lhs, new_rhs) = if iv_on_lhs {
+            (Value::Inst(wide_phi), wide_bound)
+        } else {
+            (wide_bound, Value::Inst(wide_phi))
+        };
+        *func.inst_mut(cmp_id) =
+            Inst::Icmp { cond, ty: wide_ty.clone(), lhs: new_lhs, rhs: new_rhs };
+
+        // Replace the sexts of the IV with the wide IV.
+        for (sid, _) in sexts {
+            func.replace_all_uses(sid, &Value::Inst(wide_phi));
+            crate::util::erase_inst(func, sid);
+        }
+        // The narrow IV is now often a dead phi/increment cycle that
+        // plain DCE cannot remove (they use each other); erase it when
+        // nothing else uses either.
+        let uses = func.use_counts();
+        let phi_uses = uses.get(&iv.phi).copied().unwrap_or(0);
+        let inc_uses = uses.get(&iv.step_inst).copied().unwrap_or(0);
+        if phi_uses == 1 && inc_uses == 1 {
+            crate::util::erase_inst(func, iv.phi);
+            crate::util::erase_inst(func, iv.step_inst);
+        }
+        changed = true;
+    }
+    changed
+}
+
+/// Emits (in `preheader`) a sext of `v` to the wide type, folding
+/// constants.
+fn widen_value(
+    func: &mut Function,
+    preheader: frost_ir::BlockId,
+    v: &Value,
+    narrow_ty: &Ty,
+    wide_ty: &Ty,
+) -> Value {
+    let narrow_bits = narrow_ty.int_bits().expect("int");
+    let wide_bits = wide_ty.int_bits().expect("int");
+    if let Some(c) = v.as_int_const() {
+        let s = frost_ir::value::to_signed(c, narrow_bits);
+        return Value::int(wide_bits, frost_ir::value::from_signed(s, wide_bits));
+    }
+    let id = func.add_inst(Inst::Cast {
+        kind: CastKind::Sext,
+        from_ty: narrow_ty.clone(),
+        to_ty: wide_ty.clone(),
+        val: v.clone(),
+    });
+    func.block_mut(preheader).insts.push(id);
+    Value::Inst(id)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use frost_core::Semantics;
+    use frost_ir::{function_to_string, parse_module, Module};
+    use frost_refine::{check_refinement, CheckOptions, CheckResult};
+
+    /// Figure 3 at checkable widths: i3 induction variable, i5
+    /// pointers-free variant accumulating into a sum via @use.
+    const FIG3: &str = r#"
+declare void @use(i5)
+define void @f(i3 %n) {
+entry:
+  br label %head
+head:
+  %i = phi i3 [ 0, %entry ], [ %i1, %body ]
+  %c = icmp sle i3 %i, %n
+  br i1 %c, label %body, label %exit
+body:
+  %iext = sext i3 %i to i5
+  call void @use(i5 %iext)
+  %i1 = add nsw i3 %i, 1
+  br label %head
+exit:
+  ret void
+}
+"#;
+
+    fn run(src: &str) -> (Module, Module, bool) {
+        let before = parse_module(src).unwrap();
+        let mut after = before.clone();
+        let mut changed = false;
+        for f in &mut after.functions {
+            changed |= IndVarWiden::new(PipelineMode::Fixed).run_on_function(f);
+            crate::dce::Dce::new().run_on_function(f);
+            f.compact();
+        }
+        (before, after, changed)
+    }
+
+    #[test]
+    fn widens_figure3_and_removes_the_sext() {
+        let (before, after, changed) = run(FIG3);
+        assert!(changed);
+        let f = after.function("f").unwrap();
+        let text = function_to_string(f);
+        assert!(!text.contains("sext i3 %i to i5"), "loop body sext gone: {text}");
+        assert!(text.contains("phi i5"), "wide IV introduced: {text}");
+        assert!(text.contains("icmp sle i5"), "exit test widened: {text}");
+        assert!(frost_ir::verify::verify_function(f).is_ok(), "{text}");
+        // Justified under the proposed semantics (nsw overflow =
+        // poison; branch on it = UB).
+        check_refinement(&before, "f", &after, "f", &CheckOptions::new(Semantics::proposed()))
+            .assert_refines();
+    }
+
+    #[test]
+    fn widening_step_is_unjustified_when_overflow_yields_undef() {
+        // §2.4's argument, straight-line version: the narrow test
+        // `sext(i +nsw 1) <= sext(n)` is always true at n = INT_MAX if
+        // overflow yields undef (sext(undef) <= INT_MAX), while the
+        // wide test is false — exactly the paper's counterexample.
+        let src = r#"
+define i1 @f(i3 %i, i3 %n) {
+entry:
+  %i1 = add nsw i3 %i, 1
+  %iext = sext i3 %i1 to i5
+  %next = sext i3 %n to i5
+  %c = icmp sle i5 %iext, %next
+  ret i1 %c
+}
+"#;
+        let tgt = r#"
+define i1 @f(i3 %i, i3 %n) {
+entry:
+  %iw = sext i3 %i to i5
+  %i1w = add nsw i5 %iw, 1
+  %next = sext i3 %n to i5
+  %c = icmp sle i5 %i1w, %next
+  ret i1 %c
+}
+"#;
+        let before = parse_module(src).unwrap();
+        let after = parse_module(tgt).unwrap();
+        // Sound under poison...
+        check_refinement(&before, "f", &after, "f", &CheckOptions::new(Semantics::proposed()))
+            .assert_refines();
+        // ...but not when overflow yields undef.
+        let r = check_refinement(
+            &before,
+            "f",
+            &after,
+            "f",
+            &CheckOptions::new(Semantics::legacy_undef_overflow()),
+        );
+        match r {
+            CheckResult::CounterExample(ce) => {
+                // The witness pins i = SMAX (overflow) with the wide
+                // result false where the narrow source is always true.
+                assert!(ce.args[0] == frost_core::Val::int(3, 0b011));
+            }
+            other => panic!("expected a counterexample, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn non_nsw_ivs_are_left_alone() {
+        let src = FIG3.replace("add nsw i3", "add i3");
+        let (_, _, changed) = run(&src);
+        assert!(!changed, "wrapping IV must not be widened");
+    }
+
+    #[test]
+    fn unsigned_exit_tests_are_left_alone() {
+        let src = FIG3.replace("icmp sle", "icmp ule");
+        let (_, _, changed) = run(&src);
+        assert!(!changed, "sext does not preserve unsigned comparisons");
+    }
+
+    #[test]
+    fn variant_bounds_are_left_alone() {
+        // Bound computed inside the loop -> not invariant.
+        let src = r#"
+declare void @use(i5)
+define void @f(i3 %n) {
+entry:
+  br label %head
+head:
+  %i = phi i3 [ 0, %entry ], [ %i1, %body ]
+  %nn = add i3 %n, %i
+  %c = icmp sle i3 %i, %nn
+  br i1 %c, label %body, label %exit
+body:
+  %iext = sext i3 %i to i5
+  call void @use(i5 %iext)
+  %i1 = add nsw i3 %i, 1
+  br label %head
+exit:
+  ret void
+}
+"#;
+        let (_, _, changed) = run(src);
+        assert!(!changed);
+    }
+}

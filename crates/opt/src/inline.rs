@@ -1,0 +1,328 @@
+//! Function inlining, with the paper's §6 cost-model tweak: `freeze`
+//! instructions count as zero cost, so introducing freezes does not
+//! perturb inlining decisions.
+
+use std::collections::HashMap;
+
+use frost_ir::{BlockId, Function, Inst, InstId, Module, Terminator, Value};
+
+use crate::pass::{Pass, PipelineMode};
+
+/// The inliner.
+#[derive(Debug)]
+pub struct Inliner {
+    mode: PipelineMode,
+    /// Inline callees whose cost is at most this.
+    pub threshold: usize,
+}
+
+impl Inliner {
+    /// Creates the inliner with the default threshold.
+    pub fn new(mode: PipelineMode) -> Inliner {
+        Inliner { mode, threshold: 25 }
+    }
+
+    /// Overrides the inlining threshold.
+    pub fn with_threshold(mut self, threshold: usize) -> Inliner {
+        self.threshold = threshold;
+        self
+    }
+
+    /// The §6 cost model: every instruction costs 1, except `freeze`,
+    /// which the fixed pipeline counts as free ("we changed the inliner
+    /// to recognize freeze instructions as zero cost").
+    pub fn cost(&self, func: &Function) -> usize {
+        func.blocks
+            .iter()
+            .flat_map(|b| &b.insts)
+            .filter(|&&id| !(self.mode.freeze_aware() && func.inst(id).is_freeze()))
+            .count()
+    }
+}
+
+impl Pass for Inliner {
+    fn name(&self) -> &'static str {
+        "inline"
+    }
+
+    fn run_on_module(&self, module: &mut Module) -> bool {
+        let mut changed = false;
+        // Snapshot callee bodies up front; self-recursion is skipped.
+        let callees: HashMap<String, Function> = module
+            .functions
+            .iter()
+            .filter(|f| self.cost(f) <= self.threshold && f.blocks.len() <= 8)
+            .map(|f| (f.name.clone(), f.clone()))
+            .collect();
+        for f in &mut module.functions {
+            loop {
+                let Some((bb, pos, callee)) = find_inlinable_call(f, &callees) else { break };
+                inline_call(f, bb, pos, &callees[&callee]);
+                changed = true;
+            }
+            f.compact();
+        }
+        changed
+    }
+}
+
+fn find_inlinable_call(
+    func: &Function,
+    callees: &HashMap<String, Function>,
+) -> Option<(BlockId, usize, String)> {
+    for bb in func.block_ids() {
+        for (pos, &id) in func.block(bb).insts.iter().enumerate() {
+            if let Inst::Call { callee, .. } = func.inst(id) {
+                if callee != &func.name && callees.contains_key(callee) {
+                    return Some((bb, pos, callee.clone()));
+                }
+            }
+        }
+    }
+    None
+}
+
+/// Splices `callee`'s body in place of the call at `(bb, pos)`.
+fn inline_call(func: &mut Function, bb: BlockId, pos: usize, callee: &Function) {
+    let call_id = func.block(bb).insts[pos];
+    let Inst::Call { args, ret_ty, .. } = func.inst(call_id).clone() else {
+        unreachable!("find_inlinable_call returned a call")
+    };
+
+    // Split the caller block: everything after the call moves to a
+    // continuation block.
+    let tail: Vec<InstId> = func.block_mut(bb).insts.split_off(pos + 1);
+    func.block_mut(bb).insts.pop(); // drop the call from the block
+    let cont = func.add_block(format!("{}.inl.cont", func.block(bb).name));
+    func.block_mut(cont).insts = tail;
+    let old_term = std::mem::replace(&mut func.block_mut(bb).term, Terminator::Unreachable);
+    for succ in old_term.successors() {
+        crate::util::retarget_phi_edge(func, succ, bb, cont);
+    }
+    func.block_mut(cont).term = old_term;
+
+    // Clone the callee's blocks into the caller.
+    let mut block_map: HashMap<BlockId, BlockId> = HashMap::new();
+    for cb in callee.block_ids() {
+        let nb = func.add_block(format!("{}.inl.{}", callee.name, callee.block(cb).name));
+        block_map.insert(cb, nb);
+    }
+    let mut inst_map: HashMap<InstId, InstId> = HashMap::new();
+    // Returns become jumps to the continuation; returned values feed a
+    // phi there.
+    let mut ret_phis: Vec<(Value, BlockId)> = Vec::new();
+
+    for cb in callee.block_ids() {
+        let nb = block_map[&cb];
+        for &cid in &callee.block(cb).insts {
+            let inst = callee.inst(cid).clone();
+            let nid = func.add_inst(inst);
+            inst_map.insert(cid, nid);
+            func.block_mut(nb).insts.push(nid);
+        }
+    }
+    // Remap operands: callee args -> call args; callee insts -> clones.
+    let remap = |v: &mut Value, inst_map: &HashMap<InstId, InstId>, args: &[Value]| match v {
+        Value::Inst(id) => {
+            *id = inst_map[id];
+        }
+        Value::Arg(i) => {
+            *v = args[*i as usize].clone();
+        }
+        Value::Const(_) => {}
+    };
+    for cb in callee.block_ids() {
+        let nb = block_map[&cb];
+        let ids: Vec<InstId> = func.block(nb).insts.clone();
+        for id in ids {
+            let inst = func.inst_mut(id);
+            inst.for_each_operand_mut(|v| remap(v, &inst_map, &args));
+            if let Inst::Phi { incoming, .. } = inst {
+                for (_, from) in incoming.iter_mut() {
+                    *from = block_map[from];
+                }
+            }
+        }
+        let mut term = callee.block(cb).term.clone();
+        term.for_each_operand_mut(|v| remap(v, &inst_map, &args));
+        term.map_successors(|s| block_map[&s]);
+        match term {
+            Terminator::Ret(v) => {
+                if let Some(v) = v {
+                    ret_phis.push((v, nb));
+                }
+                func.block_mut(nb).term = Terminator::Jmp(cont);
+            }
+            other => func.block_mut(nb).term = other,
+        }
+    }
+
+    // Jump into the inlined entry.
+    func.block_mut(bb).term = Terminator::Jmp(block_map[&BlockId::ENTRY]);
+
+    // The call's value becomes a phi over the returned values.
+    if ret_ty.is_void() || ret_phis.is_empty() {
+        // No value: the call id must disappear from use sites (void
+        // calls have none).
+    } else if ret_phis.len() == 1 && !returns_need_phi(func, cont) {
+        let v = ret_phis[0].0.clone();
+        func.replace_all_uses(call_id, &v);
+    } else {
+        *func.inst_mut(call_id) = Inst::Phi { ty: ret_ty, incoming: ret_phis };
+        func.block_mut(cont).insts.insert(0, call_id);
+        return;
+    }
+    let _ = call_id;
+}
+
+fn returns_need_phi(_func: &Function, _cont: BlockId) -> bool {
+    false
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use frost_core::Semantics;
+    use frost_ir::{function_to_string, parse_module};
+    use frost_refine::{check_refinement, CheckOptions};
+
+    #[test]
+    fn inlines_straight_line_callee() {
+        let src = r#"
+define i4 @double(i4 %x) {
+entry:
+  %r = add i4 %x, %x
+  ret i4 %r
+}
+define i4 @f(i4 %x) {
+entry:
+  %r = call i4 @double(i4 %x)
+  %s = add i4 %r, 1
+  ret i4 %s
+}
+"#;
+        let before = parse_module(src).unwrap();
+        let mut after = before.clone();
+        assert!(Inliner::new(PipelineMode::Fixed).run_on_module(&mut after));
+        let f = after.function("f").unwrap();
+        let text = function_to_string(f);
+        assert!(!text.contains("call"), "{text}");
+        assert!(frost_ir::verify::verify_function(f).is_ok(), "{text}");
+        check_refinement(&before, "f", &after, "f", &CheckOptions::new(Semantics::proposed()))
+            .assert_refines();
+    }
+
+    #[test]
+    fn inlines_branching_callee_with_return_phi() {
+        let src = r#"
+define i4 @clamp(i4 %x) {
+entry:
+  %c = icmp sgt i4 %x, 3
+  br i1 %c, label %hi, label %lo
+hi:
+  ret i4 3
+lo:
+  ret i4 %x
+}
+define i4 @f(i4 %x) {
+entry:
+  %r = call i4 @clamp(i4 %x)
+  ret i4 %r
+}
+"#;
+        let before = parse_module(src).unwrap();
+        let mut after = before.clone();
+        assert!(Inliner::new(PipelineMode::Fixed).run_on_module(&mut after));
+        let f = after.function("f").unwrap();
+        let text = function_to_string(f);
+        assert!(text.contains("phi i4"), "{text}");
+        assert!(frost_ir::verify::verify_function(f).is_ok(), "{text}");
+        check_refinement(&before, "f", &after, "f", &CheckOptions::new(Semantics::proposed()))
+            .assert_refines();
+    }
+
+    #[test]
+    fn threshold_blocks_large_callees() {
+        let src = r#"
+define i4 @big(i4 %x) {
+entry:
+  %a = add i4 %x, 1
+  %b = add i4 %a, 1
+  %c = add i4 %b, 1
+  ret i4 %c
+}
+define i4 @f(i4 %x) {
+entry:
+  %r = call i4 @big(i4 %x)
+  ret i4 %r
+}
+"#;
+        let mut m = parse_module(src).unwrap();
+        let inliner = Inliner::new(PipelineMode::Fixed).with_threshold(2);
+        assert!(!inliner.run_on_module(&mut m));
+    }
+
+    #[test]
+    fn freeze_is_free_in_fixed_mode_cost() {
+        let src = r#"
+define i4 @cheap(i4 %x) {
+entry:
+  %a = freeze i4 %x
+  %b = freeze i4 %a
+  %c = add i4 %b, 1
+  ret i4 %c
+}
+"#;
+        let m = parse_module(src).unwrap();
+        let fixed = Inliner::new(PipelineMode::Fixed);
+        let blind = Inliner::new(PipelineMode::FixedFreezeBlind);
+        assert_eq!(fixed.cost(m.function("cheap").unwrap()), 1, "freezes are free (§6)");
+        assert_eq!(blind.cost(m.function("cheap").unwrap()), 3);
+    }
+
+    #[test]
+    fn recursion_is_not_inlined() {
+        let src = r#"
+define i4 @r(i4 %x) {
+entry:
+  %v = call i4 @r(i4 %x)
+  ret i4 %v
+}
+"#;
+        let mut m = parse_module(src).unwrap();
+        assert!(!Inliner::new(PipelineMode::Fixed).run_on_module(&mut m));
+    }
+
+    #[test]
+    fn inlining_into_a_loop_stays_valid() {
+        let src = r#"
+define i4 @inc(i4 %x) {
+entry:
+  %r = add nsw i4 %x, 1
+  ret i4 %r
+}
+define i4 @f(i4 %n) {
+entry:
+  br label %head
+head:
+  %i = phi i4 [ 0, %entry ], [ %i2, %head ]
+  %i2 = call i4 @inc(i4 %i)
+  %c = icmp slt i4 %i2, %n
+  br i1 %c, label %head, label %exit
+exit:
+  ret i4 %i2
+}
+"#;
+        let before = parse_module(src).unwrap();
+        let mut after = before.clone();
+        assert!(Inliner::new(PipelineMode::Fixed).run_on_module(&mut after));
+        let f = after.function("f").unwrap();
+        assert!(
+            frost_ir::verify::verify_function(f).is_ok(),
+            "{}",
+            function_to_string(f)
+        );
+        check_refinement(&before, "f", &after, "f", &CheckOptions::new(Semantics::proposed()))
+            .assert_refines();
+    }
+}

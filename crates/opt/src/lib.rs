@@ -1,0 +1,58 @@
+//! # frost-opt
+//!
+//! The mid-end optimizer of the frost compiler — the passes *"Taming
+//! Undefined Behavior in LLVM"* (PLDI 2017) analyzes, each available in
+//! the pre-taming (**legacy**) and repaired (**fixed**) variants so the
+//! paper's miscompilations can be reproduced and its fixes validated:
+//!
+//! | Pass | Paper | Legacy defect | Fix |
+//! |---|---|---|---|
+//! | [`instcombine`] | §3.4, §6 | `select→or/and` leaks poison; `select x, undef` strengthens undef to poison | freeze the arm; rule removal |
+//! | [`simplifycfg`] | §3.4 | phi→select unsound under LangRef select | sound under §4 semantics |
+//! | [`gvn`] | §3.3 | equality propagation needs branch-on-poison = UB | provided by §4 semantics |
+//! | [`loop_unswitch`] | §3.3, §5.1 | hoisted branch executes on poison | freeze the condition |
+//! | [`licm`] | §3.2, §5.6 | division hoisted past `k != 0` guard with undef `k` | require non-poison proof |
+//! | [`loop_sink`] | §5.5 | sinking duplicates freeze | refuse to sink freeze |
+//! | [`sccp`] | — | — | branch-on-poison folds to `unreachable` |
+//! | [`reassociate`] | §10.2 | keeps `nsw` while reassociating | drop the flags |
+//! | [`jump_threading`] | §7.2 | — | look through `freeze(phi const)` |
+//! | [`codegenprepare`] | §5.2, §6 | select→branch without freeze | freeze; sink freeze through icmp |
+//! | [`indvar`] | §2.4, Fig. 3 | unjustified if overflow = undef | justified by nsw = poison |
+//! | [`inline`] | §6 | — | freeze costs zero |
+//!
+//! Every fixed-mode transformation is validated in this crate's tests
+//! with the exhaustive refinement checker (`frost-refine`), and every
+//! legacy defect is reproduced as a concrete counterexample.
+
+#![warn(missing_docs)]
+
+pub mod codegenprepare;
+pub mod dce;
+pub mod gvn;
+pub mod indvar;
+pub mod inline;
+pub mod instcombine;
+pub mod jump_threading;
+pub mod licm;
+pub mod loop_sink;
+pub mod loop_unswitch;
+pub mod pass;
+pub mod reassociate;
+pub mod sccp;
+pub mod simplifycfg;
+pub mod util;
+
+pub use codegenprepare::CodeGenPrepare;
+pub use dce::Dce;
+pub use gvn::Gvn;
+pub use indvar::IndVarWiden;
+pub use inline::Inliner;
+pub use instcombine::InstCombine;
+pub use jump_threading::JumpThreading;
+pub use licm::Licm;
+pub use loop_sink::LoopSink;
+pub use loop_unswitch::LoopUnswitch;
+pub use pass::{cleanup_pipeline, o2_pipeline, Pass, PassManager, PipelineMode};
+pub use reassociate::Reassociate;
+pub use sccp::Sccp;
+pub use simplifycfg::SimplifyCfg;

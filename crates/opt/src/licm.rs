@@ -1,0 +1,334 @@
+//! Loop-invariant code motion (hoisting).
+//!
+//! Pure, non-trapping invariant instructions hoist freely. Trapping
+//! ones (division) may only be hoisted past control flow with a safety
+//! proof, and §3.2/§5.6 is exactly about what that proof must include:
+//!
+//! * the *legacy* variant hoists `x / k` out of a loop guarded by
+//!   `k != 0` — unsound, because with `k = undef` the guard's use of
+//!   `k` and the division's use may resolve differently (the PR21412
+//!   miscompilation);
+//! * the *fixed* variant additionally demands `k` be provably
+//!   non-poison/non-undef (e.g. frozen), the "upto" discipline of §5.6.
+
+use frost_ir::dom::DomTree;
+use frost_ir::loops::{Loop, LoopInfo};
+use frost_ir::{BinOp, BlockId, Cond, Function, Inst, InstId, Terminator, Value};
+
+use crate::pass::{Pass, PipelineMode};
+use crate::util::guaranteed_not_poison;
+
+/// The hoisting pass.
+#[derive(Debug)]
+pub struct Licm {
+    mode: PipelineMode,
+}
+
+impl Licm {
+    /// Creates the pass in the given mode.
+    pub fn new(mode: PipelineMode) -> Licm {
+        Licm { mode }
+    }
+}
+
+impl Pass for Licm {
+    fn name(&self) -> &'static str {
+        "licm"
+    }
+
+    fn run_on_function(&self, func: &mut Function) -> bool {
+        let dt = DomTree::compute(func);
+        let li = LoopInfo::compute(func, &dt);
+        let mut changed = false;
+        for lp in &li.loops {
+            changed |= hoist_loop(func, lp, &dt, self.mode);
+        }
+        changed
+    }
+}
+
+fn is_invariant(func: &Function, lp: &Loop, v: &Value) -> bool {
+    frost_ir::analysis::scev::is_loop_invariant(func, lp, v)
+}
+
+fn hoist_loop(func: &mut Function, lp: &Loop, dt: &DomTree, mode: PipelineMode) -> bool {
+    let Some(preheader) = lp.preheader(func) else { return false };
+    let mut changed = false;
+    // Iterate: hoisting can make more instructions invariant.
+    loop {
+        let mut hoisted = None;
+        'search: for &bb in &lp.blocks {
+            for &id in &func.block(bb).insts {
+                let inst = func.inst(id);
+                if inst.has_side_effects()
+                    || matches!(inst, Inst::Phi { .. } | Inst::Load { .. })
+                    || inst.is_freeze() && !mode.freeze_aware()
+                {
+                    continue;
+                }
+                // Freeze must not be *duplicated*, but moving it is fine;
+                // still, hoisting a freeze out of a loop changes nothing
+                // (one execution either way on entry paths) — allow it
+                // only when it is invariant like anything else.
+                let mut invariant = true;
+                inst.for_each_operand(|v| invariant &= is_invariant(func, lp, v));
+                if !invariant {
+                    continue;
+                }
+                if inst.may_have_immediate_ub() {
+                    if !division_hoist_is_safe(func, lp, dt, preheader, id, mode) {
+                        continue;
+                    }
+                } else if inst.is_freeze() {
+                    // Hoisting freeze is sound (not a duplication), but
+                    // skip: it lengthens entry paths for no gain and the
+                    // sink pass is its dual.
+                    continue;
+                }
+                hoisted = Some((bb, id));
+                break 'search;
+            }
+        }
+        let Some((bb, id)) = hoisted else { return changed };
+        // Move the instruction to the preheader (before its terminator).
+        let pos = func.block(bb).insts.iter().position(|&i| i == id).expect("placed");
+        func.block_mut(bb).insts.remove(pos);
+        func.block_mut(preheader).insts.push(id);
+        changed = true;
+    }
+}
+
+/// Is hoisting this division to the preheader safe?
+///
+/// Requires a dominating guard proving the divisor non-zero. The fixed
+/// variant additionally requires the divisor to be provably non-poison
+/// (§5.6): a guard `k != 0` says nothing if `k` may be poison/undef,
+/// because the guard's and the division's uses of `k` need not agree.
+fn division_hoist_is_safe(
+    func: &Function,
+    lp: &Loop,
+    dt: &DomTree,
+    preheader: BlockId,
+    id: InstId,
+    mode: PipelineMode,
+) -> bool {
+    let Inst::Bin { op, rhs, .. } = func.inst(id) else { return false };
+    if !matches!(op, BinOp::UDiv | BinOp::URem) {
+        // Signed division additionally traps on INT_MIN / -1; keep the
+        // demo focused on the unsigned case.
+        return false;
+    }
+    let divisor = rhs.clone();
+    if !is_invariant(func, lp, &divisor) {
+        return false;
+    }
+    if mode.freeze_aware() && !guaranteed_not_poison(func, &divisor, 8) {
+        return false;
+    }
+    // Find a dominating branch guaranteeing divisor != 0.
+    let mut bb = Some(preheader);
+    while let Some(cur) = bb {
+        let idom = dt.idom(cur);
+        if let Some(d) = idom {
+            if let Terminator::Br { cond, then_bb, else_bb } = &func.block(d).term {
+                if let Value::Inst(cmp) = cond {
+                    if let Inst::Icmp { cond: cc, lhs, rhs, .. } = func.inst(*cmp) {
+                        let zero_cmp = |a: &Value, b: &Value| {
+                            *a == divisor && b.is_int_const(0)
+                                || *b == divisor && a.is_int_const(0)
+                        };
+                        if zero_cmp(lhs, rhs) {
+                            let nonzero_edge = match cc {
+                                Cond::Ne => Some(*then_bb),
+                                Cond::Eq => Some(*else_bb),
+                                _ => None,
+                            };
+                            if let Some(edge) = nonzero_edge {
+                                // The guard protects the preheader only
+                                // if the non-zero edge dominates it.
+                                if dt.dominates(edge, preheader) {
+                                    return true;
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        bb = idom;
+    }
+    false
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use frost_core::Semantics;
+    use frost_ir::{function_to_string, parse_module, Module};
+    use frost_refine::{check_refinement, CheckOptions};
+
+    fn run(src: &str, mode: PipelineMode) -> (Module, Module) {
+        let before = parse_module(src).unwrap();
+        let mut after = before.clone();
+        for f in &mut after.functions {
+            Licm::new(mode).run_on_function(f);
+            f.compact();
+        }
+        (before, after)
+    }
+
+    const INVARIANT_ADD: &str = r#"
+declare void @use(i4)
+define void @f(i1 %c, i4 %x) {
+entry:
+  br label %head
+head:
+  %cont = phi i1 [ %c, %entry ], [ false, %body ]
+  br i1 %cont, label %body, label %exit
+body:
+  %v = add nsw i4 %x, 1
+  call void @use(i4 %v)
+  br label %head
+exit:
+  ret void
+}
+"#;
+
+    #[test]
+    fn hoists_invariant_arithmetic() {
+        // Figure 1's transformation: the nsw add hoists because deferred
+        // UB makes speculation safe.
+        let (before, after) = run(INVARIANT_ADD, PipelineMode::Fixed);
+        let f = after.function("f").unwrap();
+        let text = function_to_string(f);
+        let entry_has_add = f.block(BlockId::ENTRY).insts.iter().any(|&id| {
+            matches!(f.inst(id), Inst::Bin { op: BinOp::Add, .. })
+        });
+        assert!(entry_has_add, "add hoisted to preheader: {text}");
+        check_refinement(&before, "f", &after, "f", &CheckOptions::new(Semantics::proposed()))
+            .assert_refines();
+    }
+
+    const GUARDED_DIV: &str = r#"
+declare void @use(i4)
+define void @f(i1 %c, i4 %k) {
+entry:
+  %nz = icmp ne i4 %k, 0
+  br i1 %nz, label %ph, label %done
+ph:
+  br label %head
+head:
+  %cont = phi i1 [ %c, %ph ], [ false, %body ]
+  br i1 %cont, label %body, label %exit
+body:
+  %d = udiv i4 1, %k
+  call void @use(i4 %d)
+  br label %head
+exit:
+  br label %done
+done:
+  ret void
+}
+"#;
+
+    #[test]
+    fn legacy_hoists_guarded_division_and_miscompiles_under_undef() {
+        // §3.2 / PR21412: the guard k != 0 does not protect the hoisted
+        // division when k is undef (each use may differ).
+        let (before, after) = run(GUARDED_DIV, PipelineMode::Legacy);
+        let f = after.function("f").unwrap();
+        let ph = f.blocks.iter().position(|b| b.name == "ph").unwrap();
+        assert!(
+            f.blocks[ph].insts.iter().any(|&id| matches!(f.inst(id), Inst::Bin { op: BinOp::UDiv, .. })),
+            "legacy LICM hoists the division: {}",
+            function_to_string(f)
+        );
+        let r = check_refinement(
+            &before,
+            "f",
+            &after,
+            "f",
+            &CheckOptions::new(Semantics::legacy_gvn()),
+        );
+        assert!(r.counterexample().is_some(), "hoist past control flow unsound with undef");
+    }
+
+    #[test]
+    fn fixed_mode_refuses_unfrozen_divisor() {
+        let (before, after) = run(GUARDED_DIV, PipelineMode::Fixed);
+        assert_eq!(
+            before.function("f").unwrap().placed_inst_count(),
+            after.function("f").unwrap().placed_inst_count(),
+            "no hoist without a non-poison proof"
+        );
+    }
+
+    const FROZEN_GUARDED_DIV: &str = r#"
+declare void @use(i4)
+define void @f(i1 %c, i4 %k) {
+entry:
+  %kf = freeze i4 %k
+  %nz = icmp ne i4 %kf, 0
+  br i1 %nz, label %ph, label %done
+ph:
+  br label %head
+head:
+  %cont = phi i1 [ %c, %ph ], [ false, %body ]
+  br i1 %cont, label %body, label %exit
+body:
+  %d = udiv i4 1, %kf
+  call void @use(i4 %d)
+  br label %head
+exit:
+  br label %done
+done:
+  ret void
+}
+"#;
+
+    #[test]
+    fn fixed_mode_hoists_frozen_guarded_division_soundly() {
+        // With the divisor frozen, the §5.6 side condition discharges
+        // and the hoist is sound under the proposed semantics.
+        let (before, after) = run(FROZEN_GUARDED_DIV, PipelineMode::Fixed);
+        let f = after.function("f").unwrap();
+        let ph = f.blocks.iter().position(|b| b.name == "ph").unwrap();
+        assert!(
+            f.blocks[ph]
+                .insts
+                .iter()
+                .any(|&id| matches!(f.inst(id), Inst::Bin { op: BinOp::UDiv, .. })),
+            "fixed LICM hoists the frozen-divisor division: {}",
+            function_to_string(f)
+        );
+        check_refinement(&before, "f", &after, "f", &CheckOptions::new(Semantics::proposed()))
+            .assert_refines();
+    }
+
+    #[test]
+    fn unguarded_division_stays_put() {
+        let src = r#"
+declare void @use(i4)
+define void @f(i1 %c, i4 %k) {
+entry:
+  %kf = freeze i4 %k
+  br label %head
+head:
+  %cont = phi i1 [ %c, %entry ], [ false, %body ]
+  br i1 %cont, label %body, label %exit
+body:
+  %d = udiv i4 1, %kf
+  call void @use(i4 %d)
+  br label %head
+exit:
+  ret void
+}
+"#;
+        let (before, after) = run(src, PipelineMode::Fixed);
+        assert_eq!(
+            before.function("f").unwrap(),
+            after.function("f").unwrap(),
+            "no guard, no hoist"
+        );
+    }
+}

@@ -1,0 +1,216 @@
+//! Loop sinking — the dual of LICM — and the §5.5 pitfall.
+//!
+//! Sinking moves an instruction from the preheader into the loop body
+//! (profitable when the loop rarely runs). For pure instructions this
+//! re-executes the same computation per iteration: harmless. For
+//! `freeze` it is **not**: each executed freeze may pick a *different*
+//! value for a poison input, so sinking (= duplicating per iteration) a
+//! freeze whose result is used each iteration changes behavior. The
+//! *fixed* variant refuses to sink freeze; the *legacy-style* variant
+//! sinks it, and the refinement checker produces the §5.5
+//! counterexample.
+
+use frost_ir::dom::DomTree;
+use frost_ir::loops::LoopInfo;
+use frost_ir::{Function, Inst, InstId, Value};
+
+use crate::pass::{Pass, PipelineMode};
+
+/// The loop-sinking pass.
+#[derive(Debug)]
+pub struct LoopSink {
+    mode: PipelineMode,
+}
+
+impl LoopSink {
+    /// Creates the pass in the given mode.
+    pub fn new(mode: PipelineMode) -> LoopSink {
+        LoopSink { mode }
+    }
+}
+
+impl Pass for LoopSink {
+    fn name(&self) -> &'static str {
+        "loop-sink"
+    }
+
+    fn run_on_function(&self, func: &mut Function) -> bool {
+        let dt = DomTree::compute(func);
+        let li = LoopInfo::compute(func, &dt);
+        let mut changed = false;
+        for lp in &li.loops {
+            let Some(preheader) = lp.preheader(func) else { continue };
+            // Candidates: preheader instructions whose every use is
+            // inside the loop.
+            loop {
+                let uses = func.use_counts();
+                let mut moved = false;
+                let ph_insts: Vec<InstId> = func.block(preheader).insts.clone();
+                for id in ph_insts {
+                    let inst = func.inst(id);
+                    if inst.has_side_effects()
+                        || inst.may_have_immediate_ub()
+                        || matches!(inst, Inst::Phi { .. })
+                    {
+                        continue;
+                    }
+                    // §5.5: duplicating (re-executing) freeze is wrong.
+                    if inst.is_freeze() && self.mode.freeze_aware() {
+                        continue;
+                    }
+                    if uses.get(&id).copied().unwrap_or(0) == 0 {
+                        continue;
+                    }
+                    let mut all_uses_in_header = true;
+                    for bb in func.block_ids() {
+                        let in_header = bb == lp.header;
+                        for &u in &func.block(bb).insts {
+                            if u != id && func.inst(u).uses_inst(id) && !in_header {
+                                all_uses_in_header = false;
+                            }
+                        }
+                        let mut term_use = false;
+                        func.block(bb).term.for_each_operand(|v| {
+                            if *v == Value::Inst(id) {
+                                term_use = true;
+                            }
+                        });
+                        if term_use && !in_header {
+                            all_uses_in_header = false;
+                        }
+                    }
+                    // Sink into the loop header (which dominates all
+                    // uses in the loop).
+                    if !all_uses_in_header {
+                        continue;
+                    }
+                    // Insert after the header's phis.
+                    let pos = func.block(preheader).insts.iter().position(|&i| i == id).expect("placed");
+                    func.block_mut(preheader).insts.remove(pos);
+                    let phi_end = func
+                        .block(lp.header)
+                        .insts
+                        .iter()
+                        .position(|&i| !matches!(func.inst(i), Inst::Phi { .. }))
+                        .unwrap_or(func.block(lp.header).insts.len());
+                    func.block_mut(lp.header).insts.insert(phi_end, id);
+                    moved = true;
+                    changed = true;
+                    break;
+                }
+                if !moved {
+                    break;
+                }
+            }
+        }
+        changed
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use frost_core::Semantics;
+    use frost_ir::{function_to_string, parse_module, Module};
+    use frost_refine::{check_refinement, CheckOptions};
+
+    fn run(src: &str, mode: PipelineMode) -> (Module, Module, bool) {
+        let before = parse_module(src).unwrap();
+        let mut after = before.clone();
+        let mut changed = false;
+        for f in &mut after.functions {
+            changed |= LoopSink::new(mode).run_on_function(f);
+            f.compact();
+        }
+        (before, after, changed)
+    }
+
+    const PURE_SINK: &str = r#"
+declare void @use(i4)
+define void @f(i1 %c, i4 %a, i4 %b) {
+entry:
+  %x = add i4 %a, %b
+  br label %head
+head:
+  %cont = phi i1 [ %c, %entry ], [ false, %head ]
+  call void @use(i4 %x)
+  br i1 %cont, label %head, label %exit
+exit:
+  ret void
+}
+"#;
+
+    #[test]
+    fn sinks_pure_arithmetic() {
+        let (before, after, changed) = run(PURE_SINK, PipelineMode::Fixed);
+        assert!(changed);
+        let f = after.function("f").unwrap();
+        let head = f.blocks.iter().position(|b| b.name == "head").unwrap();
+        assert!(
+            f.blocks[head].insts.len() >= 2,
+            "add sunk into the loop: {}",
+            function_to_string(f)
+        );
+        assert!(frost_ir::verify::verify_function(f).is_ok());
+        check_refinement(&before, "f", &after, "f", &CheckOptions::new(Semantics::proposed()))
+            .assert_refines();
+    }
+
+    const FREEZE_SINK: &str = r#"
+declare void @use(i4)
+define void @f(i1 %c, i4 %a) {
+entry:
+  %y = freeze i4 %a
+  br label %head
+head:
+  %cont = phi i1 [ %c, %entry ], [ false, %head ]
+  call void @use(i4 %y)
+  br i1 %cont, label %head, label %exit
+exit:
+  ret void
+}
+"#;
+
+    #[test]
+    fn fixed_mode_refuses_to_sink_freeze() {
+        let (_, after, changed) = run(FREEZE_SINK, PipelineMode::Fixed);
+        assert!(!changed, "§5.5: freeze may not be duplicated into a loop");
+        let f = after.function("f").unwrap();
+        assert!(f.block(frost_ir::BlockId::ENTRY).insts.len() == 1);
+    }
+
+    #[test]
+    fn legacy_style_freeze_sink_is_unsound() {
+        // The freeze-blind/legacy variant sinks the freeze; with a
+        // poison %a and two iterations, the two per-iteration freezes
+        // can pass different values to @use — impossible in the source.
+        let (before, after, changed) = run(FREEZE_SINK, PipelineMode::FixedFreezeBlind);
+        assert!(changed, "blind mode sinks the freeze");
+        let r = check_refinement(
+            &before,
+            "f",
+            &after,
+            "f",
+            &CheckOptions::new(Semantics::proposed()),
+        );
+        assert!(r.counterexample().is_some(), "§5.5 pitfall reproduced");
+    }
+
+    #[test]
+    fn does_not_sink_values_used_after_the_loop() {
+        let src = r#"
+define i4 @f(i1 %c, i4 %a, i4 %b) {
+entry:
+  %x = add i4 %a, %b
+  br label %head
+head:
+  %cont = phi i1 [ %c, %entry ], [ false, %head ]
+  br i1 %cont, label %head, label %exit
+exit:
+  ret i4 %x
+}
+"#;
+        let (_, _, changed) = run(src, PipelineMode::Fixed);
+        assert!(!changed);
+    }
+}

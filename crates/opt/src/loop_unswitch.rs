@@ -1,0 +1,337 @@
+//! Loop unswitching (§3.3, §5.1): hoisting a loop-invariant conditional
+//! branch out of a loop by duplicating the loop body.
+//!
+//! ```text
+//! while (c) { if (c2) foo else bar }
+//!   ──▶
+//! if (c2') { while (c) foo } else { while (c) bar }
+//! ```
+//!
+//! The hoisted branch executes even when the loop body never would —
+//! so if `c2` may be poison, the transformed program branches on poison
+//! where the original did not. Under the paper's semantics
+//! (branch-on-poison = UB) the *legacy* form (`c2' = c2`) is unsound;
+//! the *fixed* form freezes the condition (`c2' = freeze c2`, §5.1),
+//! turning the new branch into a non-deterministic but defined choice.
+
+use frost_ir::dom::DomTree;
+use frost_ir::loops::{Loop, LoopInfo};
+use frost_ir::{Function, Inst, InstId, Terminator, Ty, Value};
+
+use crate::pass::{Pass, PipelineMode};
+use crate::util::clone_region;
+
+/// The loop-unswitching pass.
+#[derive(Debug)]
+pub struct LoopUnswitch {
+    mode: PipelineMode,
+}
+
+impl LoopUnswitch {
+    /// Creates the pass in the given mode.
+    pub fn new(mode: PipelineMode) -> LoopUnswitch {
+        LoopUnswitch { mode }
+    }
+}
+
+impl Pass for LoopUnswitch {
+    fn name(&self) -> &'static str {
+        "loop-unswitch"
+    }
+
+    fn run_on_function(&self, func: &mut Function) -> bool {
+        // One unswitch per invocation (the pipeline loops to fixpoint);
+        // analyses must be recomputed after the CFG surgery anyway.
+        unswitch_one(func, self.mode)
+    }
+}
+
+fn unswitch_one(func: &mut Function, mode: PipelineMode) -> bool {
+    let dt = DomTree::compute(func);
+    let li = LoopInfo::compute(func, &dt);
+    for lp in &li.loops {
+        let Some(preheader) = lp.preheader(func) else { continue };
+        // Find an invariant conditional branch strictly inside the loop
+        // whose successors stay in the loop (a guard like `if (c2)`
+        // inside the body, not the loop's exit test).
+        let mut candidate = None;
+        for &bb in &lp.blocks {
+            let Terminator::Br { cond, then_bb, else_bb } = &func.block(bb).term else {
+                continue;
+            };
+            if !lp.contains(*then_bb) || !lp.contains(*else_bb) || then_bb == else_bb {
+                continue;
+            }
+            if cond.as_const().is_some() {
+                continue; // constant conditions are SimplifyCFG's job
+            }
+            if !frost_ir::analysis::scev::is_loop_invariant(func, lp, cond) {
+                continue;
+            }
+            candidate = Some((bb, cond.clone(), *then_bb, *else_bb));
+            break;
+        }
+        let Some((branch_bb, cond, then_bb, else_bb)) = candidate else { continue };
+
+        // Every loop-defined value used outside must flow through exit
+        // block phis (LCSSA-like); otherwise cloning breaks dominance.
+        if !loop_values_escape_only_via_exit_phis(func, lp) {
+            continue;
+        }
+
+        // Clone the loop.
+        let region = clone_region(func, &lp.blocks, ".us");
+        // Original copy: take the branch always-true; clone: always-false.
+        func.block_mut(branch_bb).term = Terminator::Jmp(then_bb);
+        let branch_clone = region.block_map[&branch_bb];
+        let else_clone = region.block_map[&else_bb];
+        func.block_mut(branch_clone).term = Terminator::Jmp(else_clone);
+
+        // The preheader now dispatches on the (possibly frozen) condition.
+        let dispatch_cond = if mode.uses_freeze() {
+            let freeze = func.add_inst(Inst::Freeze { ty: Ty::i1(), val: cond });
+            func.block_mut(preheader).insts.push(freeze);
+            Value::Inst(freeze)
+        } else {
+            cond
+        };
+        let header_clone = region.block_map[&lp.header];
+        func.block_mut(preheader).term = Terminator::Br {
+            cond: dispatch_cond,
+            then_bb: lp.header,
+            else_bb: header_clone,
+        };
+
+        // Exit-block phis: duplicate incoming entries for the cloned
+        // exiting edges.
+        for exit in lp.exit_blocks(func) {
+            let ids: Vec<InstId> = func.block(exit).insts.clone();
+            for id in ids {
+                if let Inst::Phi { incoming, .. } = func.inst(id).clone() {
+                    let mut additions = Vec::new();
+                    for (v, from) in &incoming {
+                        if let Some(clone_bb) = region.block_map.get(from) {
+                            let new_v = match v {
+                                Value::Inst(vid) => match region.inst_map.get(vid) {
+                                    Some(nv) => Value::Inst(*nv),
+                                    None => v.clone(),
+                                },
+                                other => other.clone(),
+                            };
+                            additions.push((new_v, *clone_bb));
+                        }
+                    }
+                    if let Inst::Phi { incoming, .. } = func.inst_mut(id) {
+                        incoming.extend(additions);
+                    }
+                }
+            }
+        }
+        return true;
+    }
+    false
+}
+
+/// Returns `true` if every use of a loop-defined value outside the loop
+/// is a phi in an exit block.
+fn loop_values_escape_only_via_exit_phis(func: &Function, lp: &Loop) -> bool {
+    let exits = lp.exit_blocks(func);
+    for bb in func.block_ids() {
+        if lp.contains(bb) {
+            continue;
+        }
+        for &id in &func.block(bb).insts {
+            let inst = func.inst(id);
+            let is_exit_phi = exits.contains(&bb) && matches!(inst, Inst::Phi { .. });
+            let mut uses_loop_def = false;
+            inst.for_each_operand(|v| {
+                if let Value::Inst(def) = v {
+                    if func.block_of(*def).is_some_and(|b| lp.contains(b)) {
+                        uses_loop_def = true;
+                    }
+                }
+            });
+            if uses_loop_def && !is_exit_phi {
+                return false;
+            }
+        }
+        let mut term_uses = false;
+        func.block(bb).term.for_each_operand(|v| {
+            if let Value::Inst(def) = v {
+                if func.block_of(*def).is_some_and(|b| lp.contains(b)) {
+                    term_uses = true;
+                }
+            }
+        });
+        if term_uses {
+            return false;
+        }
+    }
+    true
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use frost_core::Semantics;
+    use frost_ir::{function_to_string, parse_module, Module};
+    use frost_refine::{check_refinement, CheckOptions};
+
+    /// §3.3's loop: while (c) { if (c2) foo() else bar() }.
+    const UNSWITCHABLE: &str = r#"
+declare void @foo()
+declare void @bar()
+define void @f(i1 %c, i1 %c2) {
+entry:
+  br label %head
+head:
+  %cont = phi i1 [ %c, %entry ], [ false, %latch ]
+  br i1 %cont, label %body, label %exit
+body:
+  br i1 %c2, label %t, label %e
+t:
+  call void @foo()
+  br label %latch
+e:
+  call void @bar()
+  br label %latch
+latch:
+  br label %head
+exit:
+  ret void
+}
+"#;
+
+    fn run(src: &str, mode: PipelineMode) -> (Module, Module, bool) {
+        let before = parse_module(src).unwrap();
+        let mut after = before.clone();
+        let mut changed = false;
+        for f in &mut after.functions {
+            changed |= LoopUnswitch::new(mode).run_on_function(f);
+            f.compact();
+        }
+        (before, after, changed)
+    }
+
+    #[test]
+    fn unswitches_and_verifies() {
+        let (_, after, changed) = run(UNSWITCHABLE, PipelineMode::Fixed);
+        assert!(changed);
+        let f = after.function("f").unwrap();
+        assert!(
+            frost_ir::verify::verify_function(f).is_ok(),
+            "post-unswitch IR verifies:\n{}",
+            function_to_string(f)
+        );
+        let text = function_to_string(f);
+        assert!(text.contains("freeze i1 %c2"), "fixed mode freezes: {text}");
+        assert!(text.contains(".us"), "loop is duplicated: {text}");
+    }
+
+    #[test]
+    fn fixed_unswitching_refines_under_proposed() {
+        let (before, after, _) = run(UNSWITCHABLE, PipelineMode::Fixed);
+        check_refinement(&before, "f", &after, "f", &CheckOptions::new(Semantics::proposed()))
+            .assert_refines();
+    }
+
+    #[test]
+    fn legacy_unswitching_is_unsound_under_proposed() {
+        // Without freeze, a poison c2 now reaches a branch even when the
+        // loop would never run: UB introduced (§3.3 / PR27506).
+        let (before, after, changed) = run(UNSWITCHABLE, PipelineMode::Legacy);
+        assert!(changed);
+        let r = check_refinement(
+            &before,
+            "f",
+            &after,
+            "f",
+            &CheckOptions::new(Semantics::proposed()),
+        );
+        let ce = r.counterexample().expect("legacy unswitching branches on poison");
+        assert!(ce.tgt_outcomes.may_ub());
+        assert!(!ce.src_outcomes.may_ub());
+    }
+
+    #[test]
+    fn legacy_unswitching_is_fine_under_unswitch_semantics() {
+        // The same transform under branch-on-poison = nondet is sound:
+        // precisely the interpretation loop unswitching assumed.
+        let (before, after, _) = run(UNSWITCHABLE, PipelineMode::Legacy);
+        check_refinement(
+            &before,
+            "f",
+            &after,
+            "f",
+            &CheckOptions::new(Semantics::legacy_unswitch()),
+        )
+        .assert_refines();
+    }
+
+    #[test]
+    fn loop_carried_values_survive_unswitching() {
+        // A loop computing a value used after the loop, through an exit
+        // phi.
+        let src = r#"
+define i4 @f(i1 %c2, i4 %n) {
+entry:
+  br label %head
+head:
+  %i = phi i4 [ 0, %entry ], [ %i2, %latch ]
+  %cc = icmp ult i4 %i, %n
+  br i1 %cc, label %body, label %exit
+body:
+  br i1 %c2, label %t, label %e
+t:
+  br label %latch
+e:
+  br label %latch
+latch:
+  %step = phi i4 [ 1, %t ], [ 2, %e ]
+  %i2 = add nuw i4 %i, %step
+  br label %head
+exit:
+  %r = phi i4 [ %i, %head ]
+  ret i4 %r
+}
+"#;
+        let (before, after, changed) = run(src, PipelineMode::Fixed);
+        assert!(changed);
+        let f = after.function("f").unwrap();
+        assert!(
+            frost_ir::verify::verify_function(f).is_ok(),
+            "{}",
+            function_to_string(f)
+        );
+        check_refinement(&before, "f", &after, "f", &CheckOptions::new(Semantics::proposed()))
+            .assert_refines();
+    }
+
+    #[test]
+    fn does_not_unswitch_variant_conditions() {
+        let src = r#"
+declare void @foo()
+define void @f(i1 %c, i4 %n) {
+entry:
+  br label %head
+head:
+  %i = phi i4 [ 0, %entry ], [ %i2, %latch ]
+  %cc = icmp ult i4 %i, %n
+  br i1 %cc, label %body, label %exit
+body:
+  %odd = trunc i4 %i to i1
+  br i1 %odd, label %t, label %latch
+t:
+  call void @foo()
+  br label %latch
+latch:
+  %i2 = add i4 %i, 1
+  br label %head
+exit:
+  ret void
+}
+"#;
+        let (_, _, changed) = run(src, PipelineMode::Fixed);
+        assert!(!changed, "branch condition depends on the IV");
+    }
+}

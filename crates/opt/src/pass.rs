@@ -1,0 +1,206 @@
+//! The pass framework: a [`Pass`] trait, a [`PassManager`], and the
+//! `-O2`-style pipelines in their *legacy* (pre-taming) and *fixed*
+//! (freeze-aware) configurations.
+
+use frost_ir::{Function, Module};
+
+/// A code transformation.
+///
+/// Most passes work function-at-a-time and implement
+/// [`Pass::run_on_function`]; module passes (e.g. inlining) override
+/// [`Pass::run_on_module`].
+pub trait Pass {
+    /// A short, stable name (used in reports and pipeline dumps).
+    fn name(&self) -> &'static str;
+
+    /// Transforms one function. Returns `true` if anything changed.
+    fn run_on_function(&self, _func: &mut Function) -> bool {
+        false
+    }
+
+    /// Transforms the module. The default applies
+    /// [`Pass::run_on_function`] to every function.
+    fn run_on_module(&self, module: &mut Module) -> bool {
+        let mut changed = false;
+        for f in &mut module.functions {
+            changed |= self.run_on_function(f);
+        }
+        changed
+    }
+}
+
+/// Which variant of each pass a pipeline uses.
+///
+/// * [`PipelineMode::Legacy`] reproduces pre-taming LLVM: the unsound
+///   rules of §3 are active and no freeze is emitted.
+/// * [`PipelineMode::Fixed`] is the paper's prototype (§6): unsound
+///   rules removed or repaired with `freeze`.
+/// * [`PipelineMode::FixedFreezeBlind`] is the partially-migrated state
+///   §7.2 describes: semantics fixed, but some passes do not yet
+///   recognize `freeze` and conservatively give up (the source of the
+///   "Shootout nestedloop" compile-time outlier and most run-time
+///   deltas).
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum PipelineMode {
+    /// Pre-taming LLVM behavior.
+    Legacy,
+    /// The paper's fixed prototype.
+    Fixed,
+    /// Fixed semantics, freeze-oblivious passes.
+    FixedFreezeBlind,
+}
+
+impl PipelineMode {
+    /// Returns `true` for the modes that emit/expect `freeze`.
+    pub fn uses_freeze(self) -> bool {
+        !matches!(self, PipelineMode::Legacy)
+    }
+
+    /// Returns `true` if passes may look through / fold `freeze`.
+    pub fn freeze_aware(self) -> bool {
+        matches!(self, PipelineMode::Fixed)
+    }
+}
+
+/// Runs a sequence of passes, optionally to a fixpoint.
+pub struct PassManager {
+    passes: Vec<Box<dyn Pass>>,
+    max_iterations: usize,
+}
+
+impl PassManager {
+    /// An empty manager that runs each pass once, in order.
+    pub fn new() -> PassManager {
+        PassManager { passes: Vec::new(), max_iterations: 1 }
+    }
+
+    /// Repeats the whole pipeline until no pass reports a change, up to
+    /// `n` rounds.
+    pub fn with_fixpoint(mut self, n: usize) -> PassManager {
+        self.max_iterations = n.max(1);
+        self
+    }
+
+    /// Appends a pass.
+    pub fn add(&mut self, pass: impl Pass + 'static) -> &mut PassManager {
+        self.passes.push(Box::new(pass));
+        self
+    }
+
+    /// The pass names, in order.
+    pub fn pass_names(&self) -> Vec<&'static str> {
+        self.passes.iter().map(|p| p.name()).collect()
+    }
+
+    /// Runs the pipeline on a module. Returns `true` if anything
+    /// changed.
+    pub fn run(&self, module: &mut Module) -> bool {
+        let mut changed_ever = false;
+        for _ in 0..self.max_iterations {
+            let mut changed = false;
+            for pass in &self.passes {
+                changed |= pass.run_on_module(module);
+            }
+            changed_ever |= changed;
+            if !changed {
+                break;
+            }
+        }
+        for f in &mut module.functions {
+            f.compact();
+        }
+        changed_ever
+    }
+
+    /// Runs the pipeline on a single function (wrapping it in a
+    /// throwaway module-less run).
+    pub fn run_on_function(&self, func: &mut Function) -> bool {
+        let mut changed_ever = false;
+        for _ in 0..self.max_iterations {
+            let mut changed = false;
+            for pass in &self.passes {
+                changed |= pass.run_on_function(func);
+            }
+            changed_ever |= changed;
+            if !changed {
+                break;
+            }
+        }
+        func.compact();
+        changed_ever
+    }
+}
+
+impl Default for PassManager {
+    fn default() -> PassManager {
+        PassManager::new()
+    }
+}
+
+/// Builds the standard mid-end pipeline in the given mode, mirroring
+/// the pass mix the paper evaluates (-O2: InstCombine, SimplifyCFG,
+/// GVN, SCCP, Reassociate, the loop passes, DCE).
+pub fn o2_pipeline(mode: PipelineMode) -> PassManager {
+    let mut pm = PassManager::new().with_fixpoint(4);
+    pm.add(crate::instcombine::InstCombine::new(mode));
+    pm.add(crate::simplifycfg::SimplifyCfg::new(mode));
+    pm.add(crate::sccp::Sccp::new(mode));
+    pm.add(crate::jump_threading::JumpThreading::new(mode));
+    pm.add(crate::reassociate::Reassociate::new(mode));
+    pm.add(crate::gvn::Gvn::new(mode));
+    pm.add(crate::licm::Licm::new(mode));
+    pm.add(crate::loop_unswitch::LoopUnswitch::new(mode));
+    pm.add(crate::indvar::IndVarWiden::new(mode));
+    pm.add(crate::dce::Dce::new());
+    pm
+}
+
+/// A light pipeline for quick cleanups (used after inlining and inside
+/// tests).
+pub fn cleanup_pipeline(mode: PipelineMode) -> PassManager {
+    let mut pm = PassManager::new().with_fixpoint(2);
+    pm.add(crate::instcombine::InstCombine::new(mode));
+    pm.add(crate::simplifycfg::SimplifyCfg::new(mode));
+    pm.add(crate::dce::Dce::new());
+    pm
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    struct Renamer;
+    impl Pass for Renamer {
+        fn name(&self) -> &'static str {
+            "renamer"
+        }
+        fn run_on_function(&self, func: &mut Function) -> bool {
+            if func.name.ends_with('!') {
+                false
+            } else {
+                func.name.push('!');
+                true
+            }
+        }
+    }
+
+    #[test]
+    fn manager_runs_to_fixpoint() {
+        let mut pm = PassManager::new().with_fixpoint(10);
+        pm.add(Renamer);
+        let mut m = Module::new();
+        m.functions.push(Function::new("f", vec![], frost_ir::Ty::Void));
+        assert!(pm.run(&mut m));
+        assert_eq!(m.functions[0].name, "f!");
+        assert!(!pm.run(&mut m));
+    }
+
+    #[test]
+    fn mode_flags() {
+        assert!(!PipelineMode::Legacy.uses_freeze());
+        assert!(PipelineMode::Fixed.uses_freeze());
+        assert!(PipelineMode::Fixed.freeze_aware());
+        assert!(PipelineMode::FixedFreezeBlind.uses_freeze());
+        assert!(!PipelineMode::FixedFreezeBlind.freeze_aware());
+    }
+}

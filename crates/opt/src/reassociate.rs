@@ -1,0 +1,262 @@
+//! Reassociation of commutative-associative expression chains.
+//!
+//! §10.2 of the paper: reassociation changes *where* overflow happens,
+//! so it must drop `nsw`/`nuw` from the rebuilt expressions — "at least
+//! LLVM and MSVC have suffered from bugs because of reassociation not
+//! dropping overflow assumptions". The *fixed* variant drops the flags;
+//! the *legacy* variant keeps them, reproducing the bug for the
+//! refinement checker to find.
+
+use std::collections::HashMap;
+
+use frost_ir::{BinOp, Flags, Function, Inst, InstId, Value};
+
+use crate::pass::{Pass, PipelineMode};
+
+/// The reassociation pass.
+#[derive(Debug)]
+pub struct Reassociate {
+    mode: PipelineMode,
+}
+
+impl Reassociate {
+    /// Creates the pass in the given mode.
+    pub fn new(mode: PipelineMode) -> Reassociate {
+        Reassociate { mode }
+    }
+}
+
+impl Pass for Reassociate {
+    fn name(&self) -> &'static str {
+        "reassociate"
+    }
+
+    fn run_on_function(&self, func: &mut Function) -> bool {
+        let mut changed = false;
+        let uses = func.use_counts();
+        for bb in func.block_ids().collect::<Vec<_>>() {
+            let ids: Vec<InstId> = func.block(bb).insts.clone();
+            for id in ids {
+                changed |= reassociate_chain(func, id, &uses, self.mode);
+            }
+        }
+        changed
+    }
+}
+
+/// Rewrites `(x op C1) op C2` into `x op (C1 op C2)` for associative
+/// ops, when the inner result has no other use.
+fn reassociate_chain(
+    func: &mut Function,
+    id: InstId,
+    uses: &HashMap<InstId, usize>,
+    mode: PipelineMode,
+) -> bool {
+    let Inst::Bin { op, flags, ty, lhs, rhs } = func.inst(id).clone() else { return false };
+    if !is_associative(op) {
+        return false;
+    }
+    let Some(c2) = rhs.as_int_const() else { return false };
+    let Value::Inst(inner_id) = &lhs else { return false };
+    if uses.get(inner_id).copied().unwrap_or(0) != 1 {
+        return false;
+    }
+    let Inst::Bin { op: op2, flags: inner_flags, lhs: x, rhs: inner_rhs, .. } =
+        func.inst(*inner_id).clone()
+    else {
+        return false;
+    };
+    if op2 != op {
+        return false;
+    }
+    let Some(c1) = inner_rhs.as_int_const() else { return false };
+    let bits = match ty.int_bits() {
+        Some(b) => b,
+        None => return false,
+    };
+    // Fold the constants with wrapping semantics (the fold itself never
+    // introduces poison).
+    let folded = match op {
+        BinOp::Add => frost_ir::value::truncate(c1.wrapping_add(c2), bits),
+        BinOp::Mul => frost_ir::value::truncate(c1.wrapping_mul(c2), bits),
+        BinOp::And => c1 & c2,
+        BinOp::Or => c1 | c2,
+        BinOp::Xor => c1 ^ c2,
+        _ => return false,
+    };
+    // §10.2: the rebuilt add must drop nsw/nuw (fixed) — the combined
+    // operation can overflow even when neither original did, and vice
+    // versa. Legacy keeps the flags (the reproduced bug).
+    let new_flags = match mode {
+        PipelineMode::Fixed | PipelineMode::FixedFreezeBlind => Flags::NONE,
+        PipelineMode::Legacy => flags.intersect(inner_flags),
+    };
+    *func.inst_mut(id) = Inst::Bin {
+        op,
+        flags: new_flags,
+        ty,
+        lhs: x,
+        rhs: Value::int(bits, folded),
+    };
+    // The inner instruction becomes dead; DCE collects it.
+    true
+}
+
+fn is_associative(op: BinOp) -> bool {
+    matches!(op, BinOp::Add | BinOp::Mul | BinOp::And | BinOp::Or | BinOp::Xor)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use frost_core::Semantics;
+    use frost_ir::{function_to_string, parse_module, Module};
+    use frost_refine::{check_refinement, CheckOptions};
+
+    fn run(src: &str, mode: PipelineMode) -> (Module, Module) {
+        let before = parse_module(src).unwrap();
+        let mut after = before.clone();
+        for f in &mut after.functions {
+            Reassociate::new(mode).run_on_function(f);
+            crate::dce::Dce::new().run_on_function(f);
+            f.compact();
+        }
+        (before, after)
+    }
+
+    #[test]
+    fn folds_constant_chains() {
+        let (before, after) = run(
+            r#"
+define i4 @f(i4 %x) {
+entry:
+  %a = add i4 %x, 1
+  %b = add i4 %a, 2
+  ret i4 %b
+}
+"#,
+            PipelineMode::Fixed,
+        );
+        let text = function_to_string(after.function("f").unwrap());
+        assert!(text.contains("add i4 %x, 3"), "{text}");
+        assert_eq!(after.function("f").unwrap().placed_inst_count(), 1);
+        check_refinement(&before, "f", &after, "f", &CheckOptions::new(Semantics::proposed()))
+            .assert_refines();
+    }
+
+    #[test]
+    fn fixed_mode_drops_nsw() {
+        let (before, after) = run(
+            r#"
+define i4 @f(i4 %x) {
+entry:
+  %a = add nsw i4 %x, 1
+  %b = add nsw i4 %a, -1
+  ret i4 %b
+}
+"#,
+            PipelineMode::Fixed,
+        );
+        let text = function_to_string(after.function("f").unwrap());
+        assert!(text.contains("add i4 %x, 0"), "flags dropped: {text}");
+        check_refinement(&before, "f", &after, "f", &CheckOptions::new(Semantics::proposed()))
+            .assert_refines();
+    }
+
+    #[test]
+    fn legacy_mode_keeps_nsw_and_is_unsound() {
+        // x +nsw 1 +nsw -1: fine for x = 7 (i4 SMAX overflows on the
+        // way up... wait: 7+1 = -8 overflow -> poison in the source).
+        // The interesting direction: x = -8: source computes -8+1 = -7,
+        // -7-1 = -8: no overflow, defined. Legacy target: add nsw x, 0
+        // = x: also defined. Take instead C1=7, C2=7: source
+        // x +nsw 7 +nsw 7; target x +nsw 14 (= -2). For x = 1: source
+        // 1+7 = -8: overflow -> poison. Target 1 + (-2) = -1: defined.
+        // That's target-more-defined: allowed! The unsound direction is
+        // source-defined/target-poison: x = -8: source -8+7 = -1,
+        // -1+7 = 6: defined. Target: -8 + (-2) = -10: overflows ->
+        // poison. Poison does not refine 6: caught.
+        let (before, after) = run(
+            r#"
+define i4 @f(i4 %x) {
+entry:
+  %a = add nsw i4 %x, 7
+  %b = add nsw i4 %a, 7
+  ret i4 %b
+}
+"#,
+            PipelineMode::Legacy,
+        );
+        let text = function_to_string(after.function("f").unwrap());
+        assert!(text.contains("add nsw i4 %x, 14"), "{text}");
+        let r = check_refinement(
+            &before,
+            "f",
+            &after,
+            "f",
+            &CheckOptions::new(Semantics::proposed()),
+        );
+        assert!(r.counterexample().is_some(), "§10.2 reassociation bug reproduced");
+
+        // And the fixed variant of the same chain is sound.
+        let (before, after) = run(
+            r#"
+define i4 @f(i4 %x) {
+entry:
+  %a = add nsw i4 %x, 7
+  %b = add nsw i4 %a, 7
+  ret i4 %b
+}
+"#,
+            PipelineMode::Fixed,
+        );
+        check_refinement(&before, "f", &after, "f", &CheckOptions::new(Semantics::proposed()))
+            .assert_refines();
+    }
+
+    #[test]
+    fn multi_use_inner_values_are_left_alone() {
+        let (_, after) = run(
+            r#"
+define i4 @f(i4 %x) {
+entry:
+  %a = add i4 %x, 1
+  %b = add i4 %a, 2
+  %c = xor i4 %a, %b
+  ret i4 %c
+}
+"#,
+            PipelineMode::Fixed,
+        );
+        assert_eq!(after.function("f").unwrap().placed_inst_count(), 3);
+    }
+
+    #[test]
+    fn mul_and_bitwise_chains() {
+        let (before, after) = run(
+            r#"
+define i8 @f(i8 %x) {
+entry:
+  %a = mul i8 %x, 3
+  %b = mul i8 %a, 5
+  %c = and i8 %b, 12
+  %d = and i8 %c, 10
+  ret i8 %d
+}
+"#,
+            PipelineMode::Fixed,
+        );
+        let text = function_to_string(after.function("f").unwrap());
+        assert!(text.contains("mul i8 %x, 15"), "{text}");
+        assert!(text.contains("and i8 %t0, 8"), "{text}");
+        // i8 inputs are too many to enumerate exhaustively with poison,
+        // so spot-check at i8 is skipped; rerun the same shape at i4.
+        let _ = before;
+        let (b4, a4) = run(
+            "define i4 @f(i4 %x) {\nentry:\n  %a = mul i4 %x, 3\n  %b = mul i4 %a, 5\n  ret i4 %b\n}",
+            PipelineMode::Fixed,
+        );
+        check_refinement(&b4, "f", &a4, "f", &CheckOptions::new(Semantics::proposed()))
+            .assert_refines();
+    }
+}

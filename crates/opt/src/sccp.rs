@@ -1,0 +1,453 @@
+//! Sparse conditional constant propagation.
+//!
+//! The lattice is `⊥ < Const < ⊤`, where `Const` includes the `poison`
+//! constant (poison propagates through non-trapping arithmetic at
+//! compile time). Branches on known conditions make only one successor
+//! executable; unreachable code is then folded by SimplifyCFG/DCE.
+//!
+//! Mode differences: the *fixed* variant turns a branch on a known-
+//! poison condition into `unreachable` (branch-on-poison is immediate
+//! UB under the proposed semantics); the *legacy* variant folds it to
+//! an arbitrary successor (sound under both legacy interpretations,
+//! where such a branch is at worst a non-deterministic choice).
+
+use std::collections::VecDeque;
+
+use frost_core::ops::{eval_binop, eval_cast, ScalarResult};
+use frost_ir::{BlockId, Constant, Function, Inst, InstId, Terminator, Value};
+
+use crate::pass::{Pass, PipelineMode};
+use crate::util::{erase_inst, remove_phi_edge};
+
+/// The SCCP pass.
+#[derive(Debug)]
+pub struct Sccp {
+    mode: PipelineMode,
+}
+
+impl Sccp {
+    /// Creates the pass in the given mode.
+    pub fn new(mode: PipelineMode) -> Sccp {
+        Sccp { mode }
+    }
+}
+
+#[derive(Clone, PartialEq, Eq, Debug)]
+enum Lat {
+    Bottom,
+    Const(Constant),
+    Top,
+}
+
+impl Lat {
+    fn join(&self, other: &Lat) -> Lat {
+        match (self, other) {
+            (Lat::Bottom, x) | (x, Lat::Bottom) => x.clone(),
+            (Lat::Const(a), Lat::Const(b)) if a == b => Lat::Const(a.clone()),
+            _ => Lat::Top,
+        }
+    }
+}
+
+impl Pass for Sccp {
+    fn name(&self) -> &'static str {
+        "sccp"
+    }
+
+    fn run_on_function(&self, func: &mut Function) -> bool {
+        let n = func.insts.len();
+        let mut values: Vec<Lat> = vec![Lat::Bottom; n];
+        let mut executable = vec![false; func.blocks.len()];
+        executable[BlockId::ENTRY.index()] = true;
+
+        // Simple round-robin fixpoint (function sizes here do not merit
+        // the full sparse worklist).
+        let mut queue: VecDeque<BlockId> = VecDeque::new();
+        queue.push_back(BlockId::ENTRY);
+        let mut iterations = 0usize;
+        let max_iterations = 4 * (func.blocks.len() + 1) * (n + 1);
+        loop {
+            iterations += 1;
+            if iterations > max_iterations {
+                break;
+            }
+            let mut changed = false;
+            for bb in func.block_ids().collect::<Vec<_>>() {
+                if !executable[bb.index()] {
+                    continue;
+                }
+                for &id in &func.block(bb).insts.clone() {
+                    let new = eval(func, id, &values, &executable);
+                    if new != values[id.index()] {
+                        values[id.index()] = new;
+                        changed = true;
+                    }
+                }
+                // Propagate executability.
+                match &func.block(bb).term {
+                    Terminator::Br { cond, then_bb, else_bb } => {
+                        let lat = value_lat(cond, &values);
+                        let (t, e) = (*then_bb, *else_bb);
+                        let mark = |b: BlockId, ex: &mut Vec<bool>, ch: &mut bool| {
+                            if !ex[b.index()] {
+                                ex[b.index()] = true;
+                                *ch = true;
+                            }
+                        };
+                        match lat {
+                            Lat::Const(Constant::Int { value, .. }) => {
+                                if value == 1 {
+                                    mark(t, &mut executable, &mut changed);
+                                } else {
+                                    mark(e, &mut executable, &mut changed);
+                                }
+                            }
+                            Lat::Const(c) if c.contains_poison() || c.contains_undef() => {
+                                // Branch on deferred UB: no successor is
+                                // *required* to run; handled at rewrite.
+                            }
+                            Lat::Bottom => {}
+                            _ => {
+                                mark(t, &mut executable, &mut changed);
+                                mark(e, &mut executable, &mut changed);
+                            }
+                        }
+                    }
+                    Terminator::Jmp(d) => {
+                        if !executable[d.index()] {
+                            executable[d.index()] = true;
+                            changed = true;
+                        }
+                    }
+                    _ => {}
+                }
+            }
+            if !changed {
+                break;
+            }
+        }
+        let _ = queue;
+
+        // Rewrite: replace instructions with their constants.
+        let mut changed = false;
+        for bb in func.block_ids().collect::<Vec<_>>() {
+            if !executable[bb.index()] {
+                continue;
+            }
+            for id in func.block(bb).insts.clone() {
+                if let Lat::Const(c) = &values[id.index()] {
+                    if func.inst(id).has_side_effects() {
+                        continue;
+                    }
+                    func.replace_all_uses(id, &Value::Const(c.clone()));
+                    erase_inst(func, id);
+                    changed = true;
+                }
+            }
+            // Fold branches on known conditions.
+            let term = func.block(bb).term.clone();
+            if let Terminator::Br { cond, then_bb, else_bb } = term {
+                match value_lat(&cond, &values) {
+                    Lat::Const(Constant::Int { value, .. }) => {
+                        let (taken, dropped) =
+                            if value == 1 { (then_bb, else_bb) } else { (else_bb, then_bb) };
+                        func.block_mut(bb).term = Terminator::Jmp(taken);
+                        if taken != dropped {
+                            remove_phi_edge(func, dropped, bb);
+                        }
+                        changed = true;
+                    }
+                    Lat::Const(c) if c.contains_poison() || c.contains_undef() => {
+                        match self.mode {
+                            PipelineMode::Fixed | PipelineMode::FixedFreezeBlind => {
+                                // Proposed semantics: this is UB.
+                                func.block_mut(bb).term = Terminator::Unreachable;
+                                remove_phi_edge(func, then_bb, bb);
+                                if then_bb != else_bb {
+                                    remove_phi_edge(func, else_bb, bb);
+                                }
+                            }
+                            PipelineMode::Legacy => {
+                                // At worst a nondeterministic choice:
+                                // pick the then edge.
+                                func.block_mut(bb).term = Terminator::Jmp(then_bb);
+                                if then_bb != else_bb {
+                                    remove_phi_edge(func, else_bb, bb);
+                                }
+                            }
+                        }
+                        changed = true;
+                    }
+                    _ => {}
+                }
+            }
+        }
+        changed
+    }
+}
+
+fn value_lat(v: &Value, values: &[Lat]) -> Lat {
+    match v {
+        Value::Const(c) => Lat::Const(c.clone()),
+        Value::Arg(_) => Lat::Top,
+        Value::Inst(id) => values[id.index()].clone(),
+    }
+}
+
+fn eval(func: &Function, id: InstId, values: &[Lat], executable: &[bool]) -> Lat {
+    let inst = func.inst(id);
+    match inst {
+        Inst::Phi { incoming, .. } => {
+            let mut acc = Lat::Bottom;
+            for (v, from) in incoming {
+                if !executable[from.index()] {
+                    continue;
+                }
+                acc = acc.join(&value_lat(v, values));
+            }
+            acc
+        }
+        Inst::Bin { op, flags, ty, lhs, rhs } => {
+            let (l, r) = (value_lat(lhs, values), value_lat(rhs, values));
+            let bits = match ty.int_bits() {
+                Some(b) => b,
+                None => return Lat::Top,
+            };
+            // Compile-time poison propagation (not for trapping ops).
+            if !op.may_have_immediate_ub() {
+                for side in [&l, &r] {
+                    if let Lat::Const(c) = side {
+                        if c.contains_poison() {
+                            return Lat::Const(Constant::Poison(ty.clone()));
+                        }
+                    }
+                }
+            }
+            match (l, r) {
+                (Lat::Const(Constant::Int { value: a, .. }), Lat::Const(Constant::Int { value: b, .. })) => {
+                    match eval_binop(*op, *flags, bits, a, b) {
+                        ScalarResult::Val(v) => Lat::Const(Constant::int(bits, v)),
+                        ScalarResult::Poison => Lat::Const(Constant::Poison(ty.clone())),
+                        ScalarResult::Ub => Lat::Top, // keep the trap
+                    }
+                }
+                (Lat::Bottom, _) | (_, Lat::Bottom) => Lat::Bottom,
+                _ => Lat::Top,
+            }
+        }
+        Inst::Icmp { cond, ty, lhs, rhs } => {
+            let bits = match ty.int_bits() {
+                Some(b) => b,
+                None => return Lat::Top,
+            };
+            match (value_lat(lhs, values), value_lat(rhs, values)) {
+                (Lat::Const(a), Lat::Const(b)) if a.contains_poison() || b.contains_poison() => {
+                    Lat::Const(Constant::Poison(frost_ir::Ty::i1()))
+                }
+                (
+                    Lat::Const(Constant::Int { value: a, .. }),
+                    Lat::Const(Constant::Int { value: b, .. }),
+                ) => Lat::Const(Constant::bool(cond.eval(bits, a, b))),
+                (Lat::Bottom, _) | (_, Lat::Bottom) => Lat::Bottom,
+                _ => Lat::Top,
+            }
+        }
+        Inst::Select { cond, tval, fval, .. } => match value_lat(cond, values) {
+            Lat::Const(Constant::Int { value, .. }) => {
+                if value == 1 {
+                    value_lat(tval, values)
+                } else {
+                    value_lat(fval, values)
+                }
+            }
+            Lat::Bottom => Lat::Bottom,
+            _ => Lat::Top,
+        },
+        Inst::Cast { kind, from_ty, to_ty, val } => {
+            let (Some(fb), Some(tb)) = (from_ty.int_bits(), to_ty.int_bits()) else {
+                return Lat::Top;
+            };
+            match value_lat(val, values) {
+                Lat::Const(Constant::Int { value, .. }) => {
+                    Lat::Const(Constant::int(tb, eval_cast(*kind, fb, tb, value)))
+                }
+                Lat::Const(c) if c.contains_poison() => {
+                    Lat::Const(Constant::Poison(to_ty.clone()))
+                }
+                Lat::Bottom => Lat::Bottom,
+                _ => Lat::Top,
+            }
+        }
+        Inst::Freeze { val, .. } => match value_lat(val, values) {
+            // freeze of a fully defined constant is that constant.
+            Lat::Const(c) if !c.contains_poison() && !c.contains_undef() => Lat::Const(c),
+            Lat::Bottom => Lat::Bottom,
+            _ => Lat::Top,
+        },
+        _ => Lat::Top,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use frost_core::Semantics;
+    use frost_ir::{function_to_string, parse_module, Module};
+    use frost_refine::{check_refinement, CheckOptions};
+
+    fn run(src: &str, mode: PipelineMode) -> (Module, Module) {
+        let before = parse_module(src).unwrap();
+        let mut after = before.clone();
+        for f in &mut after.functions {
+            Sccp::new(mode).run_on_function(f);
+            f.compact();
+        }
+        (before, after)
+    }
+
+    #[test]
+    fn propagates_constants_through_phis() {
+        let (before, after) = run(
+            r#"
+define i4 @f(i1 %c) {
+entry:
+  br i1 %c, label %a, label %b
+a:
+  br label %m
+b:
+  br label %m
+m:
+  %p = phi i4 [ 3, %a ], [ 3, %b ]
+  %r = add i4 %p, 1
+  ret i4 %r
+}
+"#,
+            PipelineMode::Fixed,
+        );
+        let text = function_to_string(after.function("f").unwrap());
+        assert!(text.contains("ret i4 4"), "{text}");
+        check_refinement(&before, "f", &after, "f", &CheckOptions::new(Semantics::proposed()))
+            .assert_refines();
+    }
+
+    #[test]
+    fn folds_known_branches_and_kills_dead_paths() {
+        let (before, after) = run(
+            r#"
+define i4 @f(i4 %x) {
+entry:
+  %c = icmp eq i4 1, 1
+  br i1 %c, label %a, label %b
+a:
+  ret i4 7
+b:
+  ret i4 %x
+}
+"#,
+            PipelineMode::Fixed,
+        );
+        let text = function_to_string(after.function("f").unwrap());
+        assert!(text.contains("br label %a"), "{text}");
+        check_refinement(&before, "f", &after, "f", &CheckOptions::new(Semantics::proposed()))
+            .assert_refines();
+    }
+
+    #[test]
+    fn branch_on_poison_becomes_unreachable_in_fixed_mode() {
+        let (before, after) = run(
+            r#"
+define i4 @f() {
+entry:
+  %p = add nsw i4 7, 7
+  br i1 undef, label %a, label %b
+a:
+  ret i4 1
+b:
+  ret i4 2
+}
+"#,
+            PipelineMode::Legacy,
+        );
+        // Legacy folds to a jump (sound under legacy-unswitch).
+        let text = function_to_string(after.function("f").unwrap());
+        assert!(text.contains("br label %a"), "{text}");
+        let r = check_refinement(
+            &before,
+            "f",
+            &after,
+            "f",
+            &CheckOptions::new(Semantics::legacy_unswitch()),
+        );
+        r.assert_refines();
+
+        // Fixed mode: poison branch is UB -> unreachable.
+        let (before, after) = run(
+            r#"
+define i4 @f() {
+entry:
+  %p = add nsw i4 7, 7
+  %c = icmp eq i4 %p, 0
+  br i1 %c, label %a, label %b
+a:
+  ret i4 1
+b:
+  ret i4 2
+}
+"#,
+            PipelineMode::Fixed,
+        );
+        let text = function_to_string(after.function("f").unwrap());
+        assert!(text.contains("unreachable"), "{text}");
+        check_refinement(&before, "f", &after, "f", &CheckOptions::new(Semantics::proposed()))
+            .assert_refines();
+    }
+
+    #[test]
+    fn poison_propagates_at_compile_time() {
+        let (before, after) = run(
+            r#"
+define i4 @f(i4 %x) {
+entry:
+  %p = add nsw i4 7, 7
+  %q = xor i4 %p, %x
+  ret i4 %q
+}
+"#,
+            PipelineMode::Fixed,
+        );
+        let text = function_to_string(after.function("f").unwrap());
+        assert!(text.contains("ret i4 poison"), "{text}");
+        check_refinement(&before, "f", &after, "f", &CheckOptions::new(Semantics::proposed()))
+            .assert_refines();
+    }
+
+    #[test]
+    fn division_traps_are_preserved() {
+        let (_, after) = run(
+            "define i4 @f() {\nentry:\n  %r = sdiv i4 8, 15\n  ret i4 %r\n}",
+            PipelineMode::Fixed,
+        );
+        // 8 = -8 (i4 INT_MIN), 15 = -1: INT_MIN / -1 is UB, not folded.
+        let text = function_to_string(after.function("f").unwrap());
+        assert!(text.contains("sdiv"), "{text}");
+    }
+
+    #[test]
+    fn select_on_known_condition_folds() {
+        let (before, after) = run(
+            r#"
+define i4 @f(i4 %x) {
+entry:
+  %c = icmp ult i4 2, 4
+  %r = select i1 %c, i4 %x, i4 0
+  ret i4 %r
+}
+"#,
+            PipelineMode::Fixed,
+        );
+        let text = function_to_string(after.function("f").unwrap());
+        assert!(text.contains("select i1 1, i4 %x, i4 0"), "{text}");
+        check_refinement(&before, "f", &after, "f", &CheckOptions::new(Semantics::proposed()))
+            .assert_refines();
+    }
+}

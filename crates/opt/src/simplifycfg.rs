@@ -1,0 +1,320 @@
+//! SimplifyCFG: constant-branch folding, block merging, and the
+//! phi-to-select conversion of §3.4.
+//!
+//! The phi→select rewrite is the transformation whose soundness *forced*
+//! the paper's select semantics: converting
+//!
+//! ```text
+//!   br %c, %t, %f          ┐
+//! t: br %m                 │    %x = select %c, %a, %b
+//! f: br %m                 ├ →
+//! m: %x = phi [%a,%t],[%b,%f]   ┘
+//! ```
+//!
+//! is sound only if `select` on a poison condition is *no more* UB than
+//! branch on poison, and only if `select` propagates poison from the
+//! *chosen* arm alone (matching phi). Under the proposed semantics both
+//! hold; under the legacy LangRef reading (select poisons from either
+//! arm) the same rewrite is unsound — the pass is identical in both
+//! modes, and the test suite demonstrates the semantics, not the code,
+//! decides.
+
+use frost_ir::{BlockId, Function, Inst, InstId, Terminator};
+
+use crate::pass::{Pass, PipelineMode};
+use crate::util::{fold_constant_branches, retarget_phi_edge, simplify_single_entry_phis};
+
+/// The CFG-simplification pass.
+#[derive(Debug)]
+pub struct SimplifyCfg {
+    #[allow(dead_code)]
+    mode: PipelineMode,
+}
+
+impl SimplifyCfg {
+    /// Creates the pass.
+    pub fn new(mode: PipelineMode) -> SimplifyCfg {
+        SimplifyCfg { mode }
+    }
+}
+
+impl Pass for SimplifyCfg {
+    fn name(&self) -> &'static str {
+        "simplifycfg"
+    }
+
+    fn run_on_function(&self, func: &mut Function) -> bool {
+        let mut changed = false;
+        for _ in 0..4 {
+            let mut round = false;
+            round |= fold_constant_branches(func);
+            round |= crate::dce::remove_unreachable_blocks(func);
+            round |= phi_to_select(func);
+            round |= merge_straight_line_blocks(func);
+            round |= simplify_single_entry_phis(func);
+            changed |= round;
+            if !round {
+                break;
+            }
+        }
+        changed
+    }
+}
+
+/// Converts diamonds with empty arms into selects.
+///
+/// Pattern: `E: br %c, %T, %F`; `T`/`F` empty, single-pred, both jump
+/// to `M`; every phi in `M` over exactly the edges from `T` and `F`.
+/// Rewrites each phi to a `select %c` in `E` and replaces the branch
+/// with `br %M`.
+pub fn phi_to_select(func: &mut Function) -> bool {
+    let mut changed = false;
+    let preds = func.predecessors();
+    for e in func.block_ids().collect::<Vec<_>>() {
+        let Terminator::Br { cond, then_bb, else_bb } = func.block(e).term.clone() else {
+            continue;
+        };
+        if then_bb == else_bb || then_bb == e || else_bb == e {
+            continue;
+        }
+        let arm_ok = |bb: BlockId| {
+            func.block(bb).insts.is_empty()
+                && preds[bb.index()].len() == 1
+                && matches!(func.block(bb).term, Terminator::Jmp(_))
+        };
+        if !arm_ok(then_bb) || !arm_ok(else_bb) {
+            continue;
+        }
+        let Terminator::Jmp(m1) = func.block(then_bb).term else { continue };
+        let Terminator::Jmp(m2) = func.block(else_bb).term else { continue };
+        if m1 != m2 || m1 == e {
+            continue;
+        }
+        let merge = m1;
+        // The merge block must have exactly these two predecessors;
+        // otherwise phis carry other edges we cannot fold.
+        if preds[merge.index()].len() != 2 {
+            continue;
+        }
+        // Rewrite each phi into a select placed at the end of E.
+        let phi_ids: Vec<InstId> = func
+            .block(merge)
+            .insts
+            .iter()
+            .copied()
+            .filter(|&id| matches!(func.inst(id), Inst::Phi { .. }))
+            .collect();
+        let mut ok = true;
+        let mut rewrites = Vec::new();
+        for id in &phi_ids {
+            let Inst::Phi { ty, incoming } = func.inst(*id) else { unreachable!() };
+            let mut tv = None;
+            let mut fv = None;
+            for (v, from) in incoming {
+                if *from == then_bb {
+                    tv = Some(v.clone());
+                } else if *from == else_bb {
+                    fv = Some(v.clone());
+                } else {
+                    ok = false;
+                }
+            }
+            match (tv, fv) {
+                (Some(t), Some(f)) => rewrites.push((*id, ty.clone(), t, f)),
+                _ => ok = false,
+            }
+        }
+        if !ok {
+            continue;
+        }
+        for (id, ty, tval, fval) in rewrites {
+            *func.inst_mut(id) = Inst::Select { cond: cond.clone(), ty, tval, fval };
+            // Move the (former phi, now select) from the merge block to E.
+            let pos = func.block(merge).insts.iter().position(|&i| i == id).expect("in block");
+            func.block_mut(merge).insts.remove(pos);
+            func.block_mut(e).insts.push(id);
+        }
+        func.block_mut(e).term = Terminator::Jmp(merge);
+        changed = true;
+        return changed || phi_to_select(func); // preds are stale; restart
+    }
+    changed
+}
+
+/// Merges `A -> B` when A ends in `br label %B` and B has A as its only
+/// predecessor (and B has no phis after single-entry simplification).
+pub fn merge_straight_line_blocks(func: &mut Function) -> bool {
+    let mut changed = false;
+    loop {
+        let preds = func.predecessors();
+        let mut merged = false;
+        for a in func.block_ids().collect::<Vec<_>>() {
+            let Terminator::Jmp(b) = func.block(a).term else { continue };
+            if b == a || preds[b.index()].len() != 1 {
+                continue;
+            }
+            if func.block(b).insts.iter().any(|&id| matches!(func.inst(id), Inst::Phi { .. })) {
+                // Single-entry phis are cleaned by the caller first.
+                continue;
+            }
+            if b == BlockId::ENTRY {
+                continue;
+            }
+            // Move B's instructions into A and take B's terminator.
+            let b_insts = std::mem::take(&mut func.block_mut(b).insts);
+            func.block_mut(a).insts.extend(b_insts);
+            let term = std::mem::replace(&mut func.block_mut(b).term, Terminator::Unreachable);
+            // Successors of B now see A as predecessor.
+            for succ in term.successors() {
+                retarget_phi_edge(func, succ, b, a);
+            }
+            func.block_mut(a).term = term;
+            merged = true;
+            changed = true;
+            break; // predecessor map is stale
+        }
+        if !merged {
+            return changed;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use frost_core::Semantics;
+    use frost_ir::{function_to_string, parse_module, Module};
+    use frost_refine::{check_refinement, CheckOptions};
+
+    fn run(src: &str, mode: PipelineMode) -> (Module, Module) {
+        let before = parse_module(src).unwrap();
+        let mut after = before.clone();
+        for f in &mut after.functions {
+            SimplifyCfg::new(mode).run_on_function(f);
+            f.compact();
+        }
+        (before, after)
+    }
+
+    const DIAMOND: &str = r#"
+define i4 @f(i1 %c, i4 %a, i4 %b) {
+entry:
+  br i1 %c, label %t, label %e
+t:
+  br label %m
+e:
+  br label %m
+m:
+  %x = phi i4 [ %a, %t ], [ %b, %e ]
+  ret i4 %x
+}
+"#;
+
+    #[test]
+    fn diamond_becomes_select() {
+        let (before, after) = run(DIAMOND, PipelineMode::Fixed);
+        let text = function_to_string(after.function("f").unwrap());
+        assert!(text.contains("select i1 %c, i4 %a, i4 %b"), "{text}");
+        assert!(!text.contains("phi"), "{text}");
+        // Sound under the proposed semantics...
+        check_refinement(&before, "f", &after, "f", &CheckOptions::new(Semantics::proposed()))
+            .assert_refines();
+    }
+
+    #[test]
+    fn phi_to_select_is_unsound_under_langref_select() {
+        // ...but the very same rewrite violates refinement under the
+        // legacy reading where select propagates the unselected arm's
+        // poison (§3.4 / PR31632).
+        let (before, after) = run(DIAMOND, PipelineMode::Legacy);
+        let r = check_refinement(
+            &before,
+            "f",
+            &after,
+            "f",
+            &CheckOptions::new(Semantics::legacy_gvn()),
+        );
+        let ce = r.counterexample().expect("poison arm breaks the legacy reading");
+        assert!(ce.args.iter().any(|a| a == &frost_core::Val::Poison));
+    }
+
+    #[test]
+    fn constant_branch_folds_and_blocks_merge() {
+        let (before, after) = run(
+            r#"
+define i4 @f(i4 %x) {
+entry:
+  br i1 true, label %a, label %b
+a:
+  %r = add i4 %x, 1
+  br label %c
+b:
+  br label %c
+c:
+  %p = phi i4 [ %r, %a ], [ 0, %b ]
+  ret i4 %p
+}
+"#,
+            PipelineMode::Fixed,
+        );
+        let f = after.function("f").unwrap();
+        let text = function_to_string(f);
+        assert!(!text.contains("phi"), "{text}");
+        check_refinement(&before, "f", &after, "f", &CheckOptions::new(Semantics::proposed()))
+            .assert_refines();
+        // Everything collapses into the entry block.
+        let live: usize = f
+            .block_ids()
+            .filter(|&bb| frost_ir::cfg::reachable(f)[bb.index()])
+            .count();
+        assert_eq!(live, 1, "{text}");
+    }
+
+    #[test]
+    fn triangle_is_left_alone() {
+        // Only the two-empty-arm diamond is handled; a triangle with a
+        // side-effecting arm must not be converted.
+        let (before, after) = run(
+            r#"
+declare void @eff()
+define i4 @f(i1 %c, i4 %a, i4 %b) {
+entry:
+  br i1 %c, label %t, label %m
+t:
+  call void @eff()
+  br label %m
+m:
+  %x = phi i4 [ %a, %t ], [ %b, %entry ]
+  ret i4 %x
+}
+"#,
+            PipelineMode::Fixed,
+        );
+        let text = function_to_string(after.function("f").unwrap());
+        assert!(text.contains("phi"), "side-effecting arm survives: {text}");
+        check_refinement(&before, "f", &after, "f", &CheckOptions::new(Semantics::proposed()))
+            .assert_refines();
+    }
+
+    #[test]
+    fn merge_keeps_verification() {
+        let (_, after) = run(
+            r#"
+define i4 @f(i4 %x) {
+entry:
+  %a = add i4 %x, 1
+  br label %next
+next:
+  %b = add i4 %a, 1
+  br label %last
+last:
+  ret i4 %b
+}
+"#,
+            PipelineMode::Fixed,
+        );
+        let f = after.function("f").unwrap();
+        assert!(frost_ir::verify::verify_function(f).is_ok());
+        assert!(matches!(f.block(BlockId::ENTRY).term, Terminator::Ret(_)));
+    }
+}

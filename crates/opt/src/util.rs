@@ -1,0 +1,325 @@
+//! Shared utilities for passes: poison-freedom proofs, instruction
+//! erasure, CFG edits that keep phis consistent, and region cloning.
+
+use std::collections::HashMap;
+
+use frost_ir::{BinOp, BlockId, Constant, Function, Inst, InstId, Terminator, Value};
+
+/// Returns `true` if `v` is guaranteed not to be poison (nor undef),
+/// whatever the function's inputs — the side condition for folding
+/// `freeze %v` to `%v` (§6's InstCombine freeze optimizations) and for
+/// speculating UB-capable instructions (§5.6).
+///
+/// Conservative: arguments and loads may always be poison.
+pub fn guaranteed_not_poison(func: &Function, v: &Value, depth: u32) -> bool {
+    match v {
+        Value::Const(c) => !c.contains_poison() && !c.contains_undef(),
+        Value::Arg(_) => false,
+        Value::Inst(id) => {
+            if depth == 0 {
+                return false;
+            }
+            match func.inst(*id) {
+                Inst::Freeze { .. } => true,
+                Inst::Bin { op, flags, lhs, rhs, .. } => {
+                    // Without poison-producing attributes, a binop is
+                    // poison only if an operand is. Shifts can produce
+                    // poison from defined operands (shift past width);
+                    // require a constant in-range amount.
+                    let shift_ok = match op {
+                        BinOp::Shl | BinOp::LShr | BinOp::AShr => match rhs.as_int_const() {
+                            Some(amt) => {
+                                let bits =
+                                    func.value_ty(lhs).scalar_ty().int_bits().unwrap_or(0);
+                                amt < u128::from(bits)
+                            }
+                            None => false,
+                        },
+                        _ => true,
+                    };
+                    flags.is_none()
+                        && shift_ok
+                        && guaranteed_not_poison(func, lhs, depth - 1)
+                        && guaranteed_not_poison(func, rhs, depth - 1)
+                }
+                Inst::Icmp { lhs, rhs, .. } => {
+                    guaranteed_not_poison(func, lhs, depth - 1)
+                        && guaranteed_not_poison(func, rhs, depth - 1)
+                }
+                Inst::Cast { val, .. } | Inst::Bitcast { val, .. } => {
+                    guaranteed_not_poison(func, val, depth - 1)
+                }
+                Inst::Select { cond, tval, fval, .. } => {
+                    guaranteed_not_poison(func, cond, depth - 1)
+                        && guaranteed_not_poison(func, tval, depth - 1)
+                        && guaranteed_not_poison(func, fval, depth - 1)
+                }
+                _ => false,
+            }
+        }
+    }
+}
+
+/// Removes `id` from whatever block holds it (the arena slot lingers
+/// until [`Function::compact`]). Returns `true` if it was placed.
+pub fn erase_inst(func: &mut Function, id: InstId) -> bool {
+    for bb in 0..func.blocks.len() {
+        let block = &mut func.blocks[bb];
+        if let Some(pos) = block.insts.iter().position(|&i| i == id) {
+            block.insts.remove(pos);
+            return true;
+        }
+    }
+    false
+}
+
+/// Replaces every use of `id` with `v` and erases `id`.
+pub fn replace_and_erase(func: &mut Function, id: InstId, v: &Value) {
+    func.replace_all_uses(id, v);
+    erase_inst(func, id);
+}
+
+/// Removes the incoming entries for predecessor `pred` from every phi
+/// of `bb` (call after deleting the edge `pred -> bb`).
+pub fn remove_phi_edge(func: &mut Function, bb: BlockId, pred: BlockId) {
+    let ids: Vec<InstId> = func.block(bb).insts.clone();
+    for id in ids {
+        if let Inst::Phi { incoming, .. } = func.inst_mut(id) {
+            incoming.retain(|(_, from)| *from != pred);
+        }
+    }
+}
+
+/// Rewrites phi incoming-block references `old_pred -> new_pred` in
+/// `bb` (call after redirecting an edge).
+pub fn retarget_phi_edge(func: &mut Function, bb: BlockId, old_pred: BlockId, new_pred: BlockId) {
+    let ids: Vec<InstId> = func.block(bb).insts.clone();
+    for id in ids {
+        if let Inst::Phi { incoming, .. } = func.inst_mut(id) {
+            for (_, from) in incoming.iter_mut() {
+                if *from == old_pred {
+                    *from = new_pred;
+                }
+            }
+        }
+    }
+}
+
+/// Replaces single-entry phis by their value and erases them. Returns
+/// `true` on change. (Runs after CFG simplifications.)
+pub fn simplify_single_entry_phis(func: &mut Function) -> bool {
+    let mut changed = false;
+    for bb in 0..func.blocks.len() {
+        let ids: Vec<InstId> = func.blocks[bb].insts.clone();
+        for id in ids {
+            if let Inst::Phi { incoming, .. } = func.inst(id) {
+                if incoming.len() == 1 {
+                    let v = incoming[0].0.clone();
+                    replace_and_erase(func, id, &v);
+                    changed = true;
+                }
+            }
+        }
+    }
+    changed
+}
+
+/// Clones a set of blocks (a loop body, an inlinee) into fresh blocks
+/// of `func`, remapping internal value and block references. Values
+/// defined outside `blocks` are left untouched.
+///
+/// Returns the block map and the instruction map.
+pub struct ClonedRegion {
+    /// Original block -> cloned block.
+    pub block_map: HashMap<BlockId, BlockId>,
+    /// Original instruction -> cloned instruction.
+    pub inst_map: HashMap<InstId, InstId>,
+}
+
+/// Performs the cloning described on [`ClonedRegion`]. `suffix` is
+/// appended to cloned block names.
+pub fn clone_region(func: &mut Function, blocks: &[BlockId], suffix: &str) -> ClonedRegion {
+    let mut block_map = HashMap::new();
+    for &bb in blocks {
+        let name = format!("{}{}", func.block(bb).name, suffix);
+        let new_bb = func.add_block(name);
+        block_map.insert(bb, new_bb);
+    }
+    let mut inst_map: HashMap<InstId, InstId> = HashMap::new();
+    // First pass: allocate clones (operands fixed afterwards, since
+    // loops make forward references possible).
+    for &bb in blocks {
+        let ids: Vec<InstId> = func.block(bb).insts.clone();
+        for id in ids {
+            let inst = func.inst(id).clone();
+            let new_id = func.add_inst(inst);
+            inst_map.insert(id, new_id);
+            let new_bb = block_map[&bb];
+            func.block_mut(new_bb).insts.push(new_id);
+        }
+    }
+    // Second pass: remap operands, phi edges, and terminators.
+    let remap_val = |v: &mut Value, inst_map: &HashMap<InstId, InstId>| {
+        if let Value::Inst(id) = v {
+            if let Some(new_id) = inst_map.get(id) {
+                *id = *new_id;
+            }
+        }
+    };
+    for &bb in blocks {
+        let new_bb = block_map[&bb];
+        let ids: Vec<InstId> = func.block(new_bb).insts.clone();
+        for id in ids {
+            let inst = func.inst_mut(id);
+            inst.for_each_operand_mut(|v| remap_val(v, &inst_map));
+            if let Inst::Phi { incoming, .. } = inst {
+                for (_, from) in incoming.iter_mut() {
+                    if let Some(nb) = block_map.get(from) {
+                        *from = *nb;
+                    }
+                }
+            }
+        }
+        let mut term = func.block(bb).term.clone();
+        term.for_each_operand_mut(|v| remap_val(v, &inst_map));
+        term.map_successors(|s| block_map.get(&s).copied().unwrap_or(s));
+        func.block_mut(new_bb).term = term;
+    }
+    ClonedRegion { block_map, inst_map }
+}
+
+/// Folds `br` on a constant condition into an unconditional branch,
+/// fixing up the dropped edge's phis. Returns `true` on change.
+pub fn fold_constant_branches(func: &mut Function) -> bool {
+    let mut changed = false;
+    for bb in func.block_ids().collect::<Vec<_>>() {
+        let Terminator::Br { cond, then_bb, else_bb } = &func.block(bb).term else { continue };
+        let (then_bb, else_bb) = (*then_bb, *else_bb);
+        if then_bb == else_bb {
+            func.block_mut(bb).term = Terminator::Jmp(then_bb);
+            changed = true;
+            continue;
+        }
+        let Some(c) = cond.as_const().and_then(Constant::as_int) else { continue };
+        let (taken, dropped) = if c == 1 { (then_bb, else_bb) } else { (else_bb, then_bb) };
+        func.block_mut(bb).term = Terminator::Jmp(taken);
+        remove_phi_edge(func, dropped, bb);
+        changed = true;
+    }
+    changed
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use frost_ir::{Cond, Flags, FunctionBuilder, Ty};
+
+    #[test]
+    fn guaranteed_not_poison_basics() {
+        let mut b = FunctionBuilder::new("f", &[("x", Ty::i8())], Ty::i8());
+        let fr = b.freeze(b.arg(0));
+        let plain = b.add(fr.clone(), b.const_int(8, 1));
+        let flagged = b.add_flags(Flags::NSW, fr.clone(), b.const_int(8, 1));
+        let shifted = b.shl(fr.clone(), b.const_int(8, 3));
+        let shifted_bad = b.shl(fr.clone(), b.arg(0));
+        b.ret(plain.clone());
+        let f = b.finish();
+        assert!(guaranteed_not_poison(&f, &fr, 8));
+        assert!(guaranteed_not_poison(&f, &plain, 8));
+        assert!(!guaranteed_not_poison(&f, &flagged, 8), "nsw can produce poison");
+        assert!(guaranteed_not_poison(&f, &shifted, 8));
+        assert!(!guaranteed_not_poison(&f, &shifted_bad, 8), "variable shift amount");
+        assert!(!guaranteed_not_poison(&f, &Value::Arg(0), 8));
+        assert!(guaranteed_not_poison(&f, &Value::int(8, 3), 8));
+        assert!(!guaranteed_not_poison(&f, &Value::poison(Ty::i8()), 8));
+    }
+
+    #[test]
+    fn erase_and_replace() {
+        let mut b = FunctionBuilder::new("f", &[("x", Ty::i8())], Ty::i8());
+        let a = b.add(b.arg(0), b.const_int(8, 0));
+        b.ret(a.clone());
+        let mut f = b.finish();
+        let id = a.as_inst().unwrap();
+        replace_and_erase(&mut f, id, &Value::Arg(0));
+        assert_eq!(f.placed_inst_count(), 0);
+        match &f.block(BlockId::ENTRY).term {
+            Terminator::Ret(Some(Value::Arg(0))) => {}
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn fold_constant_branch_updates_phis() {
+        let mut b = FunctionBuilder::new("f", &[], Ty::i8());
+        let t = b.block("t");
+        let e = b.block("e");
+        let j = b.block("j");
+        b.br(frost_ir::builder::bool_const(true), t, e);
+        b.switch_to(t);
+        b.jmp(j);
+        b.switch_to(e);
+        b.jmp(j);
+        b.switch_to(j);
+        let p = b.phi(Ty::i8(), vec![(Value::int(8, 1), t), (Value::int(8, 2), e)]);
+        b.ret(p);
+        let mut f = b.finish();
+        assert!(fold_constant_branches(&mut f));
+        // Entry now jumps to t; j's phi still has both entries (edge
+        // t->j and e->j unchanged; e is just unreachable).
+        assert!(matches!(f.block(BlockId::ENTRY).term, Terminator::Jmp(bb) if bb == t));
+    }
+
+    #[test]
+    fn clone_region_remaps_internals() {
+        let mut b = FunctionBuilder::new("f", &[("n", Ty::i8())], Ty::i8());
+        let head = b.block("head");
+        let body = b.block("body");
+        let exit = b.block("exit");
+        b.jmp(head);
+        b.switch_to(head);
+        let i = b.phi(Ty::i8(), vec![(b.const_int(8, 0), BlockId::ENTRY)]);
+        let c = b.icmp(Cond::Ult, i.clone(), b.arg(0));
+        b.br(c, body, exit);
+        b.switch_to(body);
+        let i1 = b.add(i.clone(), b.const_int(8, 1));
+        b.phi_add_incoming(&i, i1.clone(), body);
+        b.jmp(head);
+        b.switch_to(exit);
+        b.ret(i.clone());
+        let mut f = b.finish();
+
+        let region = clone_region(&mut f, &[head, body], ".clone");
+        let new_head = region.block_map[&head];
+        let new_body = region.block_map[&body];
+        // The cloned header's branch goes to the cloned body.
+        match &f.block(new_head).term {
+            Terminator::Br { then_bb, else_bb, .. } => {
+                assert_eq!(*then_bb, new_body);
+                assert_eq!(*else_bb, exit, "exits outside the region are untouched");
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        // The cloned phi's back edge comes from the cloned body and uses
+        // the cloned increment.
+        let phi_id = f.block(new_head).insts[0];
+        let Inst::Phi { incoming, .. } = f.inst(phi_id) else { panic!() };
+        assert!(incoming.iter().any(|(v, from)| {
+            *from == new_body
+                && *v == Value::Inst(region.inst_map[&i1.as_inst().unwrap()])
+        }));
+    }
+
+    #[test]
+    fn single_entry_phi_simplification() {
+        let mut b = FunctionBuilder::new("f", &[("x", Ty::i8())], Ty::i8());
+        let next = b.block("next");
+        b.jmp(next);
+        b.switch_to(next);
+        let p = b.phi(Ty::i8(), vec![(b.arg(0), BlockId::ENTRY)]);
+        b.ret(p);
+        let mut f = b.finish();
+        assert!(simplify_single_entry_phis(&mut f));
+        assert_eq!(f.placed_inst_count(), 0);
+    }
+}

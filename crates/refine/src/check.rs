@@ -1,0 +1,327 @@
+//! End-to-end refinement checking of function pairs (translation
+//! validation, à la Alive).
+
+use std::fmt;
+
+use frost_core::{
+    enumerate_outcomes, uninit_fill, ExecError, Limits, Memory, Outcome, OutcomeSet, Semantics,
+    Val,
+};
+use frost_ir::{Function, Module, Ty};
+
+use crate::inputs::{enumerate_inputs, InputOptions};
+use crate::lattice::{set_refines, unjustified};
+
+/// Configuration of a refinement check.
+#[derive(Clone, Copy, Debug)]
+pub struct CheckOptions {
+    /// Semantics the *source* function is evaluated under.
+    pub src_sem: Semantics,
+    /// Semantics the *target* function is evaluated under (usually the
+    /// same; differing semantics express migration questions).
+    pub tgt_sem: Semantics,
+    /// Execution limits per enumeration.
+    pub limits: Limits,
+    /// Input enumeration options. `include_undef` defaults to following
+    /// `src_sem.has_undef`; see [`CheckOptions::new`].
+    pub inputs: InputOptions,
+}
+
+impl CheckOptions {
+    /// Checks source and target under the same semantics, with undef
+    /// inputs exactly when that semantics has undef.
+    pub fn new(sem: Semantics) -> CheckOptions {
+        CheckOptions {
+            src_sem: sem,
+            tgt_sem: sem,
+            limits: Limits::default(),
+            inputs: InputOptions { include_undef: sem.has_undef, ..InputOptions::default() },
+        }
+    }
+}
+
+impl Default for CheckOptions {
+    fn default() -> CheckOptions {
+        CheckOptions::new(Semantics::proposed())
+    }
+}
+
+/// A concrete witness that the target does not refine the source.
+#[derive(Clone, Debug)]
+pub struct CounterExample {
+    /// The argument values.
+    pub args: Vec<Val>,
+    /// Everything the source may do on these arguments.
+    pub src_outcomes: OutcomeSet,
+    /// Everything the target may do.
+    pub tgt_outcomes: OutcomeSet,
+    /// A target behavior no source behavior justifies.
+    pub witness: Outcome,
+}
+
+impl fmt::Display for CounterExample {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "args = (")?;
+        for (i, a) in self.args.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{a}")?;
+        }
+        writeln!(f, ")")?;
+        writeln!(f, "  source can: {}", self.src_outcomes)?;
+        writeln!(f, "  target can: {}", self.tgt_outcomes)?;
+        write!(f, "  unjustified target behavior: {}", self.witness)
+    }
+}
+
+/// The verdict of a refinement check.
+#[derive(Clone, Debug)]
+pub enum CheckResult {
+    /// Every target behavior is allowed by the source, on every
+    /// enumerated input.
+    Refines,
+    /// A concrete input where the target misbehaves.
+    CounterExample(Box<CounterExample>),
+    /// The check could not complete (resource limits, unenumerable
+    /// domain).
+    Inconclusive(String),
+}
+
+impl CheckResult {
+    /// Returns `true` for [`CheckResult::Refines`].
+    pub fn is_refinement(&self) -> bool {
+        matches!(self, CheckResult::Refines)
+    }
+
+    /// Returns the counterexample if there is one.
+    pub fn counterexample(&self) -> Option<&CounterExample> {
+        match self {
+            CheckResult::CounterExample(ce) => Some(ce),
+            _ => None,
+        }
+    }
+
+    /// Panics with a report unless the result is a refinement.
+    ///
+    /// # Panics
+    ///
+    /// Panics on counterexamples and inconclusive checks (useful in
+    /// tests).
+    pub fn assert_refines(&self) {
+        match self {
+            CheckResult::Refines => {}
+            CheckResult::CounterExample(ce) => panic!("refinement violated:\n{ce}"),
+            CheckResult::Inconclusive(why) => panic!("refinement check inconclusive: {why}"),
+        }
+    }
+}
+
+fn signatures_match(a: &Function, b: &Function) -> bool {
+    a.ret_ty == b.ret_ty
+        && a.params.len() == b.params.len()
+        && a.params.iter().zip(&b.params).all(|(x, y)| x.ty == y.ty)
+}
+
+/// Checks that `tgt_fn` (in `tgt_module`) refines `src_fn` (in
+/// `src_module`) on every enumerable input.
+pub fn check_refinement(
+    src_module: &Module,
+    src_fn: &str,
+    tgt_module: &Module,
+    tgt_fn: &str,
+    opts: &CheckOptions,
+) -> CheckResult {
+    let (Some(sf), Some(tf)) = (src_module.function(src_fn), tgt_module.function(tgt_fn)) else {
+        return CheckResult::Inconclusive("function not found".to_string());
+    };
+    if !signatures_match(sf, tf) {
+        return CheckResult::Inconclusive("signature mismatch".to_string());
+    }
+    let Some((tuples, mem_bytes)) = enumerate_inputs(sf, &opts.inputs) else {
+        return CheckResult::Inconclusive("input space too large to enumerate".to_string());
+    };
+
+    for args in tuples {
+        let src_mem = Memory::uninit(mem_bytes, uninit_fill(&opts.src_sem));
+        let tgt_mem = Memory::uninit(mem_bytes, uninit_fill(&opts.tgt_sem));
+        let src = match enumerate_outcomes(
+            src_module,
+            src_fn,
+            &args,
+            &src_mem,
+            opts.src_sem,
+            opts.limits,
+        ) {
+            Ok(s) => s,
+            Err(e) => return inconclusive(e, &args, "source"),
+        };
+        if src.may_ub() {
+            continue; // source UB grants total freedom on this input
+        }
+        let tgt = match enumerate_outcomes(
+            tgt_module,
+            tgt_fn,
+            &args,
+            &tgt_mem,
+            opts.tgt_sem,
+            opts.limits,
+        ) {
+            Ok(s) => s,
+            Err(e) => return inconclusive(e, &args, "target"),
+        };
+        if !set_refines(&tgt, &src) {
+            let witness = unjustified(&tgt, &src)
+                .first()
+                .map(|o| (*o).clone())
+                .expect("non-refining set has an unjustified outcome");
+            return CheckResult::CounterExample(Box::new(CounterExample {
+                args,
+                src_outcomes: src,
+                tgt_outcomes: tgt,
+                witness,
+            }));
+        }
+    }
+    CheckResult::Refines
+}
+
+fn inconclusive(e: ExecError, args: &[Val], which: &str) -> CheckResult {
+    let args: Vec<String> = args.iter().map(Val::to_string).collect();
+    CheckResult::Inconclusive(format!("{which} evaluation failed on ({}): {e}", args.join(", ")))
+}
+
+/// Checks that applying `transform` to the single function named
+/// `fname` of `module` produces a refinement under `sem`. Returns the
+/// transformed module with the verdict.
+pub fn check_transform(
+    module: &Module,
+    fname: &str,
+    sem: Semantics,
+    transform: impl FnOnce(&mut Module),
+) -> (Module, CheckResult) {
+    let mut after = module.clone();
+    transform(&mut after);
+    let result = check_refinement(module, fname, &after, fname, &CheckOptions::new(sem));
+    (after, result)
+}
+
+/// Marker re-export so the public API names the [`Ty`] used in docs.
+#[doc(hidden)]
+pub fn _ty_witness(t: &Ty) -> &Ty {
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use frost_ir::parse_module;
+
+    fn check_src_tgt(src: &str, tgt: &str, sem: Semantics) -> CheckResult {
+        let sm = parse_module(src).expect("source parses");
+        let tm = parse_module(tgt).expect("target parses");
+        check_refinement(&sm, "f", &tm, "f", &CheckOptions::new(sem))
+    }
+
+    #[test]
+    fn identity_refines() {
+        let src = "define i2 @f(i2 %x) {\nentry:\n  %a = add i2 %x, 1\n  ret i2 %a\n}";
+        check_src_tgt(src, src, Semantics::proposed()).assert_refines();
+    }
+
+    #[test]
+    fn constant_folding_refines() {
+        let src = "define i2 @f(i2 %x) {\nentry:\n  %a = add i2 1, 1\n  ret i2 %a\n}";
+        let tgt = "define i2 @f(i2 %x) {\nentry:\n  ret i2 2\n}";
+        check_src_tgt(src, tgt, Semantics::proposed()).assert_refines();
+    }
+
+    #[test]
+    fn the_paper_section2_3_example_needs_nsw() {
+        // a + b > a  ==>  b > 0 requires nsw (§2.3).
+        let src_nsw = "define i1 @f(i4 %a, i4 %b) {\nentry:\n  %add = add nsw i4 %a, %b\n  %cmp = icmp sgt i4 %add, %a\n  ret i1 %cmp\n}";
+        let src_wrap = "define i1 @f(i4 %a, i4 %b) {\nentry:\n  %add = add i4 %a, %b\n  %cmp = icmp sgt i4 %add, %a\n  ret i1 %cmp\n}";
+        let tgt = "define i1 @f(i4 %a, i4 %b) {\nentry:\n  %cmp = icmp sgt i4 %b, 0\n  ret i1 %cmp\n}";
+        check_src_tgt(src_nsw, tgt, Semantics::proposed()).assert_refines();
+        let r = check_src_tgt(src_wrap, tgt, Semantics::proposed());
+        assert!(r.counterexample().is_some(), "without nsw the transform is wrong");
+    }
+
+    #[test]
+    fn undef_makes_x_plus_x_not_equal_2x() {
+        // §3.1: mul %x, 2 -> add %x, %x is invalid under legacy undef...
+        let src = "define i2 @f() {\nentry:\n  %y = mul i2 undef, 2\n  ret i2 %y\n}";
+        let tgt = "define i2 @f() {\nentry:\n  %y = add i2 undef, undef\n  ret i2 %y\n}";
+        let r = check_src_tgt(src, tgt, Semantics::legacy_gvn());
+        let ce = r.counterexample().expect("counterexample expected");
+        // The target can produce an odd value; the source cannot.
+        assert!(ce.witness.ret_val().is_some());
+        // ...and the reverse direction (add -> mul) is a refinement.
+        let r = check_src_tgt(tgt, src, Semantics::legacy_gvn());
+        r.assert_refines();
+    }
+
+    #[test]
+    fn freeze_can_be_added_but_not_removed() {
+        let plain = "define i2 @f(i2 %x) {\nentry:\n  ret i2 %x\n}";
+        let frozen = "define i2 @f(i2 %x) {\nentry:\n  %y = freeze i2 %x\n  ret i2 %y\n}";
+        check_src_tgt(plain, frozen, Semantics::proposed()).assert_refines();
+        let r = check_src_tgt(frozen, plain, Semantics::proposed());
+        assert!(
+            r.counterexample().is_some(),
+            "removing freeze reintroduces poison: not a refinement"
+        );
+    }
+
+    #[test]
+    fn source_ub_grants_freedom() {
+        let src = "define i2 @f(i2 %x) {\nentry:\n  %a = udiv i2 1, 0\n  ret i2 %a\n}";
+        let tgt = "define i2 @f(i2 %x) {\nentry:\n  ret i2 3\n}";
+        check_src_tgt(src, tgt, Semantics::proposed()).assert_refines();
+    }
+
+    #[test]
+    fn introducing_ub_is_caught() {
+        let src = "define i2 @f(i2 %x) {\nentry:\n  ret i2 %x\n}";
+        let tgt = "define i2 @f(i2 %x) {\nentry:\n  %a = udiv i2 1, %x\n  ret i2 %x\n}";
+        let r = check_src_tgt(src, tgt, Semantics::proposed());
+        let ce = r.counterexample().expect("x = 0 triggers UB only in target");
+        assert!(ce.tgt_outcomes.may_ub());
+    }
+
+    #[test]
+    fn check_transform_wrapper_works() {
+        let m = parse_module("define i2 @f(i2 %x) {\nentry:\n  %a = add i2 %x, 0\n  ret i2 %a\n}")
+            .unwrap();
+        let (after, result) = check_transform(&m, "f", Semantics::proposed(), |m| {
+            // Fold add x, 0 -> x by rewriting the return.
+            let f = m.function_mut("f").unwrap();
+            f.block_mut(frost_ir::BlockId::ENTRY).term =
+                frost_ir::Terminator::Ret(Some(frost_ir::Value::Arg(0)));
+            f.block_mut(frost_ir::BlockId::ENTRY).insts.clear();
+        });
+        result.assert_refines();
+        assert_eq!(after.function("f").unwrap().placed_inst_count(), 0);
+    }
+
+    #[test]
+    fn signature_mismatch_is_inconclusive() {
+        let a = parse_module("define i2 @f(i2 %x) {\nentry:\n  ret i2 %x\n}").unwrap();
+        let b = parse_module("define i4 @f(i4 %x) {\nentry:\n  ret i4 %x\n}").unwrap();
+        let r = check_refinement(&a, "f", &b, "f", &CheckOptions::default());
+        assert!(matches!(r, CheckResult::Inconclusive(_)));
+    }
+
+    #[test]
+    fn pointer_functions_check_memory_effects() {
+        // Storing a different value is caught via the memory snapshot.
+        let src = "define void @f(i8* %p) {\nentry:\n  store i8 1, i8* %p\n  ret void\n}";
+        let tgt = "define void @f(i8* %p) {\nentry:\n  store i8 2, i8* %p\n  ret void\n}";
+        let r = check_src_tgt(src, tgt, Semantics::proposed());
+        assert!(r.counterexample().is_some());
+        // Dead-store-then-overwrite is a refinement.
+        let src2 = "define void @f(i8* %p) {\nentry:\n  store i8 9, i8* %p\n  store i8 1, i8* %p\n  ret void\n}";
+        let tgt2 = "define void @f(i8* %p) {\nentry:\n  store i8 1, i8* %p\n  ret void\n}";
+        check_src_tgt(src2, tgt2, Semantics::proposed()).assert_refines();
+    }
+}

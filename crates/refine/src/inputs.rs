@@ -1,0 +1,184 @@
+//! Enumeration of function inputs for exhaustive refinement checking.
+//!
+//! For integer parameters every defined value is enumerated plus
+//! `poison` (and `undef` under legacy semantics); pointer parameters
+//! receive addresses of disjoint cells inside the test memory. This
+//! mirrors the paper's validation setup (§6): exhaustive checking over
+//! tiny integer types.
+
+use frost_core::{poison_of, undef_of, Memory, Val};
+use frost_ir::{Function, Ty};
+
+/// Options controlling input enumeration.
+#[derive(Clone, Copy, Debug)]
+pub struct InputOptions {
+    /// Include `poison` among the argument values.
+    pub include_poison: bool,
+    /// Include `undef` among the argument values (only meaningful under
+    /// legacy semantics).
+    pub include_undef: bool,
+    /// Bytes of test memory allotted per pointer parameter.
+    pub bytes_per_pointer: u32,
+    /// Upper bound on the number of argument tuples; enumeration fails
+    /// (returns `None`) beyond it.
+    pub max_tuples: usize,
+}
+
+impl Default for InputOptions {
+    fn default() -> InputOptions {
+        InputOptions {
+            include_poison: true,
+            include_undef: false,
+            bytes_per_pointer: 4,
+            max_tuples: 1 << 16,
+        }
+    }
+}
+
+/// The candidate values for one parameter of type `ty`.
+///
+/// Returns `None` if the type's domain cannot be enumerated within
+/// `cap` values.
+pub fn param_values(ty: &Ty, next_ptr_base: &mut u32, opts: &InputOptions, cap: usize) -> Option<Vec<Val>> {
+    match ty {
+        Ty::Int(_) => {
+            let mut vals = frost_core::enumerate_scalar(ty, cap)?;
+            if opts.include_poison {
+                vals.push(Val::Poison);
+            }
+            if opts.include_undef {
+                vals.push(undef_of(ty));
+            }
+            Some(vals)
+        }
+        Ty::Ptr(_) => {
+            // One in-bounds cell per pointer parameter; poison/undef
+            // pointers when requested.
+            let base = *next_ptr_base;
+            *next_ptr_base += opts.bytes_per_pointer;
+            let mut vals = vec![Val::Ptr(base)];
+            if opts.include_poison {
+                vals.push(poison_of(ty));
+            }
+            Some(vals)
+        }
+        Ty::Vector { elems, elem } => {
+            let elem_vals = param_values(elem, next_ptr_base, opts, cap)?;
+            let total = elem_vals.len().checked_pow(*elems)?;
+            if total > cap {
+                return None;
+            }
+            let mut tuples: Vec<Vec<Val>> = vec![Vec::new()];
+            for _ in 0..*elems {
+                let mut next = Vec::with_capacity(tuples.len() * elem_vals.len());
+                for t in &tuples {
+                    for v in &elem_vals {
+                        let mut t2 = t.clone();
+                        t2.push(v.clone());
+                        next.push(t2);
+                    }
+                }
+                tuples = next;
+            }
+            Some(tuples.into_iter().map(Val::Vec).collect())
+        }
+        Ty::Void => None,
+    }
+}
+
+/// All argument tuples for `func`, plus the test memory its pointer
+/// parameters index into.
+///
+/// Returns `None` if the input space exceeds `opts.max_tuples`.
+pub fn enumerate_inputs(func: &Function, opts: &InputOptions) -> Option<(Vec<Vec<Val>>, u32)> {
+    let mut next_ptr = Memory::BASE;
+    let mut per_param: Vec<Vec<Val>> = Vec::with_capacity(func.params.len());
+    for p in &func.params {
+        per_param.push(param_values(&p.ty, &mut next_ptr, opts, opts.max_tuples)?);
+    }
+    let mem_bytes = next_ptr - Memory::BASE;
+
+    let mut tuples: Vec<Vec<Val>> = vec![Vec::new()];
+    for vals in &per_param {
+        let mut next = Vec::with_capacity(tuples.len().saturating_mul(vals.len()));
+        for t in &tuples {
+            for v in vals {
+                if next.len() >= opts.max_tuples {
+                    return None;
+                }
+                let mut t2 = t.clone();
+                t2.push(v.clone());
+                next.push(t2);
+            }
+        }
+        tuples = next;
+        if tuples.len() > opts.max_tuples {
+            return None;
+        }
+    }
+    Some((tuples, mem_bytes))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use frost_ir::FunctionBuilder;
+
+    fn fn_with(params: &[(&str, Ty)]) -> Function {
+        let mut b = FunctionBuilder::new("f", params, Ty::Void);
+        b.ret_void();
+        b.finish()
+    }
+
+    #[test]
+    fn int_params_enumerate_all_values_plus_poison() {
+        let f = fn_with(&[("x", Ty::Int(2))]);
+        let (tuples, mem) = enumerate_inputs(&f, &InputOptions::default()).unwrap();
+        assert_eq!(tuples.len(), 5); // 4 values + poison
+        assert_eq!(mem, 0);
+        assert!(tuples.iter().any(|t| t[0] == Val::Poison));
+    }
+
+    #[test]
+    fn undef_included_when_requested() {
+        let f = fn_with(&[("x", Ty::Int(1))]);
+        let opts = InputOptions { include_undef: true, ..InputOptions::default() };
+        let (tuples, _) = enumerate_inputs(&f, &opts).unwrap();
+        assert_eq!(tuples.len(), 4); // false, true, poison, undef
+    }
+
+    #[test]
+    fn pointers_get_disjoint_cells() {
+        let f = fn_with(&[("p", Ty::ptr_to(Ty::i8())), ("q", Ty::ptr_to(Ty::i8()))]);
+        let opts = InputOptions { include_poison: false, ..InputOptions::default() };
+        let (tuples, mem) = enumerate_inputs(&f, &opts).unwrap();
+        assert_eq!(tuples.len(), 1);
+        assert_eq!(mem, 8);
+        assert_ne!(tuples[0][0], tuples[0][1]);
+    }
+
+    #[test]
+    fn tuple_count_is_the_product() {
+        let f = fn_with(&[("x", Ty::Int(2)), ("y", Ty::Int(1))]);
+        let (tuples, _) = enumerate_inputs(&f, &InputOptions::default()).unwrap();
+        assert_eq!(tuples.len(), 5 * 3);
+    }
+
+    #[test]
+    fn overflow_of_cap_returns_none() {
+        let f = fn_with(&[("x", Ty::i32())]);
+        assert!(enumerate_inputs(&f, &InputOptions::default()).is_none());
+        let opts = InputOptions { max_tuples: 100, ..InputOptions::default() };
+        let h = fn_with(&[("x", Ty::Int(4)), ("y", Ty::Int(4))]);
+        assert!(enumerate_inputs(&h, &opts).is_none());
+    }
+
+    #[test]
+    fn vector_params_enumerate_per_element() {
+        let f = fn_with(&[("v", Ty::vector(2, Ty::Int(1)))]);
+        let opts = InputOptions { include_poison: true, ..InputOptions::default() };
+        let (tuples, _) = enumerate_inputs(&f, &opts).unwrap();
+        // 3 choices per element (0, 1, poison), 2 elements.
+        assert_eq!(tuples.len(), 9);
+    }
+}

@@ -1,0 +1,203 @@
+//! # frost-workloads
+//!
+//! Synthetic benchmark programs standing in for the paper's evaluation
+//! suites (§7.1): SPEC CPU 2006 CINT and CFP (one kernel per benchmark
+//! name, CFP integer-ized as fixed-point), an LNT-like micro suite, the
+//! "Stanford Queens" program behind the §7.2 anecdote, and analogues of
+//! the five large single-file programs (with a bit-field-heavy
+//! "gcc"-like program driving the §7.2 freeze-count observation).
+//!
+//! Every workload is a mini-C program compiled by `frost-cc`; the
+//! harness in `frost-bench` compiles each with the legacy and the
+//! freeze pipelines and runs them on the machine simulator.
+
+#![warn(missing_docs)]
+
+pub mod lnt;
+pub mod single_file;
+pub mod spec;
+
+use frost_cc::{compile_source, CcError, CodegenOptions};
+use frost_ir::Module;
+
+/// Which suite a workload belongs to.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Suite {
+    /// SPEC CPU 2006 integer benchmarks (C/C++ ones).
+    SpecInt,
+    /// SPEC CPU 2006 floating-point benchmarks (integer-ized).
+    SpecFp,
+    /// The LLVM Nightly Test analogue: small kernels.
+    Lnt,
+    /// Large single-file program analogues.
+    SingleFile,
+}
+
+impl Suite {
+    /// Display name.
+    pub fn name(self) -> &'static str {
+        match self {
+            Suite::SpecInt => "CINT",
+            Suite::SpecFp => "CFP",
+            Suite::Lnt => "LNT",
+            Suite::SingleFile => "single-file",
+        }
+    }
+}
+
+/// How an entry-point argument is constructed by the harness.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum ArgSpec {
+    /// An integer constant.
+    Int(u64),
+    /// A pointer to `offset` bytes past the start of workload memory.
+    Ptr(u32),
+}
+
+/// A benchmark program.
+#[derive(Clone, Debug)]
+pub struct Workload {
+    /// Benchmark name (SPEC names for the SPEC suites).
+    pub name: &'static str,
+    /// The suite it belongs to.
+    pub suite: Suite,
+    /// mini-C source.
+    pub source: String,
+    /// Entry function.
+    pub entry: &'static str,
+    /// Entry arguments.
+    pub args: Vec<ArgSpec>,
+    /// Bytes of memory to allocate.
+    pub mem_bytes: u32,
+    /// Seed for pseudo-random memory initialization (0 = zeroed).
+    pub mem_seed: u64,
+}
+
+impl Workload {
+    /// Compiles the workload with the given options.
+    ///
+    /// # Errors
+    ///
+    /// Returns the frontend error on failure (workloads are tested to
+    /// compile, so this indicates a regression).
+    pub fn compile(&self, opts: &CodegenOptions) -> Result<Module, CcError> {
+        compile_source(&self.source, opts)
+    }
+
+    /// Fills a memory image deterministically from the seed
+    /// (xorshift64*), or zeroes when the seed is 0.
+    pub fn init_memory(&self) -> Vec<u8> {
+        let mut mem = vec![0u8; self.mem_bytes as usize];
+        if self.mem_seed != 0 {
+            let mut x = self.mem_seed;
+            for b in &mut mem {
+                x ^= x << 13;
+                x ^= x >> 7;
+                x ^= x << 17;
+                *b = (x.wrapping_mul(0x2545_f491_4f6c_dd1d) >> 56) as u8;
+            }
+        }
+        mem
+    }
+}
+
+/// All SPEC CINT workloads.
+pub fn spec_cint() -> Vec<Workload> {
+    spec::cint()
+}
+
+/// All SPEC CFP workloads (integer-ized kernels).
+pub fn spec_cfp() -> Vec<Workload> {
+    spec::cfp()
+}
+
+/// The LNT-like micro suite.
+pub fn lnt_suite() -> Vec<Workload> {
+    lnt::suite()
+}
+
+/// The single-file program analogues (incl. the bit-field-heavy
+/// gcc-like program).
+pub fn single_file_suite() -> Vec<Workload> {
+    single_file::suite()
+}
+
+/// The Stanford Queens program (§7.2's outlier).
+pub fn queens() -> Workload {
+    lnt::queens()
+}
+
+/// Every workload.
+pub fn all_workloads() -> Vec<Workload> {
+    let mut v = spec_cint();
+    v.extend(spec_cfp());
+    v.extend(lnt_suite());
+    v.extend(single_file_suite());
+    v
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_workloads_compile_under_both_lowerings() {
+        for w in all_workloads() {
+            for freeze in [true, false] {
+                let opts = CodegenOptions { freeze_bitfields: freeze, emit_wrap_flags: true };
+                let m = w.compile(&opts).unwrap_or_else(|e| {
+                    panic!("workload {} fails to compile (freeze={freeze}): {e}", w.name)
+                });
+                frost_ir::verify::verify_module(&m, frost_ir::VerifyMode::Legacy)
+                    .unwrap_or_else(|e| {
+                        panic!("workload {} fails verification: {}", w.name, e.join("; "))
+                    });
+            }
+        }
+    }
+
+    #[test]
+    fn suite_sizes_match_the_paper() {
+        // §7.1: 12 CINT + 7 CFP C/C++ benchmarks.
+        assert_eq!(spec_cint().len(), 12);
+        assert_eq!(spec_cfp().len(), 7);
+        assert!(lnt_suite().len() >= 20, "a meaningful LNT-like population");
+        assert_eq!(single_file_suite().len(), 5);
+    }
+
+    #[test]
+    fn memory_init_is_deterministic() {
+        let w = &spec_cint()[0];
+        assert_eq!(w.init_memory(), w.init_memory());
+        if w.mem_seed != 0 {
+            assert!(w.init_memory().iter().any(|&b| b != 0));
+        }
+    }
+
+    #[test]
+    fn names_are_unique() {
+        let mut names: Vec<&str> = all_workloads().iter().map(|w| w.name).collect();
+        let before = names.len();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), before);
+    }
+
+    #[test]
+    fn gcc_like_workload_is_bitfield_heavy() {
+        let w = spec_cint()
+            .into_iter()
+            .find(|w| w.name == "gcc")
+            .expect("gcc workload exists");
+        let with = w
+            .compile(&CodegenOptions::default())
+            .unwrap()
+            .freeze_count();
+        assert!(with > 0, "freeze instructions from bit-field stores");
+        let without = w
+            .compile(&CodegenOptions { freeze_bitfields: false, emit_wrap_flags: true })
+            .unwrap()
+            .freeze_count();
+        assert_eq!(without, 0);
+    }
+}

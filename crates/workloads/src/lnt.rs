@@ -1,0 +1,559 @@
+//! The LNT-like micro suite: small kernels in the style of the LLVM
+//! Nightly Tests / Benchmark Game programs, including the two §7.2
+//! protagonists — "Shootout nestedloop" (the compile-time outlier) and
+//! "Stanford Queens" (the run-time outlier).
+
+use crate::{ArgSpec, Suite, Workload};
+
+fn k(name: &'static str, source: &str, args: Vec<ArgSpec>, mem: u32, seed: u64) -> Workload {
+    Workload {
+        name,
+        suite: Suite::Lnt,
+        source: source.to_string(),
+        entry: "run",
+        args,
+        mem_bytes: mem,
+        mem_seed: seed,
+    }
+}
+
+/// The Stanford Queens program: counts N-queens solutions with the
+/// classic column/diagonal occupancy arrays.
+pub fn queens() -> Workload {
+    k(
+        "stanford_queens",
+        r#"
+struct stats {
+    unsigned solutions : 12;
+    unsigned nodes : 20;
+};
+int place(int *cols, int *d1, int *d2, struct stats *st, int n, int row) {
+    if (row == n) {
+        st->solutions = st->solutions + 1;
+        return 1;
+    }
+    int found = 0;
+    for (int c = 0; c < n; c++) {
+        if (cols[c] == 0 && d1[row + c] == 0 && d2[row - c + n] == 0) {
+            cols[c] = 1; d1[row + c] = 1; d2[row - c + n] = 1;
+            found += place(cols, d1, d2, st, n, row + 1);
+            cols[c] = 0; d1[row + c] = 0; d2[row - c + n] = 0;
+        }
+    }
+    return found;
+}
+int run(int *cols, int *d1, int *d2, struct stats *st, int n) {
+    int total = 0;
+    for (int rep = 0; rep < 3; rep++) {
+        for (int i = 0; i < n; i++) cols[i] = 0;
+        for (int i = 0; i < 2 * n; i++) { d1[i] = 0; d2[i] = 0; }
+        total += place(cols, d1, d2, st, n, 0);
+    }
+    return total;
+}
+"#,
+        vec![
+            ArgSpec::Ptr(0),
+            ArgSpec::Ptr(64),
+            ArgSpec::Ptr(192),
+            ArgSpec::Ptr(320),
+            ArgSpec::Int(8),
+        ],
+        328,
+        0,
+    )
+}
+
+/// The micro suite.
+pub fn suite() -> Vec<Workload> {
+    let mut v = vec![
+        queens(),
+        // The §7.2 compile-time outlier: tiny file, deeply nested loops.
+        k(
+            "shootout_nestedloop",
+            r#"
+int run(int n) {
+    int x = 0;
+    for (int a = 0; a < n; a++)
+        for (int b = 0; b < n; b++)
+            for (int c = 0; c < n; c++)
+                for (int d = 0; d < n; d++)
+                    x++;
+    return x;
+}
+"#,
+            vec![ArgSpec::Int(12)],
+            0,
+            0,
+        ),
+        k(
+            "fib",
+            r#"
+int fib(int n) {
+    if (n < 2) return n;
+    return fib(n - 1) + fib(n - 2);
+}
+int run(int n) { return fib(n); }
+"#,
+            vec![ArgSpec::Int(17)],
+            0,
+            0,
+        ),
+        k(
+            "ackermann",
+            r#"
+int ack(int m, int n) {
+    if (m == 0) return n + 1;
+    if (n == 0) return ack(m - 1, 1);
+    return ack(m - 1, ack(m, n - 1));
+}
+int run(void) { return ack(2, 6); }
+"#,
+            vec![],
+            0,
+            0,
+        ),
+        k(
+            "sieve",
+            r#"
+int run(char *flags, int n) {
+    int count = 0;
+    for (int i = 0; i < n; i++) flags[i] = 1;
+    for (int i = 2; i < n; i++) {
+        if (flags[i] != 0) {
+            count++;
+            for (int j = i + i; j < n; j += i) flags[j] = 0;
+        }
+    }
+    return count;
+}
+"#,
+            vec![ArgSpec::Ptr(0), ArgSpec::Int(4096)],
+            4096,
+            0,
+        ),
+        k(
+            "matrix",
+            r#"
+int run(int *a, int *b, int *c, int n) {
+    for (int i = 0; i < n; i++)
+        for (int j = 0; j < n; j++) {
+            int s = 0;
+            for (int kk = 0; kk < n; kk++)
+                s += (a[i * n + kk] & 255) * (b[kk * n + j] & 255);
+            c[i * n + j] = s;
+        }
+    int t = 0;
+    for (int i = 0; i < n * n; i++) t ^= c[i];
+    return t;
+}
+"#,
+            vec![ArgSpec::Ptr(0), ArgSpec::Ptr(1024), ArgSpec::Ptr(2048), ArgSpec::Int(16)],
+            3072,
+            0x3a3a,
+        ),
+        k(
+            "bitcount",
+            r#"
+int run(unsigned *data, int n) {
+    int bits = 0;
+    for (int i = 0; i < n; i++) {
+        unsigned v = data[i];
+        while (v != 0u) {
+            v = v & (v - 1u);
+            bits++;
+        }
+    }
+    return bits;
+}
+"#,
+            vec![ArgSpec::Ptr(0), ArgSpec::Int(512)],
+            2048,
+            0xb17c,
+        ),
+        k(
+            "bubblesort",
+            r#"
+int run(int *a, int n) {
+    for (int i = 0; i < n; i++)
+        for (int j = 0; j + 1 < n - i; j++)
+            if (a[j] > a[j + 1]) {
+                int t = a[j]; a[j] = a[j + 1]; a[j + 1] = t;
+            }
+    return a[0] ^ a[n / 2] ^ a[n - 1];
+}
+"#,
+            vec![ArgSpec::Ptr(0), ArgSpec::Int(160)],
+            640,
+            0xb0b5,
+        ),
+        k(
+            "quicksort",
+            r#"
+void qs(int *a, int lo, int hi) {
+    if (lo >= hi) return;
+    int pivot = a[(lo + hi) / 2];
+    int i = lo;
+    int j = hi;
+    while (i <= j) {
+        while (a[i] < pivot) i++;
+        while (a[j] > pivot) j--;
+        if (i <= j) {
+            int t = a[i]; a[i] = a[j]; a[j] = t;
+            i++; j--;
+        }
+    }
+    qs(a, lo, j);
+    qs(a, i, hi);
+}
+int run(int *a, int n) {
+    qs(a, 0, n - 1);
+    int inversions = 0;
+    for (int i = 0; i + 1 < n; i++) if (a[i] > a[i + 1]) inversions++;
+    return inversions;
+}
+"#,
+            vec![ArgSpec::Ptr(0), ArgSpec::Int(300)],
+            1200,
+            0x9055,
+        ),
+        k(
+            "gcd_chain",
+            r#"
+int gcd(int a, int b) {
+    while (b != 0) {
+        int t = a % b;
+        a = b;
+        b = t;
+    }
+    return a;
+}
+int run(int n) {
+    int acc = 0;
+    for (int i = 1; i < n; i++)
+        acc += gcd(i * 7919 & 65535, i * 104729 & 65535);
+    return acc;
+}
+"#,
+            vec![ArgSpec::Int(500)],
+            0,
+            0,
+        ),
+        k(
+            "collatz",
+            r#"
+int run(int limit) {
+    int longest = 0;
+    for (int s = 1; s < limit; s++) {
+        long v = (long)s;
+        int len = 0;
+        while (v != 1L && v < 100000000L && len < 500) {
+            if ((v & 1L) == 0L) { v = v / 2L; } else { v = 3L * v + 1L; }
+            len++;
+        }
+        if (len > longest) longest = len;
+    }
+    return longest;
+}
+"#,
+            vec![ArgSpec::Int(400)],
+            0,
+            0,
+        ),
+        k(
+            "crc32",
+            r#"
+unsigned run(char *data, int n) {
+    unsigned crc = 0xffffffffu;
+    for (int i = 0; i < n; i++) {
+        crc = crc ^ (unsigned)((int)data[i] & 255);
+        for (int b2 = 0; b2 < 8; b2++) {
+            unsigned low = crc & 1u;
+            crc = crc >> 1;
+            if (low != 0u) crc = crc ^ 0xedb88320u;
+        }
+    }
+    return ~crc;
+}
+"#,
+            vec![ArgSpec::Ptr(0), ArgSpec::Int(2048)],
+            2048,
+            0xcc32,
+        ),
+        k(
+            "fannkuch",
+            r#"
+int run(int *perm, int *tmp, int n) {
+    for (int i = 0; i < n; i++) perm[i] = i;
+    int maxflips = 0;
+    for (int iter = 0; iter < 200; iter++) {
+        for (int i = 0; i < n; i++) tmp[i] = perm[i];
+        int flips = 0;
+        int first = tmp[0];
+        while (first != 0) {
+            int hi = first;
+            for (int lo = 0; lo < hi; lo++) {
+                int t = tmp[lo]; tmp[lo] = tmp[hi]; tmp[hi] = t;
+                hi--;
+            }
+            flips++;
+            first = tmp[0];
+        }
+        if (flips > maxflips) maxflips = flips;
+        int rot = perm[0];
+        int r = iter % (n - 1) + 1;
+        for (int i = 0; i < r; i++) perm[i] = perm[i + 1];
+        perm[r] = rot;
+    }
+    return maxflips;
+}
+"#,
+            vec![ArgSpec::Ptr(0), ArgSpec::Ptr(64), ArgSpec::Int(9)],
+            128,
+            0,
+        ),
+        k(
+            "nbody_fixed",
+            r#"
+long run(long *px, long *py, long *vx, long *vy, int n, int steps) {
+    for (int i = 0; i < n; i++) {
+        px[i] = px[i] & 65535L; py[i] = py[i] & 65535L;
+        vx[i] = 0L; vy[i] = 0L;
+    }
+    for (int s = 0; s < steps; s++) {
+        for (int i = 0; i < n; i++)
+            for (int j = 0; j < n; j++)
+                if (i != j) {
+                    long dx = px[j] - px[i];
+                    long dy = py[j] - py[i];
+                    long d2 = dx * dx + dy * dy + 256L;
+                    vx[i] += (dx << 8) / d2;
+                    vy[i] += (dy << 8) / d2;
+                }
+        for (int i = 0; i < n; i++) { px[i] += vx[i] >> 4; py[i] += vy[i] >> 4; }
+    }
+    long h = 0L;
+    for (int i = 0; i < n; i++) h ^= px[i] + py[i];
+    return h;
+}
+"#,
+            vec![
+                ArgSpec::Ptr(0),
+                ArgSpec::Ptr(256),
+                ArgSpec::Ptr(512),
+                ArgSpec::Ptr(768),
+                ArgSpec::Int(24),
+                ArgSpec::Int(30),
+            ],
+            1024,
+            0xbd11,
+        ),
+        k(
+            "spectral_fixed",
+            r#"
+long a_elem(int i, int j) {
+    return 65536L / (long)((i + j) * (i + j + 1) / 2 + i + 1);
+}
+long run(long *u, long *v, int n) {
+    for (int i = 0; i < n; i++) u[i] = 65536L;
+    for (int it = 0; it < 8; it++) {
+        for (int i = 0; i < n; i++) {
+            long s = 0L;
+            for (int j = 0; j < n; j++) s += (a_elem(i, j) * u[j]) >> 16;
+            v[i] = s;
+        }
+        for (int i = 0; i < n; i++) u[i] = v[i];
+    }
+    long h = 0L;
+    for (int i = 0; i < n; i++) h += u[i];
+    return h;
+}
+"#,
+            vec![ArgSpec::Ptr(0), ArgSpec::Ptr(512), ArgSpec::Int(64)],
+            1024,
+            0,
+        ),
+        k(
+            "strreverse",
+            r#"
+int run(char *s, int n, int rounds) {
+    for (int r = 0; r < rounds; r++) {
+        int j = n - 1;
+        for (int i = 0; i < j; i++) {
+            char t = s[i]; s[i] = s[j]; s[j] = t;
+            j--;
+        }
+    }
+    int h = 0;
+    for (int i = 0; i < n; i++) h = h * 31 + ((int)s[i] & 255) & 16777215;
+    return h;
+}
+"#,
+            vec![ArgSpec::Ptr(0), ArgSpec::Int(1024), ArgSpec::Int(50)],
+            1024,
+            0x5335,
+        ),
+        k(
+            "hanoi",
+            r#"
+int hanoi(int n, int from, int to, int via) {
+    if (n == 0) return 0;
+    return hanoi(n - 1, from, via, to) + 1 + hanoi(n - 1, via, to, from);
+}
+int run(int n) { return hanoi(n, 0, 2, 1); }
+"#,
+            vec![ArgSpec::Int(14)],
+            0,
+            0,
+        ),
+        k(
+            "isqrt_sum",
+            r#"
+int isqrt(int x) {
+    int r = 0;
+    while ((r + 1) * (r + 1) <= x) r++;
+    return r;
+}
+int run(int n) {
+    int s = 0;
+    for (int i = 0; i < n; i++) s += isqrt(i);
+    return s;
+}
+"#,
+            vec![ArgSpec::Int(3000)],
+            0,
+            0,
+        ),
+        k(
+            "josephus",
+            r#"
+int run(int n, int step) {
+    int survivor = 0;
+    for (int m = 2; m <= n; m++) survivor = (survivor + step) % m;
+    return survivor;
+}
+"#,
+            vec![ArgSpec::Int(20000), ArgSpec::Int(7)],
+            0,
+            0,
+        ),
+        k(
+            "shellsort",
+            r#"
+int run(int *a, int n) {
+    for (int gap = n / 2; gap > 0; gap = gap / 2) {
+        for (int i = gap; i < n; i++) {
+            int t = a[i];
+            int j = i;
+            while (j >= gap && a[j - gap] > t) {
+                a[j] = a[j - gap];
+                j -= gap;
+            }
+            a[j] = t;
+        }
+    }
+    return a[0] ^ a[n - 1] ^ a[n / 3];
+}
+"#,
+            vec![ArgSpec::Ptr(0), ArgSpec::Int(400)],
+            1600,
+            0x5e11,
+        ),
+        k(
+            "adler32",
+            r#"
+unsigned run(char *data, int n) {
+    unsigned a = 1u;
+    unsigned b = 0u;
+    for (int i = 0; i < n; i++) {
+        a = (a + (unsigned)((int)data[i] & 255)) % 65521u;
+        b = (b + a) % 65521u;
+    }
+    return (b << 16) | a;
+}
+"#,
+            vec![ArgSpec::Ptr(0), ArgSpec::Int(4096)],
+            4096,
+            0xad1e,
+        ),
+        k(
+            "dotproduct",
+            r#"
+long run(int *a, int *b, int n, int rounds) {
+    long acc = 0L;
+    for (int r = 0; r < rounds; r++)
+        for (int i = 0; i < n; i++)
+            acc += (long)(a[i] & 4095) * (long)(b[i] & 4095);
+    return acc;
+}
+"#,
+            vec![ArgSpec::Ptr(0), ArgSpec::Ptr(2048), ArgSpec::Int(512), ArgSpec::Int(40)],
+            4096,
+            0xd07b,
+        ),
+        k(
+            "histogram",
+            r#"
+int run(char *data, int *bins, int n) {
+    for (int i = 0; i < 256; i++) bins[i] = 0;
+    for (int i = 0; i < n; i++) bins[(int)data[i] & 255]++;
+    int maxbin = 0;
+    for (int i = 0; i < 256; i++) if (bins[i] > maxbin) maxbin = bins[i];
+    return maxbin;
+}
+"#,
+            vec![ArgSpec::Ptr(0), ArgSpec::Ptr(8192), ArgSpec::Int(8192)],
+            8192 + 1024,
+            0x4157,
+        ),
+        k(
+            "rle",
+            r#"
+int run(char *input, char *output, int n) {
+    int out = 0;
+    int i = 0;
+    while (i < n) {
+        char c = input[i];
+        int runlen = 1;
+        while (i + runlen < n && input[i + runlen] == c && runlen < 255) runlen++;
+        output[out] = (char)runlen;
+        output[out + 1] = c;
+        out += 2;
+        i += runlen;
+    }
+    return out;
+}
+"#,
+            vec![ArgSpec::Ptr(0), ArgSpec::Ptr(4096), ArgSpec::Int(4096)],
+            4096 + 8192,
+            0x41e1,
+        ),
+        k(
+            "popcnt_table",
+            r#"
+int run(char *table, unsigned *data, int n) {
+    for (int i = 0; i < 256; i++) {
+        int c = 0;
+        int v = i;
+        while (v != 0) { c += v & 1; v = v >> 1; }
+        table[i] = (char)c;
+    }
+    int total = 0;
+    for (int i = 0; i < n; i++) {
+        unsigned v = data[i];
+        total += (int)table[(int)(v & 255u)];
+        total += (int)table[(int)((v >> 8) & 255u)];
+        total += (int)table[(int)((v >> 16) & 255u)];
+        total += (int)table[(int)((v >> 24) & 255u)];
+    }
+    return total;
+}
+"#,
+            vec![ArgSpec::Ptr(0), ArgSpec::Ptr(256), ArgSpec::Int(1024)],
+            256 + 4096,
+            0x90bc,
+        ),
+    ];
+    v.shrink_to_fit();
+    v
+}

@@ -1,0 +1,218 @@
+//! Analogues of the paper's five large single-file programs (§7.1
+//! footnote 12): each is a distinct medium-sized program with several
+//! cooperating functions, giving the compile-time and memory
+//! experiments files bigger than the LNT micro kernels.
+
+use crate::{ArgSpec, Suite, Workload};
+
+fn p(name: &'static str, source: &str, args: Vec<ArgSpec>, mem: u32, seed: u64) -> Workload {
+    Workload {
+        name,
+        suite: Suite::SingleFile,
+        source: source.to_string(),
+        entry: "run",
+        args,
+        mem_bytes: mem,
+        mem_seed: seed,
+    }
+}
+
+/// The five single-file programs.
+pub fn suite() -> Vec<Workload> {
+    vec![
+        // gzip: LZ77-style match finding + Huffman-ish bit packing.
+        p(
+            "gzip",
+            r#"
+int match_len(char *buf, int a, int b, int limit) {
+    int len = 0;
+    while (len < limit && buf[a + len] == buf[b + len]) len++;
+    return len;
+}
+unsigned emit(unsigned bitbuf, int value) {
+    return (bitbuf << 3) ^ (unsigned)value;
+}
+unsigned run(char *buf, int n) {
+    unsigned out = 0u;
+    int pos = 64;
+    while (pos < n - 8) {
+        int best = 0;
+        int bestoff = 0;
+        for (int off = 1; off <= 32; off++) {
+            int l = match_len(buf, pos - off, pos, 8);
+            if (l > best) { best = l; bestoff = off; }
+        }
+        if (best >= 3) {
+            out = emit(out, 256 + bestoff);
+            out = emit(out, best);
+            pos += best;
+        } else {
+            out = emit(out, (int)buf[pos] & 255);
+            pos++;
+        }
+    }
+    return out;
+}
+"#,
+            vec![ArgSpec::Ptr(0), ArgSpec::Int(6144)],
+            6144,
+            0x6219,
+        ),
+        // oggenc: windowed MDCT-ish transform + quantization in Q12.
+        p(
+            "oggenc",
+            r#"
+long window(long sample, int i, int n) {
+    long tri = (long)(i < n / 2 ? i : n - i);
+    return (sample * tri * 2L) / (long)n;
+}
+int quantize(long coeff, int bits) {
+    long step = 1L << (long)(12 - bits);
+    long q = coeff / step;
+    if (q > 127L) q = 127L;
+    if (q < -128L) q = -128L;
+    return (int)q;
+}
+int run(long *pcm, char *packet, int n) {
+    for (int i = 0; i < n; i++) pcm[i] = (pcm[i] & 8191L) - 4096L;
+    int out = 0;
+    for (int frame = 0; frame + 64 <= n; frame += 64) {
+        for (int ii = 0; ii < 64; ii++) {
+            long acc = 0L;
+            for (int jj = 0; jj < 64; jj++) {
+                long w = window(pcm[frame + jj], jj, 64);
+                long phase = (long)(((2 * jj + 1) * ii) % 128) - 64L;
+                acc += w * phase / 64L;
+            }
+            packet[out] = (char)quantize(acc, (ii & 3) + 4);
+            out++;
+        }
+    }
+    int h = 0;
+    for (int i = 0; i < out; i++) h = (h * 33 + ((int)packet[i] & 255)) & 16777215;
+    return h;
+}
+"#,
+            vec![ArgSpec::Ptr(0), ArgSpec::Ptr(8192), ArgSpec::Int(768)],
+            8192 + 1024,
+            0x0995,
+        ),
+        // sqlite3: varint decoding + B-tree-ish page search.
+        p(
+            "sqlite3",
+            r#"
+int get_varint(char *page, int pos, int *out) {
+    int v = 0;
+    int i = 0;
+    while (i < 4) {
+        int byte = (int)page[pos + i] & 255;
+        v = (v << 7) | (byte & 127);
+        i++;
+        if ((byte & 128) == 0) { out[0] = v; return i; }
+    }
+    out[0] = v;
+    return i;
+}
+int cell_key(char *page, int cell, int *scratch) {
+    int off = 8 + cell * 6;
+    int used = get_varint(page, off, scratch);
+    return scratch[0] & 65535;
+}
+int search_page(char *page, int ncells, int key, int *scratch) {
+    int lo = 0;
+    int hi = ncells - 1;
+    while (lo <= hi) {
+        int mid = (lo + hi) / 2;
+        int k = cell_key(page, mid, scratch);
+        if (k == key) return mid;
+        if (k < key) { lo = mid + 1; } else { hi = mid - 1; }
+    }
+    return -1;
+}
+int run(char *pages, int *scratch, int npages, int queries) {
+    int hits = 0;
+    unsigned rng = 2463534242u;
+    for (int q = 0; q < queries; q++) {
+        rng ^= rng << 13;
+        rng ^= rng >> 17;
+        rng ^= rng << 5;
+        int pg = (int)(rng % (unsigned)npages);
+        int key = (int)((rng >> 8) & 65535u);
+        int r = search_page(pages, 64, key, scratch);
+        hits += r >= 0 ? 1 : 0;
+        hits += pg & 1;
+    }
+    return hits;
+}
+"#,
+            vec![ArgSpec::Ptr(0), ArgSpec::Ptr(8192), ArgSpec::Int(16), ArgSpec::Int(800)],
+            8192 + 64,
+            0x5917,
+        ),
+        // lame: polyphase filterbank-ish subband analysis in fixed point.
+        p(
+            "lame",
+            r#"
+long filter_tap(long sample, int tap) {
+    long coeff = (long)((tap * tap) % 97 - 48);
+    return sample * coeff;
+}
+long run(long *pcm, long *subbands, int n) {
+    for (int i = 0; i < n; i++) pcm[i] = (pcm[i] & 16383L) - 8192L;
+    for (int sb = 0; sb < 32; sb++) subbands[sb] = 0L;
+    for (int start = 0; start + 64 <= n; start += 32) {
+        for (int sb = 0; sb < 32; sb++) {
+            long acc = 0L;
+            for (int t = 0; t < 64; t++) {
+                acc += filter_tap(pcm[start + t], (t * (2 * sb + 1)) % 64);
+            }
+            subbands[sb] += acc >> 12;
+        }
+    }
+    long h = 0L;
+    for (int sb = 0; sb < 32; sb++) h ^= subbands[sb];
+    return h;
+}
+"#,
+            vec![ArgSpec::Ptr(0), ArgSpec::Ptr(8192), ArgSpec::Int(1000)],
+            8192 + 256,
+            0x1a3e,
+        ),
+        // tcc: a tokenizer + tiny stack-machine evaluator.
+        p(
+            "tcc",
+            r#"
+int is_digit(int c) { return c >= 48 && c <= 57 ? 1 : 0; }
+int run(char *src, int *stack, int n) {
+    int sp = 0;
+    int acc = 0;
+    int i = 0;
+    while (i < n) {
+        int c = (int)src[i] & 127;
+        if (is_digit(c) != 0) {
+            int v = 0;
+            while (i < n && is_digit((int)src[i] & 127) != 0) {
+                v = (v * 10 + (((int)src[i] & 127) - 48)) & 65535;
+                i++;
+            }
+            if (sp < 64) { stack[sp] = v; sp++; }
+        } else if (c == 43) {
+            if (sp >= 2) { stack[sp - 2] = stack[sp - 2] + stack[sp - 1] & 1048575; sp--; }
+            i++;
+        } else if (c == 42) {
+            if (sp >= 2) { stack[sp - 2] = stack[sp - 2] * stack[sp - 1] & 1048575; sp--; }
+            i++;
+        } else {
+            if (sp > 0) { acc = (acc ^ stack[sp - 1]) & 1048575; }
+            i++;
+        }
+    }
+    return acc + sp;
+}
+"#,
+            vec![ArgSpec::Ptr(0), ArgSpec::Ptr(8192), ArgSpec::Int(8192)],
+            8192 + 256,
+            0x7cc0,
+        ),
+    ]
+}

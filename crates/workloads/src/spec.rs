@@ -1,0 +1,590 @@
+//! SPEC CPU 2006-shaped kernels, one per C/C++ benchmark the paper
+//! evaluates (§7.1). Each kernel is a distinct algorithm evoking its
+//! namesake's hot loop; CFP benchmarks are fixed-point (Q16)
+//! integer-izations, per the substitution table in DESIGN.md.
+
+use crate::{ArgSpec, Suite, Workload};
+
+fn w(
+    name: &'static str,
+    suite: Suite,
+    source: &str,
+    entry: &'static str,
+    args: Vec<ArgSpec>,
+    mem_bytes: u32,
+    mem_seed: u64,
+) -> Workload {
+    Workload { name, suite, source: source.to_string(), entry, args, mem_bytes, mem_seed }
+}
+
+/// The 12 CINT workloads.
+pub fn cint() -> Vec<Workload> {
+    vec![
+        // perlbench: string hashing over a byte buffer (hash tables are
+        // the interpreter's hot path).
+        w(
+            "perlbench",
+            Suite::SpecInt,
+            r#"
+unsigned run(char *s, int n) {
+    unsigned h = 5381u;
+    for (int round = 0; round < 40; round++) {
+        for (int i = 0; i < n; i++) {
+            h = (h << 5) + h + (unsigned)s[i];
+            h = h ^ (h >> 13);
+        }
+    }
+    return h;
+}
+"#,
+            "run",
+            vec![ArgSpec::Ptr(0), ArgSpec::Int(512)],
+            512,
+            0x9e37,
+        ),
+        // bzip2: move-to-front coding.
+        w(
+            "bzip2",
+            Suite::SpecInt,
+            r#"
+unsigned run(char *data, char *mtf, int n) {
+    for (int i = 0; i < 256; i++) mtf[i] = (char)i;
+    unsigned acc = 0u;
+    for (int round = 0; round < 12; round++) {
+        for (int i = 0; i < n; i++) {
+            int c = (int)data[i] & 255;
+            int j = 0;
+            while (((int)mtf[j] & 255) != c) j++;
+            acc += (unsigned)j;
+            while (j > 0) { mtf[j] = mtf[j - 1]; j--; }
+            mtf[0] = (char)c;
+        }
+    }
+    return acc;
+}
+"#,
+            "run",
+            vec![ArgSpec::Ptr(0), ArgSpec::Ptr(2048), ArgSpec::Int(768)],
+            2048 + 256,
+            0xb217,
+        ),
+        // gcc: bit-field-dense instruction records (the §7.2 freeze-count
+        // driver lives in the single-file suite; this kernel flips RTL-ish
+        // flag words).
+        w(
+            "gcc",
+            Suite::SpecInt,
+            r#"
+struct rtx {
+    unsigned code : 8;
+    unsigned mode : 5;
+    unsigned jump : 1;
+    unsigned call : 1;
+    unsigned unchanging : 1;
+    unsigned volatil : 1;
+    unsigned in_struct : 1;
+    unsigned used : 1;
+    unsigned frame_related : 1;
+};
+unsigned fold_word(unsigned word) {
+    unsigned h = word * 2654435761u;
+    h = h ^ (h >> 15);
+    h = h * 2246822519u;
+    return h ^ (h >> 13);
+}
+unsigned decode(struct rtx *r, unsigned word) {
+    r->code = (int)(word & 255u);
+    r->mode = (int)((word >> 8) & 31u);
+    r->jump = (int)((word >> 13) & 1u);
+    r->call = (int)((word >> 14) & 1u);
+    r->used = (int)((word >> 15) & 1u);
+    if (r->jump != 0) { r->volatil = 1; } else { r->volatil = 0; }
+    return (unsigned)(r->code + r->mode * 3 + r->used);
+}
+unsigned run(struct rtx *r, unsigned *insns, int n) {
+    unsigned live = 0u;
+    for (int pass = 0; pass < 10; pass++) {
+        for (int i = 0; i < n; i++) {
+            unsigned word = fold_word(insns[i]);
+            live += decode(r, word);
+            live = live ^ (live >> 11);
+            insns[i] = insns[i] + live;
+        }
+    }
+    return live;
+}
+"#,
+            "run",
+            vec![ArgSpec::Ptr(0), ArgSpec::Ptr(16), ArgSpec::Int(240)],
+            16 + 960,
+            0x6cc0,
+        ),
+        // mcf: Bellman-Ford-ish relaxation over a small graph in arrays.
+        w(
+            "mcf",
+            Suite::SpecInt,
+            r#"
+int run(int *dist, int *from, int *to, int *cost, int nodes, int edges) {
+    for (int i = 1; i < nodes; i++) dist[i] = 1000000;
+    dist[0] = 0;
+    for (int round = 0; round < nodes; round++) {
+        for (int e = 0; e < edges; e++) {
+            int f = from[e] % nodes;
+            int t = to[e] % nodes;
+            int c = (cost[e] & 1023) + 1;
+            if (f < 0) f = 0 - f;
+            if (t < 0) t = 0 - t;
+            if (dist[f] + c < dist[t]) dist[t] = dist[f] + c;
+        }
+    }
+    int sum = 0;
+    for (int i = 0; i < nodes; i++) sum += dist[i] & 65535;
+    return sum;
+}
+"#,
+            "run",
+            vec![
+                ArgSpec::Ptr(0),
+                ArgSpec::Ptr(512),
+                ArgSpec::Ptr(2560),
+                ArgSpec::Ptr(4608),
+                ArgSpec::Int(128),
+                ArgSpec::Int(512),
+            ],
+            512 + 2048 + 2048 + 2048,
+            0x3cf1,
+        ),
+        // gobmk: liberty counting on a Go-like board.
+        w(
+            "gobmk",
+            Suite::SpecInt,
+            r#"
+int run(char *board, int size) {
+    int libs = 0;
+    for (int round = 0; round < 60; round++) {
+        for (int y = 1; y < size - 1; y++) {
+            for (int x = 1; x < size - 1; x++) {
+                int idx = y * size + x;
+                if (((int)board[idx] & 3) == 1) {
+                    if (((int)board[idx - 1] & 3) == 0) libs++;
+                    if (((int)board[idx + 1] & 3) == 0) libs++;
+                    if (((int)board[idx - size] & 3) == 0) libs++;
+                    if (((int)board[idx + size] & 3) == 0) libs++;
+                }
+            }
+        }
+    }
+    return libs;
+}
+"#,
+            "run",
+            vec![ArgSpec::Ptr(0), ArgSpec::Int(19)],
+            19 * 19,
+            0x60b0,
+        ),
+        // hmmer: Viterbi-style dynamic programming band.
+        w(
+            "hmmer",
+            Suite::SpecInt,
+            r#"
+int max2(int a, int b) { return a > b ? a : b; }
+int run(int *vrow, int *seq, int cols, int rows) {
+    for (int j = 0; j < cols; j++) vrow[j] = 0;
+    for (int i = 1; i < rows; i++) {
+        int prev = vrow[0];
+        for (int j = 1; j < cols; j++) {
+            int emit = (seq[(i * cols + j) % cols] & 15) - 7;
+            int best = max2(vrow[j], max2(vrow[j - 1], prev));
+            prev = vrow[j];
+            vrow[j] = max2(0, best + emit);
+        }
+    }
+    int best = 0;
+    for (int j = 0; j < cols; j++) best = max2(best, vrow[j]);
+    return best;
+}
+"#,
+            "run",
+            vec![ArgSpec::Ptr(0), ArgSpec::Ptr(1024), ArgSpec::Int(256), ArgSpec::Int(220)],
+            1024 + 1024,
+            0x4a3e,
+        ),
+        // sjeng: alpha-beta-ish recursive searcher over a hashed position.
+        w(
+            "sjeng",
+            Suite::SpecInt,
+            r#"
+int search(unsigned pos, int depth, int alpha, int beta) {
+    if (depth == 0) {
+        int sc = (int)(pos & 255u) - 128;
+        return sc;
+    }
+    int best = alpha;
+    for (int m = 0; m < 4; m++) {
+        unsigned next = pos * 1664525u + (unsigned)m * 1013904223u;
+        int sc = 0 - search(next, depth - 1, 0 - beta, 0 - best);
+        if (sc > best) best = sc;
+        if (best >= beta) return best;
+    }
+    return best;
+}
+int run(int seeds) {
+    int total = 0;
+    for (int i = 0; i < seeds; i++) {
+        total += search((unsigned)i * 2654435761u, 5, -30000, 30000);
+    }
+    return total;
+}
+"#,
+            "run",
+            vec![ArgSpec::Int(24)],
+            0,
+            0,
+        ),
+        // libquantum: toggling amplitude sign bits across a register file.
+        w(
+            "libquantum",
+            Suite::SpecInt,
+            r#"
+unsigned run(unsigned *state, int n, int target) {
+    unsigned parity = 0u;
+    for (int round = 0; round < 220; round++) {
+        unsigned mask = 1u << (unsigned)(target % 31);
+        for (int i = 0; i < n; i++) {
+            if (state[i] & mask) state[i] = state[i] ^ 0x80000000u;
+            state[i] = state[i] ^ (state[i] >> 16);
+            parity = parity ^ state[i];
+        }
+        target = target + 1;
+    }
+    return parity;
+}
+"#,
+            "run",
+            vec![ArgSpec::Ptr(0), ArgSpec::Int(256), ArgSpec::Int(3)],
+            1024,
+            0x71ba,
+        ),
+        // h264ref: sum of absolute differences over 8x8 blocks.
+        w(
+            "h264ref",
+            Suite::SpecInt,
+            r#"
+int run(char *cur, char *ref, int width, int blocks) {
+    int sad_total = 0;
+    for (int b = 0; b < blocks; b++) {
+        int bx = (b * 8) % (width - 8);
+        int sad = 0;
+        for (int y = 0; y < 8; y++) {
+            for (int x = 0; x < 8; x++) {
+                int c = (int)cur[y * width + bx + x] & 255;
+                int r = (int)ref[y * width + bx + x] & 255;
+                int d = c - r;
+                if (d < 0) d = 0 - d;
+                sad += d;
+            }
+        }
+        sad_total += sad;
+    }
+    return sad_total;
+}
+"#,
+            "run",
+            vec![ArgSpec::Ptr(0), ArgSpec::Ptr(2048), ArgSpec::Int(128), ArgSpec::Int(600)],
+            4096,
+            0x8264,
+        ),
+        // omnetpp: binary-heap event queue churn.
+        w(
+            "omnetpp",
+            Suite::SpecInt,
+            r#"
+unsigned run(int *heap, int cap, int events) {
+    int size = 0;
+    unsigned acc = 0u;
+    unsigned rng = 12345u;
+    for (int e = 0; e < events; e++) {
+        rng = rng * 1103515245u + 12345u;
+        if (size < cap && ((rng >> 16) & 1u)) {
+            int t = (int)((rng >> 8) & 4095u);
+            int i = size;
+            heap[i] = t;
+            size = size + 1;
+            while (i > 0 && heap[(i - 1) / 2] > heap[i]) {
+                int p = (i - 1) / 2;
+                int tmp = heap[p]; heap[p] = heap[i]; heap[i] = tmp;
+                i = p;
+            }
+        } else if (size > 0) {
+            acc += (unsigned)heap[0];
+            size = size - 1;
+            heap[0] = heap[size];
+            int i = 0;
+            int done = 0;
+            while (done == 0) {
+                int l = 2 * i + 1;
+                int r = 2 * i + 2;
+                int m = i;
+                if (l < size && heap[l] < heap[m]) m = l;
+                if (r < size && heap[r] < heap[m]) m = r;
+                if (m == i) { done = 1; }
+                else {
+                    int tmp = heap[m]; heap[m] = heap[i]; heap[i] = tmp;
+                    i = m;
+                }
+            }
+        }
+    }
+    return acc;
+}
+"#,
+            "run",
+            vec![ArgSpec::Ptr(0), ArgSpec::Int(256), ArgSpec::Int(3000)],
+            1024,
+            0,
+        ),
+        // astar: grid relaxation sweeps.
+        w(
+            "astar",
+            Suite::SpecInt,
+            r#"
+int run(int *g, int *cost, int size) {
+    for (int i = 0; i < size * size; i++) g[i] = 1000000;
+    g[0] = 0;
+    for (int sweep = 0; sweep < 10; sweep++) {
+        for (int y = 0; y < size; y++) {
+            for (int x = 0; x < size; x++) {
+                int i = y * size + x;
+                int c = (cost[i] & 7) + 1;
+                int best = g[i];
+                if (x > 0 && g[i - 1] + c < best) best = g[i - 1] + c;
+                if (y > 0 && g[i - size] + c < best) best = g[i - size] + c;
+                if (x < size - 1 && g[i + 1] + c < best) best = g[i + 1] + c;
+                if (y < size - 1 && g[i + size] + c < best) best = g[i + size] + c;
+                g[i] = best;
+            }
+        }
+    }
+    return g[size * size - 1];
+}
+"#,
+            "run",
+            vec![ArgSpec::Ptr(0), ArgSpec::Ptr(4096), ArgSpec::Int(32)],
+            8192,
+            0xa57a,
+        ),
+        // xalancbmk: traversal of an implicit binary tree with string-ish
+        // tag matching.
+        w(
+            "xalancbmk",
+            Suite::SpecInt,
+            r#"
+int run(int *tags, int n, int needle) {
+    int matches = 0;
+    for (int round = 0; round < 200; round++) {
+        int i = 0;
+        while (i < n) {
+            int tag = tags[i] & 1023;
+            if (tag == needle) matches++;
+            if (tag < needle) { i = 2 * i + 1; } else { i = 2 * i + 2; }
+        }
+        needle = (needle + 7) & 1023;
+    }
+    return matches;
+}
+"#,
+            "run",
+            vec![ArgSpec::Ptr(0), ArgSpec::Int(1024), ArgSpec::Int(17)],
+            4096,
+            0xa1a,
+        ),
+    ]
+}
+
+/// The 7 CFP workloads, integer-ized (Q16 fixed point).
+pub fn cfp() -> Vec<Workload> {
+    vec![
+        // milc: SU(3)-flavoured 3x3 "matrix" times vector in fixed point.
+        w(
+            "milc",
+            Suite::SpecFp,
+            r#"
+long qmul(long a, long b) { return (a * b) >> 16; }
+long run(long *m, long *v, int sites) {
+    long acc = 0L;
+    for (int s = 0; s < sites; s++) {
+        for (int row = 0; row < 3; row++) {
+            long sum = 0L;
+            for (int col = 0; col < 3; col++) {
+                long mv = (m[(s * 9 + row * 3 + col) % 72] & 131071L) - 65536L;
+                long vv = (v[(s * 3 + col) % 24] & 131071L) - 65536L;
+                sum += qmul(mv, vv);
+            }
+            acc += sum & 1048575L;
+        }
+    }
+    return acc;
+}
+"#,
+            "run",
+            vec![ArgSpec::Ptr(0), ArgSpec::Ptr(576), ArgSpec::Int(1500)],
+            576 + 192,
+            0x111c,
+        ),
+        // namd: pairwise force accumulation with cutoff.
+        w(
+            "namd",
+            Suite::SpecFp,
+            r#"
+long run(long *x, long *y, int n) {
+    long fx = 0L;
+    for (int i = 0; i < n; i++) {
+        for (int j = i + 1; j < n; j++) {
+            long dx = (x[i] & 8191L) - (x[j] & 8191L);
+            long dy = (y[i] & 8191L) - (y[j] & 8191L);
+            long r2 = dx * dx + dy * dy;
+            if (r2 < 1000000L && r2 > 0L) {
+                fx += (dx * 65536L) / r2;
+            }
+        }
+    }
+    return fx;
+}
+"#,
+            "run",
+            vec![ArgSpec::Ptr(0), ArgSpec::Ptr(1024), ArgSpec::Int(128)],
+            2048,
+            0x2a3d,
+        ),
+        // dealII: 1-D finite-element-ish tridiagonal smoothing sweeps.
+        w(
+            "dealII",
+            Suite::SpecFp,
+            r#"
+long run(long *u, long *rhs, int n) {
+    for (int i = 0; i < n; i++) u[i] = u[i] & 1048575L;
+    for (int it = 0; it < 120; it++) {
+        for (int i = 1; i < n - 1; i++) {
+            long v = (u[i - 1] + u[i + 1] + (rhs[i] & 65535L)) / 3L;
+            u[i] = v;
+        }
+    }
+    long norm = 0L;
+    for (int i = 0; i < n; i++) norm += u[i] & 1048575L;
+    return norm;
+}
+"#,
+            "run",
+            vec![ArgSpec::Ptr(0), ArgSpec::Ptr(2048), ArgSpec::Int(256)],
+            4096,
+            0xdea1,
+        ),
+        // soplex: simplex-style pivoting on a dense tableau.
+        w(
+            "soplex",
+            Suite::SpecFp,
+            r#"
+long run(long *tab, int rows, int cols) {
+    long obj = 0L;
+    for (int pivot = 0; pivot < 24; pivot++) {
+        int pr = pivot % rows;
+        int pc = (pivot * 7) % cols;
+        long pv = (tab[pr * cols + pc] & 255L) + 1L;
+        for (int r = 0; r < rows; r++) {
+            if (r != pr) {
+                long factor = ((tab[r * cols + pc] & 4095L) << 8) / pv;
+                for (int c = 0; c < cols; c++) {
+                    tab[r * cols + c] = tab[r * cols + c] - ((factor * (tab[pr * cols + c] & 4095L)) >> 8);
+                }
+            }
+        }
+        obj += pv;
+    }
+    return obj;
+}
+"#,
+            "run",
+            vec![ArgSpec::Ptr(0), ArgSpec::Int(24), ArgSpec::Int(32)],
+            24 * 32 * 8,
+            0x50fe,
+        ),
+        // povray: ray-sphere intersection tests in fixed point.
+        w(
+            "povray",
+            Suite::SpecFp,
+            r#"
+long run(long *spheres, int n, int rays) {
+    long hits = 0L;
+    unsigned rng = 7u;
+    for (int r = 0; r < rays; r++) {
+        rng = rng * 1103515245u + 12345u;
+        long ox = (long)(rng & 1023u);
+        rng = rng * 1103515245u + 12345u;
+        long oy = (long)(rng & 1023u);
+        for (int s = 0; s < n; s++) {
+            long cx = spheres[s * 3] & 1023L;
+            long cy = spheres[s * 3 + 1] & 1023L;
+            long rad = (spheres[s * 3 + 2] & 255L) + 16L;
+            long dx = ox - cx;
+            long dy = oy - cy;
+            if (dx * dx + dy * dy <= rad * rad) hits++;
+        }
+    }
+    return hits;
+}
+"#,
+            "run",
+            vec![ArgSpec::Ptr(0), ArgSpec::Int(64), ArgSpec::Int(600)],
+            64 * 3 * 8,
+            0x90f4,
+        ),
+        // lbm: lattice-Boltzmann-ish 1-D streaming + collision.
+        w(
+            "lbm",
+            Suite::SpecFp,
+            r#"
+long run(long *f0, long *f1, int n) {
+    for (int i = 0; i < n; i++) f0[i] = f0[i] & 1048575L;
+    for (int t = 0; t < 160; t++) {
+        for (int i = 1; i < n - 1; i++) {
+            long rho = f0[i - 1] + f0[i] + f0[i + 1];
+            long eq = rho / 3L;
+            f1[i] = f0[i] + ((eq - f0[i]) >> 2);
+        }
+        for (int i = 1; i < n - 1; i++) f0[i] = f1[i] & 1048575L;
+    }
+    long mass = 0L;
+    for (int i = 0; i < n; i++) mass += f0[i];
+    return mass;
+}
+"#,
+            "run",
+            vec![ArgSpec::Ptr(0), ArgSpec::Ptr(4096), ArgSpec::Int(512)],
+            8192,
+            0x1b88,
+        ),
+        // sphinx3: Gaussian-mixture-ish log-likelihood scoring.
+        w(
+            "sphinx3",
+            Suite::SpecFp,
+            r#"
+long run(long *feat, long *mean, int frames, int dims) {
+    long best = -1000000000L;
+    for (int fidx = 0; fidx < frames; fidx++) {
+        long score = 0L;
+        for (int d = 0; d < dims; d++) {
+            long diff = (feat[(fidx * dims + d) % 256] & 4095L) - (mean[d % 64] & 4095L);
+            score -= (diff * diff) >> 8;
+        }
+        if (score > best) best = score;
+    }
+    return best;
+}
+"#,
+            "run",
+            vec![ArgSpec::Ptr(0), ArgSpec::Ptr(2048), ArgSpec::Int(400), ArgSpec::Int(64)],
+            2048 + 512,
+            0x5f17,
+        ),
+    ]
+}

@@ -1,0 +1,69 @@
+//! §5.3, end to end: compile a C bit-field store with and without the
+//! paper's one-line Clang change (freeze the loaded storage unit) and
+//! watch what a store to an *uninitialized* struct does to the
+//! neighbouring fields.
+//!
+//! ```text
+//! cargo run -p frost --example bitfield_freeze
+//! ```
+
+use frost::cc::{compile_source, CodegenOptions};
+use frost::core::{run_concrete, uninit_fill, Limits, Memory, Outcome, Semantics, Val};
+use frost::ir::{function_to_string, Ty};
+
+const SRC: &str = r#"
+struct flags {
+    unsigned a : 3;
+    unsigned b : 5;
+    unsigned rest : 24;
+};
+void set_a(struct flags *f, int v) {
+    f->a = v;
+}
+"#;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    for freeze in [true, false] {
+        let opts = CodegenOptions { freeze_bitfields: freeze, emit_wrap_flags: true };
+        let module = compile_source(SRC, &opts)?;
+        println!(
+            "--- f->a = v, {} (§5.3) ---\n{}",
+            if freeze { "WITH freeze" } else { "WITHOUT freeze (legacy)" },
+            function_to_string(module.function("set_a").expect("compiled"))
+        );
+
+        // Execute the store against a *fully uninitialized* struct: the
+        // loaded unit is poison.
+        let sem = Semantics::proposed();
+        let mem = Memory::uninit(4, uninit_fill(&sem));
+        let (outcome, _) = run_concrete(
+            &module,
+            "set_a",
+            &[Val::Ptr(Memory::BASE), Val::int(32, 5)],
+            &mem,
+            sem,
+            Limits::default(),
+        )?;
+        let Outcome::Ret { mem: final_mem, .. } = outcome else {
+            panic!("unexpected UB");
+        };
+        let unit = frost::core::raise(&Ty::i32(), &final_mem[0..32]);
+        match unit {
+            Val::Int { v, .. } => println!(
+                "first store to an uninitialized unit -> unit = {v:#010x} (field a = {}, neighbours defined)\n",
+                v & 0b111
+            ),
+            other => println!(
+                "first store to an uninitialized unit -> unit = {other} \
+                 (the neighbouring fields b and rest are POISONED forever)\n"
+            ),
+        }
+    }
+
+    println!(
+        "The freeze pins the uninitialized bits to arbitrary-but-fixed values, so the\n\
+         masked merge preserves field `a` and leaves `b`/`rest` defined garbage instead\n\
+         of poison — exactly the paper's justification for the one-line Clang change."
+    );
+    Ok(())
+}

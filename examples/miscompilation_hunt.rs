@@ -1,0 +1,129 @@
+//! The §3.3 conflict, end to end: GVN and loop unswitching each assume
+//! a different meaning for branch-on-poison, and running *both* under
+//! the legacy semantics produces a program no single semantics can
+//! justify — the paper's recipe for an end-to-end miscompilation
+//! (PR27506). The fixed pipeline (freeze) resolves it.
+//!
+//! ```text
+//! cargo run -p frost --example miscompilation_hunt
+//! ```
+
+use frost::core::Semantics;
+use frost::ir::parse_module;
+use frost::opt::{Dce, Gvn, LoopUnswitch, Pass, PipelineMode};
+use frost::refine::{check_refinement, CheckOptions};
+
+const INPUT: &str = r#"
+declare void @foo()
+declare void @bar()
+define void @f(i1 %c, i1 %c2) {
+entry:
+  br label %head
+head:
+  %cont = phi i1 [ %c, %entry ], [ false, %latch ]
+  br i1 %cont, label %body, label %exit
+body:
+  br i1 %c2, label %t, label %e
+t:
+  call void @foo()
+  br label %latch
+e:
+  call void @bar()
+  br label %latch
+latch:
+  br label %head
+exit:
+  ret void
+}
+"#;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let module = parse_module(INPUT)?;
+    println!("while (c) {{ if (c2) foo() else bar() }}   [§3.3]\n");
+
+    // Step 1: legacy loop unswitching hoists `br %c2` out of the loop
+    // without freezing it.
+    let mut unswitched = module.clone();
+    LoopUnswitch::new(PipelineMode::Legacy).run_on_module(&mut unswitched);
+    Dce::new().run_on_module(&mut unswitched);
+    for f in &mut unswitched.functions {
+        f.compact();
+    }
+
+    // Under which semantics is that sound? Exactly the one loop
+    // unswitching assumed (branch-on-poison = nondeterministic choice)
+    // — and NOT the one GVN assumes (branch-on-poison = UB).
+    for sem in [Semantics::legacy_unswitch(), Semantics::legacy_gvn(), Semantics::proposed()] {
+        let verdict = check_refinement(&module, "f", &unswitched, "f", &CheckOptions::new(sem));
+        println!(
+            "legacy unswitching under {:<17}: {}",
+            sem.name,
+            if verdict.is_refinement() { "sound".to_string() } else { "UNSOUND".to_string() }
+        );
+        if let Some(ce) = verdict.counterexample() {
+            println!("  counterexample: {ce}");
+        }
+    }
+
+    // Step 2: GVN's equality propagation is sound only under
+    // branch-on-poison = UB — the opposite assumption.
+    let gvn_input = parse_module(
+        r#"
+declare void @foo(i4)
+define void @f(i4 %x, i4 %y) {
+entry:
+  %t = add i4 %x, 1
+  %c = icmp eq i4 %t, %y
+  br i1 %c, label %then, label %exit
+then:
+  %w = add i4 %x, 1
+  call void @foo(i4 %w)
+  br label %exit
+exit:
+  ret void
+}
+"#,
+    )?;
+    let mut gvned = gvn_input.clone();
+    Gvn::new(PipelineMode::Fixed).run_on_module(&mut gvned);
+    Dce::new().run_on_module(&mut gvned);
+    for f in &mut gvned.functions {
+        f.compact();
+    }
+    println!();
+    for sem in [Semantics::legacy_unswitch(), Semantics::legacy_gvn(), Semantics::proposed()] {
+        let verdict = check_refinement(&gvn_input, "f", &gvned, "f", &CheckOptions::new(sem));
+        println!(
+            "GVN equality propagation under {:<17}: {}",
+            sem.name,
+            if verdict.is_refinement() { "sound".to_string() } else { "UNSOUND".to_string() }
+        );
+        if let Some(ce) = verdict.counterexample() {
+            println!("  counterexample: {ce}");
+        }
+    }
+
+    // Step 3: the fix (§5.1) — freeze the hoisted condition. Now the
+    // transformation is sound under the *proposed* semantics, the same
+    // one that makes GVN sound: no more conflict.
+    let mut fixed = module.clone();
+    LoopUnswitch::new(PipelineMode::Fixed).run_on_module(&mut fixed);
+    Dce::new().run_on_module(&mut fixed);
+    for f in &mut fixed.functions {
+        f.compact();
+    }
+    println!();
+    let verdict = check_refinement(
+        &module,
+        "f",
+        &fixed,
+        "f",
+        &CheckOptions::new(Semantics::proposed()),
+    );
+    println!(
+        "freeze-fixed unswitching under proposed      : {}",
+        if verdict.is_refinement() { "sound — conflict resolved" } else { "UNSOUND" }
+    );
+    assert!(verdict.is_refinement());
+    Ok(())
+}

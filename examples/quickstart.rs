@@ -1,0 +1,78 @@
+//! Quickstart: parse IR, run it under the proposed semantics, optimize
+//! it, and validate the optimization with the refinement checker.
+//!
+//! ```text
+//! cargo run -p frost --example quickstart
+//! ```
+
+use frost::core::{enumerate_outcomes, Limits, Memory, Semantics, Val};
+use frost::ir::parse_module;
+use frost::opt::{o2_pipeline, PipelineMode};
+use frost::refine::{check_refinement, CheckOptions};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // 1. Parse a function in the textual IR (Figure 1 of the paper: the
+    //    invariant `x + 1` wants to be hoisted out of the loop; nsw
+    //    makes that legal because overflow is *deferred* UB).
+    let module = parse_module(
+        r#"
+declare void @use(i4)
+define void @store_loop(i4 %n, i4 %x) {
+entry:
+  br label %head
+head:
+  %i = phi i4 [ 0, %entry ], [ %i1, %body ]
+  %c = icmp slt i4 %i, %n
+  br i1 %c, label %body, label %exit
+body:
+  %x1 = add nsw i4 %x, 1
+  call void @use(i4 %x1)
+  %i1 = add nsw i4 %i, 1
+  br label %head
+exit:
+  ret void
+}
+"#,
+    )?;
+    println!("--- input IR ---\n{module}");
+
+    // 2. Execute it: enumerate *every* behavior on a given input.
+    let outcomes = enumerate_outcomes(
+        &module,
+        "store_loop",
+        &[Val::int(4, 3), Val::int(4, 5)],
+        &Memory::zeroed(0),
+        Semantics::proposed(),
+        Limits::default(),
+    )?;
+    println!("--- behaviors on (n=3, x=5) ---\n{outcomes}\n");
+
+    // 3. Optimize with the paper's fixed pipeline. LICM hoists the nsw
+    //    add into the preheader — the transformation immediate UB would
+    //    forbid (§2.2).
+    let mut optimized = module.clone();
+    o2_pipeline(PipelineMode::Fixed).run(&mut optimized);
+    println!("--- after -O2 (fixed pipeline) ---\n{optimized}");
+
+    // 4. Prove the optimization is a refinement, exhaustively, over all
+    //    inputs including poison.
+    let verdict = check_refinement(
+        &module,
+        "store_loop",
+        &optimized,
+        "store_loop",
+        &CheckOptions::new(Semantics::proposed()),
+    );
+    println!("--- refinement check ---\n{verdict:?}");
+    assert!(verdict.is_refinement());
+
+    // 5. freeze in action: a frozen poison is some defined value; every
+    //    use agrees.
+    let m = parse_module(
+        "define i2 @f() {\nentry:\n  %a = freeze i2 poison\n  %b = xor i2 %a, %a\n  ret i2 %b\n}",
+    )?;
+    let outcomes =
+        enumerate_outcomes(&m, "f", &[], &Memory::zeroed(0), Semantics::proposed(), Limits::default())?;
+    println!("\n--- xor(freeze p, same freeze) is always 0 ---\n{outcomes}");
+    Ok(())
+}

@@ -1,0 +1,165 @@
+//! Cross-crate integration: mini-C → optimizer → backend → simulator,
+//! checked against the IR interpreter and across pipeline modes.
+
+use frost::backend::{compile_module, CostModel, Simulator, MEM_BASE};
+use frost::core::{run_concrete, Limits, Memory, Outcome, Semantics, Val};
+use frost::opt::{o2_pipeline, PipelineMode};
+use frost::workloads::{all_workloads, ArgSpec, Workload};
+
+/// Runs a workload on the machine simulator after the given pipeline.
+fn simulate(w: &Workload, mode: PipelineMode) -> (Option<u64>, u64) {
+    let opts = frost::cc::CodegenOptions {
+        freeze_bitfields: mode.uses_freeze(),
+        emit_wrap_flags: true,
+    };
+    let mut module = w.compile(&opts).expect("workload compiles");
+    o2_pipeline(mode).run(&mut module);
+    frost::ir::verify::verify_module(
+        &module,
+        if mode.uses_freeze() {
+            frost::ir::VerifyMode::Proposed
+        } else {
+            frost::ir::VerifyMode::Legacy
+        },
+    )
+    .unwrap_or_else(|e| panic!("{} post-O2 verification: {}", w.name, e.join("; ")));
+    let mm = compile_module(&module).expect("backend compiles");
+    let mut sim = Simulator::new(&mm, CostModel::machine1(), w.mem_bytes as usize);
+    sim.mem.copy_from_slice(&w.init_memory());
+    let args: Vec<u64> = w
+        .args
+        .iter()
+        .map(|a| match a {
+            ArgSpec::Int(v) => *v,
+            ArgSpec::Ptr(off) => MEM_BASE + u64::from(*off),
+        })
+        .collect();
+    let run = sim.run(w.entry, &args).unwrap_or_else(|e| panic!("{}: {e}", w.name));
+    (run.ret, run.cycles)
+}
+
+#[test]
+fn every_workload_agrees_across_all_three_pipelines() {
+    for w in all_workloads() {
+        let (legacy, _) = simulate(&w, PipelineMode::Legacy);
+        let (fixed, _) = simulate(&w, PipelineMode::Fixed);
+        let (blind, _) = simulate(&w, PipelineMode::FixedFreezeBlind);
+        assert_eq!(legacy, fixed, "{}: legacy vs fixed result", w.name);
+        assert_eq!(legacy, blind, "{}: legacy vs freeze-blind result", w.name);
+    }
+}
+
+#[test]
+fn simulator_matches_interpreter_on_small_workloads() {
+    // Cross-check the backend + simulator against the IR interpreter
+    // (the executable Figure 5 semantics) on workloads small enough to
+    // interpret.
+    for name in ["fib", "gcd_chain", "josephus", "shootout_nestedloop", "ackermann"] {
+        let w = all_workloads().into_iter().find(|w| w.name == name).expect("exists");
+        let opts = frost::cc::CodegenOptions::default();
+        let mut module = w.compile(&opts).unwrap();
+        o2_pipeline(PipelineMode::Fixed).run(&mut module);
+
+        // Interpreter run.
+        let vals: Vec<Val> = w
+            .args
+            .iter()
+            .map(|a| match a {
+                ArgSpec::Int(v) => Val::int(32, u128::from(*v)),
+                ArgSpec::Ptr(off) => Val::Ptr(Memory::BASE + off),
+            })
+            .collect();
+        let mem = Memory::zeroed(w.mem_bytes);
+        let (outcome, _) = run_concrete(
+            &module,
+            w.entry,
+            &vals,
+            &mem,
+            Semantics::proposed(),
+            Limits { max_steps: 50_000_000, max_call_depth: 128, ..Limits::default() },
+        )
+        .unwrap_or_else(|e| panic!("{name}: interpreter: {e}"));
+        let interp_result = match outcome {
+            Outcome::Ret { val: Some(v), .. } => v.as_int().map(|x| x as u64),
+            Outcome::Ret { val: None, .. } => None,
+            Outcome::Ub => panic!("{name}: interpreter hit UB"),
+        };
+
+        // Simulator run.
+        let (sim_result, _) = simulate(&w, PipelineMode::Fixed);
+        let sim32 = sim_result.map(|v| v & 0xffff_ffff);
+        assert_eq!(interp_result, sim32, "{name}: interpreter vs simulator");
+    }
+}
+
+#[test]
+fn c_to_machine_roundtrip_with_memory_effects() {
+    // A program with loads/stores: results and final memory must agree
+    // between interpreter and simulator.
+    let src = r#"
+int run(int *a, int n) {
+    for (int i = 0; i < n; i++) a[i] = i * i;
+    int s = 0;
+    for (int i = 0; i < n; i++) s += a[i];
+    return s;
+}
+"#;
+    let mut module = frost::cc::compile_source(src, &frost::cc::CodegenOptions::default()).unwrap();
+    o2_pipeline(PipelineMode::Fixed).run(&mut module);
+
+    // Interpreter.
+    let mem = Memory::zeroed(64);
+    let (outcome, _) = run_concrete(
+        &module,
+        "run",
+        &[Val::Ptr(Memory::BASE), Val::int(32, 16)],
+        &mem,
+        Semantics::proposed(),
+        Limits::default(),
+    )
+    .unwrap();
+    assert_eq!(outcome.ret_val().and_then(Val::as_int), Some(1240));
+
+    // Simulator.
+    let mm = compile_module(&module).unwrap();
+    let mut sim = Simulator::new(&mm, CostModel::machine2(), 64);
+    let run = sim.run("run", &[MEM_BASE, 16]).unwrap();
+    assert_eq!(run.ret.map(|v| v & 0xffff_ffff), Some(1240));
+    // a[15] = 225 in simulator memory.
+    let lo = &sim.mem[15 * 4..16 * 4];
+    assert_eq!(u32::from_le_bytes(lo.try_into().unwrap()), 225);
+}
+
+#[test]
+fn optimized_ir_runs_faster_or_equal_on_the_simulator() {
+    // -O2 should not make the simulated workloads slower (cycle model).
+    for name in ["matrix", "dotproduct", "crc32"] {
+        let w = all_workloads().into_iter().find(|w| w.name == name).unwrap();
+        let opts = frost::cc::CodegenOptions::default();
+
+        let unoptimized = w.compile(&opts).unwrap();
+        let mut optimized = unoptimized.clone();
+        o2_pipeline(PipelineMode::Fixed).run(&mut optimized);
+
+        let cycles = |m: &frost::ir::Module| -> u64 {
+            let mm = compile_module(m).unwrap();
+            let mut sim = Simulator::new(&mm, CostModel::machine1(), w.mem_bytes as usize);
+            sim.mem.copy_from_slice(&w.init_memory());
+            let args: Vec<u64> = w
+                .args
+                .iter()
+                .map(|a| match a {
+                    ArgSpec::Int(v) => *v,
+                    ArgSpec::Ptr(off) => MEM_BASE + u64::from(*off),
+                })
+                .collect();
+            sim.run(w.entry, &args).unwrap().cycles
+        };
+        let before = cycles(&unoptimized);
+        let after = cycles(&optimized);
+        assert!(
+            after <= before,
+            "{name}: -O2 regressed the simulator from {before} to {after} cycles"
+        );
+    }
+}

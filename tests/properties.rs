@@ -1,0 +1,196 @@
+//! Property-based tests (proptest) over the core data structures and
+//! semantic invariants listed in DESIGN.md.
+
+use frost::core::{
+    enumerate_outcomes, lower, raise, Bit, Limits, Memory, Semantics, Val,
+};
+use frost::ir::value::{from_signed, to_signed, truncate};
+use frost::ir::{parse_function, parse_module, Ty};
+use frost::refine::{outcome_refines, val_refines};
+use proptest::prelude::*;
+
+fn arb_bits() -> impl Strategy<Value = u32> {
+    1u32..=16
+}
+
+/// A defined or deferred value of an arbitrary small integer type.
+fn arb_val() -> impl Strategy<Value = Val> {
+    (arb_bits(), any::<u128>(), 0u8..3).prop_map(|(bits, raw, kind)| match kind {
+        0 => Val::Poison,
+        1 => Val::Undef(Ty::Int(bits)),
+        _ => Val::int(bits, raw),
+    })
+}
+
+fn arb_bit() -> impl Strategy<Value = Bit> {
+    prop_oneof![
+        Just(Bit::Zero),
+        Just(Bit::One),
+        Just(Bit::Poison),
+        Just(Bit::Undef)
+    ]
+}
+
+proptest! {
+    /// DESIGN.md invariant 3: `ty↑(ty↓(v)) = v` for every value,
+    /// including poison and undef, scalar and vector.
+    #[test]
+    fn lower_raise_round_trip(bits in arb_bits(), raw in any::<u128>(), kind in 0u8..3) {
+        let ty = Ty::Int(bits);
+        let v = match kind {
+            0 => Val::Poison,
+            1 => frost::core::undef_of(&ty),
+            _ => Val::int(bits, raw),
+        };
+        prop_assert_eq!(raise(&ty, &lower(&ty, &v)), v);
+    }
+
+    /// Vector round trip with per-element deferred values.
+    #[test]
+    fn vector_lower_raise_round_trip(
+        elems in proptest::collection::vec((any::<u128>(), 0u8..3), 1..6)
+    ) {
+        let ty = Ty::vector(elems.len() as u32, Ty::Int(7));
+        let v = Val::Vec(
+            elems
+                .iter()
+                .map(|(raw, kind)| match kind {
+                    0 => Val::Poison,
+                    1 => Val::Undef(Ty::Int(7)),
+                    _ => Val::int(7, *raw),
+                })
+                .collect(),
+        );
+        prop_assert_eq!(raise(&ty, &lower(&ty, &v)), v);
+    }
+
+    /// Refinement is reflexive.
+    #[test]
+    fn refinement_reflexive(v in arb_val()) {
+        prop_assert!(val_refines(&v, &v));
+    }
+
+    /// Refinement is transitive.
+    #[test]
+    fn refinement_transitive(a in arb_val(), b in arb_val(), c in arb_val()) {
+        if val_refines(&a, &b) && val_refines(&b, &c) {
+            prop_assert!(val_refines(&a, &c));
+        }
+    }
+
+    /// Refinement is antisymmetric up to equality on this domain.
+    #[test]
+    fn refinement_antisymmetric(a in arb_val(), b in arb_val()) {
+        if val_refines(&a, &b) && val_refines(&b, &a) {
+            prop_assert_eq!(a, b);
+        }
+    }
+
+    /// Signed round trip: `from_signed(to_signed(v)) == v`.
+    #[test]
+    fn signed_round_trip(bits in arb_bits(), raw in any::<u128>()) {
+        let v = truncate(raw, bits);
+        prop_assert_eq!(from_signed(to_signed(v, bits), bits), v);
+    }
+
+    /// Memory: a store followed by a load returns the stored bits, and
+    /// leaves all other bits untouched.
+    #[test]
+    fn memory_store_load_frame(
+        size in 1u32..16,
+        offset in 0u32..8,
+        payload in proptest::collection::vec(arb_bit(), 8),
+    ) {
+        prop_assume!(offset + 1 <= size);
+        let mut m = Memory::uninit(size, Bit::Poison);
+        let before = m.snapshot();
+        let addr = Memory::BASE + offset;
+        prop_assert!(m.store(addr, &payload));
+        prop_assert_eq!(m.load(addr, 8), Some(payload.clone()));
+        let after = m.snapshot();
+        for (i, (b, a)) in before.iter().zip(&after).enumerate() {
+            let bit_addr = i as u32;
+            let touched = bit_addr >= offset * 8 && bit_addr < offset * 8 + 8;
+            if !touched {
+                prop_assert_eq!(b, a, "untouched bit {} changed", i);
+            }
+        }
+    }
+
+    /// Parser/printer round trip on generated straight-line functions
+    /// (DESIGN.md invariant 7).
+    #[test]
+    fn parse_print_round_trip(seed in any::<u64>()) {
+        let cfg = frost::fuzz::GenConfig::with_selects(3);
+        let funcs = frost::fuzz::random_functions(cfg, seed, 1);
+        let printed = frost::ir::function_to_string(&funcs[0]);
+        let reparsed = parse_function(&printed).expect("printer output parses");
+        prop_assert_eq!(frost::ir::function_to_string(&reparsed), printed);
+    }
+
+    /// freeze output is never poison and is an identity on defined
+    /// values (DESIGN.md invariant 2) — via exhaustive enumeration of
+    /// each sampled input.
+    #[test]
+    fn freeze_is_total_and_identity_on_defined(bits in 1u32..4, raw in any::<u128>(), poison in any::<bool>()) {
+        let src = format!(
+            "define i{bits} @f(i{bits} %x) {{\nentry:\n  %a = freeze i{bits} %x\n  ret i{bits} %a\n}}"
+        );
+        let m = parse_module(&src).unwrap();
+        let arg = if poison { Val::Poison } else { Val::int(bits, raw) };
+        let set = enumerate_outcomes(
+            &m,
+            "f",
+            &[arg.clone()],
+            &Memory::zeroed(0),
+            Semantics::proposed(),
+            Limits::default(),
+        )
+        .unwrap();
+        prop_assert!(!set.may_ub());
+        for o in set.iter() {
+            let v = o.ret_val().unwrap();
+            prop_assert!(v.is_defined(), "freeze output must be defined");
+            if !poison {
+                prop_assert_eq!(v, &Val::int(bits, raw));
+            }
+        }
+        if poison {
+            prop_assert_eq!(set.len() as u128, 1 << bits, "freeze(poison) covers the type");
+        }
+    }
+
+    /// Every behavior of an optimized (fixed InstCombine) function
+    /// refines some behavior of the original — sampled over the random
+    /// generator space (DESIGN.md invariant 4).
+    #[test]
+    fn instcombine_refines_on_random_functions(seed in any::<u64>()) {
+        use frost::opt::Pass;
+        let cfg = frost::fuzz::GenConfig::arithmetic(2);
+        let report = frost::fuzz::validate_transform(
+            frost::fuzz::random_functions(cfg, seed, 3),
+            Semantics::proposed(),
+            |m| {
+                for f in &mut m.functions {
+                    frost::opt::InstCombine::new(frost::opt::PipelineMode::Fixed)
+                        .run_on_function(f);
+                    frost::opt::Dce::new().run_on_function(f);
+                    f.compact();
+                }
+            },
+        );
+        prop_assert!(
+            report.is_clean(),
+            "violations: {:?}",
+            report.violations.first().map(|v| v.counterexample.clone())
+        );
+    }
+
+    /// Outcome refinement respects UB-as-top.
+    #[test]
+    fn ub_outcome_is_top(v in arb_val()) {
+        let ret = frost::core::Outcome::Ret { val: Some(v), mem: Vec::new(), trace: Vec::new() };
+        prop_assert!(outcome_refines(&ret, &frost::core::Outcome::Ub));
+        prop_assert!(!outcome_refines(&frost::core::Outcome::Ub, &ret));
+    }
+}
