@@ -38,7 +38,13 @@ pub fn inst_size(inst: &MInst) -> usize {
                 }
             }
         },
-        MInst::Alu { dst, lhs, rhs, width, .. } => {
+        MInst::Alu {
+            dst,
+            lhs,
+            rhs,
+            width,
+            ..
+        } => {
             let mut size = 2 + usize::from(needs_rex(*width));
             if let Operand::Imm(v) = rhs {
                 size += imm_size(*v);
@@ -50,7 +56,9 @@ pub fn inst_size(inst: &MInst) -> usize {
             size
         }
         MInst::Div { width, .. } => 5 + usize::from(needs_rex(*width)), // xor rdx + div
-        MInst::Lea { base, disp, index, .. } => {
+        MInst::Lea {
+            base, disp, index, ..
+        } => {
             let mut size = 3 + usize::from(index.is_some()) + base_penalty(base);
             if *disp != 0 {
                 size += imm_size(i64::from(*disp));
@@ -58,9 +66,17 @@ pub fn inst_size(inst: &MInst) -> usize {
             size
         }
         MInst::MovX { to, .. } => 3 + usize::from(needs_rex(*to)),
-        MInst::Load { base, disp, width, .. } | MInst::Store { base, disp, width, .. } => {
+        MInst::Load {
+            base, disp, width, ..
+        }
+        | MInst::Store {
+            base, disp, width, ..
+        } => {
             let src_imm = match inst {
-                MInst::Store { src: Operand::Imm(v), .. } => imm_size(*v).max(1),
+                MInst::Store {
+                    src: Operand::Imm(v),
+                    ..
+                } => imm_size(*v).max(1),
                 _ => 0,
             };
             let mut size = 2 + usize::from(needs_rex(*width)) + base_penalty(base) + src_imm;
@@ -91,7 +107,11 @@ pub fn inst_size(inst: &MInst) -> usize {
 
 /// Total object size of a function in bytes.
 pub fn function_size(func: &crate::mir::MFunc) -> usize {
-    func.blocks.iter().flat_map(|b| &b.insts).map(inst_size).sum()
+    func.blocks
+        .iter()
+        .flat_map(|b| &b.insts)
+        .map(inst_size)
+        .sum()
 }
 
 /// Total object size of a module in bytes.
@@ -162,9 +182,16 @@ mod tests {
         let r = Reg::P(PhysReg::Rax);
         let samples = vec![
             MInst::SetCc { cc: Cc::E, dst: r },
-            MInst::Jcc { cc: Cc::E, target: 0 },
+            MInst::Jcc {
+                cc: Cc::E,
+                target: 0,
+            },
             MInst::Jmp { target: 0 },
-            MInst::Call { callee: "f".into(), args: vec![], dst: None },
+            MInst::Call {
+                callee: "f".into(),
+                args: vec![],
+                dst: None,
+            },
             MInst::Ret { src: None },
             MInst::Spill { slot: 0, src: r },
             MInst::Reload { dst: r, slot: 0 },

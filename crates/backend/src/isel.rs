@@ -16,8 +16,7 @@
 use std::collections::HashMap;
 
 use frost_ir::{
-    BinOp, BlockId, CastKind, Cond, Constant, Function, Inst, InstId, Module, Terminator, Ty,
-    Value,
+    BinOp, BlockId, CastKind, Cond, Constant, Function, Inst, InstId, Module, Terminator, Ty, Value,
 };
 
 use crate::mir::{AluOp, Cc, MBlock, MFunc, MInst, MModule, Operand, Reg, Width};
@@ -98,7 +97,14 @@ impl<'a> Isel<'a> {
             Operand::Imm(imm) => {
                 let ty = self.func.value_ty(v);
                 let dst = self.fresh();
-                self.emit(bb, MInst::Mov { dst, src: Operand::Imm(imm), width: width_of(&ty)? });
+                self.emit(
+                    bb,
+                    MInst::Mov {
+                        dst,
+                        src: Operand::Imm(imm),
+                        width: width_of(&ty)?,
+                    },
+                );
                 Ok(dst)
             }
         }
@@ -124,8 +130,14 @@ impl<'a> Isel<'a> {
                 // Pack defined elements; poison elements contribute the
                 // undef register's bits — conservatively pack them as 0
                 // unless the whole constant is undef-like.
-                if elems.iter().any(|e| e.contains_poison() || e.contains_undef()) {
-                    if elems.iter().all(|e| e.contains_poison() || e.contains_undef()) {
+                if elems
+                    .iter()
+                    .any(|e| e.contains_poison() || e.contains_undef())
+                {
+                    if elems
+                        .iter()
+                        .all(|e| e.contains_poison() || e.contains_undef())
+                    {
                         return Ok(Operand::R(self.undef_reg()));
                     }
                 }
@@ -184,7 +196,10 @@ pub fn select_function(func: &Function) -> Result<MFunc, IselError> {
         blocks: func
             .blocks
             .iter()
-            .map(|b| MBlock { name: b.name.clone(), insts: Vec::new() })
+            .map(|b| MBlock {
+                name: b.name.clone(),
+                insts: Vec::new(),
+            })
             .collect(),
         values: HashMap::new(),
         params: Vec::new(),
@@ -254,10 +269,14 @@ fn select_inst(isel: &mut Isel<'_>, bi: usize, id: InstId) -> Result<(), IselErr
     let inst = func.inst(id).clone();
     match &inst {
         Inst::Phi { .. } => Ok(()), // handled via predecessor copies
-        Inst::Bin { op, ty, lhs, rhs, .. } => {
+        Inst::Bin {
+            op, ty, lhs, rhs, ..
+        } => {
             let width = width_of(ty)?;
             if ty.is_vector() {
-                return Err(IselError(format!("vector arithmetic {op} is not supported")));
+                return Err(IselError(format!(
+                    "vector arithmetic {op} is not supported"
+                )));
             }
             let dst = isel.fresh();
             match op {
@@ -280,7 +299,17 @@ fn select_inst(isel: &mut Isel<'_>, bi: usize, id: InstId) -> Result<(), IselErr
                     let (alu, signed) = alu_for(*op).expect("non-division op");
                     let l = isel.reg_of(bi, lhs)?;
                     let r = isel.operand_of(bi, rhs)?;
-                    isel.emit(bi, MInst::Alu { op: alu, dst, lhs: l, rhs: r, width, signed });
+                    isel.emit(
+                        bi,
+                        MInst::Alu {
+                            op: alu,
+                            dst,
+                            lhs: l,
+                            rhs: r,
+                            width,
+                            signed,
+                        },
+                    );
                 }
             }
             isel.values.insert(id, dst);
@@ -294,21 +323,54 @@ fn select_inst(isel: &mut Isel<'_>, bi: usize, id: InstId) -> Result<(), IselErr
             let l = isel.reg_of(bi, lhs)?;
             let r = isel.operand_of(bi, rhs)?;
             let signed = matches!(cond, Cond::Sgt | Cond::Sge | Cond::Slt | Cond::Sle);
-            isel.emit(bi, MInst::Cmp { lhs: l, rhs: r, width, signed });
+            isel.emit(
+                bi,
+                MInst::Cmp {
+                    lhs: l,
+                    rhs: r,
+                    width,
+                    signed,
+                },
+            );
             let dst = isel.fresh();
-            isel.emit(bi, MInst::SetCc { cc: cc_for(*cond), dst });
+            isel.emit(
+                bi,
+                MInst::SetCc {
+                    cc: cc_for(*cond),
+                    dst,
+                },
+            );
             isel.values.insert(id, dst);
             Ok(())
         }
-        Inst::Select { cond, ty, tval, fval } => {
+        Inst::Select {
+            cond,
+            ty,
+            tval,
+            fval,
+        } => {
             let width = width_of(ty)?;
             let dst = isel.fresh();
             let f = isel.operand_of(bi, fval)?;
             isel.emit(bi, MInst::Mov { dst, src: f, width });
             let c = isel.reg_of(bi, cond)?;
-            isel.emit(bi, MInst::Test { src: c, width: Width::W8 });
+            isel.emit(
+                bi,
+                MInst::Test {
+                    src: c,
+                    width: Width::W8,
+                },
+            );
             let t = isel.reg_of(bi, tval)?;
-            isel.emit(bi, MInst::CmovCc { cc: Cc::Ne, dst, src: t, width });
+            isel.emit(
+                bi,
+                MInst::CmovCc {
+                    cc: Cc::Ne,
+                    dst,
+                    src: t,
+                    width,
+                },
+            );
             isel.values.insert(id, dst);
             Ok(())
         }
@@ -321,14 +383,26 @@ fn select_inst(isel: &mut Isel<'_>, bi: usize, id: InstId) -> Result<(), IselErr
             isel.values.insert(id, dst);
             Ok(())
         }
-        Inst::Cast { kind, from_ty, to_ty, val } => {
+        Inst::Cast {
+            kind,
+            from_ty,
+            to_ty,
+            val,
+        } => {
             let from = width_of(from_ty)?;
             let to = width_of(to_ty)?;
             let src = isel.reg_of(bi, val)?;
             let dst = isel.fresh();
             match kind {
                 CastKind::Trunc => {
-                    isel.emit(bi, MInst::Mov { dst, src: Operand::R(src), width: to });
+                    isel.emit(
+                        bi,
+                        MInst::Mov {
+                            dst,
+                            src: Operand::R(src),
+                            width: to,
+                        },
+                    );
                 }
                 CastKind::Zext | CastKind::Sext => {
                     // Sub-byte source widths need an explicit mask /
@@ -339,7 +413,14 @@ fn select_inst(isel: &mut Isel<'_>, bi: usize, id: InstId) -> Result<(), IselErr
                     if from_ty.int_bits() == Some(1) && signed {
                         // sext i1: 0 -> 0, 1 -> -1: neg via 0 - x.
                         let zero = isel.fresh();
-                        isel.emit(bi, MInst::Mov { dst: zero, src: Operand::Imm(0), width: to });
+                        isel.emit(
+                            bi,
+                            MInst::Mov {
+                                dst: zero,
+                                src: Operand::Imm(0),
+                                width: to,
+                            },
+                        );
                         isel.emit(
                             bi,
                             MInst::Alu {
@@ -352,7 +433,16 @@ fn select_inst(isel: &mut Isel<'_>, bi: usize, id: InstId) -> Result<(), IselErr
                             },
                         );
                     } else {
-                        isel.emit(bi, MInst::MovX { dst, src, from, to, signed });
+                        isel.emit(
+                            bi,
+                            MInst::MovX {
+                                dst,
+                                src,
+                                from,
+                                to,
+                                signed,
+                            },
+                        );
                     }
                 }
             }
@@ -368,7 +458,13 @@ fn select_inst(isel: &mut Isel<'_>, bi: usize, id: InstId) -> Result<(), IselErr
             isel.values.insert(id, dst);
             Ok(())
         }
-        Inst::Gep { elem_ty, base, idx_ty, idx, .. } => {
+        Inst::Gep {
+            elem_ty,
+            base,
+            idx_ty,
+            idx,
+            ..
+        } => {
             let base_r = isel.reg_of(bi, base)?;
             let idx_r = isel.reg_of(bi, idx)?;
             // Widen the index to pointer width (sext, the C `long` cast
@@ -378,7 +474,16 @@ fn select_inst(isel: &mut Isel<'_>, bi: usize, id: InstId) -> Result<(), IselErr
                 idx_r
             } else {
                 let w = isel.fresh();
-                isel.emit(bi, MInst::MovX { dst: w, src: idx_r, from: idx_w, to: Width::W64, signed: true });
+                isel.emit(
+                    bi,
+                    MInst::MovX {
+                        dst: w,
+                        src: idx_r,
+                        from: idx_w,
+                        to: Width::W64,
+                        signed: true,
+                    },
+                );
                 w
             };
             let scale = elem_ty.byte_size();
@@ -386,7 +491,12 @@ fn select_inst(isel: &mut Isel<'_>, bi: usize, id: InstId) -> Result<(), IselErr
             if matches!(scale, 1 | 2 | 4 | 8) {
                 isel.emit(
                     bi,
-                    MInst::Lea { dst, base: base_r, index: Some((widened, scale as u8)), disp: 0 },
+                    MInst::Lea {
+                        dst,
+                        base: base_r,
+                        index: Some((widened, scale as u8)),
+                        disp: 0,
+                    },
                 );
             } else {
                 let scaled = isel.fresh();
@@ -403,7 +513,12 @@ fn select_inst(isel: &mut Isel<'_>, bi: usize, id: InstId) -> Result<(), IselErr
                 );
                 isel.emit(
                     bi,
-                    MInst::Lea { dst, base: base_r, index: Some((scaled, 1)), disp: 0 },
+                    MInst::Lea {
+                        dst,
+                        base: base_r,
+                        index: Some((scaled, 1)),
+                        disp: 0,
+                    },
                 );
             }
             isel.values.insert(id, dst);
@@ -413,7 +528,15 @@ fn select_inst(isel: &mut Isel<'_>, bi: usize, id: InstId) -> Result<(), IselErr
             let width = width_of(ty)?;
             let base = isel.reg_of(bi, ptr)?;
             let dst = isel.fresh();
-            isel.emit(bi, MInst::Load { dst, base, disp: 0, width });
+            isel.emit(
+                bi,
+                MInst::Load {
+                    dst,
+                    base,
+                    disp: 0,
+                    width,
+                },
+            );
             isel.values.insert(id, dst);
             Ok(())
         }
@@ -421,10 +544,20 @@ fn select_inst(isel: &mut Isel<'_>, bi: usize, id: InstId) -> Result<(), IselErr
             let width = width_of(ty)?;
             let src = isel.operand_of(bi, val)?;
             let base = isel.reg_of(bi, ptr)?;
-            isel.emit(bi, MInst::Store { base, disp: 0, src, width });
+            isel.emit(
+                bi,
+                MInst::Store {
+                    base,
+                    disp: 0,
+                    src,
+                    width,
+                },
+            );
             Ok(())
         }
-        Inst::ExtractElement { elem_ty, vec, idx, .. } => {
+        Inst::ExtractElement {
+            elem_ty, vec, idx, ..
+        } => {
             let lane = idx.as_int_const().expect("verified constant lane") as u32;
             let elem_bits = elem_ty.bitwidth();
             let vec_ty = isel.func.value_ty(vec);
@@ -450,7 +583,14 @@ fn select_inst(isel: &mut Isel<'_>, bi: usize, id: InstId) -> Result<(), IselErr
             let dst = isel.fresh();
             let ew = width_of(elem_ty)?;
             if elem_bits == ew.bits() {
-                isel.emit(bi, MInst::Mov { dst, src: Operand::R(shifted), width: ew });
+                isel.emit(
+                    bi,
+                    MInst::Mov {
+                        dst,
+                        src: Operand::R(shifted),
+                        width: ew,
+                    },
+                );
             } else {
                 isel.emit(
                     bi,
@@ -467,7 +607,13 @@ fn select_inst(isel: &mut Isel<'_>, bi: usize, id: InstId) -> Result<(), IselErr
             isel.values.insert(id, dst);
             Ok(())
         }
-        Inst::InsertElement { elem_ty, len, vec, elt, idx } => {
+        Inst::InsertElement {
+            elem_ty,
+            len,
+            vec,
+            elt,
+            idx,
+        } => {
             let lane = idx.as_int_const().expect("verified constant lane") as u32;
             let elem_bits = elem_ty.bitwidth();
             let vw = width_of(&Ty::vector(*len, elem_ty.clone()))?;
@@ -499,7 +645,11 @@ fn select_inst(isel: &mut Isel<'_>, bi: usize, id: InstId) -> Result<(), IselErr
                     op: AluOp::And,
                     dst: masked,
                     lhs: e,
-                    rhs: Operand::Imm(if elem_bits >= 64 { -1 } else { (1i64 << elem_bits) - 1 }),
+                    rhs: Operand::Imm(if elem_bits >= 64 {
+                        -1
+                    } else {
+                        (1i64 << elem_bits) - 1
+                    }),
                     width: vw,
                     signed: false,
                 },
@@ -536,7 +686,12 @@ fn select_inst(isel: &mut Isel<'_>, bi: usize, id: InstId) -> Result<(), IselErr
             isel.values.insert(id, dst);
             Ok(())
         }
-        Inst::Call { ret_ty, callee, args, .. } => {
+        Inst::Call {
+            ret_ty,
+            callee,
+            args,
+            ..
+        } => {
             let mut regs = Vec::with_capacity(args.len());
             for a in args {
                 regs.push(isel.reg_of(bi, a)?);
@@ -548,7 +703,14 @@ fn select_inst(isel: &mut Isel<'_>, bi: usize, id: InstId) -> Result<(), IselErr
                 isel.values.insert(id, d);
                 Some(d)
             };
-            isel.emit(bi, MInst::Call { callee: callee.clone(), args: regs, dst });
+            isel.emit(
+                bi,
+                MInst::Call {
+                    callee: callee.clone(),
+                    args: regs,
+                    dst,
+                },
+            );
             Ok(())
         }
     }
@@ -563,7 +725,9 @@ fn emit_phi_copies(isel: &mut Isel<'_>, bb: BlockId) -> Result<(), IselError> {
     for succ in func.block(bb).term.successors() {
         let mut temps: Vec<(Reg, Reg, Width)> = Vec::new();
         for &pid in &func.block(succ).insts {
-            let Inst::Phi { ty, incoming } = func.inst(pid) else { break };
+            let Inst::Phi { ty, incoming } = func.inst(pid) else {
+                break;
+            };
             let width = width_of(ty)?;
             let (v, _) = incoming
                 .iter()
@@ -571,11 +735,25 @@ fn emit_phi_copies(isel: &mut Isel<'_>, bb: BlockId) -> Result<(), IselError> {
                 .ok_or_else(|| IselError(format!("phi {pid} missing incoming for {bb}")))?;
             let src = isel.operand_of(bi, v)?;
             let tmp = isel.fresh();
-            isel.emit(bi, MInst::Mov { dst: tmp, src, width });
+            isel.emit(
+                bi,
+                MInst::Mov {
+                    dst: tmp,
+                    src,
+                    width,
+                },
+            );
             temps.push((isel.values[&pid], tmp, width));
         }
         for (dst, tmp, width) in temps {
-            isel.emit(bi, MInst::Mov { dst, src: Operand::R(tmp), width });
+            isel.emit(
+                bi,
+                MInst::Mov {
+                    dst,
+                    src: Operand::R(tmp),
+                    width,
+                },
+            );
         }
     }
     Ok(())
@@ -592,13 +770,39 @@ fn select_terminator(isel: &mut Isel<'_>, bb: BlockId) -> Result<(), IselError> 
             isel.emit(bi, MInst::Ret { src: Some(r) });
         }
         Terminator::Jmp(dest) => {
-            isel.emit(bi, MInst::Jmp { target: dest.index() });
+            isel.emit(
+                bi,
+                MInst::Jmp {
+                    target: dest.index(),
+                },
+            );
         }
-        Terminator::Br { cond, then_bb, else_bb } => {
+        Terminator::Br {
+            cond,
+            then_bb,
+            else_bb,
+        } => {
             let c = isel.reg_of(bi, &cond)?;
-            isel.emit(bi, MInst::Test { src: c, width: Width::W8 });
-            isel.emit(bi, MInst::Jcc { cc: Cc::Ne, target: then_bb.index() });
-            isel.emit(bi, MInst::Jmp { target: else_bb.index() });
+            isel.emit(
+                bi,
+                MInst::Test {
+                    src: c,
+                    width: Width::W8,
+                },
+            );
+            isel.emit(
+                bi,
+                MInst::Jcc {
+                    cc: Cc::Ne,
+                    target: then_bb.index(),
+                },
+            );
+            isel.emit(
+                bi,
+                MInst::Jmp {
+                    target: else_bb.index(),
+                },
+            );
         }
         Terminator::Unreachable => {
             isel.emit(bi, MInst::Ud2);
@@ -619,10 +823,15 @@ mod tests {
     #[test]
     fn freeze_lowers_to_a_copy() {
         let m = mir_of("define i32 @f(i32 %x) {\nentry:\n  %a = freeze i32 %x\n  ret i32 %a\n}");
-        let has_copy = m.blocks[0]
-            .insts
-            .iter()
-            .any(|i| matches!(i, MInst::Mov { src: Operand::R(_), .. }));
+        let has_copy = m.blocks[0].insts.iter().any(|i| {
+            matches!(
+                i,
+                MInst::Mov {
+                    src: Operand::R(_),
+                    ..
+                }
+            )
+        });
         assert!(has_copy, "{m}");
         assert!(m.undef_vregs.is_empty());
     }
@@ -633,8 +842,16 @@ mod tests {
         assert_eq!(m.undef_vregs.len(), 1, "{m}");
         // The undef vreg is used but never defined.
         let undef = Reg::V(m.undef_vregs[0]);
-        let defined = m.blocks.iter().flat_map(|b| &b.insts).any(|i| i.defs().contains(&undef));
-        let used = m.blocks.iter().flat_map(|b| &b.insts).any(|i| i.uses().contains(&undef));
+        let defined = m
+            .blocks
+            .iter()
+            .flat_map(|b| &b.insts)
+            .any(|i| i.defs().contains(&undef));
+        let used = m
+            .blocks
+            .iter()
+            .flat_map(|b| &b.insts)
+            .any(|i| i.uses().contains(&undef));
         assert!(!defined && used);
     }
 
@@ -649,7 +866,13 @@ mod tests {
             .flat_map(|b| &b.insts)
             .find(|i| matches!(i, MInst::Lea { .. }))
             .expect("lea emitted");
-        let MInst::Lea { index: Some((_, scale)), .. } = lea else { panic!() };
+        let MInst::Lea {
+            index: Some((_, scale)),
+            ..
+        } = lea
+        else {
+            panic!()
+        };
         assert_eq!(*scale, 4);
         // The sext of the index is explicit (§2.4's cltq).
         assert!(m
@@ -676,8 +899,12 @@ b:
         );
         let entry = &m.blocks[0].insts;
         assert!(entry.iter().any(|i| matches!(i, MInst::Cmp { .. })));
-        assert!(entry.iter().any(|i| matches!(i, MInst::SetCc { cc: Cc::L, .. })));
-        assert!(entry.iter().any(|i| matches!(i, MInst::Jcc { cc: Cc::Ne, .. })));
+        assert!(entry
+            .iter()
+            .any(|i| matches!(i, MInst::SetCc { cc: Cc::L, .. })));
+        assert!(entry
+            .iter()
+            .any(|i| matches!(i, MInst::Jcc { cc: Cc::Ne, .. })));
     }
 
     #[test]
@@ -713,7 +940,13 @@ m:
         let m = mir_of(
             "define i32 @f(i1 %c, i32 %a, i32 %b) {\nentry:\n  %r = select i1 %c, i32 %a, i32 %b\n  ret i32 %r\n}",
         );
-        assert!(m.blocks[0].insts.iter().any(|i| matches!(i, MInst::CmovCc { .. })), "{m}");
+        assert!(
+            m.blocks[0]
+                .insts
+                .iter()
+                .any(|i| matches!(i, MInst::CmovCc { .. })),
+            "{m}"
+        );
     }
 
     #[test]
@@ -732,7 +965,15 @@ entry:
             .blocks
             .iter()
             .flat_map(|b| &b.insts)
-            .filter(|i| matches!(i, MInst::Alu { op: AluOp::Shl | AluOp::Shr, .. }))
+            .filter(|i| {
+                matches!(
+                    i,
+                    MInst::Alu {
+                        op: AluOp::Shl | AluOp::Shr,
+                        ..
+                    }
+                )
+            })
             .count();
         assert!(shifts >= 2, "{m}");
     }

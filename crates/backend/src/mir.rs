@@ -504,7 +504,9 @@ impl MInst {
                 *lhs = f(*lhs);
                 *rhs = f(*rhs);
             }
-            MInst::Lea { dst, base, index, .. } => {
+            MInst::Lea {
+                dst, base, index, ..
+            } => {
                 *dst = f(*dst);
                 *base = f(*base);
                 if let Some((r, _)) = index {
@@ -590,7 +592,11 @@ impl MFunc {
 
 impl fmt::Display for MFunc {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        writeln!(f, "{}: # params={} slots={}", self.name, self.num_params, self.num_slots)?;
+        writeln!(
+            f,
+            "{}: # params={} slots={}",
+            self.name, self.num_params, self.num_slots
+        )?;
         for (i, b) in self.blocks.iter().enumerate() {
             writeln!(f, ".{}_{}:", i, b.name)?;
             for inst in &b.insts {
@@ -642,8 +648,16 @@ mod tests {
         assert_eq!(i.uses(), vec![Reg::V(0), Reg::V(1)]);
         assert_eq!(i.defs(), vec![Reg::V(2)]);
 
-        let cmov = MInst::CmovCc { cc: Cc::Ne, dst: Reg::V(3), src: Reg::V(4), width: Width::W32 };
-        assert!(cmov.uses().contains(&Reg::V(3)), "cmov reads its destination");
+        let cmov = MInst::CmovCc {
+            cc: Cc::Ne,
+            dst: Reg::V(3),
+            src: Reg::V(4),
+            width: Width::W32,
+        };
+        assert!(
+            cmov.uses().contains(&Reg::V(3)),
+            "cmov reads its destination"
+        );
     }
 
     #[test]

@@ -93,8 +93,13 @@ pub fn allocate(func: &mut MFunc) -> AllocStats {
     let mut start: HashMap<u32, u32> = HashMap::new();
     let mut end: HashMap<u32, u32> = HashMap::new();
     let touch = |v: u32, point: u32, start: &mut HashMap<u32, u32>, end: &mut HashMap<u32, u32>| {
-        start.entry(v).and_modify(|s| *s = (*s).min(point)).or_insert(point);
-        end.entry(v).and_modify(|e| *e = (*e).max(point)).or_insert(point);
+        start
+            .entry(v)
+            .and_modify(|s| *s = (*s).min(point))
+            .or_insert(point);
+        end.entry(v)
+            .and_modify(|e| *e = (*e).max(point))
+            .or_insert(point);
     };
     for (bi, b) in func.blocks.iter().enumerate() {
         let bstart = block_start[bi];
@@ -124,10 +129,8 @@ pub fn allocate(func: &mut MFunc) -> AllocStats {
     }
 
     // --- Linear scan. ---
-    let mut intervals: Vec<(u32, u32, u32)> = start
-        .iter()
-        .map(|(&v, &s)| (s, end[&v], v))
-        .collect();
+    let mut intervals: Vec<(u32, u32, u32)> =
+        start.iter().map(|(&v, &s)| (s, end[&v], v)).collect();
     intervals.sort_unstable();
 
     let mut free: Vec<PhysReg> = PhysReg::ALLOCATABLE.iter().rev().copied().collect();
@@ -135,7 +138,10 @@ pub fn allocate(func: &mut MFunc) -> AllocStats {
     let mut assignment: HashMap<u32, PhysReg> = HashMap::new();
     let mut spilled: HashMap<u32, u32> = HashMap::new();
     let mut next_slot = func.num_slots;
-    let mut stats = AllocStats { vregs: intervals.len() as u32, ..AllocStats::default() };
+    let mut stats = AllocStats {
+        vregs: intervals.len() as u32,
+        ..AllocStats::default()
+    };
 
     for &(s, e, v) in &intervals {
         // Expire old intervals.
@@ -191,7 +197,10 @@ pub fn allocate(func: &mut MFunc) -> AllocStats {
                             scratch_used += 1;
                             r
                         });
-                        new_insts.push(MInst::Reload { dst: Reg::P(sreg), slot });
+                        new_insts.push(MInst::Reload {
+                            dst: Reg::P(sreg),
+                            slot,
+                        });
                     }
                 }
             }
@@ -221,7 +230,10 @@ pub fn allocate(func: &mut MFunc) -> AllocStats {
             });
             new_insts.push(inst);
             if let Some((r, slot)) = def_spill {
-                new_insts.push(MInst::Spill { slot, src: Reg::P(r) });
+                new_insts.push(MInst::Spill {
+                    slot,
+                    src: Reg::P(r),
+                });
             }
         }
         b.insts = new_insts;
@@ -236,7 +248,10 @@ pub fn lea_base_registers(func: &MFunc) -> Vec<PhysReg> {
     let mut out = Vec::new();
     for b in &func.blocks {
         for inst in &b.insts {
-            if let MInst::Lea { base: Reg::P(p), .. } = inst {
+            if let MInst::Lea {
+                base: Reg::P(p), ..
+            } = inst
+            {
                 out.push(*p);
             }
         }
@@ -258,7 +273,10 @@ mod tests {
 
     fn no_vregs(f: &MFunc) -> bool {
         f.blocks.iter().flat_map(|b| &b.insts).all(|i| {
-            i.uses().iter().chain(i.defs().iter()).all(|r| matches!(r, Reg::P(_)))
+            i.uses()
+                .iter()
+                .chain(i.defs().iter())
+                .all(|r| matches!(r, Reg::P(_)))
         })
     }
 
@@ -290,15 +308,25 @@ entry:
         // Keep them all live: a chain of xors.
         body.push_str("  %acc0 = xor i64 %v0, %v1\n");
         for i in 1..15 {
-            body.push_str(&format!("  %acc{i} = xor i64 %acc{} , %v{}\n", i - 1, i + 1));
+            body.push_str(&format!(
+                "  %acc{i} = xor i64 %acc{} , %v{}\n",
+                i - 1,
+                i + 1
+            ));
         }
         body.push_str("  ret i64 %acc14\n}\n");
         let (m, stats) = alloc(&body);
         assert!(no_vregs(&m), "{m}");
         assert!(stats.spilled > 0, "{stats:?}");
         assert!(m.num_slots > 0);
-        assert!(m.blocks[0].insts.iter().any(|i| matches!(i, MInst::Spill { .. })));
-        assert!(m.blocks[0].insts.iter().any(|i| matches!(i, MInst::Reload { .. })));
+        assert!(m.blocks[0]
+            .insts
+            .iter()
+            .any(|i| matches!(i, MInst::Spill { .. })));
+        assert!(m.blocks[0]
+            .insts
+            .iter()
+            .any(|i| matches!(i, MInst::Reload { .. })));
     }
 
     #[test]
@@ -328,9 +356,8 @@ exit:
 
     #[test]
     fn undef_vreg_occupies_a_register() {
-        let (m, stats) = alloc(
-            "define i32 @f(i32 %x) {\nentry:\n  %a = add i32 poison, %x\n  ret i32 %a\n}",
-        );
+        let (m, stats) =
+            alloc("define i32 @f(i32 %x) {\nentry:\n  %a = add i32 poison, %x\n  ret i32 %a\n}");
         assert!(no_vregs(&m), "{m}");
         // The pinned undef register consumed an interval.
         assert!(stats.vregs >= 2);

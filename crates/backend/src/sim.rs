@@ -154,7 +154,12 @@ pub struct Simulator<'m> {
 
 #[derive(Clone, Copy, PartialEq, Debug)]
 enum Flags {
-    Cmp { l: u64, r: u64, width: Width, signed_hint: bool },
+    Cmp {
+        l: u64,
+        r: u64,
+        width: Width,
+        signed_hint: bool,
+    },
     None,
 }
 
@@ -262,7 +267,10 @@ impl<'m> Simulator<'m> {
         let mut ii = 0usize;
         loop {
             let Some(inst) = func.blocks[bi].insts.get(ii) else {
-                return Err(SimError::Bad(format!("fell off block {bi} of {}", func.name)));
+                return Err(SimError::Bad(format!(
+                    "fell off block {bi} of {}",
+                    func.name
+                )));
             };
             ii += 1;
             match inst {
@@ -278,8 +286,19 @@ impl<'m> Simulator<'m> {
                     let v = width.mask(self.operand(fr, src));
                     write_reg(fr, *dst, v);
                 }
-                MInst::Alu { op, dst, lhs, rhs, width, signed } => {
-                    self.charge(if *op == AluOp::Imul { self.cost.mul } else { self.cost.alu })?;
+                MInst::Alu {
+                    op,
+                    dst,
+                    lhs,
+                    rhs,
+                    width,
+                    signed,
+                } => {
+                    self.charge(if *op == AluOp::Imul {
+                        self.cost.mul
+                    } else {
+                        self.cost.alu
+                    })?;
                     let a = width.mask(read_reg(fr, *lhs));
                     let b = width.mask(self.operand(fr, rhs));
                     let bits = width.bits();
@@ -313,7 +332,14 @@ impl<'m> Simulator<'m> {
                     let _ = signed;
                     write_reg(fr, *dst, width.mask(r));
                 }
-                MInst::Div { dst, lhs, rhs, signed, rem, width } => {
+                MInst::Div {
+                    dst,
+                    lhs,
+                    rhs,
+                    signed,
+                    rem,
+                    width,
+                } => {
                     self.charge(self.cost.div)?;
                     let a = width.mask(read_reg(fr, *lhs));
                     let b = width.mask(read_reg(fr, *rhs));
@@ -339,7 +365,12 @@ impl<'m> Simulator<'m> {
                     };
                     write_reg(fr, *dst, width.mask(r));
                 }
-                MInst::Lea { dst, base, index, disp } => {
+                MInst::Lea {
+                    dst,
+                    base,
+                    index,
+                    disp,
+                } => {
                     let mut cost = self.cost.lea;
                     if let Reg::P(p) = base {
                         if p.lea_is_slow() {
@@ -353,7 +384,13 @@ impl<'m> Simulator<'m> {
                     }
                     write_reg(fr, *dst, addr);
                 }
-                MInst::MovX { dst, src, from, to, signed } => {
+                MInst::MovX {
+                    dst,
+                    src,
+                    from,
+                    to,
+                    signed,
+                } => {
                     self.charge(self.cost.movx)?;
                     let v = from.mask(read_reg(fr, *src));
                     let r = if *signed {
@@ -363,19 +400,34 @@ impl<'m> Simulator<'m> {
                     };
                     write_reg(fr, *dst, r);
                 }
-                MInst::Load { dst, base, disp, width } => {
+                MInst::Load {
+                    dst,
+                    base,
+                    disp,
+                    width,
+                } => {
                     self.charge(self.cost.load)?;
                     let addr = read_reg(fr, *base).wrapping_add(*disp as i64 as u64);
                     let v = self.load_mem(addr, *width)?;
                     write_reg(fr, *dst, v);
                 }
-                MInst::Store { base, disp, src, width } => {
+                MInst::Store {
+                    base,
+                    disp,
+                    src,
+                    width,
+                } => {
                     self.charge(self.cost.store)?;
                     let addr = read_reg(fr, *base).wrapping_add(*disp as i64 as u64);
                     let v = width.mask(self.operand(fr, src));
                     self.store_mem(addr, v, *width)?;
                 }
-                MInst::Cmp { lhs, rhs, width, signed } => {
+                MInst::Cmp {
+                    lhs,
+                    rhs,
+                    width,
+                    signed,
+                } => {
                     self.charge(self.cost.cmp)?;
                     fr.flags = Flags::Cmp {
                         l: width.mask(read_reg(fr, *lhs)),
@@ -387,14 +439,24 @@ impl<'m> Simulator<'m> {
                 MInst::Test { src, width } => {
                     self.charge(self.cost.cmp)?;
                     let v = width.mask(read_reg(fr, *src));
-                    fr.flags = Flags::Cmp { l: v, r: 0, width: *width, signed_hint: false };
+                    fr.flags = Flags::Cmp {
+                        l: v,
+                        r: 0,
+                        width: *width,
+                        signed_hint: false,
+                    };
                 }
                 MInst::SetCc { cc, dst } => {
                     self.charge(self.cost.setcc)?;
                     let v = eval_cc(fr.flags, *cc)?;
                     write_reg(fr, *dst, u64::from(v));
                 }
-                MInst::CmovCc { cc, dst, src, width } => {
+                MInst::CmovCc {
+                    cc,
+                    dst,
+                    src,
+                    width,
+                } => {
                     self.charge(self.cost.cmov)?;
                     if eval_cc(fr.flags, *cc)? {
                         let v = width.mask(read_reg(fr, *src));
@@ -413,7 +475,11 @@ impl<'m> Simulator<'m> {
                     bi = *target;
                     ii = 0;
                 }
-                MInst::Call { callee, args: arg_regs, dst } => {
+                MInst::Call {
+                    callee,
+                    args: arg_regs,
+                    dst,
+                } => {
                     self.charge(self.cost.call)?;
                     let vals: Vec<u64> = arg_regs.iter().map(|r| read_reg(fr, *r)).collect();
                     let callee = callee.clone();
@@ -535,7 +601,12 @@ exit:
         let big = run(src, "sum", &[100], 0);
         assert_eq!(small.ret, Some(45));
         assert_eq!(big.ret, Some(4950));
-        assert!(big.cycles > small.cycles * 5, "{} vs {}", big.cycles, small.cycles);
+        assert!(
+            big.cycles > small.cycles * 5,
+            "{} vs {}",
+            big.cycles,
+            small.cycles
+        );
     }
 
     #[test]
@@ -642,8 +713,12 @@ entry:
 "#;
         let m = parse_module(src).unwrap();
         let mm = compile_module_with_mode(&m, PipelineMode::Fixed).unwrap();
-        let c1 = Simulator::new(&mm, CostModel::machine1(), 0).run("divs", &[100, 3]).unwrap();
-        let c2 = Simulator::new(&mm, CostModel::machine2(), 0).run("divs", &[100, 3]).unwrap();
+        let c1 = Simulator::new(&mm, CostModel::machine1(), 0)
+            .run("divs", &[100, 3])
+            .unwrap();
+        let c2 = Simulator::new(&mm, CostModel::machine2(), 0)
+            .run("divs", &[100, 3])
+            .unwrap();
         assert_eq!(c1.ret, c2.ret);
         assert!(c1.cycles > c2.cycles, "machine1 divides slower");
     }

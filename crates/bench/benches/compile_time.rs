@@ -1,39 +1,29 @@
-//! E2 / §7.2 compile time as a Criterion bench: wall-clock frontend +
+//! E2 / §7.2 compile time as a micro-bench: wall-clock frontend +
 //! mid-end + backend time per pipeline mode, featuring the "Shootout
 //! nestedloop" outlier workload.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use frost_backend::compile_module;
 use frost_bench::harness::frontend_options;
+use frost_bench::Runner;
 use frost_opt::{o2_pipeline, PipelineMode};
 
-fn bench_compile(c: &mut Criterion) {
-    let mut group = c.benchmark_group("compile_time");
-    group.sample_size(20);
+fn main() {
+    let r = Runner::new();
     for name in ["shootout_nestedloop", "stanford_queens", "sqlite3", "gcc"] {
         let w = frost_workloads::all_workloads()
             .into_iter()
             .find(|w| w.name == name)
             .expect("workload exists");
-        for mode in
-            [PipelineMode::Legacy, PipelineMode::Fixed, PipelineMode::FixedFreezeBlind]
-        {
-            group.bench_with_input(
-                BenchmarkId::new(name, format!("{mode:?}")),
-                &mode,
-                |b, &mode| {
-                    b.iter(|| {
-                        let mut module =
-                            w.compile(&frontend_options(mode)).expect("frontend");
-                        o2_pipeline(mode).run(&mut module);
-                        compile_module(&module).expect("backend")
-                    })
-                },
-            );
+        for mode in [
+            PipelineMode::Legacy,
+            PipelineMode::Fixed,
+            PipelineMode::FixedFreezeBlind,
+        ] {
+            r.bench(&format!("compile/{name}/{mode:?}"), || {
+                let mut module = w.compile(&frontend_options(mode)).expect("frontend");
+                o2_pipeline(mode).run(&mut module);
+                compile_module(&module).expect("backend")
+            });
         }
     }
-    group.finish();
 }
-
-criterion_group!(benches, bench_compile);
-criterion_main!(benches);

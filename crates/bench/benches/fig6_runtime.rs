@@ -1,17 +1,15 @@
-//! E1 / Figure 6 as a Criterion bench: simulated run time of the
+//! E1 / Figure 6 as a micro-bench: simulated run time of the
 //! SPEC-shaped workloads under the legacy baseline and the freeze
 //! prototype. The `repro --experiment fig6` binary prints the full
 //! table; this bench tracks the same quantity statistically.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use frost_backend::{compile_module, CostModel, Simulator, MEM_BASE};
-use frost_bench::compile_workload;
+use frost_bench::{compile_workload, Runner};
 use frost_opt::PipelineMode;
 use frost_workloads::ArgSpec;
 
-fn bench_fig6(c: &mut Criterion) {
-    let mut group = c.benchmark_group("fig6_runtime");
-    group.sample_size(10);
+fn main() {
+    let r = Runner::new();
     // A representative slice: the bit-field-heavy one, a CINT loop
     // kernel, and a CFP fixed-point kernel.
     let picks = ["gcc", "libquantum", "milc"];
@@ -32,21 +30,11 @@ fn bench_fig6(c: &mut Criterion) {
                 })
                 .collect();
             let mem = w.init_memory();
-            group.bench_with_input(
-                BenchmarkId::new(name, format!("{mode:?}")),
-                &(&mm, &args, &mem),
-                |b, (mm, args, mem)| {
-                    b.iter(|| {
-                        let mut sim = Simulator::new(mm, CostModel::machine1(), mem.len());
-                        sim.mem.copy_from_slice(mem);
-                        sim.run(w.entry, args).expect("runs").cycles
-                    })
-                },
-            );
+            r.bench(&format!("simulate/{name}/{mode:?}"), || {
+                let mut sim = Simulator::new(&mm, CostModel::machine1(), mem.len());
+                sim.mem.copy_from_slice(&mem);
+                sim.run(w.entry, &args).expect("runs").cycles
+            });
         }
     }
-    group.finish();
 }
-
-criterion_group!(benches, bench_fig6);
-criterion_main!(benches);

@@ -1,41 +1,87 @@
-//! E5 / §6 as a Criterion bench: throughput of the opt-fuzz +
-//! refinement-checking loop (generation, optimization, exhaustive
-//! outcome comparison).
+//! E5 / §6 as a micro-bench: throughput of the opt-fuzz +
+//! refinement-checking loop, and the parallel-campaign speedup.
+//!
+//! The headline comparison pits a 1-worker campaign against a 4-worker
+//! campaign on the same fixed-seed corpus (identical verdicts by
+//! construction) and prints the speedup; the sharded engine is expected
+//! to clear 2x on any 4-core machine.
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use frost_bench::Runner;
 use frost_core::Semantics;
-use frost_fuzz::{enumerate_functions, validate_transform, GenConfig};
-use frost_opt::{Dce, InstCombine, Pass, PipelineMode};
+use frost_fuzz::{enumerate_functions, validate_transform, Campaign, GenConfig};
+use frost_opt::{o2_pipeline, Dce, InstCombine, Pass, PipelineMode};
 
-fn bench_validate(c: &mut Criterion) {
-    let mut group = c.benchmark_group("optfuzz_validate");
-    group.sample_size(10);
+fn main() {
+    let r = Runner::new();
 
-    group.bench_function("instcombine_fixed_50fns_i2", |b| {
-        b.iter(|| {
-            let cfg = GenConfig::arithmetic(2);
-            let report = validate_transform(
-                enumerate_functions(cfg).step_by(997).take(50),
-                Semantics::proposed(),
-                |m| {
-                    for f in &mut m.functions {
-                        InstCombine::new(PipelineMode::Fixed).run_on_function(f);
-                        Dce::new().run_on_function(f);
-                        f.compact();
-                    }
-                },
-            );
-            assert!(report.is_clean());
-            report.total
-        })
+    r.bench("instcombine_fixed_50fns_i2", || {
+        let cfg = GenConfig::arithmetic(2);
+        let report = validate_transform(
+            enumerate_functions(cfg).step_by(997).take(50),
+            Semantics::proposed(),
+            |m| {
+                for f in &mut m.functions {
+                    InstCombine::new(PipelineMode::Fixed).run_on_function(f);
+                    Dce::new().run_on_function(f);
+                    f.compact();
+                }
+            },
+        );
+        assert!(report.is_clean());
+        report.total
     });
 
-    group.bench_function("generation_only_5000fns", |b| {
-        b.iter(|| enumerate_functions(GenConfig::arithmetic(2)).take(5000).count())
+    r.bench("generation_only_5000fns", || {
+        enumerate_functions(GenConfig::arithmetic(2))
+            .take(5000)
+            .count()
     });
 
-    group.finish();
+    // The campaign-engine comparison: same seed, same corpus, same
+    // verdicts — only the worker count changes.
+    let cfg = GenConfig::with_selects(3);
+    let seed = 20170618; // PLDI 2017
+    let count = 600;
+    let campaign = |workers: usize| {
+        Campaign::new(Semantics::proposed())
+            .with_workers(workers)
+            .with_shard_size(16)
+            .run_random(&cfg, seed, count, |m| {
+                o2_pipeline(PipelineMode::Fixed).run(m);
+            })
+    };
+
+    let seq = r.bench("campaign_600fns_o2_1worker", || {
+        let report = campaign(1);
+        assert!(report.is_clean());
+        report.total
+    });
+    let par = r.bench("campaign_600fns_o2_4workers", || {
+        let report = campaign(4);
+        assert!(report.is_clean());
+        report.total
+    });
+
+    let speedup = seq.median.as_secs_f64() / par.median.as_secs_f64().max(1e-9);
+    let one = campaign(1);
+    let four = campaign(4);
+    assert_eq!(
+        one.violations, four.violations,
+        "worker count must not change the verdicts"
+    );
+    println!(
+        "parallel speedup (4 workers vs 1): {speedup:.2}x  \
+         [{:.0} -> {:.0} fn/s]",
+        one.stats.functions_per_sec, four.stats.functions_per_sec
+    );
+    if std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+        >= 4
+    {
+        assert!(
+            speedup >= 2.0,
+            "expected >=2x campaign speedup at 4 workers, got {speedup:.2}x"
+        );
+    }
 }
-
-criterion_group!(benches, bench_validate);
-criterion_main!(benches);

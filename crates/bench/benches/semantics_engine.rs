@@ -2,14 +2,13 @@
 //! throughput, nondeterministic outcome enumeration, and a full
 //! refinement check — the moving parts behind E5/E6.
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use frost_bench::Runner;
 use frost_core::{enumerate_outcomes, run_concrete, Limits, Memory, Semantics, Val};
 use frost_ir::parse_module;
 use frost_refine::{check_refinement, CheckOptions};
 
-fn bench_engine(c: &mut Criterion) {
-    let mut group = c.benchmark_group("semantics_engine");
-    group.sample_size(20);
+fn main() {
+    let r = Runner::new();
 
     // Interpreter throughput: an i8 summation loop (hundreds of steps).
     let loop_mod = parse_module(
@@ -32,19 +31,16 @@ exit:
 "#,
     )
     .expect("parses");
-    group.bench_function("interpret_sum_loop_200", |b| {
-        b.iter(|| {
-            let (o, steps) = run_concrete(
-                &loop_mod,
-                "sum",
-                &[Val::int(8, 200)],
-                &Memory::zeroed(0),
-                Semantics::proposed(),
-                Limits::default(),
-            )
-            .expect("runs");
-            (o, steps)
-        })
+    r.bench("interpret_sum_loop_200", || {
+        run_concrete(
+            &loop_mod,
+            "sum",
+            &[Val::int(8, 200)],
+            &Memory::zeroed(0),
+            Semantics::proposed(),
+            Limits::default(),
+        )
+        .expect("runs")
     });
 
     // Enumeration: two independent freezes of poison (fan-out 16).
@@ -52,19 +48,17 @@ exit:
         "define i2 @f() {\nentry:\n  %a = freeze i2 poison\n  %b = freeze i2 poison\n  %c = add i2 %a, %b\n  ret i2 %c\n}",
     )
     .expect("parses");
-    group.bench_function("enumerate_two_freezes", |b| {
-        b.iter(|| {
-            enumerate_outcomes(
-                &freeze_mod,
-                "f",
-                &[],
-                &Memory::zeroed(0),
-                Semantics::proposed(),
-                Limits::default(),
-            )
-            .expect("enumerates")
-            .len()
-        })
+    r.bench("enumerate_two_freezes", || {
+        enumerate_outcomes(
+            &freeze_mod,
+            "f",
+            &[],
+            &Memory::zeroed(0),
+            Semantics::proposed(),
+            Limits::default(),
+        )
+        .expect("enumerates")
+        .len()
     });
 
     // A complete refinement check (the §2.3 fold at i4).
@@ -76,21 +70,14 @@ exit:
         "define i1 @f(i4 %a, i4 %b) {\nentry:\n  %c = icmp sgt i4 %b, 0\n  ret i1 %c\n}",
     )
     .expect("parses");
-    group.bench_function("refinement_check_i4_pair", |b| {
-        b.iter(|| {
-            let verdict = check_refinement(
-                &src,
-                "f",
-                &tgt,
-                "f",
-                &CheckOptions::new(Semantics::proposed()),
-            );
-            assert!(verdict.is_refinement());
-        })
+    r.bench("refinement_check_i4_pair", || {
+        let verdict = check_refinement(
+            &src,
+            "f",
+            &tgt,
+            "f",
+            &CheckOptions::new(Semantics::proposed()),
+        );
+        assert!(verdict.is_refinement());
     });
-
-    group.finish();
 }
-
-criterion_group!(benches, bench_engine);
-criterion_main!(benches);

@@ -1,8 +1,8 @@
-//! E7 / Figure 3 as a Criterion bench: the narrow-IV loop (per-iteration
+//! E7 / Figure 3 as a micro-bench: the narrow-IV loop (per-iteration
 //! sext) against its widened form, on both machine models.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use frost_backend::{compile_module, CostModel, Simulator, MEM_BASE};
+use frost_bench::Runner;
 use frost_ir::parse_module;
 use frost_opt::{Dce, IndVarWiden, Pass, PipelineMode};
 
@@ -25,9 +25,8 @@ exit:
 }
 "#;
 
-fn bench_widening(c: &mut Criterion) {
-    let mut group = c.benchmark_group("indvar_widening");
-    group.sample_size(20);
+fn main() {
+    let r = Runner::new();
     let narrow = parse_module(NARROW).expect("parses");
     let mut widened = narrow.clone();
     IndVarWiden::new(PipelineMode::Fixed).run_on_module(&mut widened);
@@ -39,20 +38,10 @@ fn bench_widening(c: &mut Criterion) {
     for (label, module) in [("narrow", &narrow), ("widened", &widened)] {
         let mm = compile_module(module).expect("backend");
         for cost in [CostModel::machine1(), CostModel::machine2()] {
-            group.bench_with_input(
-                BenchmarkId::new(label, cost.name),
-                &(&mm, cost),
-                |b, (mm, cost)| {
-                    b.iter(|| {
-                        let mut sim = Simulator::new(mm, *cost, 2048);
-                        sim.run("f", &[MEM_BASE, 512]).expect("runs").cycles
-                    })
-                },
-            );
+            r.bench(&format!("indvar/{label}/{}", cost.name), || {
+                let mut sim = Simulator::new(&mm, cost, 2048);
+                sim.run("f", &[MEM_BASE, 512]).expect("runs").cycles
+            });
         }
     }
-    group.finish();
 }
-
-criterion_group!(benches, bench_widening);
-criterion_main!(benches);

@@ -27,13 +27,14 @@ fn main() {
             "--quick" | "-q" => quick = true,
             "--budget" | "-b" => {
                 i += 1;
-                budget = args
-                    .get(i)
-                    .and_then(|s| s.parse().ok())
-                    .unwrap_or_else(|| {
-                        eprintln!("--budget needs a number");
-                        std::process::exit(2);
-                    });
+                budget = args.get(i).and_then(|s| s.parse().ok()).unwrap_or_else(|| {
+                    eprintln!("--budget needs a number");
+                    std::process::exit(2);
+                });
+                if budget == 0 {
+                    eprintln!("--budget must be at least 1");
+                    std::process::exit(2);
+                }
             }
             "--help" | "-h" => {
                 println!(
@@ -50,9 +51,14 @@ fn main() {
         i += 1;
     }
 
-    let run = |name: &str| -> bool { experiment == "all" || experiment == name };
+    let mut matched = false;
+    let mut run = |name: &str| -> bool {
+        let hit = experiment == "all" || experiment == name;
+        matched |= hit;
+        hit
+    };
     let mut failures = 0;
-    let mut print = |r: Result<frost_bench::Table, String>| match r {
+    let mut print = |r: Result<frost_bench::Table, frost_core::FrostError>| match r {
         Ok(t) => println!("{t}"),
         Err(e) => {
             eprintln!("experiment failed: {e}");
@@ -86,6 +92,10 @@ fn main() {
     }
     if run("objsize") {
         print(experiments::objsize(quick));
+    }
+    if !matched {
+        eprintln!("unknown experiment '{experiment}' (try --help)");
+        std::process::exit(2);
     }
     if failures > 0 {
         std::process::exit(1);

@@ -3,11 +3,13 @@
 //! [`Table`]; `repro` prints them.
 
 use frost_backend::{compile_module, lea_base_registers, CostModel, Simulator, MEM_BASE};
-use frost_core::Semantics;
-use frost_fuzz::{enumerate_functions, validate_transform, GenConfig};
+use frost_core::{FrostError, Semantics};
+use frost_fuzz::{enumerate_functions, Campaign, GenConfig};
 use frost_ir::{parse_module, Module};
-use frost_opt::{o2_pipeline, Dce, Gvn, Licm, LoopUnswitch, Pass, PipelineMode, Reassociate, Sccp, SimplifyCfg};
-use frost_refine::{check_refinement, CheckOptions, CheckResult};
+use frost_opt::{
+    o2_pipeline, Dce, Gvn, Licm, LoopUnswitch, Pass, PipelineMode, Reassociate, Sccp, SimplifyCfg,
+};
+use frost_refine::{check_refinement, CheckOptions, CheckResult, InputOptions};
 use frost_workloads::{all_workloads, spec_cfp, spec_cint, Workload};
 
 use crate::harness::{pct_improvement, run_workload, RunMetrics};
@@ -19,10 +21,17 @@ fn fmt_pct(v: f64) -> String {
 
 /// E1 / Figure 6: run-time change (%) for the SPEC-shaped suites on
 /// both machine models, freeze prototype vs legacy baseline.
-pub fn fig6(quick: bool) -> Result<Table, String> {
+pub fn fig6(quick: bool) -> Result<Table, FrostError> {
     let mut t = Table::new(
         "Figure 6: SPEC CPU 2006 run-time change (%) — freeze prototype vs baseline",
-        &["benchmark", "suite", "machine1", "machine2", "blind m1", "result match"],
+        &[
+            "benchmark",
+            "suite",
+            "machine1",
+            "machine2",
+            "blind m1",
+            "result match",
+        ],
     );
     let mut workloads: Vec<Workload> = spec_cint();
     workloads.extend(spec_cfp());
@@ -52,7 +61,7 @@ pub fn fig6(quick: bool) -> Result<Table, String> {
 
 /// E2 / §7.2 compile time: wall-clock compilation change, with the
 /// "Shootout nestedloop" jump-threading outlier.
-pub fn compile_time(quick: bool) -> Result<Table, String> {
+pub fn compile_time(quick: bool) -> Result<Table, FrostError> {
     let mut t = Table::new(
         "§7.2 compile time: freeze prototype vs baseline (best of 9, warmed)",
         &["benchmark", "suite", "fixed Δ%", "blind Δ%"],
@@ -62,7 +71,7 @@ pub fn compile_time(quick: bool) -> Result<Table, String> {
         workloads.retain(|w| w.suite == frost_workloads::Suite::Lnt);
         workloads.truncate(6);
     }
-    let best_of = |w: &Workload, mode: PipelineMode| -> Result<u128, String> {
+    let best_of = |w: &Workload, mode: PipelineMode| -> Result<u128, FrostError> {
         // Warm up once, then take the best of 9: single compilations
         // run in ~1 ms, so wall-clock jitter dominates raw samples.
         let _ = crate::harness::compile_workload(w, mode)?;
@@ -89,7 +98,7 @@ pub fn compile_time(quick: bool) -> Result<Table, String> {
 }
 
 /// E3 / §7.2 memory: peak IR working set during compilation.
-pub fn memory(quick: bool) -> Result<Table, String> {
+pub fn memory(quick: bool) -> Result<Table, FrostError> {
     let mut t = Table::new(
         "§7.2 peak compiler memory (IR arena estimate)",
         &["benchmark", "baseline B", "fixed B", "Δ%"],
@@ -113,10 +122,17 @@ pub fn memory(quick: bool) -> Result<Table, String> {
 }
 
 /// E4 / §7.2 object size and freeze counts.
-pub fn objsize(quick: bool) -> Result<Table, String> {
+pub fn objsize(quick: bool) -> Result<Table, FrostError> {
     let mut t = Table::new(
         "§7.2 object size and freeze counts",
-        &["benchmark", "base bytes", "fixed bytes", "Δ%", "freezes", "freeze % of IR"],
+        &[
+            "benchmark",
+            "base bytes",
+            "fixed bytes",
+            "Δ%",
+            "freezes",
+            "freeze % of IR",
+        ],
     );
     let mut workloads = all_workloads();
     if quick {
@@ -134,7 +150,10 @@ pub fn objsize(quick: bool) -> Result<Table, String> {
             w.name.to_string(),
             base.obj_bytes.to_string(),
             fixed.obj_bytes.to_string(),
-            fmt_pct(pct_improvement(base.obj_bytes as u64, fixed.obj_bytes as u64)),
+            fmt_pct(pct_improvement(
+                base.obj_bytes as u64,
+                fixed.obj_bytes as u64,
+            )),
             fixed.freezes.to_string(),
             format!("{frac:.2}%"),
         ]);
@@ -143,28 +162,74 @@ pub fn objsize(quick: bool) -> Result<Table, String> {
     Ok(t)
 }
 
-/// E5 / §6 "Testing the prototype": opt-fuzz × refinement checking.
+/// E5 / §6 "Testing the prototype": opt-fuzz × refinement checking,
+/// run as parallel [`Campaign`]s sharing per-sweep outcome caches.
 pub fn optfuzz(budget: usize) -> Table {
     let mut t = Table::new(
         "§6 validation: exhaustive i2 functions × passes × refinement checking",
-        &["pass", "mode", "semantics", "functions", "changed", "violations", "inconclusive"],
+        &[
+            "pass",
+            "mode",
+            "semantics",
+            "functions",
+            "changed",
+            "violations",
+            "inconclusive",
+            "fn/s",
+            "cache hit%",
+        ],
     );
-    struct Campaign {
+    struct Sweep {
         pass: &'static str,
         mode: PipelineMode,
         sem: Semantics,
         undef: bool,
     }
-    let campaigns = [
-        Campaign { pass: "instcombine", mode: PipelineMode::Fixed, sem: Semantics::proposed(), undef: false },
-        Campaign { pass: "instcombine", mode: PipelineMode::Legacy, sem: Semantics::legacy_gvn(), undef: true },
-        Campaign { pass: "gvn", mode: PipelineMode::Fixed, sem: Semantics::proposed(), undef: false },
-        Campaign { pass: "reassociate", mode: PipelineMode::Fixed, sem: Semantics::proposed(), undef: false },
-        Campaign { pass: "reassociate", mode: PipelineMode::Legacy, sem: Semantics::proposed(), undef: false },
-        Campaign { pass: "sccp", mode: PipelineMode::Fixed, sem: Semantics::proposed(), undef: false },
-        Campaign { pass: "o2", mode: PipelineMode::Fixed, sem: Semantics::proposed(), undef: false },
+    let sweeps = [
+        Sweep {
+            pass: "instcombine",
+            mode: PipelineMode::Fixed,
+            sem: Semantics::proposed(),
+            undef: false,
+        },
+        Sweep {
+            pass: "instcombine",
+            mode: PipelineMode::Legacy,
+            sem: Semantics::legacy_gvn(),
+            undef: true,
+        },
+        Sweep {
+            pass: "gvn",
+            mode: PipelineMode::Fixed,
+            sem: Semantics::proposed(),
+            undef: false,
+        },
+        Sweep {
+            pass: "reassociate",
+            mode: PipelineMode::Fixed,
+            sem: Semantics::proposed(),
+            undef: false,
+        },
+        Sweep {
+            pass: "reassociate",
+            mode: PipelineMode::Legacy,
+            sem: Semantics::proposed(),
+            undef: false,
+        },
+        Sweep {
+            pass: "sccp",
+            mode: PipelineMode::Fixed,
+            sem: Semantics::proposed(),
+            undef: false,
+        },
+        Sweep {
+            pass: "o2",
+            mode: PipelineMode::Fixed,
+            sem: Semantics::proposed(),
+            undef: false,
+        },
     ];
-    for c in campaigns {
+    for c in sweeps {
         let mut cfg = GenConfig::arithmetic(2);
         if c.undef {
             cfg = cfg.with_undef();
@@ -174,7 +239,7 @@ pub fn optfuzz(budget: usize) -> Table {
         let stride = (total_space / budget as u128).max(1) as usize;
         let fns = enumerate_functions(cfg).step_by(stride).take(budget);
         let mode = c.mode;
-        let report = validate_transform(fns, c.sem, |m| {
+        let report = Campaign::new(c.sem).run(fns, |m| {
             let run_pass = |p: &dyn Pass, m: &mut Module| {
                 p.run_on_module(m);
             };
@@ -201,9 +266,12 @@ pub fn optfuzz(budget: usize) -> Table {
             report.changed.to_string(),
             report.violations.len().to_string(),
             report.inconclusive.to_string(),
+            format!("{:.0}", report.stats.functions_per_sec),
+            format!("{:.0}%", report.stats.cache_hit_rate() * 100.0),
         ]);
     }
     t.note("fixed-mode campaigns must report 0 violations; legacy campaigns reproduce the §3 bugs");
+    t.note("each sweep runs on all cores; fn/s and cache hit% come from the campaign stats");
     t
 }
 
@@ -212,7 +280,12 @@ pub fn optfuzz(budget: usize) -> Table {
 pub fn inconsistencies() -> Table {
     let mut t = Table::new(
         "§3 inconsistency matrix: transformation soundness per semantics",
-        &["transformation", "proposed", "legacy-gvn", "legacy-unswitch"],
+        &[
+            "transformation",
+            "proposed",
+            "legacy-gvn",
+            "legacy-unswitch",
+        ],
     );
 
     // Each case: (name, before-module, transform).
@@ -336,8 +409,7 @@ m:
                 cells.push("no-op".to_string());
                 continue;
             }
-            let verdict =
-                check_refinement(&before, "f", &after, "f", &CheckOptions::new(sem));
+            let verdict = check_refinement(&before, "f", &after, "f", &CheckOptions::new(sem));
             cells.push(match verdict {
                 CheckResult::Refines => "sound".to_string(),
                 CheckResult::CounterExample(_) => "UNSOUND".to_string(),
@@ -376,10 +448,16 @@ exit:
 
 /// E7 / §2.4, Figure 3: induction-variable widening — measured speedup
 /// and the semantic justification matrix.
-pub fn widening() -> Result<Table, String> {
+pub fn widening() -> Result<Table, FrostError> {
     let mut t = Table::new(
         "Figure 3: induction-variable widening (sext removal)",
-        &["configuration", "cycles m1", "cycles m2", "speedup m1", "verdict"],
+        &[
+            "configuration",
+            "cycles m1",
+            "cycles m2",
+            "speedup m1",
+            "verdict",
+        ],
     );
     // A store loop with a narrow IV, Figure 3's shape, over 512 i32s.
     let narrow = r#"
@@ -400,7 +478,7 @@ exit:
   ret void
 }
 "#;
-    let before = parse_module(narrow).map_err(|e| e.to_string())?;
+    let before = parse_module(narrow)?;
     let mut widened = before.clone();
     frost_opt::IndVarWiden::new(PipelineMode::Fixed).run_on_module(&mut widened);
     for f in &mut widened.functions {
@@ -408,10 +486,13 @@ exit:
         f.compact();
     }
 
-    let cycles = |m: &Module, cost: CostModel| -> Result<u64, String> {
-        let mm = compile_module(m).map_err(|e| e.to_string())?;
+    let cycles = |m: &Module, cost: CostModel| -> Result<u64, FrostError> {
+        let mm = compile_module(m).map_err(|e| FrostError::stage("backend", "widening", e))?;
         let mut sim = Simulator::new(&mm, cost, 2048);
-        Ok(sim.run("f", &[MEM_BASE, 512]).map_err(|e| e.to_string())?.cycles)
+        Ok(sim
+            .run("f", &[MEM_BASE, 512])
+            .map_err(|e| FrostError::stage("simulation", "widening", e))?
+            .cycles)
     };
     let n1 = cycles(&before, CostModel::machine1())?;
     let n2 = cycles(&before, CostModel::machine2())?;
@@ -428,8 +509,7 @@ exit:
     // transformation at i3/i5 widths (same shape, checkable domain).
     let small = parse_module(
         "declare void @use(i5)\ndefine void @f(i3 %n) {\nentry:\n  br label %head\nhead:\n  %i = phi i3 [ 0, %entry ], [ %i1, %body ]\n  %c = icmp slt i3 %i, %n\n  br i1 %c, label %body, label %exit\nbody:\n  %iext = sext i3 %i to i5\n  call void @use(i5 %iext)\n  %i1 = add nsw i3 %i, 1\n  br label %head\nexit:\n  ret void\n}",
-    )
-    .map_err(|e| e.to_string())?;
+    )?;
     let mut small_widened = small.clone();
     frost_opt::IndVarWiden::new(PipelineMode::Fixed).run_on_module(&mut small_widened);
     for f in &mut small_widened.functions {
@@ -456,13 +536,17 @@ exit:
     // The semantic crux, on checkable widths (matches the indvar tests).
     let src = parse_module(
         "define i1 @f(i3 %i, i3 %n) {\nentry:\n  %i1 = add nsw i3 %i, 1\n  %iext = sext i3 %i1 to i5\n  %next = sext i3 %n to i5\n  %c = icmp sle i5 %iext, %next\n  ret i1 %c\n}",
-    )
-    .map_err(|e| e.to_string())?;
+    )?;
     let tgt = parse_module(
         "define i1 @f(i3 %i, i3 %n) {\nentry:\n  %iw = sext i3 %i to i5\n  %i1w = add nsw i5 %iw, 1\n  %next = sext i3 %n to i5\n  %c = icmp sle i5 %i1w, %next\n  ret i1 %c\n}",
-    )
-    .map_err(|e| e.to_string())?;
-    let under_poison = check_refinement(&src, "f", &tgt, "f", &CheckOptions::new(Semantics::proposed()));
+    )?;
+    let under_poison = check_refinement(
+        &src,
+        "f",
+        &tgt,
+        "f",
+        &CheckOptions::new(Semantics::proposed()),
+    );
     let under_undef = check_refinement(
         &src,
         "f",
@@ -475,7 +559,11 @@ exit:
         "-".into(),
         "-".into(),
         "-".into(),
-        if under_poison.is_refinement() { "sound".into() } else { "UNSOUND".into() },
+        if under_poison.is_refinement() {
+            "sound".into()
+        } else {
+            "UNSOUND".into()
+        },
     ]);
     t.row(vec![
         "widening step, overflow = undef (§2.4 strawman)".into(),
@@ -488,12 +576,14 @@ exit:
             "unexpectedly sound".into()
         },
     ]);
-    t.note("paper: up to 39% faster depending on microarchitecture; justified only by nsw = poison");
+    t.note(
+        "paper: up to 39% faster depending on microarchitecture; justified only by nsw = poison",
+    );
     Ok(t)
 }
 
 /// E8 / §5.4: load widening must use vector loads.
-pub fn loadwiden() -> Result<Table, String> {
+pub fn loadwiden() -> Result<Table, FrostError> {
     let mut t = Table::new(
         "§5.4 load widening: scalar vs vector",
         &["transformation", "verdict under proposed"],
@@ -529,11 +619,15 @@ entry:
   ret i16 %v
 }
 "#;
-    let s = parse_module(src).map_err(|e| e.to_string())?;
-    for (name, tgt) in [("widen 16->32 scalar", tgt_scalar), ("widen via <2 x i16>", tgt_vector)] {
-        let tm = parse_module(tgt).map_err(|e| e.to_string())?;
-        let mut opts = CheckOptions::new(Semantics::proposed());
-        opts.inputs.bytes_per_pointer = 4; // room for the wide load
+    let s = parse_module(src)?;
+    for (name, tgt) in [
+        ("widen 16->32 scalar", tgt_scalar),
+        ("widen via <2 x i16>", tgt_vector),
+    ] {
+        let tm = parse_module(tgt)?;
+        // 4 bytes per pointer: room for the wide load.
+        let opts = CheckOptions::new(Semantics::proposed())
+            .with_inputs(InputOptions::new().with_bytes_per_pointer(4));
         let verdict = check_refinement(&s, "f", &tm, "f", &opts);
         t.row(vec![
             name.to_string(),
@@ -544,13 +638,15 @@ entry:
             },
         ]);
     }
-    t.note("paper: the adjacent bits 'should not poison the value the program was originally loading'");
+    t.note(
+        "paper: the adjacent bits 'should not poison the value the program was originally loading'",
+    );
     Ok(t)
 }
 
 /// E9 / §7.2: the Stanford Queens anecdote — the freeze changes
 /// register allocation, shifting an LEA on/off a slow register.
-pub fn queens_anecdote() -> Result<Table, String> {
+pub fn queens_anecdote() -> Result<Table, FrostError> {
     let mut t = Table::new(
         "§7.2 Stanford Queens: register allocation and LEA latency",
         &["mode", "cycles m1", "cycles m2", "slow-LEA bases", "result"],
@@ -561,7 +657,7 @@ pub fn queens_anecdote() -> Result<Table, String> {
         let m2 = run_workload(&w, mode, CostModel::machine2())?;
         // Count LEAs whose base landed on a slow register.
         let (module, _, _) = crate::harness::compile_workload(&w, mode)?;
-        let mm = compile_module(&module).map_err(|e| e.to_string())?;
+        let mm = compile_module(&module).map_err(|e| FrostError::stage("backend", w.name, e))?;
         let slow: usize = mm
             .functions
             .iter()
@@ -580,21 +676,31 @@ pub fn queens_anecdote() -> Result<Table, String> {
     // fast vs a slow register, demonstrating the latency quirk the
     // paper's anecdote traces the speedup to.
     for (label, base) in [
-        ("mechanism: lea base = r12 (fast)", frost_backend::PhysReg::R12),
-        ("mechanism: lea base = r13 (slow)", frost_backend::PhysReg::R13),
+        (
+            "mechanism: lea base = r12 (fast)",
+            frost_backend::PhysReg::R12,
+        ),
+        (
+            "mechanism: lea base = r13 (slow)",
+            frost_backend::PhysReg::R13,
+        ),
     ] {
         let mm = lea_microkernel(base);
         let c1 = Simulator::new(&mm, CostModel::machine1(), 0)
             .run("k", &[20_000])
-            .map_err(|e| e.to_string())?;
+            .map_err(|e| FrostError::stage("simulation", label, e))?;
         let c2 = Simulator::new(&mm, CostModel::machine2(), 0)
             .run("k", &[20_000])
-            .map_err(|e| e.to_string())?;
+            .map_err(|e| FrostError::stage("simulation", label, e))?;
         t.row(vec![
             label.to_string(),
             c1.cycles.to_string(),
             c2.cycles.to_string(),
-            if base.lea_is_slow() { "1".into() } else { "0".into() },
+            if base.lea_is_slow() {
+                "1".into()
+            } else {
+                "0".into()
+            },
             c1.ret.map(|r| r.to_string()).unwrap_or_default(),
         ]);
     }
@@ -615,9 +721,21 @@ fn lea_microkernel(base: frost_backend::PhysReg) -> frost_backend::MModule {
         name: "entry".into(),
         insts: vec![
             MInst::GetArg { dst: n, index: 0 },
-            MInst::Mov { dst: i, src: Operand::Imm(0), width: Width::W64 },
-            MInst::Mov { dst: acc, src: Operand::Imm(0), width: Width::W64 },
-            MInst::Mov { dst: b, src: Operand::Imm(0), width: Width::W64 },
+            MInst::Mov {
+                dst: i,
+                src: Operand::Imm(0),
+                width: Width::W64,
+            },
+            MInst::Mov {
+                dst: acc,
+                src: Operand::Imm(0),
+                width: Width::W64,
+            },
+            MInst::Mov {
+                dst: b,
+                src: Operand::Imm(0),
+                width: Width::W64,
+            },
             MInst::Jmp { target: 1 },
         ],
     };
@@ -625,7 +743,12 @@ fn lea_microkernel(base: frost_backend::PhysReg) -> frost_backend::MModule {
         name: "body".into(),
         insts: vec![
             // The hot LEA: acc-relevant address arithmetic on `base`.
-            MInst::Lea { dst: acc, base: b, index: Some((acc, 1)), disp: 1 },
+            MInst::Lea {
+                dst: acc,
+                base: b,
+                index: Some((acc, 1)),
+                disp: 1,
+            },
             MInst::Alu {
                 op: AluOp::Add,
                 dst: i,
@@ -634,12 +757,23 @@ fn lea_microkernel(base: frost_backend::PhysReg) -> frost_backend::MModule {
                 width: Width::W64,
                 signed: false,
             },
-            MInst::Cmp { lhs: i, rhs: Operand::R(n), width: Width::W64, signed: false },
-            MInst::Jcc { cc: Cc::B, target: 1 },
+            MInst::Cmp {
+                lhs: i,
+                rhs: Operand::R(n),
+                width: Width::W64,
+                signed: false,
+            },
+            MInst::Jcc {
+                cc: Cc::B,
+                target: 1,
+            },
             MInst::Jmp { target: 2 },
         ],
     };
-    let exit = MBlock { name: "exit".into(), insts: vec![MInst::Ret { src: Some(acc) }] };
+    let exit = MBlock {
+        name: "exit".into(),
+        insts: vec![MInst::Ret { src: Some(acc) }],
+    };
     frost_backend::MModule {
         functions: vec![MFunc {
             name: "k".into(),
@@ -691,10 +825,7 @@ mod tests {
     fn widening_is_profitable_and_sound() {
         let t = widening().unwrap();
         // Row 1 is the widened configuration.
-        let speedup: f64 = t.rows[1][3]
-            .trim_end_matches('%')
-            .parse()
-            .unwrap();
+        let speedup: f64 = t.rows[1][3].trim_end_matches('%').parse().unwrap();
         assert!(speedup > 0.0, "widening must save cycles: {t}");
         assert!(t.rows[1][4].contains("sound"), "{t}");
         assert!(t.rows[2][4].contains("sound"), "{t}");

@@ -7,6 +7,7 @@ use std::time::Instant;
 
 use frost_backend::{compile_module, module_size, CostModel, Simulator, MEM_BASE};
 use frost_cc::CodegenOptions;
+use frost_core::FrostError;
 use frost_ir::Module;
 use frost_opt::{o2_pipeline, PipelineMode};
 use frost_workloads::{ArgSpec, Workload};
@@ -35,19 +36,26 @@ pub struct RunMetrics {
 /// Frontend options matching a pipeline mode: the legacy world has no
 /// freeze anywhere; both fixed modes use the §5.3 lowering.
 pub fn frontend_options(mode: PipelineMode) -> CodegenOptions {
-    CodegenOptions { freeze_bitfields: mode.uses_freeze(), emit_wrap_flags: true }
+    CodegenOptions {
+        freeze_bitfields: mode.uses_freeze(),
+        emit_wrap_flags: true,
+    }
 }
 
 /// Compiles a workload through the full pipeline in the given mode.
 ///
 /// # Errors
 ///
-/// Returns a description on any stage failure (a workload regression).
-pub fn compile_workload(w: &Workload, mode: PipelineMode) -> Result<(Module, u128, usize), String> {
+/// Returns a [`FrostError::Stage`] naming the failing stage (a workload
+/// regression).
+pub fn compile_workload(
+    w: &Workload,
+    mode: PipelineMode,
+) -> Result<(Module, u128, usize), FrostError> {
     let t0 = Instant::now();
     let mut module = w
         .compile(&frontend_options(mode))
-        .map_err(|e| format!("{}: frontend: {e}", w.name))?;
+        .map_err(|e| FrostError::stage("frontend", w.name, e))?;
     let mut peak = module.approx_bytes();
     o2_pipeline(mode).run(&mut module);
     peak = peak.max(module.approx_bytes());
@@ -59,15 +67,15 @@ pub fn compile_workload(w: &Workload, mode: PipelineMode) -> Result<(Module, u12
 ///
 /// # Errors
 ///
-/// Returns a description on compile or simulation failure.
+/// Returns a [`FrostError::Stage`] on compile or simulation failure.
 pub fn run_workload(
     w: &Workload,
     mode: PipelineMode,
     cost: CostModel,
-) -> Result<RunMetrics, String> {
+) -> Result<RunMetrics, FrostError> {
     let (module, compile_front_ns, peak) = compile_workload(w, mode)?;
     let t0 = Instant::now();
-    let mm = compile_module(&module).map_err(|e| format!("{}: backend: {e}", w.name))?;
+    let mm = compile_module(&module).map_err(|e| FrostError::stage("backend", w.name, e))?;
     let backend_ns = t0.elapsed().as_nanos();
 
     let mut sim = Simulator::new(&mm, cost, w.mem_bytes as usize);
@@ -82,7 +90,7 @@ pub fn run_workload(
         .collect();
     let run = sim
         .run(w.entry, &args)
-        .map_err(|e| format!("{}: simulation ({}): {e}", w.name, cost.name))?;
+        .map_err(|e| FrostError::stage("simulation", format!("{} ({})", w.name, cost.name), e))?;
 
     Ok(RunMetrics {
         cycles: run.cycles,
@@ -115,7 +123,11 @@ mod tests {
     fn queens_runs_in_every_mode_with_matching_results() {
         let w = frost_workloads::queens();
         let mut results = Vec::new();
-        for mode in [PipelineMode::Legacy, PipelineMode::Fixed, PipelineMode::FixedFreezeBlind] {
+        for mode in [
+            PipelineMode::Legacy,
+            PipelineMode::Fixed,
+            PipelineMode::FixedFreezeBlind,
+        ] {
             let m = run_workload(&w, mode, CostModel::machine1()).unwrap();
             // 8-queens has 92 solutions; the kernel sums 3 repetitions.
             assert_eq!(m.result, Some(92 * 3), "mode {mode:?}");

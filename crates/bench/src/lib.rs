@@ -17,7 +17,9 @@
 
 pub mod experiments;
 pub mod harness;
+pub mod microbench;
 pub mod table;
 
 pub use harness::{compile_workload, pct_improvement, run_workload, RunMetrics};
+pub use microbench::{BenchResult, Runner};
 pub use table::Table;

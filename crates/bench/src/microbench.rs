@@ -1,0 +1,120 @@
+//! A dependency-free micro-benchmark runner.
+//!
+//! The `benches/` entry points use this instead of an external harness:
+//! each bench is a plain binary (`harness = false`) that times closures
+//! with [`Runner::bench`] and prints one line per case. Statistics are
+//! deliberately simple — warm up, take N wall-clock samples, report
+//! best / median / mean — which is plenty for the relative comparisons
+//! the paper's evaluation makes (legacy vs fixed, sequential vs
+//! parallel).
+//!
+//! Sample count comes from `FROST_BENCH_SAMPLES` (default 10).
+
+use std::time::{Duration, Instant};
+
+/// Timing summary of one benched case.
+#[derive(Clone, Debug)]
+pub struct BenchResult {
+    /// Case name as printed.
+    pub name: String,
+    /// Samples taken.
+    pub samples: usize,
+    /// Fastest sample.
+    pub best: Duration,
+    /// Median sample.
+    pub median: Duration,
+    /// Arithmetic mean of all samples.
+    pub mean: Duration,
+}
+
+impl std::fmt::Display for BenchResult {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{:<44} best {:>12?}  median {:>12?}  mean {:>12?}  ({} samples)",
+            self.name, self.best, self.median, self.mean, self.samples
+        )
+    }
+}
+
+/// Runs and prints micro-benchmarks.
+pub struct Runner {
+    samples: usize,
+}
+
+impl Runner {
+    /// A runner honoring `FROST_BENCH_SAMPLES` (default 10).
+    pub fn new() -> Runner {
+        let samples = std::env::var("FROST_BENCH_SAMPLES")
+            .ok()
+            .and_then(|s| s.parse().ok())
+            .filter(|&n| n > 0)
+            .unwrap_or(10);
+        Runner { samples }
+    }
+
+    /// A runner with a fixed sample count (tests).
+    pub fn with_samples(samples: usize) -> Runner {
+        Runner {
+            samples: samples.max(1),
+        }
+    }
+
+    /// Times `f` (after one warm-up call), prints the summary line, and
+    /// returns it. The closure's result is returned through a black-box
+    /// sink so the work is not optimized away.
+    pub fn bench<T>(&self, name: &str, mut f: impl FnMut() -> T) -> BenchResult {
+        sink(f()); // warm-up
+        let mut times: Vec<Duration> = Vec::with_capacity(self.samples);
+        for _ in 0..self.samples {
+            let t0 = Instant::now();
+            sink(f());
+            times.push(t0.elapsed());
+        }
+        times.sort();
+        let best = times[0];
+        let median = times[times.len() / 2];
+        let mean = times.iter().sum::<Duration>() / times.len() as u32;
+        let r = BenchResult {
+            name: name.to_string(),
+            samples: self.samples,
+            best,
+            median,
+            mean,
+        };
+        println!("{r}");
+        r
+    }
+}
+
+impl Default for Runner {
+    fn default() -> Runner {
+        Runner::new()
+    }
+}
+
+/// An opaque consumer the optimizer cannot see through.
+fn sink<T>(v: T) -> T {
+    // A volatile read of the value's address pins it as observed.
+    unsafe { std::ptr::read_volatile(&&v) };
+    v
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_reports_plausible_times() {
+        let r = Runner::with_samples(3).bench("spin", || {
+            let mut acc = 0u64;
+            for i in 0..10_000u64 {
+                acc = acc.wrapping_add(i * i);
+            }
+            acc
+        });
+        assert_eq!(r.samples, 3);
+        assert!(r.best <= r.median && r.median <= r.mean * 2);
+        assert!(r.best > Duration::ZERO);
+    }
+}

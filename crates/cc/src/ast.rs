@@ -32,17 +32,26 @@ pub enum CType {
 impl CType {
     /// `int`.
     pub fn int() -> CType {
-        CType::Int { bits: 32, signed: true }
+        CType::Int {
+            bits: 32,
+            signed: true,
+        }
     }
 
     /// `unsigned`.
     pub fn uint() -> CType {
-        CType::Int { bits: 32, signed: false }
+        CType::Int {
+            bits: 32,
+            signed: false,
+        }
     }
 
     /// `long`.
     pub fn long() -> CType {
-        CType::Int { bits: 64, signed: true }
+        CType::Int {
+            bits: 64,
+            signed: true,
+        }
     }
 
     /// Returns `true` for integer types.
@@ -75,14 +84,38 @@ impl CType {
 impl fmt::Display for CType {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            CType::Int { bits: 32, signed: true } => write!(f, "int"),
-            CType::Int { bits: 32, signed: false } => write!(f, "unsigned"),
-            CType::Int { bits: 64, signed: true } => write!(f, "long"),
-            CType::Int { bits: 64, signed: false } => write!(f, "unsigned long"),
-            CType::Int { bits: 16, signed: true } => write!(f, "short"),
-            CType::Int { bits: 16, signed: false } => write!(f, "unsigned short"),
-            CType::Int { bits: 8, signed: true } => write!(f, "char"),
-            CType::Int { bits: 8, signed: false } => write!(f, "unsigned char"),
+            CType::Int {
+                bits: 32,
+                signed: true,
+            } => write!(f, "int"),
+            CType::Int {
+                bits: 32,
+                signed: false,
+            } => write!(f, "unsigned"),
+            CType::Int {
+                bits: 64,
+                signed: true,
+            } => write!(f, "long"),
+            CType::Int {
+                bits: 64,
+                signed: false,
+            } => write!(f, "unsigned long"),
+            CType::Int {
+                bits: 16,
+                signed: true,
+            } => write!(f, "short"),
+            CType::Int {
+                bits: 16,
+                signed: false,
+            } => write!(f, "unsigned short"),
+            CType::Int {
+                bits: 8,
+                signed: true,
+            } => write!(f, "char"),
+            CType::Int {
+                bits: 8,
+                signed: false,
+            } => write!(f, "unsigned char"),
             CType::Int { bits, signed } => {
                 write!(f, "{}int{bits}", if *signed { "" } else { "u" })
             }
@@ -285,9 +318,9 @@ pub fn layout_struct(decl: &StructDecl) -> Result<StructLayout, String> {
     for f in &decl.fields {
         match f.bit_width {
             Some(w) => {
-                let bits = f.ty.bits().ok_or_else(|| {
-                    format!("bit-field {} must have integer type", f.name)
-                })?;
+                let bits =
+                    f.ty.bits()
+                        .ok_or_else(|| format!("bit-field {} must have integer type", f.name))?;
                 if w == 0 || w > 32 || w > bits {
                     return Err(format!("bit-field {} has invalid width {w}", f.name));
                 }
@@ -318,12 +351,21 @@ pub fn layout_struct(decl: &StructDecl) -> Result<StructLayout, String> {
                     other => return Err(format!("field {} has unsupported type {other}", f.name)),
                 };
                 let at = align_to(offset, size);
-                fields.push((f.name.clone(), FieldLayout::Plain { offset: at, ty: f.ty.clone() }));
+                fields.push((
+                    f.name.clone(),
+                    FieldLayout::Plain {
+                        offset: at,
+                        ty: f.ty.clone(),
+                    },
+                ));
                 offset = at + size;
             }
         }
     }
-    Ok(StructLayout { fields, size: align_to(offset.max(1), 4) })
+    Ok(StructLayout {
+        fields,
+        size: align_to(offset.max(1), 4),
+    })
 }
 
 fn align_to(v: u32, a: u32) -> u32 {
@@ -335,7 +377,11 @@ mod tests {
     use super::*;
 
     fn field(name: &str, ty: CType, w: Option<u32>) -> FieldDecl {
-        FieldDecl { name: name.into(), ty, bit_width: w }
+        FieldDecl {
+            name: name.into(),
+            ty,
+            bit_width: w,
+        }
     }
 
     #[test]
@@ -351,15 +397,30 @@ mod tests {
         let l = layout_struct(&s).unwrap();
         assert_eq!(
             l.fields[0].1,
-            FieldLayout::Bits { unit_offset: 0, bit_offset: 0, width: 3, signed: true }
+            FieldLayout::Bits {
+                unit_offset: 0,
+                bit_offset: 0,
+                width: 3,
+                signed: true
+            }
         );
         assert_eq!(
             l.fields[1].1,
-            FieldLayout::Bits { unit_offset: 0, bit_offset: 3, width: 5, signed: false }
+            FieldLayout::Bits {
+                unit_offset: 0,
+                bit_offset: 3,
+                width: 5,
+                signed: false
+            }
         );
         assert_eq!(
             l.fields[2].1,
-            FieldLayout::Bits { unit_offset: 4, bit_offset: 0, width: 30, signed: false }
+            FieldLayout::Bits {
+                unit_offset: 4,
+                bit_offset: 0,
+                width: 30,
+                signed: false
+            }
         );
         assert_eq!(l.size, 8);
     }
@@ -369,15 +430,53 @@ mod tests {
         let s = StructDecl {
             name: "s".into(),
             fields: vec![
-                field("c", CType::Int { bits: 8, signed: true }, None),
+                field(
+                    "c",
+                    CType::Int {
+                        bits: 8,
+                        signed: true,
+                    },
+                    None,
+                ),
                 field("i", CType::int(), None),
-                field("s", CType::Int { bits: 16, signed: true }, None),
+                field(
+                    "s",
+                    CType::Int {
+                        bits: 16,
+                        signed: true,
+                    },
+                    None,
+                ),
             ],
         };
         let l = layout_struct(&s).unwrap();
-        assert_eq!(l.fields[0].1, FieldLayout::Plain { offset: 0, ty: CType::Int { bits: 8, signed: true } });
-        assert_eq!(l.fields[1].1, FieldLayout::Plain { offset: 4, ty: CType::int() });
-        assert_eq!(l.fields[2].1, FieldLayout::Plain { offset: 8, ty: CType::Int { bits: 16, signed: true } });
+        assert_eq!(
+            l.fields[0].1,
+            FieldLayout::Plain {
+                offset: 0,
+                ty: CType::Int {
+                    bits: 8,
+                    signed: true
+                }
+            }
+        );
+        assert_eq!(
+            l.fields[1].1,
+            FieldLayout::Plain {
+                offset: 4,
+                ty: CType::int()
+            }
+        );
+        assert_eq!(
+            l.fields[2].1,
+            FieldLayout::Plain {
+                offset: 8,
+                ty: CType::Int {
+                    bits: 16,
+                    signed: true
+                }
+            }
+        );
         assert_eq!(l.size, 12);
     }
 
@@ -393,9 +492,26 @@ mod tests {
         };
         let l = layout_struct(&s).unwrap();
         // a in unit at 0; x at 4; b starts a fresh unit at 8.
-        assert!(matches!(l.fields[0].1, FieldLayout::Bits { unit_offset: 0, bit_offset: 0, .. }));
-        assert!(matches!(l.fields[1].1, FieldLayout::Plain { offset: 4, .. }));
-        assert!(matches!(l.fields[2].1, FieldLayout::Bits { unit_offset: 8, bit_offset: 0, .. }));
+        assert!(matches!(
+            l.fields[0].1,
+            FieldLayout::Bits {
+                unit_offset: 0,
+                bit_offset: 0,
+                ..
+            }
+        ));
+        assert!(matches!(
+            l.fields[1].1,
+            FieldLayout::Plain { offset: 4, .. }
+        ));
+        assert!(matches!(
+            l.fields[2].1,
+            FieldLayout::Bits {
+                unit_offset: 8,
+                bit_offset: 0,
+                ..
+            }
+        ));
     }
 
     #[test]

@@ -16,9 +16,7 @@
 
 use std::collections::{HashMap, HashSet};
 
-use frost_ir::{
-    BinOp, Cond, DeclAttrs, Flags, FuncDecl, FunctionBuilder, Module, Ty, Value,
-};
+use frost_ir::{BinOp, Cond, DeclAttrs, Flags, FuncDecl, FunctionBuilder, Module, Ty, Value};
 
 use crate::ast::*;
 
@@ -35,7 +33,10 @@ pub struct CodegenOptions {
 
 impl Default for CodegenOptions {
     fn default() -> CodegenOptions {
-        CodegenOptions { freeze_bitfields: true, emit_wrap_flags: true }
+        CodegenOptions {
+            freeze_bitfields: true,
+            emit_wrap_flags: true,
+        }
     }
 }
 
@@ -74,7 +75,10 @@ pub fn compile(prog: &Program, opts: &CodegenOptions) -> Result<Module> {
     for f in &prog.functions {
         signatures.insert(
             f.name.clone(),
-            (f.params.iter().map(|p| p.ty.clone()).collect(), f.ret.clone()),
+            (
+                f.params.iter().map(|p| p.ty.clone()).collect(),
+                f.ret.clone(),
+            ),
         );
     }
 
@@ -84,7 +88,10 @@ pub fn compile(prog: &Program, opts: &CodegenOptions) -> Result<Module> {
             name: e.name.clone(),
             params: e.params.iter().map(|t| ir_ty(t)).collect::<Result<_>>()?,
             ret_ty: ir_ty_ret(&e.ret)?,
-            attrs: DeclAttrs { readnone: false, willreturn: true },
+            attrs: DeclAttrs {
+                readnone: false,
+                willreturn: true,
+            },
         });
     }
     for f in &prog.functions {
@@ -160,12 +167,26 @@ impl<'p> FnCx<'p> {
             .iter()
             .map(|p| Ok((p.name.clone(), ir_ty(&p.ty)?)))
             .collect::<Result<_>>()?;
-        let param_refs: Vec<(&str, Ty)> =
-            params.iter().map(|(n, t)| (n.as_str(), t.clone())).collect();
+        let param_refs: Vec<(&str, Ty)> = params
+            .iter()
+            .map(|(n, t)| (n.as_str(), t.clone()))
+            .collect();
         let b = FunctionBuilder::new(&f.name, &param_refs, ir_ty_ret(&f.ret)?);
-        let mut st = GenState { b, env: HashMap::new(), terminated: false, ret: f.ret.clone(), block_counter: 0 };
+        let mut st = GenState {
+            b,
+            env: HashMap::new(),
+            terminated: false,
+            ret: f.ret.clone(),
+            block_counter: 0,
+        };
         for (i, p) in f.params.iter().enumerate() {
-            st.env.insert(p.name.clone(), TV { v: st.b.arg(i as u32), ty: p.ty.clone() });
+            st.env.insert(
+                p.name.clone(),
+                TV {
+                    v: st.b.arg(i as u32),
+                    ty: p.ty.clone(),
+                },
+            );
         }
         self.gen_stmts(&mut st, &f.body)?;
         if !st.terminated {
@@ -181,7 +202,11 @@ impl<'p> FnCx<'p> {
         }
         let func = st.b.finish();
         frost_ir::verify::verify_function_legacy(&func).map_err(|e| {
-            CompileError(format!("internal: generated IR fails verification: {}\n{}", e.join("; "), func))
+            CompileError(format!(
+                "internal: generated IR fails verification: {}\n{}",
+                e.join("; "),
+                func
+            ))
         })?;
         Ok(func)
     }
@@ -206,10 +231,19 @@ impl<'p> FnCx<'p> {
                     }
                     None => {
                         // Uninitialized local: poison until assigned.
-                        TV { v: Value::poison(ir_ty(ty)?), ty: ty.clone() }
+                        TV {
+                            v: Value::poison(ir_ty(ty)?),
+                            ty: ty.clone(),
+                        }
                     }
                 };
-                st.env.insert(name.clone(), TV { v: v.v, ty: ty.clone() });
+                st.env.insert(
+                    name.clone(),
+                    TV {
+                        v: v.v,
+                        ty: ty.clone(),
+                    },
+                );
                 Ok(())
             }
             Stmt::Assign(lv, e) => self.gen_assign(st, lv, e),
@@ -313,7 +347,13 @@ impl<'p> FnCx<'p> {
                     )
                 }
             };
-            merged.insert(name.clone(), TV { v, ty: outer.ty.clone() });
+            merged.insert(
+                name.clone(),
+                TV {
+                    v,
+                    ty: outer.ty.clone(),
+                },
+            );
         }
         st.env = merged;
         Ok(())
@@ -337,10 +377,18 @@ impl<'p> FnCx<'p> {
 
         st.b.switch_to(head);
         for name in assigned.iter() {
-            let Some(outer) = st.env.get(name).cloned() else { continue };
+            let Some(outer) = st.env.get(name).cloned() else {
+                continue;
+            };
             let ty = ir_ty(&outer.ty)?;
             let phi = st.b.phi(ty, vec![(outer.v.clone(), preheader)]);
-            st.env.insert(name.clone(), TV { v: phi.clone(), ty: outer.ty });
+            st.env.insert(
+                name.clone(),
+                TV {
+                    v: phi.clone(),
+                    ty: outer.ty,
+                },
+            );
             phis.push((name.clone(), phi));
         }
         let head_env = st.env.clone();
@@ -404,7 +452,9 @@ impl<'p> FnCx<'p> {
                 let rhs_end = st.b.current_block();
                 st.b.jmp(merge);
                 st.b.switch_to(merge);
-                Ok(st.b.phi(Ty::i1(), vec![(Value::bool(false), from), (rc, rhs_end)]))
+                Ok(st
+                    .b
+                    .phi(Ty::i1(), vec![(Value::bool(false), from), (rc, rhs_end)]))
             }
             Expr::Binary(BinaryOp::LogicalOr, l, r) => {
                 let lc = self.gen_cond(st, l)?;
@@ -417,7 +467,9 @@ impl<'p> FnCx<'p> {
                 let rhs_end = st.b.current_block();
                 st.b.jmp(merge);
                 st.b.switch_to(merge);
-                Ok(st.b.phi(Ty::i1(), vec![(Value::bool(true), from), (rc, rhs_end)]))
+                Ok(st
+                    .b
+                    .phi(Ty::i1(), vec![(Value::bool(true), from), (rc, rhs_end)]))
             }
             other => {
                 let tv = self.gen_expr(st, other)?;
@@ -442,7 +494,10 @@ impl<'p> FnCx<'p> {
         match e {
             Expr::IntLit(v, ty) => {
                 let bits = ty.bits().expect("literal is int");
-                Ok(TV { v: Value::int(bits, *v as u128), ty: ty.clone() })
+                Ok(TV {
+                    v: Value::int(bits, *v as u128),
+                    ty: ty.clone(),
+                })
             }
             Expr::Var(n) => st
                 .env
@@ -455,7 +510,10 @@ impl<'p> FnCx<'p> {
             }
             Expr::Unary(UnaryOp::Neg, inner) => {
                 let tv = self.gen_expr(st, inner)?;
-                let bits = tv.ty.bits().ok_or(CompileError("negating a pointer".into()))?;
+                let bits = tv
+                    .ty
+                    .bits()
+                    .ok_or(CompileError("negating a pointer".into()))?;
                 let flags = self.signed_flags(&tv.ty);
                 let v = st.b.bin(BinOp::Sub, flags, Value::int(bits, 0), tv.v);
                 Ok(TV { v, ty: tv.ty })
@@ -482,26 +540,26 @@ impl<'p> FnCx<'p> {
                 // A boolean used as a value: zext to int.
                 let c = self.gen_cond(st, e)?;
                 let v = st.b.zext(c, Ty::i32());
-                Ok(TV { v, ty: CType::int() })
+                Ok(TV {
+                    v,
+                    ty: CType::int(),
+                })
             }
             Expr::Binary(op, l, r) => {
                 let (lv, rv, signed) = self.usual_conversions(st, l, r)?;
-                let bits = lv.ty.bits().ok_or(CompileError("arithmetic on pointers".into()))?;
+                let bits = lv
+                    .ty
+                    .bits()
+                    .ok_or(CompileError("arithmetic on pointers".into()))?;
                 let _ = bits;
                 let (irop, flags) = match op {
                     BinaryOp::Add => (BinOp::Add, self.signed_flags(&lv.ty)),
                     BinaryOp::Sub => (BinOp::Sub, self.signed_flags(&lv.ty)),
                     BinaryOp::Mul => (BinOp::Mul, self.signed_flags(&lv.ty)),
-                    BinaryOp::Div => {
-                        (if signed { BinOp::SDiv } else { BinOp::UDiv }, Flags::NONE)
-                    }
-                    BinaryOp::Rem => {
-                        (if signed { BinOp::SRem } else { BinOp::URem }, Flags::NONE)
-                    }
+                    BinaryOp::Div => (if signed { BinOp::SDiv } else { BinOp::UDiv }, Flags::NONE),
+                    BinaryOp::Rem => (if signed { BinOp::SRem } else { BinOp::URem }, Flags::NONE),
                     BinaryOp::Shl => (BinOp::Shl, Flags::NONE),
-                    BinaryOp::Shr => {
-                        (if signed { BinOp::AShr } else { BinOp::LShr }, Flags::NONE)
-                    }
+                    BinaryOp::Shr => (if signed { BinOp::AShr } else { BinOp::LShr }, Flags::NONE),
                     BinaryOp::And => (BinOp::And, Flags::NONE),
                     BinaryOp::Or => (BinOp::Or, Flags::NONE),
                     BinaryOp::Xor => (BinOp::Xor, Flags::NONE),
@@ -556,7 +614,14 @@ impl<'p> FnCx<'p> {
                 }
                 let ret_ir = ir_ty_ret(&ret)?;
                 let v = st.b.call(ret_ir, name, vals);
-                Ok(TV { v, ty: if ret == CType::Void { CType::int() } else { ret } })
+                Ok(TV {
+                    v,
+                    ty: if ret == CType::Void {
+                        CType::int()
+                    } else {
+                        ret
+                    },
+                })
             }
         }
     }
@@ -571,7 +636,13 @@ impl<'p> FnCx<'p> {
                     .ok_or_else(|| CompileError(format!("unknown variable '{n}'")))?;
                 let tv = self.gen_expr(st, e)?;
                 let tv = self.convert(st, tv, &target_ty)?;
-                st.env.insert(n.clone(), TV { v: tv.v, ty: target_ty });
+                st.env.insert(
+                    n.clone(),
+                    TV {
+                        v: tv.v,
+                        ty: target_ty,
+                    },
+                );
                 Ok(())
             }
             LValue::Index(base, idx) => {
@@ -637,7 +708,11 @@ impl<'p> FnCx<'p> {
         let p = if offset == 0 {
             base
         } else {
-            st.b.gep(base, Value::int(32, u128::from(offset)), self.opts.emit_wrap_flags)
+            st.b.gep(
+                base,
+                Value::int(32, u128::from(offset)),
+                self.opts.emit_wrap_flags,
+            )
         };
         if as_ty == Ty::i8() {
             Ok(p)
@@ -656,18 +731,27 @@ impl<'p> FnCx<'p> {
                 let v = st.b.load(ir, ptr);
                 Ok(TV { v, ty })
             }
-            FieldLayout::Bits { unit_offset, bit_offset, width, signed } => {
+            FieldLayout::Bits {
+                unit_offset,
+                bit_offset,
+                width,
+                signed,
+            } => {
                 let ptr = self.gen_member_ptr(st, b.v, unit_offset, Ty::i32())?;
                 let unit = st.b.load(Ty::i32(), ptr);
                 // Extract [bit_offset, bit_offset+width).
                 let v = if signed {
-                    let up = st.b.shl(unit, Value::int(32, u128::from(32 - bit_offset - width)));
+                    let up =
+                        st.b.shl(unit, Value::int(32, u128::from(32 - bit_offset - width)));
                     st.b.ashr(up, Value::int(32, u128::from(32 - width)))
                 } else {
                     let down = st.b.lshr(unit, Value::int(32, u128::from(bit_offset)));
                     st.b.and(down, Value::int(32, (1u128 << width) - 1))
                 };
-                Ok(TV { v, ty: CType::Int { bits: 32, signed } })
+                Ok(TV {
+                    v,
+                    ty: CType::Int { bits: 32, signed },
+                })
             }
         }
     }
@@ -681,13 +765,7 @@ impl<'p> FnCx<'p> {
     ///   ...mask/merge %val2 and %e...
     ///   store i32 %val3, %unit
     /// ```
-    fn gen_field_store(
-        &self,
-        st: &mut GenState,
-        base: &Expr,
-        field: &str,
-        e: &Expr,
-    ) -> Result<()> {
+    fn gen_field_store(&self, st: &mut GenState, base: &Expr, field: &str, e: &Expr) -> Result<()> {
         let b = self.gen_expr(st, base)?;
         let (fl, _) = self.field_layout(&b.ty, field)?;
         match fl {
@@ -699,7 +777,12 @@ impl<'p> FnCx<'p> {
                 st.b.store(tv.v, ptr);
                 Ok(())
             }
-            FieldLayout::Bits { unit_offset, bit_offset, width, signed } => {
+            FieldLayout::Bits {
+                unit_offset,
+                bit_offset,
+                width,
+                signed,
+            } => {
                 let ptr = self.gen_member_ptr(st, b.v, unit_offset, Ty::i32())?;
                 let loaded = st.b.load(Ty::i32(), ptr.clone());
                 // The unit may be uninitialized (poison): without the
@@ -713,8 +796,7 @@ impl<'p> FnCx<'p> {
                 let tv = self.gen_expr(st, e)?;
                 let tv = self.convert(st, tv, &CType::Int { bits: 32, signed })?;
                 let mask: u128 = (1u128 << width) - 1;
-                let cleared =
-                    st.b.and(unit, Value::int(32, !(mask << bit_offset)));
+                let cleared = st.b.and(unit, Value::int(32, !(mask << bit_offset)));
                 let masked = st.b.and(tv.v, Value::int(32, mask));
                 let placed = if bit_offset == 0 {
                     masked
@@ -738,12 +820,7 @@ impl<'p> FnCx<'p> {
 
     /// The usual arithmetic conversions: both operands to the common
     /// type; returns the converted operands and the signedness.
-    fn usual_conversions(
-        &self,
-        st: &mut GenState,
-        l: &Expr,
-        r: &Expr,
-    ) -> Result<(TV, TV, bool)> {
+    fn usual_conversions(&self, st: &mut GenState, l: &Expr, r: &Expr) -> Result<(TV, TV, bool)> {
         let lv = self.gen_expr(st, l)?;
         let rv = self.gen_expr(st, r)?;
         // Pointer comparisons compare addresses.
@@ -755,7 +832,13 @@ impl<'p> FnCx<'p> {
         // Promote to at least int, then to the larger; unsigned wins at
         // equal rank.
         let bits = lb.max(rb).max(32);
-        let signed = if lb.max(32) == rb.max(32) { ls && rs } else if lb > rb { ls } else { rs };
+        let signed = if lb.max(32) == rb.max(32) {
+            ls && rs
+        } else if lb > rb {
+            ls
+        } else {
+            rs
+        };
         let target = CType::Int { bits, signed };
         let lc = self.convert(st, lv, &target)?;
         let rc = self.convert(st, rv, &target)?;
@@ -769,7 +852,13 @@ impl<'p> FnCx<'p> {
             return Ok(tv);
         }
         match (&tv.ty, target) {
-            (CType::Int { bits: fb, signed: fs }, CType::Int { bits: tb, .. }) => {
+            (
+                CType::Int {
+                    bits: fb,
+                    signed: fs,
+                },
+                CType::Int { bits: tb, .. },
+            ) => {
                 let v = if tb > fb {
                     if *fs {
                         st.b.sext(tv.v, Ty::Int(*tb))
@@ -781,13 +870,19 @@ impl<'p> FnCx<'p> {
                 } else {
                     tv.v // same width, signedness reinterpreted
                 };
-                Ok(TV { v, ty: target.clone() })
+                Ok(TV {
+                    v,
+                    ty: target.clone(),
+                })
             }
             (CType::Ptr(_), CType::Ptr(_)) => {
                 // Pointer casts reinterpret; both are 32-bit.
                 let ir = ir_ty(target)?;
                 let v = st.b.bitcast(tv.v, ir);
-                Ok(TV { v, ty: target.clone() })
+                Ok(TV {
+                    v,
+                    ty: target.clone(),
+                })
             }
             (from, to) => err(format!("cannot convert {from} to {to}")),
         }

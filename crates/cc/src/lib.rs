@@ -64,10 +64,7 @@ impl std::error::Error for CcError {}
 /// # Errors
 ///
 /// Returns [`CcError`] on syntax or semantic errors.
-pub fn compile_source(
-    src: &str,
-    opts: &CodegenOptions,
-) -> Result<frost_ir::Module, CcError> {
+pub fn compile_source(src: &str, opts: &CodegenOptions) -> Result<frost_ir::Module, CcError> {
     let prog = parse_program(src).map_err(CcError::Parse)?;
     compile(&prog, opts).map_err(CcError::Compile)
 }

@@ -32,8 +32,8 @@ enum Tok {
 
 const PUNCTS: &[&str] = &[
     "<<=", ">>=", "->", "++", "--", "<<", ">>", "<=", ">=", "==", "!=", "&&", "||", "+=", "-=",
-    "*=", "/=", "%=", "&=", "|=", "^=", "(", ")", "{", "}", "[", "]", ";", ",", ":", "?", "=",
-    "<", ">", "+", "-", "*", "/", "%", "&", "|", "^", "!", "~",
+    "*=", "/=", "%=", "&=", "|=", "^=", "(", ")", "{", "}", "[", "]", ";", ",", ":", "?", "=", "<",
+    ">", "+", "-", "*", "/", "%", "&", "|", "^", "!", "~",
 ];
 
 fn lex(src: &str) -> Result<Vec<(Tok, usize)>> {
@@ -91,9 +91,15 @@ fn lex(src: &str) -> Result<Vec<(Tok, usize)>> {
                     i += 1;
                 }
             }
-            let text = if radix == 16 { &src[start + 2..i] } else { &src[start..i] };
-            let v = i64::from_str_radix(text, radix)
-                .map_err(|_| CParseError { line, message: format!("bad integer '{text}'") })?;
+            let text = if radix == 16 {
+                &src[start + 2..i]
+            } else {
+                &src[start..i]
+            };
+            let v = i64::from_str_radix(text, radix).map_err(|_| CParseError {
+                line,
+                message: format!("bad integer '{text}'"),
+            })?;
             let mut is_long = false;
             while i < b.len() && matches!(b[i] | 32, b'l' | b'u') {
                 if b[i] | 32 == b'l' {
@@ -111,7 +117,10 @@ fn lex(src: &str) -> Result<Vec<(Tok, usize)>> {
                 continue 'outer;
             }
         }
-        return Err(CParseError { line, message: format!("unexpected character '{}'", c as char) });
+        return Err(CParseError {
+            line,
+            message: format!("unexpected character '{}'", c as char),
+        });
     }
     Ok(out)
 }
@@ -123,11 +132,18 @@ struct P {
 
 impl P {
     fn line(&self) -> usize {
-        self.toks.get(self.pos).or_else(|| self.toks.last()).map(|t| t.1).unwrap_or(1)
+        self.toks
+            .get(self.pos)
+            .or_else(|| self.toks.last())
+            .map(|t| t.1)
+            .unwrap_or(1)
     }
 
     fn err<T>(&self, m: impl Into<String>) -> Result<T> {
-        Err(CParseError { line: self.line(), message: m.into() })
+        Err(CParseError {
+            line: self.line(),
+            message: m.into(),
+        })
     }
 
     fn peek(&self) -> Option<&Tok> {
@@ -256,7 +272,11 @@ fn parse_struct(p: &mut P) -> Result<StructDecl> {
             None
         };
         p.expect(";")?;
-        fields.push(FieldDecl { name: fname, ty, bit_width });
+        fields.push(FieldDecl {
+            name: fname,
+            ty,
+            bit_width,
+        });
     }
     p.expect(";")?;
     Ok(StructDecl { name, fields })
@@ -303,7 +323,11 @@ fn parse_stmt(p: &mut P) -> Result<Stmt> {
     if is_type_start(p) {
         let ty = parse_type(p)?;
         let name = p.expect_ident()?;
-        let init = if p.eat("=") { Some(parse_expr(p)?) } else { None };
+        let init = if p.eat("=") {
+            Some(parse_expr(p)?)
+        } else {
+            None
+        };
         p.expect(";")?;
         return Ok(Stmt::Decl(name, ty, init));
     }
@@ -312,7 +336,11 @@ fn parse_stmt(p: &mut P) -> Result<Stmt> {
         let cond = parse_expr(p)?;
         p.expect(")")?;
         let then = parse_block_or_stmt(p)?;
-        let els = if p.eat_kw("else") { parse_block_or_stmt(p)? } else { Vec::new() };
+        let els = if p.eat_kw("else") {
+            parse_block_or_stmt(p)?
+        } else {
+            Vec::new()
+        };
         return Ok(Stmt::If(cond, then, els));
     }
     if p.eat_kw("while") {
@@ -408,7 +436,10 @@ fn parse_simple_stmt(p: &mut P) -> Result<Stmt> {
 
 fn to_compound(p: &P, e: Expr, op: BinaryOp, rhs: Expr) -> Result<Stmt> {
     let lv = to_lvalue(p, e.clone())?;
-    Ok(Stmt::Assign(lv, Expr::Binary(op, Box::new(e), Box::new(rhs))))
+    Ok(Stmt::Assign(
+        lv,
+        Expr::Binary(op, Box::new(e), Box::new(rhs)),
+    ))
 }
 
 fn to_lvalue(p: &P, e: Expr) -> Result<LValue> {
@@ -453,7 +484,11 @@ fn parse_bin(p: &mut P, level: usize) -> Result<Expr> {
         ],
         &[("<<", BinaryOp::Shl), (">>", BinaryOp::Shr)],
         &[("+", BinaryOp::Add), ("-", BinaryOp::Sub)],
-        &[("*", BinaryOp::Mul), ("/", BinaryOp::Div), ("%", BinaryOp::Rem)],
+        &[
+            ("*", BinaryOp::Mul),
+            ("/", BinaryOp::Div),
+            ("%", BinaryOp::Rem),
+        ],
     ];
     if level >= LEVELS.len() {
         return parse_unary(p);
@@ -599,7 +634,12 @@ pub fn parse_program(src: &str) -> Result<Program> {
         p.expect("(")?;
         let params = parse_params(&mut p)?;
         let body = parse_block(&mut p)?;
-        prog.functions.push(FuncDef { name, ret, params, body });
+        prog.functions.push(FuncDef {
+            name,
+            ret,
+            params,
+            body,
+        });
     }
     Ok(prog)
 }
@@ -694,26 +734,27 @@ long kernel(int *a, int n) {
     #[test]
     fn precedence_is_c_like() {
         let prog = parse_program("int f(int a, int b) { return a + b * 2 == a << 1; }").unwrap();
-        let Stmt::Return(Some(e)) = &prog.functions[0].body[0] else { panic!() };
+        let Stmt::Return(Some(e)) = &prog.functions[0].body[0] else {
+            panic!()
+        };
         // == at top; + on the left of it; << on the right.
-        let Expr::Binary(BinaryOp::Eq, l, r) = e else { panic!("{e:?}") };
+        let Expr::Binary(BinaryOp::Eq, l, r) = e else {
+            panic!("{e:?}")
+        };
         assert!(matches!(**l, Expr::Binary(BinaryOp::Add, ..)));
         assert!(matches!(**r, Expr::Binary(BinaryOp::Shl, ..)));
     }
 
     #[test]
     fn comments_are_skipped() {
-        let prog = parse_program(
-            "// leading\nint f(void) { /* inline */ return 1; } // trailing",
-        )
-        .unwrap();
+        let prog = parse_program("// leading\nint f(void) { /* inline */ return 1; } // trailing")
+            .unwrap();
         assert_eq!(prog.functions.len(), 1);
     }
 
     #[test]
     fn ternary_and_logical_ops() {
-        let prog =
-            parse_program("int f(int a, int b) { return a && b ? a : b || 1; }").unwrap();
+        let prog = parse_program("int f(int a, int b) { return a && b ? a : b || 1; }").unwrap();
         let Stmt::Return(Some(Expr::Ternary(c, _, f))) = &prog.functions[0].body[0] else {
             panic!()
         };

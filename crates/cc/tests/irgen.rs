@@ -3,7 +3,9 @@
 //! UB-mapping details (nsw, inbounds, the §5.3 bit-field freeze).
 
 use frost_cc::{compile_source, CodegenOptions};
-use frost_core::{enumerate_outcomes, run_concrete, uninit_fill, Limits, Memory, Outcome, Semantics, Val};
+use frost_core::{
+    enumerate_outcomes, run_concrete, uninit_fill, Limits, Memory, Outcome, Semantics, Val,
+};
 use frost_ir::function_to_string;
 
 fn run_i32(src: &str, fname: &str, args: &[i64]) -> Option<i64> {
@@ -16,7 +18,10 @@ fn run_i32(src: &str, fname: &str, args: &[i64]) -> Option<i64> {
         &vals,
         &Memory::zeroed(0),
         Semantics::proposed(),
-        Limits { max_steps: 2_000_000, ..Limits::default() },
+        Limits {
+            max_steps: 2_000_000,
+            ..Limits::default()
+        },
     )
     .expect("runs");
     match o {
@@ -143,7 +148,9 @@ void scale(int *a, int n, int k) {
         Limits::default(),
     )
     .unwrap();
-    let Outcome::Ret { mem: final_mem, .. } = o else { panic!("UB") };
+    let Outcome::Ret { mem: final_mem, .. } = o else {
+        panic!("UB")
+    };
     let v0 = frost_core::raise(&frost_ir::Ty::i32(), &final_mem[0..32]);
     let v3 = frost_core::raise(&frost_ir::Ty::i32(), &final_mem[96..128]);
     assert_eq!(v0, Val::int(32, 3));
@@ -183,7 +190,10 @@ fn bitfield_store_freezes_the_loaded_unit() {
     // The legacy lowering omits it.
     let m2 = compile_source(
         BITFIELD_SRC,
-        &CodegenOptions { freeze_bitfields: false, ..CodegenOptions::default() },
+        &CodegenOptions {
+            freeze_bitfields: false,
+            ..CodegenOptions::default()
+        },
     )
     .unwrap();
     let t2 = function_to_string(m2.function("seta").unwrap());
@@ -207,7 +217,9 @@ fn bitfield_semantics_store_then_read_adjacent() {
         Limits::default(),
     )
     .unwrap();
-    let Outcome::Ret { mem: fm, .. } = o else { panic!("UB") };
+    let Outcome::Ret { mem: fm, .. } = o else {
+        panic!("UB")
+    };
     let v = frost_core::raise(&frost_ir::Ty::i32(), &fm[0..32]);
     assert_eq!(v, Val::int(32, (9 << 3) | 2), "a updated, b preserved");
 }
@@ -245,16 +257,23 @@ fn first_bitfield_store_to_uninitialized_unit_is_not_poison_with_freeze() {
         Limits::default(),
     )
     .unwrap();
-    let Outcome::Ret { mem: fm, .. } = o else { panic!("UB") };
+    let Outcome::Ret { mem: fm, .. } = o else {
+        panic!("UB")
+    };
     let unit = frost_core::raise(&frost_ir::Ty::i32(), &fm[0..32]);
-    let Val::Int { v, .. } = unit else { panic!("unit is poison: {unit}") };
+    let Val::Int { v, .. } = unit else {
+        panic!("unit is poison: {unit}")
+    };
     assert_eq!(v & 0b111, 5, "field a holds 5");
 
     // Legacy lowering (no freeze): the whole unit is poison after the
     // first store.
     let m2 = compile_source(
         BITFIELD_SRC,
-        &CodegenOptions { freeze_bitfields: false, ..CodegenOptions::default() },
+        &CodegenOptions {
+            freeze_bitfields: false,
+            ..CodegenOptions::default()
+        },
     )
     .unwrap();
     let (o, _) = run_concrete(
@@ -266,7 +285,9 @@ fn first_bitfield_store_to_uninitialized_unit_is_not_poison_with_freeze() {
         Limits::default(),
     )
     .unwrap();
-    let Outcome::Ret { mem: fm, .. } = o else { panic!("UB") };
+    let Outcome::Ret { mem: fm, .. } = o else {
+        panic!("UB")
+    };
     let unit = frost_core::raise(&frost_ir::Ty::i32(), &fm[0..32]);
     assert_eq!(unit, Val::Poison, "without freeze the unit is poisoned");
 }
@@ -312,7 +333,9 @@ int f(int x) {
     )
     .unwrap();
     assert_eq!(o.ret_val().and_then(Val::as_int), Some(25));
-    let Outcome::Ret { trace, .. } = &o else { panic!() };
+    let Outcome::Ret { trace, .. } = &o else {
+        panic!()
+    };
     assert_eq!(trace.len(), 1);
     assert_eq!(trace[0].callee, "trace");
 }

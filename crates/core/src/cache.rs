@@ -1,0 +1,299 @@
+//! Outcome-enumeration memoization for validation campaigns.
+//!
+//! The §6 methodology checks millions of tiny functions, and the hot
+//! loop is [`enumerate_outcomes`](crate::exec::enumerate_outcomes) run
+//! once per (function, input) pair for both the source and the target
+//! of every check. Campaign corpora are massively redundant: a no-op
+//! transform leaves the target textually identical to the source, and
+//! aggressive pipelines fold thousands of distinct inputs to the same
+//! handful of canonical forms (`ret 0`, `ret %a`, …). [`OutcomeCache`]
+//! memoizes the *entire per-input outcome vector* of a function under a
+//! given semantics, so each distinct (canonical text, semantics)
+//! combination is enumerated exactly once per campaign.
+//!
+//! ## Cache key
+//!
+//! `(canonical function text, semantics, limits, salt)` where the
+//! canonical text is the function printed under a fixed placeholder
+//! name — generated corpora name every function differently (`fz0`,
+//! `fz1`, …), and the name is semantically irrelevant. The `salt` is a
+//! caller-supplied fingerprint of everything else that shapes the
+//! result (input-enumeration options, test-memory size); callers that
+//! enumerate inputs differently must use different salts.
+//!
+//! The cache is thread-safe (a mutexed map plus atomic hit/miss
+//! counters) and is shared by all workers of a parallel campaign.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+use frost_ir::{function_to_string, Module};
+
+use crate::exec::{enumerate_outcomes, ExecError, Limits};
+use crate::mem::Memory;
+use crate::outcome::OutcomeSet;
+use crate::sem::Semantics;
+use crate::val::Val;
+
+/// The memoized result of enumerating one function on a fixed input
+/// list: one entry per input tuple, each either the outcome set or the
+/// enumeration failure on that input. Keeping failures *per input*
+/// (rather than aborting the vector) lets a cached refinement check
+/// reproduce the sequential checker's verdict exactly — including
+/// which input it reports as inconclusive.
+pub type EnumeratedOutcomes = Vec<Result<OutcomeSet, ExecError>>;
+
+#[derive(Clone, PartialEq, Eq, Hash)]
+struct CacheKey {
+    text: String,
+    sem: Semantics,
+    limits: Limits,
+    salt: u64,
+}
+
+/// Enumerates every behavior of `name` in `module` on each input tuple
+/// in turn (no caching — see [`OutcomeCache::enumerate`] for the
+/// memoized variant).
+pub fn enumerate_all_inputs(
+    module: &Module,
+    name: &str,
+    inputs: &[Vec<Val>],
+    mem: &Memory,
+    sem: Semantics,
+    limits: Limits,
+) -> EnumeratedOutcomes {
+    inputs
+        .iter()
+        .map(|args| enumerate_outcomes(module, name, args, mem, sem, limits))
+        .collect()
+}
+
+/// A thread-safe memoization table for whole-function outcome
+/// enumeration. See the [module docs](self) for the key structure.
+#[derive(Default)]
+pub struct OutcomeCache {
+    map: Mutex<HashMap<CacheKey, Arc<EnumeratedOutcomes>>>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+}
+
+impl OutcomeCache {
+    /// An empty cache.
+    pub fn new() -> OutcomeCache {
+        OutcomeCache::default()
+    }
+
+    /// The canonical cache text of a function: printed under a fixed
+    /// placeholder name, so identically-shaped functions share entries
+    /// regardless of how the generator named them.
+    pub fn canonical_text(module: &Module, name: &str) -> Option<String> {
+        let mut f = module.function(name)?.clone();
+        f.name = "f".to_string();
+        Some(function_to_string(&f))
+    }
+
+    /// Memoized [`enumerate_all_inputs`]. On a hit the stored vector is
+    /// returned without touching the interpreter; on a miss the
+    /// enumeration runs and the result — including failures, which are
+    /// just as expensive to rediscover — is stored.
+    ///
+    /// `salt` must fingerprint every input-shaping option that is not
+    /// part of the key (input-enumeration options, memory size).
+    pub fn enumerate(
+        &self,
+        module: &Module,
+        name: &str,
+        inputs: &[Vec<Val>],
+        mem: &Memory,
+        sem: Semantics,
+        limits: Limits,
+        salt: u64,
+    ) -> Arc<EnumeratedOutcomes> {
+        let Some(text) = OutcomeCache::canonical_text(module, name) else {
+            return Arc::new(vec![Err(ExecError::BadFunction(name.to_string()))]);
+        };
+        let key = CacheKey {
+            text,
+            sem,
+            limits,
+            salt,
+        };
+        if let Some(entry) = self.map.lock().expect("cache lock").get(&key) {
+            self.hits.fetch_add(1, Ordering::Relaxed);
+            return Arc::clone(entry);
+        }
+        // Enumerate outside the lock: enumeration is the expensive part
+        // and holding the lock across it would serialize every worker.
+        // Two workers may race on the same key and both enumerate; the
+        // result is identical and the second insert is a harmless
+        // overwrite.
+        self.misses.fetch_add(1, Ordering::Relaxed);
+        let entry = Arc::new(enumerate_all_inputs(module, name, inputs, mem, sem, limits));
+        self.map
+            .lock()
+            .expect("cache lock")
+            .insert(key, Arc::clone(&entry));
+        entry
+    }
+
+    /// Lookups answered from the table.
+    pub fn hits(&self) -> u64 {
+        self.hits.load(Ordering::Relaxed)
+    }
+
+    /// Lookups that had to enumerate.
+    pub fn misses(&self) -> u64 {
+        self.misses.load(Ordering::Relaxed)
+    }
+
+    /// `hits / (hits + misses)`, or 0 for an unused cache.
+    pub fn hit_rate(&self) -> f64 {
+        let (h, m) = (self.hits() as f64, self.misses() as f64);
+        if h + m == 0.0 {
+            0.0
+        } else {
+            h / (h + m)
+        }
+    }
+
+    /// Distinct (function, semantics) combinations stored.
+    pub fn len(&self) -> usize {
+        self.map.lock().expect("cache lock").len()
+    }
+
+    /// Returns `true` if nothing has been cached yet.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use frost_ir::parse_module;
+
+    const F: &str = "define i2 @g(i2 %x) {\nentry:\n  %a = add i2 %x, 1\n  ret i2 %a\n}";
+
+    fn inputs() -> Vec<Vec<Val>> {
+        (0..4).map(|v| vec![Val::int(2, v)]).collect()
+    }
+
+    #[test]
+    fn memoized_matches_fresh() {
+        let m = parse_module(F).unwrap();
+        let cache = OutcomeCache::new();
+        let sem = Semantics::proposed();
+        let fresh = enumerate_all_inputs(
+            &m,
+            "g",
+            &inputs(),
+            &Memory::zeroed(0),
+            sem,
+            Limits::default(),
+        );
+        let cached = cache.enumerate(
+            &m,
+            "g",
+            &inputs(),
+            &Memory::zeroed(0),
+            sem,
+            Limits::default(),
+            0,
+        );
+        assert!(fresh.iter().all(Result::is_ok));
+        assert_eq!(&fresh, cached.as_ref());
+        assert_eq!(cache.misses(), 1);
+        let again = cache.enumerate(
+            &m,
+            "g",
+            &inputs(),
+            &Memory::zeroed(0),
+            sem,
+            Limits::default(),
+            0,
+        );
+        assert_eq!(cache.hits(), 1);
+        assert!(Arc::ptr_eq(&cached, &again));
+    }
+
+    #[test]
+    fn name_is_canonicalized_away() {
+        let a = parse_module(F).unwrap();
+        let b = parse_module(&F.replace("@g", "@differently_named")).unwrap();
+        let cache = OutcomeCache::new();
+        let sem = Semantics::proposed();
+        cache.enumerate(
+            &a,
+            "g",
+            &inputs(),
+            &Memory::zeroed(0),
+            sem,
+            Limits::default(),
+            0,
+        );
+        cache.enumerate(
+            &b,
+            "differently_named",
+            &inputs(),
+            &Memory::zeroed(0),
+            sem,
+            Limits::default(),
+            0,
+        );
+        assert_eq!(cache.hits(), 1, "same body under a new name must hit");
+        assert_eq!(cache.len(), 1);
+    }
+
+    #[test]
+    fn semantics_and_salt_separate_entries() {
+        let m = parse_module(F).unwrap();
+        let cache = OutcomeCache::new();
+        let mem = Memory::zeroed(0);
+        cache.enumerate(
+            &m,
+            "g",
+            &inputs(),
+            &mem,
+            Semantics::proposed(),
+            Limits::default(),
+            0,
+        );
+        cache.enumerate(
+            &m,
+            "g",
+            &inputs(),
+            &mem,
+            Semantics::legacy_gvn(),
+            Limits::default(),
+            0,
+        );
+        cache.enumerate(
+            &m,
+            "g",
+            &inputs(),
+            &mem,
+            Semantics::proposed(),
+            Limits::default(),
+            1,
+        );
+        assert_eq!(cache.misses(), 3);
+        assert_eq!(cache.hits(), 0);
+    }
+
+    #[test]
+    fn missing_function_is_an_error_not_a_panic() {
+        let m = parse_module(F).unwrap();
+        let cache = OutcomeCache::new();
+        let r = cache.enumerate(
+            &m,
+            "nope",
+            &inputs(),
+            &Memory::zeroed(0),
+            Semantics::proposed(),
+            Limits::default(),
+            0,
+        );
+        assert!(matches!(r[0], Err(ExecError::BadFunction(_))));
+    }
+}

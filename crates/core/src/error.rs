@@ -1,0 +1,125 @@
+//! The shared error type of the frost toolchain.
+//!
+//! Before this module existed, the refinement/validation/benchmark
+//! layers threaded `Result<_, String>` everywhere, which destroyed
+//! error provenance at every boundary. [`FrostError`] is the one enum
+//! those layers now agree on: structured where structure exists
+//! (parse, execution), staged where the failure is positional (a
+//! workload's frontend vs. its backend vs. its simulation), and
+//! convertible from the per-crate error types via `From` so `?` works
+//! unchanged.
+
+use std::fmt;
+
+use crate::exec::ExecError;
+use frost_ir::ParseError;
+
+/// Any failure surfaced by frost's checking, validation, or benchmark
+/// harness APIs.
+#[derive(Clone, Debug)]
+pub enum FrostError {
+    /// Textual IR failed to parse.
+    Parse(ParseError),
+    /// The interpreter / outcome enumerator failed (limits, unsupported
+    /// constructs).
+    Exec(ExecError),
+    /// A named stage of a multi-stage pipeline failed on a named
+    /// subject (e.g. stage `"frontend"` of workload `"gcc"`).
+    Stage {
+        /// Which pipeline stage failed (`"frontend"`, `"backend"`,
+        /// `"simulation"`, …).
+        stage: &'static str,
+        /// What was being processed (workload or function name).
+        subject: String,
+        /// The underlying failure, rendered.
+        reason: String,
+    },
+    /// A failure with no additional structure.
+    Other(String),
+}
+
+impl FrostError {
+    /// Builds a [`FrostError::Stage`] from any displayable cause.
+    pub fn stage(
+        stage: &'static str,
+        subject: impl Into<String>,
+        cause: impl fmt::Display,
+    ) -> FrostError {
+        FrostError::Stage {
+            stage,
+            subject: subject.into(),
+            reason: cause.to_string(),
+        }
+    }
+}
+
+impl fmt::Display for FrostError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FrostError::Parse(e) => write!(f, "parse error: {e}"),
+            FrostError::Exec(e) => write!(f, "execution error: {e}"),
+            FrostError::Stage {
+                stage,
+                subject,
+                reason,
+            } => {
+                write!(f, "{subject}: {stage}: {reason}")
+            }
+            FrostError::Other(msg) => f.write_str(msg),
+        }
+    }
+}
+
+impl std::error::Error for FrostError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            FrostError::Parse(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<ParseError> for FrostError {
+    fn from(e: ParseError) -> FrostError {
+        FrostError::Parse(e)
+    }
+}
+
+impl From<ExecError> for FrostError {
+    fn from(e: ExecError) -> FrostError {
+        FrostError::Exec(e)
+    }
+}
+
+impl From<String> for FrostError {
+    fn from(msg: String) -> FrostError {
+        FrostError::Other(msg)
+    }
+}
+
+impl From<&str> for FrostError {
+    fn from(msg: &str) -> FrostError {
+        FrostError::Other(msg.to_string())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_formats() {
+        let e = FrostError::stage("backend", "gcc", "no register");
+        assert_eq!(e.to_string(), "gcc: backend: no register");
+        let e: FrostError = ExecError::Fuel.into();
+        assert!(e.to_string().contains("step limit"));
+        let e: FrostError = "plain".into();
+        assert_eq!(e.to_string(), "plain");
+    }
+
+    #[test]
+    fn is_std_error() {
+        fn assert_err<E: std::error::Error>(_: &E) {}
+        assert_err(&FrostError::Other("x".into()));
+    }
+}

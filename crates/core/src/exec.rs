@@ -20,7 +20,7 @@ use crate::sem::{PoisonAction, Semantics};
 use crate::val::{lower, poison_of, raise, Bit, Val};
 
 /// Resource limits for execution and enumeration.
-#[derive(Clone, Copy, Debug)]
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
 pub struct Limits {
     /// Maximum instructions executed in a single run.
     pub max_steps: u64,
@@ -35,7 +35,12 @@ pub struct Limits {
 
 impl Default for Limits {
     fn default() -> Limits {
-        Limits { max_steps: 20_000, max_states: 200_000, max_fanout: 256, max_call_depth: 16 }
+        Limits {
+            max_steps: 20_000,
+            max_states: 200_000,
+            max_fanout: 256,
+            max_call_depth: 16,
+        }
     }
 }
 
@@ -43,7 +48,12 @@ impl Limits {
     /// Generous limits for long-running concrete executions (workload
     /// simulation).
     pub fn generous() -> Limits {
-        Limits { max_steps: 200_000_000, max_states: 1, max_fanout: 1, max_call_depth: 64 }
+        Limits {
+            max_steps: 200_000_000,
+            max_states: 1,
+            max_fanout: 1,
+            max_call_depth: 64,
+        }
     }
 }
 
@@ -68,7 +78,9 @@ impl std::fmt::Display for ExecError {
         match self {
             ExecError::Fuel => write!(f, "step limit exceeded"),
             ExecError::StateExplosion => write!(f, "enumeration state limit exceeded"),
-            ExecError::FanoutTooLarge(n) => write!(f, "choice with {n} options exceeds fanout limit"),
+            ExecError::FanoutTooLarge(n) => {
+                write!(f, "choice with {n} options exceeds fanout limit")
+            }
             ExecError::Unsupported(s) => write!(f, "unsupported: {s}"),
             ExecError::BadFunction(s) => write!(f, "bad function: {s}"),
         }
@@ -131,7 +143,9 @@ struct Interp<'a, 's> {
 impl<'a, 's> Interp<'a, 's> {
     fn choose(&mut self, n: u64) -> Result<u64, Stop> {
         if n == 0 {
-            return Err(Stop::Err(ExecError::Unsupported("empty choice domain".into())));
+            return Err(Stop::Err(ExecError::Unsupported(
+                "empty choice domain".into(),
+            )));
         }
         if n == 1 {
             return Ok(0);
@@ -222,7 +236,9 @@ impl<'a, 's> Interp<'a, 's> {
             // Evaluate all phis simultaneously against the incoming edge.
             let mut phi_updates: Vec<(InstId, Val)> = Vec::new();
             for &id in &block.insts {
-                let Inst::Phi { incoming, .. } = func.inst(id) else { break };
+                let Inst::Phi { incoming, .. } = func.inst(id) else {
+                    break;
+                };
                 let from = prev.expect("phi in entry block rejected by verifier");
                 let (v, _) = incoming
                     .iter()
@@ -259,16 +275,18 @@ impl<'a, 's> Interp<'a, 's> {
                     prev = Some(cur);
                     cur = *dest;
                 }
-                Terminator::Br { cond, then_bb, else_bb } => {
+                Terminator::Br {
+                    cond,
+                    then_bb,
+                    else_bb,
+                } => {
                     let c = self.operand(func, &regs, args, cond);
                     let c = self.resolve_use(c)?;
                     let taken = match c {
                         Val::Int { v, .. } => v == 1,
                         Val::Poison => match self.sem.branch_on_poison {
                             PoisonAction::Ub => return Ok(FlowResult::Ub),
-                            PoisonAction::Nondet | PoisonAction::Propagate => {
-                                self.choose(2)? == 1
-                            }
+                            PoisonAction::Nondet | PoisonAction::Propagate => self.choose(2)? == 1,
                         },
                         other => {
                             return Err(Stop::Err(ExecError::Unsupported(format!(
@@ -305,7 +323,13 @@ impl<'a, 's> Interp<'a, 's> {
     ) -> Result<Val, Exc> {
         let inst = func.inst(id);
         match inst {
-            Inst::Bin { op, flags, ty, lhs, rhs } => {
+            Inst::Bin {
+                op,
+                flags,
+                ty,
+                lhs,
+                rhs,
+            } => {
                 let a = self.resolve_use(self.operand(func, regs, args, lhs))?;
                 let b = self.resolve_use(self.operand(func, regs, args, rhs))?;
                 self.eval_bin_val(*op, *flags, ty, a, b)
@@ -315,7 +339,12 @@ impl<'a, 's> Interp<'a, 's> {
                 let b = self.resolve_use(self.operand(func, regs, args, rhs))?;
                 self.eval_icmp_val(*cond, ty, a, b)
             }
-            Inst::Select { cond, ty, tval, fval } => {
+            Inst::Select {
+                cond,
+                ty,
+                tval,
+                fval,
+            } => {
                 let c = self.resolve_use(self.operand(func, regs, args, cond))?;
                 let tv = self.operand(func, regs, args, tval);
                 let fv = self.operand(func, regs, args, fval);
@@ -344,7 +373,12 @@ impl<'a, 's> Interp<'a, 's> {
                 let v = self.operand(func, regs, args, val);
                 self.freeze_val(ty, v)
             }
-            Inst::Cast { kind, from_ty, to_ty, val } => {
+            Inst::Cast {
+                kind,
+                from_ty,
+                to_ty,
+                val,
+            } => {
                 let v = self.resolve_use(self.operand(func, regs, args, val))?;
                 let from_bits = from_ty.scalar_ty().int_bits().expect("verified int cast");
                 let to_bits = to_ty.scalar_ty().int_bits().expect("verified int cast");
@@ -353,11 +387,22 @@ impl<'a, 's> Interp<'a, 's> {
                     None => Val::Poison,
                 }))
             }
-            Inst::Bitcast { from_ty, to_ty, val } => {
+            Inst::Bitcast {
+                from_ty,
+                to_ty,
+                val,
+            } => {
                 let v = self.operand(func, regs, args, val);
                 Ok(raise(to_ty, &lower(from_ty, &v)))
             }
-            Inst::Gep { elem_ty, base, idx, inbounds, idx_ty, .. } => {
+            Inst::Gep {
+                elem_ty,
+                base,
+                idx,
+                inbounds,
+                idx_ty,
+                ..
+            } => {
                 let b = self.resolve_use(self.operand(func, regs, args, base))?;
                 let i = self.resolve_use(self.operand(func, regs, args, idx))?;
                 let (Val::Ptr(addr), Val::Int { .. }) = (&b, &i) else {
@@ -365,7 +410,7 @@ impl<'a, 's> Interp<'a, 's> {
                     return Ok(Val::Poison);
                 };
                 let idx_bits = idx_ty.int_bits().expect("verified gep index");
-                let offset = i.as_signed().expect("int") ;
+                let offset = i.as_signed().expect("int");
                 let _ = idx_bits;
                 let stride = i128::from(elem_ty.byte_size());
                 let full = i128::from(*addr) + offset * stride;
@@ -377,7 +422,9 @@ impl<'a, 's> Interp<'a, 's> {
             }
             Inst::Load { ty, ptr } => {
                 let p = self.resolve_use(self.operand(func, regs, args, ptr))?;
-                let Val::Ptr(addr) = p else { return Err(Exc::Ub) };
+                let Val::Ptr(addr) = p else {
+                    return Err(Exc::Ub);
+                };
                 match self.mem.load(addr, ty.bitwidth()) {
                     Some(bits) => Ok(raise(ty, &bits)),
                     None => Err(Exc::Ub),
@@ -386,7 +433,9 @@ impl<'a, 's> Interp<'a, 's> {
             Inst::Store { ty, val, ptr } => {
                 let v = self.operand(func, regs, args, val);
                 let p = self.resolve_use(self.operand(func, regs, args, ptr))?;
-                let Val::Ptr(addr) = p else { return Err(Exc::Ub) };
+                let Val::Ptr(addr) = p else {
+                    return Err(Exc::Ub);
+                };
                 let bits = lower(ty, &v);
                 if !self.mem.store(addr, &bits) {
                     return Err(Exc::Ub);
@@ -398,7 +447,9 @@ impl<'a, 's> Interp<'a, 's> {
                 let i = idx.as_int_const().expect("verified constant lane") as usize;
                 Ok(vector_elems(&v, *len as usize)[i].clone())
             }
-            Inst::InsertElement { vec, elt, idx, len, .. } => {
+            Inst::InsertElement {
+                vec, elt, idx, len, ..
+            } => {
                 let v = self.operand(func, regs, args, vec);
                 let e = self.operand(func, regs, args, elt);
                 let i = idx.as_int_const().expect("verified constant lane") as usize;
@@ -406,7 +457,12 @@ impl<'a, 's> Interp<'a, 's> {
                 elems[i] = e;
                 Ok(Val::Vec(elems))
             }
-            Inst::Call { ret_ty, callee, args: call_args, .. } => {
+            Inst::Call {
+                ret_ty,
+                callee,
+                args: call_args,
+                ..
+            } => {
                 let mut vals = Vec::with_capacity(call_args.len());
                 for a in call_args {
                     vals.push(self.operand(func, regs, args, a));
@@ -460,7 +516,11 @@ impl<'a, 's> Interp<'a, 's> {
         } else {
             Some(self.choose_scalar(ret_ty.scalar_ty())?)
         };
-        self.trace.push(Event { callee: callee.to_string(), args: vals, ret: ret.clone() });
+        self.trace.push(Event {
+            callee: callee.to_string(),
+            args: vals,
+            ret: ret.clone(),
+        });
         Ok(ret.unwrap_or(Val::int(1, 0)))
     }
 
@@ -564,7 +624,9 @@ impl<'a, 's> Interp<'a, 's> {
             Some(n) => {
                 let av = vector_elems(&a, n as usize);
                 let bv = vector_elems(&b, n as usize);
-                Ok(Val::Vec(av.iter().zip(&bv).map(|(x, y)| scalar(x, y)).collect()))
+                Ok(Val::Vec(
+                    av.iter().zip(&bv).map(|(x, y)| scalar(x, y)).collect(),
+                ))
             }
         }
     }
@@ -727,7 +789,11 @@ pub fn run_concrete(
     match interp.exec_function(func, args, 0) {
         Ok(FlowResult::Ub) => Ok((Outcome::Ub, interp.steps)),
         Ok(FlowResult::Ret(val)) => Ok((
-            Outcome::Ret { val, mem: interp.mem.snapshot(), trace: interp.trace },
+            Outcome::Ret {
+                val,
+                mem: interp.mem.snapshot(),
+                trace: interp.trace,
+            },
             interp.steps,
         )),
         Err(Stop::NeedChoice(_)) => unreachable!("concrete policy never forks"),
@@ -861,8 +927,10 @@ mod tests {
             vec![],
             Semantics::legacy_gvn(),
         );
-        let vals: Vec<u128> =
-            ret_vals(&mul).into_iter().map(|v| v.unwrap().as_int().unwrap()).collect();
+        let vals: Vec<u128> = ret_vals(&mul)
+            .into_iter()
+            .map(|v| v.unwrap().as_int().unwrap())
+            .collect();
         assert!(vals.iter().all(|v| v % 2 == 0));
         assert_eq!(vals.len(), 128);
         // ...but add %x, %x yields every value (each use independent).
@@ -903,7 +971,8 @@ mod tests {
     #[test]
     fn select_ignores_unselected_poison_under_proposed() {
         // Figure 5: only the chosen arm matters.
-        let src = "define i8 @f() {\nentry:\n  %r = select i1 true, i8 3, i8 poison\n  ret i8 %r\n}";
+        let src =
+            "define i8 @f() {\nentry:\n  %r = select i1 true, i8 3, i8 poison\n  ret i8 %r\n}";
         let set = outcomes_of(src, "f", vec![], Semantics::proposed());
         assert_eq!(ret_vals(&set), vec![Some(Val::int(8, 3))]);
         // The LangRef/legacy-gvn reading poisons the result.
@@ -963,10 +1032,9 @@ entry:
 
     #[test]
     fn uninitialized_load_is_poison_under_proposed() {
-        let m = parse_module(
-            "define i8 @f(i8* %p) {\nentry:\n  %v = load i8, i8* %p\n  ret i8 %v\n}",
-        )
-        .unwrap();
+        let m =
+            parse_module("define i8 @f(i8* %p) {\nentry:\n  %v = load i8, i8* %p\n  ret i8 %v\n}")
+                .unwrap();
         let sem = Semantics::proposed();
         let mem = Memory::uninit(1, uninit_fill(&sem));
         let set = enumerate_outcomes(
@@ -997,10 +1065,9 @@ entry:
 
     #[test]
     fn out_of_bounds_access_is_ub() {
-        let m = parse_module(
-            "define void @f(i8* %p) {\nentry:\n  store i8 1, i8* %p\n  ret void\n}",
-        )
-        .unwrap();
+        let m =
+            parse_module("define void @f(i8* %p) {\nentry:\n  store i8 1, i8* %p\n  ret void\n}")
+                .unwrap();
         let mem = Memory::zeroed(4);
         let set = enumerate_outcomes(
             &m,
@@ -1027,10 +1094,8 @@ entry:
 
     #[test]
     fn store_of_poison_pointer_is_ub() {
-        let m = parse_module(
-            "define void @f() {\nentry:\n  store i8 1, i8* poison\n  ret void\n}",
-        )
-        .unwrap();
+        let m = parse_module("define void @f() {\nentry:\n  store i8 1, i8* poison\n  ret void\n}")
+            .unwrap();
         let set = enumerate_outcomes(
             &m,
             "f",
@@ -1063,7 +1128,9 @@ entry:
             Limits::default(),
         )
         .unwrap();
-        let Outcome::Ret { trace, .. } = set.iter().next().unwrap() else { panic!() };
+        let Outcome::Ret { trace, .. } = set.iter().next().unwrap() else {
+            panic!()
+        };
         assert_eq!(trace.len(), 1);
         assert_eq!(trace[0].callee, "use");
         assert_eq!(trace[0].args, vec![Val::int(8, 3)]);
@@ -1200,10 +1267,8 @@ entry:
 
     #[test]
     fn concrete_run_resolves_choices_to_zero() {
-        let m = parse_module(
-            "define i8 @f() {\nentry:\n  %a = freeze i8 poison\n  ret i8 %a\n}",
-        )
-        .unwrap();
+        let m = parse_module("define i8 @f() {\nentry:\n  %a = freeze i8 poison\n  ret i8 %a\n}")
+            .unwrap();
         let (o, steps) = run_concrete(
             &m,
             "f",
@@ -1289,8 +1354,10 @@ entry:
             vec![],
             Semantics::legacy_gvn(),
         );
-        let mut vals: Vec<u128> =
-            ret_vals(&set).into_iter().map(|v| v.unwrap().as_int().unwrap()).collect();
+        let mut vals: Vec<u128> = ret_vals(&set)
+            .into_iter()
+            .map(|v| v.unwrap().as_int().unwrap())
+            .collect();
         vals.sort_unstable();
         assert_eq!(vals, vec![0, 1, 0b1110, 0b1111]);
     }

@@ -39,6 +39,8 @@
 
 #![warn(missing_docs)]
 
+pub mod cache;
+pub mod error;
 pub mod exec;
 pub mod mem;
 pub mod ops;
@@ -46,6 +48,8 @@ pub mod outcome;
 pub mod sem;
 pub mod val;
 
+pub use cache::{enumerate_all_inputs, EnumeratedOutcomes, OutcomeCache};
+pub use error::FrostError;
 pub use exec::{
     enumerate_outcomes, run_concrete, run_with_script, uninit_fill, ExecError, Limits, RunResult,
 };

@@ -24,7 +24,9 @@ impl Memory {
     /// [`Bit::Poison`] under the proposed semantics, [`Bit::Undef`]
     /// under the legacy ones).
     pub fn uninit(size_bytes: u32, fill: Bit) -> Memory {
-        Memory { bits: vec![fill; size_bytes as usize * 8] }
+        Memory {
+            bits: vec![fill; size_bytes as usize * 8],
+        }
     }
 
     /// Allocates zero-initialized memory.
@@ -97,7 +99,16 @@ mod tests {
     #[test]
     fn load_store_round_trip() {
         let mut m = Memory::uninit(4, Bit::Poison);
-        let bits = vec![Bit::One, Bit::Zero, Bit::One, Bit::One, Bit::Zero, Bit::Zero, Bit::Zero, Bit::Zero];
+        let bits = vec![
+            Bit::One,
+            Bit::Zero,
+            Bit::One,
+            Bit::One,
+            Bit::Zero,
+            Bit::Zero,
+            Bit::Zero,
+            Bit::Zero,
+        ];
         assert!(m.store(Memory::BASE + 1, &bits));
         assert_eq!(m.load(Memory::BASE + 1, 8), Some(bits));
         // Neighbouring byte still poison.

@@ -189,7 +189,8 @@ mod tests {
         assert_eq!(eval_binop(BinOp::SDiv, Flags::NONE, 8, 0x80, 0xff), Ub);
         assert_eq!(eval_binop(BinOp::SRem, Flags::NONE, 8, 0x80, 0xff), Ub);
         assert_eq!(eval_binop(BinOp::URem, Flags::NONE, 8, 7, 0), Ub);
-        assert_eq!(eval_binop(BinOp::SDiv, Flags::NONE, 8, 0xf8, 2), Val(0xfc)); // -8/2 = -4
+        assert_eq!(eval_binop(BinOp::SDiv, Flags::NONE, 8, 0xf8, 2), Val(0xfc));
+        // -8/2 = -4
     }
 
     #[test]
@@ -234,9 +235,18 @@ mod tests {
 
     #[test]
     fn bitwise_ops() {
-        assert_eq!(eval_binop(BinOp::And, Flags::NONE, 8, 0b1100, 0b1010), Val(0b1000));
-        assert_eq!(eval_binop(BinOp::Or, Flags::NONE, 8, 0b1100, 0b1010), Val(0b1110));
-        assert_eq!(eval_binop(BinOp::Xor, Flags::NONE, 8, 0b1100, 0b1010), Val(0b0110));
+        assert_eq!(
+            eval_binop(BinOp::And, Flags::NONE, 8, 0b1100, 0b1010),
+            Val(0b1000)
+        );
+        assert_eq!(
+            eval_binop(BinOp::Or, Flags::NONE, 8, 0b1100, 0b1010),
+            Val(0b1110)
+        );
+        assert_eq!(
+            eval_binop(BinOp::Xor, Flags::NONE, 8, 0b1100, 0b1010),
+            Val(0b0110)
+        );
     }
 
     #[test]

@@ -142,7 +142,9 @@ impl fmt::Display for OutcomeSet {
 
 impl FromIterator<Outcome> for OutcomeSet {
     fn from_iter<I: IntoIterator<Item = Outcome>>(iter: I) -> OutcomeSet {
-        OutcomeSet { outcomes: iter.into_iter().collect() }
+        OutcomeSet {
+            outcomes: iter.into_iter().collect(),
+        }
     }
 }
 
@@ -151,7 +153,11 @@ mod tests {
     use super::*;
 
     fn ret(v: Val) -> Outcome {
-        Outcome::Ret { val: Some(v), mem: Vec::new(), trace: Vec::new() }
+        Outcome::Ret {
+            val: Some(v),
+            mem: Vec::new(),
+            trace: Vec::new(),
+        }
     }
 
     #[test]

@@ -13,7 +13,7 @@
 //!   is a non-deterministic choice.
 
 /// What executing an operation on a poison input does.
-#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
 pub enum PoisonAction {
     /// Immediate undefined behavior.
     Ub,
@@ -25,7 +25,7 @@ pub enum PoisonAction {
 
 /// How `select` treats poison (§3.4 catalogues the inconsistent options
 /// LLVM implemented simultaneously).
-#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
 pub struct SelectSemantics {
     /// Behavior when the *condition* is poison.
     pub poison_cond: PoisonAction,
@@ -37,7 +37,7 @@ pub struct SelectSemantics {
 }
 
 /// A complete undefined-behavior model.
-#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
 pub struct Semantics {
     /// Whether the `undef` value exists (legacy) or not (proposed).
     pub has_undef: bool,
@@ -128,16 +128,72 @@ impl Semantics {
     /// UB of arithmetic yields `undef` rather than poison. Used to show
     /// mechanically that induction-variable widening needs poison.
     pub fn legacy_undef_overflow() -> Semantics {
-        Semantics {
-            wrap_flags_produce_undef: true,
-            name: "legacy-undef-overflow",
-            ..Semantics::legacy_gvn()
-        }
+        Semantics::legacy_gvn()
+            .with_wrap_flags_produce_undef(true)
+            .named("legacy-undef-overflow")
     }
 
     /// All three presets, for matrix-style experiments (§3 / E6).
     pub fn all_presets() -> [Semantics; 3] {
-        [Semantics::proposed(), Semantics::legacy_gvn(), Semantics::legacy_unswitch()]
+        [
+            Semantics::proposed(),
+            Semantics::legacy_gvn(),
+            Semantics::legacy_unswitch(),
+        ]
+    }
+
+    // Knob builders: start from a preset and flip individual choices,
+    // instead of hand-assembling the whole struct. Every §3-style
+    // "what if pass X assumed Y" experiment is one chained call:
+    // `Semantics::proposed().with_branch_on_poison(PoisonAction::Nondet)`.
+
+    /// Returns this model with the `undef` value enabled or disabled.
+    #[must_use]
+    pub fn with_undef(self, has_undef: bool) -> Semantics {
+        Semantics { has_undef, ..self }
+    }
+
+    /// Returns this model with the given branch-on-poison behavior
+    /// (the §3.3 GVN ↔ loop-unswitching crux).
+    #[must_use]
+    pub fn with_branch_on_poison(self, action: PoisonAction) -> Semantics {
+        Semantics {
+            branch_on_poison: action,
+            ..self
+        }
+    }
+
+    /// Returns this model with the given `select` semantics (§3.4).
+    #[must_use]
+    pub fn with_select(self, select: SelectSemantics) -> Semantics {
+        Semantics { select, ..self }
+    }
+
+    /// Returns this model with loads of uninitialized memory yielding
+    /// poison (`true`, §5.3) or undef (`false`, legacy).
+    #[must_use]
+    pub fn with_uninit_is_poison(self, uninit_is_poison: bool) -> Semantics {
+        Semantics {
+            uninit_is_poison,
+            ..self
+        }
+    }
+
+    /// Returns this model with deferred arithmetic UB yielding `undef`
+    /// instead of poison (the §2.4 strawman).
+    #[must_use]
+    pub fn with_wrap_flags_produce_undef(self, wrap_flags_produce_undef: bool) -> Semantics {
+        Semantics {
+            wrap_flags_produce_undef,
+            ..self
+        }
+    }
+
+    /// Returns this model under a new report name. Cache keys include
+    /// the name, so derived models should be renamed.
+    #[must_use]
+    pub fn named(self, name: &'static str) -> Semantics {
+        Semantics { name, ..self }
     }
 }
 
@@ -175,5 +231,36 @@ mod tests {
     #[test]
     fn default_is_proposed() {
         assert_eq!(Semantics::default().name, "proposed");
+    }
+
+    #[test]
+    fn knob_builders_flip_exactly_one_choice() {
+        let base = Semantics::proposed();
+        let nondet = base.with_branch_on_poison(PoisonAction::Nondet);
+        assert_eq!(nondet.branch_on_poison, PoisonAction::Nondet);
+        assert_eq!(
+            Semantics {
+                branch_on_poison: base.branch_on_poison,
+                ..nondet
+            },
+            base
+        );
+
+        // The §2.4 strawman is expressible as a two-knob derivation.
+        let strawman = Semantics::legacy_gvn()
+            .with_wrap_flags_produce_undef(true)
+            .named("legacy-undef-overflow");
+        assert_eq!(strawman, Semantics::legacy_undef_overflow());
+
+        // A pass-local legacy model: proposed, but select nondet on a
+        // poison condition (what §3.4 says SimplifyCFG assumed).
+        let local = Semantics::proposed()
+            .with_select(SelectSemantics {
+                poison_cond: PoisonAction::Nondet,
+                propagate_unselected: false,
+            })
+            .named("simplifycfg-local");
+        assert_eq!(local.select.poison_cond, PoisonAction::Nondet);
+        assert!(!local.has_undef);
     }
 }

@@ -41,7 +41,10 @@ pub enum Val {
 impl Val {
     /// A defined integer, truncating to width.
     pub fn int(bits: u32, v: u128) -> Val {
-        Val::Int { bits, v: truncate(v, bits) }
+        Val::Int {
+            bits,
+            v: truncate(v, bits),
+        }
     }
 
     /// An `i1` boolean.
@@ -154,9 +157,7 @@ impl fmt::Display for Val {
 /// poison elements (per-element poison, §4.2).
 pub fn poison_of(ty: &Ty) -> Val {
     match ty {
-        Ty::Vector { elems, elem } => {
-            Val::Vec((0..*elems).map(|_| poison_of(elem)).collect())
-        }
+        Ty::Vector { elems, elem } => Val::Vec((0..*elems).map(|_| poison_of(elem)).collect()),
         _ => Val::Poison,
     }
 }
@@ -214,9 +215,9 @@ pub fn lower(ty: &Ty, v: &Val) -> Bits {
             assert_eq!(bits, vb, "integer width mismatch in lower");
             (0..*bits).map(|i| Bit::of((v >> i) & 1 == 1)).collect()
         }
-        (Ty::Ptr(_), Val::Ptr(a)) => {
-            (0..frost_ir::PTR_BITS).map(|i| Bit::of((a >> i) & 1 == 1)).collect()
-        }
+        (Ty::Ptr(_), Val::Ptr(a)) => (0..frost_ir::PTR_BITS)
+            .map(|i| Bit::of((a >> i) & 1 == 1))
+            .collect(),
         (Ty::Vector { elems, elem }, Val::Vec(vs)) => {
             assert_eq!(*elems as usize, vs.len(), "vector length mismatch in lower");
             vs.iter().flat_map(|e| lower(elem, e)).collect()
@@ -236,11 +237,19 @@ pub fn lower(ty: &Ty, v: &Val) -> Bits {
 ///
 /// Panics if `bits.len() != ty.bitwidth()`.
 pub fn raise(ty: &Ty, bits: &[Bit]) -> Val {
-    assert_eq!(bits.len(), ty.bitwidth() as usize, "bit width mismatch in raise");
+    assert_eq!(
+        bits.len(),
+        ty.bitwidth() as usize,
+        "bit width mismatch in raise"
+    );
     match ty {
         Ty::Vector { elems, elem } => {
             let w = elem.bitwidth() as usize;
-            Val::Vec((0..*elems as usize).map(|i| raise(elem, &bits[i * w..(i + 1) * w])).collect())
+            Val::Vec(
+                (0..*elems as usize)
+                    .map(|i| raise(elem, &bits[i * w..(i + 1) * w]))
+                    .collect(),
+            )
         }
         _ => {
             if bits.iter().any(|b| *b == Bit::Poison) {
@@ -356,7 +365,10 @@ mod tests {
         assert_eq!(enumerate_scalar(&Ty::Int(2), 16).unwrap().len(), 4);
         assert!(enumerate_scalar(&Ty::Int(8), 16).is_none());
         assert!(enumerate_scalar(&Ty::ptr_to(Ty::i8()), 1 << 20).is_none());
-        assert_eq!(enumerate_scalar(&Ty::Int(1), 16).unwrap(), vec![Val::bool(false), Val::bool(true)]);
+        assert_eq!(
+            enumerate_scalar(&Ty::Int(1), 16).unwrap(),
+            vec![Val::bool(false), Val::bool(true)]
+        );
     }
 
     #[test]
@@ -367,8 +379,14 @@ mod tests {
             Val::from_const(&Constant::Poison(Ty::vector(2, Ty::i8()))),
             Val::Vec(vec![Val::Poison, Val::Poison])
         );
-        assert_eq!(Val::from_const(&Constant::Null(Ty::ptr_to(Ty::i8()))), Val::Ptr(0));
-        assert_eq!(Val::from_const(&Constant::Undef(Ty::i1())), Val::Undef(Ty::i1()));
+        assert_eq!(
+            Val::from_const(&Constant::Null(Ty::ptr_to(Ty::i8()))),
+            Val::Ptr(0)
+        );
+        assert_eq!(
+            Val::from_const(&Constant::Undef(Ty::i1())),
+            Val::Undef(Ty::i1())
+        );
     }
 
     #[test]

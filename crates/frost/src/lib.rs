@@ -72,3 +72,32 @@ pub use frost_cc as cc;
 
 /// Synthetic benchmark programs.
 pub use frost_workloads as workloads;
+
+/// The one-import working set: everything a typical check-an-optimization
+/// or run-a-campaign program needs.
+///
+/// ```
+/// use frost::prelude::*;
+///
+/// let report = Campaign::new(Semantics::proposed())
+///     .with_workers(1)
+///     .run_random(&GenConfig::arithmetic(2), 7, 20, |m| {
+///         o2_pipeline(PipelineMode::Fixed).run(m);
+///     });
+/// assert!(report.is_clean(), "{report}");
+/// ```
+pub mod prelude {
+    pub use frost_core::{
+        enumerate_outcomes, FrostError, Limits, Memory, OutcomeCache, Semantics, Val,
+    };
+    pub use frost_fuzz::{
+        enumerate_functions, random_functions, validate_transform, Campaign, CampaignStats,
+        GenConfig, ValidationReport,
+    };
+    pub use frost_ir::{parse_module, Module};
+    pub use frost_opt::{cleanup_pipeline, o2_pipeline, Pass, PassManager, PipelineMode};
+    pub use frost_refine::{
+        check_refinement, check_refinement_cached, check_transform, CheckOptions, CheckResult,
+        InputOptions,
+    };
+}

@@ -1,0 +1,526 @@
+//! Sharded, work-stealing parallel validation campaigns.
+//!
+//! The §6 methodology — generate millions of tiny functions, optimize
+//! each, check refinement — is embarrassingly parallel: every function
+//! is validated independently. [`Campaign`] is the engine that
+//! exploits this. A campaign splits the corpus into fixed-size *shards*
+//! of consecutive function indices; workers (scoped threads) claim
+//! shards off a shared atomic counter, so fast workers steal work that
+//! slow workers never reach. All workers share one
+//! [`OutcomeCache`](frost_core::OutcomeCache), so each distinct
+//! (canonical function, semantics) pair is enumerated once per
+//! campaign, no matter which worker sees it first.
+//!
+//! ## Determinism
+//!
+//! A campaign's verdicts are a pure function of (corpus, seed, check
+//! options): the same campaign produces the *same*
+//! [`ValidationReport`] — byte-identical violations in the same order —
+//! at any worker count. Two mechanisms guarantee this:
+//!
+//! * random corpora derive each function's RNG from its global index
+//!   ([`random_functions_range`](crate::gen::random_functions_range)),
+//!   so which worker generates function *i* is irrelevant;
+//! * every [`Violation`] carries its global index, and the merge step
+//!   sorts by it, erasing shard-completion order.
+//!
+//! Only the wall-clock numbers in [`CampaignStats`] (and anything cut
+//! off by a [`deadline`](Campaign::with_deadline)) vary between runs.
+
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::time::{Duration, Instant};
+
+use frost_core::{OutcomeCache, Semantics};
+use frost_ir::{function_to_string, Function, Module};
+use frost_refine::{check_refinement_cached, CheckOptions, CheckResult};
+
+use crate::gen::{random_functions_range, GenConfig};
+use crate::validate::{ValidationReport, Violation};
+
+/// Wall-clock statistics of a finished campaign, folded into its
+/// [`ValidationReport`]. Unlike the verdict counters these are *not*
+/// deterministic — they describe one particular run.
+#[derive(Clone, Debug, Default)]
+pub struct CampaignStats {
+    /// Worker threads used.
+    pub workers: usize,
+    /// Wall-clock duration of the campaign.
+    pub wall: Duration,
+    /// Functions validated per second of wall-clock time.
+    pub functions_per_sec: f64,
+    /// Outcome-cache lookups answered from the table.
+    pub cache_hits: u64,
+    /// Outcome-cache lookups that had to enumerate.
+    pub cache_misses: u64,
+    /// Distinct (function, semantics) entries the cache ended with.
+    pub cache_entries: usize,
+    /// `true` if the corpus was truncated by [`Campaign::with_budget`].
+    pub budget_hit: bool,
+    /// `true` if the [`Campaign::with_deadline`] expired before the
+    /// corpus was exhausted.
+    pub deadline_hit: bool,
+    /// Functions left unchecked when the deadline expired.
+    pub skipped: usize,
+}
+
+impl CampaignStats {
+    /// `hits / (hits + misses)`, or 0 when the cache was off or unused.
+    pub fn cache_hit_rate(&self) -> f64 {
+        let (h, m) = (self.cache_hits as f64, self.cache_misses as f64);
+        if h + m == 0.0 {
+            0.0
+        } else {
+            h / (h + m)
+        }
+    }
+}
+
+/// A live snapshot of a running campaign, handed to the observer
+/// installed with [`Campaign::with_observer`] after each completed
+/// shard.
+#[derive(Clone, Copy, Debug)]
+pub struct Progress {
+    /// Functions validated so far.
+    pub checked: usize,
+    /// Total functions the campaign will validate.
+    pub total: usize,
+    /// Functions the transform changed, so far.
+    pub changed: usize,
+    /// Refinements verified, so far.
+    pub refined: usize,
+    /// Violations found, so far.
+    pub violations: usize,
+    /// Inconclusive checks, so far.
+    pub inconclusive: usize,
+    /// Wall-clock time since the campaign started.
+    pub elapsed: Duration,
+    /// Throughput so far, in functions per second.
+    pub functions_per_sec: f64,
+    /// Outcome-cache hit rate so far.
+    pub cache_hit_rate: f64,
+}
+
+/// A configured validation campaign: the parallel, cached successor of
+/// the sequential `validate_transform` loop.
+///
+/// ```
+/// use frost_core::Semantics;
+/// use frost_fuzz::{Campaign, GenConfig};
+/// use frost_opt::{o2_pipeline, PipelineMode};
+///
+/// let pm = o2_pipeline(PipelineMode::Fixed);
+/// let report = Campaign::new(Semantics::proposed())
+///     .with_workers(2)
+///     .run_random(&GenConfig::arithmetic(2), 42, 40, |m| {
+///         pm.run(m);
+///     });
+/// assert!(report.is_clean(), "{report}");
+/// assert_eq!(report.total, 40);
+/// ```
+pub struct Campaign {
+    opts: CheckOptions,
+    workers: usize,
+    shard_size: usize,
+    budget: Option<usize>,
+    deadline: Option<Duration>,
+    observer: Option<Box<dyn Fn(&Progress) + Send + Sync>>,
+}
+
+impl Campaign {
+    /// A campaign checking source and target under `sem`, with
+    /// auto-detected worker count, shards of 64 functions, no budget
+    /// and no deadline.
+    pub fn new(sem: Semantics) -> Campaign {
+        Campaign::with_options(CheckOptions::new(sem))
+    }
+
+    /// A campaign with fully explicit check options (differing
+    /// source/target semantics, custom limits or input enumeration).
+    pub fn with_options(opts: CheckOptions) -> Campaign {
+        Campaign {
+            opts,
+            workers: 0,
+            shard_size: 64,
+            budget: None,
+            deadline: None,
+            observer: None,
+        }
+    }
+
+    /// Returns this campaign with a fixed worker-thread count. `0`
+    /// (the default) auto-detects [`std::thread::available_parallelism`];
+    /// `1` runs entirely on the calling thread.
+    #[must_use]
+    pub fn with_workers(mut self, workers: usize) -> Campaign {
+        self.workers = workers;
+        self
+    }
+
+    /// Returns this campaign with the given shard granularity
+    /// (functions claimed per steal). Smaller shards balance better;
+    /// larger shards contend less. The default is 64.
+    #[must_use]
+    pub fn with_shard_size(mut self, shard_size: usize) -> Campaign {
+        self.shard_size = shard_size.max(1);
+        self
+    }
+
+    /// Returns this campaign with an upper bound on functions checked.
+    /// The corpus is truncated *before* sharding, so a budget never
+    /// affects which verdicts the surviving prefix produces.
+    #[must_use]
+    pub fn with_budget(mut self, budget: usize) -> Campaign {
+        self.budget = Some(budget);
+        self
+    }
+
+    /// Returns this campaign with a wall-clock deadline. Workers stop
+    /// claiming shards once it expires; [`CampaignStats::skipped`]
+    /// counts what was left. Deadlines trade determinism for
+    /// predictable latency — cut-off campaigns may differ between runs.
+    #[must_use]
+    pub fn with_deadline(mut self, deadline: Duration) -> Campaign {
+        self.deadline = Some(deadline);
+        self
+    }
+
+    /// Returns this campaign with a live-progress observer, invoked by
+    /// whichever worker finishes a shard (concurrently — the callback
+    /// must be `Sync`).
+    #[must_use]
+    pub fn with_observer(
+        mut self,
+        observer: impl Fn(&Progress) + Send + Sync + 'static,
+    ) -> Campaign {
+        self.observer = Some(Box::new(observer));
+        self
+    }
+
+    /// Validates `transform` over a materialized corpus (applies the
+    /// budget while collecting it).
+    pub fn run(
+        &self,
+        functions: impl IntoIterator<Item = Function>,
+        transform: impl Fn(&mut Module) + Sync,
+    ) -> ValidationReport {
+        let mut corpus: Vec<Function> = Vec::new();
+        let mut budget_hit = false;
+        for f in functions {
+            if self.budget == Some(corpus.len()) {
+                budget_hit = true;
+                break;
+            }
+            corpus.push(f);
+        }
+        self.run_indexed(corpus.len(), budget_hit, &|i| corpus[i].clone(), &transform)
+    }
+
+    /// Validates `transform` over `count` randomly generated functions
+    /// without materializing the corpus: each worker generates exactly
+    /// the functions of the shards it claims, from the per-index RNG
+    /// stream. The verdicts equal `self.run(random_functions(cfg, seed,
+    /// count), ..)` at any worker count.
+    pub fn run_random(
+        &self,
+        cfg: &GenConfig,
+        seed: u64,
+        count: usize,
+        transform: impl Fn(&mut Module) + Sync,
+    ) -> ValidationReport {
+        let checked = self.budget.map_or(count, |b| b.min(count));
+        let budget_hit = checked < count;
+        self.run_indexed(
+            checked,
+            budget_hit,
+            &|i| {
+                random_functions_range(cfg, seed, i, 1)
+                    .pop()
+                    .expect("count is 1")
+            },
+            &transform,
+        )
+    }
+
+    fn run_indexed(
+        &self,
+        count: usize,
+        budget_hit: bool,
+        make: &(impl Fn(usize) -> Function + Sync),
+        transform: &(impl Fn(&mut Module) + Sync),
+    ) -> ValidationReport {
+        let start = Instant::now();
+        let num_shards = count.div_ceil(self.shard_size.max(1));
+        let workers = self.effective_workers(num_shards);
+        let cache = OutcomeCache::new();
+        let next_shard = AtomicUsize::new(0);
+        let deadline_expired = AtomicBool::new(false);
+        let live = LiveCounters::default();
+
+        let work = || {
+            let mut p = Partial::default();
+            loop {
+                if let Some(d) = self.deadline {
+                    if start.elapsed() >= d {
+                        deadline_expired.store(true, Ordering::Relaxed);
+                        break;
+                    }
+                }
+                let shard = next_shard.fetch_add(1, Ordering::Relaxed);
+                if shard >= num_shards {
+                    break;
+                }
+                let lo = shard * self.shard_size;
+                let hi = (lo + self.shard_size).min(count);
+                for i in lo..hi {
+                    self.check_one(i, make, transform, &cache, &mut p, &live);
+                }
+                if let Some(obs) = &self.observer {
+                    obs(&live.snapshot(count, start, &cache));
+                }
+            }
+            p
+        };
+
+        let partials: Vec<Partial> = if workers <= 1 {
+            vec![work()]
+        } else {
+            std::thread::scope(|s| {
+                let handles: Vec<_> = (0..workers).map(|_| s.spawn(&work)).collect();
+                handles
+                    .into_iter()
+                    .map(|h| h.join().expect("validation worker panicked"))
+                    .collect()
+            })
+        };
+
+        let mut report = ValidationReport::default();
+        for p in partials {
+            report.total += p.total;
+            report.changed += p.changed;
+            report.refined += p.refined;
+            report.inconclusive += p.inconclusive;
+            report.violations.extend(p.violations);
+        }
+        // Erase shard-completion order: verdicts come out in corpus
+        // order regardless of which worker produced them.
+        report.violations.sort_by_key(|v| v.index);
+
+        let wall = start.elapsed();
+        let secs = wall.as_secs_f64();
+        report.stats = CampaignStats {
+            workers,
+            wall,
+            functions_per_sec: if secs > 0.0 {
+                report.total as f64 / secs
+            } else {
+                0.0
+            },
+            cache_hits: cache.hits(),
+            cache_misses: cache.misses(),
+            cache_entries: cache.len(),
+            budget_hit,
+            deadline_hit: deadline_expired.load(Ordering::Relaxed),
+            skipped: count - report.total,
+        };
+        report
+    }
+
+    fn check_one(
+        &self,
+        index: usize,
+        make: &(impl Fn(usize) -> Function + Sync),
+        transform: &(impl Fn(&mut Module) + Sync),
+        cache: &OutcomeCache,
+        p: &mut Partial,
+        live: &LiveCounters,
+    ) {
+        let f = make(index);
+        let name = f.name.clone();
+        let mut before = Module::new();
+        before.functions.push(f);
+        let mut after = before.clone();
+        transform(&mut after);
+
+        p.total += 1;
+        live.checked.fetch_add(1, Ordering::Relaxed);
+        if after != before {
+            p.changed += 1;
+            live.changed.fetch_add(1, Ordering::Relaxed);
+        }
+        match check_refinement_cached(&before, &name, &after, &name, &self.opts, cache) {
+            CheckResult::Refines => {
+                p.refined += 1;
+                live.refined.fetch_add(1, Ordering::Relaxed);
+            }
+            CheckResult::CounterExample(ce) => {
+                live.violations.fetch_add(1, Ordering::Relaxed);
+                p.violations.push(Violation {
+                    index,
+                    before: function_to_string(before.function(&name).expect("exists")),
+                    after: function_to_string(after.function(&name).expect("exists")),
+                    counterexample: ce.to_string(),
+                });
+            }
+            CheckResult::Inconclusive(_) => {
+                p.inconclusive += 1;
+                live.inconclusive.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+    }
+
+    fn effective_workers(&self, num_shards: usize) -> usize {
+        let requested = if self.workers == 0 {
+            std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1)
+        } else {
+            self.workers
+        };
+        requested.clamp(1, num_shards.max(1))
+    }
+}
+
+/// One worker's share of the report, merged after the join.
+#[derive(Default)]
+struct Partial {
+    total: usize,
+    changed: usize,
+    refined: usize,
+    inconclusive: usize,
+    violations: Vec<Violation>,
+}
+
+/// Shared atomics behind the live [`Progress`] snapshots.
+#[derive(Default)]
+struct LiveCounters {
+    checked: AtomicUsize,
+    changed: AtomicUsize,
+    refined: AtomicUsize,
+    violations: AtomicUsize,
+    inconclusive: AtomicUsize,
+    _pad: AtomicU64,
+}
+
+impl LiveCounters {
+    fn snapshot(&self, total: usize, start: Instant, cache: &OutcomeCache) -> Progress {
+        let checked = self.checked.load(Ordering::Relaxed);
+        let elapsed = start.elapsed();
+        let secs = elapsed.as_secs_f64();
+        let (h, m) = (cache.hits() as f64, cache.misses() as f64);
+        Progress {
+            checked,
+            total,
+            changed: self.changed.load(Ordering::Relaxed),
+            refined: self.refined.load(Ordering::Relaxed),
+            violations: self.violations.load(Ordering::Relaxed),
+            inconclusive: self.inconclusive.load(Ordering::Relaxed),
+            elapsed,
+            functions_per_sec: if secs > 0.0 {
+                checked as f64 / secs
+            } else {
+                0.0
+            },
+            cache_hit_rate: if h + m == 0.0 { 0.0 } else { h / (h + m) },
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gen::enumerate_functions;
+    use frost_opt::{o2_pipeline, PipelineMode};
+    use std::sync::atomic::AtomicUsize;
+
+    fn pipeline_transform(mode: PipelineMode) -> impl Fn(&mut Module) + Sync {
+        let pm = o2_pipeline(mode);
+        move |m: &mut Module| {
+            pm.run(m);
+        }
+    }
+
+    #[test]
+    fn parallel_matches_sequential_on_exhaustive_corpus() {
+        let cfg = GenConfig::arithmetic(2);
+        let corpus: Vec<Function> = enumerate_functions(cfg).step_by(457).take(120).collect();
+        let seq = Campaign::new(Semantics::proposed())
+            .with_workers(1)
+            .run(corpus.clone(), pipeline_transform(PipelineMode::Fixed));
+        let par = Campaign::new(Semantics::proposed())
+            .with_workers(4)
+            .with_shard_size(8)
+            .run(corpus, pipeline_transform(PipelineMode::Fixed));
+        assert_eq!(seq.total, par.total);
+        assert_eq!(seq.changed, par.changed);
+        assert_eq!(seq.refined, par.refined);
+        assert_eq!(seq.inconclusive, par.inconclusive);
+        assert_eq!(seq.violations.len(), par.violations.len());
+        assert_eq!(par.stats.workers, 4);
+    }
+
+    #[test]
+    fn budget_truncates_deterministically() {
+        let cfg = GenConfig::arithmetic(2);
+        let report = Campaign::new(Semantics::proposed())
+            .with_budget(25)
+            .with_workers(2)
+            .with_shard_size(4)
+            .run_random(&cfg, 3, 100, pipeline_transform(PipelineMode::Fixed));
+        assert_eq!(report.total, 25);
+        assert!(report.stats.budget_hit);
+        let full = Campaign::new(Semantics::proposed())
+            .with_workers(2)
+            .run_random(&cfg, 3, 25, pipeline_transform(PipelineMode::Fixed));
+        assert!(!full.stats.budget_hit);
+        assert_eq!(report.refined, full.refined);
+    }
+
+    #[test]
+    fn observer_sees_monotone_progress() {
+        let cfg = GenConfig::arithmetic(2);
+        let calls = std::sync::Arc::new(AtomicUsize::new(0));
+        let calls2 = std::sync::Arc::clone(&calls);
+        let report = Campaign::new(Semantics::proposed())
+            .with_workers(2)
+            .with_shard_size(5)
+            .with_observer(move |p: &Progress| {
+                assert!(p.checked <= p.total);
+                calls2.fetch_add(1, Ordering::Relaxed);
+            })
+            .run_random(&cfg, 11, 40, pipeline_transform(PipelineMode::Fixed));
+        assert_eq!(report.total, 40);
+        assert!(
+            calls.load(Ordering::Relaxed) >= 40 / 5,
+            "one call per shard"
+        );
+    }
+
+    #[test]
+    fn deadline_cuts_off_and_reports_skips() {
+        let cfg = GenConfig::arithmetic(3);
+        let report = Campaign::new(Semantics::proposed())
+            .with_workers(2)
+            .with_shard_size(1)
+            .with_deadline(Duration::ZERO)
+            .run_random(&cfg, 5, 50, pipeline_transform(PipelineMode::Fixed));
+        assert!(report.stats.deadline_hit);
+        assert_eq!(report.total + report.stats.skipped, 50);
+    }
+
+    #[test]
+    fn campaign_cache_sees_redundant_corpus() {
+        // A no-op transform makes every target identical to its source:
+        // the second enumeration of every pair must hit the cache.
+        let cfg = GenConfig::arithmetic(1);
+        let report = Campaign::new(Semantics::proposed())
+            .with_workers(1)
+            .run_random(&cfg, 9, 30, |_m| {});
+        assert_eq!(report.changed, 0);
+        assert!(
+            report.stats.cache_hits >= report.total as u64,
+            "identical source/target must hit: {:?}",
+            report.stats
+        );
+        assert!(report.stats.cache_hit_rate() > 0.4);
+    }
+}

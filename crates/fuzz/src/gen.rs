@@ -9,11 +9,8 @@
 //! per-slot option lists, exposed as a lazy iterator so huge spaces can
 //! be sampled with `step_by`.
 
-use frost_ir::{
-    BinOp, BlockId, Cond, Flags, Function, Inst, InstId, Param, Terminator, Ty, Value,
-};
-use rand::rngs::SmallRng;
-use rand::{Rng, SeedableRng};
+use frost_ir::{BinOp, BlockId, Cond, Flags, Function, Inst, InstId, Param, Terminator, Ty, Value};
+use frost_rng::{splitmix64, SmallRng};
 
 /// Configuration of the generated function space.
 #[derive(Clone, Debug)]
@@ -81,10 +78,26 @@ impl GenConfig {
 /// One instruction choice at a slot, given the values available so far.
 #[derive(Clone, Debug)]
 enum Template {
-    Bin { op: BinOp, flags: Flags, lhs: Value, rhs: Value },
-    Icmp { cond: Cond, lhs: Value, rhs: Value },
-    Select { cond: Value, tval: Value, fval: Value },
-    Freeze { val: Value, bool_ty: bool },
+    Bin {
+        op: BinOp,
+        flags: Flags,
+        lhs: Value,
+        rhs: Value,
+    },
+    Icmp {
+        cond: Cond,
+        lhs: Value,
+        rhs: Value,
+    },
+    Select {
+        cond: Value,
+        tval: Value,
+        fval: Value,
+    },
+    Freeze {
+        val: Value,
+        bool_ty: bool,
+    },
 }
 
 /// The values available as operands before slot `k`, split by type.
@@ -155,7 +168,11 @@ fn slot_options(cfg: &GenConfig, avail: &Avail) -> Vec<Template> {
     for &cond in &cfg.conds {
         for lhs in &avail.ints {
             for rhs in &avail.ints {
-                out.push(Template::Icmp { cond, lhs: lhs.clone(), rhs: rhs.clone() });
+                out.push(Template::Icmp {
+                    cond,
+                    lhs: lhs.clone(),
+                    rhs: rhs.clone(),
+                });
             }
         }
     }
@@ -174,7 +191,10 @@ fn slot_options(cfg: &GenConfig, avail: &Avail) -> Vec<Template> {
     }
     if cfg.freeze {
         for val in &avail.ints {
-            out.push(Template::Freeze { val: val.clone(), bool_ty: false });
+            out.push(Template::Freeze {
+                val: val.clone(),
+                bool_ty: false,
+            });
         }
     }
     out
@@ -185,8 +205,14 @@ fn build_function(cfg: &GenConfig, templates: &[Template], name: &str) -> Functi
     let mut func = Function {
         name: name.to_string(),
         params: vec![
-            Param { name: "a".into(), ty: int_ty.clone() },
-            Param { name: "b".into(), ty: int_ty.clone() },
+            Param {
+                name: "a".into(),
+                ty: int_ty.clone(),
+            },
+            Param {
+                name: "b".into(),
+                ty: int_ty.clone(),
+            },
         ],
         ret_ty: Ty::Void, // patched below
         blocks: vec![frost_ir::Block::new("entry")],
@@ -194,7 +220,12 @@ fn build_function(cfg: &GenConfig, templates: &[Template], name: &str) -> Functi
     };
     for t in templates {
         let inst = match t {
-            Template::Bin { op, flags, lhs, rhs } => Inst::Bin {
+            Template::Bin {
+                op,
+                flags,
+                lhs,
+                rhs,
+            } => Inst::Bin {
                 op: *op,
                 flags: *flags,
                 ty: int_ty.clone(),
@@ -322,16 +353,35 @@ pub fn enumerate_functions(cfg: GenConfig) -> ExhaustiveFunctions {
 /// Generates `count` random functions from the space (uniform over
 /// slot options, seeded for reproducibility).
 pub fn random_functions(cfg: GenConfig, seed: u64, count: usize) -> Vec<Function> {
-    let mut rng = SmallRng::seed_from_u64(seed);
+    random_functions_range(&cfg, seed, 0, count)
+}
+
+/// Generates the functions at indices `start..start + count` of the
+/// seeded random stream, with each function drawn from its own
+/// index-derived generator.
+///
+/// Because function `i` depends only on `(seed, i)` — never on how the
+/// index range is partitioned — a sharded campaign generating each
+/// shard's slice independently produces *exactly* the functions a
+/// sequential `random_functions(cfg, seed, n)` call would, regardless
+/// of shard size or thread count. This is the determinism anchor of
+/// `Campaign::run_random`.
+pub fn random_functions_range(
+    cfg: &GenConfig,
+    seed: u64,
+    start: usize,
+    count: usize,
+) -> Vec<Function> {
     let mut out = Vec::with_capacity(count);
-    for i in 0..count {
+    for i in start..start + count {
+        let mut rng = SmallRng::seed_from_u64(splitmix64(seed ^ splitmix64(i as u64)));
         let mut templates: Vec<Template> = Vec::with_capacity(cfg.num_insts);
         for _ in 0..cfg.num_insts {
-            let avail = available(&cfg, &templates);
-            let opts = slot_options(&cfg, &avail);
+            let avail = available(cfg, &templates);
+            let opts = slot_options(cfg, &avail);
             templates.push(opts[rng.gen_range(0..opts.len())].clone());
         }
-        out.push(build_function(&cfg, &templates, &format!("rf{i}")));
+        out.push(build_function(cfg, &templates, &format!("rf{i}")));
     }
     out
 }
@@ -357,8 +407,7 @@ mod tests {
         let fns: Vec<Function> = enumerate_functions(cfg).collect();
         assert_eq!(fns.len(), 16);
         // All distinct.
-        let mut texts: Vec<String> =
-            fns.iter().map(frost_ir::function_to_string).collect();
+        let mut texts: Vec<String> = fns.iter().map(frost_ir::function_to_string).collect();
         texts.sort();
         texts.dedup();
         assert_eq!(texts.len(), 16);
@@ -403,6 +452,25 @@ mod tests {
         for f in &a {
             assert!(frost_ir::verify::verify_function_legacy(f).is_ok());
         }
+    }
+
+    #[test]
+    fn range_generation_matches_sequential() {
+        // Sharded generation must reproduce the sequential stream no
+        // matter where the range is split.
+        let cfg = GenConfig::arithmetic(2);
+        let seq: Vec<String> = random_functions(cfg.clone(), 11, 12)
+            .iter()
+            .map(frost_ir::function_to_string)
+            .collect();
+        let a = random_functions_range(&cfg, 11, 0, 5);
+        let b = random_functions_range(&cfg, 11, 5, 7);
+        let joined: Vec<String> = a
+            .iter()
+            .chain(&b)
+            .map(frost_ir::function_to_string)
+            .collect();
+        assert_eq!(joined, seq);
     }
 
     #[test]

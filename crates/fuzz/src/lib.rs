@@ -30,8 +30,12 @@
 
 #![warn(missing_docs)]
 
+pub mod campaign;
 pub mod gen;
 pub mod validate;
 
-pub use gen::{enumerate_functions, random_functions, ExhaustiveFunctions, GenConfig};
+pub use campaign::{Campaign, CampaignStats, Progress};
+pub use gen::{
+    enumerate_functions, random_functions, random_functions_range, ExhaustiveFunctions, GenConfig,
+};
 pub use validate::{validate_transform, ValidationReport, Violation};

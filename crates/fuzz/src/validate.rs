@@ -7,9 +7,11 @@ use std::fmt;
 
 use frost_core::Semantics;
 use frost_ir::{Function, Module};
-use frost_refine::{check_refinement, CheckOptions, CheckResult};
 
-/// The verdict counters of a validation campaign.
+use crate::campaign::{Campaign, CampaignStats};
+
+/// The outcome of a validation campaign: per-verdict tallies, the
+/// violations themselves, and the run's [`CampaignStats`].
 #[derive(Clone, Debug, Default)]
 pub struct ValidationReport {
     /// Functions processed.
@@ -19,15 +21,21 @@ pub struct ValidationReport {
     /// Refinement verified.
     pub refined: usize,
     /// Refinement violations, with the offending function (before) and
-    /// the counterexample description.
+    /// the counterexample description, sorted by corpus index.
     pub violations: Vec<Violation>,
     /// Checks that could not complete (resource limits).
     pub inconclusive: usize,
+    /// Throughput and cache statistics of the run that produced this
+    /// report. Everything above is deterministic; this is not.
+    pub stats: CampaignStats,
 }
 
 /// A single refinement violation found by the campaign.
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, PartialEq, Eq)]
 pub struct Violation {
+    /// Global corpus index of the offending function — with the
+    /// campaign's seed, enough to regenerate it.
+    pub index: usize,
     /// Textual IR before the transformation.
     pub before: String,
     /// Textual IR after.
@@ -62,33 +70,17 @@ impl fmt::Display for ValidationReport {
 ///
 /// The transform receives a module containing a single function and
 /// mutates it in place.
+///
+/// This is the sequential, single-threaded entry point, kept for small
+/// corpora and tests; it is a [`Campaign`] pinned to one worker.
+/// Anything §6-sized should configure a [`Campaign`] directly and use
+/// its parallel workers.
 pub fn validate_transform(
     functions: impl IntoIterator<Item = Function>,
     sem: Semantics,
-    mut transform: impl FnMut(&mut Module),
+    transform: impl Fn(&mut Module) + Sync,
 ) -> ValidationReport {
-    let mut report = ValidationReport::default();
-    for f in functions {
-        report.total += 1;
-        let name = f.name.clone();
-        let mut before = Module::new();
-        before.functions.push(f);
-        let mut after = before.clone();
-        transform(&mut after);
-        if after != before {
-            report.changed += 1;
-        }
-        match check_refinement(&before, &name, &after, &name, &CheckOptions::new(sem)) {
-            CheckResult::Refines => report.refined += 1,
-            CheckResult::CounterExample(ce) => report.violations.push(Violation {
-                before: frost_ir::function_to_string(before.function(&name).expect("exists")),
-                after: frost_ir::function_to_string(after.function(&name).expect("exists")),
-                counterexample: ce.to_string(),
-            }),
-            CheckResult::Inconclusive(_) => report.inconclusive += 1,
-        }
-    }
-    report
+    Campaign::new(sem).with_workers(1).run(functions, transform)
 }
 
 #[cfg(test)]
@@ -118,7 +110,10 @@ mod tests {
                 .collect::<Vec<_>>()
                 .join("\n---\n")
         );
-        assert!(report.changed > 0, "the sample must exercise rewrites: {report}");
+        assert!(
+            report.changed > 0,
+            "the sample must exercise rewrites: {report}"
+        );
     }
 
     #[test]
@@ -134,16 +129,12 @@ mod tests {
             ..GenConfig::arithmetic(1)
         }
         .with_undef();
-        let report = validate_transform(
-            enumerate_functions(cfg),
-            Semantics::legacy_gvn(),
-            |m| {
-                for f in &mut m.functions {
-                    InstCombine::new(PipelineMode::Legacy).run_on_function(f);
-                    f.compact();
-                }
-            },
-        );
+        let report = validate_transform(enumerate_functions(cfg), Semantics::legacy_gvn(), |m| {
+            for f in &mut m.functions {
+                InstCombine::new(PipelineMode::Legacy).run_on_function(f);
+                f.compact();
+            }
+        });
         assert!(
             !report.is_clean(),
             "expected at least one §3.1 violation: {report}"

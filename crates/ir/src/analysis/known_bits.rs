@@ -29,13 +29,21 @@ pub struct KnownBits {
 impl KnownBits {
     /// No knowledge about a `bits`-wide value.
     pub fn unknown(bits: u32) -> KnownBits {
-        KnownBits { bits, zeros: 0, ones: 0 }
+        KnownBits {
+            bits,
+            zeros: 0,
+            ones: 0,
+        }
     }
 
     /// Full knowledge of a constant.
     pub fn constant(bits: u32, value: u128) -> KnownBits {
         let value = truncate(value, bits);
-        KnownBits { bits, zeros: truncate(!value, bits), ones: value }
+        KnownBits {
+            bits,
+            zeros: truncate(!value, bits),
+            ones: value,
+        }
     }
 
     /// Returns `true` if every bit is known.
@@ -65,7 +73,11 @@ impl KnownBits {
     /// Intersection of knowledge (used at phi/select joins).
     pub fn join(self, other: KnownBits) -> KnownBits {
         debug_assert_eq!(self.bits, other.bits);
-        KnownBits { bits: self.bits, zeros: self.zeros & other.zeros, ones: self.ones & other.ones }
+        KnownBits {
+            bits: self.bits,
+            zeros: self.zeros & other.zeros,
+            ones: self.ones & other.ones,
+        }
     }
 }
 
@@ -79,7 +91,10 @@ pub struct KnownBitsAnalysis<'a> {
 impl<'a> KnownBitsAnalysis<'a> {
     /// Creates the analysis for `func`.
     pub fn new(func: &'a Function) -> KnownBitsAnalysis<'a> {
-        KnownBitsAnalysis { func, cache: HashMap::new() }
+        KnownBitsAnalysis {
+            func,
+            cache: HashMap::new(),
+        }
     }
 
     /// Known bits of `v`, with the non-poison side conditions the result
@@ -193,8 +208,9 @@ impl<'a> KnownBitsAnalysis<'a> {
                     BinOp::Add => {
                         // Track known-zero low bits: if the low k bits of
                         // both operands are zero, so are the result's.
-                        let low_zeros =
-                            (lk.zeros.trailing_ones()).min(rk.zeros.trailing_ones()).min(bits);
+                        let low_zeros = (lk.zeros.trailing_ones())
+                            .min(rk.zeros.trailing_ones())
+                            .min(bits);
                         KnownBits {
                             bits,
                             zeros: if low_zeros == 0 {
@@ -209,7 +225,9 @@ impl<'a> KnownBitsAnalysis<'a> {
                 };
                 Conditional::assuming(kb, assumes)
             }
-            Inst::Cast { kind, from_ty, val, .. } => {
+            Inst::Cast {
+                kind, from_ty, val, ..
+            } => {
                 let inner = self.query_depth(val, depth - 1);
                 let from_bits = from_ty.int_bits().unwrap_or(0);
                 let kb = match kind {
@@ -239,7 +257,8 @@ impl<'a> KnownBitsAnalysis<'a> {
                                 bits,
                                 zeros: truncate(inner.value.zeros, from_bits - 1),
                                 ones: inner.value.ones
-                                    | (truncate(u128::MAX, bits) & !truncate(u128::MAX, from_bits - 1)),
+                                    | (truncate(u128::MAX, bits)
+                                        & !truncate(u128::MAX, from_bits - 1)),
                             }
                         } else {
                             KnownBits::unknown(bits)
@@ -248,7 +267,9 @@ impl<'a> KnownBitsAnalysis<'a> {
                 };
                 Conditional::assuming(kb, inner.assumes_nonpoison)
             }
-            Inst::Select { tval, fval, cond, .. } => {
+            Inst::Select {
+                tval, fval, cond, ..
+            } => {
                 let t = self.query_depth(tval, depth - 1);
                 let f = self.query_depth(fval, depth - 1);
                 let mut assumes = t.assumes_nonpoison;
@@ -286,7 +307,13 @@ impl<'a> KnownBitsAnalysis<'a> {
     pub fn is_known_power_of_two(&mut self, v: &Value) -> Conditional<bool> {
         // Structural special case first, mirroring LLVM.
         if let Value::Inst(id) = v {
-            if let Inst::Bin { op: BinOp::Shl, lhs, rhs, .. } = self.func.inst(*id) {
+            if let Inst::Bin {
+                op: BinOp::Shl,
+                lhs,
+                rhs,
+                ..
+            } = self.func.inst(*id)
+            {
                 if lhs.is_int_const(1) {
                     return Conditional::assuming(true, vec![rhs.clone()]);
                 }
@@ -295,8 +322,7 @@ impl<'a> KnownBitsAnalysis<'a> {
         let kb = self.query(v);
         // Exactly one bit set and all others known zero.
         let known_one_bits = kb.value.ones.count_ones();
-        let pow2 = known_one_bits == 1
-            && kb.value.num_known() == kb.value.bits;
+        let pow2 = known_one_bits == 1 && kb.value.num_known() == kb.value.bits;
         kb.map(|_| pow2)
     }
 
@@ -405,18 +431,21 @@ mod tests {
 
     #[test]
     fn select_joins_and_conditions_on_cond() {
-        let mut b = FunctionBuilder::new(
-            "f",
-            &[("c", Ty::i1()), ("x", Ty::i8())],
-            Ty::i8(),
-        );
+        let mut b = FunctionBuilder::new("f", &[("c", Ty::i1()), ("x", Ty::i8())], Ty::i8());
         let a1 = b.and(b.arg(1), b.const_int(8, 0x0f));
         let s = b.select(b.arg(0), a1, b.const_int(8, 3));
         b.ret(s.clone());
         let f = b.finish();
         let mut a = KnownBitsAnalysis::new(&f);
         let kb = a.query(&s);
-        assert_eq!(kb.value.zeros & 0xf0, 0xf0, "both arms have high nibble zero");
-        assert!(kb.assumes_nonpoison.contains(&Value::Arg(0)), "conditional on %c");
+        assert_eq!(
+            kb.value.zeros & 0xf0,
+            0xf0,
+            "both arms have high nibble zero"
+        );
+        assert!(
+            kb.assumes_nonpoison.contains(&Value::Arg(0)),
+            "conditional on %c"
+        );
     }
 }

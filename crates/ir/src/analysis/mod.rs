@@ -29,12 +29,18 @@ pub struct Conditional<T> {
 impl<T> Conditional<T> {
     /// A fact that holds unconditionally.
     pub fn unconditional(value: T) -> Conditional<T> {
-        Conditional { value, assumes_nonpoison: Vec::new() }
+        Conditional {
+            value,
+            assumes_nonpoison: Vec::new(),
+        }
     }
 
     /// A fact conditional on the given values being non-poison.
     pub fn assuming(value: T, assumes: Vec<Value>) -> Conditional<T> {
-        Conditional { value, assumes_nonpoison: assumes }
+        Conditional {
+            value,
+            assumes_nonpoison: assumes,
+        }
     }
 
     /// Returns `true` if the fact holds without poison side conditions,
@@ -45,6 +51,9 @@ impl<T> Conditional<T> {
 
     /// Maps the fact, keeping the side conditions.
     pub fn map<U>(self, f: impl FnOnce(T) -> U) -> Conditional<U> {
-        Conditional { value: f(self.value), assumes_nonpoison: self.assumes_nonpoison }
+        Conditional {
+            value: f(self.value),
+            assumes_nonpoison: self.assumes_nonpoison,
+        }
     }
 }

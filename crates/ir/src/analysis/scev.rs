@@ -48,7 +48,9 @@ pub fn find_affine_ivs(func: &Function, lp: &Loop) -> Vec<AffineRec> {
     let mut out = Vec::new();
     let header = func.block(lp.header);
     for &phi_id in &header.insts {
-        let Inst::Phi { incoming, .. } = func.inst(phi_id) else { continue };
+        let Inst::Phi { incoming, .. } = func.inst(phi_id) else {
+            continue;
+        };
         if incoming.len() != 2 {
             continue;
         }
@@ -63,8 +65,17 @@ pub fn find_affine_ivs(func: &Function, lp: &Loop) -> Vec<AffineRec> {
                 continue;
             }
         };
-        let Value::Inst(step_inst) = back.0 else { continue };
-        let Inst::Bin { op: BinOp::Add, flags, lhs, rhs, .. } = func.inst(step_inst) else {
+        let Value::Inst(step_inst) = back.0 else {
+            continue;
+        };
+        let Inst::Bin {
+            op: BinOp::Add,
+            flags,
+            lhs,
+            rhs,
+            ..
+        } = func.inst(step_inst)
+        else {
             continue;
         };
         // The add must be `phi + step` (either operand order) with a
@@ -81,7 +92,9 @@ pub fn find_affine_ivs(func: &Function, lp: &Loop) -> Vec<AffineRec> {
             continue;
         }
         // The increment must live in the loop.
-        let Some(add_bb) = func.block_of(step_inst) else { continue };
+        let Some(add_bb) = func.block_of(step_inst) else {
+            continue;
+        };
         if !lp.contains(add_bb) {
             continue;
         }
@@ -113,9 +126,15 @@ pub fn is_loop_invariant(func: &Function, lp: &Loop, v: &Value) -> bool {
 /// header branch. Returns the comparison instruction and bound.
 pub fn header_exit_test(func: &Function, lp: &Loop) -> Option<(InstId, Value)> {
     let header = func.block(lp.header);
-    let crate::inst::Terminator::Br { cond, .. } = &header.term else { return None };
-    let Value::Inst(cmp_id) = cond else { return None };
-    let Inst::Icmp { lhs, rhs, .. } = func.inst(*cmp_id) else { return None };
+    let crate::inst::Terminator::Br { cond, .. } = &header.term else {
+        return None;
+    };
+    let Value::Inst(cmp_id) = cond else {
+        return None;
+    };
+    let Inst::Icmp { lhs, rhs, .. } = func.inst(*cmp_id) else {
+        return None;
+    };
     // One side must be an IV phi in this header, the other loop-invariant.
     let ivs = find_affine_ivs(func, lp);
     let is_iv = |v: &Value| matches!(v, Value::Inst(id) if ivs.iter().any(|r| r.phi == *id));
@@ -188,7 +207,13 @@ mod tests {
     fn finds_header_exit_test() {
         let (f, lp) = figure3();
         let (cmp, bound) = header_exit_test(&f, &lp).expect("exit test found");
-        assert!(matches!(f.inst(cmp), Inst::Icmp { cond: Cond::Sle, .. }));
+        assert!(matches!(
+            f.inst(cmp),
+            Inst::Icmp {
+                cond: Cond::Sle,
+                ..
+            }
+        ));
         assert_eq!(bound, Value::Arg(0));
     }
 

@@ -33,9 +33,15 @@ impl FunctionBuilder {
     pub fn new(name: &str, params: &[(&str, Ty)], ret_ty: Ty) -> FunctionBuilder {
         let params = params
             .iter()
-            .map(|(n, ty)| Param { name: (*n).to_string(), ty: ty.clone() })
+            .map(|(n, ty)| Param {
+                name: (*n).to_string(),
+                ty: ty.clone(),
+            })
             .collect();
-        FunctionBuilder { func: Function::new(name, params, ret_ty), cur: BlockId::ENTRY }
+        FunctionBuilder {
+            func: Function::new(name, params, ret_ty),
+            cur: BlockId::ENTRY,
+        }
     }
 
     /// The `i`-th function argument as a value.
@@ -94,7 +100,13 @@ impl FunctionBuilder {
     /// Emits a binary instruction, inferring the type from `lhs`.
     pub fn bin(&mut self, op: BinOp, flags: Flags, lhs: Value, rhs: Value) -> Value {
         let ty = self.func.value_ty(&lhs);
-        self.emit(Inst::Bin { op, flags, ty, lhs, rhs })
+        self.emit(Inst::Bin {
+            op,
+            flags,
+            ty,
+            lhs,
+            rhs,
+        })
     }
 
     /// `add` without attributes.
@@ -166,7 +178,12 @@ impl FunctionBuilder {
     /// `select`, inferring the arm type from `tval`.
     pub fn select(&mut self, cond: Value, tval: Value, fval: Value) -> Value {
         let ty = self.func.value_ty(&tval);
-        self.emit(Inst::Select { cond, ty, tval, fval })
+        self.emit(Inst::Select {
+            cond,
+            ty,
+            tval,
+            fval,
+        })
     }
 
     /// `freeze`, inferring the type from the operand.
@@ -182,7 +199,12 @@ impl FunctionBuilder {
 
     fn cast(&mut self, kind: CastKind, val: Value, to_ty: Ty) -> Value {
         let from_ty = self.func.value_ty(&val);
-        self.emit(Inst::Cast { kind, from_ty, to_ty, val })
+        self.emit(Inst::Cast {
+            kind,
+            from_ty,
+            to_ty,
+            val,
+        })
     }
 
     /// `zext ... to to_ty`.
@@ -203,7 +225,11 @@ impl FunctionBuilder {
     /// `bitcast ... to to_ty`.
     pub fn bitcast(&mut self, val: Value, to_ty: Ty) -> Value {
         let from_ty = self.func.value_ty(&val);
-        self.emit(Inst::Bitcast { from_ty, to_ty, val })
+        self.emit(Inst::Bitcast {
+            from_ty,
+            to_ty,
+            val,
+        })
     }
 
     /// `getelementptr` with an `inbounds` choice. The stride is the size
@@ -219,7 +245,13 @@ impl FunctionBuilder {
             .unwrap_or_else(|| panic!("gep base must be a pointer, got {base_ty}"))
             .clone();
         let idx_ty = self.func.value_ty(&idx);
-        self.emit(Inst::Gep { elem_ty, base, idx_ty, idx, inbounds })
+        self.emit(Inst::Gep {
+            elem_ty,
+            base,
+            idx_ty,
+            idx,
+            inbounds,
+        })
     }
 
     /// `load` of type `ty` from `ptr`.
@@ -241,7 +273,12 @@ impl FunctionBuilder {
             .unwrap_or_else(|| panic!("extractelement needs a vector, got {vec_ty}"))
             .clone();
         let len = vec_ty.vector_len().expect("vector has length");
-        self.emit(Inst::ExtractElement { elem_ty, len, vec, idx })
+        self.emit(Inst::ExtractElement {
+            elem_ty,
+            len,
+            vec,
+            idx,
+        })
     }
 
     /// `insertelement vec, elt, idx` (constant index).
@@ -252,13 +289,24 @@ impl FunctionBuilder {
             .unwrap_or_else(|| panic!("insertelement needs a vector, got {vec_ty}"))
             .clone();
         let len = vec_ty.vector_len().expect("vector has length");
-        self.emit(Inst::InsertElement { elem_ty, len, vec, elt, idx })
+        self.emit(Inst::InsertElement {
+            elem_ty,
+            len,
+            vec,
+            elt,
+            idx,
+        })
     }
 
     /// Direct call. Argument types are inferred from the operands.
     pub fn call(&mut self, ret_ty: Ty, callee: &str, args: Vec<Value>) -> Value {
         let arg_tys = args.iter().map(|a| self.func.value_ty(a)).collect();
-        self.emit(Inst::Call { ret_ty, callee: callee.to_string(), arg_tys, args })
+        self.emit(Inst::Call {
+            ret_ty,
+            callee: callee.to_string(),
+            arg_tys,
+            args,
+        })
     }
 
     /// Terminates the current block with `ret <v>`.
@@ -273,7 +321,11 @@ impl FunctionBuilder {
 
     /// Terminates the current block with a conditional branch.
     pub fn br(&mut self, cond: Value, then_bb: BlockId, else_bb: BlockId) {
-        self.func.block_mut(self.cur).term = Terminator::Br { cond, then_bb, else_bb };
+        self.func.block_mut(self.cur).term = Terminator::Br {
+            cond,
+            then_bb,
+            else_bb,
+        };
     }
 
     /// Terminates the current block with an unconditional branch.
@@ -315,7 +367,12 @@ impl FunctionBuilder {
     pub fn finish_verified(self) -> Function {
         let f = self.func;
         if let Err(errs) = crate::verify::verify_function_legacy(&f) {
-            panic!("built function @{} fails verification:\n{}\n{}", f.name, errs.join("\n"), f);
+            panic!(
+                "built function @{} fails verification:\n{}\n{}",
+                f.name,
+                errs.join("\n"),
+                f
+            );
         }
         f
     }
@@ -354,7 +411,11 @@ mod tests {
         // Figure 1 of the paper: count up to n, storing x+1.
         let mut b = FunctionBuilder::new(
             "store_loop",
-            &[("n", Ty::i32()), ("x", Ty::i32()), ("a", Ty::ptr_to(Ty::i32()))],
+            &[
+                ("n", Ty::i32()),
+                ("x", Ty::i32()),
+                ("a", Ty::ptr_to(Ty::i32())),
+            ],
             Ty::Void,
         );
         let head = b.block("head");
@@ -385,13 +446,18 @@ mod tests {
 
     #[test]
     fn gep_infers_stride_type() {
-        let mut b =
-            FunctionBuilder::new("g", &[("p", Ty::ptr_to(Ty::i64())), ("i", Ty::i32())], Ty::Void);
+        let mut b = FunctionBuilder::new(
+            "g",
+            &[("p", Ty::ptr_to(Ty::i64())), ("i", Ty::i32())],
+            Ty::Void,
+        );
         let p = b.gep(b.arg(0), b.arg(1), false);
         let f_ref = b.func();
         assert_eq!(f_ref.value_ty(&p), Ty::ptr_to(Ty::i64()));
         match f_ref.inst(inst_id(&p)) {
-            Inst::Gep { elem_ty, inbounds, .. } => {
+            Inst::Gep {
+                elem_ty, inbounds, ..
+            } => {
                 assert_eq!(*elem_ty, Ty::i64());
                 assert!(!inbounds);
             }
@@ -424,7 +490,9 @@ mod tests {
         b.ret_void();
         let f = b.finish();
         match f.inst(inst_id(&r)) {
-            Inst::Call { arg_tys, callee, .. } => {
+            Inst::Call {
+                arg_tys, callee, ..
+            } => {
                 assert_eq!(arg_tys, &[Ty::i32()]);
                 assert_eq!(callee, "g");
             }

@@ -27,8 +27,8 @@ pub fn reachable(func: &Function) -> Vec<bool> {
 pub fn postorder(func: &Function) -> Vec<BlockId> {
     let mut order = Vec::with_capacity(func.blocks.len());
     let mut state = vec![0u8; func.blocks.len()]; // 0 unvisited, 1 on stack, 2 done
-    // Iterative DFS with an explicit (block, next-successor) stack to
-    // avoid recursion depth limits on long CFGs.
+                                                  // Iterative DFS with an explicit (block, next-successor) stack to
+                                                  // avoid recursion depth limits on long CFGs.
     let mut stack: Vec<(BlockId, usize)> = vec![(BlockId::ENTRY, 0)];
     state[BlockId::ENTRY.index()] = 1;
     while let Some(&mut (bb, ref mut next)) = stack.last_mut() {
@@ -110,7 +110,9 @@ mod tests {
         // Every reachable edge (u, v) that is not a back edge has
         // rpo(u) < rpo(v). The diamond has no back edges.
         for bb in f.block_ids() {
-            let Some(u) = numbers[bb.index()] else { continue };
+            let Some(u) = numbers[bb.index()] else {
+                continue;
+            };
             for s in f.block(bb).term.successors() {
                 assert!(u < numbers[s.index()].unwrap());
             }

@@ -37,7 +37,11 @@ impl Block {
     /// Creates an empty block with the given label terminated by
     /// `unreachable` (callers are expected to set a real terminator).
     pub fn new(name: impl Into<String>) -> Block {
-        Block { name: name.into(), insts: Vec::new(), term: Terminator::Unreachable }
+        Block {
+            name: name.into(),
+            insts: Vec::new(),
+            term: Terminator::Unreachable,
+        }
     }
 }
 
@@ -149,7 +153,8 @@ impl Function {
 
     /// Finds the block that contains instruction `id`, if it is placed.
     pub fn block_of(&self, id: InstId) -> Option<BlockId> {
-        self.block_ids().find(|bb| self.block(*bb).insts.contains(&id))
+        self.block_ids()
+            .find(|bb| self.block(*bb).insts.contains(&id))
     }
 
     /// Replaces every use of `from` (an instruction result) with `to`,
@@ -330,9 +335,13 @@ impl Module {
     /// defined or declared.
     pub fn callee_signature(&self, name: &str) -> Option<(Vec<Ty>, Ty)> {
         if let Some(f) = self.function(name) {
-            return Some((f.params.iter().map(|p| p.ty.clone()).collect(), f.ret_ty.clone()));
+            return Some((
+                f.params.iter().map(|p| p.ty.clone()).collect(),
+                f.ret_ty.clone(),
+            ));
         }
-        self.declaration(name).map(|d| (d.params.clone(), d.ret_ty.clone()))
+        self.declaration(name)
+            .map(|d| (d.params.clone(), d.ret_ty.clone()))
     }
 
     /// Total placed instructions across all functions.
@@ -371,7 +380,10 @@ mod tests {
     fn simple_fn() -> Function {
         let mut f = Function::new(
             "f",
-            vec![Param { name: "x".into(), ty: Ty::i32() }],
+            vec![Param {
+                name: "x".into(),
+                ty: Ty::i32(),
+            }],
             Ty::i32(),
         );
         let a = f.append_inst(
@@ -418,7 +430,10 @@ mod tests {
     fn compact_collects_unplaced() {
         let mut f = simple_fn();
         // Add an instruction to the arena but never place it.
-        let dead = f.add_inst(Inst::Freeze { ty: Ty::i32(), val: Value::Arg(0) });
+        let dead = f.add_inst(Inst::Freeze {
+            ty: Ty::i32(),
+            val: Value::Arg(0),
+        });
         assert_eq!(dead, InstId(1));
         assert_eq!(f.compact(), 1);
         assert_eq!(f.insts.len(), 1);
@@ -436,8 +451,11 @@ mod tests {
         let b1 = f.add_block("left");
         let b2 = f.add_block("right");
         let b3 = f.add_block("join");
-        f.block_mut(BlockId::ENTRY).term =
-            Terminator::Br { cond: Value::bool(true), then_bb: b1, else_bb: b2 };
+        f.block_mut(BlockId::ENTRY).term = Terminator::Br {
+            cond: Value::bool(true),
+            then_bb: b1,
+            else_bb: b2,
+        };
         f.block_mut(b1).term = Terminator::Jmp(b3);
         f.block_mut(b2).term = Terminator::Jmp(b3);
         f.block_mut(b3).term = Terminator::Ret(None);

@@ -141,15 +141,35 @@ pub struct Flags {
 
 impl Flags {
     /// No attributes: the operation wraps/truncates.
-    pub const NONE: Flags = Flags { nsw: false, nuw: false, exact: false };
+    pub const NONE: Flags = Flags {
+        nsw: false,
+        nuw: false,
+        exact: false,
+    };
     /// `nsw` only.
-    pub const NSW: Flags = Flags { nsw: true, nuw: false, exact: false };
+    pub const NSW: Flags = Flags {
+        nsw: true,
+        nuw: false,
+        exact: false,
+    };
     /// `nuw` only.
-    pub const NUW: Flags = Flags { nsw: false, nuw: true, exact: false };
+    pub const NUW: Flags = Flags {
+        nsw: false,
+        nuw: true,
+        exact: false,
+    };
     /// `nsw nuw`.
-    pub const NSW_NUW: Flags = Flags { nsw: true, nuw: true, exact: false };
+    pub const NSW_NUW: Flags = Flags {
+        nsw: true,
+        nuw: true,
+        exact: false,
+    };
     /// `exact` only.
-    pub const EXACT: Flags = Flags { nsw: false, nuw: false, exact: true };
+    pub const EXACT: Flags = Flags {
+        nsw: false,
+        nuw: false,
+        exact: true,
+    };
 
     /// Returns `true` if no attribute is set.
     pub fn is_none(self) -> bool {
@@ -558,7 +578,9 @@ impl Inst {
                 f(lhs);
                 f(rhs);
             }
-            Inst::Select { cond, tval, fval, .. } => {
+            Inst::Select {
+                cond, tval, fval, ..
+            } => {
                 f(cond);
                 f(tval);
                 f(fval);
@@ -605,7 +627,9 @@ impl Inst {
                 f(lhs);
                 f(rhs);
             }
-            Inst::Select { cond, tval, fval, .. } => {
+            Inst::Select {
+                cond, tval, fval, ..
+            } => {
                 f(cond);
                 f(tval);
                 f(fval);
@@ -692,7 +716,9 @@ impl Terminator {
     pub fn successors(&self) -> Vec<BlockId> {
         match self {
             Terminator::Ret(_) | Terminator::Unreachable => Vec::new(),
-            Terminator::Br { then_bb, else_bb, .. } => vec![*then_bb, *else_bb],
+            Terminator::Br {
+                then_bb, else_bb, ..
+            } => vec![*then_bb, *else_bb],
             Terminator::Jmp(dest) => vec![*dest],
         }
     }
@@ -718,7 +744,9 @@ impl Terminator {
     /// Rewrites successor block ids through `f`.
     pub fn map_successors(&mut self, mut f: impl FnMut(BlockId) -> BlockId) {
         match self {
-            Terminator::Br { then_bb, else_bb, .. } => {
+            Terminator::Br {
+                then_bb, else_bb, ..
+            } => {
                 *then_bb = f(*then_bb);
                 *else_bb = f(*else_bb);
             }
@@ -796,7 +824,11 @@ mod tests {
         };
         assert_eq!(cmp.result_ty(), Ty::vector(4, Ty::i1()));
 
-        let store = Inst::Store { ty: Ty::i8(), val: Value::Arg(0), ptr: Value::Arg(1) };
+        let store = Inst::Store {
+            ty: Ty::i8(),
+            val: Value::Arg(0),
+            ptr: Value::Arg(1),
+        };
         assert_eq!(store.result_ty(), Ty::Void);
 
         let gep = Inst::Gep {
@@ -848,9 +880,15 @@ mod tests {
     fn immediate_ub_classification() {
         assert!(BinOp::SDiv.may_have_immediate_ub());
         assert!(!BinOp::Add.may_have_immediate_ub());
-        let ld = Inst::Load { ty: Ty::i8(), ptr: Value::Arg(0) };
+        let ld = Inst::Load {
+            ty: Ty::i8(),
+            ptr: Value::Arg(0),
+        };
         assert!(ld.may_have_immediate_ub());
-        let fr = Inst::Freeze { ty: Ty::i8(), val: Value::Arg(0) };
+        let fr = Inst::Freeze {
+            ty: Ty::i8(),
+            val: Value::Arg(0),
+        };
         assert!(!fr.may_have_immediate_ub());
         assert!(fr.is_freeze());
     }

@@ -104,7 +104,11 @@ impl LoopInfo {
                     }
                 }
             }
-            loops.push(Loop { header, blocks: blocks.into_iter().collect(), latches });
+            loops.push(Loop {
+                header,
+                blocks: blocks.into_iter().collect(),
+                latches,
+            });
         }
         // Outermost first: a loop containing more blocks comes first.
         loops.sort_by(|a, b| b.blocks.len().cmp(&a.blocks.len()));
@@ -113,7 +117,10 @@ impl LoopInfo {
 
     /// The innermost loop containing `bb`, if any.
     pub fn innermost_containing(&self, bb: BlockId) -> Option<&Loop> {
-        self.loops.iter().filter(|l| l.contains(bb)).min_by_key(|l| l.blocks.len())
+        self.loops
+            .iter()
+            .filter(|l| l.contains(bb))
+            .min_by_key(|l| l.blocks.len())
     }
 
     /// The loop headed at `header`, if any.

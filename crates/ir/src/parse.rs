@@ -162,7 +162,11 @@ fn lex(input: &str) -> Result<Vec<(Tok, usize)>> {
                 }
                 let name = input[start..i].to_string();
                 toks.push((
-                    if sigil == b'%' { Tok::Local(name) } else { Tok::Global(name) },
+                    if sigil == b'%' {
+                        Tok::Local(name)
+                    } else {
+                        Tok::Global(name)
+                    },
                     line,
                 ));
             }
@@ -227,7 +231,10 @@ impl Parser {
     }
 
     fn err<T>(&self, message: impl Into<String>) -> Result<T> {
-        Err(ParseError { line: self.line(), message: message.into() })
+        Err(ParseError {
+            line: self.line(),
+            message: message.into(),
+        })
     }
 
     fn next(&mut self) -> Result<Tok> {
@@ -306,9 +313,10 @@ impl Parser {
                 Ty::Void
             }
             Tok::Word(w) if w.starts_with('i') && w[1..].chars().all(|c| c.is_ascii_digit()) => {
-                let bits: u32 = w[1..]
-                    .parse()
-                    .map_err(|_| ParseError { line: self.line(), message: "bad width".into() })?;
+                let bits: u32 = w[1..].parse().map_err(|_| ParseError {
+                    line: self.line(),
+                    message: "bad width".into(),
+                })?;
                 if bits == 0 || bits > crate::types::MAX_INT_BITS {
                     return self.err(format!("integer width {bits} out of range"));
                 }
@@ -325,7 +333,10 @@ impl Parser {
                 if !matches!(elem, Ty::Int(_) | Ty::Ptr(_)) {
                     return self.err("vector elements must be integers or pointers");
                 }
-                Ty::Vector { elems, elem: Box::new(elem) }
+                Ty::Vector {
+                    elems,
+                    elem: Box::new(elem),
+                }
             }
             got => {
                 self.pos -= 1;
@@ -361,7 +372,10 @@ impl FnContext {
         if let Some(&id) = self.defs.get(name) {
             return Ok(Value::Inst(id));
         }
-        Err(ParseError { line: p.prev_line(), message: format!("unknown local %{name}") })
+        Err(ParseError {
+            line: p.prev_line(),
+            message: format!("unknown local %{name}"),
+        })
     }
 
     fn resolve_label(&self, p: &Parser, name: &str) -> Result<BlockId> {
@@ -456,20 +470,33 @@ fn parse_inst(p: &mut Parser, ctx: &FnContext) -> Result<Inst> {
         let lhs = parse_value(p, ctx, &ty)?;
         p.expect(Tok::Comma)?;
         let rhs = parse_value(p, ctx, &ty)?;
-        return Ok(Inst::Bin { op, flags, ty, lhs, rhs });
+        return Ok(Inst::Bin {
+            op,
+            flags,
+            ty,
+            lhs,
+            rhs,
+        });
     }
     if let Some(kind) = cast_from_word(&word) {
         let from_ty = p.parse_ty(false)?;
         let val = parse_value(p, ctx, &from_ty)?;
         p.expect_word("to")?;
         let to_ty = p.parse_ty(false)?;
-        return Ok(Inst::Cast { kind, from_ty, to_ty, val });
+        return Ok(Inst::Cast {
+            kind,
+            from_ty,
+            to_ty,
+            val,
+        });
     }
     match word.as_str() {
         "icmp" => {
             let cond = match p.next()? {
-                Tok::Word(w) => cond_from_word(&w)
-                    .ok_or_else(|| ParseError { line: p.line(), message: format!("unknown icmp condition '{w}'") })?,
+                Tok::Word(w) => cond_from_word(&w).ok_or_else(|| ParseError {
+                    line: p.line(),
+                    message: format!("unknown icmp condition '{w}'"),
+                })?,
                 got => {
                     p.pos -= 1;
                     return p.err(format!("expected an icmp condition, found {got}"));
@@ -493,7 +520,12 @@ fn parse_inst(p: &mut Parser, ctx: &FnContext) -> Result<Inst> {
                 return p.err("select arms must have the same type");
             }
             let fval = parse_value(p, ctx, &ty)?;
-            Ok(Inst::Select { cond, ty, tval, fval })
+            Ok(Inst::Select {
+                cond,
+                ty,
+                tval,
+                fval,
+            })
         }
         "phi" => {
             let ty = p.parse_ty(false)?;
@@ -522,7 +554,11 @@ fn parse_inst(p: &mut Parser, ctx: &FnContext) -> Result<Inst> {
             let val = parse_value(p, ctx, &from_ty)?;
             p.expect_word("to")?;
             let to_ty = p.parse_ty(false)?;
-            Ok(Inst::Bitcast { from_ty, to_ty, val })
+            Ok(Inst::Bitcast {
+                from_ty,
+                to_ty,
+                val,
+            })
         }
         "getelementptr" => {
             let inbounds = p.eat_word("inbounds");
@@ -536,7 +572,13 @@ fn parse_inst(p: &mut Parser, ctx: &FnContext) -> Result<Inst> {
             p.expect(Tok::Comma)?;
             let idx_ty = p.parse_ty(false)?;
             let idx = parse_value(p, ctx, &idx_ty)?;
-            Ok(Inst::Gep { elem_ty, base, idx_ty, idx, inbounds })
+            Ok(Inst::Gep {
+                elem_ty,
+                base,
+                idx_ty,
+                idx,
+                inbounds,
+            })
         }
         "load" => {
             let ty = p.parse_ty(false)?;
@@ -569,7 +611,12 @@ fn parse_inst(p: &mut Parser, ctx: &FnContext) -> Result<Inst> {
             p.expect(Tok::Comma)?;
             let idx_ty = p.parse_ty(false)?;
             let idx = parse_value(p, ctx, &idx_ty)?;
-            Ok(Inst::ExtractElement { elem_ty, len, vec, idx })
+            Ok(Inst::ExtractElement {
+                elem_ty,
+                len,
+                vec,
+                idx,
+            })
         }
         "insertelement" => {
             let vec_ty = p.parse_ty(false)?;
@@ -587,7 +634,13 @@ fn parse_inst(p: &mut Parser, ctx: &FnContext) -> Result<Inst> {
             p.expect(Tok::Comma)?;
             let idx_ty = p.parse_ty(false)?;
             let idx = parse_value(p, ctx, &idx_ty)?;
-            Ok(Inst::InsertElement { elem_ty, len, vec, elt, idx })
+            Ok(Inst::InsertElement {
+                elem_ty,
+                len,
+                vec,
+                elt,
+                idx,
+            })
         }
         "call" => {
             let ret_ty = p.parse_ty(true)?;
@@ -607,7 +660,12 @@ fn parse_inst(p: &mut Parser, ctx: &FnContext) -> Result<Inst> {
                 }
                 p.expect(Tok::RParen)?;
             }
-            Ok(Inst::Call { ret_ty, callee, arg_tys, args })
+            Ok(Inst::Call {
+                ret_ty,
+                callee,
+                arg_tys,
+                args,
+            })
         }
         other => p.err(format!("unknown instruction '{other}'")),
     }
@@ -620,7 +678,9 @@ fn parse_terminator(p: &mut Parser, ctx: &FnContext, ret_ty: &Ty) -> Result<Term
         }
         let ty = p.parse_ty(false)?;
         if ty != *ret_ty {
-            return p.err(format!("ret type {ty} does not match function return type {ret_ty}"));
+            return p.err(format!(
+                "ret type {ty} does not match function return type {ret_ty}"
+            ));
         }
         let v = parse_value(p, ctx, &ty)?;
         return Ok(Terminator::Ret(Some(v)));
@@ -643,7 +703,11 @@ fn parse_terminator(p: &mut Parser, ctx: &FnContext, ret_ty: &Ty) -> Result<Term
         p.expect_word("label")?;
         let e = p.expect_local()?;
         let else_bb = ctx.resolve_label(p, &e)?;
-        return Ok(Terminator::Br { cond, then_bb, else_bb });
+        return Ok(Terminator::Br {
+            cond,
+            then_bb,
+            else_bb,
+        });
     }
     if p.eat_word("unreachable") {
         return Ok(Terminator::Unreachable);
@@ -732,9 +796,18 @@ fn prescan(p: &Parser, ctx: &mut FnContext) -> Result<()> {
     Ok(())
 }
 
-fn parse_function_body(p: &mut Parser, name: String, params: Vec<Param>, ret_ty: Ty) -> Result<Function> {
+fn parse_function_body(
+    p: &mut Parser,
+    name: String,
+    params: Vec<Param>,
+    ret_ty: Ty,
+) -> Result<Function> {
     let mut ctx = FnContext {
-        params: params.iter().enumerate().map(|(i, pa)| (pa.name.clone(), i as u32)).collect(),
+        params: params
+            .iter()
+            .enumerate()
+            .map(|(i, pa)| (pa.name.clone(), i as u32))
+            .collect(),
         defs: HashMap::new(),
         labels: HashMap::new(),
     };
@@ -857,7 +930,12 @@ fn parse_declare(p: &mut Parser) -> Result<FuncDecl> {
             break;
         }
     }
-    Ok(FuncDecl { name, params, ret_ty, attrs })
+    Ok(FuncDecl {
+        name,
+        params,
+        ret_ty,
+        attrs,
+    })
 }
 
 /// Parses a whole module (any number of `define` and `declare` items).
@@ -892,7 +970,10 @@ pub fn parse_function(input: &str) -> Result<Function> {
     if module.functions.len() != 1 {
         return Err(ParseError {
             line: 1,
-            message: format!("expected exactly one function, found {}", module.functions.len()),
+            message: format!(
+                "expected exactly one function, found {}",
+                module.functions.len()
+            ),
         });
     }
     Ok(module.functions.into_iter().next().expect("checked length"))
@@ -1025,7 +1106,9 @@ entry:
         )
         .unwrap();
         // -1 as i8 is 255.
-        let Inst::Bin { rhs, .. } = f.inst(InstId(0)) else { panic!() };
+        let Inst::Bin { rhs, .. } = f.inst(InstId(0)) else {
+            panic!()
+        };
         assert!(rhs.is_int_const(255));
     }
 
@@ -1050,10 +1133,9 @@ entry:
 
     #[test]
     fn rejects_unnamed_result() {
-        let err = parse_function(
-            "define i32 @f(i32 %x) {\nentry:\n  add i32 %x, 1\n  ret i32 %x\n}",
-        )
-        .unwrap_err();
+        let err =
+            parse_function("define i32 @f(i32 %x) {\nentry:\n  add i32 %x, 1\n  ret i32 %x\n}")
+                .unwrap_err();
         assert!(err.message.contains("unexpected statement start 'add'"));
     }
 
@@ -1068,10 +1150,9 @@ entry:
 
     #[test]
     fn parses_poison_and_undef_operands() {
-        let f = parse_function(
-            "define i8 @p() {\nentry:\n  %a = add i8 poison, undef\n  ret i8 %a\n}",
-        )
-        .unwrap();
+        let f =
+            parse_function("define i8 @p() {\nentry:\n  %a = add i8 poison, undef\n  ret i8 %a\n}")
+                .unwrap();
         assert!(crate::verify::verify_function_legacy(&f).is_ok());
         assert!(crate::verify::verify_function(&f).is_err());
     }

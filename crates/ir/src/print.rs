@@ -53,7 +53,13 @@ pub fn inst_to_string(f: &Function, inst: &Inst, def: Option<&str>) -> String {
         let _ = write!(s, "{name} = ");
     }
     match inst {
-        Inst::Bin { op, flags, ty, lhs, rhs } => {
+        Inst::Bin {
+            op,
+            flags,
+            ty,
+            lhs,
+            rhs,
+        } => {
             let _ = write!(s, "{op}");
             if !flags.is_none() {
                 let _ = write!(s, " {flags}");
@@ -73,7 +79,12 @@ pub fn inst_to_string(f: &Function, inst: &Inst, def: Option<&str>) -> String {
                 value_to_string(f, rhs)
             );
         }
-        Inst::Select { cond, ty, tval, fval } => {
+        Inst::Select {
+            cond,
+            ty,
+            tval,
+            fval,
+        } => {
             let _ = write!(
                 s,
                 "select {} {}, {ty} {}, {ty} {}",
@@ -95,13 +106,32 @@ pub fn inst_to_string(f: &Function, inst: &Inst, def: Option<&str>) -> String {
         Inst::Freeze { ty, val } => {
             let _ = write!(s, "freeze {ty} {}", value_to_string(f, val));
         }
-        Inst::Cast { kind, from_ty, to_ty, val } => {
+        Inst::Cast {
+            kind,
+            from_ty,
+            to_ty,
+            val,
+        } => {
             let _ = write!(s, "{kind} {from_ty} {} to {to_ty}", value_to_string(f, val));
         }
-        Inst::Bitcast { from_ty, to_ty, val } => {
-            let _ = write!(s, "bitcast {from_ty} {} to {to_ty}", value_to_string(f, val));
+        Inst::Bitcast {
+            from_ty,
+            to_ty,
+            val,
+        } => {
+            let _ = write!(
+                s,
+                "bitcast {from_ty} {} to {to_ty}",
+                value_to_string(f, val)
+            );
         }
-        Inst::Gep { elem_ty, base, idx_ty, idx, inbounds } => {
+        Inst::Gep {
+            elem_ty,
+            base,
+            idx_ty,
+            idx,
+            inbounds,
+        } => {
             let _ = write!(
                 s,
                 "getelementptr{} {elem_ty}, {elem_ty}* {}, {idx_ty} {}",
@@ -121,7 +151,12 @@ pub fn inst_to_string(f: &Function, inst: &Inst, def: Option<&str>) -> String {
                 value_to_string(f, ptr)
             );
         }
-        Inst::ExtractElement { elem_ty, len, vec, idx } => {
+        Inst::ExtractElement {
+            elem_ty,
+            len,
+            vec,
+            idx,
+        } => {
             let _ = write!(
                 s,
                 "extractelement <{len} x {elem_ty}> {}, {}",
@@ -129,7 +164,13 @@ pub fn inst_to_string(f: &Function, inst: &Inst, def: Option<&str>) -> String {
                 typed(f, idx)
             );
         }
-        Inst::InsertElement { elem_ty, len, vec, elt, idx } => {
+        Inst::InsertElement {
+            elem_ty,
+            len,
+            vec,
+            elt,
+            idx,
+        } => {
             let _ = write!(
                 s,
                 "insertelement <{len} x {elem_ty}> {}, {elem_ty} {}, {}",
@@ -138,7 +179,12 @@ pub fn inst_to_string(f: &Function, inst: &Inst, def: Option<&str>) -> String {
                 typed(f, idx)
             );
         }
-        Inst::Call { ret_ty, callee, arg_tys, args } => {
+        Inst::Call {
+            ret_ty,
+            callee,
+            arg_tys,
+            args,
+        } => {
             let _ = write!(s, "call {ret_ty} @{callee}(");
             for (i, (ty, a)) in arg_tys.iter().zip(args).enumerate() {
                 if i > 0 {
@@ -157,7 +203,11 @@ pub fn term_to_string(f: &Function, term: &Terminator) -> String {
     match term {
         Terminator::Ret(Some(v)) => format!("ret {}", typed(f, v)),
         Terminator::Ret(None) => "ret void".to_string(),
-        Terminator::Br { cond, then_bb, else_bb } => format!(
+        Terminator::Br {
+            cond,
+            then_bb,
+            else_bb,
+        } => format!(
             "br i1 {}, label %{}, label %{}",
             value_to_string(f, cond),
             block_label(f, *then_bb),
@@ -184,7 +234,11 @@ pub fn print_function(func: &Function, out: &mut impl fmt::Write) -> fmt::Result
         for &id in &block.insts {
             let inst = func.inst(id);
             let def = format!("%t{}", id.0);
-            let def = if inst.result_ty().is_void() { None } else { Some(def.as_str()) };
+            let def = if inst.result_ty().is_void() {
+                None
+            } else {
+                Some(def.as_str())
+            };
             writeln!(out, "  {}", inst_to_string(func, inst, def))?;
         }
         writeln!(out, "  {}", term_to_string(func, &block.term))?;
@@ -253,7 +307,11 @@ mod tests {
     fn prints_figure_one_loop() {
         let mut b = FunctionBuilder::new(
             "store_loop",
-            &[("n", Ty::i32()), ("x", Ty::i32()), ("a", Ty::ptr_to(Ty::i32()))],
+            &[
+                ("n", Ty::i32()),
+                ("x", Ty::i32()),
+                ("a", Ty::ptr_to(Ty::i32())),
+            ],
             Ty::Void,
         );
         let head = b.block("head");
@@ -290,7 +348,10 @@ mod tests {
     fn prints_constants() {
         assert_eq!(const_to_string(&Constant::Poison(Ty::i8())), "poison");
         assert_eq!(const_to_string(&Constant::Undef(Ty::i8())), "undef");
-        assert_eq!(const_to_string(&Constant::Null(Ty::ptr_to(Ty::i8()))), "null");
+        assert_eq!(
+            const_to_string(&Constant::Null(Ty::ptr_to(Ty::i8()))),
+            "null"
+        );
         let v = Constant::Vector(vec![Constant::int(16, 1), Constant::Poison(Ty::Int(16))]);
         assert_eq!(const_to_string(&v), "<i16 1, i16 poison>");
     }

@@ -82,7 +82,10 @@ impl Ty {
             matches!(elem, Ty::Int(_) | Ty::Ptr(_)),
             "vector elements must be integers or pointers, got {elem}"
         );
-        Ty::Vector { elems, elem: Box::new(elem) }
+        Ty::Vector {
+            elems,
+            elem: Box::new(elem),
+        }
     }
 
     /// Returns `true` for integer types.
@@ -188,9 +191,7 @@ impl Ty {
             Ty::Int(bits) => *bits >= 1 && *bits <= MAX_INT_BITS,
             Ty::Ptr(pointee) => !pointee.is_void() && pointee.is_well_formed(),
             Ty::Vector { elems, elem } => {
-                *elems > 0
-                    && matches!(**elem, Ty::Int(_) | Ty::Ptr(_))
-                    && elem.is_well_formed()
+                *elems > 0 && matches!(**elem, Ty::Int(_) | Ty::Ptr(_)) && elem.is_well_formed()
             }
             Ty::Void => true,
         }
@@ -260,10 +261,16 @@ mod tests {
         assert!(!Ty::Int(129).is_well_formed());
         assert!(Ty::vector(2, Ty::i8()).is_well_formed());
         assert!(!Ty::Ptr(Box::new(Ty::Void)).is_well_formed());
-        assert!(!Ty::Vector { elems: 0, elem: Box::new(Ty::i8()) }.is_well_formed());
-        assert!(
-            !Ty::Vector { elems: 2, elem: Box::new(Ty::vector(2, Ty::i8())) }.is_well_formed()
-        );
+        assert!(!Ty::Vector {
+            elems: 0,
+            elem: Box::new(Ty::i8())
+        }
+        .is_well_formed());
+        assert!(!Ty::Vector {
+            elems: 2,
+            elem: Box::new(Ty::vector(2, Ty::i8()))
+        }
+        .is_well_formed());
     }
 
     #[test]

@@ -76,12 +76,18 @@ pub enum Constant {
 impl Constant {
     /// An `i1` true.
     pub fn bool(v: bool) -> Constant {
-        Constant::Int { bits: 1, value: v as u128 }
+        Constant::Int {
+            bits: 1,
+            value: v as u128,
+        }
     }
 
     /// An integer constant, truncating `value` to `bits` bits.
     pub fn int(bits: u32, value: u128) -> Constant {
-        Constant::Int { bits, value: truncate(value, bits) }
+        Constant::Int {
+            bits,
+            value: truncate(value, bits),
+        }
     }
 
     /// An `i32` constant.
@@ -269,10 +275,7 @@ mod tests {
 
     #[test]
     fn poison_detection_in_vectors() {
-        let v = Constant::Vector(vec![
-            Constant::int(8, 1),
-            Constant::Poison(Ty::i8()),
-        ]);
+        let v = Constant::Vector(vec![Constant::int(8, 1), Constant::Poison(Ty::i8())]);
         assert!(v.contains_poison());
         assert!(!v.contains_undef());
         let u = Constant::Vector(vec![Constant::Undef(Ty::i8()), Constant::int(8, 0)]);

@@ -46,7 +46,11 @@ pub fn verify_function_legacy(func: &Function) -> Result<(), Vec<String>> {
 ///
 /// Returns the list of diagnostics if the function is ill-formed.
 pub fn verify_function_mode(func: &Function, mode: VerifyMode) -> Result<(), Vec<String>> {
-    let mut v = Verifier { func, mode, errors: Vec::new() };
+    let mut v = Verifier {
+        func,
+        mode,
+        errors: Vec::new(),
+    };
     v.run();
     if v.errors.is_empty() {
         Ok(())
@@ -74,7 +78,13 @@ pub fn verify_module(module: &Module, mode: VerifyMode) -> Result<(), Vec<String
         // Check call signatures against the module.
         for bb in f.block_ids() {
             for &id in &f.block(bb).insts {
-                if let Inst::Call { ret_ty, callee, arg_tys, .. } = f.inst(id) {
+                if let Inst::Call {
+                    ret_ty,
+                    callee,
+                    arg_tys,
+                    ..
+                } = f.inst(id)
+                {
                     match module.callee_signature(callee) {
                         None => {
                             errors.push(format!("@{}: call to unknown @{callee}", f.name));
@@ -141,7 +151,10 @@ impl<'a> Verifier<'a> {
             }
             for &id in &block.insts {
                 if id.index() >= self.func.insts.len() {
-                    self.err(format!("{id} referenced by block '{}' is out of bounds", block.name));
+                    self.err(format!(
+                        "{id} referenced by block '{}' is out of bounds",
+                        block.name
+                    ));
                     continue;
                 }
                 if let Some(prev) = placement.insert(id, bb) {
@@ -150,7 +163,10 @@ impl<'a> Verifier<'a> {
             }
             for succ in block.term.successors() {
                 if succ.index() >= self.func.blocks.len() {
-                    self.err(format!("block '{}' branches to out-of-bounds {succ}", block.name));
+                    self.err(format!(
+                        "block '{}' branches to out-of-bounds {succ}",
+                        block.name
+                    ));
                 }
             }
             // Phis must be a prefix of the block.
@@ -161,7 +177,10 @@ impl<'a> Verifier<'a> {
                 }
                 match self.func.inst(id) {
                     Inst::Phi { .. } if seen_non_phi => {
-                        self.err(format!("phi {id} is not at the start of block '{}'", block.name));
+                        self.err(format!(
+                            "phi {id} is not at the start of block '{}'",
+                            block.name
+                        ));
                     }
                     Inst::Phi { .. } => {}
                     _ => seen_non_phi = true,
@@ -210,7 +229,9 @@ impl<'a> Verifier<'a> {
     fn expect_ty(&mut self, where_: &str, v: &Value, expected: &Ty) {
         if let Some(actual) = self.operand_ty(where_, v) {
             if actual != *expected {
-                self.err(format!("{where_}: expected type {expected}, found {actual}"));
+                self.err(format!(
+                    "{where_}: expected type {expected}, found {actual}"
+                ));
             }
         }
     }
@@ -252,7 +273,13 @@ impl<'a> Verifier<'a> {
         let inst = self.func.inst(id).clone();
         let where_ = format!("{id} ({})", inst.mnemonic());
         match &inst {
-            Inst::Bin { op, flags, ty, lhs, rhs } => {
+            Inst::Bin {
+                op,
+                flags,
+                ty,
+                lhs,
+                rhs,
+            } => {
                 if !ty.scalar_ty().is_int() {
                     self.err(format!("{where_}: operand type {ty} is not integer"));
                 }
@@ -272,7 +299,12 @@ impl<'a> Verifier<'a> {
                 self.expect_ty(&where_, lhs, ty);
                 self.expect_ty(&where_, rhs, ty);
             }
-            Inst::Select { cond, ty, tval, fval } => {
+            Inst::Select {
+                cond,
+                ty,
+                tval,
+                fval,
+            } => {
                 self.expect_ty(&where_, cond, &Ty::i1());
                 self.expect_ty(&where_, tval, ty);
                 self.expect_ty(&where_, fval, ty);
@@ -293,14 +325,21 @@ impl<'a> Verifier<'a> {
                 }
                 for p in &expected {
                     if !seen.contains(p) {
-                        self.err(format!("{where_}: missing incoming value for predecessor {p}"));
+                        self.err(format!(
+                            "{where_}: missing incoming value for predecessor {p}"
+                        ));
                     }
                 }
             }
             Inst::Freeze { ty, val } => {
                 self.expect_ty(&where_, val, ty);
             }
-            Inst::Cast { kind, from_ty, to_ty, val } => {
+            Inst::Cast {
+                kind,
+                from_ty,
+                to_ty,
+                val,
+            } => {
                 self.expect_ty(&where_, val, from_ty);
                 let ok = match (from_ty.scalar_ty(), to_ty.scalar_ty()) {
                     (Ty::Int(a), Ty::Int(b)) => match kind {
@@ -311,10 +350,16 @@ impl<'a> Verifier<'a> {
                 };
                 let same_shape = from_ty.vector_len() == to_ty.vector_len();
                 if !ok || !same_shape {
-                    self.err(format!("{where_}: invalid {kind} from {from_ty} to {to_ty}"));
+                    self.err(format!(
+                        "{where_}: invalid {kind} from {from_ty} to {to_ty}"
+                    ));
                 }
             }
-            Inst::Bitcast { from_ty, to_ty, val } => {
+            Inst::Bitcast {
+                from_ty,
+                to_ty,
+                val,
+            } => {
                 self.expect_ty(&where_, val, from_ty);
                 if from_ty.bitwidth() != to_ty.bitwidth() {
                     self.err(format!(
@@ -324,10 +369,18 @@ impl<'a> Verifier<'a> {
                     ));
                 }
             }
-            Inst::Gep { elem_ty, base, idx_ty, idx, .. } => {
+            Inst::Gep {
+                elem_ty,
+                base,
+                idx_ty,
+                idx,
+                ..
+            } => {
                 self.expect_ty(&where_, base, &Ty::ptr_to(elem_ty.clone()));
                 if !idx_ty.is_int() {
-                    self.err(format!("{where_}: gep index must be an integer, got {idx_ty}"));
+                    self.err(format!(
+                        "{where_}: gep index must be an integer, got {idx_ty}"
+                    ));
                 }
                 self.expect_ty(&where_, idx, idx_ty);
             }
@@ -338,11 +391,22 @@ impl<'a> Verifier<'a> {
                 self.expect_ty(&where_, val, ty);
                 self.expect_ty(&where_, ptr, &Ty::ptr_to(ty.clone()));
             }
-            Inst::ExtractElement { elem_ty, len, vec, idx } => {
+            Inst::ExtractElement {
+                elem_ty,
+                len,
+                vec,
+                idx,
+            } => {
                 self.expect_ty(&where_, vec, &Ty::vector(*len, elem_ty.clone()));
                 self.check_lane_index(&where_, idx, *len);
             }
-            Inst::InsertElement { elem_ty, len, vec, elt, idx } => {
+            Inst::InsertElement {
+                elem_ty,
+                len,
+                vec,
+                elt,
+                idx,
+            } => {
                 self.expect_ty(&where_, vec, &Ty::vector(*len, elem_ty.clone()));
                 self.expect_ty(&where_, elt, elem_ty);
                 self.check_lane_index(&where_, idx, *len);
@@ -395,7 +459,9 @@ impl<'a> Verifier<'a> {
                 dt.strictly_dominates(def_bb, user_bb)
             };
             if !ok {
-                errors.push(format!("{label}: use of {def} is not dominated by its definition"));
+                errors.push(format!(
+                    "{label}: use of {def} is not dominated by its definition"
+                ));
             }
         };
 
@@ -410,7 +476,8 @@ impl<'a> Verifier<'a> {
                     for (v, from) in incoming {
                         let Value::Inst(def) = v else { continue };
                         let Some(&(def_bb, _)) = place.get(def) else {
-                            self.errors.push(format!("{label}: uses unplaced instruction {def}"));
+                            self.errors
+                                .push(format!("{label}: uses unplaced instruction {def}"));
                             continue;
                         };
                         if !dt.is_reachable(*from) {
@@ -430,7 +497,13 @@ impl<'a> Verifier<'a> {
             }
             let n = block.insts.len();
             block.term.for_each_operand(|v| {
-                check_use(v, bb, n, &mut self.errors, &format!("terminator of '{}'", block.name));
+                check_use(
+                    v,
+                    bb,
+                    n,
+                    &mut self.errors,
+                    &format!("terminator of '{}'", block.name),
+                );
             });
         }
     }
@@ -496,7 +569,10 @@ mod tests {
         use crate::value::InstId;
         let mut f = Function::new(
             "f",
-            vec![crate::function::Param { name: "x".into(), ty: Ty::i32() }],
+            vec![crate::function::Param {
+                name: "x".into(),
+                ty: Ty::i32(),
+            }],
             Ty::i32(),
         );
         // %t0 uses %t1 which is defined after it.

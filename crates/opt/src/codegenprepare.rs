@@ -26,7 +26,10 @@ pub struct CodeGenPrepare {
 impl CodeGenPrepare {
     /// Creates the pass; reverse predication defaults to off.
     pub fn new(mode: PipelineMode) -> CodeGenPrepare {
-        CodeGenPrepare { mode, reverse_predication: false }
+        CodeGenPrepare {
+            mode,
+            reverse_predication: false,
+        }
     }
 
     /// Enables the §5.2 select→branch conversion.
@@ -61,9 +64,17 @@ fn sink_freeze_through_icmp(func: &mut Function) -> bool {
     for bb in func.block_ids().collect::<Vec<_>>() {
         let ids: Vec<InstId> = func.block(bb).insts.clone();
         for id in ids {
-            let Inst::Freeze { val: Value::Inst(cmp_id), .. } = func.inst(id) else { continue };
+            let Inst::Freeze {
+                val: Value::Inst(cmp_id),
+                ..
+            } = func.inst(id)
+            else {
+                continue;
+            };
             let cmp_id = *cmp_id;
-            let Inst::Icmp { cond, ty, lhs, rhs } = func.inst(cmp_id).clone() else { continue };
+            let Inst::Icmp { cond, ty, lhs, rhs } = func.inst(cmp_id).clone() else {
+                continue;
+            };
             if rhs.as_int_const().is_none() || uses.get(&cmp_id).copied().unwrap_or(0) != 1 {
                 continue;
             }
@@ -72,8 +83,16 @@ fn sink_freeze_through_icmp(func: &mut Function) -> bool {
             // so its (single) user — the old freeze — must be updated:
             // swap roles instead. freeze(id) := icmp(freeze', C) and
             // cmp_id := freeze %x.
-            *func.inst_mut(cmp_id) = Inst::Freeze { ty: ty.clone(), val: lhs };
-            *func.inst_mut(id) = Inst::Icmp { cond, ty, lhs: Value::Inst(cmp_id), rhs };
+            *func.inst_mut(cmp_id) = Inst::Freeze {
+                ty: ty.clone(),
+                val: lhs,
+            };
+            *func.inst_mut(id) = Inst::Icmp {
+                cond,
+                ty,
+                lhs: Value::Inst(cmp_id),
+                rhs,
+            };
             changed = true;
         }
     }
@@ -106,8 +125,18 @@ fn reverse_predication(func: &mut Function, mode: PipelineMode) -> bool {
                 }
             }
         }
-        let Some((bb, pos, id)) = target else { return changed };
-        let Inst::Select { cond, ty, tval, fval } = func.inst(id).clone() else { unreachable!() };
+        let Some((bb, pos, id)) = target else {
+            return changed;
+        };
+        let Inst::Select {
+            cond,
+            ty,
+            tval,
+            fval,
+        } = func.inst(id).clone()
+        else {
+            unreachable!()
+        };
 
         // Split the block after the select.
         let tail_insts: Vec<InstId> = func.block_mut(bb).insts.split_off(pos + 1);
@@ -133,14 +162,20 @@ fn reverse_predication(func: &mut Function, mode: PipelineMode) -> bool {
         }
 
         let branch_cond = if mode.uses_freeze() {
-            let fr = func.add_inst(Inst::Freeze { ty: Ty::i1(), val: cond });
+            let fr = func.add_inst(Inst::Freeze {
+                ty: Ty::i1(),
+                val: cond,
+            });
             func.block_mut(bb).insts.push(fr);
             Value::Inst(fr)
         } else {
             cond
         };
-        func.block_mut(bb).term =
-            Terminator::Br { cond: branch_cond, then_bb: t_bb, else_bb: f_bb };
+        func.block_mut(bb).term = Terminator::Br {
+            cond: branch_cond,
+            then_bb: t_bb,
+            else_bb: f_bb,
+        };
         func.block_mut(t_bb).term = Terminator::Jmp(m_bb);
         func.block_mut(f_bb).term = Terminator::Jmp(m_bb);
         changed = true;
@@ -178,8 +213,14 @@ mod tests {
         assert!(text.contains("freeze i4 %x"), "{text}");
         assert!(text.contains("icmp ult i4"), "{text}");
         // The rewrite is a refinement (not an equivalence): check it.
-        check_refinement(&before, "f", &after, "f", &CheckOptions::new(Semantics::proposed()))
-            .assert_refines();
+        check_refinement(
+            &before,
+            "f",
+            &after,
+            "f",
+            &CheckOptions::new(Semantics::proposed()),
+        )
+        .assert_refines();
         // And the reverse direction is NOT a refinement (it would be
         // wrong to undo): freeze(icmp poison, C) can be both true and
         // false, icmp(freeze poison, C) is constrained by C.
@@ -190,7 +231,10 @@ mod tests {
             "f",
             &CheckOptions::new(Semantics::proposed()),
         );
-        assert!(r.counterexample().is_some(), "the transformation is a strict refinement");
+        assert!(
+            r.counterexample().is_some(),
+            "the transformation is a strict refinement"
+        );
     }
 
     #[test]
@@ -213,8 +257,14 @@ mod tests {
         assert!(text.contains("freeze i1 %c"), "{text}");
         assert!(text.contains("phi i4"), "{text}");
         assert!(frost_ir::verify::verify_function(f).is_ok(), "{text}");
-        check_refinement(&before, "f", &after, "f", &CheckOptions::new(Semantics::proposed()))
-            .assert_refines();
+        check_refinement(
+            &before,
+            "f",
+            &after,
+            "f",
+            &CheckOptions::new(Semantics::proposed()),
+        )
+        .assert_refines();
     }
 
     #[test]
@@ -253,8 +303,18 @@ entry:
             &CodeGenPrepare::new(PipelineMode::Fixed).with_reverse_predication(),
         );
         let f = after.function("f").unwrap();
-        assert!(frost_ir::verify::verify_function(f).is_ok(), "{}", function_to_string(f));
-        check_refinement(&before, "f", &after, "f", &CheckOptions::new(Semantics::proposed()))
-            .assert_refines();
+        assert!(
+            frost_ir::verify::verify_function(f).is_ok(),
+            "{}",
+            function_to_string(f)
+        );
+        check_refinement(
+            &before,
+            "f",
+            &after,
+            "f",
+            &CheckOptions::new(Semantics::proposed()),
+        )
+        .assert_refines();
     }
 }

@@ -77,9 +77,16 @@ fn expr_key(func: &Function, id: InstId, mode: PipelineMode) -> Option<ExprKey> 
         Inst::Icmp { cond, ty, .. } => format!("{cond} {ty}"),
         Inst::Select { ty, .. } => format!("{ty}"),
         Inst::Freeze { ty, .. } => format!("{ty}"),
-        Inst::Cast { kind, from_ty, to_ty, .. } => format!("{kind} {from_ty} {to_ty}"),
+        Inst::Cast {
+            kind,
+            from_ty,
+            to_ty,
+            ..
+        } => format!("{kind} {from_ty} {to_ty}"),
         Inst::Bitcast { from_ty, to_ty, .. } => format!("{from_ty} {to_ty}"),
-        Inst::Gep { elem_ty, inbounds, .. } => format!("{elem_ty} {inbounds}"),
+        Inst::Gep {
+            elem_ty, inbounds, ..
+        } => format!("{elem_ty} {inbounds}"),
         Inst::ExtractElement { len, .. } | Inst::InsertElement { len, .. } => format!("{len}"),
         _ => return None,
     };
@@ -90,7 +97,11 @@ fn expr_key(func: &Function, id: InstId, mode: PipelineMode) -> Option<ExprKey> 
             operands.sort_by_key(|v| format!("{v:?}"));
         }
     }
-    Some(ExprKey { mnemonic: inst.mnemonic(), detail, operands })
+    Some(ExprKey {
+        mnemonic: inst.mnemonic(),
+        detail,
+        operands,
+    })
 }
 
 /// Replaces dominated duplicate expressions by their leader.
@@ -102,7 +113,9 @@ fn number_expressions(func: &mut Function, mode: PipelineMode) -> bool {
 
     for &bb in &rpo {
         for (pos, &id) in func.block(bb).insts.iter().enumerate() {
-            let Some(key) = expr_key(func, id, mode) else { continue };
+            let Some(key) = expr_key(func, id, mode) else {
+                continue;
+            };
             match leaders.get(&key) {
                 Some(&(leader, lbb, lpos))
                     if lbb == bb && lpos < pos || dt.strictly_dominates(lbb, bb) =>
@@ -133,9 +146,21 @@ fn propagate_equalities(func: &mut Function) -> bool {
     let preds = func.predecessors();
     let mut changed = false;
     for bb in func.block_ids().collect::<Vec<_>>() {
-        let Terminator::Br { cond, then_bb, else_bb } = &func.block(bb).term else { continue };
+        let Terminator::Br {
+            cond,
+            then_bb,
+            else_bb,
+        } = &func.block(bb).term
+        else {
+            continue;
+        };
         let Value::Inst(cmp) = cond else { continue };
-        let Inst::Icmp { cond: cc, lhs, rhs, .. } = func.inst(*cmp) else { continue };
+        let Inst::Icmp {
+            cond: cc, lhs, rhs, ..
+        } = func.inst(*cmp)
+        else {
+            continue;
+        };
         let (target, a, b) = match cc {
             Cond::Eq => (*then_bb, lhs.clone(), rhs.clone()),
             Cond::Ne => (*else_bb, lhs.clone(), rhs.clone()),
@@ -151,7 +176,9 @@ fn propagate_equalities(func: &mut Function) -> bool {
             (_, Value::Inst(_)) => (b.clone(), a.clone()),
             _ => continue,
         };
-        let Value::Inst(from_id) = &from else { continue };
+        let Value::Inst(from_id) = &from else {
+            continue;
+        };
         // Rewrite uses in blocks dominated by the target.
         for user_bb in func.block_ids().collect::<Vec<_>>() {
             if !dt.dominates(target, user_bb) {
@@ -223,8 +250,14 @@ entry:
         );
         let f = after.function("f").unwrap();
         assert_eq!(f.placed_inst_count(), 2, "{}", function_to_string(f));
-        check_refinement(&before, "f", &after, "f", &CheckOptions::new(Semantics::proposed()))
-            .assert_refines();
+        check_refinement(
+            &before,
+            "f",
+            &after,
+            "f",
+            &CheckOptions::new(Semantics::proposed()),
+        )
+        .assert_refines();
     }
 
     #[test]
@@ -240,8 +273,14 @@ entry:
 "#;
         let (before, after) = run(src, PipelineMode::Fixed);
         assert_eq!(after.function("f").unwrap().placed_inst_count(), 3);
-        check_refinement(&before, "f", &after, "f", &CheckOptions::new(Semantics::proposed()))
-            .assert_refines();
+        check_refinement(
+            &before,
+            "f",
+            &after,
+            "f",
+            &CheckOptions::new(Semantics::proposed()),
+        )
+        .assert_refines();
 
         // Legacy GVN merges them: xor %a, %a = 0 becomes forced, but the
         // source can return any even... actually any xor of two
@@ -289,8 +328,14 @@ exit:
         // block: foo(%y).
         assert!(text.contains("call void @foo(i4 %y)"), "{text}");
         // Sound when branch-on-poison is UB (proposed & legacy-gvn):
-        check_refinement(&before, "f", &after, "f", &CheckOptions::new(Semantics::proposed()))
-            .assert_refines();
+        check_refinement(
+            &before,
+            "f",
+            &after,
+            "f",
+            &CheckOptions::new(Semantics::proposed()),
+        )
+        .assert_refines();
     }
 
     #[test]
@@ -347,8 +392,14 @@ b:
             PipelineMode::Fixed,
         );
         assert_eq!(after.function("f").unwrap().placed_inst_count(), 2);
-        check_refinement(&before, "f", &after, "f", &CheckOptions::new(Semantics::proposed()))
-            .assert_refines();
+        check_refinement(
+            &before,
+            "f",
+            &after,
+            "f",
+            &CheckOptions::new(Semantics::proposed()),
+        )
+        .assert_refines();
     }
 
     #[test]

@@ -58,7 +58,9 @@ impl Pass for IndVarWiden {
 }
 
 fn widen_loop(func: &mut Function, lp: &frost_ir::loops::Loop) -> bool {
-    let Some(preheader) = lp.preheader(func) else { return false };
+    let Some(preheader) = lp.preheader(func) else {
+        return false;
+    };
     let ivs = find_affine_ivs(func, lp);
     let mut changed = false;
     for iv in ivs {
@@ -67,36 +69,57 @@ fn widen_loop(func: &mut Function, lp: &frost_ir::loops::Loop) -> bool {
             continue;
         }
         let narrow_ty = func.inst(iv.phi).result_ty();
-        let Some(narrow_bits) = narrow_ty.int_bits() else { continue };
+        let Some(narrow_bits) = narrow_ty.int_bits() else {
+            continue;
+        };
         // Find sexts of this IV inside the loop; their common target
         // type becomes the wide type.
         let mut sexts: Vec<(InstId, Ty)> = Vec::new();
         for &bb in &lp.blocks {
             for &id in &func.block(bb).insts {
-                if let Inst::Cast { kind: CastKind::Sext, to_ty, val, .. } = func.inst(id) {
+                if let Inst::Cast {
+                    kind: CastKind::Sext,
+                    to_ty,
+                    val,
+                    ..
+                } = func.inst(id)
+                {
                     if *val == Value::Inst(iv.phi) {
                         sexts.push((id, to_ty.clone()));
                     }
                 }
             }
         }
-        let Some((_, wide_ty)) = sexts.first().cloned() else { continue };
+        let Some((_, wide_ty)) = sexts.first().cloned() else {
+            continue;
+        };
         if sexts.iter().any(|(_, t)| *t != wide_ty) {
             continue;
         }
-        let Some(wide_bits) = wide_ty.int_bits() else { continue };
+        let Some(wide_bits) = wide_ty.int_bits() else {
+            continue;
+        };
         if wide_bits <= narrow_bits {
             continue;
         }
         // The step must be a constant to widen by constant sext.
-        let Some(step_c) = iv.step.as_int_const() else { continue };
+        let Some(step_c) = iv.step.as_int_const() else {
+            continue;
+        };
         let step_signed = frost_ir::value::to_signed(step_c, narrow_bits);
-        let wide_step = Value::int(wide_bits, frost_ir::value::from_signed(step_signed, wide_bits));
+        let wide_step = Value::int(
+            wide_bits,
+            frost_ir::value::from_signed(step_signed, wide_bits),
+        );
         // The exit test must compare the IV against an invariant bound
         // with a *signed* predicate (unsigned tests are not preserved by
         // sext).
-        let Some((cmp_id, bound)) = header_exit_test(func, lp) else { continue };
-        let Inst::Icmp { cond, lhs, rhs, .. } = func.inst(cmp_id).clone() else { continue };
+        let Some((cmp_id, bound)) = header_exit_test(func, lp) else {
+            continue;
+        };
+        let Inst::Icmp { cond, lhs, rhs, .. } = func.inst(cmp_id).clone() else {
+            continue;
+        };
         if !matches!(
             cond,
             frost_ir::Cond::Slt | frost_ir::Cond::Sle | frost_ir::Cond::Sgt | frost_ir::Cond::Sge
@@ -118,7 +141,9 @@ fn widen_loop(func: &mut Function, lp: &frost_ir::loops::Loop) -> bool {
         let wide_bound = widen_value(func, preheader, &bound, &narrow_ty, &wide_ty);
 
         // Find the back-edge block of the narrow increment.
-        let Some(inc_bb) = func.block_of(iv.step_inst) else { continue };
+        let Some(inc_bb) = func.block_of(iv.step_inst) else {
+            continue;
+        };
         // Build the wide IV.
         let wide_inc = func.add_inst(Inst::Bin {
             op: frost_ir::BinOp::Add,
@@ -128,7 +153,9 @@ fn widen_loop(func: &mut Function, lp: &frost_ir::loops::Loop) -> bool {
             rhs: wide_step,
         });
         let narrow_phi = func.inst(iv.phi).clone();
-        let Inst::Phi { incoming, .. } = narrow_phi else { continue };
+        let Inst::Phi { incoming, .. } = narrow_phi else {
+            continue;
+        };
         let wide_incoming: Vec<(Value, frost_ir::BlockId)> = incoming
             .iter()
             .map(|(v, from)| {
@@ -139,7 +166,10 @@ fn widen_loop(func: &mut Function, lp: &frost_ir::loops::Loop) -> bool {
                 }
             })
             .collect();
-        let wide_phi = func.add_inst(Inst::Phi { ty: wide_ty.clone(), incoming: wide_incoming });
+        let wide_phi = func.add_inst(Inst::Phi {
+            ty: wide_ty.clone(),
+            incoming: wide_incoming,
+        });
         // Patch the increment's operand.
         if let Inst::Bin { lhs, .. } = func.inst_mut(wide_inc) {
             *lhs = Value::Inst(wide_phi);
@@ -161,8 +191,12 @@ fn widen_loop(func: &mut Function, lp: &frost_ir::loops::Loop) -> bool {
         } else {
             (wide_bound, Value::Inst(wide_phi))
         };
-        *func.inst_mut(cmp_id) =
-            Inst::Icmp { cond, ty: wide_ty.clone(), lhs: new_lhs, rhs: new_rhs };
+        *func.inst_mut(cmp_id) = Inst::Icmp {
+            cond,
+            ty: wide_ty.clone(),
+            lhs: new_lhs,
+            rhs: new_rhs,
+        };
 
         // Replace the sexts of the IV with the wide IV.
         for (sid, _) in sexts {
@@ -255,14 +289,23 @@ exit:
         assert!(changed);
         let f = after.function("f").unwrap();
         let text = function_to_string(f);
-        assert!(!text.contains("sext i3 %i to i5"), "loop body sext gone: {text}");
+        assert!(
+            !text.contains("sext i3 %i to i5"),
+            "loop body sext gone: {text}"
+        );
         assert!(text.contains("phi i5"), "wide IV introduced: {text}");
         assert!(text.contains("icmp sle i5"), "exit test widened: {text}");
         assert!(frost_ir::verify::verify_function(f).is_ok(), "{text}");
         // Justified under the proposed semantics (nsw overflow =
         // poison; branch on it = UB).
-        check_refinement(&before, "f", &after, "f", &CheckOptions::new(Semantics::proposed()))
-            .assert_refines();
+        check_refinement(
+            &before,
+            "f",
+            &after,
+            "f",
+            &CheckOptions::new(Semantics::proposed()),
+        )
+        .assert_refines();
     }
 
     #[test]
@@ -294,8 +337,14 @@ entry:
         let before = parse_module(src).unwrap();
         let after = parse_module(tgt).unwrap();
         // Sound under poison...
-        check_refinement(&before, "f", &after, "f", &CheckOptions::new(Semantics::proposed()))
-            .assert_refines();
+        check_refinement(
+            &before,
+            "f",
+            &after,
+            "f",
+            &CheckOptions::new(Semantics::proposed()),
+        )
+        .assert_refines();
         // ...but not when overflow yields undef.
         let r = check_refinement(
             &before,

@@ -19,7 +19,10 @@ pub struct Inliner {
 impl Inliner {
     /// Creates the inliner with the default threshold.
     pub fn new(mode: PipelineMode) -> Inliner {
-        Inliner { mode, threshold: 25 }
+        Inliner {
+            mode,
+            threshold: 25,
+        }
     }
 
     /// Overrides the inlining threshold.
@@ -56,7 +59,9 @@ impl Pass for Inliner {
             .collect();
         for f in &mut module.functions {
             loop {
-                let Some((bb, pos, callee)) = find_inlinable_call(f, &callees) else { break };
+                let Some((bb, pos, callee)) = find_inlinable_call(f, &callees) else {
+                    break;
+                };
                 inline_call(f, bb, pos, &callees[&callee]);
                 changed = true;
             }
@@ -168,7 +173,10 @@ fn inline_call(func: &mut Function, bb: BlockId, pos: usize, callee: &Function) 
         let v = ret_phis[0].0.clone();
         func.replace_all_uses(call_id, &v);
     } else {
-        *func.inst_mut(call_id) = Inst::Phi { ty: ret_ty, incoming: ret_phis };
+        *func.inst_mut(call_id) = Inst::Phi {
+            ty: ret_ty,
+            incoming: ret_phis,
+        };
         func.block_mut(cont).insts.insert(0, call_id);
         return;
     }
@@ -208,8 +216,14 @@ entry:
         let text = function_to_string(f);
         assert!(!text.contains("call"), "{text}");
         assert!(frost_ir::verify::verify_function(f).is_ok(), "{text}");
-        check_refinement(&before, "f", &after, "f", &CheckOptions::new(Semantics::proposed()))
-            .assert_refines();
+        check_refinement(
+            &before,
+            "f",
+            &after,
+            "f",
+            &CheckOptions::new(Semantics::proposed()),
+        )
+        .assert_refines();
     }
 
     #[test]
@@ -237,8 +251,14 @@ entry:
         let text = function_to_string(f);
         assert!(text.contains("phi i4"), "{text}");
         assert!(frost_ir::verify::verify_function(f).is_ok(), "{text}");
-        check_refinement(&before, "f", &after, "f", &CheckOptions::new(Semantics::proposed()))
-            .assert_refines();
+        check_refinement(
+            &before,
+            "f",
+            &after,
+            "f",
+            &CheckOptions::new(Semantics::proposed()),
+        )
+        .assert_refines();
     }
 
     #[test]
@@ -276,7 +296,11 @@ entry:
         let m = parse_module(src).unwrap();
         let fixed = Inliner::new(PipelineMode::Fixed);
         let blind = Inliner::new(PipelineMode::FixedFreezeBlind);
-        assert_eq!(fixed.cost(m.function("cheap").unwrap()), 1, "freezes are free (§6)");
+        assert_eq!(
+            fixed.cost(m.function("cheap").unwrap()),
+            1,
+            "freezes are free (§6)"
+        );
         assert_eq!(blind.cost(m.function("cheap").unwrap()), 3);
     }
 
@@ -322,7 +346,13 @@ exit:
             "{}",
             function_to_string(f)
         );
-        check_refinement(&before, "f", &after, "f", &CheckOptions::new(Semantics::proposed()))
-            .assert_refines();
+        check_refinement(
+            &before,
+            "f",
+            &after,
+            "f",
+            &CheckOptions::new(Semantics::proposed()),
+        )
+        .assert_refines();
     }
 }

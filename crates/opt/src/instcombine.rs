@@ -43,8 +43,11 @@ impl Pass for InstCombine {
         // Bounded fixpoint: each round scans all placed instructions.
         for _ in 0..8 {
             let mut round_changed = false;
-            let placed: Vec<InstId> =
-                func.blocks.iter().flat_map(|b| b.insts.iter().copied()).collect();
+            let placed: Vec<InstId> = func
+                .blocks
+                .iter()
+                .flat_map(|b| b.insts.iter().copied())
+                .collect();
             for id in placed {
                 // The instruction may have been erased by an earlier
                 // rewrite this round.
@@ -124,16 +127,32 @@ fn is_undef_const(v: &Value) -> bool {
 fn simplify(func: &Function, id: InstId, mode: PipelineMode) -> Option<Action> {
     let inst = func.inst(id).clone();
     match &inst {
-        Inst::Bin { op, flags, ty, lhs, rhs } => simplify_bin(func, *op, *flags, ty, lhs, rhs, mode),
+        Inst::Bin {
+            op,
+            flags,
+            ty,
+            lhs,
+            rhs,
+        } => simplify_bin(func, *op, *flags, ty, lhs, rhs, mode),
         Inst::Icmp { cond, ty, lhs, rhs } => simplify_icmp(func, *cond, ty, lhs, rhs),
-        Inst::Select { cond, ty, tval, fval } => {
-            simplify_select(func, cond, ty, tval, fval, mode)
-        }
+        Inst::Select {
+            cond,
+            ty,
+            tval,
+            fval,
+        } => simplify_select(func, cond, ty, tval, fval, mode),
         Inst::Freeze { ty, val } => simplify_freeze(func, ty, val, mode),
-        Inst::Cast { kind, from_ty, to_ty, val } => {
-            simplify_cast(func, *kind, from_ty, to_ty, val)
-        }
-        Inst::Bitcast { from_ty, to_ty, val } => {
+        Inst::Cast {
+            kind,
+            from_ty,
+            to_ty,
+            val,
+        } => simplify_cast(func, *kind, from_ty, to_ty, val),
+        Inst::Bitcast {
+            from_ty,
+            to_ty,
+            val,
+        } => {
             if from_ty == to_ty {
                 return Some(Action::Replace(val.clone()));
             }
@@ -261,13 +280,7 @@ fn simplify_bin(
     None
 }
 
-fn simplify_icmp(
-    func: &Function,
-    cond: Cond,
-    ty: &Ty,
-    lhs: &Value,
-    rhs: &Value,
-) -> Option<Action> {
+fn simplify_icmp(func: &Function, cond: Cond, ty: &Ty, lhs: &Value, rhs: &Value) -> Option<Action> {
     let bits = ty.int_bits()?;
     // Constant fold.
     if let (Some((_, a)), Some((_, b))) = (int_const(lhs), int_const(rhs)) {
@@ -308,7 +321,14 @@ fn simplify_icmp(
     // §2.3: icmp sgt (add nsw %a, %b), %a -> icmp sgt %b, 0 (and the
     // slt/sge/sle variants). Justified by nsw-overflow-is-poison.
     if let Value::Inst(add_id) = lhs {
-        if let Inst::Bin { op: BinOp::Add, flags, lhs: a, rhs: b, .. } = func.inst(*add_id) {
+        if let Inst::Bin {
+            op: BinOp::Add,
+            flags,
+            lhs: a,
+            rhs: b,
+            ..
+        } = func.inst(*add_id)
+        {
             if flags.nsw && matches!(cond, Cond::Sgt | Cond::Sge | Cond::Slt | Cond::Sle) {
                 let other = if a == rhs {
                     Some(b.clone())
@@ -346,7 +366,11 @@ fn simplify_select(
     // select true/false, a, b -> a/b. (Folding on a *constant* condition
     // is sound in every mode: the condition is not poison.)
     if let Some((_, c)) = int_const(cond) {
-        return Some(Action::Replace(if c == 1 { tval.clone() } else { fval.clone() }));
+        return Some(Action::Replace(if c == 1 {
+            tval.clone()
+        } else {
+            fval.clone()
+        }));
     }
     if is_poison_const(cond) {
         return Some(Action::Replace(Value::poison(ty.clone())));
@@ -404,7 +428,10 @@ fn simplify_select(
                     }));
                 }
                 return Some(Action::ExpandAndRewrite(
-                    vec![Inst::Freeze { ty: Ty::i1(), val: fv }],
+                    vec![Inst::Freeze {
+                        ty: Ty::i1(),
+                        val: fv,
+                    }],
                     Box::new(move |ids| Inst::Bin {
                         op: BinOp::Or,
                         flags: Flags::NONE,
@@ -427,7 +454,10 @@ fn simplify_select(
                     }));
                 }
                 return Some(Action::ExpandAndRewrite(
-                    vec![Inst::Freeze { ty: Ty::i1(), val: tv }],
+                    vec![Inst::Freeze {
+                        ty: Ty::i1(),
+                        val: tv,
+                    }],
                     Box::new(move |ids| Inst::Bin {
                         op: BinOp::And,
                         flags: Flags::NONE,
@@ -442,12 +472,7 @@ fn simplify_select(
     None
 }
 
-fn simplify_freeze(
-    func: &Function,
-    ty: &Ty,
-    val: &Value,
-    mode: PipelineMode,
-) -> Option<Action> {
+fn simplify_freeze(func: &Function, ty: &Ty, val: &Value, mode: PipelineMode) -> Option<Action> {
     if !mode.freeze_aware() {
         // Legacy has no freeze; freeze-blind mode conservatively leaves
         // them alone (§7.2's performance-regression mechanism).
@@ -483,7 +508,10 @@ fn simplify_cast(
     let from_bits = from_ty.int_bits()?;
     let to_bits = to_ty.int_bits()?;
     if let Some((_, v)) = int_const(val) {
-        return Some(Action::Replace(Value::int(to_bits, eval_cast(kind, from_bits, to_bits, v))));
+        return Some(Action::Replace(Value::int(
+            to_bits,
+            eval_cast(kind, from_bits, to_bits, v),
+        )));
     }
     if is_poison_const(val) {
         return Some(Action::Replace(Value::poison(to_ty.clone())));
@@ -491,8 +519,12 @@ fn simplify_cast(
     // trunc(zext x to W) to w -> x when widths round-trip.
     if kind == CastKind::Trunc {
         if let Value::Inst(inner) = val {
-            if let Inst::Cast { kind: CastKind::Zext | CastKind::Sext, from_ty: f2, val: v2, .. } =
-                func.inst(*inner)
+            if let Inst::Cast {
+                kind: CastKind::Zext | CastKind::Sext,
+                from_ty: f2,
+                val: v2,
+                ..
+            } = func.inst(*inner)
             {
                 if f2 == to_ty {
                     return Some(Action::Replace(v2.clone()));
@@ -507,7 +539,7 @@ fn simplify_cast(
 mod tests {
     use super::*;
     use frost_core::Semantics;
-    use frost_ir::{function_to_string, parse_function, parse_module, Module};
+    use frost_ir::{function_to_string, parse_module, Module};
     use frost_refine::{check_refinement, CheckOptions};
 
     fn combine(src: &str, mode: PipelineMode) -> (Module, Module) {
@@ -611,7 +643,10 @@ entry:
             Semantics::proposed(),
         );
         let text = function_to_string(after.function("f").unwrap());
-        assert!(text.contains("freeze"), "fixed mode freezes the arm: {text}");
+        assert!(
+            text.contains("freeze"),
+            "fixed mode freezes the arm: {text}"
+        );
         assert!(text.contains("or i1 %c"), "{text}");
     }
 
@@ -630,7 +665,9 @@ entry:
             "f",
             &CheckOptions::new(Semantics::proposed()),
         );
-        let ce = r.counterexample().expect("select->or without freeze is unsound");
+        let ce = r
+            .counterexample()
+            .expect("select->or without freeze is unsound");
         // Witness: c = true, x = poison.
         assert!(ce.args.contains(&frost_core::Val::Poison));
     }
@@ -683,7 +720,10 @@ entry:
             PipelineMode::FixedFreezeBlind,
         );
         let text = function_to_string(after.function("f").unwrap());
-        assert!(text.contains("freeze"), "freeze-blind mode does not fold: {text}");
+        assert!(
+            text.contains("freeze"),
+            "freeze-blind mode does not fold: {text}"
+        );
     }
 
     #[test]

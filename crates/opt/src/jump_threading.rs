@@ -57,14 +57,21 @@ impl Pass for JumpThreading {
 /// `B` contains only the phi (so skipping it skips no work).
 fn thread_one(func: &mut Function, mode: PipelineMode) -> bool {
     for b in func.block_ids().collect::<Vec<_>>() {
-        let Terminator::Br { cond, then_bb, else_bb } = func.block(b).term.clone() else {
+        let Terminator::Br {
+            cond,
+            then_bb,
+            else_bb,
+        } = func.block(b).term.clone()
+        else {
             continue;
         };
         if b == BlockId::ENTRY {
             continue;
         }
         // The condition must be a phi in B (possibly frozen).
-        let Some(phi_id) = look_through_freeze(func, &cond, b, mode) else { continue };
+        let Some(phi_id) = look_through_freeze(func, &cond, b, mode) else {
+            continue;
+        };
         // B must contain only the phi (plus, in fixed mode, the freeze).
         let extra_ok = func.block(b).insts.iter().all(|&i| {
             i == phi_id
@@ -74,7 +81,9 @@ fn thread_one(func: &mut Function, mode: PipelineMode) -> bool {
         if !extra_ok {
             continue;
         }
-        let Inst::Phi { incoming, .. } = func.inst(phi_id).clone() else { continue };
+        let Inst::Phi { incoming, .. } = func.inst(phi_id).clone() else {
+            continue;
+        };
         // Find a predecessor contributing a constant.
         for (v, pred) in &incoming {
             let Some(c) = v.as_int_const() else { continue };
@@ -88,10 +97,11 @@ fn thread_one(func: &mut Function, mode: PipelineMode) -> bool {
             // for the edge from B works only if it is not defined in B —
             // the only def in B is the phi (and freeze); refuse if used.
             let dest_uses_b_defs = func.block(dest).insts.iter().any(|&i| {
-                let Inst::Phi { incoming, .. } = func.inst(i) else { return false };
+                let Inst::Phi { incoming, .. } = func.inst(i) else {
+                    return false;
+                };
                 incoming.iter().any(|(val, from)| {
-                    *from == b
-                        && matches!(val, Value::Inst(id) if func.block_of(*id) == Some(b))
+                    *from == b && matches!(val, Value::Inst(id) if func.block_of(*id) == Some(b))
                 })
             });
             if dest_uses_b_defs {
@@ -99,7 +109,9 @@ fn thread_one(func: &mut Function, mode: PipelineMode) -> bool {
             }
             // Redirect P's terminator edge from B to dest.
             let pred = *pred;
-            func.block_mut(pred).term.map_successors(|s| if s == b { dest } else { s });
+            func.block_mut(pred)
+                .term
+                .map_successors(|s| if s == b { dest } else { s });
             // dest phis: duplicate the value they had for the B edge.
             let dest_phis: Vec<InstId> = func.block(dest).insts.clone();
             for id in dest_phis {
@@ -138,14 +150,15 @@ fn look_through_freeze(
     }
     match func.inst(id) {
         Inst::Phi { .. } => Some(id),
-        Inst::Freeze { val: Value::Inst(inner), .. } if mode.freeze_aware() => {
+        Inst::Freeze {
+            val: Value::Inst(inner),
+            ..
+        } if mode.freeze_aware() => {
             // freeze(phi [...const...]) threads only for constant
             // incomings: freeze(true) = true, so skipping the freeze on
             // that edge is sound.
             let inner = *inner;
-            if func.block_of(inner) == Some(bb)
-                && matches!(func.inst(inner), Inst::Phi { .. })
-            {
+            if func.block_of(inner) == Some(bb) && matches!(func.inst(inner), Inst::Phi { .. }) {
                 Some(inner)
             } else {
                 None
@@ -199,8 +212,14 @@ e:
         let pre = f.blocks.iter().position(|b| b.name == "pre").unwrap();
         let t = f.blocks.iter().position(|b| b.name == "t").unwrap() as u32;
         assert!(matches!(f.blocks[pre].term, Terminator::Jmp(BlockId(b)) if b == t));
-        check_refinement(&before, "f", &after, "f", &CheckOptions::new(Semantics::proposed()))
-            .assert_refines();
+        check_refinement(
+            &before,
+            "f",
+            &after,
+            "f",
+            &CheckOptions::new(Semantics::proposed()),
+        )
+        .assert_refines();
         assert!(frost_ir::verify::verify_function(f).is_ok());
     }
 
@@ -225,8 +244,14 @@ e:
     fn fixed_mode_threads_through_freeze() {
         let (before, after, changed) = run(FROZEN, PipelineMode::Fixed);
         assert!(changed, "freeze-aware threading fires");
-        check_refinement(&before, "f", &after, "f", &CheckOptions::new(Semantics::proposed()))
-            .assert_refines();
+        check_refinement(
+            &before,
+            "f",
+            &after,
+            "f",
+            &CheckOptions::new(Semantics::proposed()),
+        )
+        .assert_refines();
     }
 
     #[test]
@@ -257,6 +282,9 @@ e:
 }
 "#;
         let (_, _, changed) = run(src, PipelineMode::Fixed);
-        assert!(!changed, "side effects in the threaded block must block threading");
+        assert!(
+            !changed,
+            "side effects in the threaded block must block threading"
+        );
     }
 }

@@ -52,7 +52,9 @@ fn is_invariant(func: &Function, lp: &Loop, v: &Value) -> bool {
 }
 
 fn hoist_loop(func: &mut Function, lp: &Loop, dt: &DomTree, mode: PipelineMode) -> bool {
-    let Some(preheader) = lp.preheader(func) else { return false };
+    let Some(preheader) = lp.preheader(func) else {
+        return false;
+    };
     let mut changed = false;
     // Iterate: hoisting can make more instructions invariant.
     loop {
@@ -89,9 +91,16 @@ fn hoist_loop(func: &mut Function, lp: &Loop, dt: &DomTree, mode: PipelineMode) 
                 break 'search;
             }
         }
-        let Some((bb, id)) = hoisted else { return changed };
+        let Some((bb, id)) = hoisted else {
+            return changed;
+        };
         // Move the instruction to the preheader (before its terminator).
-        let pos = func.block(bb).insts.iter().position(|&i| i == id).expect("placed");
+        let pos = func
+            .block(bb)
+            .insts
+            .iter()
+            .position(|&i| i == id)
+            .expect("placed");
         func.block_mut(bb).insts.remove(pos);
         func.block_mut(preheader).insts.push(id);
         changed = true;
@@ -112,7 +121,9 @@ fn division_hoist_is_safe(
     id: InstId,
     mode: PipelineMode,
 ) -> bool {
-    let Inst::Bin { op, rhs, .. } = func.inst(id) else { return false };
+    let Inst::Bin { op, rhs, .. } = func.inst(id) else {
+        return false;
+    };
     if !matches!(op, BinOp::UDiv | BinOp::URem) {
         // Signed division additionally traps on INT_MIN / -1; keep the
         // demo focused on the unsigned case.
@@ -130,12 +141,19 @@ fn division_hoist_is_safe(
     while let Some(cur) = bb {
         let idom = dt.idom(cur);
         if let Some(d) = idom {
-            if let Terminator::Br { cond, then_bb, else_bb } = &func.block(d).term {
+            if let Terminator::Br {
+                cond,
+                then_bb,
+                else_bb,
+            } = &func.block(d).term
+            {
                 if let Value::Inst(cmp) = cond {
-                    if let Inst::Icmp { cond: cc, lhs, rhs, .. } = func.inst(*cmp) {
+                    if let Inst::Icmp {
+                        cond: cc, lhs, rhs, ..
+                    } = func.inst(*cmp)
+                    {
                         let zero_cmp = |a: &Value, b: &Value| {
-                            *a == divisor && b.is_int_const(0)
-                                || *b == divisor && a.is_int_const(0)
+                            *a == divisor && b.is_int_const(0) || *b == divisor && a.is_int_const(0)
                         };
                         if zero_cmp(lhs, rhs) {
                             let nonzero_edge = match cc {
@@ -201,12 +219,20 @@ exit:
         let (before, after) = run(INVARIANT_ADD, PipelineMode::Fixed);
         let f = after.function("f").unwrap();
         let text = function_to_string(f);
-        let entry_has_add = f.block(BlockId::ENTRY).insts.iter().any(|&id| {
-            matches!(f.inst(id), Inst::Bin { op: BinOp::Add, .. })
-        });
+        let entry_has_add = f
+            .block(BlockId::ENTRY)
+            .insts
+            .iter()
+            .any(|&id| matches!(f.inst(id), Inst::Bin { op: BinOp::Add, .. }));
         assert!(entry_has_add, "add hoisted to preheader: {text}");
-        check_refinement(&before, "f", &after, "f", &CheckOptions::new(Semantics::proposed()))
-            .assert_refines();
+        check_refinement(
+            &before,
+            "f",
+            &after,
+            "f",
+            &CheckOptions::new(Semantics::proposed()),
+        )
+        .assert_refines();
     }
 
     const GUARDED_DIV: &str = r#"
@@ -239,7 +265,13 @@ done:
         let f = after.function("f").unwrap();
         let ph = f.blocks.iter().position(|b| b.name == "ph").unwrap();
         assert!(
-            f.blocks[ph].insts.iter().any(|&id| matches!(f.inst(id), Inst::Bin { op: BinOp::UDiv, .. })),
+            f.blocks[ph].insts.iter().any(|&id| matches!(
+                f.inst(id),
+                Inst::Bin {
+                    op: BinOp::UDiv,
+                    ..
+                }
+            )),
             "legacy LICM hoists the division: {}",
             function_to_string(f)
         );
@@ -250,7 +282,10 @@ done:
             "f",
             &CheckOptions::new(Semantics::legacy_gvn()),
         );
-        assert!(r.counterexample().is_some(), "hoist past control flow unsound with undef");
+        assert!(
+            r.counterexample().is_some(),
+            "hoist past control flow unsound with undef"
+        );
     }
 
     #[test]
@@ -294,15 +329,24 @@ done:
         let f = after.function("f").unwrap();
         let ph = f.blocks.iter().position(|b| b.name == "ph").unwrap();
         assert!(
-            f.blocks[ph]
-                .insts
-                .iter()
-                .any(|&id| matches!(f.inst(id), Inst::Bin { op: BinOp::UDiv, .. })),
+            f.blocks[ph].insts.iter().any(|&id| matches!(
+                f.inst(id),
+                Inst::Bin {
+                    op: BinOp::UDiv,
+                    ..
+                }
+            )),
             "fixed LICM hoists the frozen-divisor division: {}",
             function_to_string(f)
         );
-        check_refinement(&before, "f", &after, "f", &CheckOptions::new(Semantics::proposed()))
-            .assert_refines();
+        check_refinement(
+            &before,
+            "f",
+            &after,
+            "f",
+            &CheckOptions::new(Semantics::proposed()),
+        )
+        .assert_refines();
     }
 
     #[test]

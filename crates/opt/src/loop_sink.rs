@@ -39,7 +39,9 @@ impl Pass for LoopSink {
         let li = LoopInfo::compute(func, &dt);
         let mut changed = false;
         for lp in &li.loops {
-            let Some(preheader) = lp.preheader(func) else { continue };
+            let Some(preheader) = lp.preheader(func) else {
+                continue;
+            };
             // Candidates: preheader instructions whose every use is
             // inside the loop.
             loop {
@@ -85,7 +87,12 @@ impl Pass for LoopSink {
                         continue;
                     }
                     // Insert after the header's phis.
-                    let pos = func.block(preheader).insts.iter().position(|&i| i == id).expect("placed");
+                    let pos = func
+                        .block(preheader)
+                        .insts
+                        .iter()
+                        .position(|&i| i == id)
+                        .expect("placed");
                     func.block_mut(preheader).insts.remove(pos);
                     let phi_end = func
                         .block(lp.header)
@@ -152,8 +159,14 @@ exit:
             function_to_string(f)
         );
         assert!(frost_ir::verify::verify_function(f).is_ok());
-        check_refinement(&before, "f", &after, "f", &CheckOptions::new(Semantics::proposed()))
-            .assert_refines();
+        check_refinement(
+            &before,
+            "f",
+            &after,
+            "f",
+            &CheckOptions::new(Semantics::proposed()),
+        )
+        .assert_refines();
     }
 
     const FREEZE_SINK: &str = r#"

@@ -50,13 +50,20 @@ fn unswitch_one(func: &mut Function, mode: PipelineMode) -> bool {
     let dt = DomTree::compute(func);
     let li = LoopInfo::compute(func, &dt);
     for lp in &li.loops {
-        let Some(preheader) = lp.preheader(func) else { continue };
+        let Some(preheader) = lp.preheader(func) else {
+            continue;
+        };
         // Find an invariant conditional branch strictly inside the loop
         // whose successors stay in the loop (a guard like `if (c2)`
         // inside the body, not the loop's exit test).
         let mut candidate = None;
         for &bb in &lp.blocks {
-            let Terminator::Br { cond, then_bb, else_bb } = &func.block(bb).term else {
+            let Terminator::Br {
+                cond,
+                then_bb,
+                else_bb,
+            } = &func.block(bb).term
+            else {
                 continue;
             };
             if !lp.contains(*then_bb) || !lp.contains(*else_bb) || then_bb == else_bb {
@@ -71,7 +78,9 @@ fn unswitch_one(func: &mut Function, mode: PipelineMode) -> bool {
             candidate = Some((bb, cond.clone(), *then_bb, *else_bb));
             break;
         }
-        let Some((branch_bb, cond, then_bb, else_bb)) = candidate else { continue };
+        let Some((branch_bb, cond, then_bb, else_bb)) = candidate else {
+            continue;
+        };
 
         // Every loop-defined value used outside must flow through exit
         // block phis (LCSSA-like); otherwise cloning breaks dominance.
@@ -89,7 +98,10 @@ fn unswitch_one(func: &mut Function, mode: PipelineMode) -> bool {
 
         // The preheader now dispatches on the (possibly frozen) condition.
         let dispatch_cond = if mode.uses_freeze() {
-            let freeze = func.add_inst(Inst::Freeze { ty: Ty::i1(), val: cond });
+            let freeze = func.add_inst(Inst::Freeze {
+                ty: Ty::i1(),
+                val: cond,
+            });
             func.block_mut(preheader).insts.push(freeze);
             Value::Inst(freeze)
         } else {
@@ -231,8 +243,14 @@ exit:
     #[test]
     fn fixed_unswitching_refines_under_proposed() {
         let (before, after, _) = run(UNSWITCHABLE, PipelineMode::Fixed);
-        check_refinement(&before, "f", &after, "f", &CheckOptions::new(Semantics::proposed()))
-            .assert_refines();
+        check_refinement(
+            &before,
+            "f",
+            &after,
+            "f",
+            &CheckOptions::new(Semantics::proposed()),
+        )
+        .assert_refines();
     }
 
     #[test]
@@ -248,7 +266,9 @@ exit:
             "f",
             &CheckOptions::new(Semantics::proposed()),
         );
-        let ce = r.counterexample().expect("legacy unswitching branches on poison");
+        let ce = r
+            .counterexample()
+            .expect("legacy unswitching branches on poison");
         assert!(ce.tgt_outcomes.may_ub());
         assert!(!ce.src_outcomes.may_ub());
     }
@@ -303,8 +323,14 @@ exit:
             "{}",
             function_to_string(f)
         );
-        check_refinement(&before, "f", &after, "f", &CheckOptions::new(Semantics::proposed()))
-            .assert_refines();
+        check_refinement(
+            &before,
+            "f",
+            &after,
+            "f",
+            &CheckOptions::new(Semantics::proposed()),
+        )
+        .assert_refines();
     }
 
     #[test]

@@ -9,7 +9,11 @@ use frost_ir::{Function, Module};
 /// Most passes work function-at-a-time and implement
 /// [`Pass::run_on_function`]; module passes (e.g. inlining) override
 /// [`Pass::run_on_module`].
-pub trait Pass {
+///
+/// Passes are required to be `Send + Sync` (they are stateless
+/// configuration plus pure code), so a [`PassManager`] can be shared by
+/// the workers of a parallel validation campaign.
+pub trait Pass: Send + Sync {
     /// A short, stable name (used in reports and pipeline dumps).
     fn name(&self) -> &'static str;
 
@@ -71,7 +75,10 @@ pub struct PassManager {
 impl PassManager {
     /// An empty manager that runs each pass once, in order.
     pub fn new() -> PassManager {
-        PassManager { passes: Vec::new(), max_iterations: 1 }
+        PassManager {
+            passes: Vec::new(),
+            max_iterations: 1,
+        }
     }
 
     /// Repeats the whole pipeline until no pass reports a change, up to
@@ -189,7 +196,8 @@ mod tests {
         let mut pm = PassManager::new().with_fixpoint(10);
         pm.add(Renamer);
         let mut m = Module::new();
-        m.functions.push(Function::new("f", vec![], frost_ir::Ty::Void));
+        m.functions
+            .push(Function::new("f", vec![], frost_ir::Ty::Void));
         assert!(pm.run(&mut m));
         assert_eq!(m.functions[0].name, "f!");
         assert!(!pm.run(&mut m));

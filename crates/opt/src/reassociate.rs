@@ -52,24 +52,44 @@ fn reassociate_chain(
     uses: &HashMap<InstId, usize>,
     mode: PipelineMode,
 ) -> bool {
-    let Inst::Bin { op, flags, ty, lhs, rhs } = func.inst(id).clone() else { return false };
+    let Inst::Bin {
+        op,
+        flags,
+        ty,
+        lhs,
+        rhs,
+    } = func.inst(id).clone()
+    else {
+        return false;
+    };
     if !is_associative(op) {
         return false;
     }
-    let Some(c2) = rhs.as_int_const() else { return false };
-    let Value::Inst(inner_id) = &lhs else { return false };
+    let Some(c2) = rhs.as_int_const() else {
+        return false;
+    };
+    let Value::Inst(inner_id) = &lhs else {
+        return false;
+    };
     if uses.get(inner_id).copied().unwrap_or(0) != 1 {
         return false;
     }
-    let Inst::Bin { op: op2, flags: inner_flags, lhs: x, rhs: inner_rhs, .. } =
-        func.inst(*inner_id).clone()
+    let Inst::Bin {
+        op: op2,
+        flags: inner_flags,
+        lhs: x,
+        rhs: inner_rhs,
+        ..
+    } = func.inst(*inner_id).clone()
     else {
         return false;
     };
     if op2 != op {
         return false;
     }
-    let Some(c1) = inner_rhs.as_int_const() else { return false };
+    let Some(c1) = inner_rhs.as_int_const() else {
+        return false;
+    };
     let bits = match ty.int_bits() {
         Some(b) => b,
         None => return false,
@@ -103,7 +123,10 @@ fn reassociate_chain(
 }
 
 fn is_associative(op: BinOp) -> bool {
-    matches!(op, BinOp::Add | BinOp::Mul | BinOp::And | BinOp::Or | BinOp::Xor)
+    matches!(
+        op,
+        BinOp::Add | BinOp::Mul | BinOp::And | BinOp::Or | BinOp::Xor
+    )
 }
 
 #[cfg(test)]
@@ -140,8 +163,14 @@ entry:
         let text = function_to_string(after.function("f").unwrap());
         assert!(text.contains("add i4 %x, 3"), "{text}");
         assert_eq!(after.function("f").unwrap().placed_inst_count(), 1);
-        check_refinement(&before, "f", &after, "f", &CheckOptions::new(Semantics::proposed()))
-            .assert_refines();
+        check_refinement(
+            &before,
+            "f",
+            &after,
+            "f",
+            &CheckOptions::new(Semantics::proposed()),
+        )
+        .assert_refines();
     }
 
     #[test]
@@ -159,8 +188,14 @@ entry:
         );
         let text = function_to_string(after.function("f").unwrap());
         assert!(text.contains("add i4 %x, 0"), "flags dropped: {text}");
-        check_refinement(&before, "f", &after, "f", &CheckOptions::new(Semantics::proposed()))
-            .assert_refines();
+        check_refinement(
+            &before,
+            "f",
+            &after,
+            "f",
+            &CheckOptions::new(Semantics::proposed()),
+        )
+        .assert_refines();
     }
 
     #[test]
@@ -196,7 +231,10 @@ entry:
             "f",
             &CheckOptions::new(Semantics::proposed()),
         );
-        assert!(r.counterexample().is_some(), "§10.2 reassociation bug reproduced");
+        assert!(
+            r.counterexample().is_some(),
+            "§10.2 reassociation bug reproduced"
+        );
 
         // And the fixed variant of the same chain is sound.
         let (before, after) = run(
@@ -210,8 +248,14 @@ entry:
 "#,
             PipelineMode::Fixed,
         );
-        check_refinement(&before, "f", &after, "f", &CheckOptions::new(Semantics::proposed()))
-            .assert_refines();
+        check_refinement(
+            &before,
+            "f",
+            &after,
+            "f",
+            &CheckOptions::new(Semantics::proposed()),
+        )
+        .assert_refines();
     }
 
     #[test]
@@ -256,7 +300,13 @@ entry:
             "define i4 @f(i4 %x) {\nentry:\n  %a = mul i4 %x, 3\n  %b = mul i4 %a, 5\n  ret i4 %b\n}",
             PipelineMode::Fixed,
         );
-        check_refinement(&b4, "f", &a4, "f", &CheckOptions::new(Semantics::proposed()))
-            .assert_refines();
+        check_refinement(
+            &b4,
+            "f",
+            &a4,
+            "f",
+            &CheckOptions::new(Semantics::proposed()),
+        )
+        .assert_refines();
     }
 }

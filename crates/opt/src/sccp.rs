@@ -85,7 +85,11 @@ impl Pass for Sccp {
                 }
                 // Propagate executability.
                 match &func.block(bb).term {
-                    Terminator::Br { cond, then_bb, else_bb } => {
+                    Terminator::Br {
+                        cond,
+                        then_bb,
+                        else_bb,
+                    } => {
                         let lat = value_lat(cond, &values);
                         let (t, e) = (*then_bb, *else_bb);
                         let mark = |b: BlockId, ex: &mut Vec<bool>, ch: &mut bool| {
@@ -146,11 +150,19 @@ impl Pass for Sccp {
             }
             // Fold branches on known conditions.
             let term = func.block(bb).term.clone();
-            if let Terminator::Br { cond, then_bb, else_bb } = term {
+            if let Terminator::Br {
+                cond,
+                then_bb,
+                else_bb,
+            } = term
+            {
                 match value_lat(&cond, &values) {
                     Lat::Const(Constant::Int { value, .. }) => {
-                        let (taken, dropped) =
-                            if value == 1 { (then_bb, else_bb) } else { (else_bb, then_bb) };
+                        let (taken, dropped) = if value == 1 {
+                            (then_bb, else_bb)
+                        } else {
+                            (else_bb, then_bb)
+                        };
                         func.block_mut(bb).term = Terminator::Jmp(taken);
                         if taken != dropped {
                             remove_phi_edge(func, dropped, bb);
@@ -207,7 +219,13 @@ fn eval(func: &Function, id: InstId, values: &[Lat], executable: &[bool]) -> Lat
             }
             acc
         }
-        Inst::Bin { op, flags, ty, lhs, rhs } => {
+        Inst::Bin {
+            op,
+            flags,
+            ty,
+            lhs,
+            rhs,
+        } => {
             let (l, r) = (value_lat(lhs, values), value_lat(rhs, values));
             let bits = match ty.int_bits() {
                 Some(b) => b,
@@ -224,7 +242,10 @@ fn eval(func: &Function, id: InstId, values: &[Lat], executable: &[bool]) -> Lat
                 }
             }
             match (l, r) {
-                (Lat::Const(Constant::Int { value: a, .. }), Lat::Const(Constant::Int { value: b, .. })) => {
+                (
+                    Lat::Const(Constant::Int { value: a, .. }),
+                    Lat::Const(Constant::Int { value: b, .. }),
+                ) => {
                     match eval_binop(*op, *flags, bits, a, b) {
                         ScalarResult::Val(v) => Lat::Const(Constant::int(bits, v)),
                         ScalarResult::Poison => Lat::Const(Constant::Poison(ty.clone())),
@@ -252,7 +273,9 @@ fn eval(func: &Function, id: InstId, values: &[Lat], executable: &[bool]) -> Lat
                 _ => Lat::Top,
             }
         }
-        Inst::Select { cond, tval, fval, .. } => match value_lat(cond, values) {
+        Inst::Select {
+            cond, tval, fval, ..
+        } => match value_lat(cond, values) {
             Lat::Const(Constant::Int { value, .. }) => {
                 if value == 1 {
                     value_lat(tval, values)
@@ -263,7 +286,12 @@ fn eval(func: &Function, id: InstId, values: &[Lat], executable: &[bool]) -> Lat
             Lat::Bottom => Lat::Bottom,
             _ => Lat::Top,
         },
-        Inst::Cast { kind, from_ty, to_ty, val } => {
+        Inst::Cast {
+            kind,
+            from_ty,
+            to_ty,
+            val,
+        } => {
             let (Some(fb), Some(tb)) = (from_ty.int_bits(), to_ty.int_bits()) else {
                 return Lat::Top;
             };
@@ -271,9 +299,7 @@ fn eval(func: &Function, id: InstId, values: &[Lat], executable: &[bool]) -> Lat
                 Lat::Const(Constant::Int { value, .. }) => {
                     Lat::Const(Constant::int(tb, eval_cast(*kind, fb, tb, value)))
                 }
-                Lat::Const(c) if c.contains_poison() => {
-                    Lat::Const(Constant::Poison(to_ty.clone()))
-                }
+                Lat::Const(c) if c.contains_poison() => Lat::Const(Constant::Poison(to_ty.clone())),
                 Lat::Bottom => Lat::Bottom,
                 _ => Lat::Top,
             }
@@ -326,8 +352,14 @@ m:
         );
         let text = function_to_string(after.function("f").unwrap());
         assert!(text.contains("ret i4 4"), "{text}");
-        check_refinement(&before, "f", &after, "f", &CheckOptions::new(Semantics::proposed()))
-            .assert_refines();
+        check_refinement(
+            &before,
+            "f",
+            &after,
+            "f",
+            &CheckOptions::new(Semantics::proposed()),
+        )
+        .assert_refines();
     }
 
     #[test]
@@ -348,8 +380,14 @@ b:
         );
         let text = function_to_string(after.function("f").unwrap());
         assert!(text.contains("br label %a"), "{text}");
-        check_refinement(&before, "f", &after, "f", &CheckOptions::new(Semantics::proposed()))
-            .assert_refines();
+        check_refinement(
+            &before,
+            "f",
+            &after,
+            "f",
+            &CheckOptions::new(Semantics::proposed()),
+        )
+        .assert_refines();
     }
 
     #[test]
@@ -398,8 +436,14 @@ b:
         );
         let text = function_to_string(after.function("f").unwrap());
         assert!(text.contains("unreachable"), "{text}");
-        check_refinement(&before, "f", &after, "f", &CheckOptions::new(Semantics::proposed()))
-            .assert_refines();
+        check_refinement(
+            &before,
+            "f",
+            &after,
+            "f",
+            &CheckOptions::new(Semantics::proposed()),
+        )
+        .assert_refines();
     }
 
     #[test]
@@ -417,8 +461,14 @@ entry:
         );
         let text = function_to_string(after.function("f").unwrap());
         assert!(text.contains("ret i4 poison"), "{text}");
-        check_refinement(&before, "f", &after, "f", &CheckOptions::new(Semantics::proposed()))
-            .assert_refines();
+        check_refinement(
+            &before,
+            "f",
+            &after,
+            "f",
+            &CheckOptions::new(Semantics::proposed()),
+        )
+        .assert_refines();
     }
 
     #[test]
@@ -447,7 +497,13 @@ entry:
         );
         let text = function_to_string(after.function("f").unwrap());
         assert!(text.contains("select i1 1, i4 %x, i4 0"), "{text}");
-        check_refinement(&before, "f", &after, "f", &CheckOptions::new(Semantics::proposed()))
-            .assert_refines();
+        check_refinement(
+            &before,
+            "f",
+            &after,
+            "f",
+            &CheckOptions::new(Semantics::proposed()),
+        )
+        .assert_refines();
     }
 }

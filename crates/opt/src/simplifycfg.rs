@@ -71,7 +71,12 @@ pub fn phi_to_select(func: &mut Function) -> bool {
     let mut changed = false;
     let preds = func.predecessors();
     for e in func.block_ids().collect::<Vec<_>>() {
-        let Terminator::Br { cond, then_bb, else_bb } = func.block(e).term.clone() else {
+        let Terminator::Br {
+            cond,
+            then_bb,
+            else_bb,
+        } = func.block(e).term.clone()
+        else {
             continue;
         };
         if then_bb == else_bb || then_bb == e || else_bb == e {
@@ -85,8 +90,12 @@ pub fn phi_to_select(func: &mut Function) -> bool {
         if !arm_ok(then_bb) || !arm_ok(else_bb) {
             continue;
         }
-        let Terminator::Jmp(m1) = func.block(then_bb).term else { continue };
-        let Terminator::Jmp(m2) = func.block(else_bb).term else { continue };
+        let Terminator::Jmp(m1) = func.block(then_bb).term else {
+            continue;
+        };
+        let Terminator::Jmp(m2) = func.block(else_bb).term else {
+            continue;
+        };
         if m1 != m2 || m1 == e {
             continue;
         }
@@ -107,7 +116,9 @@ pub fn phi_to_select(func: &mut Function) -> bool {
         let mut ok = true;
         let mut rewrites = Vec::new();
         for id in &phi_ids {
-            let Inst::Phi { ty, incoming } = func.inst(*id) else { unreachable!() };
+            let Inst::Phi { ty, incoming } = func.inst(*id) else {
+                unreachable!()
+            };
             let mut tv = None;
             let mut fv = None;
             for (v, from) in incoming {
@@ -128,9 +139,19 @@ pub fn phi_to_select(func: &mut Function) -> bool {
             continue;
         }
         for (id, ty, tval, fval) in rewrites {
-            *func.inst_mut(id) = Inst::Select { cond: cond.clone(), ty, tval, fval };
+            *func.inst_mut(id) = Inst::Select {
+                cond: cond.clone(),
+                ty,
+                tval,
+                fval,
+            };
             // Move the (former phi, now select) from the merge block to E.
-            let pos = func.block(merge).insts.iter().position(|&i| i == id).expect("in block");
+            let pos = func
+                .block(merge)
+                .insts
+                .iter()
+                .position(|&i| i == id)
+                .expect("in block");
             func.block_mut(merge).insts.remove(pos);
             func.block_mut(e).insts.push(id);
         }
@@ -149,11 +170,18 @@ pub fn merge_straight_line_blocks(func: &mut Function) -> bool {
         let preds = func.predecessors();
         let mut merged = false;
         for a in func.block_ids().collect::<Vec<_>>() {
-            let Terminator::Jmp(b) = func.block(a).term else { continue };
+            let Terminator::Jmp(b) = func.block(a).term else {
+                continue;
+            };
             if b == a || preds[b.index()].len() != 1 {
                 continue;
             }
-            if func.block(b).insts.iter().any(|&id| matches!(func.inst(id), Inst::Phi { .. })) {
+            if func
+                .block(b)
+                .insts
+                .iter()
+                .any(|&id| matches!(func.inst(id), Inst::Phi { .. }))
+            {
                 // Single-entry phis are cleaned by the caller first.
                 continue;
             }
@@ -217,8 +245,14 @@ m:
         assert!(text.contains("select i1 %c, i4 %a, i4 %b"), "{text}");
         assert!(!text.contains("phi"), "{text}");
         // Sound under the proposed semantics...
-        check_refinement(&before, "f", &after, "f", &CheckOptions::new(Semantics::proposed()))
-            .assert_refines();
+        check_refinement(
+            &before,
+            "f",
+            &after,
+            "f",
+            &CheckOptions::new(Semantics::proposed()),
+        )
+        .assert_refines();
     }
 
     #[test]
@@ -234,7 +268,9 @@ m:
             "f",
             &CheckOptions::new(Semantics::legacy_gvn()),
         );
-        let ce = r.counterexample().expect("poison arm breaks the legacy reading");
+        let ce = r
+            .counterexample()
+            .expect("poison arm breaks the legacy reading");
         assert!(ce.args.iter().any(|a| a == &frost_core::Val::Poison));
     }
 
@@ -260,8 +296,14 @@ c:
         let f = after.function("f").unwrap();
         let text = function_to_string(f);
         assert!(!text.contains("phi"), "{text}");
-        check_refinement(&before, "f", &after, "f", &CheckOptions::new(Semantics::proposed()))
-            .assert_refines();
+        check_refinement(
+            &before,
+            "f",
+            &after,
+            "f",
+            &CheckOptions::new(Semantics::proposed()),
+        )
+        .assert_refines();
         // Everything collapses into the entry block.
         let live: usize = f
             .block_ids()
@@ -292,8 +334,14 @@ m:
         );
         let text = function_to_string(after.function("f").unwrap());
         assert!(text.contains("phi"), "side-effecting arm survives: {text}");
-        check_refinement(&before, "f", &after, "f", &CheckOptions::new(Semantics::proposed()))
-            .assert_refines();
+        check_refinement(
+            &before,
+            "f",
+            &after,
+            "f",
+            &CheckOptions::new(Semantics::proposed()),
+        )
+        .assert_refines();
     }
 
     #[test]

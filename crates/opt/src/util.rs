@@ -21,7 +21,13 @@ pub fn guaranteed_not_poison(func: &Function, v: &Value, depth: u32) -> bool {
             }
             match func.inst(*id) {
                 Inst::Freeze { .. } => true,
-                Inst::Bin { op, flags, lhs, rhs, .. } => {
+                Inst::Bin {
+                    op,
+                    flags,
+                    lhs,
+                    rhs,
+                    ..
+                } => {
                     // Without poison-producing attributes, a binop is
                     // poison only if an operand is. Shifts can produce
                     // poison from defined operands (shift past width);
@@ -29,8 +35,7 @@ pub fn guaranteed_not_poison(func: &Function, v: &Value, depth: u32) -> bool {
                     let shift_ok = match op {
                         BinOp::Shl | BinOp::LShr | BinOp::AShr => match rhs.as_int_const() {
                             Some(amt) => {
-                                let bits =
-                                    func.value_ty(lhs).scalar_ty().int_bits().unwrap_or(0);
+                                let bits = func.value_ty(lhs).scalar_ty().int_bits().unwrap_or(0);
                                 amt < u128::from(bits)
                             }
                             None => false,
@@ -49,7 +54,9 @@ pub fn guaranteed_not_poison(func: &Function, v: &Value, depth: u32) -> bool {
                 Inst::Cast { val, .. } | Inst::Bitcast { val, .. } => {
                     guaranteed_not_poison(func, val, depth - 1)
                 }
-                Inst::Select { cond, tval, fval, .. } => {
+                Inst::Select {
+                    cond, tval, fval, ..
+                } => {
                     guaranteed_not_poison(func, cond, depth - 1)
                         && guaranteed_not_poison(func, tval, depth - 1)
                         && guaranteed_not_poison(func, fval, depth - 1)
@@ -185,7 +192,10 @@ pub fn clone_region(func: &mut Function, blocks: &[BlockId], suffix: &str) -> Cl
         term.map_successors(|s| block_map.get(&s).copied().unwrap_or(s));
         func.block_mut(new_bb).term = term;
     }
-    ClonedRegion { block_map, inst_map }
+    ClonedRegion {
+        block_map,
+        inst_map,
+    }
 }
 
 /// Folds `br` on a constant condition into an unconditional branch,
@@ -193,15 +203,28 @@ pub fn clone_region(func: &mut Function, blocks: &[BlockId], suffix: &str) -> Cl
 pub fn fold_constant_branches(func: &mut Function) -> bool {
     let mut changed = false;
     for bb in func.block_ids().collect::<Vec<_>>() {
-        let Terminator::Br { cond, then_bb, else_bb } = &func.block(bb).term else { continue };
+        let Terminator::Br {
+            cond,
+            then_bb,
+            else_bb,
+        } = &func.block(bb).term
+        else {
+            continue;
+        };
         let (then_bb, else_bb) = (*then_bb, *else_bb);
         if then_bb == else_bb {
             func.block_mut(bb).term = Terminator::Jmp(then_bb);
             changed = true;
             continue;
         }
-        let Some(c) = cond.as_const().and_then(Constant::as_int) else { continue };
-        let (taken, dropped) = if c == 1 { (then_bb, else_bb) } else { (else_bb, then_bb) };
+        let Some(c) = cond.as_const().and_then(Constant::as_int) else {
+            continue;
+        };
+        let (taken, dropped) = if c == 1 {
+            (then_bb, else_bb)
+        } else {
+            (else_bb, then_bb)
+        };
         func.block_mut(bb).term = Terminator::Jmp(taken);
         remove_phi_edge(func, dropped, bb);
         changed = true;
@@ -226,9 +249,15 @@ mod tests {
         let f = b.finish();
         assert!(guaranteed_not_poison(&f, &fr, 8));
         assert!(guaranteed_not_poison(&f, &plain, 8));
-        assert!(!guaranteed_not_poison(&f, &flagged, 8), "nsw can produce poison");
+        assert!(
+            !guaranteed_not_poison(&f, &flagged, 8),
+            "nsw can produce poison"
+        );
         assert!(guaranteed_not_poison(&f, &shifted, 8));
-        assert!(!guaranteed_not_poison(&f, &shifted_bad, 8), "variable shift amount");
+        assert!(
+            !guaranteed_not_poison(&f, &shifted_bad, 8),
+            "variable shift amount"
+        );
         assert!(!guaranteed_not_poison(&f, &Value::Arg(0), 8));
         assert!(guaranteed_not_poison(&f, &Value::int(8, 3), 8));
         assert!(!guaranteed_not_poison(&f, &Value::poison(Ty::i8()), 8));
@@ -294,7 +323,9 @@ mod tests {
         let new_body = region.block_map[&body];
         // The cloned header's branch goes to the cloned body.
         match &f.block(new_head).term {
-            Terminator::Br { then_bb, else_bb, .. } => {
+            Terminator::Br {
+                then_bb, else_bb, ..
+            } => {
                 assert_eq!(*then_bb, new_body);
                 assert_eq!(*else_bb, exit, "exits outside the region are untouched");
             }
@@ -303,10 +334,11 @@ mod tests {
         // The cloned phi's back edge comes from the cloned body and uses
         // the cloned increment.
         let phi_id = f.block(new_head).insts[0];
-        let Inst::Phi { incoming, .. } = f.inst(phi_id) else { panic!() };
+        let Inst::Phi { incoming, .. } = f.inst(phi_id) else {
+            panic!()
+        };
         assert!(incoming.iter().any(|(v, from)| {
-            *from == new_body
-                && *v == Value::Inst(region.inst_map[&i1.as_inst().unwrap()])
+            *from == new_body && *v == Value::Inst(region.inst_map[&i1.as_inst().unwrap()])
         }));
     }
 

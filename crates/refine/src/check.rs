@@ -1,11 +1,13 @@
 //! End-to-end refinement checking of function pairs (translation
 //! validation, à la Alive).
 
+use std::collections::hash_map::DefaultHasher;
 use std::fmt;
+use std::hash::{Hash, Hasher};
 
 use frost_core::{
-    enumerate_outcomes, uninit_fill, ExecError, Limits, Memory, Outcome, OutcomeSet, Semantics,
-    Val,
+    enumerate_outcomes, uninit_fill, ExecError, Limits, Memory, Outcome, OutcomeCache, OutcomeSet,
+    Semantics, Val,
 };
 use frost_ir::{Function, Module, Ty};
 
@@ -13,6 +15,18 @@ use crate::inputs::{enumerate_inputs, InputOptions};
 use crate::lattice::{set_refines, unjustified};
 
 /// Configuration of a refinement check.
+///
+/// Build with [`CheckOptions::new`] (one semantics for both sides) or
+/// [`CheckOptions::between`] (migration questions), then chain the
+/// `with_*` knobs:
+///
+/// ```
+/// use frost_core::{Limits, Semantics};
+/// use frost_refine::CheckOptions;
+/// let opts = CheckOptions::new(Semantics::proposed())
+///     .with_limits(Limits { max_states: 1 << 20, ..Limits::default() });
+/// assert_eq!(opts.limits.max_states, 1 << 20);
+/// ```
 #[derive(Clone, Copy, Debug)]
 pub struct CheckOptions {
     /// Semantics the *source* function is evaluated under.
@@ -31,12 +45,33 @@ impl CheckOptions {
     /// Checks source and target under the same semantics, with undef
     /// inputs exactly when that semantics has undef.
     pub fn new(sem: Semantics) -> CheckOptions {
+        CheckOptions::between(sem, sem)
+    }
+
+    /// Checks the source under `src_sem` and the target under
+    /// `tgt_sem` — the migration question of §7: is code compiled under
+    /// one model still correct under another? Undef inputs follow the
+    /// *source* semantics (inputs are fed to both sides).
+    pub fn between(src_sem: Semantics, tgt_sem: Semantics) -> CheckOptions {
         CheckOptions {
-            src_sem: sem,
-            tgt_sem: sem,
+            src_sem,
+            tgt_sem,
             limits: Limits::default(),
-            inputs: InputOptions { include_undef: sem.has_undef, ..InputOptions::default() },
+            inputs: InputOptions::new().with_undef(src_sem.has_undef),
         }
+    }
+
+    /// Returns these options with the given per-enumeration execution
+    /// limits.
+    #[must_use]
+    pub fn with_limits(self, limits: Limits) -> CheckOptions {
+        CheckOptions { limits, ..self }
+    }
+
+    /// Returns these options with the given input-enumeration options.
+    #[must_use]
+    pub fn with_inputs(self, inputs: InputOptions) -> CheckOptions {
+        CheckOptions { inputs, ..self }
     }
 }
 
@@ -171,24 +206,109 @@ pub fn check_refinement(
             Err(e) => return inconclusive(e, &args, "target"),
         };
         if !set_refines(&tgt, &src) {
-            let witness = unjustified(&tgt, &src)
-                .first()
-                .map(|o| (*o).clone())
-                .expect("non-refining set has an unjustified outcome");
-            return CheckResult::CounterExample(Box::new(CounterExample {
-                args,
-                src_outcomes: src,
-                tgt_outcomes: tgt,
-                witness,
-            }));
+            return violation(args, src, tgt);
         }
     }
     CheckResult::Refines
 }
 
+/// [`check_refinement`], but with every outcome enumeration memoized in
+/// `cache`. Campaign corpora are massively redundant (no-op transforms,
+/// canonical forms shared by thousands of inputs), so a shared cache
+/// eliminates most interpreter work; see
+/// [`OutcomeCache`](frost_core::OutcomeCache).
+///
+/// The verdict is *identical* to the uncached checker's on every pair —
+/// including which input an inconclusive check blames — because the
+/// cache stores per-input results. The only difference is cost: a
+/// cached check enumerates the whole input list up front (cacheable)
+/// instead of stopping at the first violation.
+pub fn check_refinement_cached(
+    src_module: &Module,
+    src_fn: &str,
+    tgt_module: &Module,
+    tgt_fn: &str,
+    opts: &CheckOptions,
+    cache: &OutcomeCache,
+) -> CheckResult {
+    let (Some(sf), Some(tf)) = (src_module.function(src_fn), tgt_module.function(tgt_fn)) else {
+        return CheckResult::Inconclusive("function not found".to_string());
+    };
+    if !signatures_match(sf, tf) {
+        return CheckResult::Inconclusive("signature mismatch".to_string());
+    }
+    let Some((tuples, mem_bytes)) = enumerate_inputs(sf, &opts.inputs) else {
+        return CheckResult::Inconclusive("input space too large to enumerate".to_string());
+    };
+    let salt = input_salt(&opts.inputs, mem_bytes);
+    let src_mem = Memory::uninit(mem_bytes, uninit_fill(&opts.src_sem));
+    let tgt_mem = Memory::uninit(mem_bytes, uninit_fill(&opts.tgt_sem));
+    let src_all = cache.enumerate(
+        src_module,
+        src_fn,
+        &tuples,
+        &src_mem,
+        opts.src_sem,
+        opts.limits,
+        salt,
+    );
+    let tgt_all = cache.enumerate(
+        tgt_module,
+        tgt_fn,
+        &tuples,
+        &tgt_mem,
+        opts.tgt_sem,
+        opts.limits,
+        salt,
+    );
+
+    for (i, args) in tuples.iter().enumerate() {
+        let src = match &src_all[i] {
+            Ok(s) => s,
+            Err(e) => return inconclusive(e.clone(), args, "source"),
+        };
+        if src.may_ub() {
+            continue; // source UB grants total freedom on this input
+        }
+        let tgt = match &tgt_all[i] {
+            Ok(s) => s,
+            Err(e) => return inconclusive(e.clone(), args, "target"),
+        };
+        if !set_refines(tgt, src) {
+            return violation(args.clone(), src.clone(), tgt.clone());
+        }
+    }
+    CheckResult::Refines
+}
+
+/// Fingerprint of everything that shapes enumeration besides the
+/// (function, semantics, limits) cache key.
+fn input_salt(opts: &InputOptions, mem_bytes: u32) -> u64 {
+    let mut h = DefaultHasher::new();
+    opts.hash(&mut h);
+    mem_bytes.hash(&mut h);
+    h.finish()
+}
+
+fn violation(args: Vec<Val>, src: OutcomeSet, tgt: OutcomeSet) -> CheckResult {
+    let witness = unjustified(&tgt, &src)
+        .first()
+        .map(|o| (*o).clone())
+        .expect("non-refining set has an unjustified outcome");
+    CheckResult::CounterExample(Box::new(CounterExample {
+        args,
+        src_outcomes: src,
+        tgt_outcomes: tgt,
+        witness,
+    }))
+}
+
 fn inconclusive(e: ExecError, args: &[Val], which: &str) -> CheckResult {
     let args: Vec<String> = args.iter().map(Val::to_string).collect();
-    CheckResult::Inconclusive(format!("{which} evaluation failed on ({}): {e}", args.join(", ")))
+    CheckResult::Inconclusive(format!(
+        "{which} evaluation failed on ({}): {e}",
+        args.join(", ")
+    ))
 }
 
 /// Checks that applying `transform` to the single function named
@@ -241,10 +361,14 @@ mod tests {
         // a + b > a  ==>  b > 0 requires nsw (§2.3).
         let src_nsw = "define i1 @f(i4 %a, i4 %b) {\nentry:\n  %add = add nsw i4 %a, %b\n  %cmp = icmp sgt i4 %add, %a\n  ret i1 %cmp\n}";
         let src_wrap = "define i1 @f(i4 %a, i4 %b) {\nentry:\n  %add = add i4 %a, %b\n  %cmp = icmp sgt i4 %add, %a\n  ret i1 %cmp\n}";
-        let tgt = "define i1 @f(i4 %a, i4 %b) {\nentry:\n  %cmp = icmp sgt i4 %b, 0\n  ret i1 %cmp\n}";
+        let tgt =
+            "define i1 @f(i4 %a, i4 %b) {\nentry:\n  %cmp = icmp sgt i4 %b, 0\n  ret i1 %cmp\n}";
         check_src_tgt(src_nsw, tgt, Semantics::proposed()).assert_refines();
         let r = check_src_tgt(src_wrap, tgt, Semantics::proposed());
-        assert!(r.counterexample().is_some(), "without nsw the transform is wrong");
+        assert!(
+            r.counterexample().is_some(),
+            "without nsw the transform is wrong"
+        );
     }
 
     #[test]
@@ -285,7 +409,9 @@ mod tests {
         let src = "define i2 @f(i2 %x) {\nentry:\n  ret i2 %x\n}";
         let tgt = "define i2 @f(i2 %x) {\nentry:\n  %a = udiv i2 1, %x\n  ret i2 %x\n}";
         let r = check_src_tgt(src, tgt, Semantics::proposed());
-        let ce = r.counterexample().expect("x = 0 triggers UB only in target");
+        let ce = r
+            .counterexample()
+            .expect("x = 0 triggers UB only in target");
         assert!(ce.tgt_outcomes.may_ub());
     }
 
@@ -302,6 +428,55 @@ mod tests {
         });
         result.assert_refines();
         assert_eq!(after.function("f").unwrap().placed_inst_count(), 0);
+    }
+
+    #[test]
+    fn cached_checker_matches_uncached_verdicts() {
+        use frost_core::OutcomeCache;
+        let pairs = [
+            // refinement
+            (
+                "define i2 @f(i2 %x) {\nentry:\n  %a = add i2 %x, 0\n  ret i2 %a\n}",
+                "define i2 @f(i2 %x) {\nentry:\n  ret i2 %x\n}",
+            ),
+            // violation (freeze removal)
+            (
+                "define i2 @f(i2 %x) {\nentry:\n  %y = freeze i2 %x\n  ret i2 %y\n}",
+                "define i2 @f(i2 %x) {\nentry:\n  ret i2 %x\n}",
+            ),
+            // identity (exercises the canonical-text hit across pairs)
+            (
+                "define i2 @f(i2 %x) {\nentry:\n  ret i2 %x\n}",
+                "define i2 @f(i2 %x) {\nentry:\n  ret i2 %x\n}",
+            ),
+        ];
+        let cache = OutcomeCache::new();
+        let opts = CheckOptions::new(Semantics::proposed());
+        for (src, tgt) in pairs {
+            let sm = parse_module(src).unwrap();
+            let tm = parse_module(tgt).unwrap();
+            let fresh = check_refinement(&sm, "f", &tm, "f", &opts);
+            let cached = check_refinement_cached(&sm, "f", &tm, "f", &opts, &cache);
+            assert_eq!(fresh.is_refinement(), cached.is_refinement());
+            match (fresh.counterexample(), cached.counterexample()) {
+                (None, None) => {}
+                (Some(a), Some(b)) => {
+                    assert_eq!(a.args, b.args);
+                    assert_eq!(a.witness, b.witness);
+                }
+                _ => panic!("cached and uncached disagree"),
+            }
+        }
+        // `ret i2 %x` appears as source and target: the cache must hit.
+        assert!(cache.hits() > 0);
+    }
+
+    #[test]
+    fn between_separates_source_and_target_semantics() {
+        let opts = CheckOptions::between(Semantics::legacy_gvn(), Semantics::proposed());
+        assert!(opts.src_sem.has_undef);
+        assert!(!opts.tgt_sem.has_undef);
+        assert!(opts.inputs.include_undef, "undef inputs follow the source");
     }
 
     #[test]

@@ -10,7 +10,15 @@ use frost_core::{poison_of, undef_of, Memory, Val};
 use frost_ir::{Function, Ty};
 
 /// Options controlling input enumeration.
-#[derive(Clone, Copy, Debug)]
+///
+/// Build with [`InputOptions::new`] and the `with_*` knobs:
+///
+/// ```
+/// use frost_refine::InputOptions;
+/// let opts = InputOptions::new().with_undef(true).with_max_tuples(1 << 10);
+/// assert!(opts.include_undef);
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
 pub struct InputOptions {
     /// Include `poison` among the argument values.
     pub include_poison: bool,
@@ -35,11 +43,63 @@ impl Default for InputOptions {
     }
 }
 
+impl InputOptions {
+    /// The default enumeration: poison included, undef excluded, 4
+    /// bytes of memory per pointer, at most 2¹⁶ tuples.
+    pub fn new() -> InputOptions {
+        InputOptions::default()
+    }
+
+    /// Returns these options with `poison` included among (or excluded
+    /// from) the argument values.
+    #[must_use]
+    pub fn with_poison(self, include_poison: bool) -> InputOptions {
+        InputOptions {
+            include_poison,
+            ..self
+        }
+    }
+
+    /// Returns these options with `undef` included among (or excluded
+    /// from) the argument values. Only meaningful under legacy
+    /// semantics; [`CheckOptions::new`](crate::CheckOptions::new)
+    /// already follows `sem.has_undef`.
+    #[must_use]
+    pub fn with_undef(self, include_undef: bool) -> InputOptions {
+        InputOptions {
+            include_undef,
+            ..self
+        }
+    }
+
+    /// Returns these options with the given test-memory allotment per
+    /// pointer parameter.
+    #[must_use]
+    pub fn with_bytes_per_pointer(self, bytes_per_pointer: u32) -> InputOptions {
+        InputOptions {
+            bytes_per_pointer,
+            ..self
+        }
+    }
+
+    /// Returns these options with the given cap on enumerated argument
+    /// tuples.
+    #[must_use]
+    pub fn with_max_tuples(self, max_tuples: usize) -> InputOptions {
+        InputOptions { max_tuples, ..self }
+    }
+}
+
 /// The candidate values for one parameter of type `ty`.
 ///
 /// Returns `None` if the type's domain cannot be enumerated within
 /// `cap` values.
-pub fn param_values(ty: &Ty, next_ptr_base: &mut u32, opts: &InputOptions, cap: usize) -> Option<Vec<Val>> {
+pub fn param_values(
+    ty: &Ty,
+    next_ptr_base: &mut u32,
+    opts: &InputOptions,
+    cap: usize,
+) -> Option<Vec<Val>> {
     match ty {
         Ty::Int(_) => {
             let mut vals = frost_core::enumerate_scalar(ty, cap)?;
@@ -142,7 +202,7 @@ mod tests {
     #[test]
     fn undef_included_when_requested() {
         let f = fn_with(&[("x", Ty::Int(1))]);
-        let opts = InputOptions { include_undef: true, ..InputOptions::default() };
+        let opts = InputOptions::new().with_undef(true);
         let (tuples, _) = enumerate_inputs(&f, &opts).unwrap();
         assert_eq!(tuples.len(), 4); // false, true, poison, undef
     }
@@ -150,7 +210,7 @@ mod tests {
     #[test]
     fn pointers_get_disjoint_cells() {
         let f = fn_with(&[("p", Ty::ptr_to(Ty::i8())), ("q", Ty::ptr_to(Ty::i8()))]);
-        let opts = InputOptions { include_poison: false, ..InputOptions::default() };
+        let opts = InputOptions::new().with_poison(false);
         let (tuples, mem) = enumerate_inputs(&f, &opts).unwrap();
         assert_eq!(tuples.len(), 1);
         assert_eq!(mem, 8);
@@ -168,7 +228,7 @@ mod tests {
     fn overflow_of_cap_returns_none() {
         let f = fn_with(&[("x", Ty::i32())]);
         assert!(enumerate_inputs(&f, &InputOptions::default()).is_none());
-        let opts = InputOptions { max_tuples: 100, ..InputOptions::default() };
+        let opts = InputOptions::new().with_max_tuples(100);
         let h = fn_with(&[("x", Ty::Int(4)), ("y", Ty::Int(4))]);
         assert!(enumerate_inputs(&h, &opts).is_none());
     }
@@ -176,7 +236,7 @@ mod tests {
     #[test]
     fn vector_params_enumerate_per_element() {
         let f = fn_with(&[("v", Ty::vector(2, Ty::Int(1)))]);
-        let opts = InputOptions { include_poison: true, ..InputOptions::default() };
+        let opts = InputOptions::new().with_poison(true);
         let (tuples, _) = enumerate_inputs(&f, &opts).unwrap();
         // 3 choices per element (0, 1, poison), 2 elements.
         assert_eq!(tuples.len(), 9);

@@ -66,8 +66,16 @@ pub fn outcome_refines(tgt: &Outcome, src: &Outcome) -> bool {
         (_, Outcome::Ub) => true,
         (Outcome::Ub, _) => false,
         (
-            Outcome::Ret { val: tv, mem: tm, trace: tt },
-            Outcome::Ret { val: sv, mem: sm, trace: st },
+            Outcome::Ret {
+                val: tv,
+                mem: tm,
+                trace: tt,
+            },
+            Outcome::Ret {
+                val: sv,
+                mem: sm,
+                trace: st,
+            },
         ) => {
             let val_ok = match (tv, sv) {
                 (None, None) => true,
@@ -94,7 +102,8 @@ pub fn set_refines(tgt: &OutcomeSet, src: &OutcomeSet) -> bool {
     if src.may_ub() {
         return true;
     }
-    tgt.iter().all(|t| src.iter().any(|s| outcome_refines(t, s)))
+    tgt.iter()
+        .all(|t| src.iter().any(|s| outcome_refines(t, s)))
 }
 
 /// The target outcomes not justified by any source outcome (empty iff
@@ -103,7 +112,9 @@ pub fn unjustified<'a>(tgt: &'a OutcomeSet, src: &OutcomeSet) -> Vec<&'a Outcome
     if src.may_ub() {
         return Vec::new();
     }
-    tgt.iter().filter(|t| !src.iter().any(|s| outcome_refines(t, s))).collect()
+    tgt.iter()
+        .filter(|t| !src.iter().any(|s| outcome_refines(t, s)))
+        .collect()
 }
 
 #[cfg(test)]
@@ -112,7 +123,11 @@ mod tests {
     use frost_ir::Ty;
 
     fn ret(v: Val) -> Outcome {
-        Outcome::Ret { val: Some(v), mem: Vec::new(), trace: Vec::new() }
+        Outcome::Ret {
+            val: Some(v),
+            mem: Vec::new(),
+            trace: Vec::new(),
+        }
     }
 
     #[test]
@@ -128,7 +143,10 @@ mod tests {
         let u = Val::Undef(Ty::i8());
         assert!(val_refines(&Val::int(8, 9), &u));
         assert!(val_refines(&u, &u));
-        assert!(!val_refines(&Val::Poison, &u), "poison is stronger than undef (§3.4)");
+        assert!(
+            !val_refines(&Val::Poison, &u),
+            "poison is stronger than undef (§3.4)"
+        );
         assert!(!val_refines(&u, &Val::int(8, 9)));
     }
 
@@ -218,7 +236,11 @@ mod tests {
         let mk = |callee: &str, arg: Val| Outcome::Ret {
             val: None,
             mem: Vec::new(),
-            trace: vec![Event { callee: callee.into(), args: vec![arg], ret: None }],
+            trace: vec![Event {
+                callee: callee.into(),
+                args: vec![arg],
+                ret: None,
+            }],
         };
         let mut src = OutcomeSet::new();
         src.insert(mk("use", Val::int(8, 1)));

@@ -38,6 +38,9 @@ pub mod check;
 pub mod inputs;
 pub mod lattice;
 
-pub use check::{check_refinement, check_transform, CheckOptions, CheckResult, CounterExample};
+pub use check::{
+    check_refinement, check_refinement_cached, check_transform, CheckOptions, CheckResult,
+    CounterExample,
+};
 pub use inputs::{enumerate_inputs, InputOptions};
 pub use lattice::{bit_refines, mem_refines, outcome_refines, set_refines, val_refines};

@@ -144,14 +144,19 @@ mod tests {
     fn all_workloads_compile_under_both_lowerings() {
         for w in all_workloads() {
             for freeze in [true, false] {
-                let opts = CodegenOptions { freeze_bitfields: freeze, emit_wrap_flags: true };
+                let opts = CodegenOptions {
+                    freeze_bitfields: freeze,
+                    emit_wrap_flags: true,
+                };
                 let m = w.compile(&opts).unwrap_or_else(|e| {
-                    panic!("workload {} fails to compile (freeze={freeze}): {e}", w.name)
+                    panic!(
+                        "workload {} fails to compile (freeze={freeze}): {e}",
+                        w.name
+                    )
                 });
-                frost_ir::verify::verify_module(&m, frost_ir::VerifyMode::Legacy)
-                    .unwrap_or_else(|e| {
-                        panic!("workload {} fails verification: {}", w.name, e.join("; "))
-                    });
+                frost_ir::verify::verify_module(&m, frost_ir::VerifyMode::Legacy).unwrap_or_else(
+                    |e| panic!("workload {} fails verification: {}", w.name, e.join("; ")),
+                );
             }
         }
     }
@@ -195,7 +200,10 @@ mod tests {
             .freeze_count();
         assert!(with > 0, "freeze instructions from bit-field stores");
         let without = w
-            .compile(&CodegenOptions { freeze_bitfields: false, emit_wrap_flags: true })
+            .compile(&CodegenOptions {
+                freeze_bitfields: false,
+                emit_wrap_flags: true,
+            })
             .unwrap()
             .freeze_count();
         assert_eq!(without, 0);

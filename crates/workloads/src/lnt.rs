@@ -148,7 +148,12 @@ int run(int *a, int *b, int *c, int n) {
     return t;
 }
 "#,
-            vec![ArgSpec::Ptr(0), ArgSpec::Ptr(1024), ArgSpec::Ptr(2048), ArgSpec::Int(16)],
+            vec![
+                ArgSpec::Ptr(0),
+                ArgSpec::Ptr(1024),
+                ArgSpec::Ptr(2048),
+                ArgSpec::Int(16),
+            ],
             3072,
             0x3a3a,
         ),
@@ -487,7 +492,12 @@ long run(int *a, int *b, int n, int rounds) {
     return acc;
 }
 "#,
-            vec![ArgSpec::Ptr(0), ArgSpec::Ptr(2048), ArgSpec::Int(512), ArgSpec::Int(40)],
+            vec![
+                ArgSpec::Ptr(0),
+                ArgSpec::Ptr(2048),
+                ArgSpec::Int(512),
+                ArgSpec::Int(40),
+            ],
             4096,
             0xd07b,
         ),

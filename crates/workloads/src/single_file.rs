@@ -145,7 +145,12 @@ int run(char *pages, int *scratch, int npages, int queries) {
     return hits;
 }
 "#,
-            vec![ArgSpec::Ptr(0), ArgSpec::Ptr(8192), ArgSpec::Int(16), ArgSpec::Int(800)],
+            vec![
+                ArgSpec::Ptr(0),
+                ArgSpec::Ptr(8192),
+                ArgSpec::Int(16),
+                ArgSpec::Int(800),
+            ],
             8192 + 64,
             0x5917,
         ),

@@ -14,7 +14,15 @@ fn w(
     mem_bytes: u32,
     mem_seed: u64,
 ) -> Workload {
-    Workload { name, suite, source: source.to_string(), entry, args, mem_bytes, mem_seed }
+    Workload {
+        name,
+        suite,
+        source: source.to_string(),
+        entry,
+        args,
+        mem_bytes,
+        mem_seed,
+    }
 }
 
 /// The 12 CINT workloads.
@@ -205,7 +213,12 @@ int run(int *vrow, int *seq, int cols, int rows) {
 }
 "#,
             "run",
-            vec![ArgSpec::Ptr(0), ArgSpec::Ptr(1024), ArgSpec::Int(256), ArgSpec::Int(220)],
+            vec![
+                ArgSpec::Ptr(0),
+                ArgSpec::Ptr(1024),
+                ArgSpec::Int(256),
+                ArgSpec::Int(220),
+            ],
             1024 + 1024,
             0x4a3e,
         ),
@@ -290,7 +303,12 @@ int run(char *cur, char *ref, int width, int blocks) {
 }
 "#,
             "run",
-            vec![ArgSpec::Ptr(0), ArgSpec::Ptr(2048), ArgSpec::Int(128), ArgSpec::Int(600)],
+            vec![
+                ArgSpec::Ptr(0),
+                ArgSpec::Ptr(2048),
+                ArgSpec::Int(128),
+                ArgSpec::Int(600),
+            ],
             4096,
             0x8264,
         ),
@@ -582,7 +600,12 @@ long run(long *feat, long *mean, int frames, int dims) {
 }
 "#,
             "run",
-            vec![ArgSpec::Ptr(0), ArgSpec::Ptr(2048), ArgSpec::Int(400), ArgSpec::Int(64)],
+            vec![
+                ArgSpec::Ptr(0),
+                ArgSpec::Ptr(2048),
+                ArgSpec::Int(400),
+                ArgSpec::Int(64),
+            ],
             2048 + 512,
             0x5f17,
         ),

@@ -24,11 +24,18 @@ void set_a(struct flags *f, int v) {
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     for freeze in [true, false] {
-        let opts = CodegenOptions { freeze_bitfields: freeze, emit_wrap_flags: true };
+        let opts = CodegenOptions {
+            freeze_bitfields: freeze,
+            emit_wrap_flags: true,
+        };
         let module = compile_source(SRC, &opts)?;
         println!(
             "--- f->a = v, {} (§5.3) ---\n{}",
-            if freeze { "WITH freeze" } else { "WITHOUT freeze (legacy)" },
+            if freeze {
+                "WITH freeze"
+            } else {
+                "WITHOUT freeze (legacy)"
+            },
             function_to_string(module.function("set_a").expect("compiled"))
         );
 

@@ -8,10 +8,8 @@
 //! cargo run -p frost --example miscompilation_hunt
 //! ```
 
-use frost::core::Semantics;
-use frost::ir::parse_module;
-use frost::opt::{Dce, Gvn, LoopUnswitch, Pass, PipelineMode};
-use frost::refine::{check_refinement, CheckOptions};
+use frost::opt::{Dce, Gvn, LoopUnswitch};
+use frost::prelude::*;
 
 const INPUT: &str = r#"
 declare void @foo()
@@ -53,12 +51,20 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // Under which semantics is that sound? Exactly the one loop
     // unswitching assumed (branch-on-poison = nondeterministic choice)
     // — and NOT the one GVN assumes (branch-on-poison = UB).
-    for sem in [Semantics::legacy_unswitch(), Semantics::legacy_gvn(), Semantics::proposed()] {
+    for sem in [
+        Semantics::legacy_unswitch(),
+        Semantics::legacy_gvn(),
+        Semantics::proposed(),
+    ] {
         let verdict = check_refinement(&module, "f", &unswitched, "f", &CheckOptions::new(sem));
         println!(
             "legacy unswitching under {:<17}: {}",
             sem.name,
-            if verdict.is_refinement() { "sound".to_string() } else { "UNSOUND".to_string() }
+            if verdict.is_refinement() {
+                "sound".to_string()
+            } else {
+                "UNSOUND".to_string()
+            }
         );
         if let Some(ce) = verdict.counterexample() {
             println!("  counterexample: {ce}");
@@ -91,12 +97,20 @@ exit:
         f.compact();
     }
     println!();
-    for sem in [Semantics::legacy_unswitch(), Semantics::legacy_gvn(), Semantics::proposed()] {
+    for sem in [
+        Semantics::legacy_unswitch(),
+        Semantics::legacy_gvn(),
+        Semantics::proposed(),
+    ] {
         let verdict = check_refinement(&gvn_input, "f", &gvned, "f", &CheckOptions::new(sem));
         println!(
             "GVN equality propagation under {:<17}: {}",
             sem.name,
-            if verdict.is_refinement() { "sound".to_string() } else { "UNSOUND".to_string() }
+            if verdict.is_refinement() {
+                "sound".to_string()
+            } else {
+                "UNSOUND".to_string()
+            }
         );
         if let Some(ce) = verdict.counterexample() {
             println!("  counterexample: {ce}");
@@ -122,8 +136,50 @@ exit:
     );
     println!(
         "freeze-fixed unswitching under proposed      : {}",
-        if verdict.is_refinement() { "sound — conflict resolved" } else { "UNSOUND" }
+        if verdict.is_refinement() {
+            "sound — conflict resolved"
+        } else {
+            "UNSOUND"
+        }
     );
     assert!(verdict.is_refinement());
+
+    // Step 4: hunt at scale. A parallel campaign throws the legacy
+    // InstCombine (with the §3.1 `mul x, 2 -> add x, x` rule) at an
+    // undef-bearing corpus; the checker rediscovers the miscompilation
+    // mechanically, with a counterexample per hit. Violations carry the
+    // corpus index, so any hit is reproducible from (seed, index) alone.
+    let cfg = GenConfig {
+        ops: vec![frost::ir::BinOp::Mul],
+        consts: vec![2],
+        poison_const: false,
+        flags: false,
+        freeze: false,
+        ..GenConfig::arithmetic(2)
+    }
+    .with_undef();
+    let report = Campaign::new(Semantics::legacy_gvn())
+        .with_shard_size(16)
+        .run(enumerate_functions(cfg), |m| {
+            for f in &mut m.functions {
+                frost::opt::InstCombine::new(PipelineMode::Legacy).run_on_function(f);
+                Dce::new().run_on_function(f);
+                f.compact();
+            }
+        });
+    println!("\n--- campaign: legacy instcombine vs undef corpus ---");
+    println!("{report}");
+    println!(
+        "    {} workers, {:.0} fn/s, cache hit rate {:.0}%",
+        report.stats.workers,
+        report.stats.functions_per_sec,
+        report.stats.cache_hit_rate() * 100.0
+    );
+    assert!(!report.is_clean(), "the legacy rule must be caught");
+    let v = &report.violations[0];
+    println!(
+        "\nfirst hit (corpus index {}):\n{}\n=>\n{}\n{}",
+        v.index, v.before, v.after, v.counterexample
+    );
     Ok(())
 }

@@ -5,10 +5,7 @@
 //! cargo run -p frost --example quickstart
 //! ```
 
-use frost::core::{enumerate_outcomes, Limits, Memory, Semantics, Val};
-use frost::ir::parse_module;
-use frost::opt::{o2_pipeline, PipelineMode};
-use frost::refine::{check_refinement, CheckOptions};
+use frost::prelude::*;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     // 1. Parse a function in the textual IR (Figure 1 of the paper: the
@@ -71,8 +68,30 @@ exit:
     let m = parse_module(
         "define i2 @f() {\nentry:\n  %a = freeze i2 poison\n  %b = xor i2 %a, %a\n  ret i2 %b\n}",
     )?;
-    let outcomes =
-        enumerate_outcomes(&m, "f", &[], &Memory::zeroed(0), Semantics::proposed(), Limits::default())?;
+    let outcomes = enumerate_outcomes(
+        &m,
+        "f",
+        &[],
+        &Memory::zeroed(0),
+        Semantics::proposed(),
+        Limits::default(),
+    )?;
     println!("\n--- xor(freeze p, same freeze) is always 0 ---\n{outcomes}");
+
+    // 6. Scale it up: a parallel validation campaign (§6) — 200 random
+    //    functions through the whole fixed -O2 pipeline, every result
+    //    checked, with throughput and cache stats in the report.
+    let report =
+        Campaign::new(Semantics::proposed()).run_random(&GenConfig::arithmetic(2), 42, 200, |m| {
+            o2_pipeline(PipelineMode::Fixed).run(m);
+        });
+    println!("\n--- validation campaign ---\n{report}");
+    println!(
+        "    {} workers, {:.0} fn/s, cache hit rate {:.0}%",
+        report.stats.workers,
+        report.stats.functions_per_sec,
+        report.stats.cache_hit_rate() * 100.0
+    );
+    assert!(report.is_clean());
     Ok(())
 }

@@ -7,9 +7,8 @@
 //! cargo run --release -p frost --example translation_validation
 //! ```
 
-use frost::core::Semantics;
-use frost::fuzz::{enumerate_functions, validate_transform, GenConfig};
-use frost::opt::{o2_pipeline, Dce, InstCombine, Pass, PipelineMode};
+use frost::opt::{Dce, InstCombine};
+use frost::prelude::*;
 
 fn main() {
     // Campaign 1: the fixed InstCombine over exhaustive 1-instruction
@@ -47,26 +46,42 @@ fn main() {
     });
     println!("  {report}");
     for v in report.violations.iter().take(2) {
-        println!("\n  miscompilation found:\n--- before ---\n{}--- after ---\n{}--- why ---\n{}",
-            v.before, v.after, v.counterexample);
+        println!(
+            "\n  miscompilation found:\n--- before ---\n{}--- after ---\n{}--- why ---\n{}",
+            v.before, v.after, v.counterexample
+        );
     }
     assert!(!report.is_clean(), "the §3.1 rule must be caught");
 
     // Campaign 3: the whole fixed -O2 pipeline over a sampled
-    // 3-instruction space with selects and comparisons.
+    // 3-instruction space with selects and comparisons, run as a
+    // parallel campaign with live progress on stderr.
     let cfg = GenConfig::with_selects(3);
     let space = enumerate_functions(cfg.clone()).approx_size();
     println!("\ncampaign 3: fixed -O2 over 400 samples of a {space}-function space");
     let pm = o2_pipeline(PipelineMode::Fixed);
     let stride = (space / 400).max(1) as usize;
-    let report = validate_transform(
-        enumerate_functions(cfg).step_by(stride).take(400),
-        Semantics::proposed(),
-        |m| {
+    let report = Campaign::new(Semantics::proposed())
+        .with_shard_size(25)
+        .with_observer(|p| {
+            eprint!(
+                "\r  {}/{} checked, {:.0} fn/s, {} violations   ",
+                p.checked, p.total, p.functions_per_sec, p.violations
+            );
+        })
+        .run(enumerate_functions(cfg).step_by(stride).take(400), |m| {
             pm.run(m);
-        },
-    );
+        });
+    eprintln!();
     println!("  {report}");
+    println!(
+        "  {} workers, {:?} wall, {:.0} fn/s, cache: {} entries, {:.0}% hit rate",
+        report.stats.workers,
+        report.stats.wall,
+        report.stats.functions_per_sec,
+        report.stats.cache_entries,
+        report.stats.cache_hit_rate() * 100.0
+    );
     assert!(report.is_clean(), "the fixed pipeline must be sound");
     println!("\nall campaigns done");
 }

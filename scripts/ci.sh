@@ -1,0 +1,17 @@
+#!/usr/bin/env sh
+# The tier-1 gate: everything a PR must pass, in the order a failure is
+# cheapest to report. Run from anywhere; operates on the workspace root.
+set -eu
+
+cd "$(dirname "$0")/.."
+
+echo "==> cargo build --release"
+cargo build --workspace --release
+
+echo "==> cargo test"
+cargo test --workspace -q
+
+echo "==> cargo fmt --check"
+cargo fmt --all --check
+
+echo "ci: all green"

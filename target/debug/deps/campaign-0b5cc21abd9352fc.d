@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/campaign-0b5cc21abd9352fc.d: crates/frost/../../tests/campaign.rs
+
+/root/repo/target/debug/deps/campaign-0b5cc21abd9352fc: crates/frost/../../tests/campaign.rs
+
+crates/frost/../../tests/campaign.rs:

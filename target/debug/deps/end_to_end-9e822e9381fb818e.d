@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/end_to_end-9e822e9381fb818e.d: crates/frost/../../tests/end_to_end.rs
+
+/root/repo/target/debug/deps/end_to_end-9e822e9381fb818e: crates/frost/../../tests/end_to_end.rs
+
+crates/frost/../../tests/end_to_end.rs:

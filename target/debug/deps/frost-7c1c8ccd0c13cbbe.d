@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/frost-7c1c8ccd0c13cbbe.d: crates/frost/src/lib.rs
+
+/root/repo/target/debug/deps/frost-7c1c8ccd0c13cbbe: crates/frost/src/lib.rs
+
+crates/frost/src/lib.rs:

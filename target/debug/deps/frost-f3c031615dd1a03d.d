@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/frost-f3c031615dd1a03d.d: crates/frost/src/lib.rs
+
+/root/repo/target/debug/deps/libfrost-f3c031615dd1a03d.rlib: crates/frost/src/lib.rs
+
+/root/repo/target/debug/deps/libfrost-f3c031615dd1a03d.rmeta: crates/frost/src/lib.rs
+
+crates/frost/src/lib.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/frost_backend-5f055ef6b214fedd.d: crates/backend/src/lib.rs crates/backend/src/encode.rs crates/backend/src/isel.rs crates/backend/src/mir.rs crates/backend/src/regalloc.rs crates/backend/src/sim.rs
+
+/root/repo/target/debug/deps/frost_backend-5f055ef6b214fedd: crates/backend/src/lib.rs crates/backend/src/encode.rs crates/backend/src/isel.rs crates/backend/src/mir.rs crates/backend/src/regalloc.rs crates/backend/src/sim.rs
+
+crates/backend/src/lib.rs:
+crates/backend/src/encode.rs:
+crates/backend/src/isel.rs:
+crates/backend/src/mir.rs:
+crates/backend/src/regalloc.rs:
+crates/backend/src/sim.rs:

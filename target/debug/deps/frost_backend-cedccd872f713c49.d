@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/frost_backend-cedccd872f713c49.d: crates/backend/src/lib.rs crates/backend/src/encode.rs crates/backend/src/isel.rs crates/backend/src/mir.rs crates/backend/src/regalloc.rs crates/backend/src/sim.rs
+
+/root/repo/target/debug/deps/libfrost_backend-cedccd872f713c49.rlib: crates/backend/src/lib.rs crates/backend/src/encode.rs crates/backend/src/isel.rs crates/backend/src/mir.rs crates/backend/src/regalloc.rs crates/backend/src/sim.rs
+
+/root/repo/target/debug/deps/libfrost_backend-cedccd872f713c49.rmeta: crates/backend/src/lib.rs crates/backend/src/encode.rs crates/backend/src/isel.rs crates/backend/src/mir.rs crates/backend/src/regalloc.rs crates/backend/src/sim.rs
+
+crates/backend/src/lib.rs:
+crates/backend/src/encode.rs:
+crates/backend/src/isel.rs:
+crates/backend/src/mir.rs:
+crates/backend/src/regalloc.rs:
+crates/backend/src/sim.rs:

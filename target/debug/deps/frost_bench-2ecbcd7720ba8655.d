@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/frost_bench-2ecbcd7720ba8655.d: crates/bench/src/lib.rs crates/bench/src/experiments.rs crates/bench/src/harness.rs crates/bench/src/microbench.rs crates/bench/src/table.rs
+
+/root/repo/target/debug/deps/libfrost_bench-2ecbcd7720ba8655.rlib: crates/bench/src/lib.rs crates/bench/src/experiments.rs crates/bench/src/harness.rs crates/bench/src/microbench.rs crates/bench/src/table.rs
+
+/root/repo/target/debug/deps/libfrost_bench-2ecbcd7720ba8655.rmeta: crates/bench/src/lib.rs crates/bench/src/experiments.rs crates/bench/src/harness.rs crates/bench/src/microbench.rs crates/bench/src/table.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/experiments.rs:
+crates/bench/src/harness.rs:
+crates/bench/src/microbench.rs:
+crates/bench/src/table.rs:

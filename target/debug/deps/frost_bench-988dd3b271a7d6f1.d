@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/frost_bench-988dd3b271a7d6f1.d: crates/bench/src/lib.rs crates/bench/src/experiments.rs crates/bench/src/harness.rs crates/bench/src/microbench.rs crates/bench/src/table.rs
+
+/root/repo/target/debug/deps/frost_bench-988dd3b271a7d6f1: crates/bench/src/lib.rs crates/bench/src/experiments.rs crates/bench/src/harness.rs crates/bench/src/microbench.rs crates/bench/src/table.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/experiments.rs:
+crates/bench/src/harness.rs:
+crates/bench/src/microbench.rs:
+crates/bench/src/table.rs:

@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/frost_cc-0f5fabc85fc47cc4.d: crates/cc/src/lib.rs crates/cc/src/ast.rs crates/cc/src/irgen.rs crates/cc/src/parse.rs
+
+/root/repo/target/debug/deps/frost_cc-0f5fabc85fc47cc4: crates/cc/src/lib.rs crates/cc/src/ast.rs crates/cc/src/irgen.rs crates/cc/src/parse.rs
+
+crates/cc/src/lib.rs:
+crates/cc/src/ast.rs:
+crates/cc/src/irgen.rs:
+crates/cc/src/parse.rs:

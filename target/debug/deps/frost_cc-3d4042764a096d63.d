@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/frost_cc-3d4042764a096d63.d: crates/cc/src/lib.rs crates/cc/src/ast.rs crates/cc/src/irgen.rs crates/cc/src/parse.rs
+
+/root/repo/target/debug/deps/libfrost_cc-3d4042764a096d63.rlib: crates/cc/src/lib.rs crates/cc/src/ast.rs crates/cc/src/irgen.rs crates/cc/src/parse.rs
+
+/root/repo/target/debug/deps/libfrost_cc-3d4042764a096d63.rmeta: crates/cc/src/lib.rs crates/cc/src/ast.rs crates/cc/src/irgen.rs crates/cc/src/parse.rs
+
+crates/cc/src/lib.rs:
+crates/cc/src/ast.rs:
+crates/cc/src/irgen.rs:
+crates/cc/src/parse.rs:

@@ -1,0 +1,15 @@
+/root/repo/target/debug/deps/frost_core-f399dbbe0ce9b506.d: crates/core/src/lib.rs crates/core/src/cache.rs crates/core/src/error.rs crates/core/src/exec.rs crates/core/src/mem.rs crates/core/src/ops.rs crates/core/src/outcome.rs crates/core/src/sem.rs crates/core/src/val.rs
+
+/root/repo/target/debug/deps/libfrost_core-f399dbbe0ce9b506.rlib: crates/core/src/lib.rs crates/core/src/cache.rs crates/core/src/error.rs crates/core/src/exec.rs crates/core/src/mem.rs crates/core/src/ops.rs crates/core/src/outcome.rs crates/core/src/sem.rs crates/core/src/val.rs
+
+/root/repo/target/debug/deps/libfrost_core-f399dbbe0ce9b506.rmeta: crates/core/src/lib.rs crates/core/src/cache.rs crates/core/src/error.rs crates/core/src/exec.rs crates/core/src/mem.rs crates/core/src/ops.rs crates/core/src/outcome.rs crates/core/src/sem.rs crates/core/src/val.rs
+
+crates/core/src/lib.rs:
+crates/core/src/cache.rs:
+crates/core/src/error.rs:
+crates/core/src/exec.rs:
+crates/core/src/mem.rs:
+crates/core/src/ops.rs:
+crates/core/src/outcome.rs:
+crates/core/src/sem.rs:
+crates/core/src/val.rs:

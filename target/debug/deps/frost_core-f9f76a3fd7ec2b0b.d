@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/frost_core-f9f76a3fd7ec2b0b.d: crates/core/src/lib.rs crates/core/src/cache.rs crates/core/src/error.rs crates/core/src/exec.rs crates/core/src/mem.rs crates/core/src/ops.rs crates/core/src/outcome.rs crates/core/src/sem.rs crates/core/src/val.rs
+
+/root/repo/target/debug/deps/frost_core-f9f76a3fd7ec2b0b: crates/core/src/lib.rs crates/core/src/cache.rs crates/core/src/error.rs crates/core/src/exec.rs crates/core/src/mem.rs crates/core/src/ops.rs crates/core/src/outcome.rs crates/core/src/sem.rs crates/core/src/val.rs
+
+crates/core/src/lib.rs:
+crates/core/src/cache.rs:
+crates/core/src/error.rs:
+crates/core/src/exec.rs:
+crates/core/src/mem.rs:
+crates/core/src/ops.rs:
+crates/core/src/outcome.rs:
+crates/core/src/sem.rs:
+crates/core/src/val.rs:

@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/frost_fuzz-302b80dc45898edd.d: crates/fuzz/src/lib.rs crates/fuzz/src/campaign.rs crates/fuzz/src/gen.rs crates/fuzz/src/validate.rs
+
+/root/repo/target/debug/deps/frost_fuzz-302b80dc45898edd: crates/fuzz/src/lib.rs crates/fuzz/src/campaign.rs crates/fuzz/src/gen.rs crates/fuzz/src/validate.rs
+
+crates/fuzz/src/lib.rs:
+crates/fuzz/src/campaign.rs:
+crates/fuzz/src/gen.rs:
+crates/fuzz/src/validate.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/frost_fuzz-67e16d16757e1e9b.d: crates/fuzz/src/lib.rs crates/fuzz/src/campaign.rs crates/fuzz/src/gen.rs crates/fuzz/src/validate.rs
+
+/root/repo/target/debug/deps/libfrost_fuzz-67e16d16757e1e9b.rlib: crates/fuzz/src/lib.rs crates/fuzz/src/campaign.rs crates/fuzz/src/gen.rs crates/fuzz/src/validate.rs
+
+/root/repo/target/debug/deps/libfrost_fuzz-67e16d16757e1e9b.rmeta: crates/fuzz/src/lib.rs crates/fuzz/src/campaign.rs crates/fuzz/src/gen.rs crates/fuzz/src/validate.rs
+
+crates/fuzz/src/lib.rs:
+crates/fuzz/src/campaign.rs:
+crates/fuzz/src/gen.rs:
+crates/fuzz/src/validate.rs:

@@ -1,0 +1,19 @@
+/root/repo/target/debug/deps/frost_ir-14e8393c0d9a08ac.d: crates/ir/src/lib.rs crates/ir/src/analysis/mod.rs crates/ir/src/analysis/known_bits.rs crates/ir/src/analysis/scev.rs crates/ir/src/builder.rs crates/ir/src/cfg.rs crates/ir/src/dom.rs crates/ir/src/function.rs crates/ir/src/inst.rs crates/ir/src/loops.rs crates/ir/src/parse.rs crates/ir/src/print.rs crates/ir/src/types.rs crates/ir/src/value.rs crates/ir/src/verify.rs
+
+/root/repo/target/debug/deps/frost_ir-14e8393c0d9a08ac: crates/ir/src/lib.rs crates/ir/src/analysis/mod.rs crates/ir/src/analysis/known_bits.rs crates/ir/src/analysis/scev.rs crates/ir/src/builder.rs crates/ir/src/cfg.rs crates/ir/src/dom.rs crates/ir/src/function.rs crates/ir/src/inst.rs crates/ir/src/loops.rs crates/ir/src/parse.rs crates/ir/src/print.rs crates/ir/src/types.rs crates/ir/src/value.rs crates/ir/src/verify.rs
+
+crates/ir/src/lib.rs:
+crates/ir/src/analysis/mod.rs:
+crates/ir/src/analysis/known_bits.rs:
+crates/ir/src/analysis/scev.rs:
+crates/ir/src/builder.rs:
+crates/ir/src/cfg.rs:
+crates/ir/src/dom.rs:
+crates/ir/src/function.rs:
+crates/ir/src/inst.rs:
+crates/ir/src/loops.rs:
+crates/ir/src/parse.rs:
+crates/ir/src/print.rs:
+crates/ir/src/types.rs:
+crates/ir/src/value.rs:
+crates/ir/src/verify.rs:

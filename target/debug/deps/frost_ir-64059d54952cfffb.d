@@ -1,0 +1,21 @@
+/root/repo/target/debug/deps/frost_ir-64059d54952cfffb.d: crates/ir/src/lib.rs crates/ir/src/analysis/mod.rs crates/ir/src/analysis/known_bits.rs crates/ir/src/analysis/scev.rs crates/ir/src/builder.rs crates/ir/src/cfg.rs crates/ir/src/dom.rs crates/ir/src/function.rs crates/ir/src/inst.rs crates/ir/src/loops.rs crates/ir/src/parse.rs crates/ir/src/print.rs crates/ir/src/types.rs crates/ir/src/value.rs crates/ir/src/verify.rs
+
+/root/repo/target/debug/deps/libfrost_ir-64059d54952cfffb.rlib: crates/ir/src/lib.rs crates/ir/src/analysis/mod.rs crates/ir/src/analysis/known_bits.rs crates/ir/src/analysis/scev.rs crates/ir/src/builder.rs crates/ir/src/cfg.rs crates/ir/src/dom.rs crates/ir/src/function.rs crates/ir/src/inst.rs crates/ir/src/loops.rs crates/ir/src/parse.rs crates/ir/src/print.rs crates/ir/src/types.rs crates/ir/src/value.rs crates/ir/src/verify.rs
+
+/root/repo/target/debug/deps/libfrost_ir-64059d54952cfffb.rmeta: crates/ir/src/lib.rs crates/ir/src/analysis/mod.rs crates/ir/src/analysis/known_bits.rs crates/ir/src/analysis/scev.rs crates/ir/src/builder.rs crates/ir/src/cfg.rs crates/ir/src/dom.rs crates/ir/src/function.rs crates/ir/src/inst.rs crates/ir/src/loops.rs crates/ir/src/parse.rs crates/ir/src/print.rs crates/ir/src/types.rs crates/ir/src/value.rs crates/ir/src/verify.rs
+
+crates/ir/src/lib.rs:
+crates/ir/src/analysis/mod.rs:
+crates/ir/src/analysis/known_bits.rs:
+crates/ir/src/analysis/scev.rs:
+crates/ir/src/builder.rs:
+crates/ir/src/cfg.rs:
+crates/ir/src/dom.rs:
+crates/ir/src/function.rs:
+crates/ir/src/inst.rs:
+crates/ir/src/loops.rs:
+crates/ir/src/parse.rs:
+crates/ir/src/print.rs:
+crates/ir/src/types.rs:
+crates/ir/src/value.rs:
+crates/ir/src/verify.rs:

@@ -1,0 +1,22 @@
+/root/repo/target/debug/deps/frost_opt-7403caf622d5c579.d: crates/opt/src/lib.rs crates/opt/src/codegenprepare.rs crates/opt/src/dce.rs crates/opt/src/gvn.rs crates/opt/src/indvar.rs crates/opt/src/inline.rs crates/opt/src/instcombine.rs crates/opt/src/jump_threading.rs crates/opt/src/licm.rs crates/opt/src/loop_sink.rs crates/opt/src/loop_unswitch.rs crates/opt/src/pass.rs crates/opt/src/reassociate.rs crates/opt/src/sccp.rs crates/opt/src/simplifycfg.rs crates/opt/src/util.rs
+
+/root/repo/target/debug/deps/libfrost_opt-7403caf622d5c579.rlib: crates/opt/src/lib.rs crates/opt/src/codegenprepare.rs crates/opt/src/dce.rs crates/opt/src/gvn.rs crates/opt/src/indvar.rs crates/opt/src/inline.rs crates/opt/src/instcombine.rs crates/opt/src/jump_threading.rs crates/opt/src/licm.rs crates/opt/src/loop_sink.rs crates/opt/src/loop_unswitch.rs crates/opt/src/pass.rs crates/opt/src/reassociate.rs crates/opt/src/sccp.rs crates/opt/src/simplifycfg.rs crates/opt/src/util.rs
+
+/root/repo/target/debug/deps/libfrost_opt-7403caf622d5c579.rmeta: crates/opt/src/lib.rs crates/opt/src/codegenprepare.rs crates/opt/src/dce.rs crates/opt/src/gvn.rs crates/opt/src/indvar.rs crates/opt/src/inline.rs crates/opt/src/instcombine.rs crates/opt/src/jump_threading.rs crates/opt/src/licm.rs crates/opt/src/loop_sink.rs crates/opt/src/loop_unswitch.rs crates/opt/src/pass.rs crates/opt/src/reassociate.rs crates/opt/src/sccp.rs crates/opt/src/simplifycfg.rs crates/opt/src/util.rs
+
+crates/opt/src/lib.rs:
+crates/opt/src/codegenprepare.rs:
+crates/opt/src/dce.rs:
+crates/opt/src/gvn.rs:
+crates/opt/src/indvar.rs:
+crates/opt/src/inline.rs:
+crates/opt/src/instcombine.rs:
+crates/opt/src/jump_threading.rs:
+crates/opt/src/licm.rs:
+crates/opt/src/loop_sink.rs:
+crates/opt/src/loop_unswitch.rs:
+crates/opt/src/pass.rs:
+crates/opt/src/reassociate.rs:
+crates/opt/src/sccp.rs:
+crates/opt/src/simplifycfg.rs:
+crates/opt/src/util.rs:

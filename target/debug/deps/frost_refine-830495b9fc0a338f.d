@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/frost_refine-830495b9fc0a338f.d: crates/refine/src/lib.rs crates/refine/src/check.rs crates/refine/src/inputs.rs crates/refine/src/lattice.rs
+
+/root/repo/target/debug/deps/frost_refine-830495b9fc0a338f: crates/refine/src/lib.rs crates/refine/src/check.rs crates/refine/src/inputs.rs crates/refine/src/lattice.rs
+
+crates/refine/src/lib.rs:
+crates/refine/src/check.rs:
+crates/refine/src/inputs.rs:
+crates/refine/src/lattice.rs:

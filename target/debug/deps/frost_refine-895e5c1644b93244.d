@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/frost_refine-895e5c1644b93244.d: crates/refine/src/lib.rs crates/refine/src/check.rs crates/refine/src/inputs.rs crates/refine/src/lattice.rs
+
+/root/repo/target/debug/deps/libfrost_refine-895e5c1644b93244.rlib: crates/refine/src/lib.rs crates/refine/src/check.rs crates/refine/src/inputs.rs crates/refine/src/lattice.rs
+
+/root/repo/target/debug/deps/libfrost_refine-895e5c1644b93244.rmeta: crates/refine/src/lib.rs crates/refine/src/check.rs crates/refine/src/inputs.rs crates/refine/src/lattice.rs
+
+crates/refine/src/lib.rs:
+crates/refine/src/check.rs:
+crates/refine/src/inputs.rs:
+crates/refine/src/lattice.rs:

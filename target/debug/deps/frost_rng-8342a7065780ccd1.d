@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/frost_rng-8342a7065780ccd1.d: crates/rng/src/lib.rs
+
+/root/repo/target/debug/deps/libfrost_rng-8342a7065780ccd1.rlib: crates/rng/src/lib.rs
+
+/root/repo/target/debug/deps/libfrost_rng-8342a7065780ccd1.rmeta: crates/rng/src/lib.rs
+
+crates/rng/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/frost_rng-9ddd16589fc4bfc5.d: crates/rng/src/lib.rs
+
+/root/repo/target/debug/deps/frost_rng-9ddd16589fc4bfc5: crates/rng/src/lib.rs
+
+crates/rng/src/lib.rs:

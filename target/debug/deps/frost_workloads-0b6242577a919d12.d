@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/frost_workloads-0b6242577a919d12.d: crates/workloads/src/lib.rs crates/workloads/src/lnt.rs crates/workloads/src/single_file.rs crates/workloads/src/spec.rs
+
+/root/repo/target/debug/deps/frost_workloads-0b6242577a919d12: crates/workloads/src/lib.rs crates/workloads/src/lnt.rs crates/workloads/src/single_file.rs crates/workloads/src/spec.rs
+
+crates/workloads/src/lib.rs:
+crates/workloads/src/lnt.rs:
+crates/workloads/src/single_file.rs:
+crates/workloads/src/spec.rs:

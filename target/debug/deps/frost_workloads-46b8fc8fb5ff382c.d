@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/frost_workloads-46b8fc8fb5ff382c.d: crates/workloads/src/lib.rs crates/workloads/src/lnt.rs crates/workloads/src/single_file.rs crates/workloads/src/spec.rs
+
+/root/repo/target/debug/deps/libfrost_workloads-46b8fc8fb5ff382c.rlib: crates/workloads/src/lib.rs crates/workloads/src/lnt.rs crates/workloads/src/single_file.rs crates/workloads/src/spec.rs
+
+/root/repo/target/debug/deps/libfrost_workloads-46b8fc8fb5ff382c.rmeta: crates/workloads/src/lib.rs crates/workloads/src/lnt.rs crates/workloads/src/single_file.rs crates/workloads/src/spec.rs
+
+crates/workloads/src/lib.rs:
+crates/workloads/src/lnt.rs:
+crates/workloads/src/single_file.rs:
+crates/workloads/src/spec.rs:

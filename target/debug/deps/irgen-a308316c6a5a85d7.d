@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/irgen-a308316c6a5a85d7.d: crates/cc/tests/irgen.rs
+
+/root/repo/target/debug/deps/irgen-a308316c6a5a85d7: crates/cc/tests/irgen.rs
+
+crates/cc/tests/irgen.rs:

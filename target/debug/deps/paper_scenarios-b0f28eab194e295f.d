@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/paper_scenarios-b0f28eab194e295f.d: crates/frost/../../tests/paper_scenarios.rs
+
+/root/repo/target/debug/deps/paper_scenarios-b0f28eab194e295f: crates/frost/../../tests/paper_scenarios.rs
+
+crates/frost/../../tests/paper_scenarios.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/pipeline_soundness-9700fb3f6878eb16.d: crates/frost/../../tests/pipeline_soundness.rs
+
+/root/repo/target/debug/deps/pipeline_soundness-9700fb3f6878eb16: crates/frost/../../tests/pipeline_soundness.rs
+
+crates/frost/../../tests/pipeline_soundness.rs:

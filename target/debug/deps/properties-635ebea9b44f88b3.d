@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/properties-635ebea9b44f88b3.d: crates/frost/../../tests/properties.rs
+
+/root/repo/target/debug/deps/properties-635ebea9b44f88b3: crates/frost/../../tests/properties.rs
+
+crates/frost/../../tests/properties.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/repro-2368fe37bf95837c.d: crates/bench/src/bin/repro.rs
+
+/root/repo/target/debug/deps/repro-2368fe37bf95837c: crates/bench/src/bin/repro.rs
+
+crates/bench/src/bin/repro.rs:

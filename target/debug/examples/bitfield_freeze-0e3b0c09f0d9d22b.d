@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/bitfield_freeze-0e3b0c09f0d9d22b.d: crates/frost/../../examples/bitfield_freeze.rs
+
+/root/repo/target/debug/examples/bitfield_freeze-0e3b0c09f0d9d22b: crates/frost/../../examples/bitfield_freeze.rs
+
+crates/frost/../../examples/bitfield_freeze.rs:

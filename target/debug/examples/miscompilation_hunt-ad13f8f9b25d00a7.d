@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/miscompilation_hunt-ad13f8f9b25d00a7.d: crates/frost/../../examples/miscompilation_hunt.rs
+
+/root/repo/target/debug/examples/miscompilation_hunt-ad13f8f9b25d00a7: crates/frost/../../examples/miscompilation_hunt.rs
+
+crates/frost/../../examples/miscompilation_hunt.rs:

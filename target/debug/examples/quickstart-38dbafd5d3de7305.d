@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/quickstart-38dbafd5d3de7305.d: crates/frost/../../examples/quickstart.rs
+
+/root/repo/target/debug/examples/quickstart-38dbafd5d3de7305: crates/frost/../../examples/quickstart.rs
+
+crates/frost/../../examples/quickstart.rs:

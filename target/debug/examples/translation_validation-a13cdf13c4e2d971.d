@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/translation_validation-a13cdf13c4e2d971.d: crates/frost/../../examples/translation_validation.rs
+
+/root/repo/target/debug/examples/translation_validation-a13cdf13c4e2d971: crates/frost/../../examples/translation_validation.rs
+
+crates/frost/../../examples/translation_validation.rs:

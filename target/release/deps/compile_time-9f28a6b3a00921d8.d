@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/compile_time-9f28a6b3a00921d8.d: crates/bench/benches/compile_time.rs
+
+/root/repo/target/release/deps/compile_time-9f28a6b3a00921d8: crates/bench/benches/compile_time.rs
+
+crates/bench/benches/compile_time.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig6_runtime-4f1fa262f7edbee6.d: crates/bench/benches/fig6_runtime.rs
+
+/root/repo/target/release/deps/fig6_runtime-4f1fa262f7edbee6: crates/bench/benches/fig6_runtime.rs
+
+crates/bench/benches/fig6_runtime.rs:

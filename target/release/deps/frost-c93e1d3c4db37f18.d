@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/frost-c93e1d3c4db37f18.d: crates/frost/src/lib.rs
+
+/root/repo/target/release/deps/libfrost-c93e1d3c4db37f18.rlib: crates/frost/src/lib.rs
+
+/root/repo/target/release/deps/libfrost-c93e1d3c4db37f18.rmeta: crates/frost/src/lib.rs
+
+crates/frost/src/lib.rs:

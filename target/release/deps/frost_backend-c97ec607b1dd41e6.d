@@ -1,0 +1,12 @@
+/root/repo/target/release/deps/frost_backend-c97ec607b1dd41e6.d: crates/backend/src/lib.rs crates/backend/src/encode.rs crates/backend/src/isel.rs crates/backend/src/mir.rs crates/backend/src/regalloc.rs crates/backend/src/sim.rs
+
+/root/repo/target/release/deps/libfrost_backend-c97ec607b1dd41e6.rlib: crates/backend/src/lib.rs crates/backend/src/encode.rs crates/backend/src/isel.rs crates/backend/src/mir.rs crates/backend/src/regalloc.rs crates/backend/src/sim.rs
+
+/root/repo/target/release/deps/libfrost_backend-c97ec607b1dd41e6.rmeta: crates/backend/src/lib.rs crates/backend/src/encode.rs crates/backend/src/isel.rs crates/backend/src/mir.rs crates/backend/src/regalloc.rs crates/backend/src/sim.rs
+
+crates/backend/src/lib.rs:
+crates/backend/src/encode.rs:
+crates/backend/src/isel.rs:
+crates/backend/src/mir.rs:
+crates/backend/src/regalloc.rs:
+crates/backend/src/sim.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/release/deps/frost_bench-59e8dbf6ba33955f.d: crates/bench/src/lib.rs crates/bench/src/experiments.rs crates/bench/src/harness.rs crates/bench/src/microbench.rs crates/bench/src/table.rs
+
+/root/repo/target/release/deps/libfrost_bench-59e8dbf6ba33955f.rlib: crates/bench/src/lib.rs crates/bench/src/experiments.rs crates/bench/src/harness.rs crates/bench/src/microbench.rs crates/bench/src/table.rs
+
+/root/repo/target/release/deps/libfrost_bench-59e8dbf6ba33955f.rmeta: crates/bench/src/lib.rs crates/bench/src/experiments.rs crates/bench/src/harness.rs crates/bench/src/microbench.rs crates/bench/src/table.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/experiments.rs:
+crates/bench/src/harness.rs:
+crates/bench/src/microbench.rs:
+crates/bench/src/table.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/release/deps/frost_cc-bc95a3b2e5f0a9f5.d: crates/cc/src/lib.rs crates/cc/src/ast.rs crates/cc/src/irgen.rs crates/cc/src/parse.rs
+
+/root/repo/target/release/deps/libfrost_cc-bc95a3b2e5f0a9f5.rlib: crates/cc/src/lib.rs crates/cc/src/ast.rs crates/cc/src/irgen.rs crates/cc/src/parse.rs
+
+/root/repo/target/release/deps/libfrost_cc-bc95a3b2e5f0a9f5.rmeta: crates/cc/src/lib.rs crates/cc/src/ast.rs crates/cc/src/irgen.rs crates/cc/src/parse.rs
+
+crates/cc/src/lib.rs:
+crates/cc/src/ast.rs:
+crates/cc/src/irgen.rs:
+crates/cc/src/parse.rs:

@@ -1,0 +1,15 @@
+/root/repo/target/release/deps/frost_core-4c8b8edd05595706.d: crates/core/src/lib.rs crates/core/src/cache.rs crates/core/src/error.rs crates/core/src/exec.rs crates/core/src/mem.rs crates/core/src/ops.rs crates/core/src/outcome.rs crates/core/src/sem.rs crates/core/src/val.rs
+
+/root/repo/target/release/deps/libfrost_core-4c8b8edd05595706.rlib: crates/core/src/lib.rs crates/core/src/cache.rs crates/core/src/error.rs crates/core/src/exec.rs crates/core/src/mem.rs crates/core/src/ops.rs crates/core/src/outcome.rs crates/core/src/sem.rs crates/core/src/val.rs
+
+/root/repo/target/release/deps/libfrost_core-4c8b8edd05595706.rmeta: crates/core/src/lib.rs crates/core/src/cache.rs crates/core/src/error.rs crates/core/src/exec.rs crates/core/src/mem.rs crates/core/src/ops.rs crates/core/src/outcome.rs crates/core/src/sem.rs crates/core/src/val.rs
+
+crates/core/src/lib.rs:
+crates/core/src/cache.rs:
+crates/core/src/error.rs:
+crates/core/src/exec.rs:
+crates/core/src/mem.rs:
+crates/core/src/ops.rs:
+crates/core/src/outcome.rs:
+crates/core/src/sem.rs:
+crates/core/src/val.rs:

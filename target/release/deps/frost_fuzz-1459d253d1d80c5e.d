@@ -1,0 +1,10 @@
+/root/repo/target/release/deps/frost_fuzz-1459d253d1d80c5e.d: crates/fuzz/src/lib.rs crates/fuzz/src/campaign.rs crates/fuzz/src/gen.rs crates/fuzz/src/validate.rs
+
+/root/repo/target/release/deps/libfrost_fuzz-1459d253d1d80c5e.rlib: crates/fuzz/src/lib.rs crates/fuzz/src/campaign.rs crates/fuzz/src/gen.rs crates/fuzz/src/validate.rs
+
+/root/repo/target/release/deps/libfrost_fuzz-1459d253d1d80c5e.rmeta: crates/fuzz/src/lib.rs crates/fuzz/src/campaign.rs crates/fuzz/src/gen.rs crates/fuzz/src/validate.rs
+
+crates/fuzz/src/lib.rs:
+crates/fuzz/src/campaign.rs:
+crates/fuzz/src/gen.rs:
+crates/fuzz/src/validate.rs:

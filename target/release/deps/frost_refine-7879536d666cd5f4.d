@@ -1,0 +1,10 @@
+/root/repo/target/release/deps/frost_refine-7879536d666cd5f4.d: crates/refine/src/lib.rs crates/refine/src/check.rs crates/refine/src/inputs.rs crates/refine/src/lattice.rs
+
+/root/repo/target/release/deps/libfrost_refine-7879536d666cd5f4.rlib: crates/refine/src/lib.rs crates/refine/src/check.rs crates/refine/src/inputs.rs crates/refine/src/lattice.rs
+
+/root/repo/target/release/deps/libfrost_refine-7879536d666cd5f4.rmeta: crates/refine/src/lib.rs crates/refine/src/check.rs crates/refine/src/inputs.rs crates/refine/src/lattice.rs
+
+crates/refine/src/lib.rs:
+crates/refine/src/check.rs:
+crates/refine/src/inputs.rs:
+crates/refine/src/lattice.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/frost_rng-689585734176202c.d: crates/rng/src/lib.rs
+
+/root/repo/target/release/deps/libfrost_rng-689585734176202c.rlib: crates/rng/src/lib.rs
+
+/root/repo/target/release/deps/libfrost_rng-689585734176202c.rmeta: crates/rng/src/lib.rs
+
+crates/rng/src/lib.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/release/deps/frost_workloads-f69cd96250e30339.d: crates/workloads/src/lib.rs crates/workloads/src/lnt.rs crates/workloads/src/single_file.rs crates/workloads/src/spec.rs
+
+/root/repo/target/release/deps/libfrost_workloads-f69cd96250e30339.rlib: crates/workloads/src/lib.rs crates/workloads/src/lnt.rs crates/workloads/src/single_file.rs crates/workloads/src/spec.rs
+
+/root/repo/target/release/deps/libfrost_workloads-f69cd96250e30339.rmeta: crates/workloads/src/lib.rs crates/workloads/src/lnt.rs crates/workloads/src/single_file.rs crates/workloads/src/spec.rs
+
+crates/workloads/src/lib.rs:
+crates/workloads/src/lnt.rs:
+crates/workloads/src/single_file.rs:
+crates/workloads/src/spec.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/optfuzz_validate-b0ea6b827828e003.d: crates/bench/benches/optfuzz_validate.rs
+
+/root/repo/target/release/deps/optfuzz_validate-b0ea6b827828e003: crates/bench/benches/optfuzz_validate.rs
+
+crates/bench/benches/optfuzz_validate.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/repro-550f2625b2764331.d: crates/bench/src/bin/repro.rs
+
+/root/repo/target/release/deps/repro-550f2625b2764331: crates/bench/src/bin/repro.rs
+
+crates/bench/src/bin/repro.rs:

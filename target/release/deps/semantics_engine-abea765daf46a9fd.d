@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/semantics_engine-abea765daf46a9fd.d: crates/bench/benches/semantics_engine.rs
+
+/root/repo/target/release/deps/semantics_engine-abea765daf46a9fd: crates/bench/benches/semantics_engine.rs
+
+crates/bench/benches/semantics_engine.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/widening-95826e38cfe74377.d: crates/bench/benches/widening.rs
+
+/root/repo/target/release/deps/widening-95826e38cfe74377: crates/bench/benches/widening.rs
+
+crates/bench/benches/widening.rs:

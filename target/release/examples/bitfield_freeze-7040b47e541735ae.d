@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/bitfield_freeze-7040b47e541735ae.d: crates/frost/../../examples/bitfield_freeze.rs
+
+/root/repo/target/release/examples/bitfield_freeze-7040b47e541735ae: crates/frost/../../examples/bitfield_freeze.rs
+
+crates/frost/../../examples/bitfield_freeze.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/miscompilation_hunt-2c67f15c7515d14a.d: crates/frost/../../examples/miscompilation_hunt.rs
+
+/root/repo/target/release/examples/miscompilation_hunt-2c67f15c7515d14a: crates/frost/../../examples/miscompilation_hunt.rs
+
+crates/frost/../../examples/miscompilation_hunt.rs:

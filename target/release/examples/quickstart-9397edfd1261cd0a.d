@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/quickstart-9397edfd1261cd0a.d: crates/frost/../../examples/quickstart.rs
+
+/root/repo/target/release/examples/quickstart-9397edfd1261cd0a: crates/frost/../../examples/quickstart.rs
+
+crates/frost/../../examples/quickstart.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/translation_validation-e123b29ec56d5656.d: crates/frost/../../examples/translation_validation.rs
+
+/root/repo/target/release/examples/translation_validation-e123b29ec56d5656: crates/frost/../../examples/translation_validation.rs
+
+crates/frost/../../examples/translation_validation.rs:

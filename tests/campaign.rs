@@ -1,0 +1,160 @@
+//! Integration tests for the parallel validation-campaign engine:
+//! reproducibility across worker counts, cache correctness against the
+//! uncached checker, and budget/observer behavior (DESIGN.md, campaign
+//! architecture).
+
+use frost::opt::{Dce, InstCombine};
+use frost::prelude::*;
+
+/// A corpus config whose legacy-InstCombine run is known to produce
+/// violations: §3.1's `mul x, 2 -> add x, x` fires on undef operands.
+fn violating_cfg(num_insts: usize) -> GenConfig {
+    GenConfig {
+        ops: vec![frost::ir::BinOp::Mul],
+        consts: vec![2],
+        poison_const: false,
+        flags: false,
+        freeze: false,
+        ..GenConfig::arithmetic(num_insts)
+    }
+    .with_undef()
+}
+
+fn legacy_instcombine(m: &mut Module) {
+    for f in &mut m.functions {
+        InstCombine::new(PipelineMode::Legacy).run_on_function(f);
+        Dce::new().run_on_function(f);
+        f.compact();
+    }
+}
+
+/// Same seed ⇒ byte-identical violation sets, independent of how many
+/// workers the campaign runs on (the ISSUE's determinism guarantee).
+#[test]
+fn same_seed_same_violations_at_1_2_8_workers() {
+    let cfg = violating_cfg(2);
+    let seed = 0xF005_BA11;
+    let run = |workers: usize| {
+        Campaign::new(Semantics::legacy_gvn())
+            .with_workers(workers)
+            .with_shard_size(7)
+            .run_random(&cfg, seed, 300, legacy_instcombine)
+    };
+    let one = run(1);
+    assert!(
+        !one.is_clean(),
+        "the corpus must produce violations for the test to mean anything: {one}"
+    );
+    for workers in [2, 8] {
+        let multi = run(workers);
+        assert_eq!(
+            one.violations, multi.violations,
+            "violation set diverged at {workers} workers"
+        );
+        assert_eq!(one.total, multi.total);
+        assert_eq!(one.changed, multi.changed);
+        assert_eq!(one.refined, multi.refined);
+        assert_eq!(one.inconclusive, multi.inconclusive);
+    }
+}
+
+/// The exhaustive corpus is deterministic too — no seed involved, but
+/// shard claiming must not reorder or drop verdicts.
+#[test]
+fn exhaustive_corpus_is_stable_across_worker_counts() {
+    let cfg = violating_cfg(1);
+    let run = |workers: usize| {
+        Campaign::new(Semantics::legacy_gvn())
+            .with_workers(workers)
+            .with_shard_size(3)
+            .run(enumerate_functions(cfg.clone()), legacy_instcombine)
+    };
+    let one = run(1);
+    let eight = run(8);
+    assert!(!one.is_clean());
+    assert_eq!(one.violations, eight.violations);
+    assert_eq!(one.total, eight.total);
+}
+
+/// The memoizing checker agrees verdict-for-verdict with the uncached
+/// one over a whole corpus, and actually hits its cache while doing so.
+#[test]
+fn cached_checker_agrees_with_fresh_over_a_corpus() {
+    let cache = OutcomeCache::new();
+    let opts = CheckOptions::new(Semantics::legacy_gvn());
+    let mut compared = 0;
+    for f in enumerate_functions(violating_cfg(2)) {
+        let name = f.name.clone();
+        let mut before = frost::ir::Module::new();
+        before.functions.push(f);
+        let mut after = before.clone();
+        legacy_instcombine(&mut after);
+
+        let fresh = check_refinement(&before, &name, &after, &name, &opts);
+        let cached = check_refinement_cached(&before, &name, &after, &name, &opts, &cache);
+        assert_eq!(
+            format!("{fresh:?}"),
+            format!("{cached:?}"),
+            "verdicts diverged on:\n{before}"
+        );
+        compared += 1;
+    }
+    assert!(
+        compared > 20,
+        "corpus too small to be meaningful: {compared}"
+    );
+    assert!(
+        cache.hits() > 0,
+        "a corpus of near-duplicate functions must hit the cache"
+    );
+}
+
+/// A budget of N checks exactly the first N corpus entries: the report
+/// is the prefix of the unbudgeted run.
+#[test]
+fn budget_checks_exactly_the_corpus_prefix() {
+    let cfg = violating_cfg(2);
+    let seed = 99;
+    let full = Campaign::new(Semantics::legacy_gvn())
+        .with_workers(2)
+        .run_random(&cfg, seed, 200, legacy_instcombine);
+    let budget = 80;
+    let capped = Campaign::new(Semantics::legacy_gvn())
+        .with_workers(2)
+        .with_budget(budget)
+        .run_random(&cfg, seed, 200, legacy_instcombine);
+    assert_eq!(capped.total, budget);
+    assert!(capped.stats.budget_hit);
+    assert!(!full.stats.budget_hit);
+    let expected: Vec<_> = full
+        .violations
+        .iter()
+        .filter(|v| v.index < budget)
+        .cloned()
+        .collect();
+    assert_eq!(capped.violations, expected);
+}
+
+/// The prelude's sequential entry point and an explicit multi-worker
+/// campaign agree on a clean corpus (fixed pipeline finds nothing).
+#[test]
+fn sequential_wrapper_matches_parallel_campaign_when_clean() {
+    let cfg = GenConfig::arithmetic(2);
+    let seq = validate_transform(
+        random_functions(cfg.clone(), 5, 120),
+        Semantics::proposed(),
+        |m| {
+            o2_pipeline(PipelineMode::Fixed).run(m);
+        },
+    );
+    let par = Campaign::new(Semantics::proposed())
+        .with_workers(4)
+        .run_random(&cfg, 5, 120, |m| {
+            o2_pipeline(PipelineMode::Fixed).run(m);
+        });
+    assert!(seq.is_clean() && par.is_clean());
+    assert_eq!(seq.total, par.total);
+    assert_eq!(seq.changed, par.changed);
+    assert_eq!(seq.refined, par.refined);
+    assert_eq!(seq.violations, par.violations);
+}

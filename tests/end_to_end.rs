@@ -34,7 +34,9 @@ fn simulate(w: &Workload, mode: PipelineMode) -> (Option<u64>, u64) {
             ArgSpec::Ptr(off) => MEM_BASE + u64::from(*off),
         })
         .collect();
-    let run = sim.run(w.entry, &args).unwrap_or_else(|e| panic!("{}: {e}", w.name));
+    let run = sim
+        .run(w.entry, &args)
+        .unwrap_or_else(|e| panic!("{}: {e}", w.name));
     (run.ret, run.cycles)
 }
 
@@ -54,8 +56,17 @@ fn simulator_matches_interpreter_on_small_workloads() {
     // Cross-check the backend + simulator against the IR interpreter
     // (the executable Figure 5 semantics) on workloads small enough to
     // interpret.
-    for name in ["fib", "gcd_chain", "josephus", "shootout_nestedloop", "ackermann"] {
-        let w = all_workloads().into_iter().find(|w| w.name == name).expect("exists");
+    for name in [
+        "fib",
+        "gcd_chain",
+        "josephus",
+        "shootout_nestedloop",
+        "ackermann",
+    ] {
+        let w = all_workloads()
+            .into_iter()
+            .find(|w| w.name == name)
+            .expect("exists");
         let opts = frost::cc::CodegenOptions::default();
         let mut module = w.compile(&opts).unwrap();
         o2_pipeline(PipelineMode::Fixed).run(&mut module);
@@ -76,7 +87,11 @@ fn simulator_matches_interpreter_on_small_workloads() {
             &vals,
             &mem,
             Semantics::proposed(),
-            Limits { max_steps: 50_000_000, max_call_depth: 128, ..Limits::default() },
+            Limits {
+                max_steps: 50_000_000,
+                max_call_depth: 128,
+                ..Limits::default()
+            },
         )
         .unwrap_or_else(|e| panic!("{name}: interpreter: {e}"));
         let interp_result = match outcome {
@@ -134,7 +149,10 @@ int run(int *a, int n) {
 fn optimized_ir_runs_faster_or_equal_on_the_simulator() {
     // -O2 should not make the simulated workloads slower (cycle model).
     for name in ["matrix", "dotproduct", "crc32"] {
-        let w = all_workloads().into_iter().find(|w| w.name == name).unwrap();
+        let w = all_workloads()
+            .into_iter()
+            .find(|w| w.name == name)
+            .unwrap();
         let opts = frost::cc::CodegenOptions::default();
 
         let unoptimized = w.compile(&opts).unwrap();

@@ -154,7 +154,8 @@ done:
 fn section_3_4_select_tension() {
     // select c, true, x  vs  or c, x: equivalent only under the
     // "select as arithmetic" (propagate unselected) reading.
-    let sel = "define i1 @f(i1 %c, i1 %x) {\nentry:\n  %r = select i1 %c, i1 true, i1 %x\n  ret i1 %r\n}";
+    let sel =
+        "define i1 @f(i1 %c, i1 %x) {\nentry:\n  %r = select i1 %c, i1 true, i1 %x\n  ret i1 %r\n}";
     let or_ = "define i1 @f(i1 %c, i1 %x) {\nentry:\n  %r = or i1 %c, %x\n  ret i1 %r\n}";
     let frozen = "define i1 @f(i1 %c, i1 %x) {\nentry:\n  %fx = freeze i1 %x\n  %r = or i1 %c, %fx\n  ret i1 %r\n}";
     assert!(
@@ -162,7 +163,9 @@ fn section_3_4_select_tension() {
         "LangRef reading: select == or"
     );
     assert!(
-        check(sel, or_, Semantics::proposed()).counterexample().is_some(),
+        check(sel, or_, Semantics::proposed())
+            .counterexample()
+            .is_some(),
         "proposed reading: or leaks unselected poison"
     );
     assert!(
@@ -245,7 +248,9 @@ m:
 }
 "#;
     assert!(check(sel, br_frozen, Semantics::proposed()).is_refinement());
-    assert!(check(sel, br_raw, Semantics::proposed()).counterexample().is_some());
+    assert!(check(sel, br_raw, Semantics::proposed())
+        .counterexample()
+        .is_some());
 }
 
 /// §5.5: sinking (duplicating) a freeze into a loop changes behavior.
@@ -291,7 +296,10 @@ exit:
     let s = parse_module(hoisted).unwrap();
     let t = parse_module(sunk).unwrap();
     let r = check_refinement(&s, "f", &t, "f", &CheckOptions::new(Semantics::proposed()));
-    assert!(r.is_refinement(), "single-iteration loop: no observable duplication");
+    assert!(
+        r.is_refinement(),
+        "single-iteration loop: no observable duplication"
+    );
 
     // Two iterations expose it.
     let hoisted2 = hoisted.replace(

@@ -5,7 +5,7 @@
 
 use frost::core::Semantics;
 use frost::fuzz::{enumerate_functions, random_functions, validate_transform, GenConfig};
-use frost::opt::{cleanup_pipeline, o2_pipeline, Pass, PipelineMode};
+use frost::opt::{cleanup_pipeline, o2_pipeline, PipelineMode};
 
 #[test]
 fn fixed_o2_is_sound_on_exhaustive_single_instruction_space() {
@@ -55,10 +55,13 @@ fn fixed_o2_is_sound_on_sampled_two_instruction_space() {
 fn fixed_o2_is_sound_on_random_select_heavy_functions() {
     let cfg = GenConfig::with_selects(4);
     let pm = o2_pipeline(PipelineMode::Fixed);
-    let report =
-        validate_transform(random_functions(cfg, 0xf05, 80), Semantics::proposed(), |m| {
+    let report = validate_transform(
+        random_functions(cfg, 0xf05, 80),
+        Semantics::proposed(),
+        |m| {
             pm.run(m);
-        });
+        },
+    );
     assert!(
         report.is_clean(),
         "violation: {}",
@@ -75,7 +78,11 @@ fn legacy_o2_produces_at_least_one_miscompilation_with_undef() {
     // The point of the exercise: the legacy pipeline as a whole — not
     // just individual rules — miscompiles programs containing undef.
     let cfg = GenConfig {
-        ops: vec![frost::ir::BinOp::Mul, frost::ir::BinOp::Add, frost::ir::BinOp::Sub],
+        ops: vec![
+            frost::ir::BinOp::Mul,
+            frost::ir::BinOp::Add,
+            frost::ir::BinOp::Sub,
+        ],
         consts: vec![0, 1, 2],
         flags: false,
         freeze: false,
@@ -128,7 +135,11 @@ fn cleanup_pipeline_preserves_verification() {
 
 #[test]
 fn modes_never_panic_across_the_generator_space() {
-    for mode in [PipelineMode::Legacy, PipelineMode::Fixed, PipelineMode::FixedFreezeBlind] {
+    for mode in [
+        PipelineMode::Legacy,
+        PipelineMode::Fixed,
+        PipelineMode::FixedFreezeBlind,
+    ] {
         let cfg = GenConfig::with_selects(3);
         for f in random_functions(cfg, 3, 30) {
             let mut m = frost::ir::Module::new();
@@ -142,7 +153,11 @@ fn modes_never_panic_across_the_generator_space() {
                 frost::ir::VerifyMode::Legacy
             };
             frost::ir::verify::verify_module(&m, vm).unwrap_or_else(|e| {
-                panic!("mode {mode:?}: {}: {}", frost::ir::module_to_string(&m), e.join("; "))
+                panic!(
+                    "mode {mode:?}: {}: {}",
+                    frost::ir::module_to_string(&m),
+                    e.join("; ")
+                )
             });
         }
     }

@@ -1,143 +1,190 @@
-//! Property-based tests (proptest) over the core data structures and
+//! Randomized property tests over the core data structures and
 //! semantic invariants listed in DESIGN.md.
+//!
+//! The workspace builds offline, so these run on the in-tree
+//! deterministic generator (`frost-rng`) instead of a property-testing
+//! framework: each property draws a few hundred samples from a
+//! fixed-seed [`SmallRng`] and asserts on every one. Failures print the
+//! sample, so any counterexample is reproducible by seed.
 
 use frost::core::{
-    enumerate_outcomes, lower, raise, Bit, Limits, Memory, Semantics, Val,
+    enumerate_outcomes, lower, raise, undef_of, Bit, Limits, Memory, Outcome, Semantics, Val,
 };
 use frost::ir::value::{from_signed, to_signed, truncate};
-use frost::ir::{parse_function, parse_module, Ty};
+use frost::ir::{function_to_string, parse_function, parse_module, Ty};
 use frost::refine::{outcome_refines, val_refines};
-use proptest::prelude::*;
+use frost_rng::SmallRng;
 
-fn arb_bits() -> impl Strategy<Value = u32> {
-    1u32..=16
+const SAMPLES: usize = 300;
+
+fn arb_bits(rng: &mut SmallRng) -> u32 {
+    rng.gen_range(1..17) as u32
 }
 
 /// A defined or deferred value of an arbitrary small integer type.
-fn arb_val() -> impl Strategy<Value = Val> {
-    (arb_bits(), any::<u128>(), 0u8..3).prop_map(|(bits, raw, kind)| match kind {
+fn arb_val(rng: &mut SmallRng) -> Val {
+    let bits = arb_bits(rng);
+    match rng.gen_range(0..3) {
         0 => Val::Poison,
         1 => Val::Undef(Ty::Int(bits)),
-        _ => Val::int(bits, raw),
-    })
-}
-
-fn arb_bit() -> impl Strategy<Value = Bit> {
-    prop_oneof![
-        Just(Bit::Zero),
-        Just(Bit::One),
-        Just(Bit::Poison),
-        Just(Bit::Undef)
-    ]
-}
-
-proptest! {
-    /// DESIGN.md invariant 3: `ty↑(ty↓(v)) = v` for every value,
-    /// including poison and undef, scalar and vector.
-    #[test]
-    fn lower_raise_round_trip(bits in arb_bits(), raw in any::<u128>(), kind in 0u8..3) {
-        let ty = Ty::Int(bits);
-        let v = match kind {
-            0 => Val::Poison,
-            1 => frost::core::undef_of(&ty),
-            _ => Val::int(bits, raw),
-        };
-        prop_assert_eq!(raise(&ty, &lower(&ty, &v)), v);
+        _ => Val::int(bits, rng.next_u128()),
     }
+}
 
-    /// Vector round trip with per-element deferred values.
-    #[test]
-    fn vector_lower_raise_round_trip(
-        elems in proptest::collection::vec((any::<u128>(), 0u8..3), 1..6)
-    ) {
-        let ty = Ty::vector(elems.len() as u32, Ty::Int(7));
+fn arb_bit(rng: &mut SmallRng) -> Bit {
+    match rng.gen_range(0..4) {
+        0 => Bit::Zero,
+        1 => Bit::One,
+        2 => Bit::Poison,
+        _ => Bit::Undef,
+    }
+}
+
+/// DESIGN.md invariant 3: `ty↑(ty↓(v)) = v` for every value, including
+/// poison and undef.
+#[test]
+fn lower_raise_round_trip() {
+    let mut rng = SmallRng::seed_from_u64(101);
+    for _ in 0..SAMPLES {
+        let bits = arb_bits(&mut rng);
+        let ty = Ty::Int(bits);
+        let v = match rng.gen_range(0..3) {
+            0 => Val::Poison,
+            1 => undef_of(&ty),
+            _ => Val::int(bits, rng.next_u128()),
+        };
+        assert_eq!(raise(&ty, &lower(&ty, &v)), v, "round trip broke on {v:?}");
+    }
+}
+
+/// Vector round trip with per-element deferred values.
+#[test]
+fn vector_lower_raise_round_trip() {
+    let mut rng = SmallRng::seed_from_u64(102);
+    for _ in 0..SAMPLES {
+        let len = rng.gen_range(1..6);
+        let ty = Ty::vector(len as u32, Ty::Int(7));
         let v = Val::Vec(
-            elems
-                .iter()
-                .map(|(raw, kind)| match kind {
+            (0..len)
+                .map(|_| match rng.gen_range(0..3) {
                     0 => Val::Poison,
                     1 => Val::Undef(Ty::Int(7)),
-                    _ => Val::int(7, *raw),
+                    _ => Val::int(7, rng.next_u128()),
                 })
                 .collect(),
         );
-        prop_assert_eq!(raise(&ty, &lower(&ty, &v)), v);
+        assert_eq!(raise(&ty, &lower(&ty, &v)), v, "round trip broke on {v:?}");
     }
+}
 
-    /// Refinement is reflexive.
-    #[test]
-    fn refinement_reflexive(v in arb_val()) {
-        prop_assert!(val_refines(&v, &v));
+/// Refinement is reflexive.
+#[test]
+fn refinement_reflexive() {
+    let mut rng = SmallRng::seed_from_u64(103);
+    for _ in 0..SAMPLES {
+        let v = arb_val(&mut rng);
+        assert!(val_refines(&v, &v), "not reflexive on {v:?}");
     }
+}
 
-    /// Refinement is transitive.
-    #[test]
-    fn refinement_transitive(a in arb_val(), b in arb_val(), c in arb_val()) {
+/// Refinement is transitive.
+#[test]
+fn refinement_transitive() {
+    let mut rng = SmallRng::seed_from_u64(104);
+    for _ in 0..SAMPLES * 10 {
+        let (a, b, c) = (arb_val(&mut rng), arb_val(&mut rng), arb_val(&mut rng));
         if val_refines(&a, &b) && val_refines(&b, &c) {
-            prop_assert!(val_refines(&a, &c));
+            assert!(val_refines(&a, &c), "not transitive on {a:?} {b:?} {c:?}");
         }
     }
+}
 
-    /// Refinement is antisymmetric up to equality on this domain.
-    #[test]
-    fn refinement_antisymmetric(a in arb_val(), b in arb_val()) {
+/// Refinement is antisymmetric up to equality on this domain.
+#[test]
+fn refinement_antisymmetric() {
+    let mut rng = SmallRng::seed_from_u64(105);
+    for _ in 0..SAMPLES * 10 {
+        let (a, b) = (arb_val(&mut rng), arb_val(&mut rng));
         if val_refines(&a, &b) && val_refines(&b, &a) {
-            prop_assert_eq!(a, b);
+            assert_eq!(a, b, "antisymmetry broke");
         }
     }
+}
 
-    /// Signed round trip: `from_signed(to_signed(v)) == v`.
-    #[test]
-    fn signed_round_trip(bits in arb_bits(), raw in any::<u128>()) {
-        let v = truncate(raw, bits);
-        prop_assert_eq!(from_signed(to_signed(v, bits), bits), v);
+/// Signed round trip: `from_signed(to_signed(v)) == v`.
+#[test]
+fn signed_round_trip() {
+    let mut rng = SmallRng::seed_from_u64(106);
+    for _ in 0..SAMPLES {
+        let bits = arb_bits(&mut rng);
+        let v = truncate(rng.next_u128(), bits);
+        assert_eq!(
+            from_signed(to_signed(v, bits), bits),
+            v,
+            "bits={bits} v={v}"
+        );
     }
+}
 
-    /// Memory: a store followed by a load returns the stored bits, and
-    /// leaves all other bits untouched.
-    #[test]
-    fn memory_store_load_frame(
-        size in 1u32..16,
-        offset in 0u32..8,
-        payload in proptest::collection::vec(arb_bit(), 8),
-    ) {
-        prop_assume!(offset + 1 <= size);
+/// Memory: a store followed by a load returns the stored bits, and
+/// leaves all other bits untouched.
+#[test]
+fn memory_store_load_frame() {
+    let mut rng = SmallRng::seed_from_u64(107);
+    for _ in 0..SAMPLES {
+        let size = rng.gen_range(1..16) as u32;
+        let offset = rng.gen_range(0..size.min(8) as usize) as u32;
+        let payload: Vec<Bit> = (0..8).map(|_| arb_bit(&mut rng)).collect();
         let mut m = Memory::uninit(size, Bit::Poison);
         let before = m.snapshot();
         let addr = Memory::BASE + offset;
-        prop_assert!(m.store(addr, &payload));
-        prop_assert_eq!(m.load(addr, 8), Some(payload.clone()));
+        assert!(m.store(addr, &payload));
+        assert_eq!(m.load(addr, 8), Some(payload.clone()));
         let after = m.snapshot();
         for (i, (b, a)) in before.iter().zip(&after).enumerate() {
             let bit_addr = i as u32;
             let touched = bit_addr >= offset * 8 && bit_addr < offset * 8 + 8;
             if !touched {
-                prop_assert_eq!(b, a, "untouched bit {} changed", i);
+                assert_eq!(b, a, "untouched bit {i} changed");
             }
         }
     }
+}
 
-    /// Parser/printer round trip on generated straight-line functions
-    /// (DESIGN.md invariant 7).
-    #[test]
-    fn parse_print_round_trip(seed in any::<u64>()) {
+/// Parser/printer round trip on generated straight-line functions
+/// (DESIGN.md invariant 7).
+#[test]
+fn parse_print_round_trip() {
+    let mut rng = SmallRng::seed_from_u64(108);
+    for _ in 0..60 {
+        let seed = rng.next_u64();
         let cfg = frost::fuzz::GenConfig::with_selects(3);
         let funcs = frost::fuzz::random_functions(cfg, seed, 1);
-        let printed = frost::ir::function_to_string(&funcs[0]);
+        let printed = function_to_string(&funcs[0]);
         let reparsed = parse_function(&printed).expect("printer output parses");
-        prop_assert_eq!(frost::ir::function_to_string(&reparsed), printed);
+        assert_eq!(function_to_string(&reparsed), printed, "seed={seed}");
     }
+}
 
-    /// freeze output is never poison and is an identity on defined
-    /// values (DESIGN.md invariant 2) — via exhaustive enumeration of
-    /// each sampled input.
-    #[test]
-    fn freeze_is_total_and_identity_on_defined(bits in 1u32..4, raw in any::<u128>(), poison in any::<bool>()) {
+/// freeze output is never poison and is an identity on defined values
+/// (DESIGN.md invariant 2) — via exhaustive enumeration of each sampled
+/// input.
+#[test]
+fn freeze_is_total_and_identity_on_defined() {
+    let mut rng = SmallRng::seed_from_u64(109);
+    for _ in 0..60 {
+        let bits = rng.gen_range(1..4) as u32;
+        let raw = rng.next_u128();
+        let poison = rng.gen_range(0..2) == 0;
         let src = format!(
             "define i{bits} @f(i{bits} %x) {{\nentry:\n  %a = freeze i{bits} %x\n  ret i{bits} %a\n}}"
         );
         let m = parse_module(&src).unwrap();
-        let arg = if poison { Val::Poison } else { Val::int(bits, raw) };
+        let arg = if poison {
+            Val::Poison
+        } else {
+            Val::int(bits, raw)
+        };
         let set = enumerate_outcomes(
             &m,
             "f",
@@ -147,25 +194,33 @@ proptest! {
             Limits::default(),
         )
         .unwrap();
-        prop_assert!(!set.may_ub());
+        assert!(!set.may_ub());
         for o in set.iter() {
             let v = o.ret_val().unwrap();
-            prop_assert!(v.is_defined(), "freeze output must be defined");
+            assert!(v.is_defined(), "freeze output must be defined");
             if !poison {
-                prop_assert_eq!(v, &Val::int(bits, raw));
+                assert_eq!(v, &Val::int(bits, raw));
             }
         }
         if poison {
-            prop_assert_eq!(set.len() as u128, 1 << bits, "freeze(poison) covers the type");
+            assert_eq!(
+                set.len() as u128,
+                1 << bits,
+                "freeze(poison) covers the type"
+            );
         }
     }
+}
 
-    /// Every behavior of an optimized (fixed InstCombine) function
-    /// refines some behavior of the original — sampled over the random
-    /// generator space (DESIGN.md invariant 4).
-    #[test]
-    fn instcombine_refines_on_random_functions(seed in any::<u64>()) {
-        use frost::opt::Pass;
+/// Every behavior of an optimized (fixed InstCombine) function refines
+/// some behavior of the original — sampled over the random generator
+/// space (DESIGN.md invariant 4).
+#[test]
+fn instcombine_refines_on_random_functions() {
+    use frost::opt::Pass;
+    let mut rng = SmallRng::seed_from_u64(110);
+    for _ in 0..12 {
+        let seed = rng.next_u64();
         let cfg = frost::fuzz::GenConfig::arithmetic(2);
         let report = frost::fuzz::validate_transform(
             frost::fuzz::random_functions(cfg, seed, 3),
@@ -179,18 +234,26 @@ proptest! {
                 }
             },
         );
-        prop_assert!(
+        assert!(
             report.is_clean(),
-            "violations: {:?}",
+            "seed={seed} violations: {:?}",
             report.violations.first().map(|v| v.counterexample.clone())
         );
     }
+}
 
-    /// Outcome refinement respects UB-as-top.
-    #[test]
-    fn ub_outcome_is_top(v in arb_val()) {
-        let ret = frost::core::Outcome::Ret { val: Some(v), mem: Vec::new(), trace: Vec::new() };
-        prop_assert!(outcome_refines(&ret, &frost::core::Outcome::Ub));
-        prop_assert!(!outcome_refines(&frost::core::Outcome::Ub, &ret));
+/// Outcome refinement respects UB-as-top.
+#[test]
+fn ub_outcome_is_top() {
+    let mut rng = SmallRng::seed_from_u64(111);
+    for _ in 0..SAMPLES {
+        let v = arb_val(&mut rng);
+        let ret = Outcome::Ret {
+            val: Some(v),
+            mem: Vec::new(),
+            trace: Vec::new(),
+        };
+        assert!(outcome_refines(&ret, &Outcome::Ub));
+        assert!(!outcome_refines(&Outcome::Ub, &ret));
     }
 }
