@@ -14,7 +14,7 @@
 //! * the [simulator](sim) has two cost models standing in for the
 //!   paper's two machines, including the register-dependent LEA latency
 //!   behind the "Stanford Queens" outlier;
-//! * [encode](encode) gives x86-shaped byte sizes for the object-size
+//! * [`encode`] gives x86-shaped byte sizes for the object-size
 //!   experiment.
 //!
 //! ```

@@ -4,8 +4,24 @@
 //! machines (§7.1: a Core i7-870 "machine 1" and a Core i5-6600
 //! "machine 2"), including the register-dependent LEA latency the
 //! paper's §7.2 traces the "Stanford Queens" outlier to.
+//!
+//! Every run is metered through `frost-telemetry` (see
+//! docs/OBSERVABILITY.md): the counters `frost.backend.sim.runs`,
+//! `.cycles`, and `.insts` accumulate totals, and — when tracing is
+//! enabled — each run attributes its cycles to the basic blocks that
+//! spent them, emitting one `backend.sim.block` point event per
+//! (function, block) with the cycle and instruction share. Block
+//! attribution is *exclusive* of callees: a called function's cycles
+//! land on the callee's own blocks (the call-overhead cycles stay with
+//! the calling block), so summing every `backend.sim.block` event of a
+//! run reproduces the run's `cycles` total exactly. That granularity is
+//! what a §7.2-style outlier hunt wants: the Queens LEA penalty shows
+//! up concentrated in the loop block that pays it.
 
 use std::collections::HashMap;
+use std::sync::OnceLock;
+
+use frost_telemetry::Counter;
 
 use crate::mir::{AluOp, Cc, MFunc, MInst, MModule, Operand, Reg, Width};
 
@@ -140,6 +156,22 @@ pub struct SimRun {
 /// Base address of simulated memory (null stays invalid).
 pub const MEM_BASE: u64 = 0x1000;
 
+/// Process-wide simulation totals, resolved once.
+struct SimCounters {
+    runs: &'static Counter,
+    cycles: &'static Counter,
+    insts: &'static Counter,
+}
+
+fn sim_counters() -> &'static SimCounters {
+    static CTRS: OnceLock<SimCounters> = OnceLock::new();
+    CTRS.get_or_init(|| SimCounters {
+        runs: frost_telemetry::counter("frost.backend.sim.runs"),
+        cycles: frost_telemetry::counter("frost.backend.sim.cycles"),
+        insts: frost_telemetry::counter("frost.backend.sim.insts"),
+    })
+}
+
 /// The machine simulator.
 pub struct Simulator<'m> {
     module: &'m MModule,
@@ -150,6 +182,10 @@ pub struct Simulator<'m> {
     cycles: u64,
     insts: u64,
     extern_calls: HashMap<String, u64>,
+    /// Per-(function name, block label) cycle/instruction attribution,
+    /// populated only while tracing is enabled and drained into
+    /// `backend.sim.block` point events at the end of each run.
+    block_attr: HashMap<(String, String), (u64, u64)>,
 }
 
 #[derive(Clone, Copy, PartialEq, Debug)]
@@ -180,6 +216,7 @@ impl<'m> Simulator<'m> {
             cycles: 0,
             insts: 0,
             extern_calls: HashMap::new(),
+            block_attr: HashMap::new(),
         }
     }
 
@@ -195,13 +232,40 @@ impl<'m> Simulator<'m> {
     ///
     /// Returns [`SimError`] on traps, faults, or cycle exhaustion.
     pub fn run(&mut self, name: &str, args: &[u64]) -> Result<SimRun, SimError> {
-        let ret = self.call(name, args, 0)?;
+        let ctrs = sim_counters();
+        ctrs.runs.incr();
+        let (c0, i0) = (self.cycles, self.insts);
+        let result = self.call(name, args, 0);
+        ctrs.cycles.add(self.cycles - c0);
+        ctrs.insts.add(self.insts - i0);
+        self.emit_block_attr();
+        let ret = result?;
         Ok(SimRun {
             ret,
             cycles: self.cycles,
             insts: self.insts,
             extern_calls: std::mem::take(&mut self.extern_calls),
         })
+    }
+
+    /// Emits one `backend.sim.block` point event per (function, block)
+    /// visited since the last emission, in deterministic order, and
+    /// clears the attribution table. No-op when nothing was attributed
+    /// (tracing off).
+    fn emit_block_attr(&mut self) {
+        if self.block_attr.is_empty() {
+            return;
+        }
+        let mut attr: Vec<_> = self.block_attr.drain().collect();
+        attr.sort();
+        for ((func, block), (cycles, insts)) in attr {
+            frost_telemetry::point("backend.sim.block")
+                .field("func", func)
+                .field("block", block)
+                .field("cycles", cycles)
+                .field("insts", insts)
+                .emit();
+        }
     }
 
     fn charge(&mut self, c: u64) -> Result<(), SimError> {
@@ -256,6 +320,23 @@ impl<'m> Simulator<'m> {
         self.exec(func, &mut frame, args, depth)
     }
 
+    /// Folds the cycles/instructions charged since the last snapshot
+    /// into block `bi` of `func` and advances the snapshot.
+    fn attr_block(&mut self, func: &MFunc, bi: usize, c0: &mut u64, i0: &mut u64) {
+        let (dc, di) = (self.cycles - *c0, self.insts - *i0);
+        *c0 = self.cycles;
+        *i0 = self.insts;
+        if dc == 0 && di == 0 {
+            return;
+        }
+        let entry = self
+            .block_attr
+            .entry((func.name.clone(), func.blocks[bi].name.clone()))
+            .or_insert((0, 0));
+        entry.0 += dc;
+        entry.1 += di;
+    }
+
     fn exec(
         &mut self,
         func: &MFunc,
@@ -265,6 +346,11 @@ impl<'m> Simulator<'m> {
     ) -> Result<Option<u64>, SimError> {
         let mut bi = 0usize;
         let mut ii = 0usize;
+        // Per-block attribution snapshots, advanced at block
+        // boundaries. Checked once per exec, not per instruction: a run
+        // that starts with tracing off stays unattributed throughout.
+        let trace = frost_telemetry::enabled();
+        let (mut c0, mut i0) = (self.cycles, self.insts);
         loop {
             let Some(inst) = func.blocks[bi].insts.get(ii) else {
                 return Err(SimError::Bad(format!(
@@ -466,12 +552,18 @@ impl<'m> Simulator<'m> {
                 MInst::Jcc { cc, target } => {
                     self.charge(self.cost.branch)?;
                     if eval_cc(fr.flags, *cc)? {
+                        if trace {
+                            self.attr_block(func, bi, &mut c0, &mut i0);
+                        }
                         bi = *target;
                         ii = 0;
                     }
                 }
                 MInst::Jmp { target } => {
                     self.charge(self.cost.branch)?;
+                    if trace {
+                        self.attr_block(func, bi, &mut c0, &mut i0);
+                    }
                     bi = *target;
                     ii = 0;
                 }
@@ -484,13 +576,24 @@ impl<'m> Simulator<'m> {
                     let vals: Vec<u64> = arg_regs.iter().map(|r| read_reg(fr, *r)).collect();
                     let callee = callee.clone();
                     let dst = *dst;
+                    if trace {
+                        // Flush up to and including the call overhead;
+                        // the callee attributes its own blocks, and the
+                        // snapshot reset below keeps its cycles off
+                        // this block.
+                        self.attr_block(func, bi, &mut c0, &mut i0);
+                    }
                     let ret = self.call(&callee, &vals, depth + 1)?;
+                    (c0, i0) = (self.cycles, self.insts);
                     if let Some(d) = dst {
                         write_reg(fr, d, ret.unwrap_or(0));
                     }
                 }
                 MInst::Ret { src } => {
                     self.charge(self.cost.ret)?;
+                    if trace {
+                        self.attr_block(func, bi, &mut c0, &mut i0);
+                    }
                     return Ok(src.map(|r| read_reg(fr, r)));
                 }
                 MInst::Spill { slot, src } => {
@@ -721,6 +824,62 @@ entry:
             .unwrap();
         assert_eq!(c1.ret, c2.ret);
         assert!(c1.cycles > c2.cycles, "machine1 divides slower");
+    }
+
+    #[test]
+    fn block_attribution_sums_to_run_totals() {
+        let src = r#"
+define i32 @attr_helper(i32 %x) {
+entry:
+  %r = mul i32 %x, 3
+  ret i32 %r
+}
+define i32 @attr_probe(i32 %n) {
+entry:
+  br label %head
+head:
+  %i = phi i32 [ 0, %entry ], [ %i2, %head ]
+  %s = phi i32 [ 0, %entry ], [ %s2, %head ]
+  %t = call i32 @attr_helper(i32 %i)
+  %s2 = add i32 %s, %t
+  %i2 = add i32 %i, 1
+  %c = icmp ult i32 %i2, %n
+  br i1 %c, label %head, label %exit
+exit:
+  ret i32 %s2
+}
+"#;
+        let m = parse_module(src).unwrap();
+        let mm = compile_module_with_mode(&m, PipelineMode::Fixed).unwrap();
+        frost_telemetry::enable(frost_telemetry::TraceFormat::Jsonl);
+        let mut sim = Simulator::new(&mm, CostModel::machine1(), 0);
+        let r = sim.run("attr_probe", &[10]).unwrap();
+        frost_telemetry::disable();
+        // Filter by the probe's unique function names: other tests in
+        // this binary may emit events while tracing is on.
+        let (mut cycles, mut insts) = (0u64, 0u64);
+        for ev in frost_telemetry::drain() {
+            if ev.name != "backend.sim.block" {
+                continue;
+            }
+            let func = ev.fields.iter().find(|(k, _)| *k == "func");
+            match func {
+                Some((_, frost_telemetry::FieldValue::Str(s))) if s.starts_with("attr_") => {}
+                _ => continue,
+            }
+            for (k, v) in &ev.fields {
+                if let frost_telemetry::FieldValue::U64(n) = v {
+                    match *k {
+                        "cycles" => cycles += n,
+                        "insts" => insts += n,
+                        _ => {}
+                    }
+                }
+            }
+        }
+        assert_eq!(r.ret, Some(135));
+        assert_eq!(cycles, r.cycles, "attribution must be exhaustive");
+        assert_eq!(insts, r.insts);
     }
 
     #[test]

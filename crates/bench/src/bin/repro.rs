@@ -2,18 +2,62 @@
 //!
 //! ```text
 //! repro [--experiment NAME] [--quick] [--budget N]
+//!       [--trace] [--counters] [--validate-trace FILE]
 //! ```
 //!
 //! Experiments: fig6, compile-time, memory, objsize, optfuzz,
 //! inconsistencies, widening, loadwiden, queens, all (default).
+//!
+//! Observability (see docs/OBSERVABILITY.md): `--trace` records every
+//! span of the run, writes the JSONL artifact to `telemetry.jsonl` (or
+//! `$FROST_TRACE_FILE`), validates it, and prints a top-k profile
+//! table. `--counters` prints the counter deltas the run produced.
+//! `--validate-trace FILE` checks an existing artifact against the
+//! schema and exits (0 valid, 1 malformed). The `FROST_TRACE` env var
+//! also enables tracing, for processes whose flags you don't control.
 
-use frost_bench::experiments;
+use frost_bench::{counters_table, experiments, profile_table};
+
+/// Rows shown by the `--trace` profile table.
+const PROFILE_TOP_K: usize = 15;
+
+fn validate_trace_file(path: &str) -> ! {
+    let text = match std::fs::read_to_string(path) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("cannot read {path}: {e}");
+            std::process::exit(1);
+        }
+    };
+    match frost_telemetry::validate_jsonl(&text) {
+        Ok(stats) => {
+            println!(
+                "{path}: valid ({} events: {} starts, {} stops, {} points, {} unmatched, \
+                 {} span keys)",
+                stats.lines,
+                stats.starts,
+                stats.stops,
+                stats.points,
+                stats.unmatched,
+                stats.by_key.len()
+            );
+            std::process::exit(0);
+        }
+        Err(e) => {
+            eprintln!("{path}: malformed telemetry: {e}");
+            std::process::exit(1);
+        }
+    }
+}
 
 fn main() {
+    frost_telemetry::init_from_env();
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut experiment = "all".to_string();
     let mut quick = false;
     let mut budget = 400usize;
+    let mut trace = false;
+    let mut counters = false;
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
@@ -36,10 +80,26 @@ fn main() {
                     std::process::exit(2);
                 }
             }
+            "--trace" => trace = true,
+            "--counters" => counters = true,
+            "--validate-trace" => {
+                i += 1;
+                let Some(path) = args.get(i) else {
+                    eprintln!("--validate-trace needs a file");
+                    std::process::exit(2);
+                };
+                validate_trace_file(path);
+            }
             "--help" | "-h" => {
                 println!(
                     "usage: repro [--experiment fig6|compile-time|memory|objsize|optfuzz|\
-                     inconsistencies|widening|loadwiden|queens|all] [--quick] [--budget N]"
+                     inconsistencies|widening|loadwiden|queens|all] [--quick] [--budget N]\n\
+                     \x20            [--trace] [--counters] [--validate-trace FILE]\n\
+                     \n\
+                     --trace           record spans, write + validate telemetry.jsonl\n\
+                     \x20                 (or $FROST_TRACE_FILE), print a profile table\n\
+                     --counters        print the counter deltas of the run\n\
+                     --validate-trace  check an existing telemetry.jsonl and exit"
                 );
                 return;
             }
@@ -50,6 +110,12 @@ fn main() {
         }
         i += 1;
     }
+
+    if trace {
+        frost_telemetry::enable(frost_telemetry::TraceFormat::Jsonl);
+        frost_telemetry::drain();
+    }
+    let before = counters.then(frost_telemetry::snapshot);
 
     let mut matched = false;
     let mut run = |name: &str| -> bool {
@@ -96,6 +162,37 @@ fn main() {
     if !matched {
         eprintln!("unknown experiment '{experiment}' (try --help)");
         std::process::exit(2);
+    }
+
+    if let Some(before) = before {
+        println!(
+            "{}",
+            counters_table(&frost_telemetry::snapshot().delta(&before))
+        );
+    }
+    if trace {
+        let events = frost_telemetry::drain();
+        let jsonl = frost_telemetry::render_jsonl(&events);
+        let path =
+            std::env::var("FROST_TRACE_FILE").unwrap_or_else(|_| "telemetry.jsonl".to_string());
+        if let Err(e) = std::fs::write(&path, &jsonl) {
+            eprintln!("cannot write {path}: {e}");
+            std::process::exit(1);
+        }
+        match frost_telemetry::validate_jsonl(&jsonl) {
+            Ok(stats) => {
+                println!("{}", profile_table(&stats, PROFILE_TOP_K));
+                println!(
+                    "wrote {path}: {} events ({} dropped by the ring buffer)",
+                    stats.lines,
+                    frost_telemetry::dropped_events()
+                );
+            }
+            Err(e) => {
+                eprintln!("internal error: emitted malformed telemetry: {e}");
+                failures += 1;
+            }
+        }
     }
     if failures > 0 {
         std::process::exit(1);

@@ -18,8 +18,10 @@
 pub mod experiments;
 pub mod harness;
 pub mod microbench;
+pub mod profile;
 pub mod table;
 
 pub use harness::{compile_workload, pct_improvement, run_workload, RunMetrics};
 pub use microbench::{BenchResult, Runner};
+pub use profile::{counters_table, profile_table};
 pub use table::Table;

@@ -1,0 +1,147 @@
+//! Rendering telemetry into report tables.
+//!
+//! Turns the two telemetry surfaces — a validated `telemetry.jsonl`
+//! artifact ([`JsonlStats`]) and a counter-registry delta
+//! ([`Snapshot`]) — into the same plain-text [`Table`]s the experiment
+//! harness prints, so a `repro --trace` run ends with a profile of
+//! where the time went. The span keys follow the contract in
+//! docs/OBSERVABILITY.md: `opt.pass.run` spans are split per pass as
+//! `opt.pass.run[instcombine]` etc., so the top-k rows read directly as
+//! a per-pass profile.
+
+use frost_telemetry::{JsonlStats, Snapshot};
+
+use crate::table::Table;
+
+fn fmt_ns(ns: u64) -> String {
+    if ns >= 1_000_000_000 {
+        format!("{:.2}s", ns as f64 / 1e9)
+    } else if ns >= 1_000_000 {
+        format!("{:.2}ms", ns as f64 / 1e6)
+    } else if ns >= 1_000 {
+        format!("{:.1}us", ns as f64 / 1e3)
+    } else {
+        format!("{ns}ns")
+    }
+}
+
+/// The top-`k` span keys of a validated trace by total duration: one
+/// row per key with completion count, total/mean/max latency, and the
+/// share of the summed span time. Point-only keys (no completed spans)
+/// are skipped.
+pub fn profile_table(stats: &JsonlStats, k: usize) -> Table {
+    let mut keys: Vec<(&String, &frost_telemetry::SpanStats)> =
+        stats.by_key.iter().filter(|(_, s)| s.count > 0).collect();
+    keys.sort_by(|a, b| b.1.total_ns.cmp(&a.1.total_ns).then(a.0.cmp(b.0)));
+    let grand_total: u64 = keys.iter().map(|(_, s)| s.total_ns).sum();
+
+    let mut t = Table::new(
+        format!("Profile: top {} spans by total time", k.min(keys.len())),
+        &["span", "count", "total", "mean", "max", "share"],
+    );
+    for (name, s) in keys.iter().take(k) {
+        let mean = if s.count > 0 { s.total_ns / s.count } else { 0 };
+        let share = if grand_total > 0 {
+            100.0 * s.total_ns as f64 / grand_total as f64
+        } else {
+            0.0
+        };
+        t.row(vec![
+            (*name).clone(),
+            s.count.to_string(),
+            fmt_ns(s.total_ns),
+            fmt_ns(mean),
+            fmt_ns(s.max_ns),
+            format!("{share:.1}%"),
+        ]);
+    }
+    if keys.len() > k {
+        t.note(format!("{} further spans omitted", keys.len() - k));
+    }
+    t.note(format!(
+        "{} events: {} starts, {} stops, {} points, {} unmatched",
+        stats.lines, stats.starts, stats.stops, stats.points, stats.unmatched
+    ));
+    t
+}
+
+/// Every counter and histogram of a [`Snapshot`] (typically a
+/// [`Snapshot::delta`] over a metered region), one row each. Gauges are
+/// rendered with their last value.
+pub fn counters_table(snap: &Snapshot) -> Table {
+    let mut t = Table::new("Counters", &["name", "value"]);
+    for (name, v) in &snap.counters {
+        t.row(vec![name.clone(), v.to_string()]);
+    }
+    for (name, v) in &snap.gauges {
+        t.row(vec![name.clone(), format!("{v} (gauge)")]);
+    }
+    for (name, h) in &snap.histograms {
+        if h.count == 0 {
+            continue;
+        }
+        t.row(vec![
+            name.clone(),
+            format!(
+                "n={} mean={} p99~{}",
+                h.count,
+                fmt_ns(h.mean() as u64),
+                fmt_ns(h.approx_quantile(0.99))
+            ),
+        ]);
+    }
+    if t.rows.is_empty() {
+        t.note("no metrics changed in the measured region");
+    }
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn profile_ranks_by_total_and_reports_share() {
+        let jsonl = [
+            r#"{"ev":"start","span":1,"name":"a.b.c","tid":1,"ts_ns":0}"#,
+            r#"{"ev":"stop","span":1,"name":"a.b.c","tid":1,"ts_ns":100,"dur_ns":100}"#,
+            r#"{"ev":"start","span":2,"name":"x.y.z","tid":1,"ts_ns":100}"#,
+            r#"{"ev":"stop","span":2,"name":"x.y.z","tid":1,"ts_ns":400,"dur_ns":300}"#,
+        ]
+        .join("\n");
+        let stats = frost_telemetry::validate_jsonl(&jsonl).unwrap();
+        let t = profile_table(&stats, 10);
+        assert_eq!(t.rows[0][0], "x.y.z", "largest total first");
+        assert_eq!(t.rows[0][5], "75.0%");
+        assert_eq!(t.rows[1][0], "a.b.c");
+    }
+
+    #[test]
+    fn profile_splits_passes_and_truncates() {
+        let jsonl = [
+            r#"{"ev":"start","span":1,"name":"opt.pass.run","tid":1,"ts_ns":0}"#,
+            r#"{"ev":"stop","span":1,"name":"opt.pass.run","tid":1,"ts_ns":9,"dur_ns":9,"pass":"dce"}"#,
+            r#"{"ev":"start","span":2,"name":"opt.pass.run","tid":1,"ts_ns":9}"#,
+            r#"{"ev":"stop","span":2,"name":"opt.pass.run","tid":1,"ts_ns":10,"dur_ns":1,"pass":"gvn"}"#,
+        ]
+        .join("\n");
+        let stats = frost_telemetry::validate_jsonl(&jsonl).unwrap();
+        let t = profile_table(&stats, 1);
+        assert_eq!(t.rows.len(), 1);
+        assert_eq!(t.rows[0][0], "opt.pass.run[dce]");
+        assert!(t.notes.iter().any(|n| n.contains("1 further")));
+    }
+
+    #[test]
+    fn counters_table_lists_deltas() {
+        let c = frost_telemetry::counter("bench.profile.test.counter");
+        let before = frost_telemetry::snapshot();
+        c.add(7);
+        let delta = frost_telemetry::snapshot().delta(&before);
+        let t = counters_table(&delta);
+        assert!(t
+            .rows
+            .iter()
+            .any(|r| r[0] == "bench.profile.test.counter" && r[1] == "7"));
+    }
+}

@@ -1,7 +1,7 @@
 //! Outcome-enumeration memoization for validation campaigns.
 //!
 //! The §6 methodology checks millions of tiny functions, and the hot
-//! loop is [`enumerate_outcomes`](crate::exec::enumerate_outcomes) run
+//! loop is [`enumerate_outcomes`] run
 //! once per (function, input) pair for both the source and the target
 //! of every check. Campaign corpora are massively redundant: a no-op
 //! transform leaves the target textually identical to the source, and
@@ -78,6 +78,29 @@ pub struct OutcomeCache {
     misses: AtomicU64,
 }
 
+/// Process-wide mirrors of the per-cache hit/miss tallies, registered
+/// once (`frost.core.cache.hits` / `frost.core.cache.misses` — see
+/// docs/OBSERVABILITY.md). Per-cache counts stay exact; under parallel
+/// campaigns two workers may race on one key and both count a miss, so
+/// the global counters are throughput telemetry, not a determinism
+/// surface.
+fn global_cache_counters() -> (
+    &'static frost_telemetry::Counter,
+    &'static frost_telemetry::Counter,
+) {
+    use std::sync::OnceLock;
+    static COUNTERS: OnceLock<(
+        &'static frost_telemetry::Counter,
+        &'static frost_telemetry::Counter,
+    )> = OnceLock::new();
+    *COUNTERS.get_or_init(|| {
+        (
+            frost_telemetry::counter("frost.core.cache.hits"),
+            frost_telemetry::counter("frost.core.cache.misses"),
+        )
+    })
+}
+
 impl OutcomeCache {
     /// An empty cache.
     pub fn new() -> OutcomeCache {
@@ -121,6 +144,7 @@ impl OutcomeCache {
         };
         if let Some(entry) = self.map.lock().expect("cache lock").get(&key) {
             self.hits.fetch_add(1, Ordering::Relaxed);
+            global_cache_counters().0.incr();
             return Arc::clone(entry);
         }
         // Enumerate outside the lock: enumeration is the expensive part
@@ -129,6 +153,7 @@ impl OutcomeCache {
         // result is identical and the second insert is a harmless
         // overwrite.
         self.misses.fetch_add(1, Ordering::Relaxed);
+        global_cache_counters().1.incr();
         let entry = Arc::new(enumerate_all_inputs(module, name, inputs, mem, sem, limits));
         self.map
             .lock()

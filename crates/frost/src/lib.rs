@@ -21,6 +21,7 @@
 //! | [`backend`] | `frost-backend` | isel (freeze→copy, poison→pinned undef reg), regalloc, simulator |
 //! | [`cc`] | `frost-cc` | mini-C frontend with the §5.3 bit-field freeze lowering |
 //! | [`workloads`] | `frost-workloads` | SPEC-/LNT-shaped synthetic benchmark programs |
+//! | [`telemetry`] | `frost-telemetry` | structured tracing, counters, JSONL artifact tooling |
 //!
 //! ## Quickstart
 //!
@@ -73,6 +74,10 @@ pub use frost_cc as cc;
 /// Synthetic benchmark programs.
 pub use frost_workloads as workloads;
 
+/// The observability layer: spans, counters, telemetry artifacts (see
+/// docs/OBSERVABILITY.md for the contract).
+pub use frost_telemetry as telemetry;
+
 /// The one-import working set: everything a typical check-an-optimization
 /// or run-a-campaign program needs.
 ///
@@ -85,6 +90,10 @@ pub use frost_workloads as workloads;
 ///         o2_pipeline(PipelineMode::Fixed).run(m);
 ///     });
 /// assert!(report.is_clean(), "{report}");
+///
+/// // Everything above was metered: the campaign and every pass bumped
+/// // their always-on counters (see docs/OBSERVABILITY.md).
+/// assert!(telemetry::snapshot().counter("frost.fuzz.campaign.checked") >= 20);
 /// ```
 pub mod prelude {
     pub use frost_core::{
@@ -100,4 +109,5 @@ pub mod prelude {
         check_refinement, check_refinement_cached, check_transform, CheckOptions, CheckResult,
         InputOptions,
     };
+    pub use frost_telemetry as telemetry;
 }

@@ -7,7 +7,7 @@
 //! of consecutive function indices; workers (scoped threads) claim
 //! shards off a shared atomic counter, so fast workers steal work that
 //! slow workers never reach. All workers share one
-//! [`OutcomeCache`](frost_core::OutcomeCache), so each distinct
+//! [`OutcomeCache`], so each distinct
 //! (canonical function, semantics) pair is enumerated once per
 //! campaign, no matter which worker sees it first.
 //!
@@ -19,7 +19,7 @@
 //! at any worker count. Two mechanisms guarantee this:
 //!
 //! * random corpora derive each function's RNG from its global index
-//!   ([`random_functions_range`](crate::gen::random_functions_range)),
+//!   ([`random_functions_range`]),
 //!   so which worker generates function *i* is irrelevant;
 //! * every [`Violation`] carries its global index, and the merge step
 //!   sorts by it, erasing shard-completion order.
@@ -28,14 +28,49 @@
 //! off by a [`deadline`](Campaign::with_deadline)) vary between runs.
 
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::OnceLock;
 use std::time::{Duration, Instant};
 
 use frost_core::{OutcomeCache, Semantics};
 use frost_ir::{function_to_string, Function, Module};
 use frost_refine::{check_refinement_cached, CheckOptions, CheckResult};
+use frost_telemetry::{Counter, Histogram};
 
 use crate::gen::{random_functions_range, GenConfig};
 use crate::validate::{ValidationReport, Violation};
+
+/// The engine's process-wide telemetry (see docs/OBSERVABILITY.md):
+/// always-on verdict counters under `frost.fuzz.campaign.*`, the
+/// shard-claim latency histogram, and the skip-reason tallies. Handles
+/// are resolved once per process.
+struct CampaignCounters {
+    runs: &'static Counter,
+    checked: &'static Counter,
+    changed: &'static Counter,
+    refined: &'static Counter,
+    violations: &'static Counter,
+    inconclusive: &'static Counter,
+    shards: &'static Counter,
+    skip_deadline_fns: &'static Counter,
+    skip_budget: &'static Counter,
+    claim_ns: &'static Histogram,
+}
+
+fn campaign_counters() -> &'static CampaignCounters {
+    static COUNTERS: OnceLock<CampaignCounters> = OnceLock::new();
+    COUNTERS.get_or_init(|| CampaignCounters {
+        runs: frost_telemetry::counter("frost.fuzz.campaign.runs"),
+        checked: frost_telemetry::counter("frost.fuzz.campaign.checked"),
+        changed: frost_telemetry::counter("frost.fuzz.campaign.changed"),
+        refined: frost_telemetry::counter("frost.fuzz.campaign.refined"),
+        violations: frost_telemetry::counter("frost.fuzz.campaign.violations"),
+        inconclusive: frost_telemetry::counter("frost.fuzz.campaign.inconclusive"),
+        shards: frost_telemetry::counter("frost.fuzz.campaign.shards"),
+        skip_deadline_fns: frost_telemetry::counter("frost.fuzz.campaign.skip.deadline_fns"),
+        skip_budget: frost_telemetry::counter("frost.fuzz.campaign.skip.budget"),
+        claim_ns: frost_telemetry::histogram("frost.fuzz.campaign.claim_ns"),
+    })
+}
 
 /// Wall-clock statistics of a finished campaign, folded into its
 /// [`ValidationReport`]. Unlike the verdict counters these are *not*
@@ -255,10 +290,17 @@ impl Campaign {
         let next_shard = AtomicUsize::new(0);
         let deadline_expired = AtomicBool::new(false);
         let live = LiveCounters::default();
+        let ctrs = campaign_counters();
+        ctrs.runs.incr();
+        let mut run_span = frost_telemetry::span("fuzz.campaign.run")
+            .field("count", count)
+            .field("shards", num_shards)
+            .field("workers", workers);
 
         let work = || {
             let mut p = Partial::default();
             loop {
+                let claim_start = Instant::now();
                 if let Some(d) = self.deadline {
                     if start.elapsed() >= d {
                         deadline_expired.store(true, Ordering::Relaxed);
@@ -269,10 +311,20 @@ impl Campaign {
                 if shard >= num_shards {
                     break;
                 }
+                let claim_ns = claim_start.elapsed().as_nanos() as u64;
+                ctrs.shards.incr();
+                ctrs.claim_ns.record(claim_ns);
                 let lo = shard * self.shard_size;
                 let hi = (lo + self.shard_size).min(count);
-                for i in lo..hi {
-                    self.check_one(i, make, transform, &cache, &mut p, &live);
+                {
+                    let _shard_span = frost_telemetry::span("fuzz.campaign.shard")
+                        .field("shard", shard)
+                        .field("lo", lo)
+                        .field("hi", hi)
+                        .field("claim_ns", claim_ns);
+                    for i in lo..hi {
+                        self.check_one(i, make, transform, &cache, &mut p, &live, ctrs);
+                    }
                 }
                 if let Some(obs) = &self.observer {
                     obs(&live.snapshot(count, start, &cache));
@@ -305,6 +357,19 @@ impl Campaign {
         // order regardless of which worker produced them.
         report.violations.sort_by_key(|v| v.index);
 
+        let deadline_hit = deadline_expired.load(Ordering::Relaxed);
+        let skipped = count - report.total;
+        if deadline_hit {
+            ctrs.skip_deadline_fns.add(skipped as u64);
+        }
+        if budget_hit {
+            ctrs.skip_budget.incr();
+        }
+        run_span.set("checked", report.total);
+        run_span.set("violations", report.violations.len());
+        run_span.set("deadline_hit", deadline_hit);
+        drop(run_span);
+
         let wall = start.elapsed();
         let secs = wall.as_secs_f64();
         report.stats = CampaignStats {
@@ -319,12 +384,13 @@ impl Campaign {
             cache_misses: cache.misses(),
             cache_entries: cache.len(),
             budget_hit,
-            deadline_hit: deadline_expired.load(Ordering::Relaxed),
-            skipped: count - report.total,
+            deadline_hit,
+            skipped,
         };
         report
     }
 
+    #[allow(clippy::too_many_arguments)]
     fn check_one(
         &self,
         index: usize,
@@ -333,6 +399,7 @@ impl Campaign {
         cache: &OutcomeCache,
         p: &mut Partial,
         live: &LiveCounters,
+        ctrs: &CampaignCounters,
     ) {
         let f = make(index);
         let name = f.name.clone();
@@ -343,17 +410,21 @@ impl Campaign {
 
         p.total += 1;
         live.checked.fetch_add(1, Ordering::Relaxed);
+        ctrs.checked.incr();
         if after != before {
             p.changed += 1;
             live.changed.fetch_add(1, Ordering::Relaxed);
+            ctrs.changed.incr();
         }
         match check_refinement_cached(&before, &name, &after, &name, &self.opts, cache) {
             CheckResult::Refines => {
                 p.refined += 1;
                 live.refined.fetch_add(1, Ordering::Relaxed);
+                ctrs.refined.incr();
             }
             CheckResult::CounterExample(ce) => {
                 live.violations.fetch_add(1, Ordering::Relaxed);
+                ctrs.violations.incr();
                 p.violations.push(Violation {
                     index,
                     before: function_to_string(before.function(&name).expect("exists")),
@@ -364,6 +435,7 @@ impl Campaign {
             CheckResult::Inconclusive(_) => {
                 p.inconclusive += 1;
                 live.inconclusive.fetch_add(1, Ordering::Relaxed);
+                ctrs.inconclusive.incr();
             }
         }
     }

@@ -21,8 +21,8 @@
 //!
 //! This crate holds the data model and the static side: types,
 //! instructions, functions/modules, a [builder], a [verifier](verify), a
-//! [parser](parse) and [printer](print) for the textual form, and the
-//! analyses the optimizer needs ([CFG utilities](cfg), [dominators](dom),
+//! [parser](parse) and [printer](mod@print) for the textual form, and the
+//! analyses the optimizer needs ([CFG utilities](mod@cfg), [dominators](dom),
 //! [natural loops](loops), [known bits](analysis::known_bits), and a small
 //! [scalar evolution](analysis::scev)). The executable semantics live in
 //! `frost-core`.

@@ -1,8 +1,19 @@
 //! The pass framework: a [`Pass`] trait, a [`PassManager`], and the
 //! `-O2`-style pipelines in their *legacy* (pre-taming) and *fixed*
 //! (freeze-aware) configurations.
+//!
+//! Every pass execution is metered through `frost-telemetry` (see
+//! docs/OBSERVABILITY.md): the always-on counters
+//! `frost.opt.pass.<name>.runs` / `.changed` tally executions and
+//! rewrites, and — when tracing is enabled — each execution is wrapped
+//! in an `opt.pass.run` span carrying the pass name, duration, and the
+//! instruction counts before/after, with per-pass latency recorded in
+//! the `frost.opt.pass.<name>.ns` histogram. With tracing off the
+//! added cost per pass is one counter lookup-free atomic add and a
+//! branch.
 
 use frost_ir::{Function, Module};
+use frost_telemetry::{counter, histogram, Counter, Histogram};
 
 /// A code transformation.
 ///
@@ -66,9 +77,74 @@ impl PipelineMode {
     }
 }
 
+/// A pass bundled with its telemetry handles, resolved once at
+/// registration so the per-run cost is plain atomic adds.
+struct Instrumented {
+    pass: Box<dyn Pass>,
+    runs: &'static Counter,
+    changed: &'static Counter,
+    time_ns: &'static Histogram,
+}
+
+impl Instrumented {
+    fn new(pass: Box<dyn Pass>) -> Instrumented {
+        let name = pass.name();
+        Instrumented {
+            runs: counter(&format!("frost.opt.pass.{name}.runs")),
+            changed: counter(&format!("frost.opt.pass.{name}.changed")),
+            time_ns: histogram(&format!("frost.opt.pass.{name}.ns")),
+            pass,
+        }
+    }
+
+    fn run_on_module(&self, module: &mut Module) -> bool {
+        self.runs.incr();
+        if !frost_telemetry::enabled() {
+            let changed = self.pass.run_on_module(module);
+            if changed {
+                self.changed.incr();
+            }
+            return changed;
+        }
+        let mut sp = frost_telemetry::span("opt.pass.run").field("pass", self.pass.name());
+        let before = module.inst_count();
+        let changed = self.pass.run_on_module(module);
+        if changed {
+            self.changed.incr();
+        }
+        self.time_ns.record(sp.elapsed_ns());
+        sp.set("changed", changed);
+        sp.set("insts_before", before);
+        sp.set("insts_after", module.inst_count());
+        changed
+    }
+
+    fn run_on_function(&self, func: &mut Function) -> bool {
+        self.runs.incr();
+        if !frost_telemetry::enabled() {
+            let changed = self.pass.run_on_function(func);
+            if changed {
+                self.changed.incr();
+            }
+            return changed;
+        }
+        let mut sp = frost_telemetry::span("opt.pass.run").field("pass", self.pass.name());
+        let before = func.placed_inst_count();
+        let changed = self.pass.run_on_function(func);
+        if changed {
+            self.changed.incr();
+        }
+        self.time_ns.record(sp.elapsed_ns());
+        sp.set("changed", changed);
+        sp.set("insts_before", before);
+        sp.set("insts_after", func.placed_inst_count());
+        changed
+    }
+}
+
 /// Runs a sequence of passes, optionally to a fixpoint.
 pub struct PassManager {
-    passes: Vec<Box<dyn Pass>>,
+    passes: Vec<Instrumented>,
     max_iterations: usize,
 }
 
@@ -90,13 +166,13 @@ impl PassManager {
 
     /// Appends a pass.
     pub fn add(&mut self, pass: impl Pass + 'static) -> &mut PassManager {
-        self.passes.push(Box::new(pass));
+        self.passes.push(Instrumented::new(Box::new(pass)));
         self
     }
 
     /// The pass names, in order.
     pub fn pass_names(&self) -> Vec<&'static str> {
-        self.passes.iter().map(|p| p.name()).collect()
+        self.passes.iter().map(|p| p.pass.name()).collect()
     }
 
     /// Runs the pipeline on a module. Returns `true` if anything

@@ -1,9 +1,19 @@
 //! End-to-end refinement checking of function pairs (translation
 //! validation, à la Alive).
+//!
+//! Every check is metered through `frost-telemetry` (see
+//! docs/OBSERVABILITY.md): the counters `frost.refine.checks`,
+//! `.refines`, `.counterexamples`, and `.inconclusive` tally checks by
+//! verdict, and — when tracing is enabled — each check runs inside a
+//! `refine.check.run` span carrying whether it went through the cache
+//! and how it concluded.
 
 use std::collections::hash_map::DefaultHasher;
 use std::fmt;
 use std::hash::{Hash, Hasher};
+use std::sync::OnceLock;
+
+use frost_telemetry::Counter;
 
 use frost_core::{
     enumerate_outcomes, uninit_fill, ExecError, Limits, Memory, Outcome, OutcomeCache, OutcomeSet,
@@ -158,9 +168,61 @@ fn signatures_match(a: &Function, b: &Function) -> bool {
         && a.params.iter().zip(&b.params).all(|(x, y)| x.ty == y.ty)
 }
 
+/// Process-wide per-verdict check tallies, resolved once.
+struct RefineCounters {
+    checks: &'static Counter,
+    refines: &'static Counter,
+    counterexamples: &'static Counter,
+    inconclusive: &'static Counter,
+}
+
+fn refine_counters() -> &'static RefineCounters {
+    static CTRS: OnceLock<RefineCounters> = OnceLock::new();
+    CTRS.get_or_init(|| RefineCounters {
+        checks: frost_telemetry::counter("frost.refine.checks"),
+        refines: frost_telemetry::counter("frost.refine.refines"),
+        counterexamples: frost_telemetry::counter("frost.refine.counterexamples"),
+        inconclusive: frost_telemetry::counter("frost.refine.inconclusive"),
+    })
+}
+
+/// Bumps the per-verdict counter and stamps the verdict on the span.
+fn record_verdict(sp: &mut frost_telemetry::Span, result: &CheckResult) {
+    let ctrs = refine_counters();
+    let verdict = match result {
+        CheckResult::Refines => {
+            ctrs.refines.incr();
+            "refines"
+        }
+        CheckResult::CounterExample(_) => {
+            ctrs.counterexamples.incr();
+            "counterexample"
+        }
+        CheckResult::Inconclusive(_) => {
+            ctrs.inconclusive.incr();
+            "inconclusive"
+        }
+    };
+    sp.set("verdict", verdict);
+}
+
 /// Checks that `tgt_fn` (in `tgt_module`) refines `src_fn` (in
 /// `src_module`) on every enumerable input.
 pub fn check_refinement(
+    src_module: &Module,
+    src_fn: &str,
+    tgt_module: &Module,
+    tgt_fn: &str,
+    opts: &CheckOptions,
+) -> CheckResult {
+    refine_counters().checks.incr();
+    let mut sp = frost_telemetry::span("refine.check.run").field("cached", false);
+    let result = check_refinement_impl(src_module, src_fn, tgt_module, tgt_fn, opts);
+    record_verdict(&mut sp, &result);
+    result
+}
+
+fn check_refinement_impl(
     src_module: &Module,
     src_fn: &str,
     tgt_module: &Module,
@@ -216,7 +278,7 @@ pub fn check_refinement(
 /// `cache`. Campaign corpora are massively redundant (no-op transforms,
 /// canonical forms shared by thousands of inputs), so a shared cache
 /// eliminates most interpreter work; see
-/// [`OutcomeCache`](frost_core::OutcomeCache).
+/// [`OutcomeCache`].
 ///
 /// The verdict is *identical* to the uncached checker's on every pair —
 /// including which input an inconclusive check blames — because the
@@ -224,6 +286,21 @@ pub fn check_refinement(
 /// cached check enumerates the whole input list up front (cacheable)
 /// instead of stopping at the first violation.
 pub fn check_refinement_cached(
+    src_module: &Module,
+    src_fn: &str,
+    tgt_module: &Module,
+    tgt_fn: &str,
+    opts: &CheckOptions,
+    cache: &OutcomeCache,
+) -> CheckResult {
+    refine_counters().checks.incr();
+    let mut sp = frost_telemetry::span("refine.check.run").field("cached", true);
+    let result = check_refinement_cached_impl(src_module, src_fn, tgt_module, tgt_fn, opts, cache);
+    record_verdict(&mut sp, &result);
+    result
+}
+
+fn check_refinement_cached_impl(
     src_module: &Module,
     src_fn: &str,
     tgt_module: &Module,

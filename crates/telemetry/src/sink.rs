@@ -1,0 +1,545 @@
+//! Sinks and the JSONL wire format: render drained [`TraceEvent`]s as
+//! JSONL or human-readable text, write them where `FROST_TRACE_FILE`
+//! points, and validate/aggregate a `telemetry.jsonl` artifact.
+//!
+//! ## JSONL schema (the telemetry contract)
+//!
+//! One JSON object per line. Reserved keys, always present:
+//!
+//! * `ev` — `"start"`, `"stop"`, or `"point"`;
+//! * `span` — process-unique span id (0 for points);
+//! * `name` — span name (`crate.component.action`);
+//! * `tid` — small integer thread id;
+//! * `ts_ns` — nanoseconds since the process trace epoch.
+//!
+//! Stop events additionally carry `dur_ns`. User fields are flattened
+//! into the same object and must avoid the reserved keys. See
+//! `docs/OBSERVABILITY.md` for the full contract.
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+use std::io::{self, Write};
+
+use crate::trace::{drain, enabled, FieldValue, TraceEvent, TraceFormat};
+
+fn escape_json(out: &mut String, s: &str) {
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+}
+
+fn field_json(out: &mut String, v: &FieldValue) {
+    match v {
+        FieldValue::U64(n) => {
+            let _ = write!(out, "{n}");
+        }
+        FieldValue::I64(n) => {
+            let _ = write!(out, "{n}");
+        }
+        FieldValue::F64(n) if n.is_finite() => {
+            let _ = write!(out, "{n}");
+        }
+        FieldValue::F64(_) => out.push_str("null"),
+        FieldValue::Bool(b) => {
+            let _ = write!(out, "{b}");
+        }
+        FieldValue::Str(s) => {
+            out.push('"');
+            escape_json(out, s);
+            out.push('"');
+        }
+    }
+}
+
+/// Renders events as JSONL, one event per line.
+pub fn render_jsonl(events: &[TraceEvent]) -> String {
+    let mut out = String::with_capacity(events.len() * 96);
+    for ev in events {
+        let _ = write!(
+            out,
+            "{{\"ev\":\"{}\",\"span\":{},\"name\":\"",
+            ev.kind.as_str(),
+            ev.span
+        );
+        escape_json(&mut out, ev.name);
+        let _ = write!(out, "\",\"tid\":{},\"ts_ns\":{}", ev.tid, ev.ts_ns);
+        if let Some(d) = ev.dur_ns {
+            let _ = write!(out, ",\"dur_ns\":{d}");
+        }
+        for (k, v) in &ev.fields {
+            out.push_str(",\"");
+            escape_json(&mut out, k);
+            out.push_str("\":");
+            field_json(&mut out, v);
+        }
+        out.push_str("}\n");
+    }
+    out
+}
+
+/// Renders events as human-readable lines (`ts tid kind name dur
+/// fields…`).
+pub fn render_human(events: &[TraceEvent]) -> String {
+    let mut out = String::new();
+    for ev in events {
+        let _ = write!(
+            out,
+            "[{:>12.6}s] t{:<3} {:<5} {:<28}",
+            ev.ts_ns as f64 / 1e9,
+            ev.tid,
+            ev.kind.as_str(),
+            ev.name
+        );
+        if let Some(d) = ev.dur_ns {
+            let _ = write!(out, " {:>10.3}us", d as f64 / 1e3);
+        }
+        for (k, v) in &ev.fields {
+            let _ = write!(out, " {k}={v}");
+        }
+        out.push('\n');
+    }
+    out
+}
+
+/// Writes events to `w` in the given format.
+///
+/// # Errors
+///
+/// Propagates I/O errors from `w`.
+pub fn write_events(
+    w: &mut impl Write,
+    events: &[TraceEvent],
+    format: TraceFormat,
+) -> io::Result<()> {
+    let text = match format {
+        TraceFormat::Jsonl => render_jsonl(events),
+        TraceFormat::Human => render_human(events),
+    };
+    w.write_all(text.as_bytes())
+}
+
+/// Drains the collector and writes everything to the env-selected
+/// destination: the path in `FROST_TRACE_FILE` if set, else stderr.
+/// The format is whatever [`crate::trace::enable`]/
+/// [`crate::trace::init_from_env`] selected. Returns the number of
+/// events written (0 without touching anything when tracing was never
+/// enabled and the buffer is empty).
+///
+/// # Errors
+///
+/// Propagates file-creation and write errors.
+pub fn flush_env() -> io::Result<usize> {
+    let events = drain();
+    if events.is_empty() && !enabled() {
+        return Ok(0);
+    }
+    let format = crate::trace::format();
+    match std::env::var("FROST_TRACE_FILE")
+        .ok()
+        .filter(|p| !p.is_empty())
+    {
+        Some(path) => {
+            let mut f = std::fs::File::create(path)?;
+            write_events(&mut f, &events, format)?;
+        }
+        None => {
+            let stderr = io::stderr();
+            write_events(&mut stderr.lock(), &events, format)?;
+        }
+    }
+    Ok(events.len())
+}
+
+/// Per-key aggregate over the stop events of a trace (the raw material
+/// of a profile table).
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct SpanStats {
+    /// Spans completed.
+    pub count: u64,
+    /// Summed `dur_ns`.
+    pub total_ns: u64,
+    /// Largest single `dur_ns`.
+    pub max_ns: u64,
+}
+
+/// The result of validating a `telemetry.jsonl` artifact.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct JsonlStats {
+    /// Non-empty lines parsed.
+    pub lines: usize,
+    /// Start events.
+    pub starts: usize,
+    /// Stop events.
+    pub stops: usize,
+    /// Point events.
+    pub points: usize,
+    /// Stop events whose span id had no start, plus starts never
+    /// stopped.
+    pub unmatched: usize,
+    /// Stop-event aggregates keyed by span name — refined to
+    /// `name[pass]` when the event carries a `pass` field, so per-pass
+    /// profiles fall out of the generic schema.
+    pub by_key: BTreeMap<String, SpanStats>,
+}
+
+/// One parsed scalar from a JSONL line.
+#[derive(Clone, Debug, PartialEq)]
+enum JsonValue {
+    Str(String),
+    Num(f64),
+    Bool(bool),
+    Null,
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn new(s: &'a str) -> Parser<'a> {
+        Parser {
+            bytes: s.as_bytes(),
+            pos: 0,
+        }
+    }
+
+    fn skip_ws(&mut self) {
+        while self.pos < self.bytes.len() && self.bytes[self.pos].is_ascii_whitespace() {
+            self.pos += 1;
+        }
+    }
+
+    fn expect(&mut self, b: u8) -> Result<(), String> {
+        self.skip_ws();
+        if self.bytes.get(self.pos) == Some(&b) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(format!("expected '{}' at byte {}", b as char, self.pos))
+        }
+    }
+
+    fn peek(&mut self) -> Option<u8> {
+        self.skip_ws();
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn string(&mut self) -> Result<String, String> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            let Some(&b) = self.bytes.get(self.pos) else {
+                return Err("unterminated string".into());
+            };
+            self.pos += 1;
+            match b {
+                b'"' => return Ok(out),
+                b'\\' => {
+                    let Some(&esc) = self.bytes.get(self.pos) else {
+                        return Err("unterminated escape".into());
+                    };
+                    self.pos += 1;
+                    match esc {
+                        b'"' => out.push('"'),
+                        b'\\' => out.push('\\'),
+                        b'/' => out.push('/'),
+                        b'n' => out.push('\n'),
+                        b'r' => out.push('\r'),
+                        b't' => out.push('\t'),
+                        b'b' => out.push('\u{8}'),
+                        b'f' => out.push('\u{c}'),
+                        b'u' => {
+                            let hex = self
+                                .bytes
+                                .get(self.pos..self.pos + 4)
+                                .ok_or("truncated \\u escape")?;
+                            let code = u32::from_str_radix(
+                                std::str::from_utf8(hex).map_err(|_| "bad \\u escape")?,
+                                16,
+                            )
+                            .map_err(|_| "bad \\u escape")?;
+                            self.pos += 4;
+                            out.push(char::from_u32(code).unwrap_or('\u{fffd}'));
+                        }
+                        other => return Err(format!("bad escape '\\{}'", other as char)),
+                    }
+                }
+                _ => {
+                    // Multi-byte UTF-8: copy the raw bytes through.
+                    let start = self.pos - 1;
+                    let len = utf8_len(b);
+                    let chunk = self
+                        .bytes
+                        .get(start..start + len)
+                        .ok_or("truncated UTF-8 sequence")?;
+                    out.push_str(std::str::from_utf8(chunk).map_err(|_| "invalid UTF-8")?);
+                    self.pos = start + len;
+                }
+            }
+        }
+    }
+
+    fn value(&mut self) -> Result<JsonValue, String> {
+        match self.peek() {
+            Some(b'"') => Ok(JsonValue::Str(self.string()?)),
+            Some(b't') => self.literal("true", JsonValue::Bool(true)),
+            Some(b'f') => self.literal("false", JsonValue::Bool(false)),
+            Some(b'n') => self.literal("null", JsonValue::Null),
+            Some(b) if b == b'-' || b.is_ascii_digit() => {
+                let start = self.pos;
+                self.pos += 1;
+                while self.bytes.get(self.pos).is_some_and(|b| {
+                    b.is_ascii_digit() || matches!(b, b'.' | b'e' | b'E' | b'+' | b'-')
+                }) {
+                    self.pos += 1;
+                }
+                let text = std::str::from_utf8(&self.bytes[start..self.pos]).unwrap_or("");
+                text.parse::<f64>()
+                    .map(JsonValue::Num)
+                    .map_err(|_| format!("bad number '{text}'"))
+            }
+            other => Err(format!("unexpected value start {other:?}")),
+        }
+    }
+
+    fn literal(&mut self, lit: &str, v: JsonValue) -> Result<JsonValue, String> {
+        self.skip_ws();
+        if self.bytes[self.pos..].starts_with(lit.as_bytes()) {
+            self.pos += lit.len();
+            Ok(v)
+        } else {
+            Err(format!("expected '{lit}' at byte {}", self.pos))
+        }
+    }
+
+    fn object(&mut self) -> Result<BTreeMap<String, JsonValue>, String> {
+        self.expect(b'{')?;
+        let mut map = BTreeMap::new();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(map);
+        }
+        loop {
+            let key = self.string()?;
+            self.expect(b':')?;
+            map.insert(key, self.value()?);
+            match self.peek() {
+                Some(b',') => {
+                    self.pos += 1;
+                }
+                Some(b'}') => {
+                    self.pos += 1;
+                    break;
+                }
+                other => return Err(format!("expected ',' or '}}', got {other:?}")),
+            }
+        }
+        Ok(map)
+    }
+}
+
+fn utf8_len(first: u8) -> usize {
+    match first {
+        b if b < 0x80 => 1,
+        b if b >= 0xf0 => 4,
+        b if b >= 0xe0 => 3,
+        _ => 2,
+    }
+}
+
+/// Parses and validates a `telemetry.jsonl` artifact against the event
+/// schema: every non-empty line must be a flat JSON object carrying the
+/// reserved keys (`ev`/`span`/`name`/`tid`/`ts_ns`, `dur_ns` on stops),
+/// and every stop must pair with a start. Returns aggregate
+/// [`JsonlStats`] on success.
+///
+/// ```
+/// use frost_telemetry::validate_jsonl;
+/// let text = "{\"ev\":\"start\",\"span\":1,\"name\":\"a.b.c\",\"tid\":1,\"ts_ns\":5}\n\
+///             {\"ev\":\"stop\",\"span\":1,\"name\":\"a.b.c\",\"tid\":1,\"ts_ns\":9,\"dur_ns\":4}\n";
+/// let stats = validate_jsonl(text).unwrap();
+/// assert_eq!(stats.stops, 1);
+/// assert_eq!(stats.unmatched, 0);
+/// assert_eq!(stats.by_key["a.b.c"].total_ns, 4);
+/// ```
+///
+/// # Errors
+///
+/// Returns a message naming the first offending line and why it is
+/// malformed.
+pub fn validate_jsonl(text: &str) -> Result<JsonlStats, String> {
+    let mut stats = JsonlStats::default();
+    let mut open_spans: BTreeMap<u64, String> = BTreeMap::new();
+    for (lineno, line) in text.lines().enumerate() {
+        if line.trim().is_empty() {
+            continue;
+        }
+        let mut p = Parser::new(line);
+        let obj = p
+            .object()
+            .map_err(|e| format!("line {}: {e}", lineno + 1))?;
+        p.skip_ws();
+        if p.pos != p.bytes.len() {
+            return Err(format!("line {}: trailing garbage", lineno + 1));
+        }
+        let get_str = |k: &str| -> Result<String, String> {
+            match obj.get(k) {
+                Some(JsonValue::Str(s)) => Ok(s.clone()),
+                _ => Err(format!("line {}: missing string key '{k}'", lineno + 1)),
+            }
+        };
+        let get_num = |k: &str| -> Result<f64, String> {
+            match obj.get(k) {
+                Some(JsonValue::Num(n)) => Ok(*n),
+                _ => Err(format!("line {}: missing numeric key '{k}'", lineno + 1)),
+            }
+        };
+        let ev = get_str("ev")?;
+        let name = get_str("name")?;
+        let span = get_num("span")? as u64;
+        get_num("tid")?;
+        get_num("ts_ns")?;
+        stats.lines += 1;
+        match ev.as_str() {
+            "start" => {
+                stats.starts += 1;
+                open_spans.insert(span, name);
+            }
+            "stop" => {
+                stats.stops += 1;
+                let dur = get_num("dur_ns")? as u64;
+                if open_spans.remove(&span).is_none() {
+                    stats.unmatched += 1;
+                }
+                let key = match obj.get("pass") {
+                    Some(JsonValue::Str(p)) => format!("{name}[{p}]"),
+                    _ => name,
+                };
+                let agg = stats.by_key.entry(key).or_default();
+                agg.count += 1;
+                agg.total_ns += dur;
+                agg.max_ns = agg.max_ns.max(dur);
+            }
+            "point" => stats.points += 1,
+            other => {
+                return Err(format!("line {}: unknown ev '{other}'", lineno + 1));
+            }
+        }
+    }
+    stats.unmatched += open_spans.len();
+    Ok(stats)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::trace::TraceEventKind;
+
+    fn ev(
+        kind: TraceEventKind,
+        span: u64,
+        name: &'static str,
+        ts: u64,
+        dur: Option<u64>,
+        fields: Vec<(&'static str, FieldValue)>,
+    ) -> TraceEvent {
+        TraceEvent {
+            kind,
+            span,
+            name,
+            tid: 1,
+            ts_ns: ts,
+            dur_ns: dur,
+            fields,
+        }
+    }
+
+    #[test]
+    fn jsonl_round_trips_through_the_validator() {
+        let events = vec![
+            ev(TraceEventKind::Start, 1, "opt.pass.run", 10, None, vec![]),
+            ev(
+                TraceEventKind::Stop,
+                1,
+                "opt.pass.run",
+                30,
+                Some(20),
+                vec![
+                    ("pass", FieldValue::Str("inst\"combine".into())),
+                    ("changed", FieldValue::Bool(true)),
+                    ("insts_before", FieldValue::U64(12)),
+                ],
+            ),
+            ev(
+                TraceEventKind::Point,
+                0,
+                "backend.sim.block",
+                40,
+                None,
+                vec![("cycles", FieldValue::U64(99))],
+            ),
+        ];
+        let text = render_jsonl(&events);
+        let stats = validate_jsonl(&text).expect("round trip validates");
+        assert_eq!(stats.lines, 3);
+        assert_eq!(stats.starts, 1);
+        assert_eq!(stats.stops, 1);
+        assert_eq!(stats.points, 1);
+        assert_eq!(stats.unmatched, 0);
+        let agg = &stats.by_key["opt.pass.run[inst\"combine]"];
+        assert_eq!(agg.count, 1);
+        assert_eq!(agg.total_ns, 20);
+    }
+
+    #[test]
+    fn validator_rejects_malformed_lines() {
+        assert!(validate_jsonl("not json\n").is_err());
+        assert!(
+            validate_jsonl("{\"ev\":\"stop\"}\n").is_err(),
+            "missing keys"
+        );
+        assert!(
+            validate_jsonl(
+                "{\"ev\":\"start\",\"span\":1,\"name\":\"x\",\"tid\":1,\"ts_ns\":0} tail\n"
+            )
+            .is_err(),
+            "trailing garbage"
+        );
+    }
+
+    #[test]
+    fn validator_counts_unmatched_spans() {
+        let text =
+            "{\"ev\":\"stop\",\"span\":9,\"name\":\"x\",\"tid\":1,\"ts_ns\":1,\"dur_ns\":1}\n\
+                    {\"ev\":\"start\",\"span\":10,\"name\":\"y\",\"tid\":1,\"ts_ns\":2}\n";
+        let stats = validate_jsonl(text).unwrap();
+        assert_eq!(stats.unmatched, 2, "orphan stop + dangling start");
+    }
+
+    #[test]
+    fn human_rendering_mentions_fields() {
+        let events = vec![ev(
+            TraceEventKind::Stop,
+            3,
+            "fuzz.campaign.shard",
+            1_500,
+            Some(500),
+            vec![("shard", FieldValue::U64(4))],
+        )];
+        let h = render_human(&events);
+        assert!(h.contains("fuzz.campaign.shard"));
+        assert!(h.contains("shard=4"));
+        assert!(h.contains("stop"));
+    }
+}

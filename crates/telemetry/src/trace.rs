@@ -1,0 +1,483 @@
+//! The structured-event tracing facade: RAII [`Span`]s and one-shot
+//! [`Point`] events, recorded into a bounded in-process ring buffer.
+//!
+//! Tracing is **off by default** and the disabled fast path is one
+//! relaxed atomic load plus a branch — cheap enough that every hot
+//! layer of frost calls [`span`] unconditionally. Turn it on with
+//! [`enable`] (programmatic) or [`init_from_env`] (the `FROST_TRACE`
+//! env var), then [`drain`] the collected events and hand them to a
+//! sink in [`crate::sink`].
+//!
+//! Span names follow the `crate.component.action` convention
+//! (`opt.pass.run`, `fuzz.campaign.shard`, …); key=value fields ride on
+//! the *stop* event of a span. Every span records a `start` event when
+//! created and a `stop` event (with `dur_ns`) when dropped, sharing a
+//! process-unique span id. Spans are `!Send`: they start and stop on
+//! one thread, so per-thread events nest like a stack.
+//!
+//! ```
+//! use frost_telemetry::{drain, enable, span, TraceEventKind, TraceFormat};
+//!
+//! enable(TraceFormat::Jsonl);
+//! drain(); // discard whatever earlier code recorded
+//! {
+//!     let _sp = span("docs.example.work").field("items", 3u64);
+//! } // dropped: stop event recorded
+//! let events = drain();
+//! frost_telemetry::disable();
+//! assert_eq!(events.len(), 2);
+//! assert_eq!(events[0].kind, TraceEventKind::Start);
+//! assert_eq!(events[1].kind, TraceEventKind::Stop);
+//! assert_eq!(events[1].fields[0].0, "items");
+//! ```
+
+use std::collections::VecDeque;
+use std::marker::PhantomData;
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicU8, Ordering};
+use std::sync::{Mutex, OnceLock};
+use std::time::Instant;
+
+/// How drained events should be rendered by the env-var sink.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum TraceFormat {
+    /// One human-readable line per event.
+    Human,
+    /// One JSON object per line (the `telemetry.jsonl` contract).
+    Jsonl,
+}
+
+static ENABLED: AtomicBool = AtomicBool::new(false);
+static FORMAT: AtomicU8 = AtomicU8::new(0); // 0 = Human, 1 = Jsonl
+static NEXT_SPAN_ID: AtomicU64 = AtomicU64::new(1);
+static NEXT_THREAD_ID: AtomicU64 = AtomicU64::new(1);
+
+thread_local! {
+    static THREAD_ID: u64 = NEXT_THREAD_ID.fetch_add(1, Ordering::Relaxed);
+}
+
+/// Returns `true` if tracing is on. This is the whole disabled fast
+/// path: a relaxed load.
+#[inline]
+pub fn enabled() -> bool {
+    ENABLED.load(Ordering::Relaxed)
+}
+
+/// Turns tracing on, recording events into the ring buffer.
+pub fn enable(format: TraceFormat) {
+    FORMAT.store(
+        matches!(format, TraceFormat::Jsonl) as u8,
+        Ordering::Relaxed,
+    );
+    ENABLED.store(true, Ordering::Relaxed);
+}
+
+/// Turns tracing off. Already-recorded events stay in the buffer until
+/// [`drain`]ed; spans alive across the switch still record their stop
+/// event so starts stay matched.
+pub fn disable() {
+    ENABLED.store(false, Ordering::Relaxed);
+}
+
+/// The format selected by the last [`enable`]/[`init_from_env`].
+pub fn format() -> TraceFormat {
+    if FORMAT.load(Ordering::Relaxed) == 1 {
+        TraceFormat::Jsonl
+    } else {
+        TraceFormat::Human
+    }
+}
+
+/// Configures tracing from the `FROST_TRACE` environment variable and
+/// returns whether tracing ended up enabled.
+///
+/// * unset, empty, or `0` — tracing off;
+/// * `json` or `jsonl` — on, JSONL rendering;
+/// * anything else (`1`, `human`, …) — on, human-readable rendering.
+pub fn init_from_env() -> bool {
+    match std::env::var("FROST_TRACE").ok().as_deref() {
+        None | Some("") | Some("0") => {
+            disable();
+            false
+        }
+        Some("json") | Some("jsonl") => {
+            enable(TraceFormat::Jsonl);
+            true
+        }
+        Some(_) => {
+            enable(TraceFormat::Human);
+            true
+        }
+    }
+}
+
+/// A stable small integer identifying the calling thread in trace
+/// events (assigned on first use, starting at 1).
+pub fn thread_id() -> u64 {
+    THREAD_ID.with(|t| *t)
+}
+
+/// Nanoseconds since the process's trace epoch (first use of the
+/// telemetry crate's clock). All event timestamps share this epoch.
+pub fn now_ns() -> u64 {
+    static EPOCH: OnceLock<Instant> = OnceLock::new();
+    EPOCH.get_or_init(Instant::now).elapsed().as_nanos() as u64
+}
+
+/// A field value attached to a trace event.
+#[derive(Clone, Debug, PartialEq)]
+pub enum FieldValue {
+    /// Unsigned integer.
+    U64(u64),
+    /// Signed integer.
+    I64(i64),
+    /// Float.
+    F64(f64),
+    /// Boolean.
+    Bool(bool),
+    /// String.
+    Str(String),
+}
+
+impl std::fmt::Display for FieldValue {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FieldValue::U64(v) => write!(f, "{v}"),
+            FieldValue::I64(v) => write!(f, "{v}"),
+            FieldValue::F64(v) => write!(f, "{v}"),
+            FieldValue::Bool(v) => write!(f, "{v}"),
+            FieldValue::Str(v) => write!(f, "{v}"),
+        }
+    }
+}
+
+macro_rules! impl_from_field {
+    ($($t:ty => $variant:ident via $conv:expr),* $(,)?) => {
+        $(impl From<$t> for FieldValue {
+            fn from(v: $t) -> FieldValue {
+                #[allow(clippy::redundant_closure_call)]
+                FieldValue::$variant(($conv)(v))
+            }
+        })*
+    };
+}
+
+impl_from_field! {
+    u64 => U64 via |v| v,
+    u32 => U64 via u64::from,
+    usize => U64 via |v| v as u64,
+    i64 => I64 via |v| v,
+    i32 => I64 via i64::from,
+    f64 => F64 via |v| v,
+    bool => Bool via |v| v,
+    String => Str via |v| v,
+    &str => Str via str::to_string,
+}
+
+/// What a [`TraceEvent`] marks.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum TraceEventKind {
+    /// A span began.
+    Start,
+    /// A span ended (carries `dur_ns` and the span's fields).
+    Stop,
+    /// A one-shot event with no duration.
+    Point,
+}
+
+impl TraceEventKind {
+    /// The event kind as it appears in the JSONL `ev` key.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            TraceEventKind::Start => "start",
+            TraceEventKind::Stop => "stop",
+            TraceEventKind::Point => "point",
+        }
+    }
+}
+
+/// One structured trace event.
+#[derive(Clone, Debug, PartialEq)]
+pub struct TraceEvent {
+    /// Start / stop / point.
+    pub kind: TraceEventKind,
+    /// Process-unique span id shared by a start/stop pair; 0 for
+    /// points.
+    pub span: u64,
+    /// Span name (`crate.component.action`).
+    pub name: &'static str,
+    /// Recording thread (see [`thread_id`]).
+    pub tid: u64,
+    /// Nanoseconds since the trace epoch.
+    pub ts_ns: u64,
+    /// Span duration; present on stop events only.
+    pub dur_ns: Option<u64>,
+    /// Key=value payload (stop and point events).
+    pub fields: Vec<(&'static str, FieldValue)>,
+}
+
+struct Collector {
+    buf: VecDeque<TraceEvent>,
+    capacity: usize,
+    dropped: u64,
+}
+
+fn collector() -> &'static Mutex<Collector> {
+    static COLLECTOR: OnceLock<Mutex<Collector>> = OnceLock::new();
+    COLLECTOR.get_or_init(|| {
+        Mutex::new(Collector {
+            buf: VecDeque::new(),
+            capacity: 1 << 16,
+            dropped: 0,
+        })
+    })
+}
+
+fn record(ev: TraceEvent) {
+    let mut c = collector().lock().expect("trace collector poisoned");
+    if c.buf.len() >= c.capacity {
+        c.buf.pop_front();
+        c.dropped += 1;
+    }
+    c.buf.push_back(ev);
+}
+
+/// Removes and returns every buffered event, oldest first.
+pub fn drain() -> Vec<TraceEvent> {
+    let mut c = collector().lock().expect("trace collector poisoned");
+    c.buf.drain(..).collect()
+}
+
+/// Events evicted (oldest-first) because the ring buffer was full.
+pub fn dropped_events() -> u64 {
+    collector()
+        .lock()
+        .expect("trace collector poisoned")
+        .dropped
+}
+
+/// Resizes the ring buffer (default 65536 events). Existing overflow is
+/// evicted immediately.
+pub fn set_capacity(capacity: usize) {
+    let mut c = collector().lock().expect("trace collector poisoned");
+    c.capacity = capacity.max(1);
+    while c.buf.len() > c.capacity {
+        c.buf.pop_front();
+        c.dropped += 1;
+    }
+}
+
+/// An RAII span: records a start event when created (if tracing is on)
+/// and a stop event — carrying `dur_ns` and the accumulated fields —
+/// when dropped.
+///
+/// Created with [`span`]. A span made while tracing is disabled is
+/// inert: every method is a no-op and nothing records on drop.
+#[must_use = "a span measures the scope it lives in; dropping it immediately records nothing useful"]
+pub struct Span {
+    id: u64,
+    name: &'static str,
+    start_ns: u64,
+    active: bool,
+    fields: Vec<(&'static str, FieldValue)>,
+    // Spans must start and stop on the same thread for per-thread
+    // nesting to hold.
+    _not_send: PhantomData<*const ()>,
+}
+
+/// Opens a span named `name`. The disabled fast path is one atomic
+/// load; when tracing is on this records the start event.
+pub fn span(name: &'static str) -> Span {
+    if !enabled() {
+        return Span {
+            id: 0,
+            name,
+            start_ns: 0,
+            active: false,
+            fields: Vec::new(),
+            _not_send: PhantomData,
+        };
+    }
+    let id = NEXT_SPAN_ID.fetch_add(1, Ordering::Relaxed);
+    let ts = now_ns();
+    record(TraceEvent {
+        kind: TraceEventKind::Start,
+        span: id,
+        name,
+        tid: thread_id(),
+        ts_ns: ts,
+        dur_ns: None,
+        fields: Vec::new(),
+    });
+    Span {
+        id,
+        name,
+        start_ns: ts,
+        active: true,
+        fields: Vec::new(),
+        _not_send: PhantomData,
+    }
+}
+
+impl Span {
+    /// Attaches a field (builder style); it is emitted on the stop
+    /// event.
+    pub fn field(mut self, key: &'static str, value: impl Into<FieldValue>) -> Span {
+        self.set(key, value);
+        self
+    }
+
+    /// Attaches a field through a reference.
+    pub fn set(&mut self, key: &'static str, value: impl Into<FieldValue>) {
+        if self.active {
+            self.fields.push((key, value.into()));
+        }
+    }
+
+    /// `true` if this span is recording (tracing was on at creation).
+    pub fn active(&self) -> bool {
+        self.active
+    }
+
+    /// Nanoseconds since the span started (0 for inert spans).
+    pub fn elapsed_ns(&self) -> u64 {
+        if self.active {
+            now_ns() - self.start_ns
+        } else {
+            0
+        }
+    }
+}
+
+impl Drop for Span {
+    fn drop(&mut self) {
+        if !self.active {
+            return;
+        }
+        let ts = now_ns();
+        record(TraceEvent {
+            kind: TraceEventKind::Stop,
+            span: self.id,
+            name: self.name,
+            tid: thread_id(),
+            ts_ns: ts,
+            dur_ns: Some(ts - self.start_ns),
+            fields: std::mem::take(&mut self.fields),
+        });
+    }
+}
+
+/// A builder for a one-shot [`TraceEventKind::Point`] event, recorded
+/// on drop. Created with [`point`].
+#[must_use = "a point records when dropped; bind it or drop it explicitly after setting fields"]
+pub struct Point {
+    name: &'static str,
+    active: bool,
+    fields: Vec<(&'static str, FieldValue)>,
+    _not_send: PhantomData<*const ()>,
+}
+
+/// Opens a point-event builder named `name` (inert when tracing is
+/// off).
+pub fn point(name: &'static str) -> Point {
+    Point {
+        name,
+        active: enabled(),
+        fields: Vec::new(),
+        _not_send: PhantomData,
+    }
+}
+
+impl Point {
+    /// Attaches a field (builder style).
+    pub fn field(mut self, key: &'static str, value: impl Into<FieldValue>) -> Point {
+        if self.active {
+            self.fields.push((key, value.into()));
+        }
+        self
+    }
+
+    /// Records the event now (equivalent to dropping the builder, but
+    /// reads better at the end of a builder chain).
+    pub fn emit(self) {}
+}
+
+impl Drop for Point {
+    fn drop(&mut self) {
+        if !self.active {
+            return;
+        }
+        record(TraceEvent {
+            kind: TraceEventKind::Point,
+            span: 0,
+            name: self.name,
+            tid: thread_id(),
+            ts_ns: now_ns(),
+            dur_ns: None,
+            fields: std::mem::take(&mut self.fields),
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Mutex as StdMutex;
+
+    // Trace tests share the global collector; serialize them.
+    static GUARD: StdMutex<()> = StdMutex::new(());
+
+    #[test]
+    fn disabled_spans_record_nothing() {
+        let _g = GUARD.lock().unwrap();
+        disable();
+        drain();
+        {
+            let _sp = span("test.trace.disabled").field("k", 1u64);
+            let _pt = point("test.trace.disabled_point").field("k", 2u64);
+        }
+        assert!(drain().is_empty());
+    }
+
+    #[test]
+    fn spans_pair_and_nest() {
+        let _g = GUARD.lock().unwrap();
+        disable();
+        drain();
+        enable(TraceFormat::Jsonl);
+        {
+            let _outer = span("test.trace.outer");
+            {
+                let _inner = span("test.trace.inner").field("n", 7u64);
+            }
+        }
+        let events = drain();
+        disable();
+        assert_eq!(events.len(), 4);
+        // outer start, inner start, inner stop, outer stop.
+        assert_eq!(events[0].name, "test.trace.outer");
+        assert_eq!(events[1].name, "test.trace.inner");
+        assert_eq!(events[2].name, "test.trace.inner");
+        assert_eq!(events[3].name, "test.trace.outer");
+        assert_eq!(events[1].span, events[2].span);
+        assert_eq!(events[0].span, events[3].span);
+        assert!(events[3].dur_ns.unwrap() >= events[2].dur_ns.unwrap());
+        assert_eq!(events[2].fields, vec![("n", FieldValue::U64(7))]);
+    }
+
+    #[test]
+    fn ring_buffer_evicts_oldest() {
+        let _g = GUARD.lock().unwrap();
+        disable();
+        drain();
+        set_capacity(4);
+        enable(TraceFormat::Human);
+        for _ in 0..4 {
+            let _sp = span("test.trace.evict");
+        }
+        let events = drain();
+        disable();
+        set_capacity(1 << 16);
+        assert_eq!(events.len(), 4, "capacity bounds the buffer");
+        assert!(dropped_events() >= 4, "evictions are counted");
+    }
+}

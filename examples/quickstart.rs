@@ -4,10 +4,20 @@
 //! ```text
 //! cargo run -p frost --example quickstart
 //! ```
+//!
+//! With tracing on, the same run emits a telemetry artifact (see
+//! docs/OBSERVABILITY.md for the schema):
+//!
+//! ```text
+//! FROST_TRACE=json FROST_TRACE_FILE=telemetry.jsonl \
+//!     cargo run -p frost --example quickstart
+//! ```
 
 use frost::prelude::*;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // Honor FROST_TRACE / FROST_TRACE_FILE (off by default).
+    telemetry::init_from_env();
     // 1. Parse a function in the textual IR (Figure 1 of the paper: the
     //    invariant `x + 1` wants to be hoisted out of the loop; nsw
     //    makes that legal because overflow is *deferred* UB).
@@ -93,5 +103,12 @@ exit:
         report.stats.cache_hit_rate() * 100.0
     );
     assert!(report.is_clean());
+
+    // 7. If FROST_TRACE enabled tracing, flush the recorded spans to
+    //    $FROST_TRACE_FILE (or stderr).
+    if telemetry::enabled() {
+        let n = telemetry::flush_env()?;
+        eprintln!("flushed {n} telemetry events");
+    }
     Ok(())
 }

@@ -14,4 +14,25 @@ cargo test --workspace -q
 echo "==> cargo fmt --check"
 cargo fmt --all --check
 
+echo "==> cargo doc (rustdoc warnings are errors)"
+RUSTDOCFLAGS="-D warnings" cargo doc --workspace --no-deps -q
+
+echo "==> telemetry smoke (docs/OBSERVABILITY.md contract)"
+# The quickstart with tracing on must produce a non-empty, schema-valid
+# telemetry.jsonl; the sweep's own validator is the checker, so the
+# gate needs no python/jq.
+rm -f telemetry.jsonl
+FROST_TRACE=json FROST_TRACE_FILE=telemetry.jsonl \
+    cargo run -q --release -p frost --example quickstart >/dev/null
+test -s telemetry.jsonl || {
+    echo "ci: telemetry.jsonl missing or empty" >&2
+    exit 1
+}
+cargo run -q --release -p frost-bench --bin repro -- --validate-trace telemetry.jsonl
+
+echo "==> §6 sweep with tracing on (emits telemetry.jsonl artifact)"
+FROST_TRACE_FILE=telemetry.jsonl \
+    cargo run -q --release -p frost-bench --bin repro -- \
+    --experiment optfuzz --budget 200 --trace --counters
+
 echo "ci: all green"
