@@ -133,13 +133,11 @@ impl<'a> Isel<'a> {
                 if elems
                     .iter()
                     .any(|e| e.contains_poison() || e.contains_undef())
-                {
-                    if elems
+                    && elems
                         .iter()
                         .all(|e| e.contains_poison() || e.contains_undef())
-                    {
-                        return Ok(Operand::R(self.undef_reg()));
-                    }
+                {
+                    return Ok(Operand::R(self.undef_reg()));
                 }
                 let elem_bits = elems[0].ty().bitwidth();
                 let mut packed: i64 = 0;

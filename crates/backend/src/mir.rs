@@ -453,11 +453,7 @@ impl MInst {
                 out.push(*src);
             }
             MInst::Call { args, .. } => out.extend(args.iter().copied()),
-            MInst::Ret { src } => {
-                if let Some(r) = src {
-                    out.push(*r);
-                }
-            }
+            MInst::Ret { src: Some(r) } => out.push(*r),
             MInst::Spill { src, .. } => out.push(*src),
             _ => {}
         }

@@ -1,0 +1,42 @@
+//! Microbench for the analysis manager: the `-O2` pipeline with cached
+//! analyses vs the same pipeline with every analysis request forced to
+//! recompute, on SPEC-shaped workloads.
+//!
+//! The cached configuration is the production default
+//! ([`ModuleAnalysisManager::new`]); the forced configuration
+//! ([`ModuleAnalysisManager::with_forced_recompute`]) models the old
+//! world where each loop pass rebuilt its own dominator tree and loop
+//! forest. The printed `speedup` line is the best-sample ratio
+//! forced/cached — above 1.0 means caching pays.
+
+use frost_bench::harness::frontend_options;
+use frost_bench::Runner;
+use frost_ir::ModuleAnalysisManager;
+use frost_opt::{o2_pipeline, PipelineMode};
+
+fn main() {
+    let r = Runner::new();
+    let mode = PipelineMode::Fixed;
+    let pipeline = o2_pipeline(mode);
+    for name in ["stanford_queens", "sqlite3", "gcc", "shootout_nestedloop"] {
+        let w = frost_workloads::all_workloads()
+            .into_iter()
+            .find(|w| w.name == name)
+            .expect("workload exists");
+        let module = w.compile(&frontend_options(mode)).expect("frontend");
+        let cached = r.bench(&format!("o2/{name}/cached"), || {
+            let mut m = module.clone();
+            let mut mam = ModuleAnalysisManager::new();
+            pipeline.run_with(&mut m, &mut mam);
+            m
+        });
+        let forced = r.bench(&format!("o2/{name}/recompute"), || {
+            let mut m = module.clone();
+            let mut mam = ModuleAnalysisManager::with_forced_recompute();
+            pipeline.run_with(&mut m, &mut mam);
+            m
+        });
+        let speedup = forced.best.as_secs_f64() / cached.best.as_secs_f64();
+        println!("o2/{name}: cache speedup {speedup:.2}x (best-sample ratio)");
+    }
+}

@@ -21,8 +21,8 @@ fn main() {
             Semantics::proposed(),
             |m| {
                 for f in &mut m.functions {
-                    InstCombine::new(PipelineMode::Fixed).run_on_function(f);
-                    Dce::new().run_on_function(f);
+                    InstCombine::new(PipelineMode::Fixed).apply(f);
+                    Dce::new().apply(f);
                     f.compact();
                 }
             },

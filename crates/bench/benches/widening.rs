@@ -29,8 +29,8 @@ fn main() {
     let r = Runner::new();
     let narrow = parse_module(NARROW).expect("parses");
     let mut widened = narrow.clone();
-    IndVarWiden::new(PipelineMode::Fixed).run_on_module(&mut widened);
-    Dce::new().run_on_module(&mut widened);
+    IndVarWiden::new(PipelineMode::Fixed).apply_to_module(&mut widened);
+    Dce::new().apply_to_module(&mut widened);
     for f in &mut widened.functions {
         f.compact();
     }

@@ -40,7 +40,7 @@ pub fn profile_table(stats: &JsonlStats, k: usize) -> Table {
         &["span", "count", "total", "mean", "max", "share"],
     );
     for (name, s) in keys.iter().take(k) {
-        let mean = if s.count > 0 { s.total_ns / s.count } else { 0 };
+        let mean = s.total_ns.checked_div(s.count).unwrap_or(0);
         let share = if grand_total > 0 {
             100.0 * s.total_ns as f64 / grand_total as f64
         } else {

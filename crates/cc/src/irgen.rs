@@ -86,7 +86,7 @@ pub fn compile(prog: &Program, opts: &CodegenOptions) -> Result<Module> {
     for e in &prog.externs {
         module.declarations.push(FuncDecl {
             name: e.name.clone(),
-            params: e.params.iter().map(|t| ir_ty(t)).collect::<Result<_>>()?,
+            params: e.params.iter().map(ir_ty).collect::<Result<_>>()?,
             ret_ty: ir_ty_ret(&e.ret)?,
             attrs: DeclAttrs {
                 readnone: false,

@@ -68,3 +68,63 @@ pub fn compile_source(src: &str, opts: &CodegenOptions) -> Result<frost_ir::Modu
     let prog = parse_program(src).map_err(CcError::Parse)?;
     compile(&prog, opts).map_err(CcError::Compile)
 }
+
+/// Like [`compile_source`], but follows irgen with the light
+/// [`frost_opt::cleanup_pipeline`] (InstCombine, SimplifyCFG, DCE) —
+/// the Clang-style tidy-up that removes the redundant loads,
+/// single-entry phis, and dead temporaries naive lowering produces.
+///
+/// The cleanup threads `mam` through every pass, so CFG/dominator
+/// analyses computed during the sweep are cached and precisely
+/// invalidated rather than rebuilt per pass; pass a fresh
+/// [`frost_ir::ModuleAnalysisManager`] unless you are interleaving
+/// your own analysis queries.
+///
+/// # Errors
+///
+/// Returns [`CcError`] on syntax or semantic errors.
+pub fn compile_source_cleaned(
+    src: &str,
+    opts: &CodegenOptions,
+    mode: frost_opt::PipelineMode,
+    mam: &mut frost_ir::ModuleAnalysisManager,
+) -> Result<frost_ir::Module, CcError> {
+    let mut module = compile_source(src, opts)?;
+    frost_opt::cleanup_pipeline(mode).run_with(&mut module, mam);
+    Ok(module)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cleaned_compile_shrinks_ir_and_still_verifies() {
+        let src = r#"
+int f(int a, int b) {
+    int s = a + b;
+    int dead = a * 3;
+    if (s > 10) s = 10;
+    return s;
+}
+"#;
+        let raw = compile_source(src, &CodegenOptions::default()).unwrap();
+        let mut mam = frost_ir::ModuleAnalysisManager::new();
+        let cleaned = compile_source_cleaned(
+            src,
+            &CodegenOptions::default(),
+            frost_opt::PipelineMode::Fixed,
+            &mut mam,
+        )
+        .unwrap();
+        assert!(
+            cleaned.inst_count() < raw.inst_count(),
+            "cleanup removes the dead multiply: {} vs {}",
+            cleaned.inst_count(),
+            raw.inst_count()
+        );
+        for f in &cleaned.functions {
+            assert!(frost_ir::verify::verify_function(f).is_ok());
+        }
+    }
+}

@@ -123,6 +123,9 @@ impl OutcomeCache {
     ///
     /// `salt` must fingerprint every input-shaping option that is not
     /// part of the key (input-enumeration options, memory size).
+    // Every parameter is a distinct cache-key component; bundling them
+    // into a struct would just move the field list one call up.
+    #[allow(clippy::too_many_arguments)]
     pub fn enumerate(
         &self,
         module: &Module,

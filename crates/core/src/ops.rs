@@ -50,10 +50,10 @@ pub fn eval_binop(op: BinOp, flags: Flags, bits: u32, a: u128, b: u128) -> Scala
         BinOp::Mul => {
             let wide = a.checked_mul(b);
             let swide = sa.checked_mul(sb);
-            if flags.nuw && wide.map_or(true, |w| w != truncate(w, bits)) {
+            if flags.nuw && wide.is_none_or(|w| w != truncate(w, bits)) {
                 return Poison;
             }
-            if flags.nsw && swide.map_or(true, |w| w < smin || w > smax) {
+            if flags.nsw && swide.is_none_or(|w| w < smin || w > smax) {
                 return Poison;
             }
             Val(truncate(a.wrapping_mul(b), bits))

@@ -252,10 +252,10 @@ pub fn raise(ty: &Ty, bits: &[Bit]) -> Val {
             )
         }
         _ => {
-            if bits.iter().any(|b| *b == Bit::Poison) {
+            if bits.contains(&Bit::Poison) {
                 return Val::Poison;
             }
-            if bits.iter().any(|b| *b == Bit::Undef) {
+            if bits.contains(&Bit::Undef) {
                 return undef_of(ty);
             }
             let mut v: u128 = 0;

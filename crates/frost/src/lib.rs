@@ -103,7 +103,9 @@ pub mod prelude {
         enumerate_functions, random_functions, validate_transform, Campaign, CampaignStats,
         GenConfig, ValidationReport,
     };
-    pub use frost_ir::{parse_module, Module};
+    pub use frost_ir::{
+        parse_module, FunctionAnalysisManager, Module, ModuleAnalysisManager, PreservedAnalyses,
+    };
     pub use frost_opt::{cleanup_pipeline, o2_pipeline, Pass, PassManager, PipelineMode};
     pub use frost_refine::{
         check_refinement, check_refinement_cached, check_transform, CheckOptions, CheckResult,

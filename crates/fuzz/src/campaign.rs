@@ -110,6 +110,9 @@ impl CampaignStats {
     }
 }
 
+/// The boxed callback installed by [`Campaign::with_observer`].
+pub type ProgressObserver = Box<dyn Fn(&Progress) + Send + Sync>;
+
 /// A live snapshot of a running campaign, handed to the observer
 /// installed with [`Campaign::with_observer`] after each completed
 /// shard.
@@ -158,7 +161,7 @@ pub struct Campaign {
     shard_size: usize,
     budget: Option<usize>,
     deadline: Option<Duration>,
-    observer: Option<Box<dyn Fn(&Progress) + Send + Sync>>,
+    observer: Option<ProgressObserver>,
 }
 
 impl Campaign {
@@ -337,7 +340,7 @@ impl Campaign {
             vec![work()]
         } else {
             std::thread::scope(|s| {
-                let handles: Vec<_> = (0..workers).map(|_| s.spawn(&work)).collect();
+                let handles: Vec<_> = (0..workers).map(|_| s.spawn(work)).collect();
                 handles
                     .into_iter()
                     .map(|h| h.join().expect("validation worker panicked"))

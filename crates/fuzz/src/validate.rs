@@ -95,8 +95,8 @@ mod tests {
         let fns = enumerate_functions(cfg).step_by(991).take(150);
         let report = validate_transform(fns, Semantics::proposed(), |m| {
             for f in &mut m.functions {
-                InstCombine::new(PipelineMode::Fixed).run_on_function(f);
-                Dce::new().run_on_function(f);
+                InstCombine::new(PipelineMode::Fixed).apply(f);
+                Dce::new().apply(f);
                 f.compact();
             }
         });
@@ -131,7 +131,7 @@ mod tests {
         .with_undef();
         let report = validate_transform(enumerate_functions(cfg), Semantics::legacy_gvn(), |m| {
             for f in &mut m.functions {
-                InstCombine::new(PipelineMode::Legacy).run_on_function(f);
+                InstCombine::new(PipelineMode::Legacy).apply(f);
                 f.compact();
             }
         });

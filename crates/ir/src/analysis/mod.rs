@@ -10,6 +10,7 @@
 //! a division out of a loop) must discharge it, typically by freezing.
 
 pub mod known_bits;
+pub mod manager;
 pub mod scev;
 
 use crate::value::Value;

@@ -6,7 +6,6 @@
 //! SSA form: every instruction result is defined exactly once, and uses
 //! refer to definitions by [`InstId`].
 
-use std::collections::HashMap;
 use std::fmt;
 
 use crate::inst::{Inst, Terminator};
@@ -42,6 +41,28 @@ impl Block {
             insts: Vec::new(),
             term: Terminator::Unreachable,
         }
+    }
+}
+
+/// Dense per-instruction use counts, indexed by [`InstId`].
+///
+/// Produced by [`Function::use_counts`]. Ids minted after the table was
+/// computed read as zero, so a snapshot stays total while a pass appends
+/// instructions.
+#[derive(Clone, PartialEq, Eq, Debug, Default)]
+pub struct UseCounts {
+    counts: Vec<u32>,
+}
+
+impl UseCounts {
+    /// The number of uses of `id`'s result.
+    pub fn count(&self, id: InstId) -> u32 {
+        self.counts.get(id.index()).copied().unwrap_or(0)
+    }
+
+    /// Whether `id`'s result is never used.
+    pub fn is_unused(&self, id: InstId) -> bool {
+        self.count(id) == 0
     }
 }
 
@@ -178,12 +199,15 @@ impl Function {
     }
 
     /// Counts the uses of every instruction result (in other
-    /// instructions and in terminators).
-    pub fn use_counts(&self) -> HashMap<InstId, usize> {
-        let mut counts: HashMap<InstId, usize> = HashMap::new();
+    /// instructions and in terminators) as a dense table indexed by
+    /// [`InstId`].
+    pub fn use_counts(&self) -> UseCounts {
+        let mut counts = vec![0u32; self.insts.len()];
         let mut bump = |v: &Value| {
             if let Value::Inst(id) = v {
-                *counts.entry(*id).or_insert(0) += 1;
+                if let Some(c) = counts.get_mut(id.index()) {
+                    *c += 1;
+                }
             }
         };
         for bb in &self.blocks {
@@ -192,7 +216,7 @@ impl Function {
             }
             bb.term.for_each_operand(&mut bump);
         }
-        counts
+        UseCounts { counts }
     }
 
     /// Total number of instructions currently placed in blocks.
@@ -423,7 +447,8 @@ mod tests {
     fn use_counts_cover_terminators() {
         let f = simple_fn();
         let counts = f.use_counts();
-        assert_eq!(counts.get(&InstId(0)), Some(&1));
+        assert_eq!(counts.count(InstId(0)), 1);
+        assert!(!counts.is_unused(InstId(0)));
     }
 
     #[test]

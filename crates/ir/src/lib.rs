@@ -63,8 +63,12 @@ pub mod types;
 pub mod value;
 pub mod verify;
 
+pub use analysis::manager::{
+    Analysis, AnalysisId, Cfg, CfgAnalysis, DomTreeAnalysis, FunctionAnalysisManager,
+    LoopInfoAnalysis, ModuleAnalysisManager, PreservedAnalyses, UseCountsAnalysis,
+};
 pub use builder::FunctionBuilder;
-pub use function::{Block, DeclAttrs, FuncDecl, Function, Module, Param};
+pub use function::{Block, DeclAttrs, FuncDecl, Function, Module, Param, UseCounts};
 pub use inst::{BinOp, CastKind, Cond, Flags, Inst, Terminator};
 pub use parse::{parse_function, parse_module, ParseError};
 pub use print::{function_to_string, module_to_string};

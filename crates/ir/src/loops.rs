@@ -111,7 +111,7 @@ impl LoopInfo {
             });
         }
         // Outermost first: a loop containing more blocks comes first.
-        loops.sort_by(|a, b| b.blocks.len().cmp(&a.blocks.len()));
+        loops.sort_by_key(|l| std::cmp::Reverse(l.blocks.len()));
         LoopInfo { loops }
     }
 

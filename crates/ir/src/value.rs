@@ -152,7 +152,7 @@ pub fn truncate(value: u128, bits: u32) -> u128 {
 
 /// Sign-extends the `bits`-bit value `value` to a signed `i128`.
 pub fn to_signed(value: u128, bits: u32) -> i128 {
-    debug_assert!(bits >= 1 && bits <= 128);
+    debug_assert!((1..=128).contains(&bits));
     let shift = 128 - bits;
     ((value << shift) as i128) >> shift
 }

@@ -10,7 +10,10 @@
 //!   freezing the condition, since branch-on-poison is UB where
 //!   select-on-poison was only poison.
 
-use frost_ir::{BlockId, Function, Inst, InstId, Terminator, Ty, Value};
+use frost_ir::{
+    BlockId, Function, FunctionAnalysisManager, Inst, InstId, PreservedAnalyses, Terminator, Ty,
+    Value,
+};
 
 use crate::pass::{Pass, PipelineMode};
 
@@ -44,15 +47,27 @@ impl Pass for CodeGenPrepare {
         "codegenprepare"
     }
 
-    fn run_on_function(&self, func: &mut Function) -> bool {
-        let mut changed = false;
+    fn run_on_function(
+        &self,
+        func: &mut Function,
+        _fam: &mut FunctionAnalysisManager,
+    ) -> PreservedAnalyses {
+        let mut sank = false;
         if self.mode.freeze_aware() {
-            changed |= sink_freeze_through_icmp(func);
+            sank = sink_freeze_through_icmp(func);
         }
+        let mut predicated = false;
         if self.reverse_predication {
-            changed |= reverse_predication(func, self.mode);
+            predicated = reverse_predication(func, self.mode);
         }
-        changed
+        if predicated {
+            // select -> branch+phi adds blocks.
+            PreservedAnalyses::none()
+        } else if sank {
+            PreservedAnalyses::cfg()
+        } else {
+            PreservedAnalyses::all()
+        }
     }
 }
 
@@ -75,7 +90,7 @@ fn sink_freeze_through_icmp(func: &mut Function) -> bool {
             let Inst::Icmp { cond, ty, lhs, rhs } = func.inst(cmp_id).clone() else {
                 continue;
             };
-            if rhs.as_int_const().is_none() || uses.get(&cmp_id).copied().unwrap_or(0) != 1 {
+            if rhs.as_int_const().is_none() || uses.count(cmp_id) != 1 {
                 continue;
             }
             // Rewrite: the freeze instruction becomes `freeze %x`, and
@@ -195,7 +210,7 @@ mod tests {
         let mut after = before.clone();
         let mut changed = false;
         for f in &mut after.functions {
-            changed |= pass.run_on_function(f);
+            changed |= pass.apply(f);
             f.compact();
         }
         (before, after, changed)

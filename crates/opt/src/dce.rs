@@ -6,7 +6,7 @@
 //! dead UB-capable instructions — a dead `udiv` could have been UB, and
 //! removing potential UB only shrinks the behavior set.
 
-use frost_ir::{Function, Terminator};
+use frost_ir::{Function, FunctionAnalysisManager, PreservedAnalyses, Terminator};
 
 use crate::pass::Pass;
 use crate::util::remove_phi_edge;
@@ -27,9 +27,16 @@ impl Pass for Dce {
         "dce"
     }
 
-    fn run_on_function(&self, func: &mut Function) -> bool {
-        let mut changed = remove_unreachable_blocks(func);
+    fn run_on_function(
+        &self,
+        func: &mut Function,
+        _fam: &mut FunctionAnalysisManager,
+    ) -> PreservedAnalyses {
+        let pruned_blocks = remove_unreachable_blocks(func);
+        let mut removed_insts = false;
         loop {
+            // Recounted per round: removing a dead instruction can kill
+            // the uses that kept its operands alive.
             let uses = func.use_counts();
             let mut removed_any = false;
             for bb in 0..func.blocks.len() {
@@ -38,10 +45,7 @@ impl Pass for Dce {
                     .insts
                     .iter()
                     .copied()
-                    .filter(|&id| {
-                        let inst = func.inst(id);
-                        !inst.has_side_effects() && uses.get(&id).copied().unwrap_or(0) == 0
-                    })
+                    .filter(|&id| !func.inst(id).has_side_effects() && uses.is_unused(id))
                     .collect();
                 if dead.is_empty() {
                     continue;
@@ -49,12 +53,18 @@ impl Pass for Dce {
                 removed_any = true;
                 func.blocks[bb].insts.retain(|id| !dead.contains(id));
             }
-            changed |= removed_any;
+            removed_insts |= removed_any;
             if !removed_any {
                 break;
             }
         }
-        changed
+        if pruned_blocks {
+            PreservedAnalyses::none()
+        } else if removed_insts {
+            PreservedAnalyses::cfg()
+        } else {
+            PreservedAnalyses::all()
+        }
     }
 }
 
@@ -103,7 +113,7 @@ mod tests {
         let live = b.add(b.arg(0), b.const_int(8, 2));
         b.ret(live);
         let mut f = b.finish();
-        assert!(Dce::new().run_on_function(&mut f));
+        assert!(Dce::new().apply(&mut f));
         assert_eq!(f.placed_inst_count(), 1, "the whole dead chain is gone");
     }
 
@@ -114,7 +124,7 @@ mod tests {
         let _unused = b.call(Ty::i8(), "ext", vec![]);
         b.ret_void();
         let mut f = b.finish();
-        assert!(!Dce::new().run_on_function(&mut f));
+        assert!(!Dce::new().apply(&mut f));
         assert_eq!(f.placed_inst_count(), 2);
     }
 
@@ -125,7 +135,7 @@ mod tests {
         let _dead_freeze = b.freeze(b.arg(0));
         b.ret(b.arg(0));
         let mut f = b.finish();
-        assert!(Dce::new().run_on_function(&mut f));
+        assert!(Dce::new().apply(&mut f));
         assert_eq!(f.placed_inst_count(), 0);
     }
 
@@ -144,7 +154,7 @@ mod tests {
         );
         b.ret(p.clone());
         let mut f = b.finish();
-        assert!(Dce::new().run_on_function(&mut f));
+        assert!(Dce::new().apply(&mut f));
         let frost_ir::Inst::Phi { incoming, .. } = f.inst(p.as_inst().unwrap()) else {
             panic!()
         };

@@ -17,7 +17,10 @@
 use std::collections::HashMap;
 
 use frost_ir::dom::DomTree;
-use frost_ir::{Cond, Function, Inst, InstId, Terminator, Value};
+use frost_ir::{
+    CfgAnalysis, Cond, DomTreeAnalysis, Function, FunctionAnalysisManager, Inst, InstId,
+    PreservedAnalyses, Terminator, Value,
+};
 
 use crate::pass::{Pass, PipelineMode};
 use crate::util::erase_inst;
@@ -40,10 +43,23 @@ impl Pass for Gvn {
         "gvn"
     }
 
-    fn run_on_function(&self, func: &mut Function) -> bool {
-        let mut changed = number_expressions(func, self.mode);
-        changed |= propagate_equalities(func);
-        changed
+    fn run_on_function(
+        &self,
+        func: &mut Function,
+        fam: &mut FunctionAnalysisManager,
+    ) -> PreservedAnalyses {
+        let dt = fam.get::<DomTreeAnalysis>(func);
+        let cfg = fam.get::<CfgAnalysis>(func);
+        // Both phases only rewrite values and erase duplicate
+        // instructions; the block graph (and hence `dt`/`cfg`) stays
+        // valid throughout.
+        let mut changed = number_expressions(func, &dt, &cfg.rpo, self.mode);
+        changed |= propagate_equalities(func, &dt, &cfg.preds);
+        if changed {
+            PreservedAnalyses::cfg()
+        } else {
+            PreservedAnalyses::all()
+        }
     }
 }
 
@@ -105,13 +121,16 @@ fn expr_key(func: &Function, id: InstId, mode: PipelineMode) -> Option<ExprKey> 
 }
 
 /// Replaces dominated duplicate expressions by their leader.
-fn number_expressions(func: &mut Function, mode: PipelineMode) -> bool {
-    let dt = DomTree::compute(func);
-    let rpo = frost_ir::cfg::reverse_postorder(func);
+fn number_expressions(
+    func: &mut Function,
+    dt: &DomTree,
+    rpo: &[frost_ir::BlockId],
+    mode: PipelineMode,
+) -> bool {
     let mut leaders: HashMap<ExprKey, (InstId, frost_ir::BlockId, usize)> = HashMap::new();
     let mut replace: Vec<(InstId, InstId)> = Vec::new();
 
-    for &bb in &rpo {
+    for &bb in rpo {
         for (pos, &id) in func.block(bb).insts.iter().enumerate() {
             let Some(key) = expr_key(func, id, mode) else {
                 continue;
@@ -141,9 +160,11 @@ fn number_expressions(func: &mut Function, mode: PipelineMode) -> bool {
 /// successor of `icmp ne`). The successor must have the branch block as
 /// its only predecessor; the replacement applies there and in every
 /// block it dominates.
-fn propagate_equalities(func: &mut Function) -> bool {
-    let dt = DomTree::compute(func);
-    let preds = func.predecessors();
+fn propagate_equalities(
+    func: &mut Function,
+    dt: &DomTree,
+    preds: &[Vec<frost_ir::BlockId>],
+) -> bool {
     let mut changed = false;
     for bb in func.block_ids().collect::<Vec<_>>() {
         let Terminator::Br {
@@ -228,7 +249,7 @@ mod tests {
         let before = parse_module(src).unwrap();
         let mut after = before.clone();
         for f in &mut after.functions {
-            Gvn::new(mode).run_on_function(f);
+            Gvn::new(mode).apply(f);
             f.compact();
         }
         (before, after)

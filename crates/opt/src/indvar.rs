@@ -19,9 +19,10 @@
 //! paper's `%n = INT_MAX` counterexample.
 
 use frost_ir::analysis::scev::{find_affine_ivs, header_exit_test, is_loop_invariant};
-use frost_ir::dom::DomTree;
-use frost_ir::loops::LoopInfo;
-use frost_ir::{CastKind, Function, Inst, InstId, Ty, Value};
+use frost_ir::{
+    CastKind, Function, FunctionAnalysisManager, Inst, InstId, LoopInfoAnalysis, PreservedAnalyses,
+    Ty, Value,
+};
 
 use crate::pass::{Pass, PipelineMode};
 
@@ -46,14 +47,23 @@ impl Pass for IndVarWiden {
         "indvar-widen"
     }
 
-    fn run_on_function(&self, func: &mut Function) -> bool {
-        let dt = DomTree::compute(func);
-        let li = LoopInfo::compute(func, &dt);
+    fn run_on_function(
+        &self,
+        func: &mut Function,
+        fam: &mut FunctionAnalysisManager,
+    ) -> PreservedAnalyses {
+        let li = fam.get::<LoopInfoAnalysis>(func);
         let mut changed = false;
         for lp in &li.loops {
             changed |= widen_loop(func, lp);
         }
-        changed
+        if changed {
+            // Wide IVs replace narrow ones inside existing blocks; no
+            // edges move.
+            PreservedAnalyses::cfg()
+        } else {
+            PreservedAnalyses::all()
+        }
     }
 }
 
@@ -207,9 +217,7 @@ fn widen_loop(func: &mut Function, lp: &frost_ir::loops::Loop) -> bool {
         // plain DCE cannot remove (they use each other); erase it when
         // nothing else uses either.
         let uses = func.use_counts();
-        let phi_uses = uses.get(&iv.phi).copied().unwrap_or(0);
-        let inc_uses = uses.get(&iv.step_inst).copied().unwrap_or(0);
-        if phi_uses == 1 && inc_uses == 1 {
+        if uses.count(iv.phi) == 1 && uses.count(iv.step_inst) == 1 {
             crate::util::erase_inst(func, iv.phi);
             crate::util::erase_inst(func, iv.step_inst);
         }
@@ -276,8 +284,8 @@ exit:
         let mut after = before.clone();
         let mut changed = false;
         for f in &mut after.functions {
-            changed |= IndVarWiden::new(PipelineMode::Fixed).run_on_function(f);
-            crate::dce::Dce::new().run_on_function(f);
+            changed |= IndVarWiden::new(PipelineMode::Fixed).apply(f);
+            crate::dce::Dce::new().apply(f);
             f.compact();
         }
         (before, after, changed)

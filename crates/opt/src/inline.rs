@@ -4,7 +4,10 @@
 
 use std::collections::HashMap;
 
-use frost_ir::{BlockId, Function, Inst, InstId, Module, Terminator, Value};
+use frost_ir::{
+    BlockId, Function, Inst, InstId, Module, ModuleAnalysisManager, PreservedAnalyses, Terminator,
+    Value,
+};
 
 use crate::pass::{Pass, PipelineMode};
 
@@ -48,7 +51,11 @@ impl Pass for Inliner {
         "inline"
     }
 
-    fn run_on_module(&self, module: &mut Module) -> bool {
+    fn run_on_module(
+        &self,
+        module: &mut Module,
+        mam: &mut ModuleAnalysisManager,
+    ) -> PreservedAnalyses {
         let mut changed = false;
         // Snapshot callee bodies up front; self-recursion is skipped.
         let callees: HashMap<String, Function> = module
@@ -58,16 +65,20 @@ impl Pass for Inliner {
             .map(|f| (f.name.clone(), f.clone()))
             .collect();
         for f in &mut module.functions {
-            loop {
-                let Some((bb, pos, callee)) = find_inlinable_call(f, &callees) else {
-                    break;
-                };
+            while let Some((bb, pos, callee)) = find_inlinable_call(f, &callees) {
                 inline_call(f, bb, pos, &callees[&callee]);
                 changed = true;
             }
             f.compact();
         }
-        changed
+        if changed {
+            // Inlining splices blocks and `compact` renumbers ids in
+            // every function it touched: drop all cached analyses.
+            mam.invalidate_all();
+            PreservedAnalyses::none()
+        } else {
+            PreservedAnalyses::all()
+        }
     }
 }
 
@@ -211,7 +222,7 @@ entry:
 "#;
         let before = parse_module(src).unwrap();
         let mut after = before.clone();
-        assert!(Inliner::new(PipelineMode::Fixed).run_on_module(&mut after));
+        assert!(Inliner::new(PipelineMode::Fixed).apply_to_module(&mut after));
         let f = after.function("f").unwrap();
         let text = function_to_string(f);
         assert!(!text.contains("call"), "{text}");
@@ -246,7 +257,7 @@ entry:
 "#;
         let before = parse_module(src).unwrap();
         let mut after = before.clone();
-        assert!(Inliner::new(PipelineMode::Fixed).run_on_module(&mut after));
+        assert!(Inliner::new(PipelineMode::Fixed).apply_to_module(&mut after));
         let f = after.function("f").unwrap();
         let text = function_to_string(f);
         assert!(text.contains("phi i4"), "{text}");
@@ -279,7 +290,7 @@ entry:
 "#;
         let mut m = parse_module(src).unwrap();
         let inliner = Inliner::new(PipelineMode::Fixed).with_threshold(2);
-        assert!(!inliner.run_on_module(&mut m));
+        assert!(!inliner.apply_to_module(&mut m));
     }
 
     #[test]
@@ -314,7 +325,7 @@ entry:
 }
 "#;
         let mut m = parse_module(src).unwrap();
-        assert!(!Inliner::new(PipelineMode::Fixed).run_on_module(&mut m));
+        assert!(!Inliner::new(PipelineMode::Fixed).apply_to_module(&mut m));
     }
 
     #[test]
@@ -339,7 +350,7 @@ exit:
 "#;
         let before = parse_module(src).unwrap();
         let mut after = before.clone();
-        assert!(Inliner::new(PipelineMode::Fixed).run_on_module(&mut after));
+        assert!(Inliner::new(PipelineMode::Fixed).apply_to_module(&mut after));
         let f = after.function("f").unwrap();
         assert!(
             frost_ir::verify::verify_function(f).is_ok(),

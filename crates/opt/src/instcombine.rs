@@ -15,7 +15,10 @@
 
 use frost_core::ops::{eval_binop, eval_cast, ScalarResult};
 use frost_ir::value::truncate;
-use frost_ir::{BinOp, CastKind, Cond, Constant, Flags, Function, Inst, InstId, Ty, Value};
+use frost_ir::{
+    BinOp, CastKind, Cond, Constant, Flags, Function, FunctionAnalysisManager, Inst, InstId,
+    PreservedAnalyses, Ty, Value,
+};
 
 use crate::pass::{Pass, PipelineMode};
 use crate::util::{erase_inst, guaranteed_not_poison};
@@ -38,7 +41,11 @@ impl Pass for InstCombine {
         "instcombine"
     }
 
-    fn run_on_function(&self, func: &mut Function) -> bool {
+    fn run_on_function(
+        &self,
+        func: &mut Function,
+        _fam: &mut FunctionAnalysisManager,
+    ) -> PreservedAnalyses {
         let mut changed = false;
         // Bounded fixpoint: each round scans all placed instructions.
         for _ in 0..8 {
@@ -64,9 +71,19 @@ impl Pass for InstCombine {
                 break;
             }
         }
-        changed
+        if changed {
+            // Instruction-level rewrites only; the block graph is
+            // untouched.
+            PreservedAnalyses::cfg()
+        } else {
+            PreservedAnalyses::all()
+        }
     }
 }
+
+/// A deferred rewrite that may reference freshly inserted instructions
+/// through the placeholder ids it is handed.
+type RewriteWithIds = Box<dyn FnOnce(&[InstId]) -> Inst>;
 
 /// The outcome of matching one instruction.
 enum Action {
@@ -78,7 +95,7 @@ enum Action {
     /// (they receive fresh ids in order) and then rewrite this one; the
     /// rewrite may reference the fresh instructions through the
     /// placeholder ids returned by the closure.
-    ExpandAndRewrite(Vec<Inst>, Box<dyn FnOnce(&[InstId]) -> Inst>),
+    ExpandAndRewrite(Vec<Inst>, RewriteWithIds),
 }
 
 fn apply(func: &mut Function, id: InstId, action: Action) {
@@ -547,8 +564,8 @@ mod tests {
         let mut after = before.clone();
         let pass = InstCombine::new(mode);
         for f in &mut after.functions {
-            pass.run_on_function(f);
-            crate::dce::Dce::new().run_on_function(f);
+            pass.apply(f);
+            crate::dce::Dce::new().apply(f);
             f.compact();
         }
         (before, after)

@@ -9,7 +9,9 @@
 //! the *freeze-blind* variant bails out when it sees `freeze`, exactly
 //! like the paper's unmodified passes.
 
-use frost_ir::{BlockId, Function, Inst, InstId, Terminator, Value};
+use frost_ir::{
+    BlockId, Function, FunctionAnalysisManager, Inst, InstId, PreservedAnalyses, Terminator, Value,
+};
 
 use crate::pass::{Pass, PipelineMode};
 use crate::util::{remove_phi_edge, retarget_phi_edge};
@@ -32,7 +34,11 @@ impl Pass for JumpThreading {
         "jump-threading"
     }
 
-    fn run_on_function(&self, func: &mut Function) -> bool {
+    fn run_on_function(
+        &self,
+        func: &mut Function,
+        _fam: &mut FunctionAnalysisManager,
+    ) -> PreservedAnalyses {
         let mut changed = false;
         // A bounded number of threading rounds.
         for _ in 0..4 {
@@ -42,7 +48,12 @@ impl Pass for JumpThreading {
                 break;
             }
         }
-        changed
+        if changed {
+            // Threading redirects edges: CFG surgery.
+            PreservedAnalyses::none()
+        } else {
+            PreservedAnalyses::all()
+        }
     }
 }
 
@@ -180,7 +191,7 @@ mod tests {
         let mut after = before.clone();
         let mut changed = false;
         for f in &mut after.functions {
-            changed |= JumpThreading::new(mode).run_on_function(f);
+            changed |= JumpThreading::new(mode).apply(f);
             crate::util::simplify_single_entry_phis(f);
             f.compact();
         }

@@ -12,8 +12,11 @@
 //!   non-poison/non-undef (e.g. frozen), the "upto" discipline of §5.6.
 
 use frost_ir::dom::DomTree;
-use frost_ir::loops::{Loop, LoopInfo};
-use frost_ir::{BinOp, BlockId, Cond, Function, Inst, InstId, Terminator, Value};
+use frost_ir::loops::Loop;
+use frost_ir::{
+    BinOp, BlockId, Cond, DomTreeAnalysis, Function, FunctionAnalysisManager, Inst, InstId,
+    LoopInfoAnalysis, PreservedAnalyses, Terminator, Value,
+};
 
 use crate::pass::{Pass, PipelineMode};
 use crate::util::guaranteed_not_poison;
@@ -36,14 +39,24 @@ impl Pass for Licm {
         "licm"
     }
 
-    fn run_on_function(&self, func: &mut Function) -> bool {
-        let dt = DomTree::compute(func);
-        let li = LoopInfo::compute(func, &dt);
+    fn run_on_function(
+        &self,
+        func: &mut Function,
+        fam: &mut FunctionAnalysisManager,
+    ) -> PreservedAnalyses {
+        let dt = fam.get::<DomTreeAnalysis>(func);
+        let li = fam.get::<LoopInfoAnalysis>(func);
         let mut changed = false;
         for lp in &li.loops {
             changed |= hoist_loop(func, lp, &dt, self.mode);
         }
-        changed
+        if changed {
+            // Instructions move between blocks; the block graph is
+            // untouched, so CFG-shaped analyses survive.
+            PreservedAnalyses::cfg()
+        } else {
+            PreservedAnalyses::all()
+        }
     }
 }
 
@@ -137,43 +150,42 @@ fn division_hoist_is_safe(
         return false;
     }
     // Find a dominating branch guaranteeing divisor != 0.
-    let mut bb = Some(preheader);
-    while let Some(cur) = bb {
-        let idom = dt.idom(cur);
-        if let Some(d) = idom {
-            if let Terminator::Br {
-                cond,
-                then_bb,
-                else_bb,
-            } = &func.block(d).term
-            {
-                if let Value::Inst(cmp) = cond {
-                    if let Inst::Icmp {
-                        cond: cc, lhs, rhs, ..
-                    } = func.inst(*cmp)
-                    {
-                        let zero_cmp = |a: &Value, b: &Value| {
-                            *a == divisor && b.is_int_const(0) || *b == divisor && a.is_int_const(0)
-                        };
-                        if zero_cmp(lhs, rhs) {
-                            let nonzero_edge = match cc {
-                                Cond::Ne => Some(*then_bb),
-                                Cond::Eq => Some(*else_bb),
-                                _ => None,
-                            };
-                            if let Some(edge) = nonzero_edge {
-                                // The guard protects the preheader only
-                                // if the non-zero edge dominates it.
-                                if dt.dominates(edge, preheader) {
-                                    return true;
-                                }
-                            }
-                        }
-                    }
-                }
-            }
+    let mut bb = dt.idom(preheader);
+    while let Some(d) = bb {
+        bb = dt.idom(d);
+        let Terminator::Br {
+            cond,
+            then_bb,
+            else_bb,
+        } = &func.block(d).term
+        else {
+            continue;
+        };
+        let Value::Inst(cmp) = cond else {
+            continue;
+        };
+        let Inst::Icmp {
+            cond: cc, lhs, rhs, ..
+        } = func.inst(*cmp)
+        else {
+            continue;
+        };
+        let zero_cmp = |a: &Value, b: &Value| {
+            *a == divisor && b.is_int_const(0) || *b == divisor && a.is_int_const(0)
+        };
+        if !zero_cmp(lhs, rhs) {
+            continue;
         }
-        bb = idom;
+        let nonzero_edge = match cc {
+            Cond::Ne => Some(*then_bb),
+            Cond::Eq => Some(*else_bb),
+            _ => None,
+        };
+        // The guard protects the preheader only if the non-zero edge
+        // dominates it.
+        if nonzero_edge.is_some_and(|edge| dt.dominates(edge, preheader)) {
+            return true;
+        }
     }
     false
 }
@@ -189,7 +201,7 @@ mod tests {
         let before = parse_module(src).unwrap();
         let mut after = before.clone();
         for f in &mut after.functions {
-            Licm::new(mode).run_on_function(f);
+            Licm::new(mode).apply(f);
             f.compact();
         }
         (before, after)

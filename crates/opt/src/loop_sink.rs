@@ -10,9 +10,9 @@
 //! sinks it, and the refinement checker produces the §5.5
 //! counterexample.
 
-use frost_ir::dom::DomTree;
-use frost_ir::loops::LoopInfo;
-use frost_ir::{Function, Inst, InstId, Value};
+use frost_ir::{
+    Function, FunctionAnalysisManager, Inst, InstId, LoopInfoAnalysis, PreservedAnalyses, Value,
+};
 
 use crate::pass::{Pass, PipelineMode};
 
@@ -34,9 +34,12 @@ impl Pass for LoopSink {
         "loop-sink"
     }
 
-    fn run_on_function(&self, func: &mut Function) -> bool {
-        let dt = DomTree::compute(func);
-        let li = LoopInfo::compute(func, &dt);
+    fn run_on_function(
+        &self,
+        func: &mut Function,
+        fam: &mut FunctionAnalysisManager,
+    ) -> PreservedAnalyses {
+        let li = fam.get::<LoopInfoAnalysis>(func);
         let mut changed = false;
         for lp in &li.loops {
             let Some(preheader) = lp.preheader(func) else {
@@ -60,7 +63,7 @@ impl Pass for LoopSink {
                     if inst.is_freeze() && self.mode.freeze_aware() {
                         continue;
                     }
-                    if uses.get(&id).copied().unwrap_or(0) == 0 {
+                    if uses.is_unused(id) {
                         continue;
                     }
                     let mut all_uses_in_header = true;
@@ -110,7 +113,12 @@ impl Pass for LoopSink {
                 }
             }
         }
-        changed
+        if changed {
+            // Sinking moves instructions between existing blocks.
+            PreservedAnalyses::cfg()
+        } else {
+            PreservedAnalyses::all()
+        }
     }
 }
 
@@ -126,7 +134,7 @@ mod tests {
         let mut after = before.clone();
         let mut changed = false;
         for f in &mut after.functions {
-            changed |= LoopSink::new(mode).run_on_function(f);
+            changed |= LoopSink::new(mode).apply(f);
             f.compact();
         }
         (before, after, changed)

@@ -14,9 +14,11 @@
 //! the *fixed* form freezes the condition (`c2' = freeze c2`, §5.1),
 //! turning the new branch into a non-deterministic but defined choice.
 
-use frost_ir::dom::DomTree;
 use frost_ir::loops::{Loop, LoopInfo};
-use frost_ir::{Function, Inst, InstId, Terminator, Ty, Value};
+use frost_ir::{
+    Function, FunctionAnalysisManager, Inst, InstId, LoopInfoAnalysis, PreservedAnalyses,
+    Terminator, Ty, Value,
+};
 
 use crate::pass::{Pass, PipelineMode};
 use crate::util::clone_region;
@@ -39,16 +41,23 @@ impl Pass for LoopUnswitch {
         "loop-unswitch"
     }
 
-    fn run_on_function(&self, func: &mut Function) -> bool {
+    fn run_on_function(
+        &self,
+        func: &mut Function,
+        fam: &mut FunctionAnalysisManager,
+    ) -> PreservedAnalyses {
         // One unswitch per invocation (the pipeline loops to fixpoint);
-        // analyses must be recomputed after the CFG surgery anyway.
-        unswitch_one(func, self.mode)
+        // the CFG surgery invalidates everything anyway.
+        let li = fam.get::<LoopInfoAnalysis>(func);
+        if unswitch_one(func, &li, self.mode) {
+            PreservedAnalyses::none()
+        } else {
+            PreservedAnalyses::all()
+        }
     }
 }
 
-fn unswitch_one(func: &mut Function, mode: PipelineMode) -> bool {
-    let dt = DomTree::compute(func);
-    let li = LoopInfo::compute(func, &dt);
+fn unswitch_one(func: &mut Function, li: &LoopInfo, mode: PipelineMode) -> bool {
     for lp in &li.loops {
         let Some(preheader) = lp.preheader(func) else {
             continue;
@@ -219,7 +228,7 @@ exit:
         let mut after = before.clone();
         let mut changed = false;
         for f in &mut after.functions {
-            changed |= LoopUnswitch::new(mode).run_on_function(f);
+            changed |= LoopUnswitch::new(mode).apply(f);
             f.compact();
         }
         (before, after, changed)

@@ -2,17 +2,32 @@
 //! `-O2`-style pipelines in their *legacy* (pre-taming) and *fixed*
 //! (freeze-aware) configurations.
 //!
+//! ## Analyses and invalidation
+//!
+//! The framework mirrors LLVM's new pass manager: passes receive a
+//! [`FunctionAnalysisManager`] and request cached analyses
+//! (`fam.get::<DomTreeAnalysis>(func)`) instead of recomputing them,
+//! and they return a [`PreservedAnalyses`] set describing what their
+//! rewrites kept intact. The driver invalidates precisely between
+//! passes: only analyses a pass did *not* preserve are dropped, so a
+//! dominator tree computed by GVN survives into LICM and loop
+//! unswitching. By convention `PreservedAnalyses::all()` means "no
+//! change" — it doubles as the fixpoint signal.
+//!
+//! ## Telemetry
+//!
 //! Every pass execution is metered through `frost-telemetry` (see
 //! docs/OBSERVABILITY.md): the always-on counters
 //! `frost.opt.pass.<name>.runs` / `.changed` tally executions and
 //! rewrites, and — when tracing is enabled — each execution is wrapped
 //! in an `opt.pass.run` span carrying the pass name, duration, and the
 //! instruction counts before/after, with per-pass latency recorded in
-//! the `frost.opt.pass.<name>.ns` histogram. With tracing off the
-//! added cost per pass is one counter lookup-free atomic add and a
-//! branch.
+//! the `frost.opt.pass.<name>.ns` histogram. The analysis cache adds
+//! `frost.ir.analysis.<name>.{hits,misses,invalidations}`.
 
-use frost_ir::{Function, Module};
+use frost_ir::{
+    Function, FunctionAnalysisManager, Module, ModuleAnalysisManager, PreservedAnalyses,
+};
 use frost_telemetry::{counter, histogram, Counter, Histogram};
 
 /// A code transformation.
@@ -21,26 +36,69 @@ use frost_telemetry::{counter, histogram, Counter, Histogram};
 /// [`Pass::run_on_function`]; module passes (e.g. inlining) override
 /// [`Pass::run_on_module`].
 ///
+/// A pass must return an *honest* [`PreservedAnalyses`] set:
+/// [`PreservedAnalyses::all`] iff it changed nothing,
+/// [`PreservedAnalyses::cfg`] for instruction-level rewrites that leave
+/// the block graph intact, [`PreservedAnalyses::none`] for CFG surgery.
+/// Debug builds verify the CFG claim against a fingerprint and panic on
+/// lies (see `frost_ir::analysis::manager`).
+///
+/// Whoever invokes `run_on_function` owns invalidation: the caller
+/// passes the returned set to [`FunctionAnalysisManager::invalidate`].
+/// Implementations of `run_on_module` invalidate the module manager
+/// themselves (the provided default does so function by function).
+///
 /// Passes are required to be `Send + Sync` (they are stateless
 /// configuration plus pure code), so a [`PassManager`] can be shared by
-/// the workers of a parallel validation campaign.
+/// the workers of a parallel validation campaign; the analysis managers
+/// are per-worker and passed in by the caller.
 pub trait Pass: Send + Sync {
     /// A short, stable name (used in reports and pipeline dumps).
     fn name(&self) -> &'static str;
 
-    /// Transforms one function. Returns `true` if anything changed.
-    fn run_on_function(&self, _func: &mut Function) -> bool {
-        false
+    /// Transforms one function, consuming cached analyses from `fam`.
+    /// Returns what the transformation preserved
+    /// ([`PreservedAnalyses::all`] iff nothing changed).
+    fn run_on_function(
+        &self,
+        _func: &mut Function,
+        _fam: &mut FunctionAnalysisManager,
+    ) -> PreservedAnalyses {
+        PreservedAnalyses::all()
     }
 
     /// Transforms the module. The default applies
-    /// [`Pass::run_on_function`] to every function.
-    fn run_on_module(&self, module: &mut Module) -> bool {
-        let mut changed = false;
-        for f in &mut module.functions {
-            changed |= self.run_on_function(f);
+    /// [`Pass::run_on_function`] to every function and invalidates each
+    /// function's analyses with the set that function's run reported.
+    fn run_on_module(
+        &self,
+        module: &mut Module,
+        mam: &mut ModuleAnalysisManager,
+    ) -> PreservedAnalyses {
+        let mut pa = PreservedAnalyses::all();
+        for (i, f) in module.functions.iter_mut().enumerate() {
+            let fam = mam.function(i);
+            let fpa = self.run_on_function(f, fam);
+            fam.invalidate(f, &fpa);
+            pa.intersect(&fpa);
         }
-        changed
+        pa
+    }
+
+    /// Convenience: runs this pass once on `func` with a throwaway
+    /// analysis manager. Returns `true` if anything changed.
+    fn apply(&self, func: &mut Function) -> bool {
+        let mut fam = FunctionAnalysisManager::new();
+        let pa = self.run_on_function(func, &mut fam);
+        fam.invalidate(func, &pa);
+        !pa.preserves_all()
+    }
+
+    /// Convenience: runs this pass once on `module` with a throwaway
+    /// analysis manager. Returns `true` if anything changed.
+    fn apply_to_module(&self, module: &mut Module) -> bool {
+        let mut mam = ModuleAnalysisManager::new();
+        !self.run_on_module(module, &mut mam).preserves_all()
     }
 }
 
@@ -97,10 +155,10 @@ impl Instrumented {
         }
     }
 
-    fn run_on_module(&self, module: &mut Module) -> bool {
+    fn run_on_module(&self, module: &mut Module, mam: &mut ModuleAnalysisManager) -> bool {
         self.runs.incr();
         if !frost_telemetry::enabled() {
-            let changed = self.pass.run_on_module(module);
+            let changed = !self.pass.run_on_module(module, mam).preserves_all();
             if changed {
                 self.changed.incr();
             }
@@ -108,7 +166,7 @@ impl Instrumented {
         }
         let mut sp = frost_telemetry::span("opt.pass.run").field("pass", self.pass.name());
         let before = module.inst_count();
-        let changed = self.pass.run_on_module(module);
+        let changed = !self.pass.run_on_module(module, mam).preserves_all();
         if changed {
             self.changed.incr();
         }
@@ -119,10 +177,12 @@ impl Instrumented {
         changed
     }
 
-    fn run_on_function(&self, func: &mut Function) -> bool {
+    fn run_on_function(&self, func: &mut Function, fam: &mut FunctionAnalysisManager) -> bool {
         self.runs.incr();
         if !frost_telemetry::enabled() {
-            let changed = self.pass.run_on_function(func);
+            let pa = self.pass.run_on_function(func, fam);
+            fam.invalidate(func, &pa);
+            let changed = !pa.preserves_all();
             if changed {
                 self.changed.incr();
             }
@@ -130,7 +190,9 @@ impl Instrumented {
         }
         let mut sp = frost_telemetry::span("opt.pass.run").field("pass", self.pass.name());
         let before = func.placed_inst_count();
-        let changed = self.pass.run_on_function(func);
+        let pa = self.pass.run_on_function(func, fam);
+        fam.invalidate(func, &pa);
+        let changed = !pa.preserves_all();
         if changed {
             self.changed.incr();
         }
@@ -142,7 +204,9 @@ impl Instrumented {
     }
 }
 
-/// Runs a sequence of passes, optionally to a fixpoint.
+/// Runs a sequence of passes, optionally to a fixpoint, threading an
+/// analysis manager through so analyses are computed once and
+/// invalidated precisely between passes.
 pub struct PassManager {
     passes: Vec<Instrumented>,
     max_iterations: usize,
@@ -175,42 +239,68 @@ impl PassManager {
         self.passes.iter().map(|p| p.pass.name()).collect()
     }
 
-    /// Runs the pipeline on a module. Returns `true` if anything
-    /// changed.
-    pub fn run(&self, module: &mut Module) -> bool {
+    /// The one fixpoint driver behind both the module and the function
+    /// entry points: sweeps the pipeline over `unit` until a full sweep
+    /// reports no change or the iteration budget runs out.
+    fn fixpoint<U>(
+        &self,
+        unit: &mut U,
+        mut run_pass: impl FnMut(&Instrumented, &mut U) -> bool,
+    ) -> bool {
         let mut changed_ever = false;
         for _ in 0..self.max_iterations {
             let mut changed = false;
             for pass in &self.passes {
-                changed |= pass.run_on_module(module);
+                changed |= run_pass(pass, unit);
             }
             changed_ever |= changed;
             if !changed {
                 break;
             }
-        }
-        for f in &mut module.functions {
-            f.compact();
         }
         changed_ever
     }
 
-    /// Runs the pipeline on a single function (wrapping it in a
-    /// throwaway module-less run).
-    pub fn run_on_function(&self, func: &mut Function) -> bool {
-        let mut changed_ever = false;
-        for _ in 0..self.max_iterations {
-            let mut changed = false;
-            for pass in &self.passes {
-                changed |= pass.run_on_function(func);
-            }
-            changed_ever |= changed;
-            if !changed {
-                break;
-            }
+    /// Runs the pipeline on a module with a fresh analysis manager.
+    /// Returns `true` if anything changed.
+    pub fn run(&self, module: &mut Module) -> bool {
+        let mut mam = ModuleAnalysisManager::new();
+        self.run_with(module, &mut mam)
+    }
+
+    /// Runs the pipeline on a module, threading the caller's analysis
+    /// manager through every pass. The final `Function::compact` sweep
+    /// renumbers instruction ids, so all analyses are dropped on exit;
+    /// the manager is still valuable to callers that interleave their
+    /// own analysis queries with pipeline runs.
+    pub fn run_with(&self, module: &mut Module, mam: &mut ModuleAnalysisManager) -> bool {
+        let changed = self.fixpoint(module, |pass, m| pass.run_on_module(m, mam));
+        for f in &mut module.functions {
+            f.compact();
         }
+        mam.invalidate_all();
+        changed
+    }
+
+    /// Runs the pipeline on a single function with a fresh analysis
+    /// manager. Returns `true` if anything changed.
+    pub fn run_on_function(&self, func: &mut Function) -> bool {
+        let mut fam = FunctionAnalysisManager::new();
+        self.run_on_function_with(func, &mut fam)
+    }
+
+    /// Runs the pipeline on a single function, threading the caller's
+    /// analysis manager through every pass (cleared on exit, after the
+    /// final `Function::compact`).
+    pub fn run_on_function_with(
+        &self,
+        func: &mut Function,
+        fam: &mut FunctionAnalysisManager,
+    ) -> bool {
+        let changed = self.fixpoint(func, |pass, f| pass.run_on_function(f, fam));
         func.compact();
-        changed_ever
+        fam.clear();
+        changed
     }
 }
 
@@ -238,8 +328,8 @@ pub fn o2_pipeline(mode: PipelineMode) -> PassManager {
     pm
 }
 
-/// A light pipeline for quick cleanups (used after inlining and inside
-/// tests).
+/// A light pipeline for quick cleanups (used after inlining, after
+/// C-source irgen, and inside tests).
 pub fn cleanup_pipeline(mode: PipelineMode) -> PassManager {
     let mut pm = PassManager::new().with_fixpoint(2);
     pm.add(crate::instcombine::InstCombine::new(mode));
@@ -251,18 +341,23 @@ pub fn cleanup_pipeline(mode: PipelineMode) -> PassManager {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use frost_ir::DomTreeAnalysis;
 
     struct Renamer;
     impl Pass for Renamer {
         fn name(&self) -> &'static str {
             "renamer"
         }
-        fn run_on_function(&self, func: &mut Function) -> bool {
+        fn run_on_function(
+            &self,
+            func: &mut Function,
+            _fam: &mut FunctionAnalysisManager,
+        ) -> PreservedAnalyses {
             if func.name.ends_with('!') {
-                false
+                PreservedAnalyses::all()
             } else {
                 func.name.push('!');
-                true
+                PreservedAnalyses::cfg()
             }
         }
     }
@@ -277,6 +372,38 @@ mod tests {
         assert!(pm.run(&mut m));
         assert_eq!(m.functions[0].name, "f!");
         assert!(!pm.run(&mut m));
+    }
+
+    /// A pass whose only effect is requesting the dominator tree, so
+    /// tests can observe cache traffic across passes.
+    struct DomUser;
+    impl Pass for DomUser {
+        fn name(&self) -> &'static str {
+            "domuser"
+        }
+        fn run_on_function(
+            &self,
+            func: &mut Function,
+            fam: &mut FunctionAnalysisManager,
+        ) -> PreservedAnalyses {
+            let _ = fam.get::<DomTreeAnalysis>(func);
+            PreservedAnalyses::all()
+        }
+    }
+
+    #[test]
+    fn analyses_survive_preserving_passes() {
+        let hits = frost_telemetry::counter("frost.ir.analysis.domtree.hits");
+        let before = hits.get();
+        let mut pm = PassManager::new();
+        pm.add(DomUser);
+        pm.add(DomUser);
+        let mut m = Module::new();
+        m.functions
+            .push(Function::new("f", vec![], frost_ir::Ty::Void));
+        pm.run(&mut m);
+        // The second DomUser run must be served from cache.
+        assert!(hits.get() > before);
     }
 
     #[test]

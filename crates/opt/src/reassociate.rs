@@ -7,9 +7,10 @@
 //! the *legacy* variant keeps them, reproducing the bug for the
 //! refinement checker to find.
 
-use std::collections::HashMap;
-
-use frost_ir::{BinOp, Flags, Function, Inst, InstId, Value};
+use frost_ir::{
+    BinOp, Flags, Function, FunctionAnalysisManager, Inst, InstId, PreservedAnalyses, UseCounts,
+    UseCountsAnalysis, Value,
+};
 
 use crate::pass::{Pass, PipelineMode};
 
@@ -31,16 +32,25 @@ impl Pass for Reassociate {
         "reassociate"
     }
 
-    fn run_on_function(&self, func: &mut Function) -> bool {
+    fn run_on_function(
+        &self,
+        func: &mut Function,
+        fam: &mut FunctionAnalysisManager,
+    ) -> PreservedAnalyses {
         let mut changed = false;
-        let uses = func.use_counts();
+        let uses = fam.get::<UseCountsAnalysis>(func);
         for bb in func.block_ids().collect::<Vec<_>>() {
             let ids: Vec<InstId> = func.block(bb).insts.clone();
             for id in ids {
                 changed |= reassociate_chain(func, id, &uses, self.mode);
             }
         }
-        changed
+        if changed {
+            // In-place operand rewrites; the block graph is untouched.
+            PreservedAnalyses::cfg()
+        } else {
+            PreservedAnalyses::all()
+        }
     }
 }
 
@@ -49,7 +59,7 @@ impl Pass for Reassociate {
 fn reassociate_chain(
     func: &mut Function,
     id: InstId,
-    uses: &HashMap<InstId, usize>,
+    uses: &UseCounts,
     mode: PipelineMode,
 ) -> bool {
     let Inst::Bin {
@@ -71,7 +81,7 @@ fn reassociate_chain(
     let Value::Inst(inner_id) = &lhs else {
         return false;
     };
-    if uses.get(inner_id).copied().unwrap_or(0) != 1 {
+    if uses.count(*inner_id) != 1 {
         return false;
     }
     let Inst::Bin {
@@ -140,8 +150,8 @@ mod tests {
         let before = parse_module(src).unwrap();
         let mut after = before.clone();
         for f in &mut after.functions {
-            Reassociate::new(mode).run_on_function(f);
-            crate::dce::Dce::new().run_on_function(f);
+            Reassociate::new(mode).apply(f);
+            crate::dce::Dce::new().apply(f);
             f.compact();
         }
         (before, after)

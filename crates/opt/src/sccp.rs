@@ -14,7 +14,10 @@
 use std::collections::VecDeque;
 
 use frost_core::ops::{eval_binop, eval_cast, ScalarResult};
-use frost_ir::{BlockId, Constant, Function, Inst, InstId, Terminator, Value};
+use frost_ir::{
+    BlockId, Constant, Function, FunctionAnalysisManager, Inst, InstId, PreservedAnalyses,
+    Terminator, Value,
+};
 
 use crate::pass::{Pass, PipelineMode};
 use crate::util::{erase_inst, remove_phi_edge};
@@ -54,7 +57,11 @@ impl Pass for Sccp {
         "sccp"
     }
 
-    fn run_on_function(&self, func: &mut Function) -> bool {
+    fn run_on_function(
+        &self,
+        func: &mut Function,
+        _fam: &mut FunctionAnalysisManager,
+    ) -> PreservedAnalyses {
         let n = func.insts.len();
         let mut values: Vec<Lat> = vec![Lat::Bottom; n];
         let mut executable = vec![false; func.blocks.len()];
@@ -117,11 +124,9 @@ impl Pass for Sccp {
                             }
                         }
                     }
-                    Terminator::Jmp(d) => {
-                        if !executable[d.index()] {
-                            executable[d.index()] = true;
-                            changed = true;
-                        }
+                    Terminator::Jmp(d) if !executable[d.index()] => {
+                        executable[d.index()] = true;
+                        changed = true;
                     }
                     _ => {}
                 }
@@ -134,6 +139,7 @@ impl Pass for Sccp {
 
         // Rewrite: replace instructions with their constants.
         let mut changed = false;
+        let mut cfg_changed = false;
         for bb in func.block_ids().collect::<Vec<_>>() {
             if !executable[bb.index()] {
                 continue;
@@ -168,6 +174,7 @@ impl Pass for Sccp {
                             remove_phi_edge(func, dropped, bb);
                         }
                         changed = true;
+                        cfg_changed = true;
                     }
                     Lat::Const(c) if c.contains_poison() || c.contains_undef() => {
                         match self.mode {
@@ -189,12 +196,19 @@ impl Pass for Sccp {
                             }
                         }
                         changed = true;
+                        cfg_changed = true;
                     }
                     _ => {}
                 }
             }
         }
-        changed
+        if cfg_changed {
+            PreservedAnalyses::none()
+        } else if changed {
+            PreservedAnalyses::cfg()
+        } else {
+            PreservedAnalyses::all()
+        }
     }
 }
 
@@ -325,7 +339,7 @@ mod tests {
         let before = parse_module(src).unwrap();
         let mut after = before.clone();
         for f in &mut after.functions {
-            Sccp::new(mode).run_on_function(f);
+            Sccp::new(mode).apply(f);
             f.compact();
         }
         (before, after)

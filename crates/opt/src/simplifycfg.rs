@@ -19,7 +19,9 @@
 //! modes, and the test suite demonstrates the semantics, not the code,
 //! decides.
 
-use frost_ir::{BlockId, Function, Inst, InstId, Terminator};
+use frost_ir::{
+    BlockId, Function, FunctionAnalysisManager, Inst, InstId, PreservedAnalyses, Terminator,
+};
 
 use crate::pass::{Pass, PipelineMode};
 use crate::util::{fold_constant_branches, retarget_phi_edge, simplify_single_entry_phis};
@@ -43,7 +45,11 @@ impl Pass for SimplifyCfg {
         "simplifycfg"
     }
 
-    fn run_on_function(&self, func: &mut Function) -> bool {
+    fn run_on_function(
+        &self,
+        func: &mut Function,
+        _fam: &mut FunctionAnalysisManager,
+    ) -> PreservedAnalyses {
         let mut changed = false;
         for _ in 0..4 {
             let mut round = false;
@@ -57,7 +63,12 @@ impl Pass for SimplifyCfg {
                 break;
             }
         }
-        changed
+        if changed {
+            // Every sub-rewrite here is CFG surgery.
+            PreservedAnalyses::none()
+        } else {
+            PreservedAnalyses::all()
+        }
     }
 }
 
@@ -218,7 +229,7 @@ mod tests {
         let before = parse_module(src).unwrap();
         let mut after = before.clone();
         for f in &mut after.functions {
-            SimplifyCfg::new(mode).run_on_function(f);
+            SimplifyCfg::new(mode).apply(f);
             f.compact();
         }
         (before, after)

@@ -42,8 +42,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // Step 1: legacy loop unswitching hoists `br %c2` out of the loop
     // without freezing it.
     let mut unswitched = module.clone();
-    LoopUnswitch::new(PipelineMode::Legacy).run_on_module(&mut unswitched);
-    Dce::new().run_on_module(&mut unswitched);
+    LoopUnswitch::new(PipelineMode::Legacy).apply_to_module(&mut unswitched);
+    Dce::new().apply_to_module(&mut unswitched);
     for f in &mut unswitched.functions {
         f.compact();
     }
@@ -91,8 +91,8 @@ exit:
 "#,
     )?;
     let mut gvned = gvn_input.clone();
-    Gvn::new(PipelineMode::Fixed).run_on_module(&mut gvned);
-    Dce::new().run_on_module(&mut gvned);
+    Gvn::new(PipelineMode::Fixed).apply_to_module(&mut gvned);
+    Dce::new().apply_to_module(&mut gvned);
     for f in &mut gvned.functions {
         f.compact();
     }
@@ -121,8 +121,8 @@ exit:
     // transformation is sound under the *proposed* semantics, the same
     // one that makes GVN sound: no more conflict.
     let mut fixed = module.clone();
-    LoopUnswitch::new(PipelineMode::Fixed).run_on_module(&mut fixed);
-    Dce::new().run_on_module(&mut fixed);
+    LoopUnswitch::new(PipelineMode::Fixed).apply_to_module(&mut fixed);
+    Dce::new().apply_to_module(&mut fixed);
     for f in &mut fixed.functions {
         f.compact();
     }
@@ -162,8 +162,8 @@ exit:
         .with_shard_size(16)
         .run(enumerate_functions(cfg), |m| {
             for f in &mut m.functions {
-                frost::opt::InstCombine::new(PipelineMode::Legacy).run_on_function(f);
-                Dce::new().run_on_function(f);
+                frost::opt::InstCombine::new(PipelineMode::Legacy).apply(f);
+                Dce::new().apply(f);
                 f.compact();
             }
         });

@@ -18,8 +18,8 @@ fn main() {
     println!("campaign 1: fixed InstCombine over ALL {total} one-instruction i2 functions");
     let report = validate_transform(enumerate_functions(cfg), Semantics::proposed(), |m| {
         for f in &mut m.functions {
-            InstCombine::new(PipelineMode::Fixed).run_on_function(f);
-            Dce::new().run_on_function(f);
+            InstCombine::new(PipelineMode::Fixed).apply(f);
+            Dce::new().apply(f);
             f.compact();
         }
     });
@@ -40,7 +40,7 @@ fn main() {
     println!("\ncampaign 2: LEGACY InstCombine over i2 mul/add with undef operands");
     let report = validate_transform(enumerate_functions(cfg), Semantics::legacy_gvn(), |m| {
         for f in &mut m.functions {
-            InstCombine::new(PipelineMode::Legacy).run_on_function(f);
+            InstCombine::new(PipelineMode::Legacy).apply(f);
             f.compact();
         }
     });

@@ -14,6 +14,9 @@ cargo test --workspace -q
 echo "==> cargo fmt --check"
 cargo fmt --all --check
 
+echo "==> cargo clippy (warnings are errors)"
+cargo clippy --workspace --all-targets -- -D warnings
+
 echo "==> cargo doc (rustdoc warnings are errors)"
 RUSTDOCFLAGS="-D warnings" cargo doc --workspace --no-deps -q
 

@@ -22,8 +22,8 @@ fn violating_cfg(num_insts: usize) -> GenConfig {
 
 fn legacy_instcombine(m: &mut Module) {
     for f in &mut m.functions {
-        InstCombine::new(PipelineMode::Legacy).run_on_function(f);
-        Dce::new().run_on_function(f);
+        InstCombine::new(PipelineMode::Legacy).apply(f);
+        Dce::new().apply(f);
         f.compact();
     }
 }

@@ -188,7 +188,7 @@ fn freeze_is_total_and_identity_on_defined() {
         let set = enumerate_outcomes(
             &m,
             "f",
-            &[arg.clone()],
+            std::slice::from_ref(&arg),
             &Memory::zeroed(0),
             Semantics::proposed(),
             Limits::default(),
@@ -227,9 +227,8 @@ fn instcombine_refines_on_random_functions() {
             Semantics::proposed(),
             |m| {
                 for f in &mut m.functions {
-                    frost::opt::InstCombine::new(frost::opt::PipelineMode::Fixed)
-                        .run_on_function(f);
-                    frost::opt::Dce::new().run_on_function(f);
+                    frost::opt::InstCombine::new(frost::opt::PipelineMode::Fixed).apply(f);
+                    frost::opt::Dce::new().apply(f);
                     f.compact();
                 }
             },
