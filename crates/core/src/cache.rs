@@ -1,7 +1,7 @@
 //! Outcome-enumeration memoization for validation campaigns.
 //!
 //! The §6 methodology checks millions of tiny functions, and the hot
-//! loop is [`enumerate_outcomes`] run
+//! loop is [`crate::exec::enumerate_outcomes`] run
 //! once per (function, input) pair for both the source and the target
 //! of every check. Campaign corpora are massively redundant: a no-op
 //! transform leaves the target textually identical to the source, and
@@ -13,26 +13,33 @@
 //!
 //! ## Cache key
 //!
-//! `(canonical function text, semantics, limits, salt)` where the
-//! canonical text is the function printed under a fixed placeholder
-//! name — generated corpora name every function differently (`fz0`,
-//! `fz1`, …), and the name is semantically irrelevant. The `salt` is a
-//! caller-supplied fingerprint of everything else that shapes the
-//! result (input-enumeration options, test-memory size); callers that
-//! enumerate inputs differently must use different salts.
+//! `(structural fingerprint, semantics, limits, salt)` where the
+//! fingerprint is [`FunctionKey`] — an exact, name-independent encoding
+//! of the function body. Generated corpora name every function
+//! differently (`fz0`, `fz1`, …) and the name is semantically
+//! irrelevant, so α-equivalent bodies share one entry; because the key
+//! stores the full encoding, equality is structural and collisions are
+//! impossible. The `salt` is a caller-supplied fingerprint of
+//! everything else that shapes the result (input-enumeration options,
+//! test-memory size); callers that enumerate inputs differently must
+//! use different salts.
 //!
 //! The cache is thread-safe (a mutexed map plus atomic hit/miss
-//! counters) and is shared by all workers of a parallel campaign.
+//! counters) and is shared by all workers of a parallel campaign. The
+//! map hashes with [`crate::fasthash::FastHasher`]: keys are in-process
+//! fingerprints of generated IR, so the keyed DoS resistance of the
+//! default hasher buys nothing on this hot path.
 
-use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 
-use frost_ir::{function_to_string, Module};
+use frost_ir::{function_to_string, FunctionKey, Module};
 
-use crate::exec::{enumerate_outcomes, ExecError, Limits};
+use crate::exec::{ExecError, Limits};
+use crate::fasthash::FastHashMap;
 use crate::mem::Memory;
 use crate::outcome::OutcomeSet;
+use crate::plan::{Machine, ModulePlan, PlanCache};
 use crate::sem::Semantics;
 use crate::val::Val;
 
@@ -46,7 +53,7 @@ pub type EnumeratedOutcomes = Vec<Result<OutcomeSet, ExecError>>;
 
 #[derive(Clone, PartialEq, Eq, Hash)]
 struct CacheKey {
-    text: String,
+    key: FunctionKey,
     sem: Semantics,
     limits: Limits,
     salt: u64,
@@ -55,6 +62,9 @@ struct CacheKey {
 /// Enumerates every behavior of `name` in `module` on each input tuple
 /// in turn (no caching — see [`OutcomeCache::enumerate`] for the
 /// memoized variant).
+///
+/// The function is compiled into a [`ModulePlan`] once and all inputs
+/// run on one reused [`Machine`], so per-input cost is execution only.
 pub fn enumerate_all_inputs(
     module: &Module,
     name: &str,
@@ -63,9 +73,17 @@ pub fn enumerate_all_inputs(
     sem: Semantics,
     limits: Limits,
 ) -> EnumeratedOutcomes {
+    let plan = ModulePlan::compile(module, sem);
+    let Some(idx) = plan.function_index(name) else {
+        return inputs
+            .iter()
+            .map(|_| Err(ExecError::BadFunction(format!("no function @{name}"))))
+            .collect();
+    };
+    let mut machine = Machine::new();
     inputs
         .iter()
-        .map(|args| enumerate_outcomes(module, name, args, mem, sem, limits))
+        .map(|args| plan.enumerate(idx, args, mem, limits, &mut machine))
         .collect()
 }
 
@@ -73,7 +91,8 @@ pub fn enumerate_all_inputs(
 /// enumeration. See the [module docs](self) for the key structure.
 #[derive(Default)]
 pub struct OutcomeCache {
-    map: Mutex<HashMap<CacheKey, Arc<EnumeratedOutcomes>>>,
+    map: Mutex<FastHashMap<CacheKey, Arc<EnumeratedOutcomes>>>,
+    plans: PlanCache,
     hits: AtomicU64,
     misses: AtomicU64,
 }
@@ -107,9 +126,10 @@ impl OutcomeCache {
         OutcomeCache::default()
     }
 
-    /// The canonical cache text of a function: printed under a fixed
-    /// placeholder name, so identically-shaped functions share entries
-    /// regardless of how the generator named them.
+    /// The canonical text of a function: printed under a fixed
+    /// placeholder name. A human-readable companion of the
+    /// [`FunctionKey`] the cache actually keys on — useful for
+    /// diagnosing what a cache entry covers, no longer on the hot path.
     pub fn canonical_text(module: &Module, name: &str) -> Option<String> {
         let mut f = module.function(name)?.clone();
         f.name = "f".to_string();
@@ -136,11 +156,11 @@ impl OutcomeCache {
         limits: Limits,
         salt: u64,
     ) -> Arc<EnumeratedOutcomes> {
-        let Some(text) = OutcomeCache::canonical_text(module, name) else {
+        let Some(func) = module.function(name) else {
             return Arc::new(vec![Err(ExecError::BadFunction(name.to_string()))]);
         };
         let key = CacheKey {
-            text,
+            key: FunctionKey::of(func),
             sem,
             limits,
             salt,
@@ -157,12 +177,34 @@ impl OutcomeCache {
         // overwrite.
         self.misses.fetch_add(1, Ordering::Relaxed);
         global_cache_counters().1.incr();
-        let entry = Arc::new(enumerate_all_inputs(module, name, inputs, mem, sem, limits));
+        // Compiled plans are cached separately from outcome vectors:
+        // the plan key ignores limits and salt, so re-enumerating the
+        // same function under different input options still reuses the
+        // compilation. The fingerprint computed above is reused as the
+        // plan key.
+        let entry = Arc::new(
+            match self.plans.get_or_compile_keyed(&key.key, module, name, sem) {
+                Some((plan, idx)) => {
+                    let mut machine = Machine::new();
+                    inputs
+                        .iter()
+                        .map(|args| plan.enumerate(idx, args, mem, limits, &mut machine))
+                        .collect()
+                }
+                None => vec![Err(ExecError::BadFunction(name.to_string()))],
+            },
+        );
         self.map
             .lock()
             .expect("cache lock")
             .insert(key, Arc::clone(&entry));
         entry
+    }
+
+    /// The embedded plan cache (distinct compiled functions, plan-cache
+    /// hit statistics).
+    pub fn plans(&self) -> &PlanCache {
+        &self.plans
     }
 
     /// Lookups answered from the table.
@@ -307,6 +349,18 @@ mod tests {
         );
         assert_eq!(cache.misses(), 3);
         assert_eq!(cache.hits(), 0);
+    }
+
+    #[test]
+    fn plans_are_shared_across_salts() {
+        let m = parse_module(F).unwrap();
+        let cache = OutcomeCache::new();
+        let mem = Memory::zeroed(0);
+        let sem = Semantics::proposed();
+        cache.enumerate(&m, "g", &inputs(), &mem, sem, Limits::default(), 0);
+        cache.enumerate(&m, "g", &inputs(), &mem, sem, Limits::default(), 1);
+        assert_eq!(cache.misses(), 2, "different salts miss the outcome cache");
+        assert_eq!(cache.plans().len(), 1, "but share one compiled plan");
     }
 
     #[test]

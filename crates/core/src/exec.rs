@@ -5,19 +5,32 @@
 //! branch-on-poison under the legacy-unswitch semantics, the return
 //! value of an external call — the interpreter consumes the next entry
 //! of the script. [`enumerate_outcomes`] drives the interpreter over all
-//! scripts (re-executing from the start, model-checker style) and
-//! collects the [`OutcomeSet`]; [`run_concrete`] resolves every choice
-//! to 0 for a single deterministic run.
+//! scripts and collects the [`OutcomeSet`]; [`run_concrete`] resolves
+//! every choice to 0 for a single deterministic run.
+//!
+//! Two implementations share these entry points:
+//!
+//! * [`crate::plan`] — the default: the function is compiled once into
+//!   a slot-indexed [`ModulePlan`] and executed on a reusable
+//!   [`Machine`], with enumeration resuming sibling branches from
+//!   snapshots instead of restarting. The convenience functions in this
+//!   module compile per call; batch drivers ([`crate::cache`],
+//!   `frost-refine`) compile once and reuse the plan.
+//! * [`mod@reference`] — the original tree-walk, retained as the executable
+//!   specification for differential testing.
+//!
+//! Both produce byte-identical [`OutcomeSet`]s, step counts, and limit
+//! errors; `tests/exec_plan.rs` and the ci.sh smoke gate enforce this.
 
-use frost_ir::{
-    BinOp, BlockId, Cond, Flags, Function, Inst, InstId, Module, Terminator, Ty, Value,
-};
+pub mod reference;
+
+use frost_ir::Module;
 
 use crate::mem::Memory;
-use crate::ops::{eval_binop, eval_cast, eval_icmp, ScalarResult};
-use crate::outcome::{Event, Outcome, OutcomeSet};
-use crate::sem::{PoisonAction, Semantics};
-use crate::val::{lower, poison_of, raise, Bit, Val};
+use crate::outcome::{Outcome, OutcomeSet};
+use crate::plan::{Machine, ModulePlan};
+use crate::sem::Semantics;
+use crate::val::{Bit, Val};
 
 /// Resource limits for execution and enumeration.
 #[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
@@ -99,584 +112,11 @@ pub enum RunResult {
     NeedChoice(u64),
 }
 
-/// Reasons to abort the current run.
-enum Stop {
-    NeedChoice(u64),
-    Err(ExecError),
-}
-
-/// Non-local exits of instruction evaluation.
-enum Exc {
-    Ub,
-    Stop(Stop),
-}
-
-impl From<Stop> for Exc {
-    fn from(s: Stop) -> Exc {
-        Exc::Stop(s)
-    }
-}
-
-enum FlowResult {
-    Ret(Option<Val>),
-    Ub,
-}
-
-/// How choices are resolved.
-#[derive(Clone, Copy, Debug)]
-enum Policy<'s> {
-    Script(&'s [u64]),
-    Concrete,
-}
-
-struct Interp<'a, 's> {
-    module: &'a Module,
-    sem: Semantics,
-    limits: Limits,
-    policy: Policy<'s>,
-    next_choice: usize,
-    steps: u64,
-    mem: Memory,
-    trace: Vec<Event>,
-}
-
-impl<'a, 's> Interp<'a, 's> {
-    fn choose(&mut self, n: u64) -> Result<u64, Stop> {
-        if n == 0 {
-            return Err(Stop::Err(ExecError::Unsupported(
-                "empty choice domain".into(),
-            )));
-        }
-        if n == 1 {
-            return Ok(0);
-        }
-        match self.policy {
-            Policy::Concrete => Ok(0),
-            Policy::Script(script) => {
-                if n > self.limits.max_fanout {
-                    return Err(Stop::Err(ExecError::FanoutTooLarge(n)));
-                }
-                match script.get(self.next_choice) {
-                    Some(&v) => {
-                        self.next_choice += 1;
-                        debug_assert!(v < n, "script entry within domain");
-                        Ok(v)
-                    }
-                    None => Err(Stop::NeedChoice(n)),
-                }
-            }
-        }
-    }
-
-    /// Chooses an arbitrary defined value of a scalar type (freeze of
-    /// poison, use of undef).
-    fn choose_scalar(&mut self, ty: &Ty) -> Result<Val, Stop> {
-        match ty {
-            Ty::Int(bits) => {
-                let n = if *bits >= 63 { u64::MAX } else { 1u64 << *bits };
-                let idx = self.choose(n)?;
-                Ok(Val::int(*bits, u128::from(idx)))
-            }
-            Ty::Ptr(_) => {
-                // The pointer domain is 2^32 addresses; enumerating it is
-                // never feasible, but a concrete run can pick null.
-                let idx = self.choose(1u64 << 32)?;
-                Ok(Val::Ptr(idx as u32))
-            }
-            other => Err(Stop::Err(ExecError::Unsupported(format!(
-                "cannot choose a value of type {other}"
-            )))),
-        }
-    }
-
-    /// Resolves `undef` at a *use*: each use of an undef register may
-    /// yield a different value (§3.1). Element-wise for vectors. Poison
-    /// and defined values pass through.
-    fn resolve_use(&mut self, v: Val) -> Result<Val, Stop> {
-        match v {
-            Val::Undef(ty) => self.choose_scalar(&ty),
-            Val::Vec(elems) => {
-                let mut out = Vec::with_capacity(elems.len());
-                for e in elems {
-                    out.push(self.resolve_use(e)?);
-                }
-                Ok(Val::Vec(out))
-            }
-            other => Ok(other),
-        }
-    }
-
-    fn exec_function(
-        &mut self,
-        func: &'a Function,
-        args: &[Val],
-        depth: u32,
-    ) -> Result<FlowResult, Stop> {
-        if args.len() != func.params.len() {
-            return Err(Stop::Err(ExecError::BadFunction(format!(
-                "@{} expects {} arguments, got {}",
-                func.name,
-                func.params.len(),
-                args.len()
-            ))));
-        }
-        let mut regs: Vec<Option<Val>> = vec![None; func.insts.len()];
-        let mut cur = BlockId::ENTRY;
-        let mut prev: Option<BlockId> = None;
-
-        'blocks: loop {
-            // Charge a step per block visit so empty infinite loops
-            // (e.g. `bb: br label %bb`) still exhaust fuel.
-            self.steps += 1;
-            if self.steps > self.limits.max_steps {
-                return Err(Stop::Err(ExecError::Fuel));
-            }
-            let block = func.block(cur);
-
-            // Evaluate all phis simultaneously against the incoming edge.
-            let mut phi_updates: Vec<(InstId, Val)> = Vec::new();
-            for &id in &block.insts {
-                let Inst::Phi { incoming, .. } = func.inst(id) else {
-                    break;
-                };
-                let from = prev.expect("phi in entry block rejected by verifier");
-                let (v, _) = incoming
-                    .iter()
-                    .find(|(_, bb)| *bb == from)
-                    .expect("verifier guarantees an incoming value per predecessor");
-                phi_updates.push((id, self.operand(func, &regs, args, v)));
-            }
-            for (id, v) in phi_updates {
-                self.steps += 1;
-                regs[id.index()] = Some(v);
-            }
-
-            for &id in &block.insts {
-                if matches!(func.inst(id), Inst::Phi { .. }) {
-                    continue;
-                }
-                self.steps += 1;
-                if self.steps > self.limits.max_steps {
-                    return Err(Stop::Err(ExecError::Fuel));
-                }
-                match self.eval_inst(func, &regs, args, id, depth) {
-                    Ok(v) => regs[id.index()] = Some(v),
-                    Err(Exc::Ub) => return Ok(FlowResult::Ub),
-                    Err(Exc::Stop(s)) => return Err(s),
-                }
-            }
-
-            match &block.term {
-                Terminator::Ret(v) => {
-                    let val = v.as_ref().map(|v| self.operand(func, &regs, args, v));
-                    return Ok(FlowResult::Ret(val));
-                }
-                Terminator::Jmp(dest) => {
-                    prev = Some(cur);
-                    cur = *dest;
-                }
-                Terminator::Br {
-                    cond,
-                    then_bb,
-                    else_bb,
-                } => {
-                    let c = self.operand(func, &regs, args, cond);
-                    let c = self.resolve_use(c)?;
-                    let taken = match c {
-                        Val::Int { v, .. } => v == 1,
-                        Val::Poison => match self.sem.branch_on_poison {
-                            PoisonAction::Ub => return Ok(FlowResult::Ub),
-                            PoisonAction::Nondet | PoisonAction::Propagate => self.choose(2)? == 1,
-                        },
-                        other => {
-                            return Err(Stop::Err(ExecError::Unsupported(format!(
-                                "branch on {other}"
-                            ))))
-                        }
-                    };
-                    prev = Some(cur);
-                    cur = if taken { *then_bb } else { *else_bb };
-                }
-                Terminator::Unreachable => return Ok(FlowResult::Ub),
-            }
-            continue 'blocks;
-        }
-    }
-
-    fn operand(&self, _func: &Function, regs: &[Option<Val>], args: &[Val], v: &Value) -> Val {
-        match v {
-            Value::Inst(id) => regs[id.index()]
-                .clone()
-                .expect("SSA dominance guarantees the register is written"),
-            Value::Arg(i) => args[*i as usize].clone(),
-            Value::Const(c) => Val::from_const(c),
-        }
-    }
-
-    fn eval_inst(
-        &mut self,
-        func: &'a Function,
-        regs: &[Option<Val>],
-        args: &[Val],
-        id: InstId,
-        depth: u32,
-    ) -> Result<Val, Exc> {
-        let inst = func.inst(id);
-        match inst {
-            Inst::Bin {
-                op,
-                flags,
-                ty,
-                lhs,
-                rhs,
-            } => {
-                let a = self.resolve_use(self.operand(func, regs, args, lhs))?;
-                let b = self.resolve_use(self.operand(func, regs, args, rhs))?;
-                self.eval_bin_val(*op, *flags, ty, a, b)
-            }
-            Inst::Icmp { cond, ty, lhs, rhs } => {
-                let a = self.resolve_use(self.operand(func, regs, args, lhs))?;
-                let b = self.resolve_use(self.operand(func, regs, args, rhs))?;
-                self.eval_icmp_val(*cond, ty, a, b)
-            }
-            Inst::Select {
-                cond,
-                ty,
-                tval,
-                fval,
-            } => {
-                let c = self.resolve_use(self.operand(func, regs, args, cond))?;
-                let tv = self.operand(func, regs, args, tval);
-                let fv = self.operand(func, regs, args, fval);
-                let taken = match c {
-                    Val::Int { v, .. } => v == 1,
-                    Val::Poison => match self.sem.select.poison_cond {
-                        PoisonAction::Propagate => return Ok(poison_of(ty)),
-                        PoisonAction::Ub => return Err(Exc::Ub),
-                        PoisonAction::Nondet => self.choose(2)? == 1,
-                    },
-                    other => {
-                        return Err(Exc::Stop(Stop::Err(ExecError::Unsupported(format!(
-                            "select on {other}"
-                        )))))
-                    }
-                };
-                if self.sem.select.propagate_unselected
-                    && (tv.contains_poison() || fv.contains_poison())
-                {
-                    return Ok(poison_of(ty));
-                }
-                Ok(if taken { tv } else { fv })
-            }
-            Inst::Phi { .. } => unreachable!("phis are evaluated at block entry"),
-            Inst::Freeze { ty, val } => {
-                let v = self.operand(func, regs, args, val);
-                self.freeze_val(ty, v)
-            }
-            Inst::Cast {
-                kind,
-                from_ty,
-                to_ty,
-                val,
-            } => {
-                let v = self.resolve_use(self.operand(func, regs, args, val))?;
-                let from_bits = from_ty.scalar_ty().int_bits().expect("verified int cast");
-                let to_bits = to_ty.scalar_ty().int_bits().expect("verified int cast");
-                Ok(map_elements(&v, to_ty, |e| match e.as_int() {
-                    Some(x) => Val::int(to_bits, eval_cast(*kind, from_bits, to_bits, x)),
-                    None => Val::Poison,
-                }))
-            }
-            Inst::Bitcast {
-                from_ty,
-                to_ty,
-                val,
-            } => {
-                let v = self.operand(func, regs, args, val);
-                Ok(raise(to_ty, &lower(from_ty, &v)))
-            }
-            Inst::Gep {
-                elem_ty,
-                base,
-                idx,
-                inbounds,
-                idx_ty,
-                ..
-            } => {
-                let b = self.resolve_use(self.operand(func, regs, args, base))?;
-                let i = self.resolve_use(self.operand(func, regs, args, idx))?;
-                let (Val::Ptr(addr), Val::Int { .. }) = (&b, &i) else {
-                    // Poison base or index -> poison pointer.
-                    return Ok(Val::Poison);
-                };
-                let idx_bits = idx_ty.int_bits().expect("verified gep index");
-                let offset = i.as_signed().expect("int");
-                let _ = idx_bits;
-                let stride = i128::from(elem_ty.byte_size());
-                let full = i128::from(*addr) + offset * stride;
-                if *inbounds && (full < 0 || full > i128::from(u32::MAX)) {
-                    // Pointer arithmetic overflow is deferred UB (§2.4).
-                    return Ok(Val::Poison);
-                }
-                Ok(Val::Ptr(full.rem_euclid(1i128 << 32) as u32))
-            }
-            Inst::Load { ty, ptr } => {
-                let p = self.resolve_use(self.operand(func, regs, args, ptr))?;
-                let Val::Ptr(addr) = p else {
-                    return Err(Exc::Ub);
-                };
-                match self.mem.load(addr, ty.bitwidth()) {
-                    Some(bits) => Ok(raise(ty, &bits)),
-                    None => Err(Exc::Ub),
-                }
-            }
-            Inst::Store { ty, val, ptr } => {
-                let v = self.operand(func, regs, args, val);
-                let p = self.resolve_use(self.operand(func, regs, args, ptr))?;
-                let Val::Ptr(addr) = p else {
-                    return Err(Exc::Ub);
-                };
-                let bits = lower(ty, &v);
-                if !self.mem.store(addr, &bits) {
-                    return Err(Exc::Ub);
-                }
-                Ok(Val::int(1, 0)) // dummy; stores define no register
-            }
-            Inst::ExtractElement { vec, idx, len, .. } => {
-                let v = self.operand(func, regs, args, vec);
-                let i = idx.as_int_const().expect("verified constant lane") as usize;
-                Ok(vector_elems(&v, *len as usize)[i].clone())
-            }
-            Inst::InsertElement {
-                vec, elt, idx, len, ..
-            } => {
-                let v = self.operand(func, regs, args, vec);
-                let e = self.operand(func, regs, args, elt);
-                let i = idx.as_int_const().expect("verified constant lane") as usize;
-                let mut elems = vector_elems(&v, *len as usize);
-                elems[i] = e;
-                Ok(Val::Vec(elems))
-            }
-            Inst::Call {
-                ret_ty,
-                callee,
-                args: call_args,
-                ..
-            } => {
-                let mut vals = Vec::with_capacity(call_args.len());
-                for a in call_args {
-                    vals.push(self.operand(func, regs, args, a));
-                }
-                self.eval_call(ret_ty, callee, vals, depth)
-            }
-        }
-    }
-
-    fn eval_call(
-        &mut self,
-        ret_ty: &Ty,
-        callee: &str,
-        vals: Vec<Val>,
-        depth: u32,
-    ) -> Result<Val, Exc> {
-        if let Some(f) = self.module.function(callee) {
-            if depth >= self.limits.max_call_depth {
-                return Err(Exc::Stop(Stop::Err(ExecError::Fuel)));
-            }
-            return match self.exec_function(f, &vals, depth + 1)? {
-                FlowResult::Ub => Err(Exc::Ub),
-                FlowResult::Ret(Some(v)) => Ok(v),
-                FlowResult::Ret(None) => Ok(Val::int(1, 0)),
-            };
-        }
-        let Some(decl) = self.module.declaration(callee) else {
-            return Err(Exc::Stop(Stop::Err(ExecError::BadFunction(format!(
-                "unknown callee @{callee}"
-            )))));
-        };
-        if decl.attrs.readnone {
-            // A pure external function: poison in, poison out; otherwise
-            // an arbitrary (environment-chosen) result. Not observable.
-            if vals.iter().any(Val::contains_poison) {
-                return Ok(poison_of(ret_ty));
-            }
-            if ret_ty.is_void() {
-                return Ok(Val::int(1, 0));
-            }
-            return Ok(self.choose_scalar(ret_ty.scalar_ty())?);
-        }
-        // Side-effecting external call: poison reaching it is UB (§1:
-        // poison "triggers immediate UB if it reaches a side-effecting
-        // operation").
-        if self.sem.poison_call_arg_is_ub && vals.iter().any(Val::contains_poison) {
-            return Err(Exc::Ub);
-        }
-        let ret = if ret_ty.is_void() {
-            None
-        } else {
-            Some(self.choose_scalar(ret_ty.scalar_ty())?)
-        };
-        self.trace.push(Event {
-            callee: callee.to_string(),
-            args: vals,
-            ret: ret.clone(),
-        });
-        Ok(ret.unwrap_or(Val::int(1, 0)))
-    }
-
-    fn eval_bin_val(
-        &mut self,
-        op: BinOp,
-        flags: Flags,
-        ty: &Ty,
-        a: Val,
-        b: Val,
-    ) -> Result<Val, Exc> {
-        let bits = ty.scalar_ty().int_bits().expect("verified integer binop");
-        let len = ty.vector_len();
-        match len {
-            None => self.bin_scalar(op, flags, bits, &a, &b),
-            Some(n) => {
-                let av = vector_elems(&a, n as usize);
-                let bv = vector_elems(&b, n as usize);
-                let mut out = Vec::with_capacity(n as usize);
-                for (x, y) in av.iter().zip(&bv) {
-                    out.push(self.bin_scalar(op, flags, bits, x, y)?);
-                }
-                Ok(Val::Vec(out))
-            }
-        }
-    }
-
-    fn bin_scalar(
-        &mut self,
-        op: BinOp,
-        flags: Flags,
-        bits: u32,
-        a: &Val,
-        b: &Val,
-    ) -> Result<Val, Exc> {
-        if op.may_have_immediate_ub() {
-            // Division: a poison divisor, or zero, is immediate UB; a
-            // poison dividend yields poison unless the divisor makes
-            // the signed-overflow case reachable.
-            let bv = match b {
-                Val::Poison => return Err(Exc::Ub),
-                Val::Int { v, .. } => *v,
-                other => {
-                    return Err(Exc::Stop(Stop::Err(ExecError::Unsupported(format!(
-                        "divide by {other}"
-                    )))))
-                }
-            };
-            if bv == 0 {
-                return Err(Exc::Ub);
-            }
-            if a.contains_poison() {
-                let divisor_is_minus1 = Val::int(bits, bv).as_signed() == Some(-1);
-                if matches!(op, BinOp::SDiv | BinOp::SRem) && divisor_is_minus1 {
-                    // poison could be INT_MIN: the UB case is reachable.
-                    return Err(Exc::Ub);
-                }
-                return Ok(Val::Poison);
-            }
-        } else if a.contains_poison() || b.contains_poison() {
-            return Ok(Val::Poison);
-        }
-        let (Some(x), Some(y)) = (a.as_int(), b.as_int()) else {
-            return Err(Exc::Stop(Stop::Err(ExecError::Unsupported(format!(
-                "binop on {a} and {b}"
-            )))));
-        };
-        match eval_binop(op, flags, bits, x, y) {
-            ScalarResult::Val(v) => Ok(Val::int(bits, v)),
-            ScalarResult::Poison => {
-                // §2.4 strawman semantics: deferred binop UB yields
-                // undef instead of poison.
-                if self.sem.wrap_flags_produce_undef {
-                    Ok(Val::Undef(Ty::Int(bits)))
-                } else {
-                    Ok(Val::Poison)
-                }
-            }
-            ScalarResult::Ub => Err(Exc::Ub),
-        }
-    }
-
-    fn eval_icmp_val(&mut self, cond: Cond, ty: &Ty, a: Val, b: Val) -> Result<Val, Exc> {
-        let scalar = |x: &Val, y: &Val| -> Val {
-            match (x, y) {
-                (Val::Poison, _) | (_, Val::Poison) => Val::Poison,
-                (Val::Int { bits, v: xa }, Val::Int { v: xb, .. }) => {
-                    Val::bool(eval_icmp(cond, *bits, *xa, *xb))
-                }
-                (Val::Ptr(pa), Val::Ptr(pb)) => Val::bool(eval_icmp(
-                    cond,
-                    frost_ir::PTR_BITS,
-                    u128::from(*pa),
-                    u128::from(*pb),
-                )),
-                _ => Val::Poison,
-            }
-        };
-        match ty.vector_len() {
-            None => Ok(scalar(&a, &b)),
-            Some(n) => {
-                let av = vector_elems(&a, n as usize);
-                let bv = vector_elems(&b, n as usize);
-                Ok(Val::Vec(
-                    av.iter().zip(&bv).map(|(x, y)| scalar(x, y)).collect(),
-                ))
-            }
-        }
-    }
-
-    /// Figure 5's freeze rules: identity on defined values; an arbitrary
-    /// defined value for poison (and undef); element-wise for vectors.
-    fn freeze_val(&mut self, ty: &Ty, v: Val) -> Result<Val, Exc> {
-        match (ty, v) {
-            (Ty::Vector { elems, elem }, v) => {
-                let vals = vector_elems(&v, *elems as usize);
-                let mut out = Vec::with_capacity(vals.len());
-                for e in vals {
-                    out.push(self.freeze_scalar(elem, e)?);
-                }
-                Ok(Val::Vec(out))
-            }
-            (_, v) => self.freeze_scalar(ty, v),
-        }
-    }
-
-    fn freeze_scalar(&mut self, ty: &Ty, v: Val) -> Result<Val, Exc> {
-        match v {
-            Val::Poison | Val::Undef(_) => Ok(self.choose_scalar(ty)?),
-            defined => Ok(defined),
-        }
-    }
-}
-
-/// Splits a vector value into elements; scalar poison expands to
-/// all-poison (defensive — constants are already element-wise).
-fn vector_elems(v: &Val, len: usize) -> Vec<Val> {
-    match v {
-        Val::Vec(elems) => {
-            debug_assert_eq!(elems.len(), len);
-            elems.clone()
-        }
-        Val::Poison => vec![Val::Poison; len],
-        other => vec![other.clone(); len],
-    }
-}
-
-/// Maps a scalar function over a value that may be a vector.
-fn map_elements(v: &Val, result_ty: &Ty, f: impl Fn(&Val) -> Val) -> Val {
-    match result_ty.vector_len() {
-        None => f(v),
-        Some(n) => Val::Vec(vector_elems(v, n as usize).iter().map(f).collect()),
-    }
-}
-
 /// Runs `name` on `args` with the given choice script.
+///
+/// Compiles a fresh [`ModulePlan`] per call; callers running the same
+/// function repeatedly should compile once and use
+/// [`ModulePlan::run_with_script`].
 ///
 /// # Errors
 ///
@@ -691,33 +131,19 @@ pub fn run_with_script(
     limits: Limits,
     script: &[u64],
 ) -> Result<RunResult, ExecError> {
-    let Some(func) = module.function(name) else {
+    let plan = ModulePlan::compile(module, sem);
+    let Some(idx) = plan.function_index(name) else {
         return Err(ExecError::BadFunction(format!("no function @{name}")));
     };
-    let mut interp = Interp {
-        module,
-        sem,
-        limits,
-        policy: Policy::Script(script),
-        next_choice: 0,
-        steps: 0,
-        mem: mem.clone(),
-        trace: Vec::new(),
-    };
-    match interp.exec_function(func, args, 0) {
-        Ok(FlowResult::Ub) => Ok(RunResult::Done(Outcome::Ub)),
-        Ok(FlowResult::Ret(val)) => Ok(RunResult::Done(Outcome::Ret {
-            val,
-            mem: interp.mem.snapshot(),
-            trace: interp.trace,
-        })),
-        Err(Stop::NeedChoice(n)) => Ok(RunResult::NeedChoice(n)),
-        Err(Stop::Err(e)) => Err(e),
-    }
+    plan.run_with_script(idx, args, mem, limits, script, &mut Machine::new())
 }
 
 /// Enumerates *every* behavior of `name` on `args` by exploring all
 /// choice scripts.
+///
+/// Compiles a fresh [`ModulePlan`] per call; batch callers should
+/// compile once (or use [`crate::cache::OutcomeCache`]) and call
+/// [`ModulePlan::enumerate`] with a reused [`Machine`].
 ///
 /// # Errors
 ///
@@ -731,28 +157,11 @@ pub fn enumerate_outcomes(
     sem: Semantics,
     limits: Limits,
 ) -> Result<OutcomeSet, ExecError> {
-    let mut outcomes = OutcomeSet::new();
-    let mut stack: Vec<Vec<u64>> = vec![Vec::new()];
-    let mut states: u64 = 0;
-    while let Some(script) = stack.pop() {
-        states += 1;
-        if states > limits.max_states {
-            return Err(ExecError::StateExplosion);
-        }
-        match run_with_script(module, name, args, mem, sem, limits, &script)? {
-            RunResult::Done(outcome) => {
-                outcomes.insert(outcome);
-            }
-            RunResult::NeedChoice(n) => {
-                for i in 0..n {
-                    let mut s = script.clone();
-                    s.push(i);
-                    stack.push(s);
-                }
-            }
-        }
-    }
-    Ok(outcomes)
+    let plan = ModulePlan::compile(module, sem);
+    let Some(idx) = plan.function_index(name) else {
+        return Err(ExecError::BadFunction(format!("no function @{name}")));
+    };
+    plan.enumerate(idx, args, mem, limits, &mut Machine::new())
 }
 
 /// Runs `name` once, resolving every non-deterministic choice to 0
@@ -773,32 +182,11 @@ pub fn run_concrete(
     sem: Semantics,
     limits: Limits,
 ) -> Result<(Outcome, u64), ExecError> {
-    let Some(func) = module.function(name) else {
+    let plan = ModulePlan::compile(module, sem);
+    let Some(idx) = plan.function_index(name) else {
         return Err(ExecError::BadFunction(format!("no function @{name}")));
     };
-    let mut interp = Interp {
-        module,
-        sem,
-        limits,
-        policy: Policy::Concrete,
-        next_choice: 0,
-        steps: 0,
-        mem: mem.clone(),
-        trace: Vec::new(),
-    };
-    match interp.exec_function(func, args, 0) {
-        Ok(FlowResult::Ub) => Ok((Outcome::Ub, interp.steps)),
-        Ok(FlowResult::Ret(val)) => Ok((
-            Outcome::Ret {
-                val,
-                mem: interp.mem.snapshot(),
-                trace: interp.trace,
-            },
-            interp.steps,
-        )),
-        Err(Stop::NeedChoice(_)) => unreachable!("concrete policy never forks"),
-        Err(Stop::Err(e)) => Err(e),
-    }
+    plan.run_concrete(idx, args, mem, limits, &mut Machine::new())
 }
 
 /// The memory-fill bit matching a semantics' treatment of uninitialized
@@ -815,6 +203,7 @@ pub fn uninit_fill(sem: &Semantics) -> Bit {
 mod tests {
     use super::*;
     use frost_ir::parse_module;
+    use frost_ir::Ty;
 
     fn empty_mem() -> Memory {
         Memory::zeroed(0)

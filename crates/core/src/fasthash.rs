@@ -1,0 +1,146 @@
+//! A tiny, dependency-free hasher for hot in-process cache maps.
+//!
+//! The standard library's default hasher (SipHash-1-3) is keyed and
+//! DoS-resistant, which the campaign caches do not need: their keys are
+//! structural fingerprints of generated IR, never attacker-controlled,
+//! and the maps live for one process. [`FastHasher`] is an FxHash-style
+//! multiply-rotate fold — a few cycles per word — which matters when
+//! every cache probe on the §6 hot path pays for hashing.
+//!
+//! Not suitable for persisted or cross-process hashes: the function is
+//! unkeyed and makes no collision-resistance promises beyond bucket
+//! spreading.
+
+use std::collections::{HashMap, HashSet};
+use std::hash::{BuildHasher, Hasher};
+
+const SEED: u64 = 0x243f_6a88_85a3_08d3; // pi
+const M: u64 = 0x9e37_79b9_7f4a_7c15; // golden ratio
+
+/// An FxHash-style word-folding hasher. See the [module docs](self).
+#[derive(Clone, Debug)]
+pub struct FastHasher(u64);
+
+impl FastHasher {
+    #[inline]
+    fn fold(&mut self, w: u64) {
+        self.0 = (self.0.rotate_left(5) ^ w).wrapping_mul(M);
+    }
+}
+
+impl Hasher for FastHasher {
+    #[inline]
+    fn finish(&self) -> u64 {
+        // One final avalanche so low-entropy folds still spread over
+        // the table's bucket bits.
+        let mut x = self.0;
+        x ^= x >> 32;
+        x = x.wrapping_mul(M);
+        x ^ (x >> 29)
+    }
+
+    #[inline]
+    fn write(&mut self, bytes: &[u8]) {
+        let mut chunks = bytes.chunks_exact(8);
+        for c in &mut chunks {
+            self.fold(u64::from_le_bytes(c.try_into().expect("8-byte chunk")));
+        }
+        let rest = chunks.remainder();
+        if !rest.is_empty() {
+            let mut w = 0u64;
+            for (i, &b) in rest.iter().enumerate() {
+                w |= (b as u64) << (8 * i);
+            }
+            // Tag the tail with its length so "ab" and "ab\0" differ.
+            self.fold(w | ((rest.len() as u64) << 56));
+        }
+    }
+
+    #[inline]
+    fn write_u8(&mut self, n: u8) {
+        self.fold(n as u64);
+    }
+
+    #[inline]
+    fn write_u16(&mut self, n: u16) {
+        self.fold(n as u64);
+    }
+
+    #[inline]
+    fn write_u32(&mut self, n: u32) {
+        self.fold(n as u64);
+    }
+
+    #[inline]
+    fn write_u64(&mut self, n: u64) {
+        self.fold(n);
+    }
+
+    #[inline]
+    fn write_u128(&mut self, n: u128) {
+        self.fold(n as u64);
+        self.fold((n >> 64) as u64);
+    }
+
+    #[inline]
+    fn write_usize(&mut self, n: usize) {
+        self.fold(n as u64);
+    }
+}
+
+/// [`BuildHasher`] producing [`FastHasher`]s; plugs into
+/// `HashMap`/`HashSet` via [`FastHashMap`]/[`FastHashSet`].
+#[derive(Clone, Default, Debug)]
+pub struct FastBuildHasher;
+
+impl BuildHasher for FastBuildHasher {
+    type Hasher = FastHasher;
+
+    #[inline]
+    fn build_hasher(&self) -> FastHasher {
+        FastHasher(SEED)
+    }
+}
+
+/// A `HashMap` using [`FastHasher`].
+pub type FastHashMap<K, V> = HashMap<K, V, FastBuildHasher>;
+
+/// A `HashSet` using [`FastHasher`].
+pub type FastHashSet<T> = HashSet<T, FastBuildHasher>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::hash::Hash;
+
+    fn hash_of<T: Hash>(v: &T) -> u64 {
+        FastBuildHasher.hash_one(v)
+    }
+
+    #[test]
+    fn equal_values_hash_equal() {
+        assert_eq!(hash_of(&42u64), hash_of(&42u64));
+        assert_eq!(hash_of(&"hello"), hash_of(&"hello"));
+        assert_eq!(hash_of(&(1u32, "a", 3u64)), hash_of(&(1u32, "a", 3u64)));
+    }
+
+    #[test]
+    fn nearby_values_spread() {
+        let hashes: FastHashSet<u64> = (0..1000u64).map(|v| hash_of(&v)).collect();
+        assert_eq!(hashes.len(), 1000, "sequential keys must not collide");
+    }
+
+    #[test]
+    fn tail_length_is_significant() {
+        assert_ne!(hash_of(&b"ab".as_slice()), hash_of(&b"ab\0".as_slice()));
+    }
+
+    #[test]
+    fn works_as_a_map() {
+        let mut m: FastHashMap<String, u32> = FastHashMap::default();
+        m.insert("one".into(), 1);
+        m.insert("two".into(), 2);
+        assert_eq!(m.get("one"), Some(&1));
+        assert_eq!(m.len(), 2);
+    }
+}

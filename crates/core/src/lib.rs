@@ -17,7 +17,12 @@
 //! * an [interpreter](exec) implementing Figure 5, with exhaustive
 //!   enumeration of all non-deterministic behaviors
 //!   ([`exec::enumerate_outcomes`]) — the engine behind the Alive-style
-//!   refinement checker in `frost-refine`.
+//!   refinement checker in `frost-refine`;
+//! * [execution plans](plan): functions compiled once into a dense
+//!   slot-indexed program ([`plan::ModulePlan`]) and executed on a
+//!   reusable [`plan::Machine`] with prefix-resuming enumeration —
+//!   the default engine; the tree-walk survives as [`exec::reference`]
+//!   for differential testing.
 //!
 //! ## Example: freeze stops poison
 //!
@@ -42,9 +47,11 @@
 pub mod cache;
 pub mod error;
 pub mod exec;
+pub mod fasthash;
 pub mod mem;
 pub mod ops;
 pub mod outcome;
+pub mod plan;
 pub mod sem;
 pub mod val;
 
@@ -53,7 +60,9 @@ pub use error::FrostError;
 pub use exec::{
     enumerate_outcomes, run_concrete, run_with_script, uninit_fill, ExecError, Limits, RunResult,
 };
+pub use fasthash::{FastBuildHasher, FastHashMap, FastHashSet, FastHasher};
 pub use mem::Memory;
 pub use outcome::{Event, Outcome, OutcomeSet};
+pub use plan::{Machine, ModulePlan, PlanCache};
 pub use sem::{PoisonAction, SelectSemantics, Semantics};
 pub use val::{enumerate_scalar, lower, poison_of, raise, undef_of, Bit, Bits, Val};

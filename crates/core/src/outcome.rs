@@ -1,6 +1,5 @@
 //! Observable behaviors of a function execution.
 
-use std::collections::BTreeSet;
 use std::fmt;
 
 use crate::val::{Bits, Val};
@@ -86,10 +85,17 @@ impl fmt::Display for Outcome {
 }
 
 /// The set of all behaviors a function can exhibit on one input.
+///
+/// Internally a sorted, deduplicated `Vec` rather than a tree: a
+/// campaign retains millions of these, almost all holding one or two
+/// outcomes, and a vector stores exactly that many elements in one
+/// right-sized allocation where a tree node would reserve a full
+/// fanout. Iteration order is ascending [`Ord`] order, identical to
+/// the `BTreeSet` this replaced.
 #[derive(Clone, PartialEq, Eq, Debug, Default)]
 pub struct OutcomeSet {
-    /// Deduplicated outcomes in a deterministic order.
-    pub outcomes: BTreeSet<Outcome>,
+    /// Sorted, deduplicated outcomes.
+    outcomes: Vec<Outcome>,
 }
 
 impl OutcomeSet {
@@ -100,14 +106,18 @@ impl OutcomeSet {
 
     /// Inserts an outcome.
     pub fn insert(&mut self, o: Outcome) {
-        self.outcomes.insert(o);
+        if let Err(pos) = self.outcomes.binary_search(&o) {
+            self.outcomes.insert(pos, o);
+        }
     }
 
     /// Returns `true` if UB is a possible behavior — in which case
     /// *every* target behavior refines this input (UB grants the
     /// implementation full freedom).
     pub fn may_ub(&self) -> bool {
-        self.outcomes.iter().any(Outcome::is_ub)
+        // `Ub` is the minimum of the outcome order, so a sorted set
+        // can only hold it in front.
+        matches!(self.outcomes.first(), Some(Outcome::Ub))
     }
 
     /// Number of distinct behaviors.
@@ -142,9 +152,10 @@ impl fmt::Display for OutcomeSet {
 
 impl FromIterator<Outcome> for OutcomeSet {
     fn from_iter<I: IntoIterator<Item = Outcome>>(iter: I) -> OutcomeSet {
-        OutcomeSet {
-            outcomes: iter.into_iter().collect(),
-        }
+        let mut outcomes: Vec<Outcome> = iter.into_iter().collect();
+        outcomes.sort_unstable();
+        outcomes.dedup();
+        OutcomeSet { outcomes }
     }
 }
 

@@ -97,7 +97,8 @@ pub use frost_telemetry as telemetry;
 /// ```
 pub mod prelude {
     pub use frost_core::{
-        enumerate_outcomes, FrostError, Limits, Memory, OutcomeCache, Semantics, Val,
+        enumerate_outcomes, FrostError, Limits, Machine, Memory, ModulePlan, OutcomeCache,
+        PlanCache, Semantics, Val,
     };
     pub use frost_fuzz::{
         enumerate_functions, random_functions, validate_transform, Campaign, CampaignStats,

@@ -54,6 +54,7 @@ pub mod analysis;
 pub mod builder;
 pub mod cfg;
 pub mod dom;
+pub mod fingerprint;
 pub mod function;
 pub mod inst;
 pub mod loops;
@@ -68,6 +69,7 @@ pub use analysis::manager::{
     LoopInfoAnalysis, ModuleAnalysisManager, PreservedAnalyses, UseCountsAnalysis,
 };
 pub use builder::FunctionBuilder;
+pub use fingerprint::FunctionKey;
 pub use function::{Block, DeclAttrs, FuncDecl, Function, Module, Param, UseCounts};
 pub use inst::{BinOp, CastKind, Cond, Flags, Inst, Terminator};
 pub use parse::{parse_function, parse_module, ParseError};

@@ -6,7 +6,9 @@
 //! mirrors the paper's validation setup (§6): exhaustive checking over
 //! tiny integer types.
 
-use frost_core::{poison_of, undef_of, Memory, Val};
+use std::sync::{Arc, Mutex, OnceLock};
+
+use frost_core::{poison_of, undef_of, FastHashMap, Memory, Val};
 use frost_ir::{Function, Ty};
 
 /// Options controlling input enumeration.
@@ -179,6 +181,48 @@ pub fn enumerate_inputs(func: &Function, opts: &InputOptions) -> Option<(Vec<Vec
     Some((tuples, mem_bytes))
 }
 
+/// A shared, immutable input enumeration: the argument tuples plus the
+/// test-memory size, behind an [`Arc`] so concurrent checkers can hold
+/// it without copying the tuple list.
+pub type SharedInputs = Arc<(Vec<Vec<Val>>, u32)>;
+
+/// Memo table type: parameter type list + options → shared enumeration
+/// (or the memoized failure).
+type InputMemo = FastHashMap<(Vec<Ty>, InputOptions), Option<SharedInputs>>;
+
+/// The process-wide memo for [`enumerate_inputs_cached`], keyed by
+/// everything [`enumerate_inputs`] reads: the parameter type list and
+/// the options. Signatures in a campaign number in the dozens, so the
+/// table stays tiny for the lifetime of the process.
+fn input_memo() -> &'static Mutex<InputMemo> {
+    static MEMO: OnceLock<Mutex<InputMemo>> = OnceLock::new();
+    MEMO.get_or_init(|| Mutex::new(FastHashMap::default()))
+}
+
+/// Memoized [`enumerate_inputs`]. The result depends only on the
+/// function's parameter types and the options, and §6 campaigns
+/// re-enumerate the same handful of signatures millions of times —
+/// checkers on the hot path share one materialized tuple list per
+/// signature instead of rebuilding it per check. Unenumerable
+/// signatures (`None`) are memoized too.
+pub fn enumerate_inputs_cached(func: &Function, opts: &InputOptions) -> Option<SharedInputs> {
+    let key = (
+        func.params.iter().map(|p| p.ty.clone()).collect::<Vec<_>>(),
+        *opts,
+    );
+    if let Some(hit) = input_memo().lock().expect("input memo lock").get(&key) {
+        return hit.clone();
+    }
+    // Enumerate outside the lock; a racing duplicate insert stores an
+    // identical value.
+    let computed = enumerate_inputs(func, opts).map(Arc::new);
+    input_memo()
+        .lock()
+        .expect("input memo lock")
+        .insert(key, computed.clone());
+    computed
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -231,6 +275,26 @@ mod tests {
         let opts = InputOptions::new().with_max_tuples(100);
         let h = fn_with(&[("x", Ty::Int(4)), ("y", Ty::Int(4))]);
         assert!(enumerate_inputs(&h, &opts).is_none());
+    }
+
+    #[test]
+    fn cached_inputs_are_shared_per_signature() {
+        // An options value no other test uses, so this test owns its
+        // process-global memo entries.
+        let opts = InputOptions::new().with_max_tuples((1 << 16) - 3);
+        let f = fn_with(&[("x", Ty::Int(2))]);
+        let g = fn_with(&[("other_name", Ty::Int(2))]);
+        let a = enumerate_inputs_cached(&f, &opts).unwrap();
+        let b = enumerate_inputs_cached(&g, &opts).unwrap();
+        assert!(
+            Arc::ptr_eq(&a, &b),
+            "same signature must share one materialized enumeration"
+        );
+        assert_eq!(*a, enumerate_inputs(&f, &opts).unwrap());
+        // Unenumerable signatures memoize their failure.
+        let wide = fn_with(&[("x", Ty::i32())]);
+        assert!(enumerate_inputs_cached(&wide, &opts).is_none());
+        assert!(enumerate_inputs_cached(&wide, &opts).is_none());
     }
 
     #[test]

@@ -42,5 +42,5 @@ pub use check::{
     check_refinement, check_refinement_cached, check_transform, CheckOptions, CheckResult,
     CounterExample,
 };
-pub use inputs::{enumerate_inputs, InputOptions};
+pub use inputs::{enumerate_inputs, enumerate_inputs_cached, InputOptions, SharedInputs};
 pub use lattice::{bit_refines, mem_refines, outcome_refines, set_refines, val_refines};

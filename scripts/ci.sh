@@ -20,6 +20,12 @@ cargo clippy --workspace --all-targets -- -D warnings
 echo "==> cargo doc (rustdoc warnings are errors)"
 RUSTDOCFLAGS="-D warnings" cargo doc --workspace --no-deps -q
 
+echo "==> plan-vs-reference differential smoke (tests/exec_plan.rs)"
+# A thin §6 stride through both the plan engine and the retained
+# reference tree-walk, under both semantics — keeps the reference
+# interpreter from silently rotting.
+cargo test -q --release -p frost --test exec_plan differential_smoke
+
 echo "==> telemetry smoke (docs/OBSERVABILITY.md contract)"
 # The quickstart with tracing on must produce a non-empty, schema-valid
 # telemetry.jsonl; the sweep's own validator is the checker, so the

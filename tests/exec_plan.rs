@@ -1,0 +1,134 @@
+//! Differential tests for the plan-based execution engine: outcome
+//! sets produced by [`frost::core::plan`] must be byte-identical to the
+//! retained [`frost::core::exec::reference`] tree-walk — same sets,
+//! same limit errors, same error messages — over §6-style corpora
+//! under both semantics, and campaign results built on plans must stay
+//! deterministic across worker counts.
+
+use frost::core::exec::reference;
+use frost::core::{uninit_fill, Limits, Machine, Memory, ModulePlan, Semantics};
+use frost::fuzz::{enumerate_functions, random_functions, Campaign, GenConfig};
+use frost::ir::{Function, Module};
+use frost::opt::{Dce, InstCombine, Pass, PipelineMode};
+use frost::refine::{enumerate_inputs, InputOptions};
+
+/// Checks one function: every enumerable input's full outcome set (or
+/// enumeration error) must agree exactly between the plan engine and
+/// the reference interpreter.
+fn assert_plan_matches_reference(f: &Function, sem: Semantics) {
+    let name = f.name.clone();
+    let mut module = Module::new();
+    module.functions.push(f.clone());
+
+    let opts = InputOptions::new().with_undef(sem.has_undef);
+    let (tuples, mem_bytes) =
+        enumerate_inputs(module.function(&name).unwrap(), &opts).expect("§6 inputs enumerate");
+    let mem = Memory::uninit(mem_bytes, uninit_fill(&sem));
+    let limits = Limits::default();
+
+    let plan = ModulePlan::compile(&module, sem);
+    let idx = plan.function_index(&name).unwrap();
+    let mut machine = Machine::new();
+    for args in &tuples {
+        let via_plan = plan.enumerate(idx, args, &mem, limits, &mut machine);
+        let via_reference = reference::enumerate_outcomes(&module, &name, args, &mem, sem, limits);
+        assert_eq!(
+            via_plan, via_reference,
+            "engines diverged under {} on args {args:?} for:\n{module}",
+            sem.name
+        );
+    }
+}
+
+fn both_semantics() -> [Semantics; 2] {
+    [Semantics::proposed(), Semantics::legacy_gvn()]
+}
+
+/// The quick gate run by ci.sh: a thin stride of the §6 arithmetic
+/// space through both engines under both semantics.
+#[test]
+fn differential_smoke_over_section6_stride() {
+    for sem in both_semantics() {
+        for f in enumerate_functions(GenConfig::arithmetic(2))
+            .step_by(997)
+            .take(30)
+        {
+            assert_plan_matches_reference(&f, sem);
+        }
+    }
+}
+
+/// A denser stride over the select/icmp/freeze space, including undef
+/// operands under the legacy semantics (the §3.1 hunting ground).
+#[test]
+fn section6_select_space_stride_matches_reference() {
+    for sem in both_semantics() {
+        let cfg = if sem.has_undef {
+            GenConfig::with_selects(2).with_undef()
+        } else {
+            GenConfig::with_selects(2)
+        };
+        for f in enumerate_functions(cfg).step_by(463).take(60) {
+            assert_plan_matches_reference(&f, sem);
+        }
+    }
+}
+
+/// Random three-instruction functions from the seeded generator — the
+/// corpus shape `Campaign::run_random` feeds the engine.
+#[test]
+fn random_functions_match_reference() {
+    for sem in both_semantics() {
+        let cfg = if sem.has_undef {
+            GenConfig::arithmetic(3).with_undef()
+        } else {
+            GenConfig::arithmetic(3)
+        };
+        for f in random_functions(cfg, 0xD1FF, 40) {
+            assert_plan_matches_reference(&f, sem);
+        }
+    }
+}
+
+/// Campaigns run entirely on the plan engine; a corpus with known
+/// legacy-InstCombine violations must report the identical violation
+/// set at 1, 2, and 8 workers.
+#[test]
+fn plan_backed_campaign_is_deterministic_at_1_2_8_workers() {
+    let cfg = GenConfig {
+        ops: vec![frost::ir::BinOp::Mul],
+        consts: vec![2],
+        poison_const: false,
+        flags: false,
+        freeze: false,
+        ..GenConfig::arithmetic(2)
+    }
+    .with_undef();
+    let run = |workers: usize| {
+        Campaign::new(Semantics::legacy_gvn())
+            .with_workers(workers)
+            .with_shard_size(5)
+            .run_random(&cfg, 0xBEEF, 250, |m| {
+                for f in &mut m.functions {
+                    InstCombine::new(PipelineMode::Legacy).apply(f);
+                    Dce::new().apply(f);
+                    f.compact();
+                }
+            })
+    };
+    let one = run(1);
+    assert!(
+        !one.is_clean(),
+        "corpus must produce violations for the determinism check to bite"
+    );
+    for workers in [2, 8] {
+        let multi = run(workers);
+        assert_eq!(
+            one.violations, multi.violations,
+            "plan-backed campaign diverged at {workers} workers"
+        );
+        assert_eq!(one.total, multi.total);
+        assert_eq!(one.refined, multi.refined);
+        assert_eq!(one.inconclusive, multi.inconclusive);
+    }
+}

@@ -2,8 +2,9 @@
 //!
 //! 1. the always-on counters are *deterministic under parallelism* —
 //!    a campaign reports identical verdict totals whether it ran on 1,
-//!    2, or 8 workers (cache hit/miss counters are explicitly excluded:
-//!    two workers may race a key and both count a miss);
+//!    2, or 8 workers (cache hit/miss counters and the plan-engine
+//!    tallies are explicitly excluded: two workers may race a key and
+//!    both count a miss — and both compile and run the racing entry);
 //! 2. traced spans are *well-formed* — per-thread stack discipline,
 //!    every stop matches a start, and the rendered JSONL artifact
 //!    validates with zero unmatched events.
@@ -44,8 +45,12 @@ fn deterministic_counters(snap: &telemetry::Snapshot) -> BTreeMap<String, u64> {
     snap.counters
         .iter()
         .filter(|(k, _)| {
+            // `frost.core.plan.*` follows the cache counters out: plan
+            // compiles/runs happen on the outcome-cache miss path, so a
+            // raced key double-counts them too.
             k.starts_with("frost.")
                 && !k.starts_with("frost.core.cache.")
+                && !k.starts_with("frost.core.plan.")
                 && !k.ends_with(".shards")
         })
         .map(|(k, &v)| (k.clone(), v))
