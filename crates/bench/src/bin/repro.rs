@@ -2,11 +2,15 @@
 //!
 //! ```text
 //! repro [--experiment NAME] [--quick] [--budget N]
+//!       [--insts N] [--seconds N] [--checkpoint FILE]
 //!       [--trace] [--counters] [--validate-trace FILE]
 //! ```
 //!
 //! Experiments: fig6, compile-time, memory, objsize, optfuzz,
-//! inconsistencies, widening, loadwiden, queens, all (default).
+//! inconsistencies, widening, loadwiden, queens, all (default), and
+//! sweep (explicit-only: the full unsampled §6 exhaustive sweep, not
+//! part of `all`; `--checkpoint` makes it resumable across restarts,
+//! `--seconds`/`--budget` bound one run).
 //!
 //! Observability (see docs/OBSERVABILITY.md): `--trace` records every
 //! span of the run, writes the JSONL artifact to `telemetry.jsonl` (or
@@ -56,6 +60,10 @@ fn main() {
     let mut experiment = "all".to_string();
     let mut quick = false;
     let mut budget = 400usize;
+    let mut budget_given = false;
+    let mut insts = 2usize;
+    let mut seconds: Option<u64> = None;
+    let mut checkpoint: Option<String> = None;
     let mut trace = false;
     let mut counters = false;
     let mut i = 0;
@@ -79,6 +87,32 @@ fn main() {
                     eprintln!("--budget must be at least 1");
                     std::process::exit(2);
                 }
+                budget_given = true;
+            }
+            "--insts" => {
+                i += 1;
+                insts = args.get(i).and_then(|s| s.parse().ok()).unwrap_or_else(|| {
+                    eprintln!("--insts needs a number");
+                    std::process::exit(2);
+                });
+                if insts == 0 {
+                    eprintln!("--insts must be at least 1");
+                    std::process::exit(2);
+                }
+            }
+            "--seconds" => {
+                i += 1;
+                seconds = Some(args.get(i).and_then(|s| s.parse().ok()).unwrap_or_else(|| {
+                    eprintln!("--seconds needs a number");
+                    std::process::exit(2);
+                }));
+            }
+            "--checkpoint" => {
+                i += 1;
+                checkpoint = Some(args.get(i).cloned().unwrap_or_else(|| {
+                    eprintln!("--checkpoint needs a file");
+                    std::process::exit(2);
+                }));
             }
             "--trace" => trace = true,
             "--counters" => counters = true,
@@ -93,13 +127,20 @@ fn main() {
             "--help" | "-h" => {
                 println!(
                     "usage: repro [--experiment fig6|compile-time|memory|objsize|optfuzz|\
-                     inconsistencies|widening|loadwiden|queens|all] [--quick] [--budget N]\n\
+                     inconsistencies|widening|loadwiden|queens|sweep|all] [--quick] [--budget N]\n\
+                     \x20            [--insts N] [--seconds N] [--checkpoint FILE]\n\
                      \x20            [--trace] [--counters] [--validate-trace FILE]\n\
                      \n\
                      --trace           record spans, write + validate telemetry.jsonl\n\
                      \x20                 (or $FROST_TRACE_FILE), print a profile table\n\
                      --counters        print the counter deltas of the run\n\
-                     --validate-trace  check an existing telemetry.jsonl and exit"
+                     --validate-trace  check an existing telemetry.jsonl and exit\n\
+                     \n\
+                     sweep only (not part of 'all' — the full unsampled §6 space):\n\
+                     --insts N         instructions per generated function (default 2)\n\
+                     --seconds N       wall-clock deadline; checkpoint + resume to continue\n\
+                     --budget N        max functions this run (default: unbounded for sweep)\n\
+                     --checkpoint F    load cursor from F if it exists, save it on exit"
                 );
                 return;
             }
@@ -137,6 +178,21 @@ fn main() {
     }
     if run("optfuzz") {
         println!("{}", experiments::optfuzz(budget));
+    }
+    // Explicit-only: the full space is too large for the `all` sweep.
+    if experiment == "sweep" && run("sweep") {
+        match experiments::sweep(
+            insts,
+            budget_given.then_some(budget),
+            seconds,
+            checkpoint.as_deref().map(std::path::Path::new),
+        ) {
+            Ok((t, summary)) => {
+                println!("{t}");
+                println!("{summary}");
+            }
+            Err(e) => print(Err(e)),
+        }
     }
     if run("widening") {
         print(experiments::widening());

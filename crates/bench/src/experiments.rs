@@ -2,9 +2,12 @@
 //! DESIGN.md's per-experiment index E1–E9). Each returns a rendered
 //! [`Table`]; `repro` prints them.
 
+use std::path::Path;
+use std::time::Duration;
+
 use frost_backend::{compile_module, lea_base_registers, CostModel, Simulator, MEM_BASE};
-use frost_core::{FrostError, Semantics};
-use frost_fuzz::{enumerate_functions, Campaign, GenConfig};
+use frost_core::{Engine, FrostError, Semantics};
+use frost_fuzz::{enumerate_functions, Campaign, CampaignCheckpoint, GenConfig, ValidationReport};
 use frost_ir::{parse_module, Module, ModuleAnalysisManager};
 use frost_opt::{
     o2_pipeline, Dce, Gvn, Licm, LoopUnswitch, Pass, PipelineMode, Reassociate, Sccp, SimplifyCfg,
@@ -168,6 +171,9 @@ pub fn objsize(quick: bool) -> Result<Table, FrostError> {
 
 /// E5 / §6 "Testing the prototype": opt-fuzz × refinement checking,
 /// run as parallel [`Campaign`]s sharing per-sweep outcome caches.
+/// Every sweep runs twice — once pinned to the plan machine, once on
+/// [`Engine::Auto`] (bit-sliced) — and must produce identical verdicts;
+/// the two fn/s columns are the engine before/after.
 pub fn optfuzz(budget: usize) -> Table {
     let mut t = Table::new(
         "§6 validation: exhaustive i2 functions × passes × refinement checking",
@@ -179,8 +185,10 @@ pub fn optfuzz(budget: usize) -> Table {
             "changed",
             "violations",
             "inconclusive",
-            "fn/s",
+            "fn/s plan",
+            "fn/s auto",
             "cache hit%",
+            "engines agree",
         ],
     );
     struct Sweep {
@@ -241,7 +249,10 @@ pub fn optfuzz(budget: usize) -> Table {
         let space = enumerate_functions(cfg.clone());
         let total_space = space.approx_size();
         let stride = (total_space / budget as u128).max(1) as usize;
-        let fns = enumerate_functions(cfg).step_by(stride).take(budget);
+        let fns: Vec<frost_ir::Function> = enumerate_functions(cfg)
+            .step_by(stride)
+            .take(budget)
+            .collect();
         let mode = c.mode;
         // Hoisted out of the per-module closure: pipeline construction
         // resolves telemetry handles (a lock per pass), which would
@@ -255,7 +266,7 @@ pub fn optfuzz(budget: usize) -> Table {
             _ => None,
         };
         let dce = Dce::new();
-        let report = Campaign::new(c.sem).run(fns, |m| {
+        let transform = |m: &mut Module| {
             // Per-module analysis manager: analyses computed by one pass
             // (GVN's dominator tree, say) are served from cache to the
             // loop passes downstream instead of being recomputed.
@@ -271,22 +282,139 @@ pub fn optfuzz(budget: usize) -> Table {
                 fam.invalidate(f, &pa);
                 f.compact();
             }
-        });
+        };
+        let run = |engine: Engine| {
+            Campaign::with_options(CheckOptions::new(c.sem).engine(engine))
+                .run(fns.clone(), transform)
+        };
+        let plan = run(Engine::Plan);
+        let auto = run(Engine::Auto);
+        let agree = plan.total == auto.total
+            && plan.changed == auto.changed
+            && plan.violations == auto.violations
+            && plan.inconclusive == auto.inconclusive;
         t.row(vec![
             c.pass.to_string(),
             format!("{:?}", c.mode),
             c.sem.name.to_string(),
-            report.total.to_string(),
-            report.changed.to_string(),
-            report.violations.len().to_string(),
-            report.inconclusive.to_string(),
-            format!("{:.0}", report.stats.functions_per_sec),
-            format!("{:.0}%", report.stats.cache_hit_rate() * 100.0),
+            auto.total.to_string(),
+            auto.changed.to_string(),
+            auto.violations.len().to_string(),
+            auto.inconclusive.to_string(),
+            format!("{:.0}", plan.stats.functions_per_sec),
+            format!("{:.0}", auto.stats.functions_per_sec),
+            format!("{:.0}%", auto.stats.cache_hit_rate() * 100.0),
+            if agree {
+                "yes".into()
+            } else {
+                "MISMATCH".into()
+            },
         ]);
     }
     t.note("fixed-mode campaigns must report 0 violations; legacy campaigns reproduce the §3 bugs");
-    t.note("each sweep runs on all cores; fn/s and cache hit% come from the campaign stats");
+    t.note("each sweep runs twice: 'fn/s plan' pins the plan machine, 'fn/s auto' bit-slices eligible functions");
+    t.note("'engines agree' asserts byte-identical verdicts between the two runs");
     t
+}
+
+/// E10 / §6 full space: the complete, *unsampled* exhaustive sweep of
+/// the i2 arithmetic space — what the paper calls "all LLVM functions
+/// with \[n\] instructions" — run as a checkpointed
+/// [`Campaign::run_exhaustive`] on [`Engine::Auto`], resumable across
+/// process restarts via `--checkpoint`.
+///
+/// Returns the table plus a deterministic one-line summary (no
+/// wall-clock columns), so scripts can diff an interrupted-and-resumed
+/// sweep against an uninterrupted one.
+pub fn sweep(
+    num_insts: usize,
+    budget: Option<usize>,
+    seconds: Option<u64>,
+    checkpoint: Option<&Path>,
+) -> Result<(Table, String), FrostError> {
+    let cfg = GenConfig::arithmetic(num_insts);
+    let space = enumerate_functions(cfg.clone()).approx_size();
+    let resume = match checkpoint {
+        Some(p) if p.exists() => Some(
+            CampaignCheckpoint::load_jsonl(p)
+                .map_err(|e| FrostError::stage("checkpoint", "sweep", e.to_string()))?,
+        ),
+        _ => None,
+    };
+    let pipeline_mode = PipelineMode::Fixed;
+    let ic = frost_opt::InstCombine::new(pipeline_mode);
+    let dce = Dce::new();
+    let mut campaign =
+        Campaign::with_options(CheckOptions::new(Semantics::proposed()).engine(Engine::Auto))
+            // Large shards amortize the per-batch scoped-thread spawn;
+            // checkpoints land on shard boundaries either way.
+            .with_shard_size(4096)
+            // The §6 odometer never revisits a structure, so a
+            // single-machine sweep skips the per-function fingerprint
+            // set and keeps the checkpoint O(cursor), not O(space).
+            .with_dedup(false);
+    if let Some(b) = budget {
+        campaign = campaign.with_budget(b);
+    }
+    if let Some(s) = seconds {
+        campaign = campaign.with_deadline(Duration::from_secs(s));
+    }
+    let (report, cp) = campaign.run_exhaustive(&cfg, resume.as_ref(), |m| {
+        for f in &mut m.functions {
+            ic.apply(f);
+            dce.apply(f);
+            f.compact();
+        }
+    });
+    if let Some(p) = checkpoint {
+        cp.save_jsonl(p)
+            .map_err(|e| FrostError::stage("checkpoint", "sweep", format!("cannot save: {e}")))?;
+    }
+
+    let mut t = Table::new(
+        "§6 full sweep: every i2 arithmetic function × fixed InstCombine (Engine::Auto)",
+        &[
+            "insts",
+            "space",
+            "checked",
+            "changed",
+            "violations",
+            "inconclusive",
+            "fn/s",
+            "complete",
+        ],
+    );
+    t.row(vec![
+        num_insts.to_string(),
+        space.to_string(),
+        report.total.to_string(),
+        report.changed.to_string(),
+        report.violations.len().to_string(),
+        report.inconclusive.to_string(),
+        format!("{:.0}", report.stats.functions_per_sec),
+        if cp.done { "yes".into() } else { "no".into() },
+    ]);
+    t.note(
+        "complete=no means the budget/deadline cut the sweep; rerun with --checkpoint to resume",
+    );
+    t.note("fixed-mode InstCombine over the proposed semantics must stay at 0 violations");
+    let summary = sweep_summary(&report, cp.done);
+    Ok((t, summary))
+}
+
+/// The deterministic one-line summary of a [`sweep`] run, for scripts
+/// that diff interrupted-and-resumed sweeps against uninterrupted ones
+/// (wall-clock columns excluded by construction).
+fn sweep_summary(report: &ValidationReport, done: bool) -> String {
+    format!(
+        "sweep: checked={} changed={} refined={} violations={} inconclusive={} complete={}",
+        report.total,
+        report.changed,
+        report.refined,
+        report.violations.len(),
+        report.inconclusive,
+        done
+    )
 }
 
 /// E6 / §3: the inconsistency matrix — each transformation checked
@@ -863,6 +991,7 @@ mod tests {
             if r[1] == "Fixed" {
                 assert_eq!(violations, 0, "fixed-mode campaign must be clean: {t}");
             }
+            assert_eq!(r[10], "yes", "plan/auto engines must agree: {t}");
         }
         // The legacy instcombine campaign (row 1) hunts undef bugs; with
         // a small stride it may or may not hit one, so only the fixed

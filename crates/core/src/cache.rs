@@ -8,21 +8,23 @@
 //! aggressive pipelines fold thousands of distinct inputs to the same
 //! handful of canonical forms (`ret 0`, `ret %a`, …). [`OutcomeCache`]
 //! memoizes the *entire per-input outcome vector* of a function under a
-//! given semantics, so each distinct (canonical text, semantics)
+//! given semantics, so each distinct (function shape, semantics)
 //! combination is enumerated exactly once per campaign.
 //!
 //! ## Cache key
 //!
-//! `(structural fingerprint, semantics, limits, salt)` where the
-//! fingerprint is [`FunctionKey`] — an exact, name-independent encoding
-//! of the function body. Generated corpora name every function
+//! `(structural fingerprint, semantics, limits, engine, salt)` where
+//! the fingerprint is [`FunctionKey`] — an exact, name-independent
+//! encoding of the function body. Generated corpora name every function
 //! differently (`fz0`, `fz1`, …) and the name is semantically
 //! irrelevant, so α-equivalent bodies share one entry; because the key
 //! stores the full encoding, equality is structural and collisions are
-//! impossible. The `salt` is a caller-supplied fingerprint of
-//! everything else that shapes the result (input-enumeration options,
-//! test-memory size); callers that enumerate inputs differently must
-//! use different salts.
+//! impossible. The [`Engine`] is part of the key because engines may
+//! legitimately differ on *errors* (the strict bit-sliced engine
+//! reports ineligible programs as unsupported). The `salt` is a
+//! caller-supplied fingerprint of everything else that shapes the
+//! result (input-enumeration options, test-memory size); callers that
+//! enumerate inputs differently must use different salts.
 //!
 //! The cache is thread-safe (a mutexed map plus atomic hit/miss
 //! counters) and is shared by all workers of a parallel campaign. The
@@ -33,13 +35,14 @@
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 
-use frost_ir::{function_to_string, FunctionKey, Module};
+use frost_ir::{FunctionKey, Module};
 
-use crate::exec::{ExecError, Limits};
+use crate::engine::{run_compiled, Engine};
+use crate::exec::{reference, ExecError, Limits};
 use crate::fasthash::FastHashMap;
 use crate::mem::Memory;
 use crate::outcome::OutcomeSet;
-use crate::plan::{Machine, ModulePlan, PlanCache};
+use crate::plan::PlanCache;
 use crate::sem::Semantics;
 use crate::val::Val;
 
@@ -56,6 +59,7 @@ struct CacheKey {
     key: FunctionKey,
     sem: Semantics,
     limits: Limits,
+    engine: Engine,
     salt: u64,
 }
 
@@ -63,8 +67,10 @@ struct CacheKey {
 /// in turn (no caching — see [`OutcomeCache::enumerate`] for the
 /// memoized variant).
 ///
-/// The function is compiled into a [`ModulePlan`] once and all inputs
-/// run on one reused [`Machine`], so per-input cost is execution only.
+/// Runs on the plan engine: the function is compiled once and all
+/// inputs execute on one reused machine, so per-input cost is
+/// execution only. For engine selection use
+/// [`crate::engine::enumerate_function`].
 pub fn enumerate_all_inputs(
     module: &Module,
     name: &str,
@@ -73,18 +79,7 @@ pub fn enumerate_all_inputs(
     sem: Semantics,
     limits: Limits,
 ) -> EnumeratedOutcomes {
-    let plan = ModulePlan::compile(module, sem);
-    let Some(idx) = plan.function_index(name) else {
-        return inputs
-            .iter()
-            .map(|_| Err(ExecError::BadFunction(format!("no function @{name}"))))
-            .collect();
-    };
-    let mut machine = Machine::new();
-    inputs
-        .iter()
-        .map(|args| plan.enumerate(idx, args, mem, limits, &mut machine))
-        .collect()
+    crate::engine::enumerate_function(module, name, inputs, mem, sem, limits, Engine::Plan)
 }
 
 /// A thread-safe memoization table for whole-function outcome
@@ -126,14 +121,13 @@ impl OutcomeCache {
         OutcomeCache::default()
     }
 
-    /// The canonical text of a function: printed under a fixed
-    /// placeholder name. A human-readable companion of the
-    /// [`FunctionKey`] the cache actually keys on — useful for
-    /// diagnosing what a cache entry covers, no longer on the hot path.
-    pub fn canonical_text(module: &Module, name: &str) -> Option<String> {
-        let mut f = module.function(name)?.clone();
-        f.name = "f".to_string();
-        Some(function_to_string(&f))
+    /// A diagnostic rendering of the fingerprint the cache keys a
+    /// function on: [`FunctionKey`]'s debug form (hash plus encoded
+    /// body words). This replaces the retired canonical-text path —
+    /// keys are structural, never stringly, and the debug rendering is
+    /// only for telling cache entries apart in logs and tests.
+    pub fn key_debug(module: &Module, name: &str) -> Option<String> {
+        Some(format!("{:?}", FunctionKey::of(module.function(name)?)))
     }
 
     /// Memoized [`enumerate_all_inputs`]. On a hit the stored vector is
@@ -154,6 +148,7 @@ impl OutcomeCache {
         mem: &Memory,
         sem: Semantics,
         limits: Limits,
+        engine: Engine,
         salt: u64,
     ) -> Arc<EnumeratedOutcomes> {
         let Some(func) = module.function(name) else {
@@ -163,6 +158,7 @@ impl OutcomeCache {
             key: FunctionKey::of(func),
             sem,
             limits,
+            engine,
             salt,
         };
         if let Some(entry) = self.map.lock().expect("cache lock").get(&key) {
@@ -177,23 +173,22 @@ impl OutcomeCache {
         // overwrite.
         self.misses.fetch_add(1, Ordering::Relaxed);
         global_cache_counters().1.incr();
-        // Compiled plans are cached separately from outcome vectors:
-        // the plan key ignores limits and salt, so re-enumerating the
-        // same function under different input options still reuses the
-        // compilation. The fingerprint computed above is reused as the
-        // plan key.
-        let entry = Arc::new(
+        let entry = Arc::new(if engine == Engine::Reference {
+            inputs
+                .iter()
+                .map(|args| reference::enumerate_outcomes(module, name, args, mem, sem, limits))
+                .collect()
+        } else {
+            // Compiled plans are cached separately from outcome vectors:
+            // the plan key ignores limits, engine, and salt, so
+            // re-enumerating the same function under different input
+            // options still reuses the compilation. The fingerprint
+            // computed above is reused as the plan key.
             match self.plans.get_or_compile_keyed(&key.key, module, name, sem) {
-                Some((plan, idx)) => {
-                    let mut machine = Machine::new();
-                    inputs
-                        .iter()
-                        .map(|args| plan.enumerate(idx, args, mem, limits, &mut machine))
-                        .collect()
-                }
+                Some((plan, idx)) => run_compiled(&plan, idx, inputs, mem, limits, engine),
                 None => vec![Err(ExecError::BadFunction(name.to_string()))],
-            },
-        );
+            }
+        });
         self.map
             .lock()
             .expect("cache lock")
@@ -269,6 +264,7 @@ mod tests {
             &Memory::zeroed(0),
             sem,
             Limits::default(),
+            Engine::Plan,
             0,
         );
         assert!(fresh.iter().all(Result::is_ok));
@@ -281,6 +277,7 @@ mod tests {
             &Memory::zeroed(0),
             sem,
             Limits::default(),
+            Engine::Plan,
             0,
         );
         assert_eq!(cache.hits(), 1);
@@ -300,6 +297,7 @@ mod tests {
             &Memory::zeroed(0),
             sem,
             Limits::default(),
+            Engine::Plan,
             0,
         );
         cache.enumerate(
@@ -309,6 +307,7 @@ mod tests {
             &Memory::zeroed(0),
             sem,
             Limits::default(),
+            Engine::Plan,
             0,
         );
         assert_eq!(cache.hits(), 1, "same body under a new name must hit");
@@ -327,6 +326,7 @@ mod tests {
             &mem,
             Semantics::proposed(),
             Limits::default(),
+            Engine::Plan,
             0,
         );
         cache.enumerate(
@@ -336,6 +336,7 @@ mod tests {
             &mem,
             Semantics::legacy_gvn(),
             Limits::default(),
+            Engine::Plan,
             0,
         );
         cache.enumerate(
@@ -345,6 +346,7 @@ mod tests {
             &mem,
             Semantics::proposed(),
             Limits::default(),
+            Engine::Plan,
             1,
         );
         assert_eq!(cache.misses(), 3);
@@ -357,8 +359,26 @@ mod tests {
         let cache = OutcomeCache::new();
         let mem = Memory::zeroed(0);
         let sem = Semantics::proposed();
-        cache.enumerate(&m, "g", &inputs(), &mem, sem, Limits::default(), 0);
-        cache.enumerate(&m, "g", &inputs(), &mem, sem, Limits::default(), 1);
+        cache.enumerate(
+            &m,
+            "g",
+            &inputs(),
+            &mem,
+            sem,
+            Limits::default(),
+            Engine::Plan,
+            0,
+        );
+        cache.enumerate(
+            &m,
+            "g",
+            &inputs(),
+            &mem,
+            sem,
+            Limits::default(),
+            Engine::Plan,
+            1,
+        );
         assert_eq!(cache.misses(), 2, "different salts miss the outcome cache");
         assert_eq!(cache.plans().len(), 1, "but share one compiled plan");
     }
@@ -374,6 +394,7 @@ mod tests {
             &Memory::zeroed(0),
             Semantics::proposed(),
             Limits::default(),
+            Engine::Plan,
             0,
         );
         assert!(matches!(r[0], Err(ExecError::BadFunction(_))));

@@ -20,9 +20,15 @@
 //!   refinement checker in `frost-refine`;
 //! * [execution plans](plan): functions compiled once into a dense
 //!   slot-indexed program ([`plan::ModulePlan`]) and executed on a
-//!   reusable [`plan::Machine`] with prefix-resuming enumeration —
-//!   the default engine; the tree-walk survives as [`exec::reference`]
-//!   for differential testing.
+//!   reusable [`plan::Machine`] with prefix-resuming enumeration;
+//!   the tree-walk survives as [`exec::reference`] for differential
+//!   testing;
+//! * [bit-sliced evaluation](bitslice): straight-line §6-shaped
+//!   functions lowered to bitplane programs that evaluate every input
+//!   tuple in one pass ([`bitslice::BitslicePlan`]);
+//! * a unified [engine selector](engine): downstream code names an
+//!   [`engine::Engine`] (default [`engine::Engine::Auto`]) and calls
+//!   [`engine::enumerate_function`] instead of a concrete evaluator.
 //!
 //! ## Example: freeze stops poison
 //!
@@ -44,7 +50,9 @@
 
 #![warn(missing_docs)]
 
+pub mod bitslice;
 pub mod cache;
+pub mod engine;
 pub mod error;
 pub mod exec;
 pub mod fasthash;
@@ -55,7 +63,9 @@ pub mod plan;
 pub mod sem;
 pub mod val;
 
+pub use bitslice::BitslicePlan;
 pub use cache::{enumerate_all_inputs, EnumeratedOutcomes, OutcomeCache};
+pub use engine::{enumerate_function, Engine};
 pub use error::FrostError;
 pub use exec::{
     enumerate_outcomes, run_concrete, run_with_script, uninit_fill, ExecError, Limits, RunResult,

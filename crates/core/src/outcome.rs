@@ -111,6 +111,18 @@ impl OutcomeSet {
         }
     }
 
+    /// Adopts an already strictly-sorted vector without re-sorting —
+    /// for producers (the bit-sliced evaluator) that emit outcomes in
+    /// ascending order and would otherwise pay a binary-search insert
+    /// per element.
+    pub(crate) fn from_sorted(outcomes: Vec<Outcome>) -> OutcomeSet {
+        debug_assert!(
+            outcomes.windows(2).all(|w| w[0] < w[1]),
+            "from_sorted requires strictly ascending outcomes"
+        );
+        OutcomeSet { outcomes }
+    }
+
     /// Returns `true` if UB is a possible behavior — in which case
     /// *every* target behavior refines this input (UB grants the
     /// implementation full freedom).

@@ -48,7 +48,7 @@ use crate::val::{lower, poison_of, raise, Val};
 
 /// A pre-resolved operand: a frame slot or a constant-pool entry.
 #[derive(Clone, Copy, Debug)]
-enum Opnd {
+pub(crate) enum Opnd {
     /// `slots[frame_base + i]` — argument `i` for `i < num_params`,
     /// otherwise the result of instruction `i - num_params`.
     Slot(u32),
@@ -71,7 +71,7 @@ struct Edge {
 /// One flattened instruction with its operands pre-resolved and its
 /// semantics decisions pre-applied.
 #[derive(Clone, Debug)]
-enum Step {
+pub(crate) enum Step {
     Bin {
         op: BinOp,
         flags: Flags,
@@ -191,13 +191,13 @@ enum Step {
 /// The compiled form of one function: a flat step stream plus its
 /// constant pool and edge table.
 #[derive(Clone, Debug)]
-struct FnPlan {
+pub(crate) struct FnPlan {
     name: String,
-    num_params: usize,
+    pub(crate) num_params: usize,
     /// Total frame size: arguments plus one slot per instruction id.
     num_slots: usize,
-    consts: Vec<Val>,
-    steps: Vec<Step>,
+    pub(crate) consts: Vec<Val>,
+    pub(crate) steps: Vec<Step>,
     edges: Vec<Edge>,
 }
 
@@ -284,6 +284,16 @@ impl ModulePlan {
     /// Number of compiled functions.
     pub fn num_functions(&self) -> usize {
         self.plans.len()
+    }
+
+    /// The compiled plan of function `idx`, for the bit-sliced backend
+    /// ([`crate::bitslice`]) to lower further.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `idx` is out of range.
+    pub(crate) fn fn_plan(&self, idx: usize) -> &FnPlan {
+        &self.plans[idx]
     }
 
     /// Enumerates *every* behavior of function `idx` on `args`,

@@ -97,12 +97,12 @@ pub use frost_telemetry as telemetry;
 /// ```
 pub mod prelude {
     pub use frost_core::{
-        enumerate_outcomes, FrostError, Limits, Machine, Memory, ModulePlan, OutcomeCache,
-        PlanCache, Semantics, Val,
+        enumerate_function, enumerate_outcomes, Engine, FrostError, Limits, Machine, Memory,
+        ModulePlan, OutcomeCache, PlanCache, Semantics, Val,
     };
     pub use frost_fuzz::{
-        enumerate_functions, random_functions, validate_transform, Campaign, CampaignStats,
-        GenConfig, ValidationReport,
+        enumerate_functions, random_functions, validate_transform, Campaign, CampaignCheckpoint,
+        CampaignStats, GenConfig, ValidationReport,
     };
     pub use frost_ir::{
         parse_module, FunctionAnalysisManager, Module, ModuleAnalysisManager, PreservedAnalyses,

@@ -31,12 +31,13 @@ use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::OnceLock;
 use std::time::{Duration, Instant};
 
-use frost_core::{OutcomeCache, Semantics};
-use frost_ir::{function_to_string, Function, Module};
+use frost_core::{Engine, FastHashSet, OutcomeCache, Semantics};
+use frost_ir::{function_to_string, Function, FunctionKey, Module};
 use frost_refine::{check_refinement_cached, CheckOptions, CheckResult};
 use frost_telemetry::{Counter, Histogram};
 
-use crate::gen::{random_functions_range, GenConfig};
+use crate::checkpoint::CampaignCheckpoint;
+use crate::gen::{random_functions_range, ExhaustiveFunctions, GenConfig};
 use crate::validate::{ValidationReport, Violation};
 
 /// The engine's process-wide telemetry (see docs/OBSERVABILITY.md):
@@ -53,6 +54,8 @@ struct CampaignCounters {
     shards: &'static Counter,
     skip_deadline_fns: &'static Counter,
     skip_budget: &'static Counter,
+    skip_dedup: &'static Counter,
+    resumes: &'static Counter,
     claim_ns: &'static Histogram,
 }
 
@@ -68,6 +71,8 @@ fn campaign_counters() -> &'static CampaignCounters {
         shards: frost_telemetry::counter("frost.fuzz.campaign.shards"),
         skip_deadline_fns: frost_telemetry::counter("frost.fuzz.campaign.skip.deadline_fns"),
         skip_budget: frost_telemetry::counter("frost.fuzz.campaign.skip.budget"),
+        skip_dedup: frost_telemetry::counter("frost.fuzz.campaign.skip.dedup"),
+        resumes: frost_telemetry::counter("frost.fuzz.campaign.resumes"),
         claim_ns: frost_telemetry::histogram("frost.fuzz.campaign.claim_ns"),
     })
 }
@@ -162,6 +167,7 @@ pub struct Campaign {
     budget: Option<usize>,
     deadline: Option<Duration>,
     observer: Option<ProgressObserver>,
+    dedup: bool,
 }
 
 impl Campaign {
@@ -182,7 +188,18 @@ impl Campaign {
             budget: None,
             deadline: None,
             observer: None,
+            dedup: true,
         }
+    }
+
+    /// Returns this campaign with an explicit execution [`Engine`] for
+    /// every refinement check (the default is [`Engine::Auto`], which
+    /// bit-slices eligible all-i2 functions and falls back to the plan
+    /// machine for everything else).
+    #[must_use]
+    pub fn with_engine(mut self, engine: Engine) -> Campaign {
+        self.opts.engine = engine;
+        self
     }
 
     /// Returns this campaign with a fixed worker-thread count. `0`
@@ -219,6 +236,19 @@ impl Campaign {
     #[must_use]
     pub fn with_deadline(mut self, deadline: Duration) -> Campaign {
         self.deadline = Some(deadline);
+        self
+    }
+
+    /// Returns this campaign with [`FunctionKey`] dedup on or off for
+    /// [`Campaign::run_exhaustive`] (default: on). Dedup guards
+    /// overlapping cross-process shards at the cost of holding one
+    /// fingerprint per checked function; a single-process sweep of a
+    /// duplicate-free space (every odometer position of the §6
+    /// generator is structurally distinct) can turn it off to keep the
+    /// checkpoint O(cursor) instead of O(space).
+    #[must_use]
+    pub fn with_dedup(mut self, dedup: bool) -> Campaign {
+        self.dedup = dedup;
         self
     }
 
@@ -277,6 +307,211 @@ impl Campaign {
             },
             &transform,
         )
+    }
+
+    /// Validates `transform` over the *entire* exhaustive function
+    /// space of `cfg` — the paper's full sweep, not a sample — with
+    /// structural dedup and a resumable checkpoint.
+    ///
+    /// The walk is a sequence of batches: the calling thread pulls the
+    /// next `workers × shard_size` functions from the enumeration
+    /// *sequentially* (skipping any whose [`FunctionKey`] fingerprint
+    /// was already checked, this run or a previous one), then the
+    /// workers validate the batch in parallel. Because both the
+    /// generator walk and the dedup decisions happen on one thread, the
+    /// set of functions checked — and therefore every verdict — is
+    /// identical at any worker count.
+    ///
+    /// `resume` continues a previous sweep: the generator restarts at
+    /// the checkpoint's cursor (so `fz{n}` names stay globally stable),
+    /// the dedup set is re-seeded, and the returned report is
+    /// **cumulative** — an interrupted-and-resumed sweep ends with
+    /// byte-identical violations and tallies to an uninterrupted one.
+    /// [`Campaign::with_budget`] bounds the functions checked *this
+    /// call* (the natural sharding unit for cross-process sweeps);
+    /// [`Campaign::with_deadline`] stops pulling new batches when it
+    /// expires. Either way the returned [`CampaignCheckpoint`] points
+    /// at the exact next unchecked function.
+    ///
+    /// Only [`ValidationReport::stats`] describes this call alone
+    /// (wall-clock, throughput, cache behavior of this process).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `resume` was recorded with a different `cfg` (its
+    /// cursor does not fit this space).
+    pub fn run_exhaustive(
+        &self,
+        cfg: &GenConfig,
+        resume: Option<&CampaignCheckpoint>,
+        transform: impl Fn(&mut Module) + Sync,
+    ) -> (ValidationReport, CampaignCheckpoint) {
+        let start = Instant::now();
+        let ctrs = campaign_counters();
+        ctrs.runs.incr();
+        if resume.is_some() {
+            ctrs.resumes.incr();
+        }
+        let mut generator = match resume {
+            Some(cp) => ExhaustiveFunctions::resume(cfg.clone(), &cp.cursor, cp.counter, cp.done)
+                .expect("checkpoint cursor does not fit this GenConfig"),
+            None => ExhaustiveFunctions::new(cfg.clone()),
+        };
+        let mut cp = resume.cloned().unwrap_or_default();
+        let mut seen: FastHashSet<FunctionKey> = cp.seen.iter().cloned().collect();
+        let est_total = generator.approx_size().min(usize::MAX as u128) as usize;
+
+        let cache = OutcomeCache::new();
+        let live = LiveCounters::default();
+        let batch_cap = {
+            let w = if self.workers == 0 {
+                std::thread::available_parallelism()
+                    .map(|n| n.get())
+                    .unwrap_or(1)
+            } else {
+                self.workers
+            };
+            (self.shard_size.max(1) * w.max(1)).max(1)
+        };
+        let mut run_span = frost_telemetry::span("fuzz.campaign.exhaustive")
+            .field("resumed", resume.is_some())
+            .field("batch_cap", batch_cap);
+
+        let mut checked_this_run = 0usize;
+        let mut budget_hit = false;
+        let mut deadline_hit = false;
+        loop {
+            if let Some(d) = self.deadline {
+                if start.elapsed() >= d {
+                    deadline_hit = true;
+                    break;
+                }
+            }
+            let cap = match self.budget {
+                Some(b) => {
+                    let left = b.saturating_sub(checked_this_run);
+                    if left == 0 {
+                        budget_hit = true;
+                        break;
+                    }
+                    batch_cap.min(left)
+                }
+                None => batch_cap,
+            };
+
+            // Sequential pull: the single-threaded generator walk and
+            // dedup decisions are the determinism anchor. A function
+            // enters `seen` if and only if this batch will check it.
+            let mut batch: Vec<(usize, Function)> = Vec::with_capacity(cap);
+            while batch.len() < cap {
+                if let Some(d) = self.deadline {
+                    if start.elapsed() >= d {
+                        deadline_hit = true;
+                        break;
+                    }
+                }
+                let index = generator.position() as usize;
+                let Some(f) = generator.next() else { break };
+                if self.dedup {
+                    let key = FunctionKey::of(&f);
+                    if !seen.insert(key.clone()) {
+                        cp.dedup_skips += 1;
+                        ctrs.skip_dedup.incr();
+                        continue;
+                    }
+                    cp.seen.push(key);
+                }
+                batch.push((index, f));
+            }
+            if batch.is_empty() {
+                break;
+            }
+
+            let num = batch.len();
+            let workers = self.effective_workers(num.div_ceil(self.shard_size.max(1)));
+            ctrs.shards.incr();
+            let next_item = AtomicUsize::new(0);
+            let batch_ref = &batch;
+            let work = || {
+                let mut p = Partial::default();
+                loop {
+                    let i = next_item.fetch_add(1, Ordering::Relaxed);
+                    if i >= num {
+                        break;
+                    }
+                    let (index, f) = &batch_ref[i];
+                    self.check_fn(*index, f.clone(), &transform, &cache, &mut p, &live, ctrs);
+                }
+                p
+            };
+            let partials: Vec<Partial> = if workers <= 1 {
+                vec![work()]
+            } else {
+                std::thread::scope(|s| {
+                    let handles: Vec<_> = (0..workers).map(|_| s.spawn(work)).collect();
+                    handles
+                        .into_iter()
+                        .map(|h| h.join().expect("validation worker panicked"))
+                        .collect()
+                })
+            };
+            for p in partials {
+                cp.total += p.total;
+                cp.changed += p.changed;
+                cp.refined += p.refined;
+                cp.inconclusive += p.inconclusive;
+                cp.violations.extend(p.violations);
+            }
+            checked_this_run += num;
+            if let Some(obs) = &self.observer {
+                obs(&live.snapshot(est_total, start, &cache));
+            }
+            if deadline_hit {
+                break;
+            }
+        }
+
+        // Erase batch-completion order; cross-run appends are already
+        // index-monotone, so this also keeps resumed reports canonical.
+        cp.violations.sort_by_key(|v| v.index);
+        let (cursor, counter, done) = generator.cursor();
+        cp.cursor = cursor;
+        cp.counter = counter;
+        cp.done = done;
+        let budget_hit = budget_hit && !done;
+        if budget_hit {
+            ctrs.skip_budget.incr();
+        }
+        run_span.set("checked", checked_this_run);
+        run_span.set("violations", cp.violations.len());
+        run_span.set("done", done);
+        drop(run_span);
+
+        let wall = start.elapsed();
+        let secs = wall.as_secs_f64();
+        let report = ValidationReport {
+            total: cp.total,
+            changed: cp.changed,
+            refined: cp.refined,
+            inconclusive: cp.inconclusive,
+            violations: cp.violations.clone(),
+            stats: CampaignStats {
+                workers: self.effective_workers(usize::MAX),
+                wall,
+                functions_per_sec: if secs > 0.0 {
+                    checked_this_run as f64 / secs
+                } else {
+                    0.0
+                },
+                cache_hits: cache.hits(),
+                cache_misses: cache.misses(),
+                cache_entries: cache.len(),
+                budget_hit,
+                deadline_hit,
+                skipped: 0,
+            },
+        };
+        (report, cp)
     }
 
     fn run_indexed(
@@ -405,6 +640,23 @@ impl Campaign {
         ctrs: &CampaignCounters,
     ) {
         let f = make(index);
+        self.check_fn(index, f, transform, cache, p, live, ctrs);
+    }
+
+    /// Checks one already-generated function; the shared verdict path
+    /// of [`check_one`](Campaign::check_one) and
+    /// [`run_exhaustive`](Campaign::run_exhaustive).
+    #[allow(clippy::too_many_arguments)]
+    fn check_fn(
+        &self,
+        index: usize,
+        f: Function,
+        transform: &(impl Fn(&mut Module) + Sync),
+        cache: &OutcomeCache,
+        p: &mut Partial,
+        live: &LiveCounters,
+        ctrs: &CampaignCounters,
+    ) {
         let name = f.name.clone();
         let mut before = Module::new();
         before.functions.push(f);
@@ -580,6 +832,126 @@ mod tests {
             .run_random(&cfg, 5, 50, pipeline_transform(PipelineMode::Fixed));
         assert!(report.stats.deadline_hit);
         assert_eq!(report.total + report.stats.skipped, 50);
+    }
+
+    fn tiny_undef_cfg() -> GenConfig {
+        // 32 one-instruction functions over {a, b, 2, undef}: small
+        // enough to sweep in tests, rich enough that the legacy
+        // InstCombine pipeline produces §3.1 violations under
+        // legacy-GVN semantics.
+        GenConfig {
+            ops: vec![frost_ir::BinOp::Mul, frost_ir::BinOp::Add],
+            consts: vec![2],
+            poison_const: false,
+            flags: false,
+            freeze: false,
+            ..GenConfig::arithmetic(1)
+        }
+        .with_undef()
+    }
+
+    fn legacy_transform() -> impl Fn(&mut Module) + Sync {
+        let pm = o2_pipeline(PipelineMode::Legacy);
+        move |m: &mut Module| {
+            pm.run(m);
+        }
+    }
+
+    fn assert_same_verdicts(a: &ValidationReport, b: &ValidationReport) {
+        assert_eq!(a.total, b.total);
+        assert_eq!(a.changed, b.changed);
+        assert_eq!(a.refined, b.refined);
+        assert_eq!(a.inconclusive, b.inconclusive);
+        assert_eq!(a.violations, b.violations);
+    }
+
+    #[test]
+    fn exhaustive_sweep_is_deterministic_across_worker_counts() {
+        let cfg = tiny_undef_cfg();
+        let opts = CheckOptions::new(Semantics::legacy_gvn());
+        let (base, base_cp) = Campaign::with_options(opts).with_workers(1).run_exhaustive(
+            &cfg,
+            None,
+            legacy_transform(),
+        );
+        assert!(base.total > 0 && base_cp.done);
+        assert!(!base.is_clean(), "the tiny space must surface §3.1");
+        for workers in [2, 8] {
+            let (r, cp) = Campaign::with_options(opts)
+                .with_workers(workers)
+                .with_shard_size(3)
+                .run_exhaustive(&cfg, None, legacy_transform());
+            assert_same_verdicts(&base, &r);
+            assert_eq!(base_cp, cp, "checkpoints must agree at {workers} workers");
+        }
+    }
+
+    #[test]
+    fn interrupted_sweep_resumes_to_identical_final_report() {
+        let cfg = tiny_undef_cfg();
+        let opts = CheckOptions::new(Semantics::legacy_gvn());
+        let (full, full_cp) = Campaign::with_options(opts).with_workers(2).run_exhaustive(
+            &cfg,
+            None,
+            legacy_transform(),
+        );
+
+        // Kill after 10 functions, round-trip the checkpoint through
+        // its JSONL artifact, resume to the end.
+        let (partial, cp) = Campaign::with_options(opts)
+            .with_workers(1)
+            .with_budget(10)
+            .run_exhaustive(&cfg, None, legacy_transform());
+        assert_eq!(partial.total, 10);
+        assert!(partial.stats.budget_hit && !cp.done);
+        let dir = std::env::temp_dir().join("frost-campaign-resume-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("cp.jsonl");
+        cp.save_jsonl(&path).unwrap();
+        let restored = CampaignCheckpoint::load_jsonl(&path).unwrap();
+        assert_eq!(restored, cp);
+        std::fs::remove_file(&path).ok();
+
+        let (resumed, resumed_cp) = Campaign::with_options(opts).with_workers(8).run_exhaustive(
+            &cfg,
+            Some(&restored),
+            legacy_transform(),
+        );
+        assert_same_verdicts(&full, &resumed);
+        assert_eq!(full_cp, resumed_cp);
+        assert!(resumed_cp.done);
+    }
+
+    #[test]
+    fn rewound_cursor_skips_already_checked_functions() {
+        // A checkpoint whose cursor is rewound to the start but whose
+        // dedup set is intact models overlapping cross-process shards:
+        // the sweep walks the space again but re-checks nothing.
+        let cfg = tiny_undef_cfg();
+        let opts = CheckOptions::new(Semantics::legacy_gvn());
+        let (full, cp) = Campaign::with_options(opts).with_workers(1).run_exhaustive(
+            &cfg,
+            None,
+            legacy_transform(),
+        );
+        let rewound = CampaignCheckpoint {
+            cursor: Vec::new(),
+            counter: 0,
+            done: false,
+            ..cp.clone()
+        };
+        let rewound = CampaignCheckpoint {
+            cursor: ExhaustiveFunctions::new(cfg.clone()).cursor().0,
+            ..rewound
+        };
+        let (again, cp2) = Campaign::with_options(opts).with_workers(1).run_exhaustive(
+            &cfg,
+            Some(&rewound),
+            legacy_transform(),
+        );
+        assert_same_verdicts(&full, &again);
+        assert_eq!(cp2.dedup_skips, cp.dedup_skips + full.total);
+        assert_eq!(cp2.seen, cp.seen);
     }
 
     #[test]

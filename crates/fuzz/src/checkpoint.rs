@@ -1,0 +1,596 @@
+//! Durable campaign checkpoints: the state a killed exhaustive sweep
+//! needs to continue exactly where it stopped.
+//!
+//! A [`CampaignCheckpoint`] captures three things:
+//!
+//! * the **generator cursor** — the odometer indices, counter and done
+//!   flag of [`ExhaustiveFunctions`](crate::ExhaustiveFunctions), so a
+//!   resumed sweep regenerates the *next* unchecked function (function
+//!   names `fz{counter}` stay stable across restarts);
+//! * the **cumulative verdicts** — tallies plus every
+//!   [`Violation`] found so far, so the final report of an interrupted
+//!   and resumed sweep is byte-identical to an uninterrupted one;
+//! * the **dedup set** — the [`FunctionKey`] fingerprints already
+//!   checked, serialized as their raw word encodings, so structural
+//!   duplicates are skipped exactly once per sweep even across process
+//!   boundaries.
+//!
+//! ## JSONL schema (the checkpoint contract)
+//!
+//! One JSON object per line, discriminated by `"kind"`:
+//!
+//! * line 1 — the header: `kind:"checkpoint"`, `version:1`, the cursor
+//!   (`cursor`/`counter`/`done`), the tallies
+//!   (`total`/`changed`/`refined`/`inconclusive`/`dedup_skips`), and
+//!   the expected body line counts (`violations`/`seen`);
+//! * `kind:"violation"` — one per recorded violation, carrying
+//!   `index`/`before`/`after`/`counterexample`;
+//! * `kind:"seen"` — one per dedup-set entry, carrying `words` (the
+//!   fingerprint's `u64` words rendered as decimal strings, since JSON
+//!   numbers cannot hold a full `u64`).
+//!
+//! [`CampaignCheckpoint::from_jsonl`] validates the artifact with the
+//! same hand-rolled byte-level parser pattern as
+//! `frost_telemetry::validate_jsonl`: every line must parse as a flat
+//! object, carry its kind's required keys, and the body counts must
+//! match the header — errors name the first offending line.
+
+use std::fmt::Write as _;
+use std::io;
+use std::path::Path;
+
+use frost_ir::FunctionKey;
+
+use crate::validate::Violation;
+
+/// The resumable state of an exhaustive validation sweep. Produced by
+/// `Campaign::run_exhaustive`, serialized with
+/// [`save_jsonl`](CampaignCheckpoint::save_jsonl), restored with
+/// [`load_jsonl`](CampaignCheckpoint::load_jsonl) and passed back as
+/// the `resume` argument.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct CampaignCheckpoint {
+    /// Odometer indices of the next function to generate.
+    pub cursor: Vec<usize>,
+    /// Generator counter of the next function (`fz{counter}`).
+    pub counter: u64,
+    /// `true` once the space is exhausted — resuming yields nothing.
+    pub done: bool,
+    /// Functions checked so far (after dedup).
+    pub total: usize,
+    /// Functions the transform changed, so far.
+    pub changed: usize,
+    /// Refinements verified, so far.
+    pub refined: usize,
+    /// Inconclusive checks, so far.
+    pub inconclusive: usize,
+    /// Structural duplicates skipped by the dedup set, so far.
+    pub dedup_skips: usize,
+    /// Every violation found so far, sorted by corpus index.
+    pub violations: Vec<Violation>,
+    /// The dedup set in insertion order: fingerprints of every function
+    /// checked so far.
+    pub seen: Vec<FunctionKey>,
+}
+
+fn escape_json(out: &mut String, s: &str) {
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+}
+
+impl CampaignCheckpoint {
+    /// Renders the checkpoint as JSONL (header, violations, seen keys).
+    pub fn to_jsonl(&self) -> String {
+        let mut out = String::with_capacity(128 + self.seen.len() * 48);
+        let _ = write!(out, "{{\"kind\":\"checkpoint\",\"version\":1,\"cursor\":[");
+        for (i, ix) in self.cursor.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let _ = write!(out, "{ix}");
+        }
+        let _ = writeln!(
+            out,
+            "],\"counter\":\"{}\",\"done\":{},\"total\":{},\"changed\":{},\"refined\":{},\
+             \"inconclusive\":{},\"dedup_skips\":{},\"violations\":{},\"seen\":{}}}",
+            self.counter,
+            self.done,
+            self.total,
+            self.changed,
+            self.refined,
+            self.inconclusive,
+            self.dedup_skips,
+            self.violations.len(),
+            self.seen.len(),
+        );
+        for v in &self.violations {
+            let _ = write!(
+                out,
+                "{{\"kind\":\"violation\",\"index\":{},\"before\":\"",
+                v.index
+            );
+            escape_json(&mut out, &v.before);
+            out.push_str("\",\"after\":\"");
+            escape_json(&mut out, &v.after);
+            out.push_str("\",\"counterexample\":\"");
+            escape_json(&mut out, &v.counterexample);
+            out.push_str("\"}\n");
+        }
+        for key in &self.seen {
+            out.push_str("{\"kind\":\"seen\",\"words\":[");
+            for (i, w) in key.as_words().iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                let _ = write!(out, "\"{w}\"");
+            }
+            out.push_str("]}\n");
+        }
+        out
+    }
+
+    /// Parses and validates a checkpoint artifact.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message naming the first offending line and why it is
+    /// malformed: bad JSON, a missing or mistyped key, an unknown
+    /// `kind`, or body line counts that disagree with the header.
+    pub fn from_jsonl(text: &str) -> Result<CampaignCheckpoint, String> {
+        let mut cp = CampaignCheckpoint::default();
+        let (mut want_violations, mut want_seen) = (0usize, 0usize);
+        let mut saw_header = false;
+        for (lineno, line) in text.lines().enumerate() {
+            if line.trim().is_empty() {
+                continue;
+            }
+            let n = lineno + 1;
+            let mut p = Parser::new(line);
+            let obj = p.object().map_err(|e| format!("line {n}: {e}"))?;
+            p.skip_ws();
+            if !p.at_end() {
+                return Err(format!("line {n}: trailing garbage"));
+            }
+            let kind = obj.get_str("kind", n)?;
+            match kind.as_str() {
+                "checkpoint" => {
+                    if saw_header {
+                        return Err(format!("line {n}: duplicate header"));
+                    }
+                    saw_header = true;
+                    let version = obj.get_u64("version", n)?;
+                    if version != 1 {
+                        return Err(format!("line {n}: unsupported version {version}"));
+                    }
+                    cp.cursor = obj
+                        .get_array("cursor", n)?
+                        .iter()
+                        .map(|v| v.as_u64(n).map(|w| w as usize))
+                        .collect::<Result<_, _>>()?;
+                    cp.counter = obj.get_u64("counter", n)?;
+                    cp.done = obj.get_bool("done", n)?;
+                    cp.total = obj.get_u64("total", n)? as usize;
+                    cp.changed = obj.get_u64("changed", n)? as usize;
+                    cp.refined = obj.get_u64("refined", n)? as usize;
+                    cp.inconclusive = obj.get_u64("inconclusive", n)? as usize;
+                    cp.dedup_skips = obj.get_u64("dedup_skips", n)? as usize;
+                    want_violations = obj.get_u64("violations", n)? as usize;
+                    want_seen = obj.get_u64("seen", n)? as usize;
+                }
+                "violation" => {
+                    if !saw_header {
+                        return Err(format!("line {n}: violation before header"));
+                    }
+                    cp.violations.push(Violation {
+                        index: obj.get_u64("index", n)? as usize,
+                        before: obj.get_str("before", n)?,
+                        after: obj.get_str("after", n)?,
+                        counterexample: obj.get_str("counterexample", n)?,
+                    });
+                }
+                "seen" => {
+                    if !saw_header {
+                        return Err(format!("line {n}: seen key before header"));
+                    }
+                    let words = obj
+                        .get_array("words", n)?
+                        .iter()
+                        .map(|v| v.as_u64(n))
+                        .collect::<Result<Vec<u64>, _>>()?;
+                    cp.seen.push(FunctionKey::from_words(words));
+                }
+                other => return Err(format!("line {n}: unknown kind '{other}'")),
+            }
+        }
+        if !saw_header {
+            return Err("missing checkpoint header".into());
+        }
+        if cp.violations.len() != want_violations {
+            return Err(format!(
+                "header promises {want_violations} violations, found {}",
+                cp.violations.len()
+            ));
+        }
+        if cp.seen.len() != want_seen {
+            return Err(format!(
+                "header promises {want_seen} seen keys, found {}",
+                cp.seen.len()
+            ));
+        }
+        Ok(cp)
+    }
+
+    /// Writes the checkpoint to `path` (atomically: a temp file in the
+    /// same directory, then rename), so a kill mid-save leaves either
+    /// the old checkpoint or the new one, never a torn file.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O errors.
+    pub fn save_jsonl(&self, path: impl AsRef<Path>) -> io::Result<()> {
+        let path = path.as_ref();
+        let tmp = path.with_extension("tmp");
+        std::fs::write(&tmp, self.to_jsonl())?;
+        std::fs::rename(&tmp, path)
+    }
+
+    /// Reads and validates a checkpoint from `path`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O errors; validation failures surface as
+    /// [`io::ErrorKind::InvalidData`] with the offending line in the
+    /// message.
+    pub fn load_jsonl(path: impl AsRef<Path>) -> io::Result<CampaignCheckpoint> {
+        let text = std::fs::read_to_string(path)?;
+        CampaignCheckpoint::from_jsonl(&text).map_err(io::Error::other)
+    }
+}
+
+/// One parsed value from a checkpoint line. `u64`s are carried as
+/// decimal strings on the wire (JSON numbers are doubles), so
+/// [`JsonValue::as_u64`] accepts both forms.
+#[derive(Clone, Debug, PartialEq)]
+enum JsonValue {
+    Str(String),
+    Num(f64),
+    Bool(bool),
+    Array(Vec<JsonValue>),
+}
+
+impl JsonValue {
+    fn as_u64(&self, lineno: usize) -> Result<u64, String> {
+        match self {
+            JsonValue::Str(s) => s
+                .parse::<u64>()
+                .map_err(|_| format!("line {lineno}: '{s}' is not a u64")),
+            JsonValue::Num(n) if *n >= 0.0 && n.fract() == 0.0 && *n <= 2f64.powi(53) => {
+                Ok(*n as u64)
+            }
+            other => Err(format!("line {lineno}: {other:?} is not a u64")),
+        }
+    }
+}
+
+/// The parsed object of one line, with per-key typed accessors that
+/// blame the line on failure.
+struct LineObject(Vec<(String, JsonValue)>);
+
+impl LineObject {
+    fn get(&self, key: &str) -> Option<&JsonValue> {
+        self.0.iter().find(|(k, _)| k == key).map(|(_, v)| v)
+    }
+
+    fn get_str(&self, key: &str, lineno: usize) -> Result<String, String> {
+        match self.get(key) {
+            Some(JsonValue::Str(s)) => Ok(s.clone()),
+            _ => Err(format!("line {lineno}: missing string key '{key}'")),
+        }
+    }
+
+    fn get_u64(&self, key: &str, lineno: usize) -> Result<u64, String> {
+        self.get(key)
+            .ok_or(format!("line {lineno}: missing key '{key}'"))?
+            .as_u64(lineno)
+    }
+
+    fn get_bool(&self, key: &str, lineno: usize) -> Result<bool, String> {
+        match self.get(key) {
+            Some(JsonValue::Bool(b)) => Ok(*b),
+            _ => Err(format!("line {lineno}: missing bool key '{key}'")),
+        }
+    }
+
+    fn get_array(&self, key: &str, lineno: usize) -> Result<&[JsonValue], String> {
+        match self.get(key) {
+            Some(JsonValue::Array(a)) => Ok(a),
+            _ => Err(format!("line {lineno}: missing array key '{key}'")),
+        }
+    }
+}
+
+/// Byte-level JSON-line parser (same pattern as the telemetry artifact
+/// validator): just enough JSON for the schema above, with byte-offset
+/// error messages.
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn new(s: &'a str) -> Parser<'a> {
+        Parser {
+            bytes: s.as_bytes(),
+            pos: 0,
+        }
+    }
+
+    fn skip_ws(&mut self) {
+        while self.pos < self.bytes.len() && self.bytes[self.pos].is_ascii_whitespace() {
+            self.pos += 1;
+        }
+    }
+
+    fn at_end(&self) -> bool {
+        self.pos == self.bytes.len()
+    }
+
+    fn expect(&mut self, b: u8) -> Result<(), String> {
+        self.skip_ws();
+        if self.bytes.get(self.pos) == Some(&b) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(format!("expected '{}' at byte {}", b as char, self.pos))
+        }
+    }
+
+    fn peek(&mut self) -> Option<u8> {
+        self.skip_ws();
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn string(&mut self) -> Result<String, String> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            let Some(&b) = self.bytes.get(self.pos) else {
+                return Err("unterminated string".into());
+            };
+            self.pos += 1;
+            match b {
+                b'"' => return Ok(out),
+                b'\\' => {
+                    let Some(&esc) = self.bytes.get(self.pos) else {
+                        return Err("unterminated escape".into());
+                    };
+                    self.pos += 1;
+                    match esc {
+                        b'"' => out.push('"'),
+                        b'\\' => out.push('\\'),
+                        b'/' => out.push('/'),
+                        b'n' => out.push('\n'),
+                        b'r' => out.push('\r'),
+                        b't' => out.push('\t'),
+                        b'b' => out.push('\u{8}'),
+                        b'f' => out.push('\u{c}'),
+                        b'u' => {
+                            let hex = self
+                                .bytes
+                                .get(self.pos..self.pos + 4)
+                                .ok_or("truncated \\u escape")?;
+                            let code = u32::from_str_radix(
+                                std::str::from_utf8(hex).map_err(|_| "bad \\u escape")?,
+                                16,
+                            )
+                            .map_err(|_| "bad \\u escape")?;
+                            self.pos += 4;
+                            out.push(char::from_u32(code).unwrap_or('\u{fffd}'));
+                        }
+                        other => return Err(format!("bad escape '\\{}'", other as char)),
+                    }
+                }
+                _ => {
+                    // Multi-byte UTF-8: copy the raw bytes through.
+                    let start = self.pos - 1;
+                    let len = utf8_len(b);
+                    let chunk = self
+                        .bytes
+                        .get(start..start + len)
+                        .ok_or("truncated UTF-8 sequence")?;
+                    out.push_str(std::str::from_utf8(chunk).map_err(|_| "invalid UTF-8")?);
+                    self.pos = start + len;
+                }
+            }
+        }
+    }
+
+    fn value(&mut self) -> Result<JsonValue, String> {
+        match self.peek() {
+            Some(b'"') => Ok(JsonValue::Str(self.string()?)),
+            Some(b'[') => self.array(),
+            Some(b't') => self.literal("true", JsonValue::Bool(true)),
+            Some(b'f') => self.literal("false", JsonValue::Bool(false)),
+            Some(b) if b == b'-' || b.is_ascii_digit() => {
+                let start = self.pos;
+                self.pos += 1;
+                while self.bytes.get(self.pos).is_some_and(|b| {
+                    b.is_ascii_digit() || matches!(b, b'.' | b'e' | b'E' | b'+' | b'-')
+                }) {
+                    self.pos += 1;
+                }
+                let text = std::str::from_utf8(&self.bytes[start..self.pos]).unwrap_or("");
+                text.parse::<f64>()
+                    .map(JsonValue::Num)
+                    .map_err(|_| format!("bad number '{text}'"))
+            }
+            other => Err(format!("unexpected value start {other:?}")),
+        }
+    }
+
+    fn literal(&mut self, lit: &str, v: JsonValue) -> Result<JsonValue, String> {
+        self.skip_ws();
+        if self.bytes[self.pos..].starts_with(lit.as_bytes()) {
+            self.pos += lit.len();
+            Ok(v)
+        } else {
+            Err(format!("expected '{lit}' at byte {}", self.pos))
+        }
+    }
+
+    fn array(&mut self) -> Result<JsonValue, String> {
+        self.expect(b'[')?;
+        let mut out = Vec::new();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(JsonValue::Array(out));
+        }
+        loop {
+            out.push(self.value()?);
+            match self.peek() {
+                Some(b',') => {
+                    self.pos += 1;
+                }
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(JsonValue::Array(out));
+                }
+                other => return Err(format!("expected ',' or ']', got {other:?}")),
+            }
+        }
+    }
+
+    fn object(&mut self) -> Result<LineObject, String> {
+        self.expect(b'{')?;
+        let mut fields = Vec::new();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(LineObject(fields));
+        }
+        loop {
+            let key = self.string()?;
+            self.expect(b':')?;
+            fields.push((key, self.value()?));
+            match self.peek() {
+                Some(b',') => {
+                    self.pos += 1;
+                }
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(LineObject(fields));
+                }
+                other => return Err(format!("expected ',' or '}}', got {other:?}")),
+            }
+        }
+    }
+}
+
+fn utf8_len(first: u8) -> usize {
+    match first {
+        b if b < 0x80 => 1,
+        b if b >= 0xf0 => 4,
+        b if b >= 0xe0 => 3,
+        _ => 2,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> CampaignCheckpoint {
+        let key = FunctionKey::from_words(vec![3, u64::MAX, 0x1234_5678_9abc_def0]);
+        CampaignCheckpoint {
+            cursor: vec![12, 0, 345],
+            counter: u64::MAX - 7,
+            done: false,
+            total: 99,
+            changed: 40,
+            refined: 97,
+            inconclusive: 1,
+            dedup_skips: 5,
+            violations: vec![Violation {
+                index: 41,
+                before: "define i2 @fz41() {\n  \"quoted\" \\ tab\t\n}".into(),
+                after: "define i2 @fz41() {}".into(),
+                counterexample: "args (0, poison): src ret 1, tgt UB".into(),
+            }],
+            seen: vec![key.clone(), FunctionKey::from_words(vec![])],
+        }
+    }
+
+    #[test]
+    fn jsonl_round_trips_exactly() {
+        let cp = sample();
+        let text = cp.to_jsonl();
+        let back = CampaignCheckpoint::from_jsonl(&text).expect("round trip validates");
+        assert_eq!(back, cp);
+        // u64 words survive even above 2^53 (carried as strings).
+        assert_eq!(
+            back.seen[0].as_words(),
+            &[3, u64::MAX, 0x1234_5678_9abc_def0]
+        );
+        assert_eq!(back.counter, u64::MAX - 7);
+    }
+
+    #[test]
+    fn save_and_load_through_a_file() {
+        let dir = std::env::temp_dir().join("frost-checkpoint-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("cp.jsonl");
+        let cp = sample();
+        cp.save_jsonl(&path).unwrap();
+        assert_eq!(CampaignCheckpoint::load_jsonl(&path).unwrap(), cp);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn validator_rejects_malformed_artifacts() {
+        assert!(CampaignCheckpoint::from_jsonl("").is_err(), "no header");
+        assert!(
+            CampaignCheckpoint::from_jsonl("not json\n").is_err(),
+            "bad line"
+        );
+        assert!(
+            CampaignCheckpoint::from_jsonl("{\"kind\":\"seen\",\"words\":[]}\n").is_err(),
+            "body before header"
+        );
+        let mut text = sample().to_jsonl();
+        text.push_str("{\"kind\":\"seen\",\"words\":[\"1\"]}\n");
+        assert!(
+            CampaignCheckpoint::from_jsonl(&text)
+                .unwrap_err()
+                .contains("seen keys"),
+            "count mismatch is caught"
+        );
+        let trailing = sample()
+            .to_jsonl()
+            .replace("\"done\":false", "\"done\":false} x");
+        assert!(CampaignCheckpoint::from_jsonl(&trailing).is_err());
+    }
+
+    #[test]
+    fn unknown_kinds_and_versions_are_rejected() {
+        let base = sample();
+        let future = base.to_jsonl().replace("\"version\":1", "\"version\":9");
+        assert!(CampaignCheckpoint::from_jsonl(&future)
+            .unwrap_err()
+            .contains("version"));
+        let mut text = base.to_jsonl();
+        text.push_str("{\"kind\":\"mystery\"}\n");
+        assert!(CampaignCheckpoint::from_jsonl(&text)
+            .unwrap_err()
+            .contains("unknown kind"));
+    }
+}

@@ -326,6 +326,72 @@ impl ExhaustiveFunctions {
     pub fn approx_size(&self) -> u128 {
         self.options.iter().map(|o| o.len() as u128).product()
     }
+
+    /// The odometer position identifying the *next* function this
+    /// iterator will yield: `(indices, counter, done)`. Feed it back to
+    /// [`ExhaustiveFunctions::resume`] (with the same config) to
+    /// continue the walk where it stopped — this is what
+    /// `CampaignCheckpoint` serializes.
+    pub fn cursor(&self) -> (Vec<usize>, u64, bool) {
+        (self.indices.clone(), self.counter, self.done)
+    }
+
+    /// The generator counter of the next function (its `fz{n}` name and
+    /// its global corpus index).
+    pub fn position(&self) -> u64 {
+        self.counter
+    }
+
+    /// Resumes enumeration at a cursor previously captured with
+    /// [`ExhaustiveFunctions::cursor`]. The templates and option lists
+    /// are recomputed slot by slot, so a resumed iterator is
+    /// indistinguishable from one that walked to the cursor itself.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message when the cursor does not fit `cfg` — wrong
+    /// number of slots or an index out of range for its option list
+    /// (both symptoms of resuming with a different configuration).
+    pub fn resume(
+        cfg: GenConfig,
+        indices: &[usize],
+        counter: u64,
+        done: bool,
+    ) -> Result<ExhaustiveFunctions, String> {
+        assert!(cfg.num_insts >= 1, "need at least one instruction");
+        let mut e = ExhaustiveFunctions {
+            cfg,
+            indices: Vec::new(),
+            templates: Vec::new(),
+            options: Vec::new(),
+            counter,
+            done,
+        };
+        if done {
+            return Ok(e);
+        }
+        if indices.len() != e.cfg.num_insts {
+            return Err(format!(
+                "cursor has {} slots, config generates {} instructions",
+                indices.len(),
+                e.cfg.num_insts
+            ));
+        }
+        for (k, &ix) in indices.iter().enumerate() {
+            let avail = available(&e.cfg, &e.templates);
+            let opts = slot_options(&e.cfg, &avail);
+            if ix >= opts.len() {
+                return Err(format!(
+                    "slot {k}: cursor index {ix} out of range (0..{})",
+                    opts.len()
+                ));
+            }
+            e.templates.push(opts[ix].clone());
+            e.options.push(opts);
+            e.indices.push(ix);
+        }
+        Ok(e)
+    }
 }
 
 impl Iterator for ExhaustiveFunctions {
@@ -471,6 +537,40 @@ mod tests {
             .map(frost_ir::function_to_string)
             .collect();
         assert_eq!(joined, seq);
+    }
+
+    #[test]
+    fn resumed_enumeration_matches_uninterrupted_walk() {
+        let cfg = GenConfig::with_selects(2);
+        let full: Vec<String> = enumerate_functions(cfg.clone())
+            .take(500)
+            .map(|f| frost_ir::function_to_string(&f))
+            .collect();
+        let mut head = enumerate_functions(cfg.clone());
+        let mut walked: Vec<String> = head
+            .by_ref()
+            .take(123)
+            .map(|f| frost_ir::function_to_string(&f))
+            .collect();
+        let (indices, counter, done) = head.cursor();
+        assert_eq!(counter, 123);
+        let resumed = ExhaustiveFunctions::resume(cfg, &indices, counter, done).unwrap();
+        walked.extend(
+            resumed
+                .take(500 - 123)
+                .map(|f| frost_ir::function_to_string(&f)),
+        );
+        assert_eq!(walked, full, "resume must continue the same walk");
+    }
+
+    #[test]
+    fn resume_rejects_mismatched_cursors() {
+        let cfg = GenConfig::arithmetic(2);
+        assert!(ExhaustiveFunctions::resume(cfg.clone(), &[0], 0, false).is_err());
+        assert!(ExhaustiveFunctions::resume(cfg.clone(), &[0, usize::MAX], 0, false).is_err());
+        // A done cursor resumes to an immediately-exhausted iterator.
+        let mut fin = ExhaustiveFunctions::resume(cfg, &[], 42, true).unwrap();
+        assert!(fin.next().is_none());
     }
 
     #[test]

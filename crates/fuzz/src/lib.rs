@@ -31,10 +31,12 @@
 #![warn(missing_docs)]
 
 pub mod campaign;
+pub mod checkpoint;
 pub mod gen;
 pub mod validate;
 
 pub use campaign::{Campaign, CampaignStats, Progress};
+pub use checkpoint::CampaignCheckpoint;
 pub use gen::{
     enumerate_functions, random_functions, random_functions_range, ExhaustiveFunctions, GenConfig,
 };

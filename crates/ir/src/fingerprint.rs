@@ -84,6 +84,26 @@ impl FunctionKey {
     pub fn words(&self) -> usize {
         self.data.len()
     }
+
+    /// The canonical encoding as a word slice, for serializing the key
+    /// (campaign checkpoints persist their dedup sets this way).
+    pub fn as_words(&self) -> &[u64] {
+        &self.data
+    }
+
+    /// Rebuilds a key from a word sequence produced by
+    /// [`FunctionKey::as_words`]; the hash is recomputed, so a
+    /// round-tripped key equals (and hashes like) the original.
+    pub fn from_words(words: Vec<u64>) -> FunctionKey {
+        let mut hash = 0xcbf2_9ce4_8422_2325u64;
+        for &w in &words {
+            hash = mix(hash ^ w);
+        }
+        FunctionKey {
+            hash,
+            data: words.into_boxed_slice(),
+        }
+    }
 }
 
 impl Hash for FunctionKey {

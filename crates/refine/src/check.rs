@@ -16,8 +16,8 @@ use std::sync::{Arc, OnceLock};
 use frost_telemetry::Counter;
 
 use frost_core::{
-    uninit_fill, ExecError, Limits, Machine, Memory, ModulePlan, Outcome, OutcomeCache, OutcomeSet,
-    Semantics, Val,
+    enumerate_function, uninit_fill, Engine, ExecError, Limits, Memory, Outcome, OutcomeCache,
+    OutcomeSet, Semantics, Val,
 };
 use frost_ir::{Function, Module, Ty};
 
@@ -49,6 +49,10 @@ pub struct CheckOptions {
     /// Input enumeration options. `include_undef` defaults to following
     /// `src_sem.has_undef`; see [`CheckOptions::new`].
     pub inputs: InputOptions,
+    /// Which execution backend enumerates outcomes. Defaults to
+    /// [`Engine::Auto`]: bit-sliced for eligible all-small-int
+    /// signatures, the plan machine otherwise.
+    pub engine: Engine,
 }
 
 impl CheckOptions {
@@ -68,6 +72,7 @@ impl CheckOptions {
             tgt_sem,
             limits: Limits::default(),
             inputs: InputOptions::new().with_undef(src_sem.has_undef),
+            engine: Engine::Auto,
         }
     }
 
@@ -82,6 +87,14 @@ impl CheckOptions {
     #[must_use]
     pub fn with_inputs(self, inputs: InputOptions) -> CheckOptions {
         CheckOptions { inputs, ..self }
+    }
+
+    /// Returns these options with the given execution [`Engine`].
+    /// Downstream code selects a backend here instead of naming a
+    /// concrete evaluator.
+    #[must_use]
+    pub fn engine(self, engine: Engine) -> CheckOptions {
+        CheckOptions { engine, ..self }
     }
 }
 
@@ -239,35 +252,46 @@ fn check_refinement_impl(
         return CheckResult::Inconclusive("input space too large to enumerate".to_string());
     };
     let (tuples, mem_bytes) = (&shared.0, shared.1);
-
-    // Compile each side once; every input tuple then runs on the same
-    // plan with one reused machine per side.
-    let src_plan = ModulePlan::compile(src_module, opts.src_sem);
-    let tgt_plan = ModulePlan::compile(tgt_module, opts.tgt_sem);
-    let (Some(src_idx), Some(tgt_idx)) = (
-        src_plan.function_index(src_fn),
-        tgt_plan.function_index(tgt_fn),
-    ) else {
-        return CheckResult::Inconclusive("function not found".to_string());
-    };
     let src_mem = Memory::uninit(mem_bytes, uninit_fill(&opts.src_sem));
     let tgt_mem = Memory::uninit(mem_bytes, uninit_fill(&opts.tgt_sem));
-    let mut machine = Machine::new();
 
-    for args in tuples {
-        let src = match src_plan.enumerate(src_idx, args, &src_mem, opts.limits, &mut machine) {
+    // Each side enumerates its whole input list in one batch through
+    // the selected engine (the batch is what lets the bit-sliced
+    // backend evaluate every tuple at once); the comparison loop below
+    // then reproduces the sequential checker's verdict order exactly.
+    let src_all = enumerate_function(
+        src_module,
+        src_fn,
+        tuples,
+        &src_mem,
+        opts.src_sem,
+        opts.limits,
+        opts.engine,
+    );
+    let tgt_all = enumerate_function(
+        tgt_module,
+        tgt_fn,
+        tuples,
+        &tgt_mem,
+        opts.tgt_sem,
+        opts.limits,
+        opts.engine,
+    );
+
+    for (i, args) in tuples.iter().enumerate() {
+        let src = match &src_all[i] {
             Ok(s) => s,
-            Err(e) => return inconclusive(e, args, "source"),
+            Err(e) => return inconclusive(e.clone(), args, "source"),
         };
         if src.may_ub() {
             continue; // source UB grants total freedom on this input
         }
-        let tgt = match tgt_plan.enumerate(tgt_idx, args, &tgt_mem, opts.limits, &mut machine) {
+        let tgt = match &tgt_all[i] {
             Ok(s) => s,
-            Err(e) => return inconclusive(e, args, "target"),
+            Err(e) => return inconclusive(e.clone(), args, "target"),
         };
-        if !set_refines(&tgt, &src) {
-            return violation(args.clone(), src, tgt);
+        if !set_refines(tgt, src) {
+            return violation(args.clone(), src.clone(), tgt.clone());
         }
     }
     CheckResult::Refines
@@ -327,6 +351,7 @@ fn check_refinement_cached_impl(
         &src_mem,
         opts.src_sem,
         opts.limits,
+        opts.engine,
         salt,
     );
     let tgt_all = cache.enumerate(
@@ -336,6 +361,7 @@ fn check_refinement_cached_impl(
         &tgt_mem,
         opts.tgt_sem,
         opts.limits,
+        opts.engine,
         salt,
     );
 
@@ -538,7 +564,7 @@ mod tests {
                 "define i2 @f(i2 %x) {\nentry:\n  %y = freeze i2 %x\n  ret i2 %y\n}",
                 "define i2 @f(i2 %x) {\nentry:\n  ret i2 %x\n}",
             ),
-            // identity (exercises the canonical-text hit across pairs)
+            // identity (exercises the fingerprint hit across pairs)
             (
                 "define i2 @f(i2 %x) {\nentry:\n  ret i2 %x\n}",
                 "define i2 @f(i2 %x) {\nentry:\n  ret i2 %x\n}",

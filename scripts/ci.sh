@@ -44,4 +44,49 @@ FROST_TRACE_FILE=telemetry.jsonl \
     cargo run -q --release -p frost-bench --bin repro -- \
     --experiment optfuzz --budget 200 --trace --counters
 
+echo "==> full unsampled 2-inst exhaustive sweep (wall-clock budget)"
+# The complete 2,661,792-function i2 arithmetic space through fixed
+# InstCombine on Engine::Auto — ~2 minutes at the measured ~22k fn/s.
+# The deadline is a parachute, not a sample: if the box is slow enough
+# to hit it, the checkpoint line below fails the gate loudly instead of
+# silently shipping a partial sweep.
+rm -f sweep-ci.jsonl
+cargo run -q --release -p frost-bench --bin repro -- \
+    --experiment sweep --seconds 600 --checkpoint sweep-ci.jsonl \
+    | tee sweep-ci.out
+grep -q "complete=true" sweep-ci.out || {
+    echo "ci: full 2-inst sweep did not complete within budget" >&2
+    exit 1
+}
+grep -q "violations=0" sweep-ci.out || {
+    echo "ci: full 2-inst sweep found violations in fixed mode" >&2
+    exit 1
+}
+
+echo "==> checkpoint kill/resume determinism smoke"
+# Interrupt a small sweep mid-flight with a tight budget, resume it
+# from the checkpoint, and require the final summary to be identical
+# to a single uninterrupted run (the summary excludes wall-clock
+# columns by construction).
+rm -f sweep-resume.jsonl
+cargo run -q --release -p frost-bench --bin repro -- \
+    --experiment sweep --insts 1 --budget 100 --checkpoint sweep-resume.jsonl \
+    >/dev/null
+grep -q '"done":false' sweep-resume.jsonl || {
+    echo "ci: interrupted sweep checkpoint claims completion" >&2
+    exit 1
+}
+cargo run -q --release -p frost-bench --bin repro -- \
+    --experiment sweep --insts 1 --checkpoint sweep-resume.jsonl \
+    | grep "^sweep:" > sweep-resumed.out
+cargo run -q --release -p frost-bench --bin repro -- \
+    --experiment sweep --insts 1 \
+    | grep "^sweep:" > sweep-oneshot.out
+cmp sweep-resumed.out sweep-oneshot.out || {
+    echo "ci: resumed sweep diverges from uninterrupted run" >&2
+    diff sweep-resumed.out sweep-oneshot.out >&2 || true
+    exit 1
+}
+rm -f sweep-ci.jsonl sweep-ci.out sweep-resume.jsonl sweep-resumed.out sweep-oneshot.out
+
 echo "ci: all green"

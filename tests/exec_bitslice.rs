@@ -1,0 +1,204 @@
+//! Differential tests for the bit-sliced execution backend behind the
+//! unified [`frost::core::Engine`] API: over §6-shaped corpora the
+//! reference tree-walk, the plan machine, and the bit-sliced evaluator
+//! must produce byte-identical outcome sets — including
+//! division-by-zero UB, poison, and legacy undef — and checkpointed
+//! exhaustive campaigns must survive a kill/resume at any worker count.
+
+use frost::core::{enumerate_function, uninit_fill, Engine, Limits, Memory, Semantics};
+use frost::fuzz::{
+    enumerate_functions, random_functions, Campaign, CampaignCheckpoint, GenConfig,
+    ValidationReport,
+};
+use frost::ir::{Function, Module};
+use frost::opt::{o2_pipeline, PipelineMode};
+use frost::refine::{enumerate_inputs, CheckOptions, InputOptions};
+
+/// Checks one function three ways: the full §6 input space enumerated
+/// by every engine, all outcome sets (and errors) byte-identical. The
+/// strict bit-sliced engine must accept every function these corpora
+/// produce — a silent fallback would hollow the test out.
+fn assert_three_way(f: &Function, sem: Semantics) {
+    let name = f.name.clone();
+    let mut module = Module::new();
+    module.functions.push(f.clone());
+
+    let opts = InputOptions::new().with_undef(sem.has_undef);
+    let (tuples, mem_bytes) =
+        enumerate_inputs(module.function(&name).unwrap(), &opts).expect("§6 inputs enumerate");
+    let mem = Memory::uninit(mem_bytes, uninit_fill(&sem));
+    let limits = Limits::default();
+
+    let run = |engine| enumerate_function(&module, &name, &tuples, &mem, sem, limits, engine);
+    let reference = run(Engine::Reference);
+    for engine in [Engine::Plan, Engine::BitSliced, Engine::Auto] {
+        let got = run(engine);
+        assert_eq!(
+            reference, got,
+            "{engine:?} diverged from reference under {} for:\n{module}",
+            sem.name
+        );
+    }
+    assert!(
+        run(Engine::BitSliced).iter().all(|r| r.is_ok()),
+        "§6 corpus function must be bit-slice eligible:\n{module}"
+    );
+}
+
+fn both_semantics() -> [Semantics; 2] {
+    [Semantics::proposed(), Semantics::legacy_gvn()]
+}
+
+/// A stride of the §6 arithmetic space — all binary opcodes with
+/// flags, so the corpus is dense in division UB (`udiv %a, 0`,
+/// `sdiv INT_MIN, -1`) and poison-producing wraps.
+#[test]
+fn section6_arithmetic_stride_agrees_three_ways() {
+    for sem in both_semantics() {
+        for f in enumerate_functions(GenConfig::arithmetic(2))
+            .step_by(991)
+            .take(30)
+        {
+            assert_three_way(&f, sem);
+        }
+    }
+}
+
+/// The select/icmp/freeze space, with undef operands under legacy
+/// semantics — every §3.4 select shape plus the §3.1 hunting ground.
+#[test]
+fn section6_select_space_agrees_three_ways() {
+    for sem in both_semantics() {
+        let cfg = if sem.has_undef {
+            GenConfig::with_selects(2).with_undef()
+        } else {
+            GenConfig::with_selects(2)
+        };
+        for f in enumerate_functions(cfg).step_by(457).take(60) {
+            assert_three_way(&f, sem);
+        }
+    }
+}
+
+/// Fuzz-generated three-instruction functions, the shape campaigns
+/// feed the engine; undef constants enabled under legacy semantics so
+/// undef plane expansion is exercised end to end.
+#[test]
+fn random_ub_triggering_functions_agree_three_ways() {
+    for sem in both_semantics() {
+        let cfg = if sem.has_undef {
+            GenConfig::arithmetic(3).with_undef()
+        } else {
+            GenConfig::arithmetic(3)
+        };
+        for f in random_functions(cfg, 0x51D3, 40) {
+            assert_three_way(&f, sem);
+        }
+    }
+}
+
+/// The corpus a checkpointed sweep runs over: one-instruction mul/add
+/// space with undef, where legacy InstCombine produces §3.1 violations.
+fn sweep_cfg() -> GenConfig {
+    GenConfig {
+        ops: vec![frost::ir::BinOp::Mul, frost::ir::BinOp::Add],
+        consts: vec![2],
+        poison_const: false,
+        flags: false,
+        freeze: false,
+        ..GenConfig::arithmetic(1)
+    }
+    .with_undef()
+}
+
+fn sweep(
+    workers: usize,
+    budget: Option<usize>,
+    resume: Option<&CampaignCheckpoint>,
+) -> (ValidationReport, CampaignCheckpoint) {
+    let pm = o2_pipeline(PipelineMode::Legacy);
+    let mut campaign =
+        Campaign::with_options(CheckOptions::new(Semantics::legacy_gvn()).engine(Engine::Auto))
+            .with_workers(workers)
+            .with_shard_size(3);
+    if let Some(b) = budget {
+        campaign = campaign.with_budget(b);
+    }
+    campaign.run_exhaustive(&sweep_cfg(), resume, |m| {
+        pm.run(m);
+    })
+}
+
+fn assert_same_verdicts(a: &ValidationReport, b: &ValidationReport, what: &str) {
+    assert_eq!(a.total, b.total, "{what}");
+    assert_eq!(a.changed, b.changed, "{what}");
+    assert_eq!(a.refined, b.refined, "{what}");
+    assert_eq!(a.inconclusive, b.inconclusive, "{what}");
+    assert_eq!(a.violations, b.violations, "{what}");
+}
+
+/// Kill an exhaustive sweep after a budget of 7 functions, round-trip
+/// the checkpoint through its JSONL artifact (save → load → validate),
+/// and resume — at 1, 2, and 8 workers. Every interrupted run must end
+/// with the identical cumulative report and checkpoint the
+/// uninterrupted single-worker sweep produces.
+#[test]
+fn checkpointed_sweep_survives_kill_and_resume_at_1_2_8_workers() {
+    let (full, full_cp) = sweep(1, None, None);
+    assert!(full_cp.done, "tiny space must be exhausted");
+    assert!(
+        !full.is_clean(),
+        "legacy InstCombine must trip §3.1 in the sweep space"
+    );
+
+    let dir = std::env::temp_dir().join("frost-exec-bitslice-test");
+    std::fs::create_dir_all(&dir).unwrap();
+    for workers in [1usize, 2, 8] {
+        let (partial, cp) = sweep(workers, Some(7), None);
+        assert_eq!(partial.total, 7, "budget cuts after 7 at {workers} workers");
+        assert!(partial.stats.budget_hit && !cp.done);
+
+        let path = dir.join(format!("cp-{workers}.jsonl"));
+        cp.save_jsonl(&path).unwrap();
+        let restored = CampaignCheckpoint::load_jsonl(&path).unwrap();
+        assert_eq!(restored, cp, "JSONL round trip at {workers} workers");
+        std::fs::remove_file(&path).ok();
+
+        let (resumed, resumed_cp) = sweep(workers, None, Some(&restored));
+        assert_same_verdicts(
+            &full,
+            &resumed,
+            &format!("resumed sweep at {workers} workers"),
+        );
+        assert_eq!(full_cp, resumed_cp, "checkpoints at {workers} workers");
+    }
+}
+
+/// The strict engines disagree on *errors* only where they should:
+/// a branching function is plan-only, and Auto silently covers it.
+#[test]
+fn engine_selection_is_observable_but_auto_is_total() {
+    let module = frost::ir::parse_module(
+        "define i2 @f(i1 %c) {\nentry:\n  br i1 %c, label %a, label %b\na:\n  ret i2 1\nb:\n  ret i2 0\n}",
+    )
+    .unwrap();
+    let tuples = vec![
+        vec![frost::core::Val::int(1, 0)],
+        vec![frost::core::Val::int(1, 1)],
+    ];
+    let mem = Memory::zeroed(0);
+    let run = |engine| {
+        enumerate_function(
+            &module,
+            "f",
+            &tuples,
+            &mem,
+            Semantics::proposed(),
+            Limits::default(),
+            engine,
+        )
+    };
+    assert!(run(Engine::BitSliced).iter().all(|r| r.is_err()));
+    assert_eq!(run(Engine::Auto), run(Engine::Plan));
+    assert_eq!(run(Engine::Plan), run(Engine::Reference));
+}
