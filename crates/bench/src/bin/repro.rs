@@ -1,15 +1,26 @@
-//! Regenerates the paper's tables and figures. Usage:
+//! Regenerates the paper's tables and figures, and drives textual IR
+//! files through the checker. Usage:
 //!
 //! ```text
 //! repro [--experiment NAME] [--quick] [--budget N]
-//!       [--insts N] [--seconds N] [--checkpoint FILE]
+//!       [--insts N] [--seconds N] [--checkpoint FILE] [--fuzz N]
 //!       [--trace] [--counters] [--validate-trace FILE]
+//! repro --input FILE.fir
 //! ```
 //!
+//! `--input FILE.fir` parses a textual frost IR module (see
+//! docs/IR_REFERENCE.md), verifies it, exhaustively checks every
+//! `@f` / `@f.tgt` refinement pair, optimizes the remaining functions
+//! with the fixed O2 pipeline (translation-validating the result), and
+//! prints the canonical form. Exit 1 on parse/verifier errors — with a
+//! caret-underlined excerpt — never on an UNSOUND verdict.
+//!
 //! Experiments: fig6, compile-time, memory, objsize, optfuzz,
-//! inconsistencies, widening, loadwiden, queens, all (default), and
-//! sweep (explicit-only: the full unsampled §6 exhaustive sweep, not
-//! part of `all`; `--checkpoint` makes it resumable across restarts,
+//! inconsistencies, widening, loadwiden, queens, all (default),
+//! roundtrip (explicit-only: the print→parse→`FunctionKey`
+//! roundtrip-fidelity gate over the full §6 corpus plus a `--fuzz`-sized
+//! random sample), and sweep (explicit-only: the full unsampled §6
+//! exhaustive sweep; `--checkpoint` makes it resumable across restarts,
 //! `--seconds`/`--budget` bound one run).
 //!
 //! Observability (see docs/OBSERVABILITY.md): `--trace` records every
@@ -66,9 +77,25 @@ fn main() {
     let mut checkpoint: Option<String> = None;
     let mut trace = false;
     let mut counters = false;
+    let mut fuzz = 10_000usize;
+    let mut input: Option<String> = None;
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
+            "--input" => {
+                i += 1;
+                input = Some(args.get(i).cloned().unwrap_or_else(|| {
+                    eprintln!("--input needs a .fir file");
+                    std::process::exit(2);
+                }));
+            }
+            "--fuzz" => {
+                i += 1;
+                fuzz = args.get(i).and_then(|s| s.parse().ok()).unwrap_or_else(|| {
+                    eprintln!("--fuzz needs a number");
+                    std::process::exit(2);
+                });
+            }
             "--experiment" | "-e" => {
                 i += 1;
                 experiment = args.get(i).cloned().unwrap_or_else(|| {
@@ -127,10 +154,16 @@ fn main() {
             "--help" | "-h" => {
                 println!(
                     "usage: repro [--experiment fig6|compile-time|memory|objsize|optfuzz|\
-                     inconsistencies|widening|loadwiden|queens|sweep|all] [--quick] [--budget N]\n\
-                     \x20            [--insts N] [--seconds N] [--checkpoint FILE]\n\
+                     inconsistencies|widening|loadwiden|queens|roundtrip|sweep|all] [--quick] \
+                     [--budget N]\n\
+                     \x20            [--insts N] [--seconds N] [--checkpoint FILE] [--fuzz N]\n\
                      \x20            [--trace] [--counters] [--validate-trace FILE]\n\
+                     \x20      repro --input FILE.fir\n\
                      \n\
+                     --input FILE.fir  parse, verify, check @f/@f.tgt refinement pairs,\n\
+                     \x20                 optimize + translation-validate the rest, print the\n\
+                     \x20                 canonical form (exit 1 only on parse/verify errors)\n\
+                     --fuzz N          roundtrip only: random-sample size (default 10000)\n\
                      --trace           record spans, write + validate telemetry.jsonl\n\
                      \x20                 (or $FROST_TRACE_FILE), print a profile table\n\
                      --counters        print the counter deltas of the run\n\
@@ -150,6 +183,19 @@ fn main() {
             }
         }
         i += 1;
+    }
+
+    if let Some(path) = input {
+        match frost_bench::run_input(&path) {
+            Ok(report) => {
+                println!("{report}");
+                return;
+            }
+            Err(e) => {
+                eprintln!("{e}");
+                std::process::exit(1);
+            }
+        }
     }
 
     if trace {
@@ -178,6 +224,16 @@ fn main() {
     }
     if run("optfuzz") {
         println!("{}", experiments::optfuzz(budget));
+    }
+    // Explicit-only: minutes of work, meant for ci.sh and releases.
+    if experiment == "roundtrip" && run("roundtrip") {
+        match experiments::roundtrip(fuzz, quick) {
+            Ok((t, summary)) => {
+                println!("{t}");
+                println!("{summary}");
+            }
+            Err(e) => print(Err(e)),
+        }
     }
     // Explicit-only: the full space is too large for the `all` sweep.
     if experiment == "sweep" && run("sweep") {

@@ -7,15 +7,18 @@ use std::time::Duration;
 
 use frost_backend::{compile_module, lea_base_registers, CostModel, Simulator, MEM_BASE};
 use frost_core::{Engine, FrostError, Semantics};
-use frost_fuzz::{enumerate_functions, Campaign, CampaignCheckpoint, GenConfig, ValidationReport};
-use frost_ir::{parse_module, Module, ModuleAnalysisManager};
+use frost_fuzz::{
+    enumerate_functions, random_functions, Campaign, CampaignCheckpoint, GenConfig,
+    ValidationReport,
+};
+use frost_ir::{check_roundtrip, parse_module, Function, Module, ModuleAnalysisManager};
 use frost_opt::{
     o2_pipeline, Dce, Gvn, Licm, LoopUnswitch, Pass, PipelineMode, Reassociate, Sccp, SimplifyCfg,
 };
 use frost_refine::{check_refinement, CheckOptions, CheckResult, InputOptions};
 use frost_workloads::{all_workloads, spec_cfp, spec_cint, Workload};
 
-use crate::harness::{pct_improvement, run_workload, RunMetrics};
+use crate::harness::{compile_workload, pct_improvement, run_workload, RunMetrics};
 use crate::table::Table;
 
 fn fmt_pct(v: f64) -> String {
@@ -926,6 +929,170 @@ fn lea_microkernel(base: frost_backend::PhysReg) -> frost_backend::MModule {
             undef_vregs: vec![],
         }],
     }
+}
+
+/// Pulls functions off a shared stream and roundtrips each one
+/// (print → parse → [`frost_ir::FunctionKey`] compare) across
+/// `workers` scoped threads. Returns `(checked, mismatches)` plus the
+/// first failure's rendered detail, if any.
+fn roundtrip_stream(
+    fns: impl Iterator<Item = Function> + Send,
+    workers: usize,
+) -> (u64, u64, Option<String>) {
+    use std::sync::atomic::{AtomicU64, Ordering};
+    use std::sync::Mutex;
+
+    /// Functions a worker claims per lock acquisition.
+    const BATCH: usize = 256;
+
+    let stream = Mutex::new(fns);
+    let checked = AtomicU64::new(0);
+    let mismatches = AtomicU64::new(0);
+    let first_failure: Mutex<Option<String>> = Mutex::new(None);
+    std::thread::scope(|s| {
+        for _ in 0..workers.max(1) {
+            s.spawn(|| {
+                let mut batch = Vec::with_capacity(BATCH);
+                loop {
+                    {
+                        let mut it = stream.lock().unwrap();
+                        batch.extend(it.by_ref().take(BATCH));
+                    }
+                    if batch.is_empty() {
+                        return;
+                    }
+                    for f in batch.drain(..) {
+                        checked.fetch_add(1, Ordering::Relaxed);
+                        if let Err(e) = check_roundtrip(&f) {
+                            mismatches.fetch_add(1, Ordering::Relaxed);
+                            let mut slot = first_failure.lock().unwrap();
+                            if slot.is_none() {
+                                *slot = Some(format!("@{}: {e}", f.name));
+                            }
+                        }
+                    }
+                }
+            });
+        }
+    });
+    (
+        checked.into_inner(),
+        mismatches.into_inner(),
+        first_failure.into_inner().unwrap(),
+    )
+}
+
+/// The roundtrip-fidelity gate: every function of the §6 corpus (the
+/// full exhaustive i2 arithmetic spaces, with and without `undef`), a
+/// `fuzz`-sized random sample of deeper/wider spaces, and every
+/// workload module (before and after O2 — loads, stores, geps, phis,
+/// casts, calls, vectors) is printed, re-parsed, and compared by
+/// [`frost_ir::FunctionKey`]. One textual form, zero drift: any
+/// mismatch is a bug in the printer or the parser.
+///
+/// Returns the per-corpus table plus a deterministic one-line summary
+/// (`roundtrip: checked=N mismatches=M`) for scripts to grep. `quick`
+/// strides the multi-instruction exhaustive spaces instead of walking
+/// them whole; ci.sh runs the full gate.
+pub fn roundtrip(fuzz: usize, quick: bool) -> Result<(Table, String), FrostError> {
+    let workers = std::thread::available_parallelism()
+        .map(std::num::NonZero::get)
+        .unwrap_or(1);
+    let mut t = Table::new(
+        "roundtrip fidelity: print → parse → FunctionKey equality",
+        &["corpus", "functions", "mismatches", "status"],
+    );
+    let mut total_checked = 0u64;
+    let mut total_mismatches = 0u64;
+    let mut failures: Vec<String> = Vec::new();
+    let mut corpus =
+        |t: &mut Table, name: &str, (checked, bad, first): (u64, u64, Option<String>)| {
+            total_checked += checked;
+            total_mismatches += bad;
+            if let Some(f) = first {
+                failures.push(format!("{name}: {f}"));
+            }
+            t.row(vec![
+                name.to_string(),
+                checked.to_string(),
+                bad.to_string(),
+                if bad == 0 {
+                    "ok".into()
+                } else {
+                    "MISMATCH".into()
+                },
+            ]);
+        };
+
+    // The full §6 exhaustive spaces — unsampled, like the sweep.
+    let exhaustive = [
+        ("§6 exhaustive i2, 1 inst", GenConfig::arithmetic(1)),
+        ("§6 exhaustive i2, 2 insts", GenConfig::arithmetic(2)),
+        (
+            "§6 exhaustive i2 + undef, 1 inst",
+            GenConfig::arithmetic(1).with_undef(),
+        ),
+        (
+            "§6 exhaustive i2 + select, 1 inst",
+            GenConfig::with_selects(1),
+        ),
+    ];
+    // Prime, so a quick-mode stride doesn't resonate with the
+    // generator's mixed-radix counter and skip whole dimensions.
+    let stride = if quick { 1009 } else { 1 };
+    for (name, cfg) in exhaustive {
+        let multi_inst = cfg.num_insts > 1;
+        corpus(
+            &mut t,
+            name,
+            roundtrip_stream(
+                enumerate_functions(cfg).step_by(if multi_inst { stride } else { 1 }),
+                workers,
+            ),
+        );
+    }
+
+    // Random samples of the spaces too large to exhaust.
+    let third = fuzz.div_ceil(3);
+    let sampled = [
+        ("fuzz: i2 arithmetic, 3 insts", GenConfig::arithmetic(3)),
+        ("fuzz: i2 + select, 3 insts", GenConfig::with_selects(3)),
+        (
+            "fuzz: i2 + undef + select, 3 insts",
+            GenConfig::with_selects(3).with_undef(),
+        ),
+    ];
+    for (name, cfg) in sampled {
+        corpus(
+            &mut t,
+            name,
+            roundtrip_stream(random_functions(cfg, 0xF1305, third).into_iter(), workers),
+        );
+    }
+
+    // Workload modules exercise the rest of the instruction surface
+    // (memory, geps, phis across loops, casts, calls, vectors), both
+    // straight out of the frontend and after the fixed O2 pipeline.
+    for w in all_workloads() {
+        let raw = w
+            .compile(&crate::harness::frontend_options(PipelineMode::Fixed))
+            .map_err(|e| FrostError::stage("frontend", w.name, e))?;
+        let (opt, _, _) = compile_workload(&w, PipelineMode::Fixed)?;
+        corpus(
+            &mut t,
+            &format!("workload {}", w.name),
+            roundtrip_stream(raw.functions.into_iter().chain(opt.functions), workers),
+        );
+    }
+
+    for f in &failures {
+        t.note(format!("first failure — {f}"));
+    }
+    t.note(
+        "the oracle is FunctionKey (α-equivalence-exact), not string equality: the printer renames",
+    );
+    let summary = format!("roundtrip: checked={total_checked} mismatches={total_mismatches}");
+    Ok((t, summary))
 }
 
 #[cfg(test)]

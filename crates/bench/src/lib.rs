@@ -17,11 +17,13 @@
 
 pub mod experiments;
 pub mod harness;
+pub mod input;
 pub mod microbench;
 pub mod profile;
 pub mod table;
 
 pub use harness::{compile_workload, pct_improvement, run_workload, RunMetrics};
+pub use input::{run_input, run_input_text, InputError};
 pub use microbench::{BenchResult, Runner};
 pub use profile::{counters_table, profile_table};
 pub use table::Table;

@@ -1,0 +1,84 @@
+//! Print → parse → `FunctionKey` roundtrip fidelity, test-suite sized.
+//!
+//! The full gate (`repro -e roundtrip`, wired into scripts/ci.sh) runs
+//! the *unsampled* §6 spaces plus a 10k fuzz sample; this integration
+//! test keeps `cargo test` fast with a strided sample of the same
+//! corpora, the same oracle: every function must survive printing and
+//! re-parsing with its [`frost_ir::FunctionKey`] intact.
+
+use frost_bench::experiments;
+use frost_fuzz::{enumerate_functions, random_functions, GenConfig};
+use frost_ir::check_roundtrip;
+
+fn assert_all_roundtrip(fns: impl IntoIterator<Item = frost_ir::Function>) -> usize {
+    let mut n = 0;
+    for f in fns {
+        if let Err(e) = check_roundtrip(&f) {
+            panic!("roundtrip failed for @{}: {e}", f.name);
+        }
+        n += 1;
+    }
+    n
+}
+
+#[test]
+fn strided_exhaustive_corpus_roundtrips() {
+    // ~2.6M functions in the full 2-inst space; a stride of 1009 (prime,
+    // so it doesn't resonate with the mixed-radix generator) keeps this
+    // to ~2600 while still crossing every operand/flag dimension.
+    let n = assert_all_roundtrip(enumerate_functions(GenConfig::arithmetic(2)).step_by(1009));
+    assert!(n > 2000, "stride sampled only {n} functions");
+}
+
+#[test]
+fn exhaustive_one_inst_spaces_roundtrip_completely() {
+    for cfg in [
+        GenConfig::arithmetic(1),
+        GenConfig::arithmetic(1).with_undef(),
+        GenConfig::with_selects(1),
+    ] {
+        assert_all_roundtrip(enumerate_functions(cfg));
+    }
+}
+
+#[test]
+fn random_deep_functions_roundtrip() {
+    for cfg in [
+        GenConfig::arithmetic(3),
+        GenConfig::with_selects(3),
+        GenConfig::with_selects(3).with_undef(),
+    ] {
+        let n = assert_all_roundtrip(random_functions(cfg, 20170618, 500));
+        assert_eq!(n, 500);
+    }
+}
+
+#[test]
+fn workload_modules_roundtrip_before_and_after_o2() {
+    // Loads, stores, geps, phis across loop headers, casts, calls,
+    // vectors — the instruction surface the i2 spaces don't reach.
+    use frost_bench::compile_workload;
+    use frost_opt::PipelineMode;
+    use frost_workloads::all_workloads;
+
+    for w in all_workloads() {
+        let raw = w
+            .compile(&frost_bench::harness::frontend_options(PipelineMode::Fixed))
+            .expect("workload compiles");
+        let (opt, _, _) = compile_workload(&w, PipelineMode::Fixed).expect("workload optimizes");
+        let n = assert_all_roundtrip(raw.functions.into_iter().chain(opt.functions));
+        assert!(n >= 2, "workload {} produced {n} functions", w.name);
+    }
+}
+
+#[test]
+fn roundtrip_gate_summary_is_greppable() {
+    // The ci.sh gate greps for this exact shape; pin it here so a
+    // reworded summary can't silently disarm the gate.
+    let (_, summary) = experiments::roundtrip(30, true).expect("gate runs");
+    assert!(
+        summary.contains("mismatches=0"),
+        "summary changed shape or found mismatches: {summary}"
+    );
+    assert!(summary.starts_with("roundtrip: checked="), "{summary}");
+}

@@ -105,7 +105,9 @@ pub mod prelude {
         CampaignStats, GenConfig, ValidationReport,
     };
     pub use frost_ir::{
-        parse_module, FunctionAnalysisManager, Module, ModuleAnalysisManager, PreservedAnalyses,
+        check_roundtrip, function_to_string, module_to_string, parse_function, parse_module,
+        print_function, print_module, FunctionAnalysisManager, FunctionKey, Module,
+        ModuleAnalysisManager, ParseError, PreservedAnalyses,
     };
     pub use frost_opt::{cleanup_pipeline, o2_pipeline, Pass, PassManager, PipelineMode};
     pub use frost_refine::{

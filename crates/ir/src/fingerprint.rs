@@ -394,7 +394,7 @@ impl Encoder {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::parse::parse_function;
+    use crate::text::parse_function;
 
     fn key(src: &str) -> FunctionKey {
         FunctionKey::of(&parse_function(src).expect("parses"))

@@ -386,13 +386,13 @@ impl Module {
 
 impl fmt::Display for Module {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        crate::print::print_module(self, f)
+        crate::text::print_module(self, f)
     }
 }
 
 impl fmt::Display for Function {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        crate::print::print_function(self, f)
+        crate::text::print_function(self, f)
     }
 }
 

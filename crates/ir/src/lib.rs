@@ -20,8 +20,10 @@
 //!   into poison.
 //!
 //! This crate holds the data model and the static side: types,
-//! instructions, functions/modules, a [builder], a [verifier](verify), a
-//! [parser](parse) and [printer](mod@print) for the textual form, and the
+//! instructions, functions/modules, a [builder], a [verifier](verify),
+//! the [textual form](text) (a byte-spanned lexer, a parser whose
+//! errors render caret-underlined excerpts, and the canonical
+//! pretty-printer, held to a `FunctionKey`-exact roundtrip), and the
 //! analyses the optimizer needs ([CFG utilities](mod@cfg), [dominators](dom),
 //! [natural loops](loops), [known bits](analysis::known_bits), and a small
 //! [scalar evolution](analysis::scev)). The executable semantics live in
@@ -58,8 +60,7 @@ pub mod fingerprint;
 pub mod function;
 pub mod inst;
 pub mod loops;
-pub mod parse;
-pub mod print;
+pub mod text;
 pub mod types;
 pub mod value;
 pub mod verify;
@@ -72,8 +73,10 @@ pub use builder::FunctionBuilder;
 pub use fingerprint::FunctionKey;
 pub use function::{Block, DeclAttrs, FuncDecl, Function, Module, Param, UseCounts};
 pub use inst::{BinOp, CastKind, Cond, Flags, Inst, Terminator};
-pub use parse::{parse_function, parse_module, ParseError};
-pub use print::{function_to_string, module_to_string};
+pub use text::{
+    check_roundtrip, function_to_string, module_to_string, parse_function, parse_module,
+    print_function, print_module, ParseError, RoundtripError, Span,
+};
 pub use types::{Ty, MAX_INT_BITS, PTR_BITS};
 pub use value::{BlockId, Constant, InstId, Value};
 pub use verify::{verify_function, verify_function_legacy, verify_module, VerifyMode};

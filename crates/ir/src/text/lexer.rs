@@ -1,0 +1,318 @@
+//! The lexer: raw source text → a stream of byte-spanned tokens.
+//!
+//! The lexer is the first stage of the textual-IR pipeline
+//! ([`lex`](mod@self) → [`parse`](super::parse) →
+//! [`print`](super::print)). Every token records the half-open byte
+//! range (`[start, end)`) it was read from, plus its 1-based source
+//! line, so later stages can attach precise, caret-underlined
+//! diagnostics to any token without re-scanning the input.
+
+use std::fmt;
+
+use super::parse::ParseError;
+
+/// A half-open byte range `[start, end)` into the source text.
+///
+/// Spans survive from the lexer through the parser into
+/// [`ParseError`], where they drive the caret-underlined excerpt the
+/// error renders.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, Default)]
+pub struct Span {
+    /// Byte offset of the first byte of the spanned region.
+    pub start: usize,
+    /// Byte offset one past the last byte of the spanned region.
+    pub end: usize,
+}
+
+impl Span {
+    /// A span covering `[start, end)`.
+    pub fn new(start: usize, end: usize) -> Span {
+        Span { start, end }
+    }
+
+    /// An empty span at a single position (used for end-of-input
+    /// diagnostics).
+    pub fn point(at: usize) -> Span {
+        Span { start: at, end: at }
+    }
+
+    /// The number of bytes covered.
+    pub fn len(&self) -> usize {
+        self.end.saturating_sub(self.start)
+    }
+
+    /// Returns `true` if the span covers no bytes.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// The smallest span covering both `self` and `other`.
+    pub fn to(self, other: Span) -> Span {
+        Span {
+            start: self.start.min(other.start),
+            end: self.end.max(other.end),
+        }
+    }
+}
+
+/// A lexical token of the textual IR.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum Tok {
+    /// Bare word: keywords, mnemonics, type names, labels.
+    Word(String),
+    /// `%name` local reference.
+    Local(String),
+    /// `@name` global reference.
+    Global(String),
+    /// Integer literal (possibly negative).
+    Int(i128),
+    /// `(`
+    LParen,
+    /// `)`
+    RParen,
+    /// `{`
+    LBrace,
+    /// `}`
+    RBrace,
+    /// `[`
+    LBracket,
+    /// `]`
+    RBracket,
+    /// `<`
+    Lt,
+    /// `>`
+    Gt,
+    /// `,`
+    Comma,
+    /// `=`
+    Eq,
+    /// `:`
+    Colon,
+    /// `*`
+    Star,
+}
+
+impl fmt::Display for Tok {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Tok::Word(w) => write!(f, "'{w}'"),
+            Tok::Local(n) => write!(f, "'%{n}'"),
+            Tok::Global(n) => write!(f, "'@{n}'"),
+            Tok::Int(v) => write!(f, "'{v}'"),
+            Tok::LParen => write!(f, "'('"),
+            Tok::RParen => write!(f, "')'"),
+            Tok::LBrace => write!(f, "'{{'"),
+            Tok::RBrace => write!(f, "'}}'"),
+            Tok::LBracket => write!(f, "'['"),
+            Tok::RBracket => write!(f, "']'"),
+            Tok::Lt => write!(f, "'<'"),
+            Tok::Gt => write!(f, "'>'"),
+            Tok::Comma => write!(f, "','"),
+            Tok::Eq => write!(f, "'='"),
+            Tok::Colon => write!(f, "':'"),
+            Tok::Star => write!(f, "'*'"),
+        }
+    }
+}
+
+/// A token plus where it came from.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct Token {
+    /// The token itself.
+    pub tok: Tok,
+    /// Byte range of the token in the source.
+    pub span: Span,
+    /// 1-based source line the token starts on (precomputed so the
+    /// parser's statement-per-line pre-scan is O(1) per token).
+    pub line: usize,
+}
+
+/// Is `c` a byte that may appear in a word, name, or label?
+fn is_word(c: u8) -> bool {
+    c.is_ascii_alphanumeric() || c == b'_' || c == b'.'
+}
+
+/// Tokenizes the whole input.
+///
+/// # Errors
+///
+/// Returns a [`ParseError`] (with a caret-underlined excerpt) on the
+/// first malformed token: an unexpected character, a bare `%`/`@`
+/// sigil, or an out-of-range integer literal.
+pub fn lex(input: &str) -> Result<Vec<Token>, ParseError> {
+    let mut toks = Vec::new();
+    let mut line = 1usize;
+    let bytes = input.as_bytes();
+    let mut i = 0usize;
+    let mut push = |tok: Tok, start: usize, end: usize, line: usize| {
+        toks.push(Token {
+            tok,
+            span: Span::new(start, end),
+            line,
+        });
+    };
+    while i < bytes.len() {
+        let c = bytes[i];
+        let start = i;
+        match c {
+            b'\n' => {
+                line += 1;
+                i += 1;
+            }
+            b' ' | b'\t' | b'\r' => i += 1,
+            b';' => {
+                // Comment to end of line.
+                while i < bytes.len() && bytes[i] != b'\n' {
+                    i += 1;
+                }
+            }
+            b'(' | b')' | b'{' | b'}' | b'[' | b']' | b'<' | b'>' | b',' | b'=' | b':' | b'*' => {
+                let tok = match c {
+                    b'(' => Tok::LParen,
+                    b')' => Tok::RParen,
+                    b'{' => Tok::LBrace,
+                    b'}' => Tok::RBrace,
+                    b'[' => Tok::LBracket,
+                    b']' => Tok::RBracket,
+                    b'<' => Tok::Lt,
+                    b'>' => Tok::Gt,
+                    b',' => Tok::Comma,
+                    b'=' => Tok::Eq,
+                    b':' => Tok::Colon,
+                    _ => Tok::Star,
+                };
+                i += 1;
+                push(tok, start, i, line);
+            }
+            b'%' | b'@' => {
+                i += 1;
+                let name_start = i;
+                while i < bytes.len() && is_word(bytes[i]) {
+                    i += 1;
+                }
+                if name_start == i {
+                    return Err(ParseError::at(
+                        input,
+                        Span::new(start, start + 1),
+                        format!("expected a name after '{}'", c as char),
+                    ));
+                }
+                let name = input[name_start..i].to_string();
+                push(
+                    if c == b'%' {
+                        Tok::Local(name)
+                    } else {
+                        Tok::Global(name)
+                    },
+                    start,
+                    i,
+                    line,
+                );
+            }
+            b'-' | b'0'..=b'9' => {
+                if c == b'-' {
+                    i += 1;
+                }
+                while i < bytes.len() && bytes[i].is_ascii_digit() {
+                    i += 1;
+                }
+                let text = &input[start..i];
+                let v: i128 = text.parse().map_err(|_| {
+                    ParseError::at(
+                        input,
+                        Span::new(start, i),
+                        format!("invalid integer literal '{text}'"),
+                    )
+                })?;
+                push(Tok::Int(v), start, i, line);
+            }
+            _ if is_word(c) => {
+                while i < bytes.len() && is_word(bytes[i]) {
+                    i += 1;
+                }
+                push(Tok::Word(input[start..i].to_string()), start, i, line);
+            }
+            _ => {
+                // Take the full UTF-8 scalar so the caret underlines a
+                // whole character, not a stray continuation byte.
+                let ch_len = input[start..].chars().next().map_or(1, char::len_utf8);
+                return Err(ParseError::at(
+                    input,
+                    Span::new(start, start + ch_len),
+                    format!(
+                        "unexpected character '{}'",
+                        input[start..].chars().next().unwrap_or('?')
+                    ),
+                ));
+            }
+        }
+    }
+    Ok(toks)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn spans_cover_exact_bytes() {
+        let src = "add i32 %x, 42";
+        let toks = lex(src).unwrap();
+        let slices: Vec<&str> = toks
+            .iter()
+            .map(|t| &src[t.span.start..t.span.end])
+            .collect();
+        assert_eq!(slices, vec!["add", "i32", "%x", ",", "42"]);
+    }
+
+    #[test]
+    fn lines_are_tracked() {
+        let toks = lex("a\nb\n\nc").unwrap();
+        let lines: Vec<usize> = toks.iter().map(|t| t.line).collect();
+        assert_eq!(lines, vec![1, 2, 4]);
+    }
+
+    #[test]
+    fn comments_and_whitespace_are_skipped() {
+        let toks = lex("  ; a comment\n add ; trailing\n").unwrap();
+        assert_eq!(toks.len(), 1);
+        assert_eq!(toks[0].tok, Tok::Word("add".into()));
+        assert_eq!(toks[0].line, 2);
+    }
+
+    #[test]
+    fn rejects_bare_sigil() {
+        let err = lex("add %").unwrap_err();
+        assert!(err.message.contains("expected a name after '%'"));
+        assert_eq!(err.span, Span::new(4, 5));
+    }
+
+    #[test]
+    fn rejects_huge_integer() {
+        let err = lex("999999999999999999999999999999999999999999").unwrap_err();
+        assert!(err.message.contains("invalid integer literal"));
+        assert_eq!(err.line, 1);
+        assert_eq!(err.column, 1);
+    }
+
+    #[test]
+    fn rejects_unexpected_character() {
+        let err = lex("add $x").unwrap_err();
+        assert!(err.message.contains("unexpected character '$'"));
+        assert_eq!(err.span, Span::new(4, 5));
+    }
+
+    #[test]
+    fn negative_literals() {
+        let toks = lex("-1, -128").unwrap();
+        assert_eq!(toks[0].tok, Tok::Int(-1));
+        assert_eq!(toks[2].tok, Tok::Int(-128));
+    }
+
+    #[test]
+    fn span_union() {
+        assert_eq!(Span::new(2, 4).to(Span::new(7, 9)), Span::new(2, 9));
+        assert!(Span::point(3).is_empty());
+        assert_eq!(Span::new(1, 4).len(), 3);
+    }
+}

@@ -1,30 +1,104 @@
-//! Parser for the textual IR form produced by [`crate::print`].
+//! The parser: spanned tokens → [`Module`]/[`Function`] values.
 //!
-//! The syntax is LLVM-flavoured; see the crate-level documentation for an
-//! example. Parsing is two-pass within each function: a pre-scan assigns
-//! [`InstId`]s and [`BlockId`]s in textual order so that forward
-//! references (phis, loop back edges) resolve without placeholders.
+//! A hand-written recursive-descent parser over the token stream of
+//! [`lexer`](super::lexer). Parsing is two-pass within each function:
+//! a pre-scan assigns [`InstId`]s and [`BlockId`]s in textual order so
+//! that forward references (phis, loop back edges) resolve without
+//! placeholders. Every failure is a [`ParseError`] carrying the byte
+//! span of the offending token and rendering a caret-underlined
+//! excerpt of the source line.
 
 use std::collections::HashMap;
 use std::fmt;
 
+use super::lexer::{lex, Span, Tok, Token};
 use crate::function::{Block, DeclAttrs, FuncDecl, Function, Module, Param};
 use crate::inst::{BinOp, CastKind, Cond, Flags, Inst, Terminator};
 use crate::types::Ty;
 use crate::value::{BlockId, Constant, InstId, Value};
 
-/// A parse failure, with a 1-based line number.
+/// A parse failure, pinpointed to a byte span of the source.
+///
+/// [`Display`](fmt::Display) renders a compiler-style diagnostic with
+/// the offending line and a caret underline:
+///
+/// ```text
+/// error: unknown local '%missing'
+///   --> line 3, column 20
+///    |
+///  3 |   %a = add i32 %x, %missing
+///    |                    ^^^^^^^^
+/// ```
 #[derive(Clone, PartialEq, Eq, Debug)]
 pub struct ParseError {
-    /// 1-based line of the offending token.
-    pub line: usize,
-    /// Human-readable description.
+    /// Human-readable description of what went wrong.
     pub message: String,
+    /// 1-based line of the offending span.
+    pub line: usize,
+    /// 1-based column (in characters) of the offending span.
+    pub column: usize,
+    /// Byte range of the offending token(s) in the source.
+    pub span: Span,
+    /// The full text of the offending source line (no trailing newline).
+    source_line: String,
+    /// Width of the caret underline, in characters (at least 1).
+    caret_len: usize,
+}
+
+impl ParseError {
+    /// Builds an error for `span` of `src`, extracting the source line
+    /// and caret geometry for the rendered excerpt.
+    pub fn at(src: &str, span: Span, message: impl Into<String>) -> ParseError {
+        let at = span.start.min(src.len());
+        let line_start = src[..at].rfind('\n').map_or(0, |p| p + 1);
+        let line_end = src[at..].find('\n').map_or(src.len(), |p| at + p);
+        let line = src[..at].bytes().filter(|&b| b == b'\n').count() + 1;
+        let column = src[line_start..at].chars().count() + 1;
+        // Underline the intersection of the span with its first line.
+        let underline_end = span.end.clamp(at, line_end);
+        let caret_len = src
+            .get(at..underline_end)
+            .map_or(1, |s| s.chars().count())
+            .max(1);
+        ParseError {
+            message: message.into(),
+            line,
+            column,
+            span,
+            source_line: src[line_start..line_end].to_string(),
+            caret_len,
+        }
+    }
+
+    /// The caret-underlined source excerpt (the part of the rendered
+    /// diagnostic below the `-->` location line).
+    pub fn excerpt(&self) -> String {
+        let gutter = self.line.to_string();
+        let pad = " ".repeat(gutter.len());
+        let underline_pad: String = self
+            .source_line
+            .chars()
+            .take(self.column - 1)
+            .map(|c| if c == '\t' { '\t' } else { ' ' })
+            .collect();
+        format!(
+            "{pad} |\n{gutter} | {line}\n{pad} | {underline_pad}{carets}",
+            line = self.source_line,
+            carets = "^".repeat(self.caret_len),
+        )
+    }
 }
 
 impl fmt::Display for ParseError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "line {}: {}", self.line, self.message)
+        write!(
+            f,
+            "error: {}\n  --> line {}, column {}\n{}",
+            self.message,
+            self.line,
+            self.column,
+            self.excerpt()
+        )
     }
 }
 
@@ -32,216 +106,51 @@ impl std::error::Error for ParseError {}
 
 type Result<T> = std::result::Result<T, ParseError>;
 
-#[derive(Clone, PartialEq, Eq, Debug)]
-enum Tok {
-    /// Bare word: keywords, mnemonics, type names, labels.
-    Word(String),
-    /// `%name` local reference.
-    Local(String),
-    /// `@name` global reference.
-    Global(String),
-    /// Integer literal (possibly negative).
-    Int(i128),
-    LParen,
-    RParen,
-    LBrace,
-    RBrace,
-    LBracket,
-    RBracket,
-    Lt,
-    Gt,
-    Comma,
-    Eq,
-    Colon,
-    Star,
-}
-
-impl fmt::Display for Tok {
-    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        match self {
-            Tok::Word(w) => write!(f, "'{w}'"),
-            Tok::Local(n) => write!(f, "'%{n}'"),
-            Tok::Global(n) => write!(f, "'@{n}'"),
-            Tok::Int(v) => write!(f, "'{v}'"),
-            Tok::LParen => write!(f, "'('"),
-            Tok::RParen => write!(f, "')'"),
-            Tok::LBrace => write!(f, "'{{'"),
-            Tok::RBrace => write!(f, "'}}'"),
-            Tok::LBracket => write!(f, "'['"),
-            Tok::RBracket => write!(f, "']'"),
-            Tok::Lt => write!(f, "'<'"),
-            Tok::Gt => write!(f, "'>'"),
-            Tok::Comma => write!(f, "','"),
-            Tok::Eq => write!(f, "'='"),
-            Tok::Colon => write!(f, "':'"),
-            Tok::Star => write!(f, "'*'"),
-        }
-    }
-}
-
-fn lex(input: &str) -> Result<Vec<(Tok, usize)>> {
-    let mut toks = Vec::new();
-    let mut line = 1usize;
-    let bytes = input.as_bytes();
-    let mut i = 0usize;
-    let is_word = |c: u8| c.is_ascii_alphanumeric() || c == b'_' || c == b'.';
-    while i < bytes.len() {
-        let c = bytes[i];
-        match c {
-            b'\n' => {
-                line += 1;
-                i += 1;
-            }
-            b' ' | b'\t' | b'\r' => i += 1,
-            b';' => {
-                // Comment to end of line.
-                while i < bytes.len() && bytes[i] != b'\n' {
-                    i += 1;
-                }
-            }
-            b'(' => {
-                toks.push((Tok::LParen, line));
-                i += 1;
-            }
-            b')' => {
-                toks.push((Tok::RParen, line));
-                i += 1;
-            }
-            b'{' => {
-                toks.push((Tok::LBrace, line));
-                i += 1;
-            }
-            b'}' => {
-                toks.push((Tok::RBrace, line));
-                i += 1;
-            }
-            b'[' => {
-                toks.push((Tok::LBracket, line));
-                i += 1;
-            }
-            b']' => {
-                toks.push((Tok::RBracket, line));
-                i += 1;
-            }
-            b'<' => {
-                toks.push((Tok::Lt, line));
-                i += 1;
-            }
-            b'>' => {
-                toks.push((Tok::Gt, line));
-                i += 1;
-            }
-            b',' => {
-                toks.push((Tok::Comma, line));
-                i += 1;
-            }
-            b'=' => {
-                toks.push((Tok::Eq, line));
-                i += 1;
-            }
-            b':' => {
-                toks.push((Tok::Colon, line));
-                i += 1;
-            }
-            b'*' => {
-                toks.push((Tok::Star, line));
-                i += 1;
-            }
-            b'%' | b'@' => {
-                let sigil = c;
-                i += 1;
-                let start = i;
-                while i < bytes.len() && is_word(bytes[i]) {
-                    i += 1;
-                }
-                if start == i {
-                    return Err(ParseError {
-                        line,
-                        message: format!("expected a name after '{}'", sigil as char),
-                    });
-                }
-                let name = input[start..i].to_string();
-                toks.push((
-                    if sigil == b'%' {
-                        Tok::Local(name)
-                    } else {
-                        Tok::Global(name)
-                    },
-                    line,
-                ));
-            }
-            b'-' | b'0'..=b'9' => {
-                let start = i;
-                if c == b'-' {
-                    i += 1;
-                }
-                while i < bytes.len() && bytes[i].is_ascii_digit() {
-                    i += 1;
-                }
-                let text = &input[start..i];
-                let v: i128 = text.parse().map_err(|_| ParseError {
-                    line,
-                    message: format!("invalid integer literal '{text}'"),
-                })?;
-                toks.push((Tok::Int(v), line));
-            }
-            _ if is_word(c) => {
-                let start = i;
-                while i < bytes.len() && is_word(bytes[i]) {
-                    i += 1;
-                }
-                toks.push((Tok::Word(input[start..i].to_string()), line));
-            }
-            _ => {
-                return Err(ParseError {
-                    line,
-                    message: format!("unexpected character '{}'", c as char),
-                });
-            }
-        }
-    }
-    Ok(toks)
-}
-
-struct Parser {
-    toks: Vec<(Tok, usize)>,
+struct Parser<'a> {
+    src: &'a str,
+    toks: Vec<Token>,
     pos: usize,
 }
 
-impl Parser {
+impl<'a> Parser<'a> {
     fn peek(&self) -> Option<&Tok> {
-        self.toks.get(self.pos).map(|(t, _)| t)
+        self.toks.get(self.pos).map(|t| &t.tok)
     }
 
-    fn line(&self) -> usize {
+    /// Span of the token about to be consumed (or an end-of-input
+    /// point span).
+    fn span(&self) -> Span {
         self.toks
             .get(self.pos)
-            .or_else(|| self.toks.last())
-            .map(|(_, l)| *l)
-            .unwrap_or(1)
+            .map(|t| t.span)
+            .unwrap_or_else(|| Span::point(self.src.len()))
     }
 
-    /// Line of the most recently consumed token (for diagnostics about
+    /// Span of the most recently consumed token (for diagnostics about
     /// a token that has already been read).
-    fn prev_line(&self) -> usize {
+    fn prev_span(&self) -> Span {
         if self.pos == 0 {
-            return 1;
+            return Span::point(0);
         }
-        self.toks.get(self.pos - 1).map(|(_, l)| *l).unwrap_or(1)
+        self.toks
+            .get(self.pos - 1)
+            .map(|t| t.span)
+            .unwrap_or_else(|| Span::point(self.src.len()))
     }
 
     fn err<T>(&self, message: impl Into<String>) -> Result<T> {
-        Err(ParseError {
-            line: self.line(),
-            message: message.into(),
-        })
+        Err(ParseError::at(self.src, self.span(), message))
+    }
+
+    fn err_at<T>(&self, span: Span, message: impl Into<String>) -> Result<T> {
+        Err(ParseError::at(self.src, span, message))
     }
 
     fn next(&mut self) -> Result<Tok> {
         match self.toks.get(self.pos) {
-            Some((t, _)) => {
+            Some(t) => {
                 self.pos += 1;
-                Ok(t.clone())
+                Ok(t.tok.clone())
             }
             None => self.err("unexpected end of input"),
         }
@@ -308,30 +217,35 @@ impl Parser {
         let base = match self.next()? {
             Tok::Word(w) if w == "void" => {
                 if !allow_void {
+                    self.pos -= 1;
                     return self.err("void is not valid here");
                 }
                 Ty::Void
             }
             Tok::Word(w) if w.starts_with('i') && w[1..].chars().all(|c| c.is_ascii_digit()) => {
-                let bits: u32 = w[1..].parse().map_err(|_| ParseError {
-                    line: self.line(),
-                    message: "bad width".into(),
-                })?;
+                let span = self.prev_span();
+                let bits: u32 = w[1..]
+                    .parse()
+                    .map_err(|_| ParseError::at(self.src, span, "bad integer width"))?;
                 if bits == 0 || bits > crate::types::MAX_INT_BITS {
-                    return self.err(format!("integer width {bits} out of range"));
+                    return self.err_at(span, format!("integer width {bits} out of range"));
                 }
                 Ty::Int(bits)
             }
             Tok::Lt => {
                 let elems = match self.next()? {
                     Tok::Int(v) if v > 0 => v as u32,
-                    _ => return self.err("expected a positive vector length"),
+                    _ => {
+                        self.pos -= 1;
+                        return self.err("expected a positive vector length");
+                    }
                 };
                 self.expect_word("x")?;
+                let elem_span = self.span();
                 let elem = self.parse_ty(false)?;
                 self.expect(Tok::Gt)?;
                 if !matches!(elem, Ty::Int(_) | Ty::Ptr(_)) {
-                    return self.err("vector elements must be integers or pointers");
+                    return self.err_at(elem_span, "vector elements must be integers or pointers");
                 }
                 Ty::Vector {
                     elems,
@@ -346,7 +260,7 @@ impl Parser {
         let mut ty = base;
         while self.eat(&Tok::Star) {
             if ty.is_void() {
-                return self.err("cannot form a pointer to void");
+                return self.err_at(self.prev_span(), "cannot form a pointer to void");
             }
             ty = Ty::ptr_to(ty);
         }
@@ -365,34 +279,38 @@ struct FnContext {
 }
 
 impl FnContext {
-    fn resolve_local(&self, p: &Parser, name: &str) -> Result<Value> {
+    fn resolve_local(&self, p: &Parser<'_>, name: &str) -> Result<Value> {
         if let Some(&i) = self.params.get(name) {
             return Ok(Value::Arg(i));
         }
         if let Some(&id) = self.defs.get(name) {
             return Ok(Value::Inst(id));
         }
-        Err(ParseError {
-            line: p.prev_line(),
-            message: format!("unknown local %{name}"),
-        })
+        Err(ParseError::at(
+            p.src,
+            p.prev_span(),
+            format!("unknown local %{name}"),
+        ))
     }
 
-    fn resolve_label(&self, p: &Parser, name: &str) -> Result<BlockId> {
-        self.labels.get(name).copied().ok_or_else(|| ParseError {
-            line: p.prev_line(),
-            message: format!("unknown label %{name}"),
-        })
+    fn resolve_label(&self, p: &Parser<'_>, name: &str) -> Result<BlockId> {
+        self.labels
+            .get(name)
+            .copied()
+            .ok_or_else(|| ParseError::at(p.src, p.prev_span(), format!("unknown label %{name}")))
     }
 }
 
 /// Parses a constant or local of the given expected type.
-fn parse_value(p: &mut Parser, ctx: &FnContext, ty: &Ty) -> Result<Value> {
+fn parse_value(p: &mut Parser<'_>, ctx: &FnContext, ty: &Ty) -> Result<Value> {
     match p.next()? {
         Tok::Local(name) => ctx.resolve_local(p, &name),
         Tok::Int(v) => match ty.int_bits() {
             Some(bits) => Ok(Value::int(bits, v as u128)),
-            None => p.err(format!("integer literal cannot have type {ty}")),
+            None => p.err_at(
+                p.prev_span(),
+                format!("integer literal cannot have type {ty}"),
+            ),
         },
         Tok::Word(w) if w == "true" => Ok(Value::bool(true)),
         Tok::Word(w) if w == "false" => Ok(Value::bool(false)),
@@ -404,10 +322,11 @@ fn parse_value(p: &mut Parser, ctx: &FnContext, ty: &Ty) -> Result<Value> {
             let mut elems = Vec::new();
             loop {
                 let ety = p.parse_ty(false)?;
+                let espan = p.span();
                 let v = parse_value(p, ctx, &ety)?;
                 match v {
                     Value::Const(c) => elems.push(c),
-                    _ => return p.err("vector constant elements must be constants"),
+                    _ => return p.err_at(espan, "vector constant elements must be constants"),
                 }
                 if !p.eat(&Tok::Comma) {
                     break;
@@ -423,7 +342,7 @@ fn parse_value(p: &mut Parser, ctx: &FnContext, ty: &Ty) -> Result<Value> {
     }
 }
 
-fn parse_flags(p: &mut Parser) -> Flags {
+fn parse_flags(p: &mut Parser<'_>) -> Flags {
     let mut flags = Flags::NONE;
     loop {
         if p.eat_word("nsw") {
@@ -456,7 +375,8 @@ fn cast_from_word(w: &str) -> Option<CastKind> {
 }
 
 /// Parses one instruction after the optional `%name =` prefix.
-fn parse_inst(p: &mut Parser, ctx: &FnContext) -> Result<Inst> {
+fn parse_inst(p: &mut Parser<'_>, ctx: &FnContext) -> Result<Inst> {
+    let mnemonic_span = p.span();
     let word = match p.next()? {
         Tok::Word(w) => w,
         got => {
@@ -493,9 +413,12 @@ fn parse_inst(p: &mut Parser, ctx: &FnContext) -> Result<Inst> {
     match word.as_str() {
         "icmp" => {
             let cond = match p.next()? {
-                Tok::Word(w) => cond_from_word(&w).ok_or_else(|| ParseError {
-                    line: p.line(),
-                    message: format!("unknown icmp condition '{w}'"),
+                Tok::Word(w) => cond_from_word(&w).ok_or_else(|| {
+                    ParseError::at(
+                        p.src,
+                        p.prev_span(),
+                        format!("unknown icmp condition '{w}'"),
+                    )
                 })?,
                 got => {
                     p.pos -= 1;
@@ -515,9 +438,13 @@ fn parse_inst(p: &mut Parser, ctx: &FnContext) -> Result<Inst> {
             let ty = p.parse_ty(false)?;
             let tval = parse_value(p, ctx, &ty)?;
             p.expect(Tok::Comma)?;
+            let fty_span = p.span();
             let fty = p.parse_ty(false)?;
             if fty != ty {
-                return p.err("select arms must have the same type");
+                return p.err_at(
+                    fty_span.to(p.prev_span()),
+                    format!("select arms must have the same type ({ty} vs {fty})"),
+                );
             }
             let fval = parse_value(p, ctx, &ty)?;
             Ok(Inst::Select {
@@ -564,9 +491,13 @@ fn parse_inst(p: &mut Parser, ctx: &FnContext) -> Result<Inst> {
             let inbounds = p.eat_word("inbounds");
             let elem_ty = p.parse_ty(false)?;
             p.expect(Tok::Comma)?;
+            let ptr_span = p.span();
             let ptr_ty = p.parse_ty(false)?;
             if ptr_ty != Ty::ptr_to(elem_ty.clone()) {
-                return p.err(format!("gep pointer type must be {elem_ty}*"));
+                return p.err_at(
+                    ptr_span.to(p.prev_span()),
+                    format!("gep pointer type must be {elem_ty}*"),
+                );
             }
             let base = parse_value(p, ctx, &ptr_ty)?;
             p.expect(Tok::Comma)?;
@@ -583,9 +514,13 @@ fn parse_inst(p: &mut Parser, ctx: &FnContext) -> Result<Inst> {
         "load" => {
             let ty = p.parse_ty(false)?;
             p.expect(Tok::Comma)?;
+            let ptr_span = p.span();
             let ptr_ty = p.parse_ty(false)?;
             if ptr_ty != Ty::ptr_to(ty.clone()) {
-                return p.err(format!("load pointer type must be {ty}*"));
+                return p.err_at(
+                    ptr_span.to(p.prev_span()),
+                    format!("load pointer type must be {ty}*"),
+                );
             }
             let ptr = parse_value(p, ctx, &ptr_ty)?;
             Ok(Inst::Load { ty, ptr })
@@ -594,18 +529,28 @@ fn parse_inst(p: &mut Parser, ctx: &FnContext) -> Result<Inst> {
             let ty = p.parse_ty(false)?;
             let val = parse_value(p, ctx, &ty)?;
             p.expect(Tok::Comma)?;
+            let ptr_span = p.span();
             let ptr_ty = p.parse_ty(false)?;
             if ptr_ty != Ty::ptr_to(ty.clone()) {
-                return p.err(format!("store pointer type must be {ty}*"));
+                return p.err_at(
+                    ptr_span.to(p.prev_span()),
+                    format!("store pointer type must be {ty}*"),
+                );
             }
             let ptr = parse_value(p, ctx, &ptr_ty)?;
             Ok(Inst::Store { ty, val, ptr })
         }
         "extractelement" => {
+            let vec_span = p.span();
             let vec_ty = p.parse_ty(false)?;
             let (len, elem_ty) = match &vec_ty {
                 Ty::Vector { elems, elem } => (*elems, (**elem).clone()),
-                _ => return p.err("extractelement needs a vector type"),
+                _ => {
+                    return p.err_at(
+                        vec_span.to(p.prev_span()),
+                        "extractelement needs a vector type",
+                    )
+                }
             };
             let vec = parse_value(p, ctx, &vec_ty)?;
             p.expect(Tok::Comma)?;
@@ -619,16 +564,26 @@ fn parse_inst(p: &mut Parser, ctx: &FnContext) -> Result<Inst> {
             })
         }
         "insertelement" => {
+            let vec_span = p.span();
             let vec_ty = p.parse_ty(false)?;
             let (len, elem_ty) = match &vec_ty {
                 Ty::Vector { elems, elem } => (*elems, (**elem).clone()),
-                _ => return p.err("insertelement needs a vector type"),
+                _ => {
+                    return p.err_at(
+                        vec_span.to(p.prev_span()),
+                        "insertelement needs a vector type",
+                    )
+                }
             };
             let vec = parse_value(p, ctx, &vec_ty)?;
             p.expect(Tok::Comma)?;
+            let ety_span = p.span();
             let ety = p.parse_ty(false)?;
             if ety != elem_ty {
-                return p.err("insertelement element type mismatch");
+                return p.err_at(
+                    ety_span.to(p.prev_span()),
+                    format!("insertelement element type mismatch ({elem_ty} vs {ety})"),
+                );
             }
             let elt = parse_value(p, ctx, &elem_ty)?;
             p.expect(Tok::Comma)?;
@@ -667,20 +622,22 @@ fn parse_inst(p: &mut Parser, ctx: &FnContext) -> Result<Inst> {
                 args,
             })
         }
-        other => p.err(format!("unknown instruction '{other}'")),
+        other => p.err_at(mnemonic_span, format!("unknown instruction '{other}'")),
     }
 }
 
-fn parse_terminator(p: &mut Parser, ctx: &FnContext, ret_ty: &Ty) -> Result<Terminator> {
+fn parse_terminator(p: &mut Parser<'_>, ctx: &FnContext, ret_ty: &Ty) -> Result<Terminator> {
     if p.eat_word("ret") {
         if p.eat_word("void") {
             return Ok(Terminator::Ret(None));
         }
+        let ty_span = p.span();
         let ty = p.parse_ty(false)?;
         if ty != *ret_ty {
-            return p.err(format!(
-                "ret type {ty} does not match function return type {ret_ty}"
-            ));
+            return p.err_at(
+                ty_span.to(p.prev_span()),
+                format!("ret type {ty} does not match function return type {ret_ty}"),
+            );
         }
         let v = parse_value(p, ctx, &ty)?;
         return Ok(Terminator::Ret(Some(v)));
@@ -690,9 +647,10 @@ fn parse_terminator(p: &mut Parser, ctx: &FnContext, ret_ty: &Ty) -> Result<Term
             let label = p.expect_local()?;
             return Ok(Terminator::Jmp(ctx.resolve_label(p, &label)?));
         }
+        let ty_span = p.span();
         let ty = p.parse_ty(false)?;
         if !ty.is_bool() {
-            return p.err("br condition must have type i1");
+            return p.err_at(ty_span, "br condition must have type i1");
         }
         let cond = parse_value(p, ctx, &ty)?;
         p.expect(Tok::Comma)?;
@@ -723,30 +681,31 @@ fn parse_terminator(p: &mut Parser, ctx: &FnContext, ret_ty: &Ty) -> Result<Term
 /// instruction, `store`/`call` an unnamed (void) instruction, and
 /// `ret`/`br`/`unreachable` a terminator. Unnamed instructions consume
 /// an instruction id so that ids assigned here match parse order.
-fn prescan(p: &Parser, ctx: &mut FnContext) -> Result<()> {
+fn prescan(p: &Parser<'_>, ctx: &mut FnContext) -> Result<()> {
     let mut i = p.pos;
     let mut next_block = 0u32;
     let mut next_inst = 0u32;
     let mut cur_line = 0usize;
-    while let Some((tok, line)) = p.toks.get(i) {
-        if *tok == Tok::RBrace {
+    while let Some(t) = p.toks.get(i) {
+        if t.tok == Tok::RBrace {
             break;
         }
-        if *line == cur_line {
+        if t.line == cur_line {
             // Not at a statement start; skip.
             i += 1;
             continue;
         }
-        cur_line = *line;
-        match tok {
+        cur_line = t.line;
+        match &t.tok {
             Tok::Word(w) => {
                 // `label:` introduces a block.
-                if matches!(p.toks.get(i + 1).map(|(t, _)| t), Some(Tok::Colon)) {
+                if matches!(p.toks.get(i + 1).map(|t| &t.tok), Some(Tok::Colon)) {
                     if ctx.labels.insert(w.clone(), BlockId(next_block)).is_some() {
-                        return Err(ParseError {
-                            line: *line,
-                            message: format!("duplicate block label '{w}'"),
-                        });
+                        return Err(ParseError::at(
+                            p.src,
+                            t.span,
+                            format!("duplicate block label '{w}'"),
+                        ));
                     }
                     next_block += 1;
                     i += 1; // skip the colon too
@@ -754,41 +713,46 @@ fn prescan(p: &Parser, ctx: &mut FnContext) -> Result<()> {
                     // Unnamed (void-result) instruction.
                     next_inst += 1;
                 } else if w != "ret" && w != "br" && w != "unreachable" {
-                    return Err(ParseError {
-                        line: *line,
-                        message: format!("unexpected statement start '{w}'"),
-                    });
+                    return Err(ParseError::at(
+                        p.src,
+                        t.span,
+                        format!("unexpected statement start '{w}'"),
+                    ));
                 }
             }
             Tok::Local(name) => {
                 // `%name =` introduces a definition.
-                if matches!(p.toks.get(i + 1).map(|(t, _)| t), Some(Tok::Eq)) {
+                if matches!(p.toks.get(i + 1).map(|t| &t.tok), Some(Tok::Eq)) {
                     if ctx.params.contains_key(name) {
-                        return Err(ParseError {
-                            line: *line,
-                            message: format!("%{name} shadows a parameter"),
-                        });
+                        return Err(ParseError::at(
+                            p.src,
+                            t.span,
+                            format!("%{name} shadows a parameter"),
+                        ));
                     }
                     if ctx.defs.insert(name.clone(), InstId(next_inst)).is_some() {
-                        return Err(ParseError {
-                            line: *line,
-                            message: format!("duplicate definition of %{name}"),
-                        });
+                        return Err(ParseError::at(
+                            p.src,
+                            t.span,
+                            format!("duplicate definition of %{name}"),
+                        ));
                     }
                     next_inst += 1;
                     i += 1;
                 } else {
-                    return Err(ParseError {
-                        line: *line,
-                        message: format!("expected '=' after %{name} at statement start"),
-                    });
+                    return Err(ParseError::at(
+                        p.src,
+                        t.span,
+                        format!("expected '=' after %{name} at statement start"),
+                    ));
                 }
             }
             other => {
-                return Err(ParseError {
-                    line: *line,
-                    message: format!("unexpected statement start {other}"),
-                });
+                return Err(ParseError::at(
+                    p.src,
+                    t.span,
+                    format!("unexpected statement start {other}"),
+                ));
             }
         }
         i += 1;
@@ -797,7 +761,7 @@ fn prescan(p: &Parser, ctx: &mut FnContext) -> Result<()> {
 }
 
 fn parse_function_body(
-    p: &mut Parser,
+    p: &mut Parser<'_>,
     name: String,
     params: Vec<Param>,
     ret_ty: Ty,
@@ -841,7 +805,7 @@ fn parse_function_body(
         // Block label?
         if let Some(Tok::Word(w)) = p.peek() {
             let w = w.clone();
-            if p.toks.get(p.pos + 1).map(|(t, _)| t) == Some(&Tok::Colon) {
+            if p.toks.get(p.pos + 1).map(|t| &t.tok) == Some(&Tok::Colon) {
                 p.pos += 2;
                 cur_block = Some(ctx.labels[&w]);
                 continue;
@@ -860,6 +824,7 @@ fn parse_function_body(
             return p.err("instruction outside of a block");
         };
         // `%name = inst` or bare `store`/void `call`.
+        let stmt_span = p.span();
         let named = if let Some(Tok::Local(n)) = p.peek() {
             let n = n.clone();
             p.pos += 1;
@@ -870,10 +835,16 @@ fn parse_function_body(
         };
         let inst = parse_inst(p, &ctx)?;
         if named.is_some() && inst.result_ty().is_void() {
-            return p.err(format!("{} produces no value to name", inst.mnemonic()));
+            return p.err_at(
+                stmt_span,
+                format!("{} produces no value to name", inst.mnemonic()),
+            );
         }
         if named.is_none() && !inst.result_ty().is_void() {
-            return p.err(format!("result of {} must be named", inst.mnemonic()));
+            return p.err_at(
+                stmt_span,
+                format!("result of {} must be named", inst.mnemonic()),
+            );
         }
         let id = func.add_inst(inst);
         debug_assert_eq!(id, InstId(next_inst));
@@ -886,7 +857,7 @@ fn parse_function_body(
     Ok(func)
 }
 
-fn parse_define(p: &mut Parser) -> Result<Function> {
+fn parse_define(p: &mut Parser<'_>) -> Result<Function> {
     let ret_ty = p.parse_ty(true)?;
     let name = p.expect_global()?;
     p.expect(Tok::LParen)?;
@@ -906,7 +877,7 @@ fn parse_define(p: &mut Parser) -> Result<Function> {
     parse_function_body(p, name, params, ret_ty)
 }
 
-fn parse_declare(p: &mut Parser) -> Result<FuncDecl> {
+fn parse_declare(p: &mut Parser<'_>) -> Result<FuncDecl> {
     let ret_ty = p.parse_ty(true)?;
     let name = p.expect_global()?;
     p.expect(Tok::LParen)?;
@@ -942,10 +913,15 @@ fn parse_declare(p: &mut Parser) -> Result<FuncDecl> {
 ///
 /// # Errors
 ///
-/// Returns a [`ParseError`] with the offending line on malformed input.
+/// Returns a [`ParseError`] pinpointing the offending span on
+/// malformed input.
 pub fn parse_module(input: &str) -> Result<Module> {
     let toks = lex(input)?;
-    let mut p = Parser { toks, pos: 0 };
+    let mut p = Parser {
+        src: input,
+        toks,
+        pos: 0,
+    };
     let mut module = Module::new();
     while p.peek().is_some() {
         if p.eat_word("define") {
@@ -968,192 +944,14 @@ pub fn parse_module(input: &str) -> Result<Module> {
 pub fn parse_function(input: &str) -> Result<Function> {
     let module = parse_module(input)?;
     if module.functions.len() != 1 {
-        return Err(ParseError {
-            line: 1,
-            message: format!(
+        return Err(ParseError::at(
+            input,
+            Span::point(0),
+            format!(
                 "expected exactly one function, found {}",
                 module.functions.len()
             ),
-        });
+        ));
     }
     Ok(module.functions.into_iter().next().expect("checked length"))
-}
-
-#[cfg(test)]
-mod tests {
-    use super::*;
-    use crate::print::function_to_string;
-
-    #[test]
-    fn parses_simple_function() {
-        let f = parse_function(
-            r#"
-define i32 @f(i32 %x, i32 %y) {
-entry:
-  %a = add nsw i32 %x, %y
-  %c = icmp sgt i32 %a, %x
-  %r = select i1 %c, i32 %a, i32 0
-  ret i32 %r
-}
-"#,
-        )
-        .unwrap();
-        assert_eq!(f.name, "f");
-        assert_eq!(f.placed_inst_count(), 3);
-        assert!(crate::verify::verify_function(&f).is_ok());
-    }
-
-    #[test]
-    fn parses_loop_with_forward_references() {
-        let f = parse_function(
-            r#"
-define void @loop(i32 %n, i32 %x, i32* %a) {
-entry:
-  br label %head
-head:
-  %i = phi i32 [ 0, %entry ], [ %i1, %body ]
-  %c = icmp slt i32 %i, %n
-  br i1 %c, label %body, label %exit
-body:
-  %x1 = add nsw i32 %x, 1
-  %ptr = getelementptr inbounds i32, i32* %a, i32 %i
-  store i32 %x1, i32* %ptr
-  %i1 = add nsw i32 %i, 1
-  br label %head
-exit:
-  ret void
-}
-"#,
-        )
-        .unwrap();
-        assert_eq!(f.blocks.len(), 4);
-        assert!(crate::verify::verify_function(&f).is_ok());
-    }
-
-    #[test]
-    fn round_trips_through_printer() {
-        let src = r#"
-define i8 @rt(i1 %c, i8 %x) {
-entry:
-  %t0 = freeze i8 %x
-  %t1 = select i1 %c, i8 %t0, i8 poison
-  %t2 = xor i8 %t1, 255
-  ret i8 %t2
-}
-"#;
-        let f = parse_function(src).unwrap();
-        let printed = function_to_string(&f);
-        let f2 = parse_function(&printed).unwrap();
-        assert_eq!(function_to_string(&f2), printed);
-    }
-
-    #[test]
-    fn parses_declarations_and_calls() {
-        let m = parse_module(
-            r#"
-declare i32 @g(i32) readnone willreturn
-define void @caller(i32 %x) {
-entry:
-  %r = call i32 @g(i32 %x)
-  call void @h()
-  ret void
-}
-declare void @h()
-"#,
-        )
-        .unwrap();
-        assert_eq!(m.declarations.len(), 2);
-        assert!(m.declarations[0].attrs.readnone);
-        assert!(m.declarations[0].attrs.willreturn);
-        assert!(!m.declarations[1].attrs.readnone);
-        assert_eq!(m.functions[0].placed_inst_count(), 2);
-    }
-
-    #[test]
-    fn parses_vectors_and_casts() {
-        let f = parse_function(
-            r#"
-define i16 @v(<2 x i16> %v, i32 %w) {
-entry:
-  %t = trunc i32 %w to i16
-  %v2 = insertelement <2 x i16> %v, i16 %t, i32 1
-  %e = extractelement <2 x i16> %v2, i32 0
-  %z = zext i16 %e to i64
-  %s = sext i16 %e to i32
-  %b = bitcast <2 x i16> %v2 to i32
-  %q = trunc i32 %b to i16
-  ret i16 %q
-}
-"#,
-        )
-        .unwrap();
-        assert!(crate::verify::verify_function(&f).is_ok());
-        assert_eq!(f.placed_inst_count(), 7);
-    }
-
-    #[test]
-    fn parses_negative_and_boolean_constants() {
-        let f = parse_function(
-            r#"
-define i1 @c(i8 %x) {
-entry:
-  %a = add i8 %x, -1
-  %c = icmp eq i8 %a, 255
-  %r = select i1 %c, i1 true, i1 false
-  ret i1 %r
-}
-"#,
-        )
-        .unwrap();
-        // -1 as i8 is 255.
-        let Inst::Bin { rhs, .. } = f.inst(InstId(0)) else {
-            panic!()
-        };
-        assert!(rhs.is_int_const(255));
-    }
-
-    #[test]
-    fn rejects_unknown_local() {
-        let err = parse_function(
-            "define i32 @f(i32 %x) {\nentry:\n  %a = add i32 %x, %missing\n  ret i32 %a\n}",
-        )
-        .unwrap_err();
-        assert!(err.message.contains("unknown local"));
-        assert_eq!(err.line, 3);
-    }
-
-    #[test]
-    fn rejects_duplicate_definition() {
-        let err = parse_function(
-            "define i32 @f(i32 %x) {\nentry:\n  %a = add i32 %x, 1\n  %a = add i32 %x, 2\n  ret i32 %a\n}",
-        )
-        .unwrap_err();
-        assert!(err.message.contains("duplicate definition"));
-    }
-
-    #[test]
-    fn rejects_unnamed_result() {
-        let err =
-            parse_function("define i32 @f(i32 %x) {\nentry:\n  add i32 %x, 1\n  ret i32 %x\n}")
-                .unwrap_err();
-        assert!(err.message.contains("unexpected statement start 'add'"));
-    }
-
-    #[test]
-    fn comments_are_ignored() {
-        let f = parse_function(
-            "; header comment\ndefine i32 @f(i32 %x) { ; trailing\nentry:\n  ret i32 %x ; done\n}",
-        )
-        .unwrap();
-        assert_eq!(f.name, "f");
-    }
-
-    #[test]
-    fn parses_poison_and_undef_operands() {
-        let f =
-            parse_function("define i8 @p() {\nentry:\n  %a = add i8 poison, undef\n  ret i8 %a\n}")
-                .unwrap();
-        assert!(crate::verify::verify_function_legacy(&f).is_ok());
-        assert!(crate::verify::verify_function(&f).is_err());
-    }
 }

@@ -1,11 +1,20 @@
-//! Textual printing of the IR, in an LLVM-flavoured syntax that
-//! round-trips through [`crate::parse`].
+//! The canonical pretty-printer: IR values → textual IR.
+//!
+//! This is the *only* textual rendering of the IR: the `Display` impls
+//! on [`Module`]/[`Function`] delegate here, so a module has exactly
+//! one textual form. The output is canonical — instruction results are
+//! named `%t<id>` in definition order — and re-parses through
+//! [`super::parse`] to a module whose every function is
+//! [`FunctionKey`](crate::FunctionKey)-equal to the original.
+//!
+//! Every instruction spells out enough types to be unambiguous on its
+//! own line; in particular casts always print their *source* type:
+//! `zext i16 %x to i64`, never `zext %x to i64`.
 
 use std::fmt::{self, Write as _};
 
 use crate::function::{Function, Module};
 use crate::inst::{Inst, Terminator};
-use crate::types::Ty;
 use crate::value::{BlockId, Constant, Value};
 
 /// Renders a constant with no leading type.
@@ -112,6 +121,9 @@ pub fn inst_to_string(f: &Function, inst: &Inst, def: Option<&str>) -> String {
             to_ty,
             val,
         } => {
+            // The source type is mandatory: `zext %x to i64` would be
+            // ambiguous (the operand width is not recoverable from the
+            // line alone).
             let _ = write!(s, "{kind} {from_ty} {} to {to_ty}", value_to_string(f, val));
         }
         Inst::Bitcast {
@@ -291,17 +303,14 @@ pub fn module_to_string(module: &Module) -> String {
     s
 }
 
-#[allow(unused_imports)]
-mod ty_use {
-    // `Ty` appears only in doc positions above; keep the import local.
-    use super::Ty;
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
     use crate::builder::FunctionBuilder;
-    use crate::inst::{Cond, Flags};
+    use crate::inst::{CastKind, Cond, Flags};
+    use crate::text::parse_function;
+    use crate::types::Ty;
+    use crate::value::InstId;
 
     #[test]
     fn prints_figure_one_loop() {
@@ -365,5 +374,110 @@ mod tests {
         let text = function_to_string(&b.finish());
         assert!(text.contains("%t0 = freeze i8 %x"));
         assert!(text.contains("%t1 = select i1 %c, i8 %t0, i8 0"));
+    }
+
+    /// Every cast variant must print its *source* type (`<op> <from_ty>
+    /// <val> to <to_ty>`): `zext %x to i64` would not re-parse, and a
+    /// form without the operand width would be ambiguous. Each printed
+    /// line is also required to re-parse to the identical instruction,
+    /// which pins `Display` and the parser to one textual form.
+    #[test]
+    fn cast_display_always_includes_source_type() {
+        let cases: &[(Inst, &str)] = &[
+            (
+                Inst::Cast {
+                    kind: CastKind::Zext,
+                    from_ty: Ty::Int(16),
+                    to_ty: Ty::Int(64),
+                    val: Value::Arg(0),
+                },
+                "zext i16 %x to i64",
+            ),
+            (
+                Inst::Cast {
+                    kind: CastKind::Sext,
+                    from_ty: Ty::Int(3),
+                    to_ty: Ty::Int(5),
+                    val: Value::Arg(0),
+                },
+                "sext i3 %x to i5",
+            ),
+            (
+                Inst::Cast {
+                    kind: CastKind::Trunc,
+                    from_ty: Ty::Int(32),
+                    to_ty: Ty::Int(16),
+                    val: Value::Arg(0),
+                },
+                "trunc i32 %x to i16",
+            ),
+            (
+                Inst::Cast {
+                    kind: CastKind::Zext,
+                    from_ty: Ty::vector(2, Ty::Int(8)),
+                    to_ty: Ty::vector(2, Ty::Int(16)),
+                    val: Value::Arg(0),
+                },
+                "zext <2 x i8> %x to <2 x i16>",
+            ),
+            (
+                Inst::Bitcast {
+                    from_ty: Ty::vector(2, Ty::Int(16)),
+                    to_ty: Ty::Int(32),
+                    val: Value::Arg(0),
+                },
+                "bitcast <2 x i16> %x to i32",
+            ),
+            (
+                Inst::Bitcast {
+                    from_ty: Ty::ptr_to(Ty::Int(16)),
+                    to_ty: Ty::ptr_to(Ty::vector(2, Ty::Int(16))),
+                    val: Value::Arg(0),
+                },
+                "bitcast i16* %x to <2 x i16>*",
+            ),
+        ];
+        for (inst, want) in cases {
+            let mut f = Function {
+                name: "c".into(),
+                params: vec![crate::function::Param {
+                    name: "x".into(),
+                    ty: match inst {
+                        Inst::Cast { from_ty, .. } | Inst::Bitcast { from_ty, .. } => {
+                            from_ty.clone()
+                        }
+                        _ => unreachable!(),
+                    },
+                }],
+                ret_ty: inst.result_ty(),
+                blocks: vec![Block::new("entry")],
+                insts: Vec::new(),
+            };
+            let line = inst_to_string(&f, inst, None);
+            assert_eq!(&line, want);
+            // The line re-parses to the identical instruction.
+            let id = f.add_inst(inst.clone());
+            f.blocks[0].insts.push(id);
+            f.blocks[0].term = Terminator::Ret(Some(Value::Inst(id)));
+            let reparsed = parse_function(&function_to_string(&f)).unwrap();
+            assert_eq!(reparsed.inst(InstId(0)), inst, "cast roundtrip: {want}");
+        }
+    }
+
+    use crate::function::Block;
+
+    /// `Display` and the canonical printer are the same code path —
+    /// there is exactly one textual form.
+    #[test]
+    fn display_is_the_canonical_printer() {
+        let f =
+            parse_function("define i8 @d(i8 %x) {\nentry:\n  %t0 = add i8 %x, 1\n  ret i8 %t0\n}")
+                .unwrap();
+        assert_eq!(format!("{f}"), function_to_string(&f));
+        let m = crate::text::parse_module(
+            "declare i8 @e(i8)\ndefine i8 @d(i8 %x) {\nentry:\n  ret i8 %x\n}",
+        )
+        .unwrap();
+        assert_eq!(format!("{m}"), module_to_string(&m));
     }
 }

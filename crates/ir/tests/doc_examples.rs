@@ -1,0 +1,93 @@
+//! Doc-example fidelity: every fenced ```fir block in the repo's
+//! documentation, and every committed `examples/*.fir` file, must
+//! parse. The language reference cannot drift from the parser.
+
+use std::path::{Path, PathBuf};
+
+use frost_ir::parse_module;
+
+fn repo_root() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR")).join("../..")
+}
+
+/// Extracts the bodies of all ```fir fenced code blocks.
+fn fir_blocks(markdown: &str) -> Vec<(usize, String)> {
+    let mut blocks = Vec::new();
+    let mut current: Option<(usize, String)> = None;
+    for (i, line) in markdown.lines().enumerate() {
+        let fence = line.trim_start();
+        match &mut current {
+            None if fence == "```fir" => current = Some((i + 1, String::new())),
+            Some(_) if fence == "```" => blocks.push(current.take().unwrap()),
+            Some((_, body)) => {
+                body.push_str(line);
+                body.push('\n');
+            }
+            None => {}
+        }
+    }
+    assert!(current.is_none(), "unclosed ```fir fence");
+    blocks
+}
+
+fn check_doc(path: &str, min_blocks: usize) {
+    let full = repo_root().join(path);
+    let text = std::fs::read_to_string(&full).unwrap_or_else(|e| panic!("read {path}: {e}"));
+    let blocks = fir_blocks(&text);
+    assert!(
+        blocks.len() >= min_blocks,
+        "{path}: found {} ```fir blocks, expected at least {min_blocks} — \
+         did a worked example get re-fenced?",
+        blocks.len()
+    );
+    for (line, body) in blocks {
+        if let Err(e) = parse_module(&body) {
+            panic!("{path}: ```fir block starting at line {line} does not parse:\n{e}");
+        }
+    }
+}
+
+#[test]
+fn ir_reference_examples_parse() {
+    check_doc("docs/IR_REFERENCE.md", 5);
+}
+
+#[test]
+fn readme_examples_parse() {
+    check_doc("README.md", 1);
+}
+
+#[test]
+fn design_examples_parse() {
+    check_doc("DESIGN.md", 0);
+}
+
+#[test]
+fn committed_example_modules_parse_and_pair_up() {
+    let dir = repo_root().join("examples");
+    let mut checked = 0;
+    for entry in std::fs::read_dir(&dir).expect("examples/ exists") {
+        let path = entry.unwrap().path();
+        if path.extension().is_none_or(|e| e != "fir") {
+            continue;
+        }
+        let text = std::fs::read_to_string(&path).unwrap();
+        let module = parse_module(&text)
+            .unwrap_or_else(|e| panic!("{} does not parse:\n{e}", path.display()));
+        // Each shipped example demonstrates `repro --input`'s pair
+        // convention: at least one @f with an @f.tgt partner.
+        assert!(
+            module
+                .functions
+                .iter()
+                .any(|f| module.function(&format!("{}.tgt", f.name)).is_some()),
+            "{}: no @f/@f.tgt refinement pair",
+            path.display()
+        );
+        checked += 1;
+    }
+    assert!(
+        checked >= 2,
+        "expected the §5.4 example pair, found {checked}"
+    );
+}

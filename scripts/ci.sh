@@ -63,6 +63,47 @@ grep -q "violations=0" sweep-ci.out || {
     exit 1
 }
 
+echo "==> textual IR roundtrip fidelity (full §6 corpus + 10k fuzz sample)"
+# Every function of the unsampled §6 exhaustive spaces, a 10k random
+# sample of the deeper spaces, and every workload module (pre- and
+# post-O2) must survive print -> parse with its FunctionKey intact.
+cargo run -q --release -p frost-bench --bin repro -- \
+    --experiment roundtrip --fuzz 10000 \
+    | tee roundtrip-ci.out
+grep -q "^roundtrip: checked=" roundtrip-ci.out || {
+    echo "ci: roundtrip gate produced no summary" >&2
+    exit 1
+}
+grep "^roundtrip: " roundtrip-ci.out | grep -q "mismatches=0" || {
+    echo "ci: print->parse roundtrip mismatches found" >&2
+    exit 1
+}
+rm -f roundtrip-ci.out
+
+echo "==> doc examples parse (README / IR_REFERENCE / DESIGN + examples/*.fir)"
+# Every fenced fir block in the documentation and every committed
+# example module must parse; crates/ir/tests/doc_examples.rs is the
+# checker, so the gate needs no extra tooling.
+cargo test -q --release -p frost-ir --test doc_examples
+
+echo "==> repro --input smoke (the 5.4 load-widening pair)"
+# The sound vector widening and the intentionally-UNSOUND scalar one
+# must both run to a verdict (exit 0 — verdicts are results, not
+# errors) and land on the expected sides.
+cargo run -q --release -p frost-bench --bin repro -- \
+    --input examples/load_widen_vector.fir | tee input-ci.out
+grep -q "@widen -> @widen.tgt: sound" input-ci.out || {
+    echo "ci: vector load widening no longer validates as sound" >&2
+    exit 1
+}
+cargo run -q --release -p frost-bench --bin repro -- \
+    --input examples/load_widen_scalar.fir | tee input-ci.out
+grep -q "@widen -> @widen.tgt: UNSOUND" input-ci.out || {
+    echo "ci: scalar load widening no longer caught as unsound" >&2
+    exit 1
+}
+rm -f input-ci.out
+
 echo "==> checkpoint kill/resume determinism smoke"
 # Interrupt a small sweep mid-flight with a tight budget, resume it
 # from the checkpoint, and require the final summary to be identical
