@@ -4,6 +4,8 @@
 //! ```text
 //! repro [--experiment NAME] [--quick] [--budget N]
 //!       [--insts N] [--seconds N] [--checkpoint FILE] [--fuzz N]
+//!       [--prune] [--shards K] [--shard-id I] [--merge FILE]...
+//!       [--bench-json FILE]
 //!       [--trace] [--counters] [--validate-trace FILE]
 //! repro --input FILE.fir
 //! ```
@@ -21,7 +23,12 @@
 //! roundtrip-fidelity gate over the full §6 corpus plus a `--fuzz`-sized
 //! random sample), and sweep (explicit-only: the full unsampled §6
 //! exhaustive sweep; `--checkpoint` makes it resumable across restarts,
-//! `--seconds`/`--budget` bound one run).
+//! `--seconds`/`--budget` bound one run, `--prune` enumerates only
+//! canonical live functions, `--shards K --shard-id I` runs one
+//! residue class of a K-process campaign, `--merge FILE` (repeated)
+//! folds per-shard checkpoints into the whole-space summary instead of
+//! sweeping, and `--bench-json FILE` writes a machine-readable
+//! benchmark record).
 //!
 //! Observability (see docs/OBSERVABILITY.md): `--trace` records every
 //! span of the run, writes the JSONL artifact to `telemetry.jsonl` (or
@@ -47,12 +54,13 @@ fn validate_trace_file(path: &str) -> ! {
     match frost_telemetry::validate_jsonl(&text) {
         Ok(stats) => {
             println!(
-                "{path}: valid ({} events: {} starts, {} stops, {} points, {} unmatched, \
-                 {} span keys)",
+                "{path}: valid ({} lines: {} starts, {} stops, {} points, {} bench, \
+                 {} unmatched, {} span keys)",
                 stats.lines,
                 stats.starts,
                 stats.stops,
                 stats.points,
+                stats.bench,
                 stats.unmatched,
                 stats.by_key.len()
             );
@@ -79,6 +87,11 @@ fn main() {
     let mut counters = false;
     let mut fuzz = 10_000usize;
     let mut input: Option<String> = None;
+    let mut prune = false;
+    let mut shards = 1usize;
+    let mut shard_id = 0usize;
+    let mut merge: Vec<std::path::PathBuf> = Vec::new();
+    let mut bench_json: Option<String> = None;
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
@@ -141,6 +154,39 @@ fn main() {
                     std::process::exit(2);
                 }));
             }
+            "--prune" => prune = true,
+            "--shards" => {
+                i += 1;
+                shards = args.get(i).and_then(|s| s.parse().ok()).unwrap_or_else(|| {
+                    eprintln!("--shards needs a number");
+                    std::process::exit(2);
+                });
+                if shards == 0 {
+                    eprintln!("--shards must be at least 1");
+                    std::process::exit(2);
+                }
+            }
+            "--shard-id" => {
+                i += 1;
+                shard_id = args.get(i).and_then(|s| s.parse().ok()).unwrap_or_else(|| {
+                    eprintln!("--shard-id needs a number");
+                    std::process::exit(2);
+                });
+            }
+            "--merge" => {
+                i += 1;
+                merge.push(args.get(i).cloned().map(Into::into).unwrap_or_else(|| {
+                    eprintln!("--merge needs a checkpoint file (repeat for each shard)");
+                    std::process::exit(2);
+                }));
+            }
+            "--bench-json" => {
+                i += 1;
+                bench_json = Some(args.get(i).cloned().unwrap_or_else(|| {
+                    eprintln!("--bench-json needs a file");
+                    std::process::exit(2);
+                }));
+            }
             "--trace" => trace = true,
             "--counters" => counters = true,
             "--validate-trace" => {
@@ -157,6 +203,8 @@ fn main() {
                      inconsistencies|widening|loadwiden|queens|roundtrip|sweep|all] [--quick] \
                      [--budget N]\n\
                      \x20            [--insts N] [--seconds N] [--checkpoint FILE] [--fuzz N]\n\
+                     \x20            [--prune] [--shards K] [--shard-id I] [--merge FILE]...\n\
+                     \x20            [--bench-json FILE]\n\
                      \x20            [--trace] [--counters] [--validate-trace FILE]\n\
                      \x20      repro --input FILE.fir\n\
                      \n\
@@ -173,7 +221,16 @@ fn main() {
                      --insts N         instructions per generated function (default 2)\n\
                      --seconds N       wall-clock deadline; checkpoint + resume to continue\n\
                      --budget N        max functions this run (default: unbounded for sweep)\n\
-                     --checkpoint F    load cursor from F if it exists, save it on exit"
+                     --checkpoint F    load cursor from F if it exists, save it on exit\n\
+                     \x20                 (with --merge: where the merged artifact lands)\n\
+                     --prune           enumerate only canonical live functions (skip\n\
+                     \x20                 commutative mirrors, const-position mirrors, dead\n\
+                     \x20                 intermediates)\n\
+                     --shards K        partition the space over K worker processes\n\
+                     --shard-id I      which residue class this process sweeps (0-based)\n\
+                     --merge F         fold per-shard checkpoints (repeat per shard) into\n\
+                     \x20                 the whole-space summary instead of sweeping\n\
+                     --bench-json F    write a one-line machine-readable benchmark record"
                 );
                 return;
             }
@@ -183,6 +240,10 @@ fn main() {
             }
         }
         i += 1;
+    }
+    if shard_id >= shards {
+        eprintln!("--shard-id {shard_id} out of range for --shards {shards}");
+        std::process::exit(2);
     }
 
     if let Some(path) = input {
@@ -237,12 +298,23 @@ fn main() {
     }
     // Explicit-only: the full space is too large for the `all` sweep.
     if experiment == "sweep" && run("sweep") {
-        match experiments::sweep(
-            insts,
-            budget_given.then_some(budget),
-            seconds,
-            checkpoint.as_deref().map(std::path::Path::new),
-        ) {
+        // With --merge files the coordinator folds per-shard
+        // checkpoints instead of sweeping; --checkpoint then names
+        // where the merged artifact lands.
+        let result = if merge.is_empty() {
+            experiments::sweep(
+                insts,
+                budget_given.then_some(budget),
+                seconds,
+                checkpoint.as_deref().map(std::path::Path::new),
+                prune,
+                (shards > 1).then_some((shard_id, shards)),
+                bench_json.as_deref().map(std::path::Path::new),
+            )
+        } else {
+            experiments::sweep_merge(&merge, checkpoint.as_deref().map(std::path::Path::new))
+        };
+        match result {
             Ok((t, summary)) => {
                 println!("{t}");
                 println!("{summary}");

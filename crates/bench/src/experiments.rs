@@ -2,13 +2,13 @@
 //! DESIGN.md's per-experiment index E1–E9). Each returns a rendered
 //! [`Table`]; `repro` prints them.
 
-use std::path::Path;
+use std::path::{Path, PathBuf};
 use std::time::Duration;
 
 use frost_backend::{compile_module, lea_base_registers, CostModel, Simulator, MEM_BASE};
 use frost_core::{Engine, FrostError, Semantics};
 use frost_fuzz::{
-    enumerate_functions, random_functions, Campaign, CampaignCheckpoint, GenConfig,
+    enumerate_functions, random_functions, Campaign, CampaignCheckpoint, GenConfig, Pruning,
     ValidationReport,
 };
 use frost_ir::{check_roundtrip, parse_module, Function, Module, ModuleAnalysisManager};
@@ -326,17 +326,40 @@ pub fn optfuzz(budget: usize) -> Table {
 /// [`Campaign::run_exhaustive`] on [`Engine::Auto`], resumable across
 /// process restarts via `--checkpoint`.
 ///
+/// `prune` turns on [`Pruning::FULL`] generation-time pruning
+/// (commutative-operand ordering, constant-position normalization,
+/// dead-intermediate elimination); `shard` restricts this process to
+/// one residue class `(shard_id, shards)` of a `K`-process campaign
+/// whose per-shard checkpoints [`sweep_merge`] folds back together;
+/// `bench_json` writes a one-line machine-readable benchmark record
+/// (see docs/OBSERVABILITY.md) next to the human table.
+///
 /// Returns the table plus a deterministic one-line summary (no
 /// wall-clock columns), so scripts can diff an interrupted-and-resumed
-/// sweep against an uninterrupted one.
+/// sweep — or a merged `K`-shard sweep — against an uninterrupted
+/// single-process one.
 pub fn sweep(
     num_insts: usize,
     budget: Option<usize>,
     seconds: Option<u64>,
     checkpoint: Option<&Path>,
+    prune: bool,
+    shard: Option<(usize, usize)>,
+    bench_json: Option<&Path>,
 ) -> Result<(Table, String), FrostError> {
-    let cfg = GenConfig::arithmetic(num_insts);
+    let mut cfg = GenConfig::arithmetic(num_insts);
+    if prune {
+        cfg = cfg.with_pruning(Pruning::FULL);
+    }
     let space = enumerate_functions(cfg.clone()).approx_size();
+    let (shard_id, shards) = shard.unwrap_or((0, 1));
+    if shards == 0 || shard_id >= shards {
+        return Err(FrostError::stage(
+            "shard",
+            "sweep",
+            format!("shard {shard_id}/{shards} out of range"),
+        ));
+    }
     let resume = match checkpoint {
         Some(p) if p.exists() => Some(
             CampaignCheckpoint::load_jsonl(p)
@@ -355,13 +378,15 @@ pub fn sweep(
             // The §6 odometer never revisits a structure, so a
             // single-machine sweep skips the per-function fingerprint
             // set and keeps the checkpoint O(cursor), not O(space).
-            .with_dedup(false);
+            .with_dedup(false)
+            .with_process_shard(shard_id, shards);
     if let Some(b) = budget {
         campaign = campaign.with_budget(b);
     }
     if let Some(s) = seconds {
         campaign = campaign.with_deadline(Duration::from_secs(s));
     }
+    let before = frost_telemetry::snapshot();
     let (report, cp) = campaign.run_exhaustive(&cfg, resume.as_ref(), |m| {
         for f in &mut m.functions {
             ic.apply(f);
@@ -369,9 +394,23 @@ pub fn sweep(
             f.compact();
         }
     });
+    let delta = frost_telemetry::snapshot().delta(&before);
     if let Some(p) = checkpoint {
         cp.save_jsonl(p)
             .map_err(|e| FrostError::stage("checkpoint", "sweep", format!("cannot save: {e}")))?;
+    }
+    if let Some(p) = bench_json {
+        let line = sweep_bench_json(
+            num_insts,
+            space,
+            prune,
+            (shard_id, shards),
+            &report,
+            &cp,
+            &delta,
+        );
+        std::fs::write(p, line)
+            .map_err(|e| FrostError::stage("bench-json", "sweep", format!("cannot save: {e}")))?;
     }
 
     let mut t = Table::new(
@@ -379,6 +418,7 @@ pub fn sweep(
         &[
             "insts",
             "space",
+            "shard",
             "checked",
             "changed",
             "violations",
@@ -389,7 +429,12 @@ pub fn sweep(
     );
     t.row(vec![
         num_insts.to_string(),
-        space.to_string(),
+        if prune {
+            format!("{space} (pruned)")
+        } else {
+            space.to_string()
+        },
+        format!("{shard_id}/{shards}"),
         report.total.to_string(),
         report.changed.to_string(),
         report.violations.len().to_string(),
@@ -401,22 +446,140 @@ pub fn sweep(
         "complete=no means the budget/deadline cut the sweep; rerun with --checkpoint to resume",
     );
     t.note("fixed-mode InstCombine over the proposed semantics must stay at 0 violations");
-    let summary = sweep_summary(&report, cp.done);
+    let summary = sweep_summary(&cp);
     Ok((t, summary))
 }
 
-/// The deterministic one-line summary of a [`sweep`] run, for scripts
-/// that diff interrupted-and-resumed sweeps against uninterrupted ones
-/// (wall-clock columns excluded by construction).
-fn sweep_summary(report: &ValidationReport, done: bool) -> String {
+/// Folds the per-shard checkpoints of a `K`-process [`sweep`] into one
+/// whole-space summary with [`CampaignCheckpoint::merge`], optionally
+/// saving the merged artifact to `save`. The summary line of a
+/// complete merge is byte-identical to the summary of a
+/// single-process sweep of the same space — scripts diff the two to
+/// smoke-test the sharding.
+///
+/// # Errors
+///
+/// Propagates unreadable/invalid checkpoint files and incomplete or
+/// mismatched shard sets (see [`CampaignCheckpoint::merge`]).
+pub fn sweep_merge(paths: &[PathBuf], save: Option<&Path>) -> Result<(Table, String), FrostError> {
+    let mut parts = Vec::with_capacity(paths.len());
+    for p in paths {
+        parts.push(CampaignCheckpoint::load_jsonl(p).map_err(|e| {
+            FrostError::stage("checkpoint", "sweep-merge", format!("{}: {e}", p.display()))
+        })?);
+    }
+    let merged = CampaignCheckpoint::merge(&parts)
+        .map_err(|e| FrostError::stage("merge", "sweep-merge", e))?;
+    if let Some(out) = save {
+        merged.save_jsonl(out).map_err(|e| {
+            FrostError::stage("checkpoint", "sweep-merge", format!("cannot save: {e}"))
+        })?;
+    }
+    let mut t = Table::new(
+        "§6 sweep merge: per-shard checkpoints folded into one whole-space summary",
+        &[
+            "shards",
+            "checked",
+            "changed",
+            "violations",
+            "inconclusive",
+            "dedup skips",
+            "seen peak",
+            "complete",
+        ],
+    );
+    t.row(vec![
+        parts.len().to_string(),
+        merged.total.to_string(),
+        merged.changed.to_string(),
+        merged.violations.len().to_string(),
+        merged.inconclusive.to_string(),
+        merged.dedup_skips.to_string(),
+        merged.seen_peak.to_string(),
+        if merged.done {
+            "yes".into()
+        } else {
+            "no".into()
+        },
+    ]);
+    t.note("a complete merge's summary line is byte-identical to the single-process sweep's");
+    let summary = sweep_summary(&merged);
+    Ok((t, summary))
+}
+
+/// The deterministic one-line summary of a [`sweep`] run or a
+/// [`sweep_merge`], for scripts that diff interrupted-and-resumed (or
+/// sharded-and-merged) sweeps against uninterrupted ones — wall-clock
+/// columns excluded by construction. `complete=` and `violations=`
+/// keep their historical spelling; new fields append after them.
+fn sweep_summary(cp: &CampaignCheckpoint) -> String {
     format!(
-        "sweep: checked={} changed={} refined={} violations={} inconclusive={} complete={}",
-        report.total,
-        report.changed,
-        report.refined,
-        report.violations.len(),
-        report.inconclusive,
-        done
+        "sweep: checked={} changed={} refined={} violations={} inconclusive={} complete={} \
+         dedup_skips={} seen_peak={}",
+        cp.total,
+        cp.changed,
+        cp.refined,
+        cp.violations.len(),
+        cp.inconclusive,
+        cp.done,
+        cp.dedup_skips,
+        cp.seen_peak,
+    )
+}
+
+/// One `{"kind":"bench","experiment":"sweep",...}` JSONL line: the
+/// machine-readable benchmark record `--bench-json` writes, accepted
+/// by `frost_telemetry::validate_jsonl`. `space` rides as a decimal
+/// string (the 3-instruction space overflows a double); throughput
+/// and wall-clock are this run's, tallies are cumulative.
+fn sweep_bench_json(
+    num_insts: usize,
+    space: u128,
+    prune: bool,
+    (shard_id, shards): (usize, usize),
+    report: &ValidationReport,
+    cp: &CampaignCheckpoint,
+    delta: &frost_telemetry::Snapshot,
+) -> String {
+    let stats = &report.stats;
+    let bitslice_passes = delta.counter("frost.core.bitslice.compiles");
+    let tuples = delta.counter("frost.core.bitslice.tuples_per_pass");
+    let denom = (cp.total + cp.dedup_skips).max(1);
+    format!(
+        "{{\"kind\":\"bench\",\"experiment\":\"sweep\",\"insts\":{},\"space\":\"{}\",\
+         \"prune\":{},\"shards\":{},\"shard_id\":{},\"checked\":{},\"changed\":{},\
+         \"refined\":{},\"violations\":{},\"inconclusive\":{},\"complete\":{},\
+         \"wall_secs\":{:.3},\"fns_per_sec\":{:.1},\"dedup_skips\":{},\"seen_peak\":{},\
+         \"dedup_skip_rate\":{:.4},\"cache_hits\":{},\"cache_misses\":{},\
+         \"tuples_per_pass\":{:.1},\"pruned_commutative\":{},\"pruned_const_position\":{},\
+         \"pruned_dead\":{},\"stride_skips\":{}}}\n",
+        num_insts,
+        space,
+        prune,
+        shards,
+        shard_id,
+        cp.total,
+        cp.changed,
+        cp.refined,
+        cp.violations.len(),
+        cp.inconclusive,
+        cp.done,
+        stats.wall.as_secs_f64(),
+        stats.functions_per_sec,
+        cp.dedup_skips,
+        cp.seen_peak,
+        cp.dedup_skips as f64 / denom as f64,
+        stats.cache_hits,
+        stats.cache_misses,
+        if bitslice_passes > 0 {
+            tuples as f64 / bitslice_passes as f64
+        } else {
+            0.0
+        },
+        delta.counter("frost.fuzz.gen.pruned.commutative"),
+        delta.counter("frost.fuzz.gen.pruned.const_position"),
+        delta.counter("frost.fuzz.gen.pruned.dead"),
+        delta.counter("frost.fuzz.campaign.skip.stride"),
     )
 }
 

@@ -111,16 +111,37 @@ enum TabKey {
 thread_local! {
     static TABLES: RefCell<FastHashMap<TabKey, Arc<[Class]>>> =
         RefCell::new(FastHashMap::default());
+    static TABLE_MRU: RefCell<Vec<(TabKey, Arc<[Class]>)>> = const { RefCell::new(Vec::new()) };
 }
+
+/// Entries kept in the move-to-front probe line in front of [`TABLES`].
+/// A §6 sweep compiles millions of near-identically shaped functions,
+/// so consecutive compiles request the same handful of tables over and
+/// over; eight slots cover a whole op/width family and turn the common
+/// lookup into a short scan of `Copy` keys instead of a hash probe.
+const TABLE_MRU_CAP: usize = 8;
 
 /// Returns the memoized truth table for `key`, building it on first
 /// use. `Arc`-shared so cached compiles stay `Send`.
 fn memo_table(key: TabKey, build: impl FnOnce() -> Vec<Class>) -> Arc<[Class]> {
-    TABLES.with(|t| {
-        t.borrow_mut()
-            .entry(key)
-            .or_insert_with(|| build().into())
-            .clone()
+    TABLE_MRU.with(|mru| {
+        let mut mru = mru.borrow_mut();
+        if let Some(i) = mru.iter().position(|(k, _)| *k == key) {
+            if i > 0 {
+                let entry = mru.remove(i);
+                mru.insert(0, entry);
+            }
+            return mru[0].1.clone();
+        }
+        let table = TABLES.with(|t| {
+            t.borrow_mut()
+                .entry(key)
+                .or_insert_with(|| build().into())
+                .clone()
+        });
+        mru.insert(0, (key, Arc::clone(&table)));
+        mru.truncate(TABLE_MRU_CAP);
+        table
     })
 }
 
@@ -177,6 +198,22 @@ enum RetSpec {
 struct Snap {
     regs: Vec<Planes>,
     ub: u64,
+}
+
+/// Per-thread evaluation arena, reused across [`BitslicePlan::evaluate`]
+/// calls: generated §6 functions are near-identically shaped, so the
+/// buffers reach steady-state capacity after the first few functions
+/// and the hot loop stops allocating entirely. (The inner `Snap`
+/// register vectors keep their capacity across reuse too.)
+#[derive(Default)]
+struct Scratch {
+    regs: Vec<Planes>,
+    snaps: Vec<Snap>,
+    choice: Vec<u64>,
+}
+
+thread_local! {
+    static SCRATCH: RefCell<Scratch> = RefCell::new(Scratch::default());
 }
 
 /// Plane-word operations one execution of `op` performs (telemetry:
@@ -560,48 +597,62 @@ impl BitslicePlan {
         let ctrs = bitslice_counters();
         ctrs.tuples_per_pass.add(self.lanes as u64);
 
-        let nvars = self.vars.len();
-        let mut regs = self.regs_init.clone();
-        let mut snaps: Vec<Snap> = (0..nvars).map(|_| Snap::default()).collect();
-        let mut seen = [0u64; NCODES];
-        let mut choice = vec![0u64; nvars];
-        let mut executed: u64 = 0;
-
-        let ub = self.run_range(0, &mut regs, 0, &choice, &mut snaps, 0, &mut executed);
-        self.record(&regs, ub, &mut seen);
-        loop {
-            // Find the last variable with room to advance; everything
-            // after it wraps to zero.
-            let mut d = nvars;
-            loop {
-                if d == 0 {
-                    ctrs.plane_ops.add(executed);
-                    return self.build(&seen, mem);
-                }
-                d -= 1;
-                choice[d] += 1;
-                if choice[d] < self.vars[d] {
-                    break;
-                }
-                choice[d] = 0;
-            }
-            // Restore the checkpoint taken before variable `d`'s op and
-            // re-run the suffix (re-checkpointing later variables).
-            let start = self.var_op[d] as usize;
-            let start_ub = snaps[d].ub;
+        // §6 sweeps call `evaluate` once per generated function; the
+        // register file, the per-variable checkpoints, and the choice
+        // odometer are all shaped alike across those calls, so each
+        // worker thread reuses one scratch arena instead of paying a
+        // malloc/free round-trip (and the allocator's trim churn) per
+        // function.
+        let seen = SCRATCH.with(|cell| {
+            let scratch = &mut *cell.borrow_mut();
+            let Scratch {
+                regs,
+                snaps,
+                choice,
+            } = scratch;
             regs.clear();
-            regs.extend_from_slice(&snaps[d].regs);
-            let ub = self.run_range(
-                start,
-                &mut regs,
-                start_ub,
-                &choice,
-                &mut snaps,
-                d + 1,
-                &mut executed,
-            );
-            self.record(&regs, ub, &mut seen);
-        }
+            regs.extend_from_slice(&self.regs_init);
+            let nvars = self.vars.len();
+            if snaps.len() < nvars {
+                snaps.resize_with(nvars, Snap::default);
+            }
+            let snaps = &mut snaps[..nvars];
+            choice.clear();
+            choice.resize(nvars, 0);
+
+            let mut seen = [0u64; NCODES];
+            let mut executed: u64 = 0;
+            let ub = self.run_range(0, regs, 0, choice, snaps, 0, &mut executed);
+            self.record(regs, ub, &mut seen);
+            'odometer: loop {
+                // Find the last variable with room to advance;
+                // everything after it wraps to zero.
+                let mut d = nvars;
+                loop {
+                    if d == 0 {
+                        break 'odometer;
+                    }
+                    d -= 1;
+                    choice[d] += 1;
+                    if choice[d] < self.vars[d] {
+                        break;
+                    }
+                    choice[d] = 0;
+                }
+                // Restore the checkpoint taken before variable `d`'s op
+                // and re-run the suffix (re-checkpointing later
+                // variables).
+                let start = self.var_op[d] as usize;
+                let start_ub = snaps[d].ub;
+                regs.clear();
+                regs.extend_from_slice(&snaps[d].regs);
+                let ub = self.run_range(start, regs, start_ub, choice, snaps, d + 1, &mut executed);
+                self.record(regs, ub, &mut seen);
+            }
+            ctrs.plane_ops.add(executed);
+            seen
+        });
+        self.build(&seen, mem)
     }
 
     /// Executes `ops[start..]` under the current choice script, taking

@@ -154,8 +154,46 @@ impl OutcomeCache {
         let Some(func) = module.function(name) else {
             return Arc::new(vec![Err(ExecError::BadFunction(name.to_string()))]);
         };
+        let key = FunctionKey::of(func);
+        self.enumerate_keyed(
+            &key, module, name, inputs, mem, sem, limits, engine, salt, true,
+        )
+    }
+
+    /// [`OutcomeCache::enumerate`] for callers that already computed
+    /// `name`'s [`FunctionKey`], with an explicit storage policy.
+    ///
+    /// `store = false` is for *transient* functions — exhaustive-sweep
+    /// sources, which the odometer visits exactly once. The probe still
+    /// runs (the shape may coincide with a canonical form some target
+    /// check stored), but a miss enumerates without inserting into
+    /// either the outcome map or the embedded plan cache, keeping the
+    /// campaign's memory footprint bounded by the *target* shape count
+    /// instead of the full enumerated space.
+    ///
+    /// `key` must be `FunctionKey::of` of `name`'s body; a mismatched
+    /// key silently poisons the cache for that fingerprint.
+    // Every parameter is a distinct cache-key component; bundling them
+    // into a struct would just move the field list one call up.
+    #[allow(clippy::too_many_arguments)]
+    pub fn enumerate_keyed(
+        &self,
+        fkey: &FunctionKey,
+        module: &Module,
+        name: &str,
+        inputs: &[Vec<Val>],
+        mem: &Memory,
+        sem: Semantics,
+        limits: Limits,
+        engine: Engine,
+        salt: u64,
+        store: bool,
+    ) -> Arc<EnumeratedOutcomes> {
+        if module.function(name).is_none() {
+            return Arc::new(vec![Err(ExecError::BadFunction(name.to_string()))]);
+        }
         let key = CacheKey {
-            key: FunctionKey::of(func),
+            key: fkey.clone(),
             sem,
             limits,
             engine,
@@ -183,16 +221,22 @@ impl OutcomeCache {
             // the plan key ignores limits, engine, and salt, so
             // re-enumerating the same function under different input
             // options still reuses the compilation. The fingerprint
-            // computed above is reused as the plan key.
-            match self.plans.get_or_compile_keyed(&key.key, module, name, sem) {
+            // computed above is reused as the plan key, under the same
+            // storage policy.
+            match self
+                .plans
+                .get_or_compile_keyed_policy(&key.key, module, name, sem, store)
+            {
                 Some((plan, idx)) => run_compiled(&plan, idx, inputs, mem, limits, engine),
                 None => vec![Err(ExecError::BadFunction(name.to_string()))],
             }
         });
-        self.map
-            .lock()
-            .expect("cache lock")
-            .insert(key, Arc::clone(&entry));
+        if store {
+            self.map
+                .lock()
+                .expect("cache lock")
+                .insert(key, Arc::clone(&entry));
+        }
         entry
     }
 

@@ -1508,6 +1508,24 @@ impl PlanCache {
         name: &str,
         sem: Semantics,
     ) -> Option<(Arc<ModulePlan>, usize)> {
+        self.get_or_compile_keyed_policy(key, module, name, sem, true)
+    }
+
+    /// [`PlanCache::get_or_compile_keyed`] with an explicit storage
+    /// policy. `store = false` still probes the table (a canonical form
+    /// cached by an earlier target check is reused) but never inserts
+    /// on a miss: exhaustive sweeps walk the source space in order and
+    /// never revisit a source shape, so storing every source plan only
+    /// grows the map — and the allocator's working set — linearly with
+    /// the campaign.
+    pub fn get_or_compile_keyed_policy(
+        &self,
+        key: &FunctionKey,
+        module: &Module,
+        name: &str,
+        sem: Semantics,
+        store: bool,
+    ) -> Option<(Arc<ModulePlan>, usize)> {
         if let Some(entry) = self
             .map
             .lock()
@@ -1522,10 +1540,12 @@ impl PlanCache {
         let plan = Arc::new(ModulePlan::compile(module, sem));
         let idx = plan.function_index(name)?;
         let entry = (plan, idx);
-        self.map
-            .lock()
-            .expect("plan cache lock")
-            .insert((key.clone(), sem), entry.clone());
+        if store {
+            self.map
+                .lock()
+                .expect("plan cache lock")
+                .insert((key.clone(), sem), entry.clone());
+        }
         Some(entry)
     }
 

@@ -102,7 +102,7 @@ pub mod prelude {
     };
     pub use frost_fuzz::{
         enumerate_functions, random_functions, validate_transform, Campaign, CampaignCheckpoint,
-        CampaignStats, GenConfig, ValidationReport,
+        CampaignStats, GenConfig, Pruning, ValidationReport,
     };
     pub use frost_ir::{
         check_roundtrip, function_to_string, module_to_string, parse_function, parse_module,

@@ -10,24 +10,36 @@
 //! * the **cumulative verdicts** — tallies plus every
 //!   [`Violation`] found so far, so the final report of an interrupted
 //!   and resumed sweep is byte-identical to an uninterrupted one;
-//! * the **dedup set** — the [`FunctionKey`] fingerprints already
-//!   checked, serialized as their raw word encodings, so structural
-//!   duplicates are skipped exactly once per sweep even across process
-//!   boundaries.
+//! * the **dedup set** — compact [`KeyDigest`] fingerprints of every
+//!   function already checked (128 bits each instead of a full
+//!   [`FunctionKey`] word encoding), so structural duplicates are
+//!   skipped exactly once per sweep even across process boundaries,
+//!   at bounded memory;
+//! * the **shard identity** — which residue class of a `K`-process
+//!   campaign this checkpoint belongs to, so
+//!   [`CampaignCheckpoint::merge`] can refuse to combine mismatched or
+//!   incomplete shard sets.
 //!
 //! ## JSONL schema (the checkpoint contract)
 //!
 //! One JSON object per line, discriminated by `"kind"`:
 //!
-//! * line 1 — the header: `kind:"checkpoint"`, `version:1`, the cursor
-//!   (`cursor`/`counter`/`done`), the tallies
-//!   (`total`/`changed`/`refined`/`inconclusive`/`dedup_skips`), and
-//!   the expected body line counts (`violations`/`seen`);
+//! * line 1 — the header: `kind:"checkpoint"`, `version:2`, the cursor
+//!   (`cursor`/`counter`/`done`), the shard identity
+//!   (`shards`/`shard_id`), the tallies
+//!   (`total`/`changed`/`refined`/`inconclusive`/`dedup_skips`), the
+//!   peak dedup-set size (`seen_peak`), and the expected body line
+//!   counts (`violations`/`seen`);
 //! * `kind:"violation"` — one per recorded violation, carrying
 //!   `index`/`before`/`after`/`counterexample`;
-//! * `kind:"seen"` — one per dedup-set entry, carrying `words` (the
-//!   fingerprint's `u64` words rendered as decimal strings, since JSON
-//!   numbers cannot hold a full `u64`).
+//! * `kind:"seen"` — one per dedup-set entry, carrying `digest` (the
+//!   two `u64` halves of a [`KeyDigest`] rendered as decimal strings,
+//!   since JSON numbers cannot hold a full `u64`).
+//!
+//! Version-1 artifacts (whose `seen` lines carry the fingerprint's raw
+//! `words` and whose header lacks the shard fields) still load: the
+//! words are re-digested and the shard identity defaults to the
+//! single-process `1/0`.
 //!
 //! [`CampaignCheckpoint::from_jsonl`] validates the artifact with the
 //! same hand-rolled byte-level parser pattern as
@@ -39,7 +51,7 @@ use std::fmt::Write as _;
 use std::io;
 use std::path::Path;
 
-use frost_ir::FunctionKey;
+use frost_ir::{FunctionKey, KeyDigest};
 
 use crate::validate::Violation;
 
@@ -47,8 +59,9 @@ use crate::validate::Violation;
 /// `Campaign::run_exhaustive`, serialized with
 /// [`save_jsonl`](CampaignCheckpoint::save_jsonl), restored with
 /// [`load_jsonl`](CampaignCheckpoint::load_jsonl) and passed back as
-/// the `resume` argument.
-#[derive(Clone, Debug, Default, PartialEq)]
+/// the `resume` argument. Per-shard checkpoints of a multi-process
+/// campaign combine with [`CampaignCheckpoint::merge`].
+#[derive(Clone, Debug, PartialEq)]
 pub struct CampaignCheckpoint {
     /// Odometer indices of the next function to generate.
     pub cursor: Vec<usize>,
@@ -56,6 +69,12 @@ pub struct CampaignCheckpoint {
     pub counter: u64,
     /// `true` once the space is exhausted — resuming yields nothing.
     pub done: bool,
+    /// Process-shard count of the campaign that wrote this checkpoint
+    /// (`1` for a whole-space sweep).
+    pub shards: usize,
+    /// Which residue class (`position % shards`) this checkpoint
+    /// covers.
+    pub shard_id: usize,
     /// Functions checked so far (after dedup).
     pub total: usize,
     /// Functions the transform changed, so far.
@@ -66,11 +85,36 @@ pub struct CampaignCheckpoint {
     pub inconclusive: usize,
     /// Structural duplicates skipped by the dedup set, so far.
     pub dedup_skips: usize,
+    /// Largest size the in-memory dedup set reached (for a merged
+    /// checkpoint: the sum over shards — the campaign's aggregate
+    /// memory bound, since shards run concurrently).
+    pub seen_peak: usize,
     /// Every violation found so far, sorted by corpus index.
     pub violations: Vec<Violation>,
-    /// The dedup set in insertion order: fingerprints of every function
-    /// checked so far.
-    pub seen: Vec<FunctionKey>,
+    /// The dedup set: compact digests of every function checked so
+    /// far, sorted (order carries no meaning; sorting makes equal sets
+    /// byte-identical on disk).
+    pub seen: Vec<KeyDigest>,
+}
+
+impl Default for CampaignCheckpoint {
+    fn default() -> CampaignCheckpoint {
+        CampaignCheckpoint {
+            cursor: Vec::new(),
+            counter: 0,
+            done: false,
+            shards: 1,
+            shard_id: 0,
+            total: 0,
+            changed: 0,
+            refined: 0,
+            inconclusive: 0,
+            dedup_skips: 0,
+            seen_peak: 0,
+            violations: Vec::new(),
+            seen: Vec::new(),
+        }
+    }
 }
 
 fn escape_json(out: &mut String, s: &str) {
@@ -90,10 +134,11 @@ fn escape_json(out: &mut String, s: &str) {
 }
 
 impl CampaignCheckpoint {
-    /// Renders the checkpoint as JSONL (header, violations, seen keys).
+    /// Renders the checkpoint as JSONL (header, violations, seen
+    /// digests).
     pub fn to_jsonl(&self) -> String {
         let mut out = String::with_capacity(128 + self.seen.len() * 48);
-        let _ = write!(out, "{{\"kind\":\"checkpoint\",\"version\":1,\"cursor\":[");
+        let _ = write!(out, "{{\"kind\":\"checkpoint\",\"version\":2,\"cursor\":[");
         for (i, ix) in self.cursor.iter().enumerate() {
             if i > 0 {
                 out.push(',');
@@ -102,15 +147,19 @@ impl CampaignCheckpoint {
         }
         let _ = writeln!(
             out,
-            "],\"counter\":\"{}\",\"done\":{},\"total\":{},\"changed\":{},\"refined\":{},\
-             \"inconclusive\":{},\"dedup_skips\":{},\"violations\":{},\"seen\":{}}}",
+            "],\"counter\":\"{}\",\"done\":{},\"shards\":{},\"shard_id\":{},\"total\":{},\
+             \"changed\":{},\"refined\":{},\"inconclusive\":{},\"dedup_skips\":{},\
+             \"seen_peak\":{},\"violations\":{},\"seen\":{}}}",
             self.counter,
             self.done,
+            self.shards,
+            self.shard_id,
             self.total,
             self.changed,
             self.refined,
             self.inconclusive,
             self.dedup_skips,
+            self.seen_peak,
             self.violations.len(),
             self.seen.len(),
         );
@@ -127,15 +176,12 @@ impl CampaignCheckpoint {
             escape_json(&mut out, &v.counterexample);
             out.push_str("\"}\n");
         }
-        for key in &self.seen {
-            out.push_str("{\"kind\":\"seen\",\"words\":[");
-            for (i, w) in key.as_words().iter().enumerate() {
-                if i > 0 {
-                    out.push(',');
-                }
-                let _ = write!(out, "\"{w}\"");
-            }
-            out.push_str("]}\n");
+        for d in &self.seen {
+            let _ = writeln!(
+                out,
+                "{{\"kind\":\"seen\",\"digest\":[\"{}\",\"{}\"]}}",
+                d.hash, d.verify
+            );
         }
         out
     }
@@ -170,7 +216,7 @@ impl CampaignCheckpoint {
                     }
                     saw_header = true;
                     let version = obj.get_u64("version", n)?;
-                    if version != 1 {
+                    if !(1..=2).contains(&version) {
                         return Err(format!("line {n}: unsupported version {version}"));
                     }
                     cp.cursor = obj
@@ -180,6 +226,17 @@ impl CampaignCheckpoint {
                         .collect::<Result<_, _>>()?;
                     cp.counter = obj.get_u64("counter", n)?;
                     cp.done = obj.get_bool("done", n)?;
+                    if version >= 2 {
+                        cp.shards = obj.get_u64("shards", n)? as usize;
+                        cp.shard_id = obj.get_u64("shard_id", n)? as usize;
+                        cp.seen_peak = obj.get_u64("seen_peak", n)? as usize;
+                        if cp.shards == 0 || cp.shard_id >= cp.shards {
+                            return Err(format!(
+                                "line {n}: shard {}/{} out of range",
+                                cp.shard_id, cp.shards
+                            ));
+                        }
+                    }
                     cp.total = obj.get_u64("total", n)? as usize;
                     cp.changed = obj.get_u64("changed", n)? as usize;
                     cp.refined = obj.get_u64("refined", n)? as usize;
@@ -203,12 +260,29 @@ impl CampaignCheckpoint {
                     if !saw_header {
                         return Err(format!("line {n}: seen key before header"));
                     }
-                    let words = obj
-                        .get_array("words", n)?
-                        .iter()
-                        .map(|v| v.as_u64(n))
-                        .collect::<Result<Vec<u64>, _>>()?;
-                    cp.seen.push(FunctionKey::from_words(words));
+                    if obj.get("digest").is_some() {
+                        let halves = obj
+                            .get_array("digest", n)?
+                            .iter()
+                            .map(|v| v.as_u64(n))
+                            .collect::<Result<Vec<u64>, _>>()?;
+                        let [hash, verify] = halves[..] else {
+                            return Err(format!(
+                                "line {n}: digest needs exactly 2 halves, got {}",
+                                halves.len()
+                            ));
+                        };
+                        cp.seen.push(KeyDigest { hash, verify });
+                    } else {
+                        // Version-1 artifacts carry raw fingerprint
+                        // words; re-digest them on the way in.
+                        let words = obj
+                            .get_array("words", n)?
+                            .iter()
+                            .map(|v| v.as_u64(n))
+                            .collect::<Result<Vec<u64>, _>>()?;
+                        cp.seen.push(FunctionKey::from_words(words).digest());
+                    }
                 }
                 other => return Err(format!("line {n}: unknown kind '{other}'")),
             }
@@ -255,6 +329,72 @@ impl CampaignCheckpoint {
     pub fn load_jsonl(path: impl AsRef<Path>) -> io::Result<CampaignCheckpoint> {
         let text = std::fs::read_to_string(path)?;
         CampaignCheckpoint::from_jsonl(&text).map_err(io::Error::other)
+    }
+
+    /// Merges the per-shard checkpoints of a `K`-process campaign into
+    /// one whole-space summary: tallies sum, violations concatenate
+    /// and re-sort by corpus index, the dedup sets union, and
+    /// `seen_peak` sums (shards run concurrently, so the campaign's
+    /// aggregate memory bound is the sum of per-process peaks). The
+    /// result is marked `shards: 1, shard_id: 0` and is `done` only
+    /// when every shard is — a finished merge is byte-identical to the
+    /// checkpoint of a single-process sweep of the same space.
+    ///
+    /// The order of `parts` does not matter.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message when `parts` is not a complete, consistent
+    /// shard set: empty input, disagreeing `shards` values, a part
+    /// whose `shards` does not match the part count, or shard ids that
+    /// are not exactly `{0, …, K-1}`.
+    pub fn merge(parts: &[CampaignCheckpoint]) -> Result<CampaignCheckpoint, String> {
+        let k = parts.len();
+        if k == 0 {
+            return Err("cannot merge zero checkpoints".into());
+        }
+        let mut present = vec![false; k];
+        for p in parts {
+            if p.shards != k {
+                return Err(format!(
+                    "checkpoint for shard {}/{} merged with {k} part(s)",
+                    p.shard_id, p.shards
+                ));
+            }
+            if p.shard_id >= k {
+                return Err(format!("shard id {} out of range 0..{k}", p.shard_id));
+            }
+            if present[p.shard_id] {
+                return Err(format!("duplicate checkpoint for shard {}", p.shard_id));
+            }
+            present[p.shard_id] = true;
+        }
+        // All ids in range, none duplicated, count matches: the set is
+        // exactly {0, …, K-1}.
+        let furthest = parts
+            .iter()
+            .max_by_key(|p| p.counter)
+            .expect("parts is non-empty");
+        let mut merged = CampaignCheckpoint {
+            cursor: furthest.cursor.clone(),
+            counter: furthest.counter,
+            done: parts.iter().all(|p| p.done),
+            ..CampaignCheckpoint::default()
+        };
+        for p in parts {
+            merged.total += p.total;
+            merged.changed += p.changed;
+            merged.refined += p.refined;
+            merged.inconclusive += p.inconclusive;
+            merged.dedup_skips += p.dedup_skips;
+            merged.seen_peak += p.seen_peak;
+            merged.violations.extend(p.violations.iter().cloned());
+            merged.seen.extend(p.seen.iter().copied());
+        }
+        merged.violations.sort_by_key(|v| v.index);
+        merged.seen.sort_unstable();
+        merged.seen.dedup();
+        Ok(merged)
     }
 }
 
@@ -515,18 +655,21 @@ mod tests {
             cursor: vec![12, 0, 345],
             counter: u64::MAX - 7,
             done: false,
+            shards: 4,
+            shard_id: 2,
             total: 99,
             changed: 40,
             refined: 97,
             inconclusive: 1,
             dedup_skips: 5,
+            seen_peak: 2,
             violations: vec![Violation {
                 index: 41,
                 before: "define i2 @fz41() {\n  \"quoted\" \\ tab\t\n}".into(),
                 after: "define i2 @fz41() {}".into(),
                 counterexample: "args (0, poison): src ret 1, tgt UB".into(),
             }],
-            seen: vec![key.clone(), FunctionKey::from_words(vec![])],
+            seen: vec![key.digest(), FunctionKey::from_words(vec![]).digest()],
         }
     }
 
@@ -536,12 +679,29 @@ mod tests {
         let text = cp.to_jsonl();
         let back = CampaignCheckpoint::from_jsonl(&text).expect("round trip validates");
         assert_eq!(back, cp);
-        // u64 words survive even above 2^53 (carried as strings).
+        // u64 digest halves survive even above 2^53 (carried as
+        // strings).
         assert_eq!(
-            back.seen[0].as_words(),
-            &[3, u64::MAX, 0x1234_5678_9abc_def0]
+            back.seen[0],
+            FunctionKey::from_words(vec![3, u64::MAX, 0x1234_5678_9abc_def0]).digest()
         );
         assert_eq!(back.counter, u64::MAX - 7);
+        assert_eq!((back.shards, back.shard_id), (4, 2));
+    }
+
+    #[test]
+    fn version_1_artifacts_still_load() {
+        // A pre-sharding checkpoint: no shard fields, no seen_peak,
+        // and `seen` lines carrying raw fingerprint words.
+        let key = FunctionKey::from_words(vec![7, 9]);
+        let text = "{\"kind\":\"checkpoint\",\"version\":1,\"cursor\":[1,2],\"counter\":\"3\",\
+                    \"done\":false,\"total\":2,\"changed\":1,\"refined\":2,\"inconclusive\":0,\
+                    \"dedup_skips\":0,\"violations\":0,\"seen\":1}\n\
+                    {\"kind\":\"seen\",\"words\":[\"7\",\"9\"]}\n";
+        let cp = CampaignCheckpoint::from_jsonl(text).expect("v1 loads");
+        assert_eq!((cp.shards, cp.shard_id, cp.seen_peak), (1, 0, 0));
+        assert_eq!(cp.seen, vec![key.digest()]);
+        assert_eq!(cp.total, 2);
     }
 
     #[test]
@@ -583,7 +743,7 @@ mod tests {
     #[test]
     fn unknown_kinds_and_versions_are_rejected() {
         let base = sample();
-        let future = base.to_jsonl().replace("\"version\":1", "\"version\":9");
+        let future = base.to_jsonl().replace("\"version\":2", "\"version\":9");
         assert!(CampaignCheckpoint::from_jsonl(&future)
             .unwrap_err()
             .contains("version"));
@@ -592,5 +752,76 @@ mod tests {
         assert!(CampaignCheckpoint::from_jsonl(&text)
             .unwrap_err()
             .contains("unknown kind"));
+    }
+
+    fn shard_part(shards: usize, shard_id: usize) -> CampaignCheckpoint {
+        let d = |w: u64| FunctionKey::from_words(vec![w]).digest();
+        CampaignCheckpoint {
+            cursor: vec![shard_id],
+            counter: 10 + shard_id as u64,
+            done: true,
+            shards,
+            shard_id,
+            total: 5,
+            changed: 2,
+            refined: 4,
+            inconclusive: 1,
+            dedup_skips: shard_id,
+            seen_peak: 5,
+            violations: vec![Violation {
+                index: 100 - shard_id,
+                before: String::new(),
+                after: String::new(),
+                counterexample: String::new(),
+            }],
+            seen: vec![d(shard_id as u64), d(99)],
+        }
+    }
+
+    #[test]
+    fn merge_sums_sorts_and_unions() {
+        let parts = [shard_part(2, 1), shard_part(2, 0)];
+        let m = CampaignCheckpoint::merge(&parts).expect("complete shard set");
+        assert_eq!((m.shards, m.shard_id), (1, 0));
+        assert!(m.done);
+        assert_eq!(m.total, 10);
+        assert_eq!(m.changed, 4);
+        assert_eq!(m.dedup_skips, 1);
+        assert_eq!(m.seen_peak, 10, "peaks sum across concurrent shards");
+        // Violations re-sorted by corpus index regardless of part
+        // order.
+        let idx: Vec<usize> = m.violations.iter().map(|v| v.index).collect();
+        assert_eq!(idx, vec![99, 100]);
+        // The shared digest `d(99)` appears once in the union.
+        assert_eq!(m.seen.len(), 3);
+        // Cursor comes from the furthest-advanced shard.
+        assert_eq!(m.counter, 11);
+        assert_eq!(m.cursor, vec![1]);
+        // Order-independent.
+        let swapped = CampaignCheckpoint::merge(&[shard_part(2, 0), shard_part(2, 1)]).unwrap();
+        assert_eq!(m, swapped);
+    }
+
+    #[test]
+    fn merge_rejects_incomplete_or_mismatched_shard_sets() {
+        assert!(CampaignCheckpoint::merge(&[]).is_err(), "empty");
+        assert!(
+            CampaignCheckpoint::merge(&[shard_part(2, 0)]).is_err(),
+            "missing shard 1"
+        );
+        assert!(
+            CampaignCheckpoint::merge(&[shard_part(2, 0), shard_part(2, 0)]).is_err(),
+            "duplicate shard"
+        );
+        assert!(
+            CampaignCheckpoint::merge(&[shard_part(2, 0), shard_part(3, 1)]).is_err(),
+            "disagreeing shard counts"
+        );
+        let unfinished = CampaignCheckpoint {
+            done: false,
+            ..shard_part(2, 1)
+        };
+        let m = CampaignCheckpoint::merge(&[shard_part(2, 0), unfinished]).unwrap();
+        assert!(!m.done, "merge of an unfinished shard is not done");
     }
 }

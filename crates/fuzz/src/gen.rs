@@ -9,8 +9,53 @@
 //! per-slot option lists, exposed as a lazy iterator so huge spaces can
 //! be sampled with `step_by`.
 
+use std::sync::OnceLock;
+
 use frost_ir::{BinOp, BlockId, Cond, Flags, Function, Inst, InstId, Param, Terminator, Ty, Value};
 use frost_rng::{splitmix64, SmallRng};
+
+/// Generation-time canonicalization: which structurally redundant
+/// shapes the enumerator skips *before* a function is ever built,
+/// instead of checking them and deduplicating afterwards.
+///
+/// Pruning shrinks the space beyond what [`frost_ir::FunctionKey`]
+/// dedup removes: a pruned-out function is not α-equivalent to its
+/// canonical representative, only equivalent *modulo* operand
+/// commutativity or dead-code elimination. The full 2-instruction CI
+/// sweep therefore stays unpruned; pruning is the opt-in lever that
+/// makes the 3-instruction space tractable (see DESIGN.md).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Hash)]
+pub struct Pruning {
+    /// Enumerate only `lhs ≤ rhs` operand orders for commutative binops
+    /// and symmetric icmps. This also normalizes constant position:
+    /// non-constants rank before constants, so `add 1, %a` is skipped
+    /// in favor of `add %a, 1`.
+    pub canonical_operands: bool,
+    /// Enumerate only functions in which every intermediate result is
+    /// referenced by a later instruction (the last result is returned).
+    /// A function with a dead intermediate DCEs to a function of a
+    /// smaller space, so sweeping each size with this prune on covers
+    /// the same behaviors as the unpruned union of all sizes.
+    pub live_intermediates: bool,
+}
+
+impl Pruning {
+    /// No pruning: the complete raw space (the default).
+    pub const NONE: Pruning = Pruning {
+        canonical_operands: false,
+        live_intermediates: false,
+    };
+    /// Every prune the enumerator knows.
+    pub const FULL: Pruning = Pruning {
+        canonical_operands: true,
+        live_intermediates: true,
+    };
+
+    /// `true` if any prune is enabled.
+    pub fn any(self) -> bool {
+        self.canonical_operands || self.live_intermediates
+    }
+}
 
 /// Configuration of the generated function space.
 #[derive(Clone, Debug)]
@@ -34,6 +79,8 @@ pub struct GenConfig {
     pub poison_const: bool,
     /// Include the `undef` constant as an operand (legacy semantics).
     pub undef_const: bool,
+    /// Generation-time canonicalization (default: [`Pruning::NONE`]).
+    pub prune: Pruning,
 }
 
 impl GenConfig {
@@ -50,6 +97,7 @@ impl GenConfig {
             consts: vec![0, 1, 2, 3],
             poison_const: true,
             undef_const: false,
+            prune: Pruning::NONE,
         }
     }
 
@@ -65,6 +113,7 @@ impl GenConfig {
             consts: vec![0, 1, 3],
             poison_const: true,
             undef_const: false,
+            prune: Pruning::NONE,
         }
     }
 
@@ -73,6 +122,40 @@ impl GenConfig {
         self.undef_const = true;
         self
     }
+
+    /// Returns this configuration with the given generation-time
+    /// [`Pruning`]. The pruned space is a deterministic subsequence of
+    /// the unpruned walk, but cursors are *not* interchangeable between
+    /// prune settings — resume with the configuration that produced the
+    /// checkpoint.
+    #[must_use]
+    pub fn with_pruning(mut self, prune: Pruning) -> GenConfig {
+        self.prune = prune;
+        self
+    }
+}
+
+/// Always-on enumerator telemetry (`frost.fuzz.gen.pruned.*`; see
+/// docs/OBSERVABILITY.md). Each counter tallies candidate templates
+/// rejected while an option list was being built — one rejection can
+/// stand for a whole subtree of skipped functions when it happens at a
+/// non-final slot, so these prove the cut is happening (and where), not
+/// a function-count delta. A template failing several filters is
+/// counted once, by the first filter that rejects it (canonical order
+/// before liveness).
+struct GenCounters {
+    pruned_commutative: &'static frost_telemetry::Counter,
+    pruned_const_position: &'static frost_telemetry::Counter,
+    pruned_dead: &'static frost_telemetry::Counter,
+}
+
+fn gen_counters() -> &'static GenCounters {
+    static COUNTERS: OnceLock<GenCounters> = OnceLock::new();
+    COUNTERS.get_or_init(|| GenCounters {
+        pruned_commutative: frost_telemetry::counter("frost.fuzz.gen.pruned.commutative"),
+        pruned_const_position: frost_telemetry::counter("frost.fuzz.gen.pruned.const_position"),
+        pruned_dead: frost_telemetry::counter("frost.fuzz.gen.pruned.dead"),
+    })
 }
 
 /// One instruction choice at a slot, given the values available so far.
@@ -148,14 +231,186 @@ fn flag_variants(cfg: &GenConfig, op: BinOp) -> Vec<Flags> {
     }
 }
 
-/// All templates legal at a slot with the given available values.
-fn slot_options(cfg: &GenConfig, avail: &Avail) -> Vec<Template> {
+impl Template {
+    /// `true` if this template's result is `i1` (it lands in
+    /// `avail.bools` for later slots).
+    fn result_is_bool(&self) -> bool {
+        match self {
+            Template::Icmp { .. } => true,
+            Template::Freeze { bool_ty, .. } => *bool_ty,
+            Template::Bin { .. } | Template::Select { .. } => false,
+        }
+    }
+
+    /// Calls `f` with every operand of this template.
+    fn for_each_operand(&self, mut f: impl FnMut(&Value)) {
+        match self {
+            Template::Bin { lhs, rhs, .. } | Template::Icmp { lhs, rhs, .. } => {
+                f(lhs);
+                f(rhs);
+            }
+            Template::Select { cond, tval, fval } => {
+                f(cond);
+                f(tval);
+                f(fval);
+            }
+            Template::Freeze { val, .. } => f(val),
+        }
+    }
+}
+
+/// The operand order key of the canonical-operand prune: non-constants
+/// (arguments, instruction results) rank before constants, ties broken
+/// by position in the availability list. Commutative/symmetric
+/// instructions keep only `rank(lhs) ≤ rank(rhs)`, which both fixes an
+/// operand order and pushes constants to the right.
+fn operand_rank(avail: &[Value], v: &Value) -> (bool, usize) {
+    let pos = avail
+        .iter()
+        .position(|a| a == v)
+        .expect("operand drawn from the availability list");
+    (v.as_const().is_some(), pos)
+}
+
+/// State the liveness prune threads through option-list construction:
+/// which prefix results are still unreferenced, and how many
+/// references one future slot can retire per type.
+struct LivePrune {
+    /// Indices of unreferenced int-typed prefix results.
+    unref_ints: Vec<u32>,
+    /// Indices of unreferenced bool-typed prefix results.
+    unref_bools: Vec<u32>,
+    /// Max distinct int intermediates one future template can use.
+    per_slot_ints: usize,
+    /// Max distinct bool intermediates one future template can use
+    /// (only a select condition consumes a bool).
+    per_slot_bools: usize,
+    /// Slots after the one being filled.
+    slots_left: usize,
+}
+
+impl LivePrune {
+    fn of(cfg: &GenConfig, prefix: &[Template]) -> LivePrune {
+        let mut referenced = vec![false; prefix.len()];
+        for t in prefix {
+            t.for_each_operand(|v| {
+                if let Value::Inst(id) = v {
+                    referenced[id.0 as usize] = true;
+                }
+            });
+        }
+        let (mut unref_ints, mut unref_bools) = (Vec::new(), Vec::new());
+        for (i, t) in prefix.iter().enumerate() {
+            if !referenced[i] {
+                if t.result_is_bool() {
+                    unref_bools.push(i as u32);
+                } else {
+                    unref_ints.push(i as u32);
+                }
+            }
+        }
+        let mut per_slot_ints = 0;
+        if !cfg.ops.is_empty() || !cfg.conds.is_empty() {
+            per_slot_ints = 2; // binop/icmp operands, select arms
+        } else if cfg.freeze {
+            per_slot_ints = 1;
+        }
+        LivePrune {
+            unref_ints,
+            unref_bools,
+            per_slot_ints,
+            per_slot_bools: usize::from(!cfg.conds.is_empty()),
+            slots_left: cfg.num_insts - prefix.len() - 1,
+        }
+    }
+
+    /// `true` if choosing `t` here keeps a fully-live completion
+    /// reachable: the final slot must retire every outstanding
+    /// intermediate, earlier slots must not let the backlog outgrow
+    /// what the remaining slots can reference.
+    fn admits(&self, t: &Template) -> bool {
+        let mut ints_left = self.unref_ints.len();
+        let mut bools_left = self.unref_bools.len();
+        // Dedupe operands (`xor %0, %0` retires one intermediate, not
+        // two); templates have ≤ 3 operands, so a tiny array suffices.
+        let mut seen = [u32::MAX; 3];
+        let mut n = 0;
+        t.for_each_operand(|v| {
+            if let Value::Inst(id) = v {
+                if seen[..n].contains(&id.0) {
+                    return;
+                }
+                seen[n] = id.0;
+                n += 1;
+                if self.unref_ints.contains(&id.0) {
+                    ints_left -= 1;
+                }
+                if self.unref_bools.contains(&id.0) {
+                    bools_left -= 1;
+                }
+            }
+        });
+        if self.slots_left == 0 {
+            return ints_left == 0 && bools_left == 0;
+        }
+        // This slot's own result joins the backlog.
+        if t.result_is_bool() {
+            bools_left += 1;
+        } else {
+            ints_left += 1;
+        }
+        ints_left <= self.per_slot_ints * self.slots_left
+            && bools_left <= self.per_slot_bools * self.slots_left
+    }
+}
+
+/// All templates legal at the slot following `prefix`, with the
+/// configured prunes applied (see [`Pruning`]); rejected candidates are
+/// tallied on the `frost.fuzz.gen.pruned.*` counters.
+fn slot_options(cfg: &GenConfig, prefix: &[Template]) -> Vec<Template> {
+    let avail = available(cfg, prefix);
+    let live = cfg
+        .prune
+        .live_intermediates
+        .then(|| LivePrune::of(cfg, prefix));
     let mut out = Vec::new();
+    let mut keep = |t: Template| {
+        if cfg.prune.canonical_operands {
+            let symmetric = match &t {
+                Template::Bin { op, .. } => op.is_commutative(),
+                Template::Icmp { cond, .. } => matches!(cond, Cond::Eq | Cond::Ne),
+                _ => false,
+            };
+            if symmetric {
+                let (lhs, rhs) = match &t {
+                    Template::Bin { lhs, rhs, .. } | Template::Icmp { lhs, rhs, .. } => (lhs, rhs),
+                    _ => unreachable!(),
+                };
+                let (lc, lr) = operand_rank(&avail.ints, lhs);
+                let (rc, rr) = operand_rank(&avail.ints, rhs);
+                if (lc, lr) > (rc, rr) {
+                    if lc && !rc {
+                        gen_counters().pruned_const_position.incr();
+                    } else {
+                        gen_counters().pruned_commutative.incr();
+                    }
+                    return;
+                }
+            }
+        }
+        if let Some(live) = &live {
+            if !live.admits(&t) {
+                gen_counters().pruned_dead.incr();
+                return;
+            }
+        }
+        out.push(t);
+    };
     for &op in &cfg.ops {
         for flags in flag_variants(cfg, op) {
             for lhs in &avail.ints {
                 for rhs in &avail.ints {
-                    out.push(Template::Bin {
+                    keep(Template::Bin {
                         op,
                         flags,
                         lhs: lhs.clone(),
@@ -168,7 +423,7 @@ fn slot_options(cfg: &GenConfig, avail: &Avail) -> Vec<Template> {
     for &cond in &cfg.conds {
         for lhs in &avail.ints {
             for rhs in &avail.ints {
-                out.push(Template::Icmp {
+                keep(Template::Icmp {
                     cond,
                     lhs: lhs.clone(),
                     rhs: rhs.clone(),
@@ -180,7 +435,7 @@ fn slot_options(cfg: &GenConfig, avail: &Avail) -> Vec<Template> {
         for cond in &avail.bools {
             for tval in &avail.ints {
                 for fval in &avail.ints {
-                    out.push(Template::Select {
+                    keep(Template::Select {
                         cond: cond.clone(),
                         tval: tval.clone(),
                         fval: fval.clone(),
@@ -191,7 +446,7 @@ fn slot_options(cfg: &GenConfig, avail: &Avail) -> Vec<Template> {
     }
     if cfg.freeze {
         for val in &avail.ints {
-            out.push(Template::Freeze {
+            keep(Template::Freeze {
                 val: val.clone(),
                 bool_ty: false,
             });
@@ -284,38 +539,88 @@ impl ExhaustiveFunctions {
             counter: 0,
             done: false,
         };
-        e.fill_from(0);
+        if !e.fill_from(0) && !e.advance() {
+            e.done = true;
+        }
         e
     }
 
     /// (Re)computes options and picks index 0 for slots `from..`.
-    fn fill_from(&mut self, from: usize) {
+    /// Returns `false` if some slot's (pruned) option list came up
+    /// empty — the prefix admits no live completion; the partially
+    /// filled slots are left for [`ExhaustiveFunctions::advance`] to
+    /// bump past.
+    fn fill_from(&mut self, from: usize) -> bool {
         self.indices.truncate(from);
         self.templates.truncate(from);
         self.options.truncate(from);
         for k in from..self.cfg.num_insts {
-            let avail = available(&self.cfg, &self.templates);
-            let opts = slot_options(&self.cfg, &avail);
-            assert!(!opts.is_empty(), "slot {k} has no options");
+            let opts = slot_options(&self.cfg, &self.templates);
+            if opts.is_empty() {
+                assert!(
+                    self.cfg.prune.any(),
+                    "slot {k} has no options in an unpruned space"
+                );
+                return false;
+            }
             self.templates.push(opts[0].clone());
             self.options.push(opts);
             self.indices.push(0);
         }
+        true
     }
 
     /// Advances the odometer; returns `false` at the end of the space.
     fn advance(&mut self) -> bool {
-        let mut k = self.cfg.num_insts;
         loop {
-            if k == 0 {
-                return false;
+            // Find the deepest *filled* slot with room (a pruned walk
+            // may be holding a partial prefix after a failed fill).
+            let mut k = self.indices.len();
+            loop {
+                if k == 0 {
+                    return false;
+                }
+                k -= 1;
+                if self.indices[k] + 1 < self.options[k].len() {
+                    break;
+                }
             }
-            k -= 1;
-            if self.indices[k] + 1 < self.options[k].len() {
-                self.indices[k] += 1;
-                self.templates[k] = self.options[k][self.indices[k]].clone();
-                self.fill_from(k + 1);
+            self.indices[k] += 1;
+            self.templates[k] = self.options[k][self.indices[k]].clone();
+            if self.fill_from(k + 1) {
                 return true;
+            }
+        }
+    }
+
+    /// Fast-forwards the walk past the next `n` functions, exactly as
+    /// if [`Iterator::next`] were called `n` times and the results
+    /// discarded — but jumps within the final slot's option list
+    /// instead of rebuilding templates, so striding over a
+    /// cross-process shard's foreign residues costs a few index
+    /// additions per stride. The counter advances with the skip, so
+    /// `fz{n}` names and global corpus indices stay exact.
+    ///
+    /// (Named to dodge [`Iterator::skip`], whose by-value receiver
+    /// would win method resolution over an inherent `skip`.)
+    pub fn fast_forward(&mut self, n: u64) {
+        let mut left = n;
+        while left > 0 && !self.done {
+            let k = self.cfg.num_insts - 1;
+            let room = (self.options[k].len() - 1 - self.indices[k]) as u64;
+            if room >= left {
+                self.indices[k] += left as usize;
+                self.templates[k] = self.options[k][self.indices[k]].clone();
+                self.counter += left;
+                return;
+            }
+            // Exhaust the final slot (`room` in-slot steps plus the
+            // carry into earlier slots).
+            self.indices[k] += room as usize;
+            self.counter += room + 1;
+            left -= room + 1;
+            if !self.advance() {
+                self.done = true;
             }
         }
     }
@@ -378,8 +683,7 @@ impl ExhaustiveFunctions {
             ));
         }
         for (k, &ix) in indices.iter().enumerate() {
-            let avail = available(&e.cfg, &e.templates);
-            let opts = slot_options(&e.cfg, &avail);
+            let opts = slot_options(&e.cfg, &e.templates);
             if ix >= opts.len() {
                 return Err(format!(
                     "slot {k}: cursor index {ix} out of range (0..{})",
@@ -443,8 +747,7 @@ pub fn random_functions_range(
         let mut rng = SmallRng::seed_from_u64(splitmix64(seed ^ splitmix64(i as u64)));
         let mut templates: Vec<Template> = Vec::with_capacity(cfg.num_insts);
         for _ in 0..cfg.num_insts {
-            let avail = available(cfg, &templates);
-            let opts = slot_options(cfg, &avail);
+            let opts = slot_options(cfg, &templates);
             templates.push(opts[rng.gen_range(0..opts.len())].clone());
         }
         out.push(build_function(cfg, &templates, &format!("rf{i}")));
@@ -468,6 +771,7 @@ mod tests {
             consts: vec![0, 1],
             poison_const: false,
             undef_const: false,
+            prune: Pruning::NONE,
         };
         // Operands: a, b, 0, 1 -> 16 pairs, one op.
         let fns: Vec<Function> = enumerate_functions(cfg).collect();
@@ -500,6 +804,7 @@ mod tests {
             consts: vec![0],
             poison_const: false,
             undef_const: false,
+            prune: Pruning::NONE,
         };
         let e = enumerate_functions(cfg);
         // slot0: operands {a, b, 0} -> 9; slot1: {a, b, 0, t0} -> 16.
@@ -571,6 +876,166 @@ mod tests {
         // A done cursor resumes to an immediately-exhausted iterator.
         let mut fin = ExhaustiveFunctions::resume(cfg, &[], 42, true).unwrap();
         assert!(fin.next().is_none());
+    }
+
+    /// The tiny xor-only space the pruning tests reason about by hand:
+    /// operands `{a, b, 0}` plus intermediates, one opcode, no flags.
+    fn xor_cfg(num_insts: usize) -> GenConfig {
+        GenConfig {
+            int_bits: 2,
+            num_insts,
+            ops: vec![BinOp::Xor],
+            flags: false,
+            conds: Vec::new(),
+            freeze: false,
+            consts: vec![0],
+            poison_const: false,
+            undef_const: false,
+            prune: Pruning::NONE,
+        }
+    }
+
+    #[test]
+    fn canonical_operands_halve_the_symmetric_space() {
+        // Unpruned: 3 × 3 ordered pairs. Canonical (rank(lhs) ≤
+        // rank(rhs) over a < b < 0): (a,a) (a,b) (a,0) (b,b) (b,0)
+        // (0,0) — the 3 unordered swaps are gone, and the constant
+        // always sits on the right.
+        let prune = Pruning {
+            canonical_operands: true,
+            live_intermediates: false,
+        };
+        let before = frost_telemetry::snapshot();
+        let fns: Vec<Function> = enumerate_functions(xor_cfg(1).with_pruning(prune)).collect();
+        assert_eq!(fns.len(), 6);
+        for f in &fns {
+            let s = frost_ir::function_to_string(f);
+            assert!(
+                !s.contains("xor i2 0, %"),
+                "constant operand must be normalized to the rhs:\n{s}"
+            );
+        }
+        let d = frost_telemetry::snapshot().delta(&before);
+        assert_eq!(
+            d.counter("frost.fuzz.gen.pruned.commutative")
+                + d.counter("frost.fuzz.gen.pruned.const_position"),
+            3,
+            "the three skipped pairs must be tallied"
+        );
+        assert_eq!(
+            enumerate_functions(xor_cfg(1)).count(),
+            9,
+            "the unpruned space is untouched"
+        );
+    }
+
+    #[test]
+    fn full_pruning_keeps_only_live_canonical_functions() {
+        // Slot 0: the 6 canonical pairs. Slot 1 must reference t0 and
+        // stay canonical over a < b < t0 < 0 (non-consts before the
+        // constant): (a,t0) (b,t0) (t0,t0) (t0,0) — 4 choices.
+        let before = frost_telemetry::snapshot();
+        let fns: Vec<Function> =
+            enumerate_functions(xor_cfg(2).with_pruning(Pruning::FULL)).collect();
+        assert_eq!(fns.len(), 6 * 4);
+        let keys: std::collections::HashSet<frost_ir::FunctionKey> =
+            fns.iter().map(frost_ir::FunctionKey::of).collect();
+        assert_eq!(keys.len(), 6 * 4, "pruned functions are key-distinct");
+        for f in &fns {
+            // Every intermediate (all but the returned last result) is
+            // referenced by a later instruction.
+            let mut referenced = vec![false; f.insts.len()];
+            for inst in &f.insts {
+                inst.for_each_operand(|v| {
+                    if let Value::Inst(id) = v {
+                        referenced[id.0 as usize] = true;
+                    }
+                });
+            }
+            assert!(
+                referenced[..f.insts.len() - 1].iter().all(|&r| r),
+                "dead intermediate in {}",
+                frost_ir::function_to_string(f)
+            );
+        }
+        let d = frost_telemetry::snapshot().delta(&before);
+        assert!(d.counter("frost.fuzz.gen.pruned.dead") > 0);
+        assert_eq!(enumerate_functions(xor_cfg(2)).count(), 9 * 16);
+    }
+
+    #[test]
+    fn pruned_walk_is_a_subsequence_of_the_unpruned_walk() {
+        // Pruning only *removes* entries from the walk — the survivors
+        // come out in the same relative order the unpruned odometer
+        // would yield them. (Positions are renumbered densely, so
+        // compare bodies under a fixed name, not `fz{n}` texts.)
+        let body = |mut f: Function| {
+            f.name = "f".into();
+            frost_ir::function_to_string(&f)
+        };
+        let all: Vec<String> = enumerate_functions(xor_cfg(2)).map(body).collect();
+        let pruned: Vec<String> = enumerate_functions(xor_cfg(2).with_pruning(Pruning::FULL))
+            .map(body)
+            .collect();
+        let mut it = all.iter();
+        for p in &pruned {
+            assert!(
+                it.any(|a| a == p),
+                "pruned walk yielded a function missing from (or out of order in) the unpruned walk"
+            );
+        }
+    }
+
+    #[test]
+    fn skip_matches_sequential_next_calls() {
+        for cfg in [
+            xor_cfg(2),                             // 144 functions, unpruned
+            xor_cfg(2).with_pruning(Pruning::FULL), // 24, prune-aware carry
+            GenConfig::with_selects(2),             // mixed types
+        ] {
+            let total = enumerate_functions(cfg.clone()).count().min(600);
+            for n in [0, 1, 2, 5, total - 1, total, total + 3] {
+                let mut stepped = enumerate_functions(cfg.clone());
+                for _ in 0..n {
+                    let _ = stepped.next();
+                }
+                let mut skipped = enumerate_functions(cfg.clone());
+                skipped.fast_forward(n as u64);
+                assert_eq!(
+                    skipped.cursor(),
+                    stepped.cursor(),
+                    "cursor mismatch after skip({n})"
+                );
+                assert_eq!(
+                    skipped.next().map(|f| frost_ir::function_to_string(&f)),
+                    stepped.next().map(|f| frost_ir::function_to_string(&f)),
+                    "next function mismatch after skip({n})"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn resume_continues_a_pruned_walk() {
+        let cfg = GenConfig::with_selects(2).with_pruning(Pruning::FULL);
+        let full: Vec<String> = enumerate_functions(cfg.clone())
+            .take(300)
+            .map(|f| frost_ir::function_to_string(&f))
+            .collect();
+        let mut head = enumerate_functions(cfg.clone());
+        let mut walked: Vec<String> = head
+            .by_ref()
+            .take(97)
+            .map(|f| frost_ir::function_to_string(&f))
+            .collect();
+        let (indices, counter, done) = head.cursor();
+        let resumed = ExhaustiveFunctions::resume(cfg, &indices, counter, done).unwrap();
+        walked.extend(
+            resumed
+                .take(300 - 97)
+                .map(|f| frost_ir::function_to_string(&f)),
+        );
+        assert_eq!(walked, full, "resume must continue the pruned walk");
     }
 
     #[test]

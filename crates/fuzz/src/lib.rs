@@ -39,5 +39,6 @@ pub use campaign::{Campaign, CampaignStats, Progress};
 pub use checkpoint::CampaignCheckpoint;
 pub use gen::{
     enumerate_functions, random_functions, random_functions_range, ExhaustiveFunctions, GenConfig,
+    Pruning,
 };
 pub use validate::{validate_transform, ValidationReport, Violation};

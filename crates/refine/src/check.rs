@@ -11,7 +11,7 @@
 use std::collections::hash_map::DefaultHasher;
 use std::fmt;
 use std::hash::{Hash, Hasher};
-use std::sync::{Arc, OnceLock};
+use std::sync::OnceLock;
 
 use frost_telemetry::Counter;
 
@@ -19,7 +19,7 @@ use frost_core::{
     enumerate_function, uninit_fill, Engine, ExecError, Limits, Memory, Outcome, OutcomeCache,
     OutcomeSet, Semantics, Val,
 };
-use frost_ir::{Function, Module, Ty};
+use frost_ir::{Function, FunctionKey, Module, Ty};
 
 use crate::inputs::{enumerate_inputs_cached, InputOptions};
 use crate::lattice::{set_refines, unjustified};
@@ -102,6 +102,23 @@ impl Default for CheckOptions {
     fn default() -> CheckOptions {
         CheckOptions::new(Semantics::proposed())
     }
+}
+
+/// How a cached check treats the shapes it encounters — the knob that
+/// keeps exhaustive campaigns from growing the outcome/plan caches
+/// linearly with the enumerated space.
+///
+/// The default policy stores both sides (right for random corpora and
+/// repeated queries, where any shape may recur). Exhaustive sweeps set
+/// [`CheckPolicy::transient_src`]: the odometer visits each source
+/// exactly once, so caching source enumerations only inflates the
+/// working set; targets are still stored because transforms funnel
+/// thousands of sources onto a few canonical forms.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct CheckPolicy {
+    /// The source function of each pair is seen once and never
+    /// revisited: probe the cache for it, but do not store it.
+    pub transient_src: bool,
 }
 
 /// A concrete witness that the target does not refine the source.
@@ -316,9 +333,36 @@ pub fn check_refinement_cached(
     opts: &CheckOptions,
     cache: &OutcomeCache,
 ) -> CheckResult {
+    check_refinement_cached_policy(
+        src_module,
+        src_fn,
+        tgt_module,
+        tgt_fn,
+        opts,
+        cache,
+        CheckPolicy::default(),
+    )
+}
+
+/// [`check_refinement_cached`] with an explicit [`CheckPolicy`]. The
+/// verdict is identical under every policy — the policy only decides
+/// what the cache *retains*, never what the check concludes.
+// The seventh parameter is the point of this entry; folding it into
+// CheckOptions would make cache policy part of every cache key.
+#[allow(clippy::too_many_arguments)]
+pub fn check_refinement_cached_policy(
+    src_module: &Module,
+    src_fn: &str,
+    tgt_module: &Module,
+    tgt_fn: &str,
+    opts: &CheckOptions,
+    cache: &OutcomeCache,
+    policy: CheckPolicy,
+) -> CheckResult {
     refine_counters().checks.incr();
     let mut sp = frost_telemetry::span("refine.check.run").field("cached", true);
-    let result = check_refinement_cached_impl(src_module, src_fn, tgt_module, tgt_fn, opts, cache);
+    let result =
+        check_refinement_cached_impl(src_module, src_fn, tgt_module, tgt_fn, opts, cache, policy);
     record_verdict(&mut sp, &result);
     result
 }
@@ -330,6 +374,7 @@ fn check_refinement_cached_impl(
     tgt_fn: &str,
     opts: &CheckOptions,
     cache: &OutcomeCache,
+    policy: CheckPolicy,
 ) -> CheckResult {
     let (Some(sf), Some(tf)) = (src_module.function(src_fn), tgt_module.function(tgt_fn)) else {
         return CheckResult::Inconclusive("function not found".to_string());
@@ -342,9 +387,45 @@ fn check_refinement_cached_impl(
     };
     let (tuples, mem_bytes) = (&shared.0, shared.1);
     let salt = input_salt(&opts.inputs, mem_bytes);
-    let src_mem = Memory::uninit(mem_bytes, uninit_fill(&opts.src_sem));
+    let src_key = FunctionKey::of(sf);
+    let tgt_key = FunctionKey::of(tf);
     let tgt_mem = Memory::uninit(mem_bytes, uninit_fill(&opts.tgt_sem));
-    let src_all = cache.enumerate(
+
+    // Identity fast path: α-equivalent bodies under one semantics — the
+    // no-op-transform case, which dominates campaign corpora. Refinement
+    // is reflexive on every outcome set the engine produces
+    // (`set_refines(s, s)` holds: poison justifies poison, undef
+    // justifies undef, defined values justify themselves), so the
+    // per-input comparison can only say "refines" — all that remains is
+    // the verdict the general loop would give a failed enumeration,
+    // blaming the source side first. One enumeration serves both sides;
+    // it is stored under the source's retention rule — an untouched
+    // pair *is* its own source, and a sweep that stored every unchanged
+    // function would grow the cache with the space after all.
+    if opts.src_sem == opts.tgt_sem && src_key == tgt_key {
+        let all = cache.enumerate_keyed(
+            &tgt_key,
+            tgt_module,
+            tgt_fn,
+            tuples,
+            &tgt_mem,
+            opts.tgt_sem,
+            opts.limits,
+            opts.engine,
+            salt,
+            !policy.transient_src,
+        );
+        for (i, args) in tuples.iter().enumerate() {
+            if let Err(e) = &all[i] {
+                return inconclusive(e.clone(), args, "source");
+            }
+        }
+        return CheckResult::Refines;
+    }
+
+    let src_mem = Memory::uninit(mem_bytes, uninit_fill(&opts.src_sem));
+    let src_all = cache.enumerate_keyed(
+        &src_key,
         src_module,
         src_fn,
         tuples,
@@ -353,8 +434,10 @@ fn check_refinement_cached_impl(
         opts.limits,
         opts.engine,
         salt,
+        !policy.transient_src,
     );
-    let tgt_all = cache.enumerate(
+    let tgt_all = cache.enumerate_keyed(
+        &tgt_key,
         tgt_module,
         tgt_fn,
         tuples,
@@ -363,24 +446,8 @@ fn check_refinement_cached_impl(
         opts.limits,
         opts.engine,
         salt,
+        true,
     );
-
-    // Identity fast path: both sides resolved to the *same* cache entry
-    // (α-equivalent bodies under one semantics — the no-op-transform
-    // case, which dominates campaign corpora). Refinement is reflexive
-    // on every outcome set the engine produces (`set_refines(s, s)`
-    // holds: poison justifies poison, undef justifies undef, defined
-    // values justify themselves), so the per-input comparison can only
-    // say "refines" — all that remains is the verdict the general loop
-    // would give a failed enumeration, blaming the source side first.
-    if Arc::ptr_eq(&src_all, &tgt_all) {
-        for (i, args) in tuples.iter().enumerate() {
-            if let Err(e) = &src_all[i] {
-                return inconclusive(e.clone(), args, "source");
-            }
-        }
-        return CheckResult::Refines;
-    }
 
     for (i, args) in tuples.iter().enumerate() {
         let src = match &src_all[i] {

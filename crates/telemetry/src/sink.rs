@@ -15,6 +15,12 @@
 //! Stop events additionally carry `dur_ns`. User fields are flattened
 //! into the same object and must avoid the reserved keys. See
 //! `docs/OBSERVABILITY.md` for the full contract.
+//!
+//! Benchmark records are the one non-event shape the validator
+//! accepts: a line carrying `"kind":"bench"` plus a string
+//! `experiment` key (e.g. the `BENCH_sweep.json` artifact `repro
+//! --experiment sweep --bench-json` writes); its remaining fields are
+//! experiment-defined and pass through unvalidated.
 
 use std::collections::BTreeMap;
 use std::fmt::Write as _;
@@ -183,6 +189,8 @@ pub struct JsonlStats {
     pub stops: usize,
     /// Point events.
     pub points: usize,
+    /// Benchmark records (`"kind":"bench"` lines).
+    pub bench: usize,
     /// Stop events whose span id had no start, plus starts never
     /// stopped.
     pub unmatched: usize,
@@ -361,8 +369,10 @@ fn utf8_len(first: u8) -> usize {
 /// Parses and validates a `telemetry.jsonl` artifact against the event
 /// schema: every non-empty line must be a flat JSON object carrying the
 /// reserved keys (`ev`/`span`/`name`/`tid`/`ts_ns`, `dur_ns` on stops),
-/// and every stop must pair with a start. Returns aggregate
-/// [`JsonlStats`] on success.
+/// and every stop must pair with a start. Lines carrying
+/// `"kind":"bench"` are benchmark records instead: they need only a
+/// string `experiment` key and are tallied in [`JsonlStats::bench`].
+/// Returns aggregate [`JsonlStats`] on success.
 ///
 /// ```
 /// use frost_telemetry::validate_jsonl;
@@ -405,6 +415,15 @@ pub fn validate_jsonl(text: &str) -> Result<JsonlStats, String> {
                 _ => Err(format!("line {}: missing numeric key '{k}'", lineno + 1)),
             }
         };
+        if let Some(JsonValue::Str(kind)) = obj.get("kind") {
+            if kind != "bench" {
+                return Err(format!("line {}: unknown kind '{kind}'", lineno + 1));
+            }
+            get_str("experiment")?;
+            stats.lines += 1;
+            stats.bench += 1;
+            continue;
+        }
         let ev = get_str("ev")?;
         let name = get_str("name")?;
         let span = get_num("span")? as u64;
@@ -515,6 +534,25 @@ mod tests {
             )
             .is_err(),
             "trailing garbage"
+        );
+    }
+
+    #[test]
+    fn validator_accepts_bench_records_and_rejects_other_kinds() {
+        let text = "{\"ev\":\"point\",\"span\":0,\"name\":\"a.b.c\",\"tid\":1,\"ts_ns\":5}\n\
+                    {\"kind\":\"bench\",\"experiment\":\"sweep\",\"insts\":3,\
+                     \"space\":\"23270607245376\",\"fns_per_sec\":135000.0,\"complete\":false}\n";
+        let stats = validate_jsonl(text).unwrap();
+        assert_eq!(stats.lines, 2);
+        assert_eq!(stats.bench, 1);
+        assert_eq!(stats.points, 1);
+        assert!(
+            validate_jsonl("{\"kind\":\"bench\"}\n").is_err(),
+            "bench records must name their experiment"
+        );
+        assert!(
+            validate_jsonl("{\"kind\":\"checkpoint\",\"experiment\":\"x\"}\n").is_err(),
+            "only bench records are exempt from the event schema"
         );
     }
 

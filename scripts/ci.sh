@@ -46,13 +46,16 @@ FROST_TRACE_FILE=telemetry.jsonl \
 
 echo "==> full unsampled 2-inst exhaustive sweep (wall-clock budget)"
 # The complete 2,661,792-function i2 arithmetic space through fixed
-# InstCombine on Engine::Auto — ~2 minutes at the measured ~22k fn/s.
+# InstCombine on Engine::Auto — ~20 seconds at the measured ~150k fn/s.
 # The deadline is a parachute, not a sample: if the box is slow enough
 # to hit it, the checkpoint line below fails the gate loudly instead of
-# silently shipping a partial sweep.
-rm -f sweep-ci.jsonl
+# silently shipping a partial sweep. The run also emits the
+# machine-readable BENCH_sweep.json benchmark record, which must pass
+# the telemetry validator.
+rm -f sweep-ci.jsonl BENCH_sweep.json
 cargo run -q --release -p frost-bench --bin repro -- \
     --experiment sweep --seconds 600 --checkpoint sweep-ci.jsonl \
+    --bench-json BENCH_sweep.json \
     | tee sweep-ci.out
 grep -q "complete=true" sweep-ci.out || {
     echo "ci: full 2-inst sweep did not complete within budget" >&2
@@ -62,6 +65,39 @@ grep -q "violations=0" sweep-ci.out || {
     echo "ci: full 2-inst sweep found violations in fixed mode" >&2
     exit 1
 }
+cargo run -q --release -p frost-bench --bin repro -- \
+    --validate-trace BENCH_sweep.json
+
+echo "==> 3-inst sharded sweep slice + merge smoke (bounded)"
+# A bounded slice of the 3-instruction space (6.3B functions unpruned,
+# 87.5M after generation-time pruning) as a 2-process campaign: each
+# shard sweeps its residue class under a per-shard budget, then the
+# coordinator merges the checkpoints. The merged summary must be
+# byte-identical to a single-process sweep of the same 2N-function
+# prefix — the union-equals-whole guarantee the campaign tests prove,
+# exercised end-to-end through the CLI. Stays well inside the
+# 10-minute parachute (~1 s of checking per leg at measured rates).
+rm -f sweep-shard0.jsonl sweep-shard1.jsonl sweep-merged.jsonl
+cargo run -q --release -p frost-bench --bin repro -- \
+    --experiment sweep --insts 3 --prune --budget 20000 \
+    --shards 2 --shard-id 0 --checkpoint sweep-shard0.jsonl >/dev/null
+cargo run -q --release -p frost-bench --bin repro -- \
+    --experiment sweep --insts 3 --prune --budget 20000 \
+    --shards 2 --shard-id 1 --checkpoint sweep-shard1.jsonl >/dev/null
+cargo run -q --release -p frost-bench --bin repro -- \
+    --experiment sweep --merge sweep-shard0.jsonl --merge sweep-shard1.jsonl \
+    --checkpoint sweep-merged.jsonl \
+    | grep "^sweep:" > sweep-merged.out
+cargo run -q --release -p frost-bench --bin repro -- \
+    --experiment sweep --insts 3 --prune --budget 40000 \
+    | grep "^sweep:" > sweep-single3.out
+cmp sweep-merged.out sweep-single3.out || {
+    echo "ci: merged 2-shard sweep diverges from single-process reference" >&2
+    diff sweep-merged.out sweep-single3.out >&2 || true
+    exit 1
+}
+rm -f sweep-shard0.jsonl sweep-shard1.jsonl sweep-merged.jsonl \
+    sweep-merged.out sweep-single3.out
 
 echo "==> textual IR roundtrip fidelity (full §6 corpus + 10k fuzz sample)"
 # Every function of the unsampled §6 exhaustive spaces, a 10k random

@@ -135,6 +135,117 @@ fn budget_checks_exactly_the_corpus_prefix() {
     assert_eq!(capped.violations, expected);
 }
 
+/// A K-process sweep partitions the exhaustive space by residue class;
+/// merging the per-shard checkpoints must reproduce the single-process
+/// checkpoint **byte-for-byte** — same tallies, same violations, same
+/// dedup set, same cursor — at K=2 and K=4.
+#[test]
+fn sharded_sweep_union_matches_single_process_byte_for_byte() {
+    let cfg = violating_cfg(2);
+    let opts = CheckOptions::new(Semantics::legacy_gvn());
+    let (single, single_cp) =
+        Campaign::with_options(opts)
+            .with_workers(1)
+            .run_exhaustive(&cfg, None, legacy_instcombine);
+    assert!(single_cp.done);
+    assert!(
+        !single.is_clean(),
+        "the corpus must produce violations for the merge to be meaningful"
+    );
+    for k in [2, 4] {
+        let parts: Vec<CampaignCheckpoint> = (0..k)
+            .map(|i| {
+                let (_r, cp) = Campaign::with_options(opts)
+                    .with_workers(1)
+                    .with_process_shard(i, k)
+                    .run_exhaustive(&cfg, None, legacy_instcombine);
+                assert!(cp.done, "shard {i}/{k} must finish its residue class");
+                assert_eq!((cp.shard_id, cp.shards), (i, k));
+                cp
+            })
+            .collect();
+        let merged = CampaignCheckpoint::merge(&parts).expect("complete shard set");
+        assert_eq!(
+            merged.to_jsonl(),
+            single_cp.to_jsonl(),
+            "merged artifact diverged from the single-process sweep at K={k}"
+        );
+    }
+}
+
+/// Killing one shard mid-leg, round-tripping its checkpoint through
+/// disk, and resuming it must not perturb the merged result.
+#[test]
+fn killed_shard_resumes_and_merge_still_matches() {
+    let cfg = violating_cfg(2);
+    let opts = CheckOptions::new(Semantics::legacy_gvn());
+    let (_single, single_cp) =
+        Campaign::with_options(opts)
+            .with_workers(1)
+            .run_exhaustive(&cfg, None, legacy_instcombine);
+
+    let (_r0, cp0) = Campaign::with_options(opts)
+        .with_workers(2)
+        .with_process_shard(0, 2)
+        .run_exhaustive(&cfg, None, legacy_instcombine);
+
+    // Shard 1 dies after 37 functions...
+    let (r1a, cp1a) = Campaign::with_options(opts)
+        .with_workers(1)
+        .with_process_shard(1, 2)
+        .with_budget(37)
+        .run_exhaustive(&cfg, None, legacy_instcombine);
+    assert_eq!(r1a.total, 37);
+    assert!(!cp1a.done && r1a.stats.budget_hit);
+
+    // ...its checkpoint survives on disk...
+    let dir = std::env::temp_dir().join("frost-shard-resume-test");
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("shard1.jsonl");
+    cp1a.save_jsonl(&path).unwrap();
+    let restored = CampaignCheckpoint::load_jsonl(&path).unwrap();
+    assert_eq!(restored, cp1a);
+    std::fs::remove_file(&path).ok();
+
+    // ...and the restarted worker finishes the residue class.
+    let (_r1b, cp1) = Campaign::with_options(opts)
+        .with_workers(1)
+        .with_process_shard(1, 2)
+        .run_exhaustive(&cfg, Some(&restored), legacy_instcombine);
+    assert!(cp1.done);
+
+    let merged = CampaignCheckpoint::merge(&[cp0, cp1]).expect("complete shard set");
+    assert_eq!(
+        merged.to_jsonl(),
+        single_cp.to_jsonl(),
+        "kill/resume of shard 1 perturbed the merged artifact"
+    );
+}
+
+/// Sharding composes with generation-time pruning: the merged pruned
+/// sweep equals the single-process pruned sweep.
+#[test]
+fn pruned_sharded_sweep_matches_pruned_single_process() {
+    let cfg = violating_cfg(2).with_pruning(Pruning::FULL);
+    let opts = CheckOptions::new(Semantics::legacy_gvn());
+    let (single, single_cp) =
+        Campaign::with_options(opts)
+            .with_workers(1)
+            .run_exhaustive(&cfg, None, legacy_instcombine);
+    assert!(single_cp.done && single.total > 0);
+    let parts: Vec<CampaignCheckpoint> = (0..2)
+        .map(|i| {
+            Campaign::with_options(opts)
+                .with_workers(1)
+                .with_process_shard(i, 2)
+                .run_exhaustive(&cfg, None, legacy_instcombine)
+                .1
+        })
+        .collect();
+    let merged = CampaignCheckpoint::merge(&parts).expect("complete shard set");
+    assert_eq!(merged.to_jsonl(), single_cp.to_jsonl());
+}
+
 /// The prelude's sequential entry point and an explicit multi-worker
 /// campaign agree on a clean corpus (fixed pipeline finds nothing).
 #[test]
