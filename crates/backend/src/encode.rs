@@ -65,6 +65,8 @@ pub fn inst_size(inst: &MInst) -> usize {
             }
             size
         }
+        // lea from rbp: rex + opcode + modrm + disp.
+        MInst::FrameAddr { offset, .. } => 4 + imm_size(i64::from(*offset)),
         MInst::MovX { to, .. } => 3 + usize::from(needs_rex(*to)),
         MInst::Load {
             base, disp, width, ..

@@ -64,6 +64,11 @@ struct Isel<'a> {
     /// The per-function pinned undef register (§6), allocated lazily.
     undef_vreg: Option<Reg>,
     undef_list: Vec<u32>,
+    /// Bytes of `alloca` frame assigned so far (each slot 8-aligned).
+    frame_bytes: u32,
+    /// Constant-index geps whose every use is a load/store address:
+    /// folded into the access's displacement instead of a `lea`.
+    gep_folds: HashMap<InstId, (Value, i32)>,
 }
 
 impl<'a> Isel<'a> {
@@ -119,6 +124,19 @@ impl<'a> Isel<'a> {
         }
     }
 
+    /// The `(base register, displacement)` addressing mode for a memory
+    /// access through `ptr`: a folded constant-index gep contributes its
+    /// displacement, everything else is a plain `[reg + 0]`.
+    fn addr_of(&mut self, bb: usize, ptr: &Value) -> Result<(Reg, i32), IselError> {
+        if let Value::Inst(id) = ptr {
+            if let Some((base, disp)) = self.gep_folds.get(id) {
+                let (base, disp) = (base.clone(), *disp);
+                return Ok((self.reg_of(bb, &base)?, disp));
+            }
+        }
+        Ok((self.reg_of(bb, ptr)?, 0))
+    }
+
     fn const_operand(&mut self, bb: usize, c: &Constant) -> Result<Operand, IselError> {
         match c {
             Constant::Int { value, .. } => Ok(Operand::Imm(*value as i64)),
@@ -167,6 +185,72 @@ fn alu_for(op: BinOp) -> Option<(AluOp, bool)> {
     })
 }
 
+/// Finds constant-index geps whose every use is the address operand of
+/// a load or store, mapping gep -> (base value, byte displacement).
+/// Such a gep needs no `lea` of its own — the displacement rides along
+/// in the access's addressing mode, which keeps the §7.2 LEA cost model
+/// honest about address arithmetic the hardware folds for free.
+fn fold_geps(func: &Function) -> HashMap<InstId, (Value, i32)> {
+    fn kill(v: &Value, cand: &mut HashMap<InstId, (Value, i32)>) {
+        if let Value::Inst(id) = v {
+            cand.remove(id);
+        }
+    }
+
+    let mut cand: HashMap<InstId, (Value, i32)> = HashMap::new();
+    for bb in func.block_ids() {
+        for &id in &func.block(bb).insts {
+            let Inst::Gep {
+                elem_ty,
+                base,
+                idx_ty,
+                idx,
+                ..
+            } = func.inst(id)
+            else {
+                continue;
+            };
+            let Some(raw) = idx.as_int_const() else {
+                continue;
+            };
+            let bits = idx_ty.bitwidth();
+            if bits == 0 || bits > 64 {
+                continue;
+            }
+            let sidx = ((raw as i128) << (128 - bits)) >> (128 - bits);
+            let disp = sidx.checked_mul(i128::from(elem_ty.byte_size()));
+            let Some(disp) = disp.and_then(|d| i32::try_from(d).ok()) else {
+                continue;
+            };
+            cand.insert(id, (base.clone(), disp));
+        }
+    }
+    if cand.is_empty() {
+        return cand;
+    }
+    for bb in func.block_ids() {
+        for &id in &func.block(bb).insts {
+            match func.inst(id) {
+                // The address position of a memory access is the one
+                // use a fold absorbs.
+                Inst::Load { .. } => {}
+                Inst::Store { val, .. } => kill(val, &mut cand),
+                inst => {
+                    for v in inst.operands() {
+                        kill(&v, &mut cand);
+                    }
+                }
+            }
+        }
+        match &func.block(bb).term {
+            Terminator::Ret(Some(v)) => kill(v, &mut cand),
+            Terminator::Br { cond, .. } => kill(cond, &mut cand),
+            _ => {}
+        }
+    }
+    cand
+}
+
 fn cc_for(cond: Cond) -> Cc {
     match cond {
         Cond::Eq => Cc::E,
@@ -204,6 +288,8 @@ pub fn select_function(func: &Function) -> Result<MFunc, IselError> {
         next_vreg: 0,
         undef_vreg: None,
         undef_list: Vec::new(),
+        frame_bytes: 0,
+        gep_folds: fold_geps(func),
     };
 
     // Prologue: fetch arguments into vregs (validating their widths).
@@ -258,6 +344,7 @@ pub fn select_function(func: &Function) -> Result<MFunc, IselError> {
         blocks: isel.blocks,
         num_vregs: isel.next_vreg,
         num_slots: 0,
+        frame_bytes: isel.frame_bytes,
         undef_vregs: isel.undef_list,
     })
 }
@@ -463,6 +550,11 @@ fn select_inst(isel: &mut Isel<'_>, bi: usize, id: InstId) -> Result<(), IselErr
             idx,
             ..
         } => {
+            if isel.gep_folds.contains_key(&id) {
+                // Every use is a load/store address: the displacement
+                // is folded there and no lea is emitted.
+                return Ok(());
+            }
             let base_r = isel.reg_of(bi, base)?;
             let idx_r = isel.reg_of(bi, idx)?;
             // Widen the index to pointer width (sext, the C `long` cast
@@ -524,14 +616,14 @@ fn select_inst(isel: &mut Isel<'_>, bi: usize, id: InstId) -> Result<(), IselErr
         }
         Inst::Load { ty, ptr } => {
             let width = width_of(ty)?;
-            let base = isel.reg_of(bi, ptr)?;
+            let (base, disp) = isel.addr_of(bi, ptr)?;
             let dst = isel.fresh();
             isel.emit(
                 bi,
                 MInst::Load {
                     dst,
                     base,
-                    disp: 0,
+                    disp,
                     width,
                 },
             );
@@ -541,12 +633,12 @@ fn select_inst(isel: &mut Isel<'_>, bi: usize, id: InstId) -> Result<(), IselErr
         Inst::Store { ty, val, ptr } => {
             let width = width_of(ty)?;
             let src = isel.operand_of(bi, val)?;
-            let base = isel.reg_of(bi, ptr)?;
+            let (base, disp) = isel.addr_of(bi, ptr)?;
             isel.emit(
                 bi,
                 MInst::Store {
                     base,
-                    disp: 0,
+                    disp,
                     src,
                     width,
                 },
@@ -709,6 +801,26 @@ fn select_inst(isel: &mut Isel<'_>, bi: usize, id: InstId) -> Result<(), IselErr
                     dst,
                 },
             );
+            Ok(())
+        }
+        Inst::Alloca { ty } => {
+            // A static frame slot, 8-aligned so neighbouring slots
+            // never share an aligned word.
+            let offset = isel.frame_bytes;
+            isel.frame_bytes = offset + ty.byte_size().next_multiple_of(8);
+            let dst = isel.fresh();
+            isel.emit(bi, MInst::FrameAddr { dst, offset });
+            isel.values.insert(id, dst);
+            Ok(())
+        }
+        // At machine level both pointer casts are bit-identity: the
+        // two-phase bookkeeping is an IR-only construct.
+        Inst::PtrToInt { to_ty, val, .. } | Inst::IntToPtr { to_ty, val, .. } => {
+            let width = width_of(to_ty)?;
+            let src = isel.operand_of(bi, val)?;
+            let dst = isel.fresh();
+            isel.emit(bi, MInst::Mov { dst, src, width });
+            isel.values.insert(id, dst);
             Ok(())
         }
     }
@@ -878,6 +990,91 @@ mod tests {
             .iter()
             .flat_map(|b| &b.insts)
             .any(|i| matches!(i, MInst::MovX { signed: true, .. })));
+    }
+
+    #[test]
+    fn alloca_becomes_a_frame_slot() {
+        let m = mir_of(
+            "define i8* @f() {\nentry:\n  %a = alloca i8\n  %b = alloca i32\n  ret i8* %b\n}",
+        );
+        let addrs: Vec<_> = m
+            .blocks
+            .iter()
+            .flat_map(|b| &b.insts)
+            .filter(|i| matches!(i, MInst::FrameAddr { .. }))
+            .collect();
+        assert_eq!(addrs.len(), 2, "{m}");
+        // Slots are disjoint and 8-aligned; the frame covers both.
+        let MInst::FrameAddr { offset: o0, .. } = addrs[0] else {
+            panic!()
+        };
+        let MInst::FrameAddr { offset: o1, .. } = addrs[1] else {
+            panic!()
+        };
+        assert_eq!((*o0, *o1), (0, 8));
+        assert_eq!(m.frame_bytes, 16);
+    }
+
+    #[test]
+    fn pointer_casts_become_copies() {
+        let m = mir_of(
+            "define i8* @f(i8* %p) {\nentry:\n  %i = ptrtoint i8* %p to i32\n  %q = inttoptr i32 %i to i8*\n  ret i8* %q\n}",
+        );
+        let movs = m.blocks[0]
+            .insts
+            .iter()
+            .filter(|i| {
+                matches!(
+                    i,
+                    MInst::Mov {
+                        src: Operand::R(_),
+                        ..
+                    }
+                )
+            })
+            .count();
+        assert!(movs >= 2, "{m}");
+    }
+
+    #[test]
+    fn const_gep_folds_into_load_displacement() {
+        let m = mir_of(
+            "define i32 @f(i32* %p) {\nentry:\n  %q = getelementptr i32, i32* %p, i32 3\n  %v = load i32, i32* %q\n  ret i32 %v\n}",
+        );
+        // No lea: the gep rides in the load's addressing mode.
+        assert!(
+            !m.blocks
+                .iter()
+                .flat_map(|b| &b.insts)
+                .any(|i| matches!(i, MInst::Lea { .. })),
+            "{m}"
+        );
+        let load = m
+            .blocks
+            .iter()
+            .flat_map(|b| &b.insts)
+            .find(|i| matches!(i, MInst::Load { .. }))
+            .expect("load emitted");
+        let MInst::Load { disp, .. } = load else {
+            panic!()
+        };
+        assert_eq!(*disp, 12);
+    }
+
+    #[test]
+    fn escaping_gep_keeps_its_lea() {
+        // The gep is returned as well as loaded: it must still be
+        // materialized.
+        let m = mir_of(
+            "define i32* @f(i32* %p) {\nentry:\n  %q = getelementptr i32, i32* %p, i32 3\n  %v = load i32, i32* %q\n  store i32 %v, i32* %q\n  ret i32* %q\n}",
+        );
+        assert!(
+            m.blocks
+                .iter()
+                .flat_map(|b| &b.insts)
+                .any(|i| matches!(i, MInst::Lea { .. })),
+            "{m}"
+        );
     }
 
     #[test]

@@ -286,6 +286,16 @@ pub enum MInst {
         /// Displacement.
         disp: i32,
     },
+    /// `lea dst, [rbp - frame + offset]`: the address of byte `offset`
+    /// of this activation's `alloca` frame. The frame base register is
+    /// implicit (rbp is reserved), so no general-purpose register is
+    /// read.
+    FrameAddr {
+        /// Destination.
+        dst: Reg,
+        /// Byte offset into the function's alloca frame.
+        offset: u32,
+    },
     /// Zero- or sign-extending move.
     MovX {
         /// Destination.
@@ -472,6 +482,7 @@ impl MInst {
             | MInst::SetCc { dst, .. }
             | MInst::CmovCc { dst, .. }
             | MInst::Reload { dst, .. }
+            | MInst::FrameAddr { dst, .. }
             | MInst::GetArg { dst, .. } => vec![*dst],
             MInst::Call { dst, .. } => dst.iter().copied().collect(),
             _ => Vec::new(),
@@ -545,7 +556,9 @@ impl MInst {
                 }
             }
             MInst::Spill { src, .. } => *src = f(*src),
-            MInst::Reload { dst, .. } | MInst::GetArg { dst, .. } => *dst = f(*dst),
+            MInst::Reload { dst, .. }
+            | MInst::FrameAddr { dst, .. }
+            | MInst::GetArg { dst, .. } => *dst = f(*dst),
             MInst::Jcc { .. } | MInst::Jmp { .. } | MInst::Ud2 => {}
         }
     }
@@ -574,6 +587,9 @@ pub struct MFunc {
     pub num_vregs: u32,
     /// Number of spill slots.
     pub num_slots: u32,
+    /// Bytes of stack frame reserved for `alloca` (addressed by
+    /// [`MInst::FrameAddr`]).
+    pub frame_bytes: u32,
     /// Virtual registers that are *pinned undef* (the §6 lowering of
     /// poison): never written, read as whatever the register holds.
     pub undef_vregs: Vec<u32>,
@@ -590,8 +606,8 @@ impl fmt::Display for MFunc {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         writeln!(
             f,
-            "{}: # params={} slots={}",
-            self.name, self.num_params, self.num_slots
+            "{}: # params={} slots={} frame={}",
+            self.name, self.num_params, self.num_slots, self.frame_bytes
         )?;
         for (i, b) in self.blocks.iter().enumerate() {
             writeln!(f, ".{}_{}:", i, b.name)?;

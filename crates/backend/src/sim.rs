@@ -178,6 +178,10 @@ pub struct Simulator<'m> {
     cost: CostModel,
     /// Flat memory; address `MEM_BASE + i` maps to `mem[i]`.
     pub mem: Vec<u8>,
+    /// Stack pointer for `alloca` frames: frames are carved downward
+    /// from the *top* of `mem`, so programs that use `alloca` must be
+    /// given enough memory for their deepest activation chain.
+    sp: u64,
     max_cycles: u64,
     cycles: u64,
     insts: u64,
@@ -203,6 +207,8 @@ struct Frame {
     regs: [u64; 16],
     slots: Vec<u64>,
     flags: Flags,
+    /// Base address of this activation's `alloca` frame.
+    frame_base: u64,
 }
 
 impl<'m> Simulator<'m> {
@@ -212,6 +218,7 @@ impl<'m> Simulator<'m> {
             module,
             cost,
             mem: vec![0; mem_bytes],
+            sp: MEM_BASE + mem_bytes as u64,
             max_cycles: 2_000_000_000,
             cycles: 0,
             insts: 0,
@@ -312,12 +319,23 @@ impl<'m> Simulator<'m> {
             *self.extern_calls.entry(name.to_string()).or_insert(0) += 1;
             return Ok(Some(0));
         };
+        // Carve this activation's alloca frame off the stack (the top
+        // of simulated memory, growing downward).
+        let frame_bytes = u64::from(func.frame_bytes);
+        if frame_bytes > self.sp.saturating_sub(MEM_BASE) {
+            return Err(SimError::Fault(self.sp));
+        }
+        let saved_sp = self.sp;
+        self.sp -= frame_bytes;
         let mut frame = Frame {
             regs: [0; 16],
             slots: vec![0; func.num_slots as usize],
             flags: Flags::None,
+            frame_base: self.sp,
         };
-        self.exec(func, &mut frame, args, depth)
+        let result = self.exec(func, &mut frame, args, depth);
+        self.sp = saved_sp;
+        result
     }
 
     /// Folds the cycles/instructions charged since the last snapshot
@@ -468,6 +486,11 @@ impl<'m> Simulator<'m> {
                     if let Some((r, scale)) = index {
                         addr = addr.wrapping_add(read_reg(fr, *r).wrapping_mul(u64::from(*scale)));
                     }
+                    write_reg(fr, *dst, addr);
+                }
+                MInst::FrameAddr { dst, offset } => {
+                    self.charge(self.cost.lea)?;
+                    let addr = fr.frame_base + u64::from(*offset);
                     write_reg(fr, *dst, addr);
                 }
                 MInst::MovX {

@@ -104,9 +104,9 @@ fn main() {
         } = row;
         let f = &module.functions[0];
         let name = f.name.clone();
-        let (tuples, mem_bytes) =
+        let (tuples, block_sizes) =
             enumerate_inputs(f, &InputOptions::new().with_undef(with_undef)).expect("enumerable");
-        let mem = Memory::uninit(mem_bytes, uninit_fill(&sem));
+        let mem = Memory::with_initial_blocks(&block_sizes, uninit_fill(&sem));
         let plan = ModulePlan::compile(&module, sem);
         let idx = plan.function_index(&name).unwrap();
         let mut machine = Machine::new();

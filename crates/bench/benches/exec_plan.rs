@@ -77,8 +77,8 @@ exit:
         .nth(12_345)
         .expect("space is larger than that");
     let name = f.name.clone();
-    let (tuples, mem_bytes) = enumerate_inputs(&f, &InputOptions::new()).expect("enumerable");
-    let fuzz_mem = Memory::uninit(mem_bytes, uninit_fill(&sem));
+    let (tuples, block_sizes) = enumerate_inputs(&f, &InputOptions::new()).expect("enumerable");
+    let fuzz_mem = Memory::with_initial_blocks(&block_sizes, uninit_fill(&sem));
     let mut module = Module::new();
     module.functions.push(f);
     r.bench("plan_section6_fn_all_inputs", || {

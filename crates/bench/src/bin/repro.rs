@@ -4,7 +4,7 @@
 //! ```text
 //! repro [--experiment NAME] [--quick] [--budget N]
 //!       [--insts N] [--seconds N] [--checkpoint FILE] [--fuzz N]
-//!       [--prune] [--shards K] [--shard-id I] [--merge FILE]...
+//!       [--prune] [--mem] [--shards K] [--shard-id I] [--merge FILE]...
 //!       [--bench-json FILE]
 //!       [--trace] [--counters] [--validate-trace FILE]
 //! repro --input FILE.fir
@@ -92,6 +92,7 @@ fn main() {
     let mut shard_id = 0usize;
     let mut merge: Vec<std::path::PathBuf> = Vec::new();
     let mut bench_json: Option<String> = None;
+    let mut mem = false;
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
@@ -155,6 +156,7 @@ fn main() {
                 }));
             }
             "--prune" => prune = true,
+            "--mem" => mem = true,
             "--shards" => {
                 i += 1;
                 shards = args.get(i).and_then(|s| s.parse().ok()).unwrap_or_else(|| {
@@ -225,7 +227,11 @@ fn main() {
                      \x20                 (with --merge: where the merged artifact lands)\n\
                      --prune           enumerate only canonical live functions (skip\n\
                      \x20                 commutative mirrors, const-position mirrors, dead\n\
-                     \x20                 intermediates)\n\
+                     \x20                 intermediates; arithmetic domain only)\n\
+                     --mem             sweep the §5 memory domain instead: tiny\n\
+                     \x20                 alloca/load/store/gep/ptrtoint/inttoptr programs,\n\
+                     \x20                 each over every initial memory content, against the\n\
+                     \x20                 fixed alias-aware GVN\n\
                      --shards K        partition the space over K worker processes\n\
                      --shard-id I      which residue class this process sweeps (0-based)\n\
                      --merge F         fold per-shard checkpoints (repeat per shard) into\n\
@@ -310,6 +316,7 @@ fn main() {
                 prune,
                 (shards > 1).then_some((shard_id, shards)),
                 bench_json.as_deref().map(std::path::Path::new),
+                mem,
             )
         } else {
             experiments::sweep_merge(&merge, checkpoint.as_deref().map(std::path::Path::new))

@@ -334,10 +334,19 @@ pub fn optfuzz(budget: usize) -> Table {
 /// `bench_json` writes a one-line machine-readable benchmark record
 /// (see docs/OBSERVABILITY.md) next to the human table.
 ///
+/// `mem` switches the swept space from i2 arithmetic to the §5 memory
+/// domain: [`GenConfig::memory`] programs (alloca / load / store / gep
+/// / ptrtoint / inttoptr over one pointer parameter), each checked over
+/// *every* initial memory content of the tiny address domain
+/// (`InputOptions::with_memory_values`), against the fixed alias-aware
+/// GVN instead of InstCombine. Pruning does not apply to the memory
+/// domain (its liveness model covers integer templates only).
+///
 /// Returns the table plus a deterministic one-line summary (no
 /// wall-clock columns), so scripts can diff an interrupted-and-resumed
 /// sweep — or a merged `K`-shard sweep — against an uninterrupted
 /// single-process one.
+#[allow(clippy::too_many_arguments)]
 pub fn sweep(
     num_insts: usize,
     budget: Option<usize>,
@@ -346,8 +355,20 @@ pub fn sweep(
     prune: bool,
     shard: Option<(usize, usize)>,
     bench_json: Option<&Path>,
+    mem: bool,
 ) -> Result<(Table, String), FrostError> {
-    let mut cfg = GenConfig::arithmetic(num_insts);
+    if mem && prune {
+        return Err(FrostError::stage(
+            "config",
+            "sweep",
+            "--prune applies to the arithmetic domain only".to_string(),
+        ));
+    }
+    let mut cfg = if mem {
+        GenConfig::memory(num_insts)
+    } else {
+        GenConfig::arithmetic(num_insts)
+    };
     if prune {
         cfg = cfg.with_pruning(Pruning::FULL);
     }
@@ -369,17 +390,23 @@ pub fn sweep(
     };
     let pipeline_mode = PipelineMode::Fixed;
     let ic = frost_opt::InstCombine::new(pipeline_mode);
+    let gvn = frost_opt::Gvn::new(pipeline_mode);
     let dce = Dce::new();
-    let mut campaign =
-        Campaign::with_options(CheckOptions::new(Semantics::proposed()).engine(Engine::Auto))
-            // Large shards amortize the per-batch scoped-thread spawn;
-            // checkpoints land on shard boundaries either way.
-            .with_shard_size(4096)
-            // The §6 odometer never revisits a structure, so a
-            // single-machine sweep skips the per-function fingerprint
-            // set and keeps the checkpoint O(cursor), not O(space).
-            .with_dedup(false)
-            .with_process_shard(shard_id, shards);
+    let mut opts = CheckOptions::new(Semantics::proposed()).engine(Engine::Auto);
+    if mem {
+        // Exhaust initial memory contents too: programs × memories.
+        let inputs = opts.inputs.with_memory_values(true);
+        opts = opts.with_inputs(inputs);
+    }
+    let mut campaign = Campaign::with_options(opts)
+        // Large shards amortize the per-batch scoped-thread spawn;
+        // checkpoints land on shard boundaries either way.
+        .with_shard_size(4096)
+        // The §6 odometer never revisits a structure, so a
+        // single-machine sweep skips the per-function fingerprint
+        // set and keeps the checkpoint O(cursor), not O(space).
+        .with_dedup(false)
+        .with_process_shard(shard_id, shards);
     if let Some(b) = budget {
         campaign = campaign.with_budget(b);
     }
@@ -389,7 +416,11 @@ pub fn sweep(
     let before = frost_telemetry::snapshot();
     let (report, cp) = campaign.run_exhaustive(&cfg, resume.as_ref(), |m| {
         for f in &mut m.functions {
-            ic.apply(f);
+            if mem {
+                gvn.apply(f);
+            } else {
+                ic.apply(f);
+            }
             dce.apply(f);
             f.compact();
         }
@@ -408,13 +439,19 @@ pub fn sweep(
             &report,
             &cp,
             &delta,
+            mem,
         );
         std::fs::write(p, line)
             .map_err(|e| FrostError::stage("bench-json", "sweep", format!("cannot save: {e}")))?;
     }
 
     let mut t = Table::new(
-        "§6 full sweep: every i2 arithmetic function × fixed InstCombine (Engine::Auto)",
+        if mem {
+            "§5 memory sweep: every tiny memory program × every initial memory × fixed GVN \
+             (Engine::Auto)"
+        } else {
+            "§6 full sweep: every i2 arithmetic function × fixed InstCombine (Engine::Auto)"
+        },
         &[
             "insts",
             "space",
@@ -445,7 +482,11 @@ pub fn sweep(
     t.note(
         "complete=no means the budget/deadline cut the sweep; rerun with --checkpoint to resume",
     );
-    t.note("fixed-mode InstCombine over the proposed semantics must stay at 0 violations");
+    if mem {
+        t.note("fixed-mode alias-aware GVN over the proposed semantics must stay at 0 violations");
+    } else {
+        t.note("fixed-mode InstCombine over the proposed semantics must stay at 0 violations");
+    }
     let summary = sweep_summary(&cp);
     Ok((t, summary))
 }
@@ -531,7 +572,9 @@ fn sweep_summary(cp: &CampaignCheckpoint) -> String {
 /// machine-readable benchmark record `--bench-json` writes, accepted
 /// by `frost_telemetry::validate_jsonl`. `space` rides as a decimal
 /// string (the 3-instruction space overflows a double); throughput
-/// and wall-clock are this run's, tallies are cumulative.
+/// and wall-clock are this run's, tallies are cumulative. `domain`
+/// distinguishes the `arith` (§6) and `mem` (§5) sweeps.
+#[allow(clippy::too_many_arguments)]
 fn sweep_bench_json(
     num_insts: usize,
     space: u128,
@@ -540,13 +583,16 @@ fn sweep_bench_json(
     report: &ValidationReport,
     cp: &CampaignCheckpoint,
     delta: &frost_telemetry::Snapshot,
+    mem: bool,
 ) -> String {
     let stats = &report.stats;
     let bitslice_passes = delta.counter("frost.core.bitslice.compiles");
     let tuples = delta.counter("frost.core.bitslice.tuples_per_pass");
     let denom = (cp.total + cp.dedup_skips).max(1);
+    let domain = if mem { "mem" } else { "arith" };
     format!(
-        "{{\"kind\":\"bench\",\"experiment\":\"sweep\",\"insts\":{},\"space\":\"{}\",\
+        "{{\"kind\":\"bench\",\"experiment\":\"sweep\",\"domain\":\"{domain}\",\
+         \"insts\":{},\"space\":\"{}\",\
          \"prune\":{},\"shards\":{},\"shard_id\":{},\"checked\":{},\"changed\":{},\
          \"refined\":{},\"violations\":{},\"inconclusive\":{},\"complete\":{},\
          \"wall_secs\":{:.3},\"fns_per_sec\":{:.1},\"dedup_skips\":{},\"seen_peak\":{},\
@@ -1089,6 +1135,7 @@ fn lea_microkernel(base: frost_backend::PhysReg) -> frost_backend::MModule {
             blocks: vec![entry, body, exit],
             num_vregs: 0,
             num_slots: 0,
+            frame_bytes: 0,
             undef_vregs: vec![],
         }],
     }

@@ -142,7 +142,7 @@ void scale(int *a, int n, int k) {
     let (o, _) = run_concrete(
         &m,
         "scale",
-        &[Val::Ptr(Memory::BASE), Val::int(32, 4), Val::int(32, 3)],
+        &[Val::ptr(Memory::BASE), Val::int(32, 4), Val::int(32, 3)],
         &mem,
         Semantics::proposed(),
         Limits::default(),
@@ -211,7 +211,7 @@ fn bitfield_semantics_store_then_read_adjacent() {
     let (o, _) = run_concrete(
         &m,
         "seta",
-        &[Val::Ptr(Memory::BASE), Val::int(32, 2)],
+        &[Val::ptr(Memory::BASE), Val::int(32, 2)],
         &mem,
         Semantics::proposed(),
         Limits::default(),
@@ -235,7 +235,7 @@ fn first_bitfield_store_to_uninitialized_unit_is_not_poison_with_freeze() {
     let outcomes = enumerate_outcomes(
         &m,
         "seta",
-        &[Val::Ptr(Memory::BASE), Val::int(32, 5)],
+        &[Val::ptr(Memory::BASE), Val::int(32, 5)],
         &mem,
         sem,
         Limits::default(),
@@ -251,7 +251,7 @@ fn first_bitfield_store_to_uninitialized_unit_is_not_poison_with_freeze() {
     let (o, _) = run_concrete(
         &m,
         "seta",
-        &[Val::Ptr(Memory::BASE), Val::int(32, 5)],
+        &[Val::ptr(Memory::BASE), Val::int(32, 5)],
         &mem,
         sem,
         Limits::default(),
@@ -279,7 +279,7 @@ fn first_bitfield_store_to_uninitialized_unit_is_not_poison_with_freeze() {
     let (o, _) = run_concrete(
         &m2,
         "seta",
-        &[Val::Ptr(Memory::BASE), Val::int(32, 5)],
+        &[Val::ptr(Memory::BASE), Val::int(32, 5)],
         &mem,
         sem,
         Limits::default(),
@@ -303,7 +303,7 @@ fn signed_bitfields_sign_extend_on_load() {
     let (o, _) = run_concrete(
         &m,
         "getc",
-        &[Val::Ptr(Memory::BASE)],
+        &[Val::ptr(Memory::BASE)],
         &mem,
         Semantics::proposed(),
         Limits::default(),

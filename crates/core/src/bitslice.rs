@@ -253,6 +253,7 @@ struct BitsliceCounters {
     compiles: &'static frost_telemetry::Counter,
     plane_ops: &'static frost_telemetry::Counter,
     tuples_per_pass: &'static frost_telemetry::Counter,
+    mem_rejects: &'static frost_telemetry::Counter,
 }
 
 fn bitslice_counters() -> &'static BitsliceCounters {
@@ -261,6 +262,7 @@ fn bitslice_counters() -> &'static BitsliceCounters {
         compiles: frost_telemetry::counter("frost.core.bitslice.compiles"),
         plane_ops: frost_telemetry::counter("frost.core.bitslice.plane_ops"),
         tuples_per_pass: frost_telemetry::counter("frost.core.bitslice.tuples_per_pass"),
+        mem_rejects: frost_telemetry::counter("frost.core.bitslice.mem_rejects"),
     })
 }
 
@@ -1086,6 +1088,22 @@ fn lower_step(lo: &mut Lowerer, step: &Step) -> Result<(), ExecError> {
                 dst: d,
             });
             Ok(())
+        }
+        // Memory operations are categorically ineligible: a bit-sliced
+        // evaluation runs all lanes against one shared register file,
+        // but each lane would need its own memory image (stores differ
+        // per lane, alloca'd block ids and the two-phase flag are
+        // per-execution state). Rejecting here — with its own counter —
+        // is what routes `Engine::Auto` memory programs to the plan
+        // machine.
+        Step::Gep { .. }
+        | Step::Load { .. }
+        | Step::Store { .. }
+        | Step::Alloca { .. }
+        | Step::PtrToInt { .. }
+        | Step::IntToPtr { .. } => {
+            bitslice_counters().mem_rejects.incr();
+            Err(ineligible("memory operation"))
         }
         other => Err(ineligible(format!("step {other:?}"))),
     }

@@ -410,7 +410,7 @@ entry:
         let set = enumerate_outcomes(
             &m,
             "f",
-            &[Val::Ptr(Memory::BASE)],
+            &[Val::ptr(Memory::BASE)],
             &mem,
             Semantics::proposed(),
             Limits::default(),
@@ -429,7 +429,7 @@ entry:
         let set = enumerate_outcomes(
             &m,
             "f",
-            &[Val::Ptr(Memory::BASE)],
+            &[Val::ptr(Memory::BASE)],
             &mem,
             sem,
             Limits::default(),
@@ -443,7 +443,7 @@ entry:
         let set = enumerate_outcomes(
             &m,
             "f",
-            &[Val::Ptr(Memory::BASE)],
+            &[Val::ptr(Memory::BASE)],
             &mem,
             sem,
             Limits::default(),
@@ -461,7 +461,7 @@ entry:
         let set = enumerate_outcomes(
             &m,
             "f",
-            &[Val::Ptr(Memory::BASE + 4)],
+            &[Val::ptr(Memory::BASE + 4)],
             &mem,
             Semantics::proposed(),
             Limits::default(),
@@ -472,7 +472,7 @@ entry:
         let set = enumerate_outcomes(
             &m,
             "f",
-            &[Val::Ptr(0)],
+            &[Val::ptr(0)],
             &mem,
             Semantics::proposed(),
             Limits::default(),
@@ -601,7 +601,7 @@ entry:
         let set = enumerate_outcomes(
             &m,
             "f",
-            &[Val::Ptr(u32::MAX - 1), Val::int(32, 100)],
+            &[Val::ptr(u32::MAX - 1), Val::int(32, 100)],
             &empty_mem(),
             Semantics::proposed(),
             Limits::default(),
@@ -612,13 +612,13 @@ entry:
         let set = enumerate_outcomes(
             &m,
             "f",
-            &[Val::Ptr(0x1000), Val::int(32, 4)],
+            &[Val::ptr(0x1000), Val::int(32, 4)],
             &empty_mem(),
             Semantics::proposed(),
             Limits::default(),
         )
         .unwrap();
-        assert_eq!(ret_vals(&set), vec![Some(Val::Ptr(0x1004))]);
+        assert_eq!(ret_vals(&set), vec![Some(Val::ptr(0x1004))]);
     }
 
     #[test]
@@ -634,24 +634,24 @@ entry:
         let set = enumerate_outcomes(
             &m,
             "f",
-            &[Val::Ptr(0x1000), Val::int(32, 3)],
+            &[Val::ptr(0x1000), Val::int(32, 3)],
             &empty_mem(),
             Semantics::proposed(),
             Limits::default(),
         )
         .unwrap();
-        assert_eq!(ret_vals(&set), vec![Some(Val::Ptr(0x100c))]);
+        assert_eq!(ret_vals(&set), vec![Some(Val::ptr(0x100c))]);
         // Negative index.
         let set = enumerate_outcomes(
             &m,
             "f",
-            &[Val::Ptr(0x1000), Val::int(32, 0xffff_ffff)],
+            &[Val::ptr(0x1000), Val::int(32, 0xffff_ffff)],
             &empty_mem(),
             Semantics::proposed(),
             Limits::default(),
         )
         .unwrap();
-        assert_eq!(ret_vals(&set), vec![Some(Val::Ptr(0x0ffc))]);
+        assert_eq!(ret_vals(&set), vec![Some(Val::ptr(0x0ffc))]);
     }
 
     #[test]

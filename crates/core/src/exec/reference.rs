@@ -31,7 +31,7 @@ use crate::mem::Memory;
 use crate::ops::{eval_binop, eval_cast, eval_icmp, ScalarResult};
 use crate::outcome::{Event, Outcome, OutcomeSet};
 use crate::sem::{PoisonAction, Semantics};
-use crate::val::{lower, poison_of, raise, Val};
+use crate::val::{lower, poison_of, raise, Ptr, Val};
 
 /// Reasons to abort the current run.
 enum Stop {
@@ -118,7 +118,7 @@ impl<'a> Interp<'a, '_> {
                 // The pointer domain is 2^32 addresses; enumerating it is
                 // never feasible, but a concrete run can pick null.
                 let idx = self.choose(1u64 << 32)?;
-                Ok(Val::Ptr(idx as u32))
+                Ok(Val::ptr(idx as u32))
             }
             other => Err(Stop::Err(ExecError::Unsupported(format!(
                 "cannot choose a value of type {other}"
@@ -342,7 +342,7 @@ impl<'a> Interp<'a, '_> {
             } => {
                 let b = self.resolve_use(self.operand(func, regs, args, base))?;
                 let i = self.resolve_use(self.operand(func, regs, args, idx))?;
-                let (Val::Ptr(addr), Val::Int { .. }) = (&b, &i) else {
+                let (Val::Ptr(p), Val::Int { .. }) = (&b, &i) else {
                     // Poison base or index -> poison pointer.
                     return Ok(Val::Poison);
                 };
@@ -350,20 +350,39 @@ impl<'a> Interp<'a, '_> {
                 let offset = i.as_signed().expect("int");
                 let _ = idx_bits;
                 let stride = i128::from(elem_ty.byte_size());
-                let full = i128::from(*addr) + offset * stride;
-                if *inbounds && (full < 0 || full > i128::from(u32::MAX)) {
-                    // Pointer arithmetic overflow is deferred UB (§2.4).
-                    return Ok(Val::Poison);
+                match *p {
+                    Ptr::Addr(addr) => {
+                        let full = i128::from(addr) + offset * stride;
+                        if *inbounds && (full < 0 || full > i128::from(u32::MAX)) {
+                            // Pointer arithmetic overflow is deferred UB (§2.4).
+                            return Ok(Val::Poison);
+                        }
+                        Ok(Val::ptr(full.rem_euclid(1i128 << 32) as u32))
+                    }
+                    Ptr::Block { block, off } => {
+                        let full = i128::from(off) + offset * stride;
+                        if *inbounds {
+                            let mem = self.mem.as_ref().unwrap_or(self.init_mem);
+                            // Deferred UB: an inbounds gep may only move
+                            // within the block (one-past-the-end allowed).
+                            if full < 0 || full > i128::from(mem.block_size(block)) {
+                                return Ok(Val::Poison);
+                            }
+                        }
+                        Ok(Val::Ptr(Ptr::Block {
+                            block,
+                            off: full.rem_euclid(1i128 << 32) as u32,
+                        }))
+                    }
                 }
-                Ok(Val::Ptr(full.rem_euclid(1i128 << 32) as u32))
             }
             Inst::Load { ty, ptr } => {
                 let p = self.resolve_use(self.operand(func, regs, args, ptr))?;
-                let Val::Ptr(addr) = p else {
+                let Val::Ptr(p) = p else {
                     return Err(Exc::Ub);
                 };
                 let mem = self.mem.as_ref().unwrap_or(self.init_mem);
-                match mem.load(addr, ty.bitwidth()) {
+                match mem.load_ptr(p, ty.bitwidth()) {
                     Some(bits) => Ok(raise(ty, &bits)),
                     None => Err(Exc::Ub),
                 }
@@ -371,17 +390,50 @@ impl<'a> Interp<'a, '_> {
             Inst::Store { ty, val, ptr } => {
                 let v = self.operand(func, regs, args, val);
                 let p = self.resolve_use(self.operand(func, regs, args, ptr))?;
-                let Val::Ptr(addr) = p else {
+                let Val::Ptr(p) = p else {
                     return Err(Exc::Ub);
                 };
                 let bits = lower(ty, &v);
                 // First store of the run: fault in a private copy of the
                 // initial memory.
                 let mem = self.mem.get_or_insert_with(|| self.init_mem.clone());
-                if !mem.store(addr, &bits) {
+                if !mem.store_ptr(p, &bits) {
                     return Err(Exc::Ub);
                 }
                 Ok(Val::int(1, 0)) // dummy; stores define no register
+            }
+            Inst::Alloca { ty } => {
+                // Allocation mutates the (copy-on-write) memory even
+                // though nothing is written yet: the block table grows.
+                let fill = crate::exec::uninit_fill(&self.sem);
+                let mem = self.mem.get_or_insert_with(|| self.init_mem.clone());
+                let block = mem.alloca(ty.byte_size(), fill);
+                Ok(Val::Ptr(Ptr::Block { block, off: 0 }))
+            }
+            Inst::PtrToInt { val, .. } => {
+                let v = self.resolve_use(self.operand(func, regs, args, val))?;
+                // Observing an address forces the finite phase even when
+                // the operand is poison — the cast itself is the
+                // observation, and the unconditional rule keeps both
+                // executors trivially in agreement.
+                let mem = self.mem.get_or_insert_with(|| self.init_mem.clone());
+                mem.concretize();
+                match v {
+                    Val::Ptr(p) => {
+                        let addr = mem.ptr_addr(p);
+                        Ok(Val::int(frost_ir::PTR_BITS, u128::from(addr)))
+                    }
+                    _ => Ok(Val::Poison),
+                }
+            }
+            Inst::IntToPtr { val, .. } => {
+                let v = self.resolve_use(self.operand(func, regs, args, val))?;
+                let mem = self.mem.get_or_insert_with(|| self.init_mem.clone());
+                mem.concretize();
+                match v.as_int() {
+                    Some(x) => Ok(Val::ptr(x as u32)),
+                    None => Ok(Val::Poison),
+                }
             }
             Inst::ExtractElement { vec, idx, len, .. } => {
                 let v = self.operand(func, regs, args, vec);
@@ -545,17 +597,21 @@ impl<'a> Interp<'a, '_> {
     }
 
     fn eval_icmp_val(&mut self, cond: Cond, ty: &Ty, a: Val, b: Val) -> Result<Val, Exc> {
+        let mem = self.mem.as_ref().unwrap_or(self.init_mem);
         let scalar = |x: &Val, y: &Val| -> Val {
             match (x, y) {
                 (Val::Poison, _) | (_, Val::Poison) => Val::Poison,
                 (Val::Int { bits, v: xa }, Val::Int { v: xb, .. }) => {
                     Val::bool(eval_icmp(cond, *bits, *xa, *xb))
                 }
+                // Pointers compare by concrete address. Layout is
+                // deterministic, so this is well-defined even in the
+                // infinite phase (and does not force the finite one).
                 (Val::Ptr(pa), Val::Ptr(pb)) => Val::bool(eval_icmp(
                     cond,
                     frost_ir::PTR_BITS,
-                    u128::from(*pa),
-                    u128::from(*pb),
+                    u128::from(mem.ptr_addr(*pa)),
+                    u128::from(mem.ptr_addr(*pb)),
                 )),
                 _ => Val::Poison,
             }
@@ -881,7 +937,7 @@ mod tests {
         let set = enumerate_outcomes(
             &m,
             "f",
-            &[Val::Ptr(Memory::BASE)],
+            &[Val::ptr(Memory::BASE)],
             &init,
             Semantics::proposed(),
             Limits::default(),
@@ -908,7 +964,7 @@ mod tests {
         let set = enumerate_outcomes(
             &m,
             "f",
-            &[Val::Ptr(Memory::BASE)],
+            &[Val::ptr(Memory::BASE)],
             &init,
             Semantics::proposed(),
             Limits::default(),

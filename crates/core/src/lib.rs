@@ -75,4 +75,4 @@ pub use mem::Memory;
 pub use outcome::{Event, Outcome, OutcomeSet};
 pub use plan::{Machine, ModulePlan, PlanCache};
 pub use sem::{PoisonAction, SelectSemantics, Semantics};
-pub use val::{enumerate_scalar, lower, poison_of, raise, undef_of, Bit, Bits, Val};
+pub use val::{enumerate_scalar, lower, poison_of, raise, undef_of, Bit, Bits, Ptr, Val};

@@ -44,7 +44,7 @@ use crate::mem::Memory;
 use crate::ops::{eval_binop, eval_cast, eval_icmp, ScalarResult};
 use crate::outcome::{Event, Outcome, OutcomeSet};
 use crate::sem::{PoisonAction, Semantics};
-use crate::val::{lower, poison_of, raise, Val};
+use crate::val::{lower, poison_of, raise, Bit, Ptr, Val};
 
 /// A pre-resolved operand: a frame slot or a constant-pool entry.
 #[derive(Clone, Copy, Debug)]
@@ -134,6 +134,22 @@ pub(crate) enum Step {
         ty: Ty,
         val: Opnd,
         ptr: Opnd,
+        dst: u32,
+    },
+    Alloca {
+        /// Block size in bytes (from the allocated type).
+        size: u32,
+        /// Fill bit for fresh bytes, baked in from the semantics
+        /// (poison under proposed, undef under legacy).
+        fill: Bit,
+        dst: u32,
+    },
+    PtrToInt {
+        val: Opnd,
+        dst: u32,
+    },
+    IntToPtr {
+        val: Opnd,
         dst: u32,
     },
     Extract {
@@ -586,6 +602,19 @@ fn compile_function(
                     ptr: c.opnd(ptr),
                     dst,
                 },
+                Inst::Alloca { ty } => Step::Alloca {
+                    size: ty.byte_size(),
+                    fill: crate::exec::uninit_fill(&sem),
+                    dst,
+                },
+                Inst::PtrToInt { val, .. } => Step::PtrToInt {
+                    val: c.opnd(val),
+                    dst,
+                },
+                Inst::IntToPtr { val, .. } => Step::IntToPtr {
+                    val: c.opnd(val),
+                    dst,
+                },
                 Inst::ExtractElement { vec, idx, len, .. } => Step::Extract {
                     len: *len,
                     lane: idx.as_int_const().expect("verified constant lane") as u32,
@@ -931,7 +960,7 @@ impl Exec<'_> {
             }
             Ty::Ptr(_) => {
                 let idx = self.choose(1u64 << 32)?;
-                Ok(Val::Ptr(idx as u32))
+                Ok(Val::ptr(idx as u32))
             }
             other => Err(Stop::Err(ExecError::Unsupported(format!(
                 "cannot choose a value of type {other}"
@@ -1036,15 +1065,16 @@ impl Exec<'_> {
             } => {
                 let a = self.resolve_use(self.read(plan, *lhs))?;
                 let b = self.resolve_use(self.read(plan, *rhs))?;
+                let mem = self.m.mem.as_ref().unwrap_or(self.init_mem);
                 let v = match vlen {
-                    None => icmp_scalar(*cond, &a, &b),
+                    None => icmp_scalar(*cond, mem, &a, &b),
                     Some(n) => {
                         let av = vector_elems(&a, *n as usize);
                         let bv = vector_elems(&b, *n as usize);
                         Val::Vec(
                             av.iter()
                                 .zip(&bv)
-                                .map(|(x, y)| icmp_scalar(*cond, x, y))
+                                .map(|(x, y)| icmp_scalar(*cond, mem, x, y))
                                 .collect(),
                         )
                     }
@@ -1142,7 +1172,7 @@ impl Exec<'_> {
                 let b = self.resolve_use(self.read(plan, *base))?;
                 let i = self.resolve_use(self.read(plan, *idx))?;
                 let v = match (&b, &i) {
-                    (Val::Ptr(addr), Val::Int { .. }) => {
+                    (Val::Ptr(Ptr::Addr(addr)), Val::Int { .. }) => {
                         let offset = i.as_signed().expect("int");
                         let full = i128::from(*addr) + offset * stride;
                         if *inbounds && (full < 0 || full > i128::from(u32::MAX)) {
@@ -1150,7 +1180,22 @@ impl Exec<'_> {
                             // (§2.4).
                             Val::Poison
                         } else {
-                            Val::Ptr(full.rem_euclid(1i128 << 32) as u32)
+                            Val::ptr(full.rem_euclid(1i128 << 32) as u32)
+                        }
+                    }
+                    (Val::Ptr(Ptr::Block { block, off }), Val::Int { .. }) => {
+                        let offset = i.as_signed().expect("int");
+                        let full = i128::from(*off) + offset * stride;
+                        let mem = self.m.mem.as_ref().unwrap_or(self.init_mem);
+                        // Deferred UB: an inbounds gep may only move
+                        // within the block (one-past-the-end allowed).
+                        if *inbounds && (full < 0 || full > i128::from(mem.block_size(*block))) {
+                            Val::Poison
+                        } else {
+                            Val::Ptr(Ptr::Block {
+                                block: *block,
+                                off: full.rem_euclid(1i128 << 32) as u32,
+                            })
                         }
                     }
                     // Poison base or index -> poison pointer.
@@ -1165,11 +1210,11 @@ impl Exec<'_> {
                 dst,
             } => {
                 let p = self.resolve_use(self.read(plan, *ptr))?;
-                let Val::Ptr(addr) = p else {
+                let Val::Ptr(p) = p else {
                     return Err(Exc::Ub);
                 };
                 let mem = self.m.mem.as_ref().unwrap_or(self.init_mem);
-                match mem.load(addr, *width) {
+                match mem.load_ptr(p, *width) {
                     Some(bits) => {
                         let v = raise(ty, &bits);
                         self.write(*dst, v);
@@ -1180,17 +1225,49 @@ impl Exec<'_> {
             Step::Store { ty, val, ptr, dst } => {
                 let v = self.read(plan, *val);
                 let p = self.resolve_use(self.read(plan, *ptr))?;
-                let Val::Ptr(addr) = p else {
+                let Val::Ptr(p) = p else {
                     return Err(Exc::Ub);
                 };
                 let bits = lower(ty, &v);
                 // First store of the run: fault in a private copy of
                 // the initial memory.
                 let mem = self.m.mem.get_or_insert_with(|| self.init_mem.clone());
-                if !mem.store(addr, &bits) {
+                if !mem.store_ptr(p, &bits) {
                     return Err(Exc::Ub);
                 }
                 self.write(*dst, Val::int(1, 0)); // dummy; stores define no register
+            }
+            Step::Alloca { size, fill, dst } => {
+                // Allocation mutates the (copy-on-write) memory even
+                // though nothing is written yet: the block table grows.
+                let mem = self.m.mem.get_or_insert_with(|| self.init_mem.clone());
+                let block = mem.alloca(*size, *fill);
+                self.write(*dst, Val::Ptr(Ptr::Block { block, off: 0 }));
+            }
+            Step::PtrToInt { val, dst } => {
+                let v = self.resolve_use(self.read(plan, *val))?;
+                // Observing an address forces the finite phase even when
+                // the operand is poison (matches the reference).
+                let mem = self.m.mem.get_or_insert_with(|| self.init_mem.clone());
+                mem.concretize();
+                let v = match v {
+                    Val::Ptr(p) => {
+                        let addr = mem.ptr_addr(p);
+                        Val::int(frost_ir::PTR_BITS, u128::from(addr))
+                    }
+                    _ => Val::Poison,
+                };
+                self.write(*dst, v);
+            }
+            Step::IntToPtr { val, dst } => {
+                let v = self.resolve_use(self.read(plan, *val))?;
+                let mem = self.m.mem.get_or_insert_with(|| self.init_mem.clone());
+                mem.concretize();
+                let v = match v.as_int() {
+                    Some(x) => Val::ptr(x as u32),
+                    None => Val::Poison,
+                };
+                self.write(*dst, v);
             }
             Step::Extract {
                 len,
@@ -1412,17 +1489,19 @@ fn bin_scalar(
     }
 }
 
-fn icmp_scalar(cond: Cond, x: &Val, y: &Val) -> Val {
+fn icmp_scalar(cond: Cond, mem: &Memory, x: &Val, y: &Val) -> Val {
     match (x, y) {
         (Val::Poison, _) | (_, Val::Poison) => Val::Poison,
         (Val::Int { bits, v: xa }, Val::Int { v: xb, .. }) => {
             Val::bool(eval_icmp(cond, *bits, *xa, *xb))
         }
+        // Pointers compare by concrete address (deterministic layout;
+        // does not force the finite phase) — matches the reference.
         (Val::Ptr(pa), Val::Ptr(pb)) => Val::bool(eval_icmp(
             cond,
             frost_ir::PTR_BITS,
-            u128::from(*pa),
-            u128::from(*pb),
+            u128::from(mem.ptr_addr(*pa)),
+            u128::from(mem.ptr_addr(*pb)),
         )),
         _ => Val::Poison,
     }
@@ -1684,7 +1763,7 @@ b:
         let set = plan
             .enumerate(
                 0,
-                &[Val::Ptr(Memory::BASE)],
+                &[Val::ptr(Memory::BASE)],
                 &mem,
                 Limits::default(),
                 &mut machine,
@@ -1702,7 +1781,7 @@ b:
         let r = crate::exec::reference::enumerate_outcomes(
             &m,
             "f",
-            &[Val::Ptr(Memory::BASE)],
+            &[Val::ptr(Memory::BASE)],
             &mem,
             Semantics::proposed(),
             Limits::default(),

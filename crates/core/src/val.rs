@@ -15,6 +15,29 @@ use std::fmt;
 use frost_ir::value::{to_signed, truncate};
 use frost_ir::{Constant, Ty};
 
+/// A pointer value under the two-phase block-based memory model.
+///
+/// In the *infinite* phase pointers are logical `(block, offset)`
+/// pairs with no concrete address; `ptrtoint`/`inttoptr` force the
+/// *finite* phase, in which every block has a deterministic concrete
+/// base address and raw-address pointers become meaningful.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, PartialOrd, Ord)]
+pub enum Ptr {
+    /// A pointer into logical block `block` at byte `off`, carrying
+    /// provenance. `off` may equal the block size (one-past-the-end).
+    Block {
+        /// Index into [`crate::mem::MemState`]'s block table.
+        block: u32,
+        /// Byte offset from the block base (wraps modulo 2³² on
+        /// non-inbounds `gep`).
+        off: u32,
+    },
+    /// A raw 32-bit address with no provenance (`null` is `Addr(0)`;
+    /// `inttoptr` always produces this form). Access through it
+    /// resolves against concrete block layout.
+    Addr(u32),
+}
+
 /// A run-time value.
 #[derive(Clone, PartialEq, Eq, Hash, Debug, PartialOrd, Ord)]
 pub enum Val {
@@ -25,8 +48,8 @@ pub enum Val {
         /// Payload, truncated to `bits` bits.
         v: u128,
     },
-    /// A defined pointer (a 32-bit address).
-    Ptr(u32),
+    /// A defined pointer (block-relative or raw address).
+    Ptr(Ptr),
     /// The poison value.
     Poison,
     /// The legacy `undef` value of the given type: *every use* may
@@ -52,6 +75,12 @@ impl Val {
         Val::int(1, b as u128)
     }
 
+    /// A raw-address pointer (the pre-block-model pointer shape; also
+    /// what `inttoptr` produces).
+    pub fn ptr(addr: u32) -> Val {
+        Val::Ptr(Ptr::Addr(addr))
+    }
+
     /// Returns the payload if this is a defined integer.
     pub fn as_int(&self) -> Option<u128> {
         match self {
@@ -68,10 +97,10 @@ impl Val {
         }
     }
 
-    /// Returns the address if this is a defined pointer.
-    pub fn as_ptr(&self) -> Option<u32> {
+    /// Returns the pointer if this is a defined pointer.
+    pub fn as_ptr(&self) -> Option<Ptr> {
         match self {
-            Val::Ptr(a) => Some(*a),
+            Val::Ptr(p) => Some(*p),
             _ => None,
         }
     }
@@ -124,7 +153,7 @@ impl Val {
     pub fn from_const(c: &Constant) -> Val {
         match c {
             Constant::Int { bits, value } => Val::int(*bits, *value),
-            Constant::Null(_) => Val::Ptr(0),
+            Constant::Null(_) => Val::ptr(0),
             Constant::Poison(ty) => poison_of(ty),
             Constant::Undef(ty) => undef_of(ty),
             Constant::Vector(elems) => Val::Vec(elems.iter().map(Val::from_const).collect()),
@@ -136,7 +165,8 @@ impl fmt::Display for Val {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             Val::Int { bits, v } => write!(f, "i{bits} {v}"),
-            Val::Ptr(a) => write!(f, "ptr {a:#x}"),
+            Val::Ptr(Ptr::Block { block, off }) => write!(f, "ptr b{block}+{off}"),
+            Val::Ptr(Ptr::Addr(a)) => write!(f, "ptr {a:#x}"),
             Val::Poison => write!(f, "poison"),
             Val::Undef(_) => write!(f, "undef"),
             Val::Vec(elems) => {
@@ -181,6 +211,19 @@ pub enum Bit {
     Poison,
     /// An undef bit (legacy semantics only).
     Undef,
+    /// Bit `idx` of a block-relative pointer's representation: the
+    /// provenance survives a store/load roundtrip at pointer type, but
+    /// raising any provenance bit at a *non-pointer* type (or a
+    /// shuffled/partial set of them at pointer type) yields poison —
+    /// reading provenance as data requires an explicit `ptrtoint`.
+    Ptr {
+        /// The logical block the pointer refers to.
+        block: u32,
+        /// The pointer's byte offset within the block.
+        off: u32,
+        /// Which of the 32 representation bits this is (LSB first).
+        idx: u8,
+    },
 }
 
 impl Bit {
@@ -215,8 +258,15 @@ pub fn lower(ty: &Ty, v: &Val) -> Bits {
             assert_eq!(bits, vb, "integer width mismatch in lower");
             (0..*bits).map(|i| Bit::of((v >> i) & 1 == 1)).collect()
         }
-        (Ty::Ptr(_), Val::Ptr(a)) => (0..frost_ir::PTR_BITS)
+        (Ty::Ptr(_), Val::Ptr(Ptr::Addr(a))) => (0..frost_ir::PTR_BITS)
             .map(|i| Bit::of((a >> i) & 1 == 1))
+            .collect(),
+        (Ty::Ptr(_), Val::Ptr(Ptr::Block { block, off })) => (0..frost_ir::PTR_BITS)
+            .map(|i| Bit::Ptr {
+                block: *block,
+                off: *off,
+                idx: i as u8,
+            })
             .collect(),
         (Ty::Vector { elems, elem }, Val::Vec(vs)) => {
             assert_eq!(*elems as usize, vs.len(), "vector length mismatch in lower");
@@ -255,6 +305,25 @@ pub fn raise(ty: &Ty, bits: &[Bit]) -> Val {
             if bits.contains(&Bit::Poison) {
                 return Val::Poison;
             }
+            // An intact set of provenance bits raises back to the same
+            // block-relative pointer; any other appearance of a
+            // provenance bit (at integer type, shuffled, or mixed with
+            // data bits) is poison — provenance cannot be read as data.
+            if let Some(Bit::Ptr { block, off, .. }) =
+                bits.iter().find(|b| matches!(b, Bit::Ptr { .. })).copied()
+            {
+                let intact = ty.is_ptr()
+                    && bits.len() == frost_ir::PTR_BITS as usize
+                    && bits.iter().enumerate().all(|(i, b)| {
+                        matches!(b, Bit::Ptr { block: b2, off: o2, idx }
+                            if *b2 == block && *o2 == off && *idx as usize == i)
+                    });
+                return if intact {
+                    Val::Ptr(Ptr::Block { block, off })
+                } else {
+                    Val::Poison
+                };
+            }
             if bits.contains(&Bit::Undef) {
                 return undef_of(ty);
             }
@@ -266,7 +335,7 @@ pub fn raise(ty: &Ty, bits: &[Bit]) -> Val {
             }
             match ty {
                 Ty::Int(w) => Val::int(*w, v),
-                Ty::Ptr(_) => Val::Ptr(v as u32),
+                Ty::Ptr(_) => Val::Ptr(Ptr::Addr(v as u32)),
                 _ => unreachable!("vector handled above; void has no bits"),
             }
         }
@@ -355,9 +424,44 @@ mod tests {
     #[test]
     fn pointer_lowering_uses_32_bits() {
         let ty = Ty::ptr_to(Ty::i8());
-        let bits = lower(&ty, &Val::Ptr(0x1234));
+        let bits = lower(&ty, &Val::ptr(0x1234));
         assert_eq!(bits.len(), 32);
-        assert_eq!(raise(&ty, &bits), Val::Ptr(0x1234));
+        assert_eq!(raise(&ty, &bits), Val::ptr(0x1234));
+    }
+
+    #[test]
+    fn block_pointer_provenance_roundtrips_at_pointer_type() {
+        let ty = Ty::ptr_to(Ty::i8());
+        let p = Val::Ptr(Ptr::Block { block: 3, off: 2 });
+        let bits = lower(&ty, &p);
+        assert_eq!(bits.len(), 32);
+        assert_eq!(raise(&ty, &bits), p);
+    }
+
+    #[test]
+    fn provenance_bits_poison_at_integer_type() {
+        // Reinterpreting a block pointer's bytes as an integer (e.g.
+        // via bitcast'd load) is poison — escaping provenance requires
+        // an explicit ptrtoint.
+        let pty = Ty::ptr_to(Ty::i8());
+        let bits = lower(&pty, &Val::Ptr(Ptr::Block { block: 0, off: 0 }));
+        assert_eq!(raise(&Ty::Int(32), &bits), Val::Poison);
+    }
+
+    #[test]
+    fn shuffled_provenance_bits_poison_even_at_pointer_type() {
+        let pty = Ty::ptr_to(Ty::i8());
+        let mut bits = lower(&pty, &Val::Ptr(Ptr::Block { block: 1, off: 0 }));
+        bits.swap(0, 1);
+        assert_eq!(raise(&pty, &bits), Val::Poison);
+        // Mixing provenance with data bits is also poison.
+        let mut bits = lower(&pty, &Val::Ptr(Ptr::Block { block: 1, off: 0 }));
+        bits[0] = Bit::Zero;
+        assert_eq!(raise(&pty, &bits), Val::Poison);
+        // ... and a poison bit still dominates.
+        let mut bits = lower(&pty, &Val::Ptr(Ptr::Block { block: 1, off: 0 }));
+        bits[5] = Bit::Poison;
+        assert_eq!(raise(&pty, &bits), Val::Poison);
     }
 
     #[test]
@@ -381,7 +485,7 @@ mod tests {
         );
         assert_eq!(
             Val::from_const(&Constant::Null(Ty::ptr_to(Ty::i8()))),
-            Val::Ptr(0)
+            Val::ptr(0)
         );
         assert_eq!(
             Val::from_const(&Constant::Undef(Ty::i1())),

@@ -79,6 +79,16 @@ pub struct GenConfig {
     pub poison_const: bool,
     /// Include the `undef` constant as an operand (legacy semantics).
     pub undef_const: bool,
+    /// Generate memory programs: the function takes a single pointer
+    /// parameter `%p: iN*` (instead of two integer arguments) and the
+    /// template mix becomes `alloca` / `load` / `store` / `gep` (small
+    /// constant indices) / `ptrtoint` / `inttoptr`. `inttoptr` only
+    /// becomes available once a `ptrtoint` result exists, so every
+    /// forged pointer in the space is a laundered round-trip — exactly
+    /// the §5 shapes the block-based memory model is about. Memory
+    /// spaces are enumerated unpruned ([`Pruning`] reasons about
+    /// integer templates only).
+    pub memory: bool,
     /// Generation-time canonicalization (default: [`Pruning::NONE`]).
     pub prune: Pruning,
 }
@@ -97,6 +107,7 @@ impl GenConfig {
             consts: vec![0, 1, 2, 3],
             poison_const: true,
             undef_const: false,
+            memory: false,
             prune: Pruning::NONE,
         }
     }
@@ -113,6 +124,29 @@ impl GenConfig {
             consts: vec![0, 1, 3],
             poison_const: true,
             undef_const: false,
+            memory: false,
+            prune: Pruning::NONE,
+        }
+    }
+
+    /// The §5 memory space: straight-line i8 programs over one pointer
+    /// parameter, mixing `alloca`, `load`, `store`, small-constant
+    /// `gep`, and `ptrtoint`/`inttoptr` round-trips. Paired with
+    /// initial-memory enumeration (`InputOptions::with_memory_values`
+    /// in frost-refine) this exhausts tiny programs × tiny memories,
+    /// the memory analogue of the paper's §6 arithmetic sweep.
+    pub fn memory(num_insts: usize) -> GenConfig {
+        GenConfig {
+            int_bits: 8,
+            num_insts,
+            ops: Vec::new(),
+            flags: false,
+            conds: Vec::new(),
+            freeze: false,
+            consts: vec![0, 1],
+            poison_const: false,
+            undef_const: false,
+            memory: true,
             prune: Pruning::NONE,
         }
     }
@@ -181,16 +215,54 @@ enum Template {
         val: Value,
         bool_ty: bool,
     },
+    /// `alloca iN` — a fresh one-element block.
+    Alloca,
+    /// `load iN` through an available pointer.
+    MemLoad {
+        ptr: Value,
+    },
+    /// `store iN` of an available integer through an available pointer.
+    MemStore {
+        val: Value,
+        ptr: Value,
+    },
+    /// `getelementptr iN, ptr, idx` with a small constant index.
+    MemGep {
+        base: Value,
+        idx: u128,
+    },
+    /// `ptrtoint ptr to i32` — publishes the address.
+    MemPtrToInt {
+        val: Value,
+    },
+    /// `inttoptr i32 to iN*` — forges a pointer from a published
+    /// address (only offered once a `ptrtoint` result is available).
+    MemIntToPtr {
+        val: Value,
+    },
 }
 
 /// The values available as operands before slot `k`, split by type.
 struct Avail {
     ints: Vec<Value>,
     bools: Vec<Value>,
+    /// Pointer-typed values (`iN*`): the pointer parameter, allocas,
+    /// geps, forged `inttoptr` results. Memory spaces only.
+    ptrs: Vec<Value>,
+    /// `i32` addresses published by `ptrtoint`. Memory spaces only.
+    addrs: Vec<Value>,
 }
 
 fn available(cfg: &GenConfig, prefix: &[Template]) -> Avail {
-    let mut ints: Vec<Value> = vec![Value::Arg(0), Value::Arg(1)];
+    let mut ints: Vec<Value> = Vec::new();
+    let mut ptrs: Vec<Value> = Vec::new();
+    let mut addrs: Vec<Value> = Vec::new();
+    if cfg.memory {
+        ptrs.push(Value::Arg(0));
+    } else {
+        ints.push(Value::Arg(0));
+        ints.push(Value::Arg(1));
+    }
     for &c in &cfg.consts {
         ints.push(Value::int(cfg.int_bits, c));
     }
@@ -204,7 +276,9 @@ fn available(cfg: &GenConfig, prefix: &[Template]) -> Avail {
     for (i, t) in prefix.iter().enumerate() {
         let v = Value::Inst(InstId(i as u32));
         match t {
-            Template::Bin { .. } | Template::Select { .. } => ints.push(v),
+            Template::Bin { .. } | Template::Select { .. } | Template::MemLoad { .. } => {
+                ints.push(v);
+            }
             Template::Icmp { .. } => bools.push(v),
             Template::Freeze { bool_ty, .. } => {
                 if *bool_ty {
@@ -213,9 +287,19 @@ fn available(cfg: &GenConfig, prefix: &[Template]) -> Avail {
                     ints.push(v);
                 }
             }
+            Template::Alloca | Template::MemGep { .. } | Template::MemIntToPtr { .. } => {
+                ptrs.push(v);
+            }
+            Template::MemPtrToInt { .. } => addrs.push(v),
+            Template::MemStore { .. } => {} // void
         }
     }
-    Avail { ints, bools }
+    Avail {
+        ints,
+        bools,
+        ptrs,
+        addrs,
+    }
 }
 
 fn flag_variants(cfg: &GenConfig, op: BinOp) -> Vec<Flags> {
@@ -238,7 +322,7 @@ impl Template {
         match self {
             Template::Icmp { .. } => true,
             Template::Freeze { bool_ty, .. } => *bool_ty,
-            Template::Bin { .. } | Template::Select { .. } => false,
+            _ => false,
         }
     }
 
@@ -254,7 +338,16 @@ impl Template {
                 f(tval);
                 f(fval);
             }
-            Template::Freeze { val, .. } => f(val),
+            Template::Freeze { val, .. }
+            | Template::MemLoad { ptr: val }
+            | Template::MemGep { base: val, .. }
+            | Template::MemPtrToInt { val }
+            | Template::MemIntToPtr { val } => f(val),
+            Template::MemStore { val, ptr } => {
+                f(val);
+                f(ptr);
+            }
+            Template::Alloca => {}
         }
     }
 }
@@ -452,14 +545,43 @@ fn slot_options(cfg: &GenConfig, prefix: &[Template]) -> Vec<Template> {
             });
         }
     }
+    if cfg.memory {
+        keep(Template::Alloca);
+        for ptr in &avail.ptrs {
+            keep(Template::MemLoad { ptr: ptr.clone() });
+            for val in &avail.ints {
+                keep(Template::MemStore {
+                    val: val.clone(),
+                    ptr: ptr.clone(),
+                });
+            }
+            // Indices 0 (identity), 1 (one-past-end of a 1-byte block,
+            // inbounds-legal), 2 (out of bounds → deferred poison).
+            for idx in [0u128, 1, 2] {
+                keep(Template::MemGep {
+                    base: ptr.clone(),
+                    idx,
+                });
+            }
+            keep(Template::MemPtrToInt { val: ptr.clone() });
+        }
+        for addr in &avail.addrs {
+            keep(Template::MemIntToPtr { val: addr.clone() });
+        }
+    }
     out
 }
 
 fn build_function(cfg: &GenConfig, templates: &[Template], name: &str) -> Function {
     let int_ty = Ty::Int(cfg.int_bits);
-    let mut func = Function {
-        name: name.to_string(),
-        params: vec![
+    let ptr_ty = Ty::ptr_to(int_ty.clone());
+    let params = if cfg.memory {
+        vec![Param {
+            name: "p".into(),
+            ty: ptr_ty.clone(),
+        }]
+    } else {
+        vec![
             Param {
                 name: "a".into(),
                 ty: int_ty.clone(),
@@ -468,7 +590,11 @@ fn build_function(cfg: &GenConfig, templates: &[Template], name: &str) -> Functi
                 name: "b".into(),
                 ty: int_ty.clone(),
             },
-        ],
+        ]
+    };
+    let mut func = Function {
+        name: name.to_string(),
+        params,
         ret_ty: Ty::Void, // patched below
         blocks: vec![frost_ir::Block::new("entry")],
         insts: Vec::with_capacity(templates.len()),
@@ -503,13 +629,62 @@ fn build_function(cfg: &GenConfig, templates: &[Template], name: &str) -> Functi
                 ty: if *bool_ty { Ty::i1() } else { int_ty.clone() },
                 val: val.clone(),
             },
+            Template::Alloca => Inst::Alloca { ty: int_ty.clone() },
+            Template::MemLoad { ptr } => Inst::Load {
+                ty: int_ty.clone(),
+                ptr: ptr.clone(),
+            },
+            Template::MemStore { val, ptr } => Inst::Store {
+                ty: int_ty.clone(),
+                val: val.clone(),
+                ptr: ptr.clone(),
+            },
+            Template::MemGep { base, idx } => Inst::Gep {
+                elem_ty: int_ty.clone(),
+                base: base.clone(),
+                idx_ty: Ty::Int(cfg.int_bits),
+                idx: Value::int(cfg.int_bits, *idx),
+                inbounds: true,
+            },
+            Template::MemPtrToInt { val } => Inst::PtrToInt {
+                from_ty: ptr_ty.clone(),
+                to_ty: Ty::Int(frost_ir::PTR_BITS),
+                val: val.clone(),
+            },
+            Template::MemIntToPtr { val } => Inst::IntToPtr {
+                from_ty: Ty::Int(frost_ir::PTR_BITS),
+                to_ty: ptr_ty.clone(),
+                val: val.clone(),
+            },
         };
         let id = func.add_inst(inst);
         func.blocks[0].insts.push(id);
     }
-    let last = InstId((templates.len() - 1) as u32);
-    func.ret_ty = func.inst(last).result_ty();
-    func.blocks[0].term = Terminator::Ret(Some(Value::Inst(last)));
+    if cfg.memory {
+        // Return the most recent integer result — a loaded byte or a
+        // published address. Pointer results stay unreturned: block
+        // indices are allocation-order-relative, so returning a raw
+        // `Ptr` would make behavior depend on how a transform renumbers
+        // allocas rather than on what the program computes.
+        let ret = templates.iter().enumerate().rev().find_map(|(i, t)| {
+            matches!(t, Template::MemLoad { .. } | Template::MemPtrToInt { .. })
+                .then_some(InstId(i as u32))
+        });
+        match ret {
+            Some(id) => {
+                func.ret_ty = func.inst(id).result_ty();
+                func.blocks[0].term = Terminator::Ret(Some(Value::Inst(id)));
+            }
+            None => {
+                func.ret_ty = Ty::Void;
+                func.blocks[0].term = Terminator::Ret(None);
+            }
+        }
+    } else {
+        let last = InstId((templates.len() - 1) as u32);
+        func.ret_ty = func.inst(last).result_ty();
+        func.blocks[0].term = Terminator::Ret(Some(Value::Inst(last)));
+    }
     let _ = BlockId::ENTRY;
     func
 }
@@ -771,6 +946,7 @@ mod tests {
             consts: vec![0, 1],
             poison_const: false,
             undef_const: false,
+            memory: false,
             prune: Pruning::NONE,
         };
         // Operands: a, b, 0, 1 -> 16 pairs, one op.
@@ -804,6 +980,7 @@ mod tests {
             consts: vec![0],
             poison_const: false,
             undef_const: false,
+            memory: false,
             prune: Pruning::NONE,
         };
         let e = enumerate_functions(cfg);
@@ -891,6 +1068,7 @@ mod tests {
             consts: vec![0],
             poison_const: false,
             undef_const: false,
+            memory: false,
             prune: Pruning::NONE,
         }
     }
@@ -1036,6 +1214,57 @@ mod tests {
                 .map(|f| frost_ir::function_to_string(&f)),
         );
         assert_eq!(walked, full, "resume must continue the pruned walk");
+    }
+
+    #[test]
+    fn memory_space_generates_verified_memory_programs() {
+        let mut saw_load = false;
+        let mut saw_store = false;
+        let mut saw_roundtrip = false;
+        let mut count = 0usize;
+        for f in enumerate_functions(GenConfig::memory(3)) {
+            count += 1;
+            frost_ir::verify::verify_function(&f)
+                .unwrap_or_else(|e| panic!("{}\n{e:?}", frost_ir::function_to_string(&f)));
+            let mut has_p2i = false;
+            let mut has_i2p = false;
+            for inst in &f.insts {
+                match inst {
+                    Inst::Load { .. } => saw_load = true,
+                    Inst::Store { .. } => saw_store = true,
+                    Inst::PtrToInt { .. } => has_p2i = true,
+                    Inst::IntToPtr { .. } => has_i2p = true,
+                    _ => {}
+                }
+            }
+            saw_roundtrip |= has_p2i && has_i2p;
+        }
+        assert!(count > 500, "3-slot memory space has {count} programs");
+        assert!(saw_load && saw_store, "loads and stores appear");
+        assert!(
+            saw_roundtrip,
+            "ptrtoint/inttoptr laundering chains are in the space"
+        );
+    }
+
+    #[test]
+    fn memory_programs_never_return_pointers() {
+        for f in enumerate_functions(GenConfig::memory(2)) {
+            assert!(
+                !matches!(f.ret_ty, Ty::Ptr(_)),
+                "pointer return in {}",
+                frost_ir::function_to_string(&f)
+            );
+            if let Terminator::Ret(Some(v)) = &f.blocks[0].term {
+                let Value::Inst(id) = v else {
+                    panic!("generated returns are instruction results");
+                };
+                assert!(matches!(
+                    f.inst(*id),
+                    Inst::Load { .. } | Inst::PtrToInt { .. }
+                ));
+            }
+        }
     }
 
     #[test]

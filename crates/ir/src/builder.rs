@@ -254,6 +254,34 @@ impl FunctionBuilder {
         })
     }
 
+    /// `alloca ty` — a fresh logical block of `sizeof(ty)` bytes; the
+    /// result has type `ty*`.
+    pub fn alloca(&mut self, ty: Ty) -> Value {
+        self.emit(Inst::Alloca { ty })
+    }
+
+    /// `ptrtoint val to to_ty` — observe a pointer's address (forces the
+    /// finite memory phase).
+    pub fn ptrtoint(&mut self, val: Value, to_ty: Ty) -> Value {
+        let from_ty = self.func.value_ty(&val);
+        self.emit(Inst::PtrToInt {
+            from_ty,
+            to_ty,
+            val,
+        })
+    }
+
+    /// `inttoptr val to to_ty` — forge a pointer from an integer address
+    /// (forces the finite memory phase).
+    pub fn inttoptr(&mut self, val: Value, to_ty: Ty) -> Value {
+        let from_ty = self.func.value_ty(&val);
+        self.emit(Inst::IntToPtr {
+            from_ty,
+            to_ty,
+            val,
+        })
+    }
+
     /// `load` of type `ty` from `ptr`.
     pub fn load(&mut self, ty: Ty, ptr: Value) -> Value {
         self.emit(Inst::Load { ty, ptr })

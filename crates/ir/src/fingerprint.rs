@@ -398,6 +398,30 @@ impl Encoder {
                     self.value(a);
                 }
             }
+            Inst::Alloca { ty } => {
+                self.push(13);
+                self.ty(ty);
+            }
+            Inst::PtrToInt {
+                from_ty,
+                to_ty,
+                val,
+            } => {
+                self.push(14);
+                self.ty(from_ty);
+                self.ty(to_ty);
+                self.value(val);
+            }
+            Inst::IntToPtr {
+                from_ty,
+                to_ty,
+                val,
+            } => {
+                self.push(15);
+                self.ty(from_ty);
+                self.ty(to_ty);
+                self.value(val);
+            }
         }
     }
 

@@ -501,6 +501,40 @@ pub enum Inst {
         /// Argument operands.
         args: Vec<Value>,
     },
+    /// `r = alloca <ty>` — allocates a fresh logical block of
+    /// `sizeof(ty)` bytes and yields a pointer to its first byte. In
+    /// the two-phase memory model the block initially has an identity
+    /// but no observable address (the *infinite* phase); a `ptrtoint`
+    /// or `inttoptr` anywhere in the run forces concretization. The
+    /// block's bytes start uninitialized (per-byte poison under the
+    /// proposed semantics, undef under the legacy ones).
+    Alloca {
+        /// Allocated (pointee) type; the result is `ty*`.
+        ty: Ty,
+    },
+    /// `r = ptrtoint <ty>* v to <to_ty>` — observes the concrete
+    /// address of a pointer, forcing the whole memory into the finite
+    /// phase (every block receives its deterministic base address).
+    PtrToInt {
+        /// Pointer operand type.
+        from_ty: Ty,
+        /// Integer result type (must be exactly `i32` = `PTR_BITS`).
+        to_ty: Ty,
+        /// The pointer whose address is taken.
+        val: Value,
+    },
+    /// `r = inttoptr <from_ty> v to <ty>*` — forges a pointer from an
+    /// integer address, forcing the finite phase. The result carries no
+    /// block provenance; accesses through it resolve against whatever
+    /// block the address lands in.
+    IntToPtr {
+        /// Integer operand type (must be exactly `i32` = `PTR_BITS`).
+        from_ty: Ty,
+        /// Pointer result type.
+        to_ty: Ty,
+        /// The address to reinterpret.
+        val: Value,
+    },
 }
 
 impl Inst {
@@ -521,6 +555,8 @@ impl Inst {
             Inst::ExtractElement { elem_ty, .. } => elem_ty.clone(),
             Inst::InsertElement { elem_ty, len, .. } => Ty::vector(*len, elem_ty.clone()),
             Inst::Call { ret_ty, .. } => ret_ty.clone(),
+            Inst::Alloca { ty } => Ty::ptr_to(ty.clone()),
+            Inst::PtrToInt { to_ty, .. } | Inst::IntToPtr { to_ty, .. } => to_ty.clone(),
         }
     }
 
@@ -540,14 +576,30 @@ impl Inst {
             Inst::ExtractElement { .. } => "extractelement",
             Inst::InsertElement { .. } => "insertelement",
             Inst::Call { .. } => "call",
+            Inst::Alloca { .. } => "alloca",
+            Inst::PtrToInt { .. } => "ptrtoint",
+            Inst::IntToPtr { .. } => "inttoptr",
         }
     }
 
-    /// Returns `true` if this instruction writes memory or calls a
-    /// function (and therefore may not be removed even if its result is
-    /// unused).
+    /// Returns `true` if this instruction writes memory, calls a
+    /// function, or otherwise changes the memory state (and therefore
+    /// may not be removed even if its result is unused).
+    ///
+    /// `alloca` and the int↔ptr casts are included: an alloca advances
+    /// the deterministic block layout (removing one shifts every later
+    /// block's base), and the casts flip the memory into the finite
+    /// phase, which makes strictly more raw-address accesses defined —
+    /// deleting a "dead" cast could turn a defined run into UB.
     pub fn has_side_effects(&self) -> bool {
-        matches!(self, Inst::Store { .. } | Inst::Call { .. })
+        matches!(
+            self,
+            Inst::Store { .. }
+                | Inst::Call { .. }
+                | Inst::Alloca { .. }
+                | Inst::PtrToInt { .. }
+                | Inst::IntToPtr { .. }
+        )
     }
 
     /// Returns `true` if this instruction can trigger *immediate* UB and
@@ -593,6 +645,8 @@ impl Inst {
             Inst::Freeze { val, .. }
             | Inst::Cast { val, .. }
             | Inst::Bitcast { val, .. }
+            | Inst::PtrToInt { val, .. }
+            | Inst::IntToPtr { val, .. }
             | Inst::Load { ptr: val, .. } => f(val),
             Inst::Gep { base, idx, .. } => {
                 f(base);
@@ -616,6 +670,7 @@ impl Inst {
                     f(a);
                 }
             }
+            Inst::Alloca { .. } => {}
         }
     }
 
@@ -642,6 +697,8 @@ impl Inst {
             Inst::Freeze { val, .. }
             | Inst::Cast { val, .. }
             | Inst::Bitcast { val, .. }
+            | Inst::PtrToInt { val, .. }
+            | Inst::IntToPtr { val, .. }
             | Inst::Load { ptr: val, .. } => f(val),
             Inst::Gep { base, idx, .. } => {
                 f(base);
@@ -665,6 +722,7 @@ impl Inst {
                     f(a);
                 }
             }
+            Inst::Alloca { .. } => {}
         }
     }
 
@@ -874,6 +932,29 @@ mod tests {
         assert!(BinOp::UDiv.supports_exact());
         assert!(BinOp::AShr.supports_exact());
         assert!(!BinOp::Add.supports_exact());
+    }
+
+    #[test]
+    fn memory_inst_classification() {
+        let a = Inst::Alloca { ty: Ty::i32() };
+        assert_eq!(a.result_ty(), Ty::ptr_to(Ty::i32()));
+        assert!(a.has_side_effects(), "layout is observable");
+        assert!(a.operands().is_empty());
+        let p2i = Inst::PtrToInt {
+            from_ty: Ty::ptr_to(Ty::i8()),
+            to_ty: Ty::i32(),
+            val: Value::Arg(0),
+        };
+        assert_eq!(p2i.result_ty(), Ty::i32());
+        assert!(p2i.has_side_effects(), "phase flip is observable");
+        let i2p = Inst::IntToPtr {
+            from_ty: Ty::i32(),
+            to_ty: Ty::ptr_to(Ty::i8()),
+            val: Value::Arg(0),
+        };
+        assert_eq!(i2p.result_ty(), Ty::ptr_to(Ty::i8()));
+        assert_eq!(i2p.operands().len(), 1);
+        assert!(!i2p.may_have_immediate_ub());
     }
 
     #[test]

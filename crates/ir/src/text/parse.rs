@@ -597,6 +597,73 @@ fn parse_inst(p: &mut Parser<'_>, ctx: &FnContext) -> Result<Inst> {
                 idx,
             })
         }
+        "alloca" => {
+            let ty_span = p.span();
+            let ty = p.parse_ty(false)?;
+            if ty.byte_size() == 0 {
+                return p.err_at(
+                    ty_span.to(p.prev_span()),
+                    "cannot allocate a zero-sized type",
+                );
+            }
+            Ok(Inst::Alloca { ty })
+        }
+        "ptrtoint" => {
+            let from_span = p.span();
+            let from_ty = p.parse_ty(false)?;
+            if !from_ty.is_ptr() {
+                return p.err_at(
+                    from_span.to(p.prev_span()),
+                    format!("ptrtoint source must be a pointer, got {from_ty}"),
+                );
+            }
+            let val = parse_value(p, ctx, &from_ty)?;
+            p.expect_word("to")?;
+            let to_span = p.span();
+            let to_ty = p.parse_ty(false)?;
+            if to_ty != Ty::Int(crate::types::PTR_BITS) {
+                return p.err_at(
+                    to_span.to(p.prev_span()),
+                    format!(
+                        "ptrtoint result must be i{} (the pointer width), got {to_ty}",
+                        crate::types::PTR_BITS
+                    ),
+                );
+            }
+            Ok(Inst::PtrToInt {
+                from_ty,
+                to_ty,
+                val,
+            })
+        }
+        "inttoptr" => {
+            let from_span = p.span();
+            let from_ty = p.parse_ty(false)?;
+            if from_ty != Ty::Int(crate::types::PTR_BITS) {
+                return p.err_at(
+                    from_span.to(p.prev_span()),
+                    format!(
+                        "inttoptr source must be i{} (the pointer width), got {from_ty}",
+                        crate::types::PTR_BITS
+                    ),
+                );
+            }
+            let val = parse_value(p, ctx, &from_ty)?;
+            p.expect_word("to")?;
+            let to_span = p.span();
+            let to_ty = p.parse_ty(false)?;
+            if !to_ty.is_ptr() {
+                return p.err_at(
+                    to_span.to(p.prev_span()),
+                    format!("inttoptr result must be a pointer, got {to_ty}"),
+                );
+            }
+            Ok(Inst::IntToPtr {
+                from_ty,
+                to_ty,
+                val,
+            })
+        }
         "call" => {
             let ret_ty = p.parse_ty(true)?;
             let callee = p.expect_global()?;

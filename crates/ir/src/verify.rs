@@ -419,6 +419,47 @@ impl<'a> Verifier<'a> {
                     self.expect_ty(&where_, a, ty);
                 }
             }
+            Inst::Alloca { ty } => {
+                if ty.is_void() || ty.byte_size() == 0 {
+                    self.err(format!("{where_}: cannot allocate unsized type {ty}"));
+                }
+            }
+            Inst::PtrToInt {
+                from_ty,
+                to_ty,
+                val,
+            } => {
+                if !from_ty.is_ptr() {
+                    self.err(format!(
+                        "{where_}: ptrtoint source must be a pointer, got {from_ty}"
+                    ));
+                }
+                if *to_ty != Ty::Int(crate::types::PTR_BITS) {
+                    self.err(format!(
+                        "{where_}: ptrtoint result must be i{} (the pointer width), got {to_ty}",
+                        crate::types::PTR_BITS
+                    ));
+                }
+                self.expect_ty(&where_, val, from_ty);
+            }
+            Inst::IntToPtr {
+                from_ty,
+                to_ty,
+                val,
+            } => {
+                if *from_ty != Ty::Int(crate::types::PTR_BITS) {
+                    self.err(format!(
+                        "{where_}: inttoptr source must be i{} (the pointer width), got {from_ty}",
+                        crate::types::PTR_BITS
+                    ));
+                }
+                if !to_ty.is_ptr() {
+                    self.err(format!(
+                        "{where_}: inttoptr result must be a pointer, got {to_ty}"
+                    ));
+                }
+                self.expect_ty(&where_, val, from_ty);
+            }
         }
     }
 
@@ -669,6 +710,54 @@ mod tests {
             verify_module(&m, VerifyMode::Proposed),
             "does not match its signature",
         );
+    }
+
+    #[test]
+    fn accepts_memory_instructions() {
+        let mut b = FunctionBuilder::new("f", &[], Ty::i8());
+        let p = b.alloca(Ty::i8());
+        b.store(b.const_int(8, 7), p.clone());
+        let addr = b.ptrtoint(p, Ty::i32());
+        let q = b.inttoptr(addr, Ty::ptr_to(Ty::i8()));
+        let v = b.load(Ty::i8(), q);
+        b.ret(v);
+        assert!(verify_function(&b.finish()).is_ok());
+    }
+
+    #[test]
+    fn rejects_bad_cast_widths_for_memory_casts() {
+        // ptrtoint must produce exactly the pointer width (i32).
+        let mut b = FunctionBuilder::new("f", &[], Ty::i64());
+        let p = b.alloca(Ty::i8());
+        let a = b.ptrtoint(p, Ty::i64());
+        b.ret(a);
+        assert_error_containing(verify_function(&b.finish()), "ptrtoint result must be i32");
+
+        // inttoptr must consume exactly the pointer width (i32).
+        let mut b = FunctionBuilder::new("g", &[("x", Ty::i64())], Ty::i8());
+        let q = b.inttoptr(b.arg(0), Ty::ptr_to(Ty::i8()));
+        let v = b.load(Ty::i8(), q);
+        b.ret(v);
+        assert_error_containing(verify_function(&b.finish()), "inttoptr source must be i32");
+
+        // ptrtoint source must be a pointer.
+        let mut b = FunctionBuilder::new("h", &[("x", Ty::i32())], Ty::i32());
+        let id = b.func().insts.len();
+        assert_eq!(id, 0);
+        let a = b.ptrtoint(b.arg(0), Ty::i32());
+        b.ret(a);
+        assert_error_containing(
+            verify_function(&b.finish()),
+            "ptrtoint source must be a pointer",
+        );
+    }
+
+    #[test]
+    fn rejects_alloca_of_unsized_type() {
+        let mut b = FunctionBuilder::new("f", &[], Ty::Void);
+        let _ = b.alloca(Ty::Void);
+        b.ret_void();
+        assert_error_containing(verify_function(&b.finish()), "cannot allocate unsized");
     }
 
     #[test]

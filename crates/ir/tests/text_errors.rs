@@ -117,6 +117,62 @@ fn integer_literal_needs_an_integer_type() {
     expect_error(src, "integer literal cannot have type i32*", "5");
 }
 
+// ---- memory operations -----------------------------------------------
+
+#[test]
+fn ptrtoint_source_must_be_a_pointer() {
+    let src = "define i32 @f(i8 %x) {\nentry:\n  %a = ptrtoint i8 %x to i32\n  ret i32 %a\n}";
+    let err = expect_error(src, "ptrtoint source must be a pointer, got i8", "i8");
+    assert_eq!(err.line, 3);
+}
+
+#[test]
+fn ptrtoint_result_must_be_the_pointer_width() {
+    // The pointer width is fixed at 32 bits; an i16 result is rejected
+    // with the caret on the offending result type.
+    let src = "define i16 @f(i8* %p) {\nentry:\n  %a = ptrtoint i8* %p to i16\n  ret i16 %a\n}";
+    let err = expect_error(
+        src,
+        "ptrtoint result must be i32 (the pointer width), got i16",
+        "i16",
+    );
+    assert_eq!(err.line, 3);
+}
+
+#[test]
+fn inttoptr_source_must_be_the_pointer_width() {
+    let src = "define i8 @f(i8 %x) {\nentry:\n  %q = inttoptr i8 %x to i8*\n  \
+               %v = load i8, i8* %q\n  ret i8 %v\n}";
+    let err = expect_error(
+        src,
+        "inttoptr source must be i32 (the pointer width), got i8",
+        "i8",
+    );
+    assert_eq!((err.line, err.column), (3, 17));
+}
+
+#[test]
+fn inttoptr_result_must_be_a_pointer() {
+    let src = "define i32 @f(i32 %x) {\nentry:\n  %q = inttoptr i32 %x to i16\n  ret i32 %x\n}";
+    let err = expect_error(src, "inttoptr result must be a pointer, got i16", "i16");
+    assert_eq!(err.line, 3);
+}
+
+#[test]
+fn store_pointer_operand_must_be_a_pointer() {
+    // The pointer operand of a store must have type `<stored ty>*`; a
+    // bare integer there is caught with the caret on its type.
+    let src = "define void @f(i8 %x) {\nentry:\n  store i8 1, i8 %x\n  ret void\n}";
+    let err = expect_error(src, "store pointer type must be i8*", "i8");
+    assert_eq!((err.line, err.column), (3, 15));
+}
+
+#[test]
+fn store_pointee_type_must_match() {
+    let src = "define void @f(i32* %p) {\nentry:\n  store i8 1, i32* %p\n  ret void\n}";
+    expect_error(src, "store pointer type must be i8*", "i32*");
+}
+
 // ---- dangling value references ---------------------------------------
 
 #[test]

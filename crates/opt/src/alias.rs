@@ -1,0 +1,246 @@
+//! A tiny alias analysis over the §5 block-based memory model.
+//!
+//! Pointers are classified by their **underlying object** — the alloca
+//! or function parameter a gep/bitcast chain bottoms out in. The model
+//! makes three facts available for free:
+//!
+//! * distinct allocas are distinct logical blocks, so they never alias;
+//! * an alloca'd block is fresh, so it never aliases a block that
+//!   arrived through a parameter;
+//! * a pointer of *unknown* provenance (`inttoptr`, loaded from memory,
+//!   returned by a call) can only reach an alloca whose address
+//!   **escaped** — the only way to forge a pointer to a block is to
+//!   have observed its address with `ptrtoint` (or to have smuggled the
+//!   pointer itself out through a store, call, or return).
+//!
+//! The *legacy* variant reproduces the classic escape-blindness bug:
+//! it assumes an alloca can never alias an unknown pointer, full stop.
+//! That is exactly the assumption `ptrtoint`/`inttoptr` round-trips
+//! violate, and the GVN/LICM tests in this crate exhibit the resulting
+//! miscompilations as refinement counterexamples over real memory.
+//!
+//! Two pointer **parameters** are conservatively treated as
+//! may-aliasing each other: the refinement harness happens to bind each
+//! pointer parameter to its own disjoint block, but real call sites may
+//! pass the same pointer twice, so no-alias would be an unsound claim
+//! about contexts the harness does not enumerate.
+
+use frost_ir::{Function, Inst, InstId, Value};
+
+use crate::pass::PipelineMode;
+
+/// What a pointer chain bottoms out in.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum UnderlyingObject {
+    /// The block created by the given `alloca` instruction.
+    Alloca(InstId),
+    /// The block bound to the `i`-th (pointer) function parameter.
+    Param(u32),
+    /// Anything else: `inttoptr` results, call results, loaded
+    /// pointers, …
+    Unknown,
+}
+
+/// Chases gep/bitcast chains to the pointer's underlying object.
+pub fn underlying_object(func: &Function, v: &Value) -> UnderlyingObject {
+    let mut v = v.clone();
+    // The chain length is bounded by the instruction count; the fuel is
+    // belt-and-braces against malformed (cyclic) input.
+    for _ in 0..func.insts.len() + 1 {
+        match &v {
+            Value::Arg(i) => return UnderlyingObject::Param(*i),
+            Value::Inst(id) => match func.inst(*id) {
+                Inst::Alloca { .. } => return UnderlyingObject::Alloca(*id),
+                Inst::Gep { base, .. } => v = base.clone(),
+                Inst::Bitcast { val, .. } => v = val.clone(),
+                _ => return UnderlyingObject::Unknown,
+            },
+            _ => return UnderlyingObject::Unknown,
+        }
+    }
+    UnderlyingObject::Unknown
+}
+
+/// Does the address of this alloca escape?
+///
+/// The derived-pointer set starts at the alloca and grows through gep
+/// and bitcast. A member may be used as a load address, a store
+/// *address*, or a gep/bitcast operand; any other use — `ptrtoint`,
+/// a call argument, a stored *value*, a terminator operand, a phi or
+/// select arm — publishes the address and counts as an escape.
+pub fn escapes(func: &Function, alloca: InstId) -> bool {
+    let mut derived: Vec<InstId> = vec![alloca];
+    let mut changed = true;
+    while changed {
+        changed = false;
+        for bb in func.block_ids() {
+            for &id in &func.block(bb).insts {
+                let in_set = |v: &Value| matches!(v, Value::Inst(i) if derived.contains(i));
+                match func.inst(id) {
+                    // Reading through the pointer does not publish it.
+                    Inst::Load { .. } => {}
+                    // Storing *through* it is fine; storing *it* leaks.
+                    Inst::Store { val, .. } => {
+                        if in_set(val) {
+                            return true;
+                        }
+                    }
+                    Inst::Gep { base, idx, .. } => {
+                        if in_set(idx) {
+                            return true;
+                        }
+                        if in_set(base) && !derived.contains(&id) {
+                            derived.push(id);
+                            changed = true;
+                        }
+                    }
+                    Inst::Bitcast { val, .. } => {
+                        if in_set(val) && !derived.contains(&id) {
+                            derived.push(id);
+                            changed = true;
+                        }
+                    }
+                    other => {
+                        let mut leaks = false;
+                        other.for_each_operand(|v| leaks |= in_set(v));
+                        if leaks {
+                            return true;
+                        }
+                    }
+                }
+            }
+            let mut leaks = false;
+            func.block(bb)
+                .term
+                .for_each_operand(|v| leaks |= matches!(v, Value::Inst(i) if derived.contains(i)));
+            if leaks {
+                return true;
+            }
+        }
+    }
+    false
+}
+
+/// May the two pointers address overlapping memory?
+///
+/// The *legacy* mode answers "no" for any alloca-vs-unknown pair — the
+/// escape-blind assumption that `ptrtoint`/`inttoptr` round-trips
+/// falsify. The fixed modes consult [`escapes`].
+pub fn may_alias(func: &Function, p: &Value, q: &Value, mode: PipelineMode) -> bool {
+    use UnderlyingObject::{Alloca, Param, Unknown};
+    match (underlying_object(func, p), underlying_object(func, q)) {
+        (Alloca(a), Alloca(b)) => a == b,
+        // A fresh block can never be the block a parameter points into.
+        (Alloca(_), Param(_)) | (Param(_), Alloca(_)) => false,
+        (Alloca(a), Unknown) | (Unknown, Alloca(a)) => {
+            // Legacy bug: "allocas are private" — even after their
+            // address was laundered through ptrtoint/inttoptr.
+            mode != PipelineMode::Legacy && escapes(func, a)
+        }
+        // Conservative: a caller may pass the same pointer twice.
+        (Param(_), Param(_)) | (Param(_), Unknown) | (Unknown, Param(_)) | (Unknown, Unknown) => {
+            true
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use frost_ir::parse_module;
+
+    fn first_fn(src: &str) -> frost_ir::Module {
+        parse_module(src).unwrap()
+    }
+
+    #[test]
+    fn distinct_allocas_do_not_alias() {
+        let m = first_fn(
+            r#"
+define void @f() {
+entry:
+  %a = alloca i8
+  %b = alloca i8
+  store i8 1, i8* %a
+  store i8 2, i8* %b
+  ret void
+}
+"#,
+        );
+        let f = m.function("f").unwrap();
+        let ids: Vec<_> = f.block(frost_ir::BlockId::ENTRY).insts.clone();
+        let (a, b) = (Value::Inst(ids[0]), Value::Inst(ids[1]));
+        assert!(!may_alias(f, &a, &b, PipelineMode::Fixed));
+        assert!(may_alias(f, &a, &a, PipelineMode::Fixed));
+    }
+
+    #[test]
+    fn gep_chains_reach_the_underlying_alloca() {
+        let m = first_fn(
+            r#"
+define void @f() {
+entry:
+  %a = alloca i32
+  %p = bitcast i32* %a to i8*
+  %q = getelementptr i8, i8* %p, i4 2
+  store i8 1, i8* %q
+  ret void
+}
+"#,
+        );
+        let f = m.function("f").unwrap();
+        let ids: Vec<_> = f.block(frost_ir::BlockId::ENTRY).insts.clone();
+        assert_eq!(
+            underlying_object(f, &Value::Inst(ids[2])),
+            UnderlyingObject::Alloca(ids[0])
+        );
+        assert!(!escapes(f, ids[0]));
+    }
+
+    #[test]
+    fn ptrtoint_escapes_and_only_fixed_mode_notices() {
+        let m = first_fn(
+            r#"
+define void @f(i8* %u) {
+entry:
+  %a = alloca i8
+  %i = ptrtoint i8* %a to i32
+  %q = inttoptr i32 %i to i8*
+  store i8 1, i8* %q
+  ret void
+}
+"#,
+        );
+        let f = m.function("f").unwrap();
+        let ids: Vec<_> = f.block(frost_ir::BlockId::ENTRY).insts.clone();
+        let (a, q) = (Value::Inst(ids[0]), Value::Inst(ids[2]));
+        assert!(escapes(f, ids[0]));
+        assert_eq!(underlying_object(f, &q), UnderlyingObject::Unknown);
+        assert!(may_alias(f, &a, &q, PipelineMode::Fixed));
+        assert!(
+            !may_alias(f, &a, &q, PipelineMode::Legacy),
+            "legacy alias analysis is escape-blind"
+        );
+        // A non-escaping alloca stays private from unknown pointers.
+        assert!(!may_alias(f, &a, &Value::Arg(0), PipelineMode::Fixed));
+    }
+
+    #[test]
+    fn parameters_conservatively_alias_each_other() {
+        let m = first_fn(
+            r#"
+define void @f(i8* %p, i8* %q) {
+entry:
+  ret void
+}
+"#,
+        );
+        let f = m.function("f").unwrap();
+        assert!(may_alias(
+            f,
+            &Value::Arg(0),
+            &Value::Arg(1),
+            PipelineMode::Fixed
+        ));
+    }
+}

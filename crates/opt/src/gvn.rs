@@ -22,6 +22,7 @@ use frost_ir::{
     PreservedAnalyses, Terminator, Value,
 };
 
+use crate::alias::may_alias;
 use crate::pass::{Pass, PipelineMode};
 use crate::util::erase_inst;
 
@@ -54,6 +55,7 @@ impl Pass for Gvn {
         // instructions; the block graph (and hence `dt`/`cfg`) stays
         // valid throughout.
         let mut changed = number_expressions(func, &dt, &cfg.rpo, self.mode);
+        changed |= cse_loads(func, &cfg.rpo, self.mode);
         changed |= propagate_equalities(func, &dt, &cfg.preds);
         if changed {
             PreservedAnalyses::cfg()
@@ -144,6 +146,46 @@ fn number_expressions(
                 _ => {
                     leaders.insert(key, (id, bb, pos));
                 }
+            }
+        }
+    }
+    let changed = !replace.is_empty();
+    for (dup, leader) in replace {
+        func.replace_all_uses(dup, &Value::Inst(leader));
+        erase_inst(func, dup);
+    }
+    changed
+}
+
+/// Block-local load CSE: a repeated `load` of the same pointer with no
+/// intervening may-aliasing `store` (and no call) reuses the earlier
+/// result. The alias queries go through [`crate::alias`], so the
+/// *legacy* variant inherits its escape-blindness: a store through an
+/// `inttoptr`'d pointer does not kill an alloca's available load, and
+/// the refinement checker exhibits the stale value on real memory.
+fn cse_loads(func: &mut Function, rpo: &[frost_ir::BlockId], mode: PipelineMode) -> bool {
+    let mut replace: Vec<(InstId, InstId)> = Vec::new();
+    for &bb in rpo {
+        // (pointer, loaded type, leader) triples still known good.
+        let mut avail: Vec<(Value, frost_ir::Ty, InstId)> = Vec::new();
+        for &id in &func.block(bb).insts {
+            match func.inst(id) {
+                Inst::Load { ty, ptr } => {
+                    if let Some(&(_, _, leader)) =
+                        avail.iter().find(|(p, t, _)| p == ptr && t == ty)
+                    {
+                        replace.push((id, leader));
+                    } else {
+                        avail.push((ptr.clone(), ty.clone(), id));
+                    }
+                }
+                Inst::Store { ptr, .. } => {
+                    let store_ptr = ptr.clone();
+                    avail.retain(|(p, _, _)| !may_alias(func, p, &store_ptr, mode));
+                }
+                // Calls may write anything reachable from anywhere.
+                Inst::Call { .. } => avail.clear(),
+                _ => {}
             }
         }
     }
@@ -413,6 +455,91 @@ b:
             PipelineMode::Fixed,
         );
         assert_eq!(after.function("f").unwrap().placed_inst_count(), 2);
+        check_refinement(
+            &before,
+            "f",
+            &after,
+            "f",
+            &CheckOptions::new(Semantics::proposed()),
+        )
+        .assert_refines();
+    }
+
+    #[test]
+    fn repeated_loads_of_a_private_alloca_merge() {
+        let (before, after) = run(
+            r#"
+define i8 @f() {
+entry:
+  %a = alloca i8
+  store i8 5, i8* %a
+  %v1 = load i8, i8* %a
+  %v2 = load i8, i8* %a
+  %r = xor i8 %v1, %v2
+  ret i8 %r
+}
+"#,
+            PipelineMode::Fixed,
+        );
+        let f = after.function("f").unwrap();
+        assert_eq!(f.placed_inst_count(), 4, "{}", function_to_string(f));
+        check_refinement(
+            &before,
+            "f",
+            &after,
+            "f",
+            &CheckOptions::new(Semantics::proposed()),
+        )
+        .assert_refines();
+    }
+
+    /// The escape-blindness miscompilation: legacy alias analysis says a
+    /// store through an `inttoptr`'d pointer cannot touch an alloca, so
+    /// legacy GVN forwards the stale pre-store load. The block-based
+    /// memory model executes the forged pointer for real and the checker
+    /// returns the miscompiled memory state as a counterexample.
+    const LAUNDERED_STORE: &str = r#"
+define i8 @f() {
+entry:
+  %a = alloca i8
+  store i8 1, i8* %a
+  %v1 = load i8, i8* %a
+  %i = ptrtoint i8* %a to i32
+  %q = inttoptr i32 %i to i8*
+  store i8 2, i8* %q
+  %v2 = load i8, i8* %a
+  %r = xor i8 %v1, %v2
+  ret i8 %r
+}
+"#;
+
+    #[test]
+    fn legacy_load_cse_is_escape_blind_and_miscompiles() {
+        let (before, after) = run(LAUNDERED_STORE, PipelineMode::Legacy);
+        let f = after.function("f").unwrap();
+        assert_eq!(
+            f.placed_inst_count(),
+            7,
+            "legacy CSEs the second load: {}",
+            function_to_string(f)
+        );
+        let r = check_refinement(
+            &before,
+            "f",
+            &after,
+            "f",
+            &CheckOptions::new(Semantics::proposed()),
+        );
+        assert!(
+            r.counterexample().is_some(),
+            "source returns 1^2=3, target 1^1=0"
+        );
+    }
+
+    #[test]
+    fn fixed_load_cse_respects_escaped_allocas() {
+        let (before, after) = run(LAUNDERED_STORE, PipelineMode::Fixed);
+        assert_eq!(after.function("f").unwrap().placed_inst_count(), 8);
         check_refinement(
             &before,
             "f",

@@ -11,7 +11,8 @@
 //! | [`simplifycfg`] | §3.4 | phi→select unsound under LangRef select | sound under §4 semantics |
 //! | [`gvn`] | §3.3 | equality propagation needs branch-on-poison = UB | provided by §4 semantics |
 //! | [`loop_unswitch`] | §3.3, §5.1 | hoisted branch executes on poison | freeze the condition |
-//! | [`licm`] | §3.2, §5.6 | division hoisted past `k != 0` guard with undef `k` | require non-poison proof |
+//! | [`licm`] | §3.2, §5.6 | division hoisted past `k != 0` guard with undef `k`; load hoisted past escape-blind aliasing | require non-poison proof; alias-aware pinning |
+//! | [`alias`] | §5 | alloca assumed private even after `ptrtoint` published its address | unknown pointers may alias escaped blocks |
 //! | [`loop_sink`] | §5.5 | sinking duplicates freeze | refuse to sink freeze |
 //! | [`sccp`] | — | — | branch-on-poison folds to `unreachable` |
 //! | [`reassociate`] | §10.2 | keeps `nsw` while reassociating | drop the flags |
@@ -26,6 +27,7 @@
 
 #![warn(missing_docs)]
 
+pub mod alias;
 pub mod codegenprepare;
 pub mod dce;
 pub mod gvn;

@@ -18,6 +18,7 @@ use frost_ir::{
     LoopInfoAnalysis, PreservedAnalyses, Terminator, Value,
 };
 
+use crate::alias::may_alias;
 use crate::pass::{Pass, PipelineMode};
 use crate::util::guaranteed_not_poison;
 
@@ -76,7 +77,7 @@ fn hoist_loop(func: &mut Function, lp: &Loop, dt: &DomTree, mode: PipelineMode) 
             for &id in &func.block(bb).insts {
                 let inst = func.inst(id);
                 if inst.has_side_effects()
-                    || matches!(inst, Inst::Phi { .. } | Inst::Load { .. })
+                    || matches!(inst, Inst::Phi { .. })
                     || inst.is_freeze() && !mode.freeze_aware()
                 {
                     continue;
@@ -91,7 +92,11 @@ fn hoist_loop(func: &mut Function, lp: &Loop, dt: &DomTree, mode: PipelineMode) 
                     continue;
                 }
                 if inst.may_have_immediate_ub() {
-                    if !division_hoist_is_safe(func, lp, dt, preheader, id, mode) {
+                    let safe = match inst {
+                        Inst::Load { .. } => load_hoist_is_safe(func, lp, id, mode),
+                        _ => division_hoist_is_safe(func, lp, dt, preheader, id, mode),
+                    };
+                    if !safe {
                         continue;
                     }
                 } else if inst.is_freeze() {
@@ -118,6 +123,49 @@ fn hoist_loop(func: &mut Function, lp: &Loop, dt: &DomTree, mode: PipelineMode) 
         func.block_mut(preheader).insts.push(id);
         changed = true;
     }
+}
+
+/// Is hoisting this loop-invariant load to the preheader safe?
+///
+/// Two obligations (§5's block-based model makes both checkable):
+///
+/// 1. **Dereferenceability** — the preheader executes even when the
+///    body does not, so the speculated load must be unable to fault.
+///    We require the pointer to be the direct result of an `alloca`
+///    whose block is at least as large as the loaded type: such a load
+///    is in bounds by construction (a load of uninitialized bytes
+///    merely yields poison, which is harmless if unused).
+/// 2. **Content invariance** — no store inside the loop may alias the
+///    block, and no call occurs (a callee can write any reachable
+///    block). The alias queries go through [`crate::alias`], so the
+///    *legacy* variant is escape-blind: a store through an
+///    `inttoptr`'d pointer does not pin the load, reproducing the
+///    stale-load miscompilation the refinement checker exhibits.
+fn load_hoist_is_safe(func: &Function, lp: &Loop, id: InstId, mode: PipelineMode) -> bool {
+    let Inst::Load { ty, ptr } = func.inst(id) else {
+        return false;
+    };
+    let Value::Inst(obj) = ptr else {
+        return false;
+    };
+    let Inst::Alloca { ty: alloc_ty } = func.inst(*obj) else {
+        return false;
+    };
+    if alloc_ty.byte_size() < ty.byte_size() {
+        return false;
+    }
+    for &bb in &lp.blocks {
+        for &iid in &func.block(bb).insts {
+            match func.inst(iid) {
+                Inst::Store { ptr: store_ptr, .. } if may_alias(func, ptr, store_ptr, mode) => {
+                    return false;
+                }
+                Inst::Call { .. } => return false,
+                _ => {}
+            }
+        }
+    }
+    true
 }
 
 /// Is hoisting this division to the preheader safe?
@@ -350,6 +398,114 @@ done:
             )),
             "fixed LICM hoists the frozen-divisor division: {}",
             function_to_string(f)
+        );
+        check_refinement(
+            &before,
+            "f",
+            &after,
+            "f",
+            &CheckOptions::new(Semantics::proposed()),
+        )
+        .assert_refines();
+    }
+
+    const PRIVATE_ALLOCA_LOAD: &str = r#"
+define i8 @f(i1 %c) {
+entry:
+  %a = alloca i8
+  store i8 7, i8* %a
+  br label %head
+head:
+  %acc = phi i8 [ 0, %entry ], [ %v, %body ]
+  %cont = phi i1 [ %c, %entry ], [ false, %body ]
+  br i1 %cont, label %body, label %exit
+body:
+  %v = load i8, i8* %a
+  br label %head
+exit:
+  ret i8 %acc
+}
+"#;
+
+    #[test]
+    fn fixed_mode_hoists_load_of_private_alloca() {
+        // The alloca never escapes and the loop contains no store, so
+        // the load is invariant and dereferenceable by construction.
+        let (before, after) = run(PRIVATE_ALLOCA_LOAD, PipelineMode::Fixed);
+        let f = after.function("f").unwrap();
+        let entry_has_load = f
+            .block(BlockId::ENTRY)
+            .insts
+            .iter()
+            .any(|&id| matches!(f.inst(id), Inst::Load { .. }));
+        assert!(entry_has_load, "load hoisted: {}", function_to_string(f));
+        check_refinement(
+            &before,
+            "f",
+            &after,
+            "f",
+            &CheckOptions::new(Semantics::proposed()),
+        )
+        .assert_refines();
+    }
+
+    /// The loop rewrites the block through a laundered
+    /// `ptrtoint`/`inttoptr` pointer, so the load is *not* invariant.
+    const LAUNDERED_LOOP_STORE: &str = r#"
+define i8 @f(i1 %c) {
+entry:
+  %a = alloca i8
+  store i8 1, i8* %a
+  %i = ptrtoint i8* %a to i32
+  %q = inttoptr i32 %i to i8*
+  br label %head
+head:
+  %acc = phi i8 [ 0, %entry ], [ %v, %body ]
+  %cont = phi i1 [ %c, %entry ], [ false, %body ]
+  br i1 %cont, label %body, label %exit
+body:
+  store i8 2, i8* %q
+  %v = load i8, i8* %a
+  br label %head
+exit:
+  ret i8 %acc
+}
+"#;
+
+    #[test]
+    fn legacy_load_hoist_is_escape_blind_and_miscompiles() {
+        let (before, after) = run(LAUNDERED_LOOP_STORE, PipelineMode::Legacy);
+        let f = after.function("f").unwrap();
+        let entry_has_load = f
+            .block(BlockId::ENTRY)
+            .insts
+            .iter()
+            .any(|&id| matches!(f.inst(id), Inst::Load { .. }));
+        assert!(
+            entry_has_load,
+            "legacy LICM hoists past the laundered store: {}",
+            function_to_string(f)
+        );
+        let r = check_refinement(
+            &before,
+            "f",
+            &after,
+            "f",
+            &CheckOptions::new(Semantics::proposed()),
+        );
+        assert!(
+            r.counterexample().is_some(),
+            "source observes the stored 2, target the stale 1"
+        );
+    }
+
+    #[test]
+    fn fixed_mode_pins_load_under_may_aliasing_store() {
+        let (before, after) = run(LAUNDERED_LOOP_STORE, PipelineMode::Fixed);
+        assert_eq!(
+            before.function("f").unwrap().placed_inst_count(),
+            after.function("f").unwrap().placed_inst_count(),
+            "escaped alloca: the store may alias, no hoist"
         );
         check_refinement(
             &before,

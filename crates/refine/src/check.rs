@@ -16,12 +16,12 @@ use std::sync::OnceLock;
 use frost_telemetry::Counter;
 
 use frost_core::{
-    enumerate_function, uninit_fill, Engine, ExecError, Limits, Memory, Outcome, OutcomeCache,
-    OutcomeSet, Semantics, Val,
+    enumerate_function, uninit_fill, Bit, Engine, ExecError, Limits, Memory, Outcome, OutcomeCache,
+    OutcomeSet, Ptr, Semantics, Val,
 };
 use frost_ir::{Function, FunctionKey, Module, Ty};
 
-use crate::inputs::{enumerate_inputs_cached, InputOptions};
+use crate::inputs::{enumerate_inputs_cached, enumerate_memories, InputOptions};
 use crate::lattice::{set_refines, unjustified};
 
 /// Configuration of a refinement check.
@@ -126,6 +126,11 @@ pub struct CheckPolicy {
 pub struct CounterExample {
     /// The argument values.
     pub args: Vec<Val>,
+    /// The initial memory contents the violation was found under, when
+    /// memory contents were enumerated
+    /// ([`InputOptions::memory_values`]); `None` under the default
+    /// single uninitialized memory.
+    pub initial_mem: Option<String>,
     /// Everything the source may do on these arguments.
     pub src_outcomes: OutcomeSet,
     /// Everything the target may do.
@@ -144,10 +149,57 @@ impl fmt::Display for CounterExample {
             write!(f, "{a}")?;
         }
         writeln!(f, ")")?;
+        if let Some(mem) = &self.initial_mem {
+            writeln!(f, "  initial memory: {mem}")?;
+        }
         writeln!(f, "  source can: {}", self.src_outcomes)?;
         writeln!(f, "  target can: {}", self.tgt_outcomes)?;
         write!(f, "  unjustified target behavior: {}", self.witness)
     }
+}
+
+/// Renders the initial blocks of `mem` byte by byte, e.g.
+/// `b0 = [0x01 poison]`.
+fn render_initial_mem(mem: &Memory, block_sizes: &[u32]) -> String {
+    use std::fmt::Write as _;
+    let mut s = String::new();
+    for (bi, &size) in block_sizes.iter().enumerate() {
+        if bi > 0 {
+            s.push_str(", ");
+        }
+        let _ = write!(s, "b{bi} = [");
+        for off in 0..size {
+            if off > 0 {
+                s.push(' ');
+            }
+            let block = bi as u32;
+            let bits = mem
+                .load_ptr(Ptr::Block { block, off }, 8)
+                .expect("initial-block byte is in bounds");
+            s.push_str(&render_byte(&bits));
+        }
+        s.push(']');
+    }
+    s
+}
+
+fn render_byte(bits: &[Bit]) -> String {
+    if bits.iter().any(|b| matches!(b, Bit::Poison)) {
+        return "poison".to_string();
+    }
+    if bits.iter().any(|b| matches!(b, Bit::Undef)) {
+        return "undef".to_string();
+    }
+    if bits.iter().any(|b| matches!(b, Bit::Ptr { .. })) {
+        return "ptr".to_string();
+    }
+    let mut v = 0u8;
+    for (i, b) in bits.iter().enumerate() {
+        if matches!(b, Bit::One) {
+            v |= 1 << i;
+        }
+    }
+    format!("{v:#04x}")
 }
 
 /// The verdict of a refinement check.
@@ -268,47 +320,61 @@ fn check_refinement_impl(
     let Some(shared) = enumerate_inputs_cached(sf, &opts.inputs) else {
         return CheckResult::Inconclusive("input space too large to enumerate".to_string());
     };
-    let (tuples, mem_bytes) = (&shared.0, shared.1);
-    let src_mem = Memory::uninit(mem_bytes, uninit_fill(&opts.src_sem));
-    let tgt_mem = Memory::uninit(mem_bytes, uninit_fill(&opts.tgt_sem));
+    let (tuples, block_sizes) = (&shared.0, shared.1.as_slice());
+    let Some(src_mems) = enumerate_memories(block_sizes, &opts.inputs, uninit_fill(&opts.src_sem))
+    else {
+        return CheckResult::Inconclusive(
+            "initial-memory space too large to enumerate".to_string(),
+        );
+    };
+    let tgt_mems = enumerate_memories(block_sizes, &opts.inputs, uninit_fill(&opts.tgt_sem))
+        .expect("target memory shape matches the source's");
 
-    // Each side enumerates its whole input list in one batch through
-    // the selected engine (the batch is what lets the bit-sliced
-    // backend evaluate every tuple at once); the comparison loop below
-    // then reproduces the sequential checker's verdict order exactly.
-    let src_all = enumerate_function(
-        src_module,
-        src_fn,
-        tuples,
-        &src_mem,
-        opts.src_sem,
-        opts.limits,
-        opts.engine,
-    );
-    let tgt_all = enumerate_function(
-        tgt_module,
-        tgt_fn,
-        tuples,
-        &tgt_mem,
-        opts.tgt_sem,
-        opts.limits,
-        opts.engine,
-    );
+    // Each side enumerates its whole input list in one batch per
+    // candidate initial memory through the selected engine (the batch
+    // is what lets the bit-sliced backend evaluate every tuple at
+    // once); the comparison loop below then reproduces the sequential
+    // checker's verdict order exactly: memories outermost, tuples
+    // inner.
+    for (src_mem, tgt_mem) in src_mems.iter().zip(&tgt_mems) {
+        let src_all = enumerate_function(
+            src_module,
+            src_fn,
+            tuples,
+            src_mem,
+            opts.src_sem,
+            opts.limits,
+            opts.engine,
+        );
+        let tgt_all = enumerate_function(
+            tgt_module,
+            tgt_fn,
+            tuples,
+            tgt_mem,
+            opts.tgt_sem,
+            opts.limits,
+            opts.engine,
+        );
 
-    for (i, args) in tuples.iter().enumerate() {
-        let src = match &src_all[i] {
-            Ok(s) => s,
-            Err(e) => return inconclusive(e.clone(), args, "source"),
-        };
-        if src.may_ub() {
-            continue; // source UB grants total freedom on this input
-        }
-        let tgt = match &tgt_all[i] {
-            Ok(s) => s,
-            Err(e) => return inconclusive(e.clone(), args, "target"),
-        };
-        if !set_refines(tgt, src) {
-            return violation(args.clone(), src.clone(), tgt.clone());
+        let mem_desc = opts
+            .inputs
+            .memory_values
+            .then(|| render_initial_mem(src_mem, block_sizes));
+        for (i, args) in tuples.iter().enumerate() {
+            let src = match &src_all[i] {
+                Ok(s) => s,
+                Err(e) => return inconclusive(e.clone(), args, "source"),
+            };
+            if src.may_ub() {
+                continue; // source UB grants total freedom on this input
+            }
+            let tgt = match &tgt_all[i] {
+                Ok(s) => s,
+                Err(e) => return inconclusive(e.clone(), args, "target"),
+            };
+            if !set_refines(tgt, src) {
+                return violation(args.clone(), mem_desc, src.clone(), tgt.clone());
+            }
         }
     }
     CheckResult::Refines
@@ -385,11 +451,17 @@ fn check_refinement_cached_impl(
     let Some(shared) = enumerate_inputs_cached(sf, &opts.inputs) else {
         return CheckResult::Inconclusive("input space too large to enumerate".to_string());
     };
-    let (tuples, mem_bytes) = (&shared.0, shared.1);
-    let salt = input_salt(&opts.inputs, mem_bytes);
+    let (tuples, block_sizes) = (&shared.0, shared.1.as_slice());
+    let Some(src_mems) = enumerate_memories(block_sizes, &opts.inputs, uninit_fill(&opts.src_sem))
+    else {
+        return CheckResult::Inconclusive(
+            "initial-memory space too large to enumerate".to_string(),
+        );
+    };
+    let tgt_mems = enumerate_memories(block_sizes, &opts.inputs, uninit_fill(&opts.tgt_sem))
+        .expect("target memory shape matches the source's");
     let src_key = FunctionKey::of(sf);
     let tgt_key = FunctionKey::of(tf);
-    let tgt_mem = Memory::uninit(mem_bytes, uninit_fill(&opts.tgt_sem));
 
     // Identity fast path: α-equivalent bodies under one semantics — the
     // no-op-transform case, which dominates campaign corpora. Refinement
@@ -403,87 +475,105 @@ fn check_refinement_cached_impl(
     // pair *is* its own source, and a sweep that stored every unchanged
     // function would grow the cache with the space after all.
     if opts.src_sem == opts.tgt_sem && src_key == tgt_key {
-        let all = cache.enumerate_keyed(
-            &tgt_key,
-            tgt_module,
-            tgt_fn,
-            tuples,
-            &tgt_mem,
-            opts.tgt_sem,
-            opts.limits,
-            opts.engine,
-            salt,
-            !policy.transient_src,
-        );
-        for (i, args) in tuples.iter().enumerate() {
-            if let Err(e) = &all[i] {
-                return inconclusive(e.clone(), args, "source");
+        for (mi, tgt_mem) in tgt_mems.iter().enumerate() {
+            let salt = input_salt(&opts.inputs, block_sizes, mi);
+            let all = cache.enumerate_keyed(
+                &tgt_key,
+                tgt_module,
+                tgt_fn,
+                tuples,
+                tgt_mem,
+                opts.tgt_sem,
+                opts.limits,
+                opts.engine,
+                salt,
+                !policy.transient_src,
+            );
+            for (i, args) in tuples.iter().enumerate() {
+                if let Err(e) = &all[i] {
+                    return inconclusive(e.clone(), args, "source");
+                }
             }
         }
         return CheckResult::Refines;
     }
 
-    let src_mem = Memory::uninit(mem_bytes, uninit_fill(&opts.src_sem));
-    let src_all = cache.enumerate_keyed(
-        &src_key,
-        src_module,
-        src_fn,
-        tuples,
-        &src_mem,
-        opts.src_sem,
-        opts.limits,
-        opts.engine,
-        salt,
-        !policy.transient_src,
-    );
-    let tgt_all = cache.enumerate_keyed(
-        &tgt_key,
-        tgt_module,
-        tgt_fn,
-        tuples,
-        &tgt_mem,
-        opts.tgt_sem,
-        opts.limits,
-        opts.engine,
-        salt,
-        true,
-    );
+    for (mi, (src_mem, tgt_mem)) in src_mems.iter().zip(&tgt_mems).enumerate() {
+        let salt = input_salt(&opts.inputs, block_sizes, mi);
+        let src_all = cache.enumerate_keyed(
+            &src_key,
+            src_module,
+            src_fn,
+            tuples,
+            src_mem,
+            opts.src_sem,
+            opts.limits,
+            opts.engine,
+            salt,
+            !policy.transient_src,
+        );
+        let tgt_all = cache.enumerate_keyed(
+            &tgt_key,
+            tgt_module,
+            tgt_fn,
+            tuples,
+            tgt_mem,
+            opts.tgt_sem,
+            opts.limits,
+            opts.engine,
+            salt,
+            true,
+        );
 
-    for (i, args) in tuples.iter().enumerate() {
-        let src = match &src_all[i] {
-            Ok(s) => s,
-            Err(e) => return inconclusive(e.clone(), args, "source"),
-        };
-        if src.may_ub() {
-            continue; // source UB grants total freedom on this input
-        }
-        let tgt = match &tgt_all[i] {
-            Ok(s) => s,
-            Err(e) => return inconclusive(e.clone(), args, "target"),
-        };
-        if !set_refines(tgt, src) {
-            return violation(args.clone(), src.clone(), tgt.clone());
+        let mem_desc = opts
+            .inputs
+            .memory_values
+            .then(|| render_initial_mem(src_mem, block_sizes));
+        for (i, args) in tuples.iter().enumerate() {
+            let src = match &src_all[i] {
+                Ok(s) => s,
+                Err(e) => return inconclusive(e.clone(), args, "source"),
+            };
+            if src.may_ub() {
+                continue; // source UB grants total freedom on this input
+            }
+            let tgt = match &tgt_all[i] {
+                Ok(s) => s,
+                Err(e) => return inconclusive(e.clone(), args, "target"),
+            };
+            if !set_refines(tgt, src) {
+                return violation(args.clone(), mem_desc, src.clone(), tgt.clone());
+            }
         }
     }
     CheckResult::Refines
 }
 
 /// Fingerprint of everything that shapes enumeration besides the
-/// (function, semantics, limits) cache key.
-fn input_salt(opts: &InputOptions, mem_bytes: u32) -> u64 {
+/// (function, semantics, limits) cache key: the input options, the
+/// initial-block shape, and — when memory contents are enumerated —
+/// which candidate memory this batch ran under.
+fn input_salt(opts: &InputOptions, block_sizes: &[u32], mem_idx: usize) -> u64 {
     let mut h = DefaultHasher::new();
     opts.hash(&mut h);
-    mem_bytes.hash(&mut h);
+    block_sizes.hash(&mut h);
+    mem_idx.hash(&mut h);
     h.finish()
 }
 
-fn violation(args: Vec<Val>, src: OutcomeSet, tgt: OutcomeSet) -> CheckResult {
+fn violation(
+    args: Vec<Val>,
+    initial_mem: Option<String>,
+    src: OutcomeSet,
+    tgt: OutcomeSet,
+) -> CheckResult {
     let witness = unjustified(&tgt, &src)
         .first()
         .map(|o| (*o).clone())
         .expect("non-refining set has an unjustified outcome");
     CheckResult::CounterExample(Box::new(CounterExample {
         args,
+        initial_mem,
         src_outcomes: src,
         tgt_outcomes: tgt,
         witness,

@@ -2,13 +2,14 @@
 //!
 //! For integer parameters every defined value is enumerated plus
 //! `poison` (and `undef` under legacy semantics); pointer parameters
-//! receive addresses of disjoint cells inside the test memory. This
-//! mirrors the paper's validation setup (§6): exhaustive checking over
-//! tiny integer types.
+//! receive provenance-carrying pointers to disjoint initial memory
+//! blocks. This mirrors the paper's validation setup (§6): exhaustive
+//! checking over tiny integer types — and, with
+//! [`InputOptions::with_memory_values`], over tiny initial memories.
 
 use std::sync::{Arc, Mutex, OnceLock};
 
-use frost_core::{poison_of, undef_of, FastHashMap, Memory, Val};
+use frost_core::{poison_of, undef_of, Bit, FastHashMap, Memory, Ptr, Val};
 use frost_ir::{Function, Ty};
 
 /// Options controlling input enumeration.
@@ -27,11 +28,18 @@ pub struct InputOptions {
     /// Include `undef` among the argument values (only meaningful under
     /// legacy semantics).
     pub include_undef: bool,
-    /// Bytes of test memory allotted per pointer parameter.
+    /// Bytes in the initial memory block behind each pointer parameter.
     pub bytes_per_pointer: u32,
     /// Upper bound on the number of argument tuples; enumeration fails
     /// (returns `None`) beyond it.
     pub max_tuples: usize,
+    /// Enumerate the *contents* of the initial memory blocks, not just
+    /// their shape. Each byte ranges over the reduced alphabet
+    /// `{0x00, 0x01, 0xFF, poison}` — 257 states per byte is infeasible
+    /// even at two bytes, and these four cover the all-bits patterns
+    /// plus the deferred-UB marker that distinguish memory passes. Off
+    /// by default: every byte is then the semantics' uninitialized fill.
+    pub memory_values: bool,
 }
 
 impl Default for InputOptions {
@@ -41,13 +49,15 @@ impl Default for InputOptions {
             include_undef: false,
             bytes_per_pointer: 4,
             max_tuples: 1 << 16,
+            memory_values: false,
         }
     }
 }
 
 impl InputOptions {
     /// The default enumeration: poison included, undef excluded, 4
-    /// bytes of memory per pointer, at most 2¹⁶ tuples.
+    /// bytes of memory per pointer, at most 2¹⁶ tuples, memory contents
+    /// not enumerated.
     pub fn new() -> InputOptions {
         InputOptions::default()
     }
@@ -74,7 +84,7 @@ impl InputOptions {
         }
     }
 
-    /// Returns these options with the given test-memory allotment per
+    /// Returns these options with the given initial-block size per
     /// pointer parameter.
     #[must_use]
     pub fn with_bytes_per_pointer(self, bytes_per_pointer: u32) -> InputOptions {
@@ -90,15 +100,30 @@ impl InputOptions {
     pub fn with_max_tuples(self, max_tuples: usize) -> InputOptions {
         InputOptions { max_tuples, ..self }
     }
+
+    /// Returns these options with initial-memory contents enumerated
+    /// (or not); see the [`memory_values`](InputOptions::memory_values)
+    /// field for the byte alphabet. Combine with a small
+    /// [`bytes_per_pointer`](InputOptions::with_bytes_per_pointer) —
+    /// the memory space is 4^total-bytes.
+    #[must_use]
+    pub fn with_memory_values(self, memory_values: bool) -> InputOptions {
+        InputOptions {
+            memory_values,
+            ..self
+        }
+    }
 }
 
 /// The candidate values for one parameter of type `ty`.
 ///
-/// Returns `None` if the type's domain cannot be enumerated within
-/// `cap` values.
+/// Pointer parameters consume the next initial-block index (pushing its
+/// size onto `block_sizes`) and produce a provenance-carrying
+/// [`Ptr::Block`] pointer to its start. Returns `None` if the type's
+/// domain cannot be enumerated within `cap` values.
 pub fn param_values(
     ty: &Ty,
-    next_ptr_base: &mut u32,
+    block_sizes: &mut Vec<u32>,
     opts: &InputOptions,
     cap: usize,
 ) -> Option<Vec<Val>> {
@@ -114,18 +139,18 @@ pub fn param_values(
             Some(vals)
         }
         Ty::Ptr(_) => {
-            // One in-bounds cell per pointer parameter; poison/undef
-            // pointers when requested.
-            let base = *next_ptr_base;
-            *next_ptr_base += opts.bytes_per_pointer;
-            let mut vals = vec![Val::Ptr(base)];
+            // One disjoint initial block per pointer parameter;
+            // poison/undef pointers when requested.
+            let block = block_sizes.len() as u32;
+            block_sizes.push(opts.bytes_per_pointer);
+            let mut vals = vec![Val::Ptr(Ptr::Block { block, off: 0 })];
             if opts.include_poison {
                 vals.push(poison_of(ty));
             }
             Some(vals)
         }
         Ty::Vector { elems, elem } => {
-            let elem_vals = param_values(elem, next_ptr_base, opts, cap)?;
+            let elem_vals = param_values(elem, block_sizes, opts, cap)?;
             let total = elem_vals.len().checked_pow(*elems)?;
             if total > cap {
                 return None;
@@ -148,17 +173,22 @@ pub fn param_values(
     }
 }
 
-/// All argument tuples for `func`, plus the test memory its pointer
-/// parameters index into.
+/// All argument tuples for `func`, plus the sizes of the initial memory
+/// blocks its pointer parameters point into (one block per pointer
+/// parameter, in parameter order).
 ///
 /// Returns `None` if the input space exceeds `opts.max_tuples`.
-pub fn enumerate_inputs(func: &Function, opts: &InputOptions) -> Option<(Vec<Vec<Val>>, u32)> {
-    let mut next_ptr = Memory::BASE;
+pub fn enumerate_inputs(func: &Function, opts: &InputOptions) -> Option<(Vec<Vec<Val>>, Vec<u32>)> {
+    let mut block_sizes: Vec<u32> = Vec::new();
     let mut per_param: Vec<Vec<Val>> = Vec::with_capacity(func.params.len());
     for p in &func.params {
-        per_param.push(param_values(&p.ty, &mut next_ptr, opts, opts.max_tuples)?);
+        per_param.push(param_values(
+            &p.ty,
+            &mut block_sizes,
+            opts,
+            opts.max_tuples,
+        )?);
     }
-    let mem_bytes = next_ptr - Memory::BASE;
 
     let mut tuples: Vec<Vec<Val>> = vec![Vec::new()];
     for vals in &per_param {
@@ -178,13 +208,71 @@ pub fn enumerate_inputs(func: &Function, opts: &InputOptions) -> Option<(Vec<Vec
             return None;
         }
     }
-    Some((tuples, mem_bytes))
+    Some((tuples, block_sizes))
+}
+
+/// The reduced byte alphabet for initial-memory enumeration: `None` is
+/// a fully-poison byte.
+const MEMORY_BYTES: [Option<u8>; 4] = [Some(0x00), Some(0x01), Some(0xFF), None];
+
+fn byte_bits(byte: Option<u8>) -> [Bit; 8] {
+    match byte {
+        None => [Bit::Poison; 8],
+        Some(v) => {
+            let mut bits = [Bit::Zero; 8];
+            for (i, b) in bits.iter_mut().enumerate() {
+                if v >> i & 1 == 1 {
+                    *b = Bit::One;
+                }
+            }
+            bits
+        }
+    }
+}
+
+/// Every candidate initial memory for the given block shape.
+///
+/// Without [`InputOptions::memory_values`] this is a single memory
+/// whose bytes are all `fill` (the semantics' uninitialized-byte
+/// marker). With it, every byte of every initial block independently
+/// ranges over the reduced alphabet `{0x00, 0x01, 0xFF, poison}`;
+/// returns `None` when 4^total-bytes exceeds `opts.max_tuples`.
+pub fn enumerate_memories(
+    block_sizes: &[u32],
+    opts: &InputOptions,
+    fill: Bit,
+) -> Option<Vec<Memory>> {
+    let base = Memory::with_initial_blocks(block_sizes, fill);
+    if !opts.memory_values {
+        return Some(vec![base]);
+    }
+    let total: u32 = block_sizes.iter().sum();
+    let count = MEMORY_BYTES.len().checked_pow(total)?;
+    if count > opts.max_tuples {
+        return None;
+    }
+    let mut mems = Vec::with_capacity(count);
+    for combo in 0..count {
+        let mut m = base.clone();
+        let mut c = combo;
+        for (bi, &size) in block_sizes.iter().enumerate() {
+            for off in 0..size {
+                let byte = MEMORY_BYTES[c % MEMORY_BYTES.len()];
+                c /= MEMORY_BYTES.len();
+                let block = bi as u32;
+                let stored = m.store_ptr(Ptr::Block { block, off }, &byte_bits(byte));
+                debug_assert!(stored, "initial-block store is always in bounds");
+            }
+        }
+        mems.push(m);
+    }
+    Some(mems)
 }
 
 /// A shared, immutable input enumeration: the argument tuples plus the
-/// test-memory size, behind an [`Arc`] so concurrent checkers can hold
-/// it without copying the tuple list.
-pub type SharedInputs = Arc<(Vec<Vec<Val>>, u32)>;
+/// initial-block sizes, behind an [`Arc`] so concurrent checkers can
+/// hold it without copying the tuple list.
+pub type SharedInputs = Arc<(Vec<Vec<Val>>, Vec<u32>)>;
 
 /// Memo table type: parameter type list + options → shared enumeration
 /// (or the memoized failure).
@@ -237,9 +325,9 @@ mod tests {
     #[test]
     fn int_params_enumerate_all_values_plus_poison() {
         let f = fn_with(&[("x", Ty::Int(2))]);
-        let (tuples, mem) = enumerate_inputs(&f, &InputOptions::default()).unwrap();
+        let (tuples, blocks) = enumerate_inputs(&f, &InputOptions::default()).unwrap();
         assert_eq!(tuples.len(), 5); // 4 values + poison
-        assert_eq!(mem, 0);
+        assert!(blocks.is_empty());
         assert!(tuples.iter().any(|t| t[0] == Val::Poison));
     }
 
@@ -252,12 +340,14 @@ mod tests {
     }
 
     #[test]
-    fn pointers_get_disjoint_cells() {
+    fn pointers_get_disjoint_blocks() {
         let f = fn_with(&[("p", Ty::ptr_to(Ty::i8())), ("q", Ty::ptr_to(Ty::i8()))]);
         let opts = InputOptions::new().with_poison(false);
-        let (tuples, mem) = enumerate_inputs(&f, &opts).unwrap();
+        let (tuples, blocks) = enumerate_inputs(&f, &opts).unwrap();
         assert_eq!(tuples.len(), 1);
-        assert_eq!(mem, 8);
+        assert_eq!(blocks, vec![4, 4]);
+        assert_eq!(tuples[0][0], Val::Ptr(Ptr::Block { block: 0, off: 0 }));
+        assert_eq!(tuples[0][1], Val::Ptr(Ptr::Block { block: 1, off: 0 }));
         assert_ne!(tuples[0][0], tuples[0][1]);
     }
 
@@ -304,5 +394,40 @@ mod tests {
         let (tuples, _) = enumerate_inputs(&f, &opts).unwrap();
         // 3 choices per element (0, 1, poison), 2 elements.
         assert_eq!(tuples.len(), 9);
+    }
+
+    #[test]
+    fn memory_contents_enumerate_the_reduced_alphabet() {
+        let opts = InputOptions::new()
+            .with_bytes_per_pointer(1)
+            .with_memory_values(true);
+        let mems = enumerate_memories(&[1], &opts, Bit::Poison).unwrap();
+        assert_eq!(mems.len(), 4); // 0x00, 0x01, 0xFF, poison
+        let loaded: Vec<_> = mems
+            .iter()
+            .map(|m| m.load_ptr(Ptr::Block { block: 0, off: 0 }, 8).unwrap())
+            .collect();
+        // All four candidate bytes are distinct.
+        for i in 0..loaded.len() {
+            for j in i + 1..loaded.len() {
+                assert_ne!(loaded[i], loaded[j]);
+            }
+        }
+        // Without the knob there is exactly one, all-fill, memory.
+        let plain = enumerate_memories(&[1], &InputOptions::new(), Bit::Poison).unwrap();
+        assert_eq!(plain.len(), 1);
+        assert_eq!(
+            plain[0].load_ptr(Ptr::Block { block: 0, off: 0 }, 8),
+            Some(vec![Bit::Poison; 8])
+        );
+    }
+
+    #[test]
+    fn memory_space_too_large_returns_none() {
+        // 4 bytes/pointer × 2 pointers = 8 bytes → 4^8 = 65536 memories,
+        // just within the default cap; 3 pointers overflow it.
+        let opts = InputOptions::new().with_memory_values(true);
+        assert!(enumerate_memories(&[4, 4], &opts, Bit::Poison).is_some());
+        assert!(enumerate_memories(&[4, 4, 4], &opts, Bit::Poison).is_none());
     }
 }

@@ -42,5 +42,7 @@ pub use check::{
     check_refinement, check_refinement_cached, check_refinement_cached_policy, check_transform,
     CheckOptions, CheckPolicy, CheckResult, CounterExample,
 };
-pub use inputs::{enumerate_inputs, enumerate_inputs_cached, InputOptions, SharedInputs};
+pub use inputs::{
+    enumerate_inputs, enumerate_inputs_cached, enumerate_memories, InputOptions, SharedInputs,
+};
 pub use lattice::{bit_refines, mem_refines, outcome_refines, set_refines, val_refines};

@@ -46,7 +46,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         let (outcome, _) = run_concrete(
             &module,
             "set_a",
-            &[Val::Ptr(Memory::BASE), Val::int(32, 5)],
+            &[Val::ptr(Memory::BASE), Val::int(32, 5)],
             &mem,
             sem,
             Limits::default(),

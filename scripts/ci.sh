@@ -26,6 +26,13 @@ echo "==> plan-vs-reference differential smoke (tests/exec_plan.rs)"
 # interpreter from silently rotting.
 cargo test -q --release -p frost --test exec_plan differential_smoke
 
+echo "==> tiny-memory differential gate (tests/exec_plan.rs)"
+# Memory programs (alloca/load/store/gep/int<->ptr casts) through both
+# engines, crossed against every <=2-byte initial memory — outcome
+# sets must be byte-identical, including deferred-vs-immediate OOB UB.
+cargo test -q --release -p frost --test exec_plan \
+    memory_programs_match_reference_over_every_tiny_memory
+
 echo "==> telemetry smoke (docs/OBSERVABILITY.md contract)"
 # The quickstart with tracing on must produce a non-empty, schema-valid
 # telemetry.jsonl; the sweep's own validator is the checker, so the
@@ -67,6 +74,29 @@ grep -q "violations=0" sweep-ci.out || {
 }
 cargo run -q --release -p frost-bench --bin repro -- \
     --validate-trace BENCH_sweep.json
+
+echo "==> memory-domain exhaustive sweep (2-inst, every initial memory)"
+# The block-based memory domain enters the perf trajectory: the full
+# 2-instruction memory-program space (alloca/load/store/gep/casts ×
+# every {0x00,0x01,0xFF,poison} initial memory) through the fixed
+# alias-aware GVN must complete with zero violations, and its
+# BENCH_mem.json record must pass the telemetry validator.
+rm -f BENCH_mem.json
+cargo run -q --release -p frost-bench --bin repro -- \
+    --experiment sweep --mem --seconds 600 \
+    --bench-json BENCH_mem.json \
+    | tee sweep-mem-ci.out
+grep -q "complete=true" sweep-mem-ci.out || {
+    echo "ci: 2-inst memory sweep did not complete within budget" >&2
+    exit 1
+}
+grep -q "violations=0" sweep-mem-ci.out || {
+    echo "ci: memory sweep found violations in fixed alias-aware mode" >&2
+    exit 1
+}
+cargo run -q --release -p frost-bench --bin repro -- \
+    --validate-trace BENCH_mem.json
+rm -f sweep-mem-ci.out
 
 echo "==> 3-inst sharded sweep slice + merge smoke (bounded)"
 # A bounded slice of the 3-instruction space (6.3B functions unpruned,

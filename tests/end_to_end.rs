@@ -77,7 +77,7 @@ fn simulator_matches_interpreter_on_small_workloads() {
             .iter()
             .map(|a| match a {
                 ArgSpec::Int(v) => Val::int(32, u128::from(*v)),
-                ArgSpec::Ptr(off) => Val::Ptr(Memory::BASE + off),
+                ArgSpec::Ptr(off) => Val::ptr(Memory::BASE + off),
             })
             .collect();
         let mem = Memory::zeroed(w.mem_bytes);
@@ -127,7 +127,7 @@ int run(int *a, int n) {
     let (outcome, _) = run_concrete(
         &module,
         "run",
-        &[Val::Ptr(Memory::BASE), Val::int(32, 16)],
+        &[Val::ptr(Memory::BASE), Val::int(32, 16)],
         &mem,
         Semantics::proposed(),
         Limits::default(),

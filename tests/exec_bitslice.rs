@@ -24,9 +24,9 @@ fn assert_three_way(f: &Function, sem: Semantics) {
     module.functions.push(f.clone());
 
     let opts = InputOptions::new().with_undef(sem.has_undef);
-    let (tuples, mem_bytes) =
+    let (tuples, block_sizes) =
         enumerate_inputs(module.function(&name).unwrap(), &opts).expect("§6 inputs enumerate");
-    let mem = Memory::uninit(mem_bytes, uninit_fill(&sem));
+    let mem = Memory::with_initial_blocks(&block_sizes, uninit_fill(&sem));
     let limits = Limits::default();
 
     let run = |engine| enumerate_function(&module, &name, &tuples, &mem, sem, limits, engine);
@@ -201,4 +201,41 @@ fn engine_selection_is_observable_but_auto_is_total() {
     assert!(run(Engine::BitSliced).iter().all(|r| r.is_err()));
     assert_eq!(run(Engine::Auto), run(Engine::Plan));
     assert_eq!(run(Engine::Plan), run(Engine::Reference));
+}
+
+/// Memory programs are plan-only by design: plane representation is
+/// per-value, not per-byte, so the bit-sliced engine rejects them
+/// (metering `frost.core.bitslice.mem_rejects`) and `Auto` falls back
+/// to the plan loop with reference-identical outcomes.
+#[test]
+fn memory_operations_are_rejected_by_the_bitsliced_engine() {
+    // i2 everywhere so nothing *else* (wide constants, wide return) is
+    // ineligible — the memory operation must be the rejection.
+    let module = frost::ir::parse_module(
+        "define i2 @f() {\nentry:\n  %a = alloca i2\n  store i2 1, i2* %a\n  \
+         %v = load i2, i2* %a\n  ret i2 %v\n}",
+    )
+    .unwrap();
+    let tuples = vec![vec![]];
+    let mem = Memory::zeroed(0);
+    let run = |engine| {
+        enumerate_function(
+            &module,
+            "f",
+            &tuples,
+            &mem,
+            Semantics::proposed(),
+            Limits::default(),
+            engine,
+        )
+    };
+    let before = frost::telemetry::counter("frost.core.bitslice.mem_rejects").get();
+    assert!(run(Engine::BitSliced).iter().all(|r| r.is_err()));
+    assert!(
+        frost::telemetry::counter("frost.core.bitslice.mem_rejects").get() > before,
+        "the rejection must be metered"
+    );
+    assert_eq!(run(Engine::Auto), run(Engine::Plan));
+    assert_eq!(run(Engine::Plan), run(Engine::Reference));
+    assert!(run(Engine::Auto).iter().all(|r| r.is_ok()));
 }

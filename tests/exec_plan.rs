@@ -10,7 +10,7 @@ use frost::core::{uninit_fill, Limits, Machine, Memory, ModulePlan, Semantics};
 use frost::fuzz::{enumerate_functions, random_functions, Campaign, GenConfig};
 use frost::ir::{Function, Module};
 use frost::opt::{Dce, InstCombine, Pass, PipelineMode};
-use frost::refine::{enumerate_inputs, InputOptions};
+use frost::refine::{enumerate_inputs, enumerate_memories, InputOptions};
 
 /// Checks one function: every enumerable input's full outcome set (or
 /// enumeration error) must agree exactly between the plan engine and
@@ -21,9 +21,9 @@ fn assert_plan_matches_reference(f: &Function, sem: Semantics) {
     module.functions.push(f.clone());
 
     let opts = InputOptions::new().with_undef(sem.has_undef);
-    let (tuples, mem_bytes) =
+    let (tuples, block_sizes) =
         enumerate_inputs(module.function(&name).unwrap(), &opts).expect("§6 inputs enumerate");
-    let mem = Memory::uninit(mem_bytes, uninit_fill(&sem));
+    let mem = Memory::with_initial_blocks(&block_sizes, uninit_fill(&sem));
     let limits = Limits::default();
 
     let plan = ModulePlan::compile(&module, sem);
@@ -71,6 +71,56 @@ fn section6_select_space_stride_matches_reference() {
         for f in enumerate_functions(cfg).step_by(463).take(60) {
             assert_plan_matches_reference(&f, sem);
         }
+    }
+}
+
+/// The tiny-memory differential gate run by ci.sh: memory programs
+/// (alloca, load, store, gep, the int↔ptr casts) through both engines,
+/// with every argument tuple crossed against **every** ≤2-byte initial
+/// memory — each byte of the pointer parameter's block ranges over the
+/// reduced alphabet {0x00, 0x01, 0xFF, poison}. Outcome sets must be
+/// byte-identical, including deferred-UB poison and immediate-UB
+/// verdicts from out-of-bounds accesses.
+#[test]
+fn memory_programs_match_reference_over_every_tiny_memory() {
+    let sem = Semantics::proposed();
+    let opts = InputOptions::new()
+        .with_bytes_per_pointer(2)
+        .with_memory_values(true);
+    let check = |f: &Function| {
+        let name = f.name.clone();
+        let mut module = Module::new();
+        module.functions.push(f.clone());
+        let (tuples, block_sizes) =
+            enumerate_inputs(&module.functions[0], &opts).expect("memory inputs enumerate");
+        let mems = enumerate_memories(&block_sizes, &opts, frost::core::uninit_fill(&sem))
+            .expect("4^2 initial memories fit the cap");
+        let limits = Limits::default();
+        let plan = ModulePlan::compile(&module, sem);
+        let idx = plan.function_index(&name).unwrap();
+        let mut machine = Machine::new();
+        for mem in &mems {
+            for args in &tuples {
+                let via_plan = plan.enumerate(idx, args, mem, limits, &mut machine);
+                let via_reference =
+                    reference::enumerate_outcomes(&module, &name, args, mem, sem, limits);
+                assert_eq!(
+                    via_plan, via_reference,
+                    "engines diverged on args {args:?}, memory {mem:?} for:\n{module}"
+                );
+            }
+        }
+    };
+    // The whole two-instruction space, then a stride of the three-
+    // instruction space.
+    for f in enumerate_functions(GenConfig::memory(2)) {
+        check(&f);
+    }
+    for f in enumerate_functions(GenConfig::memory(3))
+        .step_by(97)
+        .take(40)
+    {
+        check(&f);
     }
 }
 

@@ -253,6 +253,50 @@ m:
         .is_some());
 }
 
+/// §5.4 load widening on real memory: the checked-in example pair goes
+/// through `alloca` + genuine loads. The scalar widening poisons the
+/// loaded value through the two uninitialized upper bytes (per-byte
+/// poison meets whole-value poison at the load); the vector widening
+/// keeps the poison isolated in the unused lane.
+#[test]
+fn section_5_4_load_widening_on_real_memory() {
+    let scalar = std::fs::read_to_string(concat!(
+        env!("CARGO_MANIFEST_DIR"),
+        "/../../examples/load_widen_scalar.fir"
+    ))
+    .unwrap();
+    let m = parse_module(&scalar).unwrap();
+    let r = check_refinement(
+        &m,
+        "widen",
+        &m,
+        "widen.tgt",
+        &CheckOptions::new(Semantics::proposed()),
+    );
+    let ce = r
+        .counterexample()
+        .expect("scalar load widening is unsound: poison bytes contaminate the whole i32");
+    assert!(ce.args.is_empty(), "the example takes no arguments");
+
+    let vector = std::fs::read_to_string(concat!(
+        env!("CARGO_MANIFEST_DIR"),
+        "/../../examples/load_widen_vector.fir"
+    ))
+    .unwrap();
+    let m = parse_module(&vector).unwrap();
+    let r = check_refinement(
+        &m,
+        "widen",
+        &m,
+        "widen.tgt",
+        &CheckOptions::new(Semantics::proposed()),
+    );
+    assert!(
+        r.is_refinement(),
+        "vector load widening is sound: per-lane poison stays in the unused lane"
+    );
+}
+
 /// §5.5: sinking (duplicating) a freeze into a loop changes behavior.
 #[test]
 fn section_5_5_freeze_duplication() {
