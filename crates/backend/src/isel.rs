@@ -813,6 +813,12 @@ fn select_inst(isel: &mut Isel<'_>, bi: usize, id: InstId) -> Result<(), IselErr
             isel.values.insert(id, dst);
             Ok(())
         }
+        // `assume` generates no machine code: the fact it asserts was
+        // for the optimizer, and on the UB executions (false or poison
+        // fact) *any* target behavior — including carrying on — refines
+        // the source. This mirrors production backends, which drop
+        // `llvm.assume` at selection.
+        Inst::Assume { .. } => Ok(()),
         // At machine level both pointer casts are bit-identity: the
         // two-phase bookkeeping is an IR-only construct.
         Inst::PtrToInt { to_ty, val, .. } | Inst::IntToPtr { to_ty, val, .. } => {

@@ -4,7 +4,7 @@
 //! ```text
 //! repro [--experiment NAME] [--quick] [--budget N]
 //!       [--insts N] [--seconds N] [--checkpoint FILE] [--fuzz N]
-//!       [--prune] [--mem] [--shards K] [--shard-id I] [--merge FILE]...
+//!       [--prune] [--mem] [--guards] [--shards K] [--shard-id I] [--merge FILE]...
 //!       [--bench-json FILE]
 //!       [--trace] [--counters] [--validate-trace FILE]
 //! repro --input FILE.fir
@@ -93,6 +93,7 @@ fn main() {
     let mut merge: Vec<std::path::PathBuf> = Vec::new();
     let mut bench_json: Option<String> = None;
     let mut mem = false;
+    let mut guards = false;
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
@@ -157,6 +158,7 @@ fn main() {
             }
             "--prune" => prune = true,
             "--mem" => mem = true,
+            "--guards" => guards = true,
             "--shards" => {
                 i += 1;
                 shards = args.get(i).and_then(|s| s.parse().ok()).unwrap_or_else(|| {
@@ -232,6 +234,9 @@ fn main() {
                      \x20                 alloca/load/store/gep/ptrtoint/inttoptr programs,\n\
                      \x20                 each over every initial memory content, against the\n\
                      \x20                 fixed alias-aware GVN\n\
+                     --guards          sweep the guarded domain instead: assume over raw,\n\
+                     \x20                 compared, and frozen facts (poison included),\n\
+                     \x20                 against the fixed assume-simplify + guard-dce band\n\
                      --shards K        partition the space over K worker processes\n\
                      --shard-id I      which residue class this process sweeps (0-based)\n\
                      --merge F         fold per-shard checkpoints (repeat per shard) into\n\
@@ -317,6 +322,7 @@ fn main() {
                 (shards > 1).then_some((shard_id, shards)),
                 bench_json.as_deref().map(std::path::Path::new),
                 mem,
+                guards,
             )
         } else {
             experiments::sweep_merge(&merge, checkpoint.as_deref().map(std::path::Path::new))

@@ -342,6 +342,12 @@ pub fn optfuzz(budget: usize) -> Table {
 /// GVN instead of InstCombine. Pruning does not apply to the memory
 /// domain (its liveness model covers integer templates only).
 ///
+/// `guards` switches it to the guarded space instead:
+/// [`GenConfig::guards`] programs (`assume` over raw, compared, and
+/// frozen facts, poison constants included), against the fixed guard
+/// band (`assume-simplify` + `guard-dce`). One domain at a time —
+/// `mem` and `guards` are mutually exclusive.
+///
 /// Returns the table plus a deterministic one-line summary (no
 /// wall-clock columns), so scripts can diff an interrupted-and-resumed
 /// sweep — or a merged `K`-shard sweep — against an uninterrupted
@@ -356,6 +362,7 @@ pub fn sweep(
     shard: Option<(usize, usize)>,
     bench_json: Option<&Path>,
     mem: bool,
+    guards: bool,
 ) -> Result<(Table, String), FrostError> {
     if mem && prune {
         return Err(FrostError::stage(
@@ -364,8 +371,17 @@ pub fn sweep(
             "--prune applies to the arithmetic domain only".to_string(),
         ));
     }
+    if mem && guards {
+        return Err(FrostError::stage(
+            "config",
+            "sweep",
+            "--mem and --guards sweep different domains; pick one".to_string(),
+        ));
+    }
     let mut cfg = if mem {
         GenConfig::memory(num_insts)
+    } else if guards {
+        GenConfig::guards(num_insts)
     } else {
         GenConfig::arithmetic(num_insts)
     };
@@ -391,6 +407,8 @@ pub fn sweep(
     let pipeline_mode = PipelineMode::Fixed;
     let ic = frost_opt::InstCombine::new(pipeline_mode);
     let gvn = frost_opt::Gvn::new(pipeline_mode);
+    let asim = frost_opt::AssumeSimplify::new(pipeline_mode);
+    let gdce = frost_opt::GuardDce::new(pipeline_mode);
     let dce = Dce::new();
     let mut opts = CheckOptions::new(Semantics::proposed()).engine(Engine::Auto);
     if mem {
@@ -418,6 +436,9 @@ pub fn sweep(
         for f in &mut m.functions {
             if mem {
                 gvn.apply(f);
+            } else if guards {
+                asim.apply(f);
+                gdce.apply(f);
             } else {
                 ic.apply(f);
             }
@@ -431,6 +452,13 @@ pub fn sweep(
             .map_err(|e| FrostError::stage("checkpoint", "sweep", format!("cannot save: {e}")))?;
     }
     if let Some(p) = bench_json {
+        let domain = if mem {
+            "mem"
+        } else if guards {
+            "guard"
+        } else {
+            "arith"
+        };
         let line = sweep_bench_json(
             num_insts,
             space,
@@ -439,7 +467,7 @@ pub fn sweep(
             &report,
             &cp,
             &delta,
-            mem,
+            domain,
         );
         std::fs::write(p, line)
             .map_err(|e| FrostError::stage("bench-json", "sweep", format!("cannot save: {e}")))?;
@@ -449,6 +477,9 @@ pub fn sweep(
         if mem {
             "§5 memory sweep: every tiny memory program × every initial memory × fixed GVN \
              (Engine::Auto)"
+        } else if guards {
+            "guard sweep: every guarded program (assume over raw/compared/frozen facts) × \
+             fixed guard band (Engine::Auto)"
         } else {
             "§6 full sweep: every i2 arithmetic function × fixed InstCombine (Engine::Auto)"
         },
@@ -484,6 +515,11 @@ pub fn sweep(
     );
     if mem {
         t.note("fixed-mode alias-aware GVN over the proposed semantics must stay at 0 violations");
+    } else if guards {
+        t.note(
+            "fixed-mode assume-simplify + guard-dce over the proposed semantics must stay at \
+             0 violations",
+        );
     } else {
         t.note("fixed-mode InstCombine over the proposed semantics must stay at 0 violations");
     }
@@ -573,7 +609,7 @@ fn sweep_summary(cp: &CampaignCheckpoint) -> String {
 /// by `frost_telemetry::validate_jsonl`. `space` rides as a decimal
 /// string (the 3-instruction space overflows a double); throughput
 /// and wall-clock are this run's, tallies are cumulative. `domain`
-/// distinguishes the `arith` (§6) and `mem` (§5) sweeps.
+/// distinguishes the `arith` (§6), `mem` (§5), and `guard` sweeps.
 #[allow(clippy::too_many_arguments)]
 fn sweep_bench_json(
     num_insts: usize,
@@ -583,13 +619,12 @@ fn sweep_bench_json(
     report: &ValidationReport,
     cp: &CampaignCheckpoint,
     delta: &frost_telemetry::Snapshot,
-    mem: bool,
+    domain: &str,
 ) -> String {
     let stats = &report.stats;
     let bitslice_passes = delta.counter("frost.core.bitslice.compiles");
     let tuples = delta.counter("frost.core.bitslice.tuples_per_pass");
     let denom = (cp.total + cp.dedup_skips).max(1);
-    let domain = if mem { "mem" } else { "arith" };
     format!(
         "{{\"kind\":\"bench\",\"experiment\":\"sweep\",\"domain\":\"{domain}\",\
          \"insts\":{},\"space\":\"{}\",\
@@ -751,6 +786,48 @@ m:
             "define i4 @f(i4 %x) {\nentry:\n  %a = add nsw i4 %x, 7\n  %b = add nsw i4 %a, 7\n  ret i4 %b\n}",
             run_fn(Box::new(Reassociate::new(PipelineMode::Fixed))),
         ),
+        (
+            // The guard fact holds only *past* the assume; the legacy
+            // pass applies it on the guard-free path too.
+            "assume fact, dominance-blind (legacy)",
+            BRANCHY_GUARD_SRC,
+            run_fn(Box::new(frost_opt::AssumeSimplify::new(
+                PipelineMode::Legacy,
+            ))),
+        ),
+        (
+            "assume fact, dominated region (fixed)",
+            "define i4 @f(i4 %x) {\nentry:\n  %c = icmp eq i4 %x, 1\n  assume i1 %c\n  \
+             %r = add i4 %x, 3\n  ret i4 %r\n}",
+            run_fn(Box::new(frost_opt::AssumeSimplify::new(
+                PipelineMode::Fixed,
+            ))),
+        ),
+        (
+            // `or` of a *concrete* bit with 1 is 1, so the source passes
+            // the guard on every input; forwarding the freeze rebuilds
+            // the fact from the raw value and re-exposes poison to it.
+            "freeze forwarded into guard fact (guard-dce legacy)",
+            LAUNDERED_FACT_SRC,
+            run_fn(Box::new(frost_opt::GuardDce::new(PipelineMode::Legacy))),
+        ),
+        (
+            // Every execution reaching the doomed block is immediate UB,
+            // so even its store may go.
+            "unreachable-guarded deletion (guard-dce fixed)",
+            r#"
+define i4 @f(i1 %c, i4* %p) {
+entry:
+  br i1 %c, label %doomed, label %ok
+doomed:
+  store i4 7, i4* %p
+  unreachable
+ok:
+  ret i4 3
+}
+"#,
+            run_fn(Box::new(frost_opt::GuardDce::new(PipelineMode::Fixed))),
+        ),
     ];
 
     for (name, src, xform) in cases {
@@ -775,6 +852,30 @@ m:
     t.note("the §3.3 pair shows the conflict: GVN needs branch-on-poison=UB, unswitch-without-freeze needs nondet");
     t
 }
+
+const BRANCHY_GUARD_SRC: &str = r#"
+define i4 @f(i1 %p, i4 %x) {
+entry:
+  br i1 %p, label %guarded, label %exit
+guarded:
+  %c = icmp eq i4 %x, 1
+  assume i1 %c
+  br label %exit
+exit:
+  %r = add i4 %x, 3
+  ret i4 %r
+}
+"#;
+
+const LAUNDERED_FACT_SRC: &str = r#"
+define i4 @f(i1 %c) {
+entry:
+  %f = freeze i1 %c
+  %t = or i1 %f, 1
+  assume i1 %t
+  ret i4 1
+}
+"#;
 
 const UNSWITCH_SRC: &str = r#"
 declare void @foo()
@@ -1246,6 +1347,10 @@ pub fn roundtrip(fuzz: usize, quick: bool) -> Result<(Table, String), FrostError
             "§6 exhaustive i2 + select, 1 inst",
             GenConfig::with_selects(1),
         ),
+        (
+            "exhaustive guarded (assume/frozen facts), 1 inst",
+            GenConfig::guards(1),
+        ),
     ];
     // Prime, so a quick-mode stride doesn't resonate with the
     // generator's mixed-radix counter and skip whole dimensions.
@@ -1263,7 +1368,7 @@ pub fn roundtrip(fuzz: usize, quick: bool) -> Result<(Table, String), FrostError
     }
 
     // Random samples of the spaces too large to exhaust.
-    let third = fuzz.div_ceil(3);
+    let per_corpus = fuzz.div_ceil(4);
     let sampled = [
         ("fuzz: i2 arithmetic, 3 insts", GenConfig::arithmetic(3)),
         ("fuzz: i2 + select, 3 insts", GenConfig::with_selects(3)),
@@ -1271,12 +1376,16 @@ pub fn roundtrip(fuzz: usize, quick: bool) -> Result<(Table, String), FrostError
             "fuzz: i2 + undef + select, 3 insts",
             GenConfig::with_selects(3).with_undef(),
         ),
+        ("fuzz: guarded, 3 insts", GenConfig::guards(3)),
     ];
     for (name, cfg) in sampled {
         corpus(
             &mut t,
             name,
-            roundtrip_stream(random_functions(cfg, 0xF1305, third).into_iter(), workers),
+            roundtrip_stream(
+                random_functions(cfg, 0xF1305, per_corpus).into_iter(),
+                workers,
+            ),
         );
     }
 
@@ -1331,6 +1440,15 @@ mod tests {
         assert_eq!(cell("reassociate dropping nsw", 1), "sound");
         assert_eq!(cell("phi -> select", 1), "sound");
         assert_eq!(cell("phi -> select", 2), "UNSOUND");
+        // The guard band: the fact is real (fixed rows are sound) but
+        // scoped (dominance-blind application miscompiles), and the
+        // freeze in front of a fact is load-bearing (forwarding it
+        // re-exposes poison to the guard).
+        assert_eq!(cell("assume fact, dominance-blind", 1), "UNSOUND");
+        assert_eq!(cell("assume fact, dominance-blind", 3), "UNSOUND");
+        assert_eq!(cell("assume fact, dominated region", 1), "sound");
+        assert_eq!(cell("freeze forwarded into guard fact", 1), "UNSOUND");
+        assert_eq!(cell("unreachable-guarded deletion", 1), "sound");
     }
 
     #[test]

@@ -254,6 +254,7 @@ struct BitsliceCounters {
     plane_ops: &'static frost_telemetry::Counter,
     tuples_per_pass: &'static frost_telemetry::Counter,
     mem_rejects: &'static frost_telemetry::Counter,
+    guard_rejects: &'static frost_telemetry::Counter,
 }
 
 fn bitslice_counters() -> &'static BitsliceCounters {
@@ -263,6 +264,7 @@ fn bitslice_counters() -> &'static BitsliceCounters {
         plane_ops: frost_telemetry::counter("frost.core.bitslice.plane_ops"),
         tuples_per_pass: frost_telemetry::counter("frost.core.bitslice.tuples_per_pass"),
         mem_rejects: frost_telemetry::counter("frost.core.bitslice.mem_rejects"),
+        guard_rejects: frost_telemetry::counter("frost.core.bitslice.guard_rejects"),
     })
 }
 
@@ -512,6 +514,20 @@ impl BitslicePlan {
         };
         for _ in fp.num_params as u32..max_slot_excl {
             lo.push_reg(poison_fill, 0, true, false);
+        }
+
+        // Guards are categorically ineligible, like memory: `assume`
+        // and `unreachable` turn per-lane facts into *immediate* UB,
+        // but one shared pass evaluates all lanes together — a single
+        // UB lane would have to poison-taint the whole register file.
+        // The plan compiler flags them (via the descriptor table's
+        // `UbClass::Guard`); reject before the trailing-ret shape check
+        // so that `unreachable`-terminated bodies (which have no
+        // trailing ret) still land on this counter, and bump it exactly
+        // once per compile so `Engine::Auto` fallbacks are countable.
+        if fp.has_guards {
+            bitslice_counters().guard_rejects.incr();
+            return Err(ineligible("guard instruction"));
         }
 
         let Some((Step::Ret { val: ret_val }, body)) = fp.steps.split_last() else {

@@ -435,6 +435,27 @@ impl<'a> Interp<'a, '_> {
                     None => Ok(Val::Poison),
                 }
             }
+            Inst::Assume { cond } => {
+                // The guard consumes its fact: a false *or poison*
+                // fact is immediate UB (deferred UB is promoted here,
+                // exactly as `br` does under the proposed semantics).
+                // Freezing the condition first launders the poison
+                // half away.
+                let c = self.resolve_use(self.operand(func, regs, args, cond))?;
+                match c {
+                    Val::Poison => Err(Exc::Ub),
+                    Val::Int { v, .. } => {
+                        if v == 1 {
+                            Ok(Val::int(1, 0)) // dummy; guards define no register
+                        } else {
+                            Err(Exc::Ub)
+                        }
+                    }
+                    other => Err(Exc::Stop(Stop::Err(ExecError::Unsupported(format!(
+                        "assume on {other}"
+                    ))))),
+                }
+            }
             Inst::ExtractElement { vec, idx, len, .. } => {
                 let v = self.operand(func, regs, args, vec);
                 let i = idx.as_int_const().expect("verified constant lane") as usize;

@@ -136,6 +136,13 @@ pub(crate) enum Step {
         ptr: Opnd,
         dst: u32,
     },
+    /// `assume i1 %c` — immediate UB when the fact is false *or*
+    /// poison; otherwise a no-op that writes a dummy value to its slot
+    /// (guards define no register, mirroring `Store`).
+    Assume {
+        cond: Opnd,
+        dst: u32,
+    },
     Alloca {
         /// Block size in bytes (from the allocated type).
         size: u32,
@@ -215,6 +222,12 @@ pub(crate) struct FnPlan {
     pub(crate) consts: Vec<Val>,
     pub(crate) steps: Vec<Step>,
     edges: Vec<Edge>,
+    /// Whether any instruction in the source function is a guard
+    /// (`UbClass::Guard` per the descriptor table) or any block ends in
+    /// `unreachable`. Computed from [`frost_ir::Inst::descriptor`] at
+    /// compile time; the bit-sliced backend keys its categorical
+    /// rejection off this instead of rediscovering guards per step.
+    pub(crate) has_guards: bool,
 }
 
 /// A whole module compiled for execution under one [`Semantics`].
@@ -504,11 +517,14 @@ fn compile_function(
     // indices once every block's start offset is known.
     let mut edge_blocks: Vec<u32> = Vec::new();
     let mut block_start: Vec<u32> = Vec::with_capacity(func.blocks.len());
+    let mut has_guards = false;
 
     for bb in func.block_ids() {
         let block = func.block(bb);
         block_start.push(steps.len() as u32);
+        has_guards |= matches!(block.term, Terminator::Unreachable);
         for &id in &block.insts {
+            has_guards |= func.inst(id).descriptor().is_guard();
             let dst = (num_params as u32) + id.0;
             let step = match func.inst(id) {
                 Inst::Phi { .. } => continue, // applied on the incoming edge
@@ -600,6 +616,10 @@ fn compile_function(
                     ty: ty.clone(),
                     val: c.opnd(val),
                     ptr: c.opnd(ptr),
+                    dst,
+                },
+                Inst::Assume { cond } => Step::Assume {
+                    cond: c.opnd(cond),
                     dst,
                 },
                 Inst::Alloca { ty } => Step::Alloca {
@@ -725,6 +745,7 @@ fn compile_function(
         consts: c.consts,
         steps,
         edges,
+        has_guards,
     }
 }
 
@@ -1236,6 +1257,27 @@ impl Exec<'_> {
                     return Err(Exc::Ub);
                 }
                 self.write(*dst, Val::int(1, 0)); // dummy; stores define no register
+            }
+            Step::Assume { cond, dst } => {
+                // The guard consumes its fact: a false *or poison* fact
+                // is immediate UB (deferred UB is promoted here, exactly
+                // as `br` does under the proposed semantics). Freezing
+                // the condition first launders the poison half away.
+                let c = self.resolve_use(self.read(plan, *cond))?;
+                match c {
+                    Val::Poison => return Err(Exc::Ub),
+                    Val::Int { v, .. } => {
+                        if v != 1 {
+                            return Err(Exc::Ub);
+                        }
+                        self.write(*dst, Val::int(1, 0)); // dummy; guards define no register
+                    }
+                    other => {
+                        return Err(Exc::Stop(Stop::Err(ExecError::Unsupported(format!(
+                            "assume on {other}"
+                        )))))
+                    }
+                }
             }
             Step::Alloca { size, fill, dst } => {
                 // Allocation mutates the (copy-on-write) memory even

@@ -89,6 +89,15 @@ pub struct GenConfig {
     /// spaces are enumerated unpruned ([`Pruning`] reasons about
     /// integer templates only).
     pub memory: bool,
+    /// Include the `assume` guard: every available `i1` value (icmp
+    /// results, frozen booleans, the literals) can be asserted as a
+    /// fact. Guards are void, so guarded functions return the most
+    /// recent *value-producing* result instead of the syntactically
+    /// last one (or `void` when every slot is a guard). Construction
+    /// goes through the descriptor table's
+    /// [`make_guard`](frost_ir::Descriptor::make_guard), so a new guard
+    /// opcode needs no generator arm.
+    pub guards: bool,
     /// Generation-time canonicalization (default: [`Pruning::NONE`]).
     pub prune: Pruning,
 }
@@ -108,6 +117,7 @@ impl GenConfig {
             poison_const: true,
             undef_const: false,
             memory: false,
+            guards: false,
             prune: Pruning::NONE,
         }
     }
@@ -125,6 +135,7 @@ impl GenConfig {
             poison_const: true,
             undef_const: false,
             memory: false,
+            guards: false,
             prune: Pruning::NONE,
         }
     }
@@ -147,6 +158,30 @@ impl GenConfig {
             poison_const: false,
             undef_const: false,
             memory: true,
+            guards: false,
+            prune: Pruning::NONE,
+        }
+    }
+
+    /// The guarded space: i2 arithmetic with comparisons, `freeze`, and
+    /// the `assume` guard, so every §3-style shape the guard-driven
+    /// pass band reasons about — `assume` on an icmp fact, on a frozen
+    /// fact, on a literal, on poison — is enumerated. Kept to one binop
+    /// and two conditions so the 2-instruction space stays exhaustible
+    /// in CI.
+    pub fn guards(num_insts: usize) -> GenConfig {
+        GenConfig {
+            int_bits: 2,
+            num_insts,
+            ops: vec![BinOp::Add],
+            flags: true,
+            conds: vec![Cond::Eq, Cond::Ult],
+            freeze: true,
+            consts: vec![0, 1],
+            poison_const: true,
+            undef_const: false,
+            memory: false,
+            guards: true,
             prune: Pruning::NONE,
         }
     }
@@ -240,6 +275,10 @@ enum Template {
     MemIntToPtr {
         val: Value,
     },
+    /// `assume i1 %c` — asserts an available boolean fact (void).
+    Assume {
+        cond: Value,
+    },
 }
 
 /// The values available as operands before slot `k`, split by type.
@@ -291,7 +330,9 @@ fn available(cfg: &GenConfig, prefix: &[Template]) -> Avail {
                 ptrs.push(v);
             }
             Template::MemPtrToInt { .. } => addrs.push(v),
-            Template::MemStore { .. } => {} // void
+            // Void results (ResultKind::Void in the descriptor table)
+            // never join the availability lists.
+            Template::MemStore { .. } | Template::Assume { .. } => {}
         }
     }
     Avail {
@@ -326,6 +367,20 @@ impl Template {
         }
     }
 
+    /// `true` if this template's instruction produces no value
+    /// (`ResultKind::Void` in the descriptor table) — its slot never
+    /// joins the availability lists and contributes nothing to the
+    /// liveness backlog.
+    fn is_void(&self) -> bool {
+        match self {
+            Template::MemStore { .. } => true,
+            Template::Assume { .. } => {
+                frost_ir::Opcode::Assume.descriptor().result == frost_ir::ResultKind::Void
+            }
+            _ => false,
+        }
+    }
+
     /// Calls `f` with every operand of this template.
     fn for_each_operand(&self, mut f: impl FnMut(&Value)) {
         match self {
@@ -342,7 +397,8 @@ impl Template {
             | Template::MemLoad { ptr: val }
             | Template::MemGep { base: val, .. }
             | Template::MemPtrToInt { val }
-            | Template::MemIntToPtr { val } => f(val),
+            | Template::MemIntToPtr { val }
+            | Template::Assume { cond: val } => f(val),
             Template::MemStore { val, ptr } => {
                 f(val);
                 f(ptr);
@@ -412,7 +468,8 @@ impl LivePrune {
             unref_ints,
             unref_bools,
             per_slot_ints,
-            per_slot_bools: usize::from(!cfg.conds.is_empty()),
+            // A select condition or an assume fact consumes a bool.
+            per_slot_bools: usize::from(!cfg.conds.is_empty() || cfg.guards),
             slots_left: cfg.num_insts - prefix.len() - 1,
         }
     }
@@ -446,8 +503,10 @@ impl LivePrune {
         if self.slots_left == 0 {
             return ints_left == 0 && bools_left == 0;
         }
-        // This slot's own result joins the backlog.
-        if t.result_is_bool() {
+        // This slot's own result joins the backlog — unless it is void
+        // (a guard): nothing to retire.
+        if t.is_void() {
+        } else if t.result_is_bool() {
             bools_left += 1;
         } else {
             ints_left += 1;
@@ -543,6 +602,24 @@ fn slot_options(cfg: &GenConfig, prefix: &[Template]) -> Vec<Template> {
                 val: val.clone(),
                 bool_ty: false,
             });
+        }
+        if cfg.guards {
+            // Frozen facts: `assume i1 (freeze %c)` is exactly the
+            // laundering shape the freeze-aware guard band reasons
+            // about, so guarded spaces also freeze booleans. (Gated on
+            // `guards` to leave historical select-space walks — and
+            // their checkpoints — untouched.)
+            for val in &avail.bools {
+                keep(Template::Freeze {
+                    val: val.clone(),
+                    bool_ty: true,
+                });
+            }
+        }
+    }
+    if cfg.guards {
+        for cond in &avail.bools {
+            keep(Template::Assume { cond: cond.clone() });
         }
     }
     if cfg.memory {
@@ -656,6 +733,13 @@ fn build_function(cfg: &GenConfig, templates: &[Template], name: &str) -> Functi
                 to_ty: ptr_ty.clone(),
                 val: val.clone(),
             },
+            // Guards are built by the descriptor table itself, so a new
+            // guard opcode would need only a template arm naming its
+            // row, not bespoke construction.
+            Template::Assume { cond } => frost_ir::Opcode::Assume
+                .descriptor()
+                .make_guard(cond.clone())
+                .expect("assume row is a guard"),
         };
         let id = func.add_inst(inst);
         func.blocks[0].insts.push(id);
@@ -681,9 +765,25 @@ fn build_function(cfg: &GenConfig, templates: &[Template], name: &str) -> Functi
             }
         }
     } else {
-        let last = InstId((templates.len() - 1) as u32);
-        func.ret_ty = func.inst(last).result_ty();
-        func.blocks[0].term = Terminator::Ret(Some(Value::Inst(last)));
+        // Return the most recent value-producing result (per the
+        // descriptor table's `ResultKind`). In guard-free spaces every
+        // slot produces a value, so this is the syntactically last
+        // instruction — the historical behavior; guards are void and
+        // skipped (a function of only guards returns void).
+        let ret = (0..func.insts.len())
+            .rev()
+            .find(|&i| func.insts[i].descriptor().result == frost_ir::ResultKind::Value);
+        match ret {
+            Some(i) => {
+                let id = InstId(i as u32);
+                func.ret_ty = func.inst(id).result_ty();
+                func.blocks[0].term = Terminator::Ret(Some(Value::Inst(id)));
+            }
+            None => {
+                func.ret_ty = Ty::Void;
+                func.blocks[0].term = Terminator::Ret(None);
+            }
+        }
     }
     let _ = BlockId::ENTRY;
     func
@@ -947,6 +1047,7 @@ mod tests {
             poison_const: false,
             undef_const: false,
             memory: false,
+            guards: false,
             prune: Pruning::NONE,
         };
         // Operands: a, b, 0, 1 -> 16 pairs, one op.
@@ -981,6 +1082,7 @@ mod tests {
             poison_const: false,
             undef_const: false,
             memory: false,
+            guards: false,
             prune: Pruning::NONE,
         };
         let e = enumerate_functions(cfg);
@@ -1069,6 +1171,7 @@ mod tests {
             poison_const: false,
             undef_const: false,
             memory: false,
+            guards: false,
             prune: Pruning::NONE,
         }
     }
@@ -1167,9 +1270,11 @@ mod tests {
     #[test]
     fn skip_matches_sequential_next_calls() {
         for cfg in [
-            xor_cfg(2),                             // 144 functions, unpruned
-            xor_cfg(2).with_pruning(Pruning::FULL), // 24, prune-aware carry
-            GenConfig::with_selects(2),             // mixed types
+            xor_cfg(2),                                       // 144 functions, unpruned
+            xor_cfg(2).with_pruning(Pruning::FULL),           // 24, prune-aware carry
+            GenConfig::with_selects(2),                       // mixed types
+            GenConfig::guards(2),                             // void guard slots
+            GenConfig::guards(2).with_pruning(Pruning::FULL), // guard-aware liveness
         ] {
             let total = enumerate_functions(cfg.clone()).count().min(600);
             for n in [0, 1, 2, 5, total - 1, total, total + 3] {
@@ -1265,6 +1370,74 @@ mod tests {
                 ));
             }
         }
+    }
+
+    #[test]
+    fn guarded_space_generates_verified_guarded_programs() {
+        let mut saw_assume_on_icmp = false;
+        let mut saw_assume_on_frozen = false;
+        let mut saw_void_ret = false;
+        let mut count = 0usize;
+        for f in enumerate_functions(GenConfig::guards(2)) {
+            count += 1;
+            frost_ir::verify::verify_function(&f)
+                .unwrap_or_else(|e| panic!("{}\n{e:?}", frost_ir::function_to_string(&f)));
+            for inst in &f.insts {
+                let Inst::Assume { cond } = inst else {
+                    continue;
+                };
+                if let Value::Inst(id) = cond {
+                    match f.inst(*id) {
+                        Inst::Icmp { .. } => saw_assume_on_icmp = true,
+                        Inst::Freeze { .. } => saw_assume_on_frozen = true,
+                        _ => {}
+                    }
+                }
+            }
+            saw_void_ret |= f.ret_ty.is_void();
+            // A guarded function still returns its most recent *value*,
+            // never a guard's slot.
+            if let Terminator::Ret(Some(Value::Inst(id))) = &f.blocks[0].term {
+                assert!(
+                    !f.inst(*id).descriptor().is_guard(),
+                    "returned a guard slot in {}",
+                    frost_ir::function_to_string(&f)
+                );
+            }
+        }
+        assert!(count > 1_000, "2-slot guarded space has {count} programs");
+        assert!(
+            saw_assume_on_icmp,
+            "assume over an icmp fact is in the space"
+        );
+        assert!(
+            saw_assume_on_frozen,
+            "assume over a frozen (laundered) fact is in the space"
+        );
+        assert!(saw_void_ret, "all-guard functions return void");
+    }
+
+    #[test]
+    fn guarded_resume_continues_the_walk() {
+        let cfg = GenConfig::guards(2);
+        let full: Vec<String> = enumerate_functions(cfg.clone())
+            .take(400)
+            .map(|f| frost_ir::function_to_string(&f))
+            .collect();
+        let mut head = enumerate_functions(cfg.clone());
+        let mut walked: Vec<String> = head
+            .by_ref()
+            .take(151)
+            .map(|f| frost_ir::function_to_string(&f))
+            .collect();
+        let (indices, counter, done) = head.cursor();
+        let resumed = ExhaustiveFunctions::resume(cfg, &indices, counter, done).unwrap();
+        walked.extend(
+            resumed
+                .take(400 - 151)
+                .map(|f| frost_ir::function_to_string(&f)),
+        );
+        assert_eq!(walked, full, "resume must continue the guarded walk");
     }
 
     #[test]

@@ -293,6 +293,11 @@ impl FunctionBuilder {
         self.emit(Inst::Store { ty, val, ptr });
     }
 
+    /// `assume i1 cond` — asserts a fact; produces no value.
+    pub fn assume(&mut self, cond: Value) {
+        self.emit(Inst::Assume { cond });
+    }
+
     /// `extractelement vec, idx` (constant index).
     pub fn extractelement(&mut self, vec: Value, idx: Value) -> Value {
         let vec_ty = self.func.value_ty(&vec);

@@ -257,6 +257,11 @@ impl Encoder {
     }
 
     fn inst(&mut self, inst: &Inst) {
+        // The variant tag comes from the descriptor table (the single
+        // registry of fingerprint tags); the match below only encodes
+        // per-variant immediates and operands. Rows with no immediates
+        // (the guards) fall through to the generic operand encoding.
+        self.push(inst.descriptor().tag as u64);
         match inst {
             Inst::Bin {
                 op,
@@ -265,7 +270,6 @@ impl Encoder {
                 lhs,
                 rhs,
             } => {
-                self.push(0);
                 self.push(*op as u64);
                 self.push(flags.nsw as u64 | (flags.nuw as u64) << 1 | (flags.exact as u64) << 2);
                 self.ty(ty);
@@ -273,7 +277,6 @@ impl Encoder {
                 self.value(rhs);
             }
             Inst::Icmp { cond, ty, lhs, rhs } => {
-                self.push(1);
                 self.push(*cond as u64);
                 self.ty(ty);
                 self.value(lhs);
@@ -285,14 +288,12 @@ impl Encoder {
                 tval,
                 fval,
             } => {
-                self.push(2);
                 self.ty(ty);
                 self.value(cond);
                 self.value(tval);
                 self.value(fval);
             }
             Inst::Phi { ty, incoming } => {
-                self.push(3);
                 self.ty(ty);
                 self.push(incoming.len() as u64);
                 for (v, bb) in incoming {
@@ -301,7 +302,6 @@ impl Encoder {
                 }
             }
             Inst::Freeze { ty, val } => {
-                self.push(4);
                 self.ty(ty);
                 self.value(val);
             }
@@ -311,7 +311,6 @@ impl Encoder {
                 to_ty,
                 val,
             } => {
-                self.push(5);
                 self.push(*kind as u64);
                 self.ty(from_ty);
                 self.ty(to_ty);
@@ -322,7 +321,6 @@ impl Encoder {
                 to_ty,
                 val,
             } => {
-                self.push(6);
                 self.ty(from_ty);
                 self.ty(to_ty);
                 self.value(val);
@@ -334,7 +332,6 @@ impl Encoder {
                 idx,
                 inbounds,
             } => {
-                self.push(7);
                 self.ty(elem_ty);
                 self.ty(idx_ty);
                 self.push(*inbounds as u64);
@@ -342,12 +339,10 @@ impl Encoder {
                 self.value(idx);
             }
             Inst::Load { ty, ptr } => {
-                self.push(8);
                 self.ty(ty);
                 self.value(ptr);
             }
             Inst::Store { ty, val, ptr } => {
-                self.push(9);
                 self.ty(ty);
                 self.value(val);
                 self.value(ptr);
@@ -358,7 +353,6 @@ impl Encoder {
                 vec,
                 idx,
             } => {
-                self.push(10);
                 self.ty(elem_ty);
                 self.push(*len as u64);
                 self.value(vec);
@@ -371,7 +365,6 @@ impl Encoder {
                 elt,
                 idx,
             } => {
-                self.push(11);
                 self.ty(elem_ty);
                 self.push(*len as u64);
                 self.value(vec);
@@ -384,7 +377,6 @@ impl Encoder {
                 arg_tys,
                 args,
             } => {
-                self.push(12);
                 self.ty(ret_ty);
                 // Callee names are symbol references into the enclosing
                 // module, not α-renamable locals: keep them verbatim.
@@ -399,7 +391,6 @@ impl Encoder {
                 }
             }
             Inst::Alloca { ty } => {
-                self.push(13);
                 self.ty(ty);
             }
             Inst::PtrToInt {
@@ -407,7 +398,6 @@ impl Encoder {
                 to_ty,
                 val,
             } => {
-                self.push(14);
                 self.ty(from_ty);
                 self.ty(to_ty);
                 self.value(val);
@@ -417,11 +407,15 @@ impl Encoder {
                 to_ty,
                 val,
             } => {
-                self.push(15);
                 self.ty(from_ty);
                 self.ty(to_ty);
                 self.value(val);
             }
+            // Rows with no immediates beyond their operand list (the
+            // guards): the descriptor tag plus the operands is the
+            // whole encoding. `assume`'s operand is always i1, so no
+            // type word is needed for injectivity.
+            _ => inst.for_each_operand(|v| self.value(v)),
         }
     }
 

@@ -12,6 +12,10 @@ use std::fmt;
 use crate::types::Ty;
 use crate::value::{BlockId, InstId, Value};
 
+pub mod descriptor;
+
+pub use descriptor::{Arity, Descriptor, Opcode, ResultKind, UbClass};
+
 /// A binary integer opcode.
 #[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
 pub enum BinOp {
@@ -535,6 +539,17 @@ pub enum Inst {
         /// The address to reinterpret.
         val: Value,
     },
+    /// `assume i1 %c` — asserts a fact to the optimizer; produces no
+    /// value. Executing `assume` on `false` *or on poison* is
+    /// immediate UB (the guard consumes the fact, so deferred UB in
+    /// the condition becomes immediate here — the same promotion a
+    /// `br` performs under the proposed semantics). `freeze` on the
+    /// condition launders the poison half away, leaving only the
+    /// false-fact UB.
+    Assume {
+        /// The asserted `i1` fact.
+        cond: Value,
+    },
 }
 
 impl Inst {
@@ -551,34 +566,31 @@ impl Inst {
             Inst::Cast { to_ty, .. } | Inst::Bitcast { to_ty, .. } => to_ty.clone(),
             Inst::Gep { elem_ty, .. } => Ty::ptr_to(elem_ty.clone()),
             Inst::Load { ty, .. } => ty.clone(),
-            Inst::Store { .. } => Ty::Void,
             Inst::ExtractElement { elem_ty, .. } => elem_ty.clone(),
             Inst::InsertElement { elem_ty, len, .. } => Ty::vector(*len, elem_ty.clone()),
             Inst::Call { ret_ty, .. } => ret_ty.clone(),
             Inst::Alloca { ty } => Ty::ptr_to(ty.clone()),
             Inst::PtrToInt { to_ty, .. } | Inst::IntToPtr { to_ty, .. } => to_ty.clone(),
+            // Everything else is a `ResultKind::Void` row of the
+            // descriptor table (store, assume).
+            _ => {
+                debug_assert_eq!(self.descriptor().result, ResultKind::Void);
+                Ty::Void
+            }
         }
     }
 
-    /// The instruction mnemonic for diagnostics.
+    /// The instruction mnemonic for diagnostics. Sub-opcodes carry
+    /// their own spelling; every other variant reads the descriptor
+    /// table's row.
     pub fn mnemonic(&self) -> &'static str {
         match self {
             Inst::Bin { op, .. } => op.mnemonic(),
-            Inst::Icmp { .. } => "icmp",
-            Inst::Select { .. } => "select",
-            Inst::Phi { .. } => "phi",
-            Inst::Freeze { .. } => "freeze",
             Inst::Cast { kind, .. } => kind.mnemonic(),
-            Inst::Bitcast { .. } => "bitcast",
-            Inst::Gep { .. } => "getelementptr",
-            Inst::Load { .. } => "load",
-            Inst::Store { .. } => "store",
-            Inst::ExtractElement { .. } => "extractelement",
-            Inst::InsertElement { .. } => "insertelement",
-            Inst::Call { .. } => "call",
-            Inst::Alloca { .. } => "alloca",
-            Inst::PtrToInt { .. } => "ptrtoint",
-            Inst::IntToPtr { .. } => "inttoptr",
+            _ => self
+                .descriptor()
+                .mnemonic
+                .expect("non-sub-opcode rows carry a mnemonic"),
         }
     }
 
@@ -590,26 +602,22 @@ impl Inst {
     /// the deterministic block layout (removing one shifts every later
     /// block's base), and the casts flip the memory into the finite
     /// phase, which makes strictly more raw-address accesses defined —
-    /// deleting a "dead" cast could turn a defined run into UB.
+    /// deleting a "dead" cast could turn a defined run into UB. So is
+    /// `assume`: the asserted fact is observable (dropping it erases a
+    /// UB condition), though the guard-aware DCE may still delete one
+    /// when the fact is provably laundered.
     pub fn has_side_effects(&self) -> bool {
-        matches!(
-            self,
-            Inst::Store { .. }
-                | Inst::Call { .. }
-                | Inst::Alloca { .. }
-                | Inst::PtrToInt { .. }
-                | Inst::IntToPtr { .. }
-        )
+        self.descriptor().side_effects
     }
 
     /// Returns `true` if this instruction can trigger *immediate* UB and
     /// therefore may not be hoisted past control flow without a safety
-    /// proof (§3.2).
+    /// proof (§3.2). Guards count: `assume` on a false or poison fact
+    /// is immediate UB.
     pub fn may_have_immediate_ub(&self) -> bool {
         match self {
             Inst::Bin { op, .. } => op.may_have_immediate_ub(),
-            Inst::Load { .. } | Inst::Store { .. } | Inst::Call { .. } => true,
-            _ => false,
+            _ => self.descriptor().ub != UbClass::Deferred,
         }
     }
 
@@ -647,7 +655,8 @@ impl Inst {
             | Inst::Bitcast { val, .. }
             | Inst::PtrToInt { val, .. }
             | Inst::IntToPtr { val, .. }
-            | Inst::Load { ptr: val, .. } => f(val),
+            | Inst::Load { ptr: val, .. }
+            | Inst::Assume { cond: val } => f(val),
             Inst::Gep { base, idx, .. } => {
                 f(base);
                 f(idx);
@@ -699,7 +708,8 @@ impl Inst {
             | Inst::Bitcast { val, .. }
             | Inst::PtrToInt { val, .. }
             | Inst::IntToPtr { val, .. }
-            | Inst::Load { ptr: val, .. } => f(val),
+            | Inst::Load { ptr: val, .. }
+            | Inst::Assume { cond: val } => f(val),
             Inst::Gep { base, idx, .. } => {
                 f(base);
                 f(idx);

@@ -72,7 +72,9 @@ pub use analysis::manager::{
 pub use builder::FunctionBuilder;
 pub use fingerprint::{FunctionKey, KeyDigest};
 pub use function::{Block, DeclAttrs, FuncDecl, Function, Module, Param, UseCounts};
-pub use inst::{BinOp, CastKind, Cond, Flags, Inst, Terminator};
+pub use inst::{
+    Arity, BinOp, CastKind, Cond, Descriptor, Flags, Inst, Opcode, ResultKind, Terminator, UbClass,
+};
 pub use text::{
     check_roundtrip, function_to_string, module_to_string, parse_function, parse_module,
     print_function, print_module, ParseError, RoundtripError, Span,

@@ -689,7 +689,30 @@ fn parse_inst(p: &mut Parser<'_>, ctx: &FnContext) -> Result<Inst> {
                 args,
             })
         }
-        other => p.err_at(mnemonic_span, format!("unknown instruction '{other}'")),
+        other => {
+            // Guard mnemonics parse through the descriptor table:
+            // `<mnemonic> <ty> <value>`, with the operand type pinned
+            // to i1 by the row's `bool_operands`. No dedicated arm per
+            // guard — a new guard row is parseable as soon as it is in
+            // the table.
+            if let Some(d) = crate::inst::descriptor::by_mnemonic(other) {
+                if d.is_guard() {
+                    let ty_span = p.span();
+                    let ty = p.parse_ty(false)?;
+                    if d.bool_operands && !ty.is_bool() {
+                        return p.err_at(
+                            ty_span.to(p.prev_span()),
+                            format!("{other} operand must have type i1, got {ty}"),
+                        );
+                    }
+                    let fact = parse_value(p, ctx, &ty)?;
+                    return Ok(d
+                        .make_guard(fact)
+                        .expect("guard rows build their instruction"));
+                }
+            }
+            p.err_at(mnemonic_span, format!("unknown instruction '{other}'"))
+        }
     }
 }
 
@@ -735,6 +758,26 @@ fn parse_terminator(p: &mut Parser<'_>, ctx: &FnContext, ret_ty: &Ty) -> Result<
         });
     }
     if p.eat_word("unreachable") {
+        // `unreachable` takes no operands; underline anything trailing
+        // on the same line rather than tripping over it as the next
+        // statement.
+        let line = p.toks[p.pos - 1].line;
+        if let Some(first) = p
+            .toks
+            .get(p.pos)
+            .filter(|t| t.line == line && t.tok != Tok::RBrace)
+        {
+            let mut span = first.span;
+            let mut j = p.pos + 1;
+            while let Some(t) = p.toks.get(j) {
+                if t.line != line || t.tok == Tok::RBrace {
+                    break;
+                }
+                span = span.to(t.span);
+                j += 1;
+            }
+            return p.err_at(span, "unreachable takes no operands");
+        }
         return Ok(Terminator::Unreachable);
     }
     p.err("expected a terminator (ret, br, unreachable)")
@@ -745,9 +788,11 @@ fn parse_terminator(p: &mut Parser<'_>, ctx: &FnContext, ret_ty: &Ty) -> Result<
 ///
 /// Statements are line-delimited (as produced by the printer): a line
 /// starting with `word:` introduces a block, `%name = ...` a named
-/// instruction, `store`/`call` an unnamed (void) instruction, and
-/// `ret`/`br`/`unreachable` a terminator. Unnamed instructions consume
-/// an instruction id so that ids assigned here match parse order.
+/// instruction, a mnemonic whose descriptor row is not
+/// `ResultKind::Value` (`store`, `call`, the guards) an unnamed (void)
+/// instruction, and `ret`/`br`/`unreachable` a terminator. Unnamed
+/// instructions consume an instruction id so that ids assigned here
+/// match parse order.
 fn prescan(p: &Parser<'_>, ctx: &mut FnContext) -> Result<()> {
     let mut i = p.pos;
     let mut next_block = 0u32;
@@ -776,8 +821,11 @@ fn prescan(p: &Parser<'_>, ctx: &mut FnContext) -> Result<()> {
                     }
                     next_block += 1;
                     i += 1; // skip the colon too
-                } else if w == "store" || w == "call" {
-                    // Unnamed (void-result) instruction.
+                } else if crate::inst::descriptor::by_mnemonic(w)
+                    .is_some_and(|d| d.result != crate::inst::ResultKind::Value)
+                {
+                    // Unnamed (void-result per its descriptor row)
+                    // instruction: `store`, void `call`, guards.
                     next_inst += 1;
                 } else if w != "ret" && w != "br" && w != "unreachable" {
                     return Err(ParseError::at(

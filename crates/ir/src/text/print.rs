@@ -231,6 +231,16 @@ pub fn inst_to_string(f: &Function, inst: &Inst, def: Option<&str>) -> String {
                 value_to_string(f, val)
             );
         }
+        // Guard rows of the descriptor table print generically:
+        // `<mnemonic> <ty> <fact>` (canonically `assume i1 %c`), so a
+        // new guard needs no arm here.
+        _ => {
+            debug_assert!(inst.descriptor().is_guard());
+            let _ = write!(s, "{}", inst.mnemonic());
+            inst.for_each_operand(|v| {
+                let _ = write!(s, " {}", typed(f, v));
+            });
+        }
     }
     s
 }

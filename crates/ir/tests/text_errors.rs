@@ -228,6 +228,38 @@ fn value_producing_call_must_be_named() {
     assert_eq!(err.line, 4);
 }
 
+// ---- guards ----------------------------------------------------------
+
+#[test]
+fn assume_operand_must_be_i1() {
+    let src = "define i8 @f(i8 %x) {\nentry:\n  assume i8 %x\n  ret i8 %x\n}";
+    let err = expect_error(src, "assume operand must have type i1, got i8", "i8");
+    assert_eq!((err.line, err.column), (3, 10));
+}
+
+#[test]
+fn unreachable_takes_no_operands() {
+    // Everything trailing on the line is underlined as one span.
+    let src = "define i4 @f(i4 %x) {\nentry:\n  unreachable i4 %x\n}";
+    let err = expect_error(src, "unreachable takes no operands", "i4 %x");
+    assert_eq!(err.line, 3);
+}
+
+/// Canonical printing of both guards, pinned: `assume` as a bare
+/// (void, unnamed) statement, `unreachable` as a terminator — and the
+/// printed form reparses to the identical canonical text.
+#[test]
+fn guard_printing_is_canonical_and_roundtrips() {
+    let src = "define i2 @f(i1 %c) {\nentry:\n  %v = zext i1 %c to i2\n  assume i1 %c\n  \
+               br i1 %c, label %a, label %b\na:\n  ret i2 %v\nb:\n  unreachable\n}";
+    let module = parse_module(src).expect("guarded module parses");
+    let text = frost_ir::module_to_string(&module);
+    assert!(text.contains("\n  assume i1 %c\n"), "{text}");
+    assert!(text.contains("\n  unreachable\n"), "{text}");
+    let again = parse_module(&text).expect("canonical form reparses");
+    assert_eq!(frost_ir::module_to_string(&again), text, "not a fixpoint");
+}
+
 // ---- rendering details ------------------------------------------------
 
 #[test]

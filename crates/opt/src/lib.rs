@@ -14,6 +14,7 @@
 //! | [`licm`] | §3.2, §5.6 | division hoisted past `k != 0` guard with undef `k`; load hoisted past escape-blind aliasing | require non-poison proof; alias-aware pinning |
 //! | [`alias`] | §5 | alloca assumed private even after `ptrtoint` published its address | unknown pointers may alias escaped blocks |
 //! | [`loop_sink`] | §5.5 | sinking duplicates freeze | refuse to sink freeze |
+//! | [`guard`] | §2.2, §4 | `assume` facts applied dominance-blind; freeze forwarded into guard facts | dominated region only; freeze kept load-bearing |
 //! | [`sccp`] | — | — | branch-on-poison folds to `unreachable` |
 //! | [`reassociate`] | §10.2 | keeps `nsw` while reassociating | drop the flags |
 //! | [`jump_threading`] | §7.2 | — | look through `freeze(phi const)` |
@@ -30,6 +31,7 @@
 pub mod alias;
 pub mod codegenprepare;
 pub mod dce;
+pub mod guard;
 pub mod gvn;
 pub mod indvar;
 pub mod inline;
@@ -46,6 +48,7 @@ pub mod util;
 
 pub use codegenprepare::CodeGenPrepare;
 pub use dce::Dce;
+pub use guard::{AssumeSimplify, GuardDce};
 pub use gvn::Gvn;
 pub use indvar::IndVarWiden;
 pub use inline::Inliner;

@@ -98,6 +98,30 @@ cargo run -q --release -p frost-bench --bin repro -- \
     --validate-trace BENCH_mem.json
 rm -f sweep-mem-ci.out
 
+echo "==> guarded-program exhaustive sweep (2-inst, assume/unreachable)"
+# The guarded domain: every 2-instruction program over raw, compared,
+# and frozen assume facts (poison constants included) through the fixed
+# assume-simplify + guard-dce band must complete with zero violations,
+# and its BENCH_guard.json record must pass the telemetry validator.
+# Guarded functions are plan-only (frost.core.bitslice.guard_rejects),
+# so this also exercises the Engine::Auto fallback path at scale.
+rm -f BENCH_guard.json
+cargo run -q --release -p frost-bench --bin repro -- \
+    --experiment sweep --guards --seconds 600 \
+    --bench-json BENCH_guard.json \
+    | tee sweep-guard-ci.out
+grep -q "complete=true" sweep-guard-ci.out || {
+    echo "ci: 2-inst guarded sweep did not complete within budget" >&2
+    exit 1
+}
+grep -q "violations=0" sweep-guard-ci.out || {
+    echo "ci: guarded sweep found violations in the fixed guard band" >&2
+    exit 1
+}
+cargo run -q --release -p frost-bench --bin repro -- \
+    --validate-trace BENCH_guard.json
+rm -f sweep-guard-ci.out
+
 echo "==> 3-inst sharded sweep slice + merge smoke (bounded)"
 # A bounded slice of the 3-instruction space (6.3B functions unpruned,
 # 87.5M after generation-time pruning) as a 2-process campaign: each

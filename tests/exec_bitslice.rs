@@ -239,3 +239,54 @@ fn memory_operations_are_rejected_by_the_bitsliced_engine() {
     assert_eq!(run(Engine::Plan), run(Engine::Reference));
     assert!(run(Engine::Auto).iter().all(|r| r.is_ok()));
 }
+
+/// Guarded programs are plan-only by design: `assume` turns a per-lane
+/// fact into *immediate* UB, which the shared-register-file passes of
+/// the bit-sliced engine cannot express. `Engine::Auto` on a guarded
+/// function must fall back to the plan loop with reference-identical
+/// outcomes, metering `frost.core.bitslice.guard_rejects` exactly once
+/// per compile.
+#[test]
+fn guarded_functions_are_rejected_by_the_bitsliced_engine() {
+    // i2 everywhere so nothing *else* (wide constants, wide return) is
+    // ineligible — the guard must be the rejection.
+    let module = frost::ir::parse_module(
+        "define i2 @f(i1 %c) {\nentry:\n  %v = zext i1 %c to i2\n  assume i1 %c\n  \
+         ret i2 %v\n}",
+    )
+    .unwrap();
+    let tuples = vec![
+        vec![frost::core::Val::int(1, 0)],
+        vec![frost::core::Val::int(1, 1)],
+        vec![frost::core::Val::Poison],
+    ];
+    let mem = Memory::zeroed(0);
+    let run = |engine| {
+        enumerate_function(
+            &module,
+            "f",
+            &tuples,
+            &mem,
+            Semantics::proposed(),
+            Limits::default(),
+            engine,
+        )
+    };
+    let guard_rejects = frost::telemetry::counter("frost.core.bitslice.guard_rejects");
+    let before = guard_rejects.get();
+    assert!(run(Engine::BitSliced).iter().all(|r| r.is_err()));
+    assert_eq!(
+        guard_rejects.get(),
+        before + 1,
+        "one compile, one metered rejection"
+    );
+    let before = guard_rejects.get();
+    assert_eq!(run(Engine::Auto), run(Engine::Plan));
+    assert_eq!(
+        guard_rejects.get(),
+        before + 1,
+        "Auto probes the bit-sliced compile exactly once before falling back"
+    );
+    assert_eq!(run(Engine::Plan), run(Engine::Reference));
+    assert!(run(Engine::Auto).iter().all(|r| r.is_ok()));
+}
